@@ -1,0 +1,120 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. irredundancy-aware path counting vs brute-force enumeration with
+//!    absorption (what makes Table I feasible);
+//! 2. backward-Euler vs trapezoidal integration on the XOR3 transient;
+//! 3. plain vs homotopy-assisted operating points (warm vs cold sweeps).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fts_circuit::experiments::Xor3Experiment;
+use fts_circuit::model::SwitchCircuitModel;
+use fts_lattice::{bruteforce, count};
+use fts_spice::analysis::{self, Integrator};
+
+fn ablation_path_counting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_path_counting");
+    for (m, n) in [(3usize, 3usize), (4, 4), (4, 5)] {
+        g.bench_with_input(BenchmarkId::new("pruned", format!("{m}x{n}")), &(m, n), |b, &(m, n)| {
+            b.iter(|| count::product_count(m, n))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("bruteforce_absorb", format!("{m}x{n}")),
+            &(m, n),
+            |b, &(m, n)| b.iter(|| bruteforce::product_count(m, n)),
+        );
+    }
+    g.finish();
+}
+
+fn ablation_integrator(c: &mut Criterion) {
+    let model = SwitchCircuitModel::square_hfo2().expect("model");
+    let mut g = c.benchmark_group("ablation_integrator_xor3");
+    g.sample_size(10);
+    for (name, integ) in [("backward_euler", Integrator::BackwardEuler), ("trapezoidal", Integrator::Trapezoidal)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &integ, |b, &integ| {
+            let mut exp = Xor3Experiment::quick();
+            exp.integrator = integ;
+            b.iter(|| exp.run(std::hint::black_box(&model)).expect("run"))
+        });
+    }
+    g.finish();
+}
+
+fn ablation_warm_start(c: &mut Criterion) {
+    // DC sweep with warm starts vs independent cold operating points.
+    use fts_spice::{MosParams, Netlist, Waveform};
+    let mut nl = Netlist::new();
+    let vdd = nl.node("vdd");
+    let g_ = nl.node("g");
+    let out = nl.node("out");
+    nl.vsource("VDD", vdd, Netlist::GROUND, Waveform::Dc(1.2)).unwrap();
+    nl.vsource("VG", g_, Netlist::GROUND, Waveform::Dc(0.0)).unwrap();
+    nl.resistor("RL", vdd, out, 5.0e5).unwrap();
+    nl.nmos("M1", out, g_, Netlist::GROUND, MosParams { kp: 2e-5, vth: 0.3, lambda: 0.05, w_over_l: 2.0 })
+        .unwrap();
+    let values: Vec<f64> = (0..=40).map(|k| k as f64 * 0.03).collect();
+
+    let mut group = c.benchmark_group("ablation_dc_sweep");
+    group.bench_function("warm_started", |b| {
+        b.iter_batched(
+            || nl.clone(),
+            |mut nl| analysis::dc_sweep(&mut nl, "VG", &values).expect("sweep"),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("cold_per_point", |b| {
+        b.iter_batched(
+            || nl.clone(),
+            |mut nl| {
+                values
+                    .iter()
+                    .map(|&v| {
+                        nl.set_vsource("VG", Waveform::Dc(v)).expect("source");
+                        analysis::op(&nl).expect("op")
+                    })
+                    .count()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn ablation_field_relaxation(c: &mut Criterion) {
+    // SOR (omega = 1.8) vs plain Gauss-Seidel (omega = 1.0) on the Fig. 8
+    // solve — over-relaxation is what keeps the 48×48 grid interactive.
+    use fts_field::{device_plan, SolveOptions};
+    let p = device_plan(fts_device::DeviceKind::Square, true);
+    let mut g = c.benchmark_group("ablation_field_relaxation");
+    g.sample_size(10);
+    for (name, omega) in [("sor_1.8", 1.8), ("gauss_seidel", 1.0)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &omega, |b, &omega| {
+            b.iter(|| p.solve(&SolveOptions { omega, ..Default::default() }))
+        });
+    }
+    g.finish();
+}
+
+
+/// Shared bench configuration: no plot generation, short but stable
+/// measurement windows (the repro binaries are the accuracy artifacts;
+/// these benches track performance regressions).
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick_config();
+    targets =
+    ablation_path_counting,
+    ablation_integrator,
+    ablation_warm_start,
+    ablation_field_relaxation
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figs. 5–7 kernels: virtual-TCAD bias solves and characterization.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fts_device::characterize::{characterize, id_vg};
+use fts_device::{BiasCase, Device, DeviceKind, Dielectric};
+
+fn bench_device(c: &mut Criterion) {
+    let dev = Device::new(DeviceKind::Square, Dielectric::HfO2);
+    c.bench_function("solve_bias_dsss", |b| {
+        b.iter(|| dev.solve_bias(BiasCase::DSSS, std::hint::black_box(5.0), 5.0))
+    });
+    c.bench_function("solve_bias_dsff_floats", |b| {
+        b.iter(|| dev.solve_bias(BiasCase::DSFF, std::hint::black_box(5.0), 5.0))
+    });
+    c.bench_function("idvg_101pts", |b| {
+        b.iter(|| id_vg(&dev, BiasCase::DSSS, 5.0, 0.0, 5.0, std::hint::black_box(101)))
+    });
+    let mut g = c.benchmark_group("characterize");
+    for kind in DeviceKind::all() {
+        let d = Device::new(kind, Dielectric::HfO2);
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &d, |b, d| {
+            b.iter(|| characterize(d))
+        });
+    }
+    g.finish();
+}
+
+
+/// Shared bench configuration: no plot generation, short but stable
+/// measurement windows (the repro binaries are the accuracy artifacts;
+/// these benches track performance regressions).
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group!{name = benches;config = quick_config();targets = bench_device}
+criterion_main!(benches);

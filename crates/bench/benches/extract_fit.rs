@@ -1,0 +1,58 @@
+//! Fig. 10 kernel and optimizer ablation: Nelder–Mead vs
+//! Levenberg–Marquardt on the level-1 fitting problem.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fts_device::{Device, DeviceKind, Dielectric, Terminal, TerminalPair};
+use fts_extract::fit::{channel_iv_data, fit_level1};
+use fts_extract::optim::{levenberg_marquardt, nelder_mead, LmOptions, NelderMeadOptions};
+use fts_extract::Level1;
+
+fn bench_fit(c: &mut Criterion) {
+    let dev = Device::new(DeviceKind::Square, Dielectric::HfO2);
+    let pair = TerminalPair::new(Terminal::T1, Terminal::T2);
+    let data = channel_iv_data(&dev, pair, 41);
+    let w_over_l = dev.geometry().channel(pair).aspect();
+
+    c.bench_function("fit_level1_full", |b| {
+        b.iter(|| fit_level1(std::hint::black_box(&data), w_over_l))
+    });
+
+    // Ablation: each optimizer alone on the same residuals.
+    let residuals = |p: &[f64]| -> Vec<f64> {
+        let m = Level1::new(p[0].abs(), p[1], p[2].abs(), w_over_l);
+        data.vgs
+            .iter()
+            .zip(&data.vds)
+            .zip(&data.ids)
+            .map(|((&vgs, &vds), &ids)| m.ids(vgs, vds) - ids)
+            .collect()
+    };
+    c.bench_function("lm_only", |b| {
+        b.iter(|| levenberg_marquardt(residuals, &[1e-5, 0.3, 0.05], &LmOptions::default()))
+    });
+    c.bench_function("nelder_mead_only", |b| {
+        b.iter(|| {
+            nelder_mead(
+                |p| residuals(p).iter().map(|r| r * r).sum::<f64>(),
+                &[1e-5, 0.3, 0.05],
+                &NelderMeadOptions::default(),
+            )
+        })
+    });
+}
+
+
+/// Shared bench configuration: no plot generation, short but stable
+/// measurement windows (the repro binaries are the accuracy artifacts;
+/// these benches track performance regressions).
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group!{name = benches;config = quick_config();targets = bench_fit}
+criterion_main!(benches);

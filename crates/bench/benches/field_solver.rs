@@ -1,0 +1,33 @@
+//! Fig. 8 kernel: the 2-D current-continuity SOR solve per device.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fts_device::DeviceKind;
+use fts_field::{device_plan, SolveOptions};
+
+fn bench_field(c: &mut Criterion) {
+    let mut g = c.benchmark_group("field_solve_48x48");
+    g.sample_size(20);
+    for kind in DeviceKind::all() {
+        let p = device_plan(kind, true);
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &p, |b, p| {
+            b.iter(|| p.solve(&SolveOptions::default()))
+        });
+    }
+    g.finish();
+}
+
+
+/// Shared bench configuration: no plot generation, short but stable
+/// measurement windows (the repro binaries are the accuracy artifacts;
+/// these benches track performance regressions).
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group!{name = benches;config = quick_config();targets = bench_field}
+criterion_main!(benches);

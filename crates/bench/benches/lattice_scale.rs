@@ -1,0 +1,55 @@
+//! Scaling study: DC operating points of full canonical lattice circuits
+//! (every switch its own input, all gates ON) as the grid grows — the
+//! simulator-capacity question behind the paper's "considerably large
+//! lattice" remark.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fts_circuit::lattice_netlist::{BenchConfig, LatticeCircuit};
+use fts_circuit::model::SwitchCircuitModel;
+use fts_lattice::Lattice;
+use fts_spice::analysis;
+
+fn bench_scale(c: &mut Criterion) {
+    let model = SwitchCircuitModel::square_hfo2().expect("model");
+    let mut g = c.benchmark_group("lattice_op_scaling");
+    g.sample_size(10);
+    for n in [2usize, 3, 4, 5] {
+        // n×n lattice over n² distinct inputs is too many rails; use the
+        // all-ON worst case with a single shared input variable.
+        let lat = Lattice::filled(n, n, fts_logic::Literal::pos(0)).expect("grid");
+        let ckt = LatticeCircuit::build(&lat, 1, &model, BenchConfig::default()).expect("build");
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{n}")), &ckt, |b, ckt| {
+            b.iter(|| ckt.dc_output(0b1).expect("op"))
+        });
+    }
+    g.finish();
+
+    // Transient scaling on the 3×3 all-ON lattice.
+    let lat = Lattice::filled(3, 3, fts_logic::Literal::pos(0)).expect("grid");
+    let ckt = LatticeCircuit::build(&lat, 1, &model, BenchConfig::default()).expect("build");
+    c.bench_function("lattice_3x3_transient_100steps", |b| {
+        b.iter(|| {
+            analysis::transient(
+                ckt.netlist(),
+                &fts_spice::analysis::TransientOptions::new(1e-9, 100e-9),
+            )
+            .expect("transient")
+        })
+    });
+}
+
+
+/// Shared bench configuration: no plot generation, short but stable
+/// measurement windows (the repro binaries are the accuracy artifacts;
+/// these benches track performance regressions).
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group!{name = benches;config = quick_config();targets = bench_scale}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 12 kernel: DC operating points of series switch chains (this is
+//! also the Newton-homotopy stress test — long chains start far from
+//! their solution).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fts_circuit::experiments::series_chain_current;
+use fts_circuit::model::SwitchCircuitModel;
+
+fn bench_chain(c: &mut Criterion) {
+    let model = SwitchCircuitModel::square_hfo2().expect("model");
+    let mut g = c.benchmark_group("series_chain_op");
+    for n in [1usize, 5, 11, 21] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| series_chain_current(std::hint::black_box(&model), n, 1.2).expect("op"))
+        });
+    }
+    g.finish();
+}
+
+
+/// Shared bench configuration: no plot generation, short but stable
+/// measurement windows (the repro binaries are the accuracy artifacts;
+/// these benches track performance regressions).
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group!{name = benches;config = quick_config();targets = bench_chain}
+criterion_main!(benches);

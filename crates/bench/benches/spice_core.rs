@@ -1,0 +1,104 @@
+//! Simulator kernels: dense LU scaling, operating points, RC transients.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fts_spice::analysis::{self, Integrator, TransientOptions};
+use fts_spice::linalg::Matrix;
+use fts_spice::{MosParams, Netlist, Waveform};
+
+fn lu_matrix(n: usize) -> (Matrix, Vec<f64>) {
+    let mut m = Matrix::zeros(n);
+    let mut state = 7u64;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    for r in 0..n {
+        for c in 0..n {
+            m.add(r, c, next());
+        }
+        m.add(r, r, 4.0);
+    }
+    let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    (m, b)
+}
+
+fn rc_ladder(stages: usize) -> Netlist {
+    let mut nl = Netlist::new();
+    let mut prev = nl.node("in");
+    nl.vsource("V1", prev, Netlist::GROUND, Waveform::Dc(1.0)).unwrap();
+    for k in 0..stages {
+        let n = nl.node(&format!("n{k}"));
+        nl.resistor(&format!("R{k}"), prev, n, 1.0e3).unwrap();
+        nl.capacitor(&format!("C{k}"), n, Netlist::GROUND, 1.0e-9).unwrap();
+        prev = n;
+    }
+    nl
+}
+
+fn mos_ring(stages: usize) -> Netlist {
+    let mut nl = Netlist::new();
+    let vdd = nl.node("vdd");
+    nl.vsource("VDD", vdd, Netlist::GROUND, Waveform::Dc(1.2)).unwrap();
+    let gate = nl.node("g");
+    nl.vsource("VG", gate, Netlist::GROUND, Waveform::Dc(1.2)).unwrap();
+    let params = MosParams { kp: 2.0e-5, vth: 0.3, lambda: 0.05, w_over_l: 2.0 };
+    let mut prev = vdd;
+    for k in 0..stages {
+        let n = nl.node(&format!("m{k}"));
+        nl.nmos(&format!("M{k}"), prev, gate, n, params).unwrap();
+        prev = n;
+    }
+    nl.resistor("RT", prev, Netlist::GROUND, 1.0e5).unwrap();
+    nl
+}
+
+fn bench_spice(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dense_lu");
+    for n in [16usize, 64, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || lu_matrix(n),
+                |(m, rhs)| m.solve(&rhs).expect("well conditioned"),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+
+    c.bench_function("op_mos_chain_10", |b| {
+        let nl = mos_ring(10);
+        b.iter(|| analysis::op(std::hint::black_box(&nl)).expect("converges"))
+    });
+
+    let mut g = c.benchmark_group("transient_rc_ladder_20");
+    g.sample_size(20);
+    let nl = rc_ladder(20);
+    for (name, integ) in [("be", Integrator::BackwardEuler), ("trap", Integrator::Trapezoidal)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &integ, |b, &integ| {
+            b.iter(|| {
+                analysis::transient(
+                    &nl,
+                    &TransientOptions { dt: 1e-7, tstop: 2e-5, integrator: integ, uic: true },
+                )
+                .expect("converges")
+            })
+        });
+    }
+    g.finish();
+}
+
+
+/// Shared bench configuration: no plot generation, short but stable
+/// measurement windows (the repro binaries are the accuracy artifacts;
+/// these benches track performance regressions).
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group!{name = benches;config = quick_config();targets = bench_spice}
+criterion_main!(benches);

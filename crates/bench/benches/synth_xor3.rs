@@ -1,0 +1,36 @@
+//! Fig. 3 kernels: the three synthesis engines on XOR3.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fts_logic::generators;
+use fts_synth::search::{anneal, AnnealOptions};
+use fts_synth::{column, dual};
+
+fn bench_synthesis(c: &mut Criterion) {
+    let f = generators::xor(3);
+    c.bench_function("altun_riedel_xor3", |b| b.iter(|| dual::altun_riedel(std::hint::black_box(&f))));
+    c.bench_function("column_construction_xor3", |b| {
+        b.iter(|| column::column_construction(std::hint::black_box(&f)))
+    });
+    let mut g = c.benchmark_group("anneal_xor3_3x3");
+    g.sample_size(10);
+    g.bench_function("default_budget", |b| {
+        b.iter(|| anneal(std::hint::black_box(&f), 3, 3, &AnnealOptions::default()))
+    });
+    g.finish();
+}
+
+
+/// Shared bench configuration: no plot generation, short but stable
+/// measurement windows (the repro binaries are the accuracy artifacts;
+/// these benches track performance regressions).
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group!{name = benches;config = quick_config();targets = bench_synthesis}
+criterion_main!(benches);

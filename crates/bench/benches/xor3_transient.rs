@@ -1,0 +1,31 @@
+//! Fig. 11 kernel: the full inverse-XOR3 transient.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fts_circuit::experiments::Xor3Experiment;
+use fts_circuit::model::SwitchCircuitModel;
+
+fn bench_xor3(c: &mut Criterion) {
+    let model = SwitchCircuitModel::square_hfo2().expect("model");
+    let mut g = c.benchmark_group("xor3_transient");
+    g.sample_size(10);
+    g.bench_function("quick_profile", |b| {
+        b.iter(|| Xor3Experiment::quick().run(std::hint::black_box(&model)).expect("run"))
+    });
+    g.finish();
+}
+
+
+/// Shared bench configuration: no plot generation, short but stable
+/// measurement windows (the repro binaries are the accuracy artifacts;
+/// these benches track performance regressions).
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group!{name = benches;config = quick_config();targets = bench_xor3}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Runs every table/figure reproduction in sequence (Table I in `--fast`
+//! mode; invoke `repro_table1` directly for the full 9×9 entry).
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        ("repro_table1", vec!["--fast"]),
+        ("repro_table2", vec![]),
+        ("repro_fig2c", vec![]),
+        ("repro_fig3", vec![]),
+        ("repro_fig5", vec![]),
+        ("repro_fig6", vec![]),
+        ("repro_fig7", vec![]),
+        ("repro_fig8", vec![]),
+        ("repro_fig10", vec![]),
+        ("repro_fig11", vec![]),
+        ("repro_fig12", vec![]),
+        ("repro_future_work", vec![]),
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let mut failures = 0;
+    for (bin, args) in bins {
+        println!("\n================ {bin} ================\n");
+        let status = Command::new(exe_dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} FAILED ({status})");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("\n{failures} reproduction(s) failed");
+        std::process::exit(1);
+    }
+    println!("\nall reproductions completed");
+}

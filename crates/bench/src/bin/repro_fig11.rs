@@ -1,0 +1,35 @@
+//! Regenerates Fig. 11: SPICE transient analysis of the inverse XOR3
+//! lattice circuit — waveform, logic levels, and edge timing.
+
+use fts_circuit::experiments::Xor3Experiment;
+use fts_circuit::model::SwitchCircuitModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = SwitchCircuitModel::square_hfo2()?;
+    let report = Xor3Experiment::paper().run(&model)?;
+
+    println!("Fig. 11: inverse-XOR3 transient (3x3 lattice, VDD = 1.2 V, 500 kOhm pull-up)\n");
+    println!("{:>6} {:>12} {:>12}", "abc", "out [V]", "expected");
+    for (x, lvl) in report.phase_levels.iter().enumerate() {
+        let expect = if (x as u32).count_ones().is_multiple_of(2) { "HIGH" } else { "low" };
+        println!("{x:>6o} {lvl:>12.3} {expect:>12}");
+    }
+    println!("\nmeasurements (paper values in brackets):");
+    println!("  functional : {}", report.functional);
+    println!("  V_OL       : {:.3} V  [0.22 V]", report.v_ol);
+    println!("  V_OH       : {:.3} V  [~1.2 V]", report.v_oh);
+    if let Some(r) = report.rise_s {
+        println!("  rise 10-90 : {:.2} ns  [11.3 ns]", r * 1e9);
+    }
+    if let Some(f) = report.fall_s {
+        println!("  fall 90-10 : {:.2} ns  [4.7 ns]", f * 1e9);
+    }
+
+    // Sampled waveform rows for external plotting.
+    println!("\nwaveform (t [ns], out [V]) every 8 ns:");
+    let step = (report.time.len() / 120).max(1);
+    for k in (0..report.time.len()).step_by(step) {
+        println!("  {:>8.2} {:>8.4}", report.time[k] * 1e9, report.output[k]);
+    }
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! Regenerates Fig. 12: (a) current through 1..21 series switches at
+//! VDD = 1.2 V; (b) supply voltage needed to hold the two-switch current
+//! (the paper's 5.5 µA point) through 2..21 switches.
+
+use fts_circuit::experiments::{series_chain_current, series_chain_voltage_for_current};
+use fts_circuit::model::SwitchCircuitModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = SwitchCircuitModel::square_hfo2()?;
+
+    println!("Fig. 12a: current vs number of series switches @ VDD = 1.2 V");
+    println!("{:>4} {:>14}", "N", "current [A]");
+    let mut i2 = 0.0;
+    for n in 1..=21usize {
+        let i = series_chain_current(&model, n, 1.2)?;
+        if n == 2 {
+            i2 = i;
+        }
+        println!("{n:>4} {i:>14.4e}");
+    }
+    println!("paper anchors: 11.12 uA @ N=1, ~2.2 uA @ N=5, 0.52 uA @ N=21\n");
+
+    println!(
+        "Fig. 12b: voltage for constant current {:.2} uA (the N=2 current) vs series switches",
+        i2 * 1e6
+    );
+    println!("{:>4} {:>12}", "N", "V req [V]");
+    for n in 2..=21usize {
+        let v = series_chain_voltage_for_current(&model, n, i2, 12.0)?;
+        println!("{n:>4} {v:>12.4}");
+    }
+    println!("paper anchors: 1.2 V @ N=2, ~2.5 V @ N=21 (near-linear, shallow slope)");
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 5: square-gate device, DSSS case, HfO2 gate —
+//! (a) Id–Vg at Vds = 10 mV, (b) Id–Vg at Vds = 5 V, (c) Id–Vd at
+//! Vgs = 5 V, per terminal — plus the Vth / on-off summary for both
+//! dielectrics.
+
+use fts_bench::print_device_figure;
+use fts_device::DeviceKind;
+
+fn main() {
+    print_device_figure("Fig. 5", DeviceKind::Square);
+}

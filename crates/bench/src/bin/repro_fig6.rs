@@ -1,0 +1,9 @@
+//! Regenerates Fig. 6: cross-gate device curves and summary (see
+//! `repro_fig5` for the sweep definitions).
+
+use fts_bench::print_device_figure;
+use fts_device::DeviceKind;
+
+fn main() {
+    print_device_figure("Fig. 6", DeviceKind::Cross);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 7: junctionless device curves and summary (see
+//! `repro_fig5` for the sweep definitions). The gate sweep extends to
+//! negative voltages to show the depletion-mode threshold.
+
+use fts_bench::print_device_figure;
+use fts_device::DeviceKind;
+
+fn main() {
+    print_device_figure("Fig. 7", DeviceKind::Junctionless);
+}

@@ -1,0 +1,41 @@
+//! Regenerates Table II: structural features of the three four-terminal
+//! devices, plus the derived channel geometry the model uses.
+
+use fts_device::{DeviceGeometry, DeviceKind, Terminal, TerminalPair};
+
+fn main() {
+    println!("Table II: structural features of four-terminal devices\n");
+    for kind in DeviceKind::all() {
+        let g = DeviceGeometry::table2(kind);
+        println!(
+            "{} ({}):",
+            kind.name(),
+            if kind.is_enhancement() { "enhancement" } else { "depletion (junctionless)" }
+        );
+        println!(
+            "  device size (nm)     : {} x {} x {}",
+            g.device_nm.0, g.device_nm.1, g.device_nm.2
+        );
+        println!(
+            "  electrode size (nm)  : {} x {} x {}",
+            g.electrode_nm.0, g.electrode_nm.1, g.electrode_nm.2
+        );
+        println!(
+            "  gate footprint (nm)  : {} x {}, dielectric thickness {}",
+            g.gate_nm.0, g.gate_nm.1, g.gate_thickness_nm
+        );
+        println!(
+            "  doping (cm^-3)       : body/wire {:.0e}, electrodes {:.0e}",
+            g.substrate_doping_cm3, g.electrode_doping_cm3
+        );
+        let adj = g.channel(TerminalPair::new(Terminal::T1, Terminal::T2));
+        let opp = g.channel(TerminalPair::new(Terminal::T1, Terminal::T3));
+        println!(
+            "  derived channels     : edge W/L = {:.0}/{:.0} nm, diagonal W/L = {:.0}/{:.0} nm\n",
+            adj.width_cm * 1e7,
+            adj.length_cm * 1e7,
+            opp.width_cm * 1e7,
+            opp.length_cm * 1e7
+        );
+    }
+}

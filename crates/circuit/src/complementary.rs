@@ -1,0 +1,262 @@
+//! Complementary (dual-rail) lattice circuits — the §VI-A extension.
+//!
+//! The paper foresees "using a four-terminal lattice for a pull-up
+//! network, as used for a pull-down network. This complementary structure
+//! obviously makes the static power consumption almost zero and eliminates
+//! the dominance of the rise time delay caused by a high pull-up
+//! resistor." This module builds exactly that circuit: a pull-up lattice
+//! computing `NOT f` between VDD and the output, and a pull-down lattice
+//! computing `f` between the output and ground, both made of the same
+//! n-type four-terminal switches.
+
+use fts_lattice::Lattice;
+use fts_logic::{Literal, TruthTable};
+use fts_spice::{analysis, Netlist, NodeId, Waveform};
+
+use crate::lattice_netlist::BenchConfig;
+use crate::model::SwitchCircuitModel;
+use crate::switch;
+use crate::CircuitError;
+
+/// A complementary lattice circuit: two lattices, no pull-up resistor.
+#[derive(Debug, Clone)]
+pub struct ComplementaryCircuit {
+    netlist: Netlist,
+    out: NodeId,
+    vars: usize,
+    config: BenchConfig,
+}
+
+impl ComplementaryCircuit {
+    /// Builds the dual-rail circuit. `pulldown` must compute `f` (its
+    /// conduction pulls the output low) and `pullup` must compute `NOT f`.
+    ///
+    /// The two networks share the input rails; the `pullup_ohms` field of
+    /// the bench config is unused (there is no resistor).
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist failures; rejects lattices referencing
+    /// variables ≥ `vars`.
+    pub fn build(
+        pulldown: &Lattice,
+        pullup: &Lattice,
+        vars: usize,
+        model: &SwitchCircuitModel,
+        config: BenchConfig,
+    ) -> Result<ComplementaryCircuit, CircuitError> {
+        for lat in [pulldown, pullup] {
+            for lit in lat.literals() {
+                if let Literal::Var { index, .. } = *lit {
+                    if index as usize >= vars {
+                        return Err(CircuitError::MissingStimulus { variable: index });
+                    }
+                }
+            }
+        }
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        nl.vsource("VDD", vdd, Netlist::GROUND, Waveform::Dc(config.vdd))?;
+        let out = nl.node("out");
+        nl.capacitor("CLOAD", out, Netlist::GROUND, config.load_cap)?;
+
+        let mut input_nodes = Vec::with_capacity(vars);
+        for v in 0..vars {
+            let p = nl.node(&format!("in{v}"));
+            let n = nl.node(&format!("in{v}n"));
+            nl.vsource(&format!("VIN{v}"), p, Netlist::GROUND, Waveform::Dc(0.0))?;
+            nl.vsource(&format!("VIN{v}N"), n, Netlist::GROUND, Waveform::Dc(config.vdd))?;
+            input_nodes.push((p, n));
+        }
+
+        wire_lattice(&mut nl, "pu", pullup, vdd, out, &input_nodes, vdd, model)?;
+        wire_lattice(&mut nl, "pd", pulldown, out, Netlist::GROUND, &input_nodes, vdd, model)?;
+        Ok(ComplementaryCircuit { netlist: nl, out, vars, config })
+    }
+
+    /// Builds the dual-rail realization of `f` by synthesizing both
+    /// networks with [`fts_synth::synthesize`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates synthesis and construction failures.
+    pub fn synthesize(
+        f: &TruthTable,
+        model: &SwitchCircuitModel,
+        config: BenchConfig,
+    ) -> Result<ComplementaryCircuit, CircuitError> {
+        let pd = fts_synth::synthesize(f)
+            .map_err(|_| CircuitError::InvalidConfig { reason: "pull-down synthesis failed" })?;
+        let pu = fts_synth::synthesize(&!f)
+            .map_err(|_| CircuitError::InvalidConfig { reason: "pull-up synthesis failed" })?;
+        Self::build(&pd.lattice, &pu.lattice, f.vars(), model, config)
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The output node.
+    pub fn out(&self) -> NodeId {
+        self.out
+    }
+
+    /// DC output voltage for a packed input assignment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn dc_output(&self, assignment: u32) -> Result<f64, CircuitError> {
+        let nl = self.with_inputs(assignment)?;
+        Ok(analysis::op(&nl)?.voltage(self.out))
+    }
+
+    /// DC supply current magnitude for an input assignment — the static
+    /// power figure of merit (§VI-A: "almost zero").
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn static_supply_current(&self, assignment: u32) -> Result<f64, CircuitError> {
+        let nl = self.with_inputs(assignment)?;
+        let op = analysis::op(&nl)?;
+        Ok(op.vsource_current(&nl, "VDD")?.abs())
+    }
+
+    /// The Boolean function recovered by thresholded DC analysis. The
+    /// complementary circuit computes `NOT f` like the resistive bench.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn dc_truth_table(&self) -> Result<Vec<bool>, CircuitError> {
+        (0..(1u32 << self.vars))
+            .map(|x| Ok(self.dc_output(x)? > self.config.vdd / 2.0))
+            .collect()
+    }
+
+    fn with_inputs(&self, assignment: u32) -> Result<Netlist, CircuitError> {
+        let mut nl = self.netlist.clone();
+        let vdd = self.config.vdd;
+        for v in 0..self.vars {
+            let bit = (assignment >> v) & 1 == 1;
+            nl.set_vsource(&format!("VIN{v}"), Waveform::Dc(if bit { vdd } else { 0.0 }))?;
+            nl.set_vsource(&format!("VIN{v}N"), Waveform::Dc(if bit { 0.0 } else { vdd }))?;
+        }
+        Ok(nl)
+    }
+}
+
+/// Wires a lattice between two plate nodes inside an existing netlist.
+/// Shared by the resistive and complementary benches.
+#[allow(clippy::too_many_arguments)] // netlist wiring genuinely takes this many handles
+pub(crate) fn wire_lattice(
+    nl: &mut Netlist,
+    prefix: &str,
+    lattice: &Lattice,
+    top: NodeId,
+    bottom: NodeId,
+    input_nodes: &[(NodeId, NodeId)],
+    vdd: NodeId,
+    model: &SwitchCircuitModel,
+) -> Result<(), CircuitError> {
+    let (rows, cols) = (lattice.rows(), lattice.cols());
+    let vert = |nl: &mut Netlist, r: usize, c: usize| -> NodeId {
+        if r == 0 {
+            top
+        } else if r == rows {
+            bottom
+        } else {
+            nl.node(&format!("{prefix}_v{r}_{c}"))
+        }
+    };
+    for r in 0..rows {
+        for c in 0..cols {
+            let gate = match lattice.literal((r, c)) {
+                Literal::True => vdd,
+                Literal::False => Netlist::GROUND,
+                Literal::Var { index, negated } => {
+                    let (p, n) = input_nodes[index as usize];
+                    if negated {
+                        n
+                    } else {
+                        p
+                    }
+                }
+            };
+            let t_top = vert(nl, r, c);
+            let t_bottom = vert(nl, r + 1, c);
+            let t_left = nl.node(&format!("{prefix}_h{r}_{c}"));
+            let t_right = nl.node(&format!("{prefix}_h{r}_{}", c + 1));
+            switch::add_switch(
+                nl,
+                &format!("{prefix}_S{r}_{c}"),
+                gate,
+                [t_top, t_right, t_bottom, t_left],
+                model,
+            )?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fts_logic::generators;
+
+    fn model() -> SwitchCircuitModel {
+        SwitchCircuitModel::square_hfo2().unwrap()
+    }
+
+    #[test]
+    fn complementary_and2_computes_nand() {
+        let f = generators::and(2);
+        let ckt = ComplementaryCircuit::synthesize(&f, &model(), BenchConfig::default()).unwrap();
+        let tt = ckt.dc_truth_table().unwrap();
+        assert_eq!(tt, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn complementary_output_low_is_near_ground() {
+        // No ratioed divider: the low level sits at (almost) 0 V instead
+        // of the resistive bench's ~0.2 V.
+        let f = generators::and(2);
+        let ckt = ComplementaryCircuit::synthesize(&f, &model(), BenchConfig::default()).unwrap();
+        let v_low = ckt.dc_output(0b11).unwrap();
+        assert!(v_low < 0.02, "complementary V_OL ≈ 0: {v_low}");
+    }
+
+    #[test]
+    fn complementary_static_current_is_tiny() {
+        // §VI-A: "makes the static power consumption almost zero". The
+        // resistive bench burns VDD/(R_pu + R_lattice) ≈ µA when the
+        // output is low; the complementary circuit leaks only.
+        let f = generators::and(2);
+        let ckt = ComplementaryCircuit::synthesize(&f, &model(), BenchConfig::default()).unwrap();
+        for x in 0..4u32 {
+            let i = ckt.static_supply_current(x).unwrap();
+            assert!(i < 5e-8, "input {x:02b}: static current {i:.3e}");
+        }
+    }
+
+    #[test]
+    fn complementary_xor3_functional() {
+        let f = generators::xor(3);
+        let pd = crate::experiments::xor3_lattice();
+        let pu = fts_synth::synthesize(&!&f).unwrap().lattice;
+        let ckt = ComplementaryCircuit::build(&pd, &pu, 3, &model(), BenchConfig::default()).unwrap();
+        let tt = ckt.dc_truth_table().unwrap();
+        for x in 0..8u32 {
+            assert_eq!(tt[x as usize], !f.eval(x), "input {x:03b}");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_variables() {
+        let lat = Lattice::filled(1, 1, Literal::pos(7)).unwrap();
+        let err = ComplementaryCircuit::build(&lat, &lat, 2, &model(), BenchConfig::default());
+        assert!(matches!(err, Err(CircuitError::MissingStimulus { variable: 7 })));
+    }
+}

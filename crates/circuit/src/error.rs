@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+use fts_extract::ExtractError;
+use fts_lattice::LatticeError;
+use fts_spice::SpiceError;
+
+/// Errors produced while building or simulating lattice circuits.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A lattice site references an input variable with no stimulus.
+    MissingStimulus {
+        /// Variable index without a waveform.
+        variable: u8,
+    },
+    /// The requested chain length or lattice is degenerate.
+    InvalidConfig {
+        /// Explanation.
+        reason: &'static str,
+    },
+    /// A bisection target could not be bracketed.
+    TargetNotBracketed {
+        /// The unreachable target value.
+        target: f64,
+    },
+    /// Underlying simulator failure.
+    Spice(SpiceError),
+    /// Underlying lattice failure.
+    Lattice(LatticeError),
+    /// Underlying model-extraction failure.
+    Extract(ExtractError),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::MissingStimulus { variable } => {
+                write!(f, "no stimulus provided for input variable {variable}")
+            }
+            CircuitError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            CircuitError::TargetNotBracketed { target } => {
+                write!(f, "bisection target {target:.3e} not bracketed")
+            }
+            CircuitError::Spice(e) => write!(f, "spice error: {e}"),
+            CircuitError::Lattice(e) => write!(f, "lattice error: {e}"),
+            CircuitError::Extract(e) => write!(f, "extract error: {e}"),
+        }
+    }
+}
+
+impl Error for CircuitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CircuitError::Spice(e) => Some(e),
+            CircuitError::Lattice(e) => Some(e),
+            CircuitError::Extract(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpiceError> for CircuitError {
+    fn from(e: SpiceError) -> Self {
+        CircuitError::Spice(e)
+    }
+}
+
+impl From<LatticeError> for CircuitError {
+    fn from(e: LatticeError) -> Self {
+        CircuitError::Lattice(e)
+    }
+}
+
+impl From<ExtractError> for CircuitError {
+    fn from(e: ExtractError) -> Self {
+        CircuitError::Extract(e)
+    }
+}

@@ -1,0 +1,42 @@
+//! Circuit-level modeling of four-terminal switching lattices (§IV–V of
+//! the DATE 2019 paper).
+//!
+//! * [`model`] — the six-MOSFET switch subcircuit parameters (Fig. 9):
+//!   four "Type A" edge transistors and two "Type B" diagonal transistors,
+//!   obtained from the virtual-TCAD extraction flow;
+//! * [`switch`] — instantiating one four-terminal switch into a netlist;
+//! * [`lattice_netlist`] — wiring an arbitrary [`fts_lattice::Lattice`]
+//!   into the paper's test circuit: 1.2 V supply, 500 kΩ pull-up on the
+//!   top plate, grounded bottom plate, 1 fF terminal caps, 10 fF load;
+//! * [`experiments`] — the paper's §V experiments: the inverse-XOR3
+//!   transient (Fig. 11) and the series-switch drive studies (Fig. 12);
+//! * [`complementary`] — the §VI-A dual-rail extension (lattice pull-up
+//!   network: near-zero static power, no resistor-limited rise);
+//! * [`metrics`] — the §VI-A power / delay / energy / bandwidth analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use fts_circuit::experiments::{xor3_lattice, Xor3Experiment};
+//! use fts_circuit::model::SwitchCircuitModel;
+//!
+//! let model = SwitchCircuitModel::square_hfo2()?;
+//! let report = Xor3Experiment::quick().run(&model)?;
+//! assert!(report.functional, "lattice must compute the inverse XOR3");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// `!(x > 0.0)` deliberately rejects NaN configuration values.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod complementary;
+pub mod experiments;
+pub mod lattice_netlist;
+pub mod metrics;
+pub mod model;
+pub mod switch;
+
+mod error;
+pub use error::CircuitError;

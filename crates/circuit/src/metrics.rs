@@ -1,0 +1,329 @@
+//! Power / delay / energy metrics for lattice circuits — the analysis
+//! §VI-A of the paper plans ("power consumption, delay (maximum
+//! frequency), phase margin, and area").
+
+use fts_spice::analysis::{self, Integrator, TransientOptions};
+use fts_spice::{measure, Netlist, NodeId, Waveform};
+
+use crate::lattice_netlist::{pwl_from_bits, LatticeCircuit};
+use crate::CircuitError;
+
+/// Static and dynamic figures of merit for one lattice circuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircuitMetrics {
+    /// Worst-case static supply power over all input assignments \[W\].
+    pub static_power_worst: f64,
+    /// Mean static supply power over all input assignments \[W\].
+    pub static_power_mean: f64,
+    /// Energy drawn from the supply across the stimulus transient \[J\].
+    pub transient_energy: f64,
+    /// Worst-case 50%→50% propagation delay over the exercised output
+    /// edges \[s\] (`None` when the stimulus produced no output edge).
+    pub worst_delay: Option<f64>,
+    /// Switch count (area proxy, as in the paper's size tables).
+    pub area_switches: usize,
+}
+
+impl CircuitMetrics {
+    /// Maximum operating frequency estimate `1/(2·worst_delay)` \[Hz\].
+    pub fn max_frequency(&self) -> Option<f64> {
+        self.worst_delay.map(|d| 1.0 / (2.0 * d))
+    }
+}
+
+/// Measures a resistive-bench lattice circuit: static power on every
+/// input assignment plus a full input-walk transient for energy and
+/// worst-case delay.
+///
+/// `phase` is the per-assignment dwell time; `dt` the integration step.
+///
+/// # Errors
+///
+/// Propagates simulator failures; rejects non-positive times.
+pub fn measure_lattice_circuit(
+    circuit: &LatticeCircuit,
+    vars: usize,
+    phase: f64,
+    dt: f64,
+) -> Result<CircuitMetrics, CircuitError> {
+    if !(phase > 0.0) || !(dt > 0.0) {
+        return Err(CircuitError::InvalidConfig { reason: "phase and dt must be positive" });
+    }
+    let vdd = circuit.config().vdd;
+
+    // Static power per assignment.
+    let combos = 1u32 << vars;
+    let mut worst = 0.0f64;
+    let mut total = 0.0f64;
+    for x in 0..combos {
+        let nl = netlist_with_inputs(circuit, vars, x)?;
+        let op = analysis::op(&nl)?;
+        let p = op.vsource_current(&nl, "VDD")?.abs() * vdd;
+        worst = worst.max(p);
+        total += p;
+    }
+
+    // Transient over the full input walk.
+    let mut nl = circuit.netlist().clone();
+    let seq: Vec<u32> = (0..combos).collect();
+    for v in 0..vars {
+        let bits: Vec<bool> = seq.iter().map(|x| (x >> v) & 1 == 1).collect();
+        let (p, n) = pwl_from_bits(&bits, phase, 1e-9, vdd);
+        nl.set_vsource(&format!("VIN{v}"), p)?;
+        nl.set_vsource(&format!("VIN{v}N"), n)?;
+    }
+    let tstop = phase * combos as f64;
+    let tr = analysis::transient(
+        &nl,
+        &TransientOptions { dt, tstop, integrator: Integrator::Trapezoidal, uic: false },
+    )?;
+    let supply = tr.vsource_current(&nl, "VDD")?;
+    let mut energy = 0.0;
+    for k in 1..tr.time.len() {
+        let i = 0.5 * (supply[k].abs() + supply[k - 1].abs());
+        energy += i * vdd * (tr.time[k] - tr.time[k - 1]);
+    }
+
+    let out_wave = tr.voltage(circuit.out());
+    let delay = worst_propagation_delay(&tr.time, &out_wave, phase, combos as usize, vdd);
+
+    Ok(CircuitMetrics {
+        static_power_worst: worst,
+        static_power_mean: total / combos as f64,
+        transient_energy: energy,
+        worst_delay: delay,
+        area_switches: circuit.netlist().device_count() / 10, // 6 FETs + 4 caps per switch
+    })
+}
+
+/// Worst 50%-crossing delay of the output after each phase boundary.
+fn worst_propagation_delay(
+    time: &[f64],
+    out: &[f64],
+    phase: f64,
+    phases: usize,
+    vdd: f64,
+) -> Option<f64> {
+    let mid = vdd / 2.0;
+    let mut worst: Option<f64> = None;
+    for k in 1..phases {
+        let t_edge = k as f64 * phase;
+        let idx = time.iter().position(|&t| t >= t_edge)?;
+        if idx == 0 || idx >= out.len() {
+            continue;
+        }
+        let before = out[idx - 1] > mid;
+        // Find the first mid crossing after the input edge, if the output
+        // switches in this phase.
+        let settled_idx = time
+            .iter()
+            .position(|&t| t >= t_edge + 0.8 * phase)
+            .unwrap_or(out.len() - 1);
+        let after = out[settled_idx] > mid;
+        if before == after {
+            continue;
+        }
+        if let Some(tc) = measure::crossing_time(time, out, mid, after, idx) {
+            let d = tc - t_edge;
+            if d > 0.0 && d < phase {
+                worst = Some(worst.map_or(d, |w: f64| w.max(d)));
+            }
+        }
+    }
+    worst
+}
+
+fn netlist_with_inputs(
+    circuit: &LatticeCircuit,
+    vars: usize,
+    assignment: u32,
+) -> Result<Netlist, CircuitError> {
+    let mut nl = circuit.netlist().clone();
+    let vdd = circuit.config().vdd;
+    for v in 0..vars {
+        let bit = (assignment >> v) & 1 == 1;
+        nl.set_vsource(&format!("VIN{v}"), Waveform::Dc(if bit { vdd } else { 0.0 }))?;
+        nl.set_vsource(&format!("VIN{v}N"), Waveform::Dc(if bit { 0.0 } else { vdd }))?;
+    }
+    Ok(nl)
+}
+
+/// Small-signal output bandwidth of the resistive bench at a given input
+/// assignment: the −3 dB frequency of `V(out)/V(in_v)` (§VI-A's
+/// frequency-domain figure).
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn output_bandwidth(
+    circuit: &LatticeCircuit,
+    vars: usize,
+    assignment: u32,
+    swept_var: usize,
+    freqs: &[f64],
+) -> Result<Option<f64>, CircuitError> {
+    let nl = netlist_with_inputs(circuit, vars, assignment)?;
+    let res = analysis::ac(&nl, &format!("VIN{swept_var}"), freqs)?;
+    Ok(res.bandwidth_3db(circuit.out()))
+}
+
+/// A voltage-transfer characteristic: output vs one swept input, with the
+/// other inputs held at fixed logic levels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vtc {
+    /// Swept input voltages \[V\].
+    pub vin: Vec<f64>,
+    /// Output voltages \[V\].
+    pub vout: Vec<f64>,
+}
+
+impl Vtc {
+    /// Noise margins from the unity-gain points: `(NM_L, NM_H)` =
+    /// `(V_IL − V_OL, V_OH − V_IH)`. Returns `None` when the VTC never
+    /// reaches |gain| ≥ 1 (no switching in the swept range).
+    pub fn noise_margins(&self) -> Option<(f64, f64)> {
+        let n = self.vin.len();
+        if n < 3 {
+            return None;
+        }
+        let mut vil = None;
+        let mut vih = None;
+        for k in 1..n {
+            let gain = (self.vout[k] - self.vout[k - 1]) / (self.vin[k] - self.vin[k - 1]);
+            if gain.abs() >= 1.0 {
+                if vil.is_none() {
+                    vil = Some(self.vin[k - 1]);
+                }
+                vih = Some(self.vin[k]);
+            }
+        }
+        let (vil, vih) = (vil?, vih?);
+        let v_oh = self.vout.first().copied()?.max(self.vout.last().copied()?);
+        let v_ol = self.vout.first().copied()?.min(self.vout.last().copied()?);
+        Some((vil - v_ol, v_oh - vih))
+    }
+}
+
+/// Sweeps one input of the bench from 0 to VDD (complement rail mirrored)
+/// and records the output: the DC voltage-transfer characteristic used
+/// for noise-margin analysis.
+///
+/// `fixed_assignment` sets the non-swept inputs.
+///
+/// # Errors
+///
+/// Propagates simulator failures; rejects `points < 3`.
+pub fn vtc(
+    circuit: &LatticeCircuit,
+    vars: usize,
+    swept_var: usize,
+    fixed_assignment: u32,
+    points: usize,
+) -> Result<Vtc, CircuitError> {
+    if points < 3 {
+        return Err(CircuitError::InvalidConfig { reason: "VTC needs at least 3 points" });
+    }
+    let vdd = circuit.config().vdd;
+    let mut vin = Vec::with_capacity(points);
+    let mut vout = Vec::with_capacity(points);
+    for k in 0..points {
+        let v = vdd * k as f64 / (points - 1) as f64;
+        let mut nl = netlist_with_inputs(circuit, vars, fixed_assignment)?;
+        nl.set_vsource(&format!("VIN{swept_var}"), Waveform::Dc(v))?;
+        nl.set_vsource(&format!("VIN{swept_var}N"), Waveform::Dc(vdd - v))?;
+        let op = analysis::op(&nl)?;
+        vin.push(v);
+        vout.push(op.voltage(circuit.out()));
+    }
+    Ok(Vtc { vin, vout })
+}
+
+/// Handle for AC access to a node by name (convenience for examples).
+pub fn node_by_name(netlist: &Netlist, name: &str) -> Result<NodeId, CircuitError> {
+    Ok(netlist.find_node(name)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice_netlist::{BenchConfig, LatticeCircuit};
+    use crate::model::SwitchCircuitModel;
+    use fts_lattice::Lattice;
+    use fts_logic::Literal;
+
+    fn and2_circuit() -> LatticeCircuit {
+        let lat = Lattice::from_literals(2, 1, vec![Literal::pos(0), Literal::pos(1)]).unwrap();
+        LatticeCircuit::build(
+            &lat,
+            2,
+            &SwitchCircuitModel::square_hfo2().unwrap(),
+            BenchConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn metrics_of_and2_bench() {
+        let ckt = and2_circuit();
+        let m = measure_lattice_circuit(&ckt, 2, 100e-9, 0.5e-9).unwrap();
+        // Static power: worst case is the pulled-down output:
+        // ~VDD²/(Rpu + Rlattice) — of order µW at 1.2 V / 500 kΩ.
+        assert!(m.static_power_worst > 1e-7 && m.static_power_worst < 1e-5,
+            "worst static power {:.3e}", m.static_power_worst);
+        assert!(m.static_power_mean < m.static_power_worst);
+        assert!(m.transient_energy > 0.0);
+        let d = m.worst_delay.expect("output toggles during the walk");
+        assert!(d > 1e-10 && d < 100e-9, "delay {d:.3e}");
+        assert!(m.max_frequency().unwrap() > 1e6);
+        assert_eq!(m.area_switches, 2);
+    }
+
+    #[test]
+    fn bandwidth_of_low_output_state() {
+        // With the lattice ON the output node is driven through the switch
+        // resistance: bandwidth set by ~R_on·C_load, in the MHz+ range.
+        let ckt = and2_circuit();
+        let freqs = fts_spice::analysis::log_sweep(1e3, 1e12, 61);
+        let bw = output_bandwidth(&ckt, 2, 0b11, 0, &freqs).unwrap();
+        if let Some(bw) = bw {
+            assert!(bw > 1e5, "bandwidth {bw:.3e}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_times() {
+        let ckt = and2_circuit();
+        assert!(measure_lattice_circuit(&ckt, 2, 0.0, 1e-9).is_err());
+        assert!(measure_lattice_circuit(&ckt, 2, 1e-9, 0.0).is_err());
+    }
+
+    #[test]
+    fn vtc_of_inverter_like_bench() {
+        // 1×1 lattice on `a`: the bench is an inverter in a. VTC falls
+        // from VDD to V_OL as a rises; noise margins are positive.
+        let lat = Lattice::from_literals(1, 1, vec![Literal::pos(0)]).unwrap();
+        let ckt = LatticeCircuit::build(
+            &lat,
+            1,
+            &SwitchCircuitModel::square_hfo2().unwrap(),
+            BenchConfig::default(),
+        )
+        .unwrap();
+        let curve = vtc(&ckt, 1, 0, 0, 41).unwrap();
+        assert!(curve.vout.first().unwrap() > &1.1, "starts high");
+        assert!(curve.vout.last().unwrap() < &0.45, "ends low");
+        // Monotone non-increasing.
+        for w in curve.vout.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6);
+        }
+        let (nml, nmh) = curve.noise_margins().expect("switching VTC");
+        assert!(nml > 0.0 && nmh > 0.0, "NM_L {nml:.3}, NM_H {nmh:.3}");
+    }
+
+    #[test]
+    fn vtc_rejects_too_few_points() {
+        let ckt = and2_circuit();
+        assert!(vtc(&ckt, 2, 0, 0b10, 2).is_err());
+    }
+
+}

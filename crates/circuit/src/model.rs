@@ -1,0 +1,88 @@
+//! The six-MOSFET switch model parameters (Fig. 9 of the paper).
+
+use fts_device::{Device, DeviceKind, Dielectric};
+use fts_extract::{extract_switch_model, SwitchModel};
+use fts_spice::MosParams;
+
+use crate::CircuitError;
+
+/// Circuit-level parameters of one four-terminal switch: level-1 models
+/// for the four edge ("Type A") and two diagonal ("Type B") transistors
+/// plus the grounded terminal capacitance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchCircuitModel {
+    /// Edge transistor (paper: L = 0.35 µm in the square device).
+    pub type_a: MosParams,
+    /// Diagonal transistor (paper: L = 0.5 µm).
+    pub type_b: MosParams,
+    /// Grounded capacitance per terminal \[F\] (1 fF in the paper).
+    pub terminal_cap: f64,
+}
+
+impl SwitchCircuitModel {
+    /// Builds the model the paper uses for its circuit experiments: the
+    /// square-gate HfO2 device characterized by the virtual TCAD and
+    /// fitted by the extraction flow.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction failures.
+    pub fn square_hfo2() -> Result<SwitchCircuitModel, CircuitError> {
+        Self::from_device(DeviceKind::Square, Dielectric::HfO2)
+    }
+
+    /// Runs the full §III–§IV flow for any device/dielectric combination:
+    /// virtual-TCAD characterization followed by level-1 extraction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction failures.
+    pub fn from_device(kind: DeviceKind, dielectric: Dielectric) -> Result<SwitchCircuitModel, CircuitError> {
+        let device = Device::new(kind, dielectric);
+        Ok(extract_switch_model(&device)?.into())
+    }
+}
+
+impl From<SwitchModel> for SwitchCircuitModel {
+    fn from(m: SwitchModel) -> Self {
+        SwitchCircuitModel {
+            type_a: MosParams {
+                kp: m.type_a.kp,
+                vth: m.type_a.vth,
+                lambda: m.type_a.lambda,
+                w_over_l: m.type_a.w_over_l,
+            },
+            type_b: MosParams {
+                kp: m.type_b.kp,
+                vth: m.type_b.vth,
+                lambda: m.type_b.lambda,
+                w_over_l: m.type_b.w_over_l,
+            },
+            terminal_cap: m.terminal_capacitance,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_hfo2_model_is_switch_grade() {
+        let m = SwitchCircuitModel::square_hfo2().unwrap();
+        // A usable switch at VDD = 1.2 V: on above ~0.1 V, off at 0 V.
+        assert!(m.type_a.vth > 0.05 && m.type_a.vth < 0.9, "vth {}", m.type_a.vth);
+        assert!(m.type_a.kp > 0.0);
+        assert!((m.terminal_cap - 1e-15).abs() < 1e-20);
+        // Type A stronger than Type B.
+        assert!(m.type_a.kp * m.type_a.w_over_l > m.type_b.kp * m.type_b.w_over_l);
+    }
+
+    #[test]
+    fn all_devices_extract() {
+        for kind in DeviceKind::all() {
+            let m = SwitchCircuitModel::from_device(kind, Dielectric::HfO2).unwrap();
+            assert!(m.type_a.kp > 0.0, "{kind}");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Instantiating one four-terminal switch (the Fig. 9 subcircuit) into a
+//! netlist.
+
+use fts_spice::{Netlist, NodeId, SpiceError};
+
+use crate::model::SwitchCircuitModel;
+
+/// The four terminal nodes of a switch instance, ordered
+/// `[top, right, bottom, left]` to match the lattice wiring.
+pub type SwitchTerminals = [NodeId; 4];
+
+/// Adds the six-MOSFET four-terminal switch subcircuit to `netlist`.
+///
+/// Edge transistors (Type A) connect the four adjacent terminal pairs;
+/// diagonal transistors (Type B) connect top–bottom and left–right. Every
+/// terminal also receives its grounded capacitance, per the paper's §V.
+///
+/// All six gates share the `gate` node — the defining feature of the
+/// four-terminal switch: one control input for every current path.
+///
+/// # Errors
+///
+/// Propagates netlist errors (foreign nodes, bad parameters).
+pub fn add_switch(
+    netlist: &mut Netlist,
+    name: &str,
+    gate: NodeId,
+    terminals: SwitchTerminals,
+    model: &SwitchCircuitModel,
+) -> Result<(), SpiceError> {
+    let [top, right, bottom, left] = terminals;
+    // Type A: the four edges of the terminal ring.
+    let edges = [(top, right), (right, bottom), (bottom, left), (left, top)];
+    for (k, (a, b)) in edges.iter().enumerate() {
+        netlist.nmos(&format!("{name}_A{k}"), *a, gate, *b, model.type_a)?;
+    }
+    // Type B: the two diagonals.
+    netlist.nmos(&format!("{name}_B0"), top, gate, bottom, model.type_b)?;
+    netlist.nmos(&format!("{name}_B1"), left, gate, right, model.type_b)?;
+    // 1 fF to ground on every terminal.
+    for (k, t) in terminals.iter().enumerate() {
+        if *t != Netlist::GROUND {
+            netlist.capacitor(&format!("{name}_C{k}"), *t, Netlist::GROUND, model.terminal_cap)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fts_spice::{analysis, Waveform};
+
+    fn model() -> SwitchCircuitModel {
+        SwitchCircuitModel::square_hfo2().unwrap()
+    }
+
+    fn one_switch(gate_v: f64) -> (Netlist, NodeId) {
+        let mut nl = Netlist::new();
+        let g = nl.node("g");
+        let t1 = nl.node("t1");
+        let t2 = nl.node("t2");
+        let t3 = nl.node("t3");
+        let t4 = nl.node("t4");
+        nl.vsource("VG", g, Netlist::GROUND, Waveform::Dc(gate_v)).unwrap();
+        nl.vsource("VD", t1, Netlist::GROUND, Waveform::Dc(1.2)).unwrap();
+        nl.resistor("RL", t3, Netlist::GROUND, 1.0e6).unwrap();
+        add_switch(&mut nl, "X1", g, [t1, t2, t3, t4], &model()).unwrap();
+        (nl, t3)
+    }
+
+    #[test]
+    fn switch_connects_when_gate_high() {
+        let (nl, out) = one_switch(1.2);
+        let op = analysis::op(&nl).unwrap();
+        assert!(op.voltage(out) > 0.9, "ON switch passes: {}", op.voltage(out));
+    }
+
+    #[test]
+    fn switch_isolates_when_gate_low() {
+        let (nl, out) = one_switch(0.0);
+        let op = analysis::op(&nl).unwrap();
+        assert!(op.voltage(out) < 0.05, "OFF switch isolates: {}", op.voltage(out));
+    }
+
+    #[test]
+    fn all_terminal_pairs_conduct() {
+        // Drive each terminal in turn, load each other terminal: the ON
+        // switch must connect every pair (the paper's symmetry criterion).
+        let m = model();
+        for drive in 0..4usize {
+            for sense in 0..4usize {
+                if drive == sense {
+                    continue;
+                }
+                let mut nl = Netlist::new();
+                let g = nl.node("g");
+                let ts = [nl.node("t1"), nl.node("t2"), nl.node("t3"), nl.node("t4")];
+                nl.vsource("VG", g, Netlist::GROUND, Waveform::Dc(1.2)).unwrap();
+                nl.vsource("VD", ts[drive], Netlist::GROUND, Waveform::Dc(1.2)).unwrap();
+                nl.resistor("RL", ts[sense], Netlist::GROUND, 1.0e6).unwrap();
+                add_switch(&mut nl, "X1", g, ts, &m).unwrap();
+                let op = analysis::op(&nl).unwrap();
+                assert!(
+                    op.voltage(ts[sense]) > 0.85,
+                    "pair {drive}->{sense}: {}",
+                    op.voltage(ts[sense])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subcircuit_has_six_transistors() {
+        let mut nl = Netlist::new();
+        let g = nl.node("g");
+        let ts = [nl.node("t1"), nl.node("t2"), nl.node("t3"), nl.node("t4")];
+        add_switch(&mut nl, "X1", g, ts, &model()).unwrap();
+        // 6 MOSFETs + 4 caps.
+        assert_eq!(nl.device_count(), 10);
+    }
+}

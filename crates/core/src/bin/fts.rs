@@ -1,0 +1,214 @@
+//! `fts` — command-line front end for the four-terminal-lattice toolkit.
+//!
+//! ```text
+//! fts count <m> <n>                  product count of the m x n lattice function
+//! fts synth <function>               synthesize a lattice (and verify it)
+//! fts lattice <file|-> --vars <n>    evaluate a lattice from its text form
+//! fts faults <file|-> --vars <n>     single-fault analysis of a lattice
+//! fts characterize <device> <gate>   virtual-TCAD summary (square|cross|junctionless, sio2|hfo2)
+//! fts xor3                           run the Fig. 11 transient and print the summary
+//! fts explore <function>             design-space sweep with Pareto front
+//! ```
+//!
+//! `<function>` is one of: and2..and4, or2..or4, xor2..xor4, xnor2, xnor3,
+//! maj3, maj5, th24 (2-of-4 threshold).
+
+use std::io::Read;
+
+use four_terminal_lattice::circuit::experiments::Xor3Experiment;
+use four_terminal_lattice::circuit::model::SwitchCircuitModel;
+use four_terminal_lattice::device::characterize::characterize;
+use four_terminal_lattice::device::{Device, DeviceKind, Dielectric};
+use four_terminal_lattice::explorer::{explore, ExploreOptions};
+use four_terminal_lattice::lattice::{count, defects, text, Lattice};
+use four_terminal_lattice::logic::{generators, TruthTable};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&args) {
+        Ok(()) => 0,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{}", usage());
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn usage() -> &'static str {
+    "usage:\n  fts count <m> <n>\n  fts synth <function>\n  fts lattice <file|-> --vars <n>\n  fts faults <file|-> --vars <n>\n  fts characterize <square|cross|junctionless> <sio2|hfo2>\n  fts xor3\n  fts explore <function>"
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing subcommand")?;
+    match cmd.as_str() {
+        "count" => cmd_count(&args[1..]),
+        "synth" => cmd_synth(&args[1..]),
+        "lattice" => cmd_lattice(&args[1..], false),
+        "faults" => cmd_lattice(&args[1..], true),
+        "characterize" => cmd_characterize(&args[1..]),
+        "xor3" => cmd_xor3(),
+        "explore" => cmd_explore(&args[1..]),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn named_function(name: &str) -> Result<TruthTable, String> {
+    let f = match name {
+        "and2" => generators::and(2),
+        "and3" => generators::and(3),
+        "and4" => generators::and(4),
+        "or2" => generators::or(2),
+        "or3" => generators::or(3),
+        "or4" => generators::or(4),
+        "xor2" => generators::xor(2),
+        "xor3" => generators::xor(3),
+        "xor4" => generators::xor(4),
+        "xnor2" => generators::xnor(2),
+        "xnor3" => generators::xnor(3),
+        "maj3" => generators::majority(3),
+        "maj5" => generators::majority(5),
+        "th24" => generators::threshold(4, 2),
+        other => return Err(format!("unknown function {other:?}")),
+    };
+    Ok(f)
+}
+
+fn cmd_count(args: &[String]) -> Result<(), String> {
+    let m: usize = args.first().ok_or("missing <m>")?.parse().map_err(|_| "bad <m>")?;
+    let n: usize = args.get(1).ok_or("missing <n>")?.parse().map_err(|_| "bad <n>")?;
+    if m == 0 || n == 0 {
+        return Err("dimensions must be at least 1".into());
+    }
+    if m * n > 100 {
+        return Err("grid too large (counting is exponential; stay within ~10x10)".into());
+    }
+    println!("{}", count::product_count(m, n));
+    Ok(())
+}
+
+fn cmd_synth(args: &[String]) -> Result<(), String> {
+    let f = named_function(args.first().ok_or("missing <function>")?)?;
+    let s = four_terminal_lattice::synth::synthesize(&f).map_err(|e| e.to_string())?;
+    println!(
+        "{:?} realization, {}x{} ({} switches):",
+        s.method,
+        s.lattice.rows(),
+        s.lattice.cols(),
+        s.area()
+    );
+    println!("{}", s.lattice);
+    let ok = s.lattice.truth_table(f.vars()).map_err(|e| e.to_string())? == f;
+    println!("verified: {ok}");
+    Ok(())
+}
+
+fn read_lattice(path: &str) -> Result<Lattice, String> {
+    let content = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf).map_err(|e| e.to_string())?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+    };
+    text::parse(&content).map_err(|e| e.to_string())
+}
+
+fn vars_flag(args: &[String]) -> Result<usize, String> {
+    let pos = args.iter().position(|a| a == "--vars").ok_or("missing --vars <n>")?;
+    args.get(pos + 1)
+        .ok_or("missing value after --vars")?
+        .parse::<usize>()
+        .map_err(|_| "bad --vars value".into())
+}
+
+fn cmd_lattice(args: &[String], fault_mode: bool) -> Result<(), String> {
+    let path = args.first().ok_or("missing <file|->")?;
+    let lat = read_lattice(path)?;
+    let vars = vars_flag(args)?;
+    println!("{}x{} lattice:", lat.rows(), lat.cols());
+    println!("{lat}");
+    if fault_mode {
+        let report = defects::analyze(&lat, vars).map_err(|e| e.to_string())?;
+        println!(
+            "\nfaults: {} total, {} undetectable, worst impact {} rows, detectability {:.1}%",
+            report.total,
+            report.undetectable,
+            report.worst_impact,
+            report.detectability() * 100.0
+        );
+        for (site, impact) in defects::critical_sites(&lat, vars, 5).map_err(|e| e.to_string())? {
+            println!("  critical site {site:?}: impact {impact}");
+        }
+    } else {
+        let tt = lat.truth_table(vars).map_err(|e| e.to_string())?;
+        print!("truth table (inputs ascending): ");
+        for x in 0..(1u32 << vars) {
+            print!("{}", if tt.eval(x) { '1' } else { '0' });
+        }
+        println!();
+        let cover = lat.products().map_err(|e| e.to_string())?;
+        println!("products: {cover}");
+    }
+    Ok(())
+}
+
+fn cmd_characterize(args: &[String]) -> Result<(), String> {
+    let kind = match args.first().map(String::as_str) {
+        Some("square") => DeviceKind::Square,
+        Some("cross") => DeviceKind::Cross,
+        Some("junctionless") => DeviceKind::Junctionless,
+        _ => return Err("expected device: square|cross|junctionless".into()),
+    };
+    let diel = match args.get(1).map(String::as_str) {
+        Some("sio2") => Dielectric::SiO2,
+        Some("hfo2") => Dielectric::HfO2,
+        _ => return Err("expected dielectric: sio2|hfo2".into()),
+    };
+    let dev = Device::new(kind, diel);
+    let r = characterize(&dev);
+    println!("device        : {} / {}", kind.name(), diel.name());
+    println!("Vth           : {:.4} V", r.vth);
+    println!("Ion (5V/5V)   : {:.4e} A", r.ion);
+    println!("Ioff          : {:.4e} A", r.ioff);
+    println!("on/off ratio  : {:.3e}", r.on_off_ratio);
+    println!("subthr. swing : {:.1} mV/dec", r.swing_mv_per_dec);
+    Ok(())
+}
+
+fn cmd_xor3() -> Result<(), String> {
+    let model = SwitchCircuitModel::square_hfo2().map_err(|e| e.to_string())?;
+    let report = Xor3Experiment::quick().run(&model).map_err(|e| e.to_string())?;
+    println!("functional: {}", report.functional);
+    println!("V_OL = {:.3} V, V_OH = {:.3} V", report.v_ol, report.v_oh);
+    if let (Some(r), Some(f)) = (report.rise_s, report.fall_s) {
+        println!("rise = {:.2} ns, fall = {:.2} ns", r * 1e9, f * 1e9);
+    }
+    Ok(())
+}
+
+fn cmd_explore(args: &[String]) -> Result<(), String> {
+    let f = named_function(args.first().ok_or("missing <function>")?)?;
+    if f.vars() > 3 {
+        return Err("explore is limited to 3-input functions (transient measurement cost)".into());
+    }
+    let model = SwitchCircuitModel::square_hfo2().map_err(|e| e.to_string())?;
+    let opts = ExploreOptions { phase: 40e-9, dt: 2e-9, ..Default::default() };
+    let ex = explore(&f, &model, &opts).map_err(|e| e.to_string())?;
+    println!("{:<13} {:>7} {:>12} {:>14} {:>14}", "source", "area", "delay [ns]", "static [W]", "energy [J]");
+    for (i, c) in ex.candidates.iter().enumerate() {
+        let star = if ex.pareto.contains(&i) { "*" } else { " " };
+        println!(
+            "{star}{:<12} {:>7} {:>12.2} {:>14.3e} {:>14.3e}",
+            c.source,
+            c.lattice.site_count(),
+            c.metrics.worst_delay.map(|d| d * 1e9).unwrap_or(f64::NAN),
+            c.metrics.static_power_worst,
+            c.metrics.transient_energy
+        );
+    }
+    println!("(* = Pareto-optimal in area / delay / static power)");
+    Ok(())
+}

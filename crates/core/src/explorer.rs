@@ -1,0 +1,274 @@
+//! The automated design tool of the paper's §VI-A: "with given area,
+//! power, delay, and energy specifications, the tool would come up with
+//! optimized solutions."
+//!
+//! [`explore`] generates candidate lattice realizations of a function
+//! (dual construction, column construction, annealed sizes), measures each
+//! candidate's circuit (area, worst static power, worst delay, transient
+//! energy), computes the Pareto front, and [`Exploration::recommend`]s the
+//! smallest candidate meeting a [`DesignSpec`].
+
+use fts_circuit::lattice_netlist::{BenchConfig, LatticeCircuit};
+use fts_circuit::metrics::{measure_lattice_circuit, CircuitMetrics};
+use fts_circuit::model::SwitchCircuitModel;
+use fts_lattice::Lattice;
+use fts_logic::TruthTable;
+use fts_synth::search::{anneal, AnnealOptions};
+use fts_synth::{column, dual};
+
+use crate::pipeline::PipelineError;
+
+/// Constraints for [`Exploration::recommend`]. `None` disables a bound.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DesignSpec {
+    /// Maximum switch count.
+    pub max_area: Option<usize>,
+    /// Maximum worst-case propagation delay \[s\].
+    pub max_delay_s: Option<f64>,
+    /// Maximum worst-case static power \[W\].
+    pub max_static_power_w: Option<f64>,
+    /// Maximum stimulus-walk energy \[J\].
+    pub max_energy_j: Option<f64>,
+}
+
+/// Effort and measurement controls for [`explore`].
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Per-input-phase dwell time for the measurement transient \[s\].
+    pub phase: f64,
+    /// Transient step \[s\].
+    pub dt: f64,
+    /// Electrical bench.
+    pub bench: BenchConfig,
+    /// Annealing budget per candidate size (`None` disables the search
+    /// engine and keeps only the constructive candidates).
+    pub anneal: Option<AnnealOptions>,
+    /// Smallest annealed area to try, as a fraction of the best
+    /// constructive area (e.g. 0.5 tries down to half the size).
+    pub anneal_shrink: f64,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            phase: 60.0e-9,
+            dt: 0.5e-9,
+            bench: BenchConfig::default(),
+            anneal: Some(AnnealOptions { restarts: 10, iterations: 15_000, ..Default::default() }),
+            anneal_shrink: 0.5,
+        }
+    }
+}
+
+/// One evaluated realization.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// How the lattice was obtained.
+    pub source: &'static str,
+    /// The verified lattice.
+    pub lattice: Lattice,
+    /// Measured circuit figures of merit.
+    pub metrics: CircuitMetrics,
+}
+
+impl Candidate {
+    /// True when this candidate meets every bound of `spec`.
+    pub fn meets(&self, spec: &DesignSpec) -> bool {
+        if let Some(a) = spec.max_area {
+            if self.lattice.site_count() > a {
+                return false;
+            }
+        }
+        if let Some(d) = spec.max_delay_s {
+            match self.metrics.worst_delay {
+                Some(delay) if delay <= d => {}
+                _ => return false,
+            }
+        }
+        if let Some(p) = spec.max_static_power_w {
+            if self.metrics.static_power_worst > p {
+                return false;
+            }
+        }
+        if let Some(e) = spec.max_energy_j {
+            if self.metrics.transient_energy > e {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The result of a design-space sweep.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// All evaluated candidates.
+    pub candidates: Vec<Candidate>,
+    /// Indices (into `candidates`) of the area/delay/static-power Pareto
+    /// front.
+    pub pareto: Vec<usize>,
+}
+
+impl Exploration {
+    /// The smallest-area candidate satisfying `spec`, breaking ties by
+    /// delay. `None` when nothing qualifies.
+    pub fn recommend(&self, spec: &DesignSpec) -> Option<&Candidate> {
+        self.candidates
+            .iter()
+            .filter(|c| c.meets(spec))
+            .min_by(|a, b| {
+                a.lattice
+                    .site_count()
+                    .cmp(&b.lattice.site_count())
+                    .then_with(|| {
+                        let da = a.metrics.worst_delay.unwrap_or(f64::INFINITY);
+                        let db = b.metrics.worst_delay.unwrap_or(f64::INFINITY);
+                        da.total_cmp(&db)
+                    })
+            })
+    }
+}
+
+/// Sweeps realizations of `f` and measures each one.
+///
+/// # Errors
+///
+/// Propagates synthesis and simulation failures from the candidates that
+/// should always succeed (the dual construction); candidates from
+/// optional engines are skipped on failure.
+pub fn explore(
+    f: &TruthTable,
+    model: &SwitchCircuitModel,
+    opts: &ExploreOptions,
+) -> Result<Exploration, PipelineError> {
+    let mut lattices: Vec<(&'static str, Lattice)> = Vec::new();
+
+    let ar = dual::altun_riedel(f)?;
+    let best_constructive = ar.site_count();
+    lattices.push(("altun-riedel", ar));
+    if let Ok(Some(col)) = column::column_construction(f) {
+        lattices.push(("column", col));
+    }
+
+    if let Some(anneal_opts) = &opts.anneal {
+        // Try annealed candidates at shrinking areas below the best
+        // constructive size.
+        let floor = ((best_constructive as f64) * opts.anneal_shrink).ceil() as usize;
+        let mut dims: Vec<(usize, usize)> = Vec::new();
+        for rows in 1..=best_constructive {
+            for cols in rows..=best_constructive {
+                let area = rows * cols;
+                if area < best_constructive && area >= floor.max(1) {
+                    dims.push((rows, cols));
+                }
+            }
+        }
+        dims.sort_by_key(|&(r, c)| r * c);
+        for (rows, cols) in dims.into_iter().take(6) {
+            if let Some(lat) = anneal(f, rows, cols, anneal_opts) {
+                lattices.push(("annealed", lat));
+                break; // smallest annealed hit is enough
+            }
+        }
+    }
+
+    // Deduplicate by dimensions + literals.
+    lattices.dedup_by(|a, b| a.1 == b.1);
+
+    let mut candidates = Vec::with_capacity(lattices.len());
+    for (source, lattice) in lattices {
+        let circuit = LatticeCircuit::build(&lattice, f.vars(), model, opts.bench)?;
+        let metrics = measure_lattice_circuit(&circuit, f.vars(), opts.phase, opts.dt)?;
+        candidates.push(Candidate { source, lattice, metrics });
+    }
+
+    let pareto = pareto_front(&candidates);
+    Ok(Exploration { candidates, pareto })
+}
+
+/// Indices of the non-dominated candidates in (area, delay, static power).
+fn pareto_front(candidates: &[Candidate]) -> Vec<usize> {
+    let key = |c: &Candidate| -> (f64, f64, f64) {
+        (
+            c.lattice.site_count() as f64,
+            c.metrics.worst_delay.unwrap_or(f64::INFINITY),
+            c.metrics.static_power_worst,
+        )
+    };
+    let dominates = |a: (f64, f64, f64), b: (f64, f64, f64)| -> bool {
+        a.0 <= b.0 && a.1 <= b.1 && a.2 <= b.2 && (a.0 < b.0 || a.1 < b.1 || a.2 < b.2)
+    };
+    (0..candidates.len())
+        .filter(|&i| {
+            let ki = key(&candidates[i]);
+            !(0..candidates.len()).any(|j| j != i && dominates(key(&candidates[j]), ki))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fts_logic::generators;
+
+    fn fast_opts() -> ExploreOptions {
+        ExploreOptions {
+            phase: 40.0e-9,
+            dt: 2.0e-9,
+            anneal: Some(AnnealOptions { restarts: 4, iterations: 8_000, ..Default::default() }),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn explore_xor2_produces_verified_candidates() {
+        let f = generators::xor(2);
+        let model = SwitchCircuitModel::square_hfo2().unwrap();
+        let ex = explore(&f, &model, &fast_opts()).unwrap();
+        assert!(!ex.candidates.is_empty());
+        for c in &ex.candidates {
+            assert_eq!(c.lattice.truth_table(2).unwrap(), f, "{}", c.source);
+            assert!(c.metrics.static_power_worst > 0.0);
+        }
+        assert!(!ex.pareto.is_empty());
+    }
+
+    #[test]
+    fn pareto_front_is_non_dominated() {
+        let f = generators::xor(2);
+        let model = SwitchCircuitModel::square_hfo2().unwrap();
+        let ex = explore(&f, &model, &fast_opts()).unwrap();
+        for &i in &ex.pareto {
+            for (j, other) in ex.candidates.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let a = &ex.candidates[i];
+                let strictly_worse = other.lattice.site_count() <= a.lattice.site_count()
+                    && other.metrics.static_power_worst <= a.metrics.static_power_worst
+                    && other.metrics.worst_delay.unwrap_or(f64::INFINITY)
+                        <= a.metrics.worst_delay.unwrap_or(f64::INFINITY)
+                    && (other.lattice.site_count() < a.lattice.site_count()
+                        || other.metrics.static_power_worst < a.metrics.static_power_worst
+                        || other.metrics.worst_delay.unwrap_or(f64::INFINITY)
+                            < a.metrics.worst_delay.unwrap_or(f64::INFINITY));
+                assert!(!strictly_worse, "pareto member {i} dominated by {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn recommend_respects_area_bound() {
+        let f = generators::and(2);
+        let model = SwitchCircuitModel::square_hfo2().unwrap();
+        let mut opts = fast_opts();
+        opts.anneal = None;
+        let ex = explore(&f, &model, &opts).unwrap();
+        let spec = DesignSpec { max_area: Some(2), ..Default::default() };
+        let rec = ex.recommend(&spec).expect("AND2 fits in two switches");
+        assert!(rec.lattice.site_count() <= 2);
+        // Impossible spec yields nothing.
+        let none = ex.recommend(&DesignSpec { max_area: Some(1), ..Default::default() });
+        assert!(none.is_none());
+    }
+}

@@ -1,0 +1,50 @@
+//! End-to-end reproduction of *"Realization of Four-Terminal Switching
+//! Lattices: Technology Development and Circuit Modeling"* (Safaltin et
+//! al., DATE 2019).
+//!
+//! This umbrella crate re-exports every subsystem and provides the
+//! [`pipeline`] module, which chains them the way the paper does:
+//!
+//! 1. **Logic** ([`logic`], [`lattice`], [`synth`]) — switching-lattice
+//!    semantics, Table I product counts, and lattice synthesis (Figs. 2–3);
+//! 2. **Technology** ([`device`], [`field`]) — virtual-TCAD
+//!    characterization of the square / cross / junctionless devices
+//!    (Table II, Figs. 4–8);
+//! 3. **Modeling** ([`extract`]) — level-1 parameter extraction for the
+//!    six-MOSFET switch model (Figs. 9–10);
+//! 4. **Circuits** ([`spice`], [`circuit`]) — Spice-class simulation of
+//!    lattice circuits (Figs. 11–12);
+//! 5. **Design automation** ([`explorer`]) — the §VI-A automated design
+//!    tool: candidate generation, measurement, Pareto selection under
+//!    area/power/delay/energy specifications.
+//!
+//! # Quickstart
+//!
+//! Synthesize a function, run it through the full technology flow, and
+//! verify the simulated circuit computes its complement:
+//!
+//! ```
+//! use four_terminal_lattice::pipeline::Pipeline;
+//! use four_terminal_lattice::logic::generators;
+//!
+//! let f = generators::majority(3);
+//! let run = Pipeline::standard().realize(&f)?;
+//! assert!(run.verified, "circuit must invert the lattice function");
+//! assert_eq!(run.lattice.rows() * run.lattice.cols(), run.area());
+//! # Ok::<(), four_terminal_lattice::pipeline::PipelineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use fts_circuit as circuit;
+pub use fts_device as device;
+pub use fts_extract as extract;
+pub use fts_field as field;
+pub use fts_lattice as lattice;
+pub use fts_logic as logic;
+pub use fts_spice as spice;
+pub use fts_synth as synth;
+
+pub mod explorer;
+pub mod pipeline;

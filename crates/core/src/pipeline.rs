@@ -1,0 +1,166 @@
+//! The paper's end-to-end flow as one composable object: technology
+//! characterization → model extraction → lattice synthesis → circuit
+//! verification.
+
+use std::error::Error;
+use std::fmt;
+
+use fts_circuit::lattice_netlist::{BenchConfig, LatticeCircuit};
+use fts_circuit::model::SwitchCircuitModel;
+use fts_circuit::CircuitError;
+use fts_device::{DeviceKind, Dielectric};
+use fts_lattice::Lattice;
+use fts_logic::TruthTable;
+use fts_synth::SynthError;
+
+/// Errors from the end-to-end pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// Synthesis failed.
+    Synth(SynthError),
+    /// Circuit construction or simulation failed.
+    Circuit(CircuitError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Synth(e) => write!(f, "synthesis: {e}"),
+            PipelineError::Circuit(e) => write!(f, "circuit: {e}"),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Synth(e) => Some(e),
+            PipelineError::Circuit(e) => Some(e),
+        }
+    }
+}
+
+impl From<SynthError> for PipelineError {
+    fn from(e: SynthError) -> Self {
+        PipelineError::Synth(e)
+    }
+}
+
+impl From<CircuitError> for PipelineError {
+    fn from(e: CircuitError) -> Self {
+        PipelineError::Circuit(e)
+    }
+}
+
+/// The configured flow: which device technology backs the switches and
+/// how the test bench is wired.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// Device structure used for the switches.
+    pub kind: DeviceKind,
+    /// Gate dielectric.
+    pub dielectric: Dielectric,
+    /// Electrical bench configuration.
+    pub bench: BenchConfig,
+    /// Skip DC verification of the built circuit (for large functions).
+    pub skip_verification: bool,
+}
+
+impl Pipeline {
+    /// The paper's standard flow: square-gate HfO2 device, 1.2 V bench.
+    pub fn standard() -> Pipeline {
+        Pipeline {
+            kind: DeviceKind::Square,
+            dielectric: Dielectric::HfO2,
+            bench: BenchConfig::default(),
+            skip_verification: false,
+        }
+    }
+
+    /// Realizes a Boolean function as a verified lattice circuit:
+    /// synthesizes a lattice, characterizes the device, extracts the
+    /// six-MOSFET model, builds the §V bench, and (unless disabled)
+    /// verifies by DC analysis that the circuit computes `NOT f` on every
+    /// input assignment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synthesis, extraction, and simulation failures.
+    pub fn realize(&self, f: &TruthTable) -> Result<PipelineRun, PipelineError> {
+        let synthesis = fts_synth::synthesize(f)?;
+        self.realize_lattice(f, synthesis.lattice)
+    }
+
+    /// Like [`Pipeline::realize`] but with a caller-provided lattice
+    /// (e.g. a minimal one found by annealing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction and simulation failures.
+    pub fn realize_lattice(
+        &self,
+        f: &TruthTable,
+        lattice: Lattice,
+    ) -> Result<PipelineRun, PipelineError> {
+        let model = SwitchCircuitModel::from_device(self.kind, self.dielectric)?;
+        let circuit = LatticeCircuit::build(&lattice, f.vars(), &model, self.bench)?;
+        let verified = if self.skip_verification {
+            false
+        } else {
+            let tt = circuit.dc_truth_table()?;
+            (0..f.len() as u32).all(|x| tt[x as usize] != f.eval(x))
+        };
+        Ok(PipelineRun { lattice, model, circuit, verified })
+    }
+}
+
+/// Everything the flow produced for one function.
+#[derive(Debug, Clone)]
+pub struct PipelineRun {
+    /// The synthesized (or provided) lattice.
+    pub lattice: Lattice,
+    /// The extracted six-MOSFET switch model.
+    pub model: SwitchCircuitModel,
+    /// The built test-bench circuit.
+    pub circuit: LatticeCircuit,
+    /// True when DC verification confirmed the circuit computes `NOT f`.
+    pub verified: bool,
+}
+
+impl PipelineRun {
+    /// Switch count of the realization.
+    pub fn area(&self) -> usize {
+        self.lattice.site_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fts_logic::generators;
+
+    #[test]
+    fn standard_pipeline_realizes_and2() {
+        let run = Pipeline::standard().realize(&generators::and(2)).unwrap();
+        assert!(run.verified);
+        assert_eq!(run.area(), 2);
+    }
+
+    #[test]
+    fn pipeline_with_custom_lattice() {
+        let f = generators::xor(3);
+        let lat = fts_circuit::experiments::xor3_lattice();
+        let run = Pipeline::standard().realize_lattice(&f, lat).unwrap();
+        assert!(run.verified);
+        assert_eq!(run.area(), 9);
+    }
+
+    #[test]
+    fn verification_can_be_skipped() {
+        let mut p = Pipeline::standard();
+        p.skip_verification = true;
+        let run = p.realize(&generators::or(2)).unwrap();
+        assert!(!run.verified);
+    }
+}

@@ -1,0 +1,177 @@
+//! The sixteen drain/source/float bias cases of §III-B.
+//!
+//! Each terminal is a drain (current into the device), a source, or left
+//! floating. The paper explores symmetric and non-symmetric operating
+//! conditions grouped as 1 drain–1 source, 1 drain–3 sources, 2 drains–2
+//! sources, and 3 drains–1 source.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The role of one terminal in a bias case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TerminalRole {
+    /// Driven to the drain voltage.
+    Drain,
+    /// Grounded.
+    Source,
+    /// Connected to nothing.
+    Float,
+}
+
+impl TerminalRole {
+    /// One-letter code used in case names (D/S/F).
+    pub fn code(self) -> char {
+        match self {
+            TerminalRole::Drain => 'D',
+            TerminalRole::Source => 'S',
+            TerminalRole::Float => 'F',
+        }
+    }
+}
+
+/// A bias case: the roles of T1..T4, e.g. `DSSS` (T1 drain, rest sources).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BiasCase {
+    roles: [TerminalRole; 4],
+}
+
+/// Error returned when parsing a bias-case name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBiasCaseError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl fmt::Display for ParseBiasCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid bias case {:?}: expected four of D/S/F", self.input)
+    }
+}
+
+impl std::error::Error for ParseBiasCaseError {}
+
+impl BiasCase {
+    /// The paper's headline case: T1 drain, T2–T4 sources.
+    pub const DSSS: BiasCase = BiasCase {
+        roles: [TerminalRole::Drain, TerminalRole::Source, TerminalRole::Source, TerminalRole::Source],
+    };
+
+    /// 1 drain – 1 source with adjacent terminals, rest floating.
+    pub const DSFF: BiasCase = BiasCase {
+        roles: [TerminalRole::Drain, TerminalRole::Source, TerminalRole::Float, TerminalRole::Float],
+    };
+
+    /// Creates a case from explicit roles.
+    pub fn new(roles: [TerminalRole; 4]) -> BiasCase {
+        BiasCase { roles }
+    }
+
+    /// The roles of T1..T4.
+    pub fn roles(&self) -> &[TerminalRole; 4] {
+        &self.roles
+    }
+
+    /// The 16 cases explored in the paper: DSFF, SFDF, the four 1-drain–3-
+    /// source rotations, the six 2-drain–2-source assignments, and the four
+    /// 3-drain–1-source rotations.
+    pub fn paper_cases() -> Vec<BiasCase> {
+        [
+            "DSFF", "SFDF", // 1 drain - 1 source
+            "DSSS", "SDSS", "SSDS", "SSSD", // 1 drain - 3 sources
+            "DDSS", "SDDS", "DSDS", "DSSD", "SDSD", "SSDD", // 2 - 2
+            "DDDS", "SDDD", "DDSD", "DSDD", // 3 drains - 1 source
+        ]
+        .iter()
+        .map(|s| s.parse().expect("hardcoded case names are valid"))
+        .collect()
+    }
+
+    /// Number of drain terminals.
+    pub fn drain_count(&self) -> usize {
+        self.roles.iter().filter(|r| **r == TerminalRole::Drain).count()
+    }
+
+    /// Number of source terminals.
+    pub fn source_count(&self) -> usize {
+        self.roles.iter().filter(|r| **r == TerminalRole::Source).count()
+    }
+}
+
+impl fmt::Display for BiasCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.roles {
+            write!(f, "{}", r.code())?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for BiasCase {
+    type Err = ParseBiasCaseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseBiasCaseError { input: s.to_owned() };
+        let chars: Vec<char> = s.chars().collect();
+        if chars.len() != 4 {
+            return Err(err());
+        }
+        let mut roles = [TerminalRole::Float; 4];
+        for (i, c) in chars.iter().enumerate() {
+            roles[i] = match c.to_ascii_uppercase() {
+                'D' => TerminalRole::Drain,
+                'S' => TerminalRole::Source,
+                'F' => TerminalRole::Float,
+                _ => return Err(err()),
+            };
+        }
+        Ok(BiasCase { roles })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_lists_sixteen_cases() {
+        let cases = BiasCase::paper_cases();
+        assert_eq!(cases.len(), 16);
+        // All distinct.
+        for (i, a) in cases.iter().enumerate() {
+            for b in &cases[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // Group sizes as in the paper.
+        assert_eq!(cases.iter().filter(|c| c.drain_count() == 1 && c.source_count() == 1).count(), 2);
+        assert_eq!(cases.iter().filter(|c| c.drain_count() == 1 && c.source_count() == 3).count(), 4);
+        assert_eq!(cases.iter().filter(|c| c.drain_count() == 2).count(), 6);
+        assert_eq!(cases.iter().filter(|c| c.drain_count() == 3).count(), 4);
+    }
+
+    #[test]
+    fn roundtrip_parse_display() {
+        for c in BiasCase::paper_cases() {
+            let s = c.to_string();
+            let parsed: BiasCase = s.parse().unwrap();
+            assert_eq!(parsed, c);
+        }
+    }
+
+    #[test]
+    fn dsss_means_t1_drain() {
+        let c: BiasCase = "dsss".parse().unwrap();
+        assert_eq!(c, BiasCase::DSSS);
+        assert_eq!(c.roles()[0], TerminalRole::Drain);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("DSX S".parse::<BiasCase>().is_err());
+        assert!("DS".parse::<BiasCase>().is_err());
+        assert!("DSSSS".parse::<BiasCase>().is_err());
+        let e = "QSSS".parse::<BiasCase>().unwrap_err();
+        assert!(e.to_string().contains("QSSS"));
+    }
+}

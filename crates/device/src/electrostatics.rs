@@ -1,0 +1,222 @@
+//! Classical MOS electrostatics for the four-terminal devices.
+//!
+//! The enhancement devices are n⁺-electrode / p-substrate MOS structures
+//! under a common gate; their threshold follows the textbook expression
+//! `Vth = Vfb + 2φF + Qdep/Cox` (plus a narrow-gate correction for the
+//! cross arms). The depletion-mode junctionless wire pinches off at
+//! `Vth = Vfb − Vbody − Qch/Cox`. A numerical surface-potential solver is
+//! provided for the inversion-charge and slope-factor calculations that the
+//! I-V model consumes.
+
+use crate::calibration;
+use crate::geometry::{DeviceGeometry, DeviceKind};
+use crate::materials::{fermi_potential, Dielectric, EPS0, EPS_R_SI, NI_SI, Q, VT};
+
+/// Electrostatic summary of a device/dielectric combination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Electrostatics {
+    /// Threshold voltage \[V\] (negative for the depletion device).
+    pub vth: f64,
+    /// Flat-band voltage \[V\].
+    pub vfb: f64,
+    /// Areal gate capacitance \[F/cm²\].
+    pub cox: f64,
+    /// Subthreshold slope factor `n = 1 + Cdep/Cox`.
+    pub n: f64,
+    /// Bulk Fermi potential \[V\] (enhancement devices).
+    pub phi_f: f64,
+}
+
+impl Electrostatics {
+    /// Subthreshold swing \[mV/decade\].
+    pub fn subthreshold_swing_mv_per_dec(&self) -> f64 {
+        self.n * VT * std::f64::consts::LN_10 * 1.0e3
+    }
+}
+
+/// Computes the electrostatic summary for a Table II device with the given
+/// gate dielectric.
+///
+/// # Example
+///
+/// ```
+/// use fts_device::electrostatics::solve;
+/// use fts_device::{DeviceGeometry, DeviceKind, Dielectric};
+///
+/// let g = DeviceGeometry::table2(DeviceKind::Square);
+/// let e = solve(&g, Dielectric::HfO2);
+/// assert!(e.vth > 0.0 && e.vth < 0.5); // paper: ≈ 0.16 V
+/// let s = solve(&g, Dielectric::SiO2);
+/// assert!(s.vth > 1.0 && s.vth < 1.6); // paper: ≈ 1.36 V
+/// ```
+pub fn solve(geometry: &DeviceGeometry, dielectric: Dielectric) -> Electrostatics {
+    let cox = dielectric.areal_capacitance(geometry.gate_thickness_cm());
+    match geometry.kind {
+        DeviceKind::Square | DeviceKind::Cross => enhancement(geometry, cox),
+        DeviceKind::Junctionless => junctionless(geometry, cox),
+    }
+}
+
+fn enhancement(geometry: &DeviceGeometry, cox: f64) -> Electrostatics {
+    let na = geometry.substrate_doping_cm3;
+    let phi_f = fermi_potential(na);
+    let eps_si = EPS_R_SI * EPS0;
+    // n+ poly-like gate over p-substrate.
+    let vfb = -(crate::materials::EG_SI / 2.0 + phi_f);
+    let q_dep = (2.0 * Q * eps_si * na * 2.0 * phi_f).sqrt();
+    let mut vth =
+        vfb + 2.0 * phi_f + q_dep / cox + calibration::VTH_ADJUST_ENHANCEMENT_V;
+
+    // Narrow-gate correction: fringing depletion under the 200 nm cross
+    // arms increases the charge the gate must support.
+    if geometry.kind == DeviceKind::Cross {
+        let xd = (2.0 * eps_si * 2.0 * phi_f / (Q * na)).sqrt();
+        let w_gate = crate::materials::nm_to_cm(geometry.gate_nm.0);
+        vth += calibration::NARROW_GATE_COEFF * (xd / w_gate) * (q_dep / cox);
+    }
+
+    let xd = (2.0 * eps_si * 2.0 * phi_f / (Q * na)).sqrt();
+    let c_dep = eps_si / xd;
+    Electrostatics { vth, vfb, cox, n: 1.0 + c_dep / cox, phi_f }
+}
+
+fn junctionless(geometry: &DeviceGeometry, cox: f64) -> Electrostatics {
+    let nd = geometry.substrate_doping_cm3;
+    let eps_si = EPS_R_SI * EPS0;
+    let t_wire = crate::materials::nm_to_cm(geometry.electrode_nm.1); // 2 nm
+    let body = Q * nd * t_wire.powi(2) / (8.0 * eps_si);
+    let vfb = calibration::JL_FLATBAND_V;
+    let vth = vfb - body - calibration::JL_SHEET_CHARGE_C_PER_CM2 / cox;
+    Electrostatics {
+        vth,
+        vfb,
+        cox,
+        n: calibration::JL_IDEALITY,
+        phi_f: fermi_potential(nd),
+    }
+}
+
+/// Solves the implicit surface-potential equation
+/// `Vg = Vfb + ψs + γ·sqrt(vT)·F(ψs/vT)` for an enhancement device, with
+/// `F(u) = sqrt(e^{−u} + u − 1 + (ni/Na)²(e^{u} − u − 1))`.
+///
+/// Returns the surface potential ψs \[V\]. Used for validation of the
+/// charge-sheet quantities consumed by the I-V model; bisection makes it
+/// unconditionally convergent.
+///
+/// # Panics
+///
+/// Panics if `na_cm3` is not positive.
+pub fn surface_potential(vg: f64, vfb: f64, cox: f64, na_cm3: f64) -> f64 {
+    assert!(na_cm3 > 0.0, "substrate doping must be positive");
+    let eps_si = EPS_R_SI * EPS0;
+    let gamma = (2.0 * Q * eps_si * na_cm3).sqrt() / cox;
+    let ratio2 = (NI_SI / na_cm3).powi(2);
+    let f = |psi: f64| -> f64 {
+        if psi == 0.0 {
+            return vfb - vg;
+        }
+        let u = psi / VT;
+        let inner = (-u).exp() + u - 1.0 + ratio2 * (u.exp() - u - 1.0);
+        vfb + psi + psi.signum() * gamma * VT.sqrt() * inner.max(0.0).sqrt() - vg
+    };
+    // Bracket: ψs lies between −1 V and 2φF + 1 V for any realistic bias.
+    let (mut lo, mut hi) = (-1.5, 2.0 * fermi_potential(na_cm3) + 1.5);
+    if f(lo) > 0.0 {
+        return lo;
+    }
+    if f(hi) < 0.0 {
+        return hi;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) > 0.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(d: Dielectric) -> Electrostatics {
+        solve(&DeviceGeometry::table2(DeviceKind::Square), d)
+    }
+
+    #[test]
+    fn square_thresholds_near_paper() {
+        let h = square(Dielectric::HfO2);
+        let s = square(Dielectric::SiO2);
+        assert!((h.vth - 0.16).abs() < 0.1, "HfO2 Vth {} vs paper 0.16", h.vth);
+        assert!((s.vth - 1.36).abs() < 0.15, "SiO2 Vth {} vs paper 1.36", s.vth);
+    }
+
+    #[test]
+    fn cross_threshold_exceeds_square() {
+        for d in Dielectric::all() {
+            let sq = square(d);
+            let cr = solve(&DeviceGeometry::table2(DeviceKind::Cross), d);
+            assert!(cr.vth > sq.vth, "{d}");
+            // Paper: +0.11 V (HfO2), +0.40 V (SiO2); correction should be
+            // tens-to-hundreds of mV.
+            let delta = cr.vth - sq.vth;
+            assert!(delta > 0.02 && delta < 0.8, "{d}: delta {delta}");
+        }
+    }
+
+    #[test]
+    fn junctionless_thresholds_near_paper() {
+        let g = DeviceGeometry::table2(DeviceKind::Junctionless);
+        let h = solve(&g, Dielectric::HfO2);
+        let s = solve(&g, Dielectric::SiO2);
+        assert!((h.vth - -0.57).abs() < 0.1, "HfO2 {}", h.vth);
+        assert!((s.vth - -4.8).abs() < 0.2, "SiO2 {}", s.vth);
+    }
+
+    #[test]
+    fn slope_factor_is_physical() {
+        for kind in DeviceKind::all() {
+            for d in Dielectric::all() {
+                let e = solve(&DeviceGeometry::table2(kind), d);
+                assert!(e.n >= 1.0 && e.n < 3.0, "{kind}/{d}: n = {}", e.n);
+                let ss = e.subthreshold_swing_mv_per_dec();
+                assert!(ss >= 59.0 && ss < 200.0, "{kind}/{d}: SS = {ss}");
+            }
+        }
+    }
+
+    #[test]
+    fn hfo2_gives_sharper_swing() {
+        let h = square(Dielectric::HfO2);
+        let s = square(Dielectric::SiO2);
+        assert!(h.n < s.n);
+    }
+
+    #[test]
+    fn surface_potential_monotone_and_pinned() {
+        let e = square(Dielectric::HfO2);
+        let na = 1.0e17;
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=50 {
+            let vg = -1.0 + i as f64 * 0.12;
+            let psi = surface_potential(vg, e.vfb, e.cox, na);
+            assert!(psi >= last - 1e-9, "ψs must be nondecreasing in Vg");
+            last = psi;
+        }
+        // Strong inversion: ψs pins near 2φF (within a few vT·ln terms).
+        let psi_on = surface_potential(5.0, e.vfb, e.cox, na);
+        let two_phi = 2.0 * fermi_potential(na);
+        assert!(psi_on > two_phi && psi_on < two_phi + 0.5, "ψs(5V) = {psi_on}");
+    }
+
+    #[test]
+    fn surface_potential_zero_at_flatband() {
+        let e = square(Dielectric::SiO2);
+        let psi = surface_potential(e.vfb, e.vfb, e.cox, 1.0e17);
+        assert!(psi.abs() < 1e-3, "ψs at flat band should vanish, got {psi}");
+    }
+}

@@ -1,0 +1,323 @@
+//! Device structures of Table II and the derived channel geometry.
+//!
+//! The four terminal electrodes sit at the four edges of a square substrate
+//! (Fig. 4 of the paper); C(4,2) = 6 terminal pairs give six conduction
+//! channels under a single common gate. Adjacent-terminal channels are
+//! shorter ("Type A" in the paper's Fig. 9 model, effective L = 0.35 µm for
+//! the square device) than the two opposite-terminal channels ("Type B",
+//! effective L = 0.5 µm).
+
+use crate::materials::nm_to_cm;
+
+/// The three device structures explored in §III-A (Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Enhancement type, square-shaped gate.
+    Square,
+    /// Enhancement type, cross-shaped gate (better terminal symmetry).
+    Cross,
+    /// Depletion type, junctionless nanowire with gate-all-around-like
+    /// control.
+    Junctionless,
+}
+
+impl DeviceKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceKind::Square => "square",
+            DeviceKind::Cross => "cross",
+            DeviceKind::Junctionless => "junctionless",
+        }
+    }
+
+    /// All kinds, in the paper's order.
+    pub fn all() -> [DeviceKind; 3] {
+        [DeviceKind::Square, DeviceKind::Cross, DeviceKind::Junctionless]
+    }
+
+    /// True for the enhancement-mode structures.
+    pub fn is_enhancement(self) -> bool {
+        !matches!(self, DeviceKind::Junctionless)
+    }
+}
+
+impl std::fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The four fixed terminal electrodes, named as in §III-B.
+///
+/// T1 and T3 are opposite, as are T2 and T4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Terminal {
+    /// Terminal 1 (north electrode).
+    T1,
+    /// Terminal 2 (east electrode).
+    T2,
+    /// Terminal 3 (south electrode).
+    T3,
+    /// Terminal 4 (west electrode).
+    T4,
+}
+
+impl Terminal {
+    /// All terminals in index order.
+    pub fn all() -> [Terminal; 4] {
+        [Terminal::T1, Terminal::T2, Terminal::T3, Terminal::T4]
+    }
+
+    /// Zero-based index (T1 → 0).
+    pub fn index(self) -> usize {
+        match self {
+            Terminal::T1 => 0,
+            Terminal::T2 => 1,
+            Terminal::T3 => 2,
+            Terminal::T4 => 3,
+        }
+    }
+
+    /// The geometrically opposite terminal.
+    pub fn opposite(self) -> Terminal {
+        match self {
+            Terminal::T1 => Terminal::T3,
+            Terminal::T2 => Terminal::T4,
+            Terminal::T3 => Terminal::T1,
+            Terminal::T4 => Terminal::T2,
+        }
+    }
+}
+
+impl std::fmt::Display for Terminal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.index() + 1)
+    }
+}
+
+/// One of the six unordered terminal pairs (conduction channels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TerminalPair {
+    a: Terminal,
+    b: Terminal,
+}
+
+impl TerminalPair {
+    /// Creates a pair; the order of arguments is irrelevant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn new(a: Terminal, b: Terminal) -> TerminalPair {
+        assert_ne!(a, b, "a channel needs two distinct terminals");
+        if a.index() <= b.index() {
+            TerminalPair { a, b }
+        } else {
+            TerminalPair { a: b, b: a }
+        }
+    }
+
+    /// The six channels of a four-terminal device.
+    pub fn all() -> [TerminalPair; 6] {
+        use Terminal::*;
+        [
+            TerminalPair::new(T1, T2),
+            TerminalPair::new(T1, T3),
+            TerminalPair::new(T1, T4),
+            TerminalPair::new(T2, T3),
+            TerminalPair::new(T2, T4),
+            TerminalPair::new(T3, T4),
+        ]
+    }
+
+    /// First terminal (lower index).
+    pub fn first(self) -> Terminal {
+        self.a
+    }
+
+    /// Second terminal (higher index).
+    pub fn second(self) -> Terminal {
+        self.b
+    }
+
+    /// True when the two terminals face each other across the device
+    /// (T1–T3 or T2–T4): the paper's "Type B" long channel.
+    pub fn is_opposite(self) -> bool {
+        self.a.opposite() == self.b
+    }
+}
+
+impl std::fmt::Display for TerminalPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}-{}", self.a, self.b)
+    }
+}
+
+/// Effective planar geometry of one terminal-pair channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelGeometry {
+    /// Effective channel width \[cm\].
+    pub width_cm: f64,
+    /// Effective channel length \[cm\].
+    pub length_cm: f64,
+}
+
+impl ChannelGeometry {
+    /// Width-to-length ratio.
+    pub fn aspect(self) -> f64 {
+        self.width_cm / self.length_cm
+    }
+}
+
+/// The structural features of Table II plus derived channel geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceGeometry {
+    /// Device structure.
+    pub kind: DeviceKind,
+    /// Device (substrate) size, nm: (x, y, z).
+    pub device_nm: (f64, f64, f64),
+    /// Electrode size, nm: (x, y, z).
+    pub electrode_nm: (f64, f64, f64),
+    /// Gate footprint, nm: (x, y) — the cross uses 200 nm-wide arms.
+    pub gate_nm: (f64, f64),
+    /// Gate dielectric thickness, nm.
+    pub gate_thickness_nm: f64,
+    /// Substrate doping \[cm⁻³\] (boron for enhancement devices; the
+    /// junctionless device sits on insulating SiO2 and this records its
+    /// wire doping instead).
+    pub substrate_doping_cm3: f64,
+    /// Electrode doping \[cm⁻³\] (phosphorus).
+    pub electrode_doping_cm3: f64,
+}
+
+impl DeviceGeometry {
+    /// Table II geometry for the given structure.
+    pub fn table2(kind: DeviceKind) -> DeviceGeometry {
+        match kind {
+            DeviceKind::Square => DeviceGeometry {
+                kind,
+                device_nm: (2400.0, 2400.0, 730.0),
+                electrode_nm: (700.0, 200.0, 200.0),
+                gate_nm: (1000.0, 1000.0),
+                gate_thickness_nm: 30.0,
+                substrate_doping_cm3: 1.0e17,
+                electrode_doping_cm3: 1.0e20,
+            },
+            DeviceKind::Cross => DeviceGeometry {
+                kind,
+                device_nm: (2400.0, 2400.0, 730.0),
+                electrode_nm: (700.0, 200.0, 200.0),
+                gate_nm: (200.0, 200.0), // arm width W:200, height 30
+                gate_thickness_nm: 30.0,
+                substrate_doping_cm3: 1.0e17,
+                electrode_doping_cm3: 1.0e20,
+            },
+            DeviceKind::Junctionless => DeviceGeometry {
+                kind,
+                device_nm: (24.0, 24.0, 8.0),
+                electrode_nm: (24.0, 2.0, 2.0),
+                gate_nm: (4.0, 4.0),
+                gate_thickness_nm: 1.0, // all-around shell between 4×4 gate and 2×2 wire
+                substrate_doping_cm3: 1.0e20, // junctionless wire doping (n-type)
+                electrode_doping_cm3: 1.0e20,
+            },
+        }
+    }
+
+    /// Effective width/length of the channel between a terminal pair.
+    ///
+    /// Enhancement devices: the electrode length sets the width for the
+    /// square gate; the 200 nm cross arm confines the cross-gate channel.
+    /// Adjacent pairs ("Type A") have effective L = 0.35 µm and opposite
+    /// pairs ("Type B") L = 0.5 µm — the values the paper extracts into its
+    /// Fig. 9 model. The junctionless wire has a gate-all-around channel.
+    pub fn channel(&self, pair: TerminalPair) -> ChannelGeometry {
+        let (w_nm, l_edge_nm, l_diag_nm) = match self.kind {
+            DeviceKind::Square => (self.electrode_nm.0, 350.0, 500.0),
+            DeviceKind::Cross => (self.gate_nm.0, 350.0, 500.0),
+            // Perimeter of the 2×2 nm wire cross-section as GAA width; the
+            // gate-covered wire segment as length.
+            DeviceKind::Junctionless => (8.0, 20.0, 20.0),
+        };
+        let l_nm = if pair.is_opposite() { l_diag_nm } else { l_edge_nm };
+        ChannelGeometry { width_cm: nm_to_cm(w_nm), length_cm: nm_to_cm(l_nm) }
+    }
+
+    /// Gate dielectric thickness in cm.
+    pub fn gate_thickness_cm(&self) -> f64 {
+        nm_to_cm(self.gate_thickness_nm)
+    }
+
+    /// Footprint area of the device in cm² (plan view), used for leakage
+    /// scaling.
+    pub fn footprint_cm2(&self) -> f64 {
+        nm_to_cm(self.device_nm.0) * nm_to_cm(self.device_nm.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_distinct_pairs() {
+        let pairs = TerminalPair::all();
+        for (i, a) in pairs.iter().enumerate() {
+            for b in &pairs[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(pairs.iter().filter(|p| p.is_opposite()).count(), 2);
+    }
+
+    #[test]
+    fn pair_normalizes_order() {
+        let p = TerminalPair::new(Terminal::T3, Terminal::T1);
+        assert_eq!(p.first(), Terminal::T1);
+        assert_eq!(p.second(), Terminal::T3);
+        assert!(p.is_opposite());
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct terminals")]
+    fn pair_rejects_same_terminal() {
+        let _ = TerminalPair::new(Terminal::T2, Terminal::T2);
+    }
+
+    #[test]
+    fn table2_matches_paper() {
+        let sq = DeviceGeometry::table2(DeviceKind::Square);
+        assert_eq!(sq.device_nm, (2400.0, 2400.0, 730.0));
+        assert_eq!(sq.gate_nm, (1000.0, 1000.0));
+        assert_eq!(sq.substrate_doping_cm3, 1.0e17);
+        let jl = DeviceGeometry::table2(DeviceKind::Junctionless);
+        assert_eq!(jl.device_nm, (24.0, 24.0, 8.0));
+        assert!(!jl.kind.is_enhancement());
+    }
+
+    #[test]
+    fn adjacent_channels_are_shorter_than_opposite() {
+        let g = DeviceGeometry::table2(DeviceKind::Square);
+        let adj = g.channel(TerminalPair::new(Terminal::T1, Terminal::T2));
+        let opp = g.channel(TerminalPair::new(Terminal::T1, Terminal::T3));
+        assert!(adj.length_cm < opp.length_cm);
+        assert!((adj.length_cm - 0.35e-4).abs() < 1e-12);
+        assert!((opp.length_cm - 0.5e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_is_narrower_than_square() {
+        let sq = DeviceGeometry::table2(DeviceKind::Square);
+        let cr = DeviceGeometry::table2(DeviceKind::Cross);
+        let p = TerminalPair::new(Terminal::T1, Terminal::T2);
+        assert!(cr.channel(p).width_cm < sq.channel(p).width_cm);
+    }
+
+    #[test]
+    fn aspect_ratio_square_edge_is_two() {
+        let g = DeviceGeometry::table2(DeviceKind::Square);
+        let adj = g.channel(TerminalPair::new(Terminal::T1, Terminal::T2));
+        assert!((adj.aspect() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,54 @@
+//! Virtual TCAD for four-terminal switch devices (§III of the DATE 2019
+//! paper).
+//!
+//! The paper characterizes three candidate devices — enhancement-type
+//! **square-gate** and **cross-gate** structures and a depletion-type
+//! **junctionless** nanowire — in a commercial 3-D TCAD tool. That tool is a
+//! proprietary gate, so this crate implements the closest synthetic
+//! equivalent that exercises the same downstream code paths:
+//!
+//! * [`geometry`] — the Table II device structures and the effective
+//!   width/length of each of the six terminal-pair channels;
+//! * [`electrostatics`] — classical MOS electrostatics: flat-band and
+//!   threshold voltages, depletion charge, surface-potential solver,
+//!   subthreshold slope factor;
+//! * [`iv`] — an EKV-style all-region drain-current model (with mobility
+//!   degradation, channel-length modulation, and a junction-leakage floor)
+//!   evaluated per terminal-pair channel;
+//! * [`bias`] — the paper's sixteen drain/source/float bias cases
+//!   (DSFF … DSDD) and the nonlinear network solve that produces
+//!   per-terminal currents;
+//! * [`characterize`] — the three simulation set-ups of §III-B (Id–Vg at
+//!   Vds = 10 mV and 5 V, Id–Vd at Vgs = 5 V), threshold extraction and
+//!   on/off ratios (Figs. 5–7);
+//! * [`calibration`] — every constant that was calibrated against the
+//!   paper's reported values, with the paper targets recorded alongside.
+//!
+//! # Example
+//!
+//! ```
+//! use fts_device::{characterize, Device, DeviceKind, Dielectric};
+//!
+//! let dev = Device::new(DeviceKind::Square, Dielectric::HfO2);
+//! let report = characterize::characterize(&dev);
+//! // Paper, Fig. 5: Vth ≈ 0.16 V, on/off ≈ 1e6 for the HfO2 square device.
+//! assert!((report.vth - 0.16).abs() < 0.15);
+//! assert!(report.on_off_ratio > 1e5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bias;
+pub mod calibration;
+pub mod capacitance;
+pub mod characterize;
+pub mod electrostatics;
+pub mod geometry;
+pub mod iv;
+pub mod materials;
+
+pub use bias::{BiasCase, TerminalRole};
+pub use geometry::{DeviceGeometry, DeviceKind, Terminal, TerminalPair};
+pub use iv::Device;
+pub use materials::Dielectric;

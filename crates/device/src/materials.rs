@@ -1,0 +1,125 @@
+//! Physical constants and material properties.
+//!
+//! All quantities use the centimetre–gram–second-derived semiconductor
+//! convention: lengths in cm, capacitances in F/cm², charges in C/cm²,
+//! doping in cm⁻³, currents in A. Voltages are volts.
+
+/// Elementary charge \[C\].
+pub const Q: f64 = 1.602_176_634e-19;
+
+/// Vacuum permittivity \[F/cm\].
+pub const EPS0: f64 = 8.854_187_8e-14;
+
+/// Thermal voltage kT/q at 300 K \[V\].
+pub const VT: f64 = 0.025_852;
+
+/// Intrinsic carrier concentration of silicon at 300 K \[cm⁻³\].
+pub const NI_SI: f64 = 1.0e10;
+
+/// Relative permittivity of silicon.
+pub const EPS_R_SI: f64 = 11.7;
+
+/// Silicon band gap at 300 K \[eV\].
+pub const EG_SI: f64 = 1.12;
+
+/// Gate dielectric options explored in the paper (§III-A): conventional
+/// SiO2 against high-k HfO2, "to observe the effect of dielectric
+/// constant".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dielectric {
+    /// Silicon dioxide, εr = 3.9.
+    SiO2,
+    /// Hafnium dioxide, εr = 22 (high-k).
+    HfO2,
+}
+
+impl Dielectric {
+    /// Relative permittivity.
+    pub fn rel_permittivity(self) -> f64 {
+        match self {
+            Dielectric::SiO2 => 3.9,
+            Dielectric::HfO2 => 22.0,
+        }
+    }
+
+    /// Absolute permittivity \[F/cm\].
+    pub fn permittivity(self) -> f64 {
+        self.rel_permittivity() * EPS0
+    }
+
+    /// Areal gate capacitance for a film of `thickness_cm` \[F/cm²\].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thickness_cm` is not positive.
+    pub fn areal_capacitance(self, thickness_cm: f64) -> f64 {
+        assert!(thickness_cm > 0.0, "dielectric thickness must be positive");
+        self.permittivity() / thickness_cm
+    }
+
+    /// Display name matching the paper's notation.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dielectric::SiO2 => "SiO2",
+            Dielectric::HfO2 => "HfO2",
+        }
+    }
+
+    /// Both dielectrics, in the order the paper reports them.
+    pub fn all() -> [Dielectric; 2] {
+        [Dielectric::SiO2, Dielectric::HfO2]
+    }
+}
+
+impl std::fmt::Display for Dielectric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Fermi potential of a doped silicon region \[V\]: `kT/q · ln(N / ni)`.
+///
+/// # Panics
+///
+/// Panics if `doping_cm3` is not positive.
+pub fn fermi_potential(doping_cm3: f64) -> f64 {
+    assert!(doping_cm3 > 0.0, "doping must be positive");
+    VT * (doping_cm3 / NI_SI).ln()
+}
+
+/// Converts nanometres to centimetres.
+pub fn nm_to_cm(nm: f64) -> f64 {
+    nm * 1.0e-7
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hfo2_capacitance_exceeds_sio2() {
+        let t = nm_to_cm(30.0);
+        let c_h = Dielectric::HfO2.areal_capacitance(t);
+        let c_s = Dielectric::SiO2.areal_capacitance(t);
+        assert!(c_h > 5.0 * c_s);
+        // 22/3.9 ≈ 5.64
+        assert!((c_h / c_s - 22.0 / 3.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fermi_potential_of_1e17_is_about_0_42v() {
+        let phi = fermi_potential(1.0e17);
+        assert!((phi - 0.417).abs() < 0.01, "got {phi}");
+    }
+
+    #[test]
+    #[should_panic(expected = "doping must be positive")]
+    fn fermi_potential_rejects_zero() {
+        let _ = fermi_potential(0.0);
+    }
+
+    #[test]
+    fn unit_conversion() {
+        assert!((nm_to_cm(30.0) - 3.0e-6).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the virtual TCAD: conservation laws and
+//! monotonicity that must hold for any bias, device, or dielectric.
+
+use proptest::prelude::*;
+
+use fts_device::{BiasCase, Device, DeviceKind, Dielectric, Terminal, TerminalPair};
+
+fn arb_kind() -> impl Strategy<Value = DeviceKind> {
+    prop_oneof![
+        Just(DeviceKind::Square),
+        Just(DeviceKind::Cross),
+        Just(DeviceKind::Junctionless),
+    ]
+}
+
+fn arb_dielectric() -> impl Strategy<Value = Dielectric> {
+    prop_oneof![Just(Dielectric::SiO2), Just(Dielectric::HfO2)]
+}
+
+fn arb_case() -> impl Strategy<Value = BiasCase> {
+    (0..16usize).prop_map(|i| BiasCase::paper_cases()[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kcl_holds_for_every_bias_case(
+        kind in arb_kind(),
+        diel in arb_dielectric(),
+        case in arb_case(),
+        vd in 0.0f64..5.0,
+        vg in -2.0f64..5.0,
+    ) {
+        let dev = Device::new(kind, diel);
+        let sol = dev.solve_bias(case, vd, vg);
+        let scale = sol.currents.iter().fold(0.0f64, |m, c| m.max(c.abs())).max(1e-12);
+        prop_assert!(
+            sol.kcl_residual().abs() < 1e-6 * scale,
+            "KCL residual {:.3e} vs scale {:.3e}",
+            sol.kcl_residual(),
+            scale
+        );
+    }
+
+    #[test]
+    fn channel_current_antisymmetric_everywhere(
+        kind in arb_kind(),
+        diel in arb_dielectric(),
+        va in -1.0f64..5.0,
+        vb in -1.0f64..5.0,
+        vg in -2.0f64..5.0,
+    ) {
+        let dev = Device::new(kind, diel);
+        let p = TerminalPair::new(Terminal::T1, Terminal::T3);
+        let ab = dev.channel_current(p, va, vb, vg);
+        let ba = dev.channel_current(p, vb, va, vg);
+        prop_assert!((ab + ba).abs() <= 1e-12 * ab.abs().max(1e-15),
+            "ab {ab:.3e} ba {ba:.3e}");
+    }
+
+    #[test]
+    fn current_flows_downhill(
+        kind in arb_kind(),
+        diel in arb_dielectric(),
+        lo in 0.0f64..2.0,
+        delta in 0.001f64..3.0,
+        vg in -2.0f64..5.0,
+    ) {
+        let dev = Device::new(kind, diel);
+        let p = TerminalPair::new(Terminal::T1, Terminal::T2);
+        let i = dev.channel_current(p, lo + delta, lo, vg);
+        prop_assert!(i >= 0.0, "current must flow from high to low: {i:.3e}");
+    }
+
+    #[test]
+    fn gate_monotonicity(
+        kind in arb_kind(),
+        diel in arb_dielectric(),
+        vg in -2.0f64..4.8,
+        step in 0.01f64..0.2,
+    ) {
+        let dev = Device::new(kind, diel);
+        let p = TerminalPair::new(Terminal::T1, Terminal::T2);
+        let lo = dev.channel_current(p, 1.0, 0.0, vg);
+        let hi = dev.channel_current(p, 1.0, 0.0, vg + step);
+        prop_assert!(hi >= lo - 1e-18, "Ids must be nondecreasing in Vg");
+    }
+
+    #[test]
+    fn floating_terminals_never_carry_current(
+        kind in arb_kind(),
+        vd in 0.1f64..5.0,
+        vg in 0.0f64..5.0,
+    ) {
+        let dev = Device::new(kind, Dielectric::HfO2);
+        let sol = dev.solve_bias(BiasCase::DSFF, vd, vg);
+        let scale = sol.currents[0].abs().max(1e-12);
+        prop_assert!(sol.currents[2].abs() < 1e-5 * scale + 1e-12);
+        prop_assert!(sol.currents[3].abs() < 1e-5 * scale + 1e-12);
+    }
+}

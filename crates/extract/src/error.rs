@@ -1,0 +1,45 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced during model fitting.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExtractError {
+    /// Voltage and current vectors have different lengths.
+    LengthMismatch {
+        /// Voltage sample count.
+        voltages: usize,
+        /// Current sample count.
+        currents: usize,
+    },
+    /// Not enough data points to constrain the parameters.
+    TooFewPoints {
+        /// Points supplied.
+        got: usize,
+        /// Minimum required.
+        needed: usize,
+    },
+    /// The optimizer failed to reduce the residual to a finite value.
+    DidNotConverge {
+        /// Final objective value.
+        final_cost: f64,
+    },
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractError::LengthMismatch { voltages, currents } => {
+                write!(f, "voltage and current vectors differ in length ({voltages} vs {currents})")
+            }
+            ExtractError::TooFewPoints { got, needed } => {
+                write!(f, "need at least {needed} data points, got {got}")
+            }
+            ExtractError::DidNotConverge { final_cost } => {
+                write!(f, "fit did not converge (final cost {final_cost:.3e})")
+            }
+        }
+    }
+}
+
+impl Error for ExtractError {}

@@ -1,0 +1,254 @@
+//! Fitting the level-1 model to virtual-TCAD data (§IV, Fig. 10).
+//!
+//! The paper's two scenarios, both in the DSSS case on the square HfO2
+//! device:
+//!
+//! 1. Vgs swept 0→5 V with 5 V on T1 (transfer data);
+//! 2. Vds swept 0→5 V with Vgs = 5 V (output data — Fig. 10).
+//!
+//! Both data sets are fitted jointly for (Kp, Vth, λ) with the smallest
+//! root-mean-square error, exactly the objective the paper states.
+
+use fts_device::{Device, Terminal, TerminalPair};
+
+use crate::level1::Level1;
+use crate::optim::{self, LmOptions, NelderMeadOptions};
+use crate::ExtractError;
+
+/// A set of I-V samples at known bias: `(vgs, vds) → ids`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IvData {
+    /// Gate-source voltages \[V\].
+    pub vgs: Vec<f64>,
+    /// Drain-source voltages \[V\].
+    pub vds: Vec<f64>,
+    /// Measured drain currents \[A\].
+    pub ids: Vec<f64>,
+}
+
+impl IvData {
+    /// Appends one sample.
+    pub fn push(&mut self, vgs: f64, vds: f64, ids: f64) {
+        self.vgs.push(vgs);
+        self.vds.push(vds);
+        self.ids.push(ids);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no samples are present.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    fn validate(&self) -> Result<(), ExtractError> {
+        if self.vgs.len() != self.ids.len() || self.vds.len() != self.ids.len() {
+            return Err(ExtractError::LengthMismatch {
+                voltages: self.vgs.len().min(self.vds.len()),
+                currents: self.ids.len(),
+            });
+        }
+        if self.len() < 4 {
+            return Err(ExtractError::TooFewPoints { got: self.len(), needed: 4 });
+        }
+        Ok(())
+    }
+}
+
+/// Result of [`fit_level1`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitResult {
+    /// The fitted model.
+    pub model: Level1,
+    /// Root-mean-square error of the fit \[A\].
+    pub rmse: f64,
+    /// RMSE relative to the peak measured current.
+    pub relative_rmse: f64,
+    /// Levenberg–Marquardt iterations used.
+    pub iterations: usize,
+}
+
+/// Fits (Kp, Vth, λ) of a level-1 model with fixed `w_over_l` to `data`.
+///
+/// Runs Levenberg–Marquardt from a Nelder-Mead-refined start so the result
+/// does not depend on a lucky initial guess.
+///
+/// # Errors
+///
+/// Returns [`ExtractError`] for inconsistent or insufficient data, or when
+/// the final cost is not finite.
+pub fn fit_level1(data: &IvData, w_over_l: f64) -> Result<FitResult, ExtractError> {
+    data.validate()?;
+    let peak = data.ids.iter().cloned().fold(0.0f64, f64::max).max(1e-30);
+
+    // Mixed absolute/relative weighting: the relative term makes the
+    // cutoff region (where the measured current collapses) pin Vth, while
+    // the absolute floor keeps the strong-inversion region dominant enough
+    // to set Kp and λ.
+    let weight = |ids: f64| ids.abs() + 0.0005 * peak;
+    let residuals = |p: &[f64]| -> Vec<f64> {
+        let m = Level1::new(p[0].abs(), p[1], p[2].abs(), w_over_l);
+        data.vgs
+            .iter()
+            .zip(&data.vds)
+            .zip(&data.ids)
+            .map(|((&vgs, &vds), &ids)| (m.ids(vgs, vds) - ids) / weight(ids))
+            .collect()
+    };
+
+    // Coarse global start via Nelder–Mead on the summed squares.
+    let start = optim::nelder_mead(
+        |p| residuals(p).iter().map(|r| r * r).sum::<f64>(),
+        &[peak / 10.0, 0.5, 0.05],
+        &NelderMeadOptions { max_iterations: 800, ..Default::default() },
+    );
+    let lm = optim::levenberg_marquardt(residuals, &start.x, &LmOptions::default());
+    if !lm.cost.is_finite() {
+        return Err(ExtractError::DidNotConverge { final_cost: lm.cost });
+    }
+    let model = Level1::new(lm.x[0].abs(), lm.x[1], lm.x[2].abs(), w_over_l);
+    let sse: f64 = data
+        .vgs
+        .iter()
+        .zip(&data.vds)
+        .zip(&data.ids)
+        .map(|((&vgs, &vds), &ids)| (model.ids(vgs, vds) - ids).powi(2))
+        .sum();
+    let rmse = (sse / data.len() as f64).sqrt();
+    Ok(FitResult { model, rmse, relative_rmse: rmse / peak, iterations: lm.iterations })
+}
+
+/// The two transistor flavours of the paper's six-MOSFET switch model
+/// (Fig. 9): Type A for the four edge channels (L = 0.35 µm in the square
+/// device), Type B for the two diagonals (L = 0.5 µm).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchModel {
+    /// Edge-channel transistor model.
+    pub type_a: Level1,
+    /// Diagonal-channel transistor model.
+    pub type_b: Level1,
+    /// Fit quality for Type A.
+    pub fit_a: FitResult,
+    /// Fit quality for Type B.
+    pub fit_b: FitResult,
+    /// Grounded terminal capacitance \[F\] (1 fF in the paper).
+    pub terminal_capacitance: f64,
+}
+
+/// Generates the paper's two fitting scenarios for one channel of
+/// `device` and returns the sampled data.
+pub fn channel_iv_data(device: &Device, pair: TerminalPair, points: usize) -> IvData {
+    let mut data = IvData::default();
+    // Scenario 1: Vds = 5 V, sweep Vgs — with extra resolution below
+    // 1.2 V, where the switch operates in the §V circuits and where the
+    // fitted threshold must be accurate.
+    for k in 0..points {
+        let vgs = 5.0 * k as f64 / (points - 1) as f64;
+        let ids = device.channel_current(pair, 5.0, 0.0, vgs);
+        data.push(vgs, 5.0, ids);
+    }
+    for k in 0..points {
+        let vgs = 1.2 * k as f64 / (points - 1) as f64;
+        let ids = device.channel_current(pair, 5.0, 0.0, vgs);
+        data.push(vgs, 5.0, ids);
+    }
+    // Scenario 2: Vgs = 5 V, sweep Vds (Fig. 10's axis).
+    for k in 0..points {
+        let vds = 5.0 * k as f64 / (points - 1) as f64;
+        let ids = device.channel_current(pair, vds, 0.0, 5.0);
+        data.push(5.0, vds, ids);
+    }
+    data
+}
+
+/// Extracts the full six-MOSFET switch model from a device: fits Type A on
+/// an edge channel and Type B on a diagonal channel.
+///
+/// # Errors
+///
+/// Propagates [`ExtractError`] from the underlying fits.
+pub fn extract_switch_model(device: &Device) -> Result<SwitchModel, ExtractError> {
+    let edge = TerminalPair::new(Terminal::T1, Terminal::T2);
+    let diag = TerminalPair::new(Terminal::T1, Terminal::T3);
+    let g = device.geometry();
+    let data_a = channel_iv_data(device, edge, 41);
+    let data_b = channel_iv_data(device, diag, 41);
+    let fit_a = fit_level1(&data_a, g.channel(edge).aspect())?;
+    let fit_b = fit_level1(&data_b, g.channel(diag).aspect())?;
+    Ok(SwitchModel {
+        type_a: fit_a.model,
+        type_b: fit_b.model,
+        fit_a: fit_a.clone(),
+        fit_b: fit_b.clone(),
+        terminal_capacitance: device.terminal_capacitance(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fts_device::{DeviceKind, Dielectric};
+
+    #[test]
+    fn fit_recovers_synthetic_level1_exactly() {
+        let truth = Level1::new(2.0e-5, 0.45, 0.07, 2.0);
+        let mut data = IvData::default();
+        for k in 0..=20 {
+            let vgs = k as f64 * 0.25;
+            data.push(vgs, 5.0, truth.ids(vgs, 5.0));
+            let vds = k as f64 * 0.25;
+            data.push(5.0, vds, truth.ids(5.0, vds));
+        }
+        let fit = fit_level1(&data, 2.0).unwrap();
+        assert!((fit.model.kp - truth.kp).abs() / truth.kp < 1e-3, "kp {}", fit.model.kp);
+        assert!((fit.model.vth - truth.vth).abs() < 1e-3, "vth {}", fit.model.vth);
+        assert!((fit.model.lambda - truth.lambda).abs() < 1e-3, "lambda {}", fit.model.lambda);
+        assert!(fit.relative_rmse < 1e-6);
+    }
+
+    #[test]
+    fn fit_square_hfo2_fig10_quality() {
+        // The paper's Fig. 10 fit: level-1 vs the virtual-TCAD output curve.
+        let dev = Device::new(DeviceKind::Square, Dielectric::HfO2);
+        let model = extract_switch_model(&dev).unwrap();
+        // ~10% relative RMSE: level-1 vs a mobility-degraded curve, the same
+        // visible-but-acceptable mismatch as the paper's Fig. 10.
+        assert!(model.fit_a.relative_rmse < 0.16, "A rmse {}", model.fit_a.relative_rmse);
+        assert!(model.fit_b.relative_rmse < 0.16, "B rmse {}", model.fit_b.relative_rmse);
+        // Extracted threshold should sit near the electrostatic one.
+        assert!((model.type_a.vth - dev.vth()).abs() < 0.4, "vth {}", model.type_a.vth);
+        assert!(model.type_a.kp > 0.0 && model.type_a.lambda >= 0.0);
+    }
+
+    #[test]
+    fn type_a_is_stronger_than_type_b() {
+        let dev = Device::new(DeviceKind::Square, Dielectric::HfO2);
+        let m = extract_switch_model(&dev).unwrap();
+        assert!(m.type_a.kp_w_over_l() > m.type_b.kp_w_over_l());
+        assert!((m.terminal_capacitance - 1e-15).abs() < 1e-20);
+    }
+
+    #[test]
+    fn data_validation_errors() {
+        let mut bad = IvData::default();
+        bad.vgs.push(1.0);
+        assert!(matches!(fit_level1(&bad, 1.0), Err(ExtractError::LengthMismatch { .. })));
+        let mut few = IvData::default();
+        few.push(1.0, 1.0, 1e-6);
+        assert!(matches!(fit_level1(&few, 1.0), Err(ExtractError::TooFewPoints { .. })));
+    }
+
+    #[test]
+    fn channel_iv_data_shapes() {
+        let dev = Device::new(DeviceKind::Square, Dielectric::HfO2);
+        let pair = TerminalPair::new(Terminal::T1, Terminal::T2);
+        let data = channel_iv_data(&dev, pair, 21);
+        assert_eq!(data.len(), 63);
+        // Currents are nonnegative and grow along each scenario.
+        assert!(data.ids.iter().all(|&i| i >= -1e-15));
+        assert!(data.ids[20] > data.ids[1]);
+    }
+}

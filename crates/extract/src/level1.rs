@@ -1,0 +1,132 @@
+//! The SPICE level-1 MOSFET model used in §IV of the paper.
+//!
+//! ```text
+//! Ids = 0                                                  Vgs ≤ Vth
+//! Ids = Kp·(W/L)·[(Vgs−Vth)·Vds − Vds²/2]·(1+λVds)         triode
+//! Ids = (Kp/2)·(W/L)·(Vgs−Vth)²·(1+λVds)                   saturation
+//! ```
+
+/// Level-1 MOSFET parameters (n-channel).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Level1 {
+    /// Transconductance parameter `Kp = µn·Cox` \[A/V²\].
+    pub kp: f64,
+    /// Threshold voltage \[V\].
+    pub vth: f64,
+    /// Channel-length modulation \[1/V\].
+    pub lambda: f64,
+    /// Geometric aspect ratio W/L.
+    pub w_over_l: f64,
+}
+
+impl Level1 {
+    /// Creates a model; use [`Level1::ids`] to evaluate it.
+    pub fn new(kp: f64, vth: f64, lambda: f64, w_over_l: f64) -> Level1 {
+        Level1 { kp, vth, lambda, w_over_l }
+    }
+
+    /// Effective strength `Kp·(W/L)` \[A/V²\].
+    pub fn kp_w_over_l(&self) -> f64 {
+        self.kp * self.w_over_l
+    }
+
+    /// Drain current \[A\] for terminal voltages referenced to the source.
+    ///
+    /// Negative `vds` is handled by the symmetry `Ids(vgs, −vds) =
+    /// −Ids(vgd, vds)` so the model can serve as a pass-switch element.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fts_extract::Level1;
+    ///
+    /// let m = Level1::new(2.0e-5, 0.5, 0.05, 2.0);
+    /// assert_eq!(m.ids(0.3, 1.0), 0.0);          // below threshold
+    /// assert!(m.ids(2.0, 5.0) > m.ids(2.0, 0.1)); // saturation above triode
+    /// ```
+    pub fn ids(&self, vgs: f64, vds: f64) -> f64 {
+        if vds < 0.0 {
+            return -self.ids(vgs - vds, -vds);
+        }
+        let vov = vgs - self.vth;
+        if vov <= 0.0 {
+            return 0.0;
+        }
+        let beta = self.kp * self.w_over_l;
+        let clm = 1.0 + self.lambda * vds;
+        if vds <= vov {
+            beta * (vov * vds - 0.5 * vds * vds) * clm
+        } else {
+            0.5 * beta * vov * vov * clm
+        }
+    }
+
+    /// Saturation boundary `Vds,sat = Vgs − Vth` (0 below threshold).
+    pub fn vdsat(&self, vgs: f64) -> f64 {
+        (vgs - self.vth).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> Level1 {
+        Level1::new(1.6e-5, 0.4, 0.06, 2.0)
+    }
+
+    #[test]
+    fn cutoff_region_is_zero() {
+        let m = model();
+        assert_eq!(m.ids(0.0, 5.0), 0.0);
+        assert_eq!(m.ids(0.4, 5.0), 0.0);
+    }
+
+    #[test]
+    fn triode_matches_closed_form() {
+        let m = model();
+        let (vgs, vds) = (2.0, 0.5);
+        let expect = m.kp * 2.0 * ((vgs - 0.4) * vds - vds * vds / 2.0) * (1.0 + 0.06 * vds);
+        assert!((m.ids(vgs, vds) - expect).abs() < 1e-18);
+    }
+
+    #[test]
+    fn saturation_matches_closed_form() {
+        let m = model();
+        let (vgs, vds) = (2.0, 4.0);
+        let expect = 0.5 * m.kp * 2.0 * (vgs - 0.4) * (vgs - 0.4) * (1.0 + 0.06 * vds);
+        assert!((m.ids(vgs, vds) - expect).abs() < 1e-18);
+    }
+
+    #[test]
+    fn continuous_at_saturation_boundary() {
+        let m = model();
+        let vgs = 1.5;
+        let vdsat = m.vdsat(vgs);
+        let below = m.ids(vgs, vdsat - 1e-9);
+        let above = m.ids(vgs, vdsat + 1e-9);
+        assert!((below - above).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_vds_antisymmetry() {
+        // A pass switch sees either polarity: with the drain/source roles
+        // swapped, Ids(Vg→old drain, −v) = −Ids(Vg→new source, +v).
+        let m = model();
+        assert!((m.ids(2.0, -1.0) + m.ids(3.0, 1.0)).abs() < 1e-18);
+        // And the reverse current is nonzero when the "new source" is on.
+        assert!(m.ids(2.0, -1.0) < 0.0);
+    }
+
+    #[test]
+    fn monotone_in_gate_voltage() {
+        let m = model();
+        let mut last = 0.0;
+        for k in 0..=50 {
+            let vgs = k as f64 * 0.1;
+            let i = m.ids(vgs, 5.0);
+            assert!(i >= last);
+            last = i;
+        }
+    }
+}

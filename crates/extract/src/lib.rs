@@ -1,0 +1,35 @@
+//! Compact-model parameter extraction (§IV of the DATE 2019 paper).
+//!
+//! The paper fits its TCAD I-V data to the level-1 MOSFET equations with
+//! the MATLAB Curve Fitting Toolbox, extracting `Kp`, `Vth`, and `λ` for
+//! the two transistor types of the six-MOSFET switch model (Fig. 9) and
+//! showing the fit quality in Fig. 10. This crate replaces the toolbox with
+//! two from-scratch least-squares engines — [Nelder–Mead](optim::nelder_mead)
+//! and [Levenberg–Marquardt](optim::levenberg_marquardt) — plus the
+//! [level-1 model](level1::Level1) itself and the
+//! [fitting workflow](fit) that joins the paper's two sweep scenarios.
+//!
+//! # Example
+//!
+//! ```
+//! use fts_device::{Device, DeviceKind, Dielectric};
+//! use fts_extract::{extract_switch_model};
+//!
+//! let dev = Device::new(DeviceKind::Square, Dielectric::HfO2);
+//! let model = extract_switch_model(&dev)?;
+//! // Type A (edge) channels are shorter, hence stronger, than Type B.
+//! assert!(model.type_a.kp_w_over_l() > model.type_b.kp_w_over_l());
+//! # Ok::<(), fts_extract::ExtractError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod fit;
+pub mod level1;
+pub mod optim;
+
+pub use error::ExtractError;
+pub use fit::{extract_switch_model, fit_level1, FitResult, IvData, SwitchModel};
+pub use level1::Level1;

@@ -1,0 +1,354 @@
+//! Derivative-free and least-squares optimizers.
+//!
+//! Replacements for the MATLAB Curve Fitting Toolbox the paper used:
+//! a [Nelder–Mead](nelder_mead) downhill simplex for arbitrary scalar
+//! objectives and a [Levenberg–Marquardt](levenberg_marquardt) solver with
+//! numerical Jacobians for residual vectors. The fitting workflow runs
+//! both and cross-checks them.
+
+/// Result of an optimization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimResult {
+    /// Best parameter vector found.
+    pub x: Vec<f64>,
+    /// Objective at `x` (for LM: half the sum of squared residuals).
+    pub cost: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+/// Options for [`nelder_mead`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMeadOptions {
+    /// Maximum iterations.
+    pub max_iterations: usize,
+    /// Terminate when the simplex spread falls below this.
+    pub tolerance: f64,
+    /// Relative initial simplex size.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions { max_iterations: 4000, tolerance: 1e-14, initial_step: 0.25 }
+    }
+}
+
+/// Minimizes `f` by the Nelder–Mead downhill simplex from `x0`.
+///
+/// # Panics
+///
+/// Panics if `x0` is empty.
+///
+/// # Example
+///
+/// ```
+/// use fts_extract::optim::{nelder_mead, NelderMeadOptions};
+///
+/// // Rosenbrock valley.
+/// let r = nelder_mead(
+///     |x| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2),
+///     &[-1.2, 1.0],
+///     &NelderMeadOptions::default(),
+/// );
+/// assert!((r.x[0] - 1.0).abs() < 1e-4 && (r.x[1] - 1.0).abs() < 1e-4);
+/// ```
+pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    x0: &[f64],
+    opts: &NelderMeadOptions,
+) -> OptimResult {
+    assert!(!x0.is_empty(), "need at least one parameter");
+    let n = x0.len();
+    // Build initial simplex.
+    let mut simplex: Vec<Vec<f64>> = vec![x0.to_vec()];
+    for i in 0..n {
+        let mut v = x0.to_vec();
+        let step = if v[i] != 0.0 { v[i].abs() * opts.initial_step } else { opts.initial_step };
+        v[i] += step;
+        simplex.push(v);
+    }
+    let mut costs: Vec<f64> = simplex.iter().map(|v| f(v)).collect();
+
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+    let mut iterations = 0;
+    for _ in 0..opts.max_iterations {
+        iterations += 1;
+        // Order simplex.
+        let mut idx: Vec<usize> = (0..=n).collect();
+        idx.sort_by(|&a, &b| costs[a].total_cmp(&costs[b]));
+        let reorder_s: Vec<Vec<f64>> = idx.iter().map(|&i| simplex[i].clone()).collect();
+        let reorder_c: Vec<f64> = idx.iter().map(|&i| costs[i]).collect();
+        simplex = reorder_s;
+        costs = reorder_c;
+
+        if (costs[n] - costs[0]).abs() <= opts.tolerance * (1.0 + costs[0].abs()) {
+            break;
+        }
+
+        // Centroid of all but worst.
+        let centroid: Vec<f64> = (0..n)
+            .map(|d| simplex[..n].iter().map(|v| v[d]).sum::<f64>() / n as f64)
+            .collect();
+        let worst = simplex[n].clone();
+        let blend = |t: f64| -> Vec<f64> {
+            (0..n).map(|d| centroid[d] + t * (centroid[d] - worst[d])).collect()
+        };
+
+        let reflected = blend(alpha);
+        let fr = f(&reflected);
+        if fr < costs[0] {
+            let expanded = blend(gamma);
+            let fe = f(&expanded);
+            if fe < fr {
+                simplex[n] = expanded;
+                costs[n] = fe;
+            } else {
+                simplex[n] = reflected;
+                costs[n] = fr;
+            }
+        } else if fr < costs[n - 1] {
+            simplex[n] = reflected;
+            costs[n] = fr;
+        } else {
+            let contracted = blend(-rho);
+            let fc = f(&contracted);
+            if fc < costs[n] {
+                simplex[n] = contracted;
+                costs[n] = fc;
+            } else {
+                // Shrink toward best.
+                #[allow(clippy::needless_range_loop)] // reads simplex[0] while writing simplex[i]
+                for i in 1..=n {
+                    for d in 0..n {
+                        simplex[i][d] = simplex[0][d] + sigma * (simplex[i][d] - simplex[0][d]);
+                    }
+                    costs[i] = f(&simplex[i]);
+                }
+            }
+        }
+    }
+    let best = costs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("simplex non-empty");
+    OptimResult { x: simplex[best].clone(), cost: costs[best], iterations }
+}
+
+/// Options for [`levenberg_marquardt`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LmOptions {
+    /// Maximum iterations.
+    pub max_iterations: usize,
+    /// Terminate on relative cost improvement below this.
+    pub tolerance: f64,
+    /// Initial damping factor.
+    pub initial_damping: f64,
+}
+
+impl Default for LmOptions {
+    fn default() -> Self {
+        LmOptions { max_iterations: 200, tolerance: 1e-12, initial_damping: 1e-3 }
+    }
+}
+
+/// Minimizes `½‖r(x)‖²` by Levenberg–Marquardt with a forward-difference
+/// Jacobian.
+///
+/// # Panics
+///
+/// Panics if `x0` is empty or `residuals(x0)` is empty.
+///
+/// # Example
+///
+/// ```
+/// use fts_extract::optim::{levenberg_marquardt, LmOptions};
+///
+/// // Fit y = a·x + b to exact data.
+/// let data = [(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)];
+/// let r = levenberg_marquardt(
+///     |p| data.iter().map(|(x, y)| p[0] * x + p[1] - y).collect(),
+///     &[0.0, 0.0],
+///     &LmOptions::default(),
+/// );
+/// assert!((r.x[0] - 2.0).abs() < 1e-8 && (r.x[1] - 1.0).abs() < 1e-8);
+/// ```
+pub fn levenberg_marquardt<F: FnMut(&[f64]) -> Vec<f64>>(
+    mut residuals: F,
+    x0: &[f64],
+    opts: &LmOptions,
+) -> OptimResult {
+    assert!(!x0.is_empty(), "need at least one parameter");
+    let n = x0.len();
+    let mut x = x0.to_vec();
+    let mut r = residuals(&x);
+    assert!(!r.is_empty(), "need at least one residual");
+    let mut cost = 0.5 * r.iter().map(|v| v * v).sum::<f64>();
+    let mut damping = opts.initial_damping;
+    let mut iterations = 0;
+
+    for _ in 0..opts.max_iterations {
+        iterations += 1;
+        // Numerical Jacobian m×n.
+        let m = r.len();
+        let mut jac = vec![vec![0.0f64; n]; m];
+        for j in 0..n {
+            let h = 1e-7 * (1.0 + x[j].abs());
+            let mut xp = x.clone();
+            xp[j] += h;
+            let rp = residuals(&xp);
+            for i in 0..m {
+                jac[i][j] = (rp[i] - r[i]) / h;
+            }
+        }
+        // Normal equations (JᵀJ + µ·diag(JᵀJ)) δ = −Jᵀr.
+        let mut jtj = vec![vec![0.0f64; n]; n];
+        let mut jtr = vec![0.0f64; n];
+        for i in 0..m {
+            for a in 0..n {
+                jtr[a] += jac[i][a] * r[i];
+                for b in 0..n {
+                    jtj[a][b] += jac[i][a] * jac[i][b];
+                }
+            }
+        }
+        let mut improved = false;
+        for _ in 0..20 {
+            let mut a = jtj.clone();
+            for d in 0..n {
+                a[d][d] += damping * jtj[d][d].max(1e-30);
+            }
+            let rhs: Vec<f64> = jtr.iter().map(|v| -v).collect();
+            let Some(delta) = solve_spd(&mut a, &rhs) else {
+                damping *= 10.0;
+                continue;
+            };
+            let xt: Vec<f64> = x.iter().zip(&delta).map(|(xi, di)| xi + di).collect();
+            let rt = residuals(&xt);
+            let ct = 0.5 * rt.iter().map(|v| v * v).sum::<f64>();
+            if ct < cost {
+                let rel = (cost - ct) / cost.max(1e-300);
+                x = xt;
+                r = rt;
+                cost = ct;
+                damping = (damping * 0.3).max(1e-12);
+                improved = true;
+                if rel < opts.tolerance {
+                    return OptimResult { x, cost, iterations };
+                }
+                break;
+            }
+            damping *= 10.0;
+            if damping > 1e12 {
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    OptimResult { x, cost, iterations }
+}
+
+/// Gaussian elimination with partial pivoting for the (small, symmetric
+/// positive-definite-ish) normal equations.
+#[allow(clippy::needless_range_loop)] // in-place elimination indexes two rows at once
+fn solve_spd(a: &mut [Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    let mut x = b.to_vec();
+    for col in 0..n {
+        let piv = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if a[piv][col].abs() < 1e-300 {
+            return None;
+        }
+        a.swap(col, piv);
+        x.swap(col, piv);
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            x[row] -= f * x[col];
+        }
+    }
+    for col in (0..n).rev() {
+        x[col] /= a[col][col];
+        for row in 0..col {
+            x[row] -= a[row][col] * x[col];
+        }
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nelder_mead_minimizes_quadratic_bowl() {
+        let r = nelder_mead(
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 2.0).powi(2) + 5.0,
+            &[0.0, 0.0],
+            &NelderMeadOptions::default(),
+        );
+        assert!((r.x[0] - 3.0).abs() < 1e-5);
+        assert!((r.x[1] + 2.0).abs() < 1e-5);
+        assert!((r.cost - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nelder_mead_handles_zero_start() {
+        let r = nelder_mead(|x| x[0] * x[0], &[0.0], &NelderMeadOptions::default());
+        assert!(r.x[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn lm_recovers_exponential_decay() {
+        // y = a·exp(−b·t), noiseless.
+        let (a_true, b_true) = (2.5, 0.7);
+        let ts: Vec<f64> = (0..30).map(|k| k as f64 * 0.2).collect();
+        let ys: Vec<f64> = ts.iter().map(|t| a_true * (-b_true * t).exp()).collect();
+        let r = levenberg_marquardt(
+            |p| {
+                ts.iter()
+                    .zip(&ys)
+                    .map(|(t, y)| p[0] * (-p[1] * t).exp() - y)
+                    .collect()
+            },
+            &[1.0, 0.1],
+            &LmOptions::default(),
+        );
+        assert!((r.x[0] - a_true).abs() < 1e-6, "a = {}", r.x[0]);
+        assert!((r.x[1] - b_true).abs() < 1e-6, "b = {}", r.x[1]);
+    }
+
+    #[test]
+    fn lm_and_nelder_mead_agree() {
+        let data: Vec<(f64, f64)> =
+            (0..20).map(|k| (k as f64 * 0.5, 3.0 * (k as f64 * 0.5) + 1.5)).collect();
+        let lm = levenberg_marquardt(
+            |p| data.iter().map(|(x, y)| p[0] * x + p[1] - y).collect(),
+            &[0.5, 0.0],
+            &LmOptions::default(),
+        );
+        let nm = nelder_mead(
+            |p| data.iter().map(|(x, y)| (p[0] * x + p[1] - y).powi(2)).sum(),
+            &[0.5, 0.0],
+            &NelderMeadOptions::default(),
+        );
+        assert!((lm.x[0] - nm.x[0]).abs() < 1e-3);
+        assert!((lm.x[1] - nm.x[1]).abs() < 1e-3);
+    }
+
+    #[test]
+    fn spd_solver_roundtrip() {
+        let mut a = vec![vec![4.0, 1.0], vec![1.0, 3.0]];
+        let x = solve_spd(&mut a, &[1.0, 2.0]).unwrap();
+        // Verify A·x = b with the original matrix.
+        let ax0 = 4.0 * x[0] + 1.0 * x[1];
+        let ax1 = 1.0 * x[0] + 3.0 * x[1];
+        assert!((ax0 - 1.0).abs() < 1e-12 && (ax1 - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the extraction flow: the fitters must recover
+//! arbitrary ground-truth level-1 models from their own noiseless data.
+
+use proptest::prelude::*;
+
+use fts_extract::fit::{fit_level1, IvData};
+use fts_extract::optim::{levenberg_marquardt, LmOptions};
+use fts_extract::Level1;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fit_recovers_random_level1_models(
+        kp in 1.0e-6f64..1.0e-4,
+        vth in 0.1f64..1.5,
+        lambda in 0.0f64..0.15,
+        w_over_l in 0.5f64..4.0,
+    ) {
+        let truth = Level1::new(kp, vth, lambda, w_over_l);
+        let mut data = IvData::default();
+        for k in 0..=24 {
+            let v = 5.0 * k as f64 / 24.0;
+            data.push(v, 5.0, truth.ids(v, 5.0));
+            data.push(5.0, v, truth.ids(5.0, v));
+        }
+        let fit = fit_level1(&data, w_over_l).unwrap();
+        prop_assert!((fit.model.kp - kp).abs() < 0.02 * kp, "kp {} vs {kp}", fit.model.kp);
+        prop_assert!((fit.model.vth - vth).abs() < 0.02, "vth {} vs {vth}", fit.model.vth);
+        prop_assert!((fit.model.lambda - lambda).abs() < 0.02, "λ {} vs {lambda}", fit.model.lambda);
+        prop_assert!(fit.relative_rmse < 1e-3);
+    }
+
+    #[test]
+    fn lm_solves_random_linear_least_squares(
+        a in -5.0f64..5.0,
+        b in -5.0f64..5.0,
+        xs in prop::collection::vec(-10.0f64..10.0, 3..20),
+    ) {
+        // Distinct abscissae guaranteed by adding the index.
+        let pts: Vec<(f64, f64)> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let xx = x + i as f64 * 25.0;
+                (xx, a * xx + b)
+            })
+            .collect();
+        let r = levenberg_marquardt(
+            |p| pts.iter().map(|(x, y)| p[0] * x + p[1] - y).collect(),
+            &[0.0, 0.0],
+            &LmOptions::default(),
+        );
+        prop_assert!((r.x[0] - a).abs() < 1e-6, "slope {} vs {a}", r.x[0]);
+        prop_assert!((r.x[1] - b).abs() < 1e-5, "intercept {} vs {b}", r.x[1]);
+    }
+
+    #[test]
+    fn level1_regions_are_consistent(
+        kp in 1.0e-6f64..1.0e-4,
+        vth in 0.1f64..1.5,
+        lambda in 0.0f64..0.2,
+        vgs in 0.0f64..5.0,
+        vds in 0.0f64..5.0,
+    ) {
+        let m = Level1::new(kp, vth, lambda, 2.0);
+        let i = m.ids(vgs, vds);
+        prop_assert!(i >= 0.0);
+        // Saturation clamps triode: Ids(vgs, vds) ≤ Ids at vdsat scaled by CLM growth.
+        let vdsat = m.vdsat(vgs);
+        if vds > vdsat && vdsat > 0.0 {
+            let at_sat = m.ids(vgs, vdsat);
+            prop_assert!(i >= at_sat - 1e-18, "CLM can only grow current past vdsat");
+        }
+        // Monotone in vds.
+        let i2 = m.ids(vgs, vds + 0.1);
+        prop_assert!(i2 >= i - 1e-18);
+    }
+}

@@ -1,0 +1,545 @@
+//! 2-D current-density field solver (Fig. 8 of the DATE 2019 paper).
+//!
+//! The paper shows TCAD current-density vector profiles for the square,
+//! cross, and junctionless devices, using them *qualitatively*: the cross
+//! gate spreads current more uniformly across terminals than the square
+//! gate. This crate reproduces those maps with a finite-difference solve of
+//! the steady-state current-continuity equation `∇·(σ∇φ) = 0` over the
+//! device plan view, where the conductivity map `σ(x,y)` encodes electrodes
+//! (metallic), the gate-controlled channel (on/off), and the substrate.
+//!
+//! # Example
+//!
+//! ```
+//! use fts_field::{device_plan, SolveOptions};
+//! use fts_device::DeviceKind;
+//!
+//! let problem = device_plan(DeviceKind::Square, true);
+//! let sol = problem.solve(&SolveOptions::default());
+//! // Current flows: the drain electrode sources a nonzero total current.
+//! assert!(sol.electrode_current(&problem, 0) > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fts_device::DeviceKind;
+
+/// A rectangle of grid cells: `[x0, x1) × [y0, y1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rect {
+    /// Left column (inclusive).
+    pub x0: usize,
+    /// Right column (exclusive).
+    pub x1: usize,
+    /// Top row (inclusive).
+    pub y0: usize,
+    /// Bottom row (exclusive).
+    pub y1: usize,
+}
+
+impl Rect {
+    /// Creates a rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle is empty or inverted.
+    pub fn new(x0: usize, x1: usize, y0: usize, y1: usize) -> Rect {
+        assert!(x0 < x1 && y0 < y1, "rectangle must be non-empty");
+        Rect { x0, x1, y0, y1 }
+    }
+
+    /// True when `(x, y)` lies inside.
+    pub fn contains(&self, x: usize, y: usize) -> bool {
+        x >= self.x0 && x < self.x1 && y >= self.y0 && y < self.y1
+    }
+}
+
+/// A conduction problem on an `nx × ny` grid: per-cell conductivity plus
+/// Dirichlet electrodes.
+#[derive(Debug, Clone)]
+pub struct FieldProblem {
+    nx: usize,
+    ny: usize,
+    sigma: Vec<f64>,
+    fixed: Vec<Option<f64>>,
+    electrodes: Vec<Rect>,
+}
+
+impl FieldProblem {
+    /// Creates a grid with uniform background conductivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero or `background` is not positive.
+    pub fn new(nx: usize, ny: usize, background: f64) -> FieldProblem {
+        assert!(nx > 0 && ny > 0, "grid must be non-empty");
+        assert!(background > 0.0, "conductivity must be positive");
+        FieldProblem {
+            nx,
+            ny,
+            sigma: vec![background; nx * ny],
+            fixed: vec![None; nx * ny],
+            electrodes: Vec::new(),
+        }
+    }
+
+    /// Grid width.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Sets the conductivity inside a rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle leaves the grid or `value` is not positive.
+    pub fn set_conductivity(&mut self, rect: Rect, value: f64) {
+        assert!(rect.x1 <= self.nx && rect.y1 <= self.ny, "rect outside grid");
+        assert!(value > 0.0, "conductivity must be positive");
+        for y in rect.y0..rect.y1 {
+            for x in rect.x0..rect.x1 {
+                self.sigma[y * self.nx + x] = value;
+            }
+        }
+    }
+
+    /// Adds an electrode: high conductivity and a fixed potential. Returns
+    /// the electrode index for later current queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle leaves the grid.
+    pub fn add_electrode(&mut self, rect: Rect, volts: f64) -> usize {
+        assert!(rect.x1 <= self.nx && rect.y1 <= self.ny, "rect outside grid");
+        self.set_conductivity(rect, 1.0e3);
+        for y in rect.y0..rect.y1 {
+            for x in rect.x0..rect.x1 {
+                self.fixed[y * self.nx + x] = Some(volts);
+            }
+        }
+        self.electrodes.push(rect);
+        self.electrodes.len() - 1
+    }
+
+    /// Conductivity at a cell.
+    pub fn conductivity(&self, x: usize, y: usize) -> f64 {
+        self.sigma[y * self.nx + x]
+    }
+
+    /// Solves `∇·(σ∇φ) = 0` by successive over-relaxation with
+    /// harmonic-mean face conductances.
+    pub fn solve(&self, opts: &SolveOptions) -> FieldSolution {
+        let (nx, ny) = (self.nx, self.ny);
+        let mut phi = vec![0.0f64; nx * ny];
+        for (i, f) in self.fixed.iter().enumerate() {
+            if let Some(v) = f {
+                phi[i] = *v;
+            }
+        }
+        let face = |a: f64, b: f64| 2.0 * a * b / (a + b);
+        let mut max_delta = f64::INFINITY;
+        for _ in 0..opts.max_iterations {
+            if max_delta < opts.tolerance {
+                break;
+            }
+            max_delta = 0.0;
+            for y in 0..ny {
+                for x in 0..nx {
+                    let i = y * nx + x;
+                    if self.fixed[i].is_some() {
+                        continue;
+                    }
+                    let s = self.sigma[i];
+                    let mut num = 0.0;
+                    let mut den = 0.0;
+                    if x > 0 {
+                        let g = face(s, self.sigma[i - 1]);
+                        num += g * phi[i - 1];
+                        den += g;
+                    }
+                    if x + 1 < nx {
+                        let g = face(s, self.sigma[i + 1]);
+                        num += g * phi[i + 1];
+                        den += g;
+                    }
+                    if y > 0 {
+                        let g = face(s, self.sigma[i - nx]);
+                        num += g * phi[i - nx];
+                        den += g;
+                    }
+                    if y + 1 < ny {
+                        let g = face(s, self.sigma[i + nx]);
+                        num += g * phi[i + nx];
+                        den += g;
+                    }
+                    if den == 0.0 {
+                        continue;
+                    }
+                    let target = num / den;
+                    let new = phi[i] + opts.omega * (target - phi[i]);
+                    max_delta = max_delta.max((new - phi[i]).abs());
+                    phi[i] = new;
+                }
+            }
+        }
+        FieldSolution::from_potential(self, phi)
+    }
+}
+
+/// Iteration controls for [`FieldProblem::solve`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveOptions {
+    /// Maximum SOR sweeps.
+    pub max_iterations: usize,
+    /// Stop when the largest per-sweep potential update falls below this.
+    pub tolerance: f64,
+    /// Over-relaxation factor in (0, 2).
+    pub omega: f64,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions { max_iterations: 20_000, tolerance: 1.0e-9, omega: 1.8 }
+    }
+}
+
+/// Solved potential and current-density fields.
+#[derive(Debug, Clone)]
+pub struct FieldSolution {
+    nx: usize,
+    ny: usize,
+    phi: Vec<f64>,
+    jx: Vec<f64>,
+    jy: Vec<f64>,
+}
+
+impl FieldSolution {
+    fn from_potential(problem: &FieldProblem, phi: Vec<f64>) -> FieldSolution {
+        let (nx, ny) = (problem.nx, problem.ny);
+        let mut jx = vec![0.0; nx * ny];
+        let mut jy = vec![0.0; nx * ny];
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = y * nx + x;
+                let s = problem.sigma[i];
+                // Central differences where possible, one-sided at edges.
+                let dphidx = if x == 0 {
+                    phi[i + 1] - phi[i]
+                } else if x + 1 == nx {
+                    phi[i] - phi[i - 1]
+                } else {
+                    0.5 * (phi[i + 1] - phi[i - 1])
+                };
+                let dphidy = if y == 0 {
+                    phi[i + nx] - phi[i]
+                } else if y + 1 == ny {
+                    phi[i] - phi[i - nx]
+                } else {
+                    0.5 * (phi[i + nx] - phi[i - nx])
+                };
+                jx[i] = -s * dphidx;
+                jy[i] = -s * dphidy;
+            }
+        }
+        FieldSolution { nx, ny, phi, jx, jy }
+    }
+
+    /// Potential at a cell \[V\].
+    pub fn potential(&self, x: usize, y: usize) -> f64 {
+        self.phi[y * self.nx + x]
+    }
+
+    /// Current-density vector at a cell (arbitrary units: σ·V per cell).
+    pub fn current_density(&self, x: usize, y: usize) -> (f64, f64) {
+        let i = y * self.nx + x;
+        (self.jx[i], self.jy[i])
+    }
+
+    /// Magnitude of the current density at a cell.
+    pub fn magnitude(&self, x: usize, y: usize) -> f64 {
+        let (a, b) = self.current_density(x, y);
+        (a * a + b * b).sqrt()
+    }
+
+    /// Net current leaving electrode `index` of `problem` (sum of boundary
+    /// fluxes; positive = the electrode sources current).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn electrode_current(&self, problem: &FieldProblem, index: usize) -> f64 {
+        let rect = problem.electrodes[index];
+        let face = |a: f64, b: f64| 2.0 * a * b / (a + b);
+        let mut total = 0.0;
+        for y in rect.y0..rect.y1 {
+            for x in rect.x0..rect.x1 {
+                let i = y * self.nx + x;
+                let mut flux = 0.0;
+                let neighbours: [(isize, isize); 4] = [(-1, 0), (1, 0), (0, -1), (0, 1)];
+                for (dx, dy) in neighbours {
+                    let (nxp, nyp) = (x as isize + dx, y as isize + dy);
+                    if nxp < 0 || nyp < 0 || nxp as usize >= self.nx || nyp as usize >= self.ny {
+                        continue;
+                    }
+                    let (nxp, nyp) = (nxp as usize, nyp as usize);
+                    if rect.contains(nxp, nyp) {
+                        continue; // internal face
+                    }
+                    let j = nyp * self.nx + nxp;
+                    let g = face(problem.sigma[i], problem.sigma[j]);
+                    flux += g * (self.phi[i] - self.phi[j]);
+                }
+                total += flux;
+            }
+        }
+        total
+    }
+
+    /// Writes the current-density vector field as CSV (`x,y,jx,jy,mag`)
+    /// for external plotting — the raw data behind Fig. 8's quiver plots.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the writer.
+    pub fn write_csv<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "x,y,jx,jy,mag")?;
+        for y in 0..self.ny {
+            for x in 0..self.nx {
+                let (jx, jy) = self.current_density(x, y);
+                writeln!(w, "{x},{y},{jx:.6e},{jy:.6e},{:.6e}", self.magnitude(x, y))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Coefficient of variation (std/mean) of |J| over a region — the
+    /// uniformity metric used to compare Fig. 8a against Fig. 8b.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is empty or outside the grid.
+    pub fn uniformity_cv(&self, region: Rect) -> f64 {
+        assert!(region.x1 <= self.nx && region.y1 <= self.ny, "region outside grid");
+        let mut values = Vec::new();
+        for y in region.y0..region.y1 {
+            for x in region.x0..region.x1 {
+                values.push(self.magnitude(x, y));
+            }
+        }
+        assert!(!values.is_empty(), "region must be non-empty");
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var =
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+        var.sqrt() / mean
+    }
+}
+
+/// Grid resolution used by [`device_plan`].
+pub const PLAN_GRID: usize = 48;
+
+/// Builds the plan-view conduction problem of a Table II device under the
+/// DSSS bias (T1 driven at 1 V, T2–T4 grounded), with the gate `on` or off.
+///
+/// The conductivity map follows Fig. 4: four edge electrodes, a central
+/// gate region (full square, cross arms, or nanowire) whose conductivity is
+/// gate-controlled, and a poorly conducting substrate elsewhere.
+pub fn device_plan(kind: DeviceKind, gate_on: bool) -> FieldProblem {
+    let n = PLAN_GRID;
+    let channel_sigma = if gate_on { 1.0 } else { 1.0e-5 };
+    let substrate = 1.0e-4;
+    let mut p = FieldProblem::new(n, n, substrate);
+
+    // Gate-controlled region.
+    match kind {
+        DeviceKind::Square => {
+            // Central 1000/2400 of the die.
+            let a = n * 7 / 24;
+            let b = n - a;
+            p.set_conductivity(Rect::new(a, b, a, b), channel_sigma);
+        }
+        DeviceKind::Cross => {
+            // Two 200/2400-wide arms spanning the die.
+            let w = (n / 12).max(2);
+            let mid = n / 2;
+            p.set_conductivity(Rect::new(mid - w / 2, mid + w / 2, 1, n - 1), channel_sigma);
+            p.set_conductivity(Rect::new(1, n - 1, mid - w / 2, mid + w / 2), channel_sigma);
+        }
+        DeviceKind::Junctionless => {
+            // A thin wire from T1 to T3 with the gate wrapped around its
+            // centre; only the gated segment switches.
+            let w = 2;
+            let mid = n / 2;
+            p.set_conductivity(Rect::new(mid - w / 2, mid + w / 2, 1, n - 1), 1.0);
+            let g = n / 6;
+            p.set_conductivity(
+                Rect::new(mid - w / 2, mid + w / 2, mid - g / 2, mid + g / 2),
+                channel_sigma,
+            );
+        }
+    }
+
+    // Electrodes at the edge midpoints (T1 north, T2 east, T3 south, T4
+    // west), sized 700/2400 of the edge. Like the physical n⁺ wells, they
+    // extend inward until they reach the gate-controlled region, so the
+    // gate — not the substrate gap — controls the current.
+    let e = n * 7 / 24;
+    let lo = (n - e) / 2;
+    let hi = lo + e;
+    let d = n * 7 / 24; // electrode depth in cells
+    p.add_electrode(Rect::new(lo, hi, 0, d), 1.0); // T1 (drain)
+    p.add_electrode(Rect::new(n - d, n, lo, hi), 0.0); // T2
+    p.add_electrode(Rect::new(lo, hi, n - d, n), 0.0); // T3
+    p.add_electrode(Rect::new(0, d, lo, hi), 0.0); // T4
+    p
+}
+
+/// The central channel region used for uniformity comparisons.
+pub fn channel_region() -> Rect {
+    let n = PLAN_GRID;
+    Rect::new(n / 3, 2 * n / 3, n / 3, 2 * n / 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_bar_reproduces_ohms_law() {
+        // 1-D bar: fixed 1 V left, 0 V right, uniform σ → linear potential.
+        let mut p = FieldProblem::new(20, 3, 1.0);
+        p.add_electrode(Rect::new(0, 1, 0, 3), 1.0);
+        p.add_electrode(Rect::new(19, 20, 0, 3), 0.0);
+        // Keep the bar perfectly uniform so the analytic profile is linear.
+        p.set_conductivity(Rect::new(0, 1, 0, 3), 1.0);
+        p.set_conductivity(Rect::new(19, 20, 0, 3), 1.0);
+        let sol = p.solve(&SolveOptions::default());
+        for x in 1..19 {
+            let expect = 1.0 - x as f64 / 19.0;
+            let got = sol.potential(x, 1);
+            assert!((got - expect).abs() < 0.02, "x={x}: {got} vs {expect}");
+        }
+        // Current in ≈ current out.
+        let i_in = sol.electrode_current(&p, 0);
+        let i_out = sol.electrode_current(&p, 1);
+        assert!(i_in > 0.0);
+        assert!((i_in + i_out).abs() < 1e-6 * i_in);
+    }
+
+    #[test]
+    fn potential_respects_maximum_principle() {
+        let p = device_plan(DeviceKind::Square, true);
+        let sol = p.solve(&SolveOptions::default());
+        for y in 0..p.ny() {
+            for x in 0..p.nx() {
+                let v = sol.potential(x, y);
+                assert!((-1e-9..=1.0 + 1e-9).contains(&v), "φ({x},{y}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn gate_modulates_current() {
+        for kind in DeviceKind::all() {
+            let on = device_plan(kind, true);
+            let off = device_plan(kind, false);
+            let i_on = on.solve(&SolveOptions::default()).electrode_current(&on, 0);
+            let i_off = off.solve(&SolveOptions::default()).electrode_current(&off, 0);
+            assert!(i_on > 5.0 * i_off, "{kind}: on {i_on:.3e} off {i_off:.3e}");
+        }
+    }
+
+    #[test]
+    fn kcl_across_all_electrodes() {
+        let p = device_plan(DeviceKind::Cross, true);
+        let sol = p.solve(&SolveOptions::default());
+        let total: f64 = (0..4).map(|e| sol.electrode_current(&p, e)).sum();
+        let drive = sol.electrode_current(&p, 0);
+        assert!(total.abs() < 1e-3 * drive.abs(), "net {total:.3e} vs drive {drive:.3e}");
+    }
+
+    #[test]
+    fn cross_is_more_uniform_than_square_fig8() {
+        // The paper's Fig. 8 observation: the cross-shaped gate yields a
+        // more uniform current-vector profile across terminals.
+        let sq = device_plan(DeviceKind::Square, true);
+        let cr = device_plan(DeviceKind::Cross, true);
+        let sol_sq = sq.solve(&SolveOptions::default());
+        let sol_cr = cr.solve(&SolveOptions::default());
+        // Compare the spread of per-terminal sink currents.
+        let sinks = |p: &FieldProblem, s: &FieldSolution| -> f64 {
+            let i: Vec<f64> = (1..4).map(|e| -s.electrode_current(p, e)).collect();
+            let mean = i.iter().sum::<f64>() / 3.0;
+            let var = i.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 3.0;
+            var.sqrt() / mean
+        };
+        let cv_sq = sinks(&sq, &sol_sq);
+        let cv_cr = sinks(&cr, &sol_cr);
+        assert!(
+            cv_cr <= cv_sq + 1e-9,
+            "cross terminal spread {cv_cr:.3} should not exceed square {cv_sq:.3}"
+        );
+    }
+
+    #[test]
+    fn solver_converges_within_budget() {
+        let p = device_plan(DeviceKind::Junctionless, true);
+        let tight = p.solve(&SolveOptions::default());
+        let loose = p.solve(&SolveOptions { max_iterations: 40_000, ..Default::default() });
+        let d = (tight.electrode_current(&p, 0) - loose.electrode_current(&p, 0)).abs();
+        assert!(d < 1e-6 * loose.electrode_current(&p, 0).abs().max(1e-12));
+    }
+
+    #[test]
+    fn csv_export_has_full_grid() {
+        let p = device_plan(DeviceKind::Square, true);
+        let sol = p.solve(&SolveOptions::default());
+        let mut buf = Vec::new();
+        sol.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), PLAN_GRID * PLAN_GRID + 1);
+        assert!(text.starts_with("x,y,jx,jy,mag"));
+    }
+
+    #[test]
+    fn gauss_seidel_agrees_with_sor() {
+        // omega = 1 reduces SOR to Gauss-Seidel; both must converge to the
+        // same solution (the ablation bench compares their speed).
+        let p = device_plan(DeviceKind::Cross, true);
+        let sor = p.solve(&SolveOptions::default());
+        let gs = p.solve(&SolveOptions { omega: 1.0, max_iterations: 200_000, ..Default::default() });
+        let d = (sor.electrode_current(&p, 0) - gs.electrode_current(&p, 0)).abs();
+        assert!(d < 1e-5 * sor.electrode_current(&p, 0).abs());
+    }
+
+    #[test]
+    fn rect_validation() {
+        assert!(std::panic::catch_unwind(|| Rect::new(3, 3, 0, 1)).is_err());
+        let r = Rect::new(1, 4, 2, 5);
+        assert!(r.contains(1, 2));
+        assert!(!r.contains(4, 2));
+    }
+
+    #[test]
+    fn current_density_points_from_drain_to_sources() {
+        let p = device_plan(DeviceKind::Square, true);
+        let sol = p.solve(&SolveOptions::default());
+        // Just below the T1 (north) electrode, current flows downward
+        // (positive jy) on average.
+        let n = PLAN_GRID;
+        let below_electrode = n * 7 / 24 + 1;
+        let mut jy_sum = 0.0;
+        for x in n / 3..2 * n / 3 {
+            jy_sum += sol.current_density(x, below_electrode).1;
+        }
+        assert!(jy_sum > 0.0, "southward current expected under the drain, got {jy_sum:.3e}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Brute-force oracle for lattice-function products.
+//!
+//! Used by tests and ablation benches: enumerate *all* simple top-to-bottom
+//! paths (no irredundancy pruning), then discard products absorbed by a
+//! smaller path — the definition given in §II of the paper. The pruned
+//! search in [`crate::paths`] must agree with this oracle everywhere; the
+//! oracle is exponentially slower, which is exactly the design point the
+//! ablation bench demonstrates.
+
+use std::collections::HashSet;
+
+use crate::Site;
+
+/// Returns the minimal top-to-bottom connecting site sets of an `rows×cols`
+/// lattice, computed by exhaustive simple-path enumeration followed by
+/// absorption.
+///
+/// Each set is a bitmask over sites in row-major order.
+///
+/// # Panics
+///
+/// Panics if `rows * cols > 36` (the enumeration is exponential and the
+/// masks are stored in `u64`s — the oracle is for validating small cases)
+/// or if a dimension is zero.
+pub fn minimal_connecting_sets(rows: usize, cols: usize) -> Vec<u64> {
+    assert!(rows > 0 && cols > 0, "lattice dimensions must be at least 1×1");
+    assert!(rows * cols <= 36, "brute-force oracle limited to 36 sites");
+
+    // Enumerate every simple path from any top-row site to any bottom-row
+    // site, with no pruning beyond simplicity.
+    let mut sets: HashSet<u64> = HashSet::new();
+    let mut path_mask = 0u64;
+    for c in 0..cols {
+        dfs(rows, cols, (0, c), &mut path_mask, &mut sets);
+    }
+
+    // Absorption: keep sets with no proper subset among the collected sets.
+    let all: Vec<u64> = sets.into_iter().collect();
+    let mut minimal: Vec<u64> = Vec::new();
+    'outer: for &s in &all {
+        for &t in &all {
+            if t != s && t & s == t {
+                continue 'outer; // t ⊂ s: s is redundant
+            }
+        }
+        minimal.push(s);
+    }
+    minimal.sort_unstable();
+    minimal
+}
+
+/// Number of products of the lattice function per the brute-force oracle.
+///
+/// # Panics
+///
+/// Same limits as [`minimal_connecting_sets`].
+pub fn product_count(rows: usize, cols: usize) -> u64 {
+    minimal_connecting_sets(rows, cols).len() as u64
+}
+
+fn dfs(rows: usize, cols: usize, site: Site, path_mask: &mut u64, sets: &mut HashSet<u64>) {
+    let (r, c) = site;
+    let bit = 1u64 << (r * cols + c);
+    *path_mask |= bit;
+    if r == rows - 1 {
+        sets.insert(*path_mask);
+        // A simple path may continue past a bottom-row site, but any such
+        // continuation is a superset of the prefix recorded here, so it can
+        // never survive absorption; stopping keeps the oracle honest AND
+        // matches the definition (a path that reached the bottom plate has
+        // connected the plates).
+    } else {
+        let candidates = [
+            (r + 1, c),
+            (r, c.wrapping_sub(1)),
+            (r, c + 1),
+            (r.wrapping_sub(1), c),
+        ];
+        for (nr, nc) in candidates {
+            if nr >= rows || nc >= cols {
+                continue;
+            }
+            if *path_mask & (1u64 << (nr * cols + nc)) != 0 {
+                continue;
+            }
+            dfs(rows, cols, (nr, nc), path_mask, sets);
+        }
+    }
+    *path_mask &= !bit;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_matches_pruned_search() {
+        for m in 1..=4 {
+            for n in 1..=4 {
+                assert_eq!(
+                    product_count(m, n),
+                    crate::count::product_count(m, n),
+                    "m={m} n={n}"
+                );
+            }
+        }
+        assert_eq!(product_count(5, 4), crate::count::product_count(5, 4));
+        assert_eq!(product_count(4, 5), crate::count::product_count(4, 5));
+        assert_eq!(product_count(6, 3), crate::count::product_count(6, 3));
+        assert_eq!(product_count(3, 6), crate::count::product_count(3, 6));
+    }
+
+    #[test]
+    fn oracle_sets_match_pruned_path_sets() {
+        let (m, n) = (4, 4);
+        let mut pruned: Vec<u64> = Vec::new();
+        crate::paths::visit(m, n, |p| {
+            let mut mask = 0u64;
+            for &(r, c) in p {
+                mask |= 1 << (r * n + c);
+            }
+            pruned.push(mask);
+        });
+        pruned.sort_unstable();
+        assert_eq!(pruned, minimal_connecting_sets(m, n));
+    }
+
+    #[test]
+    #[should_panic(expected = "36 sites")]
+    fn oracle_rejects_large_grids() {
+        let _ = product_count(7, 7);
+    }
+}

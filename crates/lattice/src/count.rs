@@ -1,0 +1,188 @@
+//! Counting the products of the `m×n` lattice function (Table I).
+//!
+//! [`product_count`] runs the same chordless-path search as
+//! [`crate::paths::visit`] but without materializing paths, which keeps the
+//! 9×9 entry (38 930 447 products) tractable.
+
+/// Number of products in the `rows×cols` lattice function — the quantity
+/// tabulated in Table I of the paper.
+///
+/// # Panics
+///
+/// Panics if `rows` or `cols` is zero.
+///
+/// # Example
+///
+/// ```
+/// use fts_lattice::count::product_count;
+///
+/// assert_eq!(product_count(4, 5), 67);
+/// assert_eq!(product_count(5, 4), 94);
+/// ```
+pub fn product_count(rows: usize, cols: usize) -> u64 {
+    assert!(rows > 0 && cols > 0, "lattice dimensions must be at least 1×1");
+    if rows == 1 {
+        return cols as u64;
+    }
+    let mut counter = Counter { rows, cols, occupied: vec![false; rows * cols], total: 0 };
+    for c in 0..cols {
+        counter.occupied[c] = true;
+        counter.extend(0, c);
+        counter.occupied[c] = false;
+    }
+    counter.total
+}
+
+/// Computes the full Table I block: counts for `rows_range × cols_range`.
+///
+/// Returns the table in row-major order, one inner `Vec` per `m` value.
+///
+/// # Panics
+///
+/// Panics if either range contains zero.
+///
+/// # Example
+///
+/// ```
+/// use fts_lattice::count::product_table;
+///
+/// let t = product_table(2..=3, 2..=4);
+/// assert_eq!(t, vec![vec![2, 3, 4], vec![4, 9, 16]]);
+/// ```
+pub fn product_table(
+    rows_range: std::ops::RangeInclusive<usize>,
+    cols_range: std::ops::RangeInclusive<usize>,
+) -> Vec<Vec<u64>> {
+    rows_range
+        .map(|m| cols_range.clone().map(|n| product_count(m, n)).collect())
+        .collect()
+}
+
+struct Counter {
+    rows: usize,
+    cols: usize,
+    occupied: Vec<bool>,
+    total: u64,
+}
+
+impl Counter {
+    fn extend(&mut self, r: usize, c: usize) {
+        if r == self.rows - 1 {
+            self.total += 1;
+            return;
+        }
+        let candidates = [
+            (r + 1, c),
+            (r, c.wrapping_sub(1)),
+            (r, c + 1),
+            (r.wrapping_sub(1), c),
+        ];
+        for (nr, nc) in candidates {
+            if nr >= self.rows || nc >= self.cols || nr == 0 {
+                continue;
+            }
+            let idx = nr * self.cols + nc;
+            if self.occupied[idx] || self.adjacent_occupied(nr, nc) != 1 {
+                continue;
+            }
+            self.occupied[idx] = true;
+            self.extend(nr, nc);
+            self.occupied[idx] = false;
+        }
+    }
+
+    fn adjacent_occupied(&self, r: usize, c: usize) -> usize {
+        let mut n = 0;
+        if r > 0 && self.occupied[(r - 1) * self.cols + c] {
+            n += 1;
+        }
+        if r + 1 < self.rows && self.occupied[(r + 1) * self.cols + c] {
+            n += 1;
+        }
+        if c > 0 && self.occupied[r * self.cols + c - 1] {
+            n += 1;
+        }
+        if c + 1 < self.cols && self.occupied[r * self.cols + c + 1] {
+            n += 1;
+        }
+        n
+    }
+}
+
+/// Table I exactly as printed in the paper, for cross-checking:
+/// `PAPER_TABLE1[m-2][n-2]` is the entry for an `m×n` lattice,
+/// `2 ≤ m,n ≤ 9`.
+pub const PAPER_TABLE1: [[u64; 8]; 8] = [
+    [2, 3, 4, 5, 6, 7, 8, 9],
+    [4, 9, 16, 25, 36, 49, 64, 81],
+    [6, 17, 36, 67, 118, 203, 344, 575],
+    [10, 37, 94, 205, 436, 957, 2146, 4773],
+    [16, 77, 236, 621, 1668, 4883, 14880, 44331],
+    [26, 163, 602, 1905, 6562, 26317, 110838, 446595],
+    [42, 343, 1528, 5835, 25686, 139231, 797048, 4288707],
+    [68, 723, 3882, 17873, 100294, 723153, 5509834, 38930447],
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_table1_fast_region() {
+        // Entries cheap enough for debug-mode tests (m,n ≤ 6 plus edges).
+        for m in 2..=6 {
+            for n in 2..=6 {
+                assert_eq!(
+                    product_count(m, n),
+                    PAPER_TABLE1[m - 2][n - 2],
+                    "m={m} n={n}"
+                );
+            }
+        }
+        assert_eq!(product_count(2, 9), PAPER_TABLE1[0][7]);
+        assert_eq!(product_count(9, 2), PAPER_TABLE1[7][0]);
+        assert_eq!(product_count(3, 9), PAPER_TABLE1[1][7]);
+        assert_eq!(product_count(9, 3), PAPER_TABLE1[7][1]);
+    }
+
+    #[test]
+    fn count_agrees_with_enumeration() {
+        for m in 1..=5 {
+            for n in 1..=5 {
+                assert_eq!(
+                    product_count(m, n),
+                    crate::paths::enumerate(m, n).len() as u64,
+                    "m={m} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_block_shape() {
+        let t = product_table(2..=4, 2..=9);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0], PAPER_TABLE1[0].to_vec());
+        assert_eq!(t[2], PAPER_TABLE1[2].to_vec());
+    }
+
+    #[test]
+    fn two_row_lattice_is_linear_in_cols() {
+        // f_{2×n} has exactly n products: the n straight columns... plus
+        // nothing else (any lateral move in row 0 or 1 revisits a plate).
+        // Table I row m=2 confirms: 2,3,4,...,9.
+        for n in 2..=9 {
+            assert_eq!(product_count(2, n), n as u64);
+        }
+    }
+
+    #[test]
+    fn transpose_asymmetry_examples_from_paper() {
+        // §II: f_{6×6} has 1668 products while f_{9×4} has 3882; and
+        // f_{6×8} = 14880 vs f_{7×7} = 26317.
+        assert_eq!(product_count(6, 6), 1668);
+        assert_eq!(product_count(9, 4), 3882);
+        assert_eq!(product_count(6, 8), 14880);
+        assert_eq!(product_count(7, 7), 26317);
+    }
+}

@@ -1,0 +1,258 @@
+//! Switch-defect analysis for lattices.
+//!
+//! The paper belongs to the NANOxCOMP project, whose synthesis-and-testing
+//! programme (reference \[1\] of the paper) treats crosspoint defects as a
+//! first-class concern. This module models the two classic four-terminal
+//! switch faults — stuck-ON (terminals permanently connected) and
+//! stuck-OFF (permanently disconnected) — and quantifies their logical
+//! impact on a realized lattice.
+
+use fts_logic::Literal;
+
+use crate::{Lattice, LatticeError, Site};
+
+/// A single-switch fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fault {
+    /// The faulty switch.
+    pub site: Site,
+    /// The fault polarity.
+    pub kind: FaultKind,
+}
+
+/// Fault polarities for a four-terminal switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// All terminals permanently connected (shorted crosspoint).
+    StuckOn,
+    /// All terminals permanently disconnected (open crosspoint).
+    StuckOff,
+}
+
+impl FaultKind {
+    /// The literal a faulty switch effectively carries.
+    pub fn literal(self) -> Literal {
+        match self {
+            FaultKind::StuckOn => Literal::True,
+            FaultKind::StuckOff => Literal::False,
+        }
+    }
+}
+
+/// The lattice with one fault injected.
+///
+/// # Errors
+///
+/// Returns [`LatticeError::SiteOutOfRange`] for a site outside the grid.
+pub fn inject(lattice: &Lattice, fault: Fault) -> Result<Lattice, LatticeError> {
+    let mut faulty = lattice.clone();
+    faulty.set_literal(fault.site, fault.kind.literal())?;
+    Ok(faulty)
+}
+
+/// Number of input assignments (out of `2^vars`) where the faulty lattice
+/// disagrees with the fault-free one — 0 means the fault is logically
+/// masked (undetectable by exhaustive functional test).
+///
+/// # Errors
+///
+/// Propagates lattice evaluation errors.
+pub fn impact(lattice: &Lattice, vars: usize, fault: Fault) -> Result<u64, LatticeError> {
+    let good = lattice.truth_table(vars)?;
+    let bad = inject(lattice, fault)?.truth_table(vars)?;
+    Ok((&good ^ &bad).count_ones())
+}
+
+/// Fault-analysis summary over every single fault of a lattice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultReport {
+    /// Total faults considered (`2 × sites`).
+    pub total: usize,
+    /// Faults with zero functional impact (masked by redundancy).
+    pub undetectable: usize,
+    /// The largest impact, in affected input rows.
+    pub worst_impact: u64,
+    /// Per-fault impacts, in `(fault, affected_rows)` pairs.
+    pub impacts: Vec<(Fault, u64)>,
+}
+
+impl FaultReport {
+    /// Fraction of faults that a functional test can detect.
+    pub fn detectability(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        (self.total - self.undetectable) as f64 / self.total as f64
+    }
+}
+
+/// Exhaustive single-fault analysis of a lattice realization.
+///
+/// # Errors
+///
+/// Propagates lattice evaluation errors.
+///
+/// # Example
+///
+/// ```
+/// use fts_lattice::defects::analyze;
+/// use fts_lattice::Lattice;
+/// use fts_logic::Literal;
+///
+/// // A 1×2 OR lattice: each stuck-ON fault forces the output to 1.
+/// let lat = Lattice::from_literals(1, 2, vec![Literal::pos(0), Literal::pos(1)])?;
+/// let report = analyze(&lat, 2)?;
+/// assert_eq!(report.total, 4);
+/// assert!(report.worst_impact > 0);
+/// # Ok::<(), fts_lattice::LatticeError>(())
+/// ```
+pub fn analyze(lattice: &Lattice, vars: usize) -> Result<FaultReport, LatticeError> {
+    let mut impacts = Vec::with_capacity(2 * lattice.site_count());
+    let mut undetectable = 0;
+    let mut worst = 0u64;
+    for r in 0..lattice.rows() {
+        for c in 0..lattice.cols() {
+            for kind in [FaultKind::StuckOn, FaultKind::StuckOff] {
+                let fault = Fault { site: (r, c), kind };
+                let n = impact(lattice, vars, fault)?;
+                if n == 0 {
+                    undetectable += 1;
+                }
+                worst = worst.max(n);
+                impacts.push((fault, n));
+            }
+        }
+    }
+    Ok(FaultReport { total: impacts.len(), undetectable, worst_impact: worst, impacts })
+}
+
+/// The sites whose faults have the largest functional impact — the
+/// switches that matter most for test-pattern generation and layout
+/// hardening.
+///
+/// # Errors
+///
+/// Propagates lattice evaluation errors.
+pub fn critical_sites(lattice: &Lattice, vars: usize, top: usize) -> Result<Vec<(Site, u64)>, LatticeError> {
+    let report = analyze(lattice, vars)?;
+    let mut per_site: std::collections::HashMap<Site, u64> = std::collections::HashMap::new();
+    for (fault, n) in report.impacts {
+        let e = per_site.entry(fault.site).or_insert(0);
+        *e = (*e).max(n);
+    }
+    let mut out: Vec<(Site, u64)> = per_site.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out.truncate(top);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn and2() -> Lattice {
+        Lattice::from_literals(2, 1, vec![Literal::pos(0), Literal::pos(1)]).unwrap()
+    }
+
+    #[test]
+    fn stuck_on_only_adds_minterms() {
+        let lat = and2();
+        let good = lat.truth_table(2).unwrap();
+        let bad = inject(&lat, Fault { site: (0, 0), kind: FaultKind::StuckOn })
+            .unwrap()
+            .truth_table(2)
+            .unwrap();
+        assert!(good.implies(&bad), "stuck-ON can only add connectivity");
+        assert!(bad != good);
+    }
+
+    #[test]
+    fn stuck_off_only_removes_minterms() {
+        let lat = and2();
+        let good = lat.truth_table(2).unwrap();
+        let bad = inject(&lat, Fault { site: (1, 0), kind: FaultKind::StuckOff })
+            .unwrap()
+            .truth_table(2)
+            .unwrap();
+        assert!(bad.implies(&good), "stuck-OFF can only remove connectivity");
+        assert!(bad.is_zero(), "single-column AND dies with any open switch");
+    }
+
+    #[test]
+    fn impact_counts_changed_rows() {
+        let lat = and2();
+        // Stuck-ON at (0,0): function becomes just `b` → rows 01 and… a=…
+        // f = ab; faulty = b. Differs where b=1,a=0 → one row.
+        let n = impact(&lat, 2, Fault { site: (0, 0), kind: FaultKind::StuckOn }).unwrap();
+        assert_eq!(n, 1);
+        let n = impact(&lat, 2, Fault { site: (0, 0), kind: FaultKind::StuckOff }).unwrap();
+        assert_eq!(n, 1, "stuck-OFF kills the only path: differs on row 11");
+    }
+
+    #[test]
+    fn redundant_switch_faults_are_masked() {
+        // 1×2 lattice with the same literal twice: one stuck-OFF is
+        // masked by the parallel path.
+        let lat = Lattice::from_literals(1, 2, vec![Literal::pos(0), Literal::pos(0)]).unwrap();
+        let n = impact(&lat, 1, Fault { site: (0, 1), kind: FaultKind::StuckOff }).unwrap();
+        assert_eq!(n, 0, "parallel duplicate masks the open fault");
+        let report = analyze(&lat, 1).unwrap();
+        assert!(report.undetectable >= 2);
+        assert!(report.detectability() < 1.0);
+    }
+
+    #[test]
+    fn analyze_covers_all_faults() {
+        let lat = and2();
+        let report = analyze(&lat, 2).unwrap();
+        assert_eq!(report.total, 4);
+        assert_eq!(report.impacts.len(), 4);
+        assert_eq!(report.undetectable, 0);
+        assert!((report.detectability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_sites_are_ranked() {
+        let lat = crate::Lattice::from_literals(
+            2,
+            2,
+            vec![Literal::pos(0), Literal::pos(1), Literal::pos(1), Literal::pos(0)],
+        )
+        .unwrap();
+        let crit = critical_sites(&lat, 2, 4).unwrap();
+        assert_eq!(crit.len(), 4);
+        for w in crit.windows(2) {
+            assert!(w[0].1 >= w[1].1, "descending impact order");
+        }
+    }
+
+    #[test]
+    fn xor3_lattice_is_fully_testable() {
+        // The 3×3 XOR3 realization: every single fault flips at least one
+        // truth-table row (parity functions are maximally sensitive).
+        let lat = Lattice::from_literals(
+            3,
+            3,
+            vec![
+                Literal::neg(0),
+                Literal::neg(2),
+                Literal::pos(0),
+                Literal::neg(1),
+                Literal::True,
+                Literal::pos(1),
+                Literal::pos(0),
+                Literal::pos(2),
+                Literal::neg(0),
+            ],
+        )
+        .unwrap();
+        let report = analyze(&lat, 3).unwrap();
+        // Exactly one masked fault: stuck-ON of the centre switch, which
+        // already carries the constant 1 — a no-op by definition.
+        assert_eq!(report.undetectable, 1);
+        let masked: Vec<&(Fault, u64)> =
+            report.impacts.iter().filter(|(_, n)| *n == 0).collect();
+        assert_eq!(masked[0].0, Fault { site: (1, 1), kind: FaultKind::StuckOn });
+        assert!(report.worst_impact >= 2);
+    }
+}

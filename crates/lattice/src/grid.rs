@@ -1,0 +1,489 @@
+use std::error::Error;
+use std::fmt;
+
+use fts_logic::{Cover, Cube, Literal, TruthTable};
+
+use crate::{paths, Site};
+
+/// Errors produced by lattice construction and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LatticeError {
+    /// Rows or columns were zero.
+    EmptyDimensions,
+    /// The literal vector length does not match `rows * cols`.
+    SiteCountMismatch {
+        /// Expected `rows * cols`.
+        expected: usize,
+        /// Literals provided.
+        got: usize,
+    },
+    /// A site coordinate was outside the grid.
+    SiteOutOfRange {
+        /// The offending site.
+        site: Site,
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// A site literal references a variable `>= vars`.
+    VarOutOfRange {
+        /// The referenced variable index.
+        index: u8,
+        /// The declared input count.
+        vars: usize,
+    },
+    /// The lattice has more sites than the product extraction supports
+    /// (cubes are 32-bit masks).
+    TooManySites {
+        /// Number of sites in the lattice.
+        sites: usize,
+    },
+}
+
+impl fmt::Display for LatticeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatticeError::EmptyDimensions => write!(f, "lattice dimensions must be at least 1×1"),
+            LatticeError::SiteCountMismatch { expected, got } => {
+                write!(f, "expected {expected} site literals, got {got}")
+            }
+            LatticeError::SiteOutOfRange { site, rows, cols } => {
+                write!(f, "site {site:?} outside {rows}×{cols} lattice")
+            }
+            LatticeError::VarOutOfRange { index, vars } => {
+                write!(f, "site literal references variable {index} but lattice has {vars} inputs")
+            }
+            LatticeError::TooManySites { sites } => {
+                write!(f, "product extraction supports at most 32 sites, lattice has {sites}")
+            }
+        }
+    }
+}
+
+impl Error for LatticeError {}
+
+/// An `rows × cols` four-terminal switching lattice with a [`Literal`]
+/// assigned to every site (the control input of that switch).
+///
+/// Row 0 touches the top plate, row `rows-1` the bottom plate. The lattice
+/// output is 1 when the ON switches connect the plates (§II of the paper).
+///
+/// # Example
+///
+/// ```
+/// use fts_lattice::Lattice;
+/// use fts_logic::{generators, Literal};
+///
+/// // One column of three switches computes a three-input AND.
+/// let lat = Lattice::from_literals(
+///     3,
+///     1,
+///     vec![Literal::pos(0), Literal::pos(1), Literal::pos(2)],
+/// )?;
+/// assert_eq!(lat.truth_table(3)?, generators::and(3));
+/// # Ok::<(), fts_lattice::LatticeError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Lattice {
+    rows: usize,
+    cols: usize,
+    sites: Vec<Literal>,
+}
+
+impl Lattice {
+    /// Creates a lattice with every site set to the same literal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::EmptyDimensions`] when `rows` or `cols` is 0.
+    pub fn filled(rows: usize, cols: usize, literal: Literal) -> Result<Self, LatticeError> {
+        if rows == 0 || cols == 0 {
+            return Err(LatticeError::EmptyDimensions);
+        }
+        Ok(Lattice { rows, cols, sites: vec![literal; rows * cols] })
+    }
+
+    /// Creates a lattice from site literals in row-major order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::EmptyDimensions`] for a degenerate grid and
+    /// [`LatticeError::SiteCountMismatch`] when `literals.len() != rows*cols`.
+    pub fn from_literals(
+        rows: usize,
+        cols: usize,
+        literals: Vec<Literal>,
+    ) -> Result<Self, LatticeError> {
+        if rows == 0 || cols == 0 {
+            return Err(LatticeError::EmptyDimensions);
+        }
+        if literals.len() != rows * cols {
+            return Err(LatticeError::SiteCountMismatch {
+                expected: rows * cols,
+                got: literals.len(),
+            });
+        }
+        Ok(Lattice { rows, cols, sites: literals })
+    }
+
+    /// The canonical lattice whose sites are the distinct variables
+    /// `x_0 .. x_{rows*cols-1}` in row-major order — the lattice whose
+    /// function Table I of the paper tabulates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::TooManySites`] when `rows*cols > 32` (site
+    /// variables are packed into 32-bit cubes) and
+    /// [`LatticeError::EmptyDimensions`] for a degenerate grid.
+    pub fn canonical(rows: usize, cols: usize) -> Result<Self, LatticeError> {
+        if rows == 0 || cols == 0 {
+            return Err(LatticeError::EmptyDimensions);
+        }
+        let sites = rows * cols;
+        if sites > 32 {
+            return Err(LatticeError::TooManySites { sites });
+        }
+        Ok(Lattice {
+            rows,
+            cols,
+            sites: (0..sites as u8).map(Literal::pos).collect(),
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of switches.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// The literal at `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn literal(&self, site: Site) -> Literal {
+        self.sites[self.index(site)]
+    }
+
+    /// Replaces the literal at `site`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::SiteOutOfRange`] for a bad coordinate.
+    pub fn set_literal(&mut self, site: Site, literal: Literal) -> Result<(), LatticeError> {
+        if site.0 >= self.rows || site.1 >= self.cols {
+            return Err(LatticeError::SiteOutOfRange { site, rows: self.rows, cols: self.cols });
+        }
+        let idx = self.index(site);
+        self.sites[idx] = literal;
+        Ok(())
+    }
+
+    /// Site literals in row-major order.
+    pub fn literals(&self) -> &[Literal] {
+        &self.sites
+    }
+
+    fn index(&self, site: Site) -> usize {
+        assert!(site.0 < self.rows && site.1 < self.cols, "site {site:?} out of range");
+        site.0 * self.cols + site.1
+    }
+
+    /// Evaluates the lattice on a packed input assignment: true when the ON
+    /// switches connect the top plate to the bottom plate.
+    ///
+    /// This is *percolation semantics* — a flood fill over ON switches —
+    /// and is the physical definition of lattice computation. It agrees
+    /// with path semantics (see [`Lattice::products`]) on every input.
+    pub fn eval(&self, assignment: u32) -> bool {
+        let on: Vec<bool> = self.sites.iter().map(|l| l.eval(assignment)).collect();
+        // Flood fill from ON cells in row 0.
+        let mut seen = vec![false; on.len()];
+        let mut stack: Vec<usize> = (0..self.cols).filter(|&c| on[c]).collect();
+        for &s in &stack {
+            seen[s] = true;
+        }
+        while let Some(i) = stack.pop() {
+            let (r, c) = (i / self.cols, i % self.cols);
+            if r == self.rows - 1 {
+                return true;
+            }
+            let push = |j: usize, seen: &mut Vec<bool>, stack: &mut Vec<usize>| {
+                if on[j] && !seen[j] {
+                    seen[j] = true;
+                    stack.push(j);
+                }
+            };
+            if r > 0 {
+                push(i - self.cols, &mut seen, &mut stack);
+            }
+            if r + 1 < self.rows {
+                push(i + self.cols, &mut seen, &mut stack);
+            }
+            if c > 0 {
+                push(i - 1, &mut seen, &mut stack);
+            }
+            if c + 1 < self.cols {
+                push(i + 1, &mut seen, &mut stack);
+            }
+        }
+        false
+    }
+
+    /// The truth table of the lattice over `vars` input variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::VarOutOfRange`] if a site references a
+    /// variable `>= vars`, and propagates truth-table construction errors
+    /// as a panic-free [`LatticeError::VarOutOfRange`] when `vars` itself
+    /// is invalid (0 or > [`fts_logic::MAX_VARS`]).
+    pub fn truth_table(&self, vars: usize) -> Result<TruthTable, LatticeError> {
+        if vars == 0 || vars > fts_logic::MAX_VARS {
+            return Err(LatticeError::VarOutOfRange { index: 0, vars });
+        }
+        for lit in &self.sites {
+            if let Literal::Var { index, .. } = *lit {
+                if index as usize >= vars {
+                    return Err(LatticeError::VarOutOfRange { index, vars });
+                }
+            }
+        }
+        Ok(TruthTable::from_fn(vars, |x| self.eval(x)).expect("vars validated above"))
+    }
+
+    /// The sum-of-products computed by path semantics: one product per
+    /// irredundant top-to-bottom path, with constant-1 sites dropped from
+    /// products and paths through constant-0 sites discarded; the result is
+    /// then absorbed.
+    ///
+    /// For the [canonical](Lattice::canonical) lattice this is exactly the
+    /// lattice function of the paper (e.g. the nine products of Fig. 2c).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::TooManySites`] when a product could involve a
+    /// variable index `>= 32`.
+    pub fn products(&self) -> Result<Cover, LatticeError> {
+        for lit in &self.sites {
+            if let Literal::Var { index, .. } = *lit {
+                if index >= 32 {
+                    return Err(LatticeError::TooManySites { sites: self.site_count() });
+                }
+            }
+        }
+        let mut cover = Cover::new();
+        paths::visit(self.rows, self.cols, |path| {
+            let mut cube = Cube::top();
+            for &site in path {
+                match cube.with_literal(self.literal(site)) {
+                    Ok(c) => cube = c,
+                    Err(_) => return, // contradictory or constant-0 path
+                }
+            }
+            cover.push(cube);
+        });
+        cover.absorb();
+        Ok(cover)
+    }
+
+    /// Transposes the lattice (reflection along the main diagonal). The
+    /// transposed lattice computes the function whose paths run left-right
+    /// in the original; useful for dual-rail constructions.
+    pub fn transposed(&self) -> Lattice {
+        let mut sites = Vec::with_capacity(self.sites.len());
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                sites.push(self.literal((r, c)));
+            }
+        }
+        Lattice { rows: self.cols, cols: self.rows, sites }
+    }
+}
+
+impl fmt::Debug for Lattice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Lattice {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{:>4}", self.literal((r, c)).to_string())?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Lattice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            if r > 0 {
+                writeln!(f)?;
+            }
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>3}", self.literal((r, c)).to_string())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fts_logic::generators;
+
+    #[test]
+    fn dimension_validation() {
+        assert!(matches!(
+            Lattice::filled(0, 3, Literal::True),
+            Err(LatticeError::EmptyDimensions)
+        ));
+        assert!(matches!(
+            Lattice::from_literals(2, 2, vec![Literal::True; 3]),
+            Err(LatticeError::SiteCountMismatch { expected: 4, got: 3 })
+        ));
+        assert!(matches!(Lattice::canonical(6, 6), Err(LatticeError::TooManySites { sites: 36 })));
+    }
+
+    #[test]
+    fn single_column_is_and() {
+        for n in 1..=4 {
+            let lat = Lattice::from_literals(n, 1, (0..n as u8).map(Literal::pos).collect())
+                .unwrap();
+            assert_eq!(lat.truth_table(n).unwrap(), generators::and(n));
+        }
+    }
+
+    #[test]
+    fn single_row_is_or() {
+        // One row: every switch touches both plates, so the lattice ORs them.
+        for n in 1..=4 {
+            let lat = Lattice::from_literals(1, n, (0..n as u8).map(Literal::pos).collect())
+                .unwrap();
+            assert_eq!(lat.truth_table(n).unwrap(), generators::or(n));
+        }
+    }
+
+    #[test]
+    fn constant_sites() {
+        let all_on = Lattice::filled(3, 2, Literal::True).unwrap();
+        assert!(all_on.truth_table(1).unwrap().is_one());
+        let all_off = Lattice::filled(3, 2, Literal::False).unwrap();
+        assert!(all_off.truth_table(1).unwrap().is_zero());
+    }
+
+    #[test]
+    fn lateral_connection_matters() {
+        // 2x2 lattice: a b / b a. Input a=1,b=0 gives two diagonal ON cells
+        // that do NOT connect (four-terminal switches connect only
+        // orthogonal neighbours).
+        let lat = Lattice::from_literals(
+            2,
+            2,
+            vec![Literal::pos(0), Literal::pos(1), Literal::pos(1), Literal::pos(0)],
+        )
+        .unwrap();
+        assert!(!lat.eval(0b01));
+        assert!(!lat.eval(0b10));
+        assert!(lat.eval(0b11));
+        assert!(!lat.eval(0b00));
+    }
+
+    #[test]
+    fn percolation_equals_path_semantics() {
+        // Random literal assignments on a 3x3 grid over 3 variables.
+        let lits = [
+            Literal::pos(0),
+            Literal::neg(0),
+            Literal::pos(1),
+            Literal::neg(1),
+            Literal::pos(2),
+            Literal::neg(2),
+            Literal::True,
+            Literal::False,
+        ];
+        let mut state = 12345u64;
+        for _ in 0..50 {
+            let sites: Vec<Literal> = (0..9)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    lits[(state >> 33) as usize % lits.len()]
+                })
+                .collect();
+            let lat = Lattice::from_literals(3, 3, sites).unwrap();
+            let tt = lat.truth_table(3).unwrap();
+            let cover = lat.products().unwrap();
+            assert_eq!(cover.to_truth_table(3), tt, "lattice:\n{lat:?}");
+        }
+    }
+
+    #[test]
+    fn canonical_products_match_fig2c_count() {
+        let lat = Lattice::canonical(3, 3).unwrap();
+        let cover = lat.products().unwrap();
+        assert_eq!(cover.len(), 9);
+    }
+
+    #[test]
+    fn set_literal_updates_function() {
+        let mut lat = Lattice::filled(2, 1, Literal::True).unwrap();
+        lat.set_literal((0, 0), Literal::pos(0)).unwrap();
+        lat.set_literal((1, 0), Literal::pos(1)).unwrap();
+        assert_eq!(lat.truth_table(2).unwrap(), generators::and(2));
+        assert!(lat.set_literal((2, 0), Literal::True).is_err());
+    }
+
+    #[test]
+    fn truth_table_rejects_missing_vars() {
+        let lat = Lattice::filled(2, 2, Literal::pos(5)).unwrap();
+        assert!(matches!(
+            lat.truth_table(3),
+            Err(LatticeError::VarOutOfRange { index: 5, vars: 3 })
+        ));
+    }
+
+    #[test]
+    fn transpose_involution_and_semantics() {
+        let lat = Lattice::from_literals(
+            2,
+            3,
+            vec![
+                Literal::pos(0),
+                Literal::pos(1),
+                Literal::pos(2),
+                Literal::neg(0),
+                Literal::neg(1),
+                Literal::neg(2),
+            ],
+        )
+        .unwrap();
+        let t = lat.transposed();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.transposed(), lat);
+        assert_eq!(t.literal((2, 0)), Literal::pos(2));
+    }
+
+    #[test]
+    fn display_and_debug_nonempty() {
+        let lat = Lattice::canonical(2, 2).unwrap();
+        assert!(!format!("{lat}").is_empty());
+        assert!(format!("{lat:?}").contains("Lattice 2x2"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Four-terminal switching-lattice model (§II of the DATE 2019 paper).
+//!
+//! A *four-terminal switch* connects its top/bottom/left/right terminals to
+//! each other whenever its control input is 1. An `m×n` [`Lattice`] of such
+//! switches, each wired to its horizontal and vertical neighbours, computes
+//! a Boolean function: 1 exactly when the ON switches form a connected path
+//! from the top plate to the bottom plate.
+//!
+//! The *lattice function* `f_{m×n}` — every site controlled by a distinct
+//! variable — is the disjunction of one product per **irredundant**
+//! top-to-bottom path. Irredundant paths are exactly the induced (chordless)
+//! paths that touch the top row only at their first site and the bottom row
+//! only at their last site; [`count::product_count`] counts them (Table I of
+//! the paper) and [`paths::enumerate`] materializes them (Fig. 2c).
+//!
+//! # Example
+//!
+//! ```
+//! use fts_lattice::{count, Lattice};
+//! use fts_logic::Literal;
+//!
+//! // Table I, entry (3,3): the 3×3 lattice function has 9 products.
+//! assert_eq!(count::product_count(3, 3), 9);
+//!
+//! // A 2×1 lattice computing a AND b.
+//! let lat = Lattice::from_literals(2, 1, vec![Literal::pos(0), Literal::pos(1)])?;
+//! let tt = lat.truth_table(2)?;
+//! assert_eq!(tt, fts_logic::generators::and(2));
+//! # Ok::<(), fts_lattice::LatticeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bruteforce;
+pub mod count;
+pub mod defects;
+mod grid;
+pub mod paths;
+pub mod text;
+
+pub use grid::{Lattice, LatticeError};
+
+/// A site position in a lattice: `(row, col)`, row 0 at the top plate.
+pub type Site = (usize, usize);

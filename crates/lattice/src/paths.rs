@@ -1,0 +1,224 @@
+//! Enumeration of the irredundant top-to-bottom paths of an `m×n` lattice.
+//!
+//! The products of the lattice function (§II, Fig. 2c of the paper)
+//! correspond one-to-one to the *minimal* site sets that connect the top
+//! plate to the bottom plate. A site set is minimal exactly when it is an
+//! induced (chordless) path in the grid graph whose only top-row site is its
+//! first site and whose only bottom-row site is its last site:
+//!
+//! * if a path touched the top or bottom row twice, the segment after (or
+//!   before) the second touch could be dropped — e.g. the paper's example
+//!   where `x3·x2·x1·x4·x7` is eliminated by `x1·x4·x7`;
+//! * if a path had a chord (two non-consecutive sites that are grid
+//!   neighbours), the cells between the chord endpoints could be dropped.
+//!
+//! The visitor below enumerates exactly these paths by depth-first search,
+//! pruning any extension that would create a chord or revisit the plates.
+
+use crate::Site;
+
+/// Calls `f` once per irredundant top-to-bottom path of an `rows×cols`
+/// lattice. The slice passed to `f` lists sites from top to bottom.
+///
+/// # Panics
+///
+/// Panics if `rows` or `cols` is zero.
+///
+/// # Example
+///
+/// ```
+/// use fts_lattice::paths;
+///
+/// let mut count = 0u64;
+/// paths::visit(3, 3, |_| count += 1);
+/// assert_eq!(count, 9); // Table I entry (3,3)
+/// ```
+pub fn visit<F: FnMut(&[Site])>(rows: usize, cols: usize, mut f: F) {
+    assert!(rows > 0 && cols > 0, "lattice dimensions must be at least 1×1");
+    if rows == 1 {
+        // Every site touches both plates: each single site is a path.
+        for c in 0..cols {
+            f(&[(0, c)]);
+        }
+        return;
+    }
+    let mut walker = Walker {
+        rows,
+        cols,
+        occupied: vec![false; rows * cols],
+        path: Vec::with_capacity(rows * cols),
+    };
+    for c in 0..cols {
+        walker.start(c, &mut f);
+    }
+}
+
+/// Collects all irredundant paths of an `rows×cols` lattice.
+///
+/// Prefer [`visit`] for large lattices — the 9×9 lattice already has
+/// 38 930 447 paths.
+///
+/// # Panics
+///
+/// Panics if `rows` or `cols` is zero.
+pub fn enumerate(rows: usize, cols: usize) -> Vec<Vec<Site>> {
+    let mut out = Vec::new();
+    visit(rows, cols, |p| out.push(p.to_vec()));
+    out
+}
+
+struct Walker {
+    rows: usize,
+    cols: usize,
+    occupied: Vec<bool>,
+    path: Vec<Site>,
+}
+
+impl Walker {
+    fn start<F: FnMut(&[Site])>(&mut self, col: usize, f: &mut F) {
+        self.push((0, col));
+        self.extend(f);
+        self.pop();
+    }
+
+    fn extend<F: FnMut(&[Site])>(&mut self, f: &mut F) {
+        let &(r, c) = self.path.last().expect("path never empty while extending");
+        if r == self.rows - 1 {
+            f(&self.path);
+            return;
+        }
+        // Candidate moves: down, left, right, up (up only from interior
+        // rows; row 0 may never be re-entered).
+        let candidates = [
+            (r + 1, c),
+            (r, c.wrapping_sub(1)),
+            (r, c + 1),
+            (r.wrapping_sub(1), c),
+        ];
+        for (nr, nc) in candidates {
+            if nr >= self.rows || nc >= self.cols || nr == 0 {
+                continue;
+            }
+            if self.occupied[nr * self.cols + nc] {
+                continue;
+            }
+            if self.adjacent_occupied(nr, nc) != 1 {
+                continue; // would create a chord (or is disconnected)
+            }
+            self.push((nr, nc));
+            self.extend(f);
+            self.pop();
+        }
+    }
+
+    /// Number of path sites orthogonally adjacent to `(r, c)`.
+    fn adjacent_occupied(&self, r: usize, c: usize) -> usize {
+        let mut n = 0;
+        if r > 0 && self.occupied[(r - 1) * self.cols + c] {
+            n += 1;
+        }
+        if r + 1 < self.rows && self.occupied[(r + 1) * self.cols + c] {
+            n += 1;
+        }
+        if c > 0 && self.occupied[r * self.cols + c - 1] {
+            n += 1;
+        }
+        if c + 1 < self.cols && self.occupied[r * self.cols + c + 1] {
+            n += 1;
+        }
+        n
+    }
+
+    fn push(&mut self, site: Site) {
+        self.occupied[site.0 * self.cols + site.1] = true;
+        self.path.push(site);
+    }
+
+    fn pop(&mut self) {
+        let site = self.path.pop().expect("push/pop balanced");
+        self.occupied[site.0 * self.cols + site.1] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn counts_match_table1_small_corner() {
+        // Table I of the paper, rows m=2..4, cols n=2..4.
+        let expected = [[2, 3, 4], [4, 9, 16], [6, 17, 36]];
+        for (i, row) in expected.iter().enumerate() {
+            for (j, &want) in row.iter().enumerate() {
+                assert_eq!(
+                    enumerate(i + 2, j + 2).len(),
+                    want,
+                    "m={} n={}",
+                    i + 2,
+                    j + 2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_row_and_column() {
+        assert_eq!(enumerate(1, 5).len(), 5);
+        assert_eq!(enumerate(4, 1).len(), 1);
+    }
+
+    #[test]
+    fn paths_start_top_end_bottom() {
+        for p in enumerate(4, 3) {
+            assert_eq!(p.first().unwrap().0, 0);
+            assert_eq!(p.last().unwrap().0, 3);
+            // Interior sites never in the top row; only the last in bottom.
+            for &(r, _) in &p[1..] {
+                assert_ne!(r, 0);
+            }
+            for &(r, _) in &p[..p.len() - 1] {
+                assert_ne!(r, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_connected_and_chordless() {
+        for p in enumerate(4, 4) {
+            let set: HashSet<(usize, usize)> = p.iter().copied().collect();
+            assert_eq!(set.len(), p.len(), "path must be simple");
+            for w in p.windows(2) {
+                let d = w[0].0.abs_diff(w[1].0) + w[0].1.abs_diff(w[1].1);
+                assert_eq!(d, 1, "consecutive sites must be neighbours");
+            }
+            // Chordless: non-consecutive sites are never adjacent.
+            for i in 0..p.len() {
+                for j in i + 2..p.len() {
+                    let d = p[i].0.abs_diff(p[j].0) + p[i].1.abs_diff(p[j].1);
+                    assert!(d > 1, "chord between {:?} and {:?} in {p:?}", p[i], p[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_sets_are_distinct() {
+        let paths = enumerate(5, 4);
+        let sets: HashSet<Vec<(usize, usize)>> = paths
+            .iter()
+            .map(|p| {
+                let mut s = p.clone();
+                s.sort_unstable();
+                s
+            })
+            .collect();
+        assert_eq!(sets.len(), paths.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1×1")]
+    fn zero_dimension_panics() {
+        let _ = enumerate(0, 3);
+    }
+}

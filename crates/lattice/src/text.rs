@@ -1,0 +1,188 @@
+//! Compact text format for lattices.
+//!
+//! One row per line, sites separated by whitespace. A site is a variable
+//! letter (`a`–`z`, or `xN` for larger indices), optionally followed by
+//! `'` for the complemented literal; `0` and `1` are the constants. The
+//! format round-trips with [`Lattice`]'s `Display` implementation.
+//!
+//! ```text
+//! a' c' a
+//! b'  1 b
+//! a  c  a'
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use fts_logic::Literal;
+
+use crate::{Lattice, LatticeError};
+
+/// Errors from parsing the lattice text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseLatticeError {
+    /// The input contained no rows.
+    Empty,
+    /// A row had a different number of sites than the first row.
+    RaggedRow {
+        /// Zero-based row index.
+        row: usize,
+        /// Sites found in that row.
+        got: usize,
+        /// Sites expected (from the first row).
+        expected: usize,
+    },
+    /// A token was not a valid literal.
+    BadToken {
+        /// The offending token.
+        token: String,
+    },
+    /// Grid construction failed after parsing.
+    Lattice(LatticeError),
+}
+
+impl fmt::Display for ParseLatticeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseLatticeError::Empty => write!(f, "no lattice rows in input"),
+            ParseLatticeError::RaggedRow { row, got, expected } => {
+                write!(f, "row {row} has {got} sites, expected {expected}")
+            }
+            ParseLatticeError::BadToken { token } => write!(f, "invalid literal {token:?}"),
+            ParseLatticeError::Lattice(e) => write!(f, "lattice error: {e}"),
+        }
+    }
+}
+
+impl Error for ParseLatticeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseLatticeError::Lattice(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one literal token.
+fn parse_literal(token: &str) -> Result<Literal, ParseLatticeError> {
+    let bad = || ParseLatticeError::BadToken { token: token.to_owned() };
+    let (body, negated) = match token.strip_suffix('\'') {
+        Some(b) => (b, true),
+        None => (token, false),
+    };
+    let lit = match body {
+        "0" => {
+            if negated {
+                Literal::True
+            } else {
+                Literal::False
+            }
+        }
+        "1" => {
+            if negated {
+                Literal::False
+            } else {
+                Literal::True
+            }
+        }
+        _ => {
+            let index = if let Some(rest) = body.strip_prefix('x') {
+                rest.parse::<u8>().map_err(|_| bad())?
+            } else if body.len() == 1 && body.as_bytes()[0].is_ascii_lowercase() {
+                body.as_bytes()[0] - b'a'
+            } else {
+                return Err(bad());
+            };
+            Literal::Var { index, negated }
+        }
+    };
+    Ok(lit)
+}
+
+/// Parses the text format into a [`Lattice`].
+///
+/// # Errors
+///
+/// See [`ParseLatticeError`].
+///
+/// # Example
+///
+/// ```
+/// use fts_lattice::text::parse;
+/// use fts_logic::generators;
+///
+/// let lat = parse("a' c' a\nb' 1 b\na c a'")?;
+/// assert_eq!(lat.truth_table(3)?, generators::xor(3));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn parse(input: &str) -> Result<Lattice, ParseLatticeError> {
+    let rows: Vec<Vec<Literal>> = input
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|line| line.split_whitespace().map(parse_literal).collect())
+        .collect::<Result<_, _>>()?;
+    if rows.is_empty() {
+        return Err(ParseLatticeError::Empty);
+    }
+    let cols = rows[0].len();
+    for (i, r) in rows.iter().enumerate() {
+        if r.len() != cols {
+            return Err(ParseLatticeError::RaggedRow { row: i, got: r.len(), expected: cols });
+        }
+    }
+    let sites: Vec<Literal> = rows.iter().flatten().copied().collect();
+    Lattice::from_literals(rows.len(), cols, sites).map_err(ParseLatticeError::Lattice)
+}
+
+impl FromStr for Lattice {
+    type Err = ParseLatticeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_xor3_lattice() {
+        let lat = parse("a' c' a\nb' 1 b\na c a'").unwrap();
+        assert_eq!((lat.rows(), lat.cols()), (3, 3));
+        assert_eq!(lat.literal((1, 1)), Literal::True);
+        assert_eq!(lat.literal((0, 0)), Literal::neg(0));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let lat = parse("a b'\nx10 0\n1 c").unwrap();
+        let text = lat.to_string();
+        let back: Lattice = text.parse().unwrap();
+        assert_eq!(back, lat);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(parse(""), Err(ParseLatticeError::Empty)));
+        assert!(matches!(parse("a b\nc"), Err(ParseLatticeError::RaggedRow { .. })));
+        assert!(matches!(parse("a B"), Err(ParseLatticeError::BadToken { .. })));
+        assert!(matches!(parse("x999"), Err(ParseLatticeError::BadToken { .. })));
+    }
+
+    #[test]
+    fn negated_constants_normalize() {
+        let lat = parse("0' 1'").unwrap();
+        assert_eq!(lat.literal((0, 0)), Literal::True);
+        assert_eq!(lat.literal((0, 1)), Literal::False);
+    }
+
+    #[test]
+    fn extended_variable_indices() {
+        let lat = parse("x30 x31'").unwrap();
+        assert_eq!(lat.literal((0, 0)), Literal::pos(30));
+        assert_eq!(lat.literal((0, 1)), Literal::neg(31));
+    }
+}

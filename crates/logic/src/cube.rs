@@ -1,0 +1,507 @@
+use std::fmt;
+
+use crate::{LogicError, TruthTable};
+
+/// A literal as placed on a lattice site or inside a cube: a variable in one
+/// of its polarities, or a Boolean constant.
+///
+/// Constants are what the synthesis algorithms of the paper map onto "always
+/// on" / "always off" switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Literal {
+    /// Constant 0 (switch permanently OFF).
+    False,
+    /// Constant 1 (switch permanently ON).
+    True,
+    /// Variable `index`, complemented when `negated` is true.
+    Var {
+        /// Variable index (0-based).
+        index: u8,
+        /// True for the complemented literal.
+        negated: bool,
+    },
+}
+
+impl Literal {
+    /// Positive literal of variable `index`.
+    pub fn pos(index: u8) -> Self {
+        Literal::Var { index, negated: false }
+    }
+
+    /// Negative literal of variable `index`.
+    pub fn neg(index: u8) -> Self {
+        Literal::Var { index, negated: true }
+    }
+
+    /// Evaluates the literal under a packed input assignment.
+    pub fn eval(self, assignment: u32) -> bool {
+        match self {
+            Literal::False => false,
+            Literal::True => true,
+            Literal::Var { index, negated } => ((assignment >> index) & 1 == 1) != negated,
+        }
+    }
+
+    /// The complement literal.
+    pub fn complement(self) -> Self {
+        match self {
+            Literal::False => Literal::True,
+            Literal::True => Literal::False,
+            Literal::Var { index, negated } => Literal::Var { index, negated: !negated },
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Literal::False => write!(f, "0"),
+            Literal::True => write!(f, "1"),
+            Literal::Var { index, negated } => {
+                if index < 26 {
+                    write!(f, "{}", (b'a' + index) as char)?;
+                } else {
+                    write!(f, "x{index}")?;
+                }
+                if negated {
+                    write!(f, "'")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A product term: a conjunction of literals stored as positive/negative
+/// variable masks.
+///
+/// The empty cube (no literals) is the constant-1 product. A cube never
+/// contains both polarities of a variable.
+///
+/// # Example
+///
+/// ```
+/// use fts_logic::Cube;
+///
+/// let c = Cube::top().with_pos(0)?.with_neg(2)?; // a c'
+/// assert!(c.covers_minterm(0b001));
+/// assert!(!c.covers_minterm(0b101));
+/// # Ok::<(), fts_logic::LogicError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cube {
+    pos: u32,
+    neg: u32,
+}
+
+impl Cube {
+    /// The empty product (constant 1).
+    pub fn top() -> Self {
+        Cube { pos: 0, neg: 0 }
+    }
+
+    /// Builds a cube from positive and negative literal masks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::ContradictoryCube`] when the masks overlap.
+    pub fn from_masks(pos: u32, neg: u32) -> Result<Self, LogicError> {
+        if pos & neg != 0 {
+            return Err(LogicError::ContradictoryCube);
+        }
+        Ok(Cube { pos, neg })
+    }
+
+    /// Adds the positive literal of variable `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::ContradictoryCube`] if the negative literal is
+    /// already present.
+    pub fn with_pos(mut self, index: u8) -> Result<Self, LogicError> {
+        if self.neg >> index & 1 == 1 {
+            return Err(LogicError::ContradictoryCube);
+        }
+        self.pos |= 1 << index;
+        Ok(self)
+    }
+
+    /// Adds the negative literal of variable `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::ContradictoryCube`] if the positive literal is
+    /// already present.
+    pub fn with_neg(mut self, index: u8) -> Result<Self, LogicError> {
+        if self.pos >> index & 1 == 1 {
+            return Err(LogicError::ContradictoryCube);
+        }
+        self.neg |= 1 << index;
+        Ok(self)
+    }
+
+    /// Adds a literal; constants are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::ContradictoryCube`] on polarity clash or when
+    /// `literal` is [`Literal::False`] (which would annihilate the product).
+    /// [`Literal::True`] is a no-op.
+    pub fn with_literal(self, literal: Literal) -> Result<Self, LogicError> {
+        match literal {
+            Literal::True => Ok(self),
+            Literal::False => Err(LogicError::ContradictoryCube),
+            Literal::Var { index, negated: false } => self.with_pos(index),
+            Literal::Var { index, negated: true } => self.with_neg(index),
+        }
+    }
+
+    /// Positive-literal mask.
+    pub fn pos_mask(self) -> u32 {
+        self.pos
+    }
+
+    /// Negative-literal mask.
+    pub fn neg_mask(self) -> u32 {
+        self.neg
+    }
+
+    /// Number of literals.
+    pub fn literal_count(self) -> u32 {
+        (self.pos | self.neg).count_ones()
+    }
+
+    /// True for the empty product (constant 1).
+    pub fn is_top(self) -> bool {
+        self.pos == 0 && self.neg == 0
+    }
+
+    /// Iterator over the literals of the cube, in ascending variable order.
+    pub fn literals(self) -> impl Iterator<Item = Literal> {
+        (0..32u8).filter_map(move |i| {
+            if self.pos >> i & 1 == 1 {
+                Some(Literal::pos(i))
+            } else if self.neg >> i & 1 == 1 {
+                Some(Literal::neg(i))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// True if the product evaluates to 1 on a packed assignment.
+    pub fn covers_minterm(self, assignment: u32) -> bool {
+        (assignment & self.pos) == self.pos && (assignment & self.neg) == 0
+    }
+
+    /// True if every minterm of `other` is covered by `self`
+    /// (i.e. `self`'s literal set is a subset of `other`'s).
+    pub fn contains(self, other: Cube) -> bool {
+        self.pos & other.pos == self.pos && self.neg & other.neg == self.neg
+    }
+
+    /// The truth table of the product over `vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal index is `>= vars`.
+    pub fn to_truth_table(self, vars: usize) -> TruthTable {
+        assert!(
+            (self.pos | self.neg) < (1u32 << vars),
+            "cube references variables beyond {vars}"
+        );
+        TruthTable::from_fn(vars, |x| self.covers_minterm(x)).expect("vars validated by caller")
+    }
+}
+
+impl fmt::Debug for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cube({self})")
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_top() {
+            return write!(f, "1");
+        }
+        for lit in self.literals() {
+            write!(f, "{lit}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A sum-of-products: a disjunction of [`Cube`]s.
+///
+/// # Example
+///
+/// ```
+/// use fts_logic::{Cover, Cube};
+///
+/// let mut cover = Cover::new();
+/// cover.push(Cube::top().with_pos(0)?); // a
+/// cover.push(Cube::top().with_pos(0)?.with_pos(1)?); // ab, absorbed by a
+/// cover.absorb();
+/// assert_eq!(cover.len(), 1);
+/// # Ok::<(), fts_logic::LogicError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Cover {
+    cubes: Vec<Cube>,
+}
+
+impl Cover {
+    /// Creates an empty cover (constant 0).
+    pub fn new() -> Self {
+        Cover { cubes: Vec::new() }
+    }
+
+    /// Creates a cover from existing cubes.
+    pub fn from_cubes(cubes: Vec<Cube>) -> Self {
+        Cover { cubes }
+    }
+
+    /// Appends a cube.
+    pub fn push(&mut self, cube: Cube) {
+        self.cubes.push(cube);
+    }
+
+    /// Number of cubes (products).
+    pub fn len(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// True when the cover has no cubes (constant 0).
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// The cubes of the cover.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Iterator over the cubes.
+    pub fn iter(&self) -> std::slice::Iter<'_, Cube> {
+        self.cubes.iter()
+    }
+
+    /// Total literal count over all cubes.
+    pub fn literal_count(&self) -> u32 {
+        self.cubes.iter().map(|c| c.literal_count()).sum()
+    }
+
+    /// Evaluates the disjunction on a packed assignment.
+    pub fn eval(&self, assignment: u32) -> bool {
+        self.cubes.iter().any(|c| c.covers_minterm(assignment))
+    }
+
+    /// Removes duplicate cubes and cubes absorbed by another cube
+    /// (single-cube containment: `a + ab = a`).
+    pub fn absorb(&mut self) {
+        self.cubes.sort_by_key(|c| c.literal_count());
+        self.cubes.dedup();
+        let mut kept: Vec<Cube> = Vec::with_capacity(self.cubes.len());
+        'outer: for &c in &self.cubes {
+            for &k in &kept {
+                if k.contains(c) {
+                    continue 'outer;
+                }
+            }
+            kept.push(c);
+        }
+        self.cubes = kept;
+    }
+
+    /// The truth table of the disjunction over `vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cube references a variable `>= vars`.
+    pub fn to_truth_table(&self, vars: usize) -> TruthTable {
+        TruthTable::from_fn(vars, |x| self.eval(x)).expect("vars validated by TruthTable")
+    }
+
+    /// True if the cover is irredundant: removing any single cube changes
+    /// the represented function over `vars` variables.
+    pub fn is_irredundant(&self, vars: usize) -> bool {
+        let full = self.to_truth_table(vars);
+        for skip in 0..self.cubes.len() {
+            let reduced = Cover {
+                cubes: self
+                    .cubes
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != skip)
+                    .map(|(_, c)| *c)
+                    .collect(),
+            };
+            if reduced.to_truth_table(vars) == full {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl FromIterator<Cube> for Cover {
+    fn from_iter<I: IntoIterator<Item = Cube>>(iter: I) -> Self {
+        Cover { cubes: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Cube> for Cover {
+    fn extend<I: IntoIterator<Item = Cube>>(&mut self, iter: I) {
+        self.cubes.extend(iter);
+    }
+}
+
+impl IntoIterator for Cover {
+    type Item = Cube;
+    type IntoIter = std::vec::IntoIter<Cube>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.cubes.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Cover {
+    type Item = &'a Cube;
+    type IntoIter = std::slice::Iter<'a, Cube>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.cubes.iter()
+    }
+}
+
+impl fmt::Debug for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cover({self})")
+    }
+}
+
+impl fmt::Display for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cubes.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, c) in self.cubes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_eval_and_complement() {
+        let a = Literal::pos(0);
+        assert!(a.eval(0b1));
+        assert!(!a.eval(0b0));
+        assert!(a.complement().eval(0b0));
+        assert_eq!(Literal::True.complement(), Literal::False);
+        assert!(Literal::True.eval(0));
+        assert!(!Literal::False.eval(0));
+    }
+
+    #[test]
+    fn literal_display() {
+        assert_eq!(Literal::pos(0).to_string(), "a");
+        assert_eq!(Literal::neg(2).to_string(), "c'");
+        assert_eq!(Literal::True.to_string(), "1");
+        assert_eq!(Literal::pos(30).to_string(), "x30");
+    }
+
+    #[test]
+    fn cube_contradiction_rejected() {
+        let c = Cube::top().with_pos(1).unwrap();
+        assert!(matches!(c.with_neg(1), Err(LogicError::ContradictoryCube)));
+        assert!(Cube::from_masks(0b10, 0b10).is_err());
+    }
+
+    #[test]
+    fn cube_false_literal_rejected() {
+        assert!(Cube::top().with_literal(Literal::False).is_err());
+        assert_eq!(Cube::top().with_literal(Literal::True).unwrap(), Cube::top());
+    }
+
+    #[test]
+    fn cube_cover_semantics() {
+        // a b' over 3 vars covers minterms {0b001, 0b101}.
+        let c = Cube::top().with_pos(0).unwrap().with_neg(1).unwrap();
+        let tt = c.to_truth_table(3);
+        let ms: Vec<u32> = tt.minterms().collect();
+        assert_eq!(ms, vec![0b001, 0b101]);
+    }
+
+    #[test]
+    fn cube_containment() {
+        let a = Cube::top().with_pos(0).unwrap();
+        let ab = a.with_pos(1).unwrap();
+        assert!(a.contains(ab));
+        assert!(!ab.contains(a));
+        assert!(Cube::top().contains(a));
+    }
+
+    #[test]
+    fn top_cube_is_tautology() {
+        let tt = Cube::top().to_truth_table(4);
+        assert!(tt.is_one());
+        assert_eq!(Cube::top().to_string(), "1");
+    }
+
+    #[test]
+    fn cover_absorption() {
+        let a = Cube::top().with_pos(0).unwrap();
+        let ab = a.with_pos(1).unwrap();
+        let abc = ab.with_pos(2).unwrap();
+        let bn = Cube::top().with_neg(1).unwrap();
+        let mut cover = Cover::from_cubes(vec![abc, ab, a, bn, a]);
+        cover.absorb();
+        assert_eq!(cover.len(), 2);
+        assert!(cover.cubes().contains(&a));
+        assert!(cover.cubes().contains(&bn));
+    }
+
+    #[test]
+    fn cover_eval_matches_tt() {
+        let a = Cube::top().with_pos(0).unwrap();
+        let bc = Cube::top().with_pos(1).unwrap().with_pos(2).unwrap();
+        let cover = Cover::from_cubes(vec![a, bc]);
+        let tt = cover.to_truth_table(3);
+        for i in 0..8 {
+            assert_eq!(cover.eval(i), tt.eval(i));
+        }
+    }
+
+    #[test]
+    fn empty_cover_is_zero() {
+        let cover = Cover::new();
+        assert!(cover.to_truth_table(2).is_zero());
+        assert_eq!(cover.to_string(), "0");
+    }
+
+    #[test]
+    fn irredundancy_check() {
+        let a = Cube::top().with_pos(0).unwrap();
+        let ab = a.with_pos(1).unwrap();
+        let redundant = Cover::from_cubes(vec![a, ab]);
+        assert!(!redundant.is_irredundant(2));
+        let irredundant = Cover::from_cubes(vec![a]);
+        assert!(irredundant.is_irredundant(2));
+    }
+
+    #[test]
+    fn cover_collects_from_iterator() {
+        let cover: Cover = (0..3u8).map(|i| Cube::top().with_pos(i).unwrap()).collect();
+        assert_eq!(cover.len(), 3);
+        let mut extended = cover.clone();
+        extended.extend([Cube::top()]);
+        assert_eq!(extended.len(), 4);
+    }
+}

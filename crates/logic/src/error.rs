@@ -1,0 +1,51 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by logic-level operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LogicError {
+    /// The requested variable count exceeds [`crate::MAX_VARS`] or is zero
+    /// where at least one variable is required.
+    VarCountOutOfRange {
+        /// The variable count that was requested.
+        requested: usize,
+    },
+    /// Two operands have different variable counts.
+    VarCountMismatch {
+        /// Variable count of the left operand.
+        left: usize,
+        /// Variable count of the right operand.
+        right: usize,
+    },
+    /// A variable index was outside the function's support.
+    VarIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The function's variable count.
+        vars: usize,
+    },
+    /// A cube referenced both polarities of the same variable.
+    ContradictoryCube,
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::VarCountOutOfRange { requested } => {
+                write!(f, "variable count {requested} is outside 1..={}", crate::MAX_VARS)
+            }
+            LogicError::VarCountMismatch { left, right } => {
+                write!(f, "operands have different variable counts ({left} vs {right})")
+            }
+            LogicError::VarIndexOutOfRange { index, vars } => {
+                write!(f, "variable index {index} is out of range for {vars} variables")
+            }
+            LogicError::ContradictoryCube => {
+                write!(f, "cube contains a variable in both polarities")
+            }
+        }
+    }
+}
+
+impl Error for LogicError {}

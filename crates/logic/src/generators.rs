@@ -1,0 +1,141 @@
+//! Generators for the benchmark functions used throughout the paper and its
+//! synthesis references: parity (XOR), AND/OR, majority, thresholds, and
+//! seeded random functions for stress testing.
+
+use rand::Rng;
+
+use crate::TruthTable;
+
+/// XOR (odd parity) of `vars` inputs.
+///
+/// # Panics
+///
+/// Panics if `vars` is zero or exceeds [`crate::MAX_VARS`].
+///
+/// # Example
+///
+/// ```
+/// use fts_logic::generators;
+///
+/// let f = generators::xor(3);
+/// assert!(f.eval(0b001));
+/// assert!(!f.eval(0b011));
+/// ```
+pub fn xor(vars: usize) -> TruthTable {
+    TruthTable::from_fn(vars, |x| x.count_ones() % 2 == 1).expect("valid var count")
+}
+
+/// XNOR (even parity) of `vars` inputs — the inverse XOR3 of the paper's
+/// Fig. 11 is `xnor(3)`.
+///
+/// # Panics
+///
+/// Panics if `vars` is zero or exceeds [`crate::MAX_VARS`].
+pub fn xnor(vars: usize) -> TruthTable {
+    TruthTable::from_fn(vars, |x| x.count_ones() % 2 == 0).expect("valid var count")
+}
+
+/// AND of `vars` inputs.
+///
+/// # Panics
+///
+/// Panics if `vars` is zero or exceeds [`crate::MAX_VARS`].
+pub fn and(vars: usize) -> TruthTable {
+    let all = (1u32 << vars) - 1;
+    TruthTable::from_fn(vars, |x| x == all).expect("valid var count")
+}
+
+/// OR of `vars` inputs.
+///
+/// # Panics
+///
+/// Panics if `vars` is zero or exceeds [`crate::MAX_VARS`].
+pub fn or(vars: usize) -> TruthTable {
+    TruthTable::from_fn(vars, |x| x != 0).expect("valid var count")
+}
+
+/// Majority of `vars` inputs (strict majority; `vars` is usually odd).
+///
+/// # Panics
+///
+/// Panics if `vars` is zero or exceeds [`crate::MAX_VARS`].
+pub fn majority(vars: usize) -> TruthTable {
+    threshold(vars, vars as u32 / 2 + 1)
+}
+
+/// Threshold function: 1 when at least `k` inputs are 1.
+///
+/// # Panics
+///
+/// Panics if `vars` is zero or exceeds [`crate::MAX_VARS`].
+pub fn threshold(vars: usize, k: u32) -> TruthTable {
+    TruthTable::from_fn(vars, |x| x.count_ones() >= k).expect("valid var count")
+}
+
+/// A uniformly random function of `vars` inputs drawn from `rng`.
+///
+/// # Panics
+///
+/// Panics if `vars` is zero or exceeds [`crate::MAX_VARS`].
+///
+/// # Example
+///
+/// ```
+/// use fts_logic::generators;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let f = generators::random(4, &mut rng);
+/// assert_eq!(f.vars(), 4);
+/// ```
+pub fn random<R: Rng + ?Sized>(vars: usize, rng: &mut R) -> TruthTable {
+    TruthTable::from_fn(vars, |_| rng.gen_bool(0.5)).expect("valid var count")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xor_xnor_are_complements() {
+        for vars in 1..=5 {
+            let f = xor(vars);
+            let g = xnor(vars);
+            assert_eq!(!&f, g, "vars={vars}");
+        }
+    }
+
+    #[test]
+    fn odd_parity_is_self_dual() {
+        assert!(xor(3).is_self_dual());
+        assert!(xor(5).is_self_dual());
+        assert!(!xor(2).is_self_dual());
+    }
+
+    #[test]
+    fn and_or_duality() {
+        for vars in 1..=5 {
+            assert_eq!(and(vars).dual(), or(vars));
+        }
+    }
+
+    #[test]
+    fn majority_is_self_dual_for_odd_inputs() {
+        assert!(majority(3).is_self_dual());
+        assert!(majority(5).is_self_dual());
+    }
+
+    #[test]
+    fn threshold_counts() {
+        let f = threshold(4, 2);
+        assert_eq!(f.count_ones(), 11); // C(4,2)+C(4,3)+C(4,4) = 6+4+1
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(42);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(42);
+        assert_eq!(random(5, &mut r1), random(5, &mut r2));
+    }
+}

@@ -1,0 +1,192 @@
+//! Irredundant sum-of-products computation (Minato–Morreale).
+//!
+//! The Altun–Riedel lattice construction consumes an irredundant SOP of the
+//! target function *and* of its dual; this module provides both through the
+//! classic interval-based recursion of Minato and Morreale, operating
+//! directly on bit-packed truth tables.
+
+use crate::{Cover, Cube, TruthTable};
+
+/// Computes an irredundant sum-of-products cover of the completely
+/// specified function `f`.
+///
+/// The returned cover represents exactly `f` and no cube can be dropped
+/// without changing the function.
+///
+/// # Example
+///
+/// ```
+/// use fts_logic::{generators, isop};
+///
+/// let maj = generators::majority(3);
+/// let cover = isop::isop(&maj);
+/// assert_eq!(cover.len(), 3); // ab + ac + bc
+/// assert_eq!(cover.to_truth_table(3), maj);
+/// ```
+pub fn isop(f: &TruthTable) -> Cover {
+    let mut cover = isop_interval(f, f);
+    cover.absorb();
+    cover
+}
+
+/// Computes an irredundant SOP for the incompletely specified function
+/// bounded below by `lower` and above by `upper` (`lower ⇒ cover ⇒ upper`).
+///
+/// # Panics
+///
+/// Panics if `lower` does not imply `upper` or the variable counts differ.
+pub fn isop_interval(lower: &TruthTable, upper: &TruthTable) -> Cover {
+    assert_eq!(lower.vars(), upper.vars(), "interval bounds must share variables");
+    assert!(lower.implies(upper), "lower bound must imply upper bound");
+    let mut cover = Cover::new();
+    recurse(lower, upper, lower.vars(), Cube::top(), &mut cover);
+    cover
+}
+
+fn recurse(lower: &TruthTable, upper: &TruthTable, vars: usize, prefix: Cube, out: &mut Cover) {
+    if lower.is_zero() {
+        return;
+    }
+    if upper.is_one() {
+        out.push(prefix);
+        return;
+    }
+    // Split on the lowest-index variable either bound depends on.
+    let var = (0..vars)
+        .find(|&v| {
+            lower.depends_on(v).expect("index in range") || upper.depends_on(v).expect("index in range")
+        })
+        .expect("non-constant interval must depend on some variable");
+
+    let l0 = lower.cofactor0(var).expect("index in range");
+    let l1 = lower.cofactor1(var).expect("index in range");
+    let u0 = upper.cofactor0(var).expect("index in range");
+    let u1 = upper.cofactor1(var).expect("index in range");
+
+    // Minterms of the 0-branch that the 1-branch can never cover must get a
+    // negative literal, and symmetrically for the positive literal.
+    let need0 = &l0 & &!&u1;
+    let need1 = &l1 & &!&u0;
+
+    let before = out.len();
+    recurse(&need0, &u0, vars, prefix.with_neg(var as u8).expect("fresh variable"), out);
+    let mid = out.len();
+    recurse(&need1, &u1, vars, prefix.with_pos(var as u8).expect("fresh variable"), out);
+    let after = out.len();
+
+    // What the emitted branch covers, relative to this recursion level: the
+    // shared prefix literals and the split literal are stripped so the
+    // result lives in the same cofactor space as l0/l1.
+    let strip_pos = prefix.pos_mask() | (1 << var);
+    let strip_neg = prefix.neg_mask() | (1 << var);
+    let covered0 = branch_table(&out.cubes()[before..mid], vars, strip_pos, strip_neg);
+    let covered1 = branch_table(&out.cubes()[mid..after], vars, strip_pos, strip_neg);
+
+    let rest0 = &l0 & &!&covered0;
+    let rest1 = &l1 & &!&covered1;
+    let rest = &rest0 | &rest1;
+    let both = &u0 & &u1;
+    recurse(&rest, &both, vars, prefix, out);
+}
+
+/// Truth table covered by `cubes` after stripping the literals in the given
+/// masks (the shared prefix and the split variable), so the caller can
+/// compare against cofactor-space bounds.
+fn branch_table(cubes: &[Cube], vars: usize, strip_pos: u32, strip_neg: u32) -> TruthTable {
+    let mut acc = TruthTable::constant(vars, false).expect("vars validated");
+    for c in cubes {
+        let stripped = Cube::from_masks(c.pos_mask() & !strip_pos, c.neg_mask() & !strip_neg)
+            .expect("removing literals cannot create contradiction");
+        acc = &acc | &stripped.to_truth_table(vars);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn check_exact(f: &TruthTable) {
+        let cover = isop(f);
+        assert_eq!(cover.to_truth_table(f.vars()), *f, "cover must equal function");
+        assert!(cover.is_irredundant(f.vars()), "cover must be irredundant: {cover}");
+    }
+
+    #[test]
+    fn isop_constants() {
+        let zero = TruthTable::constant(3, false).unwrap();
+        let one = TruthTable::constant(3, true).unwrap();
+        assert!(isop(&zero).is_empty());
+        let c1 = isop(&one);
+        assert_eq!(c1.len(), 1);
+        assert!(c1.cubes()[0].is_top());
+    }
+
+    #[test]
+    fn isop_single_variable() {
+        let f = TruthTable::var(4, 2).unwrap();
+        let cover = isop(&f);
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover.cubes()[0], Cube::top().with_pos(2).unwrap());
+    }
+
+    #[test]
+    fn isop_xor3_has_four_products() {
+        let f = generators::xor(3);
+        let cover = isop(&f);
+        assert_eq!(cover.len(), 4);
+        check_exact(&f);
+    }
+
+    #[test]
+    fn isop_majority() {
+        check_exact(&generators::majority(3));
+        check_exact(&generators::majority(5));
+    }
+
+    #[test]
+    fn isop_of_dual_xor3() {
+        let f = generators::xor(3).dual();
+        let cover = isop(&f);
+        assert_eq!(cover.to_truth_table(3), f);
+        assert_eq!(cover.len(), 4, "XOR3 is self-dual");
+    }
+
+    #[test]
+    fn isop_random_functions_exact_and_irredundant() {
+        // Deterministic pseudo-random functions across several sizes.
+        let mut state = 0x243F6A8885A308D3u64;
+        for vars in 2..=6 {
+            for _ in 0..20 {
+                let f = TruthTable::from_fn(vars, |_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    (state >> 33) & 1 == 1
+                })
+                .unwrap();
+                check_exact(&f);
+            }
+        }
+    }
+
+    #[test]
+    fn isop_interval_respects_bounds() {
+        let lower = generators::and(3);
+        let upper = generators::or(3);
+        let cover = isop_interval(&lower, &upper);
+        let tt = cover.to_truth_table(3);
+        assert!(lower.implies(&tt));
+        assert!(tt.implies(&upper));
+        // With this much freedom the cover should be a single literal.
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover.literal_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound must imply upper")]
+    fn isop_interval_panics_on_bad_bounds() {
+        let lower = generators::or(2);
+        let upper = generators::and(2);
+        let _ = isop_interval(&lower, &upper);
+    }
+}

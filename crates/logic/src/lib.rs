@@ -1,0 +1,43 @@
+//! Boolean-function substrate for four-terminal switching-lattice synthesis.
+//!
+//! This crate provides the logic-level machinery that the DATE 2019 paper
+//! "Realization of Four-Terminal Switching Lattices" (Safaltin et al.)
+//! assumes from its synthesis references: bit-packed [truth tables](TruthTable),
+//! [cube](Cube) covers with absorption, the Minato–Morreale
+//! [irredundant sum-of-products](isop::isop) algorithm, Boolean
+//! [dualization](TruthTable::dual), and a Quine–McCluskey
+//! [prime-implicant](qm::prime_implicants) generator for small functions.
+//!
+//! # Example
+//!
+//! Compute an irredundant SOP cover of the 3-input XOR used throughout the
+//! paper and check that it represents the same function:
+//!
+//! ```
+//! use fts_logic::{generators, isop};
+//!
+//! let f = generators::xor(3);
+//! let cover = isop::isop(&f);
+//! assert_eq!(cover.len(), 4); // abc + ab'c' + a'bc' + a'b'c
+//! assert_eq!(cover.to_truth_table(3), f);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cube;
+mod error;
+pub mod generators;
+pub mod isop;
+pub mod qm;
+mod truth_table;
+
+pub use cube::{Cover, Cube, Literal};
+pub use error::LogicError;
+pub use truth_table::TruthTable;
+
+/// Maximum supported number of input variables for [`TruthTable`].
+///
+/// 2^20 bits (128 KiB per table) keeps every operation laptop-scale while
+/// comfortably exceeding the function sizes handled in the paper.
+pub const MAX_VARS: usize = 20;

@@ -1,0 +1,245 @@
+//! Quine–McCluskey prime-implicant generation and a Petrick-style exact
+//! cover for small functions.
+//!
+//! The exhaustive-lattice-search and synthesis crates use these as
+//! ground-truth oracles: the ISOP cover of a function must consist of prime
+//! implicants, and the minimum SOP size lower-bounds lattice dimensions.
+
+use std::collections::HashSet;
+
+use crate::{Cover, Cube, TruthTable};
+
+/// Maximum variable count accepted by the exhaustive routines here.
+pub const MAX_QM_VARS: usize = 12;
+
+/// Computes all prime implicants of `f`.
+///
+/// # Panics
+///
+/// Panics if `f` has more than [`MAX_QM_VARS`] variables (the implicant
+/// lattice is enumerated exhaustively).
+///
+/// # Example
+///
+/// ```
+/// use fts_logic::{generators, qm};
+///
+/// let primes = qm::prime_implicants(&generators::majority(3));
+/// assert_eq!(primes.len(), 3); // ab, ac, bc
+/// ```
+pub fn prime_implicants(f: &TruthTable) -> Cover {
+    let vars = f.vars();
+    assert!(vars <= MAX_QM_VARS, "quine-mccluskey limited to {MAX_QM_VARS} variables");
+
+    // Enumerate all implicants by breadth-first merging, starting from
+    // minterms. An implicant is a cube fully contained in f.
+    let mut current: HashSet<Cube> = f
+        .minterms()
+        .map(|m| {
+            Cube::from_masks(m, !m & ((1u32 << vars) - 1)).expect("disjoint masks by construction")
+        })
+        .collect();
+    let mut primes: Vec<Cube> = Vec::new();
+
+    while !current.is_empty() {
+        let mut next: HashSet<Cube> = HashSet::new();
+        let mut merged: HashSet<Cube> = HashSet::new();
+        let cubes: Vec<Cube> = current.iter().copied().collect();
+        for (i, &a) in cubes.iter().enumerate() {
+            for &b in &cubes[i + 1..] {
+                if let Some(m) = merge(a, b) {
+                    next.insert(m);
+                    merged.insert(a);
+                    merged.insert(b);
+                }
+            }
+        }
+        for &c in &cubes {
+            if !merged.contains(&c) {
+                primes.push(c);
+            }
+        }
+        current = next;
+    }
+
+    primes.sort();
+    primes.dedup();
+    Cover::from_cubes(primes)
+}
+
+/// Merges two cubes differing in exactly one variable's polarity.
+fn merge(a: Cube, b: Cube) -> Option<Cube> {
+    let support_a = a.pos_mask() | a.neg_mask();
+    let support_b = b.pos_mask() | b.neg_mask();
+    if support_a != support_b {
+        return None;
+    }
+    let diff = a.pos_mask() ^ b.pos_mask();
+    if diff.count_ones() != 1 || (a.neg_mask() ^ b.neg_mask()) != diff {
+        return None;
+    }
+    Cube::from_masks(a.pos_mask() & !diff, a.neg_mask() & !diff).ok()
+}
+
+/// Finds a minimum-cardinality prime cover of `f` by branch-and-bound over
+/// the prime implicants.
+///
+/// Returns the minimum cover; for a constant-0 function the cover is empty.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`prime_implicants`]. Intended for
+/// small functions (≤ ~8 variables); the search is exponential.
+///
+/// # Example
+///
+/// ```
+/// use fts_logic::{generators, qm};
+///
+/// let cover = qm::minimum_cover(&generators::xor(3));
+/// assert_eq!(cover.len(), 4); // parity needs all four products
+/// ```
+pub fn minimum_cover(f: &TruthTable) -> Cover {
+    let primes = prime_implicants(f);
+    let minterms: Vec<u32> = f.minterms().collect();
+    if minterms.is_empty() {
+        return Cover::new();
+    }
+
+    // column[j] = primes covering minterm j.
+    let columns: Vec<Vec<usize>> = minterms
+        .iter()
+        .map(|&m| {
+            primes
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.covers_minterm(m))
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+
+    let mut best: Option<Vec<usize>> = None;
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut covered = vec![false; minterms.len()];
+    branch(&columns, &mut covered, &mut chosen, &mut best);
+
+    let selection = best.expect("non-empty function always has a cover");
+    Cover::from_cubes(selection.iter().map(|&i| primes.cubes()[i]).collect())
+}
+
+fn branch(
+    columns: &[Vec<usize>],
+    covered: &mut [bool],
+    chosen: &mut Vec<usize>,
+    best: &mut Option<Vec<usize>>,
+) {
+    if let Some(b) = best {
+        if chosen.len() >= b.len() {
+            return; // cannot improve
+        }
+    }
+    // Pick the uncovered minterm with the fewest candidate primes.
+    let target = (0..columns.len())
+        .filter(|&j| !covered[j])
+        .min_by_key(|&j| columns[j].len());
+    let Some(j) = target else {
+        *best = Some(chosen.clone());
+        return;
+    };
+    for &p in &columns[j] {
+        let newly: Vec<usize> = (0..columns.len())
+            .filter(|&k| !covered[k] && columns[k].contains(&p))
+            .collect();
+        for &k in &newly {
+            covered[k] = true;
+        }
+        chosen.push(p);
+        branch(columns, covered, chosen, best);
+        chosen.pop();
+        for &k in &newly {
+            covered[k] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, isop};
+
+    #[test]
+    fn primes_of_majority3() {
+        let primes = prime_implicants(&generators::majority(3));
+        let strings: Vec<String> = primes.iter().map(|c| c.to_string()).collect();
+        assert_eq!(strings, vec!["ab", "ac", "bc"]);
+    }
+
+    #[test]
+    fn primes_cover_exactly_the_function() {
+        for vars in 2..=5 {
+            let f = generators::threshold(vars, 2);
+            let primes = prime_implicants(&f);
+            assert_eq!(primes.to_truth_table(vars), f);
+        }
+    }
+
+    #[test]
+    fn every_isop_cube_is_prime() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for vars in 2..=5 {
+            for _ in 0..10 {
+                let f = TruthTable::from_fn(vars, |_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (state >> 40) & 1 == 1
+                })
+                .unwrap();
+                let primes = prime_implicants(&f);
+                let cover = isop::isop(&f);
+                for c in cover.iter() {
+                    assert!(
+                        primes.cubes().contains(c),
+                        "ISOP cube {c} of {f:?} is not prime"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minimum_cover_of_xor_is_full() {
+        for vars in 2..=4 {
+            let f = generators::xor(vars);
+            let cover = minimum_cover(&f);
+            assert_eq!(cover.len(), 1usize << (vars - 1));
+            assert_eq!(cover.to_truth_table(vars), f);
+        }
+    }
+
+    #[test]
+    fn minimum_cover_never_larger_than_isop() {
+        let mut state = 0xDEADBEEFu64;
+        for _ in 0..10 {
+            let f = TruthTable::from_fn(4, |_| {
+                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                (state >> 35) & 1 == 1
+            })
+            .unwrap();
+            let min = minimum_cover(&f);
+            let cover = isop::isop(&f);
+            assert!(min.len() <= cover.len());
+            assert_eq!(min.to_truth_table(4), f);
+        }
+    }
+
+    #[test]
+    fn constant_functions() {
+        let zero = TruthTable::constant(3, false).unwrap();
+        assert!(prime_implicants(&zero).is_empty());
+        assert!(minimum_cover(&zero).is_empty());
+        let one = TruthTable::constant(3, true).unwrap();
+        let primes = prime_implicants(&one);
+        assert_eq!(primes.len(), 1);
+        assert!(primes.cubes()[0].is_top());
+    }
+}

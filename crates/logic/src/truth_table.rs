@@ -1,0 +1,529 @@
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+use crate::{LogicError, MAX_VARS};
+
+/// A completely specified Boolean function over `vars` inputs, stored as a
+/// bit-packed truth table.
+///
+/// Bit `i` of the table is the function value on the assignment whose `k`-th
+/// input equals bit `k` of `i` (variable 0 is the least-significant index
+/// bit). Tables with fewer than 64 rows keep the unused high bits of the
+/// single storage word zeroed; all operations preserve that invariant.
+///
+/// # Example
+///
+/// ```
+/// use fts_logic::TruthTable;
+///
+/// let a = TruthTable::var(3, 0)?;
+/// let b = TruthTable::var(3, 1)?;
+/// let f = &a & &b; // two-input AND lifted over three variables
+/// assert!(f.eval(0b011));
+/// assert!(!f.eval(0b101));
+/// # Ok::<(), fts_logic::LogicError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    vars: usize,
+    words: Vec<u64>,
+}
+
+impl TruthTable {
+    /// Creates the constant-`value` function of `vars` inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::VarCountOutOfRange`] when `vars` is zero or
+    /// exceeds [`MAX_VARS`].
+    pub fn constant(vars: usize, value: bool) -> Result<Self, LogicError> {
+        Self::check_vars(vars)?;
+        let nwords = Self::word_count(vars);
+        let mut words = vec![if value { u64::MAX } else { 0 }; nwords];
+        if value {
+            Self::mask_tail(vars, &mut words);
+        }
+        Ok(TruthTable { vars, words })
+    }
+
+    /// Creates the projection function returning input `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::VarCountOutOfRange`] for a bad `vars`, and
+    /// [`LogicError::VarIndexOutOfRange`] when `index >= vars`.
+    pub fn var(vars: usize, index: usize) -> Result<Self, LogicError> {
+        Self::check_vars(vars)?;
+        if index >= vars {
+            return Err(LogicError::VarIndexOutOfRange { index, vars });
+        }
+        let mut tt = Self::constant(vars, false)?;
+        if index < 6 {
+            // The pattern repeats within every word.
+            let stride = 1u32 << index;
+            let mut pattern = 0u64;
+            let mut bit = 0;
+            while bit < 64 {
+                for b in bit + stride as usize..(bit + 2 * stride as usize).min(64) {
+                    pattern |= 1 << b;
+                }
+                bit += 2 * stride as usize;
+            }
+            for w in &mut tt.words {
+                *w = pattern;
+            }
+        } else {
+            // Whole words alternate in blocks of 2^(index-6).
+            let block = 1usize << (index - 6);
+            for (i, w) in tt.words.iter_mut().enumerate() {
+                if (i / block) % 2 == 1 {
+                    *w = u64::MAX;
+                }
+            }
+        }
+        Self::mask_tail(vars, &mut tt.words);
+        Ok(tt)
+    }
+
+    /// Builds a function from a predicate over input assignments.
+    ///
+    /// The predicate receives the packed assignment (bit `k` = variable `k`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::VarCountOutOfRange`] for a bad `vars`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fts_logic::TruthTable;
+    ///
+    /// // Majority of three inputs.
+    /// let maj = TruthTable::from_fn(3, |x| (x.count_ones() >= 2))?;
+    /// assert!(maj.eval(0b110));
+    /// assert!(!maj.eval(0b100));
+    /// # Ok::<(), fts_logic::LogicError>(())
+    /// ```
+    pub fn from_fn<F: FnMut(u32) -> bool>(vars: usize, mut f: F) -> Result<Self, LogicError> {
+        Self::check_vars(vars)?;
+        let mut tt = Self::constant(vars, false)?;
+        for i in 0..(1u32 << vars) {
+            if f(i) {
+                tt.words[(i >> 6) as usize] |= 1u64 << (i & 63);
+            }
+        }
+        Ok(tt)
+    }
+
+    /// Builds a function from the set of minterm indices where it is 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::VarCountOutOfRange`] for a bad `vars`, and
+    /// [`LogicError::VarIndexOutOfRange`] if a minterm exceeds `2^vars - 1`.
+    pub fn from_minterms(vars: usize, minterms: &[u32]) -> Result<Self, LogicError> {
+        Self::check_vars(vars)?;
+        let mut tt = Self::constant(vars, false)?;
+        for &m in minterms {
+            if m as usize >= (1usize << vars) {
+                return Err(LogicError::VarIndexOutOfRange { index: m as usize, vars });
+            }
+            tt.words[(m >> 6) as usize] |= 1u64 << (m & 63);
+        }
+        Ok(tt)
+    }
+
+    /// Number of input variables.
+    pub fn vars(&self) -> usize {
+        self.vars
+    }
+
+    /// Number of rows (`2^vars`).
+    pub fn len(&self) -> usize {
+        1usize << self.vars
+    }
+
+    /// Always false: a truth table has at least two rows.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Evaluates the function on a packed assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment >= 2^vars`.
+    pub fn eval(&self, assignment: u32) -> bool {
+        assert!(
+            (assignment as usize) < self.len(),
+            "assignment {assignment} out of range for {} variables",
+            self.vars
+        );
+        (self.words[(assignment >> 6) as usize] >> (assignment & 63)) & 1 == 1
+    }
+
+    /// Number of satisfying assignments.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// True if the function is constant 0.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// True if the function is constant 1.
+    pub fn is_one(&self) -> bool {
+        self.count_ones() == self.len() as u64
+    }
+
+    /// True if `self` implies `other` (`self ≤ other` pointwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ.
+    pub fn implies(&self, other: &TruthTable) -> bool {
+        self.assert_same_vars(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Positive cofactor: the function with variable `index` fixed to 1.
+    ///
+    /// The result keeps the same variable count (the fixed variable becomes
+    /// a don't-care in the index).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::VarIndexOutOfRange`] when `index >= vars`.
+    pub fn cofactor1(&self, index: usize) -> Result<Self, LogicError> {
+        self.cofactor(index, true)
+    }
+
+    /// Negative cofactor: the function with variable `index` fixed to 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::VarIndexOutOfRange`] when `index >= vars`.
+    pub fn cofactor0(&self, index: usize) -> Result<Self, LogicError> {
+        self.cofactor(index, false)
+    }
+
+    fn cofactor(&self, index: usize, value: bool) -> Result<Self, LogicError> {
+        if index >= self.vars {
+            return Err(LogicError::VarIndexOutOfRange { index, vars: self.vars });
+        }
+        let mut out = self.clone();
+        if index < 6 {
+            let stride = 1usize << index;
+            for w in &mut out.words {
+                let half = if value { *w >> stride } else { *w };
+                // Broadcast the selected half into both halves of each block.
+                let mask = Self::low_stride_mask(stride);
+                let kept = half & mask;
+                *w = kept | (kept << stride);
+            }
+        } else {
+            let block = 1usize << (index - 6);
+            let n = out.words.len();
+            let mut i = 0;
+            while i < n {
+                for b in 0..block {
+                    let src = if value { i + block + b } else { i + b };
+                    let v = out.words[src];
+                    out.words[i + b] = v;
+                    out.words[i + block + b] = v;
+                }
+                i += 2 * block;
+            }
+        }
+        Self::mask_tail(out.vars, &mut out.words);
+        Ok(out)
+    }
+
+    /// True if the function depends on variable `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::VarIndexOutOfRange`] when `index >= vars`.
+    pub fn depends_on(&self, index: usize) -> Result<bool, LogicError> {
+        Ok(self.cofactor0(index)? != self.cofactor1(index)?)
+    }
+
+    /// The Boolean dual `f^D(x) = ¬f(¬x)`.
+    ///
+    /// Duality is the backbone of the Altun–Riedel lattice construction: the
+    /// products of `f^D` become the rows of the synthesized lattice.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fts_logic::generators;
+    ///
+    /// // XOR of an odd number of inputs is self-dual.
+    /// let f = generators::xor(3);
+    /// assert_eq!(f.dual(), f);
+    /// ```
+    pub fn dual(&self) -> Self {
+        let mut out = Self::constant(self.vars, false).expect("vars already validated");
+        let all = (self.len() - 1) as u32;
+        for i in 0..self.len() as u32 {
+            if !self.eval(all ^ i) {
+                out.words[(i >> 6) as usize] |= 1u64 << (i & 63);
+            }
+        }
+        out
+    }
+
+    /// True if the function equals its own dual.
+    pub fn is_self_dual(&self) -> bool {
+        self.dual() == *self
+    }
+
+    /// Iterator over the minterm indices where the function is 1.
+    pub fn minterms(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len() as u32).filter(move |&i| self.eval(i))
+    }
+
+    fn check_vars(vars: usize) -> Result<(), LogicError> {
+        if vars == 0 || vars > MAX_VARS {
+            Err(LogicError::VarCountOutOfRange { requested: vars })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn word_count(vars: usize) -> usize {
+        (1usize << vars).div_ceil(64)
+    }
+
+    fn mask_tail(vars: usize, words: &mut [u64]) {
+        if vars < 6 {
+            let bits = 1usize << vars;
+            words[0] &= (1u64 << bits) - 1;
+        }
+    }
+
+    fn low_stride_mask(stride: usize) -> u64 {
+        // Bits where the `stride` bit of the index is 0, e.g. stride=1 →
+        // 0x5555..., stride=2 → 0x3333..., stride=4 → 0x0f0f...
+        let mut mask = 0u64;
+        let mut bit = 0;
+        while bit < 64 {
+            for b in bit..bit + stride {
+                mask |= 1 << b;
+            }
+            bit += 2 * stride;
+        }
+        mask
+    }
+
+    fn assert_same_vars(&self, other: &TruthTable) {
+        assert_eq!(
+            self.vars, other.vars,
+            "truth tables must have the same variable count"
+        );
+    }
+}
+
+impl fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TruthTable({} vars, ", self.vars)?;
+        if self.vars <= 6 {
+            // Print as a binary string, row 0 first.
+            for i in 0..self.len() as u32 {
+                write!(f, "{}", if self.eval(i) { '1' } else { '0' })?;
+            }
+        } else {
+            write!(f, "{} ones of {}", self.count_ones(), self.len())?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl BitAnd for &TruthTable {
+    type Output = TruthTable;
+    fn bitand(self, rhs: &TruthTable) -> TruthTable {
+        self.assert_same_vars(rhs);
+        TruthTable {
+            vars: self.vars,
+            words: self.words.iter().zip(&rhs.words).map(|(a, b)| a & b).collect(),
+        }
+    }
+}
+
+impl BitOr for &TruthTable {
+    type Output = TruthTable;
+    fn bitor(self, rhs: &TruthTable) -> TruthTable {
+        self.assert_same_vars(rhs);
+        TruthTable {
+            vars: self.vars,
+            words: self.words.iter().zip(&rhs.words).map(|(a, b)| a | b).collect(),
+        }
+    }
+}
+
+impl BitXor for &TruthTable {
+    type Output = TruthTable;
+    fn bitxor(self, rhs: &TruthTable) -> TruthTable {
+        self.assert_same_vars(rhs);
+        TruthTable {
+            vars: self.vars,
+            words: self.words.iter().zip(&rhs.words).map(|(a, b)| a ^ b).collect(),
+        }
+    }
+}
+
+impl Not for &TruthTable {
+    type Output = TruthTable;
+    fn not(self) -> TruthTable {
+        let mut words: Vec<u64> = self.words.iter().map(|w| !w).collect();
+        TruthTable::mask_tail(self.vars, &mut words);
+        TruthTable { vars: self.vars, words }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_tables() {
+        let zero = TruthTable::constant(3, false).unwrap();
+        let one = TruthTable::constant(3, true).unwrap();
+        assert!(zero.is_zero());
+        assert!(one.is_one());
+        assert_eq!(one.count_ones(), 8);
+    }
+
+    #[test]
+    fn var_projection_small_and_large() {
+        for vars in [1, 3, 6, 7, 8] {
+            for v in 0..vars {
+                let tt = TruthTable::var(vars, v).unwrap();
+                for i in 0..(1u32 << vars) {
+                    assert_eq!(tt.eval(i), (i >> v) & 1 == 1, "vars={vars} v={v} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn var_rejects_out_of_range() {
+        assert!(matches!(
+            TruthTable::var(3, 3),
+            Err(LogicError::VarIndexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            TruthTable::var(0, 0),
+            Err(LogicError::VarCountOutOfRange { .. })
+        ));
+        assert!(TruthTable::var(MAX_VARS + 1, 0).is_err());
+    }
+
+    #[test]
+    fn boolean_ops_match_pointwise() {
+        let a = TruthTable::var(4, 0).unwrap();
+        let b = TruthTable::var(4, 2).unwrap();
+        let and = &a & &b;
+        let or = &a | &b;
+        let xor = &a ^ &b;
+        let na = !&a;
+        for i in 0..16u32 {
+            let (va, vb) = ((i & 1) == 1, (i >> 2) & 1 == 1);
+            assert_eq!(and.eval(i), va && vb);
+            assert_eq!(or.eval(i), va || vb);
+            assert_eq!(xor.eval(i), va ^ vb);
+            assert_eq!(na.eval(i), !va);
+        }
+    }
+
+    #[test]
+    fn complement_keeps_tail_bits_clean() {
+        let a = TruthTable::var(2, 0).unwrap();
+        let na = !&a;
+        assert_eq!(na.count_ones(), 2);
+        assert!((&na | &a).is_one());
+    }
+
+    #[test]
+    fn cofactors_shannon_expansion() {
+        // f = x0 x2 + x1' : check f = x_i' f0 + x_i f1 for every variable.
+        let x0 = TruthTable::var(3, 0).unwrap();
+        let x1 = TruthTable::var(3, 1).unwrap();
+        let x2 = TruthTable::var(3, 2).unwrap();
+        let f = &(&x0 & &x2) | &!&x1;
+        for v in 0..3 {
+            let f0 = f.cofactor0(v).unwrap();
+            let f1 = f.cofactor1(v).unwrap();
+            let xv = TruthTable::var(3, v).unwrap();
+            let rebuilt = &(&!&xv & &f0) | &(&xv & &f1);
+            assert_eq!(rebuilt, f, "variable {v}");
+            assert!(!f0.depends_on(v).unwrap());
+        }
+    }
+
+    #[test]
+    fn cofactors_on_word_boundary_vars() {
+        // vars = 8 exercises the index >= 6 code path.
+        let f = TruthTable::from_fn(8, |x| x.count_ones() % 3 == 0).unwrap();
+        for v in 0..8 {
+            let f0 = f.cofactor0(v).unwrap();
+            let f1 = f.cofactor1(v).unwrap();
+            for i in 0..256u32 {
+                let i0 = i & !(1 << v);
+                let i1 = i | (1 << v);
+                assert_eq!(f0.eval(i), f.eval(i0));
+                assert_eq!(f1.eval(i), f.eval(i1));
+            }
+        }
+    }
+
+    #[test]
+    fn dual_of_and_is_or() {
+        let a = TruthTable::var(2, 0).unwrap();
+        let b = TruthTable::var(2, 1).unwrap();
+        let and = &a & &b;
+        let or = &a | &b;
+        assert_eq!(and.dual(), or);
+        assert_eq!(or.dual(), and);
+    }
+
+    #[test]
+    fn dual_is_involution() {
+        let f =
+            TruthTable::from_fn(5, |x| x.wrapping_mul(2654435761).wrapping_add(x) & 8 != 0).unwrap();
+        assert_eq!(f.dual().dual(), f);
+    }
+
+    #[test]
+    fn implies_partial_order() {
+        let a = TruthTable::var(3, 0).unwrap();
+        let b = TruthTable::var(3, 1).unwrap();
+        let ab = &a & &b;
+        assert!(ab.implies(&a));
+        assert!(!a.implies(&ab));
+        assert!(a.implies(&a));
+    }
+
+    #[test]
+    fn minterms_roundtrip() {
+        let f = TruthTable::from_minterms(4, &[0, 3, 7, 12, 15]).unwrap();
+        let ms: Vec<u32> = f.minterms().collect();
+        assert_eq!(ms, vec![0, 3, 7, 12, 15]);
+        let g = TruthTable::from_minterms(4, &ms).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn from_minterms_rejects_out_of_range() {
+        assert!(TruthTable::from_minterms(3, &[8]).is_err());
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        let f = TruthTable::constant(2, false).unwrap();
+        assert!(!format!("{f:?}").is_empty());
+        let g = TruthTable::constant(10, true).unwrap();
+        assert!(format!("{g:?}").contains("1024"));
+    }
+}

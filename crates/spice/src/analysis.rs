@@ -1,0 +1,886 @@
+//! DC operating point, DC sweep, and transient analyses.
+
+use crate::complex::{CMatrix, Complex};
+use crate::netlist::{Element, Netlist, NodeId, Waveform};
+use crate::stamp::{self, CapMode, StampContext};
+use crate::SpiceError;
+
+/// Transient integration method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Integrator {
+    /// Backward Euler: robust, first order, numerically damped.
+    BackwardEuler,
+    /// Trapezoidal: second order, the SPICE default.
+    Trapezoidal,
+}
+
+/// A solved DC operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpResult {
+    x: Vec<f64>,
+    node_count: usize,
+}
+
+impl OpResult {
+    /// Node voltage \[V\].
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        if node.index() == 0 {
+            0.0
+        } else {
+            self.x[node.index() - 1]
+        }
+    }
+
+    /// Current through the named voltage source, measured flowing from its
+    /// `+` terminal through the source to `−` (a battery delivering power
+    /// therefore reads negative).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::NotFound`] for unknown names.
+    pub fn vsource_current(&self, netlist: &Netlist, name: &str) -> Result<f64, SpiceError> {
+        for dev in &netlist.devices {
+            if dev.name == name {
+                if let Element::VSource { branch, .. } = &dev.element {
+                    return Ok(self.x[self.node_count - 1 + branch]);
+                }
+            }
+        }
+        Err(SpiceError::NotFound { name: name.to_owned() })
+    }
+
+    /// The raw unknown vector (node voltages then branch currents).
+    pub fn unknowns(&self) -> &[f64] {
+        &self.x
+    }
+}
+
+/// Solves the DC operating point at `t = 0`.
+///
+/// Tries plain Newton first, then gmin stepping, then source stepping —
+/// the same homotopy ladder production simulators use.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::NoConvergence`] when every strategy fails, or
+/// [`SpiceError::SingularMatrix`] for structurally broken circuits.
+pub fn op(netlist: &Netlist) -> Result<OpResult, SpiceError> {
+    op_at(netlist, 0.0, None)
+}
+
+/// Solves the operating point with sources evaluated at time `t`, warm
+/// starting from `initial` when provided.
+///
+/// # Errors
+///
+/// As for [`op`].
+pub fn op_at(netlist: &Netlist, t: f64, initial: Option<&[f64]>) -> Result<OpResult, SpiceError> {
+    let n = netlist.unknown_count();
+    let x0 = initial.map(|v| v.to_vec()).unwrap_or_else(|| vec![0.0; n]);
+    let solve = |gmin: f64, scale: f64, x0: &[f64]| -> Result<Vec<f64>, SpiceError> {
+        let ctx = StampContext {
+            t,
+            cap_mode: CapMode::Open,
+            cap_states: &[],
+            gmin,
+            source_scale: scale,
+        };
+        stamp::newton(netlist, &ctx, x0, 120)
+    };
+
+    // Plain Newton.
+    if let Ok(x) = solve(1e-12, 1.0, &x0) {
+        return Ok(OpResult { x, node_count: netlist.node_count() });
+    }
+    // gmin stepping.
+    let mut x = x0.clone();
+    let mut ok = true;
+    for exp in 2..=12 {
+        let gmin = 10f64.powi(-exp);
+        match solve(gmin, 1.0, &x) {
+            Ok(sol) => x = sol,
+            Err(_) => {
+                ok = false;
+                break;
+            }
+        }
+    }
+    if ok {
+        return Ok(OpResult { x, node_count: netlist.node_count() });
+    }
+    // Source stepping.
+    let mut x = vec![0.0; n];
+    for step in 1..=20 {
+        let scale = step as f64 / 20.0;
+        x = solve(1e-12, scale, &x).map_err(|_| SpiceError::NoConvergence {
+            analysis: "dc operating point",
+            residual: scale,
+        })?;
+    }
+    Ok(OpResult { x, node_count: netlist.node_count() })
+}
+
+/// Sweeps the DC value of the named voltage source and returns one
+/// operating point per value (warm-started along the sweep).
+///
+/// # Errors
+///
+/// Returns [`SpiceError::NotFound`] for an unknown source, or convergence
+/// errors from [`op`].
+pub fn dc_sweep(
+    netlist: &mut Netlist,
+    source: &str,
+    values: &[f64],
+) -> Result<Vec<OpResult>, SpiceError> {
+    let mut out = Vec::with_capacity(values.len());
+    let mut warm: Option<Vec<f64>> = None;
+    for &v in values {
+        netlist.set_vsource(source, Waveform::Dc(v))?;
+        let r = op_at(netlist, 0.0, warm.as_deref())?;
+        warm = Some(r.x.clone());
+        out.push(r);
+    }
+    Ok(out)
+}
+
+/// Options for [`transient`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientOptions {
+    /// Fixed time step \[s\].
+    pub dt: f64,
+    /// Stop time \[s\].
+    pub tstop: f64,
+    /// Integration method.
+    pub integrator: Integrator,
+    /// Skip the initial DC operating point and start from all-zero state.
+    pub uic: bool,
+}
+
+impl TransientOptions {
+    /// Conventional options: trapezoidal integration from a DC operating
+    /// point.
+    pub fn new(dt: f64, tstop: f64) -> TransientOptions {
+        TransientOptions { dt, tstop, integrator: Integrator::Trapezoidal, uic: false }
+    }
+}
+
+/// A transient simulation result: sampled unknowns over time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transient {
+    node_count: usize,
+    /// Sample instants \[s\].
+    pub time: Vec<f64>,
+    samples: Vec<Vec<f64>>,
+}
+
+impl Transient {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.time.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.time.is_empty()
+    }
+
+    /// Voltage of `node` at sample `k` \[V\].
+    pub fn voltage_at(&self, node: NodeId, k: usize) -> f64 {
+        if node.index() == 0 {
+            0.0
+        } else {
+            self.samples[k][node.index() - 1]
+        }
+    }
+
+    /// The full waveform of a node \[V\].
+    pub fn voltage(&self, node: NodeId) -> Vec<f64> {
+        (0..self.len()).map(|k| self.voltage_at(node, k)).collect()
+    }
+
+    /// Current waveform through the named voltage source (same sign
+    /// convention as [`OpResult::vsource_current`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::NotFound`] for unknown names.
+    pub fn vsource_current(&self, netlist: &Netlist, name: &str) -> Result<Vec<f64>, SpiceError> {
+        for dev in &netlist.devices {
+            if dev.name == name {
+                if let Element::VSource { branch, .. } = &dev.element {
+                    let idx = self.node_count - 1 + branch;
+                    return Ok(self.samples.iter().map(|s| s[idx]).collect());
+                }
+            }
+        }
+        Err(SpiceError::NotFound { name: name.to_owned() })
+    }
+}
+
+/// A small-signal frequency-sweep result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcResult {
+    /// Sweep frequencies \[Hz\].
+    pub freqs: Vec<f64>,
+    samples: Vec<Vec<Complex>>,
+}
+
+impl AcResult {
+    /// Complex node voltage phasor at sweep point `k` (the AC source has
+    /// unit magnitude, so this is also the transfer function to `node`).
+    pub fn voltage_at(&self, node: NodeId, k: usize) -> Complex {
+        if node.index() == 0 {
+            Complex::ZERO
+        } else {
+            self.samples[k][node.index() - 1]
+        }
+    }
+
+    /// Magnitude response of a node across the sweep.
+    pub fn magnitude(&self, node: NodeId) -> Vec<f64> {
+        (0..self.freqs.len()).map(|k| self.voltage_at(node, k).abs()).collect()
+    }
+
+    /// Phase response in degrees across the sweep.
+    pub fn phase_deg(&self, node: NodeId) -> Vec<f64> {
+        (0..self.freqs.len()).map(|k| self.voltage_at(node, k).arg_deg()).collect()
+    }
+
+    /// The −3 dB bandwidth of a node relative to its first sweep point,
+    /// by log-linear interpolation. `None` when the response never drops.
+    pub fn bandwidth_3db(&self, node: NodeId) -> Option<f64> {
+        let mags = self.magnitude(node);
+        let ref_mag = mags.first().copied()?;
+        let target = ref_mag / 2.0f64.sqrt();
+        for k in 1..mags.len() {
+            if mags[k] <= target {
+                let (f0, f1) = (self.freqs[k - 1], self.freqs[k]);
+                let (m0, m1) = (mags[k - 1], mags[k]);
+                if m0 == m1 {
+                    return Some(f1);
+                }
+                let t = (m0 - target) / (m0 - m1);
+                return Some(f0 * (f1 / f0).powf(t));
+            }
+        }
+        None
+    }
+}
+
+/// Logarithmically spaced frequency points from `f_start` to `f_stop`.
+///
+/// # Panics
+///
+/// Panics unless `0 < f_start <= f_stop` and `points >= 2`.
+pub fn log_sweep(f_start: f64, f_stop: f64, points: usize) -> Vec<f64> {
+    assert!(f_start > 0.0 && f_stop >= f_start && points >= 2, "invalid log sweep");
+    (0..points)
+        .map(|k| f_start * (f_stop / f_start).powf(k as f64 / (points - 1) as f64))
+        .collect()
+}
+
+/// Small-signal AC analysis (the §VI-A "phase margin" extension): the
+/// circuit is linearized around its DC operating point; the voltage
+/// source named `ac_source` receives a unit phasor and all node voltages
+/// are solved at each frequency.
+///
+/// # Errors
+///
+/// Propagates operating-point failures, [`SpiceError::NotFound`] for an
+/// unknown source, and singular-matrix errors.
+pub fn ac(netlist: &Netlist, ac_source: &str, freqs: &[f64]) -> Result<AcResult, SpiceError> {
+    // Validate the source exists up front.
+    if !netlist.devices.iter().any(|d| {
+        d.name == ac_source && matches!(d.element, Element::VSource { .. })
+    }) {
+        return Err(SpiceError::NotFound { name: ac_source.to_owned() });
+    }
+    let op = op(netlist)?;
+    let n = netlist.unknown_count();
+    let mut samples = Vec::with_capacity(freqs.len());
+    for &f in freqs {
+        let omega = 2.0 * std::f64::consts::PI * f;
+        let mut a = CMatrix::zeros(n);
+        let mut b = vec![Complex::ZERO; n];
+        stamp::stamp_ac(netlist, op.unknowns(), omega, ac_source, &mut a, &mut b);
+        samples.push(a.solve(&b)?);
+    }
+    Ok(AcResult { freqs: freqs.to_vec(), samples })
+}
+
+/// Runs a fixed-step transient analysis.
+///
+/// The initial state is the DC operating point with sources evaluated at
+/// `t = 0` (unless `uic` is set, in which case everything starts at zero).
+///
+/// # Errors
+///
+/// Propagates convergence and singularity errors; rejects non-positive
+/// `dt` or `tstop`.
+pub fn transient(netlist: &Netlist, opts: &TransientOptions) -> Result<Transient, SpiceError> {
+    if !(opts.dt > 0.0) || !(opts.tstop > 0.0) || opts.tstop < opts.dt {
+        return Err(SpiceError::InvalidAnalysis {
+            reason: "transient needs 0 < dt <= tstop",
+        });
+    }
+    let n = netlist.unknown_count();
+    let mut x = if opts.uic {
+        vec![0.0; n]
+    } else {
+        op_at(netlist, 0.0, None)?.x
+    };
+    let mut cap_states = stamp::init_cap_states(netlist, &x);
+
+    let steps = (opts.tstop / opts.dt).round() as usize;
+    let mut time = Vec::with_capacity(steps + 1);
+    let mut samples = Vec::with_capacity(steps + 1);
+    time.push(0.0);
+    samples.push(x.clone());
+
+    for k in 1..=steps {
+        let t = k as f64 * opts.dt;
+        // Trapezoidal integration starts with one backward-Euler step: the
+        // initial capacitor currents are unknown, and BE does not need them.
+        let trapezoidal = opts.integrator == Integrator::Trapezoidal && k > 1;
+        let ctx = StampContext {
+            t,
+            cap_mode: CapMode::Step { dt: opts.dt, trapezoidal },
+            cap_states: &cap_states,
+            gmin: 1e-12,
+            source_scale: 1.0,
+        };
+        x = stamp::newton(netlist, &ctx, &x, 200).map_err(|_| SpiceError::NoConvergence {
+            analysis: "transient step",
+            residual: t,
+        })?;
+        stamp::update_cap_states(netlist, &x, &mut cap_states, opts.dt, trapezoidal);
+
+        time.push(t);
+        samples.push(x.clone());
+    }
+    Ok(Transient { node_count: netlist.node_count(), time, samples })
+}
+
+/// Options for [`transient_adaptive`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveOptions {
+    /// Initial step \[s\].
+    pub dt_initial: f64,
+    /// Smallest permitted step \[s\].
+    pub dt_min: f64,
+    /// Largest permitted step \[s\].
+    pub dt_max: f64,
+    /// Stop time \[s\].
+    pub tstop: f64,
+    /// Local-truncation-error target per step \[V\].
+    pub error_target: f64,
+}
+
+impl AdaptiveOptions {
+    /// Reasonable defaults for nanosecond-scale logic transients.
+    pub fn new(tstop: f64) -> AdaptiveOptions {
+        AdaptiveOptions {
+            dt_initial: tstop / 1000.0,
+            dt_min: tstop / 1_000_000.0,
+            dt_max: tstop / 50.0,
+            tstop,
+            error_target: 1.0e-4,
+        }
+    }
+}
+
+/// Adaptive-step transient using step-doubling error control: each
+/// accepted interval is integrated once with `dt` and once as two `dt/2`
+/// backward-Euler steps; their disagreement estimates the local truncation
+/// error, and the step grows or shrinks to hold it near
+/// [`AdaptiveOptions::error_target`].
+///
+/// Slower per step than [`transient`] but chooses its own resolution —
+/// fine steps across switching edges, long strides through quiescent
+/// phases.
+///
+/// # Errors
+///
+/// Propagates convergence failures; rejects inconsistent options.
+pub fn transient_adaptive(
+    netlist: &Netlist,
+    opts: &AdaptiveOptions,
+) -> Result<Transient, SpiceError> {
+    if !(opts.dt_initial > 0.0)
+        || !(opts.tstop > 0.0)
+        || opts.dt_min > opts.dt_initial
+        || opts.dt_initial > opts.dt_max
+    {
+        return Err(SpiceError::InvalidAnalysis {
+            reason: "adaptive transient needs 0 < dt_min <= dt_initial <= dt_max",
+        });
+    }
+    let n = netlist.unknown_count();
+    let nv = netlist.node_count() - 1;
+    let mut x = op_at(netlist, 0.0, None)?.x;
+    let mut cap_states = stamp::init_cap_states(netlist, &x);
+
+    let mut time = vec![0.0];
+    let mut samples = vec![x.clone()];
+    let mut t = 0.0f64;
+    let mut dt = opts.dt_initial;
+
+    let step_be = |t_to: f64,
+                   dt: f64,
+                   x0: &[f64],
+                   caps: &[stamp::CapState]|
+     -> Result<(Vec<f64>, Vec<stamp::CapState>), SpiceError> {
+        let ctx = StampContext {
+            t: t_to,
+            cap_mode: CapMode::Step { dt, trapezoidal: false },
+            cap_states: caps,
+            gmin: 1e-12,
+            source_scale: 1.0,
+        };
+        let xn = stamp::newton(netlist, &ctx, x0, 200)?;
+        let mut caps2 = caps.to_vec();
+        stamp::update_cap_states(netlist, &xn, &mut caps2, dt, false);
+        Ok((xn, caps2))
+    };
+
+    while t < opts.tstop - 1e-18 {
+        let dt_eff = dt.min(opts.tstop - t);
+        // Full step.
+        let (x_full, caps_full) = step_be(t + dt_eff, dt_eff, &x, &cap_states)?;
+        // Two half steps.
+        let (x_h1, caps_h1) = step_be(t + dt_eff / 2.0, dt_eff / 2.0, &x, &cap_states)?;
+        let (x_h2, caps_h2) = step_be(t + dt_eff, dt_eff / 2.0, &x_h1, &caps_h1)?;
+        // LTE estimate: max node-voltage disagreement.
+        let mut err = 0.0f64;
+        for i in 0..nv.min(n) {
+            err = err.max((x_full[i] - x_h2[i]).abs());
+        }
+        if err <= opts.error_target || dt_eff <= opts.dt_min * 1.0000001 {
+            // Accept the more accurate half-step result.
+            t += dt_eff;
+            x = x_h2;
+            cap_states = caps_h2;
+            let _ = (x_full, caps_full);
+            time.push(t);
+            samples.push(x.clone());
+            // Grow when comfortably under target.
+            if err < 0.25 * opts.error_target {
+                dt = (dt * 2.0).min(opts.dt_max);
+            }
+        } else {
+            dt = (dt / 2.0).max(opts.dt_min);
+        }
+        if time.len() > 5_000_000 {
+            return Err(SpiceError::NoConvergence {
+                analysis: "adaptive transient (step explosion)",
+                residual: t,
+            });
+        }
+    }
+    Ok(Transient { node_count: netlist.node_count(), time, samples })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::MosParams;
+
+    fn divider() -> (Netlist, NodeId) {
+        let mut nl = Netlist::new();
+        let vin = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("V1", vin, Netlist::GROUND, Waveform::Dc(2.0)).unwrap();
+        nl.resistor("R1", vin, out, 1.0e3).unwrap();
+        nl.resistor("R2", out, Netlist::GROUND, 3.0e3).unwrap();
+        (nl, out)
+    }
+
+    #[test]
+    fn divider_op() {
+        let (nl, out) = divider();
+        let r = op(&nl).unwrap();
+        assert!((r.voltage(out) - 1.5).abs() < 1e-6);
+        // Battery delivers 0.5 mA; branch current convention is negative.
+        let i = r.vsource_current(&nl, "V1").unwrap();
+        assert!((i + 0.5e-3).abs() < 1e-8, "i = {i}");
+    }
+
+    #[test]
+    fn ground_voltage_is_zero() {
+        let (nl, _) = divider();
+        let r = op(&nl).unwrap();
+        assert_eq!(r.voltage(Netlist::GROUND), 0.0);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.isource("I1", Netlist::GROUND, a, Waveform::Dc(1.0e-3)).unwrap();
+        nl.resistor("R1", a, Netlist::GROUND, 2.0e3).unwrap();
+        let r = op(&nl).unwrap();
+        assert!((r.voltage(a) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dc_sweep_tracks_source() {
+        let (mut nl, out) = divider();
+        let vals = [0.0, 1.0, 2.0, 4.0];
+        let results = dc_sweep(&mut nl, "V1", &vals).unwrap();
+        for (v, r) in vals.iter().zip(&results) {
+            assert!((r.voltage(out) - 0.75 * v).abs() < 1e-6);
+        }
+        assert!(dc_sweep(&mut nl, "nope", &vals).is_err());
+    }
+
+    #[test]
+    fn rc_charging_matches_analytic() {
+        // 1 kΩ · 1 µF, 1 V step at t = 0 via PULSE.
+        let mut nl = Netlist::new();
+        let vin = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource(
+            "V1",
+            vin,
+            Netlist::GROUND,
+            Waveform::Pulse {
+                v0: 0.0,
+                v1: 1.0,
+                delay: 0.0,
+                rise: 1e-9,
+                fall: 1e-9,
+                width: 1.0,
+                period: 0.0,
+            },
+        )
+        .unwrap();
+        nl.resistor("R1", vin, out, 1.0e3).unwrap();
+        nl.capacitor("C1", out, Netlist::GROUND, 1.0e-6).unwrap();
+        let tau = 1.0e-3;
+        for integ in [Integrator::BackwardEuler, Integrator::Trapezoidal] {
+            let tr = transient(
+                &nl,
+                &TransientOptions {
+                    dt: tau / 200.0,
+                    tstop: 5.0 * tau,
+                    integrator: integ,
+                    uic: true,
+                },
+            )
+            .unwrap();
+            let tol = if integ == Integrator::Trapezoidal { 2e-3 } else { 8e-3 };
+            for (k, &t) in tr.time.iter().enumerate() {
+                let expect = 1.0 - (-t / tau).exp();
+                let got = tr.voltage_at(out, k);
+                assert!(
+                    (got - expect).abs() < tol,
+                    "{integ:?} t={t:.4e}: {got} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trapezoidal_beats_backward_euler_on_rc() {
+        let mut nl = Netlist::new();
+        let vin = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("V1", vin, Netlist::GROUND, Waveform::Dc(1.0)).unwrap();
+        nl.resistor("R1", vin, out, 1.0e3).unwrap();
+        nl.capacitor("C1", out, Netlist::GROUND, 1.0e-6).unwrap();
+        let tau = 1.0e-3;
+        let opts = |integ| TransientOptions { dt: tau / 20.0, tstop: tau, integrator: integ, uic: true };
+        let err = |integ| -> f64 {
+            let tr = transient(&nl, &opts(integ)).unwrap();
+            tr.time
+                .iter()
+                .enumerate()
+                .map(|(k, &t)| {
+                    let expect = 1.0 - (-t / tau).exp();
+                    (tr.voltage_at(out, k) - expect).abs()
+                })
+                .fold(0.0, f64::max)
+        };
+        assert!(err(Integrator::Trapezoidal) < 0.3 * err(Integrator::BackwardEuler));
+    }
+
+    fn switch_params() -> MosParams {
+        MosParams { kp: 2.0e-5, vth: 0.3, lambda: 0.05, w_over_l: 2.0 }
+    }
+
+    #[test]
+    fn nmos_inverter_transfer() {
+        // Resistor-load inverter: out high when gate low, pulled down when
+        // gate high.
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let gate = nl.node("g");
+        let out = nl.node("out");
+        nl.vsource("VDD", vdd, Netlist::GROUND, Waveform::Dc(1.2)).unwrap();
+        nl.vsource("VG", gate, Netlist::GROUND, Waveform::Dc(0.0)).unwrap();
+        nl.resistor("RL", vdd, out, 500.0e3).unwrap();
+        nl.nmos("M1", out, gate, Netlist::GROUND, switch_params()).unwrap();
+        let low_gate = op(&nl).unwrap();
+        assert!(low_gate.voltage(out) > 1.19, "off transistor: out ≈ VDD");
+        let mut nl2 = nl.clone();
+        nl2.set_vsource("VG", Waveform::Dc(1.2)).unwrap();
+        let high_gate = op(&nl2).unwrap();
+        assert!(high_gate.voltage(out) < 0.3, "on transistor pulls down: {}", high_gate.voltage(out));
+    }
+
+    #[test]
+    fn nmos_pass_gate_conducts_both_ways() {
+        // Symmetric pass switch: source and drain roles depend on bias.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        let g = nl.node("g");
+        nl.vsource("VA", a, Netlist::GROUND, Waveform::Dc(1.0)).unwrap();
+        nl.vsource("VG", g, Netlist::GROUND, Waveform::Dc(5.0)).unwrap();
+        nl.resistor("RB", b, Netlist::GROUND, 1.0e6).unwrap();
+        nl.nmos("M1", a, g, b, switch_params()).unwrap();
+        let fwd = op(&nl).unwrap();
+        assert!(fwd.voltage(b) > 0.9, "strongly on switch passes: {}", fwd.voltage(b));
+        // Reverse the driven terminal.
+        let mut nl2 = Netlist::new();
+        let a2 = nl2.node("a");
+        let b2 = nl2.node("b");
+        let g2 = nl2.node("g");
+        nl2.vsource("VB", b2, Netlist::GROUND, Waveform::Dc(1.0)).unwrap();
+        nl2.vsource("VG", g2, Netlist::GROUND, Waveform::Dc(5.0)).unwrap();
+        nl2.resistor("RA", a2, Netlist::GROUND, 1.0e6).unwrap();
+        nl2.nmos("M1", a2, g2, b2, switch_params()).unwrap();
+        let rev = op(&nl2).unwrap();
+        assert!(rev.voltage(a2) > 0.9, "reverse conduction: {}", rev.voltage(a2));
+    }
+
+    #[test]
+    fn transient_rejects_bad_options() {
+        let (nl, _) = divider();
+        assert!(transient(&nl, &TransientOptions::new(0.0, 1.0)).is_err());
+        assert!(transient(&nl, &TransientOptions::new(1.0, 0.5)).is_err());
+    }
+
+    #[test]
+    fn floating_node_is_regularized_not_singular() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("floating");
+        nl.vsource("V1", a, Netlist::GROUND, Waveform::Dc(1.0)).unwrap();
+        nl.capacitor("C1", a, b, 1e-15).unwrap();
+        let r = op(&nl).unwrap();
+        assert!(r.voltage(b).abs() < 1.0, "gmin keeps the system solvable");
+    }
+
+    #[test]
+    fn ac_rc_lowpass_matches_analytic() {
+        let mut nl = Netlist::new();
+        let vin = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("V1", vin, Netlist::GROUND, Waveform::Dc(0.0)).unwrap();
+        nl.resistor("R1", vin, out, 1.0e3).unwrap();
+        nl.capacitor("C1", out, Netlist::GROUND, 1.0e-9).unwrap();
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * 1.0e3 * 1.0e-9);
+        let freqs = log_sweep(fc / 100.0, fc * 100.0, 41);
+        let res = ac(&nl, "V1", &freqs).unwrap();
+        for (k, &f) in freqs.iter().enumerate() {
+            let h = res.voltage_at(out, k);
+            let expect = 1.0 / (1.0 + (f / fc).powi(2)).sqrt();
+            assert!((h.abs() - expect).abs() < 1e-3, "f={f:.3e}: {} vs {expect}", h.abs());
+        }
+        // Phase at the pole is −45°.
+        let res_pole = ac(&nl, "V1", &[fc]).unwrap();
+        assert!((res_pole.voltage_at(out, 0).arg_deg() + 45.0).abs() < 0.5);
+        // −3 dB bandwidth lands on the pole frequency.
+        let bw = res.bandwidth_3db(out).expect("lowpass rolls off");
+        assert!((bw / fc - 1.0).abs() < 0.05, "bw {bw:.3e} vs fc {fc:.3e}");
+    }
+
+    #[test]
+    fn ac_common_source_gain_matches_gm_over_gl() {
+        // Resistor-loaded common-source amplifier: |H(0)| = gm·RL (gds
+        // negligible at lambda = 0).
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let gate = nl.node("g");
+        let out = nl.node("out");
+        nl.vsource("VDD", vdd, Netlist::GROUND, Waveform::Dc(5.0)).unwrap();
+        nl.vsource("VG", gate, Netlist::GROUND, Waveform::Dc(1.0)).unwrap();
+        nl.resistor("RL", vdd, out, 1.0e4).unwrap();
+        nl.nmos(
+            "M1",
+            out,
+            gate,
+            Netlist::GROUND,
+            MosParams { kp: 2.0e-5, vth: 0.4, lambda: 0.0, w_over_l: 2.0 },
+        )
+        .unwrap();
+        let res = ac(&nl, "VG", &[1.0]).unwrap();
+        let gm = 2.0e-5 * 2.0 * (1.0 - 0.4);
+        let expect = gm * 1.0e4;
+        let gain = res.voltage_at(out, 0).abs();
+        assert!((gain - expect).abs() < 0.02 * expect, "gain {gain} vs {expect}");
+        // Inverting stage: phase ≈ 180°.
+        assert!((res.voltage_at(out, 0).arg_deg().abs() - 180.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn ac_rejects_unknown_source() {
+        let (nl, _) = divider();
+        assert!(matches!(ac(&nl, "nope", &[1.0]), Err(SpiceError::NotFound { .. })));
+    }
+
+    #[test]
+    fn nmos3_long_channel_matches_nmos_in_dc() {
+        use crate::mos3::Mos3Params;
+        let build = |level3: bool| -> f64 {
+            let mut nl = Netlist::new();
+            let d = nl.node("d");
+            let g = nl.node("g");
+            nl.vsource("VD", d, Netlist::GROUND, Waveform::Dc(2.0)).unwrap();
+            nl.vsource("VG", g, Netlist::GROUND, Waveform::Dc(1.5)).unwrap();
+            if level3 {
+                nl.nmos3(
+                    "M1",
+                    d,
+                    g,
+                    Netlist::GROUND,
+                    Mos3Params::long_channel(2e-5, 0.4, 0.05, 2.0),
+                )
+                .unwrap();
+            } else {
+                nl.nmos(
+                    "M1",
+                    d,
+                    g,
+                    Netlist::GROUND,
+                    MosParams { kp: 2e-5, vth: 0.4, lambda: 0.05, w_over_l: 2.0 },
+                )
+                .unwrap();
+            }
+            let op = op(&nl).unwrap();
+            -op.vsource_current(&nl, "VD").unwrap()
+        };
+        let (i1, i3) = (build(false), build(true));
+        assert!((i1 - i3).abs() < 1e-9 + 1e-4 * i1.abs(), "{i1:.4e} vs {i3:.4e}");
+    }
+
+    #[test]
+    fn nmos3_gate_caps_slow_the_transient() {
+        use crate::mos3::Mos3Params;
+        // Source follower driving a load: with large gate caps the output
+        // edge through the RC-loaded gate is slower.
+        let build = |cg: f64| -> Netlist {
+            let mut nl = Netlist::new();
+            let vdd = nl.node("vdd");
+            let gin = nl.node("gin");
+            let gate = nl.node("gate");
+            let out = nl.node("out");
+            nl.vsource("VDD", vdd, Netlist::GROUND, Waveform::Dc(5.0)).unwrap();
+            nl.vsource(
+                "VG",
+                gin,
+                Netlist::GROUND,
+                Waveform::Pulse {
+                    v0: 0.0,
+                    v1: 3.0,
+                    delay: 1e-9,
+                    rise: 1e-10,
+                    fall: 1e-10,
+                    width: 1e-6,
+                    period: 0.0,
+                },
+            )
+            .unwrap();
+            nl.resistor("RG", gin, gate, 1.0e5).unwrap();
+            let mut p = Mos3Params::long_channel(2e-5, 0.4, 0.01, 2.0);
+            p.cgs = cg;
+            p.cgd = cg;
+            nl.nmos3("M1", vdd, gate, out, p).unwrap();
+            nl.resistor("RS", out, Netlist::GROUND, 1.0e5).unwrap();
+            nl
+        };
+        let run = |nl: &Netlist| -> Vec<f64> {
+            let tr = transient(nl, &TransientOptions::new(2e-10, 8e-8)).unwrap();
+            let out = nl.find_node("out").unwrap();
+            tr.voltage(out)
+        };
+        let fast = run(&build(1e-16));
+        let slow = run(&build(5e-14));
+        // Compare mid-transient progress.
+        let k = fast.len() / 3;
+        assert!(slow[k] < fast[k], "gate caps delay the follower: {} vs {}", slow[k], fast[k]);
+    }
+
+
+    #[test]
+    fn adaptive_transient_matches_analytic_rc() {
+        let mut nl = Netlist::new();
+        let vin = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("V1", vin, Netlist::GROUND, Waveform::Dc(1.0)).unwrap();
+        nl.resistor("R1", vin, out, 1.0e3).unwrap();
+        nl.capacitor("C1", out, Netlist::GROUND, 1.0e-6).unwrap();
+        let tau = 1.0e-3;
+        // uic-like: start from zero by keeping the source at 0 until t=0+.
+        let mut opts = AdaptiveOptions::new(5.0 * tau);
+        opts.error_target = 2e-4;
+        let tr = transient_adaptive(&nl, &opts).unwrap();
+        // Initial OP already charges the cap to 1 V (DC source), so the
+        // waveform is flat at 1 V — verify flatness and step growth.
+        for k in 0..tr.len() {
+            assert!((tr.voltage_at(out, k) - 1.0).abs() < 1e-6);
+        }
+        assert!(tr.len() < 400, "quiescent run should take long strides: {}", tr.len());
+    }
+
+    #[test]
+    fn adaptive_transient_tracks_a_pulse() {
+        let mut nl = Netlist::new();
+        let vin = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource(
+            "V1",
+            vin,
+            Netlist::GROUND,
+            Waveform::Pulse {
+                v0: 0.0,
+                v1: 1.0,
+                delay: 2.0e-4,
+                rise: 1.0e-6,
+                fall: 1.0e-6,
+                width: 1.0,
+                period: 0.0,
+            },
+        )
+        .unwrap();
+        nl.resistor("R1", vin, out, 1.0e3).unwrap();
+        nl.capacitor("C1", out, Netlist::GROUND, 1.0e-7).unwrap();
+        let tau = 1.0e-4;
+        let mut opts = AdaptiveOptions::new(2.0e-3);
+        opts.error_target = 5e-4;
+        let tr = transient_adaptive(&nl, &opts).unwrap();
+        // Compare the settled tail against the analytic value.
+        let last = tr.voltage_at(out, tr.len() - 1);
+        assert!((last - 1.0).abs() < 1e-3, "settles to 1 V: {last}");
+        // Mid-rise accuracy: pick the sample nearest 2e-4 + tau.
+        let t_probe = 2.0e-4 + tau;
+        let k = tr.time.iter().position(|&t| t >= t_probe).unwrap();
+        let expect = 1.0 - (-(tr.time[k] - 2.0e-4) / tau).exp();
+        assert!(
+            (tr.voltage_at(out, k) - expect).abs() < 0.02,
+            "{} vs {expect}",
+            tr.voltage_at(out, k)
+        );
+    }
+
+    #[test]
+    fn adaptive_rejects_inconsistent_options() {
+        let (nl, _) = divider();
+        let mut opts = AdaptiveOptions::new(1.0);
+        opts.dt_min = 1.0;
+        opts.dt_initial = 0.5;
+        assert!(transient_adaptive(&nl, &opts).is_err());
+    }
+
+}

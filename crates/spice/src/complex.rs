@@ -1,0 +1,263 @@
+//! Minimal complex arithmetic and dense complex LU for AC analysis.
+//!
+//! The AC extension implements the paper's §VI-A plan ("this analysis
+//! should include … phase margin"): small-signal analysis needs complex
+//! MNA matrices, provided here without external dependencies.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+use crate::SpiceError;
+
+/// A complex number (rectangular form).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Creates a complex number.
+    pub fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    /// A purely real value.
+    pub fn real(re: f64) -> Complex {
+        Complex { re, im: 0.0 }
+    }
+
+    /// A purely imaginary value.
+    pub fn imag(im: f64) -> Complex {
+        Complex { re: 0.0, im }
+    }
+
+    /// Magnitude |z|.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Phase in radians.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Phase in degrees.
+    pub fn arg_deg(self) -> f64 {
+        self.arg().to_degrees()
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Complex {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Magnitude in decibels (`20·log10|z|`).
+    pub fn db(self) -> f64 {
+        20.0 * self.abs().log10()
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: f64) -> Complex {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.re * rhs.re + rhs.im * rhs.im;
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+/// A dense complex matrix with LU solve, mirroring [`crate::linalg::Matrix`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    n: usize,
+    data: Vec<Complex>,
+}
+
+impl CMatrix {
+    /// Creates an `n×n` zero matrix.
+    pub fn zeros(n: usize) -> CMatrix {
+        CMatrix { n, data: vec![Complex::ZERO; n * n] }
+    }
+
+    /// Adds `value` to entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn add(&mut self, row: usize, col: usize, value: Complex) {
+        assert!(row < self.n && col < self.n, "index out of range");
+        self.data[row * self.n + col] += value;
+    }
+
+    /// Solves `A·x = b` by LU with partial pivoting (by magnitude).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] on pivot collapse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n`.
+    pub fn solve(mut self, b: &[Complex]) -> Result<Vec<Complex>, SpiceError> {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        let n = self.n;
+        let mut x = b.to_vec();
+        for col in 0..n {
+            let mut piv = col;
+            let mut best = self.data[col * n + col].abs();
+            for row in col + 1..n {
+                let v = self.data[row * n + col].abs();
+                if v > best {
+                    best = v;
+                    piv = row;
+                }
+            }
+            if best < 1e-300 {
+                return Err(SpiceError::SingularMatrix);
+            }
+            if piv != col {
+                for k in 0..n {
+                    self.data.swap(col * n + k, piv * n + k);
+                }
+                x.swap(col, piv);
+            }
+            let diag = self.data[col * n + col];
+            for row in col + 1..n {
+                let factor = self.data[row * n + col] / diag;
+                if factor.abs() == 0.0 {
+                    continue;
+                }
+                for k in col..n {
+                    let v = self.data[col * n + k];
+                    self.data[row * n + k] = self.data[row * n + k] - factor * v;
+                }
+                x[row] = x[row] - factor * x[col];
+            }
+        }
+        for col in (0..n).rev() {
+            x[col] = x[col] / self.data[col * n + col];
+            for row in 0..col {
+                let v = self.data[row * n + col];
+                x[row] = x[row] - v * x[col];
+            }
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(3.0, 4.0);
+        let b = Complex::new(-1.0, 2.0);
+        assert_eq!(a.abs(), 5.0);
+        assert_eq!((a + b) - b, a);
+        let prod = a * b;
+        assert!((prod.re - -11.0).abs() < 1e-12);
+        assert!((prod.im - 2.0).abs() < 1e-12);
+        let q = prod / b;
+        assert!((q.re - a.re).abs() < 1e-12 && (q.im - a.im).abs() < 1e-12);
+        assert_eq!(a.conj().im, -4.0);
+    }
+
+    #[test]
+    fn phase_and_db() {
+        let z = Complex::imag(1.0);
+        assert!((z.arg_deg() - 90.0).abs() < 1e-12);
+        assert!((Complex::real(10.0).db() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complex_lu_solves_known_system() {
+        // (1+j)·x = 2 → x = 1−j.
+        let mut m = CMatrix::zeros(1);
+        m.add(0, 0, Complex::new(1.0, 1.0));
+        let x = m.solve(&[Complex::real(2.0)]).unwrap();
+        assert!((x[0].re - 1.0).abs() < 1e-12 && (x[0].im + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complex_lu_2x2_roundtrip() {
+        let a = [
+            [Complex::new(2.0, 1.0), Complex::new(0.0, -1.0)],
+            [Complex::new(1.0, 0.0), Complex::new(3.0, 2.0)],
+        ];
+        let x_true = [Complex::new(1.0, -1.0), Complex::new(0.5, 2.0)];
+        let b: Vec<Complex> = (0..2)
+            .map(|r| a[r][0] * x_true[0] + a[r][1] * x_true[1])
+            .collect();
+        let mut m = CMatrix::zeros(2);
+        for r in 0..2 {
+            for c in 0..2 {
+                m.add(r, c, a[r][c]);
+            }
+        }
+        let x = m.solve(&b).unwrap();
+        for i in 0..2 {
+            assert!((x[i] - x_true[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn singular_complex_matrix_detected() {
+        let m = CMatrix::zeros(2);
+        assert_eq!(m.solve(&[Complex::ZERO, Complex::ZERO]), Err(SpiceError::SingularMatrix));
+    }
+}

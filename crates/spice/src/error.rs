@@ -1,0 +1,64 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by circuit construction or simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpiceError {
+    /// A device referenced a node id from a different netlist or beyond
+    /// the node count.
+    InvalidNode {
+        /// The offending node index.
+        node: usize,
+        /// Nodes defined in the netlist.
+        nodes: usize,
+    },
+    /// A component value was non-physical (≤ 0 resistance, negative
+    /// capacitance, …).
+    InvalidValue {
+        /// Device name.
+        device: String,
+        /// Explanation.
+        reason: &'static str,
+    },
+    /// The matrix was singular even with gmin regularization.
+    SingularMatrix,
+    /// Newton–Raphson failed to converge after all homotopy fallbacks.
+    NoConvergence {
+        /// Analysis that failed.
+        analysis: &'static str,
+        /// Final residual norm.
+        residual: f64,
+    },
+    /// A named source or node was not found.
+    NotFound {
+        /// The name looked up.
+        name: String,
+    },
+    /// Invalid analysis parameters (zero step, reversed interval, …).
+    InvalidAnalysis {
+        /// Explanation.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::InvalidNode { node, nodes } => {
+                write!(f, "node {node} does not exist (netlist has {nodes} nodes)")
+            }
+            SpiceError::InvalidValue { device, reason } => {
+                write!(f, "invalid value for {device}: {reason}")
+            }
+            SpiceError::SingularMatrix => write!(f, "singular MNA matrix"),
+            SpiceError::NoConvergence { analysis, residual } => {
+                write!(f, "{analysis} failed to converge (residual {residual:.3e})")
+            }
+            SpiceError::NotFound { name } => write!(f, "no source or node named {name:?}"),
+            SpiceError::InvalidAnalysis { reason } => write!(f, "invalid analysis: {reason}"),
+        }
+    }
+}
+
+impl Error for SpiceError {}

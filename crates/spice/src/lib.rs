@@ -1,0 +1,54 @@
+//! A self-contained SPICE-class circuit simulator (the substrate for §V of
+//! the DATE 2019 paper).
+//!
+//! The paper runs its four-terminal-switch circuits in a commercial Spice;
+//! this crate implements the required subset from scratch:
+//!
+//! * [`netlist`] — circuit construction: resistors, capacitors, current
+//!   sources, voltage sources with DC / PULSE / PWL waveforms, and level-1
+//!   n-MOSFETs;
+//! * [`analysis`] — DC operating point (Newton–Raphson with gmin and
+//!   source stepping), DC sweeps, and transient analysis with
+//!   backward-Euler or trapezoidal integration;
+//! * [`measure`] — waveform post-processing: rise/fall times, logic
+//!   levels, threshold crossings (the quantities reported for Fig. 11);
+//! * [`linalg`] — the dense LU core.
+//!
+//! # Example
+//!
+//! A resistive divider:
+//!
+//! ```
+//! use fts_spice::netlist::{Netlist, Waveform};
+//! use fts_spice::analysis;
+//!
+//! let mut nl = Netlist::new();
+//! let vin = nl.node("in");
+//! let out = nl.node("out");
+//! nl.vsource("V1", vin, Netlist::GROUND, Waveform::Dc(2.0))?;
+//! nl.resistor("R1", vin, out, 1.0e3)?;
+//! nl.resistor("R2", out, Netlist::GROUND, 3.0e3)?;
+//! let op = analysis::op(&nl)?;
+//! assert!((op.voltage(out) - 1.5).abs() < 1e-6);
+//! # Ok::<(), fts_spice::SpiceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// `!(x > 0.0)` is used deliberately throughout: unlike `x <= 0.0` it also
+// rejects NaN inputs, which must never reach the solvers.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod analysis;
+pub mod complex;
+mod error;
+pub mod linalg;
+pub mod measure;
+pub mod mos3;
+pub mod netlist;
+mod stamp;
+
+pub use complex::Complex;
+pub use error::SpiceError;
+pub use mos3::Mos3Params;
+pub use netlist::{MosParams, Netlist, NodeId, Waveform};

@@ -1,0 +1,172 @@
+//! Dense LU linear algebra for the MNA core.
+//!
+//! Circuit matrices at this scale (a 9×9 lattice of six-MOSFET switches is
+//! a few hundred unknowns) are handled comfortably by dense LU with partial
+//! pivoting; sparsity is future work and called out in DESIGN.md.
+
+use crate::SpiceError;
+
+/// A dense row-major square matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an `n×n` zero matrix.
+    pub fn zeros(n: usize) -> Matrix {
+        Matrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Reads entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.n && col < self.n, "index out of range");
+        self.data[row * self.n + col]
+    }
+
+    /// Adds `value` to entry `(row, col)` — the MNA stamping primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n && col < self.n, "index out of range");
+        self.data[row * self.n + col] += value;
+    }
+
+    /// Resets all entries to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Solves `A·x = b` in place by LU with partial pivoting, consuming
+    /// the matrix contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] when a pivot collapses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n`.
+    pub fn solve(mut self, b: &[f64]) -> Result<Vec<f64>, SpiceError> {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        let n = self.n;
+        let mut x = b.to_vec();
+        for col in 0..n {
+            // Partial pivot.
+            let mut piv = col;
+            let mut best = self.data[col * n + col].abs();
+            for row in col + 1..n {
+                let v = self.data[row * n + col].abs();
+                if v > best {
+                    best = v;
+                    piv = row;
+                }
+            }
+            if best < 1e-300 {
+                return Err(SpiceError::SingularMatrix);
+            }
+            if piv != col {
+                for k in 0..n {
+                    self.data.swap(col * n + k, piv * n + k);
+                }
+                x.swap(col, piv);
+            }
+            let diag = self.data[col * n + col];
+            for row in col + 1..n {
+                let factor = self.data[row * n + col] / diag;
+                if factor == 0.0 {
+                    continue;
+                }
+                for k in col..n {
+                    let v = self.data[col * n + k];
+                    self.data[row * n + k] -= factor * v;
+                }
+                x[row] -= factor * x[col];
+            }
+        }
+        for col in (0..n).rev() {
+            x[col] /= self.data[col * n + col];
+            for row in 0..col {
+                x[row] -= self.data[row * n + col] * x[col];
+            }
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut m = Matrix::zeros(3);
+        for i in 0..3 {
+            m.add(i, i, 1.0);
+        }
+        let x = m.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_with_pivoting() {
+        // First pivot is zero — requires a row swap.
+        let mut m = Matrix::zeros(2);
+        m.add(0, 1, 1.0);
+        m.add(1, 0, 2.0);
+        let x = m.solve(&[3.0, 4.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_roundtrip() {
+        let n = 12;
+        let mut m = Matrix::zeros(n);
+        let mut state = 1u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut dense = vec![0.0; n * n];
+        for r in 0..n {
+            for c in 0..n {
+                let v = next();
+                dense[r * n + c] = v;
+                m.add(r, c, v);
+            }
+            m.add(r, r, 3.0); // diagonally dominant
+            dense[r * n + r] += 3.0;
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 4.0).collect();
+        let b: Vec<f64> = (0..n)
+            .map(|r| (0..n).map(|c| dense[r * n + c] * x_true[c]).sum())
+            .collect();
+        let x = m.solve(&b).unwrap();
+        for i in 0..n {
+            assert!((x[i] - x_true[i]).abs() < 1e-9, "x[{i}]");
+        }
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let mut m = Matrix::zeros(2);
+        m.add(0, 0, 1.0);
+        m.add(0, 1, 2.0);
+        m.add(1, 0, 2.0);
+        m.add(1, 1, 4.0);
+        assert_eq!(m.solve(&[1.0, 2.0]), Err(SpiceError::SingularMatrix));
+    }
+}

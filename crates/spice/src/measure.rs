@@ -1,0 +1,155 @@
+//! Waveform measurements: the quantities §V of the paper reports for its
+//! transient runs (logic levels, rise and fall times).
+
+/// Finds the time where `signal` first crosses `level` moving in the given
+/// direction, searching from `start_index`, with linear interpolation.
+///
+/// Returns `None` when no crossing exists.
+///
+/// # Panics
+///
+/// Panics if `time` and `signal` lengths differ.
+pub fn crossing_time(
+    time: &[f64],
+    signal: &[f64],
+    level: f64,
+    rising: bool,
+    start_index: usize,
+) -> Option<f64> {
+    assert_eq!(time.len(), signal.len(), "time/signal length mismatch");
+    for k in start_index.max(1)..signal.len() {
+        let (a, b) = (signal[k - 1], signal[k]);
+        let crossed = if rising { a < level && b >= level } else { a > level && b <= level };
+        if crossed {
+            let f = (level - a) / (b - a);
+            return Some(time[k - 1] + f * (time[k] - time[k - 1]));
+        }
+    }
+    None
+}
+
+/// 10%–90% rise time of the first rising edge after `start_index`,
+/// between the given low and high reference levels.
+///
+/// Returns `None` when the edge is incomplete.
+pub fn rise_time(
+    time: &[f64],
+    signal: &[f64],
+    low: f64,
+    high: f64,
+    start_index: usize,
+) -> Option<f64> {
+    let swing = high - low;
+    let t10 = crossing_time(time, signal, low + 0.1 * swing, true, start_index)?;
+    let k10 = time.iter().position(|&t| t >= t10).unwrap_or(start_index);
+    let t90 = crossing_time(time, signal, low + 0.9 * swing, true, k10)?;
+    Some(t90 - t10)
+}
+
+/// 90%–10% fall time of the first falling edge after `start_index`.
+///
+/// Returns `None` when the edge is incomplete.
+pub fn fall_time(
+    time: &[f64],
+    signal: &[f64],
+    low: f64,
+    high: f64,
+    start_index: usize,
+) -> Option<f64> {
+    let swing = high - low;
+    let t90 = crossing_time(time, signal, low + 0.9 * swing, false, start_index)?;
+    let k90 = time.iter().position(|&t| t >= t90).unwrap_or(start_index);
+    let t10 = crossing_time(time, signal, low + 0.1 * swing, false, k90)?;
+    Some(t10 - t90)
+}
+
+/// Mean of the signal over a time window — used to read settled logic
+/// levels.
+///
+/// # Panics
+///
+/// Panics when the window contains no samples or lengths differ.
+pub fn settled_level(time: &[f64], signal: &[f64], t_from: f64, t_to: f64) -> f64 {
+    assert_eq!(time.len(), signal.len(), "time/signal length mismatch");
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (t, v) in time.iter().zip(signal) {
+        if *t >= t_from && *t <= t_to {
+            sum += v;
+            count += 1;
+        }
+    }
+    assert!(count > 0, "no samples in [{t_from}, {t_to}]");
+    sum / count as f64
+}
+
+/// Minimum and maximum of the signal over a window.
+///
+/// # Panics
+///
+/// Panics when the window contains no samples or lengths differ.
+pub fn extrema(time: &[f64], signal: &[f64], t_from: f64, t_to: f64) -> (f64, f64) {
+    assert_eq!(time.len(), signal.len(), "time/signal length mismatch");
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (t, v) in time.iter().zip(signal) {
+        if *t >= t_from && *t <= t_to {
+            lo = lo.min(*v);
+            hi = hi.max(*v);
+        }
+    }
+    assert!(lo <= hi, "no samples in [{t_from}, {t_to}]");
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> (Vec<f64>, Vec<f64>) {
+        // 0→1 linear ramp over t ∈ [0, 1], then flat.
+        let time: Vec<f64> = (0..=200).map(|k| k as f64 * 0.01).collect();
+        let signal: Vec<f64> = time.iter().map(|&t| t.min(1.0)).collect();
+        (time, signal)
+    }
+
+    #[test]
+    fn crossing_interpolates() {
+        let (t, s) = ramp();
+        let tc = crossing_time(&t, &s, 0.5, true, 0).unwrap();
+        assert!((tc - 0.5).abs() < 1e-9);
+        assert!(crossing_time(&t, &s, 0.5, false, 0).is_none());
+    }
+
+    #[test]
+    fn rise_time_of_linear_ramp() {
+        let (t, s) = ramp();
+        let tr = rise_time(&t, &s, 0.0, 1.0, 0).unwrap();
+        assert!((tr - 0.8).abs() < 1e-6, "10–90 of a unit ramp is 0.8, got {tr}");
+    }
+
+    #[test]
+    fn fall_time_of_linear_fall() {
+        let time: Vec<f64> = (0..=100).map(|k| k as f64 * 0.01).collect();
+        let signal: Vec<f64> = time.iter().map(|&t| 1.0 - t).collect();
+        let tf = fall_time(&time, &signal, 0.0, 1.0, 0).unwrap();
+        assert!((tf - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn settled_level_and_extrema() {
+        let (t, s) = ramp();
+        let lvl = settled_level(&t, &s, 1.5, 2.0);
+        assert!((lvl - 1.0).abs() < 1e-12);
+        let (lo, hi) = extrema(&t, &s, 0.0, 2.0);
+        assert_eq!(lo, 0.0);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn settled_level_requires_samples() {
+        let (t, s) = ramp();
+        let _ = settled_level(&t, &s, 5.0, 6.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! A level-3-class short-channel MOSFET model.
+//!
+//! §VI-A of the paper plans "a more accurate model with more specific
+//! equations, such as level-3 and BSIM, which includes more precise gate
+//! and terminal capacitors and short-channel effect". This module provides
+//! that step: mobility degradation, velocity saturation, channel-length
+//! modulation, and Meyer-style constant gate capacitances (wired in by
+//! [`crate::netlist::Netlist::nmos3`]).
+
+/// Level-3-class parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mos3Params {
+    /// Low-field transconductance parameter `Kp = µ0·Cox` \[A/V²\].
+    pub kp: f64,
+    /// Threshold voltage \[V\].
+    pub vth: f64,
+    /// Channel-length modulation \[1/V\].
+    pub lambda: f64,
+    /// Aspect ratio W/L.
+    pub w_over_l: f64,
+    /// Vertical-field mobility degradation θ \[1/V\]: µeff = µ0/(1+θ·Vov).
+    pub theta: f64,
+    /// Velocity-saturation voltage `Esat·L` \[V\]; `f64::INFINITY`
+    /// recovers the long-channel square law.
+    pub esat_l: f64,
+    /// Gate-source capacitance \[F\].
+    pub cgs: f64,
+    /// Gate-drain capacitance \[F\].
+    pub cgd: f64,
+}
+
+impl Mos3Params {
+    /// Long-channel parameters with capacitances, θ = 0 and no velocity
+    /// saturation — behaves like level-1.
+    pub fn long_channel(kp: f64, vth: f64, lambda: f64, w_over_l: f64) -> Mos3Params {
+        Mos3Params {
+            kp,
+            vth,
+            lambda,
+            w_over_l,
+            theta: 0.0,
+            esat_l: f64::INFINITY,
+            cgs: 0.0,
+            cgd: 0.0,
+        }
+    }
+
+    /// Drain current \[A\] with the source as reference (`vds ≥ 0`;
+    /// negative `vds` is folded by device symmetry).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fts_spice::mos3::Mos3Params;
+    ///
+    /// let short = Mos3Params {
+    ///     kp: 2e-5, vth: 0.4, lambda: 0.05, w_over_l: 2.0,
+    ///     theta: 1.0, esat_l: 2.0, cgs: 0.0, cgd: 0.0,
+    /// };
+    /// let long = Mos3Params::long_channel(2e-5, 0.4, 0.05, 2.0);
+    /// // Short-channel effects reduce the drive current.
+    /// assert!(short.ids(5.0, 5.0) < long.ids(5.0, 5.0));
+    /// ```
+    pub fn ids(&self, vgs: f64, vds: f64) -> f64 {
+        if vds < 0.0 {
+            return -self.ids(vgs - vds, -vds);
+        }
+        let vov = vgs - self.vth;
+        if vov <= 0.0 {
+            return 0.0;
+        }
+        let mu_factor = 1.0 / (1.0 + self.theta * vov);
+        let beta = self.kp * self.w_over_l * mu_factor;
+        // Velocity-saturation-limited saturation voltage.
+        let vdsat = if self.esat_l.is_finite() {
+            vov * self.esat_l / (vov + self.esat_l)
+        } else {
+            vov
+        };
+        let triode = |v: f64| beta * (vov - 0.5 * v) * v;
+        if vds <= vdsat {
+            triode(vds) * (1.0 + self.lambda * vds)
+        } else {
+            triode(vdsat) * (1.0 + self.lambda * vds)
+        }
+    }
+
+    /// Numerical small-signal conductances `(ids, gm, gds)` at a bias
+    /// point (central differences; used by the MNA stamps).
+    pub fn linearize(&self, vgs: f64, vds: f64) -> (f64, f64, f64) {
+        let h = 1e-6;
+        let ids = self.ids(vgs, vds);
+        let gm = (self.ids(vgs + h, vds) - self.ids(vgs - h, vds)) / (2.0 * h);
+        let gds = (self.ids(vgs, vds + h) - self.ids(vgs, vds - h)) / (2.0 * h);
+        (ids, gm, gds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short() -> Mos3Params {
+        Mos3Params {
+            kp: 2e-5,
+            vth: 0.4,
+            lambda: 0.05,
+            w_over_l: 2.0,
+            theta: 0.8,
+            esat_l: 1.5,
+            cgs: 1e-15,
+            cgd: 1e-15,
+        }
+    }
+
+    #[test]
+    fn long_channel_limit_matches_level1() {
+        let p = Mos3Params::long_channel(2e-5, 0.4, 0.05, 2.0);
+        // Triode and saturation against the closed-form level-1.
+        let beta = 2e-5 * 2.0;
+        let tri = beta * ((1.6) * 0.5 - 0.125) * (1.0 + 0.05 * 0.5);
+        assert!((p.ids(2.0, 0.5) - tri).abs() < 1e-18);
+        let sat = 0.5 * beta * 1.6 * 1.6 * (1.0 + 0.05 * 3.0);
+        assert!((p.ids(2.0, 3.0) - sat).abs() < 1e-18);
+    }
+
+    #[test]
+    fn cutoff_and_continuity() {
+        let p = short();
+        assert_eq!(p.ids(0.3, 2.0), 0.0);
+        // Continuity across vdsat.
+        let vov: f64 = 2.0 - 0.4;
+        let vdsat = vov * 1.5 / (vov + 1.5);
+        let below = p.ids(2.0, vdsat - 1e-9);
+        let above = p.ids(2.0, vdsat + 1e-9);
+        assert!((below - above).abs() < 1e-12);
+    }
+
+    #[test]
+    fn velocity_saturation_compresses_current() {
+        let p = short();
+        // Current grows sub-quadratically with vov under velocity
+        // saturation: I(2·vov) < 4·I(vov) in deep saturation.
+        let i1 = p.ids(0.4 + 1.0, 5.0);
+        let i2 = p.ids(0.4 + 2.0, 5.0);
+        assert!(i2 < 4.0 * i1, "i2 {i2:.3e} vs 4·i1 {:.3e}", 4.0 * i1);
+    }
+
+    #[test]
+    fn linearize_matches_analytic_in_long_channel_saturation() {
+        let p = Mos3Params::long_channel(2e-5, 0.4, 0.0, 2.0);
+        let (ids, gm, gds) = p.linearize(2.0, 3.0);
+        let beta = 2e-5 * 2.0;
+        assert!((ids - 0.5 * beta * 1.6 * 1.6).abs() < 1e-15);
+        assert!((gm - beta * 1.6).abs() < 1e-9, "gm {gm}");
+        assert!(gds.abs() < 1e-9, "gds {gds}");
+    }
+
+    #[test]
+    fn symmetry_under_terminal_swap() {
+        let p = short();
+        assert!((p.ids(2.0, -1.0) + p.ids(3.0, 1.0)).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,381 @@
+//! MNA device stamping and the shared Newton kernel.
+
+use crate::linalg::Matrix;
+use crate::netlist::{Element, MosParams, Netlist};
+use crate::SpiceError;
+
+/// How capacitors are handled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum CapMode {
+    /// DC: capacitors are open circuits.
+    Open,
+    /// Transient step of size `dt` with the chosen integrator.
+    Step { dt: f64, trapezoidal: bool },
+}
+
+/// Per-capacitor dynamic state (previous voltage and branch current).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct CapState {
+    pub v: f64,
+    pub i: f64,
+}
+
+pub(crate) struct StampContext<'a> {
+    pub t: f64,
+    pub cap_mode: CapMode,
+    pub cap_states: &'a [CapState],
+    pub gmin: f64,
+    pub source_scale: f64,
+}
+
+/// Index of a node voltage inside the unknown vector (`None` = ground).
+fn vidx(node: crate::netlist::NodeId) -> Option<usize> {
+    if node.index() == 0 {
+        None
+    } else {
+        Some(node.index() - 1)
+    }
+}
+
+fn voltage(x: &[f64], node: crate::netlist::NodeId) -> f64 {
+    match vidx(node) {
+        None => 0.0,
+        Some(i) => x[i],
+    }
+}
+
+fn add_conductance(a: &mut Matrix, i: Option<usize>, j: Option<usize>, g: f64) {
+    if let Some(i) = i {
+        a.add(i, i, g);
+    }
+    if let Some(j) = j {
+        a.add(j, j, g);
+    }
+    if let (Some(i), Some(j)) = (i, j) {
+        a.add(i, j, -g);
+        a.add(j, i, -g);
+    }
+}
+
+fn add_current(b: &mut [f64], into: Option<usize>, outof: Option<usize>, i: f64) {
+    if let Some(n) = into {
+        b[n] += i;
+    }
+    if let Some(n) = outof {
+        b[n] -= i;
+    }
+}
+
+/// Level-1 current and small-signal conductances (forward orientation,
+/// `vds ≥ 0`).
+fn level1(params: &MosParams, vgs: f64, vds: f64) -> (f64, f64, f64) {
+    let beta = params.kp * params.w_over_l;
+    let vov = vgs - params.vth;
+    if vov <= 0.0 {
+        return (0.0, 0.0, 0.0);
+    }
+    let clm = 1.0 + params.lambda * vds;
+    if vds <= vov {
+        let ids = beta * (vov * vds - 0.5 * vds * vds) * clm;
+        let gm = beta * vds * clm;
+        let gds = beta * (vov - vds) * clm + beta * (vov * vds - 0.5 * vds * vds) * params.lambda;
+        (ids, gm, gds)
+    } else {
+        let ids = 0.5 * beta * vov * vov * clm;
+        let gm = beta * vov * clm;
+        let gds = 0.5 * beta * vov * vov * params.lambda;
+        (ids, gm, gds)
+    }
+}
+
+/// Stamps every device into `(a, b)` around the linearization point `x`.
+pub(crate) fn stamp_all(
+    netlist: &Netlist,
+    x: &[f64],
+    a: &mut Matrix,
+    b: &mut [f64],
+    ctx: &StampContext<'_>,
+) {
+    let nv = netlist.node_count() - 1;
+    let mut cap_index = 0usize;
+    for dev in &netlist.devices {
+        match &dev.element {
+            Element::Resistor { a: na, b: nb, ohms } => {
+                add_conductance(a, vidx(*na), vidx(*nb), 1.0 / ohms);
+            }
+            Element::Capacitor { a: na, b: nb, farads } => {
+                match ctx.cap_mode {
+                    CapMode::Open => {}
+                    CapMode::Step { dt, trapezoidal } => {
+                        let st = ctx.cap_states[cap_index];
+                        let (g, ieq) = if trapezoidal {
+                            let g = 2.0 * farads / dt;
+                            (g, -(g * st.v + st.i))
+                        } else {
+                            let g = farads / dt;
+                            (g, -g * st.v)
+                        };
+                        // Companion: i = g·v + ieq flowing a → b.
+                        add_conductance(a, vidx(*na), vidx(*nb), g);
+                        add_current(b, vidx(*nb), vidx(*na), ieq);
+                    }
+                }
+                cap_index += 1;
+            }
+            Element::VSource { plus, minus, wave, branch } => {
+                let row = nv + branch;
+                if let Some(p) = vidx(*plus) {
+                    a.add(p, row, 1.0);
+                    a.add(row, p, 1.0);
+                }
+                if let Some(m) = vidx(*minus) {
+                    a.add(m, row, -1.0);
+                    a.add(row, m, -1.0);
+                }
+                b[row] += wave.at(ctx.t) * ctx.source_scale;
+            }
+            Element::ISource { from, to, wave } => {
+                add_current(b, vidx(*to), vidx(*from), wave.at(ctx.t) * ctx.source_scale);
+            }
+            Element::Nmos { d, g, s, params } => {
+                let (vd, vg, vs) = (voltage(x, *d), voltage(x, *g), voltage(x, *s));
+                // Symmetric pass-switch handling: the lower of d/s acts as
+                // the source.
+                let (nd, ns, vds_raw) = if vd >= vs { (*d, *s, vd - vs) } else { (*s, *d, vs - vd) };
+                let vgs = vg - voltage(x, ns);
+                let (ids, gm, gds) = level1(params, vgs, vds_raw);
+                // Linearized drain current: i = ids + gm·Δvgs + gds·Δvds.
+                let ieq = ids - gm * vgs - gds * vds_raw;
+                let (id_, is_, ig_) = (vidx(nd), vidx(ns), vidx(*g));
+                // gds between nd and ns.
+                add_conductance(a, id_, is_, gds + ctx.gmin);
+                // gm contribution: current into nd proportional to (vg−vns).
+                if let Some(r) = id_ {
+                    if let Some(c) = ig_ {
+                        a.add(r, c, gm);
+                    }
+                    if let Some(c) = is_ {
+                        a.add(r, c, -gm);
+                    }
+                }
+                if let Some(r) = is_ {
+                    if let Some(c) = ig_ {
+                        a.add(r, c, -gm);
+                    }
+                    if let Some(c) = is_ {
+                        a.add(r, c, gm);
+                    }
+                }
+                // Constant part flows nd → ns.
+                add_current(b, is_, id_, ieq);
+            }
+            Element::Nmos3 { d, g, s, params } => {
+                let (vd, vg, vs) = (voltage(x, *d), voltage(x, *g), voltage(x, *s));
+                let (nd, ns, vds_raw) = if vd >= vs { (*d, *s, vd - vs) } else { (*s, *d, vs - vd) };
+                let vgs = vg - voltage(x, ns);
+                let (ids, gm, gds) = params.linearize(vgs, vds_raw);
+                let ieq = ids - gm * vgs - gds * vds_raw;
+                let (id_, is_, ig_) = (vidx(nd), vidx(ns), vidx(*g));
+                add_conductance(a, id_, is_, gds + ctx.gmin);
+                if let Some(r) = id_ {
+                    if let Some(c) = ig_ {
+                        a.add(r, c, gm);
+                    }
+                    if let Some(c) = is_ {
+                        a.add(r, c, -gm);
+                    }
+                }
+                if let Some(r) = is_ {
+                    if let Some(c) = ig_ {
+                        a.add(r, c, -gm);
+                    }
+                    if let Some(c) = is_ {
+                        a.add(r, c, gm);
+                    }
+                }
+                add_current(b, is_, id_, ieq);
+            }
+        }
+    }
+    // Global gmin from every node to ground keeps matrices regular even
+    // for floating subcircuits.
+    for n in 0..nv {
+        a.add(n, n, 1e-12);
+    }
+}
+
+/// Updates capacitor states after a successful transient step.
+pub(crate) fn update_cap_states(
+    netlist: &Netlist,
+    x: &[f64],
+    states: &mut [CapState],
+    dt: f64,
+    trapezoidal: bool,
+) {
+    let mut cap_index = 0usize;
+    for dev in &netlist.devices {
+        if let Element::Capacitor { a, b, farads } = &dev.element {
+            let v = voltage(x, *a) - voltage(x, *b);
+            let st = &mut states[cap_index];
+            let i = if trapezoidal {
+                (2.0 * farads / dt) * (v - st.v) - st.i
+            } else {
+                (farads / dt) * (v - st.v)
+            };
+            st.v = v;
+            st.i = i;
+            cap_index += 1;
+        }
+    }
+}
+
+/// Initializes capacitor states from an operating point.
+pub(crate) fn init_cap_states(netlist: &Netlist, x: &[f64]) -> Vec<CapState> {
+    let mut out = Vec::new();
+    for dev in &netlist.devices {
+        if let Element::Capacitor { a, b, .. } = &dev.element {
+            out.push(CapState { v: voltage(x, *a) - voltage(x, *b), i: 0.0 });
+        }
+    }
+    out
+}
+
+/// Newton–Raphson around [`stamp_all`]; returns the converged unknown
+/// vector.
+pub(crate) fn newton(
+    netlist: &Netlist,
+    ctx: &StampContext<'_>,
+    x0: &[f64],
+    max_iterations: usize,
+) -> Result<Vec<f64>, SpiceError> {
+    let n = netlist.unknown_count();
+    let mut x = x0.to_vec();
+    let mut a = Matrix::zeros(n);
+    for _ in 0..max_iterations {
+        a.clear();
+        let mut b = vec![0.0; n];
+        stamp_all(netlist, &x, &mut a, &mut b, ctx);
+        let x_new = a.clone().solve(&b)?;
+        // Voltage-step damping stabilizes MOS Newton iterations.
+        let nv = netlist.node_count() - 1;
+        let mut max_dv = 0.0f64;
+        for i in 0..nv {
+            max_dv = max_dv.max((x_new[i] - x[i]).abs());
+        }
+        let damp = if max_dv > 2.0 { 2.0 / max_dv } else { 1.0 };
+        let mut converged = true;
+        for i in 0..n {
+            let step = (x_new[i] - x[i]) * damp;
+            if step.abs() > 1e-9 + 1e-6 * x[i].abs() {
+                converged = false;
+            }
+            x[i] += step;
+        }
+        if converged && damp == 1.0 {
+            return Ok(x);
+        }
+    }
+    Err(SpiceError::NoConvergence {
+        analysis: "newton",
+        residual: f64::NAN,
+    })
+}
+
+/// Stamps the small-signal (AC) system at angular frequency `omega`,
+/// linearized around the operating point `x_op`. The voltage source named
+/// `ac_source` receives a unit AC stimulus; all other independent sources
+/// are zeroed.
+pub(crate) fn stamp_ac(
+    netlist: &Netlist,
+    x_op: &[f64],
+    omega: f64,
+    ac_source: &str,
+    a: &mut crate::complex::CMatrix,
+    b: &mut [crate::complex::Complex],
+) {
+    use crate::complex::Complex;
+    let nv = netlist.node_count() - 1;
+    let mut addc = |a: &mut crate::complex::CMatrix, i: Option<usize>, j: Option<usize>, y: Complex| {
+        if let Some(i) = i {
+            a.add(i, i, y);
+        }
+        if let Some(j) = j {
+            a.add(j, j, y);
+        }
+        if let (Some(i), Some(j)) = (i, j) {
+            a.add(i, j, -y);
+            a.add(j, i, -y);
+        }
+    };
+    for dev in &netlist.devices {
+        match &dev.element {
+            Element::Resistor { a: na, b: nb, ohms } => {
+                addc(a, vidx(*na), vidx(*nb), Complex::real(1.0 / ohms));
+            }
+            Element::Capacitor { a: na, b: nb, farads } => {
+                addc(a, vidx(*na), vidx(*nb), Complex::imag(omega * farads));
+            }
+            Element::VSource { plus, minus, branch, .. } => {
+                let row = nv + branch;
+                if let Some(p) = vidx(*plus) {
+                    a.add(p, row, Complex::ONE);
+                    a.add(row, p, Complex::ONE);
+                }
+                if let Some(m) = vidx(*minus) {
+                    a.add(m, row, -Complex::ONE);
+                    a.add(row, m, -Complex::ONE);
+                }
+                if dev.name == ac_source {
+                    b[row] += Complex::ONE;
+                }
+            }
+            Element::ISource { .. } => {}
+            Element::Nmos { d, g, s, params } => {
+                let (vd, vg, vs) = (voltage(x_op, *d), voltage(x_op, *g), voltage(x_op, *s));
+                let (nd, ns, vds_raw) = if vd >= vs { (*d, *s, vd - vs) } else { (*s, *d, vs - vd) };
+                let vgs = vg - voltage(x_op, ns);
+                let (_, gm, gds) = level1(params, vgs, vds_raw);
+                stamp_ac_mos(a, vidx(nd), vidx(ns), vidx(*g), gm, gds, &mut addc);
+            }
+            Element::Nmos3 { d, g, s, params } => {
+                let (vd, vg, vs) = (voltage(x_op, *d), voltage(x_op, *g), voltage(x_op, *s));
+                let (nd, ns, vds_raw) = if vd >= vs { (*d, *s, vd - vs) } else { (*s, *d, vs - vd) };
+                let vgs = vg - voltage(x_op, ns);
+                let (_, gm, gds) = params.linearize(vgs, vds_raw);
+                stamp_ac_mos(a, vidx(nd), vidx(ns), vidx(*g), gm, gds, &mut addc);
+            }
+        }
+    }
+    for n in 0..nv {
+        a.add(n, n, crate::complex::Complex::real(1e-12));
+    }
+}
+
+fn stamp_ac_mos(
+    a: &mut crate::complex::CMatrix,
+    id_: Option<usize>,
+    is_: Option<usize>,
+    ig_: Option<usize>,
+    gm: f64,
+    gds: f64,
+    addc: &mut impl FnMut(&mut crate::complex::CMatrix, Option<usize>, Option<usize>, crate::complex::Complex),
+) {
+    use crate::complex::Complex;
+    addc(a, id_, is_, Complex::real(gds + 1e-12));
+    if let Some(r) = id_ {
+        if let Some(c) = ig_ {
+            a.add(r, c, Complex::real(gm));
+        }
+        if let Some(c) = is_ {
+            a.add(r, c, Complex::real(-gm));
+        }
+    }
+    if let Some(r) = is_ {
+        if let Some(c) = ig_ {
+            a.add(r, c, Complex::real(-gm));
+        }
+        if let Some(c) = is_ {
+            a.add(r, c, Complex::real(gm));
+        }
+    }
+}

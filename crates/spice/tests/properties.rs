@@ -1,0 +1,145 @@
+//! Property tests for the circuit simulator: linear-circuit theorems
+//! (superposition, reciprocity) and conservation in transients must hold
+//! for arbitrary networks.
+
+use proptest::prelude::*;
+
+use fts_spice::analysis::{self, Integrator, TransientOptions};
+use fts_spice::{Netlist, Waveform};
+
+/// A random resistive ladder with two sources; returns (netlist, probes).
+fn ladder(resistors: &[f64], v1: f64, v2: f64) -> (Netlist, Vec<fts_spice::NodeId>) {
+    let mut nl = Netlist::new();
+    let mut nodes = Vec::new();
+    let first = nl.node("n0");
+    nodes.push(first);
+    nl.vsource("V1", first, Netlist::GROUND, Waveform::Dc(v1)).unwrap();
+    let mut prev = first;
+    for (k, &r) in resistors.iter().enumerate() {
+        let n = nl.node(&format!("n{}", k + 1));
+        nl.resistor(&format!("R{k}"), prev, n, r).unwrap();
+        nl.resistor(&format!("Rg{k}"), n, Netlist::GROUND, r * 2.0).unwrap();
+        nodes.push(n);
+        prev = n;
+    }
+    let last = nl.node("drive2");
+    nl.resistor("Rend", prev, last, resistors[0]).unwrap();
+    nl.vsource("V2", last, Netlist::GROUND, Waveform::Dc(v2)).unwrap();
+    (nl, nodes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn superposition_on_resistive_ladders(
+        rs in prop::collection::vec(10.0f64..1.0e5, 2..6),
+        v1 in -5.0f64..5.0,
+        v2 in -5.0f64..5.0,
+    ) {
+        let (nl_both, probes) = ladder(&rs, v1, v2);
+        let (nl_a, _) = ladder(&rs, v1, 0.0);
+        let (nl_b, _) = ladder(&rs, 0.0, v2);
+        let both = analysis::op(&nl_both).unwrap();
+        let a = analysis::op(&nl_a).unwrap();
+        let b = analysis::op(&nl_b).unwrap();
+        for &n in &probes {
+            let sum = a.voltage(n) + b.voltage(n);
+            prop_assert!(
+                (both.voltage(n) - sum).abs() < 1e-6 * (1.0 + sum.abs()),
+                "superposition at {:?}: {} vs {}",
+                n,
+                both.voltage(n),
+                sum
+            );
+        }
+    }
+
+    #[test]
+    fn resistor_network_is_reciprocal(
+        r_mid in 10.0f64..1.0e5,
+        r_a in 10.0f64..1.0e5,
+        r_b in 10.0f64..1.0e5,
+    ) {
+        // Two-port reciprocity: I_b from unit source at a equals I_a from
+        // unit source at b (shorted outputs via small resistors).
+        let build = |drive_a: bool| -> f64 {
+            let mut nl = Netlist::new();
+            let a = nl.node("a");
+            let b = nl.node("b");
+            let mid = nl.node("m");
+            nl.resistor("Ra", a, mid, r_a).unwrap();
+            nl.resistor("Rm", mid, Netlist::GROUND, r_mid).unwrap();
+            nl.resistor("Rb", mid, b, r_b).unwrap();
+            if drive_a {
+                nl.vsource("VS", a, Netlist::GROUND, Waveform::Dc(1.0)).unwrap();
+                nl.vsource("VM", b, Netlist::GROUND, Waveform::Dc(0.0)).unwrap();
+            } else {
+                nl.vsource("VS", b, Netlist::GROUND, Waveform::Dc(1.0)).unwrap();
+                nl.vsource("VM", a, Netlist::GROUND, Waveform::Dc(0.0)).unwrap();
+            }
+            let op = analysis::op(&nl).unwrap();
+            op.vsource_current(&nl, "VM").unwrap()
+        };
+        let iab = build(true);
+        let iba = build(false);
+        prop_assert!((iab - iba).abs() < 1e-9 * (1.0 + iab.abs()), "{iab} vs {iba}");
+    }
+
+    #[test]
+    fn rc_transient_charge_conservation(
+        r in 100.0f64..1.0e5,
+        c in 1.0e-12f64..1.0e-8,
+        vstep in 0.1f64..5.0,
+    ) {
+        // The charge delivered through the resistor equals C·ΔV.
+        let mut nl = Netlist::new();
+        let vin = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("V1", vin, Netlist::GROUND, Waveform::Dc(vstep)).unwrap();
+        nl.resistor("R1", vin, out, r).unwrap();
+        nl.capacitor("C1", out, Netlist::GROUND, c).unwrap();
+        let tau = r * c;
+        let tr = analysis::transient(
+            &nl,
+            &TransientOptions { dt: tau / 100.0, tstop: 8.0 * tau, integrator: Integrator::Trapezoidal, uic: true },
+        )
+        .unwrap();
+        let i = tr.vsource_current(&nl, "V1").unwrap();
+        let mut charge = 0.0;
+        for k in 1..tr.time.len() {
+            charge += 0.5 * (i[k] + i[k - 1]) * (tr.time[k] - tr.time[k - 1]);
+        }
+        // Source convention: delivering current reads negative.
+        let delivered = -charge;
+        let expected = c * vstep * (1.0 - (-8.0f64).exp());
+        prop_assert!(
+            (delivered - expected).abs() < 0.03 * expected,
+            "charge {delivered:.4e} vs C·ΔV {expected:.4e}"
+        );
+    }
+
+    #[test]
+    fn dc_sweep_matches_pointwise_ops(
+        r1 in 100.0f64..1.0e5,
+        r2 in 100.0f64..1.0e5,
+        vals in prop::collection::vec(-3.0f64..3.0, 2..6),
+    ) {
+        let build = || -> Netlist {
+            let mut nl = Netlist::new();
+            let vin = nl.node("in");
+            let out = nl.node("out");
+            nl.vsource("V1", vin, Netlist::GROUND, Waveform::Dc(0.0)).unwrap();
+            nl.resistor("R1", vin, out, r1).unwrap();
+            nl.resistor("R2", out, Netlist::GROUND, r2).unwrap();
+            nl
+        };
+        let mut nl = build();
+        let out = nl.find_node("out").unwrap();
+        let sweep = analysis::dc_sweep(&mut nl, "V1", &vals).unwrap();
+        for (v, op) in vals.iter().zip(&sweep) {
+            let expect = v * r2 / (r1 + r2);
+            prop_assert!((op.voltage(out) - expect).abs() < 1e-6 * (1.0 + expect.abs()));
+        }
+    }
+}

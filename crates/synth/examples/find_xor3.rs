@@ -1,0 +1,7 @@
+use fts_logic::generators;
+use fts_synth::search::{anneal, AnnealOptions};
+fn main() {
+    let f = generators::xor(3);
+    let lat = anneal(&f, 3, 3, &AnnealOptions::default()).expect("found");
+    println!("{lat:?}");
+}

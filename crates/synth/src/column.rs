@@ -1,0 +1,230 @@
+//! Column-per-product lattice construction.
+//!
+//! When every product of an irredundant SOP of `f` has exactly `m`
+//! literals, the products can sometimes be laid out as the columns of an
+//! `m×k` lattice: the intended conduction paths are the straight columns,
+//! and the construction is valid when every *sneak path* (a path hopping
+//! between adjacent columns) yields a product already covered by `f`.
+//!
+//! Validity depends on the column ordering and on the literal ordering
+//! inside each column, so this module searches those orderings and verifies
+//! each candidate against the target truth table. The paper's Fig. 3a —
+//! XOR3 on a 3×4 lattice — is exactly such a realization.
+
+use fts_lattice::Lattice;
+use fts_logic::{isop, Cube, Literal, TruthTable};
+
+use crate::SynthError;
+
+/// Maximum number of products for which the ordering search is attempted
+/// (the search tries permutations of columns).
+pub const MAX_COLUMNS: usize = 7;
+
+/// Attempts a column-per-product realization of `f`.
+///
+/// Returns `Ok(None)` when the construction does not apply (products of
+/// unequal size, too many products, or no ordering verifies).
+///
+/// # Errors
+///
+/// Returns [`SynthError::TooManyVariables`] for more than 26 variables.
+///
+/// # Example
+///
+/// ```
+/// use fts_logic::generators;
+/// use fts_synth::column::column_construction;
+///
+/// // The paper's Fig. 3a: XOR3 on a 3×4 lattice.
+/// let f = generators::xor(3);
+/// let lat = column_construction(&f)?.expect("XOR3 has a column realization");
+/// assert_eq!((lat.rows(), lat.cols()), (3, 4));
+/// assert_eq!(lat.truth_table(3)?, f);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn column_construction(f: &TruthTable) -> Result<Option<Lattice>, SynthError> {
+    if f.vars() > 26 {
+        return Err(SynthError::TooManyVariables { vars: f.vars() });
+    }
+    if f.is_zero() || f.is_one() {
+        let lit = if f.is_zero() { Literal::False } else { Literal::True };
+        return Ok(Some(Lattice::filled(1, 1, lit)?));
+    }
+
+    let cover = isop::isop(f);
+    let k = cover.len();
+    if k == 0 || k > MAX_COLUMNS {
+        return Ok(None);
+    }
+    let m = cover.cubes()[0].literal_count() as usize;
+    if m == 0 || cover.iter().any(|c| c.literal_count() as usize != m) {
+        return Ok(None);
+    }
+
+    // Try every column permutation; within a column, literal order is
+    // explored implicitly by trying all permutations of small products.
+    // A global candidate budget keeps the worst case bounded.
+    let columns: Vec<Vec<Literal>> = cover.iter().map(|c| c.literals().collect()).collect();
+    let mut order: Vec<usize> = (0..k).collect();
+    let mut found: Option<Lattice> = None;
+    let mut budget = 200_000usize;
+    permute(&mut order, 0, &mut |perm| {
+        if found.is_some() || budget == 0 {
+            return;
+        }
+        if let Some(lat) = try_orderings(f, &columns, perm, m, &mut budget) {
+            found = Some(lat);
+        }
+    });
+    Ok(found)
+}
+
+/// For a fixed column order, search literal orderings column by column with
+/// backtracking, verifying the full lattice at the end.
+fn try_orderings(
+    f: &TruthTable,
+    columns: &[Vec<Literal>],
+    perm: &[usize],
+    m: usize,
+    budget: &mut usize,
+) -> Option<Lattice> {
+    // Generate all literal permutations per column lazily via Heap's
+    // algorithm; product of permutations is explored by backtracking.
+    let per_col: Vec<Vec<Vec<Literal>>> =
+        perm.iter().map(|&j| permutations(&columns[j])).collect();
+    let mut choice = vec![0usize; per_col.len()];
+    loop {
+        if *budget == 0 {
+            return None;
+        }
+        *budget -= 1;
+        // Assemble and verify.
+        let mut sites = Vec::with_capacity(m * per_col.len());
+        for r in 0..m {
+            for (c, options) in per_col.iter().enumerate() {
+                sites.push(options[choice[c]][r]);
+            }
+        }
+        let lat = Lattice::from_literals(m, per_col.len(), sites).expect("dims consistent");
+        if lat.truth_table(f.vars()).ok().as_ref() == Some(f) {
+            return Some(lat);
+        }
+        // Next choice vector (odometer).
+        let mut i = 0;
+        loop {
+            if i == choice.len() {
+                return None;
+            }
+            choice[i] += 1;
+            if choice[i] < per_col[i].len() {
+                break;
+            }
+            choice[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+fn permutations<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    let mut work = items.to_vec();
+    heap(&mut work, items.len(), &mut out);
+    out
+}
+
+fn heap<T: Clone>(work: &mut [T], k: usize, out: &mut Vec<Vec<T>>) {
+    if k <= 1 {
+        out.push(work.to_vec());
+        return;
+    }
+    for i in 0..k {
+        heap(work, k - 1, out);
+        if k.is_multiple_of(2) {
+            work.swap(i, k - 1);
+        } else {
+            work.swap(0, k - 1);
+        }
+    }
+}
+
+fn permute(order: &mut Vec<usize>, at: usize, f: &mut impl FnMut(&[usize])) {
+    if at == order.len() {
+        f(order);
+        return;
+    }
+    for i in at..order.len() {
+        order.swap(at, i);
+        permute(order, at + 1, f);
+        order.swap(at, i);
+    }
+}
+
+/// Lower bound on the rows of any column realization: the largest product
+/// size of the irredundant SOP. Exposed for planning heuristics.
+pub fn min_rows(cover_products: &[Cube]) -> usize {
+    cover_products.iter().map(|c| c.literal_count() as usize).max().unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fts_logic::generators;
+
+    #[test]
+    fn xor3_column_realization_is_3x4() {
+        let f = generators::xor(3);
+        let lat = column_construction(&f).unwrap().expect("should find ordering");
+        assert_eq!((lat.rows(), lat.cols()), (3, 4));
+        assert_eq!(lat.truth_table(3).unwrap(), f);
+    }
+
+    #[test]
+    fn and_column_realization_is_single_column() {
+        let f = generators::and(4);
+        let lat = column_construction(&f).unwrap().expect("single product always valid");
+        assert_eq!((lat.rows(), lat.cols()), (4, 1));
+        assert_eq!(lat.truth_table(4).unwrap(), f);
+    }
+
+    #[test]
+    fn or_column_realization_is_single_row() {
+        let f = generators::or(3);
+        let lat = column_construction(&f).unwrap().expect("1-literal products");
+        assert_eq!((lat.rows(), lat.cols()), (1, 3));
+        assert_eq!(lat.truth_table(3).unwrap(), f);
+    }
+
+    #[test]
+    fn unequal_products_are_rejected() {
+        // f = a + bc has products of size 1 and 2.
+        let a = TruthTable::var(3, 0).unwrap();
+        let b = TruthTable::var(3, 1).unwrap();
+        let c = TruthTable::var(3, 2).unwrap();
+        let f = &a | &(&b & &c);
+        assert!(column_construction(&f).unwrap().is_none());
+    }
+
+    #[test]
+    fn constants_build_trivially() {
+        let one = TruthTable::constant(2, true).unwrap();
+        let lat = column_construction(&one).unwrap().unwrap();
+        assert!(lat.truth_table(2).unwrap().is_one());
+    }
+
+    #[test]
+    fn majority3_column_realization() {
+        let f = generators::majority(3);
+        if let Some(lat) = column_construction(&f).unwrap() {
+            assert_eq!(lat.truth_table(3).unwrap(), f);
+            assert_eq!(lat.rows(), 2);
+        }
+    }
+
+    #[test]
+    fn xnor3_column_realization_matches_function() {
+        let f = generators::xnor(3);
+        if let Some(lat) = column_construction(&f).unwrap() {
+            assert_eq!(lat.truth_table(3).unwrap(), f);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! The Altun–Riedel dual-cover lattice construction (reference \[9\] of the
+//! paper: Altun & Riedel, *Logic synthesis for switching lattices*, IEEE
+//! Trans. Computers 2012).
+//!
+//! Given a target `f` with irredundant SOP `p_1 + … + p_k` and its dual
+//! `f^D` with irredundant SOP `q_1 + … + q_r`, build an `r×k` lattice whose
+//! site `(i, j)` carries any literal shared by `p_j` and `q_i`. Every column
+//! then realizes its product `p_j` and — by duality — every sneak path is
+//! covered by some product, so the lattice computes exactly `f`.
+
+use fts_lattice::Lattice;
+use fts_logic::{isop, Cube, Literal, TruthTable};
+
+use crate::SynthError;
+
+/// Synthesizes `f` with the Altun–Riedel construction, returning a verified
+/// `|ISOP(f^D)| × |ISOP(f)|` lattice.
+///
+/// Constant functions yield a 1×1 lattice holding the constant.
+///
+/// # Errors
+///
+/// Returns [`SynthError::TooManyVariables`] for more than 26 variables
+/// (literal display and cube masks bound the practical range) and
+/// [`SynthError::NoSharedLiteral`] if the dual invariant is violated
+/// (unreachable via this API; defensive).
+///
+/// # Example
+///
+/// ```
+/// use fts_logic::generators;
+/// use fts_synth::dual::altun_riedel;
+///
+/// let f = generators::majority(3);
+/// let lat = altun_riedel(&f)?;
+/// assert_eq!((lat.rows(), lat.cols()), (3, 3)); // MAJ3 is self-dual
+/// assert_eq!(lat.truth_table(3)?, f);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn altun_riedel(f: &TruthTable) -> Result<Lattice, SynthError> {
+    if f.vars() > 26 {
+        return Err(SynthError::TooManyVariables { vars: f.vars() });
+    }
+    if f.is_zero() {
+        return Ok(Lattice::filled(1, 1, Literal::False)?);
+    }
+    if f.is_one() {
+        return Ok(Lattice::filled(1, 1, Literal::True)?);
+    }
+
+    let cols_cover = isop::isop(f);
+    let rows_cover = isop::isop(&f.dual());
+    let k = cols_cover.len();
+    let r = rows_cover.len();
+
+    let mut sites = Vec::with_capacity(r * k);
+    for (i, q) in rows_cover.iter().enumerate() {
+        for (j, p) in cols_cover.iter().enumerate() {
+            let lit = shared_literal(*p, *q)
+                .ok_or(SynthError::NoSharedLiteral { column: j, row: i })?;
+            sites.push(lit);
+        }
+    }
+    let lattice = Lattice::from_literals(r, k, sites)?;
+    debug_assert_eq!(
+        lattice.truth_table(f.vars())?,
+        *f,
+        "Altun–Riedel construction must be exact"
+    );
+    Ok(lattice)
+}
+
+/// A literal common to both cubes (same variable, same polarity), lowest
+/// variable index first.
+fn shared_literal(p: Cube, q: Cube) -> Option<Literal> {
+    let pos = p.pos_mask() & q.pos_mask();
+    let neg = p.neg_mask() & q.neg_mask();
+    if pos != 0 && (neg == 0 || pos.trailing_zeros() < neg.trailing_zeros()) {
+        Some(Literal::pos(pos.trailing_zeros() as u8))
+    } else if neg != 0 {
+        Some(Literal::neg(neg.trailing_zeros() as u8))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fts_logic::generators;
+
+    fn verify(f: &TruthTable) -> Lattice {
+        let lat = altun_riedel(f).unwrap();
+        assert_eq!(lat.truth_table(f.vars()).unwrap(), *f, "lattice:\n{lat:?}");
+        lat
+    }
+
+    #[test]
+    fn constants_are_one_by_one() {
+        let zero = TruthTable::constant(3, false).unwrap();
+        let one = TruthTable::constant(3, true).unwrap();
+        assert_eq!(altun_riedel(&zero).unwrap().site_count(), 1);
+        assert_eq!(altun_riedel(&one).unwrap().site_count(), 1);
+    }
+
+    #[test]
+    fn and_or_degenerate_shapes() {
+        // AND(n): one product, dual OR(n) has n products → n×1 lattice.
+        let lat = verify(&generators::and(3));
+        assert_eq!((lat.rows(), lat.cols()), (3, 1));
+        // OR(n): n products, dual has 1 product → 1×n lattice.
+        let lat = verify(&generators::or(3));
+        assert_eq!((lat.rows(), lat.cols()), (1, 3));
+    }
+
+    #[test]
+    fn xor3_is_four_by_four() {
+        let lat = verify(&generators::xor(3));
+        assert_eq!((lat.rows(), lat.cols()), (4, 4));
+    }
+
+    #[test]
+    fn majority_is_three_by_three() {
+        let lat = verify(&generators::majority(3));
+        assert_eq!((lat.rows(), lat.cols()), (3, 3));
+    }
+
+    #[test]
+    fn exact_on_random_functions() {
+        let mut state = 0xC0FFEEu64;
+        for vars in 2..=5 {
+            for _ in 0..15 {
+                let f = TruthTable::from_fn(vars, |_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    (state >> 41) & 1 == 1
+                })
+                .unwrap();
+                if f.is_zero() || f.is_one() {
+                    continue;
+                }
+                verify(&f);
+            }
+        }
+    }
+
+    #[test]
+    fn single_literal_functions() {
+        let f = TruthTable::var(4, 2).unwrap();
+        let lat = verify(&f);
+        assert_eq!(lat.site_count(), 1);
+        let g = !&f;
+        let lat = verify(&g);
+        assert_eq!(lat.site_count(), 1);
+    }
+}

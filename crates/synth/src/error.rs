@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+use fts_lattice::LatticeError;
+use fts_logic::LogicError;
+
+/// Errors produced by lattice synthesis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SynthError {
+    /// The target function has too many variables for cube-based synthesis.
+    TooManyVariables {
+        /// The variable count of the target.
+        vars: usize,
+    },
+    /// The Altun–Riedel invariant failed: a product of `f` and a product of
+    /// `f^D` share no literal. This indicates a non-ISOP input cover and is
+    /// unreachable through the public API.
+    NoSharedLiteral {
+        /// Index of the column (product of `f`).
+        column: usize,
+        /// Index of the row (product of `f^D`).
+        row: usize,
+    },
+    /// An underlying logic operation failed.
+    Logic(LogicError),
+    /// An underlying lattice operation failed.
+    Lattice(LatticeError),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::TooManyVariables { vars } => {
+                write!(f, "synthesis supports at most 26 variables, got {vars}")
+            }
+            SynthError::NoSharedLiteral { column, row } => {
+                write!(f, "no shared literal between product {column} and dual product {row}")
+            }
+            SynthError::Logic(e) => write!(f, "logic error: {e}"),
+            SynthError::Lattice(e) => write!(f, "lattice error: {e}"),
+        }
+    }
+}
+
+impl Error for SynthError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthError::Logic(e) => Some(e),
+            SynthError::Lattice(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LogicError> for SynthError {
+    fn from(e: LogicError) -> Self {
+        SynthError::Logic(e)
+    }
+}
+
+impl From<LatticeError> for SynthError {
+    fn from(e: LatticeError) -> Self {
+        SynthError::Lattice(e)
+    }
+}

@@ -1,0 +1,125 @@
+//! Logic synthesis targeting four-terminal switching lattices (§II of the
+//! DATE 2019 paper; algorithms from its references \[2\]–\[4\], \[9\], \[13\]).
+//!
+//! Three synthesis engines are provided, in increasing search effort:
+//!
+//! * [`dual::altun_riedel`] — the constructive Altun–Riedel method: an
+//!   irredundant SOP of the target `f` supplies the columns, an irredundant
+//!   SOP of its dual `f^D` the rows, and each site receives a literal shared
+//!   by its column and row products. Always succeeds, size
+//!   `|ISOP(f^D)| × |ISOP(f)|`.
+//! * [`column::column_construction`] — one column per product, applicable
+//!   when every product has the same literal count; finds the 3×4 XOR3
+//!   realization of the paper's Fig. 3a.
+//! * [`search`] — exhaustive (tiny lattices) and simulated-annealing
+//!   searches for minimum-size realizations; finds the 3×3 XOR3 lattice of
+//!   Fig. 3b.
+//!
+//! # Example
+//!
+//! ```
+//! use fts_logic::generators;
+//! use fts_synth::dual;
+//!
+//! let f = generators::xor(3);
+//! let lat = dual::altun_riedel(&f)?;
+//! assert_eq!((lat.rows(), lat.cols()), (4, 4)); // XOR3 is self-dual, 4 products
+//! assert_eq!(lat.truth_table(3)?, f);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod column;
+pub mod dual;
+mod error;
+pub mod search;
+
+pub use error::SynthError;
+
+use fts_lattice::Lattice;
+use fts_logic::TruthTable;
+
+/// The outcome of [`synthesize`]: a verified lattice plus provenance.
+#[derive(Debug, Clone)]
+pub struct Synthesis {
+    /// The synthesized lattice; its function equals the target.
+    pub lattice: Lattice,
+    /// Which engine produced the result.
+    pub method: Method,
+}
+
+/// Synthesis engine identifiers, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Method {
+    /// Altun–Riedel dual-cover construction.
+    AltunRiedel,
+    /// Column-per-product construction.
+    Column,
+    /// Simulated-annealing size search.
+    Annealing,
+    /// Exhaustive search.
+    Exhaustive,
+}
+
+impl Synthesis {
+    /// Switch count of the realization.
+    pub fn area(&self) -> usize {
+        self.lattice.site_count()
+    }
+}
+
+/// Synthesizes `f`, preferring smaller realizations: tries the column
+/// construction, then Altun–Riedel, and returns the smaller verified result.
+///
+/// This is the "pick the most appropriate lattice" workflow the paper
+/// sketches at the end of §II. For aggressive minimization call
+/// [`search::anneal_minimal`] explicitly.
+///
+/// # Errors
+///
+/// Returns [`SynthError`] when `f` cannot be processed (e.g. more variables
+/// than the lattice cube representation supports).
+pub fn synthesize(f: &TruthTable) -> Result<Synthesis, SynthError> {
+    let ar = dual::altun_riedel(f)?;
+    let best_column = column::column_construction(f)?;
+    let mut best = Synthesis { lattice: ar, method: Method::AltunRiedel };
+    if let Some(col) = best_column {
+        if col.site_count() < best.area() {
+            best = Synthesis { lattice: col, method: Method::Column };
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fts_logic::generators;
+
+    #[test]
+    fn synthesize_prefers_smaller_realization() {
+        let f = generators::xor(3);
+        let s = synthesize(&f).unwrap();
+        assert_eq!(s.lattice.truth_table(3).unwrap(), f);
+        // Column construction gives 3×4 = 12 < 16 = 4×4 Altun–Riedel.
+        assert_eq!(s.method, Method::Column);
+        assert_eq!(s.area(), 12);
+    }
+
+    #[test]
+    fn synthesize_verifies_on_assorted_functions() {
+        for f in [
+            generators::and(4),
+            generators::or(4),
+            generators::majority(3),
+            generators::xnor(3),
+            generators::threshold(4, 2),
+        ] {
+            let s = synthesize(&f).unwrap();
+            assert_eq!(s.lattice.truth_table(f.vars()).unwrap(), f, "method {:?}", s.method);
+        }
+    }
+}

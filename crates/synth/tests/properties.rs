@@ -1,0 +1,47 @@
+//! Property tests for lattice synthesis: every engine's output must
+//! compute exactly the target function, on arbitrary functions.
+
+use proptest::prelude::*;
+
+use fts_logic::TruthTable;
+use fts_synth::{column, dual, synthesize};
+
+fn arb_tt(vars: usize) -> impl Strategy<Value = TruthTable> {
+    prop::collection::vec(any::<bool>(), 1 << vars)
+        .prop_map(move |bits| TruthTable::from_fn(vars, |x| bits[x as usize]).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn altun_riedel_exact_on_4var_functions(f in arb_tt(4)) {
+        let lat = dual::altun_riedel(&f).unwrap();
+        prop_assert_eq!(lat.truth_table(4).unwrap(), f);
+    }
+
+    #[test]
+    fn column_construction_never_returns_wrong_lattices(f in arb_tt(3)) {
+        if let Some(lat) = column::column_construction(&f).unwrap() {
+            prop_assert_eq!(lat.truth_table(3).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn synthesize_picks_a_verified_minimum(f in arb_tt(3)) {
+        let s = synthesize(&f).unwrap();
+        prop_assert_eq!(s.lattice.truth_table(3).unwrap(), f.clone());
+        // Never larger than the dual construction it always has available.
+        let ar = dual::altun_riedel(&f).unwrap();
+        prop_assert!(s.area() <= ar.site_count());
+    }
+
+    #[test]
+    fn dual_construction_dimensions_match_isop_sizes(f in arb_tt(3)) {
+        prop_assume!(!f.is_zero() && !f.is_one());
+        let lat = dual::altun_riedel(&f).unwrap();
+        let cols = fts_logic::isop::isop(&f).len();
+        let rows = fts_logic::isop::isop(&f.dual()).len();
+        prop_assert_eq!((lat.rows(), lat.cols()), (rows, cols));
+    }
+}

@@ -1,0 +1,68 @@
+//! Virtual-TCAD device exploration (§III of the paper): characterize the
+//! square, cross, and junctionless devices with both gate dielectrics and
+//! compare against the paper's reported values.
+//!
+//! ```text
+//! cargo run --release --example device_explorer
+//! ```
+
+use four_terminal_lattice::device::calibration::paper_targets;
+use four_terminal_lattice::device::capacitance;
+use four_terminal_lattice::device::characterize::characterize;
+use four_terminal_lattice::device::{BiasCase, Device, DeviceGeometry, DeviceKind, Dielectric};
+
+fn main() {
+    println!(
+        "{:<14} {:<6} {:>9} {:>9} {:>11} {:>11} {:>9}",
+        "device", "gate", "Vth [V]", "paper", "on/off", "paper", "SS mV/dec"
+    );
+    for kind in DeviceKind::all() {
+        for dielectric in Dielectric::all() {
+            let dev = Device::new(kind, dielectric);
+            let r = characterize(&dev);
+            let t = paper_targets(kind, dielectric);
+            println!(
+                "{:<14} {:<6} {:>9.3} {:>9.2} {:>11.2e} {:>11.0e} {:>9.1}",
+                kind.name(),
+                dielectric.name(),
+                r.vth,
+                t.vth_v,
+                r.on_off_ratio,
+                t.on_off_ratio,
+                r.swing_mv_per_dec
+            );
+        }
+    }
+
+    // Physical check of the paper's "1 fF per terminal" estimate.
+    println!("\nterminal-capacitance estimates (paper uses 1 fF):");
+    for kind in DeviceKind::all() {
+        let g = DeviceGeometry::table2(kind);
+        let c = capacitance::estimate(&g);
+        println!(
+            "  {:<14} junction {:.3} fF + sidewall {:.3} fF + wiring {:.3} fF = {:.3} fF",
+            kind.name(),
+            c.junction_bottom * 1e15,
+            c.junction_sidewall * 1e15,
+            c.wiring * 1e15,
+            c.total() * 1e15
+        );
+    }
+
+    // Per-terminal currents in the sixteen bias cases of §III-B for the
+    // square HfO2 device at Vg = Vd = 5 V.
+    println!("\nper-terminal currents (square HfO2, Vg = Vd = 5 V) [µA]:");
+    let dev = Device::new(DeviceKind::Square, Dielectric::HfO2);
+    println!("{:<6} {:>9} {:>9} {:>9} {:>9}", "case", "T1", "T2", "T3", "T4");
+    for case in BiasCase::paper_cases() {
+        let sol = dev.solve_bias(case, 5.0, 5.0);
+        println!(
+            "{:<6} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            case.to_string(),
+            sol.currents[0] * 1e6,
+            sol.currents[1] * 1e6,
+            sol.currents[2] * 1e6,
+            sol.currents[3] * 1e6
+        );
+    }
+}

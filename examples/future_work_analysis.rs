@@ -1,0 +1,95 @@
+//! The paper's §VI-A roadmap, executed: complementary (dual-rail) lattice
+//! vs the resistive bench, small-signal bandwidth, defect analysis of the
+//! XOR3 realization, and the automated design-space explorer.
+//!
+//! ```text
+//! cargo run --release --example future_work_analysis
+//! ```
+
+use four_terminal_lattice::circuit::complementary::ComplementaryCircuit;
+use four_terminal_lattice::circuit::experiments::xor3_lattice;
+use four_terminal_lattice::circuit::lattice_netlist::{BenchConfig, LatticeCircuit};
+use four_terminal_lattice::circuit::metrics::{measure_lattice_circuit, output_bandwidth};
+use four_terminal_lattice::circuit::model::SwitchCircuitModel;
+use four_terminal_lattice::explorer::{explore, DesignSpec, ExploreOptions};
+use four_terminal_lattice::lattice::defects;
+use four_terminal_lattice::logic::generators;
+use four_terminal_lattice::spice::analysis::log_sweep;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = SwitchCircuitModel::square_hfo2()?;
+    let f = generators::xor(3);
+    let lat = xor3_lattice();
+
+    // 1. Complementary vs resistive bench: static power and low level.
+    println!("== complementary pull-up vs 500 kOhm resistor (XOR3) ==");
+    let resistive = LatticeCircuit::build(&lat, 3, &model, BenchConfig::default())?;
+    let m = measure_lattice_circuit(&resistive, 3, 60e-9, 1e-9)?;
+    let pu = four_terminal_lattice::synth::synthesize(&!&f)?.lattice;
+    let comp = ComplementaryCircuit::build(&lat, &pu, 3, &model, BenchConfig::default())?;
+    let mut comp_static_worst = 0.0f64;
+    let mut comp_vol_worst = 0.0f64;
+    for x in 0..8u32 {
+        comp_static_worst = comp_static_worst.max(comp.static_supply_current(x)? * 1.2);
+        if f.eval(x) {
+            comp_vol_worst = comp_vol_worst.max(comp.dc_output(x)?);
+        }
+    }
+    println!("  resistive bench   : worst static power {:.3e} W, V_OL ~0.19 V", m.static_power_worst);
+    println!("  complementary     : worst static power {:.3e} W, V_OL {:.4} V", comp_static_worst, comp_vol_worst);
+    println!(
+        "  static-power saving: {:.0}x  (paper: 'almost zero')",
+        m.static_power_worst / comp_static_worst.max(1e-18)
+    );
+
+    // 2. Small-signal bandwidth of the resistive bench.
+    println!("\n== small-signal output bandwidth (input a, lattice ON path) ==");
+    let freqs = log_sweep(1e3, 1e12, 91);
+    if let Some(bw) = output_bandwidth(&resistive, 3, 0b111, 0, &freqs)? {
+        println!("  -3 dB bandwidth: {:.3e} Hz", bw);
+    } else {
+        println!("  response flat across the sweep");
+    }
+    if let Some(d) = m.worst_delay {
+        println!("  worst 50%-50% delay: {:.2} ns -> max toggle rate {:.2} MHz",
+            d * 1e9, 1e-6 / (2.0 * d));
+    }
+
+    // 3. Defect analysis of the XOR3 lattice.
+    println!("\n== single-switch defect analysis of the 3x3 XOR3 lattice ==");
+    let report = defects::analyze(&lat, 3)?;
+    println!(
+        "  {} faults, {} undetectable, worst impact {} of 8 rows, detectability {:.1}%",
+        report.total,
+        report.undetectable,
+        report.worst_impact,
+        report.detectability() * 100.0
+    );
+    for (site, impact) in defects::critical_sites(&lat, 3, 3)? {
+        println!("  critical switch at {:?}: up to {} rows corrupted", site, impact);
+    }
+
+    // 4. Automated design tool (fast settings).
+    println!("\n== design-space exploration: XOR2 ==");
+    let g = generators::xor(2);
+    let opts = ExploreOptions { phase: 40e-9, dt: 2e-9, ..Default::default() };
+    let ex = explore(&g, &model, &opts)?;
+    for c in &ex.candidates {
+        println!(
+            "  {:<13} {}x{} ({} sw)  delay {:>7.2} ns  static {:>9.3e} W  energy {:>9.3e} J",
+            c.source,
+            c.lattice.rows(),
+            c.lattice.cols(),
+            c.lattice.site_count(),
+            c.metrics.worst_delay.map(|d| d * 1e9).unwrap_or(f64::NAN),
+            c.metrics.static_power_worst,
+            c.metrics.transient_energy
+        );
+    }
+    let spec = DesignSpec { max_area: Some(6), ..Default::default() };
+    match ex.recommend(&spec) {
+        Some(c) => println!("  recommended under max_area=6: {} {}x{}", c.source, c.lattice.rows(), c.lattice.cols()),
+        None => println!("  nothing meets max_area=6"),
+    }
+    Ok(())
+}

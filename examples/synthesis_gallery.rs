@@ -1,0 +1,65 @@
+//! Lattice-synthesis gallery: compare the three synthesis engines on the
+//! benchmark functions of the paper's §II.
+//!
+//! ```text
+//! cargo run --release --example synthesis_gallery
+//! ```
+
+use four_terminal_lattice::logic::{generators, isop, TruthTable};
+use four_terminal_lattice::synth::search::{anneal_minimal, AnnealOptions};
+use four_terminal_lattice::synth::{column, dual};
+
+fn report(name: &str, f: &TruthTable) {
+    let cover = isop::isop(f);
+    let ar = dual::altun_riedel(f).expect("construction always succeeds");
+    let col = column::column_construction(f).expect("vars in range");
+    let annealed = anneal_minimal(f, 9, &AnnealOptions::default());
+
+    print!(
+        "{:<10} |ISOP| = {:<3} Altun-Riedel {}x{} ({} sw)",
+        name,
+        cover.len(),
+        ar.rows(),
+        ar.cols(),
+        ar.site_count()
+    );
+    match &col {
+        Some(l) => print!("   column {}x{} ({} sw)", l.rows(), l.cols(), l.site_count()),
+        None => print!("   column n/a"),
+    }
+    match &annealed {
+        Some(l) => println!("   annealed {}x{} ({} sw)", l.rows(), l.cols(), l.site_count()),
+        None => println!("   annealed: none within budget"),
+    }
+
+    // Every engine's output must compute exactly f.
+    assert_eq!(ar.truth_table(f.vars()).unwrap(), *f);
+    if let Some(l) = col {
+        assert_eq!(l.truth_table(f.vars()).unwrap(), *f);
+    }
+    if let Some(l) = annealed {
+        assert_eq!(l.truth_table(f.vars()).unwrap(), *f);
+    }
+}
+
+fn main() {
+    println!("engines: Altun-Riedel dual cover / column-per-product / simulated annealing\n");
+    report("AND3", &generators::and(3));
+    report("OR3", &generators::or(3));
+    report("XOR2", &generators::xor(2));
+    report("XOR3", &generators::xor(3));
+    report("XNOR3", &generators::xnor(3));
+    report("MAJ3", &generators::majority(3));
+    report("TH2of4", &generators::threshold(4, 2));
+
+    // A couple of seeded random functions for breadth.
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2019);
+    for k in 0..2 {
+        let f = generators::random(3, &mut rng);
+        if f.is_zero() || f.is_one() {
+            continue;
+        }
+        report(&format!("rand3-{k}"), &f);
+    }
+}

@@ -1,0 +1,54 @@
+//! The paper's flagship circuit experiment (Fig. 11): transient analysis
+//! of the inverse XOR3 computed by a 3×3 switching lattice.
+//!
+//! ```text
+//! cargo run --release --example xor3_lattice_circuit
+//! ```
+
+use four_terminal_lattice::circuit::experiments::{xor3_lattice, Xor3Experiment};
+use four_terminal_lattice::circuit::model::SwitchCircuitModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("XOR3 lattice (paper Fig. 3b, 9 switches):");
+    println!("{}", xor3_lattice());
+
+    let model = SwitchCircuitModel::square_hfo2()?;
+    let report = Xor3Experiment::paper().run(&model)?;
+
+    println!("\ntransient results (paper values in brackets):");
+    println!("  functional      : {}", report.functional);
+    println!("  V_OL            : {:.3} V  [0.22 V]", report.v_ol);
+    println!("  V_OH            : {:.3} V  [~1.2 V]", report.v_oh);
+    println!(
+        "  rise time 10-90 : {:.2} ns  [11.3 ns]",
+        report.rise_s.map(|t| t * 1e9).unwrap_or(f64::NAN)
+    );
+    println!(
+        "  fall time 90-10 : {:.2} ns  [4.7 ns]",
+        report.fall_s.map(|t| t * 1e9).unwrap_or(f64::NAN)
+    );
+
+    println!("\nsettled output per input phase (abc, expected = NOT XOR3):");
+    for (x, lvl) in report.phase_levels.iter().enumerate() {
+        println!("  {:03b} -> {:.3} V", x, lvl);
+    }
+
+    // Coarse ASCII rendering of the output waveform.
+    println!("\noutput waveform (80 columns across the full transient):");
+    let stride = report.time.len() / 80;
+    let mut line = String::new();
+    for k in (0..report.time.len()).step_by(stride.max(1)) {
+        let v = report.output[k];
+        line.push(if v > 0.9 {
+            '#'
+        } else if v > 0.6 {
+            '+'
+        } else if v > 0.3 {
+            '.'
+        } else {
+            '_'
+        });
+    }
+    println!("  {line}");
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! End-to-end tests of the `fts` command-line interface.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn fts() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fts"))
+}
+
+#[test]
+fn count_prints_table1_entries() {
+    let out = fts().args(["count", "4", "5"]).output().expect("run");
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "67");
+}
+
+#[test]
+fn count_rejects_bad_arguments() {
+    let out = fts().args(["count", "0", "3"]).output().expect("run");
+    assert!(!out.status.success());
+    let out = fts().args(["count", "xx", "3"]).output().expect("run");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn synth_reports_verified_lattice() {
+    let out = fts().args(["synth", "xor3"]).output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("verified: true"), "{text}");
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = fts().args(["frobnicate"]).output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn lattice_subcommand_reads_stdin() {
+    let mut child = fts()
+        .args(["lattice", "-", "--vars", "3"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(b"a' c' a\nb' 1 b\na c a'\n")
+        .expect("write");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Inverse-parity truth table of XOR3 inputs ascending: 01101001 pattern
+    // for XOR3 itself.
+    assert!(text.contains("truth table"), "{text}");
+    assert!(text.contains("01101001"), "{text}");
+}
+
+#[test]
+fn characterize_prints_figures_of_merit() {
+    let out = fts().args(["characterize", "cross", "sio2"]).output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Vth"), "{text}");
+    assert!(text.contains("on/off"), "{text}");
+}

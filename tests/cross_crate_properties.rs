@@ -1,0 +1,135 @@
+//! Property-based tests spanning crates: random functions and lattices
+//! must satisfy the structural invariants the reproduction relies on.
+
+use proptest::prelude::*;
+
+use four_terminal_lattice::lattice::{bruteforce, count, Lattice};
+use four_terminal_lattice::logic::{isop, Cover, Cube, Literal, TruthTable};
+use four_terminal_lattice::synth::dual;
+
+fn arb_truth_table(vars: usize) -> impl Strategy<Value = TruthTable> {
+    prop::collection::vec(any::<bool>(), 1 << vars).prop_map(move |bits| {
+        TruthTable::from_fn(vars, |x| bits[x as usize]).expect("vars in range")
+    })
+}
+
+fn arb_literal(vars: u8) -> impl Strategy<Value = Literal> {
+    (0..(2 * vars + 2)).prop_map(move |k| {
+        if k < vars {
+            Literal::pos(k)
+        } else if k < 2 * vars {
+            Literal::neg(k - vars)
+        } else if k == 2 * vars {
+            Literal::True
+        } else {
+            Literal::False
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn isop_is_exact_and_irredundant(f in arb_truth_table(4)) {
+        let cover = isop::isop(&f);
+        prop_assert_eq!(cover.to_truth_table(4), f.clone());
+        prop_assert!(cover.is_irredundant(4));
+    }
+
+    #[test]
+    fn dual_involution_and_de_morgan(f in arb_truth_table(4)) {
+        prop_assert_eq!(f.dual().dual(), f.clone());
+        // f^D = NOT f(NOT x): check pointwise.
+        let d = f.dual();
+        for x in 0..16u32 {
+            prop_assert_eq!(d.eval(x), !f.eval(15 ^ x));
+        }
+    }
+
+    #[test]
+    fn altun_riedel_synthesis_is_exact(f in arb_truth_table(3)) {
+        let lat = dual::altun_riedel(&f).expect("construction succeeds");
+        prop_assert_eq!(lat.truth_table(3).expect("tt"), f);
+    }
+
+    #[test]
+    fn lattice_percolation_equals_path_semantics(
+        lits in prop::collection::vec(arb_literal(3), 6)
+    ) {
+        let lat = Lattice::from_literals(2, 3, lits).expect("6 literals");
+        let tt = lat.truth_table(3).expect("tt");
+        let cover = lat.products().expect("products");
+        prop_assert_eq!(cover.to_truth_table(3), tt);
+    }
+
+    #[test]
+    fn lattice_function_is_monotone_in_switch_upgrades(
+        lits in prop::collection::vec(arb_literal(2), 4),
+        site in 0usize..4
+    ) {
+        // Forcing any one switch permanently ON can only add connectivity.
+        let lat = Lattice::from_literals(2, 2, lits).expect("4 literals");
+        let mut upgraded = lat.clone();
+        upgraded.set_literal((site / 2, site % 2), Literal::True).expect("in range");
+        let before = lat.truth_table(2).expect("tt");
+        let after = upgraded.truth_table(2).expect("tt");
+        prop_assert!(before.implies(&after));
+    }
+
+    #[test]
+    fn absorbed_covers_preserve_function(
+        masks in prop::collection::vec((0u32..16, 0u32..16), 1..8)
+    ) {
+        let cubes: Vec<Cube> = masks
+            .into_iter()
+            .filter_map(|(p, n)| Cube::from_masks(p, n & !p).ok())
+            .collect();
+        prop_assume!(!cubes.is_empty());
+        let mut cover = Cover::from_cubes(cubes);
+        let before = cover.to_truth_table(4);
+        cover.absorb();
+        prop_assert_eq!(cover.to_truth_table(4), before);
+    }
+
+    #[test]
+    fn pruned_path_count_matches_bruteforce(m in 1usize..5, n in 1usize..5) {
+        prop_assert_eq!(
+            count::product_count(m, n),
+            bruteforce::product_count(m, n)
+        );
+    }
+
+    #[test]
+    fn product_count_is_monotone_in_columns(m in 1usize..6, n in 1usize..5) {
+        // Every irredundant path of an m×n lattice remains one after a
+        // column is appended, so Table I rows increase left to right.
+        prop_assert!(count::product_count(m, n + 1) >= count::product_count(m, n));
+    }
+}
+
+#[test]
+fn spice_mosfet_matches_level1_reference() {
+    // The simulator's device must agree with the extraction crate's
+    // closed-form level-1 model across bias space.
+    use four_terminal_lattice::extract::Level1;
+    use four_terminal_lattice::spice::{analysis, MosParams, Netlist, Waveform};
+
+    let reference = Level1::new(2.0e-5, 0.4, 0.06, 2.0);
+    let params = MosParams { kp: 2.0e-5, vth: 0.4, lambda: 0.06, w_over_l: 2.0 };
+    for (vgs, vds) in [(0.2, 1.0), (1.0, 0.2), (1.0, 2.0), (3.0, 1.0), (5.0, 5.0)] {
+        let mut nl = Netlist::new();
+        let d = nl.node("d");
+        let g = nl.node("g");
+        nl.vsource("VD", d, Netlist::GROUND, Waveform::Dc(vds)).unwrap();
+        nl.vsource("VG", g, Netlist::GROUND, Waveform::Dc(vgs)).unwrap();
+        nl.nmos("M1", d, g, Netlist::GROUND, params).unwrap();
+        let op = analysis::op(&nl).unwrap();
+        let sim = -op.vsource_current(&nl, "VD").unwrap();
+        let expect = reference.ids(vgs, vds);
+        assert!(
+            (sim - expect).abs() <= 1e-9 + 1e-6 * expect.abs(),
+            "vgs={vgs} vds={vds}: {sim:.3e} vs {expect:.3e}"
+        );
+    }
+}

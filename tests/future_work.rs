@@ -1,0 +1,112 @@
+//! Integration tests for the §VI-A extensions, spanning synthesis,
+//! device, extraction, and both circuit styles.
+
+use four_terminal_lattice::circuit::complementary::ComplementaryCircuit;
+use four_terminal_lattice::circuit::experiments::xor3_lattice;
+use four_terminal_lattice::circuit::lattice_netlist::{BenchConfig, LatticeCircuit};
+use four_terminal_lattice::circuit::metrics::{measure_lattice_circuit, vtc};
+use four_terminal_lattice::circuit::model::SwitchCircuitModel;
+use four_terminal_lattice::logic::generators;
+use four_terminal_lattice::spice::analysis::{ac, log_sweep};
+use four_terminal_lattice::spice::mos3::Mos3Params;
+use four_terminal_lattice::spice::{analysis, Netlist, Waveform};
+
+#[test]
+fn complementary_xor3_beats_resistive_bench_on_static_power() {
+    let model = SwitchCircuitModel::square_hfo2().expect("model");
+    let f = generators::xor(3);
+    let pd = xor3_lattice();
+
+    let resistive = LatticeCircuit::build(&pd, 3, &model, BenchConfig::default()).expect("build");
+    let rm = measure_lattice_circuit(&resistive, 3, 50e-9, 1e-9).expect("measure");
+
+    let pu = four_terminal_lattice::synth::synthesize(&!&f).expect("synthesis").lattice;
+    let comp =
+        ComplementaryCircuit::build(&pd, &pu, 3, &model, BenchConfig::default()).expect("build");
+    let mut comp_static = 0.0f64;
+    for x in 0..8u32 {
+        comp_static = comp_static.max(comp.static_supply_current(x).expect("op") * 1.2);
+    }
+    assert!(
+        comp_static < rm.static_power_worst / 1000.0,
+        "complementary {comp_static:.3e} W vs resistive {:.3e} W",
+        rm.static_power_worst
+    );
+    // And it computes the same logic.
+    let tt = comp.dc_truth_table().expect("dc");
+    for x in 0..8u32 {
+        assert_eq!(tt[x as usize], !f.eval(x));
+    }
+}
+
+#[test]
+fn xor3_bench_has_positive_noise_margins() {
+    let model = SwitchCircuitModel::square_hfo2().expect("model");
+    let lat = xor3_lattice();
+    let ckt = LatticeCircuit::build(&lat, 3, &model, BenchConfig::default()).expect("build");
+    // Sweep input a with b=1, c=0: XOR3 then equals NOT a, so the output
+    // (inverse) equals a — a rising VTC.
+    let curve = vtc(&ckt, 3, 0, 0b010, 31).expect("vtc");
+    assert!(curve.vout.first().unwrap() < &0.45);
+    assert!(curve.vout.last().unwrap() > &1.0);
+    let (nml, nmh) = curve.noise_margins().expect("switching curve");
+    assert!(nml > 0.05 && nmh > 0.05, "NM_L {nml:.3} NM_H {nmh:.3}");
+}
+
+#[test]
+fn ac_analysis_of_the_xor3_output_pole() {
+    let model = SwitchCircuitModel::square_hfo2().expect("model");
+    let lat = xor3_lattice();
+    let ckt = LatticeCircuit::build(&lat, 3, &model, BenchConfig::default()).expect("build");
+    // All inputs low: lattice off, output follows the pull-up; the pole is
+    // roughly 1/(2π·R_pu·C_out) with C_out ≈ 13 fF → ~25 MHz.
+    let freqs = log_sweep(1e4, 1e11, 71);
+    let res = ac(ckt.netlist(), "VIN0", &freqs).expect("ac");
+    // The response magnitude must be finite and roll off at high f.
+    let mags = res.magnitude(ckt.out());
+    assert!(mags.iter().all(|m| m.is_finite()));
+    assert!(mags.last().unwrap() <= &(mags.first().unwrap() + 1e-9));
+}
+
+#[test]
+fn level3_switch_degrades_gracefully_vs_level1() {
+    // A pass switch built from the level-3 model with short-channel
+    // effects conducts less than its long-channel limit but still works.
+    let run = |params: Mos3Params| -> f64 {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        let g = nl.node("g");
+        nl.vsource("VA", a, Netlist::GROUND, Waveform::Dc(1.2)).unwrap();
+        nl.vsource("VG", g, Netlist::GROUND, Waveform::Dc(1.2)).unwrap();
+        nl.resistor("RB", b, Netlist::GROUND, 1.0e6).unwrap();
+        nl.nmos3("M1", a, g, b, params).unwrap();
+        analysis::op(&nl).unwrap().voltage(b)
+    };
+    let long = run(Mos3Params::long_channel(1.1e-5, 0.05, 0.2, 2.0));
+    let short = run(Mos3Params {
+        kp: 1.1e-5,
+        vth: 0.05,
+        lambda: 0.2,
+        w_over_l: 2.0,
+        theta: 1.0,
+        esat_l: 1.0,
+        cgs: 1e-15,
+        cgd: 1e-15,
+    });
+    // An n-type pass switch tops out a threshold-plus-overdrive below the
+    // gate rail (the classic source-follower limit).
+    assert!(long > 0.8, "long-channel switch passes: {long}");
+    assert!(short > 0.6, "short-channel switch still works: {short}");
+    assert!(short <= long + 1e-9, "short-channel effects cannot help");
+}
+
+#[test]
+fn provable_minimum_matches_annealed_result_for_xor2() {
+    use four_terminal_lattice::synth::search::{anneal_minimal, prove_minimal_area, AnnealOptions};
+    let f = generators::xor(2);
+    let (proved, certified) = prove_minimal_area(&f, 6).expect("realizable");
+    assert!(certified);
+    let annealed = anneal_minimal(&f, 9, &AnnealOptions::default()).expect("found");
+    assert_eq!(proved.site_count(), annealed.site_count(), "both find the true minimum");
+}
