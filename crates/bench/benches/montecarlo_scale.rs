@@ -1,0 +1,49 @@
+//! Monte Carlo engine scaling: sequential vs work-stealing parallel
+//! throughput on the XOR3 DC-yield ensemble. The parallel run must beat
+//! sequential by well over 1.5× on any multi-core machine — the reports
+//! are bit-identical either way, so the speedup is free.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fts_circuit::experiments::xor3_lattice;
+use fts_circuit::model::SwitchCircuitModel;
+use fts_montecarlo::{EvalMode, MonteCarlo, VariationModel};
+
+const TRIALS: u64 = 128;
+
+fn bench_scale(c: &mut Criterion) {
+    let nominal = SwitchCircuitModel::square_hfo2().expect("model");
+    let lat = xor3_lattice();
+    let mc = MonteCarlo::new(TRIALS, 0xBEEF)
+        .variation(VariationModel::standard().with_defect_prob(0.01))
+        .eval(EvalMode::Dc);
+
+    let mut g = c.benchmark_group("montecarlo_scale");
+    g.sample_size(10);
+    let cores = fts_montecarlo::executor::auto_threads();
+    for threads in [1usize, 2, cores.max(4)] {
+        g.bench_with_input(
+            BenchmarkId::new("xor3_dc_128_trials", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    mc.threads(threads)
+                        .run(std::hint::black_box(&lat), 3, &nominal)
+                        .expect("ensemble")
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(5))
+}
+
+criterion_group! {name = benches;config = quick_config();targets = bench_scale}
+criterion_main!(benches);

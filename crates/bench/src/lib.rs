@@ -38,26 +38,6 @@ pub fn write_csv<W: std::io::Write>(
     Ok(())
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn rows_format() {
-        assert!(format_row("x", &[1.0, 2.0], 10, 2).contains("1.00e0"));
-        assert!(format_int_row("y", &[42], 6).contains("42"));
-    }
-
-    #[test]
-    fn csv_round() {
-        let mut buf = Vec::new();
-        write_csv(&mut buf, &["t", "v"], &[&[0.0, 1.0], &[5.0, 6.0]]).unwrap();
-        let s = String::from_utf8(buf).unwrap();
-        assert!(s.starts_with("t,v\n"));
-        assert_eq!(s.lines().count(), 3);
-    }
-}
-
 /// Prints a Figs. 5–7-style device figure: the three §III-B sweeps of the
 /// HfO2 variant (per terminal) and the Vth / on-off summary for both
 /// dielectrics, with paper values alongside.
@@ -118,5 +98,25 @@ pub fn print_device_figure(figure: &str, kind: fts_device::DeviceKind) {
             t.on_off_ratio,
             r.swing_mv_per_dec
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_format() {
+        assert!(format_row("x", &[1.0, 2.0], 10, 2).contains("1.00e0"));
+        assert!(format_int_row("y", &[42], 6).contains("42"));
+    }
+
+    #[test]
+    fn csv_round() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &["t", "v"], &[&[0.0, 1.0], &[5.0, 6.0]]).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("t,v\n"));
+        assert_eq!(s.lines().count(), 3);
     }
 }

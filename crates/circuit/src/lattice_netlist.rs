@@ -55,6 +55,25 @@ impl LatticeCircuit {
         model: &SwitchCircuitModel,
         config: BenchConfig,
     ) -> Result<LatticeCircuit, CircuitError> {
+        Self::build_with(lattice, vars, config, |_| *model)
+    }
+
+    /// Like [`LatticeCircuit::build`] but with a per-site model: `site_model`
+    /// is called once per switch (row-major) and may return a different
+    /// [`SwitchCircuitModel`] for every site. This is how process-variation
+    /// engines instantiate mismatched lattices — each fabricated switch gets
+    /// its own perturbed transistor parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist construction failures; rejects lattices whose
+    /// sites reference variables ≥ `vars`.
+    pub fn build_with(
+        lattice: &Lattice,
+        vars: usize,
+        config: BenchConfig,
+        mut site_model: impl FnMut(fts_lattice::Site) -> SwitchCircuitModel,
+    ) -> Result<LatticeCircuit, CircuitError> {
         for lit in lattice.literals() {
             if let Literal::Var { index, .. } = *lit {
                 if index as usize >= vars {
@@ -117,7 +136,8 @@ impl LatticeCircuit {
                 let t_bottom = vert(&mut nl, r + 1, c);
                 let t_left = horiz(&mut nl, r, c);
                 let t_right = horiz(&mut nl, r, c + 1);
-                switch::add_switch(&mut nl, &name, gate, [t_top, t_right, t_bottom, t_left], model)?;
+                let model = site_model((r, c));
+                switch::add_switch(&mut nl, &name, gate, [t_top, t_right, t_bottom, t_left], &model)?;
             }
         }
 
@@ -265,6 +285,39 @@ mod tests {
         let tt = ckt.dc_truth_table().unwrap();
         for x in 0..8u32 {
             assert_eq!(tt[x as usize], !f.eval(x), "input {x:03b}");
+        }
+    }
+
+    #[test]
+    fn per_site_models_change_the_electrical_result() {
+        // A 1×1 lattice with a weakened switch (half Kp) pulls down less
+        // strongly, so V_OL rises versus the nominal build — but the logic
+        // level stays the same.
+        let lat = Lattice::from_literals(1, 1, vec![Literal::pos(0)]).unwrap();
+        let nominal = model();
+        let uniform = LatticeCircuit::build(&lat, 1, &nominal, BenchConfig::default()).unwrap();
+        let weak = LatticeCircuit::build_with(&lat, 1, BenchConfig::default(), |_| {
+            let mut m = nominal;
+            m.type_a.kp *= 0.5;
+            m.type_b.kp *= 0.5;
+            m
+        })
+        .unwrap();
+        let v_nom = uniform.dc_output(0b1).unwrap();
+        let v_weak = weak.dc_output(0b1).unwrap();
+        assert!(v_weak > v_nom, "weaker pull-down: {v_weak} vs {v_nom}");
+        assert!(v_weak < 0.6, "still reads as logic low");
+    }
+
+    #[test]
+    fn build_with_matches_build_for_constant_model() {
+        let lat = Lattice::from_literals(1, 2, vec![Literal::pos(0), Literal::pos(1)]).unwrap();
+        let m = model();
+        let a = LatticeCircuit::build(&lat, 2, &m, BenchConfig::default()).unwrap();
+        let b = LatticeCircuit::build_with(&lat, 2, BenchConfig::default(), |_| m).unwrap();
+        for x in 0..4u32 {
+            let (va, vb) = (a.dc_output(x).unwrap(), b.dc_output(x).unwrap());
+            assert!((va - vb).abs() < 1e-12, "input {x}: {va} vs {vb}");
         }
     }
 

@@ -16,7 +16,10 @@
 //!    lattice circuits (Figs. 11–12);
 //! 5. **Design automation** ([`explorer`]) — the §VI-A automated design
 //!    tool: candidate generation, measurement, Pareto selection under
-//!    area/power/delay/energy specifications.
+//!    area/power/delay/energy specifications;
+//! 6. **Manufacturing statistics** ([`montecarlo`]) — parallel Monte
+//!    Carlo over process variation and crosspoint defects: functional /
+//!    parametric yield and V_OL / V_OH / delay distributions.
 //!
 //! # Quickstart
 //!
@@ -43,6 +46,7 @@ pub use fts_extract as extract;
 pub use fts_field as field;
 pub use fts_lattice as lattice;
 pub use fts_logic as logic;
+pub use fts_montecarlo as montecarlo;
 pub use fts_spice as spice;
 pub use fts_synth as synth;
 

@@ -11,6 +11,7 @@ use fts_circuit::CircuitError;
 use fts_device::{DeviceKind, Dielectric};
 use fts_lattice::Lattice;
 use fts_logic::TruthTable;
+use fts_montecarlo::{McError, MonteCarlo, YieldReport};
 use fts_synth::SynthError;
 
 /// Errors from the end-to-end pipeline.
@@ -21,6 +22,8 @@ pub enum PipelineError {
     Synth(SynthError),
     /// Circuit construction or simulation failed.
     Circuit(CircuitError),
+    /// Monte Carlo yield analysis failed.
+    MonteCarlo(McError),
 }
 
 impl fmt::Display for PipelineError {
@@ -28,6 +31,7 @@ impl fmt::Display for PipelineError {
         match self {
             PipelineError::Synth(e) => write!(f, "synthesis: {e}"),
             PipelineError::Circuit(e) => write!(f, "circuit: {e}"),
+            PipelineError::MonteCarlo(e) => write!(f, "monte carlo: {e}"),
         }
     }
 }
@@ -37,6 +41,7 @@ impl Error for PipelineError {
         match self {
             PipelineError::Synth(e) => Some(e),
             PipelineError::Circuit(e) => Some(e),
+            PipelineError::MonteCarlo(e) => Some(e),
         }
     }
 }
@@ -50,6 +55,12 @@ impl From<SynthError> for PipelineError {
 impl From<CircuitError> for PipelineError {
     fn from(e: CircuitError) -> Self {
         PipelineError::Circuit(e)
+    }
+}
+
+impl From<McError> for PipelineError {
+    fn from(e: McError) -> Self {
+        PipelineError::MonteCarlo(e)
     }
 }
 
@@ -133,6 +144,34 @@ impl PipelineRun {
     pub fn area(&self) -> usize {
         self.lattice.site_count()
     }
+
+    /// Runs a Monte Carlo yield analysis of this realization: the
+    /// configured ensemble perturbs the extracted switch model and injects
+    /// crosspoint defects around this run's lattice.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ensemble configuration and nominal-path failures.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use four_terminal_lattice::logic::generators;
+    /// use four_terminal_lattice::montecarlo::{EvalMode, MonteCarlo, VariationModel};
+    /// use four_terminal_lattice::pipeline::Pipeline;
+    ///
+    /// let f = generators::and(2);
+    /// let run = Pipeline::standard().realize(&f)?;
+    /// let mc = MonteCarlo::new(32, 7)
+    ///     .variation(VariationModel::standard().with_defect_prob(0.02))
+    ///     .eval(EvalMode::Logical);
+    /// let report = run.yield_analysis(f.vars(), &mc)?;
+    /// assert_eq!(report.evaluated + report.sim_failures, 32);
+    /// # Ok::<(), four_terminal_lattice::pipeline::PipelineError>(())
+    /// ```
+    pub fn yield_analysis(&self, vars: usize, mc: &MonteCarlo) -> Result<YieldReport, PipelineError> {
+        Ok(mc.run(&self.lattice, vars, &self.model)?)
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +193,20 @@ mod tests {
         let run = Pipeline::standard().realize_lattice(&f, lat).unwrap();
         assert!(run.verified);
         assert_eq!(run.area(), 9);
+    }
+
+    #[test]
+    fn pipeline_run_feeds_yield_analysis() {
+        use fts_montecarlo::{EvalMode, VariationModel};
+
+        let f = generators::and(2);
+        let run = Pipeline::standard().realize(&f).unwrap();
+        let mc = MonteCarlo::new(16, 3)
+            .variation(VariationModel::none())
+            .eval(EvalMode::Dc);
+        let report = run.yield_analysis(f.vars(), &mc).unwrap();
+        assert_eq!(report.functional_yield(), 1.0, "nominal ensemble all passes");
+        assert!(report.v_ol.mean > 0.0 && report.v_ol.mean < 0.45);
     }
 
     #[test]

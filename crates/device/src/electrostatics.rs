@@ -184,7 +184,7 @@ mod tests {
                 let e = solve(&DeviceGeometry::table2(kind), d);
                 assert!(e.n >= 1.0 && e.n < 3.0, "{kind}/{d}: n = {}", e.n);
                 let ss = e.subthreshold_swing_mv_per_dec();
-                assert!(ss >= 59.0 && ss < 200.0, "{kind}/{d}: SS = {ss}");
+                assert!((59.0..200.0).contains(&ss), "{kind}/{d}: SS = {ss}");
             }
         }
     }

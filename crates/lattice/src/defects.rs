@@ -50,6 +50,99 @@ pub fn inject(lattice: &Lattice, fault: Fault) -> Result<Lattice, LatticeError> 
     Ok(faulty)
 }
 
+/// The lattice with a whole set of faults injected at once — the
+/// multi-fault scenario Monte Carlo defect analysis samples. Later faults
+/// in `faults` win when two target the same site.
+///
+/// # Errors
+///
+/// Returns [`LatticeError::SiteOutOfRange`] for any site outside the grid
+/// (the lattice is validated before any fault is applied, so the error is
+/// all-or-nothing).
+///
+/// # Example
+///
+/// ```
+/// use fts_lattice::defects::{inject_all, Fault, FaultKind};
+/// use fts_lattice::Lattice;
+/// use fts_logic::Literal;
+///
+/// let lat = Lattice::from_literals(1, 2, vec![Literal::pos(0), Literal::pos(1)])?;
+/// let faulty = inject_all(&lat, &[
+///     Fault { site: (0, 0), kind: FaultKind::StuckOff },
+///     Fault { site: (0, 1), kind: FaultKind::StuckOff },
+/// ])?;
+/// assert!(faulty.truth_table(2)?.is_zero(), "both parallel paths open");
+/// # Ok::<(), fts_lattice::LatticeError>(())
+/// ```
+pub fn inject_all(lattice: &Lattice, faults: &[Fault]) -> Result<Lattice, LatticeError> {
+    for fault in faults {
+        let (r, c) = fault.site;
+        if r >= lattice.rows() || c >= lattice.cols() {
+            return Err(LatticeError::SiteOutOfRange {
+                site: fault.site,
+                rows: lattice.rows(),
+                cols: lattice.cols(),
+            });
+        }
+    }
+    let mut faulty = lattice.clone();
+    for fault in faults {
+        faulty.set_literal(fault.site, fault.kind.literal())?;
+    }
+    Ok(faulty)
+}
+
+/// Number of input assignments (out of `2^vars`) where the lattice with
+/// the whole fault set injected disagrees with the fault-free one —
+/// the multi-fault generalization of [`impact`].
+///
+/// # Errors
+///
+/// Propagates lattice evaluation errors.
+pub fn impact_of_set(lattice: &Lattice, vars: usize, faults: &[Fault]) -> Result<u64, LatticeError> {
+    let good = lattice.truth_table(vars)?;
+    let bad = inject_all(lattice, faults)?.truth_table(vars)?;
+    Ok((&good ^ &bad).count_ones())
+}
+
+/// Exhaustive double-fault analysis: every unordered pair of distinct-site
+/// faults, with its functional impact. The quadratic cost limits this to
+/// small lattices; Monte Carlo sampling covers larger ones.
+///
+/// # Errors
+///
+/// Propagates lattice evaluation errors.
+pub fn analyze_pairs(lattice: &Lattice, vars: usize) -> Result<FaultReport, LatticeError> {
+    let mut singles = Vec::with_capacity(2 * lattice.site_count());
+    for r in 0..lattice.rows() {
+        for c in 0..lattice.cols() {
+            for kind in [FaultKind::StuckOn, FaultKind::StuckOff] {
+                singles.push(Fault { site: (r, c), kind });
+            }
+        }
+    }
+    let mut impacts = Vec::new();
+    let mut undetectable = 0;
+    let mut worst = 0u64;
+    for (i, &a) in singles.iter().enumerate() {
+        for &b in &singles[i + 1..] {
+            if a.site == b.site {
+                continue;
+            }
+            let n = impact_of_set(lattice, vars, &[a, b])?;
+            if n == 0 {
+                undetectable += 1;
+            }
+            worst = worst.max(n);
+            // Report the pair under its first fault; full pair identity is
+            // recoverable from the enumeration order.
+            impacts.push((a, n));
+        }
+    }
+    Ok(FaultReport { total: impacts.len(), undetectable, worst_impact: worst, impacts })
+}
+
 /// Number of input assignments (out of `2^vars`) where the faulty lattice
 /// disagrees with the fault-free one — 0 means the fault is logically
 /// masked (undetectable by exhaustive functional test).
@@ -224,6 +317,78 @@ mod tests {
         for w in crit.windows(2) {
             assert!(w[0].1 >= w[1].1, "descending impact order");
         }
+    }
+
+    #[test]
+    fn inject_all_applies_every_fault() {
+        let lat = and2();
+        let faulty = inject_all(
+            &lat,
+            &[
+                Fault { site: (0, 0), kind: FaultKind::StuckOn },
+                Fault { site: (1, 0), kind: FaultKind::StuckOn },
+            ],
+        )
+        .unwrap();
+        assert!(faulty.truth_table(2).unwrap().is_one(), "both switches shorted → constant 1");
+    }
+
+    #[test]
+    fn inject_all_is_atomic_on_bad_sites() {
+        let lat = and2();
+        let err = inject_all(
+            &lat,
+            &[
+                Fault { site: (0, 0), kind: FaultKind::StuckOn },
+                Fault { site: (7, 7), kind: FaultKind::StuckOff },
+            ],
+        );
+        assert!(matches!(err, Err(LatticeError::SiteOutOfRange { .. })));
+    }
+
+    #[test]
+    fn later_fault_wins_on_same_site() {
+        let lat = and2();
+        let faulty = inject_all(
+            &lat,
+            &[
+                Fault { site: (0, 0), kind: FaultKind::StuckOn },
+                Fault { site: (0, 0), kind: FaultKind::StuckOff },
+            ],
+        )
+        .unwrap();
+        assert_eq!(faulty.literal((0, 0)), Literal::False);
+    }
+
+    #[test]
+    fn empty_fault_set_is_identity() {
+        let lat = and2();
+        let same = inject_all(&lat, &[]).unwrap();
+        assert_eq!(same.truth_table(2).unwrap(), lat.truth_table(2).unwrap());
+        assert_eq!(impact_of_set(&lat, 2, &[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn multi_fault_impact_can_exceed_singles() {
+        // Two parallel duplicate switches: each single stuck-OFF is masked,
+        // but the pair kills the function — the classic reason single-fault
+        // analysis underestimates defect sensitivity.
+        let lat = Lattice::from_literals(1, 2, vec![Literal::pos(0), Literal::pos(0)]).unwrap();
+        let f1 = Fault { site: (0, 0), kind: FaultKind::StuckOff };
+        let f2 = Fault { site: (0, 1), kind: FaultKind::StuckOff };
+        assert_eq!(impact(&lat, 1, f1).unwrap(), 0);
+        assert_eq!(impact(&lat, 1, f2).unwrap(), 0);
+        assert_eq!(impact_of_set(&lat, 1, &[f1, f2]).unwrap(), 1);
+    }
+
+    #[test]
+    fn pair_analysis_covers_all_distinct_site_pairs() {
+        let lat = and2();
+        let report = analyze_pairs(&lat, 2).unwrap();
+        // 2 sites × 2 kinds = 4 faults; pairs across distinct sites:
+        // choose one of 2 kinds per site → 2×2 = 4 pairs.
+        assert_eq!(report.total, 4);
+        assert!(report.worst_impact >= 1);
     }
 
     #[test]

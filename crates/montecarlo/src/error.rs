@@ -1,0 +1,69 @@
+//! Error type for the Monte Carlo engine.
+
+use std::error::Error;
+use std::fmt;
+
+use fts_circuit::CircuitError;
+use fts_extract::ExtractError;
+use fts_lattice::LatticeError;
+
+/// Errors from ensemble configuration or nominal-path evaluation.
+///
+/// Per-trial simulator failures do *not* surface here — they are counted in
+/// [`YieldReport::sim_failures`](crate::YieldReport::sim_failures) so a
+/// single degenerate sample cannot abort a million-trial ensemble.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum McError {
+    /// Lattice construction or evaluation failed.
+    Lattice(LatticeError),
+    /// Circuit construction or simulation failed on the nominal path.
+    Circuit(CircuitError),
+    /// Model re-extraction failed.
+    Extract(ExtractError),
+    /// The ensemble configuration is unusable.
+    InvalidConfig {
+        /// What is wrong.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for McError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McError::Lattice(e) => write!(f, "lattice: {e}"),
+            McError::Circuit(e) => write!(f, "circuit: {e}"),
+            McError::Extract(e) => write!(f, "extraction: {e}"),
+            McError::InvalidConfig { reason } => write!(f, "invalid Monte Carlo config: {reason}"),
+        }
+    }
+}
+
+impl Error for McError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            McError::Lattice(e) => Some(e),
+            McError::Circuit(e) => Some(e),
+            McError::Extract(e) => Some(e),
+            McError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<LatticeError> for McError {
+    fn from(e: LatticeError) -> Self {
+        McError::Lattice(e)
+    }
+}
+
+impl From<CircuitError> for McError {
+    fn from(e: CircuitError) -> Self {
+        McError::Circuit(e)
+    }
+}
+
+impl From<ExtractError> for McError {
+    fn from(e: ExtractError) -> Self {
+        McError::Extract(e)
+    }
+}

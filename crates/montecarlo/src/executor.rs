@@ -1,0 +1,118 @@
+//! Work-stealing parallel block executor.
+//!
+//! Trials are grouped into fixed-size *blocks*; a block is the unit of both
+//! scheduling and accumulation. Workers pull block indices from a shared
+//! atomic counter (cheap work stealing: an idle worker simply takes the next
+//! undone block, so an unlucky thread stuck on slow trials never gates the
+//! rest), compute a per-block result sequentially, and send it back tagged
+//! with its index. The caller merges results **in ascending block order**,
+//! which is what makes every thread count — including the sequential
+//! fallback — produce bit-identical output.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+
+/// A reasonable worker count for this machine (at least 1).
+pub fn auto_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Splits `trials` into `[start, end)` block ranges of at most `block_size`.
+pub fn blocks(trials: u64, block_size: u64) -> Vec<(u64, u64)> {
+    assert!(block_size > 0, "block_size must be positive");
+    let mut out = Vec::with_capacity(trials.div_ceil(block_size) as usize);
+    let mut start = 0;
+    while start < trials {
+        let end = (start + block_size).min(trials);
+        out.push((start, end));
+        start = end;
+    }
+    out
+}
+
+/// Runs `work` over every block and returns the results in block order.
+///
+/// `threads <= 1` (or a single block) runs inline on the caller's thread;
+/// otherwise a scoped thread pool drains an atomic work queue. Both paths
+/// invoke `work` with exactly the same `(block_index, block)` pairs and
+/// order the results identically, so the output is independent of the
+/// thread count.
+///
+/// # Panics
+///
+/// Propagates panics from `work` (scoped threads join on exit).
+pub fn map_blocks<B, R, F>(block_list: &[B], threads: usize, work: F) -> Vec<R>
+where
+    B: Sync,
+    R: Send,
+    F: Fn(usize, &B) -> R + Sync,
+{
+    let threads = threads.max(1).min(block_list.len().max(1));
+    if threads <= 1 || block_list.len() <= 1 {
+        return block_list.iter().enumerate().map(|(k, b)| work(k, b)).collect();
+    }
+
+    let next = AtomicU64::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let work = &work;
+            scope.spawn(move || loop {
+                let k = next.fetch_add(1, Ordering::Relaxed) as usize;
+                if k >= block_list.len() {
+                    break;
+                }
+                // A send can only fail if the receiver is gone, which
+                // cannot happen while this scope holds `rx` alive below.
+                let _ = tx.send((k, work(k, &block_list[k])));
+            });
+        }
+        drop(tx);
+        let mut tagged: Vec<(usize, R)> = rx.iter().collect();
+        tagged.sort_by_key(|(k, _)| *k);
+        tagged.into_iter().map(|(_, r)| r).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_cover_range_exactly() {
+        assert_eq!(blocks(10, 4), vec![(0, 4), (4, 8), (8, 10)]);
+        assert_eq!(blocks(8, 4), vec![(0, 4), (4, 8)]);
+        assert_eq!(blocks(3, 100), vec![(0, 3)]);
+        assert!(blocks(0, 4).is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_order() {
+        let bl = blocks(1000, 7);
+        let f = |k: usize, b: &(u64, u64)| (k as u64) * 1_000_000 + b.0 * 1000 + b.1;
+        let seq = map_blocks(&bl, 1, f);
+        for threads in [2, 3, 8] {
+            assert_eq!(map_blocks(&bl, threads, f), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_blocks_is_fine() {
+        let bl = blocks(3, 1);
+        let out = map_blocks(&bl, 64, |k, b| (k, *b));
+        assert_eq!(out, vec![(0, (0, 1)), (1, (1, 2)), (2, (2, 3))]);
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        let bl: Vec<u64> = (0..32).collect();
+        let out = map_blocks(&bl, 4, |_, &b| {
+            // Make late blocks finish first.
+            std::thread::sleep(std::time::Duration::from_micros((32 - b) * 50));
+            b * 2
+        });
+        assert_eq!(out, (0..32).map(|b| b * 2).collect::<Vec<_>>());
+    }
+}

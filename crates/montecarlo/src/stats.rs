@@ -1,0 +1,319 @@
+//! Streaming, mergeable statistics.
+//!
+//! Ensembles can run millions of trials, so no per-trial data is retained:
+//! moments stream through a [`Welford`] accumulator and percentiles through
+//! a fixed-bin [`Histogram`]. Both merge associatively in a *fixed block
+//! order*, which is what makes the parallel engine bit-identical to the
+//! sequential one — every thread count produces the same sequence of merge
+//! operations (see `executor`).
+
+/// Welford/Chan streaming moments: count, mean, variance, extrema.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Welford {
+    fn default() -> Welford {
+        Welford { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+}
+
+impl Welford {
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator (Chan et al. pairwise update). The result
+    /// depends on operand order only through floating-point rounding, so
+    /// callers must merge in a deterministic order.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let delta = other.mean - self.mean;
+        let n = na + nb;
+        self.mean += delta * nb / n;
+        self.m2 += other.m2 + delta * delta * na * nb / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation (0 when empty).
+    pub fn std_dev(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).max(0.0).sqrt()
+        }
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// A fixed-range, fixed-bin histogram with exact integer counts — the
+/// streaming percentile estimator. Counts merge exactly, so percentile
+/// queries are bit-identical however the ensemble was partitioned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    /// Observations below `lo`.
+    below: u64,
+    /// Observations at or above `hi`.
+    above: u64,
+}
+
+impl Histogram {
+    /// A histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `hi <= lo` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(hi > lo && bins > 0, "bad histogram range");
+        Histogram { lo, hi, bins: vec![0; bins], below: 0, above: 0 }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.below += 1;
+        } else if x >= self.hi {
+            self.above += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let k = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
+            self.bins[k] += 1;
+        }
+    }
+
+    /// Merges another histogram with the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch (different range or bin count).
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "histogram shape mismatch"
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.below += other.below;
+        self.above += other.above;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.below + self.above + self.bins.iter().sum::<u64>()
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) as the upper edge of the bin
+    /// where the cumulative count crosses `q·total`; 0 when empty.
+    /// Resolution is one bin width.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cum = self.below;
+        if cum >= target {
+            return self.lo;
+        }
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        for (k, &n) in self.bins.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                return self.lo + w * (k + 1) as f64;
+            }
+        }
+        self.hi
+    }
+}
+
+/// The condensed distribution summary reported per metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SummaryStats {
+    /// Observations contributing to this metric.
+    pub n: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (histogram resolution).
+    pub p50: f64,
+    /// 95th percentile (histogram resolution).
+    pub p95: f64,
+    /// 99th percentile (histogram resolution).
+    pub p99: f64,
+}
+
+impl SummaryStats {
+    /// Builds the summary from the two streaming accumulators.
+    pub fn from_accumulators(w: &Welford, h: &Histogram) -> SummaryStats {
+        SummaryStats {
+            n: w.count(),
+            mean: w.mean(),
+            std_dev: w.std_dev(),
+            min: w.min(),
+            max: w.max(),
+            p50: h.quantile(0.50),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+        }
+    }
+
+    /// An all-zero summary (no observations).
+    pub fn empty() -> SummaryStats {
+        SummaryStats { n: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0, p50: 0.0, p95: 0.0, p99: 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive_moments() {
+        let xs: Vec<f64> = (0..100).map(|k| (k as f64 * 0.37).sin() * 3.0 + 1.0).collect();
+        let mut w = Welford::default();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.std_dev() - var.sqrt()).abs() < 1e-12);
+        assert_eq!(w.count(), 100);
+    }
+
+    #[test]
+    fn block_merge_is_thread_count_invariant() {
+        // The exact scenario the executor creates: the same blocks, merged
+        // in the same order, must give bit-identical results no matter how
+        // blocks were computed.
+        let xs: Vec<f64> = (0..1000).map(|k| ((k * 2654435761u64 % 1000) as f64) * 0.01).collect();
+        let block = 64;
+        let blocks: Vec<Welford> = xs
+            .chunks(block)
+            .map(|c| {
+                let mut w = Welford::default();
+                c.iter().for_each(|&x| w.push(x));
+                w
+            })
+            .collect();
+        let merge_all = || {
+            let mut g = Welford::default();
+            blocks.iter().for_each(|b| g.merge(b));
+            g
+        };
+        let a = merge_all();
+        let b = merge_all();
+        assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+        assert_eq!(a.std_dev().to_bits(), b.std_dev().to_bits());
+    }
+
+    #[test]
+    fn empty_welford_reports_zeros() {
+        let w = Welford::default();
+        assert_eq!((w.count(), w.mean(), w.std_dev(), w.min(), w.max()), (0, 0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn merging_empty_is_identity() {
+        let mut a = Welford::default();
+        a.push(2.0);
+        a.push(4.0);
+        let before = a;
+        a.merge(&Welford::default());
+        assert_eq!(a, before);
+        let mut e = Welford::default();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let mut h = Histogram::new(0.0, 1.0, 100);
+        for k in 0..1000 {
+            h.push(k as f64 / 1000.0);
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.quantile(0.5) - 0.5).abs() <= 0.02, "p50 {}", h.quantile(0.5));
+        assert!((h.quantile(0.95) - 0.95).abs() <= 0.02, "p95 {}", h.quantile(0.95));
+        assert!(h.quantile(0.0) <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn histogram_overflow_buckets_count() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        h.push(-1.0);
+        h.push(0.5);
+        h.push(7.0);
+        assert_eq!(h.count(), 3);
+        let mut other = Histogram::new(0.0, 1.0, 10);
+        other.push(0.25);
+        h.merge(&other);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn summary_of_empty_is_all_zero() {
+        let s = SummaryStats::from_accumulators(&Welford::default(), &Histogram::new(0.0, 1.0, 4));
+        assert_eq!(s, SummaryStats::empty());
+    }
+}

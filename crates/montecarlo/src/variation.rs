@@ -1,0 +1,411 @@
+//! Process-variation and defect models.
+//!
+//! A [`VariationModel`] describes how fabricated four-terminal switches
+//! deviate from the nominal extracted model:
+//!
+//! - **Die-level corners** (`global`): one sample per trial shifts every
+//!   switch together — lot-to-lot oxide thickness, lithography bias,
+//!   doping. Optionally mapped through the full virtual-TCAD →
+//!   level-1-extraction flow ([`ParamMapping::Refit`]) instead of the
+//!   analytic first-order map.
+//! - **Per-switch mismatch** (`mismatch`): one sample per lattice site on
+//!   top of the die corner — local Vth/Kp/geometry mismatch.
+//! - **Crosspoint defects**: each switch is independently stuck-ON or
+//!   stuck-OFF with probability [`VariationModel::defect_prob`], the fault
+//!   model of `fts-lattice::defects`.
+//!
+//! The analytic parameter map uses the standard first-order sensitivities
+//! of the level-1 model: `Kp = µ·Cox ∝ 1/tox`, `Vth` rising linearly with
+//! `tox` (fixed depletion charge across a thicker oxide), and `W/L`
+//! scaling directly with the lithography factor.
+
+use fts_circuit::model::SwitchCircuitModel;
+use fts_device::{Device, DeviceKind, Dielectric};
+use fts_extract::fit::{channel_iv_data, fit_level1};
+use fts_lattice::defects::{Fault, FaultKind};
+use fts_lattice::Lattice;
+use fts_spice::MosParams;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::error::McError;
+use crate::rng::standard_normal;
+
+/// Standard deviations of one layer of parameter variation. All fields are
+/// 1-σ values; `sigma_vth` is absolute volts, the rest are relative.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParamSigmas {
+    /// Threshold-voltage shift σ \[V\].
+    pub vth_v: f64,
+    /// Relative transconductance (`Kp`) σ.
+    pub kp_rel: f64,
+    /// Relative channel-geometry (`W/L`) σ.
+    pub geom_rel: f64,
+    /// Relative gate-oxide-thickness σ (mapped into `Kp` and `Vth`).
+    pub tox_rel: f64,
+    /// Relative terminal-capacitance σ.
+    pub cap_rel: f64,
+}
+
+impl ParamSigmas {
+    /// No variation at all.
+    pub fn zero() -> ParamSigmas {
+        ParamSigmas { vth_v: 0.0, kp_rel: 0.0, geom_rel: 0.0, tox_rel: 0.0, cap_rel: 0.0 }
+    }
+
+    /// True when every σ is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.vth_v == 0.0
+            && self.kp_rel == 0.0
+            && self.geom_rel == 0.0
+            && self.tox_rel == 0.0
+            && self.cap_rel == 0.0
+    }
+
+    /// Draws one correlated sample of this layer (5 normal draws, always —
+    /// the draw count is fixed so trial streams stay aligned).
+    fn sample(&self, rng: &mut StdRng) -> ParamSample {
+        ParamSample {
+            dvth: self.vth_v * standard_normal(rng),
+            kp_factor: factor(self.kp_rel, rng),
+            geom_factor: factor(self.geom_rel, rng),
+            tox_factor: factor(self.tox_rel, rng),
+            cap_factor: factor(self.cap_rel, rng),
+        }
+    }
+}
+
+/// `1 + σ·N(0,1)`, clamped away from zero so a 5-σ tail cannot produce a
+/// non-physical (negative or vanishing) device.
+fn factor(sigma: f64, rng: &mut StdRng) -> f64 {
+    (1.0 + sigma * standard_normal(rng)).max(0.05)
+}
+
+/// One drawn realization of a [`ParamSigmas`] layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParamSample {
+    /// Threshold shift \[V\].
+    pub dvth: f64,
+    /// Multiplicative `Kp` factor.
+    pub kp_factor: f64,
+    /// Multiplicative `W/L` factor.
+    pub geom_factor: f64,
+    /// Multiplicative oxide-thickness factor.
+    pub tox_factor: f64,
+    /// Multiplicative terminal-capacitance factor.
+    pub cap_factor: f64,
+}
+
+impl ParamSample {
+    /// The identity sample (no perturbation).
+    pub fn nominal() -> ParamSample {
+        ParamSample { dvth: 0.0, kp_factor: 1.0, geom_factor: 1.0, tox_factor: 1.0, cap_factor: 1.0 }
+    }
+
+    /// Applies the first-order sensitivity map to one transistor.
+    fn apply(&self, p: MosParams) -> MosParams {
+        MosParams {
+            // Kp = µ·Cox ∝ 1/tox, times the mobility/doping factor.
+            kp: p.kp * self.kp_factor / self.tox_factor,
+            // Vth grows with tox (depletion charge across a thicker oxide).
+            vth: p.vth * self.tox_factor + self.dvth,
+            lambda: p.lambda,
+            w_over_l: p.w_over_l * self.geom_factor,
+        }
+    }
+
+    /// Applies the map to a whole switch (both transistor types share one
+    /// physical device, so one sample perturbs both).
+    pub fn apply_switch(&self, m: &SwitchCircuitModel) -> SwitchCircuitModel {
+        SwitchCircuitModel {
+            type_a: self.apply(m.type_a),
+            type_b: self.apply(m.type_b),
+            terminal_cap: m.terminal_cap * self.cap_factor,
+        }
+    }
+}
+
+/// How die-level corners become level-1 parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamMapping {
+    /// First-order analytic sensitivities applied to the nominal extracted
+    /// model (fast; the default).
+    Direct,
+    /// Re-run the §III–§IV flow per trial: perturb the virtual-TCAD I-V
+    /// data and re-fit the level-1 model with `fts-extract` — the full
+    /// paper pipeline under variation. Roughly 100× slower than
+    /// [`ParamMapping::Direct`].
+    Refit {
+        /// Device structure to characterize.
+        kind: DeviceKind,
+        /// Gate dielectric.
+        dielectric: Dielectric,
+    },
+}
+
+/// The complete statistical description of a fabricated lattice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationModel {
+    /// Die-level corner σ (one sample per trial).
+    pub global: ParamSigmas,
+    /// Per-switch mismatch σ (one sample per site, on top of the corner).
+    pub mismatch: ParamSigmas,
+    /// How the die-level corner maps to parameters.
+    pub mapping: ParamMapping,
+    /// Per-switch crosspoint-defect probability.
+    pub defect_prob: f64,
+    /// Fraction of defects that are stuck-ON (the rest are stuck-OFF).
+    pub stuck_on_fraction: f64,
+}
+
+impl VariationModel {
+    /// No variation, no defects: every trial is the nominal lattice.
+    pub fn none() -> VariationModel {
+        VariationModel {
+            global: ParamSigmas::zero(),
+            mismatch: ParamSigmas::zero(),
+            mapping: ParamMapping::Direct,
+            defect_prob: 0.0,
+            stuck_on_fraction: 0.5,
+        }
+    }
+
+    /// A plausible 180 nm-class starting point: 2% oxide and 3% geometry
+    /// die corners, 30 mV / 5% local mismatch, no defects.
+    pub fn standard() -> VariationModel {
+        VariationModel {
+            global: ParamSigmas { vth_v: 0.02, kp_rel: 0.03, geom_rel: 0.03, tox_rel: 0.02, cap_rel: 0.03 },
+            mismatch: ParamSigmas { vth_v: 0.03, kp_rel: 0.05, geom_rel: 0.02, tox_rel: 0.0, cap_rel: 0.05 },
+            mapping: ParamMapping::Direct,
+            defect_prob: 0.0,
+            stuck_on_fraction: 0.5,
+        }
+    }
+
+    /// The same model with a per-switch defect probability.
+    pub fn with_defect_prob(mut self, p: f64) -> VariationModel {
+        self.defect_prob = p;
+        self
+    }
+
+    /// True when no trial can deviate from nominal.
+    pub fn is_nominal(&self) -> bool {
+        self.global.is_zero() && self.mismatch.is_zero() && self.defect_prob == 0.0
+    }
+
+    /// Draws the trial's die-level base model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction failures in [`ParamMapping::Refit`] mode.
+    pub fn sample_base_model(
+        &self,
+        nominal: &SwitchCircuitModel,
+        rng: &mut StdRng,
+    ) -> Result<SwitchCircuitModel, McError> {
+        let corner = self.global.sample(rng);
+        match self.mapping {
+            ParamMapping::Direct => Ok(corner.apply_switch(nominal)),
+            ParamMapping::Refit { kind, dielectric } => {
+                refit_switch_model(kind, dielectric, &corner)
+            }
+        }
+    }
+
+    /// Draws the per-site mismatch models for every switch, row-major.
+    pub fn sample_site_models(
+        &self,
+        base: &SwitchCircuitModel,
+        lattice: &Lattice,
+        rng: &mut StdRng,
+    ) -> Vec<SwitchCircuitModel> {
+        let sites = lattice.rows() * lattice.cols();
+        (0..sites)
+            .map(|_| {
+                if self.mismatch.is_zero() {
+                    *base
+                } else {
+                    self.mismatch.sample(rng).apply_switch(base)
+                }
+            })
+            .collect()
+    }
+
+    /// Draws the trial's crosspoint-defect set, row-major. The RNG draw
+    /// count per site is fixed (one Bernoulli, plus one polarity draw when
+    /// a defect lands) for stream stability.
+    pub fn sample_defects(&self, lattice: &Lattice, rng: &mut StdRng) -> Vec<Fault> {
+        let mut faults = Vec::new();
+        for r in 0..lattice.rows() {
+            for c in 0..lattice.cols() {
+                if rng.gen_bool(self.defect_prob) {
+                    let kind = if rng.gen_bool(self.stuck_on_fraction) {
+                        FaultKind::StuckOn
+                    } else {
+                        FaultKind::StuckOff
+                    };
+                    faults.push(Fault { site: (r, c), kind });
+                }
+            }
+        }
+        faults
+    }
+}
+
+/// Maps a die-level corner through the full characterization + extraction
+/// flow: the virtual-TCAD I-V data is re-sampled with the corner's gate
+/// shift and current scaling, then `fts-extract` re-fits the level-1
+/// parameters — exactly what re-measuring a skewed wafer would produce.
+///
+/// # Errors
+///
+/// Propagates extraction failures.
+pub fn refit_switch_model(
+    kind: DeviceKind,
+    dielectric: Dielectric,
+    corner: &ParamSample,
+) -> Result<SwitchCircuitModel, McError> {
+    use fts_device::{Terminal, TerminalPair};
+
+    let device = Device::new(kind, dielectric);
+    let g = device.geometry();
+    let edge = TerminalPair::new(Terminal::T1, Terminal::T2);
+    let diag = TerminalPair::new(Terminal::T1, Terminal::T3);
+    let ids_scale = corner.kp_factor / corner.tox_factor;
+
+    let fit = |pair| -> Result<fts_extract::Level1, McError> {
+        let mut data = channel_iv_data(&device, pair, 41);
+        for k in 0..data.len() {
+            // A +dvth wafer shift means the same gate bias turns the
+            // channel on later: emulate by re-measuring at vgs - dvth.
+            let (vgs, vds) = (data.vgs[k], data.vds[k]);
+            let ids = device.channel_current(pair, vds, 0.0, vgs - corner.dvth - vgs * (corner.tox_factor - 1.0));
+            data.ids[k] = ids * ids_scale;
+        }
+        let aspect = g.channel(pair).aspect() * corner.geom_factor;
+        Ok(fit_level1(&data, aspect)?.model)
+    };
+
+    let type_a = fit(edge)?;
+    let type_b = fit(diag)?;
+    Ok(SwitchCircuitModel {
+        type_a: MosParams {
+            kp: type_a.kp,
+            vth: type_a.vth,
+            lambda: type_a.lambda,
+            w_over_l: type_a.w_over_l,
+        },
+        type_b: MosParams {
+            kp: type_b.kp,
+            vth: type_b.vth,
+            lambda: type_b.lambda,
+            w_over_l: type_b.w_over_l,
+        },
+        terminal_cap: device.terminal_capacitance() * corner.cap_factor,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::trial_rng;
+    use fts_logic::Literal;
+
+    fn nominal() -> SwitchCircuitModel {
+        SwitchCircuitModel::square_hfo2().unwrap()
+    }
+
+    #[test]
+    fn zero_sigmas_are_identity() {
+        let m = nominal();
+        let v = VariationModel::none();
+        let mut rng = trial_rng(1, 0);
+        let base = v.sample_base_model(&m, &mut rng).unwrap();
+        assert_eq!(base, m);
+        let lat = Lattice::from_literals(1, 2, vec![Literal::pos(0), Literal::pos(1)]).unwrap();
+        for site in v.sample_site_models(&base, &lat, &mut rng) {
+            assert_eq!(site, m);
+        }
+        assert!(v.sample_defects(&lat, &mut rng).is_empty());
+        assert!(v.is_nominal());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_stream() {
+        let m = nominal();
+        let v = VariationModel::standard().with_defect_prob(0.2);
+        let lat = Lattice::from_literals(2, 2, vec![Literal::pos(0); 4]).unwrap();
+        let run = |trial| {
+            let mut rng = trial_rng(7, trial);
+            let base = v.sample_base_model(&m, &mut rng).unwrap();
+            let sites = v.sample_site_models(&base, &lat, &mut rng);
+            let defects = v.sample_defects(&lat, &mut rng);
+            (base, sites, defects)
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3).0, run(4).0, "different trials, different corners");
+    }
+
+    #[test]
+    fn variation_moves_parameters_both_ways() {
+        let m = nominal();
+        let v = VariationModel::standard();
+        let mut above = 0;
+        let mut below = 0;
+        for trial in 0..64 {
+            let mut rng = trial_rng(13, trial);
+            let s = v.sample_base_model(&m, &mut rng).unwrap();
+            if s.type_a.vth > m.type_a.vth {
+                above += 1;
+            } else {
+                below += 1;
+            }
+            assert!(s.type_a.kp > 0.0 && s.type_a.w_over_l > 0.0);
+        }
+        assert!(above > 8 && below > 8, "two-sided spread: {above} up, {below} down");
+    }
+
+    #[test]
+    fn defect_rate_matches_probability() {
+        let v = VariationModel::none().with_defect_prob(0.25);
+        let lat = Lattice::from_literals(3, 3, vec![Literal::pos(0); 9]).unwrap();
+        let mut total = 0usize;
+        for trial in 0..400 {
+            let mut rng = trial_rng(5, trial);
+            total += v.sample_defects(&lat, &mut rng).len();
+        }
+        let rate = total as f64 / (400.0 * 9.0);
+        assert!((rate - 0.25).abs() < 0.03, "empirical defect rate {rate}");
+    }
+
+    #[test]
+    fn stuck_on_fraction_controls_polarity() {
+        let mut v = VariationModel::none().with_defect_prob(1.0);
+        v.stuck_on_fraction = 1.0;
+        let lat = Lattice::from_literals(2, 1, vec![Literal::pos(0); 2]).unwrap();
+        let mut rng = trial_rng(2, 0);
+        let faults = v.sample_defects(&lat, &mut rng);
+        assert_eq!(faults.len(), 2);
+        assert!(faults.iter().all(|f| f.kind == FaultKind::StuckOn));
+    }
+
+    #[test]
+    fn refit_mapping_recovers_nominal_at_identity_corner() {
+        let direct = nominal();
+        let refit =
+            refit_switch_model(DeviceKind::Square, Dielectric::HfO2, &ParamSample::nominal())
+                .unwrap();
+        assert!((refit.type_a.vth - direct.type_a.vth).abs() < 0.02, "vth");
+        assert!((refit.type_a.kp / direct.type_a.kp - 1.0).abs() < 0.05, "kp");
+    }
+
+    #[test]
+    fn refit_mapping_responds_to_corners() {
+        let mut corner = ParamSample::nominal();
+        corner.kp_factor = 1.2;
+        let skewed =
+            refit_switch_model(DeviceKind::Square, Dielectric::HfO2, &corner).unwrap();
+        let base = nominal();
+        assert!(skewed.type_a.kp > 1.1 * base.type_a.kp, "fast corner raises fitted Kp");
+    }
+}

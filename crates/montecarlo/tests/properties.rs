@@ -1,0 +1,139 @@
+//! Property tests for the Monte Carlo engine: determinism across thread
+//! counts, reproducibility from the master seed, and agreement with the
+//! nominal pipeline when variation is switched off.
+
+use proptest::prelude::*;
+
+use fts_circuit::experiments::xor3_lattice;
+use fts_circuit::lattice_netlist::{BenchConfig, LatticeCircuit};
+use fts_circuit::model::SwitchCircuitModel;
+use fts_lattice::Lattice;
+use fts_logic::Literal;
+use fts_montecarlo::{EvalMode, MonteCarlo, VariationModel};
+
+fn nominal() -> SwitchCircuitModel {
+    SwitchCircuitModel::square_hfo2().unwrap()
+}
+
+/// The headline acceptance property: a parallel ≥256-trial DC ensemble of
+/// the paper's XOR3 lattice is **bit-identical** to the sequential run
+/// with the same master seed.
+#[test]
+fn xor3_256_trial_parallel_ensemble_matches_sequential_exactly() {
+    let lat = xor3_lattice();
+    let mc = MonteCarlo::new(256, 0xD1CE)
+        .variation(VariationModel::standard().with_defect_prob(0.02))
+        .eval(EvalMode::Dc);
+    let sequential = mc.threads(1).run(&lat, 3, &nominal()).unwrap();
+    let parallel = mc.threads(0).run(&lat, 3, &nominal()).unwrap();
+    // PartialEq covers every counter, histogram bin, and f64 moment; the
+    // bit-level check on the most rounding-sensitive numbers makes the
+    // "bit-identical" claim explicit.
+    assert_eq!(parallel, sequential);
+    assert_eq!(parallel.v_ol.mean.to_bits(), sequential.v_ol.mean.to_bits());
+    assert_eq!(parallel.v_ol.std_dev.to_bits(), sequential.v_ol.std_dev.to_bits());
+    assert_eq!(parallel.v_oh.mean.to_bits(), sequential.v_oh.mean.to_bits());
+    assert_eq!(sequential.evaluated, 256, "no sample may be lost");
+    assert!(sequential.functional_yield() > 0.2, "ensemble is not degenerate");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Same master seed ⇒ identical YieldReport, whatever the thread
+    /// count or (logical-mode) lattice.
+    #[test]
+    fn report_is_invariant_to_thread_count(
+        seed in any::<u64>(),
+        threads in 2usize..9,
+        defect_prob in 0.0f64..0.3,
+    ) {
+        let lat = xor3_lattice();
+        let mc = MonteCarlo::new(96, seed)
+            .variation(VariationModel::standard().with_defect_prob(defect_prob))
+            .eval(EvalMode::Logical);
+        let seq = mc.threads(1).run(&lat, 3, &nominal()).unwrap();
+        let par = mc.threads(threads).run(&lat, 3, &nominal()).unwrap();
+        prop_assert_eq!(seq, par);
+    }
+
+    /// Re-running the same configuration reproduces the report, and a
+    /// different master seed produces a genuinely different ensemble
+    /// (compared on a continuous statistic, which cannot collide).
+    #[test]
+    fn master_seed_fixes_the_ensemble(seed in any::<u64>()) {
+        let lat = Lattice::from_literals(1, 2, vec![Literal::pos(0), Literal::pos(1)]).unwrap();
+        let mc = MonteCarlo::new(12, seed)
+            .variation(VariationModel::standard())
+            .eval(EvalMode::Dc);
+        let a = mc.run(&lat, 2, &nominal()).unwrap();
+        let b = mc.run(&lat, 2, &nominal()).unwrap();
+        prop_assert_eq!(&a, &b);
+        let other = MonteCarlo { master_seed: seed ^ 0x5DEE_CE66, ..mc }
+            .run(&lat, 2, &nominal())
+            .unwrap();
+        prop_assert_ne!(a.v_ol.mean.to_bits(), other.v_ol.mean.to_bits());
+    }
+
+    /// Zero variance and zero defects ⇒ 100% functional and parametric
+    /// yield, and the measured V_OL/V_OH equal the nominal circuit's to
+    /// the bit in every trial.
+    #[test]
+    fn zero_variation_reproduces_the_nominal_circuit(
+        seed in any::<u64>(),
+        rows in 1usize..3,
+        cols in 1usize..3,
+    ) {
+        let vars = (rows * cols).min(3);
+        let lits: Vec<Literal> = (0..rows * cols)
+            .map(|k| Literal::pos((k % vars) as u8))
+            .collect();
+        let lat = Lattice::from_literals(rows, cols, lits).unwrap();
+        let report = MonteCarlo::new(8, seed)
+            .variation(VariationModel::none())
+            .run(&lat, vars, &nominal())
+            .unwrap();
+        prop_assert_eq!(report.functional_yield(), 1.0);
+        prop_assert_eq!(report.parametric_yield(), 1.0);
+        prop_assert_eq!(report.sim_failures, 0);
+        prop_assert_eq!(report.defects_injected, 0);
+        prop_assert!(report.v_ol.std_dev == 0.0, "σ(V_OL) = {}", report.v_ol.std_dev);
+
+        // The degenerate distribution sits exactly on the nominal value.
+        let ckt = LatticeCircuit::build(&lat, vars, &nominal(), BenchConfig::default()).unwrap();
+        let truth = lat.truth_table(vars).unwrap();
+        let mut v_ol = f64::NEG_INFINITY;
+        for x in 0..(1u32 << vars) {
+            if truth.eval(x) {
+                v_ol = v_ol.max(ckt.dc_output(x).unwrap());
+            }
+        }
+        if v_ol > f64::NEG_INFINITY {
+            prop_assert_eq!(report.v_ol.mean.to_bits(), v_ol.to_bits());
+            prop_assert_eq!(report.v_ol.min.to_bits(), v_ol.to_bits());
+        }
+    }
+
+    /// Yield counters are always consistent: evaluated + sim_failures =
+    /// trials, passes never exceed evaluated, parametric ≤ functional.
+    #[test]
+    fn yield_counters_are_consistent(
+        seed in any::<u64>(),
+        defect_prob in 0.0f64..0.5,
+    ) {
+        let lat = xor3_lattice();
+        let report = MonteCarlo::new(48, seed)
+            .variation(VariationModel::standard().with_defect_prob(defect_prob))
+            .eval(EvalMode::Logical)
+            .run(&lat, 3, &nominal())
+            .unwrap();
+        prop_assert_eq!(report.evaluated + report.sim_failures, report.trials);
+        prop_assert!(report.functional_pass <= report.evaluated);
+        prop_assert!(report.parametric_pass <= report.functional_pass);
+        prop_assert!(report.logical_fail <= report.evaluated);
+        let blamed: u64 = report.site_criticality.iter().sum();
+        if report.defects_injected == 0 {
+            prop_assert_eq!(blamed, 0);
+        }
+    }
+}

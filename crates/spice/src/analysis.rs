@@ -5,6 +5,10 @@ use crate::netlist::{Element, Netlist, NodeId, Waveform};
 use crate::stamp::{self, CapMode, StampContext};
 use crate::SpiceError;
 
+/// Homotopy solver callback shared by the continuation helpers:
+/// `(gmin, source_scale, initial_guess)` → converged solution vector.
+type HomotopySolve<'a> = dyn Fn(f64, f64, &[f64]) -> Result<Vec<f64>, SpiceError> + 'a;
+
 /// Transient integration method.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Integrator {
@@ -92,32 +96,123 @@ pub fn op_at(netlist: &Netlist, t: f64, initial: Option<&[f64]>) -> Result<OpRes
     if let Ok(x) = solve(1e-12, 1.0, &x0) {
         return Ok(OpResult { x, node_count: netlist.node_count() });
     }
-    // gmin stepping.
-    let mut x = x0.clone();
-    let mut ok = true;
-    for exp in 2..=12 {
-        let gmin = 10f64.powi(-exp);
-        match solve(gmin, 1.0, &x) {
-            Ok(sol) => x = sol,
+    // Adaptive gmin stepping: ramp the shunt conductance down from 10 mS,
+    // shrinking the per-step reduction whenever Newton stalls instead of
+    // giving up outright.
+    if let Some(x) = gmin_ramp(&solve, &x0, 1e-2) {
+        return Ok(OpResult { x, node_count: netlist.node_count() });
+    }
+    // Source stepping with a safety gmin: grow the drive adaptively
+    // (bisect the scale step on failure), then ramp the gmin out at full
+    // drive.
+    const GMIN_SAFE: f64 = 1e-9;
+    let mut x = vec![0.0; n];
+    let mut scale = 0.0f64;
+    let mut step = 0.05f64;
+    while scale < 1.0 {
+        let target = (scale + step).min(1.0);
+        match solve(GMIN_SAFE, target, &x) {
+            Ok(sol) => {
+                x = sol;
+                scale = target;
+                step = (step * 2.0).min(0.25);
+            }
             Err(_) => {
-                ok = false;
-                break;
+                step *= 0.5;
+                if step < 1e-4 {
+                    return Err(SpiceError::NoConvergence {
+                        analysis: "dc operating point",
+                        residual: scale,
+                    });
+                }
             }
         }
     }
-    if ok {
+    if let Some(x) = gmin_ramp(&solve, &x, GMIN_SAFE) {
         return Ok(OpResult { x, node_count: netlist.node_count() });
     }
-    // Source stepping.
-    let mut x = vec![0.0; n];
-    for step in 1..=20 {
-        let scale = step as f64 / 20.0;
-        x = solve(1e-12, scale, &x).map_err(|_| SpiceError::NoConvergence {
-            analysis: "dc operating point",
-            residual: scale,
-        })?;
+    // Pseudo-transient continuation: let the circuit's capacitors settle a
+    // backward-Euler march to steady state, then polish with the true
+    // cap-open Newton. Slowest, but it follows a physical trajectory and
+    // rescues bias points where every static homotopy oscillates.
+    if let Some(x) = pseudo_transient(netlist, t, &solve) {
+        return Ok(OpResult { x, node_count: netlist.node_count() });
     }
-    Ok(OpResult { x, node_count: netlist.node_count() })
+    Err(SpiceError::NoConvergence { analysis: "dc operating point", residual: 1.0 })
+}
+
+/// Marches damped backward-Euler steps (growing `dt`, shrinking on
+/// failure) from the all-zero state until the solution stops moving, then
+/// solves the static system from the settled state.
+fn pseudo_transient(netlist: &Netlist, t: f64, solve: &HomotopySolve<'_>) -> Option<Vec<f64>> {
+    let n = netlist.unknown_count();
+    let mut x = vec![0.0; n];
+    let mut cap_states = stamp::init_cap_states(netlist, &x);
+    let mut dt = 1.0e-12;
+    let mut settled = false;
+    for _ in 0..600 {
+        let ctx = StampContext {
+            t,
+            cap_mode: CapMode::Step { dt, trapezoidal: false },
+            cap_states: &cap_states,
+            gmin: 1e-12,
+            source_scale: 1.0,
+        };
+        match stamp::newton(netlist, &ctx, &x, 120) {
+            Ok(next) => {
+                let max_dv =
+                    x.iter().zip(&next).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+                stamp::update_cap_states(netlist, &next, &mut cap_states, dt, false);
+                x = next;
+                // As dt grows the capacitor conductance C/dt vanishes and
+                // a BE step becomes the static solve itself, so "settled"
+                // means: huge step, nothing moved.
+                if max_dv < 1.0e-9 && dt >= 1.0 {
+                    settled = true;
+                    break;
+                }
+                dt *= 2.0;
+            }
+            Err(_) => {
+                dt *= 0.25;
+                if dt < 1.0e-18 {
+                    return None;
+                }
+            }
+        }
+    }
+    if !settled {
+        return None;
+    }
+    solve(1e-12, 1.0, &x).ok()
+}
+
+/// Continuation in the shunt conductance: solve at `start` gmin, then
+/// reduce it toward the 1 pS floor, shrinking the reduction factor when a
+/// step fails. Returns the converged full-accuracy solution, or `None`
+/// when the ramp stalls.
+fn gmin_ramp(solve: &HomotopySolve<'_>, x0: &[f64], start: f64) -> Option<Vec<f64>> {
+    const FLOOR: f64 = 1e-12;
+    let mut x = solve(start, 1.0, x0).ok()?;
+    let mut gmin = start;
+    let mut factor = 10.0f64;
+    while gmin > FLOOR {
+        let next = (gmin / factor).max(FLOOR);
+        match solve(next, 1.0, &x) {
+            Ok(sol) => {
+                x = sol;
+                gmin = next;
+                factor = (factor * factor).min(100.0);
+            }
+            Err(_) => {
+                factor = factor.sqrt();
+                if factor < 1.05 {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(x)
 }
 
 /// Sweeps the DC value of the named voltage source and returns one

@@ -244,9 +244,9 @@ mod tests {
             .map(|r| a[r][0] * x_true[0] + a[r][1] * x_true[1])
             .collect();
         let mut m = CMatrix::zeros(2);
-        for r in 0..2 {
-            for c in 0..2 {
-                m.add(r, c, a[r][c]);
+        for (r, row) in a.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                m.add(r, c, v);
             }
         }
         let x = m.solve(&b).unwrap();

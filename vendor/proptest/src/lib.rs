@@ -1,0 +1,361 @@
+//! Offline vendored subset of the
+//! [`proptest`](https://crates.io/crates/proptest) API.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the slice of proptest the workspace's property tests use: the
+//! [`proptest!`] macro, range / tuple / `Just` / union / mapped strategies,
+//! `prop::collection::vec`, `any::<T>()`, and the `prop_assert*` family.
+//!
+//! Two deliberate simplifications versus upstream:
+//!
+//! - **No shrinking.** A failing case reports the sampled inputs via the
+//!   assertion message; it is not minimized.
+//! - **Deterministic sampling.** The RNG is seeded from a hash of the test
+//!   path (override with the `PROPTEST_SEED` environment variable), so a
+//!   failure reproduces exactly on re-run.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy constructors for collections (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Bounds on a generated collection's length: `[lo, hi)`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn sample(self, rng: &mut TestRng) -> usize {
+            if self.hi <= self.lo + 1 {
+                self.lo
+            } else {
+                rng.rng.gen_range(self.lo..self.hi)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// A strategy producing `Vec`s whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with element strategy and length bounds (a fixed
+    /// `usize` or a `usize` range).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Types with a canonical parameter-free strategy ([`any`]).
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Canonical strategy source for a type.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary_sample(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<A>(PhantomData<A>);
+
+    /// The canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+
+        fn sample(&self, rng: &mut TestRng) -> A {
+            A::arbitrary_sample(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_sample(rng: &mut TestRng) -> bool {
+            rng.rng.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_sample(rng: &mut TestRng) -> $t {
+                    rand::RngCore::next_u64(&mut rng.rng) as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary_sample(rng: &mut TestRng) -> f64 {
+            // Finite, spanning several orders of magnitude around zero.
+            rng.rng.gen_range(-1.0e6..1.0e6)
+        }
+    }
+}
+
+pub use arbitrary::any;
+
+/// Commonly imported names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (not panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, $($fmt)+);
+    }};
+}
+
+/// Discards the current case (resampled, not counted) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// A union of strategies with a common value type; each case picks one arm
+/// uniformly (weights are accepted and ignored).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ...)`
+/// becomes a `#[test]` that samples the strategies `config.cases` times and
+/// runs the body, which may use `prop_assert*` / `prop_assume!` and `?`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (cfg = $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                while accepted < config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(why)) => {
+                            rejected += 1;
+                            if rejected > config.max_global_rejects {
+                                panic!(
+                                    "proptest {}: too many rejected cases ({rejected}); last: {why}",
+                                    stringify!($name),
+                                );
+                            }
+                        }
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed (case {} of {}):\n{msg}",
+                                stringify!($name),
+                                accepted + 1,
+                                config.cases,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn config_default_and_with_cases() {
+        assert!(ProptestConfig::default().cases > 0);
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_honored(v in prop::collection::vec(any::<bool>(), 4),
+                               w in prop::collection::vec(0u32..10, 1..5)) {
+            prop_assert_eq!(v.len(), 4);
+            prop_assert!((1..5).contains(&w.len()));
+            prop_assert!(w.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn oneof_and_just(k in prop_oneof![Just(1u8), Just(2u8), Just(3u8)]) {
+            prop_assert!((1..=3).contains(&k));
+        }
+
+        #[test]
+        fn map_and_tuple(p in (0u32..4, 0u32..4).prop_map(|(a, b)| a * 10 + b)) {
+            prop_assert!(p % 10 < 4 && p / 10 < 4);
+        }
+
+        #[test]
+        fn assume_discards(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(b in any::<bool>()) {
+            prop_assert!(u8::from(b) <= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_repeats() {
+        use crate::strategy::Strategy;
+        let s = 0.0f64..1.0;
+        let mut r1 = crate::test_runner::TestRng::deterministic("seed-name");
+        let mut r2 = crate::test_runner::TestRng::deterministic("seed-name");
+        for _ in 0..20 {
+            assert_eq!(s.sample(&mut r1).to_bits(), s.sample(&mut r2).to_bits());
+        }
+    }
+}

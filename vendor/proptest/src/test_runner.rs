@@ -1,0 +1,93 @@
+//! Test-execution support: configuration, RNG, and case outcomes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Config {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+    /// Cap on `prop_assume!` rejections before the test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    /// The default configuration with `cases` overridden.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases, ..Config::default() }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 64, max_global_rejects: 65_536 }
+    }
+}
+
+/// The RNG handed to strategies during a test.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    /// The underlying deterministic generator.
+    pub rng: StdRng,
+}
+
+impl TestRng {
+    /// A generator seeded from a stable hash of `name` (normally the test's
+    /// module path), or from the `PROPTEST_SEED` environment variable when
+    /// set — every run of a given test sees the same case sequence.
+    pub fn deterministic(name: &str) -> TestRng {
+        let seed = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s.parse::<u64>().unwrap_or_else(|_| fnv1a(s.as_bytes())),
+            Err(_) => fnv1a(name.as_bytes()),
+        };
+        TestRng { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+/// FNV-1a, enough to spread test names across seeds.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!` (not a failure).
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+            TestCaseError::Fail(m) => write!(f, "case failed: {m}"),
+        }
+    }
+}
+
+impl<E: std::error::Error> From<E> for TestCaseError {
+    fn from(e: E) -> TestCaseError {
+        TestCaseError::Fail(e.to_string())
+    }
+}
