@@ -16,9 +16,11 @@ use fts_spice::analysis::{self, Integrator};
 fn ablation_path_counting(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_path_counting");
     for (m, n) in [(3usize, 3usize), (4, 4), (4, 5)] {
-        g.bench_with_input(BenchmarkId::new("pruned", format!("{m}x{n}")), &(m, n), |b, &(m, n)| {
-            b.iter(|| count::product_count(m, n))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("pruned", format!("{m}x{n}")),
+            &(m, n),
+            |b, &(m, n)| b.iter(|| count::product_count(m, n)),
+        );
         g.bench_with_input(
             BenchmarkId::new("bruteforce_absorb", format!("{m}x{n}")),
             &(m, n),
@@ -32,7 +34,10 @@ fn ablation_integrator(c: &mut Criterion) {
     let model = SwitchCircuitModel::square_hfo2().expect("model");
     let mut g = c.benchmark_group("ablation_integrator_xor3");
     g.sample_size(10);
-    for (name, integ) in [("backward_euler", Integrator::BackwardEuler), ("trapezoidal", Integrator::Trapezoidal)] {
+    for (name, integ) in [
+        ("backward_euler", Integrator::BackwardEuler),
+        ("trapezoidal", Integrator::Trapezoidal),
+    ] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &integ, |b, &integ| {
             let mut exp = Xor3Experiment::quick();
             exp.integrator = integ;
@@ -49,11 +54,24 @@ fn ablation_warm_start(c: &mut Criterion) {
     let vdd = nl.node("vdd");
     let g_ = nl.node("g");
     let out = nl.node("out");
-    nl.vsource("VDD", vdd, Netlist::GROUND, Waveform::Dc(1.2)).unwrap();
-    nl.vsource("VG", g_, Netlist::GROUND, Waveform::Dc(0.0)).unwrap();
-    nl.resistor("RL", vdd, out, 5.0e5).unwrap();
-    nl.nmos("M1", out, g_, Netlist::GROUND, MosParams { kp: 2e-5, vth: 0.3, lambda: 0.05, w_over_l: 2.0 })
+    nl.vsource("VDD", vdd, Netlist::GROUND, Waveform::Dc(1.2))
         .unwrap();
+    nl.vsource("VG", g_, Netlist::GROUND, Waveform::Dc(0.0))
+        .unwrap();
+    nl.resistor("RL", vdd, out, 5.0e5).unwrap();
+    nl.nmos(
+        "M1",
+        out,
+        g_,
+        Netlist::GROUND,
+        MosParams {
+            kp: 2e-5,
+            vth: 0.3,
+            lambda: 0.05,
+            w_over_l: 2.0,
+        },
+    )
+    .unwrap();
     let values: Vec<f64> = (0..=40).map(|k| k as f64 * 0.03).collect();
 
     let mut group = c.benchmark_group("ablation_dc_sweep");
@@ -91,12 +109,16 @@ fn ablation_field_relaxation(c: &mut Criterion) {
     g.sample_size(10);
     for (name, omega) in [("sor_1.8", 1.8), ("gauss_seidel", 1.0)] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &omega, |b, &omega| {
-            b.iter(|| p.solve(&SolveOptions { omega, ..Default::default() }))
+            b.iter(|| {
+                p.solve(&SolveOptions {
+                    omega,
+                    ..Default::default()
+                })
+            })
         });
     }
     g.finish();
 }
-
 
 /// Shared bench configuration: no plot generation, short but stable
 /// measurement windows (the repro binaries are the accuracy artifacts;
@@ -108,7 +130,7 @@ fn quick_config() -> Criterion {
         .measurement_time(Duration::from_secs(3))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick_config();
     targets =

@@ -15,7 +15,16 @@ fn bench_device(c: &mut Criterion) {
         b.iter(|| dev.solve_bias(BiasCase::DSFF, std::hint::black_box(5.0), 5.0))
     });
     c.bench_function("idvg_101pts", |b| {
-        b.iter(|| id_vg(&dev, BiasCase::DSSS, 5.0, 0.0, 5.0, std::hint::black_box(101)))
+        b.iter(|| {
+            id_vg(
+                &dev,
+                BiasCase::DSSS,
+                5.0,
+                0.0,
+                5.0,
+                std::hint::black_box(101),
+            )
+        })
     });
     let mut g = c.benchmark_group("characterize");
     for kind in DeviceKind::all() {
@@ -27,7 +36,6 @@ fn bench_device(c: &mut Criterion) {
     g.finish();
 }
 
-
 /// Shared bench configuration: no plot generation, short but stable
 /// measurement windows (the repro binaries are the accuracy artifacts;
 /// these benches track performance regressions).
@@ -38,5 +46,5 @@ fn quick_config() -> Criterion {
         .measurement_time(Duration::from_secs(3))
 }
 
-criterion_group!{name = benches;config = quick_config();targets = bench_device}
+criterion_group! {name = benches;config = quick_config();targets = bench_device}
 criterion_main!(benches);

@@ -43,7 +43,6 @@ fn bench_fit(c: &mut Criterion) {
     });
 }
 
-
 /// Shared bench configuration: no plot generation, short but stable
 /// measurement windows (the repro binaries are the accuracy artifacts;
 /// these benches track performance regressions).
@@ -54,5 +53,5 @@ fn quick_config() -> Criterion {
         .measurement_time(Duration::from_secs(3))
 }
 
-criterion_group!{name = benches;config = quick_config();targets = bench_fit}
+criterion_group! {name = benches;config = quick_config();targets = bench_fit}
 criterion_main!(benches);

@@ -18,7 +18,6 @@ fn bench_field(c: &mut Criterion) {
     g.finish();
 }
 
-
 /// Shared bench configuration: no plot generation, short but stable
 /// measurement windows (the repro binaries are the accuracy artifacts;
 /// these benches track performance regressions).
@@ -29,5 +28,5 @@ fn quick_config() -> Criterion {
         .measurement_time(Duration::from_secs(3))
 }
 
-criterion_group!{name = benches;config = quick_config();targets = bench_field}
+criterion_group! {name = benches;config = quick_config();targets = bench_field}
 criterion_main!(benches);

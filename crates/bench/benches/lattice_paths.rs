@@ -8,13 +8,14 @@ use fts_lattice::count::product_count;
 fn bench_counts(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1_product_count");
     for (m, n) in [(4usize, 4usize), (5, 5), (6, 6), (7, 7)] {
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{n}")), &(m, n), |b, &(m, n)| {
-            b.iter(|| product_count(std::hint::black_box(m), std::hint::black_box(n)))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}")),
+            &(m, n),
+            |b, &(m, n)| b.iter(|| product_count(std::hint::black_box(m), std::hint::black_box(n))),
+        );
     }
     g.finish();
 }
-
 
 /// Shared bench configuration: no plot generation, short but stable
 /// measurement windows (the repro binaries are the accuracy artifacts;
@@ -26,5 +27,5 @@ fn quick_config() -> Criterion {
         .measurement_time(Duration::from_secs(3))
 }
 
-criterion_group!{name = benches;config = quick_config();targets = bench_counts}
+criterion_group! {name = benches;config = quick_config();targets = bench_counts}
 criterion_main!(benches);

@@ -20,9 +20,11 @@ fn bench_scale(c: &mut Criterion) {
         // all-ON worst case with a single shared input variable.
         let lat = Lattice::filled(n, n, fts_logic::Literal::pos(0)).expect("grid");
         let ckt = LatticeCircuit::build(&lat, 1, &model, BenchConfig::default()).expect("build");
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{n}")), &ckt, |b, ckt| {
-            b.iter(|| ckt.dc_output(0b1).expect("op"))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{n}")),
+            &ckt,
+            |b, ckt| b.iter(|| ckt.dc_output(0b1).expect("op")),
+        );
     }
     g.finish();
 
@@ -40,7 +42,6 @@ fn bench_scale(c: &mut Criterion) {
     });
 }
 
-
 /// Shared bench configuration: no plot generation, short but stable
 /// measurement windows (the repro binaries are the accuracy artifacts;
 /// these benches track performance regressions).
@@ -51,5 +52,5 @@ fn quick_config() -> Criterion {
         .measurement_time(Duration::from_secs(3))
 }
 
-criterion_group!{name = benches;config = quick_config();targets = bench_scale}
+criterion_group! {name = benches;config = quick_config();targets = bench_scale}
 criterion_main!(benches);

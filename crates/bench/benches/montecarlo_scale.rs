@@ -2,6 +2,11 @@
 //! throughput on the XOR3 DC-yield ensemble. The parallel run must beat
 //! sequential by well over 1.5× on any multi-core machine — the reports
 //! are bit-identical either way, so the speedup is free.
+//!
+//! The `telemetry_overhead` group runs the same sequential ensemble with
+//! collection disabled (the default atomic fast path) and enabled; the
+//! disabled variant must sit within noise of the pre-telemetry engine,
+//! and the enabled one bounds the cost of full span/metric collection.
 
 use std::time::Duration;
 
@@ -38,6 +43,32 @@ fn bench_scale(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let nominal = SwitchCircuitModel::square_hfo2().expect("model");
+    let lat = xor3_lattice();
+    let mc = MonteCarlo::new(TRIALS, 0xBEEF)
+        .variation(VariationModel::standard().with_defect_prob(0.01))
+        .eval(EvalMode::Dc)
+        .threads(1);
+
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.sample_size(10);
+    for enabled in [false, true] {
+        let id = if enabled { "enabled" } else { "disabled" };
+        g.bench_function(BenchmarkId::new("xor3_dc_128_trials", id), |b| {
+            fts_telemetry::set_enabled(enabled);
+            fts_telemetry::reset();
+            b.iter(|| {
+                mc.run(std::hint::black_box(&lat), 3, &nominal)
+                    .expect("ensemble")
+            });
+            fts_telemetry::set_enabled(false);
+            fts_telemetry::reset();
+        });
+    }
+    g.finish();
+}
+
 fn quick_config() -> Criterion {
     Criterion::default()
         .without_plots()
@@ -45,5 +76,5 @@ fn quick_config() -> Criterion {
         .measurement_time(Duration::from_secs(5))
 }
 
-criterion_group! {name = benches;config = quick_config();targets = bench_scale}
+criterion_group! {name = benches;config = quick_config();targets = bench_scale, bench_telemetry_overhead}
 criterion_main!(benches);

@@ -19,7 +19,6 @@ fn bench_chain(c: &mut Criterion) {
     g.finish();
 }
 
-
 /// Shared bench configuration: no plot generation, short but stable
 /// measurement windows (the repro binaries are the accuracy artifacts;
 /// these benches track performance regressions).
@@ -30,5 +29,5 @@ fn quick_config() -> Criterion {
         .measurement_time(Duration::from_secs(3))
 }
 
-criterion_group!{name = benches;config = quick_config();targets = bench_chain}
+criterion_group! {name = benches;config = quick_config();targets = bench_chain}
 criterion_main!(benches);

@@ -11,7 +11,9 @@ fn lu_matrix(n: usize) -> (Matrix, Vec<f64>) {
     let mut m = Matrix::zeros(n);
     let mut state = 7u64;
     let mut next = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
     };
     for r in 0..n {
@@ -27,11 +29,13 @@ fn lu_matrix(n: usize) -> (Matrix, Vec<f64>) {
 fn rc_ladder(stages: usize) -> Netlist {
     let mut nl = Netlist::new();
     let mut prev = nl.node("in");
-    nl.vsource("V1", prev, Netlist::GROUND, Waveform::Dc(1.0)).unwrap();
+    nl.vsource("V1", prev, Netlist::GROUND, Waveform::Dc(1.0))
+        .unwrap();
     for k in 0..stages {
         let n = nl.node(&format!("n{k}"));
         nl.resistor(&format!("R{k}"), prev, n, 1.0e3).unwrap();
-        nl.capacitor(&format!("C{k}"), n, Netlist::GROUND, 1.0e-9).unwrap();
+        nl.capacitor(&format!("C{k}"), n, Netlist::GROUND, 1.0e-9)
+            .unwrap();
         prev = n;
     }
     nl
@@ -40,10 +44,17 @@ fn rc_ladder(stages: usize) -> Netlist {
 fn mos_ring(stages: usize) -> Netlist {
     let mut nl = Netlist::new();
     let vdd = nl.node("vdd");
-    nl.vsource("VDD", vdd, Netlist::GROUND, Waveform::Dc(1.2)).unwrap();
+    nl.vsource("VDD", vdd, Netlist::GROUND, Waveform::Dc(1.2))
+        .unwrap();
     let gate = nl.node("g");
-    nl.vsource("VG", gate, Netlist::GROUND, Waveform::Dc(1.2)).unwrap();
-    let params = MosParams { kp: 2.0e-5, vth: 0.3, lambda: 0.05, w_over_l: 2.0 };
+    nl.vsource("VG", gate, Netlist::GROUND, Waveform::Dc(1.2))
+        .unwrap();
+    let params = MosParams {
+        kp: 2.0e-5,
+        vth: 0.3,
+        lambda: 0.05,
+        w_over_l: 2.0,
+    };
     let mut prev = vdd;
     for k in 0..stages {
         let n = nl.node(&format!("m{k}"));
@@ -75,12 +86,20 @@ fn bench_spice(c: &mut Criterion) {
     let mut g = c.benchmark_group("transient_rc_ladder_20");
     g.sample_size(20);
     let nl = rc_ladder(20);
-    for (name, integ) in [("be", Integrator::BackwardEuler), ("trap", Integrator::Trapezoidal)] {
+    for (name, integ) in [
+        ("be", Integrator::BackwardEuler),
+        ("trap", Integrator::Trapezoidal),
+    ] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &integ, |b, &integ| {
             b.iter(|| {
                 analysis::transient(
                     &nl,
-                    &TransientOptions { dt: 1e-7, tstop: 2e-5, integrator: integ, uic: true },
+                    &TransientOptions {
+                        dt: 1e-7,
+                        tstop: 2e-5,
+                        integrator: integ,
+                        uic: true,
+                    },
                 )
                 .expect("converges")
             })
@@ -88,7 +107,6 @@ fn bench_spice(c: &mut Criterion) {
     }
     g.finish();
 }
-
 
 /// Shared bench configuration: no plot generation, short but stable
 /// measurement windows (the repro binaries are the accuracy artifacts;
@@ -100,5 +118,5 @@ fn quick_config() -> Criterion {
         .measurement_time(Duration::from_secs(3))
 }
 
-criterion_group!{name = benches;config = quick_config();targets = bench_spice}
+criterion_group! {name = benches;config = quick_config();targets = bench_spice}
 criterion_main!(benches);

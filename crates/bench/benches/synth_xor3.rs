@@ -9,7 +9,9 @@ use fts_synth::{column, dual};
 
 fn bench_synthesis(c: &mut Criterion) {
     let f = generators::xor(3);
-    c.bench_function("altun_riedel_xor3", |b| b.iter(|| dual::altun_riedel(std::hint::black_box(&f))));
+    c.bench_function("altun_riedel_xor3", |b| {
+        b.iter(|| dual::altun_riedel(std::hint::black_box(&f)))
+    });
     c.bench_function("column_construction_xor3", |b| {
         b.iter(|| column::column_construction(std::hint::black_box(&f)))
     });
@@ -21,7 +23,6 @@ fn bench_synthesis(c: &mut Criterion) {
     g.finish();
 }
 
-
 /// Shared bench configuration: no plot generation, short but stable
 /// measurement windows (the repro binaries are the accuracy artifacts;
 /// these benches track performance regressions).
@@ -32,5 +33,5 @@ fn quick_config() -> Criterion {
         .measurement_time(Duration::from_secs(3))
 }
 
-criterion_group!{name = benches;config = quick_config();targets = bench_synthesis}
+criterion_group! {name = benches;config = quick_config();targets = bench_synthesis}
 criterion_main!(benches);

@@ -11,11 +11,14 @@ fn bench_xor3(c: &mut Criterion) {
     let mut g = c.benchmark_group("xor3_transient");
     g.sample_size(10);
     g.bench_function("quick_profile", |b| {
-        b.iter(|| Xor3Experiment::quick().run(std::hint::black_box(&model)).expect("run"))
+        b.iter(|| {
+            Xor3Experiment::quick()
+                .run(std::hint::black_box(&model))
+                .expect("run")
+        })
     });
     g.finish();
 }
-
 
 /// Shared bench configuration: no plot generation, short but stable
 /// measurement windows (the repro binaries are the accuracy artifacts;
@@ -27,5 +30,5 @@ fn quick_config() -> Criterion {
         .measurement_time(Duration::from_secs(3))
 }
 
-criterion_group!{name = benches;config = quick_config();targets = bench_xor3}
+criterion_group! {name = benches;config = quick_config();targets = bench_xor3}
 criterion_main!(benches);

@@ -1,9 +1,23 @@
 //! Runs every table/figure reproduction in sequence (Table I in `--fast`
 //! mode; invoke `repro_table1` directly for the full 9×9 entry).
+//!
+//! `--telemetry <path.json>` is forwarded to every child as
+//! `<path.json>.<bin>.json`, so each reproduction writes its own report
+//! (plus its `BENCH_<bin>.json` summary) without clobbering the others.
 
 use std::process::Command;
 
 fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut telemetry_base = None;
+    if let Some(k) = argv.iter().position(|a| a == "--telemetry") {
+        argv.remove(k);
+        if k >= argv.len() {
+            eprintln!("--telemetry needs a file path");
+            std::process::exit(2);
+        }
+        telemetry_base = Some(argv.remove(k));
+    }
     let bins = [
         ("repro_table1", vec!["--fast"]),
         ("repro_table2", vec![]),
@@ -26,8 +40,12 @@ fn main() {
     let mut failures = 0;
     for (bin, args) in bins {
         println!("\n================ {bin} ================\n");
-        let status = Command::new(exe_dir.join(bin))
-            .args(&args)
+        let mut cmd = Command::new(exe_dir.join(bin));
+        cmd.args(&args);
+        if let Some(base) = &telemetry_base {
+            cmd.arg("--telemetry").arg(format!("{base}.{bin}.json"));
+        }
+        let status = cmd
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
         if !status.success() {

@@ -6,6 +6,8 @@ use fts_device::{Device, DeviceKind, Dielectric, Terminal, TerminalPair};
 use fts_extract::{extract_switch_model, Level1};
 
 fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut tel = fts_bench::telemetry::from_args("repro_fig10", &mut argv);
     let dev = Device::new(DeviceKind::Square, Dielectric::HfO2);
     let model = extract_switch_model(&dev).expect("extraction");
 
@@ -25,13 +27,22 @@ fn main() {
         model.fit_b.relative_rmse * 100.0
     );
 
-    println!("{:>8} {:>14} {:>14} {:>10}", "Vds [V]", "TCAD Ids [A]", "fit Ids [A]", "err [%]");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "Vds [V]", "TCAD Ids [A]", "fit Ids [A]", "err [%]"
+    );
     let pair = TerminalPair::new(Terminal::T1, Terminal::T2);
     for k in 0..=20 {
         let vds = 5.0 * k as f64 / 20.0;
         let data = dev.channel_current(pair, vds, 0.0, 5.0);
         let fit = model.type_a.ids(5.0, vds);
-        let err = if data.abs() > 1e-12 { (fit - data) / data * 100.0 } else { 0.0 };
+        let err = if data.abs() > 1e-12 {
+            (fit - data) / data * 100.0
+        } else {
+            0.0
+        };
         println!("{vds:>8.2} {data:>14.5e} {fit:>14.5e} {err:>10.2}");
     }
+    tel.phase_done("run");
+    tel.finish().expect("telemetry artifacts");
 }

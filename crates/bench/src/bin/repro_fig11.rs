@@ -5,13 +5,21 @@ use fts_circuit::experiments::Xor3Experiment;
 use fts_circuit::model::SwitchCircuitModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut tel = fts_bench::telemetry::from_args("repro_fig11", &mut argv);
     let model = SwitchCircuitModel::square_hfo2()?;
+    tel.phase_done("extract_model");
     let report = Xor3Experiment::paper().run(&model)?;
+    tel.phase_done("transient");
 
     println!("Fig. 11: inverse-XOR3 transient (3x3 lattice, VDD = 1.2 V, 500 kOhm pull-up)\n");
     println!("{:>6} {:>12} {:>12}", "abc", "out [V]", "expected");
     for (x, lvl) in report.phase_levels.iter().enumerate() {
-        let expect = if (x as u32).count_ones().is_multiple_of(2) { "HIGH" } else { "low" };
+        let expect = if (x as u32).count_ones().is_multiple_of(2) {
+            "HIGH"
+        } else {
+            "low"
+        };
         println!("{x:>6o} {lvl:>12.3} {expect:>12}");
     }
     println!("\nmeasurements (paper values in brackets):");
@@ -31,5 +39,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for k in (0..report.time.len()).step_by(step) {
         println!("  {:>8.2} {:>8.4}", report.time[k] * 1e9, report.output[k]);
     }
+    tel.finish()?;
     Ok(())
 }

@@ -6,6 +6,8 @@ use fts_circuit::experiments::{series_chain_current, series_chain_voltage_for_cu
 use fts_circuit::model::SwitchCircuitModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut tel = fts_bench::telemetry::from_args("repro_fig12", &mut argv);
     let model = SwitchCircuitModel::square_hfo2()?;
 
     println!("Fig. 12a: current vs number of series switches @ VDD = 1.2 V");
@@ -30,5 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{n:>4} {v:>12.4}");
     }
     println!("paper anchors: 1.2 V @ N=2, ~2.5 V @ N=21 (near-linear, shallow slope)");
+    tel.phase_done("run");
+    tel.finish()?;
     Ok(())
 }

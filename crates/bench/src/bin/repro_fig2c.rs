@@ -4,6 +4,8 @@
 use fts_lattice::paths;
 
 fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut tel = fts_bench::telemetry::from_args("repro_fig2c", &mut argv);
     println!("f_3x3 products (paper Fig. 2c):");
     let mut products: Vec<String> = Vec::new();
     paths::visit(3, 3, |path| {
@@ -19,4 +21,6 @@ fn main() {
     }
     println!("total: {} products (paper: 9)", products.len());
     assert_eq!(products.len(), 9);
+    tel.phase_done("run");
+    tel.finish().expect("telemetry artifacts");
 }

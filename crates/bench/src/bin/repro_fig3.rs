@@ -7,12 +7,18 @@ use fts_synth::column::column_construction;
 use fts_synth::search::{anneal, AnnealOptions};
 
 fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut tel = fts_bench::telemetry::from_args("repro_fig3", &mut argv);
     let f = generators::xor(3);
 
     let col = column_construction(&f)
         .expect("three variables are in range")
         .expect("XOR3 admits a column realization");
-    println!("Fig. 3a — XOR3 on a {}x{} lattice (column construction):", col.rows(), col.cols());
+    println!(
+        "Fig. 3a — XOR3 on a {}x{} lattice (column construction):",
+        col.rows(),
+        col.cols()
+    );
     println!("{col}");
     assert_eq!(col.truth_table(3).expect("tt"), f);
 
@@ -30,4 +36,6 @@ fn main() {
         }
         None => println!("(annealing budget exhausted — fixed lattice above remains verified)"),
     }
+    tel.phase_done("run");
+    tel.finish().expect("telemetry artifacts");
 }

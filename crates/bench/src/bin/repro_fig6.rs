@@ -5,5 +5,9 @@ use fts_bench::print_device_figure;
 use fts_device::DeviceKind;
 
 fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut tel = fts_bench::telemetry::from_args("repro_fig6", &mut argv);
     print_device_figure("Fig. 6", DeviceKind::Cross);
+    tel.phase_done("run");
+    tel.finish().expect("telemetry artifacts");
 }

@@ -6,11 +6,16 @@ use fts_device::DeviceKind;
 use fts_field::{channel_region, device_plan, SolveOptions, PLAN_GRID};
 
 fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut tel = fts_bench::telemetry::from_args("repro_fig8", &mut argv);
     let opts = SolveOptions::default();
     for kind in DeviceKind::all() {
         let p = device_plan(kind, true);
         let sol = p.solve(&opts);
-        println!("Fig. 8 — {} device, gate ON (|J| map, 24x24 downsample):", kind.name());
+        println!(
+            "Fig. 8 — {} device, gate ON (|J| map, 24x24 downsample):",
+            kind.name()
+        );
         let n = PLAN_GRID;
         // Normalize to the 95th percentile so electrode hotspots do not
         // wash out the channel detail.
@@ -38,7 +43,12 @@ fn main() {
             sinks[2] / mean,
             cv
         );
-        println!("  channel |J| uniformity CV = {:.3}\n", sol.uniformity_cv(channel_region()));
+        println!(
+            "  channel |J| uniformity CV = {:.3}\n",
+            sol.uniformity_cv(channel_region())
+        );
     }
     println!("paper's qualitative claim: the cross gate gives a more uniform current profile than the square gate.");
+    tel.phase_done("run");
+    tel.finish().expect("telemetry artifacts");
 }

@@ -10,6 +10,8 @@ use fts_circuit::model::SwitchCircuitModel;
 use fts_logic::generators;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut tel = fts_bench::telemetry::from_args("repro_future_work", &mut argv);
     let model = SwitchCircuitModel::square_hfo2()?;
     let f = generators::xor(3);
     let pd = xor3_lattice();
@@ -37,16 +39,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<22} {:>16.3e} {:>16.3e}",
         "worst static power [W]", rm.static_power_worst, comp_static
     );
-    println!("{:<22} {:>16} {:>16}", "pull-up devices", "1 resistor", format!("{} switches", pu.site_count()));
+    println!(
+        "{:<22} {:>16} {:>16}",
+        "pull-up devices",
+        "1 resistor",
+        format!("{} switches", pu.site_count())
+    );
     println!("{:<22} {:>16.3} {:>16.4}", "worst V_OL [V]", 0.19, comp_vol);
     println!(
         "\nstatic-power reduction: {:.0}x (paper: 'almost zero static power')",
         rm.static_power_worst / comp_static.max(1e-18)
     );
-    println!("functional check (complementary computes NOT XOR3): {}",
+    println!(
+        "functional check (complementary computes NOT XOR3): {}",
         comp.dc_truth_table()?
             .iter()
             .enumerate()
-            .all(|(x, &b)| b == (x.count_ones() % 2 == 0)));
+            .all(|(x, &b)| b == (x.count_ones() % 2 == 0))
+    );
+    tel.phase_done("run");
+    tel.finish()?;
     Ok(())
 }

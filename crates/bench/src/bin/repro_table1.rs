@@ -7,7 +7,9 @@
 use fts_lattice::count::{product_count, PAPER_TABLE1};
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut tel = fts_bench::telemetry::from_args("repro_table1", &mut argv);
+    let fast = argv.iter().any(|a| a == "--fast");
     let max = if fast { 8 } else { 9 };
     println!("Table I: number of products in an m x n lattice function");
     print!("{:>4}", "m/n");
@@ -30,6 +32,8 @@ fn main() {
         }
         println!();
     }
+    tel.phase_done("enumerate");
+    tel.finish().expect("telemetry artifacts");
     if mismatches == 0 {
         println!("\nall entries match the paper exactly");
     } else {

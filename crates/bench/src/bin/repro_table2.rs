@@ -4,13 +4,19 @@
 use fts_device::{DeviceGeometry, DeviceKind, Terminal, TerminalPair};
 
 fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut tel = fts_bench::telemetry::from_args("repro_table2", &mut argv);
     println!("Table II: structural features of four-terminal devices\n");
     for kind in DeviceKind::all() {
         let g = DeviceGeometry::table2(kind);
         println!(
             "{} ({}):",
             kind.name(),
-            if kind.is_enhancement() { "enhancement" } else { "depletion (junctionless)" }
+            if kind.is_enhancement() {
+                "enhancement"
+            } else {
+                "depletion (junctionless)"
+            }
         );
         println!(
             "  device size (nm)     : {} x {} x {}",
@@ -38,4 +44,6 @@ fn main() {
             opp.length_cm * 1e7
         );
     }
+    tel.phase_done("run");
+    tel.finish().expect("telemetry artifacts");
 }

@@ -2,13 +2,17 @@
 //! parametric yield under process variation and crosspoint defects, with
 //! sequential-vs-parallel throughput and a machine-readable JSON summary.
 //!
-//! Usage: `repro_yield [--trials N] [--seed S] [--defect-prob P] [--json]`
+//! Usage: `repro_yield [--trials N] [--seed S] [--defect-prob P] [--json]
+//! [--telemetry <path.json>]`
 //!
 //! `--json` suppresses the human-readable report and prints only the JSON
-//! object (one line, stable key order).
+//! object (one line, stable key order). `--telemetry` additionally writes
+//! the solver/engine telemetry report, a Chrome trace, and the
+//! `BENCH_repro_yield.json` / `BENCH_repro.json` benchmark summaries.
 
 use std::time::Instant;
 
+use fts_bench::telemetry;
 use fts_circuit::experiments::xor3_lattice;
 use fts_circuit::model::SwitchCircuitModel;
 use fts_montecarlo::{EvalMode, MonteCarlo, SummaryStats, VariationModel, YieldReport};
@@ -20,18 +24,23 @@ struct Args {
     json_only: bool,
 }
 
-fn parse_args() -> Args {
-    let mut args = Args { trials: 512, seed: 0xD1CE, defect_prob: 0.01, json_only: false };
-    let mut it = std::env::args().skip(1);
+fn parse_args(argv: Vec<String>) -> Args {
+    let mut args = Args {
+        trials: 512,
+        seed: 0xD1CE,
+        defect_prob: 0.01,
+        json_only: false,
+    };
+    let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().unwrap_or_else(|| panic!("{name} needs a value"))
-        };
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
         match flag.as_str() {
             "--trials" => args.trials = value("--trials").parse().expect("--trials: integer"),
             "--seed" => args.seed = value("--seed").parse().expect("--seed: integer"),
             "--defect-prob" => {
-                args.defect_prob = value("--defect-prob").parse().expect("--defect-prob: float")
+                args.defect_prob = value("--defect-prob")
+                    .parse()
+                    .expect("--defect-prob: float")
             }
             "--json" => args.json_only = true,
             other => panic!("unknown flag {other}"),
@@ -47,16 +56,34 @@ fn json_stats(s: &SummaryStats) -> String {
     )
 }
 
-fn json_summary(r: &YieldReport, seq_tps: f64, par_tps: f64, threads: usize) -> String {
+fn json_summary(
+    r: &YieldReport,
+    seq_tps: f64,
+    par_tps: f64,
+    threads: usize,
+    phases_json: &str,
+) -> String {
     let crit: Vec<String> = r.site_criticality.iter().map(u64::to_string).collect();
+    // Criticality map summary: the most failure-implicated sites, best
+    // first, as (row-major index, coincidence count) pairs.
+    let top: Vec<String> = r
+        .critical_sites()
+        .iter()
+        .take(5)
+        .map(|(i, n)| format!("[{i},{n}]"))
+        .collect();
+    let causes = &r.failure_causes;
     format!(
         concat!(
             "{{\"experiment\":\"xor3_yield\",\"trials\":{},\"master_seed\":{},",
-            "\"evaluated\":{},\"sim_failures\":{},\"functional_pass\":{},",
+            "\"evaluated\":{},\"sim_failures\":{},",
+            "\"sim_failure_causes\":{{\"no_convergence\":{},\"singular_matrix\":{},",
+            "\"build\":{},\"other\":{}}},\"functional_pass\":{},",
             "\"parametric_pass\":{},\"logical_fail\":{},\"defects_injected\":{},",
             "\"functional_yield\":{},\"parametric_yield\":{},",
             "\"v_ol\":{},\"v_oh\":{},\"rise_s\":{},\"fall_s\":{},",
-            "\"site_criticality\":[{}],",
+            "\"site_criticality\":[{}],\"critical_sites\":[{}],",
+            "\"phases\":{},",
             "\"throughput\":{{\"sequential_trials_per_s\":{},\"parallel_trials_per_s\":{},",
             "\"threads\":{},\"speedup\":{}}}}}"
         ),
@@ -64,6 +91,10 @@ fn json_summary(r: &YieldReport, seq_tps: f64, par_tps: f64, threads: usize) -> 
         r.master_seed,
         r.evaluated,
         r.sim_failures,
+        causes.no_convergence,
+        causes.singular_matrix,
+        causes.build,
+        causes.other,
         r.functional_pass,
         r.parametric_pass,
         r.logical_fail,
@@ -75,6 +106,8 @@ fn json_summary(r: &YieldReport, seq_tps: f64, par_tps: f64, threads: usize) -> 
         json_stats(&r.rise_s),
         json_stats(&r.fall_s),
         crit.join(","),
+        top.join(","),
+        phases_json,
         seq_tps,
         par_tps,
         threads,
@@ -83,23 +116,37 @@ fn json_summary(r: &YieldReport, seq_tps: f64, par_tps: f64, threads: usize) -> 
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = parse_args();
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut tel = telemetry::from_args("repro_yield", &mut argv);
+    tel.mirror_bench("BENCH_repro.json");
+    let args = parse_args(argv);
+
     let nominal = SwitchCircuitModel::square_hfo2()?;
     let lat = xor3_lattice();
     let mc = MonteCarlo::new(args.trials, args.seed)
         .variation(VariationModel::standard().with_defect_prob(args.defect_prob))
         .eval(EvalMode::Dc);
+    tel.phase_done("build");
 
     let t0 = Instant::now();
     let sequential = mc.threads(1).run(&lat, 3, &nominal)?;
     let seq_s = t0.elapsed().as_secs_f64();
+    tel.phase_done("sequential");
 
     let threads = fts_montecarlo::executor::auto_threads();
     let t0 = Instant::now();
     let report = mc.threads(0).run(&lat, 3, &nominal)?;
     let par_s = t0.elapsed().as_secs_f64();
+    tel.phase_done("parallel");
 
-    assert_eq!(report, sequential, "parallel ensemble must be bit-identical to sequential");
+    if report != sequential {
+        eprintln!(
+            "DETERMINISM VIOLATION: parallel ensemble differs from sequential \
+             (trials {}, seed {:#x}, {threads} threads)",
+            args.trials, args.seed
+        );
+        std::process::exit(1);
+    }
 
     let seq_tps = args.trials as f64 / seq_s;
     let par_tps = args.trials as f64 / par_s;
@@ -111,6 +158,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         println!("  evaluated        : {}", report.evaluated);
         println!("  sim failures     : {}", report.sim_failures);
+        let c = &report.failure_causes;
+        if report.sim_failures > 0 {
+            println!(
+                "    by cause       : no_convergence {}, singular {}, build {}, other {}",
+                c.no_convergence, c.singular_matrix, c.build, c.other
+            );
+        }
         println!("  functional yield : {:.4}", report.functional_yield());
         println!("  parametric yield : {:.4}", report.parametric_yield());
         println!("  logical failures : {}", report.logical_fail);
@@ -130,12 +184,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .collect();
             println!("    {}", row.join(" "));
         }
+        let top = report.critical_sites();
+        if !top.is_empty() {
+            let list: Vec<String> = top
+                .iter()
+                .take(5)
+                .map(|(i, n)| format!("({},{})x{n}", i / 3, i % 3))
+                .collect();
+            println!("    most critical  : {}", list.join(" "));
+        }
         println!(
             "\n  throughput       : sequential {seq_tps:.1} trials/s, parallel {par_tps:.1} trials/s ({threads} threads, {:.2}x)",
             par_tps / seq_tps
         );
         println!("\nJSON summary:");
     }
-    println!("{}", json_summary(&report, seq_tps, par_tps, threads));
+    println!(
+        "{}",
+        json_summary(&report, seq_tps, par_tps, threads, &tel.phases_json())
+    );
+    tel.finish()?;
     Ok(())
 }

@@ -1,6 +1,8 @@
 //! Shared helpers for the table/figure regeneration binaries and the
 //! criterion benches.
 
+pub mod telemetry;
+
 /// Formats a row of f64 values with a label for aligned console tables.
 pub fn format_row(label: &str, values: &[f64], width: usize, precision: usize) -> String {
     let mut s = format!("{label:<8}");
@@ -46,7 +48,11 @@ pub fn print_device_figure(figure: &str, kind: fts_device::DeviceKind) {
     use fts_device::{BiasCase, Device, Dielectric};
 
     let dev = Device::new(kind, Dielectric::HfO2);
-    let vg_min = if kind == fts_device::DeviceKind::Junctionless { -6.0 } else { 0.0 };
+    let vg_min = if kind == fts_device::DeviceKind::Junctionless {
+        -6.0
+    } else {
+        0.0
+    };
     println!("{figure}: {} device, DSSS case, HfO2 gate\n", kind.name());
 
     let print_sweep = |title: &str, sweep_name: &str, s: &fts_device::characterize::SweepResult| {
@@ -59,11 +65,7 @@ pub fn print_device_figure(figure: &str, kind: fts_device::DeviceKind) {
         for k in (0..s.sweep.len()).step_by(step) {
             println!(
                 "{:>8.2} {:>12.4e} {:>12.4e} {:>12.4e} {:>12.4e}",
-                s.sweep[k],
-                s.currents[0][k],
-                s.currents[1][k],
-                s.currents[2][k],
-                s.currents[3][k]
+                s.sweep[k], s.currents[0][k], s.currents[1][k], s.currents[2][k], s.currents[3][k]
             );
         }
         println!();

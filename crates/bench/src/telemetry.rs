@@ -1,0 +1,162 @@
+//! Shared `--telemetry` plumbing for the `repro_*` binaries.
+//!
+//! Every reproduction binary accepts `--telemetry <path.json>`. The flag is
+//! stripped from the argument list *before* the binary's own (strict) flag
+//! parsing runs, so binaries that reject unknown flags never see it. When
+//! present, global [`fts_telemetry`] collection is switched on for the whole
+//! run and [`Session::finish`] writes three artifacts:
+//!
+//! * the merged telemetry report (`fts-telemetry/1` JSON) at the given path;
+//! * a Chrome trace (`<path>.trace.json`) loadable in `chrome://tracing`;
+//! * a benchmark summary `BENCH_<bin>.json` in the working directory with
+//!   total and per-phase wall times.
+
+use std::time::Instant;
+
+/// Telemetry/benchmark session for one `repro_*` binary.
+pub struct Session {
+    bin: &'static str,
+    out: Option<String>,
+    mirrors: Vec<String>,
+    started: Instant,
+    mark: Instant,
+    phases: Vec<(String, f64)>,
+}
+
+/// Parses and removes `--telemetry <path.json>` from `args`, enabling
+/// global collection when the flag is present. Call once, at the top of
+/// `main`, with the argument list the binary will parse afterwards.
+pub fn from_args(bin: &'static str, args: &mut Vec<String>) -> Session {
+    let mut out = None;
+    if let Some(k) = args.iter().position(|a| a == "--telemetry") {
+        args.remove(k);
+        if k >= args.len() {
+            eprintln!("--telemetry needs a file path");
+            std::process::exit(2);
+        }
+        out = Some(args.remove(k));
+        fts_telemetry::reset();
+        fts_telemetry::set_enabled(true);
+    }
+    let now = Instant::now();
+    Session {
+        bin,
+        out,
+        mirrors: Vec::new(),
+        started: now,
+        mark: now,
+        phases: Vec::new(),
+    }
+}
+
+impl Session {
+    /// True when `--telemetry` was passed.
+    pub fn active(&self) -> bool {
+        self.out.is_some()
+    }
+
+    /// Closes the phase that ran since the previous mark (or session
+    /// start) and records it under `name`.
+    pub fn phase_done(&mut self, name: &str) {
+        let now = Instant::now();
+        self.phases
+            .push((name.to_owned(), (now - self.mark).as_secs_f64()));
+        self.mark = now;
+    }
+
+    /// Completed phases so far as `(name, wall_seconds)` pairs.
+    pub fn phases(&self) -> &[(String, f64)] {
+        &self.phases
+    }
+
+    /// Also writes the bench summary to `path` (e.g. the canonical
+    /// `BENCH_repro.json` emitted by `repro_yield`).
+    pub fn mirror_bench(&mut self, path: &str) {
+        self.mirrors.push(path.to_owned());
+    }
+
+    /// JSON fragment of the phase list: `[{"name":...,"wall_s":...},...]`.
+    pub fn phases_json(&self) -> String {
+        let items: Vec<String> = self
+            .phases
+            .iter()
+            .map(|(n, s)| format!("{{\"name\":\"{n}\",\"wall_s\":{s}}}"))
+            .collect();
+        format!("[{}]", items.join(","))
+    }
+
+    /// Writes the telemetry report, Chrome trace, and bench summary when
+    /// the session is active; a no-op otherwise. Disables collection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures writing any artifact.
+    pub fn finish(self) -> std::io::Result<()> {
+        let total_s = self.started.elapsed().as_secs_f64();
+        let Some(out) = self.out.clone() else {
+            return Ok(());
+        };
+        let report = fts_telemetry::snapshot();
+        fts_telemetry::set_enabled(false);
+        fts_telemetry::reset();
+
+        std::fs::write(&out, report.to_json())?;
+        let trace_path = format!("{out}.trace.json");
+        std::fs::write(&trace_path, report.to_chrome_trace())?;
+
+        let bench = format!(
+            concat!(
+                "{{\"schema\":\"fts-bench/1\",\"bin\":\"{}\",\"wall_s\":{},",
+                "\"phases\":{},\"telemetry_path\":\"{}\"}}"
+            ),
+            self.bin,
+            total_s,
+            self.phases_json(),
+            out,
+        );
+        let bench_path = format!("BENCH_{}.json", self.bin);
+        std::fs::write(&bench_path, &bench)?;
+        for m in &self.mirrors {
+            std::fs::write(m, &bench)?;
+        }
+        eprintln!(
+            "[telemetry] report: {out}  trace: {trace_path}  bench: {bench_path}{}",
+            if self.mirrors.is_empty() {
+                String::new()
+            } else {
+                format!(" + {}", self.mirrors.join(" + "))
+            }
+        );
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_flag_and_leaves_other_args() {
+        let mut args: Vec<String> = ["--trials", "8", "--telemetry", "/tmp/t.json", "--json"]
+            .map(String::from)
+            .to_vec();
+        let tel = from_args("unit_test_bin", &mut args);
+        assert!(tel.active());
+        assert_eq!(args, ["--trials", "8", "--json"]);
+        fts_telemetry::set_enabled(false);
+        fts_telemetry::reset();
+    }
+
+    #[test]
+    fn absent_flag_is_inactive() {
+        let mut args: Vec<String> = ["--json"].map(String::from).to_vec();
+        let mut tel = from_args("unit_test_bin", &mut args);
+        assert!(!tel.active());
+        assert_eq!(args, ["--json"]);
+        tel.phase_done("a");
+        tel.phase_done("b");
+        assert_eq!(tel.phases().len(), 2);
+        assert!(tel.phases_json().starts_with("[{\"name\":\"a\""));
+        tel.finish().unwrap();
+    }
+}

@@ -1,0 +1,75 @@
+//! Acceptance check: telemetry compiled into the Monte Carlo path must be
+//! no-op cheap while disabled.
+//!
+//! Timing a <5% difference between two full ensemble runs is hopelessly
+//! noisy in CI, so the bound is computed instead of raced: measure (a) the
+//! real wall time of a disabled-telemetry ensemble, (b) how many telemetry
+//! operations one trial actually performs (from an enabled run's own
+//! report, counting conservatively high), and (c) the measured per-call
+//! cost of the disabled fast path. The product (b)·(c) is the worst-case
+//! time instrumentation can add to a trial; it must stay under 5% of (a).
+//! On typical hardware the margin is two to three orders of magnitude.
+
+use std::time::Instant;
+
+use fts_circuit::experiments::xor3_lattice;
+use fts_circuit::model::SwitchCircuitModel;
+use fts_montecarlo::{EvalMode, MonteCarlo, VariationModel};
+
+const TRIALS: u64 = 24;
+
+#[test]
+fn disabled_telemetry_costs_under_five_percent_of_a_trial() {
+    let nominal = SwitchCircuitModel::square_hfo2().expect("model");
+    let lat = xor3_lattice();
+    let mc = MonteCarlo::new(TRIALS, 0xBEEF)
+        .variation(VariationModel::standard().with_defect_prob(0.01))
+        .eval(EvalMode::Dc)
+        .threads(1);
+
+    // (a) Real per-trial wall time with collection disabled (min of 2 to
+    // shave warm-up effects).
+    fts_telemetry::set_enabled(false);
+    let mut trial_s = f64::INFINITY;
+    for _ in 0..2 {
+        let t0 = Instant::now();
+        mc.run(&lat, 3, &nominal).expect("ensemble");
+        trial_s = trial_s.min(t0.elapsed().as_secs_f64() / TRIALS as f64);
+    }
+
+    // (b) Telemetry operations per trial, counted conservatively high from
+    // an enabled run: every span does one begin and one end, every counter
+    // delta is >= 1 per call, every histogram sample is one record call.
+    fts_telemetry::set_enabled(true);
+    fts_telemetry::reset();
+    mc.run(&lat, 3, &nominal).expect("ensemble");
+    let report = fts_telemetry::snapshot();
+    fts_telemetry::set_enabled(false);
+    fts_telemetry::reset();
+    let span_ops: u64 = report.spans.iter().map(|s| 2 * s.count).sum();
+    let counter_ops: u64 = report.counters.iter().map(|c| c.value).sum();
+    let record_ops: u64 = report.histograms.iter().map(|h| h.summary.n).sum();
+    let ops_per_trial = (span_ops + counter_ops + record_ops) as f64 / TRIALS as f64;
+    assert!(ops_per_trial > 0.0, "instrumentation must actually fire");
+
+    // (c) Measured per-call cost of the disabled fast path.
+    const CALLS: u32 = 300_000;
+    let t0 = Instant::now();
+    for k in 0..CALLS {
+        let _g = fts_telemetry::span("overhead.probe");
+        fts_telemetry::counter("overhead.probe.count", 1);
+        fts_telemetry::record("overhead.probe.value", f64::from(k));
+    }
+    let per_op_s = t0.elapsed().as_secs_f64() / (f64::from(CALLS) * 3.0);
+
+    let overhead_per_trial = ops_per_trial * per_op_s;
+    let ratio = overhead_per_trial / trial_s;
+    assert!(
+        ratio < 0.05,
+        "disabled telemetry adds {:.3e}s to a {:.3e}s trial ({:.2}% > 5%): \
+         {ops_per_trial:.0} ops/trial at {per_op_s:.2e}s each",
+        overhead_per_trial,
+        trial_s,
+        ratio * 100.0
+    );
+}

@@ -65,13 +65,32 @@ impl ComplementaryCircuit {
             let p = nl.node(&format!("in{v}"));
             let n = nl.node(&format!("in{v}n"));
             nl.vsource(&format!("VIN{v}"), p, Netlist::GROUND, Waveform::Dc(0.0))?;
-            nl.vsource(&format!("VIN{v}N"), n, Netlist::GROUND, Waveform::Dc(config.vdd))?;
+            nl.vsource(
+                &format!("VIN{v}N"),
+                n,
+                Netlist::GROUND,
+                Waveform::Dc(config.vdd),
+            )?;
             input_nodes.push((p, n));
         }
 
         wire_lattice(&mut nl, "pu", pullup, vdd, out, &input_nodes, vdd, model)?;
-        wire_lattice(&mut nl, "pd", pulldown, out, Netlist::GROUND, &input_nodes, vdd, model)?;
-        Ok(ComplementaryCircuit { netlist: nl, out, vars, config })
+        wire_lattice(
+            &mut nl,
+            "pd",
+            pulldown,
+            out,
+            Netlist::GROUND,
+            &input_nodes,
+            vdd,
+            model,
+        )?;
+        Ok(ComplementaryCircuit {
+            netlist: nl,
+            out,
+            vars,
+            config,
+        })
     }
 
     /// Builds the dual-rail realization of `f` by synthesizing both
@@ -85,10 +104,12 @@ impl ComplementaryCircuit {
         model: &SwitchCircuitModel,
         config: BenchConfig,
     ) -> Result<ComplementaryCircuit, CircuitError> {
-        let pd = fts_synth::synthesize(f)
-            .map_err(|_| CircuitError::InvalidConfig { reason: "pull-down synthesis failed" })?;
-        let pu = fts_synth::synthesize(&!f)
-            .map_err(|_| CircuitError::InvalidConfig { reason: "pull-up synthesis failed" })?;
+        let pd = fts_synth::synthesize(f).map_err(|_| CircuitError::InvalidConfig {
+            reason: "pull-down synthesis failed",
+        })?;
+        let pu = fts_synth::synthesize(&!f).map_err(|_| CircuitError::InvalidConfig {
+            reason: "pull-up synthesis failed",
+        })?;
         Self::build(&pd.lattice, &pu.lattice, f.vars(), model, config)
     }
 
@@ -141,8 +162,14 @@ impl ComplementaryCircuit {
         let vdd = self.config.vdd;
         for v in 0..self.vars {
             let bit = (assignment >> v) & 1 == 1;
-            nl.set_vsource(&format!("VIN{v}"), Waveform::Dc(if bit { vdd } else { 0.0 }))?;
-            nl.set_vsource(&format!("VIN{v}N"), Waveform::Dc(if bit { 0.0 } else { vdd }))?;
+            nl.set_vsource(
+                &format!("VIN{v}"),
+                Waveform::Dc(if bit { vdd } else { 0.0 }),
+            )?;
+            nl.set_vsource(
+                &format!("VIN{v}N"),
+                Waveform::Dc(if bit { 0.0 } else { vdd }),
+            )?;
         }
         Ok(nl)
     }
@@ -246,7 +273,8 @@ mod tests {
         let f = generators::xor(3);
         let pd = crate::experiments::xor3_lattice();
         let pu = fts_synth::synthesize(&!&f).unwrap().lattice;
-        let ckt = ComplementaryCircuit::build(&pd, &pu, 3, &model(), BenchConfig::default()).unwrap();
+        let ckt =
+            ComplementaryCircuit::build(&pd, &pu, 3, &model(), BenchConfig::default()).unwrap();
         let tt = ckt.dc_truth_table().unwrap();
         for x in 0..8u32 {
             assert_eq!(tt[x as usize], !f.eval(x), "input {x:03b}");
@@ -257,6 +285,9 @@ mod tests {
     fn rejects_out_of_range_variables() {
         let lat = Lattice::filled(1, 1, Literal::pos(7)).unwrap();
         let err = ComplementaryCircuit::build(&lat, &lat, 2, &model(), BenchConfig::default());
-        assert!(matches!(err, Err(CircuitError::MissingStimulus { variable: 7 })));
+        assert!(matches!(
+            err,
+            Err(CircuitError::MissingStimulus { variable: 7 })
+        ));
     }
 }

@@ -79,7 +79,10 @@ impl Xor3Experiment {
 
     /// Coarser settings for unit tests and doc examples (~4× faster).
     pub fn quick() -> Xor3Experiment {
-        Xor3Experiment { dt: 0.8e-9, ..Xor3Experiment::paper() }
+        Xor3Experiment {
+            dt: 0.8e-9,
+            ..Xor3Experiment::paper()
+        }
     }
 
     /// Runs the experiment: the XOR3 lattice driven through all eight
@@ -103,7 +106,12 @@ impl Xor3Experiment {
         let tstop = self.phase * combos.len() as f64;
         let tr = analysis::transient(
             ckt.netlist(),
-            &TransientOptions { dt: self.dt, tstop, integrator: self.integrator, uic: false },
+            &TransientOptions {
+                dt: self.dt,
+                tstop,
+                integrator: self.integrator,
+                uic: false,
+            },
         )?;
         let out = tr.voltage(ckt.out());
         let xor = generators::xor(3);
@@ -179,17 +187,29 @@ pub fn series_chain_netlist(
     vdd: f64,
 ) -> Result<(Netlist, &'static str), CircuitError> {
     if n == 0 {
-        return Err(CircuitError::InvalidConfig { reason: "chain needs at least one switch" });
+        return Err(CircuitError::InvalidConfig {
+            reason: "chain needs at least one switch",
+        });
     }
     let mut nl = Netlist::new();
     let drive = nl.node("drive");
     nl.vsource("VDRV", drive, Netlist::GROUND, Waveform::Dc(vdd))?;
     let mut upper = drive;
     for k in 0..n {
-        let lower = if k + 1 == n { Netlist::GROUND } else { nl.node(&format!("c{k}")) };
+        let lower = if k + 1 == n {
+            Netlist::GROUND
+        } else {
+            nl.node(&format!("c{k}"))
+        };
         let left = nl.node(&format!("l{k}"));
         let right = nl.node(&format!("r{k}"));
-        switch::add_switch(&mut nl, &format!("S{k}"), drive, [upper, right, lower, left], model)?;
+        switch::add_switch(
+            &mut nl,
+            &format!("S{k}"),
+            drive,
+            [upper, right, lower, left],
+            model,
+        )?;
         upper = lower;
     }
     Ok((nl, "VDRV"))
@@ -201,7 +221,11 @@ pub fn series_chain_netlist(
 /// # Errors
 ///
 /// Propagates simulator failures.
-pub fn series_chain_current(model: &SwitchCircuitModel, n: usize, vdd: f64) -> Result<f64, CircuitError> {
+pub fn series_chain_current(
+    model: &SwitchCircuitModel,
+    n: usize,
+    vdd: f64,
+) -> Result<f64, CircuitError> {
     let (nl, src) = series_chain_netlist(model, n, vdd)?;
     let op = analysis::op(&nl)?;
     // The source delivers current, so its branch current is negative.
@@ -260,7 +284,11 @@ mod tests {
         assert!(report.functional, "levels: {:?}", report.phase_levels);
         // Paper: V_OL ≈ 0.22 V — ratioed logic, clearly above ground but
         // below the 0.45 V read threshold.
-        assert!(report.v_ol > 0.02 && report.v_ol < 0.45, "V_OL {}", report.v_ol);
+        assert!(
+            report.v_ol > 0.02 && report.v_ol < 0.45,
+            "V_OL {}",
+            report.v_ol
+        );
         assert!(report.v_oh > 1.1, "V_OH {}", report.v_oh);
         // Paper: rise ≈ 11.3 ns, fall ≈ 4.7 ns; same order, rise slower
         // than fall (weak resistive pull-up vs strong pull-down).
@@ -287,7 +315,11 @@ mod tests {
         let decay = values[0] / values[4];
         assert!(decay > 5.0 && decay < 100.0, "decay {decay}");
         // Same order of magnitude as the paper's absolute numbers.
-        assert!(values[0] > 1.0e-6 && values[0] < 1.0e-4, "I(1) = {:.3e}", values[0]);
+        assert!(
+            values[0] > 1.0e-6 && values[0] < 1.0e-4,
+            "I(1) = {:.3e}",
+            values[0]
+        );
     }
 
     #[test]

@@ -27,7 +27,11 @@ pub struct BenchConfig {
 
 impl Default for BenchConfig {
     fn default() -> Self {
-        BenchConfig { vdd: 1.2, pullup_ohms: 500.0e3, load_cap: 10.0e-15 }
+        BenchConfig {
+            vdd: 1.2,
+            pullup_ohms: 500.0e3,
+            load_cap: 10.0e-15,
+        }
     }
 }
 
@@ -95,7 +99,12 @@ impl LatticeCircuit {
             let p = nl.node(&format!("in{v}"));
             let n = nl.node(&format!("in{v}n"));
             nl.vsource(&format!("VIN{v}"), p, Netlist::GROUND, Waveform::Dc(0.0))?;
-            nl.vsource(&format!("VIN{v}N"), n, Netlist::GROUND, Waveform::Dc(config.vdd))?;
+            nl.vsource(
+                &format!("VIN{v}N"),
+                n,
+                Netlist::GROUND,
+                Waveform::Dc(config.vdd),
+            )?;
             input_nodes.push((p, n));
         }
 
@@ -113,9 +122,8 @@ impl LatticeCircuit {
         };
         // Horizontal nodes: boundary between (r, c) and (r, c+1); edge
         // terminals get private floating nodes.
-        let horiz = |nl: &mut Netlist, r: usize, b: usize| -> NodeId {
-            nl.node(&format!("h{r}_{b}"))
-        };
+        let horiz =
+            |nl: &mut Netlist, r: usize, b: usize| -> NodeId { nl.node(&format!("h{r}_{b}")) };
 
         for r in 0..rows {
             for c in 0..cols {
@@ -137,11 +145,22 @@ impl LatticeCircuit {
                 let t_left = horiz(&mut nl, r, c);
                 let t_right = horiz(&mut nl, r, c + 1);
                 let model = site_model((r, c));
-                switch::add_switch(&mut nl, &name, gate, [t_top, t_right, t_bottom, t_left], &model)?;
+                switch::add_switch(
+                    &mut nl,
+                    &name,
+                    gate,
+                    [t_top, t_right, t_bottom, t_left],
+                    &model,
+                )?;
             }
         }
 
-        Ok(LatticeCircuit { netlist: nl, out: top, vars, config })
+        Ok(LatticeCircuit {
+            netlist: nl,
+            out: top,
+            vars,
+            config,
+        })
     }
 
     /// The underlying netlist.
@@ -171,8 +190,14 @@ impl LatticeCircuit {
         let vdd = self.config.vdd;
         for v in 0..self.vars {
             let bit = (assignment >> v) & 1 == 1;
-            nl.set_vsource(&format!("VIN{v}"), Waveform::Dc(if bit { vdd } else { 0.0 }))?;
-            nl.set_vsource(&format!("VIN{v}N"), Waveform::Dc(if bit { 0.0 } else { vdd }))?;
+            nl.set_vsource(
+                &format!("VIN{v}"),
+                Waveform::Dc(if bit { vdd } else { 0.0 }),
+            )?;
+            nl.set_vsource(
+                &format!("VIN{v}N"),
+                Waveform::Dc(if bit { 0.0 } else { vdd }),
+            )?;
         }
         let op = analysis::op(&nl)?;
         Ok(op.voltage(self.out))
@@ -200,7 +225,12 @@ impl LatticeCircuit {
     /// # Errors
     ///
     /// Returns an error for unknown variables.
-    pub fn set_stimulus(&mut self, v: usize, wave: Waveform, complement: Waveform) -> Result<(), CircuitError> {
+    pub fn set_stimulus(
+        &mut self,
+        v: usize,
+        wave: Waveform,
+        complement: Waveform,
+    ) -> Result<(), CircuitError> {
         if v >= self.vars {
             return Err(CircuitError::MissingStimulus { variable: v as u8 });
         }
@@ -270,10 +300,16 @@ mod tests {
     fn constant_sites_tie_to_rails() {
         let lat = Lattice::from_literals(1, 1, vec![Literal::True]).unwrap();
         let ckt = LatticeCircuit::build(&lat, 1, &model(), BenchConfig::default()).unwrap();
-        assert!(ckt.dc_output(0).unwrap() < 0.45, "always-on switch pulls down");
+        assert!(
+            ckt.dc_output(0).unwrap() < 0.45,
+            "always-on switch pulls down"
+        );
         let lat = Lattice::from_literals(1, 1, vec![Literal::False]).unwrap();
         let ckt = LatticeCircuit::build(&lat, 1, &model(), BenchConfig::default()).unwrap();
-        assert!(ckt.dc_output(0).unwrap() > 1.15, "always-off switch floats the plate");
+        assert!(
+            ckt.dc_output(0).unwrap() > 1.15,
+            "always-off switch floats the plate"
+        );
     }
 
     #[test]
@@ -325,7 +361,10 @@ mod tests {
     fn build_rejects_unstimulated_variables() {
         let lat = Lattice::from_literals(1, 1, vec![Literal::pos(5)]).unwrap();
         let err = LatticeCircuit::build(&lat, 3, &model(), BenchConfig::default());
-        assert!(matches!(err, Err(CircuitError::MissingStimulus { variable: 5 })));
+        assert!(matches!(
+            err,
+            Err(CircuitError::MissingStimulus { variable: 5 })
+        ));
     }
 
     #[test]

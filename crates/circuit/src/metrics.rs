@@ -47,7 +47,9 @@ pub fn measure_lattice_circuit(
     dt: f64,
 ) -> Result<CircuitMetrics, CircuitError> {
     if !(phase > 0.0) || !(dt > 0.0) {
-        return Err(CircuitError::InvalidConfig { reason: "phase and dt must be positive" });
+        return Err(CircuitError::InvalidConfig {
+            reason: "phase and dt must be positive",
+        });
     }
     let vdd = circuit.config().vdd;
 
@@ -75,7 +77,12 @@ pub fn measure_lattice_circuit(
     let tstop = phase * combos as f64;
     let tr = analysis::transient(
         &nl,
-        &TransientOptions { dt, tstop, integrator: Integrator::Trapezoidal, uic: false },
+        &TransientOptions {
+            dt,
+            tstop,
+            integrator: Integrator::Trapezoidal,
+            uic: false,
+        },
     )?;
     let supply = tr.vsource_current(&nl, "VDD")?;
     let mut energy = 0.0;
@@ -142,8 +149,14 @@ fn netlist_with_inputs(
     let vdd = circuit.config().vdd;
     for v in 0..vars {
         let bit = (assignment >> v) & 1 == 1;
-        nl.set_vsource(&format!("VIN{v}"), Waveform::Dc(if bit { vdd } else { 0.0 }))?;
-        nl.set_vsource(&format!("VIN{v}N"), Waveform::Dc(if bit { 0.0 } else { vdd }))?;
+        nl.set_vsource(
+            &format!("VIN{v}"),
+            Waveform::Dc(if bit { vdd } else { 0.0 }),
+        )?;
+        nl.set_vsource(
+            &format!("VIN{v}N"),
+            Waveform::Dc(if bit { 0.0 } else { vdd }),
+        )?;
     }
     Ok(nl)
 }
@@ -221,7 +234,9 @@ pub fn vtc(
     points: usize,
 ) -> Result<Vtc, CircuitError> {
     if points < 3 {
-        return Err(CircuitError::InvalidConfig { reason: "VTC needs at least 3 points" });
+        return Err(CircuitError::InvalidConfig {
+            reason: "VTC needs at least 3 points",
+        });
     }
     let vdd = circuit.config().vdd;
     let mut vin = Vec::with_capacity(points);
@@ -268,8 +283,11 @@ mod tests {
         let m = measure_lattice_circuit(&ckt, 2, 100e-9, 0.5e-9).unwrap();
         // Static power: worst case is the pulled-down output:
         // ~VDD²/(Rpu + Rlattice) — of order µW at 1.2 V / 500 kΩ.
-        assert!(m.static_power_worst > 1e-7 && m.static_power_worst < 1e-5,
-            "worst static power {:.3e}", m.static_power_worst);
+        assert!(
+            m.static_power_worst > 1e-7 && m.static_power_worst < 1e-5,
+            "worst static power {:.3e}",
+            m.static_power_worst
+        );
         assert!(m.static_power_mean < m.static_power_worst);
         assert!(m.transient_energy > 0.0);
         let d = m.worst_delay.expect("output toggles during the walk");
@@ -325,5 +343,4 @@ mod tests {
         let ckt = and2_circuit();
         assert!(vtc(&ckt, 2, 0, 0b10, 2).is_err());
     }
-
 }

@@ -37,7 +37,10 @@ impl SwitchCircuitModel {
     /// # Errors
     ///
     /// Propagates extraction failures.
-    pub fn from_device(kind: DeviceKind, dielectric: Dielectric) -> Result<SwitchCircuitModel, CircuitError> {
+    pub fn from_device(
+        kind: DeviceKind,
+        dielectric: Dielectric,
+    ) -> Result<SwitchCircuitModel, CircuitError> {
         let device = Device::new(kind, dielectric);
         Ok(extract_switch_model(&device)?.into())
     }
@@ -71,7 +74,11 @@ mod tests {
     fn square_hfo2_model_is_switch_grade() {
         let m = SwitchCircuitModel::square_hfo2().unwrap();
         // A usable switch at VDD = 1.2 V: on above ~0.1 V, off at 0 V.
-        assert!(m.type_a.vth > 0.05 && m.type_a.vth < 0.9, "vth {}", m.type_a.vth);
+        assert!(
+            m.type_a.vth > 0.05 && m.type_a.vth < 0.9,
+            "vth {}",
+            m.type_a.vth
+        );
         assert!(m.type_a.kp > 0.0);
         assert!((m.terminal_cap - 1e-15).abs() < 1e-20);
         // Type A stronger than Type B.

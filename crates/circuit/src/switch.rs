@@ -40,7 +40,12 @@ pub fn add_switch(
     // 1 fF to ground on every terminal.
     for (k, t) in terminals.iter().enumerate() {
         if *t != Netlist::GROUND {
-            netlist.capacitor(&format!("{name}_C{k}"), *t, Netlist::GROUND, model.terminal_cap)?;
+            netlist.capacitor(
+                &format!("{name}_C{k}"),
+                *t,
+                Netlist::GROUND,
+                model.terminal_cap,
+            )?;
         }
     }
     Ok(())
@@ -62,8 +67,10 @@ mod tests {
         let t2 = nl.node("t2");
         let t3 = nl.node("t3");
         let t4 = nl.node("t4");
-        nl.vsource("VG", g, Netlist::GROUND, Waveform::Dc(gate_v)).unwrap();
-        nl.vsource("VD", t1, Netlist::GROUND, Waveform::Dc(1.2)).unwrap();
+        nl.vsource("VG", g, Netlist::GROUND, Waveform::Dc(gate_v))
+            .unwrap();
+        nl.vsource("VD", t1, Netlist::GROUND, Waveform::Dc(1.2))
+            .unwrap();
         nl.resistor("RL", t3, Netlist::GROUND, 1.0e6).unwrap();
         add_switch(&mut nl, "X1", g, [t1, t2, t3, t4], &model()).unwrap();
         (nl, t3)
@@ -73,14 +80,22 @@ mod tests {
     fn switch_connects_when_gate_high() {
         let (nl, out) = one_switch(1.2);
         let op = analysis::op(&nl).unwrap();
-        assert!(op.voltage(out) > 0.9, "ON switch passes: {}", op.voltage(out));
+        assert!(
+            op.voltage(out) > 0.9,
+            "ON switch passes: {}",
+            op.voltage(out)
+        );
     }
 
     #[test]
     fn switch_isolates_when_gate_low() {
         let (nl, out) = one_switch(0.0);
         let op = analysis::op(&nl).unwrap();
-        assert!(op.voltage(out) < 0.05, "OFF switch isolates: {}", op.voltage(out));
+        assert!(
+            op.voltage(out) < 0.05,
+            "OFF switch isolates: {}",
+            op.voltage(out)
+        );
     }
 
     #[test]
@@ -96,9 +111,12 @@ mod tests {
                 let mut nl = Netlist::new();
                 let g = nl.node("g");
                 let ts = [nl.node("t1"), nl.node("t2"), nl.node("t3"), nl.node("t4")];
-                nl.vsource("VG", g, Netlist::GROUND, Waveform::Dc(1.2)).unwrap();
-                nl.vsource("VD", ts[drive], Netlist::GROUND, Waveform::Dc(1.2)).unwrap();
-                nl.resistor("RL", ts[sense], Netlist::GROUND, 1.0e6).unwrap();
+                nl.vsource("VG", g, Netlist::GROUND, Waveform::Dc(1.2))
+                    .unwrap();
+                nl.vsource("VD", ts[drive], Netlist::GROUND, Waveform::Dc(1.2))
+                    .unwrap();
+                nl.resistor("RL", ts[sense], Netlist::GROUND, 1.0e6)
+                    .unwrap();
                 add_switch(&mut nl, "X1", g, ts, &m).unwrap();
                 let op = analysis::op(&nl).unwrap();
                 assert!(

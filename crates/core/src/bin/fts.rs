@@ -77,8 +77,16 @@ fn named_function(name: &str) -> Result<TruthTable, String> {
 }
 
 fn cmd_count(args: &[String]) -> Result<(), String> {
-    let m: usize = args.first().ok_or("missing <m>")?.parse().map_err(|_| "bad <m>")?;
-    let n: usize = args.get(1).ok_or("missing <n>")?.parse().map_err(|_| "bad <n>")?;
+    let m: usize = args
+        .first()
+        .ok_or("missing <m>")?
+        .parse()
+        .map_err(|_| "bad <m>")?;
+    let n: usize = args
+        .get(1)
+        .ok_or("missing <n>")?
+        .parse()
+        .map_err(|_| "bad <n>")?;
     if m == 0 || n == 0 {
         return Err("dimensions must be at least 1".into());
     }
@@ -108,7 +116,9 @@ fn cmd_synth(args: &[String]) -> Result<(), String> {
 fn read_lattice(path: &str) -> Result<Lattice, String> {
     let content = if path == "-" {
         let mut buf = String::new();
-        std::io::stdin().read_to_string(&mut buf).map_err(|e| e.to_string())?;
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| e.to_string())?;
         buf
     } else {
         std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
@@ -117,7 +127,10 @@ fn read_lattice(path: &str) -> Result<Lattice, String> {
 }
 
 fn vars_flag(args: &[String]) -> Result<usize, String> {
-    let pos = args.iter().position(|a| a == "--vars").ok_or("missing --vars <n>")?;
+    let pos = args
+        .iter()
+        .position(|a| a == "--vars")
+        .ok_or("missing --vars <n>")?;
     args.get(pos + 1)
         .ok_or("missing value after --vars")?
         .parse::<usize>()
@@ -180,7 +193,9 @@ fn cmd_characterize(args: &[String]) -> Result<(), String> {
 
 fn cmd_xor3() -> Result<(), String> {
     let model = SwitchCircuitModel::square_hfo2().map_err(|e| e.to_string())?;
-    let report = Xor3Experiment::quick().run(&model).map_err(|e| e.to_string())?;
+    let report = Xor3Experiment::quick()
+        .run(&model)
+        .map_err(|e| e.to_string())?;
     println!("functional: {}", report.functional);
     println!("V_OL = {:.3} V, V_OH = {:.3} V", report.v_ol, report.v_oh);
     if let (Some(r), Some(f)) = (report.rise_s, report.fall_s) {
@@ -195,9 +210,16 @@ fn cmd_explore(args: &[String]) -> Result<(), String> {
         return Err("explore is limited to 3-input functions (transient measurement cost)".into());
     }
     let model = SwitchCircuitModel::square_hfo2().map_err(|e| e.to_string())?;
-    let opts = ExploreOptions { phase: 40e-9, dt: 2e-9, ..Default::default() };
+    let opts = ExploreOptions {
+        phase: 40e-9,
+        dt: 2e-9,
+        ..Default::default()
+    };
     let ex = explore(&f, &model, &opts).map_err(|e| e.to_string())?;
-    println!("{:<13} {:>7} {:>12} {:>14} {:>14}", "source", "area", "delay [ns]", "static [W]", "energy [J]");
+    println!(
+        "{:<13} {:>7} {:>12} {:>14} {:>14}",
+        "source", "area", "delay [ns]", "static [W]", "energy [J]"
+    );
     for (i, c) in ex.candidates.iter().enumerate() {
         let star = if ex.pareto.contains(&i) { "*" } else { " " };
         println!(

@@ -54,7 +54,11 @@ impl Default for ExploreOptions {
             phase: 60.0e-9,
             dt: 0.5e-9,
             bench: BenchConfig::default(),
-            anneal: Some(AnnealOptions { restarts: 10, iterations: 15_000, ..Default::default() }),
+            anneal: Some(AnnealOptions {
+                restarts: 10,
+                iterations: 15_000,
+                ..Default::default()
+            }),
             anneal_shrink: 0.5,
         }
     }
@@ -179,7 +183,11 @@ pub fn explore(
     for (source, lattice) in lattices {
         let circuit = LatticeCircuit::build(&lattice, f.vars(), model, opts.bench)?;
         let metrics = measure_lattice_circuit(&circuit, f.vars(), opts.phase, opts.dt)?;
-        candidates.push(Candidate { source, lattice, metrics });
+        candidates.push(Candidate {
+            source,
+            lattice,
+            metrics,
+        });
     }
 
     let pareto = pareto_front(&candidates);
@@ -215,7 +223,11 @@ mod tests {
         ExploreOptions {
             phase: 40.0e-9,
             dt: 2.0e-9,
-            anneal: Some(AnnealOptions { restarts: 4, iterations: 8_000, ..Default::default() }),
+            anneal: Some(AnnealOptions {
+                restarts: 4,
+                iterations: 8_000,
+                ..Default::default()
+            }),
             ..Default::default()
         }
     }
@@ -264,11 +276,17 @@ mod tests {
         let mut opts = fast_opts();
         opts.anneal = None;
         let ex = explore(&f, &model, &opts).unwrap();
-        let spec = DesignSpec { max_area: Some(2), ..Default::default() };
+        let spec = DesignSpec {
+            max_area: Some(2),
+            ..Default::default()
+        };
         let rec = ex.recommend(&spec).expect("AND2 fits in two switches");
         assert!(rec.lattice.site_count() <= 2);
         // Impossible spec yields nothing.
-        let none = ex.recommend(&DesignSpec { max_area: Some(1), ..Default::default() });
+        let none = ex.recommend(&DesignSpec {
+            max_area: Some(1),
+            ..Default::default()
+        });
         assert!(none.is_none());
     }
 }

@@ -99,7 +99,11 @@ impl Pipeline {
     ///
     /// Propagates synthesis, extraction, and simulation failures.
     pub fn realize(&self, f: &TruthTable) -> Result<PipelineRun, PipelineError> {
-        let synthesis = fts_synth::synthesize(f)?;
+        let _span = fts_telemetry::span("pipeline.realize");
+        let synthesis = {
+            let _stage = fts_telemetry::span("pipeline.synthesize");
+            fts_synth::synthesize(f)?
+        };
         self.realize_lattice(f, synthesis.lattice)
     }
 
@@ -114,15 +118,27 @@ impl Pipeline {
         f: &TruthTable,
         lattice: Lattice,
     ) -> Result<PipelineRun, PipelineError> {
-        let model = SwitchCircuitModel::from_device(self.kind, self.dielectric)?;
-        let circuit = LatticeCircuit::build(&lattice, f.vars(), &model, self.bench)?;
+        let model = {
+            let _stage = fts_telemetry::span("pipeline.extract_model");
+            SwitchCircuitModel::from_device(self.kind, self.dielectric)?
+        };
+        let circuit = {
+            let _stage = fts_telemetry::span("pipeline.build_circuit");
+            LatticeCircuit::build(&lattice, f.vars(), &model, self.bench)?
+        };
         let verified = if self.skip_verification {
             false
         } else {
+            let _stage = fts_telemetry::span("pipeline.verify");
             let tt = circuit.dc_truth_table()?;
             (0..f.len() as u32).all(|x| tt[x as usize] != f.eval(x))
         };
-        Ok(PipelineRun { lattice, model, circuit, verified })
+        Ok(PipelineRun {
+            lattice,
+            model,
+            circuit,
+            verified,
+        })
     }
 }
 
@@ -169,7 +185,12 @@ impl PipelineRun {
     /// assert_eq!(report.evaluated + report.sim_failures, 32);
     /// # Ok::<(), four_terminal_lattice::pipeline::PipelineError>(())
     /// ```
-    pub fn yield_analysis(&self, vars: usize, mc: &MonteCarlo) -> Result<YieldReport, PipelineError> {
+    pub fn yield_analysis(
+        &self,
+        vars: usize,
+        mc: &MonteCarlo,
+    ) -> Result<YieldReport, PipelineError> {
+        let _span = fts_telemetry::span("pipeline.yield_analysis");
         Ok(mc.run(&self.lattice, vars, &self.model)?)
     }
 }
@@ -205,7 +226,11 @@ mod tests {
             .variation(VariationModel::none())
             .eval(EvalMode::Dc);
         let report = run.yield_analysis(f.vars(), &mc).unwrap();
-        assert_eq!(report.functional_yield(), 1.0, "nominal ensemble all passes");
+        assert_eq!(
+            report.functional_yield(),
+            1.0,
+            "nominal ensemble all passes"
+        );
         assert!(report.v_ol.mean > 0.0 && report.v_ol.mean < 0.45);
     }
 

@@ -45,7 +45,11 @@ pub struct ParseBiasCaseError {
 
 impl fmt::Display for ParseBiasCaseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid bias case {:?}: expected four of D/S/F", self.input)
+        write!(
+            f,
+            "invalid bias case {:?}: expected four of D/S/F",
+            self.input
+        )
     }
 }
 
@@ -54,12 +58,22 @@ impl std::error::Error for ParseBiasCaseError {}
 impl BiasCase {
     /// The paper's headline case: T1 drain, T2–T4 sources.
     pub const DSSS: BiasCase = BiasCase {
-        roles: [TerminalRole::Drain, TerminalRole::Source, TerminalRole::Source, TerminalRole::Source],
+        roles: [
+            TerminalRole::Drain,
+            TerminalRole::Source,
+            TerminalRole::Source,
+            TerminalRole::Source,
+        ],
     };
 
     /// 1 drain – 1 source with adjacent terminals, rest floating.
     pub const DSFF: BiasCase = BiasCase {
-        roles: [TerminalRole::Drain, TerminalRole::Source, TerminalRole::Float, TerminalRole::Float],
+        roles: [
+            TerminalRole::Drain,
+            TerminalRole::Source,
+            TerminalRole::Float,
+            TerminalRole::Float,
+        ],
     };
 
     /// Creates a case from explicit roles.
@@ -89,12 +103,18 @@ impl BiasCase {
 
     /// Number of drain terminals.
     pub fn drain_count(&self) -> usize {
-        self.roles.iter().filter(|r| **r == TerminalRole::Drain).count()
+        self.roles
+            .iter()
+            .filter(|r| **r == TerminalRole::Drain)
+            .count()
     }
 
     /// Number of source terminals.
     pub fn source_count(&self) -> usize {
-        self.roles.iter().filter(|r| **r == TerminalRole::Source).count()
+        self.roles
+            .iter()
+            .filter(|r| **r == TerminalRole::Source)
+            .count()
     }
 }
 
@@ -111,7 +131,9 @@ impl FromStr for BiasCase {
     type Err = ParseBiasCaseError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let err = || ParseBiasCaseError { input: s.to_owned() };
+        let err = || ParseBiasCaseError {
+            input: s.to_owned(),
+        };
         let chars: Vec<char> = s.chars().collect();
         if chars.len() != 4 {
             return Err(err());
@@ -144,8 +166,20 @@ mod tests {
             }
         }
         // Group sizes as in the paper.
-        assert_eq!(cases.iter().filter(|c| c.drain_count() == 1 && c.source_count() == 1).count(), 2);
-        assert_eq!(cases.iter().filter(|c| c.drain_count() == 1 && c.source_count() == 3).count(), 4);
+        assert_eq!(
+            cases
+                .iter()
+                .filter(|c| c.drain_count() == 1 && c.source_count() == 1)
+                .count(),
+            2
+        );
+        assert_eq!(
+            cases
+                .iter()
+                .filter(|c| c.drain_count() == 1 && c.source_count() == 3)
+                .count(),
+            4
+        );
         assert_eq!(cases.iter().filter(|c| c.drain_count() == 2).count(), 6);
         assert_eq!(cases.iter().filter(|c| c.drain_count() == 3).count(), 4);
     }

@@ -90,12 +90,30 @@ pub fn paper_targets(kind: DeviceKind, dielectric: Dielectric) -> PaperTargets {
     use DeviceKind::*;
     use Dielectric::*;
     match (kind, dielectric) {
-        (Square, HfO2) => PaperTargets { vth_v: 0.16, on_off_ratio: 1.0e6 },
-        (Square, SiO2) => PaperTargets { vth_v: 1.36, on_off_ratio: 1.0e5 },
-        (Cross, HfO2) => PaperTargets { vth_v: 0.27, on_off_ratio: 1.0e6 },
-        (Cross, SiO2) => PaperTargets { vth_v: 1.76, on_off_ratio: 1.0e4 },
-        (Junctionless, HfO2) => PaperTargets { vth_v: -0.57, on_off_ratio: 1.0e8 },
-        (Junctionless, SiO2) => PaperTargets { vth_v: -4.8, on_off_ratio: 1.0e7 },
+        (Square, HfO2) => PaperTargets {
+            vth_v: 0.16,
+            on_off_ratio: 1.0e6,
+        },
+        (Square, SiO2) => PaperTargets {
+            vth_v: 1.36,
+            on_off_ratio: 1.0e5,
+        },
+        (Cross, HfO2) => PaperTargets {
+            vth_v: 0.27,
+            on_off_ratio: 1.0e6,
+        },
+        (Cross, SiO2) => PaperTargets {
+            vth_v: 1.76,
+            on_off_ratio: 1.0e4,
+        },
+        (Junctionless, HfO2) => PaperTargets {
+            vth_v: -0.57,
+            on_off_ratio: 1.0e8,
+        },
+        (Junctionless, SiO2) => PaperTargets {
+            vth_v: -4.8,
+            on_off_ratio: 1.0e7,
+        },
     }
 }
 
@@ -135,8 +153,7 @@ mod tests {
         let body = Q * 1.0e20 * nm_to_cm(2.0).powi(2) / (8.0 * EPS_R_SI * EPS0);
         for (diel, target) in [(Dielectric::HfO2, -0.57), (Dielectric::SiO2, -4.8)] {
             let tox = nm_to_cm(1.0);
-            let vth =
-                JL_FLATBAND_V - body - JL_SHEET_CHARGE_C_PER_CM2 * tox / diel.permittivity();
+            let vth = JL_FLATBAND_V - body - JL_SHEET_CHARGE_C_PER_CM2 * tox / diel.permittivity();
             assert!(
                 (vth - target).abs() < 0.1,
                 "{diel}: calibrated Vth {vth:.3} vs paper {target}"

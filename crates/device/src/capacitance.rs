@@ -129,9 +129,7 @@ mod tests {
             assert!(gate_capacitance(&sq, d) > 0.0);
             assert!(gate_capacitance(&cr, d) > 0.0);
         }
-        assert!(
-            gate_capacitance(&sq, Dielectric::HfO2) > gate_capacitance(&sq, Dielectric::SiO2)
-        );
+        assert!(gate_capacitance(&sq, Dielectric::HfO2) > gate_capacitance(&sq, Dielectric::SiO2));
     }
 
     #[test]

@@ -36,7 +36,14 @@ impl SweepResult {
 /// # Panics
 ///
 /// Panics if `points < 2`.
-pub fn id_vg(device: &Device, case: BiasCase, vds: f64, vg_from: f64, vg_to: f64, points: usize) -> SweepResult {
+pub fn id_vg(
+    device: &Device,
+    case: BiasCase,
+    vds: f64,
+    vg_from: f64,
+    vg_to: f64,
+    points: usize,
+) -> SweepResult {
     assert!(points >= 2, "a sweep needs at least two points");
     let mut sweep = Vec::with_capacity(points);
     let mut currents: [Vec<f64>; 4] = Default::default();
@@ -48,7 +55,11 @@ pub fn id_vg(device: &Device, case: BiasCase, vds: f64, vg_from: f64, vg_to: f64
             trace.push(current);
         }
     }
-    SweepResult { case, sweep, currents }
+    SweepResult {
+        case,
+        sweep,
+        currents,
+    }
 }
 
 /// Sweeps the drain voltage at fixed gate voltage (set-up 3).
@@ -56,7 +67,14 @@ pub fn id_vg(device: &Device, case: BiasCase, vds: f64, vg_from: f64, vg_to: f64
 /// # Panics
 ///
 /// Panics if `points < 2`.
-pub fn id_vd(device: &Device, case: BiasCase, vgs: f64, vd_from: f64, vd_to: f64, points: usize) -> SweepResult {
+pub fn id_vd(
+    device: &Device,
+    case: BiasCase,
+    vgs: f64,
+    vd_from: f64,
+    vd_to: f64,
+    points: usize,
+) -> SweepResult {
     assert!(points >= 2, "a sweep needs at least two points");
     let mut sweep = Vec::with_capacity(points);
     let mut currents: [Vec<f64>; 4] = Default::default();
@@ -68,7 +86,11 @@ pub fn id_vd(device: &Device, case: BiasCase, vgs: f64, vd_from: f64, vd_to: f64
             trace.push(current);
         }
     }
-    SweepResult { case, sweep, currents }
+    SweepResult {
+        case,
+        sweep,
+        currents,
+    }
 }
 
 /// Threshold voltage by the maximum-transconductance linear-extrapolation
@@ -79,7 +101,10 @@ pub fn id_vd(device: &Device, case: BiasCase, vgs: f64, vd_from: f64, vd_to: f64
 ///
 /// Panics if the curve has fewer than three points.
 pub fn extract_vth(vg: &[f64], id: &[f64], vds: f64) -> f64 {
-    assert!(vg.len() >= 3 && vg.len() == id.len(), "need at least three curve points");
+    assert!(
+        vg.len() >= 3 && vg.len() == id.len(),
+        "need at least three curve points"
+    );
     let mut best = (0usize, f64::NEG_INFINITY);
     for k in 1..vg.len() - 1 {
         let gm = (id[k + 1] - id[k - 1]) / (vg[k + 1] - vg[k - 1]);
@@ -115,7 +140,11 @@ pub struct DeviceReport {
 /// paper's definition (Vgs = 5 V vs Vgs = 0 V at Vds = 5 V) — which is why
 /// the junctionless device is reported *on* at zero gate bias.
 pub fn characterize(device: &Device) -> DeviceReport {
-    let vg_min = if device.kind() == DeviceKind::Junctionless { -6.0 } else { 0.0 };
+    let vg_min = if device.kind() == DeviceKind::Junctionless {
+        -6.0
+    } else {
+        0.0
+    };
     let lin = id_vg(device, BiasCase::DSSS, 0.01, vg_min, 5.0, 201);
     let vth = extract_vth(&lin.sweep, lin.terminal(0), 0.01);
 
@@ -147,7 +176,11 @@ mod tests {
         let dev = Device::new(DeviceKind::Square, Dielectric::HfO2);
         let r = characterize(&dev);
         assert!((r.vth - 0.16).abs() < 0.2, "Vth {} vs paper 0.16", r.vth);
-        assert!(r.on_off_ratio > 1.0e5 && r.on_off_ratio < 1.0e8, "ratio {:.2e}", r.on_off_ratio);
+        assert!(
+            r.on_off_ratio > 1.0e5 && r.on_off_ratio < 1.0e8,
+            "ratio {:.2e}",
+            r.on_off_ratio
+        );
         assert!(r.ion > 1.0e-4 && r.ion < 1.0e-2, "Ion {:.2e}", r.ion);
     }
 
@@ -165,7 +198,10 @@ mod tests {
             let sq = characterize(&Device::new(DeviceKind::Square, d));
             let cr = characterize(&Device::new(DeviceKind::Cross, d));
             assert!(cr.vth > sq.vth, "{d}");
-            assert!(cr.ion < sq.ion, "{d}: narrower gate must carry less current");
+            assert!(
+                cr.ion < sq.ion,
+                "{d}: narrower gate must carry less current"
+            );
         }
     }
 
@@ -176,7 +212,12 @@ mod tests {
         assert!((h.vth - -0.57).abs() < 0.4, "Vth {} vs paper -0.57", h.vth);
         assert!(h.on_off_ratio > 1.0e6, "ratio {:.2e}", h.on_off_ratio);
         let s = characterize(&Device::new(DeviceKind::Junctionless, Dielectric::SiO2));
-        assert!(s.vth < h.vth, "SiO2 threshold deeper: {} vs {}", s.vth, h.vth);
+        assert!(
+            s.vth < h.vth,
+            "SiO2 threshold deeper: {} vs {}",
+            s.vth,
+            h.vth
+        );
     }
 
     #[test]
@@ -207,7 +248,13 @@ mod tests {
         let vg: Vec<f64> = (0..=100).map(|k| k as f64 * 0.05).collect();
         let id: Vec<f64> = vg
             .iter()
-            .map(|&v| if v > vth_true { 1e-4 * (v - vth_true) * 0.01 } else { 0.0 })
+            .map(|&v| {
+                if v > vth_true {
+                    1e-4 * (v - vth_true) * 0.01
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let vth = extract_vth(&vg, &id, 0.01);
         assert!((vth - vth_true).abs() < 0.06, "got {vth}");

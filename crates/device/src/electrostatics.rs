@@ -64,8 +64,7 @@ fn enhancement(geometry: &DeviceGeometry, cox: f64) -> Electrostatics {
     // n+ poly-like gate over p-substrate.
     let vfb = -(crate::materials::EG_SI / 2.0 + phi_f);
     let q_dep = (2.0 * Q * eps_si * na * 2.0 * phi_f).sqrt();
-    let mut vth =
-        vfb + 2.0 * phi_f + q_dep / cox + calibration::VTH_ADJUST_ENHANCEMENT_V;
+    let mut vth = vfb + 2.0 * phi_f + q_dep / cox + calibration::VTH_ADJUST_ENHANCEMENT_V;
 
     // Narrow-gate correction: fringing depletion under the 200 nm cross
     // arms increases the charge the gate must support.
@@ -77,7 +76,13 @@ fn enhancement(geometry: &DeviceGeometry, cox: f64) -> Electrostatics {
 
     let xd = (2.0 * eps_si * 2.0 * phi_f / (Q * na)).sqrt();
     let c_dep = eps_si / xd;
-    Electrostatics { vth, vfb, cox, n: 1.0 + c_dep / cox, phi_f }
+    Electrostatics {
+        vth,
+        vfb,
+        cox,
+        n: 1.0 + c_dep / cox,
+        phi_f,
+    }
 }
 
 fn junctionless(geometry: &DeviceGeometry, cox: f64) -> Electrostatics {
@@ -151,8 +156,16 @@ mod tests {
     fn square_thresholds_near_paper() {
         let h = square(Dielectric::HfO2);
         let s = square(Dielectric::SiO2);
-        assert!((h.vth - 0.16).abs() < 0.1, "HfO2 Vth {} vs paper 0.16", h.vth);
-        assert!((s.vth - 1.36).abs() < 0.15, "SiO2 Vth {} vs paper 1.36", s.vth);
+        assert!(
+            (h.vth - 0.16).abs() < 0.1,
+            "HfO2 Vth {} vs paper 0.16",
+            h.vth
+        );
+        assert!(
+            (s.vth - 1.36).abs() < 0.15,
+            "SiO2 Vth {} vs paper 1.36",
+            s.vth
+        );
     }
 
     #[test]
@@ -210,7 +223,10 @@ mod tests {
         // Strong inversion: ψs pins near 2φF (within a few vT·ln terms).
         let psi_on = surface_potential(5.0, e.vfb, e.cox, na);
         let two_phi = 2.0 * fermi_potential(na);
-        assert!(psi_on > two_phi && psi_on < two_phi + 0.5, "ψs(5V) = {psi_on}");
+        assert!(
+            psi_on > two_phi && psi_on < two_phi + 0.5,
+            "ψs(5V) = {psi_on}"
+        );
     }
 
     #[test]

@@ -33,7 +33,11 @@ impl DeviceKind {
 
     /// All kinds, in the paper's order.
     pub fn all() -> [DeviceKind; 3] {
-        [DeviceKind::Square, DeviceKind::Cross, DeviceKind::Junctionless]
+        [
+            DeviceKind::Square,
+            DeviceKind::Cross,
+            DeviceKind::Junctionless,
+        ]
     }
 
     /// True for the enhancement-mode structures.
@@ -240,8 +244,15 @@ impl DeviceGeometry {
             // gate-covered wire segment as length.
             DeviceKind::Junctionless => (8.0, 20.0, 20.0),
         };
-        let l_nm = if pair.is_opposite() { l_diag_nm } else { l_edge_nm };
-        ChannelGeometry { width_cm: nm_to_cm(w_nm), length_cm: nm_to_cm(l_nm) }
+        let l_nm = if pair.is_opposite() {
+            l_diag_nm
+        } else {
+            l_edge_nm
+        };
+        ChannelGeometry {
+            width_cm: nm_to_cm(w_nm),
+            length_cm: nm_to_cm(l_nm),
+        }
     }
 
     /// Gate dielectric thickness in cm.

@@ -49,7 +49,12 @@ impl Device {
     pub fn new(kind: DeviceKind, dielectric: Dielectric) -> Device {
         let geometry = DeviceGeometry::table2(kind);
         let es = electrostatics::solve(&geometry, dielectric);
-        Device { kind, dielectric, geometry, es }
+        Device {
+            kind,
+            dielectric,
+            geometry,
+            es,
+        }
     }
 
     /// Device structure.
@@ -99,12 +104,7 @@ impl Device {
     fn specific_current(&self, pair: TerminalPair, vg: f64) -> f64 {
         let ch = self.geometry.channel(pair);
         let vov = vg - self.es.vth;
-        2.0 * self.es.n
-            * self.mobility(vov)
-            * self.es.cox
-            * ch.aspect()
-            * VT
-            * VT
+        2.0 * self.es.n * self.mobility(vov) * self.es.cox * ch.aspect() * VT * VT
     }
 
     /// Per-channel leakage conductance \[S\].
@@ -144,9 +144,19 @@ impl Device {
         let mut sum = 0.0;
         for pair in TerminalPair::all() {
             if pair.first() == t {
-                sum += self.channel_current(pair, v[pair.first().index()], v[pair.second().index()], vg);
+                sum += self.channel_current(
+                    pair,
+                    v[pair.first().index()],
+                    v[pair.second().index()],
+                    vg,
+                );
             } else if pair.second() == t {
-                sum += self.channel_current(pair, v[pair.second().index()], v[pair.first().index()], vg);
+                sum += self.channel_current(
+                    pair,
+                    v[pair.second().index()],
+                    v[pair.first().index()],
+                    vg,
+                );
             }
         }
         sum
@@ -200,7 +210,10 @@ impl Device {
             }
         }
         let currents = std::array::from_fn(|i| self.terminal_current(Terminal::all()[i], &v, vg));
-        BiasSolution { voltages: v, currents }
+        BiasSolution {
+            voltages: v,
+            currents,
+        }
     }
 }
 
@@ -224,7 +237,11 @@ impl BiasSolution {
 fn ekv_f(u: f64) -> f64 {
     // ln(1+e^{u/2}) computed stably for large |u|.
     let half = 0.5 * u;
-    let ln1p = if half > 30.0 { half } else { half.exp().ln_1p() };
+    let ln1p = if half > 30.0 {
+        half
+    } else {
+        half.exp().ln_1p()
+    };
     ln1p * ln1p
 }
 
@@ -309,7 +326,10 @@ mod tests {
         let dev = Device::new(DeviceKind::Square, Dielectric::SiO2);
         let sol = dev.solve_bias(BiasCase::DSSS, 5.0, 0.0);
         let ioff = sol.currents[0];
-        assert!(ioff > 1e-11, "leakage floor should dominate, got {ioff:.3e}");
+        assert!(
+            ioff > 1e-11,
+            "leakage floor should dominate, got {ioff:.3e}"
+        );
         assert!(ioff < 1e-7, "off current should be tiny, got {ioff:.3e}");
     }
 
@@ -326,15 +346,26 @@ mod tests {
         // Opposite terminal (T3, long channel) carries less than the
         // adjacent ones.
         assert!(sol.currents[2].abs() < sol.currents[1].abs());
-        assert!((sol.currents[1] - sol.currents[3]).abs() < 1e-12, "T2/T4 symmetric");
+        assert!(
+            (sol.currents[1] - sol.currents[3]).abs() < 1e-12,
+            "T2/T4 symmetric"
+        );
     }
 
     #[test]
     fn floating_terminals_carry_no_current() {
         let dev = square_hfo2();
         let sol = dev.solve_bias(BiasCase::DSFF, 5.0, 5.0);
-        assert!(sol.currents[2].abs() < 1e-9, "T3 floats: {:.3e}", sol.currents[2]);
-        assert!(sol.currents[3].abs() < 1e-9, "T4 floats: {:.3e}", sol.currents[3]);
+        assert!(
+            sol.currents[2].abs() < 1e-9,
+            "T3 floats: {:.3e}",
+            sol.currents[2]
+        );
+        assert!(
+            sol.currents[3].abs() < 1e-9,
+            "T4 floats: {:.3e}",
+            sol.currents[3]
+        );
         assert!(sol.currents[0] > 0.0);
         assert!((sol.currents[0] + sol.currents[1]).abs() < 1e-9);
         // The float voltage settles between source and drain.

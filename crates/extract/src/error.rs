@@ -30,7 +30,10 @@ impl fmt::Display for ExtractError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExtractError::LengthMismatch { voltages, currents } => {
-                write!(f, "voltage and current vectors differ in length ({voltages} vs {currents})")
+                write!(
+                    f,
+                    "voltage and current vectors differ in length ({voltages} vs {currents})"
+                )
             }
             ExtractError::TooFewPoints { got, needed } => {
                 write!(f, "need at least {needed} data points, got {got}")

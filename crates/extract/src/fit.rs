@@ -52,7 +52,10 @@ impl IvData {
             });
         }
         if self.len() < 4 {
-            return Err(ExtractError::TooFewPoints { got: self.len(), needed: 4 });
+            return Err(ExtractError::TooFewPoints {
+                got: self.len(),
+                needed: 4,
+            });
         }
         Ok(())
     }
@@ -103,11 +106,16 @@ pub fn fit_level1(data: &IvData, w_over_l: f64) -> Result<FitResult, ExtractErro
     let start = optim::nelder_mead(
         |p| residuals(p).iter().map(|r| r * r).sum::<f64>(),
         &[peak / 10.0, 0.5, 0.05],
-        &NelderMeadOptions { max_iterations: 800, ..Default::default() },
+        &NelderMeadOptions {
+            max_iterations: 800,
+            ..Default::default()
+        },
     );
     let lm = optim::levenberg_marquardt(residuals, &start.x, &LmOptions::default());
     if !lm.cost.is_finite() {
-        return Err(ExtractError::DidNotConverge { final_cost: lm.cost });
+        return Err(ExtractError::DidNotConverge {
+            final_cost: lm.cost,
+        });
     }
     let model = Level1::new(lm.x[0].abs(), lm.x[1], lm.x[2].abs(), w_over_l);
     let sse: f64 = data
@@ -118,7 +126,12 @@ pub fn fit_level1(data: &IvData, w_over_l: f64) -> Result<FitResult, ExtractErro
         .map(|((&vgs, &vds), &ids)| (model.ids(vgs, vds) - ids).powi(2))
         .sum();
     let rmse = (sse / data.len() as f64).sqrt();
-    Ok(FitResult { model, rmse, relative_rmse: rmse / peak, iterations: lm.iterations })
+    Ok(FitResult {
+        model,
+        rmse,
+        relative_rmse: rmse / peak,
+        iterations: lm.iterations,
+    })
 }
 
 /// The two transistor flavours of the paper's six-MOSFET switch model
@@ -203,9 +216,21 @@ mod tests {
             data.push(5.0, vds, truth.ids(5.0, vds));
         }
         let fit = fit_level1(&data, 2.0).unwrap();
-        assert!((fit.model.kp - truth.kp).abs() / truth.kp < 1e-3, "kp {}", fit.model.kp);
-        assert!((fit.model.vth - truth.vth).abs() < 1e-3, "vth {}", fit.model.vth);
-        assert!((fit.model.lambda - truth.lambda).abs() < 1e-3, "lambda {}", fit.model.lambda);
+        assert!(
+            (fit.model.kp - truth.kp).abs() / truth.kp < 1e-3,
+            "kp {}",
+            fit.model.kp
+        );
+        assert!(
+            (fit.model.vth - truth.vth).abs() < 1e-3,
+            "vth {}",
+            fit.model.vth
+        );
+        assert!(
+            (fit.model.lambda - truth.lambda).abs() < 1e-3,
+            "lambda {}",
+            fit.model.lambda
+        );
         assert!(fit.relative_rmse < 1e-6);
     }
 
@@ -216,10 +241,22 @@ mod tests {
         let model = extract_switch_model(&dev).unwrap();
         // ~10% relative RMSE: level-1 vs a mobility-degraded curve, the same
         // visible-but-acceptable mismatch as the paper's Fig. 10.
-        assert!(model.fit_a.relative_rmse < 0.16, "A rmse {}", model.fit_a.relative_rmse);
-        assert!(model.fit_b.relative_rmse < 0.16, "B rmse {}", model.fit_b.relative_rmse);
+        assert!(
+            model.fit_a.relative_rmse < 0.16,
+            "A rmse {}",
+            model.fit_a.relative_rmse
+        );
+        assert!(
+            model.fit_b.relative_rmse < 0.16,
+            "B rmse {}",
+            model.fit_b.relative_rmse
+        );
         // Extracted threshold should sit near the electrostatic one.
-        assert!((model.type_a.vth - dev.vth()).abs() < 0.4, "vth {}", model.type_a.vth);
+        assert!(
+            (model.type_a.vth - dev.vth()).abs() < 0.4,
+            "vth {}",
+            model.type_a.vth
+        );
         assert!(model.type_a.kp > 0.0 && model.type_a.lambda >= 0.0);
     }
 
@@ -235,10 +272,16 @@ mod tests {
     fn data_validation_errors() {
         let mut bad = IvData::default();
         bad.vgs.push(1.0);
-        assert!(matches!(fit_level1(&bad, 1.0), Err(ExtractError::LengthMismatch { .. })));
+        assert!(matches!(
+            fit_level1(&bad, 1.0),
+            Err(ExtractError::LengthMismatch { .. })
+        ));
         let mut few = IvData::default();
         few.push(1.0, 1.0, 1e-6);
-        assert!(matches!(fit_level1(&few, 1.0), Err(ExtractError::TooFewPoints { .. })));
+        assert!(matches!(
+            fit_level1(&few, 1.0),
+            Err(ExtractError::TooFewPoints { .. })
+        ));
     }
 
     #[test]

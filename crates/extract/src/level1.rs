@@ -22,7 +22,12 @@ pub struct Level1 {
 impl Level1 {
     /// Creates a model; use [`Level1::ids`] to evaluate it.
     pub fn new(kp: f64, vth: f64, lambda: f64, w_over_l: f64) -> Level1 {
-        Level1 { kp, vth, lambda, w_over_l }
+        Level1 {
+            kp,
+            vth,
+            lambda,
+            w_over_l,
+        }
     }
 
     /// Effective strength `Kp·(W/L)` \[A/V²\].

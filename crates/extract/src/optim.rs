@@ -30,7 +30,11 @@ pub struct NelderMeadOptions {
 
 impl Default for NelderMeadOptions {
     fn default() -> Self {
-        NelderMeadOptions { max_iterations: 4000, tolerance: 1e-14, initial_step: 0.25 }
+        NelderMeadOptions {
+            max_iterations: 4000,
+            tolerance: 1e-14,
+            initial_step: 0.25,
+        }
     }
 }
 
@@ -64,7 +68,11 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
     let mut simplex: Vec<Vec<f64>> = vec![x0.to_vec()];
     for i in 0..n {
         let mut v = x0.to_vec();
-        let step = if v[i] != 0.0 { v[i].abs() * opts.initial_step } else { opts.initial_step };
+        let step = if v[i] != 0.0 {
+            v[i].abs() * opts.initial_step
+        } else {
+            opts.initial_step
+        };
         v[i] += step;
         simplex.push(v);
     }
@@ -92,7 +100,9 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
             .collect();
         let worst = simplex[n].clone();
         let blend = |t: f64| -> Vec<f64> {
-            (0..n).map(|d| centroid[d] + t * (centroid[d] - worst[d])).collect()
+            (0..n)
+                .map(|d| centroid[d] + t * (centroid[d] - worst[d]))
+                .collect()
         };
 
         let reflected = blend(alpha);
@@ -134,7 +144,11 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
         .min_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .expect("simplex non-empty");
-    OptimResult { x: simplex[best].clone(), cost: costs[best], iterations }
+    OptimResult {
+        x: simplex[best].clone(),
+        cost: costs[best],
+        iterations,
+    }
 }
 
 /// Options for [`levenberg_marquardt`].
@@ -150,7 +164,11 @@ pub struct LmOptions {
 
 impl Default for LmOptions {
     fn default() -> Self {
-        LmOptions { max_iterations: 200, tolerance: 1e-12, initial_damping: 1e-3 }
+        LmOptions {
+            max_iterations: 200,
+            tolerance: 1e-12,
+            initial_damping: 1e-3,
+        }
     }
 }
 
@@ -236,7 +254,11 @@ pub fn levenberg_marquardt<F: FnMut(&[f64]) -> Vec<f64>>(
                 damping = (damping * 0.3).max(1e-12);
                 improved = true;
                 if rel < opts.tolerance {
-                    return OptimResult { x, cost, iterations };
+                    return OptimResult {
+                        x,
+                        cost,
+                        iterations,
+                    };
                 }
                 break;
             }
@@ -249,7 +271,11 @@ pub fn levenberg_marquardt<F: FnMut(&[f64]) -> Vec<f64>>(
             break;
         }
     }
-    OptimResult { x, cost, iterations }
+    OptimResult {
+        x,
+        cost,
+        iterations,
+    }
 }
 
 /// Gaussian elimination with partial pivoting for the (small, symmetric
@@ -326,15 +352,20 @@ mod tests {
 
     #[test]
     fn lm_and_nelder_mead_agree() {
-        let data: Vec<(f64, f64)> =
-            (0..20).map(|k| (k as f64 * 0.5, 3.0 * (k as f64 * 0.5) + 1.5)).collect();
+        let data: Vec<(f64, f64)> = (0..20)
+            .map(|k| (k as f64 * 0.5, 3.0 * (k as f64 * 0.5) + 1.5))
+            .collect();
         let lm = levenberg_marquardt(
             |p| data.iter().map(|(x, y)| p[0] * x + p[1] - y).collect(),
             &[0.5, 0.0],
             &LmOptions::default(),
         );
         let nm = nelder_mead(
-            |p| data.iter().map(|(x, y)| (p[0] * x + p[1] - y).powi(2)).sum(),
+            |p| {
+                data.iter()
+                    .map(|(x, y)| (p[0] * x + p[1] - y).powi(2))
+                    .sum()
+            },
             &[0.5, 0.0],
             &NelderMeadOptions::default(),
         );

@@ -100,7 +100,10 @@ impl FieldProblem {
     ///
     /// Panics if the rectangle leaves the grid or `value` is not positive.
     pub fn set_conductivity(&mut self, rect: Rect, value: f64) {
-        assert!(rect.x1 <= self.nx && rect.y1 <= self.ny, "rect outside grid");
+        assert!(
+            rect.x1 <= self.nx && rect.y1 <= self.ny,
+            "rect outside grid"
+        );
         assert!(value > 0.0, "conductivity must be positive");
         for y in rect.y0..rect.y1 {
             for x in rect.x0..rect.x1 {
@@ -116,7 +119,10 @@ impl FieldProblem {
     ///
     /// Panics if the rectangle leaves the grid.
     pub fn add_electrode(&mut self, rect: Rect, volts: f64) -> usize {
-        assert!(rect.x1 <= self.nx && rect.y1 <= self.ny, "rect outside grid");
+        assert!(
+            rect.x1 <= self.nx && rect.y1 <= self.ny,
+            "rect outside grid"
+        );
         self.set_conductivity(rect, 1.0e3);
         for y in rect.y0..rect.y1 {
             for x in rect.x0..rect.x1 {
@@ -205,7 +211,11 @@ pub struct SolveOptions {
 
 impl Default for SolveOptions {
     fn default() -> Self {
-        SolveOptions { max_iterations: 20_000, tolerance: 1.0e-9, omega: 1.8 }
+        SolveOptions {
+            max_iterations: 20_000,
+            tolerance: 1.0e-9,
+            omega: 1.8,
+        }
     }
 }
 
@@ -247,7 +257,13 @@ impl FieldSolution {
                 jy[i] = -s * dphidy;
             }
         }
-        FieldSolution { nx, ny, phi, jx, jy }
+        FieldSolution {
+            nx,
+            ny,
+            phi,
+            jx,
+            jy,
+        }
     }
 
     /// Potential at a cell \[V\].
@@ -325,7 +341,10 @@ impl FieldSolution {
     ///
     /// Panics if the region is empty or outside the grid.
     pub fn uniformity_cv(&self, region: Rect) -> f64 {
-        assert!(region.x1 <= self.nx && region.y1 <= self.ny, "region outside grid");
+        assert!(
+            region.x1 <= self.nx && region.y1 <= self.ny,
+            "region outside grid"
+        );
         let mut values = Vec::new();
         for y in region.y0..region.y1 {
             for x in region.x0..region.x1 {
@@ -337,8 +356,7 @@ impl FieldSolution {
         if mean == 0.0 {
             return 0.0;
         }
-        let var =
-            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
         var.sqrt() / mean
     }
 }
@@ -452,7 +470,9 @@ mod tests {
             let on = device_plan(kind, true);
             let off = device_plan(kind, false);
             let i_on = on.solve(&SolveOptions::default()).electrode_current(&on, 0);
-            let i_off = off.solve(&SolveOptions::default()).electrode_current(&off, 0);
+            let i_off = off
+                .solve(&SolveOptions::default())
+                .electrode_current(&off, 0);
             assert!(i_on > 5.0 * i_off, "{kind}: on {i_on:.3e} off {i_off:.3e}");
         }
     }
@@ -463,7 +483,10 @@ mod tests {
         let sol = p.solve(&SolveOptions::default());
         let total: f64 = (0..4).map(|e| sol.electrode_current(&p, e)).sum();
         let drive = sol.electrode_current(&p, 0);
-        assert!(total.abs() < 1e-3 * drive.abs(), "net {total:.3e} vs drive {drive:.3e}");
+        assert!(
+            total.abs() < 1e-3 * drive.abs(),
+            "net {total:.3e} vs drive {drive:.3e}"
+        );
     }
 
     #[test]
@@ -493,7 +516,10 @@ mod tests {
     fn solver_converges_within_budget() {
         let p = device_plan(DeviceKind::Junctionless, true);
         let tight = p.solve(&SolveOptions::default());
-        let loose = p.solve(&SolveOptions { max_iterations: 40_000, ..Default::default() });
+        let loose = p.solve(&SolveOptions {
+            max_iterations: 40_000,
+            ..Default::default()
+        });
         let d = (tight.electrode_current(&p, 0) - loose.electrode_current(&p, 0)).abs();
         assert!(d < 1e-6 * loose.electrode_current(&p, 0).abs().max(1e-12));
     }
@@ -515,7 +541,11 @@ mod tests {
         // same solution (the ablation bench compares their speed).
         let p = device_plan(DeviceKind::Cross, true);
         let sor = p.solve(&SolveOptions::default());
-        let gs = p.solve(&SolveOptions { omega: 1.0, max_iterations: 200_000, ..Default::default() });
+        let gs = p.solve(&SolveOptions {
+            omega: 1.0,
+            max_iterations: 200_000,
+            ..Default::default()
+        });
         let d = (sor.electrode_current(&p, 0) - gs.electrode_current(&p, 0)).abs();
         assert!(d < 1e-5 * sor.electrode_current(&p, 0).abs());
     }
@@ -540,6 +570,9 @@ mod tests {
         for x in n / 3..2 * n / 3 {
             jy_sum += sol.current_density(x, below_electrode).1;
         }
-        assert!(jy_sum > 0.0, "southward current expected under the drain, got {jy_sum:.3e}");
+        assert!(
+            jy_sum > 0.0,
+            "southward current expected under the drain, got {jy_sum:.3e}"
+        );
     }
 }

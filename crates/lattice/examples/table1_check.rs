@@ -2,8 +2,10 @@ fn main() {
     for m in 2..=9usize {
         for n in 2..=9usize {
             let got = fts_lattice::count::product_count(m, n);
-            let want = fts_lattice::count::PAPER_TABLE1[m-2][n-2];
-            if got != want { println!("MISMATCH m={m} n={n} got={got} want={want}"); }
+            let want = fts_lattice::count::PAPER_TABLE1[m - 2][n - 2];
+            if got != want {
+                println!("MISMATCH m={m} n={n} got={got} want={want}");
+            }
         }
         println!("row m={m} ok");
     }

@@ -23,7 +23,10 @@ use crate::Site;
 /// masks are stored in `u64`s — the oracle is for validating small cases)
 /// or if a dimension is zero.
 pub fn minimal_connecting_sets(rows: usize, cols: usize) -> Vec<u64> {
-    assert!(rows > 0 && cols > 0, "lattice dimensions must be at least 1×1");
+    assert!(
+        rows > 0 && cols > 0,
+        "lattice dimensions must be at least 1×1"
+    );
     assert!(rows * cols <= 36, "brute-force oracle limited to 36 sites");
 
     // Enumerate every simple path from any top-row site to any bottom-row

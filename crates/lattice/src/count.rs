@@ -20,11 +20,19 @@
 /// assert_eq!(product_count(5, 4), 94);
 /// ```
 pub fn product_count(rows: usize, cols: usize) -> u64 {
-    assert!(rows > 0 && cols > 0, "lattice dimensions must be at least 1×1");
+    assert!(
+        rows > 0 && cols > 0,
+        "lattice dimensions must be at least 1×1"
+    );
     if rows == 1 {
         return cols as u64;
     }
-    let mut counter = Counter { rows, cols, occupied: vec![false; rows * cols], total: 0 };
+    let mut counter = Counter {
+        rows,
+        cols,
+        occupied: vec![false; rows * cols],
+        total: 0,
+    };
     for c in 0..cols {
         counter.occupied[c] = true;
         counter.extend(0, c);

@@ -100,7 +100,11 @@ pub fn inject_all(lattice: &Lattice, faults: &[Fault]) -> Result<Lattice, Lattic
 /// # Errors
 ///
 /// Propagates lattice evaluation errors.
-pub fn impact_of_set(lattice: &Lattice, vars: usize, faults: &[Fault]) -> Result<u64, LatticeError> {
+pub fn impact_of_set(
+    lattice: &Lattice,
+    vars: usize,
+    faults: &[Fault],
+) -> Result<u64, LatticeError> {
     let good = lattice.truth_table(vars)?;
     let bad = inject_all(lattice, faults)?.truth_table(vars)?;
     Ok((&good ^ &bad).count_ones())
@@ -140,7 +144,12 @@ pub fn analyze_pairs(lattice: &Lattice, vars: usize) -> Result<FaultReport, Latt
             impacts.push((a, n));
         }
     }
-    Ok(FaultReport { total: impacts.len(), undetectable, worst_impact: worst, impacts })
+    Ok(FaultReport {
+        total: impacts.len(),
+        undetectable,
+        worst_impact: worst,
+        impacts,
+    })
 }
 
 /// Number of input assignments (out of `2^vars`) where the faulty lattice
@@ -216,7 +225,12 @@ pub fn analyze(lattice: &Lattice, vars: usize) -> Result<FaultReport, LatticeErr
             }
         }
     }
-    Ok(FaultReport { total: impacts.len(), undetectable, worst_impact: worst, impacts })
+    Ok(FaultReport {
+        total: impacts.len(),
+        undetectable,
+        worst_impact: worst,
+        impacts,
+    })
 }
 
 /// The sites whose faults have the largest functional impact — the
@@ -226,7 +240,11 @@ pub fn analyze(lattice: &Lattice, vars: usize) -> Result<FaultReport, LatticeErr
 /// # Errors
 ///
 /// Propagates lattice evaluation errors.
-pub fn critical_sites(lattice: &Lattice, vars: usize, top: usize) -> Result<Vec<(Site, u64)>, LatticeError> {
+pub fn critical_sites(
+    lattice: &Lattice,
+    vars: usize,
+    top: usize,
+) -> Result<Vec<(Site, u64)>, LatticeError> {
     let report = analyze(lattice, vars)?;
     let mut per_site: std::collections::HashMap<Site, u64> = std::collections::HashMap::new();
     for (fault, n) in report.impacts {
@@ -251,10 +269,16 @@ mod tests {
     fn stuck_on_only_adds_minterms() {
         let lat = and2();
         let good = lat.truth_table(2).unwrap();
-        let bad = inject(&lat, Fault { site: (0, 0), kind: FaultKind::StuckOn })
-            .unwrap()
-            .truth_table(2)
-            .unwrap();
+        let bad = inject(
+            &lat,
+            Fault {
+                site: (0, 0),
+                kind: FaultKind::StuckOn,
+            },
+        )
+        .unwrap()
+        .truth_table(2)
+        .unwrap();
         assert!(good.implies(&bad), "stuck-ON can only add connectivity");
         assert!(bad != good);
     }
@@ -263,10 +287,16 @@ mod tests {
     fn stuck_off_only_removes_minterms() {
         let lat = and2();
         let good = lat.truth_table(2).unwrap();
-        let bad = inject(&lat, Fault { site: (1, 0), kind: FaultKind::StuckOff })
-            .unwrap()
-            .truth_table(2)
-            .unwrap();
+        let bad = inject(
+            &lat,
+            Fault {
+                site: (1, 0),
+                kind: FaultKind::StuckOff,
+            },
+        )
+        .unwrap()
+        .truth_table(2)
+        .unwrap();
         assert!(bad.implies(&good), "stuck-OFF can only remove connectivity");
         assert!(bad.is_zero(), "single-column AND dies with any open switch");
     }
@@ -276,9 +306,25 @@ mod tests {
         let lat = and2();
         // Stuck-ON at (0,0): function becomes just `b` → rows 01 and… a=…
         // f = ab; faulty = b. Differs where b=1,a=0 → one row.
-        let n = impact(&lat, 2, Fault { site: (0, 0), kind: FaultKind::StuckOn }).unwrap();
+        let n = impact(
+            &lat,
+            2,
+            Fault {
+                site: (0, 0),
+                kind: FaultKind::StuckOn,
+            },
+        )
+        .unwrap();
         assert_eq!(n, 1);
-        let n = impact(&lat, 2, Fault { site: (0, 0), kind: FaultKind::StuckOff }).unwrap();
+        let n = impact(
+            &lat,
+            2,
+            Fault {
+                site: (0, 0),
+                kind: FaultKind::StuckOff,
+            },
+        )
+        .unwrap();
         assert_eq!(n, 1, "stuck-OFF kills the only path: differs on row 11");
     }
 
@@ -287,7 +333,15 @@ mod tests {
         // 1×2 lattice with the same literal twice: one stuck-OFF is
         // masked by the parallel path.
         let lat = Lattice::from_literals(1, 2, vec![Literal::pos(0), Literal::pos(0)]).unwrap();
-        let n = impact(&lat, 1, Fault { site: (0, 1), kind: FaultKind::StuckOff }).unwrap();
+        let n = impact(
+            &lat,
+            1,
+            Fault {
+                site: (0, 1),
+                kind: FaultKind::StuckOff,
+            },
+        )
+        .unwrap();
         assert_eq!(n, 0, "parallel duplicate masks the open fault");
         let report = analyze(&lat, 1).unwrap();
         assert!(report.undetectable >= 2);
@@ -309,7 +363,12 @@ mod tests {
         let lat = crate::Lattice::from_literals(
             2,
             2,
-            vec![Literal::pos(0), Literal::pos(1), Literal::pos(1), Literal::pos(0)],
+            vec![
+                Literal::pos(0),
+                Literal::pos(1),
+                Literal::pos(1),
+                Literal::pos(0),
+            ],
         )
         .unwrap();
         let crit = critical_sites(&lat, 2, 4).unwrap();
@@ -325,12 +384,21 @@ mod tests {
         let faulty = inject_all(
             &lat,
             &[
-                Fault { site: (0, 0), kind: FaultKind::StuckOn },
-                Fault { site: (1, 0), kind: FaultKind::StuckOn },
+                Fault {
+                    site: (0, 0),
+                    kind: FaultKind::StuckOn,
+                },
+                Fault {
+                    site: (1, 0),
+                    kind: FaultKind::StuckOn,
+                },
             ],
         )
         .unwrap();
-        assert!(faulty.truth_table(2).unwrap().is_one(), "both switches shorted → constant 1");
+        assert!(
+            faulty.truth_table(2).unwrap().is_one(),
+            "both switches shorted → constant 1"
+        );
     }
 
     #[test]
@@ -339,8 +407,14 @@ mod tests {
         let err = inject_all(
             &lat,
             &[
-                Fault { site: (0, 0), kind: FaultKind::StuckOn },
-                Fault { site: (7, 7), kind: FaultKind::StuckOff },
+                Fault {
+                    site: (0, 0),
+                    kind: FaultKind::StuckOn,
+                },
+                Fault {
+                    site: (7, 7),
+                    kind: FaultKind::StuckOff,
+                },
             ],
         );
         assert!(matches!(err, Err(LatticeError::SiteOutOfRange { .. })));
@@ -352,8 +426,14 @@ mod tests {
         let faulty = inject_all(
             &lat,
             &[
-                Fault { site: (0, 0), kind: FaultKind::StuckOn },
-                Fault { site: (0, 0), kind: FaultKind::StuckOff },
+                Fault {
+                    site: (0, 0),
+                    kind: FaultKind::StuckOn,
+                },
+                Fault {
+                    site: (0, 0),
+                    kind: FaultKind::StuckOff,
+                },
             ],
         )
         .unwrap();
@@ -374,8 +454,14 @@ mod tests {
         // but the pair kills the function — the classic reason single-fault
         // analysis underestimates defect sensitivity.
         let lat = Lattice::from_literals(1, 2, vec![Literal::pos(0), Literal::pos(0)]).unwrap();
-        let f1 = Fault { site: (0, 0), kind: FaultKind::StuckOff };
-        let f2 = Fault { site: (0, 1), kind: FaultKind::StuckOff };
+        let f1 = Fault {
+            site: (0, 0),
+            kind: FaultKind::StuckOff,
+        };
+        let f2 = Fault {
+            site: (0, 1),
+            kind: FaultKind::StuckOff,
+        };
         assert_eq!(impact(&lat, 1, f1).unwrap(), 0);
         assert_eq!(impact(&lat, 1, f2).unwrap(), 0);
         assert_eq!(impact_of_set(&lat, 1, &[f1, f2]).unwrap(), 1);
@@ -415,9 +501,14 @@ mod tests {
         // Exactly one masked fault: stuck-ON of the centre switch, which
         // already carries the constant 1 — a no-op by definition.
         assert_eq!(report.undetectable, 1);
-        let masked: Vec<&(Fault, u64)> =
-            report.impacts.iter().filter(|(_, n)| *n == 0).collect();
-        assert_eq!(masked[0].0, Fault { site: (1, 1), kind: FaultKind::StuckOn });
+        let masked: Vec<&(Fault, u64)> = report.impacts.iter().filter(|(_, n)| *n == 0).collect();
+        assert_eq!(
+            masked[0].0,
+            Fault {
+                site: (1, 1),
+                kind: FaultKind::StuckOn
+            }
+        );
         assert!(report.worst_impact >= 2);
     }
 }

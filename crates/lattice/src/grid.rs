@@ -53,10 +53,16 @@ impl fmt::Display for LatticeError {
                 write!(f, "site {site:?} outside {rows}×{cols} lattice")
             }
             LatticeError::VarOutOfRange { index, vars } => {
-                write!(f, "site literal references variable {index} but lattice has {vars} inputs")
+                write!(
+                    f,
+                    "site literal references variable {index} but lattice has {vars} inputs"
+                )
             }
             LatticeError::TooManySites { sites } => {
-                write!(f, "product extraction supports at most 32 sites, lattice has {sites}")
+                write!(
+                    f,
+                    "product extraction supports at most 32 sites, lattice has {sites}"
+                )
             }
         }
     }
@@ -102,7 +108,11 @@ impl Lattice {
         if rows == 0 || cols == 0 {
             return Err(LatticeError::EmptyDimensions);
         }
-        Ok(Lattice { rows, cols, sites: vec![literal; rows * cols] })
+        Ok(Lattice {
+            rows,
+            cols,
+            sites: vec![literal; rows * cols],
+        })
     }
 
     /// Creates a lattice from site literals in row-major order.
@@ -125,7 +135,11 @@ impl Lattice {
                 got: literals.len(),
             });
         }
-        Ok(Lattice { rows, cols, sites: literals })
+        Ok(Lattice {
+            rows,
+            cols,
+            sites: literals,
+        })
     }
 
     /// The canonical lattice whose sites are the distinct variables
@@ -183,7 +197,11 @@ impl Lattice {
     /// Returns [`LatticeError::SiteOutOfRange`] for a bad coordinate.
     pub fn set_literal(&mut self, site: Site, literal: Literal) -> Result<(), LatticeError> {
         if site.0 >= self.rows || site.1 >= self.cols {
-            return Err(LatticeError::SiteOutOfRange { site, rows: self.rows, cols: self.cols });
+            return Err(LatticeError::SiteOutOfRange {
+                site,
+                rows: self.rows,
+                cols: self.cols,
+            });
         }
         let idx = self.index(site);
         self.sites[idx] = literal;
@@ -196,7 +214,10 @@ impl Lattice {
     }
 
     fn index(&self, site: Site) -> usize {
-        assert!(site.0 < self.rows && site.1 < self.cols, "site {site:?} out of range");
+        assert!(
+            site.0 < self.rows && site.1 < self.cols,
+            "site {site:?} out of range"
+        );
         site.0 * self.cols + site.1
     }
 
@@ -279,7 +300,9 @@ impl Lattice {
         for lit in &self.sites {
             if let Literal::Var { index, .. } = *lit {
                 if index >= 32 {
-                    return Err(LatticeError::TooManySites { sites: self.site_count() });
+                    return Err(LatticeError::TooManySites {
+                        sites: self.site_count(),
+                    });
                 }
             }
         }
@@ -308,7 +331,11 @@ impl Lattice {
                 sites.push(self.literal((r, c)));
             }
         }
-        Lattice { rows: self.cols, cols: self.rows, sites }
+        Lattice {
+            rows: self.cols,
+            cols: self.rows,
+            sites,
+        }
     }
 }
 
@@ -356,16 +383,22 @@ mod tests {
         ));
         assert!(matches!(
             Lattice::from_literals(2, 2, vec![Literal::True; 3]),
-            Err(LatticeError::SiteCountMismatch { expected: 4, got: 3 })
+            Err(LatticeError::SiteCountMismatch {
+                expected: 4,
+                got: 3
+            })
         ));
-        assert!(matches!(Lattice::canonical(6, 6), Err(LatticeError::TooManySites { sites: 36 })));
+        assert!(matches!(
+            Lattice::canonical(6, 6),
+            Err(LatticeError::TooManySites { sites: 36 })
+        ));
     }
 
     #[test]
     fn single_column_is_and() {
         for n in 1..=4 {
-            let lat = Lattice::from_literals(n, 1, (0..n as u8).map(Literal::pos).collect())
-                .unwrap();
+            let lat =
+                Lattice::from_literals(n, 1, (0..n as u8).map(Literal::pos).collect()).unwrap();
             assert_eq!(lat.truth_table(n).unwrap(), generators::and(n));
         }
     }
@@ -374,8 +407,8 @@ mod tests {
     fn single_row_is_or() {
         // One row: every switch touches both plates, so the lattice ORs them.
         for n in 1..=4 {
-            let lat = Lattice::from_literals(1, n, (0..n as u8).map(Literal::pos).collect())
-                .unwrap();
+            let lat =
+                Lattice::from_literals(1, n, (0..n as u8).map(Literal::pos).collect()).unwrap();
             assert_eq!(lat.truth_table(n).unwrap(), generators::or(n));
         }
     }
@@ -396,7 +429,12 @@ mod tests {
         let lat = Lattice::from_literals(
             2,
             2,
-            vec![Literal::pos(0), Literal::pos(1), Literal::pos(1), Literal::pos(0)],
+            vec![
+                Literal::pos(0),
+                Literal::pos(1),
+                Literal::pos(1),
+                Literal::pos(0),
+            ],
         )
         .unwrap();
         assert!(!lat.eval(0b01));
@@ -422,7 +460,9 @@ mod tests {
         for _ in 0..50 {
             let sites: Vec<Literal> = (0..9)
                 .map(|_| {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     lits[(state >> 33) as usize % lits.len()]
                 })
                 .collect();

@@ -34,12 +34,18 @@ use crate::Site;
 /// assert_eq!(count, 9); // Table I entry (3,3)
 /// ```
 pub fn visit<F: FnMut(&[Site])>(rows: usize, cols: usize, mut f: F) {
-    assert!(rows > 0 && cols > 0, "lattice dimensions must be at least 1×1");
+    assert!(
+        rows > 0 && cols > 0,
+        "lattice dimensions must be at least 1×1"
+    );
+    let _span = fts_telemetry::span("lattice.paths.visit");
     if rows == 1 {
         // Every site touches both plates: each single site is a path.
         for c in 0..cols {
             f(&[(0, c)]);
         }
+        fts_telemetry::counter("lattice.paths.nodes_visited", cols as u64);
+        fts_telemetry::counter("lattice.paths.found", cols as u64);
         return;
     }
     let mut walker = Walker {
@@ -47,10 +53,14 @@ pub fn visit<F: FnMut(&[Site])>(rows: usize, cols: usize, mut f: F) {
         cols,
         occupied: vec![false; rows * cols],
         path: Vec::with_capacity(rows * cols),
+        nodes: 0,
+        found: 0,
     };
     for c in 0..cols {
         walker.start(c, &mut f);
     }
+    fts_telemetry::counter("lattice.paths.nodes_visited", walker.nodes);
+    fts_telemetry::counter("lattice.paths.found", walker.found);
 }
 
 /// Collects all irredundant paths of an `rows×cols` lattice.
@@ -72,6 +82,10 @@ struct Walker {
     cols: usize,
     occupied: Vec<bool>,
     path: Vec<Site>,
+    /// Search-tree nodes expanded (pushes), for telemetry.
+    nodes: u64,
+    /// Complete paths reported, for telemetry.
+    found: u64,
 }
 
 impl Walker {
@@ -84,6 +98,7 @@ impl Walker {
     fn extend<F: FnMut(&[Site])>(&mut self, f: &mut F) {
         let &(r, c) = self.path.last().expect("path never empty while extending");
         if r == self.rows - 1 {
+            self.found += 1;
             f(&self.path);
             return;
         }
@@ -130,6 +145,7 @@ impl Walker {
     }
 
     fn push(&mut self, site: Site) {
+        self.nodes += 1;
         self.occupied[site.0 * self.cols + site.1] = true;
         self.path.push(site);
     }

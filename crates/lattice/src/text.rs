@@ -67,7 +67,9 @@ impl Error for ParseLatticeError {
 
 /// Parses one literal token.
 fn parse_literal(token: &str) -> Result<Literal, ParseLatticeError> {
-    let bad = || ParseLatticeError::BadToken { token: token.to_owned() };
+    let bad = || ParseLatticeError::BadToken {
+        token: token.to_owned(),
+    };
     let (body, negated) = match token.strip_suffix('\'') {
         Some(b) => (b, true),
         None => (token, false),
@@ -129,7 +131,11 @@ pub fn parse(input: &str) -> Result<Lattice, ParseLatticeError> {
     let cols = rows[0].len();
     for (i, r) in rows.iter().enumerate() {
         if r.len() != cols {
-            return Err(ParseLatticeError::RaggedRow { row: i, got: r.len(), expected: cols });
+            return Err(ParseLatticeError::RaggedRow {
+                row: i,
+                got: r.len(),
+                expected: cols,
+            });
         }
     }
     let sites: Vec<Literal> = rows.iter().flatten().copied().collect();
@@ -167,9 +173,18 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         assert!(matches!(parse(""), Err(ParseLatticeError::Empty)));
-        assert!(matches!(parse("a b\nc"), Err(ParseLatticeError::RaggedRow { .. })));
-        assert!(matches!(parse("a B"), Err(ParseLatticeError::BadToken { .. })));
-        assert!(matches!(parse("x999"), Err(ParseLatticeError::BadToken { .. })));
+        assert!(matches!(
+            parse("a b\nc"),
+            Err(ParseLatticeError::RaggedRow { .. })
+        ));
+        assert!(matches!(
+            parse("a B"),
+            Err(ParseLatticeError::BadToken { .. })
+        ));
+        assert!(matches!(
+            parse("x999"),
+            Err(ParseLatticeError::BadToken { .. })
+        ));
     }
 
     #[test]

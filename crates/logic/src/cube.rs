@@ -25,12 +25,18 @@ pub enum Literal {
 impl Literal {
     /// Positive literal of variable `index`.
     pub fn pos(index: u8) -> Self {
-        Literal::Var { index, negated: false }
+        Literal::Var {
+            index,
+            negated: false,
+        }
     }
 
     /// Negative literal of variable `index`.
     pub fn neg(index: u8) -> Self {
-        Literal::Var { index, negated: true }
+        Literal::Var {
+            index,
+            negated: true,
+        }
     }
 
     /// Evaluates the literal under a packed input assignment.
@@ -47,7 +53,10 @@ impl Literal {
         match self {
             Literal::False => Literal::True,
             Literal::True => Literal::False,
-            Literal::Var { index, negated } => Literal::Var { index, negated: !negated },
+            Literal::Var { index, negated } => Literal::Var {
+                index,
+                negated: !negated,
+            },
         }
     }
 }
@@ -151,8 +160,14 @@ impl Cube {
         match literal {
             Literal::True => Ok(self),
             Literal::False => Err(LogicError::ContradictoryCube),
-            Literal::Var { index, negated: false } => self.with_pos(index),
-            Literal::Var { index, negated: true } => self.with_neg(index),
+            Literal::Var {
+                index,
+                negated: false,
+            } => self.with_pos(index),
+            Literal::Var {
+                index,
+                negated: true,
+            } => self.with_neg(index),
         }
     }
 
@@ -347,7 +362,9 @@ impl Cover {
 
 impl FromIterator<Cube> for Cover {
     fn from_iter<I: IntoIterator<Item = Cube>>(iter: I) -> Self {
-        Cover { cubes: iter.into_iter().collect() }
+        Cover {
+            cubes: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -427,7 +444,10 @@ mod tests {
     #[test]
     fn cube_false_literal_rejected() {
         assert!(Cube::top().with_literal(Literal::False).is_err());
-        assert_eq!(Cube::top().with_literal(Literal::True).unwrap(), Cube::top());
+        assert_eq!(
+            Cube::top().with_literal(Literal::True).unwrap(),
+            Cube::top()
+        );
     }
 
     #[test]

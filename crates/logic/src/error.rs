@@ -33,13 +33,23 @@ impl fmt::Display for LogicError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LogicError::VarCountOutOfRange { requested } => {
-                write!(f, "variable count {requested} is outside 1..={}", crate::MAX_VARS)
+                write!(
+                    f,
+                    "variable count {requested} is outside 1..={}",
+                    crate::MAX_VARS
+                )
             }
             LogicError::VarCountMismatch { left, right } => {
-                write!(f, "operands have different variable counts ({left} vs {right})")
+                write!(
+                    f,
+                    "operands have different variable counts ({left} vs {right})"
+                )
             }
             LogicError::VarIndexOutOfRange { index, vars } => {
-                write!(f, "variable index {index} is out of range for {vars} variables")
+                write!(
+                    f,
+                    "variable index {index} is out of range for {vars} variables"
+                )
             }
             LogicError::ContradictoryCube => {
                 write!(f, "cube contains a variable in both polarities")

@@ -36,7 +36,11 @@ pub fn isop(f: &TruthTable) -> Cover {
 ///
 /// Panics if `lower` does not imply `upper` or the variable counts differ.
 pub fn isop_interval(lower: &TruthTable, upper: &TruthTable) -> Cover {
-    assert_eq!(lower.vars(), upper.vars(), "interval bounds must share variables");
+    assert_eq!(
+        lower.vars(),
+        upper.vars(),
+        "interval bounds must share variables"
+    );
     assert!(lower.implies(upper), "lower bound must imply upper bound");
     let mut cover = Cover::new();
     recurse(lower, upper, lower.vars(), Cube::top(), &mut cover);
@@ -54,7 +58,8 @@ fn recurse(lower: &TruthTable, upper: &TruthTable, vars: usize, prefix: Cube, ou
     // Split on the lowest-index variable either bound depends on.
     let var = (0..vars)
         .find(|&v| {
-            lower.depends_on(v).expect("index in range") || upper.depends_on(v).expect("index in range")
+            lower.depends_on(v).expect("index in range")
+                || upper.depends_on(v).expect("index in range")
         })
         .expect("non-constant interval must depend on some variable");
 
@@ -69,9 +74,21 @@ fn recurse(lower: &TruthTable, upper: &TruthTable, vars: usize, prefix: Cube, ou
     let need1 = &l1 & &!&u0;
 
     let before = out.len();
-    recurse(&need0, &u0, vars, prefix.with_neg(var as u8).expect("fresh variable"), out);
+    recurse(
+        &need0,
+        &u0,
+        vars,
+        prefix.with_neg(var as u8).expect("fresh variable"),
+        out,
+    );
     let mid = out.len();
-    recurse(&need1, &u1, vars, prefix.with_pos(var as u8).expect("fresh variable"), out);
+    recurse(
+        &need1,
+        &u1,
+        vars,
+        prefix.with_pos(var as u8).expect("fresh variable"),
+        out,
+    );
     let after = out.len();
 
     // What the emitted branch covers, relative to this recursion level: the
@@ -109,8 +126,15 @@ mod tests {
 
     fn check_exact(f: &TruthTable) {
         let cover = isop(f);
-        assert_eq!(cover.to_truth_table(f.vars()), *f, "cover must equal function");
-        assert!(cover.is_irredundant(f.vars()), "cover must be irredundant: {cover}");
+        assert_eq!(
+            cover.to_truth_table(f.vars()),
+            *f,
+            "cover must equal function"
+        );
+        assert!(
+            cover.is_irredundant(f.vars()),
+            "cover must be irredundant: {cover}"
+        );
     }
 
     #[test]
@@ -160,7 +184,9 @@ mod tests {
         for vars in 2..=6 {
             for _ in 0..20 {
                 let f = TruthTable::from_fn(vars, |_| {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     (state >> 33) & 1 == 1
                 })
                 .unwrap();

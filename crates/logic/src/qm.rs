@@ -29,7 +29,10 @@ pub const MAX_QM_VARS: usize = 12;
 /// ```
 pub fn prime_implicants(f: &TruthTable) -> Cover {
     let vars = f.vars();
-    assert!(vars <= MAX_QM_VARS, "quine-mccluskey limited to {MAX_QM_VARS} variables");
+    assert!(
+        vars <= MAX_QM_VARS,
+        "quine-mccluskey limited to {MAX_QM_VARS} variables"
+    );
 
     // Enumerate all implicants by breadth-first merging, starting from
     // minterms. An implicant is a cube fully contained in f.
@@ -221,7 +224,9 @@ mod tests {
         let mut state = 0xDEADBEEFu64;
         for _ in 0..10 {
             let f = TruthTable::from_fn(4, |_| {
-                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                state = state
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(3037000493);
                 (state >> 35) & 1 == 1
             })
             .unwrap();

@@ -126,7 +126,10 @@ impl TruthTable {
         let mut tt = Self::constant(vars, false)?;
         for &m in minterms {
             if m as usize >= (1usize << vars) {
-                return Err(LogicError::VarIndexOutOfRange { index: m as usize, vars });
+                return Err(LogicError::VarIndexOutOfRange {
+                    index: m as usize,
+                    vars,
+                });
             }
             tt.words[(m >> 6) as usize] |= 1u64 << (m & 63);
         }
@@ -184,7 +187,10 @@ impl TruthTable {
     /// Panics if the variable counts differ.
     pub fn implies(&self, other: &TruthTable) -> bool {
         self.assert_same_vars(other);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Positive cofactor: the function with variable `index` fixed to 1.
@@ -210,7 +216,10 @@ impl TruthTable {
 
     fn cofactor(&self, index: usize, value: bool) -> Result<Self, LogicError> {
         if index >= self.vars {
-            return Err(LogicError::VarIndexOutOfRange { index, vars: self.vars });
+            return Err(LogicError::VarIndexOutOfRange {
+                index,
+                vars: self.vars,
+            });
         }
         let mut out = self.clone();
         if index < 6 {
@@ -346,7 +355,12 @@ impl BitAnd for &TruthTable {
         self.assert_same_vars(rhs);
         TruthTable {
             vars: self.vars,
-            words: self.words.iter().zip(&rhs.words).map(|(a, b)| a & b).collect(),
+            words: self
+                .words
+                .iter()
+                .zip(&rhs.words)
+                .map(|(a, b)| a & b)
+                .collect(),
         }
     }
 }
@@ -357,7 +371,12 @@ impl BitOr for &TruthTable {
         self.assert_same_vars(rhs);
         TruthTable {
             vars: self.vars,
-            words: self.words.iter().zip(&rhs.words).map(|(a, b)| a | b).collect(),
+            words: self
+                .words
+                .iter()
+                .zip(&rhs.words)
+                .map(|(a, b)| a | b)
+                .collect(),
         }
     }
 }
@@ -368,7 +387,12 @@ impl BitXor for &TruthTable {
         self.assert_same_vars(rhs);
         TruthTable {
             vars: self.vars,
-            words: self.words.iter().zip(&rhs.words).map(|(a, b)| a ^ b).collect(),
+            words: self
+                .words
+                .iter()
+                .zip(&rhs.words)
+                .map(|(a, b)| a ^ b)
+                .collect(),
         }
     }
 }
@@ -378,7 +402,10 @@ impl Not for &TruthTable {
     fn not(self) -> TruthTable {
         let mut words: Vec<u64> = self.words.iter().map(|w| !w).collect();
         TruthTable::mask_tail(self.vars, &mut words);
-        TruthTable { vars: self.vars, words }
+        TruthTable {
+            vars: self.vars,
+            words,
+        }
     }
 }
 
@@ -490,8 +517,8 @@ mod tests {
 
     #[test]
     fn dual_is_involution() {
-        let f =
-            TruthTable::from_fn(5, |x| x.wrapping_mul(2654435761).wrapping_add(x) & 8 != 0).unwrap();
+        let f = TruthTable::from_fn(5, |x| x.wrapping_mul(2654435761).wrapping_add(x) & 8 != 0)
+            .unwrap();
         assert_eq!(f.dual().dual(), f);
     }
 

@@ -8,6 +8,8 @@
 //! stream into per-block accumulators that merge in fixed block order, so
 //! the report is bit-identical for every thread count.
 
+use std::time::Instant;
+
 use fts_circuit::lattice_netlist::{pwl_from_bits, BenchConfig, LatticeCircuit};
 use fts_circuit::model::SwitchCircuitModel;
 use fts_lattice::defects::{inject_all, Fault};
@@ -42,13 +44,71 @@ impl SpecLimits {
     /// Limits scaled to a bench: `V_OL ≤ 0.3 V`, `V_OH ≥ 0.7·VDD`, no
     /// timing limits.
     pub fn for_bench(bench: &BenchConfig) -> SpecLimits {
-        SpecLimits { v_ol_max: 0.3, v_oh_min: 0.7 * bench.vdd, t_rise_max: None, t_fall_max: None }
+        SpecLimits {
+            v_ol_max: 0.3,
+            v_oh_min: 0.7 * bench.vdd,
+            t_rise_max: None,
+            t_fall_max: None,
+        }
     }
 }
 
 impl Default for SpecLimits {
     fn default() -> SpecLimits {
         SpecLimits::for_bench(&BenchConfig::default())
+    }
+}
+
+/// Per-cause breakdown of trials abandoned on a simulator failure.
+///
+/// A generic "the simulator failed" bucket hides whether an ensemble is
+/// hitting convergence trouble (a solver/settings problem) or sampling
+/// non-physical parameters (a variation-model problem); this split keeps
+/// the two diagnosable from the [`YieldReport`] alone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimFailureCauses {
+    /// Newton–Raphson failed even after every homotopy fallback.
+    pub no_convergence: u64,
+    /// The MNA matrix was singular despite gmin regularization.
+    pub singular_matrix: u64,
+    /// The perturbed trial circuit could not be built — model extraction
+    /// or netlist construction rejected the sampled parameters.
+    pub build: u64,
+    /// Anything else (defect injection, lookups, configuration).
+    pub other: u64,
+}
+
+impl SimFailureCauses {
+    /// Total failed trials across all causes.
+    pub fn total(&self) -> u64 {
+        self.no_convergence + self.singular_matrix + self.build + self.other
+    }
+
+    fn merge(&mut self, o: &SimFailureCauses) {
+        self.no_convergence += o.no_convergence;
+        self.singular_matrix += o.singular_matrix;
+        self.build += o.build;
+        self.other += o.other;
+    }
+
+    fn classify(&mut self, e: &fts_circuit::CircuitError) {
+        use fts_circuit::CircuitError as E;
+        use fts_spice::SpiceError as S;
+        let (slot, name) = match e {
+            E::Spice(S::NoConvergence { .. }) => {
+                (&mut self.no_convergence, "mc.sim_failure.no_convergence")
+            }
+            E::Spice(S::SingularMatrix) => {
+                (&mut self.singular_matrix, "mc.sim_failure.singular_matrix")
+            }
+            E::Spice(S::InvalidValue { .. })
+            | E::InvalidConfig { .. }
+            | E::MissingStimulus { .. }
+            | E::Extract(_) => (&mut self.build, "mc.sim_failure.build"),
+            _ => (&mut self.other, "mc.sim_failure.other"),
+        };
+        *slot += 1;
+        fts_telemetry::counter(name, 1);
     }
 }
 
@@ -66,7 +126,11 @@ pub struct TransientSettings {
 
 impl Default for TransientSettings {
     fn default() -> TransientSettings {
-        TransientSettings { phase: 120.0e-9, transition: 1.0e-9, dt: 0.8e-9 }
+        TransientSettings {
+            phase: 120.0e-9,
+            transition: 1.0e-9,
+            dt: 0.8e-9,
+        }
     }
 }
 
@@ -180,17 +244,26 @@ impl MonteCarlo {
         nominal: &SwitchCircuitModel,
     ) -> Result<YieldReport, McError> {
         if self.trials == 0 {
-            return Err(McError::InvalidConfig { reason: "trials must be at least 1" });
+            return Err(McError::InvalidConfig {
+                reason: "trials must be at least 1",
+            });
         }
         if self.block_size == 0 {
-            return Err(McError::InvalidConfig { reason: "block_size must be at least 1" });
+            return Err(McError::InvalidConfig {
+                reason: "block_size must be at least 1",
+            });
         }
         if !(0.0..=1.0).contains(&self.variation.defect_prob) {
-            return Err(McError::InvalidConfig { reason: "defect_prob must be in [0, 1]" });
+            return Err(McError::InvalidConfig {
+                reason: "defect_prob must be in [0, 1]",
+            });
         }
         if !(0.0..=1.0).contains(&self.variation.stuck_on_fraction) {
-            return Err(McError::InvalidConfig { reason: "stuck_on_fraction must be in [0, 1]" });
+            return Err(McError::InvalidConfig {
+                reason: "stuck_on_fraction must be in [0, 1]",
+            });
         }
+        let _span = fts_telemetry::span("mc.run");
         let truth = lattice.truth_table(vars)?;
         if !matches!(self.eval, EvalMode::Logical) {
             // Surface configuration-level circuit problems once, up front,
@@ -198,7 +271,11 @@ impl MonteCarlo {
             LatticeCircuit::build(lattice, vars, nominal, self.bench)?;
         }
 
-        let threads = if self.threads == 0 { auto_threads() } else { self.threads };
+        let threads = if self.threads == 0 {
+            auto_threads()
+        } else {
+            self.threads
+        };
         let block_list = blocks(self.trials, self.block_size);
         let ctx = TrialContext {
             mc: self,
@@ -211,7 +288,12 @@ impl MonteCarlo {
         let partials = map_blocks(&block_list, threads, |_, &(start, end)| {
             let mut acc = BlockStats::new(ctx.sites, self.bench.vdd);
             for trial in start..end {
+                let _trial_span = fts_telemetry::span("mc.trial");
+                let t0 = fts_telemetry::enabled().then(Instant::now);
                 ctx.run_trial(trial, &mut acc);
+                if let Some(t0) = t0 {
+                    fts_telemetry::record("mc.trial.wall_s", t0.elapsed().as_secs_f64());
+                }
             }
             acc
         });
@@ -253,8 +335,8 @@ impl TrialContext<'_> {
         let faulty = match inject_all(self.lattice, &defects) {
             Ok(l) => l,
             // Unreachable: sampled sites are in range by construction.
-            Err(_) => {
-                acc.sim_failures += 1;
+            Err(e) => {
+                acc.sim_fail(&fts_circuit::CircuitError::Lattice(e));
                 return;
             }
         };
@@ -266,8 +348,8 @@ impl TrialContext<'_> {
         // 3. Parameter realization: die corner, then per-site mismatch.
         let base = match v.sample_base_model(self.nominal, &mut rng) {
             Ok(b) => b,
-            Err(_) => {
-                acc.sim_failures += 1;
+            Err(e) => {
+                acc.sim_fail_mc(&e);
                 return;
             }
         };
@@ -276,22 +358,35 @@ impl TrialContext<'_> {
         // 4. Electrical verdict.
         let elec = match self.mc.eval {
             EvalMode::Logical => {
-                Electrical { functional: logical_ok, v_ol: None, v_oh: None, rise: None, fall: None }
+                let _eval_span = fts_telemetry::span("mc.trial.logical");
+                Electrical {
+                    functional: logical_ok,
+                    v_ol: None,
+                    v_oh: None,
+                    rise: None,
+                    fall: None,
+                }
             }
-            EvalMode::Dc => match self.eval_dc(&faulty, &site_models) {
-                Ok(e) => e,
-                Err(_) => {
-                    acc.sim_failures += 1;
-                    return;
+            EvalMode::Dc => {
+                let _eval_span = fts_telemetry::span("mc.trial.dc");
+                match self.eval_dc(&faulty, &site_models) {
+                    Ok(e) => e,
+                    Err(e) => {
+                        acc.sim_fail(&e);
+                        return;
+                    }
                 }
-            },
-            EvalMode::Transient(ts) => match self.eval_transient(&faulty, &site_models, ts) {
-                Ok(e) => e,
-                Err(_) => {
-                    acc.sim_failures += 1;
-                    return;
+            }
+            EvalMode::Transient(ts) => {
+                let _eval_span = fts_telemetry::span("mc.trial.transient");
+                match self.eval_transient(&faulty, &site_models, ts) {
+                    Ok(e) => e,
+                    Err(e) => {
+                        acc.sim_fail(&e);
+                        return;
+                    }
                 }
-            },
+            }
         };
 
         acc.record(self.mc, self.lattice.cols(), &defects, logical_ok, &elec);
@@ -405,6 +500,7 @@ impl TrialContext<'_> {
 struct BlockStats {
     evaluated: u64,
     sim_failures: u64,
+    failure_causes: SimFailureCauses,
     functional_pass: u64,
     parametric_pass: u64,
     logical_fail: u64,
@@ -431,6 +527,7 @@ impl BlockStats {
         BlockStats {
             evaluated: 0,
             sim_failures: 0,
+            failure_causes: SimFailureCauses::default(),
             functional_pass: 0,
             parametric_pass: 0,
             logical_fail: 0,
@@ -444,6 +541,27 @@ impl BlockStats {
             rise_h: Histogram::new(0.0, TIME_SPAN, BINS),
             fall_w: Welford::default(),
             fall_h: Histogram::new(0.0, TIME_SPAN, BINS),
+        }
+    }
+
+    /// Abandons the current trial on a circuit-level failure.
+    fn sim_fail(&mut self, e: &fts_circuit::CircuitError) {
+        self.sim_failures += 1;
+        self.failure_causes.classify(e);
+    }
+
+    /// Abandons the current trial on an engine-level failure.
+    fn sim_fail_mc(&mut self, e: &McError) {
+        match e {
+            McError::Circuit(c) => self.sim_fail(c),
+            McError::Extract(x) => {
+                self.sim_fail(&fts_circuit::CircuitError::Extract(x.clone()));
+            }
+            _ => {
+                self.sim_failures += 1;
+                self.failure_causes.other += 1;
+                fts_telemetry::counter("mc.sim_failure.other", 1);
+            }
         }
     }
 
@@ -503,11 +621,16 @@ impl BlockStats {
     fn merge(&mut self, other: &BlockStats) {
         self.evaluated += other.evaluated;
         self.sim_failures += other.sim_failures;
+        self.failure_causes.merge(&other.failure_causes);
         self.functional_pass += other.functional_pass;
         self.parametric_pass += other.parametric_pass;
         self.logical_fail += other.logical_fail;
         self.defects_injected += other.defects_injected;
-        for (a, b) in self.site_criticality.iter_mut().zip(&other.site_criticality) {
+        for (a, b) in self
+            .site_criticality
+            .iter_mut()
+            .zip(&other.site_criticality)
+        {
             *a += b;
         }
         self.v_ol_w.merge(&other.v_ol_w);
@@ -526,6 +649,7 @@ impl BlockStats {
             master_seed: mc.master_seed,
             evaluated: self.evaluated,
             sim_failures: self.sim_failures,
+            failure_causes: self.failure_causes,
             functional_pass: self.functional_pass,
             parametric_pass: self.parametric_pass,
             logical_fail: self.logical_fail,
@@ -550,6 +674,9 @@ pub struct YieldReport {
     pub evaluated: u64,
     /// Trials abandoned because the simulator failed on that sample.
     pub sim_failures: u64,
+    /// Why those trials failed, by cause (`failure_causes.total() ==
+    /// sim_failures`).
+    pub failure_causes: SimFailureCauses,
     /// Trials reading correct logic levels at every input.
     pub functional_pass: u64,
     /// Functional trials also inside [`SpecLimits`].
@@ -593,8 +720,13 @@ impl YieldReport {
     /// The most failure-critical sites, best first: `(row-major index,
     /// failure coincidence count)`, zero-count sites omitted.
     pub fn critical_sites(&self) -> Vec<(usize, u64)> {
-        let mut out: Vec<(usize, u64)> =
-            self.site_criticality.iter().copied().enumerate().filter(|&(_, n)| n > 0).collect();
+        let mut out: Vec<(usize, u64)> = self
+            .site_criticality
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, n)| n > 0)
+            .collect();
         out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
@@ -648,9 +780,20 @@ mod tests {
             .eval(EvalMode::Logical)
             .run(&lat, 3, &nominal())
             .unwrap();
-        assert!(report.defects_injected > 100, "defects {}", report.defects_injected);
-        assert!(report.functional_yield() < 0.9, "yield {}", report.functional_yield());
-        assert_eq!(report.logical_fail, report.evaluated - report.functional_pass);
+        assert!(
+            report.defects_injected > 100,
+            "defects {}",
+            report.defects_injected
+        );
+        assert!(
+            report.functional_yield() < 0.9,
+            "yield {}",
+            report.functional_yield()
+        );
+        assert_eq!(
+            report.logical_fail,
+            report.evaluated - report.functional_pass
+        );
         // Failing trials attribute blame to defect sites.
         assert!(!report.critical_sites().is_empty());
     }
@@ -687,7 +830,10 @@ mod tests {
     fn tight_spec_fails_parametrically_not_functionally() {
         let lat = Lattice::from_literals(1, 1, vec![Literal::pos(0)]).unwrap();
         // Ratioed V_OL can never be this low.
-        let spec = SpecLimits { v_ol_max: 1e-6, ..SpecLimits::default() };
+        let spec = SpecLimits {
+            v_ol_max: 1e-6,
+            ..SpecLimits::default()
+        };
         let report = MonteCarlo::new(8, 2)
             .variation(VariationModel::none())
             .spec(spec)
@@ -698,6 +844,38 @@ mod tests {
     }
 
     #[test]
+    fn sim_failures_are_classified_by_cause() {
+        use fts_circuit::CircuitError as E;
+        use fts_spice::SpiceError as S;
+        let mut acc = BlockStats::new(1, 1.2);
+        acc.sim_fail(&E::Spice(S::NoConvergence {
+            analysis: "op",
+            residual: 1.0,
+        }));
+        acc.sim_fail(&E::Spice(S::SingularMatrix));
+        acc.sim_fail(&E::Spice(S::InvalidValue {
+            device: "M1".into(),
+            reason: "w <= 0",
+        }));
+        acc.sim_fail(&E::InvalidConfig {
+            reason: "degenerate",
+        });
+        acc.sim_fail(&E::TargetNotBracketed { target: 1.0 });
+        acc.sim_fail_mc(&McError::InvalidConfig { reason: "bad" });
+        let c = acc.failure_causes;
+        assert_eq!(c.no_convergence, 1);
+        assert_eq!(c.singular_matrix, 1);
+        assert_eq!(c.build, 2);
+        assert_eq!(c.other, 2);
+        assert_eq!(c.total(), acc.sim_failures);
+
+        let mut merged = SimFailureCauses::default();
+        merged.merge(&c);
+        merged.merge(&c);
+        assert_eq!(merged.total(), 2 * c.total());
+    }
+
+    #[test]
     fn invalid_configs_are_rejected() {
         let lat = Lattice::from_literals(1, 1, vec![Literal::pos(0)]).unwrap();
         let m = nominal();
@@ -705,9 +883,15 @@ mod tests {
         assert!(matches!(err, Err(McError::InvalidConfig { .. })));
         let mut mc = MonteCarlo::new(4, 1);
         mc.block_size = 0;
-        assert!(matches!(mc.run(&lat, 1, &m), Err(McError::InvalidConfig { .. })));
+        assert!(matches!(
+            mc.run(&lat, 1, &m),
+            Err(McError::InvalidConfig { .. })
+        ));
         let bad = MonteCarlo::new(4, 1).variation(VariationModel::none().with_defect_prob(1.5));
-        assert!(matches!(bad.run(&lat, 1, &m), Err(McError::InvalidConfig { .. })));
+        assert!(matches!(
+            bad.run(&lat, 1, &m),
+            Err(McError::InvalidConfig { .. })
+        ));
         // Lattice referencing variable 5 with only 1 stimulus: the nominal
         // path fails up front (truth table or circuit build), not per trial.
         let wide = Lattice::from_literals(1, 1, vec![Literal::pos(5)]).unwrap();

@@ -14,7 +14,9 @@ use std::sync::mpsc;
 
 /// A reasonable worker count for this machine (at least 1).
 pub fn auto_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Splits `trials` into `[start, end)` block ranges of at most `block_size`.
@@ -49,9 +51,20 @@ where
 {
     let threads = threads.max(1).min(block_list.len().max(1));
     if threads <= 1 || block_list.len() <= 1 {
-        return block_list.iter().enumerate().map(|(k, b)| work(k, b)).collect();
+        fts_telemetry::counter("mc.executor.workers", 1);
+        fts_telemetry::counter("mc.executor.blocks", block_list.len() as u64);
+        if fts_telemetry::enabled() {
+            fts_telemetry::record("mc.executor.blocks_per_worker", block_list.len() as f64);
+        }
+        return block_list
+            .iter()
+            .enumerate()
+            .map(|(k, b)| work(k, b))
+            .collect();
     }
 
+    fts_telemetry::counter("mc.executor.workers", threads as u64);
+    fts_telemetry::counter("mc.executor.blocks", block_list.len() as u64);
     let next = AtomicU64::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
     std::thread::scope(|scope| {
@@ -59,14 +72,23 @@ where
             let tx = tx.clone();
             let next = &next;
             let work = &work;
-            scope.spawn(move || loop {
-                let k = next.fetch_add(1, Ordering::Relaxed) as usize;
-                if k >= block_list.len() {
-                    break;
+            scope.spawn(move || {
+                // Blocks this worker pulled from the shared queue; the
+                // spread across workers shows how uneven the work was.
+                let mut taken = 0u64;
+                loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed) as usize;
+                    if k >= block_list.len() {
+                        break;
+                    }
+                    taken += 1;
+                    // A send can only fail if the receiver is gone, which
+                    // cannot happen while this scope holds `rx` alive below.
+                    let _ = tx.send((k, work(k, &block_list[k])));
                 }
-                // A send can only fail if the receiver is gone, which
-                // cannot happen while this scope holds `rx` alive below.
-                let _ = tx.send((k, work(k, &block_list[k])));
+                if fts_telemetry::enabled() {
+                    fts_telemetry::record("mc.executor.blocks_per_worker", taken as f64);
+                }
             });
         }
         drop(tx);

@@ -53,7 +53,9 @@ pub mod rng;
 pub mod stats;
 pub mod variation;
 
-pub use engine::{EvalMode, MonteCarlo, SpecLimits, TransientSettings, YieldReport};
+pub use engine::{
+    EvalMode, MonteCarlo, SimFailureCauses, SpecLimits, TransientSettings, YieldReport,
+};
 pub use error::McError;
 pub use stats::SummaryStats;
 pub use variation::{ParamMapping, ParamSample, ParamSigmas, VariationModel};

@@ -38,7 +38,9 @@ fn mix64(mut z: u64) -> u64 {
 pub fn trial_rng(master_seed: u64, trial: u64) -> StdRng {
     // Two rounds of mixing keep (s, t) and (s + 1, t - 1) style collisions
     // from sharing a stream prefix.
-    StdRng::seed_from_u64(mix64(mix64(master_seed) ^ mix64(trial.wrapping_mul(0xA24B_AED4_963E_E407))))
+    StdRng::seed_from_u64(mix64(
+        mix64(master_seed) ^ mix64(trial.wrapping_mul(0xA24B_AED4_963E_E407)),
+    ))
 }
 
 /// A standard normal (mean 0, variance 1) sample via Box–Muller.

@@ -19,7 +19,13 @@ pub struct Welford {
 
 impl Default for Welford {
     fn default() -> Welford {
-        Welford { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 }
 
@@ -119,7 +125,13 @@ impl Histogram {
     /// Panics when `hi <= lo` or `bins == 0`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
         assert!(hi > lo && bins > 0, "bad histogram range");
-        Histogram { lo, hi, bins: vec![0; bins], below: 0, above: 0 }
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            below: 0,
+            above: 0,
+        }
     }
 
     /// Adds one observation.
@@ -219,7 +231,16 @@ impl SummaryStats {
 
     /// An all-zero summary (no observations).
     pub fn empty() -> SummaryStats {
-        SummaryStats { n: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0, p50: 0.0, p95: 0.0, p99: 0.0 }
+        SummaryStats {
+            n: 0,
+            mean: 0.0,
+            std_dev: 0.0,
+            min: 0.0,
+            max: 0.0,
+            p50: 0.0,
+            p95: 0.0,
+            p99: 0.0,
+        }
     }
 }
 
@@ -229,7 +250,9 @@ mod tests {
 
     #[test]
     fn welford_matches_naive_moments() {
-        let xs: Vec<f64> = (0..100).map(|k| (k as f64 * 0.37).sin() * 3.0 + 1.0).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|k| (k as f64 * 0.37).sin() * 3.0 + 1.0)
+            .collect();
         let mut w = Welford::default();
         for &x in &xs {
             w.push(x);
@@ -246,7 +269,9 @@ mod tests {
         // The exact scenario the executor creates: the same blocks, merged
         // in the same order, must give bit-identical results no matter how
         // blocks were computed.
-        let xs: Vec<f64> = (0..1000).map(|k| ((k * 2654435761u64 % 1000) as f64) * 0.01).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|k| ((k * 2654435761u64 % 1000) as f64) * 0.01)
+            .collect();
         let block = 64;
         let blocks: Vec<Welford> = xs
             .chunks(block)
@@ -270,7 +295,10 @@ mod tests {
     #[test]
     fn empty_welford_reports_zeros() {
         let w = Welford::default();
-        assert_eq!((w.count(), w.mean(), w.std_dev(), w.min(), w.max()), (0, 0.0, 0.0, 0.0, 0.0));
+        assert_eq!(
+            (w.count(), w.mean(), w.std_dev(), w.min(), w.max()),
+            (0, 0.0, 0.0, 0.0, 0.0)
+        );
     }
 
     #[test]
@@ -293,8 +321,16 @@ mod tests {
             h.push(k as f64 / 1000.0);
         }
         assert_eq!(h.count(), 1000);
-        assert!((h.quantile(0.5) - 0.5).abs() <= 0.02, "p50 {}", h.quantile(0.5));
-        assert!((h.quantile(0.95) - 0.95).abs() <= 0.02, "p95 {}", h.quantile(0.95));
+        assert!(
+            (h.quantile(0.5) - 0.5).abs() <= 0.02,
+            "p50 {}",
+            h.quantile(0.5)
+        );
+        assert!(
+            (h.quantile(0.95) - 0.95).abs() <= 0.02,
+            "p95 {}",
+            h.quantile(0.95)
+        );
         assert!(h.quantile(0.0) <= h.quantile(1.0));
     }
 

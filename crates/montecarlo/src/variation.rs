@@ -50,7 +50,13 @@ pub struct ParamSigmas {
 impl ParamSigmas {
     /// No variation at all.
     pub fn zero() -> ParamSigmas {
-        ParamSigmas { vth_v: 0.0, kp_rel: 0.0, geom_rel: 0.0, tox_rel: 0.0, cap_rel: 0.0 }
+        ParamSigmas {
+            vth_v: 0.0,
+            kp_rel: 0.0,
+            geom_rel: 0.0,
+            tox_rel: 0.0,
+            cap_rel: 0.0,
+        }
     }
 
     /// True when every σ is exactly zero.
@@ -99,7 +105,13 @@ pub struct ParamSample {
 impl ParamSample {
     /// The identity sample (no perturbation).
     pub fn nominal() -> ParamSample {
-        ParamSample { dvth: 0.0, kp_factor: 1.0, geom_factor: 1.0, tox_factor: 1.0, cap_factor: 1.0 }
+        ParamSample {
+            dvth: 0.0,
+            kp_factor: 1.0,
+            geom_factor: 1.0,
+            tox_factor: 1.0,
+            cap_factor: 1.0,
+        }
     }
 
     /// Applies the first-order sensitivity map to one transistor.
@@ -174,8 +186,20 @@ impl VariationModel {
     /// die corners, 30 mV / 5% local mismatch, no defects.
     pub fn standard() -> VariationModel {
         VariationModel {
-            global: ParamSigmas { vth_v: 0.02, kp_rel: 0.03, geom_rel: 0.03, tox_rel: 0.02, cap_rel: 0.03 },
-            mismatch: ParamSigmas { vth_v: 0.03, kp_rel: 0.05, geom_rel: 0.02, tox_rel: 0.0, cap_rel: 0.05 },
+            global: ParamSigmas {
+                vth_v: 0.02,
+                kp_rel: 0.03,
+                geom_rel: 0.03,
+                tox_rel: 0.02,
+                cap_rel: 0.03,
+            },
+            mismatch: ParamSigmas {
+                vth_v: 0.03,
+                kp_rel: 0.05,
+                geom_rel: 0.02,
+                tox_rel: 0.0,
+                cap_rel: 0.05,
+            },
             mapping: ParamMapping::Direct,
             defect_prob: 0.0,
             stuck_on_fraction: 0.5,
@@ -279,7 +303,12 @@ pub fn refit_switch_model(
             // A +dvth wafer shift means the same gate bias turns the
             // channel on later: emulate by re-measuring at vgs - dvth.
             let (vgs, vds) = (data.vgs[k], data.vds[k]);
-            let ids = device.channel_current(pair, vds, 0.0, vgs - corner.dvth - vgs * (corner.tox_factor - 1.0));
+            let ids = device.channel_current(
+                pair,
+                vds,
+                0.0,
+                vgs - corner.dvth - vgs * (corner.tox_factor - 1.0),
+            );
             data.ids[k] = ids * ids_scale;
         }
         let aspect = g.channel(pair).aspect() * corner.geom_factor;
@@ -362,7 +391,10 @@ mod tests {
             }
             assert!(s.type_a.kp > 0.0 && s.type_a.w_over_l > 0.0);
         }
-        assert!(above > 8 && below > 8, "two-sided spread: {above} up, {below} down");
+        assert!(
+            above > 8 && below > 8,
+            "two-sided spread: {above} up, {below} down"
+        );
     }
 
     #[test]
@@ -392,20 +424,28 @@ mod tests {
     #[test]
     fn refit_mapping_recovers_nominal_at_identity_corner() {
         let direct = nominal();
-        let refit =
-            refit_switch_model(DeviceKind::Square, Dielectric::HfO2, &ParamSample::nominal())
-                .unwrap();
+        let refit = refit_switch_model(
+            DeviceKind::Square,
+            Dielectric::HfO2,
+            &ParamSample::nominal(),
+        )
+        .unwrap();
         assert!((refit.type_a.vth - direct.type_a.vth).abs() < 0.02, "vth");
-        assert!((refit.type_a.kp / direct.type_a.kp - 1.0).abs() < 0.05, "kp");
+        assert!(
+            (refit.type_a.kp / direct.type_a.kp - 1.0).abs() < 0.05,
+            "kp"
+        );
     }
 
     #[test]
     fn refit_mapping_responds_to_corners() {
         let mut corner = ParamSample::nominal();
         corner.kp_factor = 1.2;
-        let skewed =
-            refit_switch_model(DeviceKind::Square, Dielectric::HfO2, &corner).unwrap();
+        let skewed = refit_switch_model(DeviceKind::Square, Dielectric::HfO2, &corner).unwrap();
         let base = nominal();
-        assert!(skewed.type_a.kp > 1.1 * base.type_a.kp, "fast corner raises fitted Kp");
+        assert!(
+            skewed.type_a.kp > 1.1 * base.type_a.kp,
+            "fast corner raises fitted Kp"
+        );
     }
 }

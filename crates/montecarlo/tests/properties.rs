@@ -31,14 +31,50 @@ fn xor3_256_trial_parallel_ensemble_matches_sequential_exactly() {
     // "bit-identical" claim explicit.
     assert_eq!(parallel, sequential);
     assert_eq!(parallel.v_ol.mean.to_bits(), sequential.v_ol.mean.to_bits());
-    assert_eq!(parallel.v_ol.std_dev.to_bits(), sequential.v_ol.std_dev.to_bits());
+    assert_eq!(
+        parallel.v_ol.std_dev.to_bits(),
+        sequential.v_ol.std_dev.to_bits()
+    );
     assert_eq!(parallel.v_oh.mean.to_bits(), sequential.v_oh.mean.to_bits());
     assert_eq!(sequential.evaluated, 256, "no sample may be lost");
-    assert!(sequential.functional_yield() > 0.2, "ensemble is not degenerate");
+    assert!(
+        sequential.functional_yield() > 0.2,
+        "ensemble is not degenerate"
+    );
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Telemetry is an observer, never an actor: running the same ensemble
+    /// with collection enabled produces a bit-identical [`YieldReport`] to
+    /// running it disabled, and the enabled run actually collects spans.
+    #[test]
+    fn telemetry_does_not_change_the_yield_report(
+        seed in any::<u64>(),
+        threads in 1usize..5,
+    ) {
+        let lat = Lattice::from_literals(1, 2, vec![Literal::pos(0), Literal::pos(1)]).unwrap();
+        let mc = MonteCarlo::new(16, seed)
+            .variation(VariationModel::standard().with_defect_prob(0.05))
+            .eval(EvalMode::Dc)
+            .threads(threads);
+
+        fts_telemetry::set_enabled(false);
+        let quiet = mc.run(&lat, 2, &nominal()).unwrap();
+
+        fts_telemetry::set_enabled(true);
+        let observed = mc.run(&lat, 2, &nominal()).unwrap();
+        let snap = fts_telemetry::snapshot();
+        fts_telemetry::set_enabled(false);
+        fts_telemetry::reset();
+
+        prop_assert_eq!(&quiet, &observed);
+        prop_assert_eq!(quiet.v_ol.mean.to_bits(), observed.v_ol.mean.to_bits());
+        let trials = snap.span("mc.run/mc.trial").map_or(0, |s| s.count)
+            + snap.span("mc.trial").map_or(0, |s| s.count);
+        prop_assert!(trials >= 16, "trial spans collected: {trials}");
+    }
 
     /// Same master seed ⇒ identical YieldReport, whatever the thread
     /// count or (logical-mode) lattice.
@@ -128,6 +164,7 @@ proptest! {
             .run(&lat, 3, &nominal())
             .unwrap();
         prop_assert_eq!(report.evaluated + report.sim_failures, report.trials);
+        prop_assert_eq!(report.failure_causes.total(), report.sim_failures);
         prop_assert!(report.functional_pass <= report.evaluated);
         prop_assert!(report.parametric_pass <= report.functional_pass);
         prop_assert!(report.logical_fail <= report.evaluated);

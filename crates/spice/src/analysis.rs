@@ -1,5 +1,7 @@
 //! DC operating point, DC sweep, and transient analyses.
 
+use std::cell::Cell;
+
 use crate::complex::{CMatrix, Complex};
 use crate::netlist::{Element, Netlist, NodeId, Waveform};
 use crate::stamp::{self, CapMode, StampContext};
@@ -8,6 +10,95 @@ use crate::SpiceError;
 /// Homotopy solver callback shared by the continuation helpers:
 /// `(gmin, source_scale, initial_guess)` → converged solution vector.
 type HomotopySolve<'a> = dyn Fn(f64, f64, &[f64]) -> Result<Vec<f64>, SpiceError> + 'a;
+
+/// Which rung of the §V homotopy ladder produced the operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpStrategy {
+    /// Plain Newton from the initial guess.
+    Newton,
+    /// Adaptive gmin stepping.
+    GminStepping,
+    /// Adaptive source stepping (plus the closing gmin ramp).
+    SourceStepping,
+    /// Pseudo-transient continuation.
+    PseudoTransient,
+}
+
+impl OpStrategy {
+    /// Stable lowercase name (used in telemetry counters and JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpStrategy::Newton => "newton",
+            OpStrategy::GminStepping => "gmin_stepping",
+            OpStrategy::SourceStepping => "source_stepping",
+            OpStrategy::PseudoTransient => "pseudo_transient",
+        }
+    }
+}
+
+/// Convergence diagnostics for one DC operating-point solve — previously
+/// computed and discarded, now carried on every [`OpResult`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergenceReport {
+    /// The escalation stage that finally converged.
+    pub strategy: OpStrategy,
+    /// Total Newton iterations across every homotopy rung attempted
+    /// (failed rungs charge their full iteration budget).
+    pub newton_iterations: u64,
+    /// Number of Newton solves attempted (homotopy continuation points).
+    pub solves: u64,
+    /// Step-norm residual of the final converged solve: the largest
+    /// absolute damped update of its last iteration.
+    pub final_residual: f64,
+}
+
+/// Scratch tally threaded through the homotopy ladder via `Cell`s (the
+/// continuation helpers take `Fn` closures, so interior mutability).
+#[derive(Default)]
+struct OpTally {
+    iterations: Cell<u64>,
+    solves: Cell<u64>,
+    residual: Cell<f64>,
+}
+
+impl OpTally {
+    fn report(&self, strategy: OpStrategy) -> ConvergenceReport {
+        ConvergenceReport {
+            strategy,
+            newton_iterations: self.iterations.get(),
+            solves: self.solves.get(),
+            final_residual: self.residual.get(),
+        }
+    }
+}
+
+/// Runs one tallied Newton solve: iteration counts accumulate into
+/// `tally` (a failed solve charges its whole budget) and the residual of
+/// the most recent successful solve is retained.
+fn newton_tallied(
+    netlist: &Netlist,
+    ctx: &StampContext<'_>,
+    x0: &[f64],
+    max_iterations: usize,
+    tally: &OpTally,
+) -> Result<Vec<f64>, SpiceError> {
+    tally.solves.set(tally.solves.get() + 1);
+    match stamp::newton(netlist, ctx, x0, max_iterations) {
+        Ok(solve) => {
+            tally
+                .iterations
+                .set(tally.iterations.get() + solve.iterations as u64);
+            tally.residual.set(solve.max_step);
+            Ok(solve.x)
+        }
+        Err(e) => {
+            tally
+                .iterations
+                .set(tally.iterations.get() + max_iterations as u64);
+            Err(e)
+        }
+    }
+}
 
 /// Transient integration method.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -23,9 +114,16 @@ pub enum Integrator {
 pub struct OpResult {
     x: Vec<f64>,
     node_count: usize,
+    convergence: ConvergenceReport,
 }
 
 impl OpResult {
+    /// How this operating point converged: strategy reached, Newton
+    /// iterations spent, final residual.
+    pub fn convergence(&self) -> &ConvergenceReport {
+        &self.convergence
+    }
+
     /// Node voltage \[V\].
     pub fn voltage(&self, node: NodeId) -> f64 {
         if node.index() == 0 {
@@ -50,7 +148,9 @@ impl OpResult {
                 }
             }
         }
-        Err(SpiceError::NotFound { name: name.to_owned() })
+        Err(SpiceError::NotFound {
+            name: name.to_owned(),
+        })
     }
 
     /// The raw unknown vector (node voltages then branch currents).
@@ -79,8 +179,10 @@ pub fn op(netlist: &Netlist) -> Result<OpResult, SpiceError> {
 ///
 /// As for [`op`].
 pub fn op_at(netlist: &Netlist, t: f64, initial: Option<&[f64]>) -> Result<OpResult, SpiceError> {
+    let _span = fts_telemetry::span("spice.op");
     let n = netlist.unknown_count();
     let x0 = initial.map(|v| v.to_vec()).unwrap_or_else(|| vec![0.0; n]);
+    let tally = OpTally::default();
     let solve = |gmin: f64, scale: f64, x0: &[f64]| -> Result<Vec<f64>, SpiceError> {
         let ctx = StampContext {
             t,
@@ -89,18 +191,46 @@ pub fn op_at(netlist: &Netlist, t: f64, initial: Option<&[f64]>) -> Result<OpRes
             gmin,
             source_scale: scale,
         };
-        stamp::newton(netlist, &ctx, x0, 120)
+        newton_tallied(netlist, &ctx, x0, 120, &tally)
+    };
+    let finish = |x: Vec<f64>, strategy: OpStrategy| -> OpResult {
+        let convergence = tally.report(strategy);
+        if fts_telemetry::enabled() {
+            fts_telemetry::counter("spice.op.solved", 1);
+            match strategy {
+                OpStrategy::Newton => fts_telemetry::counter("spice.op.strategy.newton", 1),
+                OpStrategy::GminStepping => {
+                    fts_telemetry::counter("spice.op.strategy.gmin_stepping", 1)
+                }
+                OpStrategy::SourceStepping => {
+                    fts_telemetry::counter("spice.op.strategy.source_stepping", 1)
+                }
+                OpStrategy::PseudoTransient => {
+                    fts_telemetry::counter("spice.op.strategy.pseudo_transient", 1)
+                }
+            }
+            fts_telemetry::record(
+                "spice.op.newton_iterations",
+                convergence.newton_iterations as f64,
+            );
+            fts_telemetry::record("spice.op.residual", convergence.final_residual);
+        }
+        OpResult {
+            x,
+            node_count: netlist.node_count(),
+            convergence,
+        }
     };
 
     // Plain Newton.
     if let Ok(x) = solve(1e-12, 1.0, &x0) {
-        return Ok(OpResult { x, node_count: netlist.node_count() });
+        return Ok(finish(x, OpStrategy::Newton));
     }
     // Adaptive gmin stepping: ramp the shunt conductance down from 10 mS,
     // shrinking the per-step reduction whenever Newton stalls instead of
     // giving up outright.
     if let Some(x) = gmin_ramp(&solve, &x0, 1e-2) {
-        return Ok(OpResult { x, node_count: netlist.node_count() });
+        return Ok(finish(x, OpStrategy::GminStepping));
     }
     // Source stepping with a safety gmin: grow the drive adaptively
     // (bisect the scale step on failure), then ramp the gmin out at full
@@ -109,6 +239,7 @@ pub fn op_at(netlist: &Netlist, t: f64, initial: Option<&[f64]>) -> Result<OpRes
     let mut x = vec![0.0; n];
     let mut scale = 0.0f64;
     let mut step = 0.05f64;
+    let mut source_stepping_failed = false;
     while scale < 1.0 {
         let target = (scale + step).min(1.0);
         match solve(GMIN_SAFE, target, &x) {
@@ -120,31 +251,40 @@ pub fn op_at(netlist: &Netlist, t: f64, initial: Option<&[f64]>) -> Result<OpRes
             Err(_) => {
                 step *= 0.5;
                 if step < 1e-4 {
-                    return Err(SpiceError::NoConvergence {
-                        analysis: "dc operating point",
-                        residual: scale,
-                    });
+                    source_stepping_failed = true;
+                    break;
                 }
             }
         }
     }
-    if let Some(x) = gmin_ramp(&solve, &x, GMIN_SAFE) {
-        return Ok(OpResult { x, node_count: netlist.node_count() });
+    if !source_stepping_failed {
+        if let Some(x) = gmin_ramp(&solve, &x, GMIN_SAFE) {
+            return Ok(finish(x, OpStrategy::SourceStepping));
+        }
     }
     // Pseudo-transient continuation: let the circuit's capacitors settle a
     // backward-Euler march to steady state, then polish with the true
     // cap-open Newton. Slowest, but it follows a physical trajectory and
     // rescues bias points where every static homotopy oscillates.
-    if let Some(x) = pseudo_transient(netlist, t, &solve) {
-        return Ok(OpResult { x, node_count: netlist.node_count() });
+    if let Some(x) = pseudo_transient(netlist, t, &solve, &tally) {
+        return Ok(finish(x, OpStrategy::PseudoTransient));
     }
-    Err(SpiceError::NoConvergence { analysis: "dc operating point", residual: 1.0 })
+    fts_telemetry::counter("spice.op.failed", 1);
+    Err(SpiceError::NoConvergence {
+        analysis: "dc operating point",
+        residual: 1.0,
+    })
 }
 
 /// Marches damped backward-Euler steps (growing `dt`, shrinking on
 /// failure) from the all-zero state until the solution stops moving, then
 /// solves the static system from the settled state.
-fn pseudo_transient(netlist: &Netlist, t: f64, solve: &HomotopySolve<'_>) -> Option<Vec<f64>> {
+fn pseudo_transient(
+    netlist: &Netlist,
+    t: f64,
+    solve: &HomotopySolve<'_>,
+    tally: &OpTally,
+) -> Option<Vec<f64>> {
     let n = netlist.unknown_count();
     let mut x = vec![0.0; n];
     let mut cap_states = stamp::init_cap_states(netlist, &x);
@@ -153,15 +293,21 @@ fn pseudo_transient(netlist: &Netlist, t: f64, solve: &HomotopySolve<'_>) -> Opt
     for _ in 0..600 {
         let ctx = StampContext {
             t,
-            cap_mode: CapMode::Step { dt, trapezoidal: false },
+            cap_mode: CapMode::Step {
+                dt,
+                trapezoidal: false,
+            },
             cap_states: &cap_states,
             gmin: 1e-12,
             source_scale: 1.0,
         };
-        match stamp::newton(netlist, &ctx, &x, 120) {
+        match newton_tallied(netlist, &ctx, &x, 120, tally) {
             Ok(next) => {
-                let max_dv =
-                    x.iter().zip(&next).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+                let max_dv = x
+                    .iter()
+                    .zip(&next)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max);
                 stamp::update_cap_states(netlist, &next, &mut cap_states, dt, false);
                 x = next;
                 // As dt grows the capacitor conductance C/dt vanishes and
@@ -255,7 +401,12 @@ impl TransientOptions {
     /// Conventional options: trapezoidal integration from a DC operating
     /// point.
     pub fn new(dt: f64, tstop: f64) -> TransientOptions {
-        TransientOptions { dt, tstop, integrator: Integrator::Trapezoidal, uic: false }
+        TransientOptions {
+            dt,
+            tstop,
+            integrator: Integrator::Trapezoidal,
+            uic: false,
+        }
     }
 }
 
@@ -308,7 +459,9 @@ impl Transient {
                 }
             }
         }
-        Err(SpiceError::NotFound { name: name.to_owned() })
+        Err(SpiceError::NotFound {
+            name: name.to_owned(),
+        })
     }
 }
 
@@ -333,12 +486,16 @@ impl AcResult {
 
     /// Magnitude response of a node across the sweep.
     pub fn magnitude(&self, node: NodeId) -> Vec<f64> {
-        (0..self.freqs.len()).map(|k| self.voltage_at(node, k).abs()).collect()
+        (0..self.freqs.len())
+            .map(|k| self.voltage_at(node, k).abs())
+            .collect()
     }
 
     /// Phase response in degrees across the sweep.
     pub fn phase_deg(&self, node: NodeId) -> Vec<f64> {
-        (0..self.freqs.len()).map(|k| self.voltage_at(node, k).arg_deg()).collect()
+        (0..self.freqs.len())
+            .map(|k| self.voltage_at(node, k).arg_deg())
+            .collect()
     }
 
     /// The −3 dB bandwidth of a node relative to its first sweep point,
@@ -368,7 +525,10 @@ impl AcResult {
 ///
 /// Panics unless `0 < f_start <= f_stop` and `points >= 2`.
 pub fn log_sweep(f_start: f64, f_stop: f64, points: usize) -> Vec<f64> {
-    assert!(f_start > 0.0 && f_stop >= f_start && points >= 2, "invalid log sweep");
+    assert!(
+        f_start > 0.0 && f_stop >= f_start && points >= 2,
+        "invalid log sweep"
+    );
     (0..points)
         .map(|k| f_start * (f_stop / f_start).powf(k as f64 / (points - 1) as f64))
         .collect()
@@ -385,10 +545,14 @@ pub fn log_sweep(f_start: f64, f_stop: f64, points: usize) -> Vec<f64> {
 /// unknown source, and singular-matrix errors.
 pub fn ac(netlist: &Netlist, ac_source: &str, freqs: &[f64]) -> Result<AcResult, SpiceError> {
     // Validate the source exists up front.
-    if !netlist.devices.iter().any(|d| {
-        d.name == ac_source && matches!(d.element, Element::VSource { .. })
-    }) {
-        return Err(SpiceError::NotFound { name: ac_source.to_owned() });
+    if !netlist
+        .devices
+        .iter()
+        .any(|d| d.name == ac_source && matches!(d.element, Element::VSource { .. }))
+    {
+        return Err(SpiceError::NotFound {
+            name: ac_source.to_owned(),
+        });
     }
     let op = op(netlist)?;
     let n = netlist.unknown_count();
@@ -400,7 +564,10 @@ pub fn ac(netlist: &Netlist, ac_source: &str, freqs: &[f64]) -> Result<AcResult,
         stamp::stamp_ac(netlist, op.unknowns(), omega, ac_source, &mut a, &mut b);
         samples.push(a.solve(&b)?);
     }
-    Ok(AcResult { freqs: freqs.to_vec(), samples })
+    Ok(AcResult {
+        freqs: freqs.to_vec(),
+        samples,
+    })
 }
 
 /// Runs a fixed-step transient analysis.
@@ -418,6 +585,7 @@ pub fn transient(netlist: &Netlist, opts: &TransientOptions) -> Result<Transient
             reason: "transient needs 0 < dt <= tstop",
         });
     }
+    let _span = fts_telemetry::span("spice.transient");
     let n = netlist.unknown_count();
     let mut x = if opts.uic {
         vec![0.0; n]
@@ -439,21 +607,34 @@ pub fn transient(netlist: &Netlist, opts: &TransientOptions) -> Result<Transient
         let trapezoidal = opts.integrator == Integrator::Trapezoidal && k > 1;
         let ctx = StampContext {
             t,
-            cap_mode: CapMode::Step { dt: opts.dt, trapezoidal },
+            cap_mode: CapMode::Step {
+                dt: opts.dt,
+                trapezoidal,
+            },
             cap_states: &cap_states,
             gmin: 1e-12,
             source_scale: 1.0,
         };
-        x = stamp::newton(netlist, &ctx, &x, 200).map_err(|_| SpiceError::NoConvergence {
-            analysis: "transient step",
-            residual: t,
+        let solve = stamp::newton(netlist, &ctx, &x, 200).map_err(|_| {
+            fts_telemetry::counter("spice.transient.step_failures", 1);
+            SpiceError::NoConvergence {
+                analysis: "transient step",
+                residual: t,
+            }
         })?;
+        fts_telemetry::record("spice.transient.newton_iterations", solve.iterations as f64);
+        x = solve.x;
         stamp::update_cap_states(netlist, &x, &mut cap_states, opts.dt, trapezoidal);
 
         time.push(t);
         samples.push(x.clone());
     }
-    Ok(Transient { node_count: netlist.node_count(), time, samples })
+    fts_telemetry::counter("spice.transient.steps", steps as u64);
+    Ok(Transient {
+        node_count: netlist.node_count(),
+        time,
+        samples,
+    })
 }
 
 /// Options for [`transient_adaptive`].
@@ -510,6 +691,7 @@ pub fn transient_adaptive(
             reason: "adaptive transient needs 0 < dt_min <= dt_initial <= dt_max",
         });
     }
+    let _span = fts_telemetry::span("spice.transient_adaptive");
     let n = netlist.unknown_count();
     let nv = netlist.node_count() - 1;
     let mut x = op_at(netlist, 0.0, None)?.x;
@@ -527,12 +709,17 @@ pub fn transient_adaptive(
      -> Result<(Vec<f64>, Vec<stamp::CapState>), SpiceError> {
         let ctx = StampContext {
             t: t_to,
-            cap_mode: CapMode::Step { dt, trapezoidal: false },
+            cap_mode: CapMode::Step {
+                dt,
+                trapezoidal: false,
+            },
             cap_states: caps,
             gmin: 1e-12,
             source_scale: 1.0,
         };
-        let xn = stamp::newton(netlist, &ctx, x0, 200)?;
+        let solve = stamp::newton(netlist, &ctx, x0, 200)?;
+        fts_telemetry::record("spice.transient.newton_iterations", solve.iterations as f64);
+        let xn = solve.x;
         let mut caps2 = caps.to_vec();
         stamp::update_cap_states(netlist, &xn, &mut caps2, dt, false);
         Ok((xn, caps2))
@@ -552,6 +739,7 @@ pub fn transient_adaptive(
         }
         if err <= opts.error_target || dt_eff <= opts.dt_min * 1.0000001 {
             // Accept the more accurate half-step result.
+            fts_telemetry::counter("spice.transient.lte_accepted", 1);
             t += dt_eff;
             x = x_h2;
             cap_states = caps_h2;
@@ -563,6 +751,7 @@ pub fn transient_adaptive(
                 dt = (dt * 2.0).min(opts.dt_max);
             }
         } else {
+            fts_telemetry::counter("spice.transient.lte_rejections", 1);
             dt = (dt / 2.0).max(opts.dt_min);
         }
         if time.len() > 5_000_000 {
@@ -572,7 +761,11 @@ pub fn transient_adaptive(
             });
         }
     }
-    Ok(Transient { node_count: netlist.node_count(), time, samples })
+    Ok(Transient {
+        node_count: netlist.node_count(),
+        time,
+        samples,
+    })
 }
 
 #[cfg(test)]
@@ -584,7 +777,8 @@ mod tests {
         let mut nl = Netlist::new();
         let vin = nl.node("in");
         let out = nl.node("out");
-        nl.vsource("V1", vin, Netlist::GROUND, Waveform::Dc(2.0)).unwrap();
+        nl.vsource("V1", vin, Netlist::GROUND, Waveform::Dc(2.0))
+            .unwrap();
         nl.resistor("R1", vin, out, 1.0e3).unwrap();
         nl.resistor("R2", out, Netlist::GROUND, 3.0e3).unwrap();
         (nl, out)
@@ -601,6 +795,22 @@ mod tests {
     }
 
     #[test]
+    fn op_reports_convergence_details() {
+        let (nl, _) = divider();
+        let r = op(&nl).unwrap();
+        let c = r.convergence();
+        // A linear divider converges with plain Newton in a couple of solves.
+        assert_eq!(c.strategy, OpStrategy::Newton);
+        assert!(
+            c.newton_iterations >= 1,
+            "iterations = {}",
+            c.newton_iterations
+        );
+        assert!(c.solves >= 1);
+        assert!(c.final_residual.is_finite() && c.final_residual < 1.0e-6);
+    }
+
+    #[test]
     fn ground_voltage_is_zero() {
         let (nl, _) = divider();
         let r = op(&nl).unwrap();
@@ -611,7 +821,8 @@ mod tests {
     fn current_source_into_resistor() {
         let mut nl = Netlist::new();
         let a = nl.node("a");
-        nl.isource("I1", Netlist::GROUND, a, Waveform::Dc(1.0e-3)).unwrap();
+        nl.isource("I1", Netlist::GROUND, a, Waveform::Dc(1.0e-3))
+            .unwrap();
         nl.resistor("R1", a, Netlist::GROUND, 2.0e3).unwrap();
         let r = op(&nl).unwrap();
         assert!((r.voltage(a) - 2.0).abs() < 1e-6);
@@ -663,7 +874,11 @@ mod tests {
                 },
             )
             .unwrap();
-            let tol = if integ == Integrator::Trapezoidal { 2e-3 } else { 8e-3 };
+            let tol = if integ == Integrator::Trapezoidal {
+                2e-3
+            } else {
+                8e-3
+            };
             for (k, &t) in tr.time.iter().enumerate() {
                 let expect = 1.0 - (-t / tau).exp();
                 let got = tr.voltage_at(out, k);
@@ -680,11 +895,17 @@ mod tests {
         let mut nl = Netlist::new();
         let vin = nl.node("in");
         let out = nl.node("out");
-        nl.vsource("V1", vin, Netlist::GROUND, Waveform::Dc(1.0)).unwrap();
+        nl.vsource("V1", vin, Netlist::GROUND, Waveform::Dc(1.0))
+            .unwrap();
         nl.resistor("R1", vin, out, 1.0e3).unwrap();
         nl.capacitor("C1", out, Netlist::GROUND, 1.0e-6).unwrap();
         let tau = 1.0e-3;
-        let opts = |integ| TransientOptions { dt: tau / 20.0, tstop: tau, integrator: integ, uic: true };
+        let opts = |integ| TransientOptions {
+            dt: tau / 20.0,
+            tstop: tau,
+            integrator: integ,
+            uic: true,
+        };
         let err = |integ| -> f64 {
             let tr = transient(&nl, &opts(integ)).unwrap();
             tr.time
@@ -700,7 +921,12 @@ mod tests {
     }
 
     fn switch_params() -> MosParams {
-        MosParams { kp: 2.0e-5, vth: 0.3, lambda: 0.05, w_over_l: 2.0 }
+        MosParams {
+            kp: 2.0e-5,
+            vth: 0.3,
+            lambda: 0.05,
+            w_over_l: 2.0,
+        }
     }
 
     #[test]
@@ -711,16 +937,23 @@ mod tests {
         let vdd = nl.node("vdd");
         let gate = nl.node("g");
         let out = nl.node("out");
-        nl.vsource("VDD", vdd, Netlist::GROUND, Waveform::Dc(1.2)).unwrap();
-        nl.vsource("VG", gate, Netlist::GROUND, Waveform::Dc(0.0)).unwrap();
+        nl.vsource("VDD", vdd, Netlist::GROUND, Waveform::Dc(1.2))
+            .unwrap();
+        nl.vsource("VG", gate, Netlist::GROUND, Waveform::Dc(0.0))
+            .unwrap();
         nl.resistor("RL", vdd, out, 500.0e3).unwrap();
-        nl.nmos("M1", out, gate, Netlist::GROUND, switch_params()).unwrap();
+        nl.nmos("M1", out, gate, Netlist::GROUND, switch_params())
+            .unwrap();
         let low_gate = op(&nl).unwrap();
         assert!(low_gate.voltage(out) > 1.19, "off transistor: out ≈ VDD");
         let mut nl2 = nl.clone();
         nl2.set_vsource("VG", Waveform::Dc(1.2)).unwrap();
         let high_gate = op(&nl2).unwrap();
-        assert!(high_gate.voltage(out) < 0.3, "on transistor pulls down: {}", high_gate.voltage(out));
+        assert!(
+            high_gate.voltage(out) < 0.3,
+            "on transistor pulls down: {}",
+            high_gate.voltage(out)
+        );
     }
 
     #[test]
@@ -730,23 +963,35 @@ mod tests {
         let a = nl.node("a");
         let b = nl.node("b");
         let g = nl.node("g");
-        nl.vsource("VA", a, Netlist::GROUND, Waveform::Dc(1.0)).unwrap();
-        nl.vsource("VG", g, Netlist::GROUND, Waveform::Dc(5.0)).unwrap();
+        nl.vsource("VA", a, Netlist::GROUND, Waveform::Dc(1.0))
+            .unwrap();
+        nl.vsource("VG", g, Netlist::GROUND, Waveform::Dc(5.0))
+            .unwrap();
         nl.resistor("RB", b, Netlist::GROUND, 1.0e6).unwrap();
         nl.nmos("M1", a, g, b, switch_params()).unwrap();
         let fwd = op(&nl).unwrap();
-        assert!(fwd.voltage(b) > 0.9, "strongly on switch passes: {}", fwd.voltage(b));
+        assert!(
+            fwd.voltage(b) > 0.9,
+            "strongly on switch passes: {}",
+            fwd.voltage(b)
+        );
         // Reverse the driven terminal.
         let mut nl2 = Netlist::new();
         let a2 = nl2.node("a");
         let b2 = nl2.node("b");
         let g2 = nl2.node("g");
-        nl2.vsource("VB", b2, Netlist::GROUND, Waveform::Dc(1.0)).unwrap();
-        nl2.vsource("VG", g2, Netlist::GROUND, Waveform::Dc(5.0)).unwrap();
+        nl2.vsource("VB", b2, Netlist::GROUND, Waveform::Dc(1.0))
+            .unwrap();
+        nl2.vsource("VG", g2, Netlist::GROUND, Waveform::Dc(5.0))
+            .unwrap();
         nl2.resistor("RA", a2, Netlist::GROUND, 1.0e6).unwrap();
         nl2.nmos("M1", a2, g2, b2, switch_params()).unwrap();
         let rev = op(&nl2).unwrap();
-        assert!(rev.voltage(a2) > 0.9, "reverse conduction: {}", rev.voltage(a2));
+        assert!(
+            rev.voltage(a2) > 0.9,
+            "reverse conduction: {}",
+            rev.voltage(a2)
+        );
     }
 
     #[test]
@@ -761,7 +1006,8 @@ mod tests {
         let mut nl = Netlist::new();
         let a = nl.node("a");
         let b = nl.node("floating");
-        nl.vsource("V1", a, Netlist::GROUND, Waveform::Dc(1.0)).unwrap();
+        nl.vsource("V1", a, Netlist::GROUND, Waveform::Dc(1.0))
+            .unwrap();
         nl.capacitor("C1", a, b, 1e-15).unwrap();
         let r = op(&nl).unwrap();
         assert!(r.voltage(b).abs() < 1.0, "gmin keeps the system solvable");
@@ -772,7 +1018,8 @@ mod tests {
         let mut nl = Netlist::new();
         let vin = nl.node("in");
         let out = nl.node("out");
-        nl.vsource("V1", vin, Netlist::GROUND, Waveform::Dc(0.0)).unwrap();
+        nl.vsource("V1", vin, Netlist::GROUND, Waveform::Dc(0.0))
+            .unwrap();
         nl.resistor("R1", vin, out, 1.0e3).unwrap();
         nl.capacitor("C1", out, Netlist::GROUND, 1.0e-9).unwrap();
         let fc = 1.0 / (2.0 * std::f64::consts::PI * 1.0e3 * 1.0e-9);
@@ -781,7 +1028,11 @@ mod tests {
         for (k, &f) in freqs.iter().enumerate() {
             let h = res.voltage_at(out, k);
             let expect = 1.0 / (1.0 + (f / fc).powi(2)).sqrt();
-            assert!((h.abs() - expect).abs() < 1e-3, "f={f:.3e}: {} vs {expect}", h.abs());
+            assert!(
+                (h.abs() - expect).abs() < 1e-3,
+                "f={f:.3e}: {} vs {expect}",
+                h.abs()
+            );
         }
         // Phase at the pole is −45°.
         let res_pole = ac(&nl, "V1", &[fc]).unwrap();
@@ -799,22 +1050,32 @@ mod tests {
         let vdd = nl.node("vdd");
         let gate = nl.node("g");
         let out = nl.node("out");
-        nl.vsource("VDD", vdd, Netlist::GROUND, Waveform::Dc(5.0)).unwrap();
-        nl.vsource("VG", gate, Netlist::GROUND, Waveform::Dc(1.0)).unwrap();
+        nl.vsource("VDD", vdd, Netlist::GROUND, Waveform::Dc(5.0))
+            .unwrap();
+        nl.vsource("VG", gate, Netlist::GROUND, Waveform::Dc(1.0))
+            .unwrap();
         nl.resistor("RL", vdd, out, 1.0e4).unwrap();
         nl.nmos(
             "M1",
             out,
             gate,
             Netlist::GROUND,
-            MosParams { kp: 2.0e-5, vth: 0.4, lambda: 0.0, w_over_l: 2.0 },
+            MosParams {
+                kp: 2.0e-5,
+                vth: 0.4,
+                lambda: 0.0,
+                w_over_l: 2.0,
+            },
         )
         .unwrap();
         let res = ac(&nl, "VG", &[1.0]).unwrap();
         let gm = 2.0e-5 * 2.0 * (1.0 - 0.4);
         let expect = gm * 1.0e4;
         let gain = res.voltage_at(out, 0).abs();
-        assert!((gain - expect).abs() < 0.02 * expect, "gain {gain} vs {expect}");
+        assert!(
+            (gain - expect).abs() < 0.02 * expect,
+            "gain {gain} vs {expect}"
+        );
         // Inverting stage: phase ≈ 180°.
         assert!((res.voltage_at(out, 0).arg_deg().abs() - 180.0).abs() < 1.0);
     }
@@ -822,7 +1083,10 @@ mod tests {
     #[test]
     fn ac_rejects_unknown_source() {
         let (nl, _) = divider();
-        assert!(matches!(ac(&nl, "nope", &[1.0]), Err(SpiceError::NotFound { .. })));
+        assert!(matches!(
+            ac(&nl, "nope", &[1.0]),
+            Err(SpiceError::NotFound { .. })
+        ));
     }
 
     #[test]
@@ -832,8 +1096,10 @@ mod tests {
             let mut nl = Netlist::new();
             let d = nl.node("d");
             let g = nl.node("g");
-            nl.vsource("VD", d, Netlist::GROUND, Waveform::Dc(2.0)).unwrap();
-            nl.vsource("VG", g, Netlist::GROUND, Waveform::Dc(1.5)).unwrap();
+            nl.vsource("VD", d, Netlist::GROUND, Waveform::Dc(2.0))
+                .unwrap();
+            nl.vsource("VG", g, Netlist::GROUND, Waveform::Dc(1.5))
+                .unwrap();
             if level3 {
                 nl.nmos3(
                     "M1",
@@ -849,7 +1115,12 @@ mod tests {
                     d,
                     g,
                     Netlist::GROUND,
-                    MosParams { kp: 2e-5, vth: 0.4, lambda: 0.05, w_over_l: 2.0 },
+                    MosParams {
+                        kp: 2e-5,
+                        vth: 0.4,
+                        lambda: 0.05,
+                        w_over_l: 2.0,
+                    },
                 )
                 .unwrap();
             }
@@ -857,7 +1128,10 @@ mod tests {
             -op.vsource_current(&nl, "VD").unwrap()
         };
         let (i1, i3) = (build(false), build(true));
-        assert!((i1 - i3).abs() < 1e-9 + 1e-4 * i1.abs(), "{i1:.4e} vs {i3:.4e}");
+        assert!(
+            (i1 - i3).abs() < 1e-9 + 1e-4 * i1.abs(),
+            "{i1:.4e} vs {i3:.4e}"
+        );
     }
 
     #[test]
@@ -871,7 +1145,8 @@ mod tests {
             let gin = nl.node("gin");
             let gate = nl.node("gate");
             let out = nl.node("out");
-            nl.vsource("VDD", vdd, Netlist::GROUND, Waveform::Dc(5.0)).unwrap();
+            nl.vsource("VDD", vdd, Netlist::GROUND, Waveform::Dc(5.0))
+                .unwrap();
             nl.vsource(
                 "VG",
                 gin,
@@ -904,16 +1179,21 @@ mod tests {
         let slow = run(&build(5e-14));
         // Compare mid-transient progress.
         let k = fast.len() / 3;
-        assert!(slow[k] < fast[k], "gate caps delay the follower: {} vs {}", slow[k], fast[k]);
+        assert!(
+            slow[k] < fast[k],
+            "gate caps delay the follower: {} vs {}",
+            slow[k],
+            fast[k]
+        );
     }
-
 
     #[test]
     fn adaptive_transient_matches_analytic_rc() {
         let mut nl = Netlist::new();
         let vin = nl.node("in");
         let out = nl.node("out");
-        nl.vsource("V1", vin, Netlist::GROUND, Waveform::Dc(1.0)).unwrap();
+        nl.vsource("V1", vin, Netlist::GROUND, Waveform::Dc(1.0))
+            .unwrap();
         nl.resistor("R1", vin, out, 1.0e3).unwrap();
         nl.capacitor("C1", out, Netlist::GROUND, 1.0e-6).unwrap();
         let tau = 1.0e-3;
@@ -926,7 +1206,11 @@ mod tests {
         for k in 0..tr.len() {
             assert!((tr.voltage_at(out, k) - 1.0).abs() < 1e-6);
         }
-        assert!(tr.len() < 400, "quiescent run should take long strides: {}", tr.len());
+        assert!(
+            tr.len() < 400,
+            "quiescent run should take long strides: {}",
+            tr.len()
+        );
     }
 
     #[test]
@@ -977,5 +1261,4 @@ mod tests {
         opts.dt_initial = 0.5;
         assert!(transient_adaptive(&nl, &opts).is_err());
     }
-
 }

@@ -55,7 +55,10 @@ impl Complex {
 
     /// Complex conjugate.
     pub fn conj(self) -> Complex {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Magnitude in decibels (`20·log10|z|`).
@@ -130,7 +133,10 @@ pub struct CMatrix {
 impl CMatrix {
     /// Creates an `n×n` zero matrix.
     pub fn zeros(n: usize) -> CMatrix {
-        CMatrix { n, data: vec![Complex::ZERO; n * n] }
+        CMatrix {
+            n,
+            data: vec![Complex::ZERO; n * n],
+        }
     }
 
     /// Adds `value` to entry `(row, col)`.
@@ -258,6 +264,9 @@ mod tests {
     #[test]
     fn singular_complex_matrix_detected() {
         let m = CMatrix::zeros(2);
-        assert_eq!(m.solve(&[Complex::ZERO, Complex::ZERO]), Err(SpiceError::SingularMatrix));
+        assert_eq!(
+            m.solve(&[Complex::ZERO, Complex::ZERO]),
+            Err(SpiceError::SingularMatrix)
+        );
     }
 }

@@ -48,6 +48,7 @@ pub mod mos3;
 pub mod netlist;
 mod stamp;
 
+pub use analysis::{ConvergenceReport, OpStrategy};
 pub use complex::Complex;
 pub use error::SpiceError;
 pub use mos3::Mos3Params;

@@ -16,7 +16,10 @@ pub struct Matrix {
 impl Matrix {
     /// Creates an `n×n` zero matrix.
     pub fn zeros(n: usize) -> Matrix {
-        Matrix { n, data: vec![0.0; n * n] }
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Matrix dimension.
@@ -137,7 +140,9 @@ mod tests {
         let mut m = Matrix::zeros(n);
         let mut state = 1u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
         let mut dense = vec![0.0; n * n];

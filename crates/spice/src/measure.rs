@@ -19,7 +19,11 @@ pub fn crossing_time(
     assert_eq!(time.len(), signal.len(), "time/signal length mismatch");
     for k in start_index.max(1)..signal.len() {
         let (a, b) = (signal[k - 1], signal[k]);
-        let crossed = if rising { a < level && b >= level } else { a > level && b <= level };
+        let crossed = if rising {
+            a < level && b >= level
+        } else {
+            a > level && b <= level
+        };
         if crossed {
             let f = (level - a) / (b - a);
             return Some(time[k - 1] + f * (time[k] - time[k - 1]));
@@ -125,7 +129,10 @@ mod tests {
     fn rise_time_of_linear_ramp() {
         let (t, s) = ramp();
         let tr = rise_time(&t, &s, 0.0, 1.0, 0).unwrap();
-        assert!((tr - 0.8).abs() < 1e-6, "10–90 of a unit ramp is 0.8, got {tr}");
+        assert!(
+            (tr - 0.8).abs() < 1e-6,
+            "10–90 of a unit ramp is 0.8, got {tr}"
+        );
     }
 
     #[test]

@@ -49,7 +49,15 @@ impl Waveform {
     pub fn at(&self, t: f64) -> f64 {
         match self {
             Waveform::Dc(v) => *v,
-            Waveform::Pulse { v0, v1, delay, rise, fall, width, period } => {
+            Waveform::Pulse {
+                v0,
+                v1,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
                 if t < *delay {
                     return *v0;
                 }
@@ -113,12 +121,39 @@ pub struct MosParams {
 
 #[derive(Debug, Clone)]
 pub(crate) enum Element {
-    Resistor { a: NodeId, b: NodeId, ohms: f64 },
-    Capacitor { a: NodeId, b: NodeId, farads: f64 },
-    VSource { plus: NodeId, minus: NodeId, wave: Waveform, branch: usize },
-    ISource { from: NodeId, to: NodeId, wave: Waveform },
-    Nmos { d: NodeId, g: NodeId, s: NodeId, params: MosParams },
-    Nmos3 { d: NodeId, g: NodeId, s: NodeId, params: Mos3Params },
+    Resistor {
+        a: NodeId,
+        b: NodeId,
+        ohms: f64,
+    },
+    Capacitor {
+        a: NodeId,
+        b: NodeId,
+        farads: f64,
+    },
+    VSource {
+        plus: NodeId,
+        minus: NodeId,
+        wave: Waveform,
+        branch: usize,
+    },
+    ISource {
+        from: NodeId,
+        to: NodeId,
+        wave: Waveform,
+    },
+    Nmos {
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        params: MosParams,
+    },
+    Nmos3 {
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        params: Mos3Params,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -177,7 +212,9 @@ impl Netlist {
         self.by_name
             .get(name)
             .copied()
-            .ok_or_else(|| SpiceError::NotFound { name: name.to_owned() })
+            .ok_or_else(|| SpiceError::NotFound {
+                name: name.to_owned(),
+            })
     }
 
     /// Name of a node.
@@ -201,7 +238,10 @@ impl Netlist {
 
     fn check_node(&self, id: NodeId) -> Result<(), SpiceError> {
         if id.0 >= self.names.len() {
-            return Err(SpiceError::InvalidNode { node: id.0, nodes: self.names.len() });
+            return Err(SpiceError::InvalidNode {
+                node: id.0,
+                nodes: self.names.len(),
+            });
         }
         Ok(())
     }
@@ -211,7 +251,13 @@ impl Netlist {
     /// # Errors
     ///
     /// Rejects foreign nodes and non-positive resistance.
-    pub fn resistor(&mut self, name: &str, a: NodeId, b: NodeId, ohms: f64) -> Result<(), SpiceError> {
+    pub fn resistor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        ohms: f64,
+    ) -> Result<(), SpiceError> {
         self.check_node(a)?;
         self.check_node(b)?;
         if !(ohms > 0.0) {
@@ -232,7 +278,13 @@ impl Netlist {
     /// # Errors
     ///
     /// Rejects foreign nodes and negative capacitance.
-    pub fn capacitor(&mut self, name: &str, a: NodeId, b: NodeId, farads: f64) -> Result<(), SpiceError> {
+    pub fn capacitor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        farads: f64,
+    ) -> Result<(), SpiceError> {
         self.check_node(a)?;
         self.check_node(b)?;
         if !(farads >= 0.0) {
@@ -253,14 +305,25 @@ impl Netlist {
     /// # Errors
     ///
     /// Rejects foreign nodes.
-    pub fn vsource(&mut self, name: &str, plus: NodeId, minus: NodeId, wave: Waveform) -> Result<(), SpiceError> {
+    pub fn vsource(
+        &mut self,
+        name: &str,
+        plus: NodeId,
+        minus: NodeId,
+        wave: Waveform,
+    ) -> Result<(), SpiceError> {
         self.check_node(plus)?;
         self.check_node(minus)?;
         let branch = self.vsource_count;
         self.vsource_count += 1;
         self.devices.push(Device {
             name: name.to_owned(),
-            element: Element::VSource { plus, minus, wave, branch },
+            element: Element::VSource {
+                plus,
+                minus,
+                wave,
+                branch,
+            },
         });
         Ok(())
     }
@@ -271,7 +334,13 @@ impl Netlist {
     /// # Errors
     ///
     /// Rejects foreign nodes.
-    pub fn isource(&mut self, name: &str, from: NodeId, to: NodeId, wave: Waveform) -> Result<(), SpiceError> {
+    pub fn isource(
+        &mut self,
+        name: &str,
+        from: NodeId,
+        to: NodeId,
+        wave: Waveform,
+    ) -> Result<(), SpiceError> {
         self.check_node(from)?;
         self.check_node(to)?;
         self.devices.push(Device {
@@ -286,7 +355,14 @@ impl Netlist {
     /// # Errors
     ///
     /// Rejects foreign nodes and non-positive `kp` or `w_over_l`.
-    pub fn nmos(&mut self, name: &str, d: NodeId, g: NodeId, s: NodeId, params: MosParams) -> Result<(), SpiceError> {
+    pub fn nmos(
+        &mut self,
+        name: &str,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        params: MosParams,
+    ) -> Result<(), SpiceError> {
         self.check_node(d)?;
         self.check_node(g)?;
         self.check_node(s)?;
@@ -311,7 +387,14 @@ impl Netlist {
     /// # Errors
     ///
     /// Rejects foreign nodes and non-positive `kp` or `w_over_l`.
-    pub fn nmos3(&mut self, name: &str, d: NodeId, g: NodeId, s: NodeId, params: Mos3Params) -> Result<(), SpiceError> {
+    pub fn nmos3(
+        &mut self,
+        name: &str,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        params: Mos3Params,
+    ) -> Result<(), SpiceError> {
         self.check_node(d)?;
         self.check_node(g)?;
         self.check_node(s)?;
@@ -348,7 +431,9 @@ impl Netlist {
                 }
             }
         }
-        Err(SpiceError::NotFound { name: name.to_owned() })
+        Err(SpiceError::NotFound {
+            name: name.to_owned(),
+        })
     }
 
     /// Total MNA unknowns: node voltages (minus ground) plus source
@@ -360,21 +445,44 @@ impl Netlist {
 
 impl fmt::Display for Netlist {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "* netlist: {} nodes, {} devices", self.node_count(), self.device_count())?;
+        writeln!(
+            f,
+            "* netlist: {} nodes, {} devices",
+            self.node_count(),
+            self.device_count()
+        )?;
         for dev in &self.devices {
             match &dev.element {
-                Element::Resistor { a, b, ohms } => {
-                    writeln!(f, "R {} {} {} {}", dev.name, self.node_name(*a), self.node_name(*b), ohms)?
-                }
-                Element::Capacitor { a, b, farads } => {
-                    writeln!(f, "C {} {} {} {}", dev.name, self.node_name(*a), self.node_name(*b), farads)?
-                }
-                Element::VSource { plus, minus, .. } => {
-                    writeln!(f, "V {} {} {}", dev.name, self.node_name(*plus), self.node_name(*minus))?
-                }
-                Element::ISource { from, to, .. } => {
-                    writeln!(f, "I {} {} {}", dev.name, self.node_name(*from), self.node_name(*to))?
-                }
+                Element::Resistor { a, b, ohms } => writeln!(
+                    f,
+                    "R {} {} {} {}",
+                    dev.name,
+                    self.node_name(*a),
+                    self.node_name(*b),
+                    ohms
+                )?,
+                Element::Capacitor { a, b, farads } => writeln!(
+                    f,
+                    "C {} {} {} {}",
+                    dev.name,
+                    self.node_name(*a),
+                    self.node_name(*b),
+                    farads
+                )?,
+                Element::VSource { plus, minus, .. } => writeln!(
+                    f,
+                    "V {} {} {}",
+                    dev.name,
+                    self.node_name(*plus),
+                    self.node_name(*minus)
+                )?,
+                Element::ISource { from, to, .. } => writeln!(
+                    f,
+                    "I {} {} {}",
+                    dev.name,
+                    self.node_name(*from),
+                    self.node_name(*to)
+                )?,
                 Element::Nmos { d, g, s, .. } => writeln!(
                     f,
                     "M {} {} {} {}",
@@ -466,7 +574,8 @@ mod tests {
         let mut nl = Netlist::new();
         let a = nl.node("a");
         let b = nl.node("b");
-        nl.vsource("V1", a, Netlist::GROUND, Waveform::Dc(1.0)).unwrap();
+        nl.vsource("V1", a, Netlist::GROUND, Waveform::Dc(1.0))
+            .unwrap();
         nl.resistor("R1", a, b, 10.0).unwrap();
         assert_eq!(nl.unknown_count(), 2 + 1);
     }
@@ -475,7 +584,8 @@ mod tests {
     fn set_vsource_replaces_waveform() {
         let mut nl = Netlist::new();
         let a = nl.node("a");
-        nl.vsource("V1", a, Netlist::GROUND, Waveform::Dc(1.0)).unwrap();
+        nl.vsource("V1", a, Netlist::GROUND, Waveform::Dc(1.0))
+            .unwrap();
         nl.set_vsource("V1", Waveform::Dc(2.0)).unwrap();
         assert!(nl.set_vsource("V9", Waveform::Dc(0.0)).is_err());
     }

@@ -103,7 +103,11 @@ pub(crate) fn stamp_all(
             Element::Resistor { a: na, b: nb, ohms } => {
                 add_conductance(a, vidx(*na), vidx(*nb), 1.0 / ohms);
             }
-            Element::Capacitor { a: na, b: nb, farads } => {
+            Element::Capacitor {
+                a: na,
+                b: nb,
+                farads,
+            } => {
                 match ctx.cap_mode {
                     CapMode::Open => {}
                     CapMode::Step { dt, trapezoidal } => {
@@ -122,7 +126,12 @@ pub(crate) fn stamp_all(
                 }
                 cap_index += 1;
             }
-            Element::VSource { plus, minus, wave, branch } => {
+            Element::VSource {
+                plus,
+                minus,
+                wave,
+                branch,
+            } => {
                 let row = nv + branch;
                 if let Some(p) = vidx(*plus) {
                     a.add(p, row, 1.0);
@@ -141,7 +150,11 @@ pub(crate) fn stamp_all(
                 let (vd, vg, vs) = (voltage(x, *d), voltage(x, *g), voltage(x, *s));
                 // Symmetric pass-switch handling: the lower of d/s acts as
                 // the source.
-                let (nd, ns, vds_raw) = if vd >= vs { (*d, *s, vd - vs) } else { (*s, *d, vs - vd) };
+                let (nd, ns, vds_raw) = if vd >= vs {
+                    (*d, *s, vd - vs)
+                } else {
+                    (*s, *d, vs - vd)
+                };
                 let vgs = vg - voltage(x, ns);
                 let (ids, gm, gds) = level1(params, vgs, vds_raw);
                 // Linearized drain current: i = ids + gm·Δvgs + gds·Δvds.
@@ -171,7 +184,11 @@ pub(crate) fn stamp_all(
             }
             Element::Nmos3 { d, g, s, params } => {
                 let (vd, vg, vs) = (voltage(x, *d), voltage(x, *g), voltage(x, *s));
-                let (nd, ns, vds_raw) = if vd >= vs { (*d, *s, vd - vs) } else { (*s, *d, vs - vd) };
+                let (nd, ns, vds_raw) = if vd >= vs {
+                    (*d, *s, vd - vs)
+                } else {
+                    (*s, *d, vs - vd)
+                };
                 let vgs = vg - voltage(x, ns);
                 let (ids, gm, gds) = params.linearize(vgs, vds_raw);
                 let ieq = ids - gm * vgs - gds * vds_raw;
@@ -234,24 +251,38 @@ pub(crate) fn init_cap_states(netlist: &Netlist, x: &[f64]) -> Vec<CapState> {
     let mut out = Vec::new();
     for dev in &netlist.devices {
         if let Element::Capacitor { a, b, .. } = &dev.element {
-            out.push(CapState { v: voltage(x, *a) - voltage(x, *b), i: 0.0 });
+            out.push(CapState {
+                v: voltage(x, *a) - voltage(x, *b),
+                i: 0.0,
+            });
         }
     }
     out
 }
 
+/// A converged Newton solve plus the diagnostics the caller reports.
+pub(crate) struct NewtonSolve {
+    /// The converged unknown vector.
+    pub x: Vec<f64>,
+    /// Iterations consumed (at least 1).
+    pub iterations: usize,
+    /// Largest absolute damped update of the final iteration — the
+    /// step-norm convergence residual.
+    pub max_step: f64,
+}
+
 /// Newton–Raphson around [`stamp_all`]; returns the converged unknown
-/// vector.
+/// vector together with iteration diagnostics.
 pub(crate) fn newton(
     netlist: &Netlist,
     ctx: &StampContext<'_>,
     x0: &[f64],
     max_iterations: usize,
-) -> Result<Vec<f64>, SpiceError> {
+) -> Result<NewtonSolve, SpiceError> {
     let n = netlist.unknown_count();
     let mut x = x0.to_vec();
     let mut a = Matrix::zeros(n);
-    for _ in 0..max_iterations {
+    for iteration in 1..=max_iterations {
         a.clear();
         let mut b = vec![0.0; n];
         stamp_all(netlist, &x, &mut a, &mut b, ctx);
@@ -264,15 +295,21 @@ pub(crate) fn newton(
         }
         let damp = if max_dv > 2.0 { 2.0 / max_dv } else { 1.0 };
         let mut converged = true;
+        let mut max_step = 0.0f64;
         for i in 0..n {
             let step = (x_new[i] - x[i]) * damp;
             if step.abs() > 1e-9 + 1e-6 * x[i].abs() {
                 converged = false;
             }
+            max_step = max_step.max(step.abs());
             x[i] += step;
         }
         if converged && damp == 1.0 {
-            return Ok(x);
+            return Ok(NewtonSolve {
+                x,
+                iterations: iteration,
+                max_step,
+            });
         }
     }
     Err(SpiceError::NoConvergence {
@@ -295,27 +332,37 @@ pub(crate) fn stamp_ac(
 ) {
     use crate::complex::Complex;
     let nv = netlist.node_count() - 1;
-    let mut addc = |a: &mut crate::complex::CMatrix, i: Option<usize>, j: Option<usize>, y: Complex| {
-        if let Some(i) = i {
-            a.add(i, i, y);
-        }
-        if let Some(j) = j {
-            a.add(j, j, y);
-        }
-        if let (Some(i), Some(j)) = (i, j) {
-            a.add(i, j, -y);
-            a.add(j, i, -y);
-        }
-    };
+    let mut addc =
+        |a: &mut crate::complex::CMatrix, i: Option<usize>, j: Option<usize>, y: Complex| {
+            if let Some(i) = i {
+                a.add(i, i, y);
+            }
+            if let Some(j) = j {
+                a.add(j, j, y);
+            }
+            if let (Some(i), Some(j)) = (i, j) {
+                a.add(i, j, -y);
+                a.add(j, i, -y);
+            }
+        };
     for dev in &netlist.devices {
         match &dev.element {
             Element::Resistor { a: na, b: nb, ohms } => {
                 addc(a, vidx(*na), vidx(*nb), Complex::real(1.0 / ohms));
             }
-            Element::Capacitor { a: na, b: nb, farads } => {
+            Element::Capacitor {
+                a: na,
+                b: nb,
+                farads,
+            } => {
                 addc(a, vidx(*na), vidx(*nb), Complex::imag(omega * farads));
             }
-            Element::VSource { plus, minus, branch, .. } => {
+            Element::VSource {
+                plus,
+                minus,
+                branch,
+                ..
+            } => {
                 let row = nv + branch;
                 if let Some(p) = vidx(*plus) {
                     a.add(p, row, Complex::ONE);
@@ -332,14 +379,22 @@ pub(crate) fn stamp_ac(
             Element::ISource { .. } => {}
             Element::Nmos { d, g, s, params } => {
                 let (vd, vg, vs) = (voltage(x_op, *d), voltage(x_op, *g), voltage(x_op, *s));
-                let (nd, ns, vds_raw) = if vd >= vs { (*d, *s, vd - vs) } else { (*s, *d, vs - vd) };
+                let (nd, ns, vds_raw) = if vd >= vs {
+                    (*d, *s, vd - vs)
+                } else {
+                    (*s, *d, vs - vd)
+                };
                 let vgs = vg - voltage(x_op, ns);
                 let (_, gm, gds) = level1(params, vgs, vds_raw);
                 stamp_ac_mos(a, vidx(nd), vidx(ns), vidx(*g), gm, gds, &mut addc);
             }
             Element::Nmos3 { d, g, s, params } => {
                 let (vd, vg, vs) = (voltage(x_op, *d), voltage(x_op, *g), voltage(x_op, *s));
-                let (nd, ns, vds_raw) = if vd >= vs { (*d, *s, vd - vs) } else { (*s, *d, vs - vd) };
+                let (nd, ns, vds_raw) = if vd >= vs {
+                    (*d, *s, vd - vs)
+                } else {
+                    (*s, *d, vs - vd)
+                };
                 let vgs = vg - voltage(x_op, ns);
                 let (_, gm, gds) = params.linearize(vgs, vds_raw);
                 stamp_ac_mos(a, vidx(nd), vidx(ns), vidx(*g), gm, gds, &mut addc);
@@ -358,7 +413,12 @@ fn stamp_ac_mos(
     ig_: Option<usize>,
     gm: f64,
     gds: f64,
-    addc: &mut impl FnMut(&mut crate::complex::CMatrix, Option<usize>, Option<usize>, crate::complex::Complex),
+    addc: &mut impl FnMut(
+        &mut crate::complex::CMatrix,
+        Option<usize>,
+        Option<usize>,
+        crate::complex::Complex,
+    ),
 ) {
     use crate::complex::Complex;
     addc(a, id_, is_, Complex::real(gds + 1e-12));

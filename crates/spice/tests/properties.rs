@@ -13,18 +13,21 @@ fn ladder(resistors: &[f64], v1: f64, v2: f64) -> (Netlist, Vec<fts_spice::NodeI
     let mut nodes = Vec::new();
     let first = nl.node("n0");
     nodes.push(first);
-    nl.vsource("V1", first, Netlist::GROUND, Waveform::Dc(v1)).unwrap();
+    nl.vsource("V1", first, Netlist::GROUND, Waveform::Dc(v1))
+        .unwrap();
     let mut prev = first;
     for (k, &r) in resistors.iter().enumerate() {
         let n = nl.node(&format!("n{}", k + 1));
         nl.resistor(&format!("R{k}"), prev, n, r).unwrap();
-        nl.resistor(&format!("Rg{k}"), n, Netlist::GROUND, r * 2.0).unwrap();
+        nl.resistor(&format!("Rg{k}"), n, Netlist::GROUND, r * 2.0)
+            .unwrap();
         nodes.push(n);
         prev = n;
     }
     let last = nl.node("drive2");
     nl.resistor("Rend", prev, last, resistors[0]).unwrap();
-    nl.vsource("V2", last, Netlist::GROUND, Waveform::Dc(v2)).unwrap();
+    nl.vsource("V2", last, Netlist::GROUND, Waveform::Dc(v2))
+        .unwrap();
     (nl, nodes)
 }
 

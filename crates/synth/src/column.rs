@@ -47,7 +47,11 @@ pub fn column_construction(f: &TruthTable) -> Result<Option<Lattice>, SynthError
         return Err(SynthError::TooManyVariables { vars: f.vars() });
     }
     if f.is_zero() || f.is_one() {
-        let lit = if f.is_zero() { Literal::False } else { Literal::True };
+        let lit = if f.is_zero() {
+            Literal::False
+        } else {
+            Literal::True
+        };
         return Ok(Some(Lattice::filled(1, 1, lit)?));
     }
 
@@ -90,8 +94,7 @@ fn try_orderings(
 ) -> Option<Lattice> {
     // Generate all literal permutations per column lazily via Heap's
     // algorithm; product of permutations is explored by backtracking.
-    let per_col: Vec<Vec<Vec<Literal>>> =
-        perm.iter().map(|&j| permutations(&columns[j])).collect();
+    let per_col: Vec<Vec<Vec<Literal>>> = perm.iter().map(|&j| permutations(&columns[j])).collect();
     let mut choice = vec![0usize; per_col.len()];
     loop {
         if *budget == 0 {
@@ -162,7 +165,11 @@ fn permute(order: &mut Vec<usize>, at: usize, f: &mut impl FnMut(&[usize])) {
 /// Lower bound on the rows of any column realization: the largest product
 /// size of the irredundant SOP. Exposed for planning heuristics.
 pub fn min_rows(cover_products: &[Cube]) -> usize {
-    cover_products.iter().map(|c| c.literal_count() as usize).max().unwrap_or(1)
+    cover_products
+        .iter()
+        .map(|c| c.literal_count() as usize)
+        .max()
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -173,7 +180,9 @@ mod tests {
     #[test]
     fn xor3_column_realization_is_3x4() {
         let f = generators::xor(3);
-        let lat = column_construction(&f).unwrap().expect("should find ordering");
+        let lat = column_construction(&f)
+            .unwrap()
+            .expect("should find ordering");
         assert_eq!((lat.rows(), lat.cols()), (3, 4));
         assert_eq!(lat.truth_table(3).unwrap(), f);
     }
@@ -181,7 +190,9 @@ mod tests {
     #[test]
     fn and_column_realization_is_single_column() {
         let f = generators::and(4);
-        let lat = column_construction(&f).unwrap().expect("single product always valid");
+        let lat = column_construction(&f)
+            .unwrap()
+            .expect("single product always valid");
         assert_eq!((lat.rows(), lat.cols()), (4, 1));
         assert_eq!(lat.truth_table(4).unwrap(), f);
     }
@@ -189,7 +200,9 @@ mod tests {
     #[test]
     fn or_column_realization_is_single_row() {
         let f = generators::or(3);
-        let lat = column_construction(&f).unwrap().expect("1-literal products");
+        let lat = column_construction(&f)
+            .unwrap()
+            .expect("1-literal products");
         assert_eq!((lat.rows(), lat.cols()), (1, 3));
         assert_eq!(lat.truth_table(3).unwrap(), f);
     }

@@ -56,8 +56,8 @@ pub fn altun_riedel(f: &TruthTable) -> Result<Lattice, SynthError> {
     let mut sites = Vec::with_capacity(r * k);
     for (i, q) in rows_cover.iter().enumerate() {
         for (j, p) in cols_cover.iter().enumerate() {
-            let lit = shared_literal(*p, *q)
-                .ok_or(SynthError::NoSharedLiteral { column: j, row: i })?;
+            let lit =
+                shared_literal(*p, *q).ok_or(SynthError::NoSharedLiteral { column: j, row: i })?;
             sites.push(lit);
         }
     }
@@ -131,7 +131,9 @@ mod tests {
         for vars in 2..=5 {
             for _ in 0..15 {
                 let f = TruthTable::from_fn(vars, |_| {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     (state >> 41) & 1 == 1
                 })
                 .unwrap();

@@ -35,7 +35,10 @@ impl fmt::Display for SynthError {
                 write!(f, "synthesis supports at most 26 variables, got {vars}")
             }
             SynthError::NoSharedLiteral { column, row } => {
-                write!(f, "no shared literal between product {column} and dual product {row}")
+                write!(
+                    f,
+                    "no shared literal between product {column} and dual product {row}"
+                )
             }
             SynthError::Logic(e) => write!(f, "logic error: {e}"),
             SynthError::Lattice(e) => write!(f, "lattice error: {e}"),

@@ -85,10 +85,16 @@ impl Synthesis {
 pub fn synthesize(f: &TruthTable) -> Result<Synthesis, SynthError> {
     let ar = dual::altun_riedel(f)?;
     let best_column = column::column_construction(f)?;
-    let mut best = Synthesis { lattice: ar, method: Method::AltunRiedel };
+    let mut best = Synthesis {
+        lattice: ar,
+        method: Method::AltunRiedel,
+    };
     if let Some(col) = best_column {
         if col.site_count() < best.area() {
-            best = Synthesis { lattice: col, method: Method::Column };
+            best = Synthesis {
+                lattice: col,
+                method: Method::Column,
+            };
         }
     }
     Ok(best)
@@ -119,7 +125,12 @@ mod tests {
             generators::threshold(4, 2),
         ] {
             let s = synthesize(&f).unwrap();
-            assert_eq!(s.lattice.truth_table(f.vars()).unwrap(), f, "method {:?}", s.method);
+            assert_eq!(
+                s.lattice.truth_table(f.vars()).unwrap(),
+                f,
+                "method {:?}",
+                s.method
+            );
         }
     }
 }

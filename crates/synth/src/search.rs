@@ -46,11 +46,7 @@ impl Default for AnnealOptions {
 ///
 /// Returns [`SynthError::TooManyVariables`] when the search space exceeds
 /// 2^28 assignments.
-pub fn exhaustive(
-    f: &TruthTable,
-    rows: usize,
-    cols: usize,
-) -> Result<Option<Lattice>, SynthError> {
+pub fn exhaustive(f: &TruthTable, rows: usize, cols: usize) -> Result<Option<Lattice>, SynthError> {
     let alphabet = literal_alphabet(f.vars());
     let sites = rows * cols;
     let space = (alphabet.len() as f64).powi(sites as i32);
@@ -108,7 +104,9 @@ pub fn anneal(f: &TruthTable, rows: usize, cols: usize, opts: &AnnealOptions) ->
         let mut lat = Lattice::from_literals(
             rows,
             cols,
-            (0..sites).map(|_| alphabet[rng.gen_range(0..alphabet.len())]).collect(),
+            (0..sites)
+                .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+                .collect(),
         )
         .expect("dims validated by caller");
         let mut cost = mismatch_count(f, &lat);
@@ -116,8 +114,8 @@ pub fn anneal(f: &TruthTable, rows: usize, cols: usize, opts: &AnnealOptions) ->
             return Some(lat);
         }
         for step in 0..opts.iterations {
-            let temp = opts.initial_temperature
-                * (1.0 - step as f64 / opts.iterations as f64).max(1e-3);
+            let temp =
+                opts.initial_temperature * (1.0 - step as f64 / opts.iterations as f64).max(1e-3);
             let site = (rng.gen_range(0..rows), rng.gen_range(0..cols));
             let old = lat.literal(site);
             let new = alphabet[rng.gen_range(0..alphabet.len())];
@@ -131,7 +129,11 @@ pub fn anneal(f: &TruthTable, rows: usize, cols: usize, opts: &AnnealOptions) ->
             }
             let delta = new_cost as f64 - cost as f64;
             let accept = delta <= 0.0
-                || rng.gen_bool((-delta / (temp * total_rows / f.len() as f64)).exp().min(1.0));
+                || rng.gen_bool(
+                    (-delta / (temp * total_rows / f.len() as f64))
+                        .exp()
+                        .min(1.0),
+                );
             if accept {
                 cost = new_cost;
             } else {
@@ -219,7 +221,9 @@ pub fn prove_minimal_area(f: &TruthTable, max_area: usize) -> Option<(Lattice, b
 
 /// Number of input assignments where the lattice disagrees with `f`.
 fn mismatch_count(f: &TruthTable, lat: &Lattice) -> usize {
-    (0..f.len() as u32).filter(|&x| lat.eval(x) != f.eval(x)).count()
+    (0..f.len() as u32)
+        .filter(|&x| lat.eval(x) != f.eval(x))
+        .count()
 }
 
 /// The site alphabet for a `vars`-input search: both polarities of every
@@ -269,7 +273,10 @@ mod tests {
         // XOR2 on 2×2: known realizable (e.g. a b' / b a' … verified by
         // search rather than assumption).
         let f = generators::xor(2);
-        let opts = AnnealOptions { seed: 7, ..AnnealOptions::default() };
+        let opts = AnnealOptions {
+            seed: 7,
+            ..AnnealOptions::default()
+        };
         let lat = anneal(&f, 2, 2, &opts).expect("XOR2 fits on 2×2");
         assert_eq!(lat.truth_table(2).unwrap(), f);
     }
@@ -300,7 +307,10 @@ mod tests {
     #[test]
     fn anneal_is_deterministic_per_seed() {
         let f = generators::majority(3);
-        let opts = AnnealOptions { seed: 99, ..AnnealOptions::default() };
+        let opts = AnnealOptions {
+            seed: 99,
+            ..AnnealOptions::default()
+        };
         let a = anneal(&f, 3, 3, &opts);
         let b = anneal(&f, 3, 3, &opts);
         assert_eq!(a.is_some(), b.is_some());
@@ -334,5 +344,4 @@ mod tests {
         assert!(proven);
         assert_eq!(lat.site_count(), 1);
     }
-
 }

@@ -1,0 +1,289 @@
+//! Streaming log-scale histograms with moment tracking.
+//!
+//! Values in this workspace span many orders of magnitude — Newton
+//! residuals near 1e-12, trial wall times in milliseconds, path counts in
+//! the millions — so the histogram bins are logarithmic: a fixed layout of
+//! [`BINS_PER_DECADE`] bins per decade from 1e-12 up to 1e9, with explicit
+//! underflow/overflow buckets. Counts are exact integers, so merging
+//! histograms is associative and the merged result is independent of
+//! merge order.
+
+/// Lowest represented decade (values below `10^DECADE_LO` underflow).
+const DECADE_LO: i32 = -12;
+/// Highest represented decade (values at or above `10^DECADE_HI` overflow).
+const DECADE_HI: i32 = 9;
+/// Log-scale resolution.
+const BINS_PER_DECADE: usize = 8;
+/// Total number of regular bins.
+const NBINS: usize = (DECADE_HI - DECADE_LO) as usize * BINS_PER_DECADE;
+
+/// A streaming log-scale histogram plus Welford moments.
+///
+/// `push` is O(1) and allocation-free after construction; `merge` adds
+/// exact bin counts and combines moments with the Chan et al. update.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    bins: Vec<u64>,
+    /// Values ≤ 0 or below the lowest decade.
+    below: u64,
+    /// Values at or above the highest decade.
+    above: u64,
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram {
+            bins: vec![0; NBINS],
+            below: 0,
+            above: 0,
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram::default()
+    }
+
+    /// Adds one observation. Non-finite values are ignored.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+
+        if x <= 0.0 {
+            self.below += 1;
+            return;
+        }
+        let l = x.log10();
+        if l < DECADE_LO as f64 {
+            self.below += 1;
+        } else if l >= DECADE_HI as f64 {
+            self.above += 1;
+        } else {
+            let k = ((l - DECADE_LO as f64) * BINS_PER_DECADE as f64) as usize;
+            self.bins[k.min(NBINS - 1)] += 1;
+        }
+    }
+
+    /// Merges another histogram. Bin counts add exactly; moments combine
+    /// with the pairwise Chan update (order-dependent only through float
+    /// rounding, which is why callers merge in a fixed order).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let delta = other.mean - self.mean;
+        let n = na + nb;
+        self.mean += delta * nb / n;
+        self.m2 += other.m2 + delta * delta * na * nb / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.below += other.below;
+        self.above += other.above;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) at log-bin resolution: the upper
+    /// edge of the bin where the cumulative count crosses `q·n`. Underflow
+    /// resolves to the observed minimum, overflow to the observed maximum;
+    /// an empty histogram reports 0.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.n as f64).ceil().max(1.0) as u64;
+        let mut cum = self.below;
+        if cum >= target {
+            return self.min;
+        }
+        for (k, &c) in self.bins.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                let edge = DECADE_LO as f64 + (k + 1) as f64 / BINS_PER_DECADE as f64;
+                // Never report past the observed extremes.
+                return 10f64.powf(edge).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Condenses the histogram into a [`HistogramSummary`].
+    pub fn summary(&self) -> HistogramSummary {
+        let empty = self.n == 0;
+        HistogramSummary {
+            n: self.n,
+            mean: if empty { 0.0 } else { self.mean },
+            std_dev: if empty {
+                0.0
+            } else {
+                (self.m2 / self.n as f64).max(0.0).sqrt()
+            },
+            min: if empty { 0.0 } else { self.min },
+            max: if empty { 0.0 } else { self.max },
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// The condensed distribution summary exported per metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Observations.
+    pub n: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (log-bin resolution).
+    pub p50: f64,
+    /// 90th percentile (log-bin resolution).
+    pub p90: f64,
+    /// 99th percentile (log-bin resolution).
+    pub p99: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LogHistogram::new();
+        let s = h.summary();
+        assert_eq!(s.n, 0);
+        assert_eq!((s.mean, s.std_dev, s.min, s.max), (0.0, 0.0, 0.0, 0.0));
+        assert_eq!((s.p50, s.p90, s.p99), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn single_sample_quantiles_bracket_the_sample() {
+        let mut h = LogHistogram::new();
+        h.push(3.7e-3);
+        let s = h.summary();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 3.7e-3);
+        assert_eq!(s.min, s.max);
+        // All quantiles fall on the single sample (clamped to extremes).
+        for q in [s.p50, s.p90, s.p99] {
+            assert_eq!(q, 3.7e-3, "quantile {q}");
+        }
+    }
+
+    #[test]
+    fn quantiles_track_a_log_uniform_sweep() {
+        let mut h = LogHistogram::new();
+        // 1000 log-uniform samples over 1e-6..1e0.
+        for k in 0..1000 {
+            h.push(10f64.powf(-6.0 + 6.0 * k as f64 / 1000.0));
+        }
+        let s = h.summary();
+        // p50 near 1e-3, p90 near 10^-0.6, within one bin (factor 10^(1/8)).
+        let tol = 10f64.powf(2.0 / BINS_PER_DECADE as f64);
+        assert!(s.p50 / 1e-3 < tol && 1e-3 / s.p50 < tol, "p50 {}", s.p50);
+        let p90_expect = 10f64.powf(-0.6);
+        assert!(
+            s.p90 / p90_expect < tol && p90_expect / s.p90 < tol,
+            "p90 {}",
+            s.p90
+        );
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
+    }
+
+    #[test]
+    fn saturated_overflow_bucket_reports_observed_max() {
+        let mut h = LogHistogram::new();
+        // Everything at or beyond the top decade.
+        for k in 1..=10 {
+            h.push(1e9 * k as f64);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.quantile(0.5), 1e10);
+        assert_eq!(h.quantile(1.0), 1e10);
+        assert_eq!(h.summary().max, 1e10);
+    }
+
+    #[test]
+    fn saturated_underflow_bucket_reports_observed_min() {
+        let mut h = LogHistogram::new();
+        h.push(0.0);
+        h.push(-5.0);
+        h.push(1e-15);
+        assert_eq!(h.quantile(0.5), -5.0);
+        assert_eq!(h.summary().min, -5.0);
+    }
+
+    #[test]
+    fn non_finite_values_are_dropped() {
+        let mut h = LogHistogram::new();
+        h.push(f64::NAN);
+        h.push(f64::INFINITY);
+        h.push(1.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.summary().mean, 1.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential_pushes() {
+        let xs: Vec<f64> = (1..500).map(|k| (k as f64) * 1.7e-4).collect();
+        let mut whole = LogHistogram::new();
+        xs.iter().for_each(|&x| whole.push(x));
+        let mut left = LogHistogram::new();
+        let mut right = LogHistogram::new();
+        xs[..250].iter().for_each(|&x| left.push(x));
+        xs[250..].iter().for_each(|&x| right.push(x));
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert_eq!(left.quantile(0.5), whole.quantile(0.5));
+        assert!((left.summary().mean - whole.summary().mean).abs() < 1e-12);
+        assert!((left.summary().std_dev - whole.summary().std_dev).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merging_empty_is_identity_both_ways() {
+        let mut a = LogHistogram::new();
+        a.push(2.0);
+        let before = a.clone();
+        a.merge(&LogHistogram::new());
+        assert_eq!(a, before);
+        let mut e = LogHistogram::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+}

@@ -1,0 +1,212 @@
+//! The thread-aware global registry.
+//!
+//! Each thread owns a [`ThreadBuffer`] behind a thread-local
+//! `Arc<Mutex<…>>`; the registry keeps a second `Arc` so buffers outlive
+//! their threads (the Monte Carlo executor spawns scoped workers that die
+//! after every ensemble, but their telemetry must survive until the caller
+//! snapshots). The per-thread mutex is uncontended except during
+//! [`snapshot`]/[`reset`], so the hot path is a thread-local access plus
+//! an unclocked lock.
+//!
+//! Determinism: [`snapshot`] merges buffers in *registration order* (a
+//! monotone id handed out on first use). All span and counter aggregates
+//! are integer sums keyed by name — associative and commutative, hence
+//! independent of even that order; histogram float moments are the only
+//! order-sensitive reduction, and the fixed ordering pins them.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::LogHistogram;
+use crate::report::{self, TelemetryReport};
+
+/// Hard cap on buffered raw trace events per thread; aggregates keep
+/// counting past it and the drop count is reported.
+pub(crate) const EVENT_CAP: usize = 65_536;
+
+/// One still-open span on a thread's stack.
+pub(crate) struct ActiveSpan {
+    pub path: String,
+    pub start_ns: u64,
+    pub child_ns: u64,
+}
+
+/// Closed-span aggregate for one span path on one thread.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SpanAgg {
+    pub count: u64,
+    pub total_ns: u64,
+    pub self_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+}
+
+/// A raw completed-span event for the Chrome trace exporter.
+#[derive(Debug, Clone)]
+pub(crate) struct RawEvent {
+    pub path: String,
+    pub start_ns: u64,
+    pub dur_ns: u64,
+}
+
+/// Everything one thread has collected.
+#[derive(Default)]
+pub(crate) struct ThreadBuffer {
+    pub stack: Vec<ActiveSpan>,
+    pub spans: BTreeMap<String, SpanAgg>,
+    pub counters: BTreeMap<&'static str, u64>,
+    pub histograms: BTreeMap<&'static str, LogHistogram>,
+    pub events: Vec<RawEvent>,
+    pub dropped_events: u64,
+}
+
+impl ThreadBuffer {
+    pub fn begin_span(&mut self, name: &'static str, now_ns: u64) {
+        let path = match self.stack.last() {
+            Some(parent) => format!("{}/{name}", parent.path),
+            None => name.to_owned(),
+        };
+        self.stack.push(ActiveSpan {
+            path,
+            start_ns: now_ns,
+            child_ns: 0,
+        });
+    }
+
+    pub fn end_span(&mut self, now_ns: u64) {
+        let Some(span) = self.stack.pop() else {
+            // A disabled→enabled toggle can orphan a close; ignore it.
+            return;
+        };
+        let dur = now_ns.saturating_sub(span.start_ns);
+        let self_ns = dur.saturating_sub(span.child_ns);
+        if let Some(parent) = self.stack.last_mut() {
+            parent.child_ns += dur;
+        }
+        let agg = self.spans.entry(span.path.clone()).or_insert(SpanAgg {
+            count: 0,
+            total_ns: 0,
+            self_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        });
+        agg.count += 1;
+        agg.total_ns += dur;
+        agg.self_ns += self_ns;
+        agg.min_ns = agg.min_ns.min(dur);
+        agg.max_ns = agg.max_ns.max(dur);
+        if self.events.len() < EVENT_CAP {
+            self.events.push(RawEvent {
+                path: span.path,
+                start_ns: span.start_ns,
+                dur_ns: dur,
+            });
+        } else {
+            self.dropped_events += 1;
+        }
+    }
+
+    pub fn add_counter(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    pub fn record_value(&mut self, name: &'static str, value: f64) {
+        self.histograms.entry(name).or_default().push(value);
+    }
+
+    fn clear(&mut self) {
+        // Open spans stay on the stack; everything closed is dropped.
+        self.spans.clear();
+        self.counters.clear();
+        self.histograms.clear();
+        self.events.clear();
+        self.dropped_events = 0;
+    }
+}
+
+type Shared = Arc<Mutex<ThreadBuffer>>;
+
+static REGISTRY: Mutex<Vec<(u32, Shared)>> = Mutex::new(Vec::new());
+static NEXT_ID: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    static LOCAL: Shared = register();
+}
+
+fn register() -> Shared {
+    let buf: Shared = Arc::default();
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    REGISTRY
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push((id, buf.clone()));
+    buf
+}
+
+/// Runs `f` against the calling thread's buffer.
+pub(crate) fn with_buffer<R>(f: impl FnOnce(&mut ThreadBuffer) -> R) -> R {
+    LOCAL.with(|shared| f(&mut shared.lock().unwrap_or_else(|e| e.into_inner())))
+}
+
+/// Merges every registered buffer into a report (see module docs for the
+/// determinism argument).
+pub(crate) fn snapshot() -> TelemetryReport {
+    let entries: Vec<(u32, Shared)> = {
+        let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+        reg.sort_by_key(|(id, _)| *id);
+        reg.iter().map(|(id, b)| (*id, b.clone())).collect()
+    };
+
+    let mut spans: BTreeMap<String, SpanAgg> = BTreeMap::new();
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut histograms: BTreeMap<String, LogHistogram> = BTreeMap::new();
+    let mut events: Vec<report::TraceEvent> = Vec::new();
+    let mut dropped = 0u64;
+
+    for (tid, shared) in &entries {
+        let buf = shared.lock().unwrap_or_else(|e| e.into_inner());
+        for (path, agg) in &buf.spans {
+            match spans.get_mut(path) {
+                Some(acc) => {
+                    acc.count += agg.count;
+                    acc.total_ns += agg.total_ns;
+                    acc.self_ns += agg.self_ns;
+                    acc.min_ns = acc.min_ns.min(agg.min_ns);
+                    acc.max_ns = acc.max_ns.max(agg.max_ns);
+                }
+                None => {
+                    spans.insert(path.clone(), *agg);
+                }
+            }
+        }
+        for (&name, &v) in &buf.counters {
+            *counters.entry(name.to_owned()).or_insert(0) += v;
+        }
+        for (&name, h) in &buf.histograms {
+            histograms.entry(name.to_owned()).or_default().merge(h);
+        }
+        for ev in &buf.events {
+            events.push(report::TraceEvent {
+                path: ev.path.clone(),
+                tid: *tid,
+                start_us: ev.start_ns as f64 / 1.0e3,
+                dur_us: ev.dur_ns as f64 / 1.0e3,
+            });
+        }
+        dropped += buf.dropped_events;
+    }
+    events.sort_by(|a, b| a.start_us.total_cmp(&b.start_us).then(a.tid.cmp(&b.tid)));
+
+    TelemetryReport::assemble(spans, counters, histograms, events, dropped)
+}
+
+/// Clears all buffers and drops buffers whose threads have exited.
+pub(crate) fn reset() {
+    let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    for (_, shared) in reg.iter() {
+        shared.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+    // A buffer only the registry still references belongs to a dead thread.
+    reg.retain(|(_, shared)| Arc::strong_count(shared) > 1);
+}

@@ -1,0 +1,374 @@
+//! The merged telemetry report and its three exporters.
+
+use std::collections::BTreeMap;
+
+use crate::json::{esc, num};
+use crate::metrics::{HistogramSummary, LogHistogram};
+use crate::registry::SpanAgg;
+
+/// Merged statistics for one span path across all threads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStat {
+    /// Slash-separated nesting path, e.g. `mc.run/mc.trial/spice.op`.
+    pub path: String,
+    /// Completed executions.
+    pub count: u64,
+    /// Total wall time across executions \[s\].
+    pub total_s: f64,
+    /// Total time minus time attributed to child spans \[s\].
+    pub self_s: f64,
+    /// Fastest single execution \[s\].
+    pub min_s: f64,
+    /// Slowest single execution \[s\].
+    pub max_s: f64,
+}
+
+/// A named event count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterStat {
+    /// Counter name.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// A named value distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramStat {
+    /// Histogram name.
+    pub name: String,
+    /// Distribution summary.
+    pub summary: HistogramSummary,
+}
+
+/// One completed span instance, for the Chrome trace exporter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Span nesting path.
+    pub path: String,
+    /// Telemetry thread id (registration order, 1-based).
+    pub tid: u32,
+    /// Start time relative to the telemetry clock anchor \[µs\].
+    pub start_us: f64,
+    /// Duration \[µs\].
+    pub dur_us: f64,
+}
+
+/// A deterministic merge of every thread's telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryReport {
+    /// Span aggregates, sorted by path.
+    pub spans: Vec<SpanStat>,
+    /// Counters, sorted by name.
+    pub counters: Vec<CounterStat>,
+    /// Value histograms, sorted by name.
+    pub histograms: Vec<HistogramStat>,
+    /// Raw span instances (capped per thread), sorted by start time.
+    pub events: Vec<TraceEvent>,
+    /// Events dropped once a thread's buffer cap was reached.
+    pub dropped_events: u64,
+}
+
+const NS: f64 = 1.0e-9;
+
+impl TelemetryReport {
+    pub(crate) fn assemble(
+        spans: BTreeMap<String, SpanAgg>,
+        counters: BTreeMap<String, u64>,
+        histograms: BTreeMap<String, LogHistogram>,
+        events: Vec<TraceEvent>,
+        dropped_events: u64,
+    ) -> TelemetryReport {
+        TelemetryReport {
+            spans: spans
+                .into_iter()
+                .map(|(path, a)| SpanStat {
+                    path,
+                    count: a.count,
+                    total_s: a.total_ns as f64 * NS,
+                    self_s: a.self_ns as f64 * NS,
+                    min_s: if a.count == 0 {
+                        0.0
+                    } else {
+                        a.min_ns as f64 * NS
+                    },
+                    max_s: a.max_ns as f64 * NS,
+                })
+                .collect(),
+            counters: counters
+                .into_iter()
+                .map(|(name, value)| CounterStat { name, value })
+                .collect(),
+            histograms: histograms
+                .into_iter()
+                .map(|(name, h)| HistogramStat {
+                    name,
+                    summary: h.summary(),
+                })
+                .collect(),
+            events,
+            dropped_events,
+        }
+    }
+
+    /// Looks up a span aggregate by exact path.
+    pub fn span(&self, path: &str) -> Option<&SpanStat> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// A counter's value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramStat> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Renders the human-readable report: a span tree (indentation follows
+    /// the nesting path) followed by counters and histogram summaries.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        out.push_str("spans (count | total | self | min..max):\n");
+        if self.spans.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for s in &self.spans {
+            let depth = s.path.matches('/').count();
+            let name = s.path.rsplit('/').next().unwrap_or(&s.path);
+            out.push_str(&format!(
+                "{:indent$}{name:<width$} {:>8} | {:>10} | {:>10} | {}..{}\n",
+                "",
+                s.count,
+                fmt_secs(s.total_s),
+                fmt_secs(s.self_s),
+                fmt_secs(s.min_s),
+                fmt_secs(s.max_s),
+                indent = 2 + 2 * depth,
+                width = 34usize.saturating_sub(2 * depth),
+            ));
+        }
+        out.push_str("\ncounters:\n");
+        if self.counters.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for c in &self.counters {
+            out.push_str(&format!("  {:<40} {}\n", c.name, c.value));
+        }
+        out.push_str("\nhistograms (n | mean | p50 | p90 | p99 | max):\n");
+        if self.histograms.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for h in &self.histograms {
+            let s = &h.summary;
+            out.push_str(&format!(
+                "  {:<40} {:>8} | {:.3e} | {:.3e} | {:.3e} | {:.3e} | {:.3e}\n",
+                h.name, s.n, s.mean, s.p50, s.p90, s.p99, s.max
+            ));
+        }
+        if self.dropped_events > 0 {
+            out.push_str(&format!(
+                "\n({} trace events dropped at buffer cap)\n",
+                self.dropped_events
+            ));
+        }
+        out
+    }
+
+    /// Serializes the report as a single JSON object (schema
+    /// `fts-telemetry/1`; see the README "Observability" section).
+    pub fn to_json(&self) -> String {
+        let spans: Vec<String> = self
+            .spans
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"path\":\"{}\",\"count\":{},\"total_s\":{},\"self_s\":{},\"min_s\":{},\"max_s\":{}}}",
+                    esc(&s.path),
+                    s.count,
+                    num(s.total_s),
+                    num(s.self_s),
+                    num(s.min_s),
+                    num(s.max_s)
+                )
+            })
+            .collect();
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|c| format!("{{\"name\":\"{}\",\"value\":{}}}", esc(&c.name), c.value))
+            .collect();
+        let hists: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|h| {
+                let s = &h.summary;
+                format!(
+                    concat!(
+                        "{{\"name\":\"{}\",\"n\":{},\"mean\":{},\"std_dev\":{},",
+                        "\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}"
+                    ),
+                    esc(&h.name),
+                    s.n,
+                    num(s.mean),
+                    num(s.std_dev),
+                    num(s.min),
+                    num(s.max),
+                    num(s.p50),
+                    num(s.p90),
+                    num(s.p99)
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\"schema\":\"fts-telemetry/1\",\"spans\":[{}],\"counters\":[{}],",
+                "\"histograms\":[{}],\"dropped_events\":{}}}"
+            ),
+            spans.join(","),
+            counters.join(","),
+            hists.join(","),
+            self.dropped_events
+        )
+    }
+
+    /// Serializes the raw span instances in the Chrome trace-event format
+    /// (load in `chrome://tracing` or <https://ui.perfetto.dev>).
+    pub fn to_chrome_trace(&self) -> String {
+        let events: Vec<String> = self
+            .events
+            .iter()
+            .map(|e| {
+                let name = e.path.rsplit('/').next().unwrap_or(&e.path);
+                format!(
+                    concat!(
+                        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},",
+                        "\"dur\":{},\"pid\":1,\"tid\":{}}}"
+                    ),
+                    esc(name),
+                    esc(&e.path),
+                    num(e.start_us),
+                    num(e.dur_us),
+                    e.tid
+                )
+            })
+            .collect();
+        format!(
+            "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}",
+            events.join(",")
+        )
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1.0e-3 {
+        format!("{:.3}ms", s * 1.0e3)
+    } else if s >= 1.0e-6 {
+        format!("{:.3}us", s * 1.0e6)
+    } else {
+        format!("{:.0}ns", s * 1.0e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::test_lock;
+
+    /// Structural sanity check for hand-rolled JSON: balanced braces and
+    /// brackets outside string literals.
+    fn balanced(s: &str) -> bool {
+        let (mut brace, mut bracket) = (0i64, 0i64);
+        let mut in_str = false;
+        let mut escape = false;
+        for c in s.chars() {
+            if escape {
+                escape = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => escape = true,
+                '"' => in_str = !in_str,
+                '{' if !in_str => brace += 1,
+                '}' if !in_str => brace -= 1,
+                '[' if !in_str => bracket += 1,
+                ']' if !in_str => bracket -= 1,
+                _ => {}
+            }
+            if brace < 0 || bracket < 0 {
+                return false;
+            }
+        }
+        brace == 0 && bracket == 0 && !in_str
+    }
+
+    fn sample_report() -> crate::TelemetryReport {
+        let _l = test_lock::hold();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let _a = crate::span("stage");
+            let _b = crate::span("solve \"quoted\"");
+            crate::counter("events", 2);
+            crate::record("latency_s", 3.0e-3);
+        }
+        let r = crate::snapshot();
+        crate::set_enabled(false);
+        r
+    }
+
+    #[test]
+    fn json_export_is_balanced_and_complete() {
+        let r = sample_report();
+        let j = r.to_json();
+        assert!(balanced(&j), "unbalanced JSON: {j}");
+        assert!(j.starts_with("{\"schema\":\"fts-telemetry/1\""));
+        assert!(j.contains("\"path\":\"stage\""));
+        assert!(j.contains("solve \\\"quoted\\\""), "quotes escaped");
+        assert!(j.contains("\"name\":\"events\",\"value\":2"));
+        assert!(j.contains("\"name\":\"latency_s\""));
+    }
+
+    #[test]
+    fn chrome_trace_has_complete_events() {
+        let r = sample_report();
+        let t = r.to_chrome_trace();
+        assert!(balanced(&t), "unbalanced trace JSON: {t}");
+        assert!(t.contains("\"traceEvents\":["));
+        assert!(t.contains("\"ph\":\"X\""));
+        assert!(t.contains("\"tid\":"));
+    }
+
+    #[test]
+    fn tree_render_indents_children() {
+        let r = sample_report();
+        let tree = r.render_tree();
+        assert!(tree.contains("stage"));
+        // The child renders by last segment, indented deeper than parent.
+        let parent_line = tree
+            .lines()
+            .find(|l| l.trim_start().starts_with("stage"))
+            .unwrap();
+        let child_line = tree.lines().find(|l| l.contains("solve")).unwrap();
+        let indent = |l: &str| l.len() - l.trim_start().len();
+        assert!(indent(child_line) > indent(parent_line));
+        assert!(tree.contains("counters:"));
+        assert!(tree.contains("histograms"));
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let _l = test_lock::hold();
+        crate::set_enabled(false);
+        crate::reset();
+        let r = crate::snapshot();
+        assert!(r.render_tree().contains("(none)"));
+        assert!(balanced(&r.to_json()));
+        assert!(balanced(&r.to_chrome_trace()));
+    }
+}

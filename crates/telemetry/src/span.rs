@@ -1,0 +1,127 @@
+//! RAII span guards.
+
+use std::marker::PhantomData;
+
+use crate::registry;
+
+/// Closes its span when dropped. `!Send`: a span must end on the thread
+/// that opened it, because the span stack is thread-local.
+#[must_use = "a span is timed until this guard drops"]
+pub struct SpanGuard {
+    armed: bool,
+    _not_send: PhantomData<*const ()>,
+}
+
+pub(crate) fn begin(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard {
+            armed: false,
+            _not_send: PhantomData,
+        };
+    }
+    let now = crate::now_ns();
+    registry::with_buffer(|b| b.begin_span(name, now));
+    SpanGuard {
+        armed: true,
+        _not_send: PhantomData,
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            let now = crate::now_ns();
+            registry::with_buffer(|b| b.end_span(now));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::test_lock;
+
+    fn spin(us: u64) {
+        let t0 = std::time::Instant::now();
+        while t0.elapsed().as_micros() < us as u128 {
+            std::hint::spin_loop();
+        }
+    }
+
+    #[test]
+    fn nesting_builds_paths_and_attributes_self_time() {
+        let _l = test_lock::hold();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let _a = crate::span("outer");
+            spin(200);
+            for _ in 0..3 {
+                let _b = crate::span("inner");
+                spin(100);
+            }
+        }
+        let r = crate::snapshot();
+        crate::set_enabled(false);
+
+        let outer = r.span("outer").expect("outer recorded");
+        let inner = r.span("outer/inner").expect("inner nested under outer");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 3);
+        assert!(outer.total_s >= inner.total_s, "parent contains children");
+        // Self time excludes the three inner spans.
+        assert!(outer.self_s < outer.total_s);
+        assert!(
+            outer.self_s >= 100.0e-6,
+            "outer spun 200us outside children"
+        );
+        assert!(inner.min_s <= inner.max_s);
+    }
+
+    #[test]
+    fn sibling_threads_merge_into_one_aggregate() {
+        let _l = test_lock::hold();
+        crate::set_enabled(true);
+        crate::reset();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let _g = crate::span("worker");
+                    crate::counter("work_items", 10);
+                    spin(50);
+                });
+            }
+        });
+        let r = crate::snapshot();
+        crate::set_enabled(false);
+
+        let w = r.span("worker").expect("workers recorded");
+        assert_eq!(w.count, 4, "one span per thread, merged");
+        assert_eq!(r.counter("work_items"), 40);
+        // Trace events survive thread exit and carry distinct thread ids.
+        let tids: std::collections::HashSet<u32> = r
+            .events
+            .iter()
+            .filter(|e| e.path == "worker")
+            .map(|e| e.tid)
+            .collect();
+        assert_eq!(tids.len(), 4);
+    }
+
+    #[test]
+    fn snapshot_is_cumulative_and_reset_clears() {
+        let _l = test_lock::hold();
+        crate::set_enabled(true);
+        crate::reset();
+        crate::counter("ticks", 1);
+        assert_eq!(crate::snapshot().counter("ticks"), 1);
+        crate::counter("ticks", 2);
+        assert_eq!(
+            crate::snapshot().counter("ticks"),
+            3,
+            "snapshot does not clear"
+        );
+        crate::reset();
+        assert_eq!(crate::snapshot().counter("ticks"), 0);
+        crate::set_enabled(false);
+    }
+}

@@ -53,7 +53,10 @@ fn main() {
     // square HfO2 device at Vg = Vd = 5 V.
     println!("\nper-terminal currents (square HfO2, Vg = Vd = 5 V) [µA]:");
     let dev = Device::new(DeviceKind::Square, Dielectric::HfO2);
-    println!("{:<6} {:>9} {:>9} {:>9} {:>9}", "case", "T1", "T2", "T3", "T4");
+    println!(
+        "{:<6} {:>9} {:>9} {:>9} {:>9}",
+        "case", "T1", "T2", "T3", "T4"
+    );
     for case in BiasCase::paper_cases() {
         let sol = dev.solve_bias(case, 5.0, 5.0);
         println!(

@@ -35,8 +35,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             comp_vol_worst = comp_vol_worst.max(comp.dc_output(x)?);
         }
     }
-    println!("  resistive bench   : worst static power {:.3e} W, V_OL ~0.19 V", m.static_power_worst);
-    println!("  complementary     : worst static power {:.3e} W, V_OL {:.4} V", comp_static_worst, comp_vol_worst);
+    println!(
+        "  resistive bench   : worst static power {:.3e} W, V_OL ~0.19 V",
+        m.static_power_worst
+    );
+    println!(
+        "  complementary     : worst static power {:.3e} W, V_OL {:.4} V",
+        comp_static_worst, comp_vol_worst
+    );
     println!(
         "  static-power saving: {:.0}x  (paper: 'almost zero')",
         m.static_power_worst / comp_static_worst.max(1e-18)
@@ -51,8 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  response flat across the sweep");
     }
     if let Some(d) = m.worst_delay {
-        println!("  worst 50%-50% delay: {:.2} ns -> max toggle rate {:.2} MHz",
-            d * 1e9, 1e-6 / (2.0 * d));
+        println!(
+            "  worst 50%-50% delay: {:.2} ns -> max toggle rate {:.2} MHz",
+            d * 1e9,
+            1e-6 / (2.0 * d)
+        );
     }
 
     // 3. Defect analysis of the XOR3 lattice.
@@ -66,13 +75,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.detectability() * 100.0
     );
     for (site, impact) in defects::critical_sites(&lat, 3, 3)? {
-        println!("  critical switch at {:?}: up to {} rows corrupted", site, impact);
+        println!(
+            "  critical switch at {:?}: up to {} rows corrupted",
+            site, impact
+        );
     }
 
     // 4. Automated design tool (fast settings).
     println!("\n== design-space exploration: XOR2 ==");
     let g = generators::xor(2);
-    let opts = ExploreOptions { phase: 40e-9, dt: 2e-9, ..Default::default() };
+    let opts = ExploreOptions {
+        phase: 40e-9,
+        dt: 2e-9,
+        ..Default::default()
+    };
     let ex = explore(&g, &model, &opts)?;
     for c in &ex.candidates {
         println!(
@@ -86,9 +102,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             c.metrics.transient_energy
         );
     }
-    let spec = DesignSpec { max_area: Some(6), ..Default::default() };
+    let spec = DesignSpec {
+        max_area: Some(6),
+        ..Default::default()
+    };
     match ex.recommend(&spec) {
-        Some(c) => println!("  recommended under max_area=6: {} {}x{}", c.source, c.lattice.rows(), c.lattice.cols()),
+        Some(c) => println!(
+            "  recommended under max_area=6: {} {}x{}",
+            c.source,
+            c.lattice.rows(),
+            c.lattice.cols()
+        ),
         None => println!("  nothing meets max_area=6"),
     }
     Ok(())

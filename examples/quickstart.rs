@@ -13,11 +13,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // realizations of multi-product functions. Majority-of-3 is self-dual,
     // so the Altun–Riedel construction gives a 3×3 lattice.
     let f = generators::majority(3);
-    println!("target function: MAJ3 = {}", four_terminal_lattice::logic::isop::isop(&f));
+    println!(
+        "target function: MAJ3 = {}",
+        four_terminal_lattice::logic::isop::isop(&f)
+    );
 
     let run = Pipeline::standard().realize(&f)?;
 
-    println!("\nsynthesized lattice ({}x{}):", run.lattice.rows(), run.lattice.cols());
+    println!(
+        "\nsynthesized lattice ({}x{}):",
+        run.lattice.rows(),
+        run.lattice.cols()
+    );
     println!("{}", run.lattice);
     println!("\nswitch model (square-gate HfO2 device, level-1 fit):");
     println!(

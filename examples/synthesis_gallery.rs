@@ -24,11 +24,21 @@ fn report(name: &str, f: &TruthTable) {
         ar.site_count()
     );
     match &col {
-        Some(l) => print!("   column {}x{} ({} sw)", l.rows(), l.cols(), l.site_count()),
+        Some(l) => print!(
+            "   column {}x{} ({} sw)",
+            l.rows(),
+            l.cols(),
+            l.site_count()
+        ),
         None => print!("   column n/a"),
     }
     match &annealed {
-        Some(l) => println!("   annealed {}x{} ({} sw)", l.rows(), l.cols(), l.site_count()),
+        Some(l) => println!(
+            "   annealed {}x{} ({} sw)",
+            l.rows(),
+            l.cols(),
+            l.site_count()
+        ),
         None => println!("   annealed: none within budget"),
     }
 

@@ -63,7 +63,10 @@ fn lattice_subcommand_reads_stdin() {
 
 #[test]
 fn characterize_prints_figures_of_merit() {
-    let out = fts().args(["characterize", "cross", "sio2"]).output().expect("run");
+    let out = fts()
+        .args(["characterize", "cross", "sio2"])
+        .output()
+        .expect("run");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Vth"), "{text}");

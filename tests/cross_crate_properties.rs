@@ -116,13 +116,20 @@ fn spice_mosfet_matches_level1_reference() {
     use four_terminal_lattice::spice::{analysis, MosParams, Netlist, Waveform};
 
     let reference = Level1::new(2.0e-5, 0.4, 0.06, 2.0);
-    let params = MosParams { kp: 2.0e-5, vth: 0.4, lambda: 0.06, w_over_l: 2.0 };
+    let params = MosParams {
+        kp: 2.0e-5,
+        vth: 0.4,
+        lambda: 0.06,
+        w_over_l: 2.0,
+    };
     for (vgs, vds) in [(0.2, 1.0), (1.0, 0.2), (1.0, 2.0), (3.0, 1.0), (5.0, 5.0)] {
         let mut nl = Netlist::new();
         let d = nl.node("d");
         let g = nl.node("g");
-        nl.vsource("VD", d, Netlist::GROUND, Waveform::Dc(vds)).unwrap();
-        nl.vsource("VG", g, Netlist::GROUND, Waveform::Dc(vgs)).unwrap();
+        nl.vsource("VD", d, Netlist::GROUND, Waveform::Dc(vds))
+            .unwrap();
+        nl.vsource("VG", g, Netlist::GROUND, Waveform::Dc(vgs))
+            .unwrap();
         nl.nmos("M1", d, g, Netlist::GROUND, params).unwrap();
         let op = analysis::op(&nl).unwrap();
         let sim = -op.vsource_current(&nl, "VD").unwrap();

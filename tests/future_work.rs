@@ -20,7 +20,9 @@ fn complementary_xor3_beats_resistive_bench_on_static_power() {
     let resistive = LatticeCircuit::build(&pd, 3, &model, BenchConfig::default()).expect("build");
     let rm = measure_lattice_circuit(&resistive, 3, 50e-9, 1e-9).expect("measure");
 
-    let pu = four_terminal_lattice::synth::synthesize(&!&f).expect("synthesis").lattice;
+    let pu = four_terminal_lattice::synth::synthesize(&!&f)
+        .expect("synthesis")
+        .lattice;
     let comp =
         ComplementaryCircuit::build(&pd, &pu, 3, &model, BenchConfig::default()).expect("build");
     let mut comp_static = 0.0f64;
@@ -77,8 +79,10 @@ fn level3_switch_degrades_gracefully_vs_level1() {
         let a = nl.node("a");
         let b = nl.node("b");
         let g = nl.node("g");
-        nl.vsource("VA", a, Netlist::GROUND, Waveform::Dc(1.2)).unwrap();
-        nl.vsource("VG", g, Netlist::GROUND, Waveform::Dc(1.2)).unwrap();
+        nl.vsource("VA", a, Netlist::GROUND, Waveform::Dc(1.2))
+            .unwrap();
+        nl.vsource("VG", g, Netlist::GROUND, Waveform::Dc(1.2))
+            .unwrap();
         nl.resistor("RB", b, Netlist::GROUND, 1.0e6).unwrap();
         nl.nmos3("M1", a, g, b, params).unwrap();
         analysis::op(&nl).unwrap().voltage(b)
@@ -108,5 +112,9 @@ fn provable_minimum_matches_annealed_result_for_xor2() {
     let (proved, certified) = prove_minimal_area(&f, 6).expect("realizable");
     assert!(certified);
     let annealed = anneal_minimal(&f, 9, &AnnealOptions::default()).expect("found");
-    assert_eq!(proved.site_count(), annealed.site_count(), "both find the true minimum");
+    assert_eq!(
+        proved.site_count(),
+        annealed.site_count(),
+        "both find the true minimum"
+    );
 }

@@ -19,8 +19,22 @@ use four_terminal_lattice::synth::column::column_construction;
 fn table1_product_counts_match_paper_exactly() {
     // Full verification of the expensive entries lives in the bench
     // harness; here we check a representative diagonal plus the corners.
-    for (m, n) in [(2, 2), (3, 3), (4, 4), (5, 5), (6, 6), (2, 9), (9, 2), (4, 7), (7, 4)] {
-        assert_eq!(product_count(m, n), PAPER_TABLE1[m - 2][n - 2], "entry ({m},{n})");
+    for (m, n) in [
+        (2, 2),
+        (3, 3),
+        (4, 4),
+        (5, 5),
+        (6, 6),
+        (2, 9),
+        (9, 2),
+        (4, 7),
+        (7, 4),
+    ] {
+        assert_eq!(
+            product_count(m, n),
+            PAPER_TABLE1[m - 2][n - 2],
+            "entry ({m},{n})"
+        );
     }
 }
 
@@ -33,7 +47,10 @@ fn fig2c_lattice_function_products() {
     let strings: Vec<String> = cover.iter().map(|c| c.to_string()).collect();
     // Spot-check the three straight columns (variables a..i row-major).
     for p in ["adg", "beh", "cfi"] {
-        assert!(strings.contains(&p.to_owned()), "missing {p} in {strings:?}");
+        assert!(
+            strings.contains(&p.to_owned()),
+            "missing {p} in {strings:?}"
+        );
     }
 }
 
@@ -41,7 +58,9 @@ fn fig2c_lattice_function_products() {
 fn fig3_xor3_realizations() {
     let f = generators::xor(3);
     // (a) 3×4 column construction.
-    let col = column_construction(&f).expect("in range").expect("XOR3 columnizes");
+    let col = column_construction(&f)
+        .expect("in range")
+        .expect("XOR3 columnizes");
     assert_eq!((col.rows(), col.cols()), (3, 4));
     assert_eq!(col.truth_table(3).expect("tt"), f);
     // (b) 3×3 minimal lattice.
@@ -97,7 +116,10 @@ fn figs5to7_curve_families_behave() {
     // one (paper: 1e-3 vs 1e-5 scales).
     let lin_max = lin.terminal(0).last().copied().unwrap();
     let sat_max = sat.terminal(0).last().copied().unwrap();
-    assert!(sat_max > 20.0 * lin_max, "sat {sat_max:.2e} vs lin {lin_max:.2e}");
+    assert!(
+        sat_max > 20.0 * lin_max,
+        "sat {sat_max:.2e} vs lin {lin_max:.2e}"
+    );
     // Output curve saturates at the same level as the transfer end point.
     let out_max = out.terminal(0).last().copied().unwrap();
     assert!((out_max - sat_max).abs() < 0.2 * sat_max);
@@ -138,8 +160,16 @@ fn fig8_current_density_profiles() {
 fn fig10_level1_fit_quality() {
     let dev = Device::new(DeviceKind::Square, Dielectric::HfO2);
     let model = four_terminal_lattice::extract::extract_switch_model(&dev).expect("fit");
-    assert!(model.fit_a.relative_rmse < 0.16, "A: {}", model.fit_a.relative_rmse);
-    assert!(model.fit_b.relative_rmse < 0.16, "B: {}", model.fit_b.relative_rmse);
+    assert!(
+        model.fit_a.relative_rmse < 0.16,
+        "A: {}",
+        model.fit_a.relative_rmse
+    );
+    assert!(
+        model.fit_b.relative_rmse < 0.16,
+        "B: {}",
+        model.fit_b.relative_rmse
+    );
     assert!(model.type_a.vth > 0.0 && model.type_a.vth < 1.0);
 }
 
@@ -149,7 +179,11 @@ fn fig11_xor3_transient() {
     let report = Xor3Experiment::quick().run(&model).expect("transient");
     assert!(report.functional);
     // Ratioed low level in the paper's range (0.22 V ± a wide margin).
-    assert!(report.v_ol > 0.02 && report.v_ol < 0.45, "V_OL {}", report.v_ol);
+    assert!(
+        report.v_ol > 0.02 && report.v_ol < 0.45,
+        "V_OL {}",
+        report.v_ol
+    );
     // Timing: nanosecond-scale edges, rise slower than fall.
     let rise = report.rise_s.expect("rise");
     let fall = report.fall_s.expect("fall");
@@ -170,10 +204,17 @@ fn fig12a_series_chain_current_shape() {
     for w in currents.windows(2) {
         assert!(w[1] < w[0]);
     }
-    assert!(currents[0] > 1e-6 && currents[0] < 1e-4, "I(1) = {:.2e}", currents[0]);
+    assert!(
+        currents[0] > 1e-6 && currents[0] < 1e-4,
+        "I(1) = {:.2e}",
+        currents[0]
+    );
     let early = currents[0] / currents[2];
     let late = currents[2] / currents[3];
-    assert!(early > 2.0 * late, "decay concentrates early: {early:.2} vs {late:.2}");
+    assert!(
+        early > 2.0 * late,
+        "decay concentrates early: {early:.2} vs {late:.2}"
+    );
 }
 
 #[test]

@@ -45,15 +45,18 @@ fn sio2_technology_fails_at_low_vdd_but_works_at_high_vdd() {
     // SiO2 square device: Vth ≈ 1.4 V > VDD = 1.2 V, so the standard
     // bench cannot switch — exactly why the paper uses HfO2 at 1.2 V.
     let f = generators::and(2);
-    let model = SwitchCircuitModel::from_device(DeviceKind::Square, Dielectric::SiO2)
-        .expect("extraction");
+    let model =
+        SwitchCircuitModel::from_device(DeviceKind::Square, Dielectric::SiO2).expect("extraction");
     let lat = four_terminal_lattice::synth::dual::altun_riedel(&f).expect("synthesis");
 
     let low = LatticeCircuit::build(&lat, 2, &model, BenchConfig::default()).expect("build");
     let v_low = low.dc_output(0b11).expect("dc");
     assert!(v_low > 0.6, "1.2 V cannot turn on the SiO2 switch: {v_low}");
 
-    let bench = BenchConfig { vdd: 5.0, ..BenchConfig::default() };
+    let bench = BenchConfig {
+        vdd: 5.0,
+        ..BenchConfig::default()
+    };
     let high = LatticeCircuit::build(&lat, 2, &model, bench).expect("build");
     let v_high = high.dc_output(0b11).expect("dc");
     assert!(v_high < 2.0, "5 V drives the SiO2 switch on: {v_high}");
@@ -65,5 +68,8 @@ fn synthesized_area_tracks_isop_sizes() {
     // smaller of the column and dual constructions.
     let f = generators::xor(3);
     let run = Pipeline::standard().realize(&f).expect("flow");
-    assert!(run.area() <= 16, "must not exceed the 4×4 dual construction");
+    assert!(
+        run.area() <= 16,
+        "must not exceed the 4×4 dual construction"
+    );
 }
