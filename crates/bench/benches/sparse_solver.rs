@@ -1,0 +1,77 @@
+//! Dense-vs-sparse crossover: factor+solve wall time of both engines on
+//! the same diagonally dominant banded system as the order grows. The
+//! dense LU is O(n³); the sparse LU on a banded pattern is O(n·b²) — this
+//! bench locates the crossover that motivates `SPARSE_THRESHOLD`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fts_spice::linalg::Matrix;
+use fts_spice::{SparseLu, SparseMatrix, Symbolic};
+
+/// Bandwidth of the test systems; MNA matrices of switching lattices are
+/// similarly narrow-banded after minimum-degree ordering.
+const BAND: usize = 4;
+
+fn band_entries(n: usize) -> Vec<(usize, usize)> {
+    let mut e = Vec::new();
+    for i in 0..n {
+        for j in i.saturating_sub(BAND)..(i + BAND + 1).min(n) {
+            e.push((i, j));
+        }
+    }
+    e
+}
+
+/// Deterministic off-diagonal value; the diagonal dominates the row sum.
+fn value(i: usize, j: usize) -> f64 {
+    if i == j {
+        4.0 * BAND as f64
+    } else {
+        -1.0 + 0.1 * ((i * 31 + j * 17) % 7) as f64 / 7.0
+    }
+}
+
+fn bench_crossover(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solve_crossover");
+    for n in [8usize, 16, 24, 32, 48, 64, 96] {
+        let rhs: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 2.0).collect();
+
+        let mut dense = Matrix::zeros(n);
+        for (i, j) in band_entries(n) {
+            dense.add(i, j, value(i, j));
+        }
+        g.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = dense.clone();
+                m.solve(&rhs).expect("solve")
+            })
+        });
+
+        let mut sparse = SparseMatrix::from_entries(n, band_entries(n));
+        for (i, j) in band_entries(n) {
+            sparse.add(i, j, value(i, j));
+        }
+        let symbolic = std::sync::Arc::new(Symbolic::analyze(&sparse));
+        let mut lu = SparseLu::new(symbolic);
+        g.bench_with_input(BenchmarkId::new("sparse", n), &n, |b, _| {
+            b.iter(|| {
+                lu.factor(&sparse).expect("factor");
+                let mut x = rhs.clone();
+                lu.solve_in_place(&mut x);
+                x
+            })
+        });
+    }
+    g.finish();
+}
+
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group! {name = benches;config = quick_config();targets = bench_crossover}
+criterion_main!(benches);

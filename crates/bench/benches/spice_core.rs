@@ -71,7 +71,7 @@ fn bench_spice(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter_batched(
                 || lu_matrix(n),
-                |(m, rhs)| m.solve(&rhs).expect("well conditioned"),
+                |(mut m, rhs)| m.solve(&rhs).expect("well conditioned"),
                 criterion::BatchSize::SmallInput,
             )
         });

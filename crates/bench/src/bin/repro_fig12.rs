@@ -8,6 +8,9 @@ use fts_circuit::model::SwitchCircuitModel;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     let mut tel = fts_bench::telemetry::from_args("repro_fig12", &mut argv);
+    // Collect solver counters even without --telemetry, so the JSON line
+    // below always carries factor counts and the symbolic reuse rate.
+    let counters_here = fts_bench::telemetry::ensure_counters(&tel);
     let model = SwitchCircuitModel::square_hfo2()?;
 
     println!("Fig. 12a: current vs number of series switches @ VDD = 1.2 V");
@@ -33,6 +36,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("paper anchors: 1.2 V @ N=2, ~2.5 V @ N=21 (near-linear, shallow slope)");
     tel.phase_done("run");
+    println!(
+        "\nJSON summary:\n{{\"experiment\":\"fig12_series_chain\",\"i2_a\":{},\"solver\":{},\"phases\":{}}}",
+        i2,
+        fts_bench::telemetry::solver_stats_json(),
+        tel.phases_json(),
+    );
     tel.finish()?;
+    fts_bench::telemetry::solver_stats_done(counters_here);
     Ok(())
 }

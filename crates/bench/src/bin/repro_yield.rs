@@ -62,6 +62,7 @@ fn json_summary(
     par_tps: f64,
     threads: usize,
     phases_json: &str,
+    solver_json: &str,
 ) -> String {
     let crit: Vec<String> = r.site_criticality.iter().map(u64::to_string).collect();
     // Criticality map summary: the most failure-implicated sites, best
@@ -83,7 +84,7 @@ fn json_summary(
             "\"functional_yield\":{},\"parametric_yield\":{},",
             "\"v_ol\":{},\"v_oh\":{},\"rise_s\":{},\"fall_s\":{},",
             "\"site_criticality\":[{}],\"critical_sites\":[{}],",
-            "\"phases\":{},",
+            "\"solver\":{},\"phases\":{},",
             "\"throughput\":{{\"sequential_trials_per_s\":{},\"parallel_trials_per_s\":{},",
             "\"threads\":{},\"speedup\":{}}}}}"
         ),
@@ -107,6 +108,7 @@ fn json_summary(
         json_stats(&r.fall_s),
         crit.join(","),
         top.join(","),
+        solver_json,
         phases_json,
         seq_tps,
         par_tps,
@@ -120,6 +122,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut tel = telemetry::from_args("repro_yield", &mut argv);
     tel.mirror_bench("BENCH_repro.json");
     let args = parse_args(argv);
+    // Solver statistics ride on the telemetry counters; keep collection on
+    // even without --telemetry so the JSON summary can report factor
+    // counts and the symbolic reuse rate.
+    let counters_here = telemetry::ensure_counters(&tel);
 
     let nominal = SwitchCircuitModel::square_hfo2()?;
     let lat = xor3_lattice();
@@ -150,6 +156,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let seq_tps = args.trials as f64 / seq_s;
     let par_tps = args.trials as f64 / par_s;
+    let solver_json = telemetry::solver_stats_json();
+    let snap = fts_telemetry::snapshot();
 
     if !args.json_only {
         println!(
@@ -197,12 +205,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "\n  throughput       : sequential {seq_tps:.1} trials/s, parallel {par_tps:.1} trials/s ({threads} threads, {:.2}x)",
             par_tps / seq_tps
         );
+        let sym_new = snap.counter("spice.sparse.symbolic_new");
+        let sym_reuse = snap.counter("spice.sparse.symbolic_reuse");
+        let sym_miss = snap.counter("spice.sparse.symbolic_miss");
+        println!(
+            "  sparse solver    : {} factors, {} solves; symbolic analyses {} ({} reuses, {} pattern misses)",
+            snap.counter("spice.sparse.factor"),
+            snap.counter("spice.sparse.solve"),
+            sym_new + sym_miss,
+            sym_reuse,
+            sym_miss,
+        );
         println!("\nJSON summary:");
     }
     println!(
         "{}",
-        json_summary(&report, seq_tps, par_tps, threads, &tel.phases_json())
+        json_summary(
+            &report,
+            seq_tps,
+            par_tps,
+            threads,
+            &tel.phases_json(),
+            &solver_json
+        )
     );
     tel.finish()?;
+    telemetry::solver_stats_done(counters_here);
     Ok(())
 }

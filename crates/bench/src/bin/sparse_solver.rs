@@ -1,0 +1,163 @@
+//! Dense-vs-sparse solver scaling on m×m switching lattices (3×3 → 8×8).
+//!
+//! Each lattice maps its sites to three input variables (cycling
+//! row-major), drives all 2³ input combinations as PWL stimulus, and runs
+//! the same short transient through both linear-solver engines. Reports
+//! wall time per engine, the speedup, and the MNA sparsity statistics
+//! (unknowns, pattern nonzeros, L+U fill after minimum-degree ordering).
+//!
+//! Writes `BENCH_sparse_solver.json` in the working directory.
+
+use std::time::Instant;
+
+use fts_circuit::lattice_netlist::{pwl_from_bits, BenchConfig, LatticeCircuit};
+use fts_circuit::model::SwitchCircuitModel;
+use fts_lattice::Lattice;
+use fts_logic::Literal;
+use fts_spice::analysis::{self, Integrator, TransientOptions};
+use fts_spice::netlist::SolverKind;
+
+const VARS: usize = 3;
+const PHASE: f64 = 2.0e-9;
+const TRANSITION: f64 = 0.2e-9;
+const DT: f64 = 8.0e-11;
+
+struct Row {
+    m: usize,
+    unknowns: usize,
+    pattern_nnz: usize,
+    factor_nnz: usize,
+    steps: usize,
+    dense_s: f64,
+    sparse_s: f64,
+}
+
+fn lattice_circuit(
+    m: usize,
+    model: &SwitchCircuitModel,
+) -> Result<LatticeCircuit, Box<dyn std::error::Error>> {
+    let lits: Vec<Literal> = (0..m * m).map(|k| Literal::pos((k % VARS) as u8)).collect();
+    let lat = Lattice::from_literals(m, m, lits)?;
+    let mut ckt = LatticeCircuit::build(&lat, VARS, model, BenchConfig::default())?;
+    let vdd = BenchConfig::default().vdd;
+    let combos = 1u32 << VARS;
+    for v in 0..VARS {
+        let bits: Vec<bool> = (0..combos).map(|x| (x >> v) & 1 == 1).collect();
+        let (p, n) = pwl_from_bits(&bits, PHASE, TRANSITION, vdd);
+        ckt.set_stimulus(v, p, n)?;
+    }
+    Ok(ckt)
+}
+
+/// Best-of-`reps` transient wall time through the given engine.
+fn time_transient(
+    ckt: &LatticeCircuit,
+    kind: SolverKind,
+    opts: &TransientOptions,
+    reps: usize,
+) -> f64 {
+    let mut nl = ckt.netlist().clone();
+    nl.set_solver(kind);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        analysis::transient(&nl, opts).expect("transient");
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// L+U nonzeros for the circuit's MNA system, read from the first-factor
+/// telemetry record of a single sparse operating point.
+fn measure_factor_nnz(ckt: &LatticeCircuit) -> usize {
+    fts_telemetry::reset();
+    fts_telemetry::set_enabled(true);
+    let mut nl = ckt.netlist().clone();
+    nl.set_solver(SolverKind::Sparse);
+    analysis::op(&nl).expect("op");
+    let snap = fts_telemetry::snapshot();
+    let nnz = snap
+        .histogram("spice.sparse.factor_nnz")
+        .map_or(0, |h| h.summary.max as usize);
+    fts_telemetry::set_enabled(false);
+    fts_telemetry::reset();
+    nnz
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let started = Instant::now();
+    let model = SwitchCircuitModel::square_hfo2()?;
+    let opts = TransientOptions {
+        dt: DT,
+        tstop: PHASE * (1u32 << VARS) as f64,
+        integrator: Integrator::Trapezoidal,
+        uic: false,
+    };
+    let steps = (opts.tstop / opts.dt).round() as usize;
+
+    println!("Dense vs sparse MNA engine: m x m lattice transient, {steps} steps");
+    println!(
+        "{:>4} {:>9} {:>12} {:>11} {:>11} {:>12} {:>8}",
+        "m", "unknowns", "pattern nnz", "L+U nnz", "dense [s]", "sparse [s]", "speedup"
+    );
+
+    let mut rows = Vec::new();
+    for m in 3..=8usize {
+        let ckt = lattice_circuit(m, &model)?;
+        let pattern = ckt.netlist().mna_pattern();
+        let factor_nnz = measure_factor_nnz(&ckt);
+        let reps = if m <= 6 { 3 } else { 2 };
+        let dense_s = time_transient(&ckt, SolverKind::Dense, &opts, reps);
+        let sparse_s = time_transient(&ckt, SolverKind::Sparse, &opts, reps);
+        let row = Row {
+            m,
+            unknowns: ckt.netlist().unknown_count(),
+            pattern_nnz: pattern.nnz(),
+            factor_nnz,
+            steps,
+            dense_s,
+            sparse_s,
+        };
+        println!(
+            "{:>4} {:>9} {:>12} {:>11} {:>11.4} {:>12.4} {:>7.2}x",
+            row.m,
+            row.unknowns,
+            row.pattern_nnz,
+            row.factor_nnz,
+            row.dense_s,
+            row.sparse_s,
+            row.dense_s / row.sparse_s,
+        );
+        rows.push(row);
+    }
+
+    let results: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "{{\"m\":{},\"unknowns\":{},\"pattern_nnz\":{},",
+                    "\"factor_nnz\":{},\"steps\":{},\"dense_wall_s\":{},",
+                    "\"sparse_wall_s\":{},\"speedup\":{}}}"
+                ),
+                r.m,
+                r.unknowns,
+                r.pattern_nnz,
+                r.factor_nnz,
+                r.steps,
+                r.dense_s,
+                r.sparse_s,
+                r.dense_s / r.sparse_s,
+            )
+        })
+        .collect();
+    let bench = format!(
+        "{{\"schema\":\"fts-bench/1\",\"bin\":\"sparse_solver\",\"wall_s\":{},\"results\":[{}]}}",
+        started.elapsed().as_secs_f64(),
+        results.join(","),
+    );
+    std::fs::write("BENCH_sparse_solver.json", &bench)?;
+    println!("\nJSON summary:\n{bench}");
+    eprintln!("[bench] wrote BENCH_sparse_solver.json");
+    Ok(())
+}

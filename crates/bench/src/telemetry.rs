@@ -49,6 +49,61 @@ pub fn from_args(bin: &'static str, args: &mut Vec<String>) -> Session {
     }
 }
 
+/// Turns on global counter collection when `session` is inactive (i.e. the
+/// binary ran without `--telemetry`), so solver statistics are gathered
+/// either way. Returns `true` when this call enabled collection; pass that
+/// to [`solver_stats_done`] after reading the stats.
+pub fn ensure_counters(session: &Session) -> bool {
+    if session.active() {
+        return false;
+    }
+    fts_telemetry::reset();
+    fts_telemetry::set_enabled(true);
+    true
+}
+
+/// Disables collection again when [`ensure_counters`] turned it on.
+pub fn solver_stats_done(enabled_here: bool) {
+    if enabled_here {
+        fts_telemetry::set_enabled(false);
+        fts_telemetry::reset();
+    }
+}
+
+/// JSON object of linear-solver statistics drawn from the live telemetry
+/// counters: engine selections, numeric factor/solve counts, and the
+/// symbolic-analysis reuse rate (1.0 = every workspace after the first
+/// reused a shared fill-reducing ordering).
+pub fn solver_stats_json() -> String {
+    let r = fts_telemetry::snapshot();
+    let new = r.counter("spice.sparse.symbolic_new");
+    let reuse = r.counter("spice.sparse.symbolic_reuse");
+    let miss = r.counter("spice.sparse.symbolic_miss");
+    let analyses = new + miss;
+    let requests = analyses + reuse;
+    let reuse_rate = if requests == 0 {
+        0.0
+    } else {
+        reuse as f64 / requests as f64
+    };
+    format!(
+        concat!(
+            "{{\"dense_selected\":{},\"sparse_selected\":{},",
+            "\"factor_count\":{},\"solve_count\":{},",
+            "\"symbolic_new\":{},\"symbolic_reuse\":{},\"symbolic_miss\":{},",
+            "\"symbolic_reuse_rate\":{}}}"
+        ),
+        r.counter("spice.solver.dense"),
+        r.counter("spice.solver.sparse"),
+        r.counter("spice.sparse.factor"),
+        r.counter("spice.sparse.solve"),
+        new,
+        reuse,
+        miss,
+        reuse_rate,
+    )
+}
+
 impl Session {
     /// True when `--telemetry` was passed.
     pub fn active(&self) -> bool {

@@ -245,7 +245,15 @@ pub fn series_chain_voltage_for_current(
     target: f64,
     v_max: f64,
 ) -> Result<f64, CircuitError> {
-    let current = |v: f64| -> Result<f64, CircuitError> { series_chain_current(model, n, v) };
+    // One netlist serves the whole bisection: only the drive level changes,
+    // so every operating point reuses the same symbolic factorization.
+    let (mut nl, src) = series_chain_netlist(model, n, v_max)?;
+    nl.share_symbolic(nl.mna_symbolic());
+    let mut current = |v: f64| -> Result<f64, CircuitError> {
+        nl.set_vsource(src, Waveform::Dc(v))?;
+        let op = analysis::op(&nl)?;
+        Ok(-op.vsource_current(&nl, src)?)
+    };
     let (mut lo, mut hi) = (0.0f64, v_max);
     if current(hi)? < target {
         return Err(CircuitError::TargetNotBracketed { target });

@@ -8,6 +8,7 @@
 //! stream into per-block accumulators that merge in fixed block order, so
 //! the report is bit-identical for every thread count.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use fts_circuit::lattice_netlist::{pwl_from_bits, BenchConfig, LatticeCircuit};
@@ -265,11 +266,18 @@ impl MonteCarlo {
         }
         let _span = fts_telemetry::span("mc.run");
         let truth = lattice.truth_table(vars)?;
-        if !matches!(self.eval, EvalMode::Logical) {
+        let shared_symbolic = if matches!(self.eval, EvalMode::Logical) {
+            None
+        } else {
             // Surface configuration-level circuit problems once, up front,
-            // instead of as `trials` identical per-trial failures.
-            LatticeCircuit::build(lattice, vars, nominal, self.bench)?;
-        }
+            // instead of as `trials` identical per-trial failures — and
+            // reuse the validated nominal circuit to run the fill-reducing
+            // symbolic analysis once for the whole ensemble. Trials whose
+            // defects change the topology fall back to a fresh analysis
+            // (the pattern is verified before reuse).
+            let nominal_ckt = LatticeCircuit::build(lattice, vars, nominal, self.bench)?;
+            Some(nominal_ckt.mna_symbolic())
+        };
 
         let threads = if self.threads == 0 {
             auto_threads()
@@ -284,6 +292,7 @@ impl MonteCarlo {
             nominal,
             truth: &truth,
             sites: lattice.rows() * lattice.cols(),
+            shared_symbolic,
         };
         let partials = map_blocks(&block_list, threads, |_, &(start, end)| {
             let mut acc = BlockStats::new(ctx.sites, self.bench.vdd);
@@ -314,6 +323,10 @@ struct TrialContext<'a> {
     nominal: &'a SwitchCircuitModel,
     truth: &'a TruthTable,
     sites: usize,
+    /// Fill-reducing ordering computed once from the nominal circuit and
+    /// reused by every electrically evaluated trial (`None` in
+    /// [`EvalMode::Logical`], where no MNA system is ever built).
+    shared_symbolic: Option<Arc<fts_spice::Symbolic>>,
 }
 
 /// Electrical measurements of one trial.
@@ -398,9 +411,13 @@ impl TrialContext<'_> {
         site_models: &[SwitchCircuitModel],
     ) -> Result<LatticeCircuit, fts_circuit::CircuitError> {
         let cols = self.lattice.cols();
-        LatticeCircuit::build_with(faulty, self.vars, self.mc.bench, |(r, c)| {
+        let mut ckt = LatticeCircuit::build_with(faulty, self.vars, self.mc.bench, |(r, c)| {
             site_models[r * cols + c]
-        })
+        })?;
+        if let Some(symbolic) = &self.shared_symbolic {
+            ckt.share_symbolic(Arc::clone(symbolic));
+        }
+        Ok(ckt)
     }
 
     /// DC sweep over all assignments: settled levels against the read

@@ -1,10 +1,10 @@
 //! DC operating point, DC sweep, and transient analyses.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 
 use crate::complex::{CMatrix, Complex};
 use crate::netlist::{Element, Netlist, NodeId, Waveform};
-use crate::stamp::{self, CapMode, StampContext};
+use crate::stamp::{self, CapMode, SolverWorkspace, StampContext};
 use crate::SpiceError;
 
 /// Homotopy solver callback shared by the continuation helpers:
@@ -81,9 +81,10 @@ fn newton_tallied(
     x0: &[f64],
     max_iterations: usize,
     tally: &OpTally,
+    ws: &RefCell<SolverWorkspace>,
 ) -> Result<Vec<f64>, SpiceError> {
     tally.solves.set(tally.solves.get() + 1);
-    match stamp::newton(netlist, ctx, x0, max_iterations) {
+    match stamp::newton(netlist, ctx, x0, max_iterations, &mut ws.borrow_mut()) {
         Ok(solve) => {
             tally
                 .iterations
@@ -179,6 +180,19 @@ pub fn op(netlist: &Netlist) -> Result<OpResult, SpiceError> {
 ///
 /// As for [`op`].
 pub fn op_at(netlist: &Netlist, t: f64, initial: Option<&[f64]>) -> Result<OpResult, SpiceError> {
+    let ws = RefCell::new(SolverWorkspace::for_netlist(netlist));
+    op_at_ws(netlist, t, initial, &ws)
+}
+
+/// [`op_at`] over a caller-owned solver workspace, so sweeps and transient
+/// analyses amortize the workspace (and the sparse symbolic factorization)
+/// across many operating-point solves.
+fn op_at_ws(
+    netlist: &Netlist,
+    t: f64,
+    initial: Option<&[f64]>,
+    ws: &RefCell<SolverWorkspace>,
+) -> Result<OpResult, SpiceError> {
     let _span = fts_telemetry::span("spice.op");
     let n = netlist.unknown_count();
     let x0 = initial.map(|v| v.to_vec()).unwrap_or_else(|| vec![0.0; n]);
@@ -191,7 +205,7 @@ pub fn op_at(netlist: &Netlist, t: f64, initial: Option<&[f64]>) -> Result<OpRes
             gmin,
             source_scale: scale,
         };
-        newton_tallied(netlist, &ctx, x0, 120, &tally)
+        newton_tallied(netlist, &ctx, x0, 120, &tally, ws)
     };
     let finish = |x: Vec<f64>, strategy: OpStrategy| -> OpResult {
         let convergence = tally.report(strategy);
@@ -266,7 +280,7 @@ pub fn op_at(netlist: &Netlist, t: f64, initial: Option<&[f64]>) -> Result<OpRes
     // backward-Euler march to steady state, then polish with the true
     // cap-open Newton. Slowest, but it follows a physical trajectory and
     // rescues bias points where every static homotopy oscillates.
-    if let Some(x) = pseudo_transient(netlist, t, &solve, &tally) {
+    if let Some(x) = pseudo_transient(netlist, t, &solve, &tally, ws) {
         return Ok(finish(x, OpStrategy::PseudoTransient));
     }
     fts_telemetry::counter("spice.op.failed", 1);
@@ -284,6 +298,7 @@ fn pseudo_transient(
     t: f64,
     solve: &HomotopySolve<'_>,
     tally: &OpTally,
+    ws: &RefCell<SolverWorkspace>,
 ) -> Option<Vec<f64>> {
     let n = netlist.unknown_count();
     let mut x = vec![0.0; n];
@@ -301,7 +316,7 @@ fn pseudo_transient(
             gmin: 1e-12,
             source_scale: 1.0,
         };
-        match newton_tallied(netlist, &ctx, &x, 120, tally) {
+        match newton_tallied(netlist, &ctx, &x, 120, tally, ws) {
             Ok(next) => {
                 let max_dv = x
                     .iter()
@@ -375,9 +390,12 @@ pub fn dc_sweep(
 ) -> Result<Vec<OpResult>, SpiceError> {
     let mut out = Vec::with_capacity(values.len());
     let mut warm: Option<Vec<f64>> = None;
+    // One workspace for the whole sweep: changing a source waveform leaves
+    // the MNA pattern (and the symbolic factorization) intact.
+    let ws = RefCell::new(SolverWorkspace::for_netlist(netlist));
     for &v in values {
         netlist.set_vsource(source, Waveform::Dc(v))?;
-        let r = op_at(netlist, 0.0, warm.as_deref())?;
+        let r = op_at_ws(netlist, 0.0, warm.as_deref(), &ws)?;
         warm = Some(r.x.clone());
         out.push(r);
     }
@@ -557,10 +575,13 @@ pub fn ac(netlist: &Netlist, ac_source: &str, freqs: &[f64]) -> Result<AcResult,
     let op = op(netlist)?;
     let n = netlist.unknown_count();
     let mut samples = Vec::with_capacity(freqs.len());
+    // One matrix allocation reused across the whole frequency sweep.
+    let mut a = CMatrix::zeros(n);
+    let mut b = vec![Complex::ZERO; n];
     for &f in freqs {
         let omega = 2.0 * std::f64::consts::PI * f;
-        let mut a = CMatrix::zeros(n);
-        let mut b = vec![Complex::ZERO; n];
+        a.clear();
+        b.fill(Complex::ZERO);
         stamp::stamp_ac(netlist, op.unknowns(), omega, ac_source, &mut a, &mut b);
         samples.push(a.solve(&b)?);
     }
@@ -587,10 +608,12 @@ pub fn transient(netlist: &Netlist, opts: &TransientOptions) -> Result<Transient
     }
     let _span = fts_telemetry::span("spice.transient");
     let n = netlist.unknown_count();
+    // One workspace across the initial operating point and every timestep.
+    let ws = RefCell::new(SolverWorkspace::for_netlist(netlist));
     let mut x = if opts.uic {
         vec![0.0; n]
     } else {
-        op_at(netlist, 0.0, None)?.x
+        op_at_ws(netlist, 0.0, None, &ws)?.x
     };
     let mut cap_states = stamp::init_cap_states(netlist, &x);
 
@@ -615,7 +638,7 @@ pub fn transient(netlist: &Netlist, opts: &TransientOptions) -> Result<Transient
             gmin: 1e-12,
             source_scale: 1.0,
         };
-        let solve = stamp::newton(netlist, &ctx, &x, 200).map_err(|_| {
+        let solve = stamp::newton(netlist, &ctx, &x, 200, &mut ws.borrow_mut()).map_err(|_| {
             fts_telemetry::counter("spice.transient.step_failures", 1);
             SpiceError::NoConvergence {
                 analysis: "transient step",
@@ -694,7 +717,8 @@ pub fn transient_adaptive(
     let _span = fts_telemetry::span("spice.transient_adaptive");
     let n = netlist.unknown_count();
     let nv = netlist.node_count() - 1;
-    let mut x = op_at(netlist, 0.0, None)?.x;
+    let ws = RefCell::new(SolverWorkspace::for_netlist(netlist));
+    let mut x = op_at_ws(netlist, 0.0, None, &ws)?.x;
     let mut cap_states = stamp::init_cap_states(netlist, &x);
 
     let mut time = vec![0.0];
@@ -717,7 +741,7 @@ pub fn transient_adaptive(
             gmin: 1e-12,
             source_scale: 1.0,
         };
-        let solve = stamp::newton(netlist, &ctx, x0, 200)?;
+        let solve = stamp::newton(netlist, &ctx, x0, 200, &mut ws.borrow_mut())?;
         fts_telemetry::record("spice.transient.newton_iterations", solve.iterations as f64);
         let xn = solve.x;
         let mut caps2 = caps.to_vec();

@@ -149,7 +149,14 @@ impl CMatrix {
         self.data[row * self.n + col] += value;
     }
 
-    /// Solves `A·x = b` by LU with partial pivoting (by magnitude).
+    /// Resets all entries to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(Complex::ZERO);
+    }
+
+    /// Solves `A·x = b` by LU with partial pivoting (by magnitude). The
+    /// factorization destroys the matrix contents but keeps the allocation
+    /// so callers can [`clear`](CMatrix::clear) and restamp.
     ///
     /// # Errors
     ///
@@ -158,7 +165,7 @@ impl CMatrix {
     /// # Panics
     ///
     /// Panics if `b.len() != n`.
-    pub fn solve(mut self, b: &[Complex]) -> Result<Vec<Complex>, SpiceError> {
+    pub fn solve(&mut self, b: &[Complex]) -> Result<Vec<Complex>, SpiceError> {
         assert_eq!(b.len(), self.n, "rhs length mismatch");
         let n = self.n;
         let mut x = b.to_vec();
@@ -263,7 +270,7 @@ mod tests {
 
     #[test]
     fn singular_complex_matrix_detected() {
-        let m = CMatrix::zeros(2);
+        let mut m = CMatrix::zeros(2);
         assert_eq!(
             m.solve(&[Complex::ZERO, Complex::ZERO]),
             Err(SpiceError::SingularMatrix)

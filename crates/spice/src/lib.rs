@@ -12,7 +12,16 @@
 //!   backward-Euler or trapezoidal integration;
 //! * [`measure`] — waveform post-processing: rise/fall times, logic
 //!   levels, threshold crossings (the quantities reported for Fig. 11);
-//! * [`linalg`] — the dense LU core.
+//! * [`linalg`] — the linear-solver core: a dense LU reference oracle and
+//!   a sparse engine (CSR matrix, minimum-degree ordering, Gilbert–Peierls
+//!   LU) whose symbolic factorization is computed once per topology and
+//!   shared across Newton iterations, timesteps, and Monte Carlo trials.
+//!
+//! Analyses pick the engine per netlist via
+//! [`netlist::SolverKind`]: `Auto` (default, by system size), `Dense`, or
+//! `Sparse`. Ensembles of same-topology netlists amortize the symbolic
+//! analysis through [`netlist::Netlist::mna_symbolic`] and
+//! [`netlist::Netlist::share_symbolic`].
 //!
 //! # Example
 //!
@@ -51,5 +60,6 @@ mod stamp;
 pub use analysis::{ConvergenceReport, OpStrategy};
 pub use complex::Complex;
 pub use error::SpiceError;
+pub use linalg::{SparseLu, SparseMatrix, Symbolic};
 pub use mos3::Mos3Params;
-pub use netlist::{MosParams, Netlist, NodeId, Waveform};
+pub use netlist::{MosParams, Netlist, NodeId, SolverKind, Waveform};

@@ -2,9 +2,24 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
+use crate::linalg::Symbolic;
 use crate::mos3::Mos3Params;
 use crate::SpiceError;
+
+/// Which linear-solver engine analyses of a netlist use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverKind {
+    /// Pick automatically by system size: small systems run the dense
+    /// reference LU, larger ones the sparse engine. This is the default.
+    #[default]
+    Auto,
+    /// Force the dense LU (the reference oracle).
+    Dense,
+    /// Force the sparse engine regardless of size.
+    Sparse,
+}
 
 /// A node handle returned by [`Netlist::node`]. Node 0 is ground.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -173,6 +188,8 @@ pub struct Netlist {
     by_name: HashMap<String, NodeId>,
     pub(crate) devices: Vec<Device>,
     pub(crate) vsource_count: usize,
+    solver: SolverKind,
+    shared_symbolic: Option<Arc<Symbolic>>,
 }
 
 impl Netlist {
@@ -186,6 +203,8 @@ impl Netlist {
             by_name: HashMap::new(),
             devices: Vec::new(),
             vsource_count: 0,
+            solver: SolverKind::Auto,
+            shared_symbolic: None,
         };
         nl.names.push("0".to_owned());
         nl.by_name.insert("0".to_owned(), NodeId(0));
@@ -440,6 +459,46 @@ impl Netlist {
     /// branch currents.
     pub fn unknown_count(&self) -> usize {
         self.node_count() - 1 + self.vsource_count
+    }
+
+    /// Selects the linear-solver engine for analyses of this netlist.
+    pub fn set_solver(&mut self, kind: SolverKind) {
+        self.solver = kind;
+    }
+
+    /// The selected linear-solver engine.
+    pub fn solver_kind(&self) -> SolverKind {
+        self.solver
+    }
+
+    /// Installs a shared symbolic factorization. Analyses using the sparse
+    /// engine reuse it instead of re-running the fill-reducing ordering —
+    /// the key amortization across Monte Carlo trials of an ensemble,
+    /// whose netlists differ only in parameter values, not topology. The
+    /// pattern is verified before use; a mismatch (e.g. a defect trial
+    /// that rewired a gate) silently falls back to a fresh analysis.
+    pub fn share_symbolic(&mut self, symbolic: Arc<Symbolic>) {
+        self.shared_symbolic = Some(symbolic);
+    }
+
+    /// The installed shared symbolic factorization, if any.
+    pub fn shared_symbolic(&self) -> Option<&Arc<Symbolic>> {
+        self.shared_symbolic.as_ref()
+    }
+
+    /// Analyzes this netlist's MNA sparsity pattern and returns a symbolic
+    /// factorization suitable for [`share_symbolic`](Netlist::share_symbolic)
+    /// on any netlist with identical topology.
+    pub fn mna_symbolic(&self) -> Arc<Symbolic> {
+        fts_telemetry::counter("spice.sparse.symbolic_new", 1);
+        Arc::new(Symbolic::analyze(&crate::stamp::mna_pattern(self)))
+    }
+
+    /// The MNA sparsity pattern of this netlist, for diagnostics and
+    /// benchmarks: every structurally possible nonzero of the system
+    /// matrix, values all zero.
+    pub fn mna_pattern(&self) -> crate::linalg::SparseMatrix {
+        crate::stamp::mna_pattern(self)
     }
 }
 

@@ -1,7 +1,20 @@
 //! MNA device stamping and the shared Newton kernel.
+//!
+//! Two stamping paths exist:
+//!
+//! * the dense reference path ([`stamp_all`] into a [`Matrix`]), kept as
+//!   the oracle for small systems and for the `solver_compare` tests, and
+//! * the sparse hot path ([`SparseSystem`]), where every device resolves
+//!   its matrix slots once at build time and each Newton iteration rewrites
+//!   values in place — no allocation, no hashing, no binary search.
+//!
+//! [`SolverWorkspace`] picks between them from the netlist's
+//! [`SolverKind`](crate::netlist::SolverKind) and size.
 
-use crate::linalg::Matrix;
-use crate::netlist::{Element, MosParams, Netlist};
+use std::sync::Arc;
+
+use crate::linalg::{Matrix, SparseLu, SparseMatrix, Symbolic};
+use crate::netlist::{Element, MosParams, Netlist, SolverKind};
 use crate::SpiceError;
 
 /// How capacitors are handled.
@@ -260,6 +273,477 @@ pub(crate) fn init_cap_states(netlist: &Netlist, x: &[f64]) -> Vec<CapState> {
     out
 }
 
+/// Sentinel for "this stamp touches ground and has no matrix slot / rhs
+/// row". Using a plain `usize` instead of `Option<usize>` keeps the plan
+/// structs `Copy` and the hot-loop branches cheap.
+const NO_SLOT: usize = usize::MAX;
+
+/// Resolved slots for a two-terminal conductance stamp between unknowns
+/// `i` and `j` (the classic `+g/+g/-g/-g` quadruple).
+#[derive(Debug, Clone, Copy)]
+struct PairSlots {
+    ii: usize,
+    jj: usize,
+    ij: usize,
+    ji: usize,
+}
+
+impl PairSlots {
+    fn resolve(mat: &SparseMatrix, i: Option<usize>, j: Option<usize>) -> PairSlots {
+        PairSlots {
+            ii: entry_slot(mat, i, i),
+            jj: entry_slot(mat, j, j),
+            ij: entry_slot(mat, i, j),
+            ji: entry_slot(mat, j, i),
+        }
+    }
+
+    /// Mirrors [`add_conductance`]: when `i == j` the four writes hit the
+    /// same slot and net to zero, exactly like the dense stamp.
+    #[inline]
+    fn stamp(&self, values: &mut [f64], g: f64) {
+        if self.ii != NO_SLOT {
+            values[self.ii] += g;
+        }
+        if self.jj != NO_SLOT {
+            values[self.jj] += g;
+        }
+        if self.ij != NO_SLOT {
+            values[self.ij] -= g;
+        }
+        if self.ji != NO_SLOT {
+            values[self.ji] -= g;
+        }
+    }
+}
+
+fn entry_slot(mat: &SparseMatrix, i: Option<usize>, j: Option<usize>) -> usize {
+    match (i, j) {
+        (Some(i), Some(j)) => mat
+            .slot(i, j)
+            .expect("MNA pattern covers every device stamp"),
+        _ => NO_SLOT,
+    }
+}
+
+fn rhs_row(i: Option<usize>) -> usize {
+    i.unwrap_or(NO_SLOT)
+}
+
+/// Per-device stamping plan: matrix slots and rhs rows resolved once at
+/// build time so iterations never search the pattern.
+#[derive(Debug, Clone, Copy)]
+enum DevicePlan {
+    Resistor {
+        pair: PairSlots,
+    },
+    Capacitor {
+        pair: PairSlots,
+        a_row: usize,
+        b_row: usize,
+        cap_index: usize,
+    },
+    VSource {
+        /// Slots (plus,row) / (row,plus) / (minus,row) / (row,minus).
+        pr: usize,
+        rp: usize,
+        mr: usize,
+        rm: usize,
+        row: usize,
+    },
+    ISource {
+        to_row: usize,
+        from_row: usize,
+    },
+    Mos {
+        /// The drain/source conductance quadruple; `ii/jj/ij/ji` double as
+        /// the `(d,d)/(s,s)/(d,s)/(s,d)` gm slots.
+        pair: PairSlots,
+        dg: usize,
+        sg: usize,
+        d_row: usize,
+        s_row: usize,
+    },
+}
+
+/// Collects the MNA sparsity pattern of a netlist. Capacitor stamps are
+/// always included so one pattern (and one symbolic analysis) serves both
+/// DC (`CapMode::Open`) and transient companion stamping.
+pub(crate) fn mna_pattern(netlist: &Netlist) -> SparseMatrix {
+    let n = netlist.unknown_count();
+    let nv = netlist.node_count() - 1;
+    let mut entries: Vec<(usize, usize)> = Vec::new();
+    let pair = |entries: &mut Vec<(usize, usize)>, i: Option<usize>, j: Option<usize>| {
+        if let Some(i) = i {
+            entries.push((i, i));
+        }
+        if let Some(j) = j {
+            entries.push((j, j));
+        }
+        if let (Some(i), Some(j)) = (i, j) {
+            entries.push((i, j));
+            entries.push((j, i));
+        }
+    };
+    for dev in &netlist.devices {
+        match &dev.element {
+            Element::Resistor { a, b, .. } | Element::Capacitor { a, b, .. } => {
+                pair(&mut entries, vidx(*a), vidx(*b));
+            }
+            Element::VSource {
+                plus,
+                minus,
+                branch,
+                ..
+            } => {
+                let row = nv + branch;
+                if let Some(p) = vidx(*plus) {
+                    entries.push((p, row));
+                    entries.push((row, p));
+                }
+                if let Some(m) = vidx(*minus) {
+                    entries.push((m, row));
+                    entries.push((row, m));
+                }
+            }
+            Element::ISource { .. } => {}
+            Element::Nmos { d, g, s, .. } | Element::Nmos3 { d, g, s, .. } => {
+                // Union of both bias orientations: the drain/source pair
+                // quadruple plus gm columns at the gate for both rows.
+                pair(&mut entries, vidx(*d), vidx(*s));
+                if let (Some(di), Some(gi)) = (vidx(*d), vidx(*g)) {
+                    entries.push((di, gi));
+                }
+                if let (Some(si), Some(gi)) = (vidx(*s), vidx(*g)) {
+                    entries.push((si, gi));
+                }
+            }
+        }
+    }
+    // Global gmin diagonal on every node row.
+    for k in 0..nv {
+        entries.push((k, k));
+    }
+    SparseMatrix::from_entries(n, entries)
+}
+
+/// The sparse MNA system for one netlist topology: fixed-pattern matrix,
+/// per-device slot plans, and the linear/nonlinear stamping split.
+///
+/// [`begin`](SparseSystem::begin) stamps everything bias-independent (R, C
+/// companion, sources, gmin diagonal) into a baseline once per Newton
+/// solve; [`iterate`](SparseSystem::iterate) copies the baseline and
+/// restamps only the MOSFETs around the new linearization point.
+pub(crate) struct SparseSystem {
+    mat: SparseMatrix,
+    plans: Vec<DevicePlan>,
+    diag_slots: Vec<usize>,
+    lin_values: Vec<f64>,
+    lin_b: Vec<f64>,
+}
+
+impl SparseSystem {
+    pub fn new(netlist: &Netlist) -> SparseSystem {
+        let n = netlist.unknown_count();
+        let nv = netlist.node_count() - 1;
+        let mat = mna_pattern(netlist);
+        let mut plans = Vec::with_capacity(netlist.devices.len());
+        let mut cap_index = 0usize;
+        for dev in &netlist.devices {
+            plans.push(match &dev.element {
+                Element::Resistor { a, b, .. } => DevicePlan::Resistor {
+                    pair: PairSlots::resolve(&mat, vidx(*a), vidx(*b)),
+                },
+                Element::Capacitor { a, b, .. } => {
+                    let plan = DevicePlan::Capacitor {
+                        pair: PairSlots::resolve(&mat, vidx(*a), vidx(*b)),
+                        a_row: rhs_row(vidx(*a)),
+                        b_row: rhs_row(vidx(*b)),
+                        cap_index,
+                    };
+                    cap_index += 1;
+                    plan
+                }
+                Element::VSource {
+                    plus,
+                    minus,
+                    branch,
+                    ..
+                } => {
+                    let row = nv + branch;
+                    DevicePlan::VSource {
+                        pr: entry_slot(&mat, vidx(*plus), Some(row)),
+                        rp: entry_slot(&mat, Some(row), vidx(*plus)),
+                        mr: entry_slot(&mat, vidx(*minus), Some(row)),
+                        rm: entry_slot(&mat, Some(row), vidx(*minus)),
+                        row,
+                    }
+                }
+                Element::ISource { from, to, .. } => DevicePlan::ISource {
+                    to_row: rhs_row(vidx(*to)),
+                    from_row: rhs_row(vidx(*from)),
+                },
+                Element::Nmos { d, g, s, .. } | Element::Nmos3 { d, g, s, .. } => {
+                    let (di, si, gi) = (vidx(*d), vidx(*s), vidx(*g));
+                    DevicePlan::Mos {
+                        pair: PairSlots::resolve(&mat, di, si),
+                        dg: entry_slot(&mat, di, gi),
+                        sg: entry_slot(&mat, si, gi),
+                        d_row: rhs_row(di),
+                        s_row: rhs_row(si),
+                    }
+                }
+            });
+        }
+        let diag_slots = (0..nv)
+            .map(|k| mat.slot(k, k).expect("diagonal in pattern"))
+            .collect();
+        let nnz = mat.nnz();
+        SparseSystem {
+            mat,
+            plans,
+            diag_slots,
+            lin_values: vec![0.0; nnz],
+            lin_b: vec![0.0; n],
+        }
+    }
+
+    pub fn matrix(&self) -> &SparseMatrix {
+        &self.mat
+    }
+
+    /// Stamps the bias-independent baseline (linear devices, sources, gmin
+    /// diagonal) for one Newton solve under `ctx`.
+    pub fn begin(&mut self, netlist: &Netlist, ctx: &StampContext<'_>) {
+        debug_assert_eq!(netlist.devices.len(), self.plans.len(), "plan drift");
+        self.lin_values.fill(0.0);
+        self.lin_b.fill(0.0);
+        for (dev, plan) in netlist.devices.iter().zip(&self.plans) {
+            match (&dev.element, plan) {
+                (Element::Resistor { ohms, .. }, DevicePlan::Resistor { pair }) => {
+                    pair.stamp(&mut self.lin_values, 1.0 / ohms);
+                }
+                (
+                    Element::Capacitor { farads, .. },
+                    DevicePlan::Capacitor {
+                        pair,
+                        a_row,
+                        b_row,
+                        cap_index,
+                    },
+                ) => match ctx.cap_mode {
+                    CapMode::Open => {}
+                    CapMode::Step { dt, trapezoidal } => {
+                        let st = ctx.cap_states[*cap_index];
+                        let (g, ieq) = if trapezoidal {
+                            let g = 2.0 * farads / dt;
+                            (g, -(g * st.v + st.i))
+                        } else {
+                            let g = farads / dt;
+                            (g, -g * st.v)
+                        };
+                        pair.stamp(&mut self.lin_values, g);
+                        if *b_row != NO_SLOT {
+                            self.lin_b[*b_row] += ieq;
+                        }
+                        if *a_row != NO_SLOT {
+                            self.lin_b[*a_row] -= ieq;
+                        }
+                    }
+                },
+                (
+                    Element::VSource { wave, .. },
+                    DevicePlan::VSource {
+                        pr,
+                        rp,
+                        mr,
+                        rm,
+                        row,
+                    },
+                ) => {
+                    if *pr != NO_SLOT {
+                        self.lin_values[*pr] += 1.0;
+                        self.lin_values[*rp] += 1.0;
+                    }
+                    if *mr != NO_SLOT {
+                        self.lin_values[*mr] -= 1.0;
+                        self.lin_values[*rm] -= 1.0;
+                    }
+                    self.lin_b[*row] += wave.at(ctx.t) * ctx.source_scale;
+                }
+                (Element::ISource { wave, .. }, DevicePlan::ISource { to_row, from_row }) => {
+                    let i = wave.at(ctx.t) * ctx.source_scale;
+                    if *to_row != NO_SLOT {
+                        self.lin_b[*to_row] += i;
+                    }
+                    if *from_row != NO_SLOT {
+                        self.lin_b[*from_row] -= i;
+                    }
+                }
+                (Element::Nmos { .. } | Element::Nmos3 { .. }, DevicePlan::Mos { .. }) => {}
+                _ => unreachable!("device/plan mismatch"),
+            }
+        }
+        for &s in &self.diag_slots {
+            self.lin_values[s] += 1e-12;
+        }
+    }
+
+    /// Restamps the full system around linearization point `x`: copies the
+    /// linear baseline, then applies only the MOSFET stamps. Zero
+    /// allocation; `b` must have length `unknown_count`.
+    pub fn iterate(&mut self, netlist: &Netlist, x: &[f64], ctx: &StampContext<'_>, b: &mut [f64]) {
+        self.mat.values_mut().copy_from_slice(&self.lin_values);
+        b.copy_from_slice(&self.lin_b);
+        let vals = self.mat.values_mut();
+        for (dev, plan) in netlist.devices.iter().zip(&self.plans) {
+            let DevicePlan::Mos {
+                pair,
+                dg,
+                sg,
+                d_row,
+                s_row,
+            } = plan
+            else {
+                continue;
+            };
+            let (ids, gm, gds, forward, vgs, vds) = match &dev.element {
+                Element::Nmos { d, g, s, params } => {
+                    let (vd, vg, vs) = (voltage(x, *d), voltage(x, *g), voltage(x, *s));
+                    let forward = vd >= vs;
+                    let (vds, vgs) = if forward {
+                        (vd - vs, vg - vs)
+                    } else {
+                        (vs - vd, vg - vd)
+                    };
+                    let (ids, gm, gds) = level1(params, vgs, vds);
+                    (ids, gm, gds, forward, vgs, vds)
+                }
+                Element::Nmos3 { d, g, s, params } => {
+                    let (vd, vg, vs) = (voltage(x, *d), voltage(x, *g), voltage(x, *s));
+                    let forward = vd >= vs;
+                    let (vds, vgs) = if forward {
+                        (vd - vs, vg - vs)
+                    } else {
+                        (vs - vd, vg - vd)
+                    };
+                    let (ids, gm, gds) = params.linearize(vgs, vds);
+                    (ids, gm, gds, forward, vgs, vds)
+                }
+                _ => unreachable!("Mos plan on non-MOS device"),
+            };
+            let ieq = ids - gm * vgs - gds * vds;
+            pair.stamp(vals, gds + ctx.gmin);
+            if forward {
+                if *dg != NO_SLOT {
+                    vals[*dg] += gm;
+                }
+                if pair.ij != NO_SLOT {
+                    vals[pair.ij] -= gm;
+                }
+                if *sg != NO_SLOT {
+                    vals[*sg] -= gm;
+                }
+                if pair.jj != NO_SLOT {
+                    vals[pair.jj] += gm;
+                }
+                if *s_row != NO_SLOT {
+                    b[*s_row] += ieq;
+                }
+                if *d_row != NO_SLOT {
+                    b[*d_row] -= ieq;
+                }
+            } else {
+                if *sg != NO_SLOT {
+                    vals[*sg] += gm;
+                }
+                if pair.ji != NO_SLOT {
+                    vals[pair.ji] -= gm;
+                }
+                if *dg != NO_SLOT {
+                    vals[*dg] -= gm;
+                }
+                if pair.ii != NO_SLOT {
+                    vals[pair.ii] += gm;
+                }
+                if *d_row != NO_SLOT {
+                    b[*d_row] += ieq;
+                }
+                if *s_row != NO_SLOT {
+                    b[*s_row] -= ieq;
+                }
+            }
+        }
+    }
+}
+
+/// Size (in unknowns) from which `SolverKind::Auto` picks the sparse
+/// engine; below it the dense oracle is faster (see the
+/// `sparse_solver` criterion bench for the measured crossover).
+pub(crate) const SPARSE_THRESHOLD: usize = 24;
+
+/// Per-analysis solver state, reused across Newton iterations, homotopy
+/// rungs, and transient timesteps.
+pub(crate) enum SolverWorkspace {
+    Dense {
+        a: Matrix,
+        b: Vec<f64>,
+    },
+    Sparse {
+        sys: SparseSystem,
+        lu: Box<SparseLu>,
+        b: Vec<f64>,
+    },
+}
+
+impl SolverWorkspace {
+    /// Builds the workspace a netlist's analyses should use, honouring
+    /// [`SolverKind`] and reusing the netlist's shared symbolic analysis
+    /// when its pattern still matches.
+    pub fn for_netlist(netlist: &Netlist) -> SolverWorkspace {
+        let n = netlist.unknown_count();
+        let use_sparse = match netlist.solver_kind() {
+            SolverKind::Dense => false,
+            SolverKind::Sparse => true,
+            SolverKind::Auto => n >= SPARSE_THRESHOLD,
+        };
+        if !use_sparse {
+            fts_telemetry::counter("spice.solver.dense", 1);
+            return SolverWorkspace::Dense {
+                a: Matrix::zeros(n),
+                b: vec![0.0; n],
+            };
+        }
+        fts_telemetry::counter("spice.solver.sparse", 1);
+        let sys = SparseSystem::new(netlist);
+        let symbolic = match netlist.shared_symbolic() {
+            Some(sym) if sym.matches(sys.matrix()) => {
+                fts_telemetry::counter("spice.sparse.symbolic_reuse", 1);
+                Arc::clone(sym)
+            }
+            Some(_) => {
+                // Defect-injected trials can rewire gates and change the
+                // pattern — fall back to a fresh analysis.
+                fts_telemetry::counter("spice.sparse.symbolic_miss", 1);
+                Arc::new(Symbolic::analyze(sys.matrix()))
+            }
+            None => {
+                fts_telemetry::counter("spice.sparse.symbolic_new", 1);
+                Arc::new(Symbolic::analyze(sys.matrix()))
+            }
+        };
+        if fts_telemetry::enabled() {
+            fts_telemetry::record("spice.sparse.pattern_nnz", sys.matrix().nnz() as f64);
+        }
+        let lu = Box::new(SparseLu::new(symbolic));
+        SolverWorkspace::Sparse {
+            sys,
+            lu,
+            b: vec![0.0; n],
+        }
+    }
+}
+
 /// A converged Newton solve plus the diagnostics the caller reports.
 pub(crate) struct NewtonSolve {
     /// The converged unknown vector.
@@ -271,24 +755,43 @@ pub(crate) struct NewtonSolve {
     pub max_step: f64,
 }
 
-/// Newton–Raphson around [`stamp_all`]; returns the converged unknown
-/// vector together with iteration diagnostics.
+/// Newton–Raphson over a reusable [`SolverWorkspace`]; returns the
+/// converged unknown vector together with iteration diagnostics.
+///
+/// The dense path restamps everything through [`stamp_all`]; the sparse
+/// path computes the linear baseline once, then each iteration restamps
+/// only the MOSFETs and refactors numerically against the shared symbolic.
 pub(crate) fn newton(
     netlist: &Netlist,
     ctx: &StampContext<'_>,
     x0: &[f64],
     max_iterations: usize,
+    ws: &mut SolverWorkspace,
 ) -> Result<NewtonSolve, SpiceError> {
     let n = netlist.unknown_count();
+    let nv = netlist.node_count() - 1;
     let mut x = x0.to_vec();
-    let mut a = Matrix::zeros(n);
+    if let SolverWorkspace::Sparse { sys, .. } = ws {
+        sys.begin(netlist, ctx);
+    }
     for iteration in 1..=max_iterations {
-        a.clear();
-        let mut b = vec![0.0; n];
-        stamp_all(netlist, &x, &mut a, &mut b, ctx);
-        let x_new = a.clone().solve(&b)?;
+        let dense_x;
+        let x_new: &[f64] = match ws {
+            SolverWorkspace::Dense { a, b } => {
+                a.clear();
+                b.fill(0.0);
+                stamp_all(netlist, &x, a, b, ctx);
+                dense_x = a.solve(b)?;
+                &dense_x
+            }
+            SolverWorkspace::Sparse { sys, lu, b } => {
+                sys.iterate(netlist, &x, ctx, b);
+                lu.factor(sys.matrix())?;
+                lu.solve_in_place(b);
+                b
+            }
+        };
         // Voltage-step damping stabilizes MOS Newton iterations.
-        let nv = netlist.node_count() - 1;
         let mut max_dv = 0.0f64;
         for i in 0..nv {
             max_dv = max_dv.max((x_new[i] - x[i]).abs());
