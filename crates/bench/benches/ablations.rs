@@ -11,7 +11,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fts_circuit::experiments::Xor3Experiment;
 use fts_circuit::model::SwitchCircuitModel;
 use fts_lattice::{bruteforce, count};
-use fts_spice::analysis::{self, Integrator};
+use fts_spice::analysis::Integrator;
+use fts_spice::Simulator;
 
 fn ablation_path_counting(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_path_counting");
@@ -78,7 +79,11 @@ fn ablation_warm_start(c: &mut Criterion) {
     group.bench_function("warm_started", |b| {
         b.iter_batched(
             || nl.clone(),
-            |mut nl| analysis::dc_sweep(&mut nl, "VG", &values).expect("sweep"),
+            |nl| {
+                Simulator::from_owned(nl)
+                    .dc_sweep("VG", &values)
+                    .expect("sweep")
+            },
             criterion::BatchSize::SmallInput,
         )
     });
@@ -90,7 +95,7 @@ fn ablation_warm_start(c: &mut Criterion) {
                     .iter()
                     .map(|&v| {
                         nl.set_vsource("VG", Waveform::Dc(v)).expect("source");
-                        analysis::op(&nl).expect("op")
+                        Simulator::new(&nl).op().expect("op")
                     })
                     .count()
             },

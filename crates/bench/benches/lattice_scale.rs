@@ -9,7 +9,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fts_circuit::lattice_netlist::{BenchConfig, LatticeCircuit};
 use fts_circuit::model::SwitchCircuitModel;
 use fts_lattice::Lattice;
-use fts_spice::analysis;
+use fts_spice::analysis::TranConfig;
+use fts_spice::Simulator;
 
 fn bench_scale(c: &mut Criterion) {
     let model = SwitchCircuitModel::square_hfo2().expect("model");
@@ -33,11 +34,9 @@ fn bench_scale(c: &mut Criterion) {
     let ckt = LatticeCircuit::build(&lat, 1, &model, BenchConfig::default()).expect("build");
     c.bench_function("lattice_3x3_transient_100steps", |b| {
         b.iter(|| {
-            analysis::transient(
-                ckt.netlist(),
-                &fts_spice::analysis::TransientOptions::new(1e-9, 100e-9),
-            )
-            .expect("transient")
+            Simulator::new(ckt.netlist())
+                .transient(&TranConfig::fixed(1e-9, 100e-9))
+                .expect("transient")
         })
     });
 }

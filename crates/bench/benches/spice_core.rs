@@ -3,9 +3,9 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fts_spice::analysis::{self, Integrator, TransientOptions};
+use fts_spice::analysis::{Integrator, TranConfig};
 use fts_spice::linalg::Matrix;
-use fts_spice::{MosParams, Netlist, Waveform};
+use fts_spice::{MosParams, Netlist, Simulator, Waveform};
 
 fn lu_matrix(n: usize) -> (Matrix, Vec<f64>) {
     let mut m = Matrix::zeros(n);
@@ -80,7 +80,11 @@ fn bench_spice(c: &mut Criterion) {
 
     c.bench_function("op_mos_chain_10", |b| {
         let nl = mos_ring(10);
-        b.iter(|| analysis::op(std::hint::black_box(&nl)).expect("converges"))
+        b.iter(|| {
+            Simulator::new(std::hint::black_box(&nl))
+                .op()
+                .expect("converges")
+        })
     });
 
     let mut g = c.benchmark_group("transient_rc_ladder_20");
@@ -92,16 +96,9 @@ fn bench_spice(c: &mut Criterion) {
     ] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &integ, |b, &integ| {
             b.iter(|| {
-                analysis::transient(
-                    &nl,
-                    &TransientOptions {
-                        dt: 1e-7,
-                        tstop: 2e-5,
-                        integrator: integ,
-                        uic: true,
-                    },
-                )
-                .expect("converges")
+                Simulator::new(&nl)
+                    .transient(&TranConfig::fixed(1e-7, 2e-5).integrator(integ).uic(true))
+                    .expect("converges")
             })
         });
     }

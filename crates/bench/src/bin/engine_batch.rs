@@ -1,0 +1,209 @@
+//! Batch-engine stress benchmark: N six-by-six-lattice transients run
+//! sequentially and then on the worker pool, with a bit-identity check
+//! between the two, written to `BENCH_engine.json`.
+//!
+//! Usage: `engine_batch [--jobs N] [--threads N] [--phase-ns F]
+//! [--dt-ns F] [--out PATH] [--telemetry <path.json>]`
+//!
+//! The reported speedup is *measured on this machine*; the JSON records
+//! the available core count next to the worker count so a 1-core CI run
+//! is not mistaken for a scaling regression.
+
+use std::time::Instant;
+
+use fts_circuit::lattice_netlist::{pwl_from_bits, BenchConfig, LatticeCircuit};
+use fts_circuit::model::SwitchCircuitModel;
+use fts_engine::{executor, Engine, SimJob, SimOutcome};
+use fts_lattice::Lattice;
+use fts_logic::Literal;
+use fts_spice::analysis::TranConfig;
+
+struct Args {
+    jobs: usize,
+    threads: usize,
+    phase_ns: f64,
+    dt_ns: f64,
+    out: String,
+}
+
+fn parse_args(argv: Vec<String>) -> Args {
+    let mut args = Args {
+        jobs: 64,
+        threads: 8,
+        phase_ns: 6.0,
+        dt_ns: 0.1,
+        out: "BENCH_engine.json".to_owned(),
+    };
+    let mut it = argv.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match flag.as_str() {
+            "--jobs" => args.jobs = value("--jobs").parse().expect("--jobs: integer"),
+            "--threads" => args.threads = value("--threads").parse().expect("--threads: integer"),
+            "--phase-ns" => args.phase_ns = value("--phase-ns").parse().expect("--phase-ns: float"),
+            "--dt-ns" => args.dt_ns = value("--dt-ns").parse().expect("--dt-ns: float"),
+            "--out" => args.out = value("--out"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// A 6×6 lattice over three variables: a cyclic literal tiling (the
+/// realized Boolean function is irrelevant to the benchmark; what matters
+/// is the circuit size and a mix of on/off paths).
+fn bench_lattice() -> Lattice {
+    let pool = [
+        Literal::pos(0),
+        Literal::neg(1),
+        Literal::pos(2),
+        Literal::neg(0),
+        Literal::pos(1),
+        Literal::neg(2),
+        Literal::True,
+    ];
+    let lits: Vec<Literal> = (0..36).map(|k| pool[k % pool.len()]).collect();
+    Lattice::from_literals(6, 6, lits).expect("36 literals form a 6x6 lattice")
+}
+
+/// One transient job: the full 8-combination input walk of the 6×6
+/// lattice, with a per-job pull-up so the batch is 64 *distinct* circuits
+/// sharing one MNA sparsity pattern.
+fn make_job(
+    k: usize,
+    model: &SwitchCircuitModel,
+    phase: f64,
+    dt: f64,
+) -> Result<SimJob, Box<dyn std::error::Error>> {
+    let bench = BenchConfig {
+        pullup_ohms: 500.0e3 * (1.0 + 0.002 * k as f64),
+        ..BenchConfig::default()
+    };
+    let mut ckt = LatticeCircuit::build(&bench_lattice(), 3, model, bench)?;
+    for v in 0..3usize {
+        let bits: Vec<bool> = (0..8u32).map(|x| (x >> v) & 1 == 1).collect();
+        let (p, n) = pwl_from_bits(&bits, phase, 1e-9, bench.vdd);
+        ckt.set_stimulus(v, p, n)?;
+    }
+    let out = ckt.out();
+    Ok(
+        SimJob::transient(ckt.netlist().clone(), TranConfig::fixed(dt, phase * 8.0))
+            .probes(&[out])
+            .label(&format!("lattice6x6-{k}")),
+    )
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let k = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[k]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut tel = fts_bench::telemetry::from_args("engine_batch", &mut argv);
+    let args = parse_args(argv);
+    let model = SwitchCircuitModel::square_hfo2()?;
+    let phase = args.phase_ns * 1e-9;
+    let dt = args.dt_ns * 1e-9;
+
+    let build = |_| -> Result<Vec<SimJob>, Box<dyn std::error::Error>> {
+        (0..args.jobs)
+            .map(|k| make_job(k, &model, phase, dt))
+            .collect()
+    };
+    tel.phase_done("build");
+
+    let cores = executor::auto_threads();
+    println!(
+        "engine batch: {} transient jobs (6x6 lattice, {} ns x 8 phases, dt {} ns), \
+         {} workers on {} core(s)",
+        args.jobs, args.phase_ns, args.dt_ns, args.threads, cores
+    );
+
+    let t0 = Instant::now();
+    let sequential = Engine::new().threads(1).run(build(())?);
+    let seq_s = t0.elapsed().as_secs_f64();
+    tel.phase_done("sequential");
+
+    let t0 = Instant::now();
+    let parallel = Engine::new().threads(args.threads).run(build(())?);
+    let par_s = t0.elapsed().as_secs_f64();
+    tel.phase_done("parallel");
+
+    let bit_identical = parallel.outcomes == sequential.outcomes;
+    if !bit_identical {
+        eprintln!(
+            "DETERMINISM VIOLATION: parallel batch differs from sequential \
+             ({} jobs, {} threads)",
+            args.jobs, args.threads
+        );
+    }
+    let failed = sequential
+        .outcomes
+        .iter()
+        .filter(|o| !o.is_success())
+        .count();
+    for (k, o) in sequential.outcomes.iter().enumerate() {
+        if !o.is_success() {
+            eprintln!("job {k} did not succeed: {}", o.kind());
+        }
+    }
+
+    let mut walls: Vec<f64> = parallel.stats.iter().map(|s| s.wall_s).collect();
+    walls.sort_by(f64::total_cmp);
+    let p50 = percentile(&walls, 0.50);
+    let p99 = percentile(&walls, 0.99);
+    let speedup = seq_s / par_s;
+
+    println!(
+        "  sequential : {seq_s:.3} s ({:.3} s/job)",
+        seq_s / args.jobs as f64
+    );
+    println!("  parallel   : {par_s:.3} s  (speedup {speedup:.2}x)");
+    println!("  job wall   : p50 {p50:.3} s, p99 {p99:.3} s");
+    println!("  identical  : {bit_identical}");
+
+    let first = match &sequential.outcomes[0] {
+        SimOutcome::Transient(w) => format!(
+            "{{\"retained_samples\":{},\"total_samples\":{},\"stride\":{}}}",
+            w.len(),
+            w.total_samples(),
+            w.stride()
+        ),
+        other => format!("{:?}", other.kind()),
+    };
+    let json = format!(
+        concat!(
+            "{{\"schema\":\"fts-engine-bench/1\",\"experiment\":\"engine_batch\",",
+            "\"lattice\":\"6x6\",\"jobs\":{},\"threads\":{},\"cores\":{},",
+            "\"phase_ns\":{},\"dt_ns\":{},",
+            "\"sequential_wall_s\":{},\"parallel_wall_s\":{},\"speedup\":{},",
+            "\"bit_identical\":{},\"failed_jobs\":{},",
+            "\"job_wall_p50_s\":{},\"job_wall_p99_s\":{},\"waveform\":{}}}"
+        ),
+        args.jobs,
+        args.threads,
+        cores,
+        args.phase_ns,
+        args.dt_ns,
+        seq_s,
+        par_s,
+        speedup,
+        bit_identical,
+        failed,
+        p50,
+        p99,
+        first,
+    );
+    std::fs::write(&args.out, &json)?;
+    println!("\nwrote {}:\n{json}", args.out);
+    tel.finish()?;
+
+    if !bit_identical || failed > 0 {
+        std::process::exit(1);
+    }
+    Ok(())
+}

@@ -1,15 +1,40 @@
 //! Regenerates Fig. 11: SPICE transient analysis of the inverse XOR3
 //! lattice circuit — waveform, logic levels, and edge timing.
+//!
+//! Runs as a batch-engine client: the experiment's *job half*
+//! ([`Xor3Experiment::prepare`]) produces the netlist and transient
+//! config, `fts-engine` executes it as a [`SimJob`], and the
+//! *measurement half* ([`Xor3Experiment::analyze`]) reads the returned
+//! waveform.
 
 use fts_circuit::experiments::Xor3Experiment;
 use fts_circuit::model::SwitchCircuitModel;
+use fts_engine::{Engine, SimJob, SimOutcome};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     let mut tel = fts_bench::telemetry::from_args("repro_fig11", &mut argv);
     let model = SwitchCircuitModel::square_hfo2()?;
     tel.phase_done("extract_model");
-    let report = Xor3Experiment::paper().run(&model)?;
+
+    let experiment = Xor3Experiment::paper();
+    let (ckt, cfg) = experiment.prepare(&model)?;
+    let out_node = ckt.out();
+    // Cap well above the sample count so the sink keeps every sample —
+    // Fig. 11's edge-time measurements need the full-resolution waveform.
+    let samples = (cfg.tstop / experiment.dt).ceil() as usize + 2;
+    let job = SimJob::transient(ckt.netlist().clone(), cfg)
+        .probes(&[out_node])
+        .max_samples(samples.next_power_of_two())
+        .label("fig11-xor3");
+    let mut batch = Engine::new().run(vec![job]);
+    let report = match batch.outcomes.pop() {
+        Some(SimOutcome::Transient(w)) => {
+            let out = w.voltage(out_node).expect("probed node");
+            experiment.analyze(w.time(), out)
+        }
+        other => return Err(format!("engine did not return a transient: {other:?}").into()),
+    };
     tel.phase_done("transient");
 
     println!("Fig. 11: inverse-XOR3 transient (3x3 lattice, VDD = 1.2 V, 500 kOhm pull-up)\n");

@@ -1,9 +1,15 @@
 //! Regenerates Fig. 12: (a) current through 1..21 series switches at
 //! VDD = 1.2 V; (b) supply voltage needed to hold the two-switch current
 //! (the paper's 5.5 µA point) through 2..21 switches.
+//!
+//! Fig. 12a runs as a batch-engine client: the 21 chain lengths are 21
+//! independent [`SimJob`]s submitted together, and the engine returns
+//! their operating points in submission order. Fig. 12b stays sequential
+//! — each bisection step depends on the previous one.
 
-use fts_circuit::experiments::{series_chain_current, series_chain_voltage_for_current};
+use fts_circuit::experiments::{series_chain_netlist, series_chain_voltage_for_current};
 use fts_circuit::model::SwitchCircuitModel;
+use fts_engine::{Engine, SimJob, SimOutcome};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
@@ -15,9 +21,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("Fig. 12a: current vs number of series switches @ VDD = 1.2 V");
     println!("{:>4} {:>14}", "N", "current [A]");
+    let lengths: Vec<usize> = (1..=21).collect();
+    let mut netlists = Vec::with_capacity(lengths.len());
+    let mut jobs = Vec::with_capacity(lengths.len());
+    for &n in &lengths {
+        let (nl, _) = series_chain_netlist(&model, n, 1.2)?;
+        jobs.push(SimJob::op(nl.clone()).label(&format!("chain-{n}")));
+        netlists.push(nl);
+    }
+    let batch = Engine::new().run(jobs);
     let mut i2 = 0.0;
-    for n in 1..=21usize {
-        let i = series_chain_current(&model, n, 1.2)?;
+    for ((&n, nl), outcome) in lengths.iter().zip(&netlists).zip(&batch.outcomes) {
+        let op = match outcome {
+            SimOutcome::Op(op) => op,
+            other => return Err(format!("chain of {n}: {other:?}").into()),
+        };
+        // The source delivers current, so its branch current is negative.
+        let i = -op.vsource_current(nl, "VDRV")?;
         if n == 2 {
             i2 = i;
         }

@@ -14,8 +14,9 @@ use fts_circuit::lattice_netlist::{pwl_from_bits, BenchConfig, LatticeCircuit};
 use fts_circuit::model::SwitchCircuitModel;
 use fts_lattice::Lattice;
 use fts_logic::Literal;
-use fts_spice::analysis::{self, Integrator, TransientOptions};
+use fts_spice::analysis::TranConfig;
 use fts_spice::netlist::SolverKind;
+use fts_spice::Simulator;
 
 const VARS: usize = 3;
 const PHASE: f64 = 2.0e-9;
@@ -50,18 +51,12 @@ fn lattice_circuit(
 }
 
 /// Best-of-`reps` transient wall time through the given engine.
-fn time_transient(
-    ckt: &LatticeCircuit,
-    kind: SolverKind,
-    opts: &TransientOptions,
-    reps: usize,
-) -> f64 {
-    let mut nl = ckt.netlist().clone();
-    nl.set_solver(kind);
+fn time_transient(ckt: &LatticeCircuit, kind: SolverKind, cfg: &TranConfig, reps: usize) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..reps {
+        let sim = Simulator::new(ckt.netlist()).solver(kind);
         let t0 = Instant::now();
-        analysis::transient(&nl, opts).expect("transient");
+        sim.transient(cfg).expect("transient");
         best = best.min(t0.elapsed().as_secs_f64());
     }
     best
@@ -72,9 +67,10 @@ fn time_transient(
 fn measure_factor_nnz(ckt: &LatticeCircuit) -> usize {
     fts_telemetry::reset();
     fts_telemetry::set_enabled(true);
-    let mut nl = ckt.netlist().clone();
-    nl.set_solver(SolverKind::Sparse);
-    analysis::op(&nl).expect("op");
+    Simulator::new(ckt.netlist())
+        .solver(SolverKind::Sparse)
+        .op()
+        .expect("op");
     let snap = fts_telemetry::snapshot();
     let nnz = snap
         .histogram("spice.sparse.factor_nnz")
@@ -87,13 +83,8 @@ fn measure_factor_nnz(ckt: &LatticeCircuit) -> usize {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let started = Instant::now();
     let model = SwitchCircuitModel::square_hfo2()?;
-    let opts = TransientOptions {
-        dt: DT,
-        tstop: PHASE * (1u32 << VARS) as f64,
-        integrator: Integrator::Trapezoidal,
-        uic: false,
-    };
-    let steps = (opts.tstop / opts.dt).round() as usize;
+    let cfg = TranConfig::fixed(DT, PHASE * (1u32 << VARS) as f64);
+    let steps = (cfg.tstop / DT).round() as usize;
 
     println!("Dense vs sparse MNA engine: m x m lattice transient, {steps} steps");
     println!(
@@ -107,8 +98,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let pattern = ckt.netlist().mna_pattern();
         let factor_nnz = measure_factor_nnz(&ckt);
         let reps = if m <= 6 { 3 } else { 2 };
-        let dense_s = time_transient(&ckt, SolverKind::Dense, &opts, reps);
-        let sparse_s = time_transient(&ckt, SolverKind::Sparse, &opts, reps);
+        let dense_s = time_transient(&ckt, SolverKind::Dense, &cfg, reps);
+        let sparse_s = time_transient(&ckt, SolverKind::Sparse, &cfg, reps);
         let row = Row {
             m,
             unknowns: ckt.netlist().unknown_count(),

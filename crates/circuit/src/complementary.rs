@@ -11,7 +11,7 @@
 
 use fts_lattice::Lattice;
 use fts_logic::{Literal, TruthTable};
-use fts_spice::{analysis, Netlist, NodeId, Waveform};
+use fts_spice::{Netlist, NodeId, Simulator, Waveform};
 
 use crate::lattice_netlist::BenchConfig;
 use crate::model::SwitchCircuitModel;
@@ -130,7 +130,7 @@ impl ComplementaryCircuit {
     /// Propagates simulator failures.
     pub fn dc_output(&self, assignment: u32) -> Result<f64, CircuitError> {
         let nl = self.with_inputs(assignment)?;
-        Ok(analysis::op(&nl)?.voltage(self.out))
+        Ok(Simulator::new(&nl).op()?.voltage(self.out))
     }
 
     /// DC supply current magnitude for an input assignment — the static
@@ -141,7 +141,7 @@ impl ComplementaryCircuit {
     /// Propagates simulator failures.
     pub fn static_supply_current(&self, assignment: u32) -> Result<f64, CircuitError> {
         let nl = self.with_inputs(assignment)?;
-        let op = analysis::op(&nl)?;
+        let op = Simulator::new(&nl).op()?;
         Ok(op.vsource_current(&nl, "VDD")?.abs())
     }
 

@@ -3,8 +3,8 @@
 
 use fts_lattice::Lattice;
 use fts_logic::{generators, Literal};
-use fts_spice::analysis::{self, Integrator, TransientOptions};
-use fts_spice::{measure, Netlist, Waveform};
+use fts_spice::analysis::{Integrator, TranConfig};
+use fts_spice::{measure, Netlist, Simulator, Waveform};
 
 use crate::lattice_netlist::{pwl_from_bits, BenchConfig, LatticeCircuit};
 use crate::model::SwitchCircuitModel;
@@ -85,46 +85,47 @@ impl Xor3Experiment {
         }
     }
 
-    /// Runs the experiment: the XOR3 lattice driven through all eight
-    /// input combinations; the output must equal `NOT XOR3` (the lattice
-    /// is the pull-down network).
+    /// Builds the stimulus-wired lattice circuit and the transient
+    /// configuration — the *job half* of [`run`](Xor3Experiment::run).
+    /// Batch clients hand the netlist and config to the engine and feed
+    /// the resulting output waveform back into
+    /// [`analyze`](Xor3Experiment::analyze).
     ///
     /// # Errors
     ///
-    /// Propagates circuit and simulator failures.
-    pub fn run(&self, model: &SwitchCircuitModel) -> Result<Xor3Report, CircuitError> {
+    /// Propagates circuit construction failures.
+    pub fn prepare(
+        &self,
+        model: &SwitchCircuitModel,
+    ) -> Result<(LatticeCircuit, TranConfig), CircuitError> {
         let lat = xor3_lattice();
         let mut ckt = LatticeCircuit::build(&lat, 3, model, self.bench)?;
         // Drive inputs through 000,001,…,111 (variable v toggles with
         // period 2^v phases).
-        let combos: Vec<u32> = (0..8).collect();
         for v in 0..3usize {
-            let bits: Vec<bool> = combos.iter().map(|x| (x >> v) & 1 == 1).collect();
+            let bits: Vec<bool> = (0..8u32).map(|x| (x >> v) & 1 == 1).collect();
             let (p, n) = pwl_from_bits(&bits, self.phase, self.transition, self.bench.vdd);
             ckt.set_stimulus(v, p, n)?;
         }
-        let tstop = self.phase * combos.len() as f64;
-        let tr = analysis::transient(
-            ckt.netlist(),
-            &TransientOptions {
-                dt: self.dt,
-                tstop,
-                integrator: self.integrator,
-                uic: false,
-            },
-        )?;
-        let out = tr.voltage(ckt.out());
+        let tstop = self.phase * 8.0;
+        let cfg = TranConfig::fixed(self.dt, tstop).integrator(self.integrator);
+        Ok((ckt, cfg))
+    }
+
+    /// Measures a simulated output waveform against the Fig. 11 protocol —
+    /// the *measurement half* of [`run`](Xor3Experiment::run).
+    pub fn analyze(&self, time: &[f64], output: Vec<f64>) -> Xor3Report {
         let xor = generators::xor(3);
 
         // Read the settled level in the last 20% of each phase.
         let mut functional = true;
         let mut v_ol: f64 = f64::NEG_INFINITY;
         let mut v_oh: f64 = f64::INFINITY;
-        let mut levels = Vec::with_capacity(combos.len());
-        for (k, &x) in combos.iter().enumerate() {
-            let t0 = (k as f64 + 0.8) * self.phase;
-            let t1 = (k + 1) as f64 * self.phase;
-            let lvl = measure::settled_level(&tr.time, &out, t0, t1);
+        let mut levels = Vec::with_capacity(8);
+        for x in 0..8u32 {
+            let t0 = (x as f64 + 0.8) * self.phase;
+            let t1 = (x + 1) as f64 * self.phase;
+            let lvl = measure::settled_level(time, &output, t0, t1);
             levels.push(lvl);
             let expect_high = !xor.eval(x); // inverse XOR3
             if expect_high {
@@ -137,18 +138,32 @@ impl Xor3Experiment {
         }
 
         // Rise/fall of the output between the settled rails.
-        let rise = measure::rise_time(&tr.time, &out, v_ol.max(0.0), v_oh, 1);
-        let fall = measure::fall_time(&tr.time, &out, v_ol.max(0.0), v_oh, 1);
-        Ok(Xor3Report {
+        let rise = measure::rise_time(time, &output, v_ol.max(0.0), v_oh, 1);
+        let fall = measure::fall_time(time, &output, v_ol.max(0.0), v_oh, 1);
+        Xor3Report {
             functional,
             v_ol,
             v_oh,
             rise_s: rise,
             fall_s: fall,
             phase_levels: levels,
-            time: tr.time.clone(),
-            output: out,
-        })
+            time: time.to_vec(),
+            output,
+        }
+    }
+
+    /// Runs the experiment: the XOR3 lattice driven through all eight
+    /// input combinations; the output must equal `NOT XOR3` (the lattice
+    /// is the pull-down network).
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit and simulator failures.
+    pub fn run(&self, model: &SwitchCircuitModel) -> Result<Xor3Report, CircuitError> {
+        let (ckt, cfg) = self.prepare(model)?;
+        let tr = Simulator::new(ckt.netlist()).transient(&cfg)?;
+        let out = tr.voltage(ckt.out());
+        Ok(self.analyze(&tr.time, out))
     }
 }
 
@@ -227,7 +242,7 @@ pub fn series_chain_current(
     vdd: f64,
 ) -> Result<f64, CircuitError> {
     let (nl, src) = series_chain_netlist(model, n, vdd)?;
-    let op = analysis::op(&nl)?;
+    let op = Simulator::new(&nl).op()?;
     // The source delivers current, so its branch current is negative.
     Ok(-op.vsource_current(&nl, src)?)
 }
@@ -251,7 +266,7 @@ pub fn series_chain_voltage_for_current(
     nl.share_symbolic(nl.mna_symbolic());
     let mut current = |v: f64| -> Result<f64, CircuitError> {
         nl.set_vsource(src, Waveform::Dc(v))?;
-        let op = analysis::op(&nl)?;
+        let op = Simulator::new(&nl).op()?;
         Ok(-op.vsource_current(&nl, src)?)
     };
     let (mut lo, mut hi) = (0.0f64, v_max);

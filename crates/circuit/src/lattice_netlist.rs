@@ -7,7 +7,7 @@
 
 use fts_lattice::Lattice;
 use fts_logic::Literal;
-use fts_spice::{analysis, Netlist, NodeId, Waveform};
+use fts_spice::{Netlist, NodeId, Simulator, Waveform};
 
 use crate::model::SwitchCircuitModel;
 use crate::switch;
@@ -215,7 +215,7 @@ impl LatticeCircuit {
                 Waveform::Dc(if bit { 0.0 } else { vdd }),
             )?;
         }
-        let op = analysis::op(&nl)?;
+        let op = Simulator::new(&nl).op()?;
         Ok(op.voltage(self.out))
     }
 

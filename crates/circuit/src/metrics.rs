@@ -2,8 +2,8 @@
 //! §VI-A of the paper plans ("power consumption, delay (maximum
 //! frequency), phase margin, and area").
 
-use fts_spice::analysis::{self, Integrator, TransientOptions};
-use fts_spice::{measure, Netlist, NodeId, Waveform};
+use fts_spice::analysis::TranConfig;
+use fts_spice::{measure, Netlist, NodeId, Simulator, Waveform};
 
 use crate::lattice_netlist::{pwl_from_bits, LatticeCircuit};
 use crate::CircuitError;
@@ -59,7 +59,7 @@ pub fn measure_lattice_circuit(
     let mut total = 0.0f64;
     for x in 0..combos {
         let nl = netlist_with_inputs(circuit, vars, x)?;
-        let op = analysis::op(&nl)?;
+        let op = Simulator::new(&nl).op()?;
         let p = op.vsource_current(&nl, "VDD")?.abs() * vdd;
         worst = worst.max(p);
         total += p;
@@ -75,15 +75,7 @@ pub fn measure_lattice_circuit(
         nl.set_vsource(&format!("VIN{v}N"), n)?;
     }
     let tstop = phase * combos as f64;
-    let tr = analysis::transient(
-        &nl,
-        &TransientOptions {
-            dt,
-            tstop,
-            integrator: Integrator::Trapezoidal,
-            uic: false,
-        },
-    )?;
+    let tr = Simulator::new(&nl).transient(&TranConfig::fixed(dt, tstop))?;
     let supply = tr.vsource_current(&nl, "VDD")?;
     let mut energy = 0.0;
     for k in 1..tr.time.len() {
@@ -176,7 +168,7 @@ pub fn output_bandwidth(
     freqs: &[f64],
 ) -> Result<Option<f64>, CircuitError> {
     let nl = netlist_with_inputs(circuit, vars, assignment)?;
-    let res = analysis::ac(&nl, &format!("VIN{swept_var}"), freqs)?;
+    let res = Simulator::new(&nl).ac(&format!("VIN{swept_var}"), freqs)?;
     Ok(res.bandwidth_3db(circuit.out()))
 }
 
@@ -246,7 +238,7 @@ pub fn vtc(
         let mut nl = netlist_with_inputs(circuit, vars, fixed_assignment)?;
         nl.set_vsource(&format!("VIN{swept_var}"), Waveform::Dc(v))?;
         nl.set_vsource(&format!("VIN{swept_var}N"), Waveform::Dc(vdd - v))?;
-        let op = analysis::op(&nl)?;
+        let op = Simulator::new(&nl).op()?;
         vin.push(v);
         vout.push(op.voltage(circuit.out()));
     }

@@ -54,7 +54,7 @@ pub fn add_switch(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fts_spice::{analysis, Waveform};
+    use fts_spice::{Simulator, Waveform};
 
     fn model() -> SwitchCircuitModel {
         SwitchCircuitModel::square_hfo2().unwrap()
@@ -79,7 +79,7 @@ mod tests {
     #[test]
     fn switch_connects_when_gate_high() {
         let (nl, out) = one_switch(1.2);
-        let op = analysis::op(&nl).unwrap();
+        let op = Simulator::new(&nl).op().unwrap();
         assert!(
             op.voltage(out) > 0.9,
             "ON switch passes: {}",
@@ -90,7 +90,7 @@ mod tests {
     #[test]
     fn switch_isolates_when_gate_low() {
         let (nl, out) = one_switch(0.0);
-        let op = analysis::op(&nl).unwrap();
+        let op = Simulator::new(&nl).op().unwrap();
         assert!(
             op.voltage(out) < 0.05,
             "OFF switch isolates: {}",
@@ -118,7 +118,7 @@ mod tests {
                 nl.resistor("RL", ts[sense], Netlist::GROUND, 1.0e6)
                     .unwrap();
                 add_switch(&mut nl, "X1", g, ts, &m).unwrap();
-                let op = analysis::op(&nl).unwrap();
+                let op = Simulator::new(&nl).op().unwrap();
                 assert!(
                     op.voltage(ts[sense]) > 0.85,
                     "pair {drive}->{sense}: {}",

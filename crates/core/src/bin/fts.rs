@@ -8,6 +8,7 @@
 //! fts characterize <device> <gate>   virtual-TCAD summary (square|cross|junctionless, sio2|hfo2)
 //! fts xor3                           run the Fig. 11 transient and print the summary
 //! fts explore <function>             design-space sweep with Pareto front
+//! fts batch <manifest.json>          batch simulation on the fts-engine scheduler
 //! ```
 //!
 //! `<function>` is one of: and2..and4, or2..or4, xor2..xor4, xnor2, xnor3,
@@ -15,13 +16,14 @@
 
 use std::io::Read;
 
+use four_terminal_lattice::batch;
 use four_terminal_lattice::circuit::experiments::Xor3Experiment;
 use four_terminal_lattice::circuit::model::SwitchCircuitModel;
 use four_terminal_lattice::device::characterize::characterize;
 use four_terminal_lattice::device::{Device, DeviceKind, Dielectric};
 use four_terminal_lattice::explorer::{explore, ExploreOptions};
 use four_terminal_lattice::lattice::{count, defects, text, Lattice};
-use four_terminal_lattice::logic::{generators, TruthTable};
+use four_terminal_lattice::named_function;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,7 +40,7 @@ fn main() {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  fts count <m> <n>\n  fts synth <function>\n  fts lattice <file|-> --vars <n>\n  fts faults <file|-> --vars <n>\n  fts characterize <square|cross|junctionless> <sio2|hfo2>\n  fts xor3\n  fts explore <function>"
+    "usage:\n  fts count <m> <n>\n  fts synth <function>\n  fts lattice <file|-> --vars <n>\n  fts faults <file|-> --vars <n>\n  fts characterize <square|cross|junctionless> <sio2|hfo2>\n  fts xor3\n  fts explore <function>\n  fts batch <manifest.json> [--out <report.json>]"
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -51,29 +53,9 @@ fn run(args: &[String]) -> Result<(), String> {
         "characterize" => cmd_characterize(&args[1..]),
         "xor3" => cmd_xor3(),
         "explore" => cmd_explore(&args[1..]),
+        "batch" => cmd_batch(&args[1..]),
         other => Err(format!("unknown subcommand {other:?}")),
     }
-}
-
-fn named_function(name: &str) -> Result<TruthTable, String> {
-    let f = match name {
-        "and2" => generators::and(2),
-        "and3" => generators::and(3),
-        "and4" => generators::and(4),
-        "or2" => generators::or(2),
-        "or3" => generators::or(3),
-        "or4" => generators::or(4),
-        "xor2" => generators::xor(2),
-        "xor3" => generators::xor(3),
-        "xor4" => generators::xor(4),
-        "xnor2" => generators::xnor(2),
-        "xnor3" => generators::xnor(3),
-        "maj3" => generators::majority(3),
-        "maj5" => generators::majority(5),
-        "th24" => generators::threshold(4, 2),
-        other => return Err(format!("unknown function {other:?}")),
-    };
-    Ok(f)
 }
 
 fn cmd_count(args: &[String]) -> Result<(), String> {
@@ -232,5 +214,38 @@ fn cmd_explore(args: &[String]) -> Result<(), String> {
         );
     }
     println!("(* = Pareto-optimal in area / delay / static power)");
+    Ok(())
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing <manifest.json>")?;
+    let mut out_path: Option<&str> = None;
+    let mut rest = args[1..].iter();
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--out" => out_path = Some(rest.next().ok_or("--out needs a path")?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let manifest = batch::BatchManifest::parse(&text)?;
+    let report = batch::run_manifest(&manifest)?;
+    match out_path {
+        Some(p) => {
+            std::fs::write(p, &report).map_err(|e| format!("{p}: {e}"))?;
+            println!("wrote {p}");
+        }
+        None => println!("{report}"),
+    }
+    // Machine-readable exit status: any non-successful job fails the batch.
+    let doc = batch::Json::parse(&report).expect("report is well-formed");
+    let jobs = doc.get("jobs").and_then(batch::Json::as_f64).unwrap_or(0.0);
+    let ok = doc
+        .get("succeeded")
+        .and_then(batch::Json::as_f64)
+        .unwrap_or(0.0);
+    if ok < jobs {
+        return Err(format!("{} of {jobs} jobs did not succeed", jobs - ok));
+    }
     Ok(())
 }

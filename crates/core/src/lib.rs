@@ -42,6 +42,7 @@
 
 pub use fts_circuit as circuit;
 pub use fts_device as device;
+pub use fts_engine as engine;
 pub use fts_extract as extract;
 pub use fts_field as field;
 pub use fts_lattice as lattice;
@@ -50,5 +51,36 @@ pub use fts_montecarlo as montecarlo;
 pub use fts_spice as spice;
 pub use fts_synth as synth;
 
+pub mod batch;
 pub mod explorer;
 pub mod pipeline;
+
+/// Looks up one of the named benchmark functions shared by the `fts synth`,
+/// `fts explore`, and `fts batch` subcommands: `and2..and4`, `or2..or4`,
+/// `xor2..xor4`, `xnor2`, `xnor3`, `maj3`, `maj5`, and `th24` (the 2-of-4
+/// threshold).
+///
+/// # Errors
+///
+/// A usage-style message for unknown names.
+pub fn named_function(name: &str) -> Result<logic::TruthTable, String> {
+    use logic::generators;
+    let f = match name {
+        "and2" => generators::and(2),
+        "and3" => generators::and(3),
+        "and4" => generators::and(4),
+        "or2" => generators::or(2),
+        "or3" => generators::or(3),
+        "or4" => generators::or(4),
+        "xor2" => generators::xor(2),
+        "xor3" => generators::xor(3),
+        "xor4" => generators::xor(4),
+        "xnor2" => generators::xnor(2),
+        "xnor3" => generators::xnor(3),
+        "maj3" => generators::majority(3),
+        "maj5" => generators::majority(5),
+        "th24" => generators::threshold(4, 2),
+        other => return Err(format!("unknown function {other:?}")),
+    };
+    Ok(f)
+}

@@ -1,11 +1,13 @@
 //! Work-stealing parallel block executor.
 //!
-//! Trials are grouped into fixed-size *blocks*; a block is the unit of both
-//! scheduling and accumulation. Workers pull block indices from a shared
-//! atomic counter (cheap work stealing: an idle worker simply takes the next
-//! undone block, so an unlucky thread stuck on slow trials never gates the
-//! rest), compute a per-block result sequentially, and send it back tagged
-//! with its index. The caller merges results **in ascending block order**,
+//! Extracted from `fts-montecarlo` (which re-exports it) so the batch
+//! scheduler and the Monte Carlo engine share one executor. Work items are
+//! grouped into *blocks*; a block is the unit of both scheduling and
+//! accumulation. Workers pull block indices from a shared atomic counter
+//! (cheap work stealing: an idle worker simply takes the next undone
+//! block, so an unlucky thread stuck on slow work never gates the rest),
+//! compute a per-block result sequentially, and send it back tagged with
+//! its index. The caller merges results **in ascending block order**,
 //! which is what makes every thread count — including the sequential
 //! fallback — produce bit-identical output.
 
@@ -51,10 +53,10 @@ where
 {
     let threads = threads.max(1).min(block_list.len().max(1));
     if threads <= 1 || block_list.len() <= 1 {
-        fts_telemetry::counter("mc.executor.workers", 1);
-        fts_telemetry::counter("mc.executor.blocks", block_list.len() as u64);
+        fts_telemetry::counter("engine.executor.workers", 1);
+        fts_telemetry::counter("engine.executor.blocks", block_list.len() as u64);
         if fts_telemetry::enabled() {
-            fts_telemetry::record("mc.executor.blocks_per_worker", block_list.len() as f64);
+            fts_telemetry::record("engine.executor.blocks_per_worker", block_list.len() as f64);
         }
         return block_list
             .iter()
@@ -63,8 +65,8 @@ where
             .collect();
     }
 
-    fts_telemetry::counter("mc.executor.workers", threads as u64);
-    fts_telemetry::counter("mc.executor.blocks", block_list.len() as u64);
+    fts_telemetry::counter("engine.executor.workers", threads as u64);
+    fts_telemetry::counter("engine.executor.blocks", block_list.len() as u64);
     let next = AtomicU64::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
     std::thread::scope(|scope| {
@@ -87,7 +89,7 @@ where
                     let _ = tx.send((k, work(k, &block_list[k])));
                 }
                 if fts_telemetry::enabled() {
-                    fts_telemetry::record("mc.executor.blocks_per_worker", taken as f64);
+                    fts_telemetry::record("engine.executor.blocks_per_worker", taken as f64);
                 }
             });
         }

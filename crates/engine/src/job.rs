@@ -1,0 +1,288 @@
+//! The batch job model: what to simulate, how hard to try, and what came
+//! back.
+
+use std::time::Duration;
+
+use fts_spice::analysis::{AcResult, OpResult, TranConfig};
+use fts_spice::{Netlist, NodeId, OpOptions, SpiceError};
+
+use crate::sink::Waveforms;
+
+/// Default retained-sample cap for transient jobs (see
+/// [`crate::WaveformSink`]).
+pub const DEFAULT_MAX_SAMPLES: usize = 4096;
+
+/// The analysis a [`SimJob`] requests.
+#[derive(Debug, Clone)]
+pub enum Analysis {
+    /// DC operating point at `t = 0`.
+    Op,
+    /// DC sweep of the named voltage source.
+    DcSweep {
+        /// Voltage source to sweep.
+        source: String,
+        /// Sweep values \[V\].
+        values: Vec<f64>,
+    },
+    /// Transient analysis with bounded-memory waveform capture.
+    Transient {
+        /// Stepping, stop time, integrator.
+        config: TranConfig,
+        /// Nodes to record; empty = every non-ground node.
+        probes: Vec<NodeId>,
+        /// Retained-sample cap for the decimating sink.
+        max_samples: usize,
+    },
+    /// Small-signal frequency sweep of the named source.
+    Ac {
+        /// Source carrying the unit AC phasor.
+        source: String,
+        /// Sweep frequencies \[Hz\].
+        freqs: Vec<f64>,
+    },
+}
+
+/// How a job's DC operating points escalate when Newton fails to
+/// converge.
+///
+/// Each entry is one attempt's [`OpOptions`]; a later attempt runs only
+/// when the previous one failed with a *retryable* error
+/// ([`SpiceError::is_retryable`]). Fatal errors (singular matrix, invalid
+/// netlist) and cancellations stop the ladder immediately.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Per-attempt operating-point policies, tried in order.
+    pub attempts: Vec<OpOptions>,
+}
+
+impl RetryPolicy {
+    /// One attempt with the full homotopy ladder inside — identical to
+    /// what the legacy free functions did. This is the default.
+    pub fn full() -> RetryPolicy {
+        RetryPolicy {
+            attempts: vec![OpOptions::full()],
+        }
+    }
+
+    /// An explicit escalation ladder: plain Newton, then gmin stepping,
+    /// then gmin + source stepping, then everything including
+    /// pseudo-transient. Spends the least effort on easy circuits while
+    /// keeping the heavyweight rungs available.
+    pub fn ladder() -> RetryPolicy {
+        let newton = OpOptions::newton_only();
+        let gmin = OpOptions {
+            gmin_stepping: true,
+            source_stepping: false,
+            pseudo_transient: false,
+            ..OpOptions::full()
+        };
+        let gmin_source = OpOptions {
+            gmin_stepping: true,
+            source_stepping: true,
+            pseudo_transient: false,
+            ..OpOptions::full()
+        };
+        RetryPolicy {
+            attempts: vec![newton, gmin, gmin_source, OpOptions::full()],
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::full()
+    }
+}
+
+/// One unit of work for the batch engine: a netlist, an analysis, and the
+/// execution policy around it.
+#[derive(Debug, Clone)]
+pub struct SimJob {
+    /// The circuit to simulate (owned: jobs move to worker threads).
+    pub netlist: Netlist,
+    /// The analysis to run.
+    pub analysis: Analysis,
+    /// Wall-clock budget; `None` = unbounded. Expiry is detected
+    /// cooperatively inside Newton iterations and at every transient
+    /// timestep, so an expired job stops within one timestep.
+    pub deadline: Option<Duration>,
+    /// Convergence escalation policy.
+    pub retry: RetryPolicy,
+    /// Free-form label echoed in the job's [`JobStats`].
+    pub label: String,
+}
+
+impl SimJob {
+    /// An operating-point job with default policy.
+    pub fn op(netlist: Netlist) -> SimJob {
+        SimJob {
+            netlist,
+            analysis: Analysis::Op,
+            deadline: None,
+            retry: RetryPolicy::full(),
+            label: String::new(),
+        }
+    }
+
+    /// A transient job recording every non-ground node.
+    pub fn transient(netlist: Netlist, config: TranConfig) -> SimJob {
+        SimJob {
+            netlist,
+            analysis: Analysis::Transient {
+                config,
+                probes: Vec::new(),
+                max_samples: DEFAULT_MAX_SAMPLES,
+            },
+            deadline: None,
+            retry: RetryPolicy::full(),
+            label: String::new(),
+        }
+    }
+
+    /// A DC-sweep job.
+    pub fn dc_sweep(netlist: Netlist, source: &str, values: Vec<f64>) -> SimJob {
+        SimJob {
+            netlist,
+            analysis: Analysis::DcSweep {
+                source: source.to_owned(),
+                values,
+            },
+            deadline: None,
+            retry: RetryPolicy::full(),
+            label: String::new(),
+        }
+    }
+
+    /// An AC-sweep job.
+    pub fn ac(netlist: Netlist, source: &str, freqs: Vec<f64>) -> SimJob {
+        SimJob {
+            netlist,
+            analysis: Analysis::Ac {
+                source: source.to_owned(),
+                freqs,
+            },
+            deadline: None,
+            retry: RetryPolicy::full(),
+            label: String::new(),
+        }
+    }
+
+    /// Sets the wall-clock deadline.
+    pub fn deadline(mut self, budget: Duration) -> SimJob {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Sets the retry policy.
+    pub fn retry(mut self, policy: RetryPolicy) -> SimJob {
+        self.retry = policy;
+        self
+    }
+
+    /// Sets the label.
+    pub fn label(mut self, label: &str) -> SimJob {
+        self.label = label.to_owned();
+        self
+    }
+
+    /// Restricts which nodes a transient job records. No effect on other
+    /// analyses.
+    pub fn probes(mut self, nodes: &[NodeId]) -> SimJob {
+        if let Analysis::Transient { probes, .. } = &mut self.analysis {
+            *probes = nodes.to_vec();
+        }
+        self
+    }
+
+    /// Sets the transient retained-sample cap. No effect on other
+    /// analyses.
+    pub fn max_samples(mut self, cap: usize) -> SimJob {
+        if let Analysis::Transient { max_samples, .. } = &mut self.analysis {
+            *max_samples = cap;
+        }
+        self
+    }
+}
+
+/// What a job produced. Timing lives in the separate [`JobStats`] so
+/// outcomes compare equal across runs and thread counts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimOutcome {
+    /// Operating point solved.
+    Op(OpResult),
+    /// DC sweep completed, one operating point per value.
+    Sweep(Vec<OpResult>),
+    /// Transient completed; decimated waveforms.
+    Transient(Waveforms),
+    /// AC sweep completed.
+    Ac(AcResult),
+    /// Every permitted attempt failed with a non-recoverable error.
+    Failed {
+        /// The last error observed.
+        error: SpiceError,
+        /// Attempts consumed before giving up.
+        attempts: usize,
+    },
+    /// The batch-wide kill switch fired while this job ran.
+    Cancelled,
+    /// The job's own wall-clock budget expired mid-analysis.
+    DeadlineExceeded {
+        /// Attempts consumed (including the one cut short).
+        attempts: usize,
+    },
+}
+
+impl SimOutcome {
+    /// True for the three success variants.
+    pub fn is_success(&self) -> bool {
+        matches!(
+            self,
+            SimOutcome::Op(_) | SimOutcome::Sweep(_) | SimOutcome::Transient(_) | SimOutcome::Ac(_)
+        )
+    }
+
+    /// Short machine-readable tag (used by the CLI report).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimOutcome::Op(_) => "op",
+            SimOutcome::Sweep(_) => "sweep",
+            SimOutcome::Transient(_) => "transient",
+            SimOutcome::Ac(_) => "ac",
+            SimOutcome::Failed { .. } => "failed",
+            SimOutcome::Cancelled => "cancelled",
+            SimOutcome::DeadlineExceeded { .. } => "deadline_exceeded",
+        }
+    }
+}
+
+/// Per-job execution statistics (separate from [`SimOutcome`] so outcomes
+/// stay comparable across thread counts).
+#[derive(Debug, Clone)]
+pub struct JobStats {
+    /// The job's label.
+    pub label: String,
+    /// Wall-clock time spent on the job \[s\].
+    pub wall_s: f64,
+    /// Solve attempts consumed.
+    pub attempts: usize,
+}
+
+/// The result of a whole batch, in submission order.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One outcome per submitted job, submission-ordered.
+    pub outcomes: Vec<SimOutcome>,
+    /// One stats record per job, same order.
+    pub stats: Vec<JobStats>,
+    /// Wall-clock time for the whole batch \[s\].
+    pub wall_s: f64,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl BatchReport {
+    /// Number of successful jobs.
+    pub fn succeeded(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_success()).count()
+    }
+}

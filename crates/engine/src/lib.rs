@@ -1,0 +1,63 @@
+//! `fts-engine` — a deadline-aware batch simulation scheduler for
+//! four-terminal switching-lattice circuits.
+//!
+//! The repro binaries and the Monte Carlo evaluator all reduce to the same
+//! shape of work: *many independent SPICE analyses over structurally
+//! similar netlists*. This crate gives that shape one engine:
+//!
+//! * [`SimJob`] — netlist + analysis ([`Analysis`]) + execution policy
+//!   (per-job deadline, [`RetryPolicy`], waveform probes);
+//! * [`Engine`] — a work-stealing worker pool (see [`executor`]) that
+//!   returns **submission-ordered, thread-count-independent**
+//!   [`SimOutcome`]s in a [`BatchReport`];
+//! * cooperative cancellation — each job runs under a
+//!   [`CancelToken`](fts_spice::CancelToken) combining the batch kill
+//!   switch with the job's own deadline, checked inside every Newton
+//!   iteration and at every transient timestep, so deadline expiry is
+//!   detected within one timestep and reported as
+//!   [`SimOutcome::DeadlineExceeded`] rather than an error exit;
+//! * a retry ladder — failed attempts escalate through progressively
+//!   stronger [`OpOptions`](fts_spice::OpOptions) rungs, but only for
+//!   *retryable* errors ([`SpiceError::is_retryable`](fts_spice::SpiceError::is_retryable));
+//!   fatal errors and cancellations stop immediately;
+//! * bounded-memory waveforms — transient jobs stream into a decimating
+//!   [`WaveformSink`] instead of collecting every sample;
+//! * per-topology symbolic sharing — same-pattern sparse jobs in a batch
+//!   share one symbolic factorization automatically.
+//!
+//! # Example
+//!
+//! ```
+//! use fts_engine::{Engine, SimJob, SimOutcome};
+//! use fts_spice::netlist::{Netlist, Waveform};
+//!
+//! let mut nl = Netlist::new();
+//! let a = nl.node("a");
+//! nl.vsource("V1", a, Netlist::GROUND, Waveform::Dc(1.0))?;
+//! nl.resistor("R1", a, Netlist::GROUND, 1.0e3)?;
+//!
+//! let report = Engine::new().threads(2).run(vec![
+//!     SimJob::op(nl.clone()).label("op"),
+//!     SimJob::dc_sweep(nl, "V1", vec![0.0, 0.5, 1.0]).label("sweep"),
+//! ]);
+//! assert_eq!(report.succeeded(), 2);
+//! match &report.outcomes[0] {
+//!     SimOutcome::Op(op) => assert!((op.voltage(a) - 1.0).abs() < 1e-9),
+//!     other => panic!("unexpected outcome {other:?}"),
+//! }
+//! # Ok::<(), fts_spice::SpiceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+pub mod executor;
+mod job;
+mod sink;
+
+pub use engine::Engine;
+pub use job::{
+    Analysis, BatchReport, JobStats, RetryPolicy, SimJob, SimOutcome, DEFAULT_MAX_SAMPLES,
+};
+pub use sink::{WaveformSink, Waveforms};

@@ -1,0 +1,236 @@
+//! Bounded-memory waveform capture for batch transient jobs.
+//!
+//! A naive transient collects every unknown at every timestep — for a
+//! batch of long runs that is the dominant memory cost. [`WaveformSink`]
+//! records only the probed nodes and holds at most `max_samples` rows: when
+//! the buffer fills it drops every other retained sample and doubles its
+//! keep-stride, so memory stays bounded while coverage stays uniform over
+//! the whole run. The decimation decision depends only on the sample
+//! sequence, never on timing, so results are bit-identical across worker
+//! counts.
+
+use fts_spice::{Netlist, NodeId, SampleSink};
+
+/// A decimated multi-node waveform, the transient payload of a
+/// [`SimOutcome`](crate::SimOutcome).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveforms {
+    probes: Vec<NodeId>,
+    time: Vec<f64>,
+    /// One row per retained sample, one column per probe.
+    samples: Vec<Vec<f64>>,
+    stride: usize,
+    total_samples: usize,
+}
+
+impl Waveforms {
+    /// Retained sample count.
+    pub fn len(&self) -> usize {
+        self.time.len()
+    }
+
+    /// True when nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.time.is_empty()
+    }
+
+    /// Retained sample instants \[s\].
+    pub fn time(&self) -> &[f64] {
+        &self.time
+    }
+
+    /// The probed nodes, in column order.
+    pub fn probes(&self) -> &[NodeId] {
+        &self.probes
+    }
+
+    /// Final keep-stride: 1 means nothing was decimated; `2^k` means the
+    /// buffer overflowed `k` times.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Samples the integrator produced (before decimation).
+    pub fn total_samples(&self) -> usize {
+        self.total_samples
+    }
+
+    /// The retained waveform of a probed node, or `None` when the node was
+    /// not probed.
+    pub fn voltage(&self, node: NodeId) -> Option<Vec<f64>> {
+        let col = self.probes.iter().position(|&p| p == node)?;
+        Some(self.samples.iter().map(|row| row[col]).collect())
+    }
+
+    /// Voltage of probe column `col` at retained sample `k` \[V\].
+    pub fn voltage_at(&self, col: usize, k: usize) -> f64 {
+        self.samples[k][col]
+    }
+}
+
+/// A [`SampleSink`] that captures selected node voltages with
+/// stride-doubling decimation.
+pub struct WaveformSink {
+    probes: Vec<NodeId>,
+    /// Unknown-vector column per probe; `usize::MAX` marks ground (always
+    /// 0 V, not part of the unknown vector).
+    columns: Vec<usize>,
+    max_samples: usize,
+    stride: usize,
+    seen: usize,
+    time: Vec<f64>,
+    samples: Vec<Vec<f64>>,
+}
+
+impl WaveformSink {
+    /// A sink recording `probes` (every non-ground node when empty),
+    /// keeping at most `max_samples` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_samples < 2` — decimation needs room to keep both
+    /// endpoints of a halved buffer.
+    pub fn new(netlist: &Netlist, probes: &[NodeId], max_samples: usize) -> WaveformSink {
+        assert!(max_samples >= 2, "max_samples must be at least 2");
+        let probes: Vec<NodeId> = if probes.is_empty() {
+            (1..netlist.node_count())
+                .map(|i| netlist.node_id(i))
+                .collect()
+        } else {
+            probes.to_vec()
+        };
+        let columns = probes
+            .iter()
+            .map(|p| {
+                if p.index() == 0 {
+                    usize::MAX
+                } else {
+                    p.index() - 1
+                }
+            })
+            .collect();
+        WaveformSink {
+            probes,
+            columns,
+            max_samples,
+            stride: 1,
+            seen: 0,
+            time: Vec::new(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Consumes the sink into its captured [`Waveforms`].
+    pub fn finish(self) -> Waveforms {
+        Waveforms {
+            probes: self.probes,
+            time: self.time,
+            samples: self.samples,
+            stride: self.stride,
+            total_samples: self.seen,
+        }
+    }
+}
+
+impl SampleSink for WaveformSink {
+    fn accept(&mut self, t: f64, x: &[f64]) {
+        let keep = self.seen.is_multiple_of(self.stride);
+        self.seen += 1;
+        if !keep {
+            return;
+        }
+        let row: Vec<f64> = self
+            .columns
+            .iter()
+            .map(|&c| if c == usize::MAX { 0.0 } else { x[c] })
+            .collect();
+        self.time.push(t);
+        self.samples.push(row);
+        if self.time.len() >= self.max_samples {
+            // Drop every other retained row (keeping the oldest) and keep
+            // only every 2·stride-th future sample.
+            let mut w = 0;
+            for r in (0..self.time.len()).step_by(2) {
+                self.time.swap(w, r);
+                self.samples.swap(w, r);
+                w += 1;
+            }
+            self.time.truncate(w);
+            self.samples.truncate(w);
+            self.stride *= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fts_spice::netlist::Waveform;
+
+    fn rc() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.vsource("V1", a, Netlist::GROUND, Waveform::Dc(1.0))
+            .unwrap();
+        nl.resistor("R1", a, b, 1e3).unwrap();
+        nl.capacitor("C1", b, Netlist::GROUND, 1e-9).unwrap();
+        nl
+    }
+
+    #[test]
+    fn unbounded_run_keeps_everything() {
+        let nl = rc();
+        let mut sink = WaveformSink::new(&nl, &[], 1024);
+        for k in 0..100 {
+            sink.accept(k as f64, &[1.0, 0.5, -0.1]);
+        }
+        let w = sink.finish();
+        assert_eq!(w.len(), 100);
+        assert_eq!(w.stride(), 1);
+        assert_eq!(w.total_samples(), 100);
+        // Empty probe list = every non-ground node (a, b).
+        assert_eq!(w.probes().len(), 2);
+    }
+
+    #[test]
+    fn overflow_decimates_and_doubles_stride() {
+        let nl = rc();
+        let cap = 16;
+        let mut sink = WaveformSink::new(&nl, &[], cap);
+        for k in 0..1000 {
+            sink.accept(k as f64, &[k as f64, 0.0, 0.0]);
+        }
+        let w = sink.finish();
+        assert!(w.len() < cap, "stays under the cap: {}", w.len());
+        assert!(w.stride() >= 64, "stride grew: {}", w.stride());
+        assert_eq!(w.total_samples(), 1000);
+        // Retained samples are uniformly strided from t = 0.
+        for pair in w.time().windows(2) {
+            assert_eq!(pair[1] - pair[0], w.stride() as f64);
+        }
+        assert_eq!(w.time()[0], 0.0);
+    }
+
+    #[test]
+    fn decimation_is_deterministic() {
+        let nl = rc();
+        let run = || {
+            let mut sink = WaveformSink::new(&nl, &[], 32);
+            for k in 0..777 {
+                sink.accept(k as f64 * 1e-9, &[(k % 7) as f64, 1.0, 0.0]);
+            }
+            sink.finish()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn ground_probe_reads_zero() {
+        let nl = rc();
+        let mut sink = WaveformSink::new(&nl, &[Netlist::GROUND], 8);
+        sink.accept(0.0, &[5.0, 5.0, 5.0]);
+        let w = sink.finish();
+        assert_eq!(w.voltage(Netlist::GROUND).unwrap(), vec![0.0]);
+    }
+}

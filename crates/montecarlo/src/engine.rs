@@ -13,14 +13,14 @@ use std::time::Instant;
 
 use fts_circuit::lattice_netlist::{pwl_from_bits, BenchConfig, LatticeCircuit};
 use fts_circuit::model::SwitchCircuitModel;
+use fts_engine::executor::{auto_threads, blocks, map_blocks};
 use fts_lattice::defects::{inject_all, Fault};
 use fts_lattice::Lattice;
 use fts_logic::TruthTable;
-use fts_spice::analysis::{self, Integrator, TransientOptions};
-use fts_spice::measure;
+use fts_spice::analysis::TranConfig;
+use fts_spice::{measure, Simulator};
 
 use crate::error::McError;
-use crate::executor::{auto_threads, blocks, map_blocks};
 use crate::rng::trial_rng;
 use crate::stats::{Histogram, SummaryStats, Welford};
 use crate::variation::VariationModel;
@@ -96,7 +96,10 @@ impl SimFailureCauses {
         use fts_circuit::CircuitError as E;
         use fts_spice::SpiceError as S;
         let (slot, name) = match e {
-            E::Spice(S::NoConvergence { .. }) => {
+            // `SpiceError::is_retryable` is the single source of truth for
+            // "convergence trouble" — the same predicate that drives the
+            // batch engine's retry ladder.
+            E::Spice(s) if s.is_retryable() => {
                 (&mut self.no_convergence, "mc.sim_failure.no_convergence")
             }
             E::Spice(S::SingularMatrix) => {
@@ -468,15 +471,8 @@ impl TrialContext<'_> {
             let (p, n) = pwl_from_bits(&bits, ts.phase, ts.transition, vdd);
             ckt.set_stimulus(v, p, n)?;
         }
-        let tr = analysis::transient(
-            ckt.netlist(),
-            &TransientOptions {
-                dt: ts.dt,
-                tstop: ts.phase * combos as f64,
-                integrator: Integrator::Trapezoidal,
-                uic: false,
-            },
-        )?;
+        let tr = Simulator::new(ckt.netlist())
+            .transient(&TranConfig::fixed(ts.dt, ts.phase * combos as f64))?;
         let out = tr.voltage(ckt.out());
 
         let mut functional = true;

@@ -48,7 +48,6 @@
 
 mod engine;
 mod error;
-pub mod executor;
 pub mod rng;
 pub mod stats;
 pub mod variation;
@@ -57,5 +56,9 @@ pub use engine::{
     EvalMode, MonteCarlo, SimFailureCauses, SpecLimits, TransientSettings, YieldReport,
 };
 pub use error::McError;
+/// Re-export of the shared work-stealing block executor (now maintained
+/// in `fts-engine`; this alias keeps existing `fts_montecarlo::executor`
+/// callers working).
+pub use fts_engine::executor;
 pub use stats::SummaryStats;
 pub use variation::{ParamMapping, ParamSample, ParamSigmas, VariationModel};

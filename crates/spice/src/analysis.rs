@@ -1,7 +1,12 @@
-//! DC operating point, DC sweep, and transient analyses.
+//! DC operating point, DC sweep, transient, and AC analyses.
+//!
+//! The configured entry point is [`crate::Simulator`]; the free functions
+//! here ([`op`], [`dc_sweep`], [`transient`], [`transient_adaptive`],
+//! [`ac`]) are deprecated thin wrappers kept for source compatibility.
 
 use std::cell::{Cell, RefCell};
 
+use crate::cancel::CancelToken;
 use crate::complex::{CMatrix, Complex};
 use crate::netlist::{Element, Netlist, NodeId, Waveform};
 use crate::stamp::{self, CapMode, SolverWorkspace, StampContext};
@@ -101,6 +106,51 @@ fn newton_tallied(
     }
 }
 
+/// Convergence-aid policy for a DC operating-point solve: which rungs of
+/// the homotopy ladder may run after plain Newton fails. The batch
+/// engine's retry ladder re-runs a failed job with progressively stronger
+/// policies instead of always paying for the full ladder up front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpOptions {
+    /// Allow adaptive gmin stepping.
+    pub gmin_stepping: bool,
+    /// Allow adaptive source stepping (plus its closing gmin ramp).
+    pub source_stepping: bool,
+    /// Allow pseudo-transient continuation.
+    pub pseudo_transient: bool,
+    /// Newton iteration budget per solve.
+    pub max_iterations: usize,
+}
+
+impl Default for OpOptions {
+    fn default() -> OpOptions {
+        OpOptions::full()
+    }
+}
+
+impl OpOptions {
+    /// The full ladder — gmin stepping, then source stepping, then
+    /// pseudo-transient. This is the historical `op` behavior.
+    pub fn full() -> OpOptions {
+        OpOptions {
+            gmin_stepping: true,
+            source_stepping: true,
+            pseudo_transient: true,
+            max_iterations: 120,
+        }
+    }
+
+    /// Plain Newton only: fails fast, for callers that escalate elsewhere.
+    pub fn newton_only() -> OpOptions {
+        OpOptions {
+            gmin_stepping: false,
+            source_stepping: false,
+            pseudo_transient: false,
+            max_iterations: 120,
+        }
+    }
+}
+
 /// Transient integration method.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Integrator {
@@ -169,8 +219,10 @@ impl OpResult {
 ///
 /// Returns [`SpiceError::NoConvergence`] when every strategy fails, or
 /// [`SpiceError::SingularMatrix`] for structurally broken circuits.
+#[deprecated(since = "0.1.0", note = "use `Simulator::new(&netlist).op()`")]
 pub fn op(netlist: &Netlist) -> Result<OpResult, SpiceError> {
-    op_at(netlist, 0.0, None)
+    let ws = RefCell::new(SolverWorkspace::for_netlist(netlist));
+    op_at_impl(netlist, 0.0, None, &ws, &OpOptions::full(), None)
 }
 
 /// Solves the operating point with sources evaluated at time `t`, warm
@@ -179,19 +231,27 @@ pub fn op(netlist: &Netlist) -> Result<OpResult, SpiceError> {
 /// # Errors
 ///
 /// As for [`op`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Simulator::new(&netlist).op_at(t, initial)`"
+)]
 pub fn op_at(netlist: &Netlist, t: f64, initial: Option<&[f64]>) -> Result<OpResult, SpiceError> {
     let ws = RefCell::new(SolverWorkspace::for_netlist(netlist));
-    op_at_ws(netlist, t, initial, &ws)
+    op_at_impl(netlist, t, initial, &ws, &OpOptions::full(), None)
 }
 
-/// [`op_at`] over a caller-owned solver workspace, so sweeps and transient
-/// analyses amortize the workspace (and the sparse symbolic factorization)
-/// across many operating-point solves.
-fn op_at_ws(
+/// Operating point over a caller-owned solver workspace, so sweeps and
+/// transient analyses amortize the workspace (and the sparse symbolic
+/// factorization) across many operating-point solves. `opts` gates the
+/// homotopy rungs; `cancel` is checked inside every Newton iteration and
+/// between rungs.
+pub(crate) fn op_at_impl(
     netlist: &Netlist,
     t: f64,
     initial: Option<&[f64]>,
     ws: &RefCell<SolverWorkspace>,
+    opts: &OpOptions,
+    cancel: Option<&CancelToken>,
 ) -> Result<OpResult, SpiceError> {
     let _span = fts_telemetry::span("spice.op");
     let n = netlist.unknown_count();
@@ -204,8 +264,19 @@ fn op_at_ws(
             cap_states: &[],
             gmin,
             source_scale: scale,
+            cancel,
         };
-        newton_tallied(netlist, &ctx, x0, 120, &tally, ws)
+        newton_tallied(netlist, &ctx, x0, opts.max_iterations, &tally, ws)
+    };
+    // Helper run between homotopy rungs: the continuation loops swallow
+    // individual solve failures, so a cancellation surfacing inside a rung
+    // is re-raised here (with the analysis-level label) before the next,
+    // potentially expensive, rung starts.
+    let check_cancel = || -> Result<(), SpiceError> {
+        match cancel {
+            Some(token) => token.check("dc operating point"),
+            None => Ok(()),
+        }
     };
     let finish = |x: Vec<f64>, strategy: OpStrategy| -> OpResult {
         let convergence = tally.report(strategy);
@@ -240,48 +311,58 @@ fn op_at_ws(
     if let Ok(x) = solve(1e-12, 1.0, &x0) {
         return Ok(finish(x, OpStrategy::Newton));
     }
+    check_cancel()?;
     // Adaptive gmin stepping: ramp the shunt conductance down from 10 mS,
     // shrinking the per-step reduction whenever Newton stalls instead of
     // giving up outright.
-    if let Some(x) = gmin_ramp(&solve, &x0, 1e-2) {
-        return Ok(finish(x, OpStrategy::GminStepping));
+    if opts.gmin_stepping {
+        if let Some(x) = gmin_ramp(&solve, &x0, 1e-2) {
+            return Ok(finish(x, OpStrategy::GminStepping));
+        }
+        check_cancel()?;
     }
     // Source stepping with a safety gmin: grow the drive adaptively
     // (bisect the scale step on failure), then ramp the gmin out at full
     // drive.
-    const GMIN_SAFE: f64 = 1e-9;
-    let mut x = vec![0.0; n];
-    let mut scale = 0.0f64;
-    let mut step = 0.05f64;
-    let mut source_stepping_failed = false;
-    while scale < 1.0 {
-        let target = (scale + step).min(1.0);
-        match solve(GMIN_SAFE, target, &x) {
-            Ok(sol) => {
-                x = sol;
-                scale = target;
-                step = (step * 2.0).min(0.25);
-            }
-            Err(_) => {
-                step *= 0.5;
-                if step < 1e-4 {
-                    source_stepping_failed = true;
-                    break;
+    if opts.source_stepping {
+        const GMIN_SAFE: f64 = 1e-9;
+        let mut x = vec![0.0; n];
+        let mut scale = 0.0f64;
+        let mut step = 0.05f64;
+        let mut source_stepping_failed = false;
+        while scale < 1.0 {
+            let target = (scale + step).min(1.0);
+            match solve(GMIN_SAFE, target, &x) {
+                Ok(sol) => {
+                    x = sol;
+                    scale = target;
+                    step = (step * 2.0).min(0.25);
+                }
+                Err(_) => {
+                    step *= 0.5;
+                    if step < 1e-4 {
+                        source_stepping_failed = true;
+                        break;
+                    }
                 }
             }
         }
-    }
-    if !source_stepping_failed {
-        if let Some(x) = gmin_ramp(&solve, &x, GMIN_SAFE) {
-            return Ok(finish(x, OpStrategy::SourceStepping));
+        if !source_stepping_failed {
+            if let Some(x) = gmin_ramp(&solve, &x, GMIN_SAFE) {
+                return Ok(finish(x, OpStrategy::SourceStepping));
+            }
         }
+        check_cancel()?;
     }
     // Pseudo-transient continuation: let the circuit's capacitors settle a
     // backward-Euler march to steady state, then polish with the true
     // cap-open Newton. Slowest, but it follows a physical trajectory and
     // rescues bias points where every static homotopy oscillates.
-    if let Some(x) = pseudo_transient(netlist, t, &solve, &tally, ws) {
-        return Ok(finish(x, OpStrategy::PseudoTransient));
+    if opts.pseudo_transient {
+        if let Some(x) = pseudo_transient(netlist, t, &solve, &tally, ws, opts, cancel) {
+            return Ok(finish(x, OpStrategy::PseudoTransient));
+        }
+        check_cancel()?;
     }
     fts_telemetry::counter("spice.op.failed", 1);
     Err(SpiceError::NoConvergence {
@@ -299,6 +380,8 @@ fn pseudo_transient(
     solve: &HomotopySolve<'_>,
     tally: &OpTally,
     ws: &RefCell<SolverWorkspace>,
+    opts: &OpOptions,
+    cancel: Option<&CancelToken>,
 ) -> Option<Vec<f64>> {
     let n = netlist.unknown_count();
     let mut x = vec![0.0; n];
@@ -306,6 +389,9 @@ fn pseudo_transient(
     let mut dt = 1.0e-12;
     let mut settled = false;
     for _ in 0..600 {
+        if cancel.is_some_and(|c| c.check("dc operating point").is_err()) {
+            return None;
+        }
         let ctx = StampContext {
             t,
             cap_mode: CapMode::Step {
@@ -315,8 +401,9 @@ fn pseudo_transient(
             cap_states: &cap_states,
             gmin: 1e-12,
             source_scale: 1.0,
+            cancel,
         };
-        match newton_tallied(netlist, &ctx, &x, 120, tally, ws) {
+        match newton_tallied(netlist, &ctx, &x, opts.max_iterations, tally, ws) {
             Ok(next) => {
                 let max_dv = x
                     .iter()
@@ -383,19 +470,38 @@ fn gmin_ramp(solve: &HomotopySolve<'_>, x0: &[f64], start: f64) -> Option<Vec<f6
 ///
 /// Returns [`SpiceError::NotFound`] for an unknown source, or convergence
 /// errors from [`op`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Simulator::new(&netlist).dc_sweep(source, values)`"
+)]
 pub fn dc_sweep(
     netlist: &mut Netlist,
     source: &str,
     values: &[f64],
 ) -> Result<Vec<OpResult>, SpiceError> {
-    let mut out = Vec::with_capacity(values.len());
-    let mut warm: Option<Vec<f64>> = None;
     // One workspace for the whole sweep: changing a source waveform leaves
     // the MNA pattern (and the symbolic factorization) intact.
     let ws = RefCell::new(SolverWorkspace::for_netlist(netlist));
+    dc_sweep_impl(netlist, source, values, &ws, &OpOptions::full(), None)
+}
+
+/// [`dc_sweep`] over a caller-owned workspace, policy, and cancel token.
+pub(crate) fn dc_sweep_impl(
+    netlist: &mut Netlist,
+    source: &str,
+    values: &[f64],
+    ws: &RefCell<SolverWorkspace>,
+    opts: &OpOptions,
+    cancel: Option<&CancelToken>,
+) -> Result<Vec<OpResult>, SpiceError> {
+    let mut out = Vec::with_capacity(values.len());
+    let mut warm: Option<Vec<f64>> = None;
     for &v in values {
+        if let Some(token) = cancel {
+            token.check("dc sweep")?;
+        }
         netlist.set_vsource(source, Waveform::Dc(v))?;
-        let r = op_at_ws(netlist, 0.0, warm.as_deref(), &ws)?;
+        let r = op_at_impl(netlist, 0.0, warm.as_deref(), ws, opts, cancel)?;
         warm = Some(r.x.clone());
         out.push(r);
     }
@@ -403,6 +509,7 @@ pub fn dc_sweep(
 }
 
 /// Options for [`transient`].
+#[deprecated(since = "0.1.0", note = "use `TranConfig::fixed(dt, tstop)`")]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransientOptions {
     /// Fixed time step \[s\].
@@ -415,6 +522,7 @@ pub struct TransientOptions {
     pub uic: bool,
 }
 
+#[allow(deprecated)]
 impl TransientOptions {
     /// Conventional options: trapezoidal integration from a DC operating
     /// point.
@@ -425,6 +533,191 @@ impl TransientOptions {
             integrator: Integrator::Trapezoidal,
             uic: false,
         }
+    }
+}
+
+/// Step-size control for a [`TranConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Stepping {
+    /// Fixed step of `dt` seconds.
+    Fixed {
+        /// Time step \[s\].
+        dt: f64,
+    },
+    /// Step-doubling local-truncation-error control (backward Euler): each
+    /// accepted interval is integrated once with `dt` and once as two
+    /// `dt/2` steps; their disagreement drives the step size.
+    Adaptive {
+        /// Initial step \[s\].
+        dt_initial: f64,
+        /// Smallest permitted step \[s\].
+        dt_min: f64,
+        /// Largest permitted step \[s\].
+        dt_max: f64,
+        /// Local-truncation-error target per step \[V\].
+        error_target: f64,
+    },
+}
+
+/// Unified transient configuration: one entry point for fixed-step and
+/// adaptive runs (replaces the former `TransientOptions` /
+/// `AdaptiveOptions` split).
+///
+/// `integrator` and `uic` apply to [`Stepping::Fixed`] only: the adaptive
+/// path always integrates backward Euler from a DC operating point, as
+/// its step-doubling error estimate requires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TranConfig {
+    /// Stop time \[s\].
+    pub tstop: f64,
+    /// Step-size control.
+    pub stepping: Stepping,
+    /// Integration method (fixed stepping only).
+    pub integrator: Integrator,
+    /// Skip the initial DC operating point and start from all-zero state
+    /// (fixed stepping only).
+    pub uic: bool,
+}
+
+impl TranConfig {
+    /// Fixed-step trapezoidal run from a DC operating point — the
+    /// conventional configuration.
+    pub fn fixed(dt: f64, tstop: f64) -> TranConfig {
+        TranConfig {
+            tstop,
+            stepping: Stepping::Fixed { dt },
+            integrator: Integrator::Trapezoidal,
+            uic: false,
+        }
+    }
+
+    /// Adaptive run with reasonable defaults for nanosecond-scale logic
+    /// transients.
+    pub fn adaptive(tstop: f64) -> TranConfig {
+        TranConfig {
+            tstop,
+            stepping: Stepping::Adaptive {
+                dt_initial: tstop / 1000.0,
+                dt_min: tstop / 1_000_000.0,
+                dt_max: tstop / 50.0,
+                error_target: 1.0e-4,
+            },
+            integrator: Integrator::BackwardEuler,
+            uic: false,
+        }
+    }
+
+    /// Selects the integration method (fixed stepping only).
+    pub fn integrator(mut self, integrator: Integrator) -> TranConfig {
+        self.integrator = integrator;
+        self
+    }
+
+    /// Starts from all-zero state instead of the DC operating point
+    /// (fixed stepping only).
+    pub fn uic(mut self, uic: bool) -> TranConfig {
+        self.uic = uic;
+        self
+    }
+
+    /// Sets the adaptive LTE target; no effect on fixed stepping.
+    pub fn error_target(mut self, target: f64) -> TranConfig {
+        if let Stepping::Adaptive {
+            ref mut error_target,
+            ..
+        } = self.stepping
+        {
+            *error_target = target;
+        }
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::InvalidAnalysis`] for non-positive or inconsistent
+    /// steps.
+    pub fn validate(&self) -> Result<(), SpiceError> {
+        match self.stepping {
+            Stepping::Fixed { dt } => {
+                if !(dt > 0.0) || !(self.tstop > 0.0) || self.tstop < dt {
+                    return Err(SpiceError::InvalidAnalysis {
+                        reason: "transient needs 0 < dt <= tstop",
+                    });
+                }
+            }
+            Stepping::Adaptive {
+                dt_initial,
+                dt_min,
+                dt_max,
+                ..
+            } => {
+                if !(dt_initial > 0.0)
+                    || !(self.tstop > 0.0)
+                    || dt_min > dt_initial
+                    || dt_initial > dt_max
+                {
+                    return Err(SpiceError::InvalidAnalysis {
+                        reason: "adaptive transient needs 0 < dt_min <= dt_initial <= dt_max",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[allow(deprecated)]
+impl From<TransientOptions> for TranConfig {
+    fn from(o: TransientOptions) -> TranConfig {
+        TranConfig {
+            tstop: o.tstop,
+            stepping: Stepping::Fixed { dt: o.dt },
+            integrator: o.integrator,
+            uic: o.uic,
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl From<AdaptiveOptions> for TranConfig {
+    fn from(o: AdaptiveOptions) -> TranConfig {
+        TranConfig {
+            tstop: o.tstop,
+            stepping: Stepping::Adaptive {
+                dt_initial: o.dt_initial,
+                dt_min: o.dt_min,
+                dt_max: o.dt_max,
+                error_target: o.error_target,
+            },
+            integrator: Integrator::BackwardEuler,
+            uic: false,
+        }
+    }
+}
+
+/// Receives transient samples as they are produced, instead of
+/// accumulating the full waveform in memory. The batch engine's
+/// decimating waveform sink implements this to bound per-job memory.
+pub trait SampleSink {
+    /// Called once per accepted sample — including the initial state at
+    /// `t = 0` — with the full unknown vector (node voltages then branch
+    /// currents).
+    fn accept(&mut self, t: f64, x: &[f64]);
+}
+
+/// The in-memory sink behind [`Transient`]-returning entry points.
+#[derive(Default)]
+struct CollectSink {
+    time: Vec<f64>,
+    samples: Vec<Vec<f64>>,
+}
+
+impl SampleSink for CollectSink {
+    fn accept(&mut self, t: f64, x: &[f64]) {
+        self.time.push(t);
+        self.samples.push(x.to_vec());
     }
 }
 
@@ -561,7 +854,24 @@ pub fn log_sweep(f_start: f64, f_stop: f64, points: usize) -> Vec<f64> {
 ///
 /// Propagates operating-point failures, [`SpiceError::NotFound`] for an
 /// unknown source, and singular-matrix errors.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Simulator::new(&netlist).ac(source, freqs)`"
+)]
 pub fn ac(netlist: &Netlist, ac_source: &str, freqs: &[f64]) -> Result<AcResult, SpiceError> {
+    let ws = RefCell::new(SolverWorkspace::for_netlist(netlist));
+    ac_impl(netlist, ac_source, freqs, &ws, &OpOptions::full(), None)
+}
+
+/// [`ac`] over a caller-owned workspace, policy, and cancel token.
+pub(crate) fn ac_impl(
+    netlist: &Netlist,
+    ac_source: &str,
+    freqs: &[f64],
+    ws: &RefCell<SolverWorkspace>,
+    opts: &OpOptions,
+    cancel: Option<&CancelToken>,
+) -> Result<AcResult, SpiceError> {
     // Validate the source exists up front.
     if !netlist
         .devices
@@ -572,13 +882,16 @@ pub fn ac(netlist: &Netlist, ac_source: &str, freqs: &[f64]) -> Result<AcResult,
             name: ac_source.to_owned(),
         });
     }
-    let op = op(netlist)?;
+    let op = op_at_impl(netlist, 0.0, None, ws, opts, cancel)?;
     let n = netlist.unknown_count();
     let mut samples = Vec::with_capacity(freqs.len());
     // One matrix allocation reused across the whole frequency sweep.
     let mut a = CMatrix::zeros(n);
     let mut b = vec![Complex::ZERO; n];
     for &f in freqs {
+        if let Some(token) = cancel {
+            token.check("ac")?;
+        }
         let omega = 2.0 * std::f64::consts::PI * f;
         a.clear();
         b.fill(Complex::ZERO);
@@ -600,45 +913,92 @@ pub fn ac(netlist: &Netlist, ac_source: &str, freqs: &[f64]) -> Result<AcResult,
 ///
 /// Propagates convergence and singularity errors; rejects non-positive
 /// `dt` or `tstop`.
+#[allow(deprecated)]
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Simulator::new(&netlist).transient(&TranConfig::fixed(dt, tstop))`"
+)]
 pub fn transient(netlist: &Netlist, opts: &TransientOptions) -> Result<Transient, SpiceError> {
-    if !(opts.dt > 0.0) || !(opts.tstop > 0.0) || opts.tstop < opts.dt {
-        return Err(SpiceError::InvalidAnalysis {
-            reason: "transient needs 0 < dt <= tstop",
-        });
+    let cfg = TranConfig::from(*opts);
+    cfg.validate()?;
+    let ws = RefCell::new(SolverWorkspace::for_netlist(netlist));
+    transient_collect(netlist, &cfg, &ws, &OpOptions::full(), None)
+}
+
+/// Runs a transient and collects the full waveform into a [`Transient`].
+pub(crate) fn transient_collect(
+    netlist: &Netlist,
+    cfg: &TranConfig,
+    ws: &RefCell<SolverWorkspace>,
+    opts: &OpOptions,
+    cancel: Option<&CancelToken>,
+) -> Result<Transient, SpiceError> {
+    let mut sink = CollectSink::default();
+    transient_into_impl(netlist, cfg, ws, opts, cancel, &mut sink)?;
+    Ok(Transient {
+        node_count: netlist.node_count(),
+        time: sink.time,
+        samples: sink.samples,
+    })
+}
+
+/// Runs a transient, streaming every accepted sample into `sink`.
+pub(crate) fn transient_into_impl(
+    netlist: &Netlist,
+    cfg: &TranConfig,
+    ws: &RefCell<SolverWorkspace>,
+    opts: &OpOptions,
+    cancel: Option<&CancelToken>,
+    sink: &mut dyn SampleSink,
+) -> Result<(), SpiceError> {
+    cfg.validate()?;
+    match cfg.stepping {
+        Stepping::Fixed { dt } => transient_fixed(netlist, dt, cfg, ws, opts, cancel, sink),
+        Stepping::Adaptive { .. } => transient_adaptive_into(netlist, cfg, ws, opts, cancel, sink),
     }
+}
+
+fn transient_fixed(
+    netlist: &Netlist,
+    dt: f64,
+    cfg: &TranConfig,
+    ws: &RefCell<SolverWorkspace>,
+    opts: &OpOptions,
+    cancel: Option<&CancelToken>,
+    sink: &mut dyn SampleSink,
+) -> Result<(), SpiceError> {
     let _span = fts_telemetry::span("spice.transient");
     let n = netlist.unknown_count();
-    // One workspace across the initial operating point and every timestep.
-    let ws = RefCell::new(SolverWorkspace::for_netlist(netlist));
-    let mut x = if opts.uic {
+    let mut x = if cfg.uic {
         vec![0.0; n]
     } else {
-        op_at_ws(netlist, 0.0, None, &ws)?.x
+        op_at_impl(netlist, 0.0, None, ws, opts, cancel)?.x
     };
     let mut cap_states = stamp::init_cap_states(netlist, &x);
 
-    let steps = (opts.tstop / opts.dt).round() as usize;
-    let mut time = Vec::with_capacity(steps + 1);
-    let mut samples = Vec::with_capacity(steps + 1);
-    time.push(0.0);
-    samples.push(x.clone());
+    let steps = (cfg.tstop / dt).round() as usize;
+    sink.accept(0.0, &x);
 
     for k in 1..=steps {
-        let t = k as f64 * opts.dt;
+        if let Some(token) = cancel {
+            token.check("transient")?;
+        }
+        let t = k as f64 * dt;
         // Trapezoidal integration starts with one backward-Euler step: the
         // initial capacitor currents are unknown, and BE does not need them.
-        let trapezoidal = opts.integrator == Integrator::Trapezoidal && k > 1;
+        let trapezoidal = cfg.integrator == Integrator::Trapezoidal && k > 1;
         let ctx = StampContext {
             t,
-            cap_mode: CapMode::Step {
-                dt: opts.dt,
-                trapezoidal,
-            },
+            cap_mode: CapMode::Step { dt, trapezoidal },
             cap_states: &cap_states,
             gmin: 1e-12,
             source_scale: 1.0,
+            cancel,
         };
-        let solve = stamp::newton(netlist, &ctx, &x, 200, &mut ws.borrow_mut()).map_err(|_| {
+        let solve = stamp::newton(netlist, &ctx, &x, 200, &mut ws.borrow_mut()).map_err(|e| {
+            if e.is_cancellation() {
+                return e;
+            }
             fts_telemetry::counter("spice.transient.step_failures", 1);
             SpiceError::NoConvergence {
                 analysis: "transient step",
@@ -647,20 +1007,16 @@ pub fn transient(netlist: &Netlist, opts: &TransientOptions) -> Result<Transient
         })?;
         fts_telemetry::record("spice.transient.newton_iterations", solve.iterations as f64);
         x = solve.x;
-        stamp::update_cap_states(netlist, &x, &mut cap_states, opts.dt, trapezoidal);
+        stamp::update_cap_states(netlist, &x, &mut cap_states, dt, trapezoidal);
 
-        time.push(t);
-        samples.push(x.clone());
+        sink.accept(t, &x);
     }
     fts_telemetry::counter("spice.transient.steps", steps as u64);
-    Ok(Transient {
-        node_count: netlist.node_count(),
-        time,
-        samples,
-    })
+    Ok(())
 }
 
 /// Options for [`transient_adaptive`].
+#[deprecated(since = "0.1.0", note = "use `TranConfig::adaptive(tstop)`")]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdaptiveOptions {
     /// Initial step \[s\].
@@ -675,6 +1031,7 @@ pub struct AdaptiveOptions {
     pub error_target: f64,
 }
 
+#[allow(deprecated)]
 impl AdaptiveOptions {
     /// Reasonable defaults for nanosecond-scale logic transients.
     pub fn new(tstop: f64) -> AdaptiveOptions {
@@ -701,30 +1058,48 @@ impl AdaptiveOptions {
 /// # Errors
 ///
 /// Propagates convergence failures; rejects inconsistent options.
+#[allow(deprecated)]
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Simulator::new(&netlist).transient(&TranConfig::adaptive(tstop))`"
+)]
 pub fn transient_adaptive(
     netlist: &Netlist,
     opts: &AdaptiveOptions,
 ) -> Result<Transient, SpiceError> {
-    if !(opts.dt_initial > 0.0)
-        || !(opts.tstop > 0.0)
-        || opts.dt_min > opts.dt_initial
-        || opts.dt_initial > opts.dt_max
-    {
-        return Err(SpiceError::InvalidAnalysis {
-            reason: "adaptive transient needs 0 < dt_min <= dt_initial <= dt_max",
-        });
-    }
+    let cfg = TranConfig::from(*opts);
+    cfg.validate()?;
+    let ws = RefCell::new(SolverWorkspace::for_netlist(netlist));
+    transient_collect(netlist, &cfg, &ws, &OpOptions::full(), None)
+}
+
+fn transient_adaptive_into(
+    netlist: &Netlist,
+    cfg: &TranConfig,
+    ws: &RefCell<SolverWorkspace>,
+    opts: &OpOptions,
+    cancel: Option<&CancelToken>,
+    sink: &mut dyn SampleSink,
+) -> Result<(), SpiceError> {
+    let Stepping::Adaptive {
+        dt_initial,
+        dt_min,
+        dt_max,
+        error_target,
+    } = cfg.stepping
+    else {
+        unreachable!("transient_adaptive_into requires Stepping::Adaptive");
+    };
     let _span = fts_telemetry::span("spice.transient_adaptive");
     let n = netlist.unknown_count();
     let nv = netlist.node_count() - 1;
-    let ws = RefCell::new(SolverWorkspace::for_netlist(netlist));
-    let mut x = op_at_ws(netlist, 0.0, None, &ws)?.x;
+    let mut x = op_at_impl(netlist, 0.0, None, ws, opts, cancel)?.x;
     let mut cap_states = stamp::init_cap_states(netlist, &x);
 
-    let mut time = vec![0.0];
-    let mut samples = vec![x.clone()];
+    sink.accept(0.0, &x);
+    let mut accepted = 1usize;
     let mut t = 0.0f64;
-    let mut dt = opts.dt_initial;
+    let mut dt = dt_initial;
 
     let step_be = |t_to: f64,
                    dt: f64,
@@ -740,6 +1115,7 @@ pub fn transient_adaptive(
             cap_states: caps,
             gmin: 1e-12,
             source_scale: 1.0,
+            cancel,
         };
         let solve = stamp::newton(netlist, &ctx, x0, 200, &mut ws.borrow_mut())?;
         fts_telemetry::record("spice.transient.newton_iterations", solve.iterations as f64);
@@ -749,8 +1125,11 @@ pub fn transient_adaptive(
         Ok((xn, caps2))
     };
 
-    while t < opts.tstop - 1e-18 {
-        let dt_eff = dt.min(opts.tstop - t);
+    while t < cfg.tstop - 1e-18 {
+        if let Some(token) = cancel {
+            token.check("transient")?;
+        }
+        let dt_eff = dt.min(cfg.tstop - t);
         // Full step.
         let (x_full, caps_full) = step_be(t + dt_eff, dt_eff, &x, &cap_states)?;
         // Two half steps.
@@ -761,41 +1140,58 @@ pub fn transient_adaptive(
         for i in 0..nv.min(n) {
             err = err.max((x_full[i] - x_h2[i]).abs());
         }
-        if err <= opts.error_target || dt_eff <= opts.dt_min * 1.0000001 {
+        if err <= error_target || dt_eff <= dt_min * 1.0000001 {
             // Accept the more accurate half-step result.
             fts_telemetry::counter("spice.transient.lte_accepted", 1);
             t += dt_eff;
             x = x_h2;
             cap_states = caps_h2;
             let _ = (x_full, caps_full);
-            time.push(t);
-            samples.push(x.clone());
+            sink.accept(t, &x);
+            accepted += 1;
             // Grow when comfortably under target.
-            if err < 0.25 * opts.error_target {
-                dt = (dt * 2.0).min(opts.dt_max);
+            if err < 0.25 * error_target {
+                dt = (dt * 2.0).min(dt_max);
             }
         } else {
             fts_telemetry::counter("spice.transient.lte_rejections", 1);
-            dt = (dt / 2.0).max(opts.dt_min);
+            dt = (dt / 2.0).max(dt_min);
         }
-        if time.len() > 5_000_000 {
+        if accepted > 5_000_000 {
             return Err(SpiceError::NoConvergence {
                 analysis: "adaptive transient (step explosion)",
                 residual: t,
             });
         }
     }
-    Ok(Transient {
-        node_count: netlist.node_count(),
-        time,
-        samples,
-    })
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::netlist::MosParams;
+    use crate::Simulator;
+
+    fn op(nl: &Netlist) -> Result<OpResult, SpiceError> {
+        Simulator::new(nl).op()
+    }
+
+    fn transient_cfg(nl: &Netlist, cfg: &TranConfig) -> Result<Transient, SpiceError> {
+        Simulator::new(nl).transient(cfg)
+    }
+
+    fn dc_sweep(
+        nl: &mut Netlist,
+        source: &str,
+        values: &[f64],
+    ) -> Result<Vec<OpResult>, SpiceError> {
+        Simulator::new(nl).dc_sweep(source, values)
+    }
+
+    fn ac(nl: &Netlist, source: &str, freqs: &[f64]) -> Result<AcResult, SpiceError> {
+        Simulator::new(nl).ac(source, freqs)
+    }
 
     fn divider() -> (Netlist, NodeId) {
         let mut nl = Netlist::new();
@@ -888,14 +1284,11 @@ mod tests {
         nl.capacitor("C1", out, Netlist::GROUND, 1.0e-6).unwrap();
         let tau = 1.0e-3;
         for integ in [Integrator::BackwardEuler, Integrator::Trapezoidal] {
-            let tr = transient(
+            let tr = transient_cfg(
                 &nl,
-                &TransientOptions {
-                    dt: tau / 200.0,
-                    tstop: 5.0 * tau,
-                    integrator: integ,
-                    uic: true,
-                },
+                &TranConfig::fixed(tau / 200.0, 5.0 * tau)
+                    .integrator(integ)
+                    .uic(true),
             )
             .unwrap();
             let tol = if integ == Integrator::Trapezoidal {
@@ -924,14 +1317,13 @@ mod tests {
         nl.resistor("R1", vin, out, 1.0e3).unwrap();
         nl.capacitor("C1", out, Netlist::GROUND, 1.0e-6).unwrap();
         let tau = 1.0e-3;
-        let opts = |integ| TransientOptions {
-            dt: tau / 20.0,
-            tstop: tau,
-            integrator: integ,
-            uic: true,
+        let opts = |integ| {
+            TranConfig::fixed(tau / 20.0, tau)
+                .integrator(integ)
+                .uic(true)
         };
         let err = |integ| -> f64 {
-            let tr = transient(&nl, &opts(integ)).unwrap();
+            let tr = transient_cfg(&nl, &opts(integ)).unwrap();
             tr.time
                 .iter()
                 .enumerate()
@@ -1021,8 +1413,8 @@ mod tests {
     #[test]
     fn transient_rejects_bad_options() {
         let (nl, _) = divider();
-        assert!(transient(&nl, &TransientOptions::new(0.0, 1.0)).is_err());
-        assert!(transient(&nl, &TransientOptions::new(1.0, 0.5)).is_err());
+        assert!(transient_cfg(&nl, &TranConfig::fixed(0.0, 1.0)).is_err());
+        assert!(transient_cfg(&nl, &TranConfig::fixed(1.0, 0.5)).is_err());
     }
 
     #[test]
@@ -1195,7 +1587,7 @@ mod tests {
             nl
         };
         let run = |nl: &Netlist| -> Vec<f64> {
-            let tr = transient(nl, &TransientOptions::new(2e-10, 8e-8)).unwrap();
+            let tr = transient_cfg(nl, &TranConfig::fixed(2e-10, 8e-8)).unwrap();
             let out = nl.find_node("out").unwrap();
             tr.voltage(out)
         };
@@ -1222,9 +1614,8 @@ mod tests {
         nl.capacitor("C1", out, Netlist::GROUND, 1.0e-6).unwrap();
         let tau = 1.0e-3;
         // uic-like: start from zero by keeping the source at 0 until t=0+.
-        let mut opts = AdaptiveOptions::new(5.0 * tau);
-        opts.error_target = 2e-4;
-        let tr = transient_adaptive(&nl, &opts).unwrap();
+        let cfg = TranConfig::adaptive(5.0 * tau).error_target(2e-4);
+        let tr = transient_cfg(&nl, &cfg).unwrap();
         // Initial OP already charges the cap to 1 V (DC source), so the
         // waveform is flat at 1 V — verify flatness and step growth.
         for k in 0..tr.len() {
@@ -1260,9 +1651,8 @@ mod tests {
         nl.resistor("R1", vin, out, 1.0e3).unwrap();
         nl.capacitor("C1", out, Netlist::GROUND, 1.0e-7).unwrap();
         let tau = 1.0e-4;
-        let mut opts = AdaptiveOptions::new(2.0e-3);
-        opts.error_target = 5e-4;
-        let tr = transient_adaptive(&nl, &opts).unwrap();
+        let cfg = TranConfig::adaptive(2.0e-3).error_target(5e-4);
+        let tr = transient_cfg(&nl, &cfg).unwrap();
         // Compare the settled tail against the analytic value.
         let last = tr.voltage_at(out, tr.len() - 1);
         assert!((last - 1.0).abs() < 1e-3, "settles to 1 V: {last}");
@@ -1280,9 +1670,13 @@ mod tests {
     #[test]
     fn adaptive_rejects_inconsistent_options() {
         let (nl, _) = divider();
-        let mut opts = AdaptiveOptions::new(1.0);
-        opts.dt_min = 1.0;
-        opts.dt_initial = 0.5;
-        assert!(transient_adaptive(&nl, &opts).is_err());
+        let mut cfg = TranConfig::adaptive(1.0);
+        cfg.stepping = Stepping::Adaptive {
+            dt_initial: 0.5,
+            dt_min: 1.0,
+            dt_max: 1.0,
+            error_target: 1.0e-4,
+        };
+        assert!(transient_cfg(&nl, &cfg).is_err());
     }
 }

@@ -1,0 +1,154 @@
+//! Cooperative cancellation and deadlines for long-running analyses.
+//!
+//! A [`CancelToken`] is checked inside every Newton iteration and at every
+//! transient timestep, so a runaway solve stops within one linear solve of
+//! the cancel request — the latency guarantee the batch engine's deadline
+//! scheduling is built on. Tokens are cheap to clone; clones share the
+//! cancellation flag, while each clone may carry its own deadline (a batch
+//! token fans out into per-job tokens that add the job's deadline on top
+//! of the shared kill switch).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::SpiceError;
+
+/// A cooperative cancellation handle with an optional deadline.
+///
+/// # Example
+///
+/// ```
+/// use fts_spice::CancelToken;
+/// use std::time::Duration;
+///
+/// let token = CancelToken::new();
+/// assert!(token.check("op").is_ok());
+/// token.cancel();
+/// assert!(token.check("op").is_err());
+///
+/// let expired = CancelToken::with_deadline(Duration::ZERO);
+/// assert!(expired.check("transient").is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never expires and is not yet cancelled.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that expires `timeout` from now.
+    pub fn with_deadline(timeout: Duration) -> CancelToken {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Instant::now().checked_add(timeout),
+        }
+    }
+
+    /// A token sharing this token's cancellation flag but carrying its own
+    /// deadline `timeout` from now. Cancelling either token cancels both;
+    /// the deadline applies only to the derived token — this is how a
+    /// batch-wide kill switch composes with per-job deadlines.
+    pub fn child_with_deadline(&self, timeout: Duration) -> CancelToken {
+        CancelToken {
+            flag: Arc::clone(&self.flag),
+            deadline: Instant::now().checked_add(timeout),
+        }
+    }
+
+    /// Requests cancellation. All clones (and deadline children) observe it
+    /// at their next check.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// True when [`cancel`](CancelToken::cancel) has been called on this
+    /// token or any clone sharing its flag.
+    pub fn cancel_requested(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// True when this token carries a deadline that has passed.
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The cancellation check analyses call at every Newton iteration and
+    /// transient timestep.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::Cancelled`] after an explicit cancel,
+    /// [`SpiceError::DeadlineExceeded`] after the deadline passes.
+    #[inline]
+    pub fn check(&self, analysis: &'static str) -> Result<(), SpiceError> {
+        if self.cancel_requested() {
+            return Err(SpiceError::Cancelled { analysis });
+        }
+        if self.deadline_expired() {
+            return Err(SpiceError::DeadlineExceeded { analysis });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_passes() {
+        let t = CancelToken::new();
+        assert!(!t.cancel_requested());
+        assert!(!t.deadline_expired());
+        assert!(t.check("x").is_ok());
+    }
+
+    #[test]
+    fn cancel_propagates_to_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.cancel();
+        assert!(c.cancel_requested());
+        assert!(matches!(
+            c.check("op"),
+            Err(SpiceError::Cancelled { analysis: "op" })
+        ));
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.deadline_expired());
+        assert!(matches!(
+            t.check("transient"),
+            Err(SpiceError::DeadlineExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn child_deadline_does_not_leak_to_parent() {
+        let parent = CancelToken::new();
+        let child = parent.child_with_deadline(Duration::ZERO);
+        assert!(child.deadline_expired());
+        assert!(!parent.deadline_expired());
+        // Shared flag: cancelling the parent cancels the child, and the
+        // explicit cancel wins over the expired deadline in the error.
+        parent.cancel();
+        assert!(matches!(
+            child.check("op"),
+            Err(SpiceError::Cancelled { .. })
+        ));
+    }
+
+    #[test]
+    fn far_deadline_passes() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(t.check("op").is_ok());
+    }
+}

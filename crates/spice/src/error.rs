@@ -40,6 +40,38 @@ pub enum SpiceError {
         /// Explanation.
         reason: &'static str,
     },
+    /// The analysis was cancelled through a
+    /// [`CancelToken`](crate::CancelToken) before completing.
+    Cancelled {
+        /// Analysis that was interrupted.
+        analysis: &'static str,
+    },
+    /// The analysis exceeded its [`CancelToken`](crate::CancelToken)
+    /// deadline before completing.
+    DeadlineExceeded {
+        /// Analysis that was interrupted.
+        analysis: &'static str,
+    },
+}
+
+impl SpiceError {
+    /// True when retrying the same job with a stronger convergence aid
+    /// (gmin stepping, source stepping, pseudo-transient) could plausibly
+    /// succeed. Convergence failures are transient properties of the
+    /// Newton iteration; everything else — malformed netlists, structural
+    /// singularities, cancellation — is fatal and retrying wastes work.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, SpiceError::NoConvergence { .. })
+    }
+
+    /// True when the analysis stopped because of an explicit cancel or an
+    /// expired deadline rather than a simulation failure.
+    pub fn is_cancellation(&self) -> bool {
+        matches!(
+            self,
+            SpiceError::Cancelled { .. } | SpiceError::DeadlineExceeded { .. }
+        )
+    }
 }
 
 impl fmt::Display for SpiceError {
@@ -57,6 +89,10 @@ impl fmt::Display for SpiceError {
             }
             SpiceError::NotFound { name } => write!(f, "no source or node named {name:?}"),
             SpiceError::InvalidAnalysis { reason } => write!(f, "invalid analysis: {reason}"),
+            SpiceError::Cancelled { analysis } => write!(f, "{analysis} cancelled"),
+            SpiceError::DeadlineExceeded { analysis } => {
+                write!(f, "{analysis} exceeded its deadline")
+            }
         }
     }
 }

@@ -23,13 +23,18 @@
 //! analysis through [`netlist::Netlist::mna_symbolic`] and
 //! [`netlist::Netlist::share_symbolic`].
 //!
+//! Long-running analyses accept a [`CancelToken`] (cooperative
+//! cancellation with optional deadlines, checked inside every Newton
+//! iteration), and the [`Simulator`] facade ties netlist, solver choice,
+//! policy, and token together behind one entry point.
+//!
 //! # Example
 //!
 //! A resistive divider:
 //!
 //! ```
 //! use fts_spice::netlist::{Netlist, Waveform};
-//! use fts_spice::analysis;
+//! use fts_spice::Simulator;
 //!
 //! let mut nl = Netlist::new();
 //! let vin = nl.node("in");
@@ -37,7 +42,7 @@
 //! nl.vsource("V1", vin, Netlist::GROUND, Waveform::Dc(2.0))?;
 //! nl.resistor("R1", vin, out, 1.0e3)?;
 //! nl.resistor("R2", out, Netlist::GROUND, 3.0e3)?;
-//! let op = analysis::op(&nl)?;
+//! let op = Simulator::new(&nl).op()?;
 //! assert!((op.voltage(out) - 1.5).abs() < 1e-6);
 //! # Ok::<(), fts_spice::SpiceError>(())
 //! ```
@@ -49,17 +54,23 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod analysis;
+mod cancel;
 pub mod complex;
 mod error;
 pub mod linalg;
 pub mod measure;
 pub mod mos3;
 pub mod netlist;
+mod sim;
 mod stamp;
 
-pub use analysis::{ConvergenceReport, OpStrategy};
+pub use analysis::{
+    ConvergenceReport, Integrator, OpOptions, OpStrategy, SampleSink, Stepping, TranConfig,
+};
+pub use cancel::CancelToken;
 pub use complex::Complex;
 pub use error::SpiceError;
 pub use linalg::{SparseLu, SparseMatrix, Symbolic};
 pub use mos3::Mos3Params;
 pub use netlist::{MosParams, Netlist, NodeId, SolverKind, Waveform};
+pub use sim::Simulator;

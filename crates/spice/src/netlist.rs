@@ -250,6 +250,20 @@ impl Netlist {
         self.names.len()
     }
 
+    /// The [`NodeId`] at raw index `index` (0 = ground).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= node_count()`.
+    pub fn node_id(&self, index: usize) -> NodeId {
+        assert!(
+            index < self.names.len(),
+            "node index {index} out of range ({} nodes)",
+            self.names.len()
+        );
+        NodeId(index)
+    }
+
     /// Number of devices.
     pub fn device_count(&self) -> usize {
         self.devices.len()
@@ -469,6 +483,18 @@ impl Netlist {
     /// The selected linear-solver engine.
     pub fn solver_kind(&self) -> SolverKind {
         self.solver
+    }
+
+    /// True when analyses of this netlist will run on the sparse engine —
+    /// selected explicitly, or by `Auto` at the size threshold. Batch
+    /// schedulers use this to decide whether a shared symbolic
+    /// factorization would pay off.
+    pub fn uses_sparse_solver(&self) -> bool {
+        match self.solver {
+            SolverKind::Dense => false,
+            SolverKind::Sparse => true,
+            SolverKind::Auto => self.unknown_count() >= crate::stamp::SPARSE_THRESHOLD,
+        }
     }
 
     /// Installs a shared symbolic factorization. Analyses using the sparse

@@ -13,6 +13,7 @@
 
 use std::sync::Arc;
 
+use crate::cancel::CancelToken;
 use crate::linalg::{Matrix, SparseLu, SparseMatrix, Symbolic};
 use crate::netlist::{Element, MosParams, Netlist, SolverKind};
 use crate::SpiceError;
@@ -39,6 +40,9 @@ pub(crate) struct StampContext<'a> {
     pub cap_states: &'a [CapState],
     pub gmin: f64,
     pub source_scale: f64,
+    /// Cooperative cancellation, checked at every Newton iteration so a
+    /// cancel or deadline stops the solve within one linear solve.
+    pub cancel: Option<&'a CancelToken>,
 }
 
 /// Index of a node voltage inside the unknown vector (`None` = ground).
@@ -775,6 +779,9 @@ pub(crate) fn newton(
         sys.begin(netlist, ctx);
     }
     for iteration in 1..=max_iterations {
+        if let Some(token) = ctx.cancel {
+            token.check("newton")?;
+        }
         let dense_x;
         let x_new: &[f64] = match ws {
             SolverWorkspace::Dense { a, b } => {

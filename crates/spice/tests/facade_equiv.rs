@@ -1,0 +1,138 @@
+//! Pins the `Simulator` facade bit-identical to the legacy free
+//! functions: same netlist, same configuration, byte-for-byte equal
+//! results — the contract that makes migrating callers a pure refactor.
+
+#![allow(deprecated)]
+
+use proptest::prelude::*;
+
+use fts_spice::analysis::{self, AdaptiveOptions, Integrator, TranConfig, TransientOptions};
+use fts_spice::{Netlist, Simulator, SolverKind, Waveform};
+
+/// A resistive ladder with an RC tail and a pulse drive — nonlinearity-free
+/// so every solver path is exercised deterministically, with enough nodes
+/// to cross the sparse threshold when `rungs` is large.
+fn ladder(rungs: usize, r: f64, c: f64, vdrive: f64) -> Netlist {
+    let mut nl = Netlist::new();
+    let first = nl.node("n0");
+    nl.vsource(
+        "V1",
+        first,
+        Netlist::GROUND,
+        Waveform::Pulse {
+            v0: 0.0,
+            v1: vdrive,
+            delay: 0.0,
+            rise: 1e-9,
+            fall: 1e-9,
+            width: 1.0,
+            period: 0.0,
+        },
+    )
+    .unwrap();
+    let mut prev = first;
+    for k in 0..rungs {
+        let n = nl.node(&format!("n{}", k + 1));
+        nl.resistor(&format!("R{k}"), prev, n, r).unwrap();
+        nl.resistor(&format!("Rg{k}"), n, Netlist::GROUND, 2.0 * r)
+            .unwrap();
+        prev = n;
+    }
+    nl.capacitor("Cend", prev, Netlist::GROUND, c).unwrap();
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn op_is_bit_identical(
+        rungs in 2usize..14,
+        r in 100.0f64..1.0e5,
+        v in -5.0f64..5.0,
+        sparse in any::<bool>(),
+    ) {
+        let mut nl = ladder(rungs, r, 1e-12, v);
+        nl.set_solver(if sparse { SolverKind::Sparse } else { SolverKind::Dense });
+        let legacy = analysis::op(&nl).unwrap();
+        let facade = Simulator::new(&nl).op().unwrap();
+        prop_assert_eq!(legacy.unknowns(), facade.unknowns());
+        prop_assert_eq!(legacy.convergence(), facade.convergence());
+    }
+
+    #[test]
+    fn dc_sweep_is_bit_identical(
+        rungs in 2usize..8,
+        r in 100.0f64..1.0e5,
+        vals in prop::collection::vec(-3.0f64..3.0, 2..6),
+    ) {
+        let mut nl = ladder(rungs, r, 1e-12, 0.0);
+        let facade = Simulator::new(&nl).dc_sweep("V1", &vals).unwrap();
+        let legacy = analysis::dc_sweep(&mut nl, "V1", &vals).unwrap();
+        prop_assert_eq!(legacy.len(), facade.len());
+        for (a, b) in legacy.iter().zip(&facade) {
+            prop_assert_eq!(a.unknowns(), b.unknowns());
+        }
+    }
+
+    #[test]
+    fn fixed_transient_is_bit_identical(
+        rungs in 1usize..6,
+        r in 1.0e3f64..1.0e5,
+        c in 1.0e-12f64..1.0e-9,
+        trapezoidal in any::<bool>(),
+        uic in any::<bool>(),
+    ) {
+        let nl = ladder(rungs, r, c, 1.0);
+        let tau = r * c;
+        let integ = if trapezoidal { Integrator::Trapezoidal } else { Integrator::BackwardEuler };
+        let legacy = analysis::transient(
+            &nl,
+            &TransientOptions { dt: tau / 20.0, tstop: 3.0 * tau, integrator: integ, uic },
+        )
+        .unwrap();
+        let facade = Simulator::new(&nl)
+            .transient(&TranConfig::fixed(tau / 20.0, 3.0 * tau).integrator(integ).uic(uic))
+            .unwrap();
+        prop_assert_eq!(&legacy, &facade);
+    }
+
+    #[test]
+    fn adaptive_transient_is_bit_identical(
+        rungs in 1usize..5,
+        r in 1.0e3f64..1.0e5,
+        c in 1.0e-12f64..1.0e-9,
+    ) {
+        let nl = ladder(rungs, r, c, 1.0);
+        let tstop = 5.0 * r * c;
+        let legacy = analysis::transient_adaptive(&nl, &AdaptiveOptions::new(tstop)).unwrap();
+        let facade = Simulator::new(&nl).transient(&TranConfig::adaptive(tstop)).unwrap();
+        prop_assert_eq!(&legacy, &facade);
+    }
+
+    #[test]
+    fn ac_is_bit_identical(
+        rungs in 1usize..6,
+        r in 1.0e3f64..1.0e5,
+        c in 1.0e-12f64..1.0e-9,
+    ) {
+        let nl = ladder(rungs, r, c, 1.0);
+        let freqs = analysis::log_sweep(1.0e3, 1.0e9, 13);
+        let legacy = analysis::ac(&nl, "V1", &freqs).unwrap();
+        let facade = Simulator::new(&nl).ac("V1", &freqs).unwrap();
+        prop_assert_eq!(&legacy, &facade);
+    }
+}
+
+/// The conversions from the deprecated option structs reproduce the exact
+/// configuration the free functions ran with.
+#[test]
+fn legacy_option_conversions_round_trip() {
+    let t = TransientOptions::new(1e-9, 1e-6);
+    let cfg = TranConfig::from(t);
+    assert_eq!(cfg, TranConfig::fixed(1e-9, 1e-6));
+
+    let a = AdaptiveOptions::new(1e-6);
+    let cfg = TranConfig::from(a);
+    assert_eq!(cfg, TranConfig::adaptive(1e-6));
+}

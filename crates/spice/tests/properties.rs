@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 
-use fts_spice::analysis::{self, Integrator, TransientOptions};
-use fts_spice::{Netlist, Waveform};
+use fts_spice::analysis::{Integrator, TranConfig};
+use fts_spice::{Netlist, Simulator, Waveform};
 
 /// A random resistive ladder with two sources; returns (netlist, probes).
 fn ladder(resistors: &[f64], v1: f64, v2: f64) -> (Netlist, Vec<fts_spice::NodeId>) {
@@ -43,9 +43,9 @@ proptest! {
         let (nl_both, probes) = ladder(&rs, v1, v2);
         let (nl_a, _) = ladder(&rs, v1, 0.0);
         let (nl_b, _) = ladder(&rs, 0.0, v2);
-        let both = analysis::op(&nl_both).unwrap();
-        let a = analysis::op(&nl_a).unwrap();
-        let b = analysis::op(&nl_b).unwrap();
+        let both = Simulator::new(&nl_both).op().unwrap();
+        let a = Simulator::new(&nl_a).op().unwrap();
+        let b = Simulator::new(&nl_b).op().unwrap();
         for &n in &probes {
             let sum = a.voltage(n) + b.voltage(n);
             prop_assert!(
@@ -81,7 +81,7 @@ proptest! {
                 nl.vsource("VS", b, Netlist::GROUND, Waveform::Dc(1.0)).unwrap();
                 nl.vsource("VM", a, Netlist::GROUND, Waveform::Dc(0.0)).unwrap();
             }
-            let op = analysis::op(&nl).unwrap();
+            let op = Simulator::new(&nl).op().unwrap();
             op.vsource_current(&nl, "VM").unwrap()
         };
         let iab = build(true);
@@ -103,11 +103,13 @@ proptest! {
         nl.resistor("R1", vin, out, r).unwrap();
         nl.capacitor("C1", out, Netlist::GROUND, c).unwrap();
         let tau = r * c;
-        let tr = analysis::transient(
-            &nl,
-            &TransientOptions { dt: tau / 100.0, tstop: 8.0 * tau, integrator: Integrator::Trapezoidal, uic: true },
-        )
-        .unwrap();
+        let tr = Simulator::new(&nl)
+            .transient(
+                &TranConfig::fixed(tau / 100.0, 8.0 * tau)
+                    .integrator(Integrator::Trapezoidal)
+                    .uic(true),
+            )
+            .unwrap();
         let i = tr.vsource_current(&nl, "V1").unwrap();
         let mut charge = 0.0;
         for k in 1..tr.time.len() {
@@ -137,9 +139,9 @@ proptest! {
             nl.resistor("R2", out, Netlist::GROUND, r2).unwrap();
             nl
         };
-        let mut nl = build();
+        let nl = build();
         let out = nl.find_node("out").unwrap();
-        let sweep = analysis::dc_sweep(&mut nl, "V1", &vals).unwrap();
+        let sweep = Simulator::new(&nl).dc_sweep("V1", &vals).unwrap();
         for (v, op) in vals.iter().zip(&sweep) {
             let expect = v * r2 / (r1 + r2);
             prop_assert!((op.voltage(out) - expect).abs() < 1e-6 * (1.0 + expect.abs()));

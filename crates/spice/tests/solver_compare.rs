@@ -2,23 +2,18 @@
 //! every analysis run through the sparse engine must reproduce it to
 //! solver-roundoff accuracy (≤ 1e-9 max absolute voltage error).
 
-use fts_spice::analysis::{self, Integrator, TransientOptions};
+use fts_spice::analysis::TranConfig;
 use fts_spice::netlist::{MosParams, Netlist, SolverKind, Waveform};
+use fts_spice::Simulator;
 use proptest::prelude::*;
 
 const TOL: f64 = 1e-9;
 
-fn with_solver(netlist: &Netlist, kind: SolverKind) -> Netlist {
-    let mut nl = netlist.clone();
-    nl.set_solver(kind);
-    nl
-}
-
 /// Max absolute node-voltage difference between dense and sparse operating
 /// points; `None` when both failed identically.
 fn compare_op(netlist: &Netlist) -> Option<f64> {
-    let dense = analysis::op(&with_solver(netlist, SolverKind::Dense));
-    let sparse = analysis::op(&with_solver(netlist, SolverKind::Sparse));
+    let dense = Simulator::new(netlist).solver(SolverKind::Dense).op();
+    let sparse = Simulator::new(netlist).solver(SolverKind::Sparse).op();
     match (dense, sparse) {
         (Ok(d), Ok(s)) => Some(
             d.unknowns()
@@ -90,14 +85,15 @@ fn pass_ladder_op_agrees() {
 #[test]
 fn pass_ladder_transient_agrees() {
     let nl = pass_ladder(8);
-    let opts = TransientOptions {
-        dt: 0.1e-9,
-        tstop: 8e-9,
-        integrator: Integrator::Trapezoidal,
-        uic: false,
-    };
-    let dense = analysis::transient(&with_solver(&nl, SolverKind::Dense), &opts).unwrap();
-    let sparse = analysis::transient(&with_solver(&nl, SolverKind::Sparse), &opts).unwrap();
+    let cfg = TranConfig::fixed(0.1e-9, 8e-9);
+    let dense = Simulator::new(&nl)
+        .solver(SolverKind::Dense)
+        .transient(&cfg)
+        .unwrap();
+    let sparse = Simulator::new(&nl)
+        .solver(SolverKind::Sparse)
+        .transient(&cfg)
+        .unwrap();
     assert_eq!(dense.len(), sparse.len());
     let mut max_err = 0.0f64;
     for k in 0..dense.len() {
@@ -114,8 +110,8 @@ fn auto_kind_picks_sparse_above_threshold_and_agrees() {
     // A 14-stage ladder has well over 24 unknowns, so Auto runs sparse;
     // its result must still match the forced-dense oracle.
     let nl = pass_ladder(14);
-    let auto = analysis::op(&nl).unwrap();
-    let dense = analysis::op(&with_solver(&nl, SolverKind::Dense)).unwrap();
+    let auto = Simulator::new(&nl).op().unwrap();
+    let dense = Simulator::new(&nl).solver(SolverKind::Dense).op().unwrap();
     let err = auto
         .unknowns()
         .iter()
@@ -137,7 +133,7 @@ fn sparse_zero_pivot_branch_row_needs_permutation() {
     nl.vsource("V2", b, a, Waveform::Dc(0.5)).unwrap();
     nl.resistor("R1", b, Netlist::GROUND, 1.0e3).unwrap();
     nl.set_solver(SolverKind::Sparse);
-    let r = analysis::op(&nl).unwrap();
+    let r = Simulator::new(&nl).op().unwrap();
     assert!((r.voltage(a) - 2.0).abs() < 1e-12);
     assert!((r.voltage(b) - 2.5).abs() < 1e-12);
 }
@@ -153,17 +149,19 @@ fn singular_netlist_fails_on_both_engines() {
     nl.vsource("V2", a, Netlist::GROUND, Waveform::Dc(2.0))
         .unwrap();
     nl.resistor("R1", a, Netlist::GROUND, 1.0e3).unwrap();
-    assert!(analysis::op(&with_solver(&nl, SolverKind::Dense)).is_err());
-    assert!(analysis::op(&with_solver(&nl, SolverKind::Sparse)).is_err());
+    assert!(Simulator::new(&nl).solver(SolverKind::Dense).op().is_err());
+    assert!(Simulator::new(&nl).solver(SolverKind::Sparse).op().is_err());
 }
 
 #[test]
 fn shared_symbolic_reproduces_fresh_analysis() {
     let nl = pass_ladder(10);
-    let fresh = analysis::op(&with_solver(&nl, SolverKind::Sparse)).unwrap();
-    let mut shared = with_solver(&nl, SolverKind::Sparse);
-    shared.share_symbolic(nl.mna_symbolic());
-    let reused = analysis::op(&shared).unwrap();
+    let fresh = Simulator::new(&nl).solver(SolverKind::Sparse).op().unwrap();
+    let reused = Simulator::new(&nl)
+        .solver(SolverKind::Sparse)
+        .share_symbolic(nl.mna_symbolic())
+        .op()
+        .unwrap();
     for (a, b) in fresh.unknowns().iter().zip(reused.unknowns()) {
         assert!((a - b).abs() <= 1e-15, "shared symbolic changes nothing");
     }
@@ -246,14 +244,9 @@ proptest! {
         devs in prop::collection::vec(arb_dev(6), 1..8),
     ) {
         let nl = build_random(nodes, 1.2, &devs);
-        let opts = TransientOptions {
-            dt: 0.5e-9,
-            tstop: 10e-9,
-            integrator: Integrator::Trapezoidal,
-            uic: false,
-        };
-        let dense = analysis::transient(&with_solver(&nl, SolverKind::Dense), &opts);
-        let sparse = analysis::transient(&with_solver(&nl, SolverKind::Sparse), &opts);
+        let cfg = TranConfig::fixed(0.5e-9, 10e-9);
+        let dense = Simulator::new(&nl).solver(SolverKind::Dense).transient(&cfg);
+        let sparse = Simulator::new(&nl).solver(SolverKind::Sparse).transient(&cfg);
         match (dense, sparse) {
             (Ok(d), Ok(s)) => {
                 prop_assert_eq!(d.len(), s.len());

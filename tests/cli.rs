@@ -62,6 +62,58 @@ fn lattice_subcommand_reads_stdin() {
 }
 
 #[test]
+fn batch_runs_manifest_and_writes_report() {
+    let dir = std::env::temp_dir().join(format!("fts-batch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let manifest = dir.join("manifest.json");
+    let report = dir.join("report.json");
+    std::fs::write(
+        &manifest,
+        r#"{"threads": 2, "jobs": [
+            {"function": "xor2", "analysis": "op", "input": 1, "label": "xor2-01"},
+            {"function": "xor2", "analysis": "op", "input": 0, "retry": "ladder"}
+        ]}"#,
+    )
+    .expect("write manifest");
+    let out = fts()
+        .args([
+            "batch",
+            manifest.to_str().unwrap(),
+            "--out",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&report).expect("report written");
+    assert!(text.contains("\"schema\":\"fts-batch-report/1\""), "{text}");
+    assert!(text.contains("\"succeeded\":2"), "{text}");
+    assert!(text.contains("\"xor2-01\""), "{text}");
+    assert!(text.contains("\"out_v\":"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_rejects_bad_manifest() {
+    let dir = std::env::temp_dir().join(format!("fts-badbatch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let manifest = dir.join("manifest.json");
+    std::fs::write(&manifest, r#"{"jobs": [{"analysis": "op"}]}"#).expect("write");
+    let out = fts()
+        .args(["batch", manifest.to_str().unwrap()])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("function"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn characterize_prints_figures_of_merit() {
     let out = fts()
         .args(["characterize", "cross", "sio2"])

@@ -113,7 +113,7 @@ fn spice_mosfet_matches_level1_reference() {
     // The simulator's device must agree with the extraction crate's
     // closed-form level-1 model across bias space.
     use four_terminal_lattice::extract::Level1;
-    use four_terminal_lattice::spice::{analysis, MosParams, Netlist, Waveform};
+    use four_terminal_lattice::spice::{MosParams, Netlist, Simulator, Waveform};
 
     let reference = Level1::new(2.0e-5, 0.4, 0.06, 2.0);
     let params = MosParams {
@@ -131,7 +131,7 @@ fn spice_mosfet_matches_level1_reference() {
         nl.vsource("VG", g, Netlist::GROUND, Waveform::Dc(vgs))
             .unwrap();
         nl.nmos("M1", d, g, Netlist::GROUND, params).unwrap();
-        let op = analysis::op(&nl).unwrap();
+        let op = Simulator::new(&nl).op().unwrap();
         let sim = -op.vsource_current(&nl, "VD").unwrap();
         let expect = reference.ids(vgs, vds);
         assert!(

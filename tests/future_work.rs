@@ -7,9 +7,9 @@ use four_terminal_lattice::circuit::lattice_netlist::{BenchConfig, LatticeCircui
 use four_terminal_lattice::circuit::metrics::{measure_lattice_circuit, vtc};
 use four_terminal_lattice::circuit::model::SwitchCircuitModel;
 use four_terminal_lattice::logic::generators;
-use four_terminal_lattice::spice::analysis::{ac, log_sweep};
+use four_terminal_lattice::spice::analysis::log_sweep;
 use four_terminal_lattice::spice::mos3::Mos3Params;
-use four_terminal_lattice::spice::{analysis, Netlist, Waveform};
+use four_terminal_lattice::spice::{Netlist, Simulator, Waveform};
 
 #[test]
 fn complementary_xor3_beats_resistive_bench_on_static_power() {
@@ -63,7 +63,9 @@ fn ac_analysis_of_the_xor3_output_pole() {
     // All inputs low: lattice off, output follows the pull-up; the pole is
     // roughly 1/(2π·R_pu·C_out) with C_out ≈ 13 fF → ~25 MHz.
     let freqs = log_sweep(1e4, 1e11, 71);
-    let res = ac(ckt.netlist(), "VIN0", &freqs).expect("ac");
+    let res = Simulator::new(ckt.netlist())
+        .ac("VIN0", &freqs)
+        .expect("ac");
     // The response magnitude must be finite and roll off at high f.
     let mags = res.magnitude(ckt.out());
     assert!(mags.iter().all(|m| m.is_finite()));
@@ -85,7 +87,7 @@ fn level3_switch_degrades_gracefully_vs_level1() {
             .unwrap();
         nl.resistor("RB", b, Netlist::GROUND, 1.0e6).unwrap();
         nl.nmos3("M1", a, g, b, params).unwrap();
-        analysis::op(&nl).unwrap().voltage(b)
+        Simulator::new(&nl).op().unwrap().voltage(b)
     };
     let long = run(Mos3Params::long_channel(1.1e-5, 0.05, 0.2, 2.0));
     let short = run(Mos3Params {
