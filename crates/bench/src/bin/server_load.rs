@@ -1,0 +1,280 @@
+//! Server load benchmark: hammers an in-process `fts-server` with
+//! op-point job submissions over loopback HTTP and writes
+//! `BENCH_server.json` (sustained throughput, submit-latency p50/p99,
+//! 429 backpressure count, and a bit-identity check against direct
+//! engine submission).
+//!
+//! Usage: `server_load [--requests N] [--clients N] [--workers N]
+//! [--queue-depth N] [--function NAME] [--out PATH]
+//! [--telemetry <path.json>]`
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use four_terminal_lattice::batch::PipelineJobBuilder;
+use fts_engine::Engine;
+use fts_server::service::build_job;
+use fts_server::testing::http_call;
+use fts_server::wire::{outcome_json, AnalysisSpec, JobSpec, Json};
+use fts_server::{Server, ServerConfig};
+
+struct Args {
+    requests: usize,
+    clients: usize,
+    workers: usize,
+    queue_depth: usize,
+    function: String,
+    out: String,
+}
+
+fn parse_args(argv: Vec<String>) -> Args {
+    let mut args = Args {
+        requests: 2000,
+        clients: 8,
+        workers: 0,
+        queue_depth: 256,
+        function: "and2".to_owned(),
+        out: "BENCH_server.json".to_owned(),
+    };
+    let mut it = argv.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match flag.as_str() {
+            "--requests" => args.requests = value("--requests").parse().expect("--requests: int"),
+            "--clients" => args.clients = value("--clients").parse().expect("--clients: int"),
+            "--workers" => args.workers = value("--workers").parse().expect("--workers: int"),
+            "--queue-depth" => {
+                args.queue_depth = value("--queue-depth").parse().expect("--queue-depth: int");
+            }
+            "--function" => args.function = value("--function"),
+            "--out" => args.out = value("--out"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let k = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[k]
+}
+
+fn submit_body(function: &str, input: u32) -> String {
+    format!(r#"{{"jobs":[{{"function":"{function}","analysis":"op","input":{input}}}]}}"#)
+}
+
+/// Polls `GET /v1/jobs/{id}` until the job reports `done`, returning the
+/// final status body.
+fn wait_done(addr: SocketAddr, id: u64) -> String {
+    loop {
+        let resp = http_call(addr, "GET", &format!("/v1/jobs/{id}"), None).expect("status call");
+        assert_eq!(resp.status, 200, "status poll failed: {}", resp.body);
+        if resp.body.contains("\"status\":\"done\"") {
+            return resp.body;
+        }
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+}
+
+fn extract_ids(body: &str) -> Vec<u64> {
+    let doc = Json::parse(body).expect("submit response is JSON");
+    doc.get("ids")
+        .and_then(Json::as_array)
+        .expect("ids array")
+        .iter()
+        .map(|v| v.as_f64().expect("id") as u64)
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut tel = fts_bench::telemetry::from_args("server_load", &mut argv);
+    let args = parse_args(argv);
+
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: args.workers,
+        queue_depth: args.queue_depth,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(config, Arc::new(PipelineJobBuilder::new()))?;
+    let addr = server.local_addr()?;
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+    tel.phase_done("bind");
+
+    // Warm-up: the first submission pays for lattice synthesis and circuit
+    // construction; everything after hits the realization cache.
+    let warm = http_call(
+        addr,
+        "POST",
+        "/v1/jobs",
+        Some(&submit_body(&args.function, 0)),
+    )?;
+    assert_eq!(warm.status, 202, "warm-up submit failed: {}", warm.body);
+    for id in extract_ids(&warm.body) {
+        wait_done(addr, id);
+    }
+    tel.phase_done("warmup");
+
+    println!(
+        "server load: {} op-point submissions of {:?} over {} client(s), \
+         {} sim worker(s), queue depth {}",
+        args.requests, args.function, args.clients, args.workers, args.queue_depth
+    );
+
+    // Load phase: each client thread submits its share and polls every job
+    // to completion, counting 429 rejections (retried after a short
+    // backoff, so the accepted total is exact).
+    let rejected = AtomicU64::new(0);
+    let next = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|_| {
+                let rejected = &rejected;
+                let next = &next;
+                let function = &args.function;
+                scope.spawn(move || {
+                    let mut lats = Vec::new();
+                    let mut ids = Vec::new();
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= args.requests {
+                            break;
+                        }
+                        let body = submit_body(function, (k % 4) as u32);
+                        loop {
+                            let t = Instant::now();
+                            let resp = http_call(addr, "POST", "/v1/jobs", Some(&body))
+                                .expect("submit call");
+                            match resp.status {
+                                202 => {
+                                    lats.push(t.elapsed().as_secs_f64());
+                                    ids.extend(extract_ids(&resp.body));
+                                    break;
+                                }
+                                429 => {
+                                    rejected.fetch_add(1, Ordering::Relaxed);
+                                    std::thread::sleep(std::time::Duration::from_micros(500));
+                                }
+                                other => panic!("unexpected submit status {other}: {}", resp.body),
+                            }
+                        }
+                    }
+                    for id in ids {
+                        let body = wait_done(addr, id);
+                        assert!(
+                            body.contains("\"kind\":\"op\""),
+                            "job {id} did not succeed: {body}"
+                        );
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    tel.phase_done("load");
+
+    latencies.sort_by(f64::total_cmp);
+    let throughput = args.requests as f64 / wall_s;
+    let p50_ms = percentile(&latencies, 0.50) * 1e3;
+    let p99_ms = percentile(&latencies, 0.99) * 1e3;
+    let rejected = rejected.load(Ordering::Relaxed);
+
+    // Bit-identity: the `result` object the server reports must be the
+    // exact bytes `outcome_json` renders for a direct engine run of the
+    // same spec.
+    let builder = PipelineJobBuilder::new();
+    let engine = Engine::new().threads(1);
+    let mut bit_identical = true;
+    for input in 0..4u32 {
+        let resp = http_call(
+            addr,
+            "POST",
+            "/v1/jobs",
+            Some(&submit_body(&args.function, input)),
+        )?;
+        assert_eq!(resp.status, 202, "identity submit failed: {}", resp.body);
+        let id = extract_ids(&resp.body)[0];
+        let served = wait_done(addr, id);
+
+        let spec = JobSpec {
+            function: args.function.clone(),
+            analysis: AnalysisSpec::Op { input },
+            deadline_ms: None,
+            ladder: false,
+            label: None,
+            waveform: false,
+        };
+        let built = build_job(&builder, &spec, 0).expect("direct build");
+        let report = engine.run(vec![built.job]);
+        let direct = format!(
+            "\"result\":{}",
+            outcome_json(&report.outcomes[0], built.out, false)
+        );
+        if !served.contains(&direct) {
+            bit_identical = false;
+            eprintln!(
+                "IDENTITY VIOLATION for input {input}:\n  server: {served}\n  direct: {direct}"
+            );
+        }
+    }
+    tel.phase_done("identity");
+
+    handle.shutdown();
+    let report = server_thread.join().expect("server thread")?;
+
+    println!("  wall        : {wall_s:.3} s");
+    println!("  throughput  : {throughput:.0} req/s accepted");
+    println!("  latency     : p50 {p50_ms:.3} ms, p99 {p99_ms:.3} ms");
+    println!("  rejected    : {rejected} (429 backpressure)");
+    println!("  identical   : {bit_identical}");
+    println!(
+        "  server      : {} jobs completed, {} submissions rejected, {} connections rejected",
+        report.jobs_completed, report.submissions_rejected, report.connections_rejected
+    );
+
+    let json = format!(
+        concat!(
+            "{{\"schema\":\"fts-server-bench/1\",\"experiment\":\"server_load\",",
+            "\"function\":\"{}\",\"requests\":{},\"clients\":{},\"workers\":{},",
+            "\"queue_depth\":{},\"wall_s\":{},\"throughput_rps\":{},",
+            "\"latency_p50_ms\":{},\"latency_p99_ms\":{},\"rejected_429\":{},",
+            "\"bit_identical\":{},\"jobs_completed\":{},\"submissions_rejected\":{},",
+            "\"connections_rejected\":{}}}"
+        ),
+        args.function,
+        args.requests,
+        args.clients,
+        args.workers,
+        args.queue_depth,
+        wall_s,
+        throughput,
+        p50_ms,
+        p99_ms,
+        rejected,
+        bit_identical,
+        report.jobs_completed,
+        report.submissions_rejected,
+        report.connections_rejected,
+    );
+    std::fs::write(&args.out, &json)?;
+    println!("\nwrote {}:\n{json}", args.out);
+    tel.finish()?;
+
+    if !bit_identical {
+        std::process::exit(1);
+    }
+    Ok(())
+}

@@ -1,449 +1,91 @@
 //! `fts batch` — manifest-driven batch simulation on the `fts-engine`
 //! scheduler.
 //!
-//! A manifest is a small JSON document naming the jobs to run:
+//! The manifest and report formats live in the shared versioned wire
+//! schema ([`fts_server::wire`], re-exported here): the CLI and the HTTP
+//! server parse manifests and render results through the *same* code, so
+//! the two transports cannot drift. This module contributes the part only
+//! the synthesis side knows — [`PipelineJobBuilder`], which lowers a
+//! manifest [`JobSpec`] (named function + analysis) to a runnable
+//! [`SimJob`] by synthesizing the lattice and building the §V bench
+//! circuit. `fts batch` runs the whole manifest through [`Engine::run`];
+//! `fts serve` hands the identical builder to the server's job queue.
 //!
-//! ```json
-//! {
-//!   "threads": 2,
-//!   "jobs": [
-//!     { "function": "xor3", "analysis": "op", "input": 5 },
-//!     { "function": "maj3", "analysis": "transient",
-//!       "phase_ns": 4.0, "dt_ns": 0.1,
-//!       "deadline_ms": 60000, "retry": "ladder", "label": "maj3-walk" }
-//!   ]
-//! }
-//! ```
-//!
-//! Each job synthesizes the named function, builds the §V bench circuit,
-//! and submits one [`SimJob`]: `"op"` solves the DC operating point for a
-//! packed `input` assignment; `"transient"` drives the full
-//! 2ⁿ-combination input walk (one `phase_ns` phase per combination) and
-//! records the output waveform. The whole batch runs through
-//! [`Engine::run`], so deadlines, the retry ladder, and deterministic
-//! submission-ordered results all apply. The report is written as JSON.
-//!
-//! The parser below is deliberately minimal — the toolkit takes no
-//! third-party dependencies, and manifests plus reports are the only JSON
-//! this workspace reads.
+//! `"op"` solves the DC operating point for a packed `input` assignment;
+//! `"transient"` drives the full 2ⁿ-combination input walk (one
+//! `phase_ns` phase per combination) and records the output waveform
+//! through the engine's decimating sink (`max_samples` caps retained
+//! samples; `"waveform": true` embeds the decimated arrays in the
+//! result).
 
 use std::collections::HashMap;
-use std::fmt::Write as _;
-use std::time::Duration;
+use std::sync::Mutex;
 
 use fts_circuit::lattice_netlist::pwl_from_bits;
-use fts_engine::{Engine, RetryPolicy, SimJob, SimOutcome};
+use fts_engine::{Engine, SimJob};
+use fts_server::service::{build_job, BuiltJob, JobBuilder};
 use fts_spice::analysis::TranConfig;
-use fts_spice::{NodeId, Waveform};
+use fts_spice::Waveform;
 
-use crate::pipeline::Pipeline;
+use crate::pipeline::{Pipeline, PipelineRun};
 
-// ---------------------------------------------------------------------------
-// Minimal JSON
-// ---------------------------------------------------------------------------
+pub use fts_server::wire::{
+    batch_report_json, job_row_json, json_escape, outcome_json, AnalysisSpec, BatchManifest,
+    JobSpec, Json, WireError, MAX_SAMPLES_LIMIT, SCHEMA_VERSION,
+};
 
-/// A parsed JSON value. Numbers are `f64` (manifest quantities are small
-/// counts and physical values, well inside exact-integer range).
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// Any JSON number.
-    Number(f64),
-    /// A string (escapes decoded).
-    String(String),
-    /// An array.
-    Array(Vec<Json>),
-    /// An object, in source order.
-    Object(Vec<(String, Json)>),
+/// Lowers manifest jobs through the synthesis pipeline, caching one
+/// realization per distinct function name (manifests often repeat a
+/// function across analyses and deadline settings, and the HTTP server
+/// sees the same functions across many submissions).
+pub struct PipelineJobBuilder {
+    pipeline: Pipeline,
+    realized: Mutex<HashMap<String, (PipelineRun, usize)>>,
 }
 
-impl Json {
-    /// Parses a complete JSON document (trailing content is an error).
-    ///
-    /// # Errors
-    ///
-    /// A human-readable message with a byte offset on malformed input.
-    pub fn parse(text: &str) -> Result<Json, String> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing content at byte {}", p.pos));
-        }
-        Ok(v)
-    }
-
-    /// Object member lookup; `None` on non-objects and missing keys.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The numeric value, if this is a number.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Number(x) => Some(*x),
-            _ => None,
-        }
-    }
-
-    /// The string value, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::String(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The elements, if this is an array.
-    pub fn as_array(&self) -> Option<&[Json]> {
-        match self {
-            Json::Array(items) => Some(items),
-            _ => None,
+impl PipelineJobBuilder {
+    /// A builder over the standard pipeline (verification skipped — the
+    /// simulation itself is the check batch users care about).
+    pub fn new() -> PipelineJobBuilder {
+        PipelineJobBuilder {
+            pipeline: Pipeline {
+                skip_verification: true,
+                ..Pipeline::standard()
+            },
+            realized: Mutex::new(HashMap::new()),
         }
     }
 }
 
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+impl Default for PipelineJobBuilder {
+    fn default() -> PipelineJobBuilder {
+        PipelineJobBuilder::new()
+    }
 }
 
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected {:?} at byte {}", b as char, self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::String(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            other => Err(format!(
-                "unexpected {:?} at byte {}",
-                other.map(|b| b as char),
-                self.pos
-            )),
-        }
-    }
-
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            Err(format!("expected {word:?} at byte {}", self.pos))
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while let Some(b) = self.peek() {
-            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
-        text.parse::<f64>()
-            .map(Json::Number)
-            .map_err(|_| format!("bad number {text:?} at byte {start}"))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
+impl JobBuilder for PipelineJobBuilder {
+    fn build(&self, spec: &JobSpec, index: usize) -> Result<BuiltJob, WireError> {
+        // Realize (or reuse) the function's lattice and bench circuit.
+        let (mut ckt, vars) = {
+            let mut realized = self.realized.lock().expect("realization cache poisoned");
+            let (run, vars) = match realized.entry(spec.function.clone()) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let f = crate::named_function(&spec.function)
+                        .map_err(|msg| WireError::job("unknown_function", index, msg))?;
+                    let vars = f.vars();
+                    let run = self
+                        .pipeline
+                        .realize(&f)
+                        .map_err(|e| WireError::job("synthesis_failed", index, e.to_string()))?;
+                    e.insert((run, vars))
                 }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = self.peek().ok_or("unterminated escape")?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
-                                16,
-                            )
-                            .map_err(|_| "bad \\u escape")?;
-                            self.pos += 4;
-                            // Surrogate pairs are not needed for manifests.
-                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
-                        }
-                        other => return Err(format!("unknown escape \\{}", other as char)),
-                    }
-                }
-                Some(_) => {
-                    // Multi-byte UTF-8 passes through unchanged; find the
-                    // char boundary from the source string.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| "invalid UTF-8")?;
-                    let c = rest.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Array(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Array(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut members = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Object(members));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let value = self.value()?;
-            members.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Object(members));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
-            }
-        }
-    }
-}
-
-/// Escapes `s` for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-// ---------------------------------------------------------------------------
-// Manifest
-// ---------------------------------------------------------------------------
-
-/// One job description from the manifest.
-#[derive(Debug, Clone)]
-pub struct JobSpec {
-    /// Named Boolean function (`xor3`, `maj3`, … — same set as `fts synth`).
-    pub function: String,
-    /// Analysis to run.
-    pub analysis: AnalysisSpec,
-    /// Per-job wall-clock budget in milliseconds.
-    pub deadline_ms: Option<f64>,
-    /// `"full"` (single homotopy-assisted attempt, default) or `"ladder"`
-    /// (cheap-to-expensive retry ladder).
-    pub ladder: bool,
-    /// Report label; defaults to `<function>-<index>`.
-    pub label: Option<String>,
-}
-
-/// The analysis half of a [`JobSpec`].
-#[derive(Debug, Clone)]
-pub enum AnalysisSpec {
-    /// DC operating point for a packed input assignment.
-    Op {
-        /// Packed input bits (bit `v` drives variable `v`).
-        input: u32,
-    },
-    /// Transient over the full 2ⁿ input walk.
-    Transient {
-        /// Seconds per input combination, in nanoseconds.
-        phase_ns: f64,
-        /// Fixed timestep, in nanoseconds.
-        dt_ns: f64,
-    },
-}
-
-/// A parsed batch manifest.
-#[derive(Debug, Clone)]
-pub struct BatchManifest {
-    /// Worker threads (0 = one per available core).
-    pub threads: usize,
-    /// The jobs, in submission order.
-    pub jobs: Vec<JobSpec>,
-}
-
-impl BatchManifest {
-    /// Parses a manifest document.
-    ///
-    /// # Errors
-    ///
-    /// Malformed JSON, unknown `analysis` kinds, or missing `function` /
-    /// `jobs` members.
-    pub fn parse(text: &str) -> Result<BatchManifest, String> {
-        let doc = Json::parse(text)?;
-        let threads = doc.get("threads").and_then(Json::as_f64).unwrap_or(0.0) as usize;
-        let jobs_json = doc
-            .get("jobs")
-            .and_then(Json::as_array)
-            .ok_or("manifest needs a \"jobs\" array")?;
-        let mut jobs = Vec::with_capacity(jobs_json.len());
-        for (k, j) in jobs_json.iter().enumerate() {
-            let function = j
-                .get("function")
-                .and_then(Json::as_str)
-                .ok_or_else(|| format!("job {k}: missing \"function\""))?
-                .to_owned();
-            let analysis = match j.get("analysis").and_then(Json::as_str).unwrap_or("op") {
-                "op" => AnalysisSpec::Op {
-                    input: j.get("input").and_then(Json::as_f64).unwrap_or(0.0) as u32,
-                },
-                "transient" => AnalysisSpec::Transient {
-                    phase_ns: j.get("phase_ns").and_then(Json::as_f64).unwrap_or(6.0),
-                    dt_ns: j.get("dt_ns").and_then(Json::as_f64).unwrap_or(0.1),
-                },
-                other => return Err(format!("job {k}: unknown analysis {other:?}")),
             };
-            let ladder = match j.get("retry").and_then(Json::as_str).unwrap_or("full") {
-                "full" => false,
-                "ladder" => true,
-                other => return Err(format!("job {k}: unknown retry policy {other:?}")),
-            };
-            jobs.push(JobSpec {
-                function,
-                analysis,
-                deadline_ms: j.get("deadline_ms").and_then(Json::as_f64),
-                ladder,
-                label: j.get("label").and_then(Json::as_str).map(str::to_owned),
-            });
-        }
-        Ok(BatchManifest { threads, jobs })
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Execution
-// ---------------------------------------------------------------------------
-
-/// What the runner remembers about a submitted job in order to interpret
-/// its outcome.
-struct Submitted {
-    label: String,
-    out: NodeId,
-}
-
-/// Runs a parsed manifest and renders the JSON report.
-///
-/// # Errors
-///
-/// Unknown function names and circuit-construction failures abort the
-/// whole batch; *simulation* failures do not — they are reported per job.
-pub fn run_manifest(manifest: &BatchManifest) -> Result<String, String> {
-    let pipeline = Pipeline {
-        skip_verification: true,
-        ..Pipeline::standard()
-    };
-    // One realization per distinct function; manifests often repeat one
-    // function across analyses and deadline settings.
-    let mut realized: HashMap<String, (crate::pipeline::PipelineRun, usize)> = HashMap::new();
-    let mut jobs = Vec::with_capacity(manifest.jobs.len());
-    let mut submitted = Vec::with_capacity(manifest.jobs.len());
-    for (k, spec) in manifest.jobs.iter().enumerate() {
-        let (run, vars) = match realized.entry(spec.function.clone()) {
-            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::hash_map::Entry::Vacant(e) => {
-                let f = crate::named_function(&spec.function)?;
-                let vars = f.vars();
-                e.insert((pipeline.realize(&f).map_err(|e| e.to_string())?, vars))
-            }
+            (run.circuit.clone(), *vars)
         };
-        let (run, vars) = (&*run, *vars);
-        let label = spec
-            .label
-            .clone()
-            .unwrap_or_else(|| format!("{}-{k}", spec.function));
-        let vdd = run.circuit.config().vdd;
-        let mut ckt = run.circuit.clone();
+
+        let vdd = ckt.config().vdd;
+        let out = ckt.out();
         let job = match spec.analysis {
             AnalysisSpec::Op { input } => {
                 for v in 0..vars {
@@ -453,38 +95,51 @@ pub fn run_manifest(manifest: &BatchManifest) -> Result<String, String> {
                         Waveform::Dc(if bit { vdd } else { 0.0 }),
                         Waveform::Dc(if bit { 0.0 } else { vdd }),
                     )
-                    .map_err(|e| format!("job {k}: {e}"))?;
+                    .map_err(|e| WireError::job("stimulus_failed", index, e.to_string()))?;
                 }
                 SimJob::op(ckt.netlist().clone())
             }
-            AnalysisSpec::Transient { phase_ns, dt_ns } => {
+            AnalysisSpec::Transient {
+                phase_ns,
+                dt_ns,
+                max_samples,
+            } => {
                 let phase = phase_ns * 1e-9;
                 let combos = 1u32 << vars;
                 for v in 0..vars {
                     let bits: Vec<bool> = (0..combos).map(|x| (x >> v) & 1 == 1).collect();
                     let (p, n) = pwl_from_bits(&bits, phase, 1e-9, vdd);
                     ckt.set_stimulus(v, p, n)
-                        .map_err(|e| format!("job {k}: {e}"))?;
+                        .map_err(|e| WireError::job("stimulus_failed", index, e.to_string()))?;
                 }
                 SimJob::transient(
                     ckt.netlist().clone(),
                     TranConfig::fixed(dt_ns * 1e-9, phase * combos as f64),
                 )
-                .probes(&[ckt.out()])
+                .probes(&[out])
+                .max_samples(max_samples)
             }
         };
-        let mut job = job.label(&label);
-        if spec.ladder {
-            job = job.retry(RetryPolicy::ladder());
-        }
-        if let Some(ms) = spec.deadline_ms {
-            job = job.deadline(Duration::from_secs_f64(ms / 1000.0));
-        }
-        submitted.push(Submitted {
-            label,
-            out: ckt.out(),
-        });
-        jobs.push(job);
+        Ok(BuiltJob { job, out })
+    }
+}
+
+/// Runs a parsed manifest and renders the JSON report (schema
+/// `fts-batch-report/1`).
+///
+/// # Errors
+///
+/// Unknown function names and circuit-construction failures abort the
+/// whole batch with a structured [`WireError`]; *simulation* failures do
+/// not — they are reported per job.
+pub fn run_manifest(manifest: &BatchManifest) -> Result<String, WireError> {
+    let builder = PipelineJobBuilder::new();
+    let mut jobs = Vec::with_capacity(manifest.jobs.len());
+    let mut meta = Vec::with_capacity(manifest.jobs.len());
+    for (k, spec) in manifest.jobs.iter().enumerate() {
+        let built = build_job(&builder, spec, k)?;
+        meta.push((spec.label_or_default(k), built.out, spec.waveform));
+        jobs.push(built.job);
     }
 
     let mut engine = Engine::new();
@@ -494,110 +149,24 @@ pub fn run_manifest(manifest: &BatchManifest) -> Result<String, String> {
     let threads = engine.thread_count();
     let report = engine.run(jobs);
 
-    let mut rows = String::new();
-    for ((meta, outcome), stat) in submitted.iter().zip(&report.outcomes).zip(&report.stats) {
-        if !rows.is_empty() {
-            rows.push(',');
-        }
-        let detail = match outcome {
-            SimOutcome::Op(op) => format!(",\"out_v\":{}", op.voltage(meta.out)),
-            SimOutcome::Transient(w) => {
-                let v = w.voltage(meta.out).unwrap_or_default();
-                let peak = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                format!(
-                    ",\"samples\":{},\"stride\":{},\"out_peak_v\":{peak}",
-                    w.len(),
-                    w.stride()
-                )
-            }
-            SimOutcome::Failed { error, .. } => {
-                format!(",\"error\":\"{}\"", json_escape(&error.to_string()))
-            }
-            _ => String::new(),
-        };
-        let _ = write!(
-            rows,
-            "{{\"label\":\"{}\",\"kind\":\"{}\",\"wall_s\":{},\"attempts\":{}{detail}}}",
-            json_escape(&meta.label),
-            outcome.kind(),
-            stat.wall_s,
-            stat.attempts,
-        );
-    }
-    let succeeded = report.succeeded();
-    Ok(format!(
-        concat!(
-            "{{\"schema\":\"fts-batch-report/1\",\"jobs\":{},\"succeeded\":{},",
-            "\"threads\":{},\"wall_s\":{},\"outcomes\":[{}]}}"
-        ),
-        report.outcomes.len(),
-        succeeded,
+    let rows: Vec<String> = meta
+        .iter()
+        .zip(report.outcomes.iter().zip(&report.stats))
+        .map(|((label, out, waveform), (outcome, stat))| {
+            job_row_json(label, outcome, stat, *out, *waveform)
+        })
+        .collect();
+    Ok(batch_report_json(
+        &rows,
+        report.succeeded(),
         threads,
         report.wall_s,
-        rows,
     ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn parses_scalars_arrays_objects() {
-        let doc =
-            Json::parse(r#"{"a": 1.5, "b": [true, null, "x\n\"y\""], "c": {"d": -2e3}}"#).unwrap();
-        assert_eq!(doc.get("a").and_then(Json::as_f64), Some(1.5));
-        let b = doc.get("b").and_then(Json::as_array).unwrap();
-        assert_eq!(b[0], Json::Bool(true));
-        assert_eq!(b[1], Json::Null);
-        assert_eq!(b[2].as_str(), Some("x\n\"y\""));
-        let d = doc.get("c").and_then(|c| c.get("d")).unwrap();
-        assert_eq!(d.as_f64(), Some(-2000.0));
-    }
-
-    #[test]
-    fn rejects_malformed_documents() {
-        for bad in ["", "{", "{\"a\":}", "[1,]", "{\"a\":1} x", "\"unterminated"] {
-            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
-        }
-    }
-
-    #[test]
-    fn manifest_defaults_and_options() {
-        let m = BatchManifest::parse(
-            r#"{"threads": 3, "jobs": [
-                {"function": "and2"},
-                {"function": "xor3", "analysis": "transient", "phase_ns": 2.0,
-                 "deadline_ms": 250, "retry": "ladder", "label": "walk"}
-            ]}"#,
-        )
-        .unwrap();
-        assert_eq!(m.threads, 3);
-        assert_eq!(m.jobs.len(), 2);
-        assert!(matches!(m.jobs[0].analysis, AnalysisSpec::Op { input: 0 }));
-        assert!(!m.jobs[0].ladder);
-        match m.jobs[1].analysis {
-            AnalysisSpec::Transient { phase_ns, dt_ns } => {
-                assert_eq!(phase_ns, 2.0);
-                assert_eq!(dt_ns, 0.1);
-            }
-            ref other => panic!("expected transient, got {other:?}"),
-        }
-        assert!(m.jobs[1].ladder);
-        assert_eq!(m.jobs[1].deadline_ms, Some(250.0));
-        assert_eq!(m.jobs[1].label.as_deref(), Some("walk"));
-    }
-
-    #[test]
-    fn manifest_rejects_unknown_kinds() {
-        assert!(
-            BatchManifest::parse(r#"{"jobs": [{"function": "x", "analysis": "noise"}]}"#).is_err()
-        );
-        assert!(
-            BatchManifest::parse(r#"{"jobs": [{"function": "x", "retry": "forever"}]}"#).is_err()
-        );
-        assert!(BatchManifest::parse(r#"{"jobs": [{}]}"#).is_err());
-    }
 
     #[test]
     fn op_manifest_runs_and_reports() {
@@ -610,14 +179,86 @@ mod tests {
         .unwrap();
         let report = run_manifest(&m).unwrap();
         let doc = Json::parse(&report).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("fts-batch-report/1")
+        );
+        assert_eq!(doc.get("schema_version").and_then(Json::as_f64), Some(1.0));
         assert_eq!(doc.get("jobs").and_then(Json::as_f64), Some(2.0));
         assert_eq!(doc.get("succeeded").and_then(Json::as_f64), Some(2.0));
         let outcomes = doc.get("outcomes").and_then(Json::as_array).unwrap();
+        let out_v = |k: usize| {
+            outcomes[k]
+                .get("result")
+                .and_then(|r| r.get("out_v"))
+                .and_then(Json::as_f64)
+                .unwrap()
+        };
         // The bench inverts the lattice: both inputs high pulls the output
         // low, all-off floats it to VDD through the pull-up.
-        let v_on = outcomes[0].get("out_v").and_then(Json::as_f64).unwrap();
-        let v_off = outcomes[1].get("out_v").and_then(Json::as_f64).unwrap();
-        assert!(v_on < 0.6, "AND(1,1) output should be low, got {v_on}");
-        assert!(v_off > 0.6, "AND(0,0) output should be high, got {v_off}");
+        assert!(
+            out_v(0) < 0.6,
+            "AND(1,1) output should be low, got {}",
+            out_v(0)
+        );
+        assert!(
+            out_v(1) > 0.6,
+            "AND(0,0) output should be high, got {}",
+            out_v(1)
+        );
+    }
+
+    #[test]
+    fn unknown_function_is_a_structured_error() {
+        let m = BatchManifest::parse(r#"{"jobs": [{"function": "frobnicate"}]}"#).unwrap();
+        let e = run_manifest(&m).unwrap_err();
+        assert_eq!(e.code, "unknown_function");
+        assert_eq!(e.job, Some(0));
+    }
+
+    #[test]
+    fn transient_manifest_honors_decimation_and_waveform_fields() {
+        let m = BatchManifest::parse(
+            r#"{"threads": 1, "jobs": [
+                {"function": "and2", "analysis": "transient",
+                 "phase_ns": 4.0, "dt_ns": 0.05, "max_samples": 32, "waveform": true}
+            ]}"#,
+        )
+        .unwrap();
+        let report = run_manifest(&m).unwrap();
+        let doc = Json::parse(&report).unwrap();
+        let result = doc.get("outcomes").and_then(Json::as_array).unwrap()[0]
+            .get("result")
+            .unwrap()
+            .clone();
+        assert_eq!(result.get("kind").and_then(Json::as_str), Some("transient"));
+        let samples = result.get("samples").and_then(Json::as_f64).unwrap();
+        assert!(samples <= 32.0, "decimated to the cap, got {samples}");
+        assert!(result.get("stride").and_then(Json::as_f64).unwrap() > 1.0);
+        // waveform=true embeds the decimated arrays, same length as samples.
+        let time = result.get("time").and_then(Json::as_array).unwrap();
+        let out_v = result.get("out_v").and_then(Json::as_array).unwrap();
+        assert_eq!(time.len(), samples as usize);
+        assert_eq!(out_v.len(), samples as usize);
+    }
+
+    #[test]
+    fn builder_caches_realizations_across_jobs() {
+        let builder = PipelineJobBuilder::new();
+        let spec = JobSpec {
+            function: "and2".into(),
+            analysis: AnalysisSpec::Op { input: 0 },
+            deadline_ms: None,
+            ladder: false,
+            label: None,
+            waveform: false,
+        };
+        builder.build(&spec, 0).unwrap();
+        builder.build(&spec, 1).unwrap();
+        assert_eq!(
+            builder.realized.lock().unwrap().len(),
+            1,
+            "one realization per distinct function"
+        );
     }
 }

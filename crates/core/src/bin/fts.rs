@@ -9,6 +9,7 @@
 //! fts xor3                           run the Fig. 11 transient and print the summary
 //! fts explore <function>             design-space sweep with Pareto front
 //! fts batch <manifest.json>          batch simulation on the fts-engine scheduler
+//! fts serve                          HTTP simulation service over the same engine
 //! ```
 //!
 //! `<function>` is one of: and2..and4, or2..or4, xor2..xor4, xnor2, xnor3,
@@ -40,7 +41,7 @@ fn main() {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  fts count <m> <n>\n  fts synth <function>\n  fts lattice <file|-> --vars <n>\n  fts faults <file|-> --vars <n>\n  fts characterize <square|cross|junctionless> <sio2|hfo2>\n  fts xor3\n  fts explore <function>\n  fts batch <manifest.json> [--out <report.json>]"
+    "usage:\n  fts count <m> <n>\n  fts synth <function>\n  fts lattice <file|-> --vars <n>\n  fts faults <file|-> --vars <n>\n  fts characterize <square|cross|junctionless> <sio2|hfo2>\n  fts xor3\n  fts explore <function>\n  fts batch <manifest.json> [--out <report.json>]\n  fts serve [--addr <ip:port>] [--workers <n>] [--queue-depth <n>]"
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -54,6 +55,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "xor3" => cmd_xor3(),
         "explore" => cmd_explore(&args[1..]),
         "batch" => cmd_batch(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -228,8 +230,8 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         }
     }
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let manifest = batch::BatchManifest::parse(&text)?;
-    let report = batch::run_manifest(&manifest)?;
+    let manifest = batch::BatchManifest::parse(&text).map_err(|e| e.to_string())?;
+    let report = batch::run_manifest(&manifest).map_err(|e| e.to_string())?;
     match out_path {
         Some(p) => {
             std::fs::write(p, &report).map_err(|e| format!("{p}: {e}"))?;
@@ -247,5 +249,51 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     if ok < jobs {
         return Err(format!("{} of {jobs} jobs did not succeed", jobs - ok));
     }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use four_terminal_lattice::batch::PipelineJobBuilder;
+    use four_terminal_lattice::server::{Server, ServerConfig};
+    use std::sync::Arc;
+
+    let mut config = ServerConfig::default();
+    let mut rest = args.iter();
+    while let Some(flag) = rest.next() {
+        let value = |rest: &mut std::slice::Iter<String>| -> Result<String, String> {
+            rest.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value(&mut rest)?,
+            "--workers" => {
+                config.workers = value(&mut rest)?
+                    .parse()
+                    .map_err(|_| "bad --workers value")?;
+            }
+            "--queue-depth" => {
+                config.queue_depth = value(&mut rest)?
+                    .parse()
+                    .map_err(|_| "bad --queue-depth value")?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+
+    let server =
+        Server::bind(config, Arc::new(PipelineJobBuilder::new())).map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    // Machine-greppable startup line: tests and CI scrape the port.
+    println!("fts-server listening on {addr}");
+    let report = server.run().map_err(|e| e.to_string())?;
+    eprintln!(
+        "fts-server drained: {} jobs completed, {} submissions rejected, {} connections rejected, uptime {:.1}s",
+        report.jobs_completed,
+        report.submissions_rejected,
+        report.connections_rejected,
+        report.uptime_s
+    );
+    eprintln!("{}", report.telemetry);
     Ok(())
 }

@@ -19,7 +19,11 @@
 //!    area/power/delay/energy specifications;
 //! 6. **Manufacturing statistics** ([`montecarlo`]) — parallel Monte
 //!    Carlo over process variation and crosspoint defects: functional /
-//!    parametric yield and V_OL / V_OH / delay distributions.
+//!    parametric yield and V_OL / V_OH / delay distributions;
+//! 7. **Serving** ([`server`], [`batch`]) — the `fts-engine` batch
+//!    scheduler exposed as a manifest-driven CLI (`fts batch`) and a
+//!    zero-dependency HTTP service (`fts serve`) over a shared versioned
+//!    wire schema.
 //!
 //! # Quickstart
 //!
@@ -48,6 +52,7 @@ pub use fts_field as field;
 pub use fts_lattice as lattice;
 pub use fts_logic as logic;
 pub use fts_montecarlo as montecarlo;
+pub use fts_server as server;
 pub use fts_spice as spice;
 pub use fts_synth as synth;
 

@@ -81,38 +81,9 @@ impl Engine {
             if fts_telemetry::enabled() {
                 fts_telemetry::record("engine.jobs.in_flight", now_running as f64);
             }
-            let token = match job.deadline {
-                Some(budget) => batch.child_with_deadline(budget),
-                None => batch.clone(),
-            };
-            let t0 = Instant::now();
-            let (outcome, attempts) = run_job(job, &token);
-            let wall_s = t0.elapsed().as_secs_f64();
+            let result = execute(job, batch);
             in_flight.fetch_sub(1, Ordering::Relaxed);
-
-            match &outcome {
-                SimOutcome::Failed { .. } => fts_telemetry::counter("engine.jobs.failed", 1),
-                SimOutcome::Cancelled => fts_telemetry::counter("engine.jobs.cancelled", 1),
-                SimOutcome::DeadlineExceeded { .. } => {
-                    fts_telemetry::counter("engine.jobs.deadline_exceeded", 1)
-                }
-                _ => fts_telemetry::counter("engine.jobs.succeeded", 1),
-            }
-            if attempts > 1 {
-                fts_telemetry::counter("engine.jobs.retries", (attempts - 1) as u64);
-            }
-            if fts_telemetry::enabled() {
-                // `record` keeps a log-scale histogram, so p50/p99 job
-                // latency comes out of the snapshot directly.
-                fts_telemetry::record("engine.job.wall_s", wall_s);
-            }
-
-            let stats = JobStats {
-                label: job.label.clone(),
-                wall_s,
-                attempts,
-            };
-            (outcome, stats)
+            result
         });
 
         let mut outcomes = Vec::with_capacity(per_job.len());
@@ -127,6 +98,22 @@ impl Engine {
             wall_s: start.elapsed().as_secs_f64(),
             threads: self.threads,
         }
+    }
+
+    /// Runs exactly one job on the calling thread with the same
+    /// semantics, telemetry, and token derivation as the batch path —
+    /// retry ladder, per-job deadline layered on the caller's `cancel`
+    /// kill switch — so a served single-job submission is bit-identical
+    /// to the same job inside [`run`](Engine::run). (The symbolic-sharing
+    /// pre-pass only fires for groups of two or more jobs and never
+    /// changes numeric results, so skipping it here is exact, not an
+    /// approximation.)
+    ///
+    /// This is the execution hook `fts-server`'s queue workers pull jobs
+    /// through.
+    pub fn run_single(&self, job: &SimJob, cancel: &CancelToken) -> (SimOutcome, JobStats) {
+        fts_telemetry::counter("engine.jobs.submitted", 1);
+        execute(job, cancel)
     }
 }
 
@@ -160,6 +147,45 @@ fn share_symbolics(jobs: &mut [SimJob]) {
             jobs[i].netlist.share_symbolic(symbolic.clone());
         }
     }
+}
+
+/// The shared per-job execution path: derives the job's cancel token
+/// (deadline layered on the batch kill switch), runs the retry ladder,
+/// and books outcome/latency telemetry. Both the batch scheduler and
+/// [`Engine::run_single`] funnel through here, which is what makes their
+/// outcomes identical.
+fn execute(job: &SimJob, batch: &CancelToken) -> (SimOutcome, JobStats) {
+    let token = match job.deadline {
+        Some(budget) => batch.child_with_deadline(budget),
+        None => batch.clone(),
+    };
+    let t0 = Instant::now();
+    let (outcome, attempts) = run_job(job, &token);
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    match &outcome {
+        SimOutcome::Failed { .. } => fts_telemetry::counter("engine.jobs.failed", 1),
+        SimOutcome::Cancelled => fts_telemetry::counter("engine.jobs.cancelled", 1),
+        SimOutcome::DeadlineExceeded { .. } => {
+            fts_telemetry::counter("engine.jobs.deadline_exceeded", 1)
+        }
+        _ => fts_telemetry::counter("engine.jobs.succeeded", 1),
+    }
+    if attempts > 1 {
+        fts_telemetry::counter("engine.jobs.retries", (attempts - 1) as u64);
+    }
+    if fts_telemetry::enabled() {
+        // `record` keeps a log-scale histogram, so p50/p99 job latency
+        // comes out of the snapshot directly.
+        fts_telemetry::record("engine.job.wall_s", wall_s);
+    }
+
+    let stats = JobStats {
+        label: job.label.clone(),
+        wall_s,
+        attempts,
+    };
+    (outcome, stats)
 }
 
 /// Runs one job through its retry ladder. Returns the outcome and the

@@ -200,3 +200,36 @@ fn transient_outcome_carries_decimated_waveforms() {
         other => panic!("expected Transient, got {other:?}"),
     }
 }
+
+#[test]
+fn run_single_matches_batch_outcomes_exactly() {
+    let batch = Engine::new().threads(2).run(mixed_batch());
+    let engine = Engine::new();
+    for (k, job) in mixed_batch().into_iter().enumerate() {
+        let (outcome, stats) = engine.run_single(&job, &CancelToken::new());
+        assert_eq!(
+            outcome, batch.outcomes[k],
+            "job {k} ({}) diverged from the batch path",
+            stats.label
+        );
+        assert_eq!(stats.label, batch.stats[k].label);
+        assert_eq!(stats.attempts, batch.stats[k].attempts);
+    }
+}
+
+#[test]
+fn run_single_honors_cancel_and_deadline() {
+    let engine = Engine::new();
+    // Pre-cancelled kill switch → Cancelled before any work.
+    let token = CancelToken::new();
+    token.cancel();
+    let endless = SimJob::transient(rc_ladder(4, 1.0e3), TranConfig::fixed(1e-9, 0.1));
+    let (outcome, _) = engine.run_single(&endless, &token);
+    assert_eq!(outcome, SimOutcome::Cancelled);
+    // A tiny per-job deadline layers on a fresh token.
+    let bounded = endless.deadline(Duration::from_millis(20));
+    let t0 = Instant::now();
+    let (outcome, _) = engine.run_single(&bounded, &CancelToken::new());
+    assert!(matches!(outcome, SimOutcome::DeadlineExceeded { .. }));
+    assert!(t0.elapsed() < Duration::from_secs(5));
+}

@@ -1,0 +1,58 @@
+//! `fts-server`: a zero-dependency HTTP/1.1 simulation service over the
+//! `fts-engine` batch scheduler.
+//!
+//! The crate turns the batch engine into a long-running network service
+//! using nothing but std: a [`TcpListener`](std::net::TcpListener) accept
+//! loop, hand-rolled bounded HTTP parsing ([`http`]), the versioned JSON
+//! wire schema shared with the `fts batch` CLI ([`wire`]), and a bounded
+//! job queue in front of [`Engine`](fts_engine::Engine) ([`service`]).
+//!
+//! # Endpoints
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /v1/jobs` | Submit a batch manifest (same schema as `fts batch`); returns job ids, `202` |
+//! | `GET /v1/jobs/{id}` | Job status; done jobs embed the deterministic result object |
+//! | `DELETE /v1/jobs/{id}` | Cooperative cancel via the job's `CancelToken` |
+//! | `GET /healthz` | Liveness |
+//! | `GET /metrics` | Prometheus-style text: queue gauges + fts-telemetry counters/percentiles |
+//! | `POST /v1/shutdown` | Graceful shutdown (same drain as SIGINT) |
+//!
+//! # Service semantics
+//!
+//! * **Backpressure** — bounded connection *and* job queues; overflow of
+//!   either answers `429` instead of buffering unboundedly.
+//! * **Timeouts & deadlines** — per-connection read/write timeouts; a
+//!   manifest's `deadline_ms` maps onto the engine's per-job deadline
+//!   tokens, so a runaway solve stops within one Newton iteration of
+//!   expiry.
+//! * **Graceful shutdown** — SIGINT, `POST /v1/shutdown`, or a
+//!   [`ServerHandle`] stop the accept loop, serve already-accepted
+//!   connections, let every admitted job finish, and flush a final
+//!   telemetry report. Zero in-flight jobs are dropped.
+//! * **Determinism** — results are rendered by the same
+//!   [`wire::outcome_json`] the CLI report uses and carry no timing, so a
+//!   served result is byte-identical to direct engine submission.
+//!
+//! The dependency arrow points *away* from the synthesis pipeline: this
+//! crate only knows manifests and engine jobs, and the caller injects how
+//! a named function becomes a netlist through [`JobBuilder`] — `fts-core`
+//! implements it once and hands it to both `fts batch` and `fts serve`.
+
+#![deny(unsafe_code)] // `signal` opts out locally for the SIGINT FFI shim.
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod server;
+pub mod service;
+pub mod signal;
+pub mod testing;
+pub mod wire;
+
+pub use http::{HttpError, HttpLimits, Request};
+pub use server::{Server, ServerConfig, ServerHandle, ShutdownReport};
+pub use service::{build_job, BuiltJob, JobBuilder, JobService, ServiceGauges, SubmitError};
+pub use wire::{
+    batch_report_json, job_row_json, json_escape, outcome_json, AnalysisSpec, BatchManifest,
+    JobSpec, Json, WireError, MAX_SAMPLES_LIMIT, SCHEMA_VERSION,
+};

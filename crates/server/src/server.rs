@@ -1,0 +1,441 @@
+//! The HTTP server: accept loop, connection workers, routing, shutdown.
+//!
+//! Two bounded queues give the service its backpressure story:
+//!
+//! 1. **Connections** — the nonblocking accept loop pushes accepted
+//!    sockets onto a bounded queue drained by a small pool of connection
+//!    workers. When the queue is full, the new connection is answered
+//!    with a canned `429` immediately — the server never holds more
+//!    client state than it has budget for.
+//! 2. **Jobs** — admitted manifests land in the [`JobService`]'s bounded
+//!    work queue; a manifest that does not fit entirely is rejected with
+//!    `429` (all-or-nothing, see [`SubmitError::Overloaded`]).
+//!
+//! Shutdown (SIGINT, a [`ServerHandle`], or `POST /v1/shutdown`) runs the
+//! same drain everywhere: stop accepting, serve the connections already
+//! queued, let every admitted job finish, then flush a final telemetry
+//! report. No in-flight work is dropped.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::http::{self, HttpError, HttpLimits, Request};
+use crate::service::{JobBuilder, JobService, SubmitError};
+use crate::signal;
+use crate::wire::{BatchManifest, WireError, SCHEMA_VERSION};
+
+/// Server tunables; every field has a production-safe default.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8707` (`:0` picks a free port).
+    pub addr: String,
+    /// Simulation worker threads (0 = one per available core).
+    pub workers: usize,
+    /// Job queue capacity (admission bound for `POST /v1/jobs`).
+    pub queue_depth: usize,
+    /// Connection worker threads.
+    pub conn_workers: usize,
+    /// Accepted-connection queue capacity (overflow → canned `429`).
+    pub conn_backlog: usize,
+    /// HTTP size/time limits.
+    pub limits: HttpLimits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:8707".to_owned(),
+            workers: 0,
+            queue_depth: 256,
+            conn_workers: 4,
+            conn_backlog: 128,
+            limits: HttpLimits::default(),
+        }
+    }
+}
+
+/// A clonable remote control for a running [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// Requests graceful shutdown (stop accepting, drain, report).
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+/// What the server drained down to when it exited.
+#[derive(Debug, Clone)]
+pub struct ShutdownReport {
+    /// Jobs completed over the server's lifetime (every admitted job —
+    /// the drain waits for all of them, so this equals admissions).
+    pub jobs_completed: u64,
+    /// Submissions rejected with `429`.
+    pub submissions_rejected: u64,
+    /// Connections answered with the canned backlog `429`.
+    pub connections_rejected: u64,
+    /// Server uptime \[s\].
+    pub uptime_s: f64,
+    /// Final telemetry snapshot, human-rendered
+    /// ([`TelemetryReport::render_tree`](fts_telemetry::TelemetryReport::render_tree)).
+    pub telemetry: String,
+}
+
+/// The bound-but-not-yet-running HTTP service.
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<JobService>,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listener and prepares the job service. Telemetry is
+    /// enabled here — `/metrics` and the shutdown report depend on it.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from binding `config.addr`.
+    pub fn bind(config: ServerConfig, builder: Arc<dyn JobBuilder>) -> std::io::Result<Server> {
+        fts_telemetry::set_enabled(true);
+        let listener = TcpListener::bind(&config.addr)?;
+        let service = Arc::new(JobService::new(builder, config.queue_depth));
+        Ok(Server {
+            listener,
+            service,
+            config,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors querying the listener.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can request shutdown from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            stop: Arc::clone(&self.stop),
+        }
+    }
+
+    /// Runs the server until shutdown is requested, then drains and
+    /// returns the final [`ShutdownReport`].
+    ///
+    /// # Errors
+    ///
+    /// Socket errors configuring the listener; accept-time errors on
+    /// individual connections are absorbed.
+    pub fn run(self) -> std::io::Result<ShutdownReport> {
+        let start = Instant::now();
+        signal::install_sigint();
+        self.listener.set_nonblocking(true)?;
+
+        let sim_workers = if self.config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.config.workers
+        };
+        let rejected_conns = std::sync::atomic::AtomicU64::new(0);
+
+        let conn_queue: Arc<(Mutex<ConnQueue>, Condvar)> = Arc::new((
+            Mutex::new(ConnQueue {
+                conns: VecDeque::new(),
+                closed: false,
+            }),
+            Condvar::new(),
+        ));
+
+        let report = std::thread::scope(|scope| {
+            for _ in 0..sim_workers {
+                let service = Arc::clone(&self.service);
+                scope.spawn(move || service.worker_loop());
+            }
+            for _ in 0..self.config.conn_workers.max(1) {
+                let service = Arc::clone(&self.service);
+                let queue = Arc::clone(&conn_queue);
+                let stop = Arc::clone(&self.stop);
+                let limits = self.config.limits;
+                scope.spawn(move || {
+                    connection_worker(&queue, &service, &stop, &limits);
+                });
+            }
+
+            // Accept loop: poll the nonblocking listener, checking the
+            // shutdown flag (handle, /v1/shutdown, or SIGINT) each pass.
+            loop {
+                if self.stop.load(Ordering::SeqCst) || signal::sigint_received() {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        fts_telemetry::counter("server.http.accepted", 1);
+                        let (lock, cv) = &*conn_queue;
+                        let mut q = lock.lock().expect("conn queue poisoned");
+                        if q.conns.len() >= self.config.conn_backlog {
+                            drop(q);
+                            rejected_conns.fetch_add(1, Ordering::Relaxed);
+                            fts_telemetry::counter("server.http.backlog_rejected", 1);
+                            reject_overloaded(stream, &self.config.limits);
+                        } else {
+                            q.conns.push_back(stream);
+                            cv.notify_one();
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                }
+            }
+
+            // Drain: serve already-accepted connections, then let every
+            // admitted job finish, then let workers observe the flags.
+            {
+                let (lock, cv) = &*conn_queue;
+                let mut q = lock.lock().expect("conn queue poisoned");
+                q.closed = true;
+                cv.notify_all();
+            }
+            self.stop.store(true, Ordering::SeqCst);
+            self.service.drain();
+            // Scope join waits for conn workers (they exit once the queue
+            // is closed and empty) and sim workers (exit after drain).
+
+            let gauges = self.service.gauges();
+            ShutdownReport {
+                jobs_completed: gauges.completed,
+                submissions_rejected: gauges.rejected,
+                connections_rejected: rejected_conns.load(Ordering::Relaxed),
+                uptime_s: start.elapsed().as_secs_f64(),
+                telemetry: fts_telemetry::snapshot().render_tree(),
+            }
+        });
+        Ok(report)
+    }
+}
+
+struct ConnQueue {
+    conns: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+/// One connection worker: pull sockets and serve them until the queue is
+/// closed *and* empty — queued connections are served even during
+/// shutdown, so a client that got its socket accepted always gets an
+/// answer.
+fn connection_worker(
+    queue: &(Mutex<ConnQueue>, Condvar),
+    service: &JobService,
+    stop: &AtomicBool,
+    limits: &HttpLimits,
+) {
+    let (lock, cv) = queue;
+    loop {
+        let stream = {
+            let mut q = lock.lock().expect("conn queue poisoned");
+            loop {
+                if let Some(s) = q.conns.pop_front() {
+                    break s;
+                }
+                if q.closed {
+                    return;
+                }
+                q = cv.wait(q).expect("conn queue poisoned");
+            }
+        };
+        handle_connection(stream, service, stop, limits);
+    }
+}
+
+/// Answers an over-backlog connection with a canned `429` and closes it.
+fn reject_overloaded(mut stream: TcpStream, limits: &HttpLimits) {
+    let _ = stream.set_write_timeout(Some(limits.write_timeout));
+    let body = format!(
+        "{{\"schema_version\":{SCHEMA_VERSION},\"error\":{{\"code\":\"overloaded\",\"message\":\"connection backlog full\"}}}}"
+    );
+    let bytes = http::response_bytes(429, "Too Many Requests", "application/json", &body);
+    let _ = stream.write_all(&bytes);
+}
+
+/// Reads one request, routes it, writes one response.
+fn handle_connection(
+    mut stream: TcpStream,
+    service: &JobService,
+    stop: &AtomicBool,
+    limits: &HttpLimits,
+) {
+    fts_telemetry::counter("server.http.requests", 1);
+    let t0 = Instant::now();
+    let request = match http::read_request(&mut stream, limits) {
+        Ok(r) => r,
+        Err(e) => {
+            fts_telemetry::counter("server.http.errors", 1);
+            http::write_error(&mut stream, &e);
+            return;
+        }
+    };
+    match route(&request, service, stop) {
+        Ok(Response::Json {
+            status,
+            reason,
+            body,
+        }) => {
+            http::write_json(&mut stream, status, reason, &body);
+        }
+        Ok(Response::Text { body }) => {
+            http::write_text(&mut stream, 200, "OK", &body);
+        }
+        Err(e) => {
+            fts_telemetry::counter("server.http.errors", 1);
+            http::write_error(&mut stream, &e);
+        }
+    }
+    if fts_telemetry::enabled() {
+        fts_telemetry::record("server.http.latency_s", t0.elapsed().as_secs_f64());
+    }
+}
+
+enum Response {
+    Json {
+        status: u16,
+        reason: &'static str,
+        body: String,
+    },
+    Text {
+        body: String,
+    },
+}
+
+fn json_ok(body: String) -> Result<Response, HttpError> {
+    Ok(Response::Json {
+        status: 200,
+        reason: "OK",
+        body,
+    })
+}
+
+/// Routes a parsed request to its endpoint.
+fn route(
+    request: &Request,
+    service: &JobService,
+    stop: &AtomicBool,
+) -> Result<Response, HttpError> {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => json_ok(format!(
+            "{{\"schema_version\":{SCHEMA_VERSION},\"status\":\"ok\"}}"
+        )),
+        ("GET", "/metrics") => Ok(Response::Text {
+            body: render_metrics(service),
+        }),
+        ("POST", "/v1/jobs") => submit(request, service),
+        ("POST", "/v1/shutdown") => {
+            stop.store(true, Ordering::SeqCst);
+            json_ok(format!(
+                "{{\"schema_version\":{SCHEMA_VERSION},\"shutting_down\":true}}"
+            ))
+        }
+        (method, path) if path.starts_with("/v1/jobs/") => {
+            let id: u64 = path["/v1/jobs/".len()..]
+                .parse()
+                .map_err(|_| HttpError::BadRequest(format!("bad job id in {path:?}")))?;
+            match method {
+                "GET" => service.status_json(id).map_or(Err(HttpError::NotFound), json_ok),
+                "DELETE" => match service.cancel(id) {
+                    Some(status) => json_ok(format!(
+                        "{{\"schema_version\":{SCHEMA_VERSION},\"id\":{id},\"cancelled\":true,\"was\":\"{status}\"}}"
+                    )),
+                    None => Err(HttpError::NotFound),
+                },
+                _ => Err(HttpError::MethodNotAllowed),
+            }
+        }
+        (_, "/healthz" | "/metrics" | "/v1/jobs" | "/v1/shutdown") => {
+            Err(HttpError::MethodNotAllowed)
+        }
+        _ => Err(HttpError::NotFound),
+    }
+}
+
+/// `POST /v1/jobs`: parse, validate, admit.
+fn submit(request: &Request, service: &JobService) -> Result<Response, HttpError> {
+    let manifest = match BatchManifest::parse(&request.body) {
+        Ok(m) => m,
+        Err(e) => return Ok(wire_error_response(&e)),
+    };
+    match service.submit(&manifest) {
+        Ok(ids) => {
+            let ids: Vec<String> = ids.iter().map(u64::to_string).collect();
+            Ok(Response::Json {
+                status: 202,
+                reason: "Accepted",
+                body: format!(
+                    "{{\"schema_version\":{SCHEMA_VERSION},\"ids\":[{}]}}",
+                    ids.join(",")
+                ),
+            })
+        }
+        Err(SubmitError::Invalid(e)) => Ok(wire_error_response(&e)),
+        Err(SubmitError::Overloaded { queued, depth }) => Ok(Response::Json {
+            status: 429,
+            reason: "Too Many Requests",
+            body: format!(
+                "{{\"schema_version\":{SCHEMA_VERSION},\"error\":{{\"code\":\"overloaded\",\"message\":\"queue full ({queued}/{depth})\"}}}}"
+            ),
+        }),
+        Err(SubmitError::ShuttingDown) => Ok(Response::Json {
+            status: 503,
+            reason: "Service Unavailable",
+            body: format!(
+                "{{\"schema_version\":{SCHEMA_VERSION},\"error\":{{\"code\":\"shutting_down\",\"message\":\"server is draining\"}}}}"
+            ),
+        }),
+    }
+}
+
+fn wire_error_response(e: &WireError) -> Response {
+    Response::Json {
+        status: 400,
+        reason: "Bad Request",
+        body: e.to_json(),
+    }
+}
+
+/// Renders `/metrics` in Prometheus text exposition style: server gauges
+/// first, then every fts-telemetry counter and histogram (p50/p90/p99).
+fn render_metrics(service: &JobService) -> String {
+    use std::fmt::Write as _;
+    let gauges = service.gauges();
+    let mut out = String::with_capacity(2048);
+    out.push_str("# fts-server metrics (schema_version 1)\n");
+    let _ = writeln!(out, "fts_jobs_queued {}", gauges.queued);
+    let _ = writeln!(out, "fts_jobs_running {}", gauges.running);
+    let _ = writeln!(out, "fts_jobs_completed {}", gauges.completed);
+    let _ = writeln!(out, "fts_submissions_rejected {}", gauges.rejected);
+    let _ = writeln!(out, "fts_queue_depth {}", gauges.queue_depth);
+    let report = fts_telemetry::snapshot();
+    for c in &report.counters {
+        let _ = writeln!(out, "fts_counter{{name=\"{}\"}} {}", c.name, c.value);
+    }
+    for h in &report.histograms {
+        let s = &h.summary;
+        let _ = writeln!(out, "fts_histogram_count{{name=\"{}\"}} {}", h.name, s.n);
+        let _ = writeln!(out, "fts_histogram_mean{{name=\"{}\"}} {}", h.name, s.mean);
+        let _ = writeln!(out, "fts_histogram_p50{{name=\"{}\"}} {}", h.name, s.p50);
+        let _ = writeln!(out, "fts_histogram_p90{{name=\"{}\"}} {}", h.name, s.p90);
+        let _ = writeln!(out, "fts_histogram_p99{{name=\"{}\"}} {}", h.name, s.p99);
+    }
+    out
+}

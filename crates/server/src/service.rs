@@ -1,0 +1,473 @@
+//! The job service: a bounded work queue in front of the batch engine.
+//!
+//! [`JobService`] owns the job registry (id → state), the pending queue,
+//! and the worker protocol. Admission is **all-or-nothing**: a manifest's
+//! jobs are either all enqueued or the whole submission is rejected with
+//! [`SubmitError::Overloaded`] (the HTTP layer's `429`), so a client never
+//! has to reason about partially-accepted batches. Workers pull queued
+//! jobs and run them through [`Engine::run_single`], which applies the
+//! same retry/deadline/telemetry semantics as `Engine::run` — that is
+//! what makes served results byte-identical to direct engine submission.
+//!
+//! Job *construction* is injected through [`JobBuilder`] rather than done
+//! here: the service knows manifests and outcomes, while the caller (the
+//! `fts` CLI's synthesis pipeline) knows how a named Boolean function
+//! becomes a lattice netlist. `fts batch` and `fts serve` hand the same
+//! builder to [`build_job`], so the two transports cannot drift.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use fts_engine::{Engine, RetryPolicy, SimJob};
+use fts_spice::{CancelToken, NodeId};
+
+use crate::wire::{job_row_json, json_escape, JobSpec, WireError, SCHEMA_VERSION};
+
+/// A manifest job lowered to an engine job plus the node to report.
+pub struct BuiltJob {
+    /// The runnable engine job (netlist + analysis; policy fields are
+    /// applied by [`build_job`]).
+    pub job: SimJob,
+    /// The lattice output node whose voltage the report quotes.
+    pub out: NodeId,
+}
+
+/// Lowers one manifest [`JobSpec`] to a runnable [`BuiltJob`].
+///
+/// Implementations map the spec's named function and analysis onto a
+/// netlist; validation failures (unknown function name, unrealizable
+/// lattice) surface as [`WireError`]s → structured `400`s / CLI errors.
+pub trait JobBuilder: Send + Sync {
+    /// Builds the engine job for `spec` (manifest index `index`).
+    ///
+    /// # Errors
+    ///
+    /// A structured [`WireError`] attributed to job `index`.
+    fn build(&self, spec: &JobSpec, index: usize) -> Result<BuiltJob, WireError>;
+}
+
+/// Lowers `spec` through `builder` and applies the spec's policy fields
+/// (label, retry ladder, deadline). This is the single construction path
+/// shared by `fts batch` and the server.
+///
+/// # Errors
+///
+/// Whatever the builder reports for job `index`.
+pub fn build_job(
+    builder: &dyn JobBuilder,
+    spec: &JobSpec,
+    index: usize,
+) -> Result<BuiltJob, WireError> {
+    let built = builder.build(spec, index)?;
+    let mut job = built.job.label(&spec.label_or_default(index));
+    if spec.ladder {
+        job = job.retry(RetryPolicy::ladder());
+    }
+    if let Some(ms) = spec.deadline_ms {
+        job = job.deadline(Duration::from_secs_f64(ms / 1000.0));
+    }
+    Ok(BuiltJob {
+        job,
+        out: built.out,
+    })
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The manifest failed validation (→ `400`).
+    Invalid(WireError),
+    /// Admitting the manifest would overflow the work queue (→ `429`).
+    Overloaded {
+        /// Current queue length.
+        queued: usize,
+        /// Configured queue capacity.
+        depth: usize,
+    },
+    /// The service is draining for shutdown (→ `503`).
+    ShuttingDown,
+}
+
+enum JobState {
+    Queued,
+    Running,
+    Done { kind: &'static str, row: String },
+}
+
+struct JobEntry {
+    label: String,
+    waveform: bool,
+    out: NodeId,
+    cancel: CancelToken,
+    /// Present while queued; taken by the worker that starts the job.
+    job: Option<SimJob>,
+    state: JobState,
+}
+
+struct Registry {
+    jobs: HashMap<u64, JobEntry>,
+    pending: VecDeque<u64>,
+    next_id: u64,
+    draining: bool,
+    running: usize,
+    completed: u64,
+}
+
+/// Live queue/registry gauges for `/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceGauges {
+    /// Jobs admitted but not yet started.
+    pub queued: usize,
+    /// Jobs currently executing on a worker.
+    pub running: usize,
+    /// Jobs finished (any outcome) since startup.
+    pub completed: u64,
+    /// Submissions rejected with `429` since startup.
+    pub rejected: u64,
+    /// Configured queue capacity.
+    pub queue_depth: usize,
+}
+
+/// The bounded job queue + registry behind the HTTP endpoints.
+pub struct JobService {
+    registry: Mutex<Registry>,
+    work_ready: Condvar,
+    job_done: Condvar,
+    builder: Arc<dyn JobBuilder>,
+    engine: Engine,
+    queue_depth: usize,
+    rejected: AtomicU64,
+}
+
+impl JobService {
+    /// A service admitting at most `queue_depth` queued jobs, lowering
+    /// manifests through `builder`.
+    pub fn new(builder: Arc<dyn JobBuilder>, queue_depth: usize) -> JobService {
+        JobService {
+            registry: Mutex::new(Registry {
+                jobs: HashMap::new(),
+                pending: VecDeque::new(),
+                next_id: 0,
+                draining: false,
+                running: 0,
+                completed: 0,
+            }),
+            work_ready: Condvar::new(),
+            job_done: Condvar::new(),
+            builder,
+            engine: Engine::new(),
+            queue_depth: queue_depth.max(1),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Validates, lowers, and admits a manifest's jobs; returns their ids
+    /// in manifest order.
+    ///
+    /// Construction happens *before* admission, so an invalid manifest is
+    /// rejected without consuming queue slots, and admission is
+    /// all-or-nothing against the queue bound.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Invalid`] on validation failure,
+    /// [`SubmitError::Overloaded`] when the queue cannot take every job,
+    /// [`SubmitError::ShuttingDown`] while draining.
+    pub fn submit(&self, manifest: &crate::wire::BatchManifest) -> Result<Vec<u64>, SubmitError> {
+        let mut built = Vec::with_capacity(manifest.jobs.len());
+        for (k, spec) in manifest.jobs.iter().enumerate() {
+            built.push((
+                build_job(self.builder.as_ref(), spec, k).map_err(SubmitError::Invalid)?,
+                spec.label_or_default(k),
+                spec.waveform,
+            ));
+        }
+        if built.is_empty() {
+            return Err(SubmitError::Invalid(WireError::manifest(
+                "empty_manifest",
+                "manifest has no jobs",
+            )));
+        }
+
+        let mut reg = self.registry.lock().expect("registry poisoned");
+        if reg.draining {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if reg.pending.len() + built.len() > self.queue_depth {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            fts_telemetry::counter("server.jobs.rejected", built.len() as u64);
+            return Err(SubmitError::Overloaded {
+                queued: reg.pending.len(),
+                depth: self.queue_depth,
+            });
+        }
+
+        let mut ids = Vec::with_capacity(built.len());
+        for (b, label, waveform) in built {
+            let id = reg.next_id;
+            reg.next_id += 1;
+            reg.jobs.insert(
+                id,
+                JobEntry {
+                    label,
+                    waveform,
+                    out: b.out,
+                    cancel: CancelToken::new(),
+                    job: Some(b.job),
+                    state: JobState::Queued,
+                },
+            );
+            reg.pending.push_back(id);
+            ids.push(id);
+        }
+        fts_telemetry::counter("server.jobs.admitted", ids.len() as u64);
+        self.work_ready.notify_all();
+        Ok(ids)
+    }
+
+    /// One worker thread's loop: pull queued jobs and run them until the
+    /// queue is empty *and* the service is draining. Workers never abandon
+    /// a started job, which is what makes shutdown lossless.
+    pub fn worker_loop(&self) {
+        loop {
+            let (id, job, cancel) = {
+                let mut reg = self.registry.lock().expect("registry poisoned");
+                loop {
+                    if let Some(id) = reg.pending.pop_front() {
+                        let entry = reg.jobs.get_mut(&id).expect("pending id registered");
+                        entry.state = JobState::Running;
+                        let job = entry.job.take().expect("queued job present");
+                        let cancel = entry.cancel.clone();
+                        reg.running += 1;
+                        break (id, job, cancel);
+                    }
+                    if reg.draining {
+                        return;
+                    }
+                    reg = self.work_ready.wait(reg).expect("registry poisoned");
+                }
+            };
+
+            let (outcome, stats) = self.engine.run_single(&job, &cancel);
+
+            let mut reg = self.registry.lock().expect("registry poisoned");
+            let entry = reg.jobs.get_mut(&id).expect("running id registered");
+            let row = job_row_json(&entry.label, &outcome, &stats, entry.out, entry.waveform);
+            entry.state = JobState::Done {
+                kind: outcome.kind(),
+                row,
+            };
+            reg.running -= 1;
+            reg.completed += 1;
+            self.job_done.notify_all();
+        }
+    }
+
+    /// The status document for `GET /v1/jobs/{id}`, or `None` for unknown
+    /// ids.
+    ///
+    /// Done jobs embed the full report row — label, timing stats, and the
+    /// deterministic `result` object rendered by
+    /// [`outcome_json`](crate::wire::outcome_json).
+    pub fn status_json(&self, id: u64) -> Option<String> {
+        let reg = self.registry.lock().expect("registry poisoned");
+        let entry = reg.jobs.get(&id)?;
+        Some(match &entry.state {
+            JobState::Queued => format!(
+                "{{\"schema_version\":{SCHEMA_VERSION},\"id\":{id},\"label\":\"{}\",\"status\":\"queued\"}}",
+                json_escape(&entry.label)
+            ),
+            JobState::Running => format!(
+                "{{\"schema_version\":{SCHEMA_VERSION},\"id\":{id},\"label\":\"{}\",\"status\":\"running\"}}",
+                json_escape(&entry.label)
+            ),
+            JobState::Done { kind, row } => format!(
+                "{{\"schema_version\":{SCHEMA_VERSION},\"id\":{id},\"status\":\"done\",\"kind\":\"{kind}\",\"job\":{row}}}"
+            ),
+        })
+    }
+
+    /// Fires the job's [`CancelToken`] for `DELETE /v1/jobs/{id}`.
+    /// Returns the job's status after the cancel request, or `None` for
+    /// unknown ids.
+    ///
+    /// Cancelling is cooperative and idempotent: a queued or running job
+    /// stops at its next cancellation point and reports
+    /// `"kind":"cancelled"`; a job that already finished keeps its result
+    /// (the cancel-vs-complete race is settled by whoever got there
+    /// first).
+    pub fn cancel(&self, id: u64) -> Option<&'static str> {
+        let reg = self.registry.lock().expect("registry poisoned");
+        let entry = reg.jobs.get(&id)?;
+        entry.cancel.cancel();
+        fts_telemetry::counter("server.jobs.cancel_requests", 1);
+        Some(match &entry.state {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done { .. } => "done",
+        })
+    }
+
+    /// Marks the service draining and blocks until every admitted job has
+    /// finished. After this returns, workers have exited (or are about to,
+    /// having observed the drain flag with an empty queue).
+    pub fn drain(&self) {
+        let mut reg = self.registry.lock().expect("registry poisoned");
+        reg.draining = true;
+        self.work_ready.notify_all();
+        while !reg.pending.is_empty() || reg.running > 0 {
+            reg = self.job_done.wait(reg).expect("registry poisoned");
+        }
+    }
+
+    /// Live gauges for `/metrics`.
+    pub fn gauges(&self) -> ServiceGauges {
+        let reg = self.registry.lock().expect("registry poisoned");
+        ServiceGauges {
+            queued: reg.pending.len(),
+            running: reg.running,
+            completed: reg.completed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::BatchManifest;
+    use fts_spice::netlist::{Netlist, Waveform};
+
+    /// A builder that makes a trivial divider: out = vdd · R2/(R1+R2).
+    struct DividerBuilder;
+
+    impl JobBuilder for DividerBuilder {
+        fn build(&self, spec: &JobSpec, index: usize) -> Result<BuiltJob, WireError> {
+            if spec.function != "divider" {
+                return Err(WireError::job(
+                    "unknown_function",
+                    index,
+                    format!("unknown function {:?}", spec.function),
+                ));
+            }
+            let mut nl = Netlist::new();
+            let a = nl.node("a");
+            let out = nl.node("out");
+            nl.vsource("V1", a, Netlist::GROUND, Waveform::Dc(2.0))
+                .unwrap();
+            nl.resistor("R1", a, out, 1e3).unwrap();
+            nl.resistor("R2", out, Netlist::GROUND, 1e3).unwrap();
+            Ok(BuiltJob {
+                job: SimJob::op(nl),
+                out,
+            })
+        }
+    }
+
+    fn service(depth: usize) -> JobService {
+        JobService::new(Arc::new(DividerBuilder), depth)
+    }
+
+    fn manifest(n: usize) -> BatchManifest {
+        let jobs: Vec<String> = (0..n)
+            .map(|_| "{\"function\":\"divider\"}".into())
+            .collect();
+        BatchManifest::parse(&format!("{{\"jobs\":[{}]}}", jobs.join(","))).unwrap()
+    }
+
+    #[test]
+    fn submit_run_and_report() {
+        let svc = service(8);
+        let ids = svc.submit(&manifest(2)).unwrap();
+        assert_eq!(ids, vec![0, 1]);
+        assert!(svc
+            .status_json(0)
+            .unwrap()
+            .contains("\"status\":\"queued\""));
+        assert!(svc.status_json(99).is_none());
+
+        std::thread::scope(|s| {
+            s.spawn(|| svc.worker_loop());
+            svc.drain();
+        });
+
+        let done = svc.status_json(0).unwrap();
+        assert!(done.contains("\"status\":\"done\""), "{done}");
+        assert!(done.contains("\"kind\":\"op\""), "{done}");
+        assert!(done.contains("\"label\":\"divider-0\""), "{done}");
+        let doc = crate::wire::Json::parse(&done).unwrap();
+        let out_v = doc
+            .get("job")
+            .and_then(|j| j.get("result"))
+            .and_then(|r| r.get("out_v"))
+            .and_then(crate::wire::Json::as_f64)
+            .unwrap();
+        assert!((out_v - 1.0).abs() < 1e-6, "divider out_v = {out_v}");
+        let g = svc.gauges();
+        assert_eq!(g.completed, 2);
+        assert_eq!((g.queued, g.running, g.rejected), (0, 0, 0));
+    }
+
+    #[test]
+    fn overloaded_submission_is_all_or_nothing() {
+        let svc = service(3);
+        svc.submit(&manifest(2)).unwrap();
+        // 2 queued + 2 requested > 3: the whole manifest bounces.
+        match svc.submit(&manifest(2)) {
+            Err(SubmitError::Overloaded { queued, depth }) => {
+                assert_eq!((queued, depth), (2, 3));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(svc.gauges().rejected, 1);
+        // A fitting manifest still goes through.
+        svc.submit(&manifest(1)).unwrap();
+        assert_eq!(svc.gauges().queued, 3);
+    }
+
+    #[test]
+    fn invalid_function_rejects_without_queueing() {
+        let svc = service(4);
+        let m =
+            BatchManifest::parse("{\"jobs\":[{\"function\":\"divider\"},{\"function\":\"nope\"}]}")
+                .unwrap();
+        match svc.submit(&m) {
+            Err(SubmitError::Invalid(e)) => {
+                assert_eq!(e.code, "unknown_function");
+                assert_eq!(e.job, Some(1));
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        assert_eq!(svc.gauges().queued, 0, "no partial admission");
+    }
+
+    #[test]
+    fn cancel_before_start_reports_cancelled() {
+        let svc = service(4);
+        let ids = svc.submit(&manifest(1)).unwrap();
+        assert_eq!(svc.cancel(ids[0]), Some("queued"));
+        std::thread::scope(|s| {
+            s.spawn(|| svc.worker_loop());
+            svc.drain();
+        });
+        let done = svc.status_json(ids[0]).unwrap();
+        assert!(done.contains("\"kind\":\"cancelled\""), "{done}");
+        assert!(svc.cancel(77).is_none());
+    }
+
+    #[test]
+    fn drain_rejects_new_submissions() {
+        let svc = service(4);
+        std::thread::scope(|s| {
+            s.spawn(|| svc.worker_loop());
+            svc.drain();
+            assert!(matches!(
+                svc.submit(&manifest(1)),
+                Err(SubmitError::ShuttingDown)
+            ));
+        });
+    }
+}

@@ -1,0 +1,55 @@
+//! SIGINT (ctrl-c) wiring for graceful shutdown.
+//!
+//! The workspace takes no third-party dependencies, and std exposes no
+//! signal API — so on Unix this module declares libc's `signal(2)` (the C
+//! runtime is already linked into every Rust binary) and installs a
+//! handler that does the only async-signal-safe thing worth doing: set an
+//! [`AtomicBool`]. The server's accept loop polls [`sigint_received`]
+//! between accepts and begins its drain when the flag flips. On
+//! non-Unix targets installation is a no-op and shutdown is reachable via
+//! the `POST /v1/shutdown` endpoint or a [`ServerHandle`](crate::ServerHandle).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGINT: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use super::SIGINT;
+    use std::sync::atomic::Ordering;
+
+    /// `SIGINT` on every Unix the workspace targets.
+    const SIGINT_NUM: i32 = 2;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: i32) {
+        // A relaxed-or-stronger atomic store is async-signal-safe; the
+        // accept loop picks the flag up within one poll interval.
+        SIGINT.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT_NUM, on_sigint);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGINT handler (idempotent; no-op off Unix).
+pub fn install_sigint() {
+    imp::install();
+}
+
+/// True once SIGINT has been delivered since [`install_sigint`].
+pub fn sigint_received() -> bool {
+    SIGINT.load(Ordering::SeqCst)
+}

@@ -1,0 +1,782 @@
+//! The versioned wire schema shared by `fts batch` and `fts serve`.
+//!
+//! One module owns everything that crosses a process boundary: the
+//! hand-rolled JSON reader/writer, the batch **manifest** (job
+//! descriptions), and the **report** rendering (per-job result objects).
+//! The CLI parses manifest files and the HTTP server parses request
+//! bodies through the *same* functions, so the two surfaces cannot
+//! drift; every document carries [`SCHEMA_VERSION`].
+//!
+//! A manifest names the jobs to run:
+//!
+//! ```json
+//! {
+//!   "threads": 2,
+//!   "jobs": [
+//!     { "function": "xor3", "analysis": "op", "input": 5 },
+//!     { "function": "maj3", "analysis": "transient",
+//!       "phase_ns": 4.0, "dt_ns": 0.1, "max_samples": 512,
+//!       "deadline_ms": 60000, "retry": "ladder", "label": "maj3-walk" }
+//!   ]
+//! }
+//! ```
+//!
+//! `"op"` solves the DC operating point for a packed `input` assignment;
+//! `"transient"` drives the full 2ⁿ-combination input walk (one
+//! `phase_ns` phase per combination) and records the output waveform
+//! through the engine's decimating sink. `max_samples` bounds the
+//! retained transient samples (the sink's decimation budget) and
+//! `"waveform": true` asks for the decimated waveform arrays in the
+//! result object; both are validated at parse time and surface as
+//! structured [`WireError`]s (`400` over HTTP, a CLI error for `fts
+//! batch`).
+//!
+//! The parser below is deliberately minimal — the toolkit takes no
+//! third-party dependencies, and manifests, reports, and HTTP bodies are
+//! the only JSON this workspace reads.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use fts_engine::{JobStats, SimOutcome, DEFAULT_MAX_SAMPLES};
+use fts_spice::NodeId;
+
+/// Version of the manifest/report wire schema. Incremented only for
+/// incompatible changes; both the CLI report and every HTTP response
+/// carry it as `"schema_version"`.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Largest accepted `max_samples` — the decimating sink allocates one row
+/// per retained sample, so the cap bounds per-job memory.
+pub const MAX_SAMPLES_LIMIT: usize = 1 << 20;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers are `f64` (manifest quantities are small
+/// counts and physical values, well inside exact-integer range).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string (escapes decoded).
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, in source order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document (trailing content is an error).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message with a byte offset on malformed input.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing content at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object member lookup; `None` on non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected {word:?} at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed for manifests.
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        }
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 passes through unchanged; find the
+                    // char boundary from the source string.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8")?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Escapes `s` for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` array as a JSON array literal.
+fn json_f64_array(values: &[f64]) -> String {
+    let mut out = String::with_capacity(values.len() * 8 + 2);
+    out.push('[');
+    for (k, v) in values.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Structured errors
+// ---------------------------------------------------------------------------
+
+/// A structured manifest/validation error: machine-readable `code`, a
+/// human message, and (when the error is about one job) the job index.
+///
+/// The HTTP server renders these as `400` JSON bodies; `fts batch` prints
+/// the [`Display`](fmt::Display) form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Stable machine-readable error code (e.g. `bad_json`,
+    /// `invalid_max_samples`).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+    /// Index of the offending job within the manifest, when applicable.
+    pub job: Option<usize>,
+}
+
+impl WireError {
+    /// A manifest-level error (no job index).
+    pub fn manifest(code: &'static str, message: impl Into<String>) -> WireError {
+        WireError {
+            code,
+            message: message.into(),
+            job: None,
+        }
+    }
+
+    /// An error attributed to one job of the manifest.
+    pub fn job(code: &'static str, job: usize, message: impl Into<String>) -> WireError {
+        WireError {
+            code,
+            message: message.into(),
+            job: Some(job),
+        }
+    }
+
+    /// The structured JSON body: `{"schema_version":1,"error":{...}}`.
+    pub fn to_json(&self) -> String {
+        let job = match self.job {
+            Some(k) => format!(",\"job\":{k}"),
+            None => String::new(),
+        };
+        format!(
+            "{{\"schema_version\":{SCHEMA_VERSION},\"error\":{{\"code\":\"{}\",\"message\":\"{}\"{job}}}}}",
+            json_escape(self.code),
+            json_escape(&self.message),
+        )
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.job {
+            Some(k) => write!(f, "job {k}: {} ({})", self.message, self.code),
+            None => write!(f, "{} ({})", self.message, self.code),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+/// One job description from the manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Named Boolean function (`xor3`, `maj3`, … — same set as `fts synth`).
+    pub function: String,
+    /// Analysis to run.
+    pub analysis: AnalysisSpec,
+    /// Per-job wall-clock budget in milliseconds.
+    pub deadline_ms: Option<f64>,
+    /// `"full"` (single homotopy-assisted attempt, default) or `"ladder"`
+    /// (cheap-to-expensive retry ladder).
+    pub ladder: bool,
+    /// Report label; defaults to `<function>-<index>`.
+    pub label: Option<String>,
+    /// Include the decimated output waveform arrays in the result object
+    /// (transient jobs only).
+    pub waveform: bool,
+}
+
+impl JobSpec {
+    /// The report label for this spec at manifest index `k`.
+    pub fn label_or_default(&self, k: usize) -> String {
+        self.label
+            .clone()
+            .unwrap_or_else(|| format!("{}-{k}", self.function))
+    }
+}
+
+/// The analysis half of a [`JobSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisSpec {
+    /// DC operating point for a packed input assignment.
+    Op {
+        /// Packed input bits (bit `v` drives variable `v`).
+        input: u32,
+    },
+    /// Transient over the full 2ⁿ input walk.
+    Transient {
+        /// Seconds per input combination, in nanoseconds.
+        phase_ns: f64,
+        /// Fixed timestep, in nanoseconds.
+        dt_ns: f64,
+        /// Retained-sample budget for the decimating waveform sink.
+        max_samples: usize,
+    },
+}
+
+/// A parsed batch manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchManifest {
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+    /// The jobs, in submission order.
+    pub jobs: Vec<JobSpec>,
+}
+
+/// Reads an optional positive-integer member, validating range.
+fn parse_max_samples(j: &Json, k: usize) -> Result<usize, WireError> {
+    let Some(v) = j.get("max_samples") else {
+        return Ok(DEFAULT_MAX_SAMPLES);
+    };
+    let Some(x) = v.as_f64() else {
+        return Err(WireError::job(
+            "invalid_max_samples",
+            k,
+            "\"max_samples\" must be a number",
+        ));
+    };
+    if x.fract() != 0.0 || !(2.0..=MAX_SAMPLES_LIMIT as f64).contains(&x) {
+        return Err(WireError::job(
+            "invalid_max_samples",
+            k,
+            format!("\"max_samples\" must be an integer in [2, {MAX_SAMPLES_LIMIT}], got {x}"),
+        ));
+    }
+    Ok(x as usize)
+}
+
+impl BatchManifest {
+    /// Parses and validates a manifest document.
+    ///
+    /// # Errors
+    ///
+    /// Structured [`WireError`]s: malformed JSON (`bad_json`), missing
+    /// members, unknown `analysis`/`retry` kinds, out-of-range
+    /// `max_samples` or timing parameters.
+    pub fn parse(text: &str) -> Result<BatchManifest, WireError> {
+        let doc = Json::parse(text).map_err(|e| WireError::manifest("bad_json", e))?;
+        let threads = doc.get("threads").and_then(Json::as_f64).unwrap_or(0.0) as usize;
+        let jobs_json = doc.get("jobs").and_then(Json::as_array).ok_or_else(|| {
+            WireError::manifest("bad_manifest", "manifest needs a \"jobs\" array")
+        })?;
+        let mut jobs = Vec::with_capacity(jobs_json.len());
+        for (k, j) in jobs_json.iter().enumerate() {
+            let function = j
+                .get("function")
+                .and_then(Json::as_str)
+                .ok_or_else(|| WireError::job("bad_manifest", k, "missing \"function\""))?
+                .to_owned();
+            let analysis = match j.get("analysis").and_then(Json::as_str).unwrap_or("op") {
+                "op" => AnalysisSpec::Op {
+                    input: j.get("input").and_then(Json::as_f64).unwrap_or(0.0) as u32,
+                },
+                "transient" => {
+                    let phase_ns = j.get("phase_ns").and_then(Json::as_f64).unwrap_or(6.0);
+                    let dt_ns = j.get("dt_ns").and_then(Json::as_f64).unwrap_or(0.1);
+                    // Rejects NaN and infinity alongside non-positive values.
+                    let good = |x: f64| x.is_finite() && x > 0.0;
+                    if !good(phase_ns) || !good(dt_ns) || dt_ns > phase_ns {
+                        return Err(WireError::job(
+                            "invalid_timing",
+                            k,
+                            format!("need 0 < dt_ns <= phase_ns, got dt_ns={dt_ns}, phase_ns={phase_ns}"),
+                        ));
+                    }
+                    AnalysisSpec::Transient {
+                        phase_ns,
+                        dt_ns,
+                        max_samples: parse_max_samples(j, k)?,
+                    }
+                }
+                other => {
+                    return Err(WireError::job(
+                        "unknown_analysis",
+                        k,
+                        format!("unknown analysis {other:?}"),
+                    ))
+                }
+            };
+            let ladder = match j.get("retry").and_then(Json::as_str).unwrap_or("full") {
+                "full" => false,
+                "ladder" => true,
+                other => {
+                    return Err(WireError::job(
+                        "unknown_retry",
+                        k,
+                        format!("unknown retry policy {other:?}"),
+                    ))
+                }
+            };
+            let deadline_ms = j.get("deadline_ms").and_then(Json::as_f64);
+            if let Some(ms) = deadline_ms {
+                if !(ms.is_finite() && ms > 0.0) {
+                    return Err(WireError::job(
+                        "invalid_deadline",
+                        k,
+                        format!("\"deadline_ms\" must be positive, got {ms}"),
+                    ));
+                }
+            }
+            jobs.push(JobSpec {
+                function,
+                analysis,
+                deadline_ms,
+                ladder,
+                label: j.get("label").and_then(Json::as_str).map(str::to_owned),
+                waveform: j.get("waveform").and_then(Json::as_bool).unwrap_or(false),
+            });
+        }
+        Ok(BatchManifest { threads, jobs })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Report rendering
+// ---------------------------------------------------------------------------
+
+/// Renders the deterministic result object for one outcome — shared
+/// byte-for-byte between the `fts batch` report rows and the server's
+/// `GET /v1/jobs/{id}` responses, which is what makes "server response
+/// equals direct engine submission" checkable at the byte level.
+///
+/// Timing never appears here (it lives in the per-job stats), so the
+/// object is identical across runs, thread counts, and transports.
+pub fn outcome_json(outcome: &SimOutcome, out: NodeId, waveform: bool) -> String {
+    match outcome {
+        SimOutcome::Op(op) => {
+            format!("{{\"kind\":\"op\",\"out_v\":{}}}", op.voltage(out))
+        }
+        SimOutcome::Sweep(points) => {
+            let vs: Vec<f64> = points.iter().map(|p| p.voltage(out)).collect();
+            format!(
+                "{{\"kind\":\"sweep\",\"points\":{},\"out_v\":{}}}",
+                points.len(),
+                json_f64_array(&vs)
+            )
+        }
+        SimOutcome::Transient(w) => {
+            let v = w.voltage(out).unwrap_or_default();
+            let peak = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let detail = if waveform {
+                format!(
+                    ",\"time\":{},\"out_v\":{}",
+                    json_f64_array(w.time()),
+                    json_f64_array(&v)
+                )
+            } else {
+                String::new()
+            };
+            format!(
+                "{{\"kind\":\"transient\",\"samples\":{},\"total_samples\":{},\"stride\":{},\"out_peak_v\":{peak}{detail}}}",
+                w.len(),
+                w.total_samples(),
+                w.stride(),
+            )
+        }
+        SimOutcome::Ac(ac) => {
+            format!("{{\"kind\":\"ac\",\"points\":{}}}", ac.freqs.len())
+        }
+        SimOutcome::Failed { error, attempts } => format!(
+            "{{\"kind\":\"failed\",\"error\":\"{}\",\"attempts\":{attempts}}}",
+            json_escape(&error.to_string())
+        ),
+        SimOutcome::Cancelled => "{\"kind\":\"cancelled\"}".to_owned(),
+        SimOutcome::DeadlineExceeded { attempts } => {
+            format!("{{\"kind\":\"deadline_exceeded\",\"attempts\":{attempts}}}")
+        }
+    }
+}
+
+/// Renders one report row: label and timing stats wrapped around the
+/// deterministic [`outcome_json`] result object.
+pub fn job_row_json(
+    label: &str,
+    outcome: &SimOutcome,
+    stats: &JobStats,
+    out: NodeId,
+    waveform: bool,
+) -> String {
+    format!(
+        "{{\"label\":\"{}\",\"kind\":\"{}\",\"wall_s\":{},\"attempts\":{},\"result\":{}}}",
+        json_escape(label),
+        outcome.kind(),
+        stats.wall_s,
+        stats.attempts,
+        outcome_json(outcome, out, waveform),
+    )
+}
+
+/// Renders the whole `fts batch` report document
+/// (schema `fts-batch-report/1`).
+pub fn batch_report_json(rows: &[String], succeeded: usize, threads: usize, wall_s: f64) -> String {
+    format!(
+        concat!(
+            "{{\"schema\":\"fts-batch-report/1\",\"schema_version\":{},\"jobs\":{},",
+            "\"succeeded\":{},\"threads\":{},\"wall_s\":{},\"outcomes\":[{}]}}"
+        ),
+        SCHEMA_VERSION,
+        rows.len(),
+        succeeded,
+        threads,
+        wall_s,
+        rows.join(","),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_arrays_objects() {
+        let doc =
+            Json::parse(r#"{"a": 1.5, "b": [true, null, "x\n\"y\""], "c": {"d": -2e3}}"#).unwrap();
+        assert_eq!(doc.get("a").and_then(Json::as_f64), Some(1.5));
+        let b = doc.get("b").and_then(Json::as_array).unwrap();
+        assert_eq!(b[0], Json::Bool(true));
+        assert_eq!(b[0].as_bool(), Some(true));
+        assert_eq!(b[1], Json::Null);
+        assert_eq!(b[2].as_str(), Some("x\n\"y\""));
+        let d = doc.get("c").and_then(|c| c.get("d")).unwrap();
+        assert_eq!(d.as_f64(), Some(-2000.0));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "{\"a\":}", "[1,]", "{\"a\":1} x", "\"unterminated"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn manifest_defaults_and_options() {
+        let m = BatchManifest::parse(
+            r#"{"threads": 3, "jobs": [
+                {"function": "and2"},
+                {"function": "xor3", "analysis": "transient", "phase_ns": 2.0,
+                 "deadline_ms": 250, "retry": "ladder", "label": "walk",
+                 "max_samples": 128, "waveform": true}
+            ]}"#,
+        )
+        .unwrap();
+        assert_eq!(m.threads, 3);
+        assert_eq!(m.jobs.len(), 2);
+        assert!(matches!(m.jobs[0].analysis, AnalysisSpec::Op { input: 0 }));
+        assert!(!m.jobs[0].ladder);
+        assert!(!m.jobs[0].waveform);
+        assert_eq!(m.jobs[0].label_or_default(0), "and2-0");
+        match m.jobs[1].analysis {
+            AnalysisSpec::Transient {
+                phase_ns,
+                dt_ns,
+                max_samples,
+            } => {
+                assert_eq!(phase_ns, 2.0);
+                assert_eq!(dt_ns, 0.1);
+                assert_eq!(max_samples, 128);
+            }
+            ref other => panic!("expected transient, got {other:?}"),
+        }
+        assert!(m.jobs[1].ladder);
+        assert!(m.jobs[1].waveform);
+        assert_eq!(m.jobs[1].deadline_ms, Some(250.0));
+        assert_eq!(m.jobs[1].label.as_deref(), Some("walk"));
+    }
+
+    #[test]
+    fn manifest_rejects_unknown_kinds() {
+        let e = BatchManifest::parse(r#"{"jobs": [{"function": "x", "analysis": "noise"}]}"#)
+            .unwrap_err();
+        assert_eq!(e.code, "unknown_analysis");
+        assert_eq!(e.job, Some(0));
+        let e = BatchManifest::parse(r#"{"jobs": [{"function": "x", "retry": "forever"}]}"#)
+            .unwrap_err();
+        assert_eq!(e.code, "unknown_retry");
+        let e = BatchManifest::parse(r#"{"jobs": [{}]}"#).unwrap_err();
+        assert_eq!(e.code, "bad_manifest");
+    }
+
+    #[test]
+    fn manifest_validates_decimation_and_timing() {
+        for (snippet, code) in [
+            (r#""max_samples": 1"#, "invalid_max_samples"),
+            (r#""max_samples": 2.5"#, "invalid_max_samples"),
+            (r#""max_samples": 1e9"#, "invalid_max_samples"),
+            (r#""max_samples": "lots""#, "invalid_max_samples"),
+            (r#""dt_ns": -1"#, "invalid_timing"),
+            (r#""dt_ns": 7.0, "phase_ns": 2.0"#, "invalid_timing"),
+        ] {
+            let text =
+                format!(r#"{{"jobs": [{{"function": "x", "analysis": "transient", {snippet}}}]}}"#);
+            let e = BatchManifest::parse(&text).unwrap_err();
+            assert_eq!(e.code, code, "{snippet}");
+            assert_eq!(e.job, Some(0), "{snippet}");
+        }
+        let e =
+            BatchManifest::parse(r#"{"jobs": [{"function": "x", "deadline_ms": 0}]}"#).unwrap_err();
+        assert_eq!(e.code, "invalid_deadline");
+    }
+
+    #[test]
+    fn wire_error_renders_structured_json() {
+        let e = WireError::job("invalid_max_samples", 3, "must be \"small\"");
+        let json = e.to_json();
+        assert_eq!(
+            json,
+            format!(
+                "{{\"schema_version\":{SCHEMA_VERSION},\"error\":{{\"code\":\"invalid_max_samples\",\"message\":\"must be \\\"small\\\"\",\"job\":3}}}}"
+            )
+        );
+        // The structured body itself round-trips through the parser.
+        let doc = Json::parse(&json).unwrap();
+        let err = doc.get("error").unwrap();
+        assert_eq!(
+            err.get("code").and_then(Json::as_str),
+            Some("invalid_max_samples")
+        );
+        assert_eq!(err.get("job").and_then(Json::as_f64), Some(3.0));
+        assert!(e.to_string().contains("job 3"));
+    }
+}

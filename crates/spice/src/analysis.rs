@@ -1,8 +1,9 @@
 //! DC operating point, DC sweep, transient, and AC analyses.
 //!
-//! The configured entry point is [`crate::Simulator`]; the free functions
-//! here ([`op`], [`dc_sweep`], [`transient`], [`transient_adaptive`],
-//! [`ac`]) are deprecated thin wrappers kept for source compatibility.
+//! The entry point is [`crate::Simulator`]; this module owns the analysis
+//! implementations plus their public configuration and result types
+//! ([`OpOptions`], [`TranConfig`], [`OpResult`], [`Transient`],
+//! [`AcResult`]).
 
 use std::cell::{Cell, RefCell};
 
@@ -208,36 +209,6 @@ impl OpResult {
     pub fn unknowns(&self) -> &[f64] {
         &self.x
     }
-}
-
-/// Solves the DC operating point at `t = 0`.
-///
-/// Tries plain Newton first, then gmin stepping, then source stepping —
-/// the same homotopy ladder production simulators use.
-///
-/// # Errors
-///
-/// Returns [`SpiceError::NoConvergence`] when every strategy fails, or
-/// [`SpiceError::SingularMatrix`] for structurally broken circuits.
-#[deprecated(since = "0.1.0", note = "use `Simulator::new(&netlist).op()`")]
-pub fn op(netlist: &Netlist) -> Result<OpResult, SpiceError> {
-    let ws = RefCell::new(SolverWorkspace::for_netlist(netlist));
-    op_at_impl(netlist, 0.0, None, &ws, &OpOptions::full(), None)
-}
-
-/// Solves the operating point with sources evaluated at time `t`, warm
-/// starting from `initial` when provided.
-///
-/// # Errors
-///
-/// As for [`op`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Simulator::new(&netlist).op_at(t, initial)`"
-)]
-pub fn op_at(netlist: &Netlist, t: f64, initial: Option<&[f64]>) -> Result<OpResult, SpiceError> {
-    let ws = RefCell::new(SolverWorkspace::for_netlist(netlist));
-    op_at_impl(netlist, t, initial, &ws, &OpOptions::full(), None)
 }
 
 /// Operating point over a caller-owned solver workspace, so sweeps and
@@ -463,29 +434,11 @@ fn gmin_ramp(solve: &HomotopySolve<'_>, x0: &[f64], start: f64) -> Option<Vec<f6
     Some(x)
 }
 
-/// Sweeps the DC value of the named voltage source and returns one
-/// operating point per value (warm-started along the sweep).
-///
-/// # Errors
-///
-/// Returns [`SpiceError::NotFound`] for an unknown source, or convergence
-/// errors from [`op`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Simulator::new(&netlist).dc_sweep(source, values)`"
-)]
-pub fn dc_sweep(
-    netlist: &mut Netlist,
-    source: &str,
-    values: &[f64],
-) -> Result<Vec<OpResult>, SpiceError> {
-    // One workspace for the whole sweep: changing a source waveform leaves
-    // the MNA pattern (and the symbolic factorization) intact.
-    let ws = RefCell::new(SolverWorkspace::for_netlist(netlist));
-    dc_sweep_impl(netlist, source, values, &ws, &OpOptions::full(), None)
-}
-
-/// [`dc_sweep`] over a caller-owned workspace, policy, and cancel token.
+/// DC sweep of the named voltage source over a caller-owned workspace,
+/// policy, and cancel token: one operating point per value, warm-started
+/// along the sweep. One workspace serves the whole sweep — changing a
+/// source waveform leaves the MNA pattern (and the symbolic
+/// factorization) intact.
 pub(crate) fn dc_sweep_impl(
     netlist: &mut Netlist,
     source: &str,
@@ -506,34 +459,6 @@ pub(crate) fn dc_sweep_impl(
         out.push(r);
     }
     Ok(out)
-}
-
-/// Options for [`transient`].
-#[deprecated(since = "0.1.0", note = "use `TranConfig::fixed(dt, tstop)`")]
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct TransientOptions {
-    /// Fixed time step \[s\].
-    pub dt: f64,
-    /// Stop time \[s\].
-    pub tstop: f64,
-    /// Integration method.
-    pub integrator: Integrator,
-    /// Skip the initial DC operating point and start from all-zero state.
-    pub uic: bool,
-}
-
-#[allow(deprecated)]
-impl TransientOptions {
-    /// Conventional options: trapezoidal integration from a DC operating
-    /// point.
-    pub fn new(dt: f64, tstop: f64) -> TransientOptions {
-        TransientOptions {
-            dt,
-            tstop,
-            integrator: Integrator::Trapezoidal,
-            uic: false,
-        }
-    }
 }
 
 /// Step-size control for a [`TranConfig`].
@@ -665,35 +590,6 @@ impl TranConfig {
             }
         }
         Ok(())
-    }
-}
-
-#[allow(deprecated)]
-impl From<TransientOptions> for TranConfig {
-    fn from(o: TransientOptions) -> TranConfig {
-        TranConfig {
-            tstop: o.tstop,
-            stepping: Stepping::Fixed { dt: o.dt },
-            integrator: o.integrator,
-            uic: o.uic,
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl From<AdaptiveOptions> for TranConfig {
-    fn from(o: AdaptiveOptions) -> TranConfig {
-        TranConfig {
-            tstop: o.tstop,
-            stepping: Stepping::Adaptive {
-                dt_initial: o.dt_initial,
-                dt_min: o.dt_min,
-                dt_max: o.dt_max,
-                error_target: o.error_target,
-            },
-            integrator: Integrator::BackwardEuler,
-            uic: false,
-        }
     }
 }
 
@@ -845,25 +741,16 @@ pub fn log_sweep(f_start: f64, f_stop: f64, points: usize) -> Vec<f64> {
         .collect()
 }
 
-/// Small-signal AC analysis (the §VI-A "phase margin" extension): the
-/// circuit is linearized around its DC operating point; the voltage
-/// source named `ac_source` receives a unit phasor and all node voltages
-/// are solved at each frequency.
+/// Small-signal AC analysis (the §VI-A "phase margin" extension) over a
+/// caller-owned workspace, policy, and cancel token: the circuit is
+/// linearized around its DC operating point; the voltage source named
+/// `ac_source` receives a unit phasor and all node voltages are solved at
+/// each frequency.
 ///
 /// # Errors
 ///
 /// Propagates operating-point failures, [`SpiceError::NotFound`] for an
 /// unknown source, and singular-matrix errors.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Simulator::new(&netlist).ac(source, freqs)`"
-)]
-pub fn ac(netlist: &Netlist, ac_source: &str, freqs: &[f64]) -> Result<AcResult, SpiceError> {
-    let ws = RefCell::new(SolverWorkspace::for_netlist(netlist));
-    ac_impl(netlist, ac_source, freqs, &ws, &OpOptions::full(), None)
-}
-
-/// [`ac`] over a caller-owned workspace, policy, and cancel token.
 pub(crate) fn ac_impl(
     netlist: &Netlist,
     ac_source: &str,
@@ -904,28 +791,10 @@ pub(crate) fn ac_impl(
     })
 }
 
-/// Runs a fixed-step transient analysis.
+/// Runs a transient and collects the full waveform into a [`Transient`].
 ///
 /// The initial state is the DC operating point with sources evaluated at
 /// `t = 0` (unless `uic` is set, in which case everything starts at zero).
-///
-/// # Errors
-///
-/// Propagates convergence and singularity errors; rejects non-positive
-/// `dt` or `tstop`.
-#[allow(deprecated)]
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Simulator::new(&netlist).transient(&TranConfig::fixed(dt, tstop))`"
-)]
-pub fn transient(netlist: &Netlist, opts: &TransientOptions) -> Result<Transient, SpiceError> {
-    let cfg = TranConfig::from(*opts);
-    cfg.validate()?;
-    let ws = RefCell::new(SolverWorkspace::for_netlist(netlist));
-    transient_collect(netlist, &cfg, &ws, &OpOptions::full(), None)
-}
-
-/// Runs a transient and collects the full waveform into a [`Transient`].
 pub(crate) fn transient_collect(
     netlist: &Netlist,
     cfg: &TranConfig,
@@ -1015,64 +884,13 @@ fn transient_fixed(
     Ok(())
 }
 
-/// Options for [`transient_adaptive`].
-#[deprecated(since = "0.1.0", note = "use `TranConfig::adaptive(tstop)`")]
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct AdaptiveOptions {
-    /// Initial step \[s\].
-    pub dt_initial: f64,
-    /// Smallest permitted step \[s\].
-    pub dt_min: f64,
-    /// Largest permitted step \[s\].
-    pub dt_max: f64,
-    /// Stop time \[s\].
-    pub tstop: f64,
-    /// Local-truncation-error target per step \[V\].
-    pub error_target: f64,
-}
-
-#[allow(deprecated)]
-impl AdaptiveOptions {
-    /// Reasonable defaults for nanosecond-scale logic transients.
-    pub fn new(tstop: f64) -> AdaptiveOptions {
-        AdaptiveOptions {
-            dt_initial: tstop / 1000.0,
-            dt_min: tstop / 1_000_000.0,
-            dt_max: tstop / 50.0,
-            tstop,
-            error_target: 1.0e-4,
-        }
-    }
-}
-
 /// Adaptive-step transient using step-doubling error control: each
 /// accepted interval is integrated once with `dt` and once as two `dt/2`
 /// backward-Euler steps; their disagreement estimates the local truncation
-/// error, and the step grows or shrinks to hold it near
-/// [`AdaptiveOptions::error_target`].
-///
-/// Slower per step than [`transient`] but chooses its own resolution —
-/// fine steps across switching edges, long strides through quiescent
-/// phases.
-///
-/// # Errors
-///
-/// Propagates convergence failures; rejects inconsistent options.
-#[allow(deprecated)]
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Simulator::new(&netlist).transient(&TranConfig::adaptive(tstop))`"
-)]
-pub fn transient_adaptive(
-    netlist: &Netlist,
-    opts: &AdaptiveOptions,
-) -> Result<Transient, SpiceError> {
-    let cfg = TranConfig::from(*opts);
-    cfg.validate()?;
-    let ws = RefCell::new(SolverWorkspace::for_netlist(netlist));
-    transient_collect(netlist, &cfg, &ws, &OpOptions::full(), None)
-}
-
+/// error, and the step grows or shrinks to hold it near the configured
+/// `error_target`. Slower per step than fixed stepping but chooses its
+/// own resolution — fine steps across switching edges, long strides
+/// through quiescent phases.
 fn transient_adaptive_into(
     netlist: &Netlist,
     cfg: &TranConfig,

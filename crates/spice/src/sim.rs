@@ -1,8 +1,7 @@
 //! The [`Simulator`] facade: one configured entry point for every
 //! analysis.
 //!
-//! Replaces the deprecated free functions in [`crate::analysis`]. A
-//! `Simulator` borrows (or owns) a netlist, carries the solver choice,
+//! A `Simulator` borrows (or owns) a netlist, carries the solver choice,
 //! operating-point policy, and cancellation token, and caches one
 //! [`SolverWorkspace`] across analyses — so an op followed by a transient
 //! (or a whole DC sweep) pays for the sparse symbolic factorization once.

@@ -1,13 +1,24 @@
-//! Pins the `Simulator` facade bit-identical to the legacy free
-//! functions: same netlist, same configuration, byte-for-byte equal
-//! results — the contract that makes migrating callers a pure refactor.
+//! Pins the [`Simulator`] facade against recorded golden results.
+//!
+//! The legacy free functions (`analysis::op`, `analysis::transient`, …)
+//! are gone; the facade is now the *only* entry point, so equivalence
+//! testing against them is impossible. Instead these tests freeze the
+//! numbers the facade produced at the moment of the migration: every
+//! assertion below is a value recorded from a run of this workspace and
+//! pasted in as a constant. Any future change that silently alters
+//! solver results — reordering stamps, changing pivoting, reworking the
+//! homotopy ladder — trips these tests.
+//!
+//! To regenerate after an *intentional* numerical change:
+//!
+//! ```text
+//! cargo test -p fts-spice --test facade_equiv -- --ignored --nocapture
+//! ```
+//!
+//! and paste the printed table over the `GOLDEN_*` constants.
 
-#![allow(deprecated)]
-
-use proptest::prelude::*;
-
-use fts_spice::analysis::{self, AdaptiveOptions, Integrator, TranConfig, TransientOptions};
-use fts_spice::{Netlist, Simulator, SolverKind, Waveform};
+use fts_spice::analysis::{log_sweep, Integrator, SampleSink, TranConfig};
+use fts_spice::{Netlist, NodeId, Simulator, SolverKind, Waveform};
 
 /// A resistive ladder with an RC tail and a pulse drive — nonlinearity-free
 /// so every solver path is exercised deterministically, with enough nodes
@@ -42,97 +53,274 @@ fn ladder(rungs: usize, r: f64, c: f64, vdrive: f64) -> Netlist {
     nl
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// DC variant of the ladder for operating-point and sweep goldens (the
+/// pulse drive is zero at `t = 0`, which would pin nothing).
+fn dc_ladder(rungs: usize, r: f64, vdc: f64) -> Netlist {
+    let mut nl = ladder(rungs, r, 1e-12, 0.0);
+    nl.set_vsource("V1", Waveform::Dc(vdc)).unwrap();
+    nl
+}
 
-    #[test]
-    fn op_is_bit_identical(
-        rungs in 2usize..14,
-        r in 100.0f64..1.0e5,
-        v in -5.0f64..5.0,
-        sparse in any::<bool>(),
-    ) {
-        let mut nl = ladder(rungs, r, 1e-12, v);
-        nl.set_solver(if sparse { SolverKind::Sparse } else { SolverKind::Dense });
-        let legacy = analysis::op(&nl).unwrap();
-        let facade = Simulator::new(&nl).op().unwrap();
-        prop_assert_eq!(legacy.unknowns(), facade.unknowns());
-        prop_assert_eq!(legacy.convergence(), facade.convergence());
+fn last_node(nl: &Netlist, rungs: usize) -> NodeId {
+    nl.find_node(&format!("n{rungs}")).unwrap()
+}
+
+fn assert_close(got: f64, want: f64, what: &str) {
+    let tol = 1e-9 * want.abs().max(1.0);
+    assert!(
+        (got - want).abs() <= tol,
+        "{what}: got {got:.15e}, golden {want:.15e}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Recorded goldens. Regenerate with `-- --ignored --nocapture` (see above).
+// ---------------------------------------------------------------------------
+
+/// `dc_ladder(4, 1.0e3, 2.0)` node voltages n1..n4.
+const GOLDEN_OP: [f64; 4] = [
+    1.005847952521186e0,
+    5.146198823088131e-1,
+    2.807017537654664e-1,
+    1.871345023855545e-1,
+];
+
+/// `dc_ladder(3, 2.2e3, 0.0)` swept over `V1 = [-2.0, 0.0, 1.5, 3.0]`:
+/// voltage at the last node for each sweep value.
+const GOLDEN_SWEEP: [f64; 4] = [
+    -3.720930214663061e-1,
+    0.000000000000000e0,
+    2.790697660997296e-1,
+    5.581395321994592e-1,
+];
+
+/// `ladder(2, 1.0e4, 1.0e-10, 1.0)`, trapezoidal fixed step
+/// `TranConfig::fixed(5e-8, 3e-6)`: (sample count, v(n2) at k = 20,
+/// v(n2) at the final sample).
+const GOLDEN_TRAN_TRAP: (usize, f64, f64) = (61, 2.424475138162983e-1, 3.502157002450164e-1);
+
+/// Same circuit, backward Euler with `uic`: v(n2) at the final sample.
+const GOLDEN_TRAN_BE_UIC: f64 = 3.489970786824247e-1;
+
+/// Same circuit, `TranConfig::adaptive(5e-6)`: (sample count, v(n2) at
+/// the final sample).
+const GOLDEN_TRAN_ADAPTIVE: (usize, f64) = (95, 3.619863537355127e-1);
+
+/// Same circuit, AC over `log_sweep(1e3, 1e9, 7)`: |v(n2)| at the first,
+/// middle (k = 3), and last frequency.
+const GOLDEN_AC: [f64; 3] = [
+    3.636304263485826e-1,
+    6.270823675367498e-2,
+    6.366197600650131e-5,
+];
+
+#[test]
+fn op_pins_recorded_golden() {
+    let nl = dc_ladder(4, 1.0e3, 2.0);
+    let op = Simulator::new(&nl).op().unwrap();
+    for (k, want) in GOLDEN_OP.iter().enumerate() {
+        let node = nl.find_node(&format!("n{}", k + 1)).unwrap();
+        assert_close(op.voltage(node), *want, &format!("op v(n{})", k + 1));
     }
+    // Determinism: a second run is bit-identical, not merely close.
+    let again = Simulator::new(&nl).op().unwrap();
+    assert_eq!(op.unknowns(), again.unknowns(), "op must be deterministic");
+}
 
-    #[test]
-    fn dc_sweep_is_bit_identical(
-        rungs in 2usize..8,
-        r in 100.0f64..1.0e5,
-        vals in prop::collection::vec(-3.0f64..3.0, 2..6),
-    ) {
-        let mut nl = ladder(rungs, r, 1e-12, 0.0);
-        let facade = Simulator::new(&nl).dc_sweep("V1", &vals).unwrap();
-        let legacy = analysis::dc_sweep(&mut nl, "V1", &vals).unwrap();
-        prop_assert_eq!(legacy.len(), facade.len());
-        for (a, b) in legacy.iter().zip(&facade) {
-            prop_assert_eq!(a.unknowns(), b.unknowns());
-        }
-    }
-
-    #[test]
-    fn fixed_transient_is_bit_identical(
-        rungs in 1usize..6,
-        r in 1.0e3f64..1.0e5,
-        c in 1.0e-12f64..1.0e-9,
-        trapezoidal in any::<bool>(),
-        uic in any::<bool>(),
-    ) {
-        let nl = ladder(rungs, r, c, 1.0);
-        let tau = r * c;
-        let integ = if trapezoidal { Integrator::Trapezoidal } else { Integrator::BackwardEuler };
-        let legacy = analysis::transient(
-            &nl,
-            &TransientOptions { dt: tau / 20.0, tstop: 3.0 * tau, integrator: integ, uic },
-        )
-        .unwrap();
-        let facade = Simulator::new(&nl)
-            .transient(&TranConfig::fixed(tau / 20.0, 3.0 * tau).integrator(integ).uic(uic))
-            .unwrap();
-        prop_assert_eq!(&legacy, &facade);
-    }
-
-    #[test]
-    fn adaptive_transient_is_bit_identical(
-        rungs in 1usize..5,
-        r in 1.0e3f64..1.0e5,
-        c in 1.0e-12f64..1.0e-9,
-    ) {
-        let nl = ladder(rungs, r, c, 1.0);
-        let tstop = 5.0 * r * c;
-        let legacy = analysis::transient_adaptive(&nl, &AdaptiveOptions::new(tstop)).unwrap();
-        let facade = Simulator::new(&nl).transient(&TranConfig::adaptive(tstop)).unwrap();
-        prop_assert_eq!(&legacy, &facade);
-    }
-
-    #[test]
-    fn ac_is_bit_identical(
-        rungs in 1usize..6,
-        r in 1.0e3f64..1.0e5,
-        c in 1.0e-12f64..1.0e-9,
-    ) {
-        let nl = ladder(rungs, r, c, 1.0);
-        let freqs = analysis::log_sweep(1.0e3, 1.0e9, 13);
-        let legacy = analysis::ac(&nl, "V1", &freqs).unwrap();
-        let facade = Simulator::new(&nl).ac("V1", &freqs).unwrap();
-        prop_assert_eq!(&legacy, &facade);
+#[test]
+fn op_dense_and_sparse_agree() {
+    let mut nl = dc_ladder(4, 1.0e3, 2.0);
+    nl.set_solver(SolverKind::Dense);
+    let dense = Simulator::new(&nl).op().unwrap();
+    nl.set_solver(SolverKind::Sparse);
+    let sparse = Simulator::new(&nl).op().unwrap();
+    for (a, b) in dense.unknowns().iter().zip(sparse.unknowns()) {
+        assert!(
+            (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+            "dense/sparse drift: {a} vs {b}"
+        );
     }
 }
 
-/// The conversions from the deprecated option structs reproduce the exact
-/// configuration the free functions ran with.
 #[test]
-fn legacy_option_conversions_round_trip() {
-    let t = TransientOptions::new(1e-9, 1e-6);
-    let cfg = TranConfig::from(t);
-    assert_eq!(cfg, TranConfig::fixed(1e-9, 1e-6));
+fn dc_sweep_pins_recorded_golden() {
+    let nl = dc_ladder(3, 2.2e3, 0.0);
+    let vals = [-2.0, 0.0, 1.5, 3.0];
+    let out = last_node(&nl, 3);
+    let mut sim = Simulator::new(&nl);
+    let sweep = sim.dc_sweep("V1", &vals).unwrap();
+    assert_eq!(sweep.len(), vals.len());
+    for (k, (point, want)) in sweep.iter().zip(GOLDEN_SWEEP.iter()).enumerate() {
+        assert_close(point.voltage(out), *want, &format!("sweep[{k}] v(out)"));
+    }
+}
 
-    let a = AdaptiveOptions::new(1e-6);
-    let cfg = TranConfig::from(a);
-    assert_eq!(cfg, TranConfig::adaptive(1e-6));
+#[test]
+fn fixed_transient_pins_recorded_golden() {
+    let nl = ladder(2, 1.0e4, 1.0e-10, 1.0);
+    let out = last_node(&nl, 2);
+    let cfg = TranConfig::fixed(5e-8, 3e-6);
+    let tr = Simulator::new(&nl).transient(&cfg).unwrap();
+    assert_eq!(tr.time.len(), GOLDEN_TRAN_TRAP.0, "sample count");
+    assert_close(tr.voltage_at(out, 20), GOLDEN_TRAN_TRAP.1, "v(out) at k=20");
+    assert_close(
+        tr.voltage_at(out, tr.time.len() - 1),
+        GOLDEN_TRAN_TRAP.2,
+        "v(out) at tstop",
+    );
+
+    let again = Simulator::new(&nl).transient(&cfg).unwrap();
+    assert_eq!(tr, again, "transient must be deterministic");
+}
+
+#[test]
+fn backward_euler_uic_pins_recorded_golden() {
+    let nl = ladder(2, 1.0e4, 1.0e-10, 1.0);
+    let out = last_node(&nl, 2);
+    let cfg = TranConfig::fixed(5e-8, 3e-6)
+        .integrator(Integrator::BackwardEuler)
+        .uic(true);
+    let tr = Simulator::new(&nl).transient(&cfg).unwrap();
+    assert_close(
+        tr.voltage_at(out, tr.time.len() - 1),
+        GOLDEN_TRAN_BE_UIC,
+        "BE+uic v(out) at tstop",
+    );
+}
+
+#[test]
+fn adaptive_transient_pins_recorded_golden() {
+    let nl = ladder(2, 1.0e4, 1.0e-10, 1.0);
+    let out = last_node(&nl, 2);
+    let tr = Simulator::new(&nl)
+        .transient(&TranConfig::adaptive(5e-6))
+        .unwrap();
+    assert_eq!(
+        tr.time.len(),
+        GOLDEN_TRAN_ADAPTIVE.0,
+        "adaptive sample count"
+    );
+    assert_close(
+        tr.voltage_at(out, tr.time.len() - 1),
+        GOLDEN_TRAN_ADAPTIVE.1,
+        "adaptive v(out) at tstop",
+    );
+}
+
+/// `transient` and `transient_into` with a collecting sink are the same
+/// computation — the collected stream must reproduce the returned
+/// waveform exactly.
+#[test]
+fn transient_into_matches_collected_transient() {
+    struct Collect {
+        time: Vec<f64>,
+        rows: Vec<Vec<f64>>,
+    }
+    impl SampleSink for Collect {
+        fn accept(&mut self, t: f64, x: &[f64]) {
+            self.time.push(t);
+            self.rows.push(x.to_vec());
+        }
+    }
+
+    let nl = ladder(2, 1.0e4, 1.0e-10, 1.0);
+    let cfg = TranConfig::fixed(5e-8, 3e-6);
+    let tr = Simulator::new(&nl).transient(&cfg).unwrap();
+    let mut sink = Collect {
+        time: Vec::new(),
+        rows: Vec::new(),
+    };
+    Simulator::new(&nl).transient_into(&cfg, &mut sink).unwrap();
+    assert_eq!(tr.time, sink.time);
+    for (k, row) in sink.rows.iter().enumerate() {
+        for node in 1..nl.node_count() {
+            assert_eq!(
+                tr.voltage_at(nl.node_id(node), k),
+                row[node - 1],
+                "sample {k}, node {node}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ac_pins_recorded_golden() {
+    let nl = ladder(2, 1.0e4, 1.0e-10, 1.0);
+    let out = last_node(&nl, 2);
+    let freqs = log_sweep(1.0e3, 1.0e9, 7);
+    let ac = Simulator::new(&nl).ac("V1", &freqs).unwrap();
+    assert_eq!(ac.freqs.len(), 7);
+    for (k, want) in [(0usize, GOLDEN_AC[0]), (3, GOLDEN_AC[1]), (6, GOLDEN_AC[2])] {
+        assert_close(
+            ac.voltage_at(out, k).abs(),
+            want,
+            &format!("|v(out)| at freq[{k}]"),
+        );
+    }
+}
+
+/// Prints the golden table. Run with `-- --ignored --nocapture` and paste
+/// the output over the `GOLDEN_*` constants after an intentional change.
+#[test]
+#[ignore = "generator for the GOLDEN_* constants"]
+fn regenerate_goldens() {
+    let nl = dc_ladder(4, 1.0e3, 2.0);
+    let op = Simulator::new(&nl).op().unwrap();
+    let vs: Vec<String> = (0..4)
+        .map(|k| {
+            let node = nl.find_node(&format!("n{}", k + 1)).unwrap();
+            format!("{:.15e}", op.voltage(node))
+        })
+        .collect();
+    println!("const GOLDEN_OP: [f64; 4] = [{}];", vs.join(", "));
+
+    let nl = dc_ladder(3, 2.2e3, 0.0);
+    let vals = [-2.0, 0.0, 1.5, 3.0];
+    let out = last_node(&nl, 3);
+    let mut sim = Simulator::new(&nl);
+    let sweep = sim.dc_sweep("V1", &vals).unwrap();
+    let vs: Vec<String> = sweep
+        .iter()
+        .map(|p| format!("{:.15e}", p.voltage(out)))
+        .collect();
+    println!("const GOLDEN_SWEEP: [f64; 4] = [{}];", vs.join(", "));
+
+    let nl = ladder(2, 1.0e4, 1.0e-10, 1.0);
+    let out = last_node(&nl, 2);
+    let tr = Simulator::new(&nl)
+        .transient(&TranConfig::fixed(5e-8, 3e-6))
+        .unwrap();
+    println!(
+        "const GOLDEN_TRAN_TRAP: (usize, f64, f64) = ({}, {:.15e}, {:.15e});",
+        tr.time.len(),
+        tr.voltage_at(out, 20),
+        tr.voltage_at(out, tr.time.len() - 1)
+    );
+
+    let cfg = TranConfig::fixed(5e-8, 3e-6)
+        .integrator(Integrator::BackwardEuler)
+        .uic(true);
+    let tr = Simulator::new(&nl).transient(&cfg).unwrap();
+    println!(
+        "const GOLDEN_TRAN_BE_UIC: f64 = {:.15e};",
+        tr.voltage_at(out, tr.time.len() - 1)
+    );
+
+    let tr = Simulator::new(&nl)
+        .transient(&TranConfig::adaptive(5e-6))
+        .unwrap();
+    println!(
+        "const GOLDEN_TRAN_ADAPTIVE: (usize, f64) = ({}, {:.15e});",
+        tr.time.len(),
+        tr.voltage_at(out, tr.time.len() - 1)
+    );
+
+    let freqs = log_sweep(1.0e3, 1.0e9, 7);
+    let ac = Simulator::new(&nl).ac("V1", &freqs).unwrap();
+    println!(
+        "const GOLDEN_AC: [f64; 3] = [{:.15e}, {:.15e}, {:.15e}];",
+        ac.voltage_at(out, 0).abs(),
+        ac.voltage_at(out, 3).abs(),
+        ac.voltage_at(out, 6).abs()
+    );
 }

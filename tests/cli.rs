@@ -113,6 +113,119 @@ fn batch_rejects_bad_manifest() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// One-request HTTP client against the spawned server (mirrors the
+/// server's one-request-per-connection, `Connection: close` protocol).
+fn http(addr: &str, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    use std::io::Read as _;
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    let body = body.unwrap_or("");
+    stream
+        .write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("write");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad response: {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn serve_smoke_matches_batch_and_shuts_down() {
+    use std::io::{BufRead, BufReader};
+
+    let manifest =
+        r#"{"jobs": [{"function": "xor2", "analysis": "op", "input": 1, "label": "smoke"}]}"#;
+
+    // Reference result through the batch path.
+    let dir = std::env::temp_dir().join(format!("fts-serve-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let mpath = dir.join("manifest.json");
+    std::fs::write(&mpath, manifest).expect("write manifest");
+    let out = fts()
+        .args(["batch", mpath.to_str().unwrap()])
+        .output()
+        .expect("run batch");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let batch_report = String::from_utf8_lossy(&out.stdout).to_string();
+    let result_start = batch_report.find("\"result\":").expect("batch result");
+    // The result object runs to the row's closing brace; grab through the
+    // next "}}" which terminates {"result":{...}}.
+    let result_end = batch_report[result_start..].find("}}").unwrap() + result_start + 1;
+    let batch_result = &batch_report[result_start..result_end];
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Start the server on an ephemeral port and scrape the startup line.
+    let mut child = fts()
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let stdout = child.stdout.take().expect("stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("banner");
+    let addr = line
+        .trim()
+        .strip_prefix("fts-server listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+        .to_owned();
+
+    // Health, submit, poll to done.
+    let (status, body) = http(&addr, "GET", "/healthz", None);
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = http(&addr, "POST", "/v1/jobs", Some(manifest));
+    assert_eq!(status, 202, "{body}");
+    assert!(body.contains("\"ids\":[0]"), "{body}");
+    let served = loop {
+        let (status, body) = http(&addr, "GET", "/v1/jobs/0", None);
+        assert_eq!(status, 200, "{body}");
+        if body.contains("\"status\":\"done\"") {
+            break body;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    };
+
+    // The served result must be the exact bytes the batch path reported.
+    assert!(
+        served.contains(batch_result),
+        "served result differs from batch:\n  batch: {batch_result}\n  serve: {served}"
+    );
+
+    // Metrics exposes the job count; shutdown exits cleanly.
+    let (status, body) = http(&addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert!(body.contains("fts_jobs_completed 1"), "{body}");
+    let (status, _) = http(&addr, "POST", "/v1/shutdown", None);
+    assert_eq!(status, 200);
+    let out = child.wait_with_output().expect("server exit");
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("fts-server drained: 1 jobs completed"),
+        "{err}"
+    );
+}
+
 #[test]
 fn characterize_prints_figures_of_merit() {
     let out = fts()
