@@ -100,6 +100,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         addr: "127.0.0.1:0".to_owned(),
         workers: args.workers,
         queue_depth: args.queue_depth,
+        // Clients poll their results only after submitting their whole
+        // share, so every finished row must outlive the run — size the
+        // done-row retention to the workload (plus warm-up + identity
+        // jobs) instead of the production default.
+        retain_done: args.requests + 16,
         ..ServerConfig::default()
     };
     let server = Server::bind(config, Arc::new(PipelineJobBuilder::new()))?;

@@ -41,7 +41,7 @@ fn main() {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  fts count <m> <n>\n  fts synth <function>\n  fts lattice <file|-> --vars <n>\n  fts faults <file|-> --vars <n>\n  fts characterize <square|cross|junctionless> <sio2|hfo2>\n  fts xor3\n  fts explore <function>\n  fts batch <manifest.json> [--out <report.json>]\n  fts serve [--addr <ip:port>] [--workers <n>] [--queue-depth <n>]"
+    "usage:\n  fts count <m> <n>\n  fts synth <function>\n  fts lattice <file|-> --vars <n>\n  fts faults <file|-> --vars <n>\n  fts characterize <square|cross|junctionless> <sio2|hfo2>\n  fts xor3\n  fts explore <function>\n  fts batch <manifest.json> [--out <report.json>]\n  fts serve [--addr <ip:port>] [--workers <n>] [--queue-depth <n>] [--retain-done <n>]"
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -276,6 +276,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 config.queue_depth = value(&mut rest)?
                     .parse()
                     .map_err(|_| "bad --queue-depth value")?;
+            }
+            "--retain-done" => {
+                config.retain_done = value(&mut rest)?
+                    .parse()
+                    .map_err(|_| "bad --retain-done value")?;
             }
             other => return Err(format!("unknown flag {other:?}")),
         }

@@ -7,12 +7,15 @@
 //! Every input dimension is bounded *before* allocation: the request head
 //! (request line + headers) is read into a fixed budget, the header count
 //! is capped, and bodies are admitted only up to the configured limit, so
-//! a hostile peer cannot make the server buffer unbounded data. Parse and
-//! I/O failures map onto precise status codes through [`HttpError`].
+//! a hostile peer cannot make the server buffer unbounded data. Time is
+//! bounded too: besides the per-read timeout, an overall per-request
+//! wall-clock deadline caps how long a slow-loris client can occupy a
+//! connection worker. Parse and I/O failures map onto precise status
+//! codes through [`HttpError`].
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::wire::{json_escape, SCHEMA_VERSION};
 
@@ -27,10 +30,17 @@ pub struct HttpLimits {
     pub max_headers: usize,
     /// Maximum request body bytes.
     pub max_body_bytes: usize,
-    /// Per-connection read timeout.
+    /// Per-`read(2)` timeout. This alone is not a liveness bound — it
+    /// resets on every byte received — which is why
+    /// [`request_deadline`](HttpLimits::request_deadline) also exists.
     pub read_timeout: Duration,
     /// Per-connection write timeout.
     pub write_timeout: Duration,
+    /// Wall-clock budget for reading one complete request (head + body).
+    /// A slow-loris client dripping one byte per `read_timeout` would
+    /// otherwise hold a connection worker for hours; the deadline caps a
+    /// request read at roughly `request_deadline + read_timeout`.
+    pub request_deadline: Duration,
 }
 
 impl Default for HttpLimits {
@@ -42,6 +52,7 @@ impl Default for HttpLimits {
             max_body_bytes: 1024 * 1024,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            request_deadline: Duration::from_secs(15),
         }
     }
 }
@@ -66,10 +77,9 @@ pub enum HttpError {
     NotFound,
     /// Known route, wrong method (405).
     MethodNotAllowed,
-    /// Read timed out before a full request arrived (408).
+    /// Read timed out — per-read or overall request deadline — before a
+    /// full request arrived (408).
     Timeout,
-    /// A body was indicated without a valid `Content-Length` (411).
-    LengthRequired,
     /// Body exceeds the configured limit (413).
     PayloadTooLarge,
     /// Request head exceeds the configured limit (431).
@@ -86,7 +96,6 @@ impl HttpError {
             HttpError::NotFound => (404, "Not Found"),
             HttpError::MethodNotAllowed => (405, "Method Not Allowed"),
             HttpError::Timeout => (408, "Request Timeout"),
-            HttpError::LengthRequired => (411, "Length Required"),
             HttpError::PayloadTooLarge => (413, "Payload Too Large"),
             HttpError::HeadersTooLarge => (431, "Request Header Fields Too Large"),
             HttpError::ConnectionLost(_) => (499, "Client Closed Request"),
@@ -100,7 +109,6 @@ impl HttpError {
             HttpError::NotFound => ("not_found", "no such resource".into()),
             HttpError::MethodNotAllowed => ("method_not_allowed", "method not allowed".into()),
             HttpError::Timeout => ("timeout", "request read timed out".into()),
-            HttpError::LengthRequired => ("length_required", "Content-Length required".into()),
             HttpError::PayloadTooLarge => ("payload_too_large", "request body too large".into()),
             HttpError::HeadersTooLarge => ("headers_too_large", "request head too large".into()),
             HttpError::ConnectionLost(m) => ("connection_lost", m.clone()),
@@ -125,6 +133,7 @@ fn io_error(e: &std::io::Error) -> HttpError {
 ///
 /// A mapped [`HttpError`] on malformed, oversized, or timed-out input.
 pub fn read_request(stream: &mut TcpStream, limits: &HttpLimits) -> Result<Request, HttpError> {
+    let start = Instant::now();
     stream
         .set_read_timeout(Some(limits.read_timeout))
         .map_err(|e| io_error(&e))?;
@@ -132,12 +141,18 @@ pub fn read_request(stream: &mut TcpStream, limits: &HttpLimits) -> Result<Reque
         .set_write_timeout(Some(limits.write_timeout))
         .map_err(|e| io_error(&e))?;
 
-    // Read the head byte-at-a-time framed windows: stop at CRLFCRLF. The
-    // head is small and bounded, so buffered single-byte reads through a
-    // local chunk buffer are plenty fast for this workload.
+    // Read the head one unbuffered byte at a time, stopping at CRLFCRLF.
+    // Single-byte reads cannot over-run into the body (there is no
+    // user-space buffer to hand back), and the head is small and bounded,
+    // so the per-byte syscall cost is acceptable here. The wall-clock
+    // deadline is checked every iteration: the per-read timeout resets on
+    // each byte, so it alone cannot stop a slow-loris drip-feed.
     let mut head = Vec::with_capacity(512);
     let mut byte = [0u8; 1];
     loop {
+        if start.elapsed() >= limits.request_deadline {
+            return Err(HttpError::Timeout);
+        }
         match stream.read(&mut byte) {
             Ok(0) => {
                 return Err(HttpError::ConnectionLost(
@@ -195,12 +210,11 @@ pub fn read_request(stream: &mut TcpStream, limits: &HttpLimits) -> Result<Reque
             return Err(HttpError::BadRequest(format!("malformed header {line:?}")));
         };
         if name.trim().eq_ignore_ascii_case("content-length") {
-            content_length = Some(
-                value
-                    .trim()
-                    .parse::<usize>()
-                    .map_err(|_| HttpError::LengthRequired)?,
-            );
+            // A present-but-unparseable length is a malformed header
+            // (RFC 9110 → 400; 411 would mean the header is absent).
+            content_length = Some(value.trim().parse::<usize>().map_err(|_| {
+                HttpError::BadRequest(format!("unparseable Content-Length {:?}", value.trim()))
+            })?);
         }
     }
 
@@ -208,13 +222,25 @@ pub fn read_request(stream: &mut TcpStream, limits: &HttpLimits) -> Result<Reque
         None | Some(0) => String::new(),
         Some(n) if n > limits.max_body_bytes => return Err(HttpError::PayloadTooLarge),
         Some(n) => {
+            // Chunked reads with a deadline check between them: like the
+            // head loop, a single `read_exact` would let a dripping
+            // client reset the per-read timeout indefinitely.
             let mut buf = vec![0u8; n];
-            stream.read_exact(&mut buf).map_err(|e| match e.kind() {
-                std::io::ErrorKind::UnexpectedEof => HttpError::ConnectionLost(
-                    "connection closed before request body completed".into(),
-                ),
-                _ => io_error(&e),
-            })?;
+            let mut filled = 0usize;
+            while filled < n {
+                if start.elapsed() >= limits.request_deadline {
+                    return Err(HttpError::Timeout);
+                }
+                match stream.read(&mut buf[filled..]) {
+                    Ok(0) => {
+                        return Err(HttpError::ConnectionLost(
+                            "connection closed before request body completed".into(),
+                        ))
+                    }
+                    Ok(m) => filled += m,
+                    Err(e) => return Err(io_error(&e)),
+                }
+            }
             String::from_utf8(buf)
                 .map_err(|_| HttpError::BadRequest("request body is not UTF-8".into()))?
         }
@@ -270,7 +296,6 @@ mod tests {
         assert_eq!(HttpError::NotFound.status().0, 404);
         assert_eq!(HttpError::MethodNotAllowed.status().0, 405);
         assert_eq!(HttpError::Timeout.status().0, 408);
-        assert_eq!(HttpError::LengthRequired.status().0, 411);
         assert_eq!(HttpError::PayloadTooLarge.status().0, 413);
         assert_eq!(HttpError::HeadersTooLarge.status().0, 431);
     }

@@ -22,10 +22,14 @@
 //!
 //! * **Backpressure** — bounded connection *and* job queues; overflow of
 //!   either answers `429` instead of buffering unboundedly.
-//! * **Timeouts & deadlines** — per-connection read/write timeouts; a
-//!   manifest's `deadline_ms` maps onto the engine's per-job deadline
-//!   tokens, so a runaway solve stops within one Newton iteration of
-//!   expiry.
+//! * **Timeouts & deadlines** — per-connection read/write timeouts plus
+//!   an overall per-request wall-clock deadline (so a slow-loris client
+//!   cannot pin a connection worker); a manifest's `deadline_ms` maps
+//!   onto the engine's per-job deadline tokens, so a runaway solve stops
+//!   within one Newton iteration of expiry.
+//! * **Bounded memory** — JSON nesting depth, request head/body sizes,
+//!   queue depths, and the number of retained finished-job results
+//!   (`retain_done`, evicting oldest-completed) are all capped.
 //! * **Graceful shutdown** — SIGINT, `POST /v1/shutdown`, or a
 //!   [`ServerHandle`] stop the accept loop, serve already-accepted
 //!   connections, let every admitted job finish, and flush a final
@@ -51,8 +55,10 @@ pub mod wire;
 
 pub use http::{HttpError, HttpLimits, Request};
 pub use server::{Server, ServerConfig, ServerHandle, ShutdownReport};
-pub use service::{build_job, BuiltJob, JobBuilder, JobService, ServiceGauges, SubmitError};
+pub use service::{
+    build_job, BuiltJob, JobBuilder, JobService, ServiceGauges, SubmitError, DEFAULT_RETAIN_DONE,
+};
 pub use wire::{
     batch_report_json, job_row_json, json_escape, outcome_json, AnalysisSpec, BatchManifest,
-    JobSpec, Json, WireError, MAX_SAMPLES_LIMIT, SCHEMA_VERSION,
+    JobSpec, Json, WireError, MAX_JSON_DEPTH, MAX_SAMPLES_LIMIT, SCHEMA_VERSION,
 };

@@ -37,6 +37,10 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Job queue capacity (admission bound for `POST /v1/jobs`).
     pub queue_depth: usize,
+    /// Finished job results retained for `GET /v1/jobs/{id}`; beyond this
+    /// the oldest-completed entries are evicted (their ids read as `404`),
+    /// bounding registry memory on a long-running server.
+    pub retain_done: usize,
     /// Connection worker threads.
     pub conn_workers: usize,
     /// Accepted-connection queue capacity (overflow → canned `429`).
@@ -51,6 +55,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:8707".to_owned(),
             workers: 0,
             queue_depth: 256,
+            retain_done: crate::service::DEFAULT_RETAIN_DONE,
             conn_workers: 4,
             conn_backlog: 128,
             limits: HttpLimits::default(),
@@ -106,7 +111,11 @@ impl Server {
     pub fn bind(config: ServerConfig, builder: Arc<dyn JobBuilder>) -> std::io::Result<Server> {
         fts_telemetry::set_enabled(true);
         let listener = TcpListener::bind(&config.addr)?;
-        let service = Arc::new(JobService::new(builder, config.queue_depth));
+        let service = Arc::new(JobService::new(
+            builder,
+            config.queue_depth,
+            config.retain_done,
+        ));
         Ok(Server {
             listener,
             service,

@@ -109,6 +109,10 @@ struct JobEntry {
 struct Registry {
     jobs: HashMap<u64, JobEntry>,
     pending: VecDeque<u64>,
+    /// Done entry ids in completion order — the eviction queue that keeps
+    /// retained results (potentially multi-megabyte waveform rows)
+    /// bounded on a long-running server.
+    done_order: VecDeque<u64>,
     next_id: u64,
     draining: bool,
     running: usize,
@@ -130,6 +134,10 @@ pub struct ServiceGauges {
     pub queue_depth: usize,
 }
 
+/// Default for [`JobService::new`]'s `retain_done`: how many finished
+/// job rows stay retrievable before the oldest are evicted.
+pub const DEFAULT_RETAIN_DONE: usize = 256;
+
 /// The bounded job queue + registry behind the HTTP endpoints.
 pub struct JobService {
     registry: Mutex<Registry>,
@@ -138,17 +146,28 @@ pub struct JobService {
     builder: Arc<dyn JobBuilder>,
     engine: Engine,
     queue_depth: usize,
+    retain_done: usize,
     rejected: AtomicU64,
 }
 
 impl JobService {
     /// A service admitting at most `queue_depth` queued jobs, lowering
-    /// manifests through `builder`.
-    pub fn new(builder: Arc<dyn JobBuilder>, queue_depth: usize) -> JobService {
+    /// manifests through `builder`, and retaining at most `retain_done`
+    /// finished job results (see [`DEFAULT_RETAIN_DONE`]).
+    ///
+    /// Retention is what bounds the registry: queued and running entries
+    /// are already limited by `queue_depth` and the worker count, and
+    /// once the done set exceeds `retain_done` the oldest-completed
+    /// entries are dropped, so a long-running server's memory cannot grow
+    /// with its job history. An evicted id reads as `404` — clients poll
+    /// results promptly (and `server_load` hammers exactly that loop), so
+    /// the cap trades indefinite retrievability for a hard memory bound.
+    pub fn new(builder: Arc<dyn JobBuilder>, queue_depth: usize, retain_done: usize) -> JobService {
         JobService {
             registry: Mutex::new(Registry {
                 jobs: HashMap::new(),
                 pending: VecDeque::new(),
+                done_order: VecDeque::new(),
                 next_id: 0,
                 draining: false,
                 running: 0,
@@ -159,6 +178,7 @@ impl JobService {
             builder,
             engine: Engine::new(),
             queue_depth: queue_depth.max(1),
+            retain_done: retain_done.max(1),
             rejected: AtomicU64::new(0),
         }
     }
@@ -261,12 +281,18 @@ impl JobService {
             };
             reg.running -= 1;
             reg.completed += 1;
+            reg.done_order.push_back(id);
+            while reg.done_order.len() > self.retain_done {
+                let evicted = reg.done_order.pop_front().expect("non-empty");
+                reg.jobs.remove(&evicted);
+            }
             self.job_done.notify_all();
         }
     }
 
-    /// The status document for `GET /v1/jobs/{id}`, or `None` for unknown
-    /// ids.
+    /// The status document for `GET /v1/jobs/{id}`, or `None` for ids
+    /// that are unknown or whose finished result has been evicted by the
+    /// `retain_done` bound.
     ///
     /// Done jobs embed the full report row — label, timing stats, and the
     /// deterministic `result` object rendered by
@@ -291,7 +317,7 @@ impl JobService {
 
     /// Fires the job's [`CancelToken`] for `DELETE /v1/jobs/{id}`.
     /// Returns the job's status after the cancel request, or `None` for
-    /// unknown ids.
+    /// unknown (or evicted) ids.
     ///
     /// Cancelling is cooperative and idempotent: a queued or running job
     /// stops at its next cancellation point and reports
@@ -368,7 +394,7 @@ mod tests {
     }
 
     fn service(depth: usize) -> JobService {
-        JobService::new(Arc::new(DividerBuilder), depth)
+        JobService::new(Arc::new(DividerBuilder), depth, DEFAULT_RETAIN_DONE)
     }
 
     fn manifest(n: usize) -> BatchManifest {
@@ -409,6 +435,28 @@ mod tests {
         let g = svc.gauges();
         assert_eq!(g.completed, 2);
         assert_eq!((g.queued, g.running, g.rejected), (0, 0, 0));
+    }
+
+    #[test]
+    fn done_entries_are_evicted_beyond_retention() {
+        let svc = JobService::new(Arc::new(DividerBuilder), 8, 2);
+        let ids = svc.submit(&manifest(5)).unwrap();
+        // One worker → jobs finish in submission order, so the eviction
+        // order is deterministic.
+        std::thread::scope(|s| {
+            s.spawn(|| svc.worker_loop());
+            svc.drain();
+        });
+        for &id in &ids[..3] {
+            assert!(svc.status_json(id).is_none(), "id {id} should be evicted");
+            assert!(svc.cancel(id).is_none());
+        }
+        for &id in &ids[3..] {
+            let done = svc.status_json(id).expect("retained");
+            assert!(done.contains("\"status\":\"done\""), "{done}");
+        }
+        // Eviction drops rows, not history: the completed count stands.
+        assert_eq!(svc.gauges().completed, 5);
     }
 
     #[test]

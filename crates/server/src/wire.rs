@@ -50,6 +50,12 @@ pub const SCHEMA_VERSION: u32 = 1;
 /// per retained sample, so the cap bounds per-job memory.
 pub const MAX_SAMPLES_LIMIT: usize = 1 << 20;
 
+/// Maximum array/object nesting depth accepted by [`Json::parse`]. The
+/// parser is recursive-descent and reads network input, so recursion must
+/// be bounded well below the worker thread's stack; manifests are at most
+/// three levels deep in practice.
+pub const MAX_JSON_DEPTH: usize = 128;
+
 // ---------------------------------------------------------------------------
 // Minimal JSON
 // ---------------------------------------------------------------------------
@@ -82,6 +88,7 @@ impl Json {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -136,6 +143,7 @@ impl Json {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -164,8 +172,25 @@ impl Parser<'_> {
 
     fn value(&mut self) -> Result<Json, String> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            // Containers recurse, and the input may be hostile network
+            // bytes: cap the depth so pathological nesting is a parse
+            // error, not a worker-stack overflow.
+            Some(b @ (b'{' | b'[')) => {
+                self.depth += 1;
+                if self.depth > MAX_JSON_DEPTH {
+                    return Err(format!(
+                        "nesting deeper than {MAX_JSON_DEPTH} levels at byte {}",
+                        self.pos
+                    ));
+                }
+                let v = if b == b'{' {
+                    self.object()
+                } else {
+                    self.array()
+                }?;
+                self.depth -= 1;
+                Ok(v)
+            }
             Some(b'"') => Ok(Json::String(self.string()?)),
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
@@ -327,7 +352,19 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
-/// Renders an `f64` array as a JSON array literal.
+/// Renders one `f64` as a JSON token. JSON has no NaN/Infinity literals,
+/// so non-finite values (including the `-inf` peak of an empty waveform)
+/// render as `null` — the document must stay parseable by [`Json::parse`]
+/// and by clients.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Renders an `f64` array as a JSON array literal (non-finite → `null`).
 fn json_f64_array(values: &[f64]) -> String {
     let mut out = String::with_capacity(values.len() * 8 + 2);
     out.push('[');
@@ -335,7 +372,7 @@ fn json_f64_array(values: &[f64]) -> String {
         if k > 0 {
             out.push(',');
         }
-        let _ = write!(out, "{v}");
+        let _ = write!(out, "{}", json_f64(*v));
     }
     out.push(']');
     out
@@ -586,7 +623,10 @@ impl BatchManifest {
 pub fn outcome_json(outcome: &SimOutcome, out: NodeId, waveform: bool) -> String {
     match outcome {
         SimOutcome::Op(op) => {
-            format!("{{\"kind\":\"op\",\"out_v\":{}}}", op.voltage(out))
+            format!(
+                "{{\"kind\":\"op\",\"out_v\":{}}}",
+                json_f64(op.voltage(out))
+            )
         }
         SimOutcome::Sweep(points) => {
             let vs: Vec<f64> = points.iter().map(|p| p.voltage(out)).collect();
@@ -609,10 +649,11 @@ pub fn outcome_json(outcome: &SimOutcome, out: NodeId, waveform: bool) -> String
                 String::new()
             };
             format!(
-                "{{\"kind\":\"transient\",\"samples\":{},\"total_samples\":{},\"stride\":{},\"out_peak_v\":{peak}{detail}}}",
+                "{{\"kind\":\"transient\",\"samples\":{},\"total_samples\":{},\"stride\":{},\"out_peak_v\":{}{detail}}}",
                 w.len(),
                 w.total_samples(),
                 w.stride(),
+                json_f64(peak),
             )
         }
         SimOutcome::Ac(ac) => {
@@ -681,6 +722,32 @@ mod tests {
         assert_eq!(b[2].as_str(), Some("x\n\"y\""));
         let d = doc.get("c").and_then(|c| c.get("d")).unwrap();
         assert_eq!(d.as_f64(), Some(-2000.0));
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        // Right at the cap parses; one past it is a structured error.
+        let deep = |n: usize| format!("{}1{}", "[".repeat(n), "]".repeat(n));
+        assert!(Json::parse(&deep(MAX_JSON_DEPTH)).is_ok());
+        let e = Json::parse(&deep(MAX_JSON_DEPTH + 1)).unwrap_err();
+        assert!(e.contains("nesting"), "{e}");
+        // Hostile depths far past the cap fail the same way instead of
+        // overflowing the stack (objects recurse through values too).
+        assert!(Json::parse(&"[".repeat(200_000)).is_err());
+        assert!(Json::parse(&r#"{"a":"#.repeat(200_000)).is_err());
+        let e = BatchManifest::parse(&"[".repeat(50_000)).unwrap_err();
+        assert_eq!(e.code, "bad_json");
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::NEG_INFINITY), "null");
+        let arr = json_f64_array(&[1.0, f64::INFINITY, f64::NAN]);
+        assert_eq!(arr, "[1,null,null]");
+        // The guarded tokens parse back as valid JSON.
+        assert!(Json::parse(&arr).is_ok());
     }
 
     #[test]

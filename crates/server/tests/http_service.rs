@@ -12,7 +12,7 @@ use fts_engine::SimJob;
 use fts_server::service::{BuiltJob, JobBuilder};
 use fts_server::testing::{http_call, parse_response, ClientResponse};
 use fts_server::wire::{JobSpec, Json, WireError};
-use fts_server::{Server, ServerConfig, ShutdownReport};
+use fts_server::{HttpLimits, Server, ServerConfig, ShutdownReport};
 use fts_spice::analysis::TranConfig;
 use fts_spice::netlist::{Netlist, Waveform};
 
@@ -170,12 +170,20 @@ fn protocol_abuse_maps_to_precise_statuses() {
     assert_eq!(resp.status, 413, "{}", resp.body);
     assert!(resp.body.contains("\"code\":\"payload_too_large\""));
 
-    // Unparseable Content-Length → 411.
-    let resp = raw_call(
-        addr,
-        b"POST /v1/jobs HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
-    );
-    assert_eq!(resp.status, 411, "{}", resp.body);
+    // Present-but-unparseable Content-Length → 400 (RFC 9110; 411 would
+    // mean the header is missing).
+    for bad_len in ["banana", "-5"] {
+        let resp = raw_call(
+            addr,
+            format!("POST /v1/jobs HTTP/1.1\r\nContent-Length: {bad_len}\r\n\r\n").as_bytes(),
+        );
+        assert_eq!(resp.status, 400, "for {bad_len:?}: {}", resp.body);
+        assert!(
+            resp.body.contains("\"code\":\"bad_request\""),
+            "{}",
+            resp.body
+        );
+    }
 
     // Unknown route → 404; known route, wrong method → 405; bad id → 400.
     assert_eq!(http_call(addr, "GET", "/nope", None).unwrap().status, 404);
@@ -215,6 +223,87 @@ fn truncated_json_is_a_structured_400() {
 
     handle.shutdown();
     thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn deeply_nested_json_is_a_structured_400() {
+    let (addr, handle, thread) = start_server(test_config());
+
+    // ~20k nested arrays would overflow the connection worker's stack if
+    // the parser recursed unboundedly; the depth cap makes it a 400.
+    let bomb = "[".repeat(20_000);
+    let resp = http_call(addr, "POST", "/v1/jobs", Some(&bomb)).unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(resp.body.contains("\"code\":\"bad_json\""), "{}", resp.body);
+    assert!(resp.body.contains("nesting"), "{}", resp.body);
+
+    // The worker that parsed the bomb still serves.
+    let resp = http_call(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    handle.shutdown();
+    thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn slow_loris_hits_the_request_deadline() {
+    let config = ServerConfig {
+        limits: HttpLimits {
+            request_deadline: Duration::from_millis(250),
+            ..HttpLimits::default()
+        },
+        ..test_config()
+    };
+    let (addr, handle, thread) = start_server(config);
+
+    // Drip one byte at a time, slower than the deadline in total but far
+    // faster than the per-read timeout — only the overall wall-clock
+    // deadline can end this request.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    for b in b"GET /healthz HTTP/1.1" {
+        if s.write_all(&[*b]).is_err() {
+            break; // server already gave up on us
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let mut raw = String::new();
+    let _ = s.read_to_string(&mut raw);
+    let resp = parse_response(&raw).expect("deadline response");
+    assert_eq!(resp.status, 408, "{raw}");
+    assert!(resp.body.contains("\"code\":\"timeout\""), "{}", resp.body);
+
+    handle.shutdown();
+    thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn finished_results_are_evicted_beyond_retention() {
+    let config = ServerConfig {
+        retain_done: 2,
+        workers: 1, // in-order completion → deterministic eviction order
+        ..test_config()
+    };
+    let (addr, handle, thread) = start_server(config);
+
+    let ids = submit_divider(addr, 5);
+    wait_done(addr, ids[4]);
+
+    // Only the two most recently completed results survive.
+    for &id in &ids[..3] {
+        let resp = http_call(addr, "GET", &format!("/v1/jobs/{id}"), None).unwrap();
+        assert_eq!(resp.status, 404, "id {id}: {}", resp.body);
+    }
+    for &id in &ids[3..] {
+        let resp = http_call(addr, "GET", &format!("/v1/jobs/{id}"), None).unwrap();
+        assert_eq!(resp.status, 200, "id {id}: {}", resp.body);
+        assert!(resp.body.contains("\"status\":\"done\""), "{}", resp.body);
+    }
+
+    handle.shutdown();
+    let report = thread.join().unwrap().unwrap();
+    // Eviction bounds retained rows, not the completion count.
+    assert_eq!(report.jobs_completed, 5);
 }
 
 #[test]
