@@ -1,0 +1,228 @@
+//! `netlist_fuzz` — corpus-driven fuzz smoke for the SPICE-deck frontend.
+//!
+//! Throws mutated, truncated, spliced, and garbage decks at
+//! `fts_netlist::parse_str` / `elaborate` and holds the crate to its
+//! contract: **no panic, no unbounded recursion, bounded memory** — every
+//! malformed deck must come back as a structured [`DeckError`] with a
+//! 1-based line and column, and every deck that parses must survive the
+//! render → reparse round trip. When a panic escapes, the offending deck
+//! is written to the failure directory (CI uploads it as the repro
+//! corpus) and the process exits non-zero with the seed to replay.
+//!
+//! ```text
+//! usage: netlist_fuzz [--iters <n>] [--seed <u64>] [--failures <dir>]
+//! ```
+//!
+//! [`DeckError`]: fts_netlist::DeckError
+
+use std::panic::{self, AssertUnwindSafe};
+
+use fts_netlist::{elaborate, parse_str, render, ElabOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hand-written seeds covering every card kind, plus the pathological
+/// shapes earlier incidents taught us to keep around.
+const CORPUS: &[&str] = &[
+    // The RC classic: every analysis, probes, pulse/pwl waveforms.
+    "v1 in 0 pulse ( 0 5 1u 1n 1n 1 2 )\nv2 b 0 dc 0.5 ac 1\ni1 0 in pwl ( 0 0 1n 1u )\n\
+     r1 in out 1k\nc1 out 0 1u\nr2 b out 2.2meg\n.probe v(out)\n.op\n.dc v2 0 1 0.1\n\
+     .tran 1u 10u\n.ac dec 10 1k 1meg\n",
+    // Params, models (both levels), MOSFETs with every W/L spelling.
+    ".param vdd=1.2\n.param half={vdd}\n.model sw1 nmos level=1 kp=2e-4 vto=0.7 lambda=0.01\n\
+     .model sw3 nmos level=3 kp=2e-4 vto=0.7 theta=0.1 esatl=1.5 cgs=1f cgd=1f\n\
+     v1 g 0 dc {half}\nm1 d g 0 sw1\nm2 d g 0 0 sw3 wol=4\nm3 d g 0 sw1 w=10u l=2u\n\
+     r1 d 0 10k\n.op\n",
+    // Subcircuits, instances, node ordering, continuations, comments.
+    "* title comment\n.nodeorder a b mid\n.subckt cell d g\nm1 d g 0 sw\nr1 d\n+ 0 10k\n.ends cell\n\
+     .model sw nmos level=1 kp=1e-4 vto=0.5\nv1 g 0 dc 1 ; trailing\nx1 a g cell\nx2 b g cell\n\
+     r9 a b 1k\n.probe v(a)\n.op\n.end\nignored tail\n",
+    // The depth-bomb shape (finite here, but mutation loves to grow it).
+    ".subckt s0 a\nr1 a 0 1\n.ends\n.subckt s1 a\nx1 a s0\nx2 a s0\n.ends\n\
+     .subckt s2 a\nx1 a s1\nx2 a s1\n.ends\nx1 top s2\n.op\n",
+    // Numeric edge cases: suffixes, exponents, signs, subnormals.
+    "r1 a 0 1e308\nr2 a 0 5e-324\nr3 a 0 -0.0\nr4 a 0 .5\nr5 a 0 1.e3\nr6 a 0 12.34e-5\n\
+     c1 a 0 1mil\nc2 a 0 10meg\nv1 a 0 dc -1e-15\n.op\n",
+    // Include directives must stay denied, never crash.
+    ".include \"other.cir\"\n.include deep\nr1 a 0 1\n.op\n",
+    // Hostile fragments: unterminated everything.
+    ".subckt s a\n.param x=\n.model m nmos level=\nv1 a 0 pulse ( 0 1\n.dc\n.probe v(\n{\n",
+];
+
+/// Byte-level mutations; structure-blind on purpose (the parser must
+/// survive arbitrary bytes, not just near-misses of the grammar).
+fn mutate(corpus: &[Vec<u8>], rng: &mut StdRng) -> String {
+    let pick = |rng: &mut StdRng| corpus[rng.gen_range(0usize..corpus.len())].clone();
+    let mut bytes = pick(rng);
+    for _ in 0..rng.gen_range(1usize..4) {
+        match rng.gen_range(0u32..8) {
+            // Truncate at a random byte.
+            0 => {
+                let at = rng.gen_range(0usize..bytes.len().max(1));
+                bytes.truncate(at);
+            }
+            // Flip random bytes.
+            1 => {
+                for _ in 0..rng.gen_range(1usize..8) {
+                    if bytes.is_empty() {
+                        break;
+                    }
+                    let at = rng.gen_range(0usize..bytes.len());
+                    bytes[at] = rng.gen::<u32>() as u8;
+                }
+            }
+            // Insert random bytes (token soup included).
+            2 => {
+                let at = rng.gen_range(0usize..=bytes.len());
+                let insert: Vec<u8> = (0..rng.gen_range(1usize..16))
+                    .map(|_| rng.gen::<u32>() as u8)
+                    .collect();
+                bytes.splice(at..at, insert);
+            }
+            // Duplicate a random slice (grows repetition/depth).
+            3 => {
+                if !bytes.is_empty() {
+                    let a = rng.gen_range(0usize..bytes.len());
+                    let b = rng.gen_range(a..bytes.len().min(a + 256));
+                    let slice = bytes[a..b].to_vec();
+                    let times = rng.gen_range(1usize..20);
+                    let at = rng.gen_range(0usize..=bytes.len());
+                    bytes.splice(at..at, slice.repeat(times));
+                }
+            }
+            // Splice the head of one seed onto the tail of another.
+            4 => {
+                let other = pick(rng);
+                let cut_a = rng.gen_range(0usize..=bytes.len());
+                let cut_b = rng.gen_range(0usize..=other.len());
+                bytes.truncate(cut_a);
+                bytes.extend_from_slice(&other[cut_b..]);
+            }
+            // Case-flip a region (the grammar is case-insensitive).
+            5 => {
+                for b in bytes.iter_mut() {
+                    if rng.gen_bool(0.2) {
+                        *b = if b.is_ascii_lowercase() {
+                            b.to_ascii_uppercase()
+                        } else {
+                            b.to_ascii_lowercase()
+                        };
+                    }
+                }
+            }
+            // Swap whitespace kinds (newlines are card boundaries).
+            6 => {
+                for b in bytes.iter_mut() {
+                    if matches!(*b, b' ' | b'\t' | b'\n' | b'\r') && rng.gen_bool(0.3) {
+                        *b = [b' ', b'\t', b'\n', b'\r', b'+', b';'][rng.gen_range(0usize..6)];
+                    }
+                }
+            }
+            // Pure garbage, occasionally near the file-size cap.
+            _ => {
+                let len = if rng.gen_bool(0.02) {
+                    rng.gen_range(0usize..(1 << 20) + 4096)
+                } else {
+                    rng.gen_range(0usize..2048)
+                };
+                bytes = (0..len).map(|_| rng.gen::<u32>() as u8).collect();
+            }
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// One fuzz probe. Returns true when the deck parsed.
+fn exercise(text: &str) -> bool {
+    match parse_str(text) {
+        Ok(deck) => {
+            // Whatever parses must round-trip and elaborate without panics.
+            let rendered = render(&deck);
+            let again = parse_str(&rendered).unwrap_or_else(|e| {
+                panic!("render of a parsed deck failed to reparse: {e}\n{rendered}")
+            });
+            assert_eq!(
+                deck.cards_only().len(),
+                again.cards_only().len(),
+                "round trip changed the card count"
+            );
+            let _ = elaborate(&deck, &ElabOptions::default());
+            true
+        }
+        Err(e) => {
+            // The structured-error contract: stable code, 1-based position.
+            assert!(
+                !e.code.is_empty() && e.line >= 1 && e.col >= 1,
+                "unstructured error: {e:?}"
+            );
+            false
+        }
+    }
+}
+
+fn main() {
+    let mut iters = 10_000u64;
+    let mut seed = 0xf75_0e75u64;
+    let mut failures = std::path::PathBuf::from("target/netlist-fuzz-failures");
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+        };
+        match flag.as_str() {
+            "--iters" => iters = take("--iters").parse().expect("--iters: u64"),
+            "--seed" => seed = take("--seed").parse().expect("--seed: u64"),
+            "--failures" => failures = take("--failures").into(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                eprintln!("usage: netlist_fuzz [--iters <n>] [--seed <u64>] [--failures <dir>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let corpus: Vec<Vec<u8>> = CORPUS.iter().map(|s| s.as_bytes().to_vec()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mut parsed, mut rejected) = (0u64, 0u64);
+    let started = std::time::Instant::now();
+
+    // Keep the default hook quiet during the run; a failure restores it
+    // by re-running the case outside catch_unwind.
+    let default_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+
+    for k in 0..iters {
+        let text = mutate(&corpus, &mut rng);
+        match panic::catch_unwind(AssertUnwindSafe(|| exercise(&text))) {
+            Ok(true) => parsed += 1,
+            Ok(false) => rejected += 1,
+            Err(_) => {
+                panic::set_hook(default_hook);
+                std::fs::create_dir_all(&failures).expect("failure dir");
+                let path = failures.join(format!("crash-seed{seed}-iter{k}.cir"));
+                std::fs::write(&path, &text).expect("write crash input");
+                eprintln!(
+                    "netlist_fuzz: PANIC at iteration {k} (seed {seed}); input saved to {}",
+                    path.display()
+                );
+                // Replay loudly for the log, then fail.
+                let _ = panic::catch_unwind(AssertUnwindSafe(|| exercise(&text)));
+                std::process::exit(1);
+            }
+        }
+        if (k + 1) % 20_000 == 0 {
+            eprintln!(
+                "netlist_fuzz: {}/{iters} iterations, {parsed} parsed, {rejected} rejected",
+                k + 1
+            );
+        }
+    }
+    panic::set_hook(default_hook);
+
+    println!(
+        "netlist_fuzz: OK — {iters} iterations in {:.2}s ({parsed} parsed, {rejected} rejected \
+         with structured errors, 0 panics)",
+        started.elapsed().as_secs_f64()
+    );
+}

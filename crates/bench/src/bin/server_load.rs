@@ -17,7 +17,7 @@ use four_terminal_lattice::batch::PipelineJobBuilder;
 use fts_engine::Engine;
 use fts_server::service::build_job;
 use fts_server::testing::http_call;
-use fts_server::wire::{outcome_json, AnalysisSpec, JobSpec, Json};
+use fts_server::wire::{outcome_json, AnalysisSpec, JobSource, JobSpec, Json};
 use fts_server::{Server, ServerConfig};
 
 struct Args {
@@ -215,8 +215,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let served = wait_done(addr, id);
 
         let spec = JobSpec {
-            function: args.function.clone(),
-            analysis: AnalysisSpec::Op { input },
+            source: JobSource::Function {
+                name: args.function.clone(),
+                analysis: AnalysisSpec::Op { input },
+            },
             deadline_ms: None,
             ladder: false,
             label: None,

@@ -6,10 +6,13 @@
 //! server parse manifests and render results through the *same* code, so
 //! the two transports cannot drift. This module contributes the part only
 //! the synthesis side knows — [`PipelineJobBuilder`], which lowers a
-//! manifest [`JobSpec`] (named function + analysis) to a runnable
-//! [`SimJob`] by synthesizing the lattice and building the §V bench
-//! circuit. `fts batch` runs the whole manifest through [`Engine::run`];
-//! `fts serve` hands the identical builder to the server's job queue.
+//! manifest [`JobSpec`] with a [`JobSource::Function`] source (named
+//! function + analysis) to a runnable [`SimJob`] by synthesizing the
+//! lattice and building the §V bench circuit. Manifest jobs with a
+//! `"deck"` source never reach the builder — `build_job` lowers them
+//! through `fts-netlist` first. `fts batch` runs the whole manifest
+//! through [`Engine::run`]; `fts serve` hands the identical builder to
+//! the server's job queue.
 //!
 //! `"op"` solves the DC operating point for a packed `input` assignment;
 //! `"transient"` drives the full 2ⁿ-combination input walk (one
@@ -31,7 +34,7 @@ use crate::pipeline::{Pipeline, PipelineRun};
 
 pub use fts_server::wire::{
     batch_report_json, job_row_json, json_escape, outcome_json, AnalysisSpec, BatchManifest,
-    JobSpec, Json, WireError, MAX_SAMPLES_LIMIT, SCHEMA_VERSION,
+    JobSource, JobSpec, Json, WireError, MAX_SAMPLES_LIMIT, SCHEMA_VERSION,
 };
 
 /// Lowers manifest jobs through the synthesis pipeline, caching one
@@ -65,13 +68,24 @@ impl Default for PipelineJobBuilder {
 
 impl JobBuilder for PipelineJobBuilder {
     fn build(&self, spec: &JobSpec, index: usize) -> Result<BuiltJob, WireError> {
+        // Deck sources are lowered by `build_job` inside fts-server before
+        // the builder is consulted; reaching here with one is a wiring
+        // bug, not bad user input.
+        let JobSource::Function { name, analysis } = &spec.source else {
+            return Err(WireError::job(
+                "internal_error",
+                index,
+                "deck jobs must be lowered by build_job",
+            ));
+        };
+
         // Realize (or reuse) the function's lattice and bench circuit.
         let (mut ckt, vars) = {
             let mut realized = self.realized.lock().expect("realization cache poisoned");
-            let (run, vars) = match realized.entry(spec.function.clone()) {
+            let (run, vars) = match realized.entry(name.clone()) {
                 std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
                 std::collections::hash_map::Entry::Vacant(e) => {
-                    let f = crate::named_function(&spec.function)
+                    let f = crate::named_function(name)
                         .map_err(|msg| WireError::job("unknown_function", index, msg))?;
                     let vars = f.vars();
                     let run = self
@@ -86,7 +100,7 @@ impl JobBuilder for PipelineJobBuilder {
 
         let vdd = ckt.config().vdd;
         let out = ckt.out();
-        let job = match spec.analysis {
+        let job = match *analysis {
             AnalysisSpec::Op { input } => {
                 for v in 0..vars {
                     let bit = (input >> v) & 1 == 1;
@@ -243,11 +257,45 @@ mod tests {
     }
 
     #[test]
+    fn deck_jobs_run_through_the_same_report_path() {
+        let m = BatchManifest::parse(
+            r#"{"threads": 1, "jobs": [
+                {"deck": "v1 a 0 dc 2\nr1 a out 1k\nr2 out 0 1k\n.op\n.probe v(out)\n",
+                 "label": "divider"}
+            ]}"#,
+        )
+        .unwrap();
+        let report = run_manifest(&m).unwrap();
+        let doc = Json::parse(&report).unwrap();
+        assert_eq!(doc.get("succeeded").and_then(Json::as_f64), Some(1.0));
+        let row = &doc.get("outcomes").and_then(Json::as_array).unwrap()[0];
+        assert_eq!(row.get("label").and_then(Json::as_str), Some("divider"));
+        let out_v = row
+            .get("result")
+            .and_then(|r| r.get("out_v"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((out_v - 1.0).abs() < 1e-6, "deck divider out_v = {out_v}");
+    }
+
+    #[test]
+    fn bad_deck_aborts_the_batch_with_position() {
+        let m =
+            BatchManifest::parse(r#"{"jobs": [{"deck": "v1 a 0 dc 1\nr1 a b\n.op\n"}]}"#).unwrap();
+        let e = run_manifest(&m).unwrap_err();
+        assert_eq!(e.job, Some(0));
+        assert_eq!(e.line, Some(2));
+        assert!(e.to_string().contains("line 2:"), "{e}");
+    }
+
+    #[test]
     fn builder_caches_realizations_across_jobs() {
         let builder = PipelineJobBuilder::new();
         let spec = JobSpec {
-            function: "and2".into(),
-            analysis: AnalysisSpec::Op { input: 0 },
+            source: JobSource::Function {
+                name: "and2".into(),
+                analysis: AnalysisSpec::Op { input: 0 },
+            },
             deadline_ms: None,
             ladder: false,
             label: None,

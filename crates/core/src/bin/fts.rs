@@ -8,9 +8,15 @@
 //! fts characterize <device> <gate>   virtual-TCAD summary (square|cross|junctionless, sio2|hfo2)
 //! fts xor3                           run the Fig. 11 transient and print the summary
 //! fts explore <function>             design-space sweep with Pareto front
+//! fts run <deck.cir|->               simulate a SPICE deck (fts-netlist frontend)
 //! fts batch <manifest.json>          batch simulation on the fts-engine scheduler
 //! fts serve                          HTTP simulation service over the same engine
+//! fts help                           print the full usage text (also --help/-h)
 //! ```
+//!
+//! The per-subcommand flags are listed by `fts help`; [`usage`] is the
+//! single authoritative flag reference (the CLI golden test holds it to
+//! the flags each subcommand actually parses).
 //!
 //! `<function>` is one of: and2..and4, or2..or4, xor2..xor4, xnor2, xnor3,
 //! maj3, maj5, th24 (2-of-4 threshold).
@@ -40,8 +46,22 @@ fn main() {
     std::process::exit(code);
 }
 
+/// The one authoritative usage text. Every flag a subcommand parses must
+/// appear on its line here — the CLI golden test (`tests/cli.rs`) fails
+/// otherwise, so help and reality cannot drift again.
 fn usage() -> &'static str {
-    "usage:\n  fts count <m> <n>\n  fts synth <function>\n  fts lattice <file|-> --vars <n>\n  fts faults <file|-> --vars <n>\n  fts characterize <square|cross|junctionless> <sio2|hfo2>\n  fts xor3\n  fts explore <function>\n  fts batch <manifest.json> [--out <report.json>]\n  fts serve [--addr <ip:port>] [--workers <n>] [--queue-depth <n>] [--retain-done <n>]"
+    "usage:\n  \
+     fts count <m> <n>\n  \
+     fts synth <function>\n  \
+     fts lattice <file|-> --vars <n>\n  \
+     fts faults <file|-> --vars <n>\n  \
+     fts characterize <square|cross|junctionless> <sio2|hfo2>\n  \
+     fts xor3\n  \
+     fts explore <function>\n  \
+     fts run <deck.cir|-> [--out <report.json>] [--threads <n>] [--waveform]\n  \
+     fts batch <manifest.json> [--out <report.json>]\n  \
+     fts serve [--addr <ip:port>] [--workers <n>] [--queue-depth <n>] [--retain-done <n>]\n  \
+     fts help"
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -54,8 +74,13 @@ fn run(args: &[String]) -> Result<(), String> {
         "characterize" => cmd_characterize(&args[1..]),
         "xor3" => cmd_xor3(),
         "explore" => cmd_explore(&args[1..]),
+        "run" => cmd_run(&args[1..]),
         "batch" => cmd_batch(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -219,6 +244,95 @@ fn cmd_explore(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Writes (or prints) a batch report and turns any non-successful job
+/// into a non-zero exit — shared by `fts run` and `fts batch`.
+fn emit_report(report: &str, out_path: Option<&str>) -> Result<(), String> {
+    match out_path {
+        Some(p) => {
+            std::fs::write(p, report).map_err(|e| format!("{p}: {e}"))?;
+            println!("wrote {p}");
+        }
+        None => println!("{report}"),
+    }
+    let doc = batch::Json::parse(report).expect("report is well-formed");
+    let jobs = doc.get("jobs").and_then(batch::Json::as_f64).unwrap_or(0.0);
+    let ok = doc
+        .get("succeeded")
+        .and_then(batch::Json::as_f64)
+        .unwrap_or(0.0);
+    if ok < jobs {
+        return Err(format!("{} of {jobs} jobs did not succeed", jobs - ok));
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    use four_terminal_lattice::engine::Engine;
+    use four_terminal_lattice::netlist::{self, ElabOptions, FsIncludes};
+
+    let path = args.first().ok_or("missing <deck.cir|->")?;
+    let mut out_path: Option<&str> = None;
+    let mut threads = 0usize;
+    let mut waveform = false;
+    let mut rest = args[1..].iter();
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--out" => out_path = Some(rest.next().ok_or("--out needs a path")?),
+            "--threads" => {
+                threads = rest
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --threads value")?;
+            }
+            "--waveform" => waveform = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+
+    // Local decks may `.include` siblings (relative to the deck's own
+    // directory); stdin decks have no directory, so includes resolve
+    // against the working directory.
+    let (text, base) = if path.as_str() == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| e.to_string())?;
+        (buf, std::path::PathBuf::from("."))
+    } else {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let base = std::path::Path::new(path)
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty())
+            .map_or_else(
+                || std::path::PathBuf::from("."),
+                std::path::Path::to_path_buf,
+            );
+        (text, base)
+    };
+
+    let deck = netlist::parse_with_includes(&text, &mut FsIncludes::new(base))
+        .map_err(|e| format!("{path}: {e}"))?;
+    let elab =
+        netlist::elaborate(&deck, &ElabOptions::default()).map_err(|e| format!("{path}: {e}"))?;
+    let out = elab.out;
+
+    let mut engine = Engine::new();
+    if threads > 0 {
+        engine = engine.threads(threads);
+    }
+    let threads_used = engine.thread_count();
+    let report = engine.run(elab.jobs);
+    let rows: Vec<String> = report
+        .outcomes
+        .iter()
+        .zip(&report.stats)
+        .map(|(outcome, stat)| batch::job_row_json(&stat.label, outcome, stat, out, waveform))
+        .collect();
+    let doc = batch::batch_report_json(&rows, report.succeeded(), threads_used, report.wall_s);
+    emit_report(&doc, out_path)
+}
+
 fn cmd_batch(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("missing <manifest.json>")?;
     let mut out_path: Option<&str> = None;
@@ -232,24 +346,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let manifest = batch::BatchManifest::parse(&text).map_err(|e| e.to_string())?;
     let report = batch::run_manifest(&manifest).map_err(|e| e.to_string())?;
-    match out_path {
-        Some(p) => {
-            std::fs::write(p, &report).map_err(|e| format!("{p}: {e}"))?;
-            println!("wrote {p}");
-        }
-        None => println!("{report}"),
-    }
-    // Machine-readable exit status: any non-successful job fails the batch.
-    let doc = batch::Json::parse(&report).expect("report is well-formed");
-    let jobs = doc.get("jobs").and_then(batch::Json::as_f64).unwrap_or(0.0);
-    let ok = doc
-        .get("succeeded")
-        .and_then(batch::Json::as_f64)
-        .unwrap_or(0.0);
-    if ok < jobs {
-        return Err(format!("{} of {jobs} jobs did not succeed", jobs - ok));
-    }
-    Ok(())
+    emit_report(&report, out_path)
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {

@@ -52,6 +52,7 @@ pub use fts_field as field;
 pub use fts_lattice as lattice;
 pub use fts_logic as logic;
 pub use fts_montecarlo as montecarlo;
+pub use fts_netlist as netlist;
 pub use fts_server as server;
 pub use fts_spice as spice;
 pub use fts_synth as synth;

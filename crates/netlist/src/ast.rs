@@ -1,0 +1,248 @@
+//! The deck AST produced by the parser and consumed by the printer and
+//! elaborator.
+//!
+//! The AST is fully lowercased (the grammar is case-insensitive) and
+//! position-tagged per card. It is also the contract of the round-trip
+//! property: `parse(print(deck))` must reproduce every [`Card`] exactly
+//! (source positions excluded — see [`Deck::cards_only`]).
+
+/// A numeric field: a literal or a `{param}` reference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A literal, already scaled by its SI suffix.
+    Lit(f64),
+    /// A `{name}` reference resolved against `.param` definitions.
+    Ref(String),
+}
+
+/// The waveform half of a `V`/`I` card.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WaveSpec {
+    /// `dc <v>` (or a bare value).
+    Dc(Value),
+    /// `pulse(v0 v1 delay rise fall width period)`.
+    Pulse([Value; 7]),
+    /// `pwl(t1 v1 t2 v2 …)` — an even number of values, at least one pair.
+    Pwl(Vec<Value>),
+}
+
+/// An independent-source card (`V…` or `I…`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceCardBody {
+    /// Device name (lowercased, keeps its leading element letter).
+    pub name: String,
+    /// Positive node.
+    pub plus: String,
+    /// Negative node.
+    pub minus: String,
+    /// The transient waveform.
+    pub wave: WaveSpec,
+    /// Small-signal magnitude from a trailing `ac [mag]` clause; the
+    /// `.ac` analysis drives this source.
+    pub ac_mag: Option<Value>,
+}
+
+/// An `M…` MOSFET instance card.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MosCard {
+    /// Device name.
+    pub name: String,
+    /// Drain node.
+    pub d: String,
+    /// Gate node.
+    pub g: String,
+    /// Source node.
+    pub s: String,
+    /// Optional bulk node (must elaborate to ground).
+    pub bulk: Option<String>,
+    /// `.model` name.
+    pub model: String,
+    /// `w=` override \[m-like units; only the ratio matters\].
+    pub w: Option<Value>,
+    /// `l=` override.
+    pub l: Option<Value>,
+    /// `wol=` override (direct W/L ratio; wins over `w`/`l`).
+    pub wol: Option<Value>,
+}
+
+/// One element card.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ElementCard {
+    /// `R… a b value`.
+    Res {
+        /// Device name.
+        name: String,
+        /// First node.
+        a: String,
+        /// Second node.
+        b: String,
+        /// Resistance \[Ω\].
+        value: Value,
+    },
+    /// `C… a b value`.
+    Cap {
+        /// Device name.
+        name: String,
+        /// First node.
+        a: String,
+        /// Second node.
+        b: String,
+        /// Capacitance \[F\].
+        value: Value,
+    },
+    /// `V… n+ n- <wave> [ac mag]`.
+    V(SourceCardBody),
+    /// `I… n+ n- <wave>` (current flows through the source from `n+` to
+    /// `n-`).
+    I(SourceCardBody),
+    /// `M… d g s [b] model [w=…] [l=…] [wol=…]`.
+    Mos(MosCard),
+    /// `X… node… subcktname` — a subcircuit instance.
+    Instance {
+        /// Instance name.
+        name: String,
+        /// Port connections, in `.subckt` port order.
+        nodes: Vec<String>,
+        /// Subcircuit name.
+        subckt: String,
+    },
+}
+
+impl ElementCard {
+    /// The device/instance name.
+    pub fn name(&self) -> &str {
+        match self {
+            ElementCard::Res { name, .. }
+            | ElementCard::Cap { name, .. }
+            | ElementCard::Instance { name, .. } => name,
+            ElementCard::V(b) | ElementCard::I(b) => &b.name,
+            ElementCard::Mos(m) => &m.name,
+        }
+    }
+}
+
+/// A `.model <name> nmos …` card. Only n-MOS models exist in this
+/// dialect; `level` selects the fts-spice device (1 or 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelCard {
+    /// Model name.
+    pub name: String,
+    /// `level=1` (square-law) or `level=3` (short-channel + Meyer caps).
+    pub level: u8,
+    /// Remaining parameters in source order. Keys are from the fixed set
+    /// `kp vto lambda wol theta esatl cgs cgd`, each at most once.
+    pub params: Vec<(String, Value)>,
+}
+
+/// `.ac` frequency spacing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcScale {
+    /// `dec n` — n points per decade, logarithmic.
+    Dec,
+    /// `lin n` — n points total, linear.
+    Lin,
+}
+
+/// An analysis card.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisCard {
+    /// `.op`.
+    Op,
+    /// `.dc <vsource> <start> <stop> <step>`.
+    Dc {
+        /// Swept voltage-source name.
+        source: String,
+        /// First value \[V\].
+        start: Value,
+        /// Last value \[V\] (inclusive bound).
+        stop: Value,
+        /// Step \[V\] (sign must match the sweep direction).
+        step: Value,
+    },
+    /// `.tran <dt> <tstop>` — fixed-step trapezoidal from a DC operating
+    /// point.
+    Tran {
+        /// Time step \[s\].
+        dt: Value,
+        /// Stop time \[s\].
+        tstop: Value,
+    },
+    /// `.ac dec|lin <n> <fstart> <fstop>`.
+    Ac {
+        /// Frequency spacing.
+        scale: AcScale,
+        /// Points (per decade for `dec`, total for `lin`).
+        n: Value,
+        /// First frequency \[Hz\].
+        fstart: Value,
+        /// Last frequency \[Hz\].
+        fstop: Value,
+    },
+}
+
+/// A `.subckt` definition: ports plus a body of element cards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubcktDef {
+    /// Subcircuit name.
+    pub name: String,
+    /// Port node names, in declaration order.
+    pub ports: Vec<String>,
+    /// Body element cards with their source lines.
+    pub body: Vec<(u32, ElementCard)>,
+}
+
+/// One parsed card.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Card {
+    /// An element instantiation.
+    Element(ElementCard),
+    /// A `.model` definition.
+    Model(ModelCard),
+    /// A `.param <name>=<value>` definition.
+    Param {
+        /// Parameter name.
+        name: String,
+        /// Parameter value (literal, or a reference to an earlier param).
+        value: Value,
+    },
+    /// `.nodeorder <n1> <n2> …` — an fts dialect extension that pre-creates
+    /// nodes in the given order before any element card runs. Exported
+    /// decks always carry it: node creation order determines MNA row
+    /// order, hence pivoting, hence the last bits of every result.
+    NodeOrder(Vec<String>),
+    /// A `.subckt` … `.ends` definition.
+    Subckt(SubcktDef),
+    /// An analysis card.
+    Analysis(AnalysisCard),
+    /// `.probe v(<node>)` — a node to record (and the report node).
+    Probe {
+        /// Probed node name.
+        node: String,
+    },
+}
+
+/// A card tagged with the 1-based source line of its first token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceCard {
+    /// 1-based line of the card's first token.
+    pub line: u32,
+    /// The card.
+    pub card: Card,
+}
+
+/// A parsed deck.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Deck {
+    /// Cards in source order (includes already spliced, `.end` and
+    /// everything after it dropped).
+    pub cards: Vec<SourceCard>,
+}
+
+impl Deck {
+    /// The cards without their source positions — the equality the
+    /// print→parse round-trip property is stated over (printing
+    /// renumbers lines).
+    pub fn cards_only(&self) -> Vec<&Card> {
+        self.cards.iter().map(|c| &c.card).collect()
+    }
+}

@@ -1,0 +1,904 @@
+//! [`Deck`] AST → [`fts_spice::Netlist`] + [`fts_engine::SimJob`]s.
+//!
+//! Elaboration runs in two passes. Pass A walks cards in order and
+//! collects definitions: `.param` values (references resolve against
+//! earlier params only), `.model` cards (validated per level), `.subckt`
+//! bodies, and `.nodeorder` lists. Pass B pre-creates the ordered nodes,
+//! instantiates element cards in source order (flattening `X` instances
+//! with a bounded recursion), resolves probes, and finally lowers each
+//! analysis card into a [`SimJob`] labelled `<kind>-<ordinal>`.
+//!
+//! Every resource the deck controls is capped here: subcircuit depth,
+//! device and node counts, and the point counts of every analysis — a
+//! hostile deck fails with a [`DeckError`], it does not allocate.
+
+use std::collections::{HashMap, HashSet};
+
+use fts_engine::{SimJob, DEFAULT_MAX_SAMPLES};
+use fts_spice::analysis::TranConfig;
+use fts_spice::{Mos3Params, MosParams, Netlist, NodeId, SpiceError, Waveform};
+
+use crate::ast::{
+    AcScale, AnalysisCard, Card, Deck, ElementCard, ModelCard, SubcktDef, Value, WaveSpec,
+};
+use crate::error::DeckError;
+
+/// Maximum `.subckt` instantiation depth.
+pub const MAX_SUBCKT_DEPTH: usize = 16;
+/// Maximum devices a deck may elaborate into.
+pub const MAX_DEVICES: usize = 200_000;
+/// Maximum nodes a deck may elaborate into.
+pub const MAX_NODES: usize = 200_000;
+/// Maximum points of a `.dc` sweep.
+pub const MAX_SWEEP_POINTS: usize = 100_000;
+/// Maximum fixed steps of a `.tran` (tstop / dt).
+pub const MAX_TRAN_STEPS: f64 = 50_000_000.0;
+/// Maximum points of an `.ac` sweep.
+pub const MAX_AC_POINTS: usize = 100_000;
+
+/// Elaboration knobs.
+#[derive(Debug, Clone)]
+pub struct ElabOptions {
+    /// Retained-sample cap applied to `.tran` jobs (the decimating sink's
+    /// budget). Defaults to [`DEFAULT_MAX_SAMPLES`].
+    pub max_samples: usize,
+}
+
+impl Default for ElabOptions {
+    fn default() -> ElabOptions {
+        ElabOptions {
+            max_samples: DEFAULT_MAX_SAMPLES,
+        }
+    }
+}
+
+/// What a deck elaborates into.
+#[derive(Debug, Clone)]
+pub struct Elaborated {
+    /// The flattened circuit.
+    pub netlist: Netlist,
+    /// The report node: the first `.probe`, else a node named `out`, else
+    /// the first non-ground node.
+    pub out: NodeId,
+    /// All probed nodes in `.probe` order (empty when the deck has none).
+    pub probes: Vec<NodeId>,
+    /// One job per analysis card, in source order, labelled
+    /// `op-0` / `dc-1` / `tran-2` / `ac-3` by analysis ordinal.
+    pub jobs: Vec<SimJob>,
+}
+
+/// Elaborates a parsed deck.
+///
+/// # Errors
+///
+/// A structured [`DeckError`] naming the offending card's line.
+pub fn elaborate(deck: &Deck, opts: &ElabOptions) -> Result<Elaborated, DeckError> {
+    // Pass A: definitions.
+    let mut params: HashMap<String, f64> = HashMap::new();
+    let mut models: HashMap<&str, ResolvedModel> = HashMap::new();
+    let mut subckts: HashMap<&str, &SubcktDef> = HashMap::new();
+    let mut node_order: Vec<(&str, u32)> = Vec::new();
+    for sc in &deck.cards {
+        match &sc.card {
+            Card::Param { name, value } => {
+                let v = resolve(value, &params, sc.line)?;
+                if params.insert(name.clone(), v).is_some() {
+                    return Err(err(
+                        "duplicate_param",
+                        sc.line,
+                        format!("parameter {name:?} defined twice"),
+                    ));
+                }
+            }
+            Card::Model(m) => {
+                let resolved = ResolvedModel::build(m, &params, sc.line)?;
+                if models.insert(m.name.as_str(), resolved).is_some() {
+                    return Err(err(
+                        "duplicate_model",
+                        sc.line,
+                        format!("model {:?} defined twice", m.name),
+                    ));
+                }
+            }
+            Card::Subckt(def) => {
+                if subckts.contains_key(def.name.as_str()) {
+                    return Err(err(
+                        "duplicate_subckt",
+                        sc.line,
+                        format!("subcircuit {:?} defined twice", def.name),
+                    ));
+                }
+                subckts.insert(def.name.as_str(), def);
+            }
+            Card::NodeOrder(nodes) => {
+                node_order.extend(nodes.iter().map(|n| (n.as_str(), sc.line)));
+            }
+            _ => {}
+        }
+    }
+
+    // Pass B: instantiation.
+    let mut ctx = Ctx {
+        netlist: Netlist::new(),
+        params: &params,
+        models: &models,
+        subckts: &subckts,
+        vsources: HashSet::new(),
+        ac_sources: Vec::new(),
+    };
+    for (name, line) in node_order {
+        ctx.make_node("", name, line)?;
+    }
+    for sc in &deck.cards {
+        if let Card::Element(e) = &sc.card {
+            ctx.instantiate("", &HashMap::new(), sc.line, e, 0)?;
+        }
+    }
+    if ctx.netlist.device_count() == 0 {
+        return Err(err("empty_deck", 1, "deck contains no devices"));
+    }
+
+    // Probes and the report node.
+    let mut probes = Vec::new();
+    for sc in &deck.cards {
+        if let Card::Probe { node } = &sc.card {
+            let id = ctx.netlist.find_node(node).map_err(|_| {
+                err(
+                    "unknown_node",
+                    sc.line,
+                    format!("probed node {node:?} does not exist in the elaborated circuit"),
+                )
+            })?;
+            probes.push(id);
+        }
+    }
+    let out = match probes.first() {
+        Some(id) => *id,
+        None => match ctx.netlist.find_node("out") {
+            Ok(id) => id,
+            Err(_) => ctx.netlist.node_id(1),
+        },
+    };
+
+    // Analyses.
+    let mut jobs = Vec::new();
+    for sc in &deck.cards {
+        let Card::Analysis(a) = &sc.card else {
+            continue;
+        };
+        let ordinal = jobs.len();
+        let job = match a {
+            AnalysisCard::Op => SimJob::op(ctx.netlist.clone()).label(&format!("op-{ordinal}")),
+            AnalysisCard::Dc {
+                source,
+                start,
+                stop,
+                step,
+            } => {
+                if !ctx.vsources.contains(source.as_str()) {
+                    return Err(err(
+                        "unknown_source",
+                        sc.line,
+                        format!("\".dc\" sweeps unknown voltage source {source:?}"),
+                    ));
+                }
+                let start = resolve(start, &params, sc.line)?;
+                let stop = resolve(stop, &params, sc.line)?;
+                let step = resolve(step, &params, sc.line)?;
+                let values = sweep_values(start, stop, step, sc.line)?;
+                SimJob::dc_sweep(ctx.netlist.clone(), source, values)
+                    .label(&format!("dc-{ordinal}"))
+            }
+            AnalysisCard::Tran { dt, tstop } => {
+                let dt = resolve(dt, &params, sc.line)?;
+                let tstop = resolve(tstop, &params, sc.line)?;
+                if !(dt > 0.0) || !(tstop > 0.0) {
+                    return Err(err(
+                        "bad_analysis",
+                        sc.line,
+                        "\".tran\" needs positive dt and tstop",
+                    ));
+                }
+                if tstop / dt > MAX_TRAN_STEPS {
+                    return Err(err(
+                        "too_many_steps",
+                        sc.line,
+                        format!("\".tran\" would take more than {MAX_TRAN_STEPS} fixed steps"),
+                    ));
+                }
+                SimJob::transient(ctx.netlist.clone(), TranConfig::fixed(dt, tstop))
+                    .probes(&probes)
+                    .max_samples(opts.max_samples)
+                    .label(&format!("tran-{ordinal}"))
+            }
+            AnalysisCard::Ac {
+                scale,
+                n,
+                fstart,
+                fstop,
+            } => {
+                let (source, mag) = match ctx.ac_sources.as_slice() {
+                    [one] => one.clone(),
+                    [] => {
+                        return Err(err(
+                            "no_ac_source",
+                            sc.line,
+                            "\".ac\" needs exactly one V card with an \"ac\" magnitude",
+                        ))
+                    }
+                    many => {
+                        return Err(err(
+                            "ambiguous_ac_source",
+                            sc.line,
+                            format!(
+                                "\".ac\" found {} sources with an \"ac\" magnitude",
+                                many.len()
+                            ),
+                        ))
+                    }
+                };
+                if mag != 1.0 {
+                    return Err(err(
+                        "bad_analysis",
+                        sc.line,
+                        format!("only a unit AC magnitude is supported, {source:?} has {mag}"),
+                    ));
+                }
+                let n = resolve(n, &params, sc.line)?;
+                let fstart = resolve(fstart, &params, sc.line)?;
+                let fstop = resolve(fstop, &params, sc.line)?;
+                let freqs = ac_freqs(*scale, n, fstart, fstop, sc.line)?;
+                SimJob::ac(ctx.netlist.clone(), &source, freqs).label(&format!("ac-{ordinal}"))
+            }
+        };
+        jobs.push(job);
+    }
+    if jobs.is_empty() {
+        return Err(err(
+            "no_analysis",
+            1,
+            "deck has no analysis card (.op, .dc, .tran, or .ac)",
+        ));
+    }
+
+    Ok(Elaborated {
+        netlist: ctx.netlist,
+        out,
+        probes,
+        jobs,
+    })
+}
+
+fn err(code: &'static str, line: u32, message: impl Into<String>) -> DeckError {
+    DeckError::new(code, line, 1, message)
+}
+
+fn resolve(v: &Value, params: &HashMap<String, f64>, line: u32) -> Result<f64, DeckError> {
+    match v {
+        Value::Lit(x) => Ok(*x),
+        Value::Ref(name) => params.get(name).copied().ok_or_else(|| {
+            err(
+                "unknown_param",
+                line,
+                format!("undefined parameter {{{name}}} (params must be defined before use)"),
+            )
+        }),
+    }
+}
+
+/// The `start + k·step` ladder `.dc` expands to — and that the exporter
+/// inverts exactly (the `1e-9` guard makes `floor` immune to the last-bit
+/// error of `(stop-start)/step`).
+fn sweep_values(start: f64, stop: f64, step: f64, line: u32) -> Result<Vec<f64>, DeckError> {
+    if step == 0.0 || !step.is_finite() {
+        return Err(err("bad_sweep", line, "\".dc\" step must be nonzero"));
+    }
+    let ratio = (stop - start) / step;
+    if ratio < -1e-9 {
+        return Err(err(
+            "bad_sweep",
+            line,
+            "\".dc\" step sign does not reach stop from start",
+        ));
+    }
+    if !(ratio <= MAX_SWEEP_POINTS as f64) {
+        return Err(err(
+            "too_many_points",
+            line,
+            format!("\".dc\" sweep exceeds {MAX_SWEEP_POINTS} points"),
+        ));
+    }
+    let n = (ratio + 1e-9).floor() as usize + 1;
+    Ok((0..n).map(|k| start + k as f64 * step).collect())
+}
+
+fn ac_freqs(
+    scale: AcScale,
+    n: f64,
+    fstart: f64,
+    fstop: f64,
+    line: u32,
+) -> Result<Vec<f64>, DeckError> {
+    if n.fract() != 0.0 || !(n >= 1.0) || n > MAX_AC_POINTS as f64 {
+        return Err(err(
+            "bad_analysis",
+            line,
+            format!("\".ac\" point count must be an integer in 1..={MAX_AC_POINTS}"),
+        ));
+    }
+    if !(fstart > 0.0) || !(fstop >= fstart) {
+        return Err(err(
+            "bad_analysis",
+            line,
+            "\".ac\" needs 0 < fstart <= fstop",
+        ));
+    }
+    let n = n as usize;
+    let freqs = match scale {
+        AcScale::Lin => {
+            if n == 1 {
+                vec![fstart]
+            } else {
+                (0..n)
+                    .map(|k| fstart + k as f64 * (fstop - fstart) / (n - 1) as f64)
+                    .collect()
+            }
+        }
+        AcScale::Dec => {
+            let mut freqs = Vec::new();
+            for k in 0.. {
+                let f = fstart * 10f64.powf(k as f64 / n as f64);
+                if f > fstop * (1.0 + 1e-9) {
+                    break;
+                }
+                if freqs.len() >= MAX_AC_POINTS {
+                    return Err(err(
+                        "too_many_points",
+                        line,
+                        format!("\".ac\" sweep exceeds {MAX_AC_POINTS} points"),
+                    ));
+                }
+                freqs.push(f);
+            }
+            freqs
+        }
+    };
+    Ok(freqs)
+}
+
+/// A `.model` card with every parameter resolved and level-checked.
+#[derive(Debug, Clone, Copy)]
+struct ResolvedModel {
+    level: u8,
+    kp: f64,
+    vto: f64,
+    lambda: f64,
+    wol: Option<f64>,
+    theta: f64,
+    esatl: f64,
+    cgs: f64,
+    cgd: f64,
+}
+
+impl ResolvedModel {
+    fn build(
+        card: &ModelCard,
+        params: &HashMap<String, f64>,
+        line: u32,
+    ) -> Result<ResolvedModel, DeckError> {
+        let mut m = ResolvedModel {
+            level: card.level,
+            kp: 0.0,
+            vto: 0.0,
+            lambda: 0.0,
+            wol: None,
+            theta: 0.0,
+            esatl: f64::INFINITY,
+            cgs: 0.0,
+            cgd: 0.0,
+        };
+        for (key, value) in &card.params {
+            let v = resolve(value, params, line)?;
+            if card.level == 1 && matches!(key.as_str(), "theta" | "esatl" | "cgs" | "cgd") {
+                return Err(err(
+                    "bad_model",
+                    line,
+                    format!("model parameter {key:?} requires level=3"),
+                ));
+            }
+            match key.as_str() {
+                "kp" => m.kp = v,
+                "vto" => m.vto = v,
+                "lambda" => m.lambda = v,
+                "wol" => m.wol = Some(v),
+                "theta" => m.theta = v,
+                "esatl" => m.esatl = v,
+                "cgs" => m.cgs = v,
+                "cgd" => m.cgd = v,
+                _ => unreachable!("parser restricts model keys"),
+            }
+        }
+        if !(m.esatl > 0.0) {
+            return Err(err("bad_model", line, "\"esatl\" must be positive"));
+        }
+        Ok(m)
+    }
+}
+
+/// Elaboration state threaded through instantiation.
+struct Ctx<'a> {
+    netlist: Netlist,
+    params: &'a HashMap<String, f64>,
+    models: &'a HashMap<&'a str, ResolvedModel>,
+    subckts: &'a HashMap<&'a str, &'a SubcktDef>,
+    /// Fully-prefixed names of every voltage source (for `.dc`).
+    vsources: HashSet<String>,
+    /// `(prefixed name, magnitude)` of every source with an `ac` clause.
+    ac_sources: Vec<(String, f64)>,
+}
+
+impl Ctx<'_> {
+    /// Resolves a node name inside an instantiation context: ground, a
+    /// mapped port, or a (possibly prefixed) local node.
+    fn resolve_node(
+        &mut self,
+        prefix: &str,
+        ports: &HashMap<&str, NodeId>,
+        name: &str,
+        line: u32,
+    ) -> Result<NodeId, DeckError> {
+        if name == "0" {
+            return Ok(Netlist::GROUND);
+        }
+        if let Some(id) = ports.get(name) {
+            return Ok(*id);
+        }
+        self.make_node(prefix, name, line)
+    }
+
+    fn make_node(&mut self, prefix: &str, name: &str, line: u32) -> Result<NodeId, DeckError> {
+        let full = if prefix.is_empty() {
+            name.to_owned()
+        } else {
+            format!("{prefix}{name}")
+        };
+        let id = self.netlist.node(&full);
+        if self.netlist.node_count() > MAX_NODES {
+            return Err(err(
+                "too_many_nodes",
+                line,
+                format!("deck exceeds {MAX_NODES} nodes"),
+            ));
+        }
+        Ok(id)
+    }
+
+    fn check_devices(&self, line: u32) -> Result<(), DeckError> {
+        if self.netlist.device_count() > MAX_DEVICES {
+            return Err(err(
+                "too_many_devices",
+                line,
+                format!("deck exceeds {MAX_DEVICES} devices"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn spice_err(line: u32, e: SpiceError) -> DeckError {
+        err("invalid_value", line, e.to_string())
+    }
+
+    /// Instantiates one element card under `prefix`, flattening `X`
+    /// instances recursively (depth-capped).
+    fn instantiate(
+        &mut self,
+        prefix: &str,
+        ports: &HashMap<&str, NodeId>,
+        line: u32,
+        card: &ElementCard,
+        depth: usize,
+    ) -> Result<(), DeckError> {
+        let full_name = |name: &str| {
+            if prefix.is_empty() {
+                name.to_owned()
+            } else {
+                format!("{prefix}{name}")
+            }
+        };
+        match card {
+            ElementCard::Res { name, a, b, value } => {
+                let a = self.resolve_node(prefix, ports, a, line)?;
+                let b = self.resolve_node(prefix, ports, b, line)?;
+                let ohms = resolve(value, self.params, line)?;
+                self.netlist
+                    .resistor(&full_name(name), a, b, ohms)
+                    .map_err(|e| Self::spice_err(line, e))?;
+            }
+            ElementCard::Cap { name, a, b, value } => {
+                let a = self.resolve_node(prefix, ports, a, line)?;
+                let b = self.resolve_node(prefix, ports, b, line)?;
+                let farads = resolve(value, self.params, line)?;
+                self.netlist
+                    .capacitor(&full_name(name), a, b, farads)
+                    .map_err(|e| Self::spice_err(line, e))?;
+            }
+            ElementCard::V(body) | ElementCard::I(body) => {
+                let plus = self.resolve_node(prefix, ports, &body.plus, line)?;
+                let minus = self.resolve_node(prefix, ports, &body.minus, line)?;
+                let wave = self.waveform(&body.wave, line)?;
+                let name = full_name(&body.name);
+                let is_v = matches!(card, ElementCard::V(_));
+                if let Some(mag) = &body.ac_mag {
+                    if !is_v {
+                        return Err(err(
+                            "bad_waveform",
+                            line,
+                            "\"ac\" magnitudes are only supported on V cards",
+                        ));
+                    }
+                    let mag = resolve(mag, self.params, line)?;
+                    self.ac_sources.push((name.clone(), mag));
+                }
+                if is_v {
+                    self.netlist
+                        .vsource(&name, plus, minus, wave)
+                        .map_err(|e| Self::spice_err(line, e))?;
+                    self.vsources.insert(name);
+                } else {
+                    self.netlist
+                        .isource(&name, plus, minus, wave)
+                        .map_err(|e| Self::spice_err(line, e))?;
+                }
+            }
+            ElementCard::Mos(m) => {
+                let model = self.models.get(m.model.as_str()).copied().ok_or_else(|| {
+                    err(
+                        "unknown_model",
+                        line,
+                        format!(
+                            "MOSFET {:?} references undefined model {:?}",
+                            m.name, m.model
+                        ),
+                    )
+                })?;
+                let d = self.resolve_node(prefix, ports, &m.d, line)?;
+                let g = self.resolve_node(prefix, ports, &m.g, line)?;
+                let s = self.resolve_node(prefix, ports, &m.s, line)?;
+                if let Some(bulk) = &m.bulk {
+                    let b = self.resolve_node(prefix, ports, bulk, line)?;
+                    if b != Netlist::GROUND {
+                        return Err(err(
+                            "bulk_not_ground",
+                            line,
+                            format!(
+                                "MOSFET {:?} ties bulk to {bulk:?}; only grounded bulk is supported",
+                                m.name
+                            ),
+                        ));
+                    }
+                }
+                let wol = self.mos_wol(m, model.wol, line)?;
+                let name = full_name(&m.name);
+                if model.level == 1 {
+                    let p = MosParams {
+                        kp: model.kp,
+                        vth: model.vto,
+                        lambda: model.lambda,
+                        w_over_l: wol,
+                    };
+                    self.netlist
+                        .nmos(&name, d, g, s, p)
+                        .map_err(|e| Self::spice_err(line, e))?;
+                } else {
+                    let p = Mos3Params {
+                        kp: model.kp,
+                        vth: model.vto,
+                        lambda: model.lambda,
+                        w_over_l: wol,
+                        theta: model.theta,
+                        esat_l: model.esatl,
+                        cgs: model.cgs,
+                        cgd: model.cgd,
+                    };
+                    self.netlist
+                        .nmos3(&name, d, g, s, p)
+                        .map_err(|e| Self::spice_err(line, e))?;
+                }
+            }
+            ElementCard::Instance {
+                name,
+                nodes,
+                subckt,
+            } => {
+                if depth >= MAX_SUBCKT_DEPTH {
+                    return Err(err(
+                        "subckt_depth",
+                        line,
+                        format!("subcircuit nesting exceeds {MAX_SUBCKT_DEPTH} levels"),
+                    ));
+                }
+                let def = *self.subckts.get(subckt.as_str()).ok_or_else(|| {
+                    err(
+                        "unknown_subckt",
+                        line,
+                        format!("instance {name:?} references undefined subcircuit {subckt:?}"),
+                    )
+                })?;
+                if def.ports.len() != nodes.len() {
+                    return Err(err(
+                        "port_mismatch",
+                        line,
+                        format!(
+                            "instance {name:?} connects {} nodes, subcircuit {subckt:?} has {} ports",
+                            nodes.len(),
+                            def.ports.len()
+                        ),
+                    ));
+                }
+                let mut inner_ports: HashMap<&str, NodeId> = HashMap::new();
+                for (port, node) in def.ports.iter().zip(nodes) {
+                    let id = self.resolve_node(prefix, ports, node, line)?;
+                    inner_ports.insert(port.as_str(), id);
+                }
+                let inner_prefix = format!("{}{name}.", prefix);
+                for (body_line, e) in &def.body {
+                    self.instantiate(&inner_prefix, &inner_ports, *body_line, e, depth + 1)?;
+                }
+            }
+        }
+        self.check_devices(line)
+    }
+
+    fn mos_wol(
+        &self,
+        m: &crate::ast::MosCard,
+        model_wol: Option<f64>,
+        line: u32,
+    ) -> Result<f64, DeckError> {
+        if let Some(wol) = &m.wol {
+            return resolve(wol, self.params, line);
+        }
+        match (&m.w, &m.l) {
+            (Some(w), Some(l)) => {
+                let w = resolve(w, self.params, line)?;
+                let l = resolve(l, self.params, line)?;
+                if !(l > 0.0) {
+                    return Err(err("invalid_value", line, "\"l\" must be positive"));
+                }
+                Ok(w / l)
+            }
+            (None, None) => Ok(model_wol.unwrap_or(1.0)),
+            _ => Err(err(
+                "bad_mos_card",
+                line,
+                "give both \"w\" and \"l\", or \"wol\", not half a ratio",
+            )),
+        }
+    }
+
+    fn waveform(&self, spec: &WaveSpec, line: u32) -> Result<Waveform, DeckError> {
+        Ok(match spec {
+            WaveSpec::Dc(v) => Waveform::Dc(resolve(v, self.params, line)?),
+            WaveSpec::Pulse(vals) => {
+                let mut r = [0.0f64; 7];
+                for (slot, v) in r.iter_mut().zip(vals) {
+                    *slot = resolve(v, self.params, line)?;
+                }
+                for (i, name) in [
+                    (2, "delay"),
+                    (3, "rise"),
+                    (4, "fall"),
+                    (5, "width"),
+                    (6, "period"),
+                ] {
+                    if r[i] < 0.0 {
+                        return Err(err(
+                            "bad_waveform",
+                            line,
+                            format!("pulse {name} must be nonnegative"),
+                        ));
+                    }
+                }
+                Waveform::Pulse {
+                    v0: r[0],
+                    v1: r[1],
+                    delay: r[2],
+                    rise: r[3],
+                    fall: r[4],
+                    width: r[5],
+                    period: r[6],
+                }
+            }
+            WaveSpec::Pwl(vals) => {
+                let mut points = Vec::with_capacity(vals.len() / 2);
+                let mut prev_t = f64::NEG_INFINITY;
+                for pair in vals.chunks_exact(2) {
+                    let t = resolve(&pair[0], self.params, line)?;
+                    let v = resolve(&pair[1], self.params, line)?;
+                    if t < prev_t {
+                        return Err(err(
+                            "bad_waveform",
+                            line,
+                            "pwl times must be non-decreasing",
+                        ));
+                    }
+                    prev_t = t;
+                    points.push((t, v));
+                }
+                Waveform::Pwl(points)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::{read_deck, DenyIncludes};
+    use crate::parse::parse_cards;
+    use fts_engine::Analysis;
+
+    fn elab(text: &str) -> Result<Elaborated, DeckError> {
+        let deck = parse_cards(read_deck(text, &mut DenyIncludes)?)?;
+        elaborate(&deck, &ElabOptions::default())
+    }
+
+    #[test]
+    fn rc_deck_builds_jobs_in_order() {
+        let e = elab(concat!(
+            "v1 in 0 dc 1\n",
+            "r1 in out 1k\n",
+            "c1 out 0 1u\n",
+            ".probe v(out)\n",
+            ".op\n",
+            ".tran 1u 10u\n",
+            ".dc v1 0 1 0.25\n",
+        ))
+        .unwrap();
+        assert_eq!(e.jobs.len(), 3);
+        assert_eq!(e.jobs[0].label, "op-0");
+        assert_eq!(e.jobs[1].label, "tran-1");
+        assert_eq!(e.jobs[2].label, "dc-2");
+        assert_eq!(e.netlist.node_name(e.out), "out");
+        match &e.jobs[2].analysis {
+            Analysis::DcSweep { source, values } => {
+                assert_eq!(source, "v1");
+                assert_eq!(values, &[0.0, 0.25, 0.5, 0.75, 1.0]);
+            }
+            other => panic!("{other:?}"),
+        }
+        match &e.jobs[1].analysis {
+            Analysis::Transient { probes, .. } => assert_eq!(probes, &[e.out]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn params_models_and_subckts_flatten() {
+        let e = elab(concat!(
+            ".param vdd=1.2\n",
+            ".param half={vdd}\n",
+            ".model sw nmos level=3 kp=2e-4 vto=0.7 wol=2 cgs=1f\n",
+            ".subckt cell d g\n",
+            "m1 d g 0 sw\n",
+            "r1 d 0 10k\n",
+            ".ends\n",
+            "v1 g 0 dc {half}\n",
+            "x1 n1 g cell\n",
+            "x2 n2 g cell\n",
+            ".op\n",
+        ))
+        .unwrap();
+        // 2 cells × (mos + auto-cgs cap + resistor) + vsource.
+        assert_eq!(e.netlist.device_count(), 7);
+        assert!(e.netlist.find_node("x1.d").is_err(), "d is a port");
+        assert!(e.netlist.find_node("n1").is_ok());
+        let names: Vec<String> = e
+            .netlist
+            .devices()
+            .map(|d| match d {
+                fts_spice::DeviceView::Resistor { name, .. }
+                | fts_spice::DeviceView::Capacitor { name, .. }
+                | fts_spice::DeviceView::VSource { name, .. }
+                | fts_spice::DeviceView::ISource { name, .. }
+                | fts_spice::DeviceView::Nmos { name, .. }
+                | fts_spice::DeviceView::Nmos3 { name, .. } => name.to_owned(),
+            })
+            .collect();
+        assert!(names.contains(&"x1.m1".to_owned()));
+        assert!(names.contains(&"x1.m1_cgs".to_owned()));
+        assert!(names.contains(&"x2.r1".to_owned()));
+    }
+
+    #[test]
+    fn nodeorder_pins_node_creation() {
+        let e = elab(".nodeorder b a\nr1 a b 1\nv1 a 0 dc 1\n.op\n").unwrap();
+        assert_eq!(e.netlist.node_name(e.netlist.node_id(1)), "b");
+        assert_eq!(e.netlist.node_name(e.netlist.node_id(2)), "a");
+    }
+
+    #[test]
+    fn elaboration_errors() {
+        for (text, code) in [
+            (".op\n", "empty_deck"),
+            ("r1 a 0 1\nv1 a 0 dc 1\n", "no_analysis"),
+            ("r1 a 0 {missing}\n.op\n", "unknown_param"),
+            ("m1 d g 0 nope\n.op\n", "unknown_model"),
+            ("x1 a b nope\n.op\n", "unknown_subckt"),
+            (
+                ".subckt s a b\nr1 a b 1\n.ends\nx1 n1 s\n.op\n",
+                "port_mismatch",
+            ),
+            ("r1 a 0 0\n.op\n", "invalid_value"),
+            ("v1 a 0 dc 1\n.dc vx 0 1 0.1\n", "unknown_source"),
+            ("v1 a 0 dc 1\nr1 a 0 1\n.dc v1 0 1 0\n", "bad_sweep"),
+            ("v1 a 0 dc 1\nr1 a 0 1\n.dc v1 0 1 -0.1\n", "bad_sweep"),
+            ("v1 a 0 dc 1\nr1 a 0 1\n.dc v1 0 1 1u\n", "too_many_points"),
+            ("r1 a 0 1\n.probe v(zz)\n.op\n", "unknown_node"),
+            ("r1 a 0 1\n.tran 1n 1\n", "too_many_steps"),
+            (
+                "v1 a 0 dc 1 ac 1\nr1 a 0 1\n.ac dec 10 0 1k\n",
+                "bad_analysis",
+            ),
+            ("v1 a 0 dc 1\nr1 a 0 1\n.ac dec 10 1 1k\n", "no_ac_source"),
+            (
+                ".model m nmos level=1 kp=1 vto=1 cgs=1f\nm1 a b 0 m\n.op\n",
+                "bad_model",
+            ),
+            (
+                ".model m nmos kp=1 vto=1\nm1 a b 0 c m\nv1 c 0 dc 1\n.op\n",
+                "bulk_not_ground",
+            ),
+            (
+                "i1 a 0 dc 1 ac 1\nr1 a 0 1\n.ac dec 1 1 10\n",
+                "bad_waveform",
+            ),
+        ] {
+            let e = elab(text).unwrap_err();
+            assert_eq!(e.code, code, "{text:?} → {e}");
+            assert!(e.line >= 1 && e.col >= 1);
+        }
+    }
+
+    #[test]
+    fn subckt_depth_bomb_is_capped() {
+        let mut text = String::new();
+        // s0 instantiates nothing; s{k} instantiates s{k-1} twice.
+        text.push_str(".subckt s0 a\nr1 a 0 1\n.ends\n");
+        for k in 1..=20 {
+            text.push_str(&format!(
+                ".subckt s{k} a\nx1 a s{}\nx2 a s{}\n.ends\n",
+                k - 1,
+                k - 1
+            ));
+        }
+        text.push_str("x1 top s20\n.op\n");
+        let e = elab(&text).unwrap_err();
+        assert!(
+            e.code == "subckt_depth" || e.code == "too_many_devices",
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn mos_wol_precedence() {
+        let e = elab(concat!(
+            ".model m nmos kp=1e-4 vto=0.5 wol=3\n",
+            "m1 a b 0 m\n",
+            "m2 a b 0 m wol=7\n",
+            "m3 a b 0 m w=10u l=2u\n",
+            "v1 b 0 dc 1\n",
+            ".op\n",
+        ))
+        .unwrap();
+        let wols: Vec<f64> = e
+            .netlist
+            .devices()
+            .filter_map(|d| match d {
+                fts_spice::DeviceView::Nmos { params, .. } => Some(params.w_over_l),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(wols, vec![3.0, 7.0, 5.0]);
+    }
+}

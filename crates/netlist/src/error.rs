@@ -1,0 +1,62 @@
+//! The structured deck error: machine code + source position.
+
+use std::fmt;
+
+/// A structured deck error.
+///
+/// Every failure in the lexer, parser, and elaborator carries a stable
+/// machine-readable `code`, a 1-based source `line`/`col`, and a human
+/// message. The HTTP layer maps these onto its `WireError` shape (a `400`
+/// with line/column diagnostics); the CLI prints the
+/// [`Display`](fmt::Display) form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeckError {
+    /// Stable machine-readable error code (e.g. `bad_number`,
+    /// `unknown_model`, `include_depth`).
+    pub code: &'static str,
+    /// 1-based line of the offending token (within its own file for
+    /// included decks).
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl DeckError {
+    /// A new error at `line:col`.
+    pub fn new(code: &'static str, line: u32, col: u32, message: impl Into<String>) -> DeckError {
+        DeckError {
+            code,
+            // Positions are 1-based by contract — clamp so synthetic
+            // errors (e.g. "empty deck") still satisfy it.
+            line: line.max(1),
+            col: col.max(1),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DeckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {}:{}: {} ({})",
+            self.line, self.col, self.message, self.code
+        )
+    }
+}
+
+impl std::error::Error for DeckError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_are_clamped_to_one_based() {
+        let e = DeckError::new("x", 0, 0, "boom");
+        assert_eq!((e.line, e.col), (1, 1));
+        assert_eq!(e.to_string(), "line 1:1: boom (x)");
+    }
+}

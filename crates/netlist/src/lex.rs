@@ -1,0 +1,464 @@
+//! Physical lines → logical cards.
+//!
+//! The lexer owns everything below the grammar: comment stripping (`*`
+//! full lines, `;` to end of line), `+` continuation joining, `.include`
+//! splicing, and tokenization. Every token carries its 1-based line and
+//! column (within its own file for included decks), which is what lets
+//! every downstream error point at real source.
+//!
+//! All resource bounds live here: per-file and total byte caps, include
+//! depth and count caps, and a per-card token cap, so hostile input is a
+//! structured [`DeckError`] long before it can exhaust memory or stack.
+
+use std::sync::Arc;
+
+use crate::error::DeckError;
+
+/// Largest single deck or include file \[bytes\].
+pub const MAX_FILE_BYTES: usize = 1 << 20;
+/// Largest total input across the deck and every include \[bytes\].
+pub const MAX_TOTAL_BYTES: usize = 4 << 20;
+/// Deepest permitted `.include` nesting.
+pub const MAX_INCLUDE_DEPTH: usize = 8;
+/// Most `.include` directives honored in one deck.
+pub const MAX_INCLUDES: usize = 64;
+/// Most tokens one logical card may accumulate across continuations.
+pub const MAX_TOKENS_PER_CARD: usize = 4096;
+/// Most logical cards in one deck.
+pub const MAX_CARDS: usize = 65_536;
+
+/// One lexical token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Verbatim token text (case preserved; the parser lowercases where
+    /// the grammar is case-insensitive).
+    pub text: String,
+    /// 1-based source line within the token's file.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+    /// True for `"…"` quoted tokens (include paths).
+    pub quoted: bool,
+}
+
+impl Token {
+    /// A [`DeckError`] at this token's position.
+    pub fn error(&self, code: &'static str, message: impl Into<String>) -> DeckError {
+        DeckError::new(code, self.line, self.col, message)
+    }
+}
+
+/// One logical card: a non-empty token list, possibly joined from
+/// continuation lines, tagged with the include file it came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Card {
+    /// The tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// The include file path this card came from (`None` = the main deck).
+    pub origin: Option<Arc<str>>,
+}
+
+/// Resolves `.include` paths to file contents.
+pub trait IncludeLoader {
+    /// Loads the contents of `path`, or a human-readable failure message.
+    ///
+    /// # Errors
+    ///
+    /// A message embedded into the resulting `include_failed` [`DeckError`].
+    fn load(&mut self, path: &str) -> Result<String, String>;
+}
+
+/// Refuses every `.include` — the right loader for network input
+/// (`POST /v1/decks`) and manifest-embedded decks, where a deck must not
+/// reach into the server's filesystem.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DenyIncludes;
+
+impl IncludeLoader for DenyIncludes {
+    fn load(&mut self, _path: &str) -> Result<String, String> {
+        Err("\".include\" is not allowed in this context".to_owned())
+    }
+}
+
+/// Loads includes from the filesystem relative to a base directory
+/// (`fts run` uses the deck file's directory).
+#[derive(Debug, Clone)]
+pub struct FsIncludes {
+    base: std::path::PathBuf,
+}
+
+impl FsIncludes {
+    /// A loader resolving relative include paths against `base`.
+    pub fn new(base: impl Into<std::path::PathBuf>) -> FsIncludes {
+        FsIncludes { base: base.into() }
+    }
+}
+
+impl IncludeLoader for FsIncludes {
+    fn load(&mut self, path: &str) -> Result<String, String> {
+        let full = self.base.join(path);
+        std::fs::read_to_string(&full).map_err(|e| format!("{}: {e}", full.display()))
+    }
+}
+
+/// One file being lexed: its pre-split lines and a cursor.
+struct Frame {
+    lines: Vec<String>,
+    next: usize,
+    origin: Option<Arc<str>>,
+}
+
+/// Lexes `text` (splicing `.include`s through `loader`) into logical
+/// cards.
+///
+/// # Errors
+///
+/// Structured [`DeckError`]s for size/depth/count violations, unterminated
+/// strings, misplaced continuations, and include failures.
+pub fn read_deck(text: &str, loader: &mut dyn IncludeLoader) -> Result<Vec<Card>, DeckError> {
+    if text.len() > MAX_FILE_BYTES {
+        return Err(DeckError::new(
+            "deck_too_large",
+            1,
+            1,
+            format!("deck is {} bytes; the cap is {MAX_FILE_BYTES}", text.len()),
+        ));
+    }
+    let mut total = text.len();
+    let mut includes = 0usize;
+    let mut stack = vec![Frame {
+        lines: text.lines().map(str::to_owned).collect(),
+        next: 0,
+        origin: None,
+    }];
+    let mut cards: Vec<Card> = Vec::new();
+
+    while let Some(frame) = stack.last_mut() {
+        let Some(line) = frame.lines.get(frame.next) else {
+            stack.pop();
+            continue;
+        };
+        let lineno = (frame.next + 1) as u32;
+        frame.next += 1;
+        let origin = frame.origin.clone();
+
+        // Classify by first non-whitespace character.
+        let mut chars = line.char_indices().skip_while(|(_, c)| c.is_whitespace());
+        let Some((first_idx, first)) = chars.next() else {
+            continue; // blank line
+        };
+        if first == '*' {
+            continue; // comment line
+        }
+        let continuation = first == '+';
+        let start = if continuation {
+            first_idx + first.len_utf8()
+        } else {
+            first_idx
+        };
+        let start_col = line[..start].chars().count() as u32 + 1;
+        let tokens = tokenize(&line[start..], lineno, start_col)?;
+        if tokens.is_empty() {
+            continue; // lone "+" or ";comment" line
+        }
+
+        if continuation {
+            let Some(card) = cards.last_mut() else {
+                return Err(DeckError::new(
+                    "bad_continuation",
+                    lineno,
+                    start_col.saturating_sub(1),
+                    "continuation line with no card to continue",
+                ));
+            };
+            if card.tokens.len() + tokens.len() > MAX_TOKENS_PER_CARD {
+                return Err(DeckError::new(
+                    "card_too_long",
+                    lineno,
+                    1,
+                    format!("card exceeds {MAX_TOKENS_PER_CARD} tokens"),
+                ));
+            }
+            card.tokens.extend(tokens);
+            continue;
+        }
+
+        if tokens[0].text.eq_ignore_ascii_case(".include") {
+            let path_tok = match tokens.as_slice() {
+                [_, p] => p,
+                _ => {
+                    return Err(tokens[0].error(
+                        "bad_include",
+                        "\".include\" takes exactly one path argument",
+                    ))
+                }
+            };
+            includes += 1;
+            if includes > MAX_INCLUDES {
+                return Err(path_tok.error(
+                    "include_count",
+                    format!("more than {MAX_INCLUDES} .include directives"),
+                ));
+            }
+            if stack.len() > MAX_INCLUDE_DEPTH {
+                return Err(path_tok.error(
+                    "include_depth",
+                    format!("includes nested deeper than {MAX_INCLUDE_DEPTH}"),
+                ));
+            }
+            let loaded = loader
+                .load(&path_tok.text)
+                .map_err(|msg| path_tok.error("include_failed", msg))?;
+            if loaded.len() > MAX_FILE_BYTES {
+                return Err(path_tok.error(
+                    "deck_too_large",
+                    format!(
+                        "include {:?} is {} bytes; the cap is {MAX_FILE_BYTES}",
+                        path_tok.text,
+                        loaded.len()
+                    ),
+                ));
+            }
+            total += loaded.len();
+            if total > MAX_TOTAL_BYTES {
+                return Err(path_tok.error(
+                    "deck_too_large",
+                    format!("total deck size exceeds {MAX_TOTAL_BYTES} bytes"),
+                ));
+            }
+            stack.push(Frame {
+                lines: loaded.lines().map(str::to_owned).collect(),
+                next: 0,
+                origin: Some(Arc::from(path_tok.text.as_str())),
+            });
+            continue;
+        }
+
+        if tokens.len() > MAX_TOKENS_PER_CARD {
+            return Err(DeckError::new(
+                "card_too_long",
+                lineno,
+                1,
+                format!("card exceeds {MAX_TOKENS_PER_CARD} tokens"),
+            ));
+        }
+        if cards.len() >= MAX_CARDS {
+            return Err(DeckError::new(
+                "deck_too_large",
+                lineno,
+                1,
+                format!("more than {MAX_CARDS} cards"),
+            ));
+        }
+        cards.push(Card { tokens, origin });
+    }
+    Ok(cards)
+}
+
+/// Tokenizes one line fragment. `col0` is the 1-based column of the
+/// fragment's first character.
+fn tokenize(text: &str, line: u32, col0: u32) -> Result<Vec<Token>, DeckError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        let col = col0 + i as u32;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == ';' {
+            break; // inline comment
+        }
+        if c == '"' {
+            let mut s = String::new();
+            i += 1;
+            loop {
+                match chars.get(i) {
+                    None => {
+                        return Err(DeckError::new(
+                            "unterminated_string",
+                            line,
+                            col,
+                            "unterminated quoted string",
+                        ))
+                    }
+                    Some('"') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(&c) => {
+                        s.push(c);
+                        i += 1;
+                    }
+                }
+            }
+            out.push(Token {
+                text: s,
+                line,
+                col,
+                quoted: true,
+            });
+            continue;
+        }
+        if matches!(c, '(' | ')' | '=' | ',') {
+            out.push(Token {
+                text: c.to_string(),
+                line,
+                col,
+                quoted: false,
+            });
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() || matches!(c, ';' | '"' | '(' | ')' | '=' | ',') {
+                break;
+            }
+            i += 1;
+        }
+        out.push(Token {
+            text: chars[start..i].iter().collect(),
+            line,
+            col,
+            quoted: false,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(text: &str) -> Vec<Card> {
+        read_deck(text, &mut DenyIncludes).unwrap()
+    }
+
+    fn texts(card: &Card) -> Vec<&str> {
+        card.tokens.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    #[test]
+    fn comments_blanks_and_positions() {
+        let cards = lex("* title line\n\nr1 a b 1k ; pull-up\n  * indented comment\nc1 b 0 1p\n");
+        assert_eq!(cards.len(), 2);
+        assert_eq!(texts(&cards[0]), ["r1", "a", "b", "1k"]);
+        assert_eq!((cards[0].tokens[0].line, cards[0].tokens[0].col), (3, 1));
+        assert_eq!((cards[0].tokens[3].line, cards[0].tokens[3].col), (3, 8));
+        assert_eq!(cards[1].tokens[0].line, 5);
+    }
+
+    #[test]
+    fn continuations_join_cards() {
+        let cards = lex("v1 in 0 pulse ( 0 1\n+ 1n 1n 1n\n+5u 0 )\n");
+        assert_eq!(cards.len(), 1);
+        assert_eq!(
+            texts(&cards[0]),
+            ["v1", "in", "0", "pulse", "(", "0", "1", "1n", "1n", "1n", "5u", "0", ")"]
+        );
+        // The continued tokens keep their own line numbers.
+        assert_eq!(cards[0].tokens[7].line, 2);
+        assert_eq!(cards[0].tokens[10].line, 3);
+    }
+
+    #[test]
+    fn punctuation_splits_without_spaces() {
+        let cards = lex(".probe v(out)\n.model m1 nmos kp=2e-4,vto=0.7\n");
+        assert_eq!(texts(&cards[0]), [".probe", "v", "(", "out", ")"]);
+        assert_eq!(
+            texts(&cards[1]),
+            [".model", "m1", "nmos", "kp", "=", "2e-4", ",", "vto", "=", "0.7"]
+        );
+    }
+
+    #[test]
+    fn leading_continuation_is_an_error() {
+        let e = read_deck("+ r1 a b 1k\n", &mut DenyIncludes).unwrap_err();
+        assert_eq!(e.code, "bad_continuation");
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let e = read_deck(".include \"half\n", &mut DenyIncludes).unwrap_err();
+        assert_eq!(e.code, "unterminated_string");
+        assert_eq!((e.line, e.col), (1, 10));
+    }
+
+    #[test]
+    fn includes_are_denied_by_default() {
+        let e = read_deck("* t\n.include \"lib.cir\"\n", &mut DenyIncludes).unwrap_err();
+        assert_eq!(e.code, "include_failed");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("not allowed"), "{e}");
+    }
+
+    #[test]
+    fn include_depth_bomb_is_bounded() {
+        // A loader that returns another include forever.
+        struct Bomb;
+        impl IncludeLoader for Bomb {
+            fn load(&mut self, _p: &str) -> Result<String, String> {
+                Ok(".include \"again\"\n".to_owned())
+            }
+        }
+        let e = read_deck(".include \"start\"\n", &mut Bomb).unwrap_err();
+        assert_eq!(e.code, "include_depth");
+    }
+
+    #[test]
+    fn include_count_bomb_is_bounded() {
+        // Each include expands to one resistor — fine — but a deck of
+        // MAX_INCLUDES+1 direct includes must be refused.
+        struct Lib;
+        impl IncludeLoader for Lib {
+            fn load(&mut self, _p: &str) -> Result<String, String> {
+                Ok("r1 a b 1k\n".to_owned())
+            }
+        }
+        let deck: String = (0..=MAX_INCLUDES)
+            .map(|k| format!(".include \"lib{k}\"\n"))
+            .collect();
+        let e = read_deck(&deck, &mut Lib).unwrap_err();
+        assert_eq!(e.code, "include_count");
+    }
+
+    #[test]
+    fn included_cards_carry_their_origin() {
+        struct Lib;
+        impl IncludeLoader for Lib {
+            fn load(&mut self, _p: &str) -> Result<String, String> {
+                Ok("* lib\nc9 x 0 1p\n".to_owned())
+            }
+        }
+        let cards = read_deck("r1 a b 1k\n.include \"lib.cir\"\nr2 b 0 2k\n", &mut Lib).unwrap();
+        assert_eq!(cards.len(), 3);
+        assert_eq!(cards[0].origin, None);
+        assert_eq!(cards[1].origin.as_deref(), Some("lib.cir"));
+        // Lines inside the include are numbered within the include.
+        assert_eq!(cards[1].tokens[0].line, 2);
+        assert_eq!(cards[2].origin, None);
+        assert_eq!(cards[2].tokens[0].line, 3);
+    }
+
+    #[test]
+    fn oversized_deck_is_rejected_up_front() {
+        let big = "x".repeat(MAX_FILE_BYTES + 1);
+        let e = read_deck(&big, &mut DenyIncludes).unwrap_err();
+        assert_eq!(e.code, "deck_too_large");
+    }
+
+    #[test]
+    fn token_bomb_card_is_bounded() {
+        let mut deck = String::from("r1");
+        for _ in 0..MAX_TOKENS_PER_CARD {
+            deck.push_str("\n+ a b");
+        }
+        let e = read_deck(&deck, &mut DenyIncludes).unwrap_err();
+        assert_eq!(e.code, "card_too_long");
+    }
+}

@@ -1,0 +1,210 @@
+//! The one fuzz-hardened number path.
+//!
+//! Two front ends read floating-point literals from untrusted text: the
+//! server's JSON parser (`fts-server::wire::Json`) and the deck parser in
+//! this crate. Both validate through this module, so hardening decisions
+//! — most importantly **rejecting literals that overflow to infinity**
+//! (`1e999` must be a parse error, not `inf` smuggled into a simulation)
+//! — are made exactly once.
+//!
+//! [`parse_json_f64`] enforces the strict JSON number grammar;
+//! [`parse_spice`] accepts the lenient SPICE dialect: optional leading
+//! `+`, bare `.5` / `5.` forms, SI scale suffixes (`1k`, `2.2u`,
+//! `10meg`), and trailing unit letters that SPICE ignores (`1kohm`).
+
+/// Scans a float at the start of `b` and returns the byte length of the
+/// numeric part (mantissa + exponent), or `None` when no valid float
+/// starts there. `json` selects the strict JSON grammar: no leading `+`,
+/// no bare `.5` / `5.`, no leading zeros like `01`.
+fn float_len(b: &[u8], json: bool) -> Option<usize> {
+    let mut i = 0;
+    if i < b.len() && (b[i] == b'-' || (!json && b[i] == b'+')) {
+        i += 1;
+    }
+    let int_start = i;
+    while i < b.len() && b[i].is_ascii_digit() {
+        i += 1;
+    }
+    let int_digits = i - int_start;
+    if json && int_digits == 0 {
+        return None;
+    }
+    if json && int_digits > 1 && b[int_start] == b'0' {
+        return None;
+    }
+    let mut frac_digits = 0;
+    if i < b.len() && b[i] == b'.' {
+        let dot = i;
+        i += 1;
+        let frac_start = i;
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+        frac_digits = i - frac_start;
+        if frac_digits == 0 {
+            if json {
+                return None;
+            }
+            // SPICE accepts "5." but a lone "." is not a number.
+            if int_digits == 0 {
+                return None;
+            }
+            let _ = dot;
+        }
+    }
+    if int_digits == 0 && frac_digits == 0 {
+        return None;
+    }
+    if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+        let mark = i;
+        i += 1;
+        if i < b.len() && (b[i] == b'+' || b[i] == b'-') {
+            i += 1;
+        }
+        let exp_start = i;
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+        if i == exp_start {
+            if json {
+                return None;
+            }
+            // SPICE: "1e" is the number 1 followed by a unit letter.
+            i = mark;
+        }
+    }
+    Some(i)
+}
+
+/// Parses a complete strict-JSON number token to a **finite** `f64`.
+///
+/// Returns `None` for grammar violations (`+1`, `01`, `1.`, `.5`, empty
+/// or trailing text) and for literals whose value overflows to infinity.
+pub fn parse_json_f64(text: &str) -> Option<f64> {
+    let b = text.as_bytes();
+    if float_len(b, true)? != b.len() {
+        return None;
+    }
+    let v: f64 = text.parse().ok()?;
+    v.is_finite().then_some(v)
+}
+
+/// The scale factor for a SPICE unit suffix, or `None` when `suffix` is
+/// not purely alphabetic. Unknown letters scale by 1 (SPICE ignores
+/// trailing unit names like `ohm` or `v`); `meg`/`mil` are matched before
+/// the single-letter `m`.
+fn suffix_scale(suffix: &str) -> Option<f64> {
+    if !suffix.bytes().all(|b| b.is_ascii_alphabetic()) {
+        return None;
+    }
+    let lower = suffix.to_ascii_lowercase();
+    Some(if lower.starts_with("meg") {
+        1e6
+    } else if lower.starts_with("mil") {
+        25.4e-6
+    } else {
+        match lower.bytes().next() {
+            Some(b't') => 1e12,
+            Some(b'g') => 1e9,
+            Some(b'k') => 1e3,
+            Some(b'm') => 1e-3,
+            Some(b'u') => 1e-6,
+            Some(b'n') => 1e-9,
+            Some(b'p') => 1e-12,
+            Some(b'f') => 1e-15,
+            _ => 1.0,
+        }
+    })
+}
+
+/// Parses a complete SPICE value token (`1k`, `2.2u`, `10meg`, `.5`,
+/// `1kohm`) to a **finite** `f64`.
+///
+/// Returns `None` when no float starts the token, the trailing suffix is
+/// not purely alphabetic, or the scaled value is non-finite.
+pub fn parse_spice(text: &str) -> Option<f64> {
+    let b = text.as_bytes();
+    let n = float_len(b, false)?;
+    let v: f64 = text[..n].parse().ok()?;
+    let scale = suffix_scale(&text[n..])?;
+    let scaled = v * scale;
+    scaled.is_finite().then_some(scaled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_grammar_is_strict() {
+        assert_eq!(parse_json_f64("1.5"), Some(1.5));
+        assert_eq!(parse_json_f64("-2e3"), Some(-2000.0));
+        assert_eq!(parse_json_f64("0.5"), Some(0.5));
+        assert_eq!(parse_json_f64("0"), Some(0.0));
+        for bad in [
+            "", "+1", "01", "1.", ".5", "1e", "1e+", "--1", "1x", "nan", "inf", "1 ",
+        ] {
+            assert_eq!(parse_json_f64(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn overflow_to_infinity_is_rejected_everywhere() {
+        assert_eq!(parse_json_f64("1e999"), None);
+        assert_eq!(parse_json_f64("-1e999"), None);
+        assert_eq!(parse_spice("1e999"), None);
+        assert_eq!(parse_spice("1e308k"), None, "finite float, infinite scaled");
+    }
+
+    #[test]
+    fn spice_suffixes_scale() {
+        // The suffix applies by multiplication, so expectations are
+        // written as `mantissa * scale` (bit-exact), not as one literal.
+        assert_eq!(parse_spice("1k"), Some(1e3));
+        assert_eq!(parse_spice("2.2u"), Some(2.2 * 1e-6));
+        assert_eq!(parse_spice("10meg"), Some(10e6));
+        assert_eq!(parse_spice("10MEG"), Some(10e6));
+        assert_eq!(parse_spice("3m"), Some(3.0 * 1e-3));
+        assert_eq!(parse_spice("1mil"), Some(25.4e-6));
+        assert_eq!(parse_spice("4t"), Some(4e12));
+        assert_eq!(parse_spice("5g"), Some(5e9));
+        assert_eq!(parse_spice("6n"), Some(6.0 * 1e-9));
+        assert_eq!(parse_spice("7p"), Some(7.0 * 1e-12));
+        assert_eq!(parse_spice("8f"), Some(8.0 * 1e-15));
+        // Trailing unit names are ignored; the scale letter still applies.
+        assert_eq!(parse_spice("1kohm"), Some(1e3));
+        assert_eq!(parse_spice("5v"), Some(5.0));
+        assert_eq!(parse_spice("1e3"), Some(1e3));
+        assert_eq!(parse_spice("1e"), Some(1.0), "e starts a unit suffix");
+    }
+
+    #[test]
+    fn spice_lenient_forms() {
+        assert_eq!(parse_spice(".5"), Some(0.5));
+        assert_eq!(parse_spice("5."), Some(5.0));
+        assert_eq!(parse_spice("+3"), Some(3.0));
+        assert_eq!(parse_spice("-1.5n"), Some(-1.5 * 1e-9));
+        for bad in ["", ".", "k", "1..2", "1k2", "1-", "1k ", "--3"] {
+            assert_eq!(parse_spice(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn display_round_trips_through_json_grammar() {
+        // `json_f64` renders finite floats with `{}`; the strict grammar
+        // must accept every such rendering exactly.
+        for v in [
+            0.0,
+            -0.0,
+            1.5,
+            -2.25e-7,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            1.0 / 3.0,
+        ] {
+            let text = format!("{v}");
+            let back = parse_json_f64(&text).unwrap_or_else(|| panic!("{text} rejected"));
+            assert_eq!(back.to_bits(), v.to_bits(), "{text}");
+        }
+    }
+}

@@ -1,0 +1,830 @@
+//! Token cards → [`Deck`] AST.
+//!
+//! A hand-rolled recursive-descent parser over the lexer's logical cards.
+//! Element kind is dispatched on the card name's first letter (the SPICE
+//! convention); directives on the full first token. Everything the
+//! grammar treats case-insensitively is lowercased into the AST here.
+
+use crate::ast::{
+    AcScale, AnalysisCard, Card, Deck, ElementCard, ModelCard, MosCard, SourceCard, SourceCardBody,
+    SubcktDef, Value, WaveSpec,
+};
+use crate::error::DeckError;
+use crate::lex::{self, Token};
+use crate::number;
+
+/// `.model` parameter keys besides `level`, i.e. what [`ModelCard::params`]
+/// may contain.
+pub const MODEL_KEYS: [&str; 8] = ["kp", "vto", "lambda", "wol", "theta", "esatl", "cgs", "cgd"];
+
+/// Parses lexed cards into a [`Deck`].
+///
+/// # Errors
+///
+/// A structured [`DeckError`] at the offending token.
+pub fn parse_cards(cards: Vec<lex::Card>) -> Result<Deck, DeckError> {
+    let mut deck = Deck::default();
+    let mut open_subckt: Option<SubcktDef> = None;
+    'cards: for card in cards {
+        let mut p = CardParser::new(&card);
+        let head = p.next().expect("lexer yields non-empty cards");
+        let head_lower = head.text.to_ascii_lowercase();
+        let line = head.line;
+
+        if let Some(directive) = head_lower.strip_prefix('.') {
+            match directive {
+                "end" => break 'cards,
+                "ends" => {
+                    let def = open_subckt.take().ok_or_else(|| {
+                        p.error(
+                            head,
+                            "unmatched_ends",
+                            "\".ends\" without an open \".subckt\"",
+                        )
+                    })?;
+                    if let Some(tok) = p.peek() {
+                        let name = p.name_token("subcircuit name")?;
+                        if name != def.name {
+                            return Err(p.error(
+                                tok,
+                                "unmatched_ends",
+                                format!("\".ends {name}\" closes \".subckt {}\"", def.name),
+                            ));
+                        }
+                    }
+                    p.expect_end()?;
+                    deck.cards.push(SourceCard {
+                        line,
+                        card: Card::Subckt(def),
+                    });
+                    continue;
+                }
+                "subckt" => {
+                    if open_subckt.is_some() {
+                        return Err(p.error(
+                            head,
+                            "nested_subckt",
+                            "\".subckt\" definitions cannot nest",
+                        ));
+                    }
+                    let name = p.name_token("subcircuit name")?;
+                    let mut ports = Vec::new();
+                    while p.peek().is_some() {
+                        ports.push(p.name_token("port node")?);
+                    }
+                    if ports.is_empty() {
+                        return Err(p.error(
+                            head,
+                            "bad_subckt",
+                            "\".subckt\" needs at least one port",
+                        ));
+                    }
+                    open_subckt = Some(SubcktDef {
+                        name,
+                        ports,
+                        body: Vec::new(),
+                    });
+                    continue;
+                }
+                _ => {}
+            }
+            if open_subckt.is_some() {
+                return Err(p.error(
+                    head,
+                    "bad_subckt_body",
+                    format!("directive {:?} not allowed inside \".subckt\"", head.text),
+                ));
+            }
+            let parsed = match directive {
+                "op" => {
+                    p.expect_end()?;
+                    Card::Analysis(AnalysisCard::Op)
+                }
+                "dc" => {
+                    let source = p.name_token("swept source name")?;
+                    let start = p.value_token()?;
+                    let stop = p.value_token()?;
+                    let step = p.value_token()?;
+                    p.expect_end()?;
+                    Card::Analysis(AnalysisCard::Dc {
+                        source,
+                        start,
+                        stop,
+                        step,
+                    })
+                }
+                "tran" => {
+                    let dt = p.value_token()?;
+                    let tstop = p.value_token()?;
+                    p.expect_end()?;
+                    Card::Analysis(AnalysisCard::Tran { dt, tstop })
+                }
+                "ac" => {
+                    let scale_tok = p
+                        .next()
+                        .ok_or_else(|| p.end_error("expected \"dec\" or \"lin\""))?;
+                    let scale = match scale_tok.text.to_ascii_lowercase().as_str() {
+                        "dec" => AcScale::Dec,
+                        "lin" => AcScale::Lin,
+                        other => {
+                            return Err(p.error(
+                                scale_tok,
+                                "bad_analysis",
+                                format!("expected \"dec\" or \"lin\", got {other:?}"),
+                            ))
+                        }
+                    };
+                    let n = p.value_token()?;
+                    let fstart = p.value_token()?;
+                    let fstop = p.value_token()?;
+                    p.expect_end()?;
+                    Card::Analysis(AnalysisCard::Ac {
+                        scale,
+                        n,
+                        fstart,
+                        fstop,
+                    })
+                }
+                "probe" => {
+                    let node = p.probe_node()?;
+                    p.expect_end()?;
+                    Card::Probe { node }
+                }
+                "param" => {
+                    let name = p.name_token("parameter name")?;
+                    p.expect_punct("=")?;
+                    let value = p.value_token()?;
+                    p.expect_end()?;
+                    Card::Param { name, value }
+                }
+                "nodeorder" => {
+                    let mut nodes = Vec::new();
+                    while p.peek().is_some() {
+                        nodes.push(p.name_token("node name")?);
+                    }
+                    if nodes.is_empty() {
+                        return Err(p.error(
+                            head,
+                            "bad_nodeorder",
+                            "\".nodeorder\" needs at least one node",
+                        ));
+                    }
+                    Card::NodeOrder(nodes)
+                }
+                "model" => Card::Model(p.model_card()?),
+                _ => {
+                    return Err(p.error(
+                        head,
+                        "unknown_directive",
+                        format!("unknown directive {:?}", head.text),
+                    ))
+                }
+            };
+            deck.cards.push(SourceCard { line, card: parsed });
+            continue;
+        }
+
+        let element = p.element_card(head, &head_lower)?;
+        match open_subckt.as_mut() {
+            Some(def) => def.body.push((line, element)),
+            None => deck.cards.push(SourceCard {
+                line,
+                card: Card::Element(element),
+            }),
+        }
+    }
+    if let Some(def) = open_subckt {
+        return Err(DeckError::new(
+            "unclosed_subckt",
+            u32::MAX,
+            1,
+            format!("\".subckt {}\" is never closed by \".ends\"", def.name),
+        ));
+    }
+    Ok(deck)
+}
+
+/// True when `name` is acceptable as a node/device/model/param name:
+/// leading ASCII alphanumeric or `_`, then alphanumerics and `_ . $ -`.
+pub fn valid_name(name: &str) -> bool {
+    let mut bytes = name.bytes();
+    let Some(first) = bytes.next() else {
+        return false;
+    };
+    if !(first.is_ascii_alphanumeric() || first == b'_') {
+        return false;
+    }
+    bytes.all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b'$' | b'-'))
+}
+
+/// Cursor over one card's tokens.
+struct CardParser<'a> {
+    card: &'a lex::Card,
+    pos: usize,
+}
+
+impl<'a> CardParser<'a> {
+    fn new(card: &'a lex::Card) -> CardParser<'a> {
+        CardParser { card, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&'a Token> {
+        self.card.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&'a Token> {
+        let t = self.card.tokens.get(self.pos)?;
+        self.pos += 1;
+        Some(t)
+    }
+
+    /// Builds an error at `tok`, annotating cards spliced from includes.
+    fn error(&self, tok: &Token, code: &'static str, message: impl Into<String>) -> DeckError {
+        let mut message = message.into();
+        if let Some(origin) = &self.card.origin {
+            message.push_str(&format!(" (in include {origin:?})"));
+        }
+        DeckError::new(code, tok.line, tok.col, message)
+    }
+
+    /// An error positioned just past the card's last token.
+    fn end_error(&self, message: impl Into<String>) -> DeckError {
+        let last = self.card.tokens.last().expect("non-empty card");
+        self.error(
+            last,
+            "truncated_card",
+            format!("{} after {:?}", message.into(), last.text),
+        )
+    }
+
+    fn expect_end(&mut self) -> Result<(), DeckError> {
+        match self.peek() {
+            None => Ok(()),
+            Some(tok) => Err(self.error(
+                tok,
+                "trailing_tokens",
+                format!("unexpected {:?} at end of card", tok.text),
+            )),
+        }
+    }
+
+    fn expect_punct(&mut self, want: &str) -> Result<(), DeckError> {
+        match self.next() {
+            Some(tok) if tok.text == want => Ok(()),
+            Some(tok) => Err(self.error(
+                tok,
+                "bad_syntax",
+                format!("expected {want:?}, got {:?}", tok.text),
+            )),
+            None => Err(self.end_error(format!("expected {want:?}"))),
+        }
+    }
+
+    /// Skips an optional `,` separator.
+    fn skip_comma(&mut self) {
+        if self.peek().is_some_and(|t| t.text == ",") {
+            self.pos += 1;
+        }
+    }
+
+    /// Reads a lowercased, validated name token.
+    fn name_token(&mut self, what: &str) -> Result<String, DeckError> {
+        let tok = self
+            .next()
+            .ok_or_else(|| self.end_error(format!("expected {what}")))?;
+        let lower = tok.text.to_ascii_lowercase();
+        if tok.quoted || !valid_name(&lower) {
+            return Err(self.error(tok, "bad_name", format!("invalid {what} {:?}", tok.text)));
+        }
+        Ok(lower)
+    }
+
+    /// Reads a [`Value`]: a `{param}` reference or a SPICE literal.
+    fn value_token(&mut self) -> Result<Value, DeckError> {
+        self.skip_comma();
+        let tok = self
+            .next()
+            .ok_or_else(|| self.end_error("expected a value"))?;
+        self.parse_value(tok)
+    }
+
+    fn parse_value(&self, tok: &Token) -> Result<Value, DeckError> {
+        if let Some(inner) = tok.text.strip_prefix('{').and_then(|t| t.strip_suffix('}')) {
+            let lower = inner.to_ascii_lowercase();
+            if !valid_name(&lower) {
+                return Err(self.error(
+                    tok,
+                    "bad_name",
+                    format!("invalid parameter reference {:?}", tok.text),
+                ));
+            }
+            return Ok(Value::Ref(lower));
+        }
+        match number::parse_spice(&tok.text) {
+            Some(v) => Ok(Value::Lit(v)),
+            None => Err(self.error(tok, "bad_number", format!("invalid number {:?}", tok.text))),
+        }
+    }
+
+    /// `.probe` argument: `v ( node )` or a bare node name.
+    fn probe_node(&mut self) -> Result<String, DeckError> {
+        let uses_v = self
+            .peek()
+            .is_some_and(|t| t.text.eq_ignore_ascii_case("v"))
+            && self
+                .card
+                .tokens
+                .get(self.pos + 1)
+                .is_some_and(|t| t.text == "(");
+        if uses_v {
+            self.pos += 1;
+            self.expect_punct("(")?;
+            let node = self.name_token("probed node")?;
+            self.expect_punct(")")?;
+            Ok(node)
+        } else {
+            self.name_token("probed node")
+        }
+    }
+
+    /// `key = value` pairs (with optional `,` separators) to end of card.
+    fn kv_pairs(&mut self) -> Result<Vec<(String, Value)>, DeckError> {
+        let mut out: Vec<(String, Value)> = Vec::new();
+        loop {
+            self.skip_comma();
+            if self.peek().is_none() {
+                return Ok(out);
+            }
+            let key_tok = self.next().expect("peeked");
+            let key = key_tok.text.to_ascii_lowercase();
+            if !valid_name(&key) {
+                return Err(self.error(
+                    key_tok,
+                    "bad_name",
+                    format!("invalid parameter key {:?}", key_tok.text),
+                ));
+            }
+            if out.iter().any(|(k, _)| *k == key) {
+                return Err(self.error(
+                    key_tok,
+                    "duplicate_param",
+                    format!("parameter {key:?} given twice"),
+                ));
+            }
+            self.expect_punct("=")?;
+            let value = self.value_token()?;
+            out.push((key, value));
+        }
+    }
+
+    /// `.model <name> nmos [level=…] key=value…`.
+    fn model_card(&mut self) -> Result<ModelCard, DeckError> {
+        let name = self.name_token("model name")?;
+        let kind_tok = self
+            .next()
+            .ok_or_else(|| self.end_error("expected the model type (\"nmos\")"))?;
+        if !kind_tok.text.eq_ignore_ascii_case("nmos") {
+            return Err(self.error(
+                kind_tok,
+                "unsupported_model",
+                format!(
+                    "unsupported model type {:?} (only \"nmos\" exists in this dialect)",
+                    kind_tok.text
+                ),
+            ));
+        }
+        let mut level = 1u8;
+        let mut params = Vec::new();
+        for (key, value) in self.kv_pairs()? {
+            if key == "level" {
+                level = match value {
+                    Value::Lit(1.0) => 1,
+                    Value::Lit(3.0) => 3,
+                    _ => {
+                        return Err(self.error(
+                            kind_tok,
+                            "unsupported_model",
+                            "\"level\" must be the literal 1 or 3",
+                        ))
+                    }
+                };
+            } else if MODEL_KEYS.contains(&key.as_str()) {
+                params.push((key, value));
+            } else {
+                return Err(self.error(
+                    kind_tok,
+                    "unknown_model_param",
+                    format!("unknown .model parameter {key:?}"),
+                ));
+            }
+        }
+        for required in ["kp", "vto"] {
+            if !params.iter().any(|(k, _)| k == required) {
+                return Err(self.error(
+                    kind_tok,
+                    "bad_model",
+                    format!("model {name:?} is missing required parameter {required:?}"),
+                ));
+            }
+        }
+        Ok(ModelCard {
+            name,
+            level,
+            params,
+        })
+    }
+
+    /// An element card, dispatched on the (lowercased) name's first letter.
+    fn element_card(&mut self, head: &Token, head_lower: &str) -> Result<ElementCard, DeckError> {
+        if head.quoted || !valid_name(head_lower) {
+            return Err(self.error(
+                head,
+                "bad_name",
+                format!("invalid device name {:?}", head.text),
+            ));
+        }
+        let name = head_lower.to_owned();
+        match head_lower.as_bytes()[0] {
+            b'r' | b'c' => {
+                let a = self.name_token("node")?;
+                let b = self.name_token("node")?;
+                let value = self.value_token()?;
+                self.expect_end()?;
+                Ok(if head_lower.as_bytes()[0] == b'r' {
+                    ElementCard::Res { name, a, b, value }
+                } else {
+                    ElementCard::Cap { name, a, b, value }
+                })
+            }
+            b'v' | b'i' => {
+                let body = self.source_body(name)?;
+                self.expect_end()?;
+                Ok(if head_lower.as_bytes()[0] == b'v' {
+                    ElementCard::V(body)
+                } else {
+                    ElementCard::I(body)
+                })
+            }
+            b'm' => {
+                let card = self.mos_card(head, name)?;
+                self.expect_end()?;
+                Ok(ElementCard::Mos(card))
+            }
+            b'x' => {
+                let mut nodes = Vec::new();
+                while self.peek().is_some() {
+                    nodes.push(self.name_token("node")?);
+                }
+                if nodes.len() < 2 {
+                    return Err(self.error(
+                        head,
+                        "bad_instance",
+                        "subcircuit instance needs at least one node and a subcircuit name",
+                    ));
+                }
+                let subckt = nodes.pop().expect("length checked");
+                Ok(ElementCard::Instance {
+                    name,
+                    nodes,
+                    subckt,
+                })
+            }
+            b'l' | b'd' | b'q' | b'k' | b'e' | b'f' | b'g' | b'h' | b'b' | b's' | b'w' | b't'
+            | b'o' | b'u' | b'j' | b'z' => Err(self.error(
+                head,
+                "unsupported_element",
+                format!(
+                    "element {:?} is not in the supported subset (R, C, V, I, M, X)",
+                    head.text
+                ),
+            )),
+            _ => Err(self.error(
+                head,
+                "unknown_card",
+                format!("cannot classify card starting with {:?}", head.text),
+            )),
+        }
+    }
+
+    /// `n+ n- <wave> [ac mag]` for `V`/`I` cards.
+    fn source_body(&mut self, name: String) -> Result<SourceCardBody, DeckError> {
+        let plus = self.name_token("node")?;
+        let minus = self.name_token("node")?;
+        let kind_tok = self
+            .next()
+            .ok_or_else(|| self.end_error("expected a waveform"))?;
+        let wave = match kind_tok.text.to_ascii_lowercase().as_str() {
+            "pulse" => {
+                self.expect_punct("(")?;
+                let mut vals = Vec::with_capacity(7);
+                for _ in 0..7 {
+                    vals.push(self.value_token()?);
+                }
+                self.expect_punct(")")?;
+                let vals: [Value; 7] = vals.try_into().expect("exactly 7");
+                WaveSpec::Pulse(vals)
+            }
+            "pwl" => {
+                self.expect_punct("(")?;
+                let mut vals = Vec::new();
+                loop {
+                    self.skip_comma();
+                    match self.peek() {
+                        Some(tok) if tok.text == ")" => {
+                            self.pos += 1;
+                            break;
+                        }
+                        Some(_) => vals.push(self.value_token()?),
+                        None => return Err(self.end_error("expected \")\"")),
+                    }
+                }
+                if vals.is_empty() || vals.len() % 2 != 0 {
+                    return Err(self.error(
+                        kind_tok,
+                        "bad_waveform",
+                        format!(
+                            "pwl needs an even, nonzero number of values, got {}",
+                            vals.len()
+                        ),
+                    ));
+                }
+                WaveSpec::Pwl(vals)
+            }
+            "dc" => WaveSpec::Dc(self.value_token()?),
+            _ => WaveSpec::Dc(self.parse_value(kind_tok)?),
+        };
+        let ac_mag = if self
+            .peek()
+            .is_some_and(|t| t.text.eq_ignore_ascii_case("ac"))
+        {
+            self.pos += 1;
+            Some(self.value_token()?)
+        } else {
+            None
+        };
+        Ok(SourceCardBody {
+            name,
+            plus,
+            minus,
+            wave,
+            ac_mag,
+        })
+    }
+
+    /// `d g s [b] model [w=…] [l=…] [wol=…]` for `M` cards.
+    fn mos_card(&mut self, head: &Token, name: String) -> Result<MosCard, DeckError> {
+        let mut plain = Vec::new();
+        while let Some(tok) = self.peek() {
+            // A `key = value` tail starts where the next-but-one token
+            // is `=`.
+            if self
+                .card
+                .tokens
+                .get(self.pos + 1)
+                .is_some_and(|t| t.text == "=")
+            {
+                break;
+            }
+            if tok.text == "," {
+                self.pos += 1;
+                continue;
+            }
+            plain.push(self.name_token("node or model name")?);
+        }
+        let (d, g, s, bulk, model) = match plain.len() {
+            4 => {
+                let mut it = plain.into_iter();
+                let (d, g, s, model) = (
+                    it.next().expect("4 items"),
+                    it.next().expect("4 items"),
+                    it.next().expect("4 items"),
+                    it.next().expect("4 items"),
+                );
+                (d, g, s, None, model)
+            }
+            5 => {
+                let mut it = plain.into_iter();
+                let (d, g, s, b, model) = (
+                    it.next().expect("5 items"),
+                    it.next().expect("5 items"),
+                    it.next().expect("5 items"),
+                    it.next().expect("5 items"),
+                    it.next().expect("5 items"),
+                );
+                (d, g, s, Some(b), model)
+            }
+            n => {
+                return Err(self.error(
+                    head,
+                    "bad_mos_card",
+                    format!("MOSFET card needs \"d g s [b] model\", got {n} names"),
+                ))
+            }
+        };
+        let mut card = MosCard {
+            name,
+            d,
+            g,
+            s,
+            bulk,
+            model,
+            w: None,
+            l: None,
+            wol: None,
+        };
+        for (key, value) in self.kv_pairs()? {
+            match key.as_str() {
+                "w" => card.w = Some(value),
+                "l" => card.l = Some(value),
+                "wol" => card.wol = Some(value),
+                other => {
+                    return Err(self.error(
+                        head,
+                        "unknown_mos_param",
+                        format!("unknown MOSFET instance parameter {other:?}"),
+                    ))
+                }
+            }
+        }
+        Ok(card)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::DenyIncludes;
+
+    fn parse(text: &str) -> Result<Deck, DeckError> {
+        parse_cards(lex::read_deck(text, &mut DenyIncludes)?)
+    }
+
+    #[test]
+    fn elements_and_suffixes() {
+        let d =
+            parse("* demo\nR1 A B 1k\nCload b 0 2.2u\nVin a 0 DC 1.2\niload b 0 10meg\n").unwrap();
+        let cards = d.cards_only();
+        assert_eq!(cards.len(), 4);
+        match cards[0] {
+            Card::Element(ElementCard::Res { name, a, b, value }) => {
+                assert_eq!((name.as_str(), a.as_str(), b.as_str()), ("r1", "a", "b"));
+                assert_eq!(*value, Value::Lit(1e3));
+            }
+            other => panic!("expected resistor, got {other:?}"),
+        }
+        match cards[2] {
+            Card::Element(ElementCard::V(body)) => {
+                assert_eq!(body.wave, WaveSpec::Dc(Value::Lit(1.2)));
+                assert_eq!(body.ac_mag, None);
+            }
+            other => panic!("expected vsource, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn waveforms_params_probes_analyses() {
+        let d = parse(concat!(
+            ".param vdd=1.2\n",
+            "v1 in 0 pulse ( 0 {vdd} 1n 1n 1n 5u 0 ) ac 1\n",
+            "v2 inn 0 pwl ( 0 0, 1n {vdd} )\n",
+            ".probe v(out)\n",
+            ".probe raw\n",
+            ".op\n",
+            ".dc v1 0 1.2 0.1\n",
+            ".tran 1n 100n\n",
+            ".ac dec 10 1k 1meg\n",
+        ))
+        .unwrap();
+        let cards = d.cards_only();
+        assert_eq!(
+            cards[0],
+            &Card::Param {
+                name: "vdd".into(),
+                value: Value::Lit(1.2)
+            }
+        );
+        match cards[1] {
+            Card::Element(ElementCard::V(b)) => {
+                assert!(matches!(&b.wave, WaveSpec::Pulse(v) if v[1] == Value::Ref("vdd".into())));
+                assert_eq!(b.ac_mag, Some(Value::Lit(1.0)));
+            }
+            other => panic!("{other:?}"),
+        }
+        match cards[2] {
+            Card::Element(ElementCard::V(b)) => {
+                assert!(matches!(&b.wave, WaveSpec::Pwl(v) if v.len() == 4));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(cards[3], &Card::Probe { node: "out".into() });
+        assert_eq!(cards[4], &Card::Probe { node: "raw".into() });
+        assert_eq!(cards[5], &Card::Analysis(AnalysisCard::Op));
+        assert!(matches!(
+            cards[6],
+            Card::Analysis(AnalysisCard::Dc { source, .. }) if source == "v1"
+        ));
+        assert!(matches!(
+            cards[7],
+            Card::Analysis(AnalysisCard::Tran { .. })
+        ));
+        assert!(matches!(
+            cards[8],
+            Card::Analysis(AnalysisCard::Ac {
+                scale: AcScale::Dec,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn model_and_mos_cards() {
+        let d = parse(concat!(
+            ".model swa NMOS level=3 kp=2e-4 vto=0.7 lambda=0.01 wol=2 cgs=1f cgd=1f\n",
+            "m1 d1 g1 0 swa\n",
+            "m2 d2 g2 0 0 swa wol=4\n",
+        ))
+        .unwrap();
+        let cards = d.cards_only();
+        match cards[0] {
+            Card::Model(m) => {
+                assert_eq!(m.name, "swa");
+                assert_eq!(m.level, 3);
+                assert_eq!(m.params[0], ("kp".into(), Value::Lit(2e-4)));
+                assert_eq!(m.params[4], ("cgs".into(), Value::Lit(1e-15)));
+            }
+            other => panic!("{other:?}"),
+        }
+        match cards[2] {
+            Card::Element(ElementCard::Mos(m)) => {
+                assert_eq!(m.bulk.as_deref(), Some("0"));
+                assert_eq!(m.wol, Some(Value::Lit(4.0)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn subckt_definitions_flatten_later() {
+        let d = parse(concat!(
+            ".subckt rc in out\n",
+            "r1 in out 1k\n",
+            "c1 out 0 1p\n",
+            ".ends rc\n",
+            "x1 a b rc\n",
+        ))
+        .unwrap();
+        let cards = d.cards_only();
+        match cards[0] {
+            Card::Subckt(def) => {
+                assert_eq!(def.name, "rc");
+                assert_eq!(def.ports, ["in", "out"]);
+                assert_eq!(def.body.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            cards[1],
+            Card::Element(ElementCard::Instance { subckt, .. }) if subckt == "rc"
+        ));
+    }
+
+    #[test]
+    fn end_stops_parsing() {
+        let d = parse("r1 a b 1\n.end\nthis is not ( valid\n").unwrap();
+        assert_eq!(d.cards.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        for (text, code, line) in [
+            ("r1 a b\n", "truncated_card", 1),
+            ("r1 a b 1k extra\n", "trailing_tokens", 1),
+            ("* t\nr1 a b 1x2\n", "bad_number", 2),
+            ("q1 a b c\n", "unsupported_element", 1),
+            ("?1 a b 1\n", "bad_name", 1),
+            ("81 a b 1\n", "unknown_card", 1),
+            (".noise v(out)\n", "unknown_directive", 1),
+            (".model m pmos kp=1 vto=1\n", "unsupported_model", 1),
+            (
+                ".model m nmos kp=1 vto=1 beta=3\n",
+                "unknown_model_param",
+                1,
+            ),
+            (".model m nmos vto=1\n", "bad_model", 1),
+            (".model m nmos kp=1 vto=1 kp=2\n", "duplicate_param", 1),
+            ("m1 d g swa\n", "bad_mos_card", 1),
+            ("v1 a 0 pwl ( 0 )\n", "bad_waveform", 1),
+            (".ends\n", "unmatched_ends", 1),
+            (".subckt s a\nr1 a 0 1\n", "unclosed_subckt", 0),
+            (".subckt s a\n.op\n", "bad_subckt_body", 2),
+            ("v1 a 0 1e999\n", "bad_number", 1),
+        ] {
+            let e = parse(text).unwrap_err();
+            assert_eq!(e.code, code, "{text:?} → {e}");
+            if line > 0 {
+                assert_eq!(e.line, line, "{text:?} → {e}");
+            }
+            assert!(e.line >= 1 && e.col >= 1, "{text:?} → {e}");
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! [`Deck`] AST → deck text.
+//!
+//! The printer is the exact inverse of the parser on the AST:
+//! `parse(render(deck))` reproduces every card
+//! (see [`Deck::cards_only`]) — the property the round-trip tests
+//! enforce. Literals render via Rust's `{}` float `Display`, which
+//! round-trips bitwise through [`crate::number::parse_spice`].
+
+use std::fmt::Write as _;
+
+use crate::ast::{
+    AcScale, AnalysisCard, Card, Deck, ElementCard, ModelCard, MosCard, SourceCardBody, Value,
+    WaveSpec,
+};
+
+/// Wrap rendered cards at this many columns using `+` continuations.
+const WRAP_COLS: usize = 96;
+
+/// Renders a deck back to text. The output always parses (assuming the
+/// AST came from the parser or respects its invariants) and reproduces
+/// the cards exactly.
+pub fn render(deck: &Deck) -> String {
+    let mut out = String::new();
+    for sc in &deck.cards {
+        match &sc.card {
+            Card::Element(e) => push_card(&mut out, &element_tokens(e)),
+            Card::Model(m) => push_card(&mut out, &model_tokens(m)),
+            Card::Param { name, value } => {
+                push_card(
+                    &mut out,
+                    &[".param".into(), format!("{name}={}", val(value))],
+                );
+            }
+            Card::NodeOrder(nodes) => {
+                let mut toks = vec![".nodeorder".to_owned()];
+                toks.extend(nodes.iter().cloned());
+                push_card(&mut out, &toks);
+            }
+            Card::Subckt(def) => {
+                let mut toks = vec![".subckt".to_owned(), def.name.clone()];
+                toks.extend(def.ports.iter().cloned());
+                push_card(&mut out, &toks);
+                for (_, e) in &def.body {
+                    push_card(&mut out, &element_tokens(e));
+                }
+                push_card(&mut out, &[".ends".to_owned(), def.name.clone()]);
+            }
+            Card::Analysis(a) => push_card(&mut out, &analysis_tokens(a)),
+            Card::Probe { node } => push_card(&mut out, &[".probe".into(), format!("v({node})")]),
+        }
+    }
+    out
+}
+
+fn val(v: &Value) -> String {
+    match v {
+        Value::Lit(x) => format!("{x}"),
+        Value::Ref(name) => format!("{{{name}}}"),
+    }
+}
+
+fn element_tokens(e: &ElementCard) -> Vec<String> {
+    match e {
+        ElementCard::Res { name, a, b, value } | ElementCard::Cap { name, a, b, value } => {
+            vec![name.clone(), a.clone(), b.clone(), val(value)]
+        }
+        ElementCard::V(body) | ElementCard::I(body) => source_tokens(body),
+        ElementCard::Mos(m) => mos_tokens(m),
+        ElementCard::Instance {
+            name,
+            nodes,
+            subckt,
+        } => {
+            let mut toks = vec![name.clone()];
+            toks.extend(nodes.iter().cloned());
+            toks.push(subckt.clone());
+            toks
+        }
+    }
+}
+
+fn source_tokens(body: &SourceCardBody) -> Vec<String> {
+    let mut toks = vec![body.name.clone(), body.plus.clone(), body.minus.clone()];
+    match &body.wave {
+        WaveSpec::Dc(v) => {
+            toks.push("dc".to_owned());
+            toks.push(val(v));
+        }
+        WaveSpec::Pulse(vals) => {
+            toks.push("pulse".to_owned());
+            toks.push("(".to_owned());
+            toks.extend(vals.iter().map(val));
+            toks.push(")".to_owned());
+        }
+        WaveSpec::Pwl(vals) => {
+            toks.push("pwl".to_owned());
+            toks.push("(".to_owned());
+            toks.extend(vals.iter().map(val));
+            toks.push(")".to_owned());
+        }
+    }
+    if let Some(mag) = &body.ac_mag {
+        toks.push("ac".to_owned());
+        toks.push(val(mag));
+    }
+    toks
+}
+
+fn mos_tokens(m: &MosCard) -> Vec<String> {
+    let mut toks = vec![m.name.clone(), m.d.clone(), m.g.clone(), m.s.clone()];
+    if let Some(b) = &m.bulk {
+        toks.push(b.clone());
+    }
+    toks.push(m.model.clone());
+    for (key, v) in [("w", &m.w), ("l", &m.l), ("wol", &m.wol)] {
+        if let Some(v) = v {
+            toks.push(format!("{key}={}", val(v)));
+        }
+    }
+    toks
+}
+
+fn model_tokens(m: &ModelCard) -> Vec<String> {
+    let mut toks = vec![
+        ".model".to_owned(),
+        m.name.clone(),
+        "nmos".to_owned(),
+        format!("level={}", m.level),
+    ];
+    for (key, v) in &m.params {
+        toks.push(format!("{key}={}", val(v)));
+    }
+    toks
+}
+
+fn analysis_tokens(a: &AnalysisCard) -> Vec<String> {
+    match a {
+        AnalysisCard::Op => vec![".op".to_owned()],
+        AnalysisCard::Dc {
+            source,
+            start,
+            stop,
+            step,
+        } => vec![
+            ".dc".to_owned(),
+            source.clone(),
+            val(start),
+            val(stop),
+            val(step),
+        ],
+        AnalysisCard::Tran { dt, tstop } => vec![".tran".to_owned(), val(dt), val(tstop)],
+        AnalysisCard::Ac {
+            scale,
+            n,
+            fstart,
+            fstop,
+        } => vec![
+            ".ac".to_owned(),
+            match scale {
+                AcScale::Dec => "dec",
+                AcScale::Lin => "lin",
+            }
+            .to_owned(),
+            val(n),
+            val(fstart),
+            val(fstop),
+        ],
+    }
+}
+
+/// Writes one card, wrapping at token boundaries with `+` continuations.
+fn push_card(out: &mut String, tokens: &[String]) {
+    let mut col = 0usize;
+    for (i, tok) in tokens.iter().enumerate() {
+        if i == 0 {
+            out.push_str(tok);
+            col = tok.len();
+        } else if col + 1 + tok.len() > WRAP_COLS && col > 1 {
+            out.push_str("\n+ ");
+            out.push_str(tok);
+            col = 2 + tok.len();
+        } else {
+            out.push(' ');
+            out.push_str(tok);
+            col += 1 + tok.len();
+        }
+    }
+    let _ = writeln!(out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::{read_deck, DenyIncludes};
+    use crate::parse::parse_cards;
+
+    fn reparse(text: &str) -> Deck {
+        parse_cards(read_deck(text, &mut DenyIncludes).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn render_reparse_identity_on_a_kitchen_sink_deck() {
+        let deck = reparse(concat!(
+            ".param vdd = 1.2\n",
+            ".nodeorder in out mid\n",
+            ".model swa nmos level=3 kp=2e-4 vto=0.7 cgs=1f cgd=1f\n",
+            ".subckt rc a b\n",
+            "r1 a b 1k\n",
+            "c1 b 0 1p\n",
+            ".ends rc\n",
+            "v1 in 0 pulse ( 0 {vdd} 1n 1n 1n 10n 20n ) ac 1\n",
+            "v2 mid 0 dc 0.6\n",
+            "i1 0 out pwl ( 0 0 1n 1u )\n",
+            "m1 out in 0 swa wol=4\n",
+            "x1 in out rc\n",
+            ".probe v(out)\n",
+            ".op\n",
+            ".dc v2 0 1.2 0.1\n",
+            ".tran 1n 100n\n",
+            ".ac dec 10 1k 1meg\n",
+        ));
+        let text = render(&deck);
+        let again = reparse(&text);
+        assert_eq!(deck.cards_only(), again.cards_only(), "rendered:\n{text}");
+    }
+
+    #[test]
+    fn long_cards_wrap_with_continuations() {
+        let pairs: Vec<String> = (0..40)
+            .flat_map(|i| {
+                [
+                    format!("{}", i as f64 * 1e-9),
+                    format!("{}", (i % 2) as f64),
+                ]
+            })
+            .collect();
+        let text = format!("v1 a 0 pwl ( {} )\n", pairs.join(" "));
+        let deck = reparse(&text);
+        let rendered = render(&deck);
+        assert!(
+            rendered.lines().count() > 1 && rendered.contains("\n+ "),
+            "expected wrapping:\n{rendered}"
+        );
+        assert_eq!(deck.cards_only(), reparse(&rendered).cards_only());
+    }
+
+    #[test]
+    fn negative_and_tiny_literals_survive() {
+        let deck = reparse("i1 a 0 dc -1e-15\nr1 a 0 0.000000000000001\n");
+        let again = reparse(&render(&deck));
+        assert_eq!(deck.cards_only(), again.cards_only());
+    }
+}

@@ -350,6 +350,7 @@ fn route(
             body: render_metrics(service),
         }),
         ("POST", "/v1/jobs") => submit(request, service),
+        ("POST", "/v1/decks") => submit_deck(request, service),
         ("POST", "/v1/shutdown") => {
             stop.store(true, Ordering::SeqCst);
             json_ok(format!(
@@ -371,46 +372,64 @@ fn route(
                 _ => Err(HttpError::MethodNotAllowed),
             }
         }
-        (_, "/healthz" | "/metrics" | "/v1/jobs" | "/v1/shutdown") => {
+        (_, "/healthz" | "/metrics" | "/v1/jobs" | "/v1/decks" | "/v1/shutdown") => {
             Err(HttpError::MethodNotAllowed)
         }
         _ => Err(HttpError::NotFound),
     }
 }
 
-/// `POST /v1/jobs`: parse, validate, admit.
+/// `POST /v1/jobs`: parse the JSON manifest, validate, admit.
 fn submit(request: &Request, service: &JobService) -> Result<Response, HttpError> {
     let manifest = match BatchManifest::parse(&request.body) {
         Ok(m) => m,
         Err(e) => return Ok(wire_error_response(&e)),
     };
-    match service.submit(&manifest) {
+    Ok(admission_response(service.submit(&manifest)))
+}
+
+/// `POST /v1/decks`: the body is a raw SPICE deck (`text/plain`), lowered
+/// to one job per analysis card through the same admission path as
+/// `/v1/jobs`. Malformed decks answer `400` with the deck's structured
+/// error code and 1-based line/column.
+fn submit_deck(request: &Request, service: &JobService) -> Result<Response, HttpError> {
+    let subs = match crate::service::deck_submissions(&request.body) {
+        Ok(s) => s,
+        Err(e) => return Ok(wire_error_response(&e)),
+    };
+    Ok(admission_response(service.submit_jobs(subs)))
+}
+
+/// Renders the shared admission outcome: `202` with ids, or the
+/// structured `400`/`429`/`503` bodies.
+fn admission_response(result: Result<Vec<u64>, SubmitError>) -> Response {
+    match result {
         Ok(ids) => {
             let ids: Vec<String> = ids.iter().map(u64::to_string).collect();
-            Ok(Response::Json {
+            Response::Json {
                 status: 202,
                 reason: "Accepted",
                 body: format!(
                     "{{\"schema_version\":{SCHEMA_VERSION},\"ids\":[{}]}}",
                     ids.join(",")
                 ),
-            })
+            }
         }
-        Err(SubmitError::Invalid(e)) => Ok(wire_error_response(&e)),
-        Err(SubmitError::Overloaded { queued, depth }) => Ok(Response::Json {
+        Err(SubmitError::Invalid(e)) => wire_error_response(&e),
+        Err(SubmitError::Overloaded { queued, depth }) => Response::Json {
             status: 429,
             reason: "Too Many Requests",
             body: format!(
                 "{{\"schema_version\":{SCHEMA_VERSION},\"error\":{{\"code\":\"overloaded\",\"message\":\"queue full ({queued}/{depth})\"}}}}"
             ),
-        }),
-        Err(SubmitError::ShuttingDown) => Ok(Response::Json {
+        },
+        Err(SubmitError::ShuttingDown) => Response::Json {
             status: 503,
             reason: "Service Unavailable",
             body: format!(
                 "{{\"schema_version\":{SCHEMA_VERSION},\"error\":{{\"code\":\"shutting_down\",\"message\":\"server is draining\"}}}}"
             ),
-        }),
+        },
     }
 }
 

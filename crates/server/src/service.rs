@@ -21,9 +21,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use fts_engine::{Engine, RetryPolicy, SimJob};
+use fts_netlist::{elaborate, parse_str, ElabOptions};
 use fts_spice::{CancelToken, NodeId};
 
-use crate::wire::{job_row_json, json_escape, JobSpec, WireError, SCHEMA_VERSION};
+use crate::wire::{job_row_json, json_escape, JobSource, JobSpec, WireError, SCHEMA_VERSION};
 
 /// A manifest job lowered to an engine job plus the node to report.
 pub struct BuiltJob {
@@ -52,15 +53,23 @@ pub trait JobBuilder: Send + Sync {
 /// (label, retry ladder, deadline). This is the single construction path
 /// shared by `fts batch` and the server.
 ///
+/// Deck sources are lowered right here through `fts-netlist` — the
+/// builder only ever sees [`JobSource::Function`] specs, so builders stay
+/// ignorant of SPICE.
+///
 /// # Errors
 ///
-/// Whatever the builder reports for job `index`.
+/// Whatever the builder reports for job `index`, or a structured deck
+/// parse/elaboration error (with line/column) for deck sources.
 pub fn build_job(
     builder: &dyn JobBuilder,
     spec: &JobSpec,
     index: usize,
 ) -> Result<BuiltJob, WireError> {
-    let built = builder.build(spec, index)?;
+    let built = match &spec.source {
+        JobSource::Deck { text, max_samples } => build_deck_job(text, *max_samples, index)?,
+        JobSource::Function { .. } => builder.build(spec, index)?,
+    };
     let mut job = built.job.label(&spec.label_or_default(index));
     if spec.ladder {
         job = job.retry(RetryPolicy::ladder());
@@ -72,6 +81,71 @@ pub fn build_job(
         job,
         out: built.out,
     })
+}
+
+/// Lowers a manifest deck job: parse (`.include` disabled — manifests
+/// arrive over the wire), elaborate, and require exactly one analysis
+/// card so the deck maps onto the manifest's one-spec-one-row shape.
+fn build_deck_job(text: &str, max_samples: usize, index: usize) -> Result<BuiltJob, WireError> {
+    let deck = parse_str(text).map_err(|e| WireError::from_deck(&e, Some(index)))?;
+    let elab = elaborate(&deck, &ElabOptions { max_samples })
+        .map_err(|e| WireError::from_deck(&e, Some(index)))?;
+    let mut jobs = elab.jobs;
+    if jobs.len() != 1 {
+        return Err(WireError::job(
+            "deck_analysis_count",
+            index,
+            format!(
+                "a manifest deck job must carry exactly one analysis card, this deck has {} \
+                 (POST /v1/decks runs multi-analysis decks)",
+                jobs.len()
+            ),
+        ));
+    }
+    Ok(BuiltJob {
+        job: jobs.pop().expect("length checked"),
+        out: elab.out,
+    })
+}
+
+/// Lowers a raw deck body (`POST /v1/decks`) into one [`Submission`] per
+/// analysis card, labelled with the deck's ordinal analysis labels
+/// (`op-0`, `tran-1`, …).
+///
+/// # Errors
+///
+/// A structured [`WireError`] carrying the deck's stable error code and
+/// 1-based line/column.
+pub fn deck_submissions(text: &str) -> Result<Vec<Submission>, WireError> {
+    let deck = parse_str(text).map_err(|e| WireError::from_deck(&e, None))?;
+    let elab =
+        elaborate(&deck, &ElabOptions::default()).map_err(|e| WireError::from_deck(&e, None))?;
+    let out = elab.out;
+    Ok(elab
+        .jobs
+        .into_iter()
+        .map(|job| Submission {
+            label: job.label.clone(),
+            out,
+            waveform: false,
+            job,
+        })
+        .collect())
+}
+
+/// One admitted unit of work: a runnable job plus its report metadata.
+/// Both `POST /v1/jobs` (manifest) and `POST /v1/decks` (raw deck) lower
+/// to these before hitting the shared admission path,
+/// [`JobService::submit_jobs`].
+pub struct Submission {
+    /// The runnable engine job.
+    pub job: SimJob,
+    /// Report label.
+    pub label: String,
+    /// The node whose voltage the report quotes.
+    pub out: NodeId,
+    /// Embed the decimated waveform arrays in the result row.
+    pub waveform: bool,
 }
 
 /// Why a submission was not admitted.
@@ -196,18 +270,32 @@ impl JobService {
     /// [`SubmitError::Overloaded`] when the queue cannot take every job,
     /// [`SubmitError::ShuttingDown`] while draining.
     pub fn submit(&self, manifest: &crate::wire::BatchManifest) -> Result<Vec<u64>, SubmitError> {
-        let mut built = Vec::with_capacity(manifest.jobs.len());
+        let mut subs = Vec::with_capacity(manifest.jobs.len());
         for (k, spec) in manifest.jobs.iter().enumerate() {
-            built.push((
-                build_job(self.builder.as_ref(), spec, k).map_err(SubmitError::Invalid)?,
-                spec.label_or_default(k),
-                spec.waveform,
-            ));
+            let b = build_job(self.builder.as_ref(), spec, k).map_err(SubmitError::Invalid)?;
+            subs.push(Submission {
+                job: b.job,
+                label: spec.label_or_default(k),
+                out: b.out,
+                waveform: spec.waveform,
+            });
         }
-        if built.is_empty() {
+        self.submit_jobs(subs)
+    }
+
+    /// Admits pre-built jobs: the single all-or-nothing admission path
+    /// behind both `POST /v1/jobs` (via [`submit`](JobService::submit))
+    /// and `POST /v1/decks` (via [`deck_submissions`]); returns ids in
+    /// submission order.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`submit`](JobService::submit).
+    pub fn submit_jobs(&self, subs: Vec<Submission>) -> Result<Vec<u64>, SubmitError> {
+        if subs.is_empty() {
             return Err(SubmitError::Invalid(WireError::manifest(
                 "empty_manifest",
-                "manifest has no jobs",
+                "no jobs to admit",
             )));
         }
 
@@ -215,27 +303,27 @@ impl JobService {
         if reg.draining {
             return Err(SubmitError::ShuttingDown);
         }
-        if reg.pending.len() + built.len() > self.queue_depth {
+        if reg.pending.len() + subs.len() > self.queue_depth {
             self.rejected.fetch_add(1, Ordering::Relaxed);
-            fts_telemetry::counter("server.jobs.rejected", built.len() as u64);
+            fts_telemetry::counter("server.jobs.rejected", subs.len() as u64);
             return Err(SubmitError::Overloaded {
                 queued: reg.pending.len(),
                 depth: self.queue_depth,
             });
         }
 
-        let mut ids = Vec::with_capacity(built.len());
-        for (b, label, waveform) in built {
+        let mut ids = Vec::with_capacity(subs.len());
+        for s in subs {
             let id = reg.next_id;
             reg.next_id += 1;
             reg.jobs.insert(
                 id,
                 JobEntry {
-                    label,
-                    waveform,
-                    out: b.out,
+                    label: s.label,
+                    waveform: s.waveform,
+                    out: s.out,
                     cancel: CancelToken::new(),
-                    job: Some(b.job),
+                    job: Some(s.job),
                     state: JobState::Queued,
                 },
             );
@@ -372,11 +460,14 @@ mod tests {
 
     impl JobBuilder for DividerBuilder {
         fn build(&self, spec: &JobSpec, index: usize) -> Result<BuiltJob, WireError> {
-            if spec.function != "divider" {
+            let JobSource::Function { name, .. } = &spec.source else {
+                unreachable!("deck jobs are lowered by build_job, not the builder");
+            };
+            if name != "divider" {
                 return Err(WireError::job(
                     "unknown_function",
                     index,
-                    format!("unknown function {:?}", spec.function),
+                    format!("unknown function {name:?}"),
                 ));
             }
             let mut nl = Netlist::new();
@@ -490,6 +581,63 @@ mod tests {
             other => panic!("expected Invalid, got {other:?}"),
         }
         assert_eq!(svc.gauges().queued, 0, "no partial admission");
+    }
+
+    /// The same voltage divider as [`DividerBuilder`], as a SPICE deck.
+    const DIVIDER_DECK: &str = "v1 a 0 dc 2\nr1 a out 1k\nr2 out 0 1k\n.op\n.probe v(out)\n";
+
+    #[test]
+    fn deck_jobs_share_the_admission_path() {
+        let svc = service(8);
+        let m = BatchManifest::parse(&format!(
+            "{{\"jobs\":[{{\"deck\":{},\"label\":\"divider-deck\"}}]}}",
+            crate::wire::Json::String(DIVIDER_DECK.into()).render()
+        ))
+        .unwrap();
+        let ids = svc.submit(&m).unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| svc.worker_loop());
+            svc.drain();
+        });
+        let done = svc.status_json(ids[0]).unwrap();
+        assert!(done.contains("\"label\":\"divider-deck\""), "{done}");
+        let doc = crate::wire::Json::parse(&done).unwrap();
+        let out_v = doc
+            .get("job")
+            .and_then(|j| j.get("result"))
+            .and_then(|r| r.get("out_v"))
+            .and_then(crate::wire::Json::as_f64)
+            .unwrap();
+        assert!((out_v - 1.0).abs() < 1e-6, "deck divider out_v = {out_v}");
+    }
+
+    #[test]
+    fn deck_submissions_label_with_ordinal_analysis_labels() {
+        let subs = deck_submissions("v1 a 0 dc 2\nr1 a out 1k\nr2 out 0 1k\n.op\n.op\n").unwrap();
+        let labels: Vec<&str> = subs.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, ["op-0", "op-1"]);
+        assert!(subs.iter().all(|s| !s.waveform));
+    }
+
+    #[test]
+    fn bad_deck_is_a_structured_error_with_position() {
+        let m =
+            BatchManifest::parse(r#"{"jobs":[{"deck":"v1 a 0 dc 1\nr1 a b\n.op\n"}]}"#).unwrap();
+        match service(4).submit(&m) {
+            Err(SubmitError::Invalid(e)) => {
+                assert_eq!(e.job, Some(0));
+                assert_eq!(e.line, Some(2), "{e}");
+                assert!(e.col.is_some(), "{e}");
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        // A deck with more than one analysis card cannot be a manifest job.
+        let m = BatchManifest::parse(r#"{"jobs":[{"deck":"v1 a 0 dc 1\nr1 a 0 1k\n.op\n.op\n"}]}"#)
+            .unwrap();
+        match service(4).submit(&m) {
+            Err(SubmitError::Invalid(e)) => assert_eq!(e.code, "deck_analysis_count"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
     }
 
     #[test]

@@ -16,10 +16,17 @@
 //!     { "function": "xor3", "analysis": "op", "input": 5 },
 //!     { "function": "maj3", "analysis": "transient",
 //!       "phase_ns": 4.0, "dt_ns": 0.1, "max_samples": 512,
-//!       "deadline_ms": 60000, "retry": "ladder", "label": "maj3-walk" }
+//!       "deadline_ms": 60000, "retry": "ladder", "label": "maj3-walk" },
+//!     { "deck": "v1 in 0 dc 1\nr1 in out 1k\nr2 out 0 1k\n.op\n" }
 //!   ]
 //! }
 //! ```
+//!
+//! A job sources its circuit either from a named `"function"` (synthesized
+//! into its §V bench circuit, with the analysis described by the manifest
+//! members above) or from an inline SPICE `"deck"` (lowered through
+//! `fts-netlist`; the deck's own analysis card decides what runs, and
+//! exactly one is required so the job maps onto one report row).
 //!
 //! `"op"` solves the DC operating point for a packed `input` assignment;
 //! `"transient"` drives the full 2ⁿ-combination input walk (one
@@ -138,6 +145,54 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Renders this value back to JSON text, compactly (no whitespace).
+    ///
+    /// Non-finite numbers render as `null` — JSON has no NaN/Infinity
+    /// literals — so `parse(render(v))` is the identity up to that one
+    /// normalization (the round-trip property the wire proptests hold
+    /// this module to).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Number(x) => out.push_str(&json_f64(*x)),
+            Json::String(s) => {
+                out.push('"');
+                out.push_str(&json_escape(s));
+                out.push('"');
+            }
+            Json::Array(items) => {
+                out.push('[');
+                for (k, v) in items.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Object(members) => {
+                out.push('{');
+                for (k, (key, v)) in members.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&json_escape(key));
+                    out.push_str("\":");
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 struct Parser<'a> {
@@ -223,9 +278,13 @@ impl Parser<'_> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
-        text.parse::<f64>()
+        // Validation runs through the workspace's one fuzz-hardened number
+        // path (shared with the SPICE deck parser): strict JSON grammar,
+        // finite values only — `1e999` is a parse error here, not an
+        // Infinity smuggled into a simulation.
+        fts_netlist::number::parse_json_f64(text)
             .map(Json::Number)
-            .map_err(|_| format!("bad number {text:?} at byte {start}"))
+            .ok_or_else(|| format!("bad number {text:?} at byte {start}"))
     }
 
     fn string(&mut self) -> Result<String, String> {
@@ -396,6 +455,10 @@ pub struct WireError {
     pub message: String,
     /// Index of the offending job within the manifest, when applicable.
     pub job: Option<usize>,
+    /// 1-based source line, for errors that point into a SPICE deck.
+    pub line: Option<u32>,
+    /// 1-based source column, for errors that point into a SPICE deck.
+    pub col: Option<u32>,
 }
 
 impl WireError {
@@ -405,6 +468,8 @@ impl WireError {
             code,
             message: message.into(),
             job: None,
+            line: None,
+            col: None,
         }
     }
 
@@ -414,17 +479,37 @@ impl WireError {
             code,
             message: message.into(),
             job: Some(job),
+            line: None,
+            col: None,
+        }
+    }
+
+    /// Wraps a deck parse/elaboration error, preserving its stable code
+    /// and 1-based line/column (`job` attributes it within a manifest;
+    /// `POST /v1/decks` passes `None`).
+    pub fn from_deck(e: &fts_netlist::DeckError, job: Option<usize>) -> WireError {
+        WireError {
+            code: e.code,
+            message: e.message.clone(),
+            job,
+            line: Some(e.line),
+            col: Some(e.col),
         }
     }
 
     /// The structured JSON body: `{"schema_version":1,"error":{...}}`.
+    /// `job`, `line`, and `col` members appear only when set, so errors
+    /// that never touched a deck render exactly as they always have.
     pub fn to_json(&self) -> String {
-        let job = match self.job {
-            Some(k) => format!(",\"job\":{k}"),
-            None => String::new(),
-        };
+        let mut detail = String::new();
+        if let Some(k) = self.job {
+            let _ = write!(detail, ",\"job\":{k}");
+        }
+        if let (Some(l), Some(c)) = (self.line, self.col) {
+            let _ = write!(detail, ",\"line\":{l},\"col\":{c}");
+        }
         format!(
-            "{{\"schema_version\":{SCHEMA_VERSION},\"error\":{{\"code\":\"{}\",\"message\":\"{}\"{job}}}}}",
+            "{{\"schema_version\":{SCHEMA_VERSION},\"error\":{{\"code\":\"{}\",\"message\":\"{}\"{detail}}}}}",
             json_escape(self.code),
             json_escape(&self.message),
         )
@@ -433,10 +518,13 @@ impl WireError {
 
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.job {
-            Some(k) => write!(f, "job {k}: {} ({})", self.message, self.code),
-            None => write!(f, "{} ({})", self.message, self.code),
+        if let Some(k) = self.job {
+            write!(f, "job {k}: ")?;
         }
+        if let (Some(l), Some(c)) = (self.line, self.col) {
+            write!(f, "line {l}:{c}: ")?;
+        }
+        write!(f, "{} ({})", self.message, self.code)
     }
 }
 
@@ -449,28 +537,49 @@ impl std::error::Error for WireError {}
 /// One job description from the manifest.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
-    /// Named Boolean function (`xor3`, `maj3`, … — same set as `fts synth`).
-    pub function: String,
-    /// Analysis to run.
-    pub analysis: AnalysisSpec,
+    /// Where the circuit (and its analysis) comes from.
+    pub source: JobSource,
     /// Per-job wall-clock budget in milliseconds.
     pub deadline_ms: Option<f64>,
     /// `"full"` (single homotopy-assisted attempt, default) or `"ladder"`
     /// (cheap-to-expensive retry ladder).
     pub ladder: bool,
-    /// Report label; defaults to `<function>-<index>`.
+    /// Report label; defaults to `<function>-<index>` / `deck-<index>`.
     pub label: Option<String>,
     /// Include the decimated output waveform arrays in the result object
     /// (transient jobs only).
     pub waveform: bool,
 }
 
+/// The circuit half of a [`JobSpec`]: what gets simulated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSource {
+    /// A named Boolean function (`xor3`, `maj3`, … — same set as `fts
+    /// synth`), synthesized into its §V bench circuit.
+    Function {
+        /// The function name.
+        name: String,
+        /// Analysis to run on the bench circuit.
+        analysis: AnalysisSpec,
+    },
+    /// An inline SPICE deck (the `"deck"` manifest member), lowered
+    /// through `fts-netlist`. The deck's own analysis card decides what
+    /// runs; exactly one is required so the job maps onto one report row.
+    Deck {
+        /// The deck text.
+        text: String,
+        /// Retained-sample budget for transient decks.
+        max_samples: usize,
+    },
+}
+
 impl JobSpec {
     /// The report label for this spec at manifest index `k`.
     pub fn label_or_default(&self, k: usize) -> String {
-        self.label
-            .clone()
-            .unwrap_or_else(|| format!("{}-{k}", self.function))
+        self.label.clone().unwrap_or_else(|| match &self.source {
+            JobSource::Function { name, .. } => format!("{name}-{k}"),
+            JobSource::Deck { .. } => format!("deck-{k}"),
+        })
     }
 }
 
@@ -540,39 +649,76 @@ impl BatchManifest {
         })?;
         let mut jobs = Vec::with_capacity(jobs_json.len());
         for (k, j) in jobs_json.iter().enumerate() {
-            let function = j
-                .get("function")
-                .and_then(Json::as_str)
-                .ok_or_else(|| WireError::job("bad_manifest", k, "missing \"function\""))?
-                .to_owned();
-            let analysis = match j.get("analysis").and_then(Json::as_str).unwrap_or("op") {
-                "op" => AnalysisSpec::Op {
-                    input: j.get("input").and_then(Json::as_f64).unwrap_or(0.0) as u32,
-                },
-                "transient" => {
-                    let phase_ns = j.get("phase_ns").and_then(Json::as_f64).unwrap_or(6.0);
-                    let dt_ns = j.get("dt_ns").and_then(Json::as_f64).unwrap_or(0.1);
-                    // Rejects NaN and infinity alongside non-positive values.
-                    let good = |x: f64| x.is_finite() && x > 0.0;
-                    if !good(phase_ns) || !good(dt_ns) || dt_ns > phase_ns {
-                        return Err(WireError::job(
-                            "invalid_timing",
-                            k,
-                            format!("need 0 < dt_ns <= phase_ns, got dt_ns={dt_ns}, phase_ns={phase_ns}"),
-                        ));
+            let function = j.get("function").and_then(Json::as_str);
+            let deck = j.get("deck").and_then(Json::as_str);
+            let source = match (function, deck) {
+                (Some(_), Some(_)) => {
+                    return Err(WireError::job(
+                        "bad_manifest",
+                        k,
+                        "a job takes \"function\" or \"deck\", not both",
+                    ))
+                }
+                (None, None) => {
+                    return Err(WireError::job(
+                        "bad_manifest",
+                        k,
+                        "missing \"function\" or \"deck\"",
+                    ))
+                }
+                (None, Some(text)) => {
+                    // The deck's own analysis card decides what runs, so
+                    // the function-job analysis members are meaningless
+                    // here — reject them rather than silently ignore.
+                    for key in ["analysis", "input", "phase_ns", "dt_ns"] {
+                        if j.get(key).is_some() {
+                            return Err(WireError::job(
+                                "bad_manifest",
+                                k,
+                                format!("\"{key}\" is not valid on a deck job (the deck's analysis card decides)"),
+                            ));
+                        }
                     }
-                    AnalysisSpec::Transient {
-                        phase_ns,
-                        dt_ns,
+                    JobSource::Deck {
+                        text: text.to_owned(),
                         max_samples: parse_max_samples(j, k)?,
                     }
                 }
-                other => {
-                    return Err(WireError::job(
-                        "unknown_analysis",
-                        k,
-                        format!("unknown analysis {other:?}"),
-                    ))
+                (Some(name), None) => {
+                    let analysis = match j.get("analysis").and_then(Json::as_str).unwrap_or("op") {
+                        "op" => AnalysisSpec::Op {
+                            input: j.get("input").and_then(Json::as_f64).unwrap_or(0.0) as u32,
+                        },
+                        "transient" => {
+                            let phase_ns = j.get("phase_ns").and_then(Json::as_f64).unwrap_or(6.0);
+                            let dt_ns = j.get("dt_ns").and_then(Json::as_f64).unwrap_or(0.1);
+                            // Rejects NaN and infinity alongside non-positive values.
+                            let good = |x: f64| x.is_finite() && x > 0.0;
+                            if !good(phase_ns) || !good(dt_ns) || dt_ns > phase_ns {
+                                return Err(WireError::job(
+                                    "invalid_timing",
+                                    k,
+                                    format!("need 0 < dt_ns <= phase_ns, got dt_ns={dt_ns}, phase_ns={phase_ns}"),
+                                ));
+                            }
+                            AnalysisSpec::Transient {
+                                phase_ns,
+                                dt_ns,
+                                max_samples: parse_max_samples(j, k)?,
+                            }
+                        }
+                        other => {
+                            return Err(WireError::job(
+                                "unknown_analysis",
+                                k,
+                                format!("unknown analysis {other:?}"),
+                            ))
+                        }
+                    };
+                    JobSource::Function {
+                        name: name.to_owned(),
+                        analysis,
+                    }
                 }
             };
             let ladder = match j.get("retry").and_then(Json::as_str).unwrap_or("full") {
@@ -597,8 +743,7 @@ impl BatchManifest {
                 }
             }
             jobs.push(JobSpec {
-                function,
-                analysis,
+                source,
                 deadline_ms,
                 ladder,
                 label: j.get("label").and_then(Json::as_str).map(str::to_owned),
@@ -770,21 +915,31 @@ mod tests {
         .unwrap();
         assert_eq!(m.threads, 3);
         assert_eq!(m.jobs.len(), 2);
-        assert!(matches!(m.jobs[0].analysis, AnalysisSpec::Op { input: 0 }));
+        match &m.jobs[0].source {
+            JobSource::Function { name, analysis } => {
+                assert_eq!(name, "and2");
+                assert!(matches!(analysis, AnalysisSpec::Op { input: 0 }));
+            }
+            other => panic!("expected function source, got {other:?}"),
+        }
         assert!(!m.jobs[0].ladder);
         assert!(!m.jobs[0].waveform);
         assert_eq!(m.jobs[0].label_or_default(0), "and2-0");
-        match m.jobs[1].analysis {
-            AnalysisSpec::Transient {
-                phase_ns,
-                dt_ns,
-                max_samples,
+        match &m.jobs[1].source {
+            JobSource::Function {
+                analysis:
+                    AnalysisSpec::Transient {
+                        phase_ns,
+                        dt_ns,
+                        max_samples,
+                    },
+                ..
             } => {
-                assert_eq!(phase_ns, 2.0);
-                assert_eq!(dt_ns, 0.1);
-                assert_eq!(max_samples, 128);
+                assert_eq!(*phase_ns, 2.0);
+                assert_eq!(*dt_ns, 0.1);
+                assert_eq!(*max_samples, 128);
             }
-            ref other => panic!("expected transient, got {other:?}"),
+            other => panic!("expected transient, got {other:?}"),
         }
         assert!(m.jobs[1].ladder);
         assert!(m.jobs[1].waveform);
@@ -824,6 +979,68 @@ mod tests {
         let e =
             BatchManifest::parse(r#"{"jobs": [{"function": "x", "deadline_ms": 0}]}"#).unwrap_err();
         assert_eq!(e.code, "invalid_deadline");
+    }
+
+    #[test]
+    fn manifest_deck_jobs_parse_and_validate() {
+        let m = BatchManifest::parse(
+            r#"{"jobs": [{"deck": "v1 a 0 dc 1\n.op\n", "max_samples": 64, "label": "d"}]}"#,
+        )
+        .unwrap();
+        match &m.jobs[0].source {
+            JobSource::Deck { text, max_samples } => {
+                assert!(text.starts_with("v1 a 0"), "{text:?}");
+                assert_eq!(*max_samples, 64);
+            }
+            other => panic!("expected deck source, got {other:?}"),
+        }
+        assert_eq!(m.jobs[0].label_or_default(0), "d");
+        let m = BatchManifest::parse(r#"{"jobs": [{"deck": "x"}]}"#).unwrap();
+        assert_eq!(m.jobs[0].label_or_default(3), "deck-3");
+
+        for (body, needle) in [
+            (r#"{"function": "x", "deck": "y"}"#, "not both"),
+            (r#"{"deck": "y", "analysis": "op"}"#, "analysis"),
+            (r#"{"deck": "y", "input": 3}"#, "input"),
+            (r#"{"deck": "y", "phase_ns": 1}"#, "phase_ns"),
+            (r#"{"deck": "y", "dt_ns": 1}"#, "dt_ns"),
+        ] {
+            let e = BatchManifest::parse(&format!(r#"{{"jobs": [{body}]}}"#)).unwrap_err();
+            assert_eq!(e.code, "bad_manifest", "{body}");
+            assert!(e.message.contains(needle), "{body}: {e}");
+        }
+    }
+
+    #[test]
+    fn deck_errors_carry_line_and_column() {
+        let deck_err = fts_netlist::parse_str("v1 in 0 dc 1\nr1 a b\n.op\n").unwrap_err();
+        let e = WireError::from_deck(&deck_err, Some(2));
+        assert_eq!(e.line, Some(2));
+        let json = e.to_json();
+        assert!(json.contains("\"job\":2"), "{json}");
+        assert!(json.contains("\"line\":2"), "{json}");
+        assert!(json.contains("\"col\":"), "{json}");
+        assert!(Json::parse(&json).is_ok());
+        assert!(e.to_string().contains("line 2:"), "{e}");
+    }
+
+    #[test]
+    fn json_render_reparse_is_identity() {
+        let text = r#"{"a":[1,true,null,"x\n"],"b":{"c":-0.0025},"d":""}"#;
+        let doc = Json::parse(text).unwrap();
+        assert_eq!(doc.render(), text);
+        assert_eq!(Json::parse(&doc.render()).unwrap(), doc);
+        // Non-finite numbers normalize to null on render.
+        assert_eq!(Json::Number(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn overflowing_number_literals_are_parse_errors() {
+        // The shared number path refuses literals that overflow to
+        // infinity and non-JSON forms the old lenient reader admitted.
+        for bad in ["1e999", "[1,-1e999]", "01", "+1", "1.", ".5"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
     }
 
     #[test]

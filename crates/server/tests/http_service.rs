@@ -11,7 +11,7 @@ use std::time::Duration;
 use fts_engine::SimJob;
 use fts_server::service::{BuiltJob, JobBuilder};
 use fts_server::testing::{http_call, parse_response, ClientResponse};
-use fts_server::wire::{JobSpec, Json, WireError};
+use fts_server::wire::{JobSource, JobSpec, Json, WireError};
 use fts_server::{HttpLimits, Server, ServerConfig, ShutdownReport};
 use fts_spice::analysis::TranConfig;
 use fts_spice::netlist::{Netlist, Waveform};
@@ -23,10 +23,13 @@ struct TestBuilder;
 
 impl JobBuilder for TestBuilder {
     fn build(&self, spec: &JobSpec, index: usize) -> Result<BuiltJob, WireError> {
+        let JobSource::Function { name, .. } = &spec.source else {
+            unreachable!("deck jobs are lowered by build_job, not the builder");
+        };
         let mut nl = Netlist::new();
         let a = nl.node("a");
         let out = nl.node("out");
-        match spec.function.as_str() {
+        match name.as_str() {
             "divider" => {
                 nl.vsource("V1", a, Netlist::GROUND, Waveform::Dc(2.0))
                     .unwrap();
@@ -381,6 +384,74 @@ fn healthz_metrics_and_status_lifecycle() {
     handle.shutdown();
     let report = thread.join().unwrap().unwrap();
     assert_eq!(report.jobs_completed, 2);
+}
+
+#[test]
+fn deck_endpoint_runs_and_reports_structured_errors() {
+    let (addr, handle, thread) = start_server(test_config());
+
+    // A raw SPICE deck body: one admitted job per analysis card, with the
+    // deck's ordinal analysis labels.
+    let deck = "v1 a 0 dc 2\nr1 a out 1k\nr2 out 0 1k\n.op\n.probe v(out)\n";
+    let resp = http_call(addr, "POST", "/v1/decks", Some(deck)).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    let ids: Vec<u64> = Json::parse(&resp.body)
+        .unwrap()
+        .get("ids")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|v| v.as_f64().unwrap() as u64)
+        .collect();
+    assert_eq!(ids.len(), 1, "{}", resp.body);
+    let done = wait_done(addr, ids[0]);
+    assert!(done.contains("\"label\":\"op-0\""), "{done}");
+    let doc = Json::parse(&done).unwrap();
+    let out_v = doc
+        .get("job")
+        .and_then(|j| j.get("result"))
+        .and_then(|r| r.get("out_v"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!((out_v - 1.0).abs() < 1e-6, "deck divider out_v = {out_v}");
+
+    // A malformed deck answers 400 with the deck's structured error code
+    // and a 1-based line/column.
+    let resp = http_call(
+        addr,
+        "POST",
+        "/v1/decks",
+        Some("v1 a 0 dc 1\nr1 a b\n.op\n"),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    let doc = Json::parse(&resp.body).unwrap();
+    let err = doc.get("error").expect("error object");
+    assert!(
+        err.get("code").and_then(Json::as_str).is_some(),
+        "{}",
+        resp.body
+    );
+    assert_eq!(
+        err.get("line").and_then(Json::as_f64),
+        Some(2.0),
+        "{}",
+        resp.body
+    );
+    assert!(
+        err.get("col").and_then(Json::as_f64).is_some(),
+        "{}",
+        resp.body
+    );
+
+    // Wrong method on the deck route → 405.
+    assert_eq!(
+        http_call(addr, "GET", "/v1/decks", None).unwrap().status,
+        405
+    );
+
+    handle.shutdown();
+    thread.join().unwrap().unwrap();
 }
 
 #[test]

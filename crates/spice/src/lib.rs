@@ -72,5 +72,5 @@ pub use complex::Complex;
 pub use error::SpiceError;
 pub use linalg::{SparseLu, SparseMatrix, Symbolic};
 pub use mos3::Mos3Params;
-pub use netlist::{MosParams, Netlist, NodeId, SolverKind, Waveform};
+pub use netlist::{DeviceView, MosParams, Netlist, NodeId, SolverKind, Waveform};
 pub use sim::Simulator;

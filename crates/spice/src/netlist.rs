@@ -177,6 +177,91 @@ pub(crate) struct Device {
     pub element: Element,
 }
 
+/// A read-only view of one device in a [`Netlist`], in insertion order.
+///
+/// This is the introspection surface for exporters and diagnostics (the
+/// `fts-netlist` deck writer renders element cards from it): node handles
+/// resolve back to names via [`Netlist::node_name`], and waveforms are
+/// borrowed rather than cloned.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceView<'a> {
+    /// A linear resistor between `a` and `b`.
+    Resistor {
+        /// Device name.
+        name: &'a str,
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance \[Ω\].
+        ohms: f64,
+    },
+    /// A linear capacitor between `a` and `b`.
+    Capacitor {
+        /// Device name.
+        name: &'a str,
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance \[F\].
+        farads: f64,
+    },
+    /// An independent voltage source (`plus` − `minus` = waveform).
+    VSource {
+        /// Device name.
+        name: &'a str,
+        /// Positive terminal.
+        plus: NodeId,
+        /// Negative terminal.
+        minus: NodeId,
+        /// Source waveform.
+        wave: &'a Waveform,
+    },
+    /// An independent current source pushing current into `to`.
+    ISource {
+        /// Device name.
+        name: &'a str,
+        /// Terminal the current leaves the circuit from.
+        from: NodeId,
+        /// Terminal the current is pushed into.
+        to: NodeId,
+        /// Source waveform.
+        wave: &'a Waveform,
+    },
+    /// A level-1 n-MOSFET (bulk implicitly grounded).
+    Nmos {
+        /// Device name.
+        name: &'a str,
+        /// Drain.
+        d: NodeId,
+        /// Gate.
+        g: NodeId,
+        /// Source.
+        s: NodeId,
+        /// Level-1 parameters.
+        params: MosParams,
+    },
+    /// A level-3-class n-MOSFET (bulk implicitly grounded).
+    ///
+    /// Note that [`Netlist::nmos3`] also instantiated the `<name>_cgs` /
+    /// `<name>_cgd` gate capacitors right after this device when the
+    /// parameters carry nonzero capacitances; they appear as ordinary
+    /// [`DeviceView::Capacitor`] entries.
+    Nmos3 {
+        /// Device name.
+        name: &'a str,
+        /// Drain.
+        d: NodeId,
+        /// Gate.
+        g: NodeId,
+        /// Source.
+        s: NodeId,
+        /// Level-3 parameters.
+        params: Mos3Params,
+    },
+}
+
 /// A circuit under construction.
 ///
 /// Nodes are created with [`Netlist::node`]; [`Netlist::GROUND`] is node 0.
@@ -469,6 +554,54 @@ impl Netlist {
         })
     }
 
+    /// Iterates read-only [`DeviceView`]s in insertion order — the order
+    /// devices are stamped into the MNA system, which exporters must
+    /// preserve for bit-reproducible results.
+    pub fn devices(&self) -> impl Iterator<Item = DeviceView<'_>> + '_ {
+        self.devices.iter().map(|dev| match &dev.element {
+            Element::Resistor { a, b, ohms } => DeviceView::Resistor {
+                name: &dev.name,
+                a: *a,
+                b: *b,
+                ohms: *ohms,
+            },
+            Element::Capacitor { a, b, farads } => DeviceView::Capacitor {
+                name: &dev.name,
+                a: *a,
+                b: *b,
+                farads: *farads,
+            },
+            Element::VSource {
+                plus, minus, wave, ..
+            } => DeviceView::VSource {
+                name: &dev.name,
+                plus: *plus,
+                minus: *minus,
+                wave,
+            },
+            Element::ISource { from, to, wave } => DeviceView::ISource {
+                name: &dev.name,
+                from: *from,
+                to: *to,
+                wave,
+            },
+            Element::Nmos { d, g, s, params } => DeviceView::Nmos {
+                name: &dev.name,
+                d: *d,
+                g: *g,
+                s: *s,
+                params: *params,
+            },
+            Element::Nmos3 { d, g, s, params } => DeviceView::Nmos3 {
+                name: &dev.name,
+                d: *d,
+                g: *g,
+                s: *s,
+                params: *params,
+            },
+        })
+    }
+
     /// Total MNA unknowns: node voltages (minus ground) plus source
     /// branch currents.
     pub fn unknown_count(&self) -> usize {
@@ -673,6 +806,69 @@ mod tests {
             .unwrap();
         nl.set_vsource("V1", Waveform::Dc(2.0)).unwrap();
         assert!(nl.set_vsource("V9", Waveform::Dc(0.0)).is_err());
+    }
+
+    #[test]
+    fn device_views_preserve_insertion_order() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.vsource("V1", a, Netlist::GROUND, Waveform::Dc(1.5))
+            .unwrap();
+        nl.resistor("R1", a, b, 50.0).unwrap();
+        nl.capacitor("C1", b, Netlist::GROUND, 1e-12).unwrap();
+        let views: Vec<DeviceView> = nl.devices().collect();
+        assert_eq!(views.len(), 3);
+        match &views[0] {
+            DeviceView::VSource {
+                name,
+                plus,
+                minus,
+                wave,
+            } => {
+                assert_eq!(*name, "V1");
+                assert_eq!((*plus, *minus), (a, Netlist::GROUND));
+                assert_eq!(**wave, Waveform::Dc(1.5));
+            }
+            other => panic!("expected vsource view, got {other:?}"),
+        }
+        assert!(matches!(
+            views[1],
+            DeviceView::Resistor { name: "R1", ohms, .. } if ohms == 50.0
+        ));
+        assert!(matches!(
+            views[2],
+            DeviceView::Capacitor { name: "C1", farads, .. } if farads == 1e-12
+        ));
+    }
+
+    #[test]
+    fn nmos3_view_is_followed_by_its_gate_capacitors() {
+        let mut nl = Netlist::new();
+        let d = nl.node("d");
+        let g = nl.node("g");
+        let p = crate::Mos3Params {
+            kp: 1e-4,
+            vth: 0.5,
+            lambda: 0.0,
+            w_over_l: 2.0,
+            theta: 0.0,
+            esat_l: f64::INFINITY,
+            cgs: 1e-15,
+            cgd: 2e-15,
+        };
+        nl.nmos3("M1", d, g, Netlist::GROUND, p).unwrap();
+        let views: Vec<DeviceView> = nl.devices().collect();
+        assert_eq!(views.len(), 3);
+        assert!(matches!(views[0], DeviceView::Nmos3 { name: "M1", .. }));
+        assert!(matches!(
+            views[1],
+            DeviceView::Capacitor { name: "M1_cgs", farads, .. } if farads == 1e-15
+        ));
+        assert!(matches!(
+            views[2],
+            DeviceView::Capacitor { name: "M1_cgd", farads, .. } if farads == 2e-15
+        ));
     }
 
     #[test]

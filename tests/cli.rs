@@ -61,6 +61,90 @@ fn lattice_subcommand_reads_stdin() {
     assert!(text.contains("01101001"), "{text}");
 }
 
+/// Golden help test: `fts help` must list every flag a subcommand
+/// actually parses, on that subcommand's own usage line — help text and
+/// the argument parsers cannot drift apart again (`fts serve` once
+/// parsed `--retain-done` without documenting it).
+#[test]
+fn help_lists_every_flag_each_subcommand_parses() {
+    let out = fts().args(["help"]).output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+
+    let line_with = |subcommand: &str| {
+        text.lines()
+            .find(|l| l.trim_start().starts_with(&format!("fts {subcommand}")))
+            .unwrap_or_else(|| panic!("no usage line for {subcommand:?}:\n{text}"))
+            .to_owned()
+    };
+    for (subcommand, flags) in [
+        ("lattice", &["--vars"][..]),
+        ("faults", &["--vars"][..]),
+        ("run", &["--out", "--threads", "--waveform"][..]),
+        ("batch", &["--out"][..]),
+        (
+            "serve",
+            &["--addr", "--workers", "--queue-depth", "--retain-done"][..],
+        ),
+    ] {
+        let line = line_with(subcommand);
+        for flag in flags {
+            assert!(
+                line.contains(flag),
+                "fts {subcommand} line lacks {flag}: {line}"
+            );
+        }
+    }
+
+    // `--help` and `-h` print the same text and also exit 0.
+    for alias in ["--help", "-h"] {
+        let out = fts().args([alias]).output().expect("run");
+        assert!(out.status.success(), "{alias} should succeed");
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            format!("{}\n", text.trim_end())
+        );
+    }
+}
+
+#[test]
+fn run_reads_deck_from_stdin_and_writes_report() {
+    let mut child = fts()
+        .args(["run", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(b"v1 in 0 dc 1\nr1 in out 1k\nr2 out 0 1k\n.probe v(out)\n.op\n")
+        .expect("write");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"schema\":\"fts-batch-report/1\""), "{text}");
+    assert!(text.contains("\"label\":\"op-0\""), "{text}");
+    assert!(text.contains("\"out_v\":0.4999999997"), "{text}");
+}
+
+#[test]
+fn run_rejects_malformed_decks_with_position() {
+    let dir = std::env::temp_dir().join(format!("fts-run-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let deck = dir.join("bad.cir");
+    std::fs::write(&deck, "v1 in 0 dc 1\nr1 in out\n.op\n").expect("write");
+    let out = fts()
+        .args(["run", deck.to_str().unwrap()])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 2"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn batch_runs_manifest_and_writes_report() {
     let dir = std::env::temp_dir().join(format!("fts-batch-{}", std::process::id()));

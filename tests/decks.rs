@@ -1,0 +1,209 @@
+//! The example SPICE decks under `examples/decks/` and the promises the
+//! deck frontend makes about them: the XOR3 deck *is* the Fig. 11
+//! builder-constructed job (byte-identical results), and `fts run` /
+//! `POST /v1/decks` report the same bytes for the same deck.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+use four_terminal_lattice::batch::{
+    outcome_json, AnalysisSpec, JobSource, JobSpec, PipelineJobBuilder,
+};
+use four_terminal_lattice::engine::{Engine, DEFAULT_MAX_SAMPLES};
+use four_terminal_lattice::netlist::{self, ElabOptions};
+use four_terminal_lattice::server::service::JobBuilder as _;
+
+fn deck_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/decks")
+        .join(name)
+}
+
+fn elaborate(text: &str) -> netlist::Elaborated {
+    let deck = netlist::parse_str(text).expect("deck parses");
+    netlist::elaborate(&deck, &ElabOptions::default()).expect("deck elaborates")
+}
+
+/// The Fig. 11 experiment as the batch/server builder constructs it: the
+/// synthesized XOR3 lattice in its §V bench, driven through the full
+/// 8-combination input walk (manifest-default timing).
+fn fig11_builder_job() -> four_terminal_lattice::server::service::BuiltJob {
+    let spec = JobSpec {
+        source: JobSource::Function {
+            name: "xor3".to_owned(),
+            analysis: AnalysisSpec::Transient {
+                phase_ns: 6.0,
+                dt_ns: 0.1,
+                max_samples: DEFAULT_MAX_SAMPLES,
+            },
+        },
+        deadline_ms: None,
+        ladder: false,
+        label: None,
+        waveform: false,
+    };
+    PipelineJobBuilder::new().build(&spec, 0).expect("builder")
+}
+
+/// `examples/decks/xor3_lattice.cir` is the exported form of the builder
+/// job — and stays it. Regenerate with `UPDATE_DECKS=1 cargo test`.
+#[test]
+fn xor3_deck_is_the_exported_fig11_job() {
+    let built = fig11_builder_job();
+    let text = netlist::export_job(&built.job, built.out).expect("deck-expressible");
+    let path = deck_path("xor3_lattice.cir");
+    if std::env::var_os("UPDATE_DECKS").is_some() {
+        std::fs::write(&path, &text).expect("write deck");
+    }
+    let committed = std::fs::read_to_string(&path).expect("committed deck");
+    assert_eq!(
+        committed, text,
+        "examples/decks/xor3_lattice.cir is stale; rerun with UPDATE_DECKS=1"
+    );
+}
+
+/// Elaborating the committed XOR3 deck reproduces the builder job's
+/// results byte-for-byte — waveform arrays included.
+#[test]
+fn xor3_deck_results_match_the_builder_job_bytes() {
+    let built = fig11_builder_job();
+    let committed = std::fs::read_to_string(deck_path("xor3_lattice.cir")).expect("deck");
+    let elab = elaborate(&committed);
+    assert_eq!(elab.jobs.len(), 1, "one .tran card");
+    assert_eq!(elab.out.index(), built.out.index(), "same report node");
+
+    let mut jobs = vec![built.job, elab.jobs[0].clone()];
+    // Identical inputs must stay identical through scheduling: run on one
+    // thread so both jobs see the same solver, then compare full results.
+    jobs[1].label = jobs[0].label.clone();
+    let report = Engine::new().threads(1).run(jobs);
+    let from_builder = outcome_json(&report.outcomes[0], built.out, true);
+    let from_deck = outcome_json(&report.outcomes[1], elab.out, true);
+    assert_eq!(from_builder, from_deck, "deck and builder results diverge");
+    assert!(
+        from_builder.contains("\"kind\":\"transient\""),
+        "{from_builder}"
+    );
+}
+
+/// The RC deck parses, runs both its analyses, and settles to the step
+/// level (5 V across 8 ms ≈ 8 time constants).
+#[test]
+fn rc_step_deck_runs_and_settles() {
+    let committed = std::fs::read_to_string(deck_path("rc_step.cir")).expect("deck");
+    let elab = elaborate(&committed);
+    assert_eq!(elab.jobs.len(), 2, "an .op and a .tran");
+    assert_eq!(elab.jobs[0].label, "op-0");
+    assert_eq!(elab.jobs[1].label, "tran-1");
+    let report = Engine::new().threads(1).run(elab.jobs);
+    assert_eq!(report.succeeded(), 2);
+    let tran = outcome_json(&report.outcomes[1], elab.out, true);
+    let peak: f64 = tran
+        .split("\"out_peak_v\":")
+        .nth(1)
+        .and_then(|s| s.split(&[',', '}'][..]).next())
+        .and_then(|s| s.parse().ok())
+        .expect("peak in {tran}");
+    assert!((peak - 5.0).abs() < 0.05, "expected ~5 V, got {peak}");
+}
+
+fn fts() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fts"))
+}
+
+/// One-request HTTP client (the server speaks one-request-per-connection).
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    use std::io::Read as _;
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("write");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad response: {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// `fts run deck.cir` and `POST /v1/decks` with the same deck report the
+/// same result bytes — the CLI and the HTTP service cannot drift.
+#[test]
+fn run_and_serve_report_identical_results_for_the_same_deck() {
+    use std::io::{BufRead, BufReader};
+
+    let path = deck_path("xor3_lattice.cir");
+    let deck = std::fs::read_to_string(&path).expect("deck");
+
+    // The CLI path, pinned to one thread like the server's solve below.
+    let out = fts()
+        .args(["run", path.to_str().unwrap(), "--threads", "1"])
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let run_report = String::from_utf8_lossy(&out.stdout).to_string();
+    let result_start = run_report.find("\"result\":").expect("run result");
+    let result_end = run_report[result_start..].find("}}").unwrap() + result_start + 1;
+    let run_result = &run_report[result_start..result_end];
+    assert!(run_report.contains("\"label\":\"tran-0\""), "{run_report}");
+
+    // The server path: POST the raw deck, poll the job to done.
+    let mut child = fts()
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "1"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let stdout = child.stdout.take().expect("stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("banner");
+    let addr = line
+        .trim()
+        .strip_prefix("fts-server listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+        .to_owned();
+
+    let (status, body) = http(&addr, "POST", "/v1/decks", &deck);
+    assert_eq!(status, 202, "{body}");
+    assert!(body.contains("\"ids\":[0]"), "{body}");
+    let served = loop {
+        let (status, body) = http(&addr, "GET", "/v1/jobs/0", "");
+        assert_eq!(status, 200, "{body}");
+        if body.contains("\"status\":\"done\"") {
+            break body;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    };
+    let (status, _) = http(&addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    assert!(child
+        .wait_with_output()
+        .expect("server exit")
+        .status
+        .success());
+
+    assert!(served.contains("\"label\":\"tran-0\""), "{served}");
+    assert!(
+        served.contains(run_result),
+        "served result differs from `fts run`:\n  run:   {run_result}\n  serve: {served}"
+    );
+}
