@@ -1,0 +1,255 @@
+//! Flight-recorder overhead benchmark: runs the `server_load` workload
+//! twice against an in-process `fts-server` — tracing disabled
+//! (`trace_events = 0`) and tracing at the production default — and
+//! writes `BENCH_trace.json` with the throughput delta. The budget is
+//! ≤5% overhead with tracing on; the process exits nonzero beyond it.
+//!
+//! Usage: `trace_overhead [--requests N] [--clients N] [--workers N]
+//! [--rounds N] [--budget-pct X] [--function NAME] [--out PATH]
+//! [--telemetry <path.json>]`
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use four_terminal_lattice::batch::PipelineJobBuilder;
+use fts_server::testing::http_call;
+use fts_server::wire::Json;
+use fts_server::{Server, ServerConfig};
+
+struct Args {
+    requests: usize,
+    clients: usize,
+    workers: usize,
+    rounds: usize,
+    budget_pct: f64,
+    function: String,
+    out: String,
+}
+
+fn parse_args(argv: Vec<String>) -> Args {
+    let mut args = Args {
+        requests: 600,
+        clients: 4,
+        workers: 0,
+        rounds: 2,
+        budget_pct: 5.0,
+        function: "and2".to_owned(),
+        out: "BENCH_trace.json".to_owned(),
+    };
+    let mut it = argv.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match flag.as_str() {
+            "--requests" => args.requests = value("--requests").parse().expect("--requests: int"),
+            "--clients" => args.clients = value("--clients").parse().expect("--clients: int"),
+            "--workers" => args.workers = value("--workers").parse().expect("--workers: int"),
+            "--rounds" => args.rounds = value("--rounds").parse().expect("--rounds: int"),
+            "--budget-pct" => {
+                args.budget_pct = value("--budget-pct").parse().expect("--budget-pct: float");
+            }
+            "--function" => args.function = value("--function"),
+            "--out" => args.out = value("--out"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn submit_body(function: &str, input: u32) -> String {
+    format!(r#"{{"jobs":[{{"function":"{function}","analysis":"op","input":{input}}}]}}"#)
+}
+
+fn extract_ids(body: &str) -> Vec<u64> {
+    let doc = Json::parse(body).expect("submit response is JSON");
+    doc.get("ids")
+        .and_then(Json::as_array)
+        .expect("ids array")
+        .iter()
+        .map(|v| v.as_f64().expect("id") as u64)
+        .collect()
+}
+
+fn wait_done(addr: SocketAddr, id: u64) -> String {
+    loop {
+        let resp = http_call(addr, "GET", &format!("/v1/jobs/{id}"), None).expect("status call");
+        assert_eq!(resp.status, 200, "status poll failed: {}", resp.body);
+        if resp.body.contains("\"status\":\"done\"") {
+            return resp.body;
+        }
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+}
+
+/// One measured pass of the `server_load` workload against a fresh
+/// server configured with `trace_events`. Returns the load-phase wall
+/// time and, when tracing is on, the event count of one job's journal
+/// (proof the recorder actually ran, not just that it was enabled).
+fn run_mode(args: &Args, trace_events: usize) -> (f64, usize) {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: args.workers,
+        retain_done: args.requests + 16,
+        trace_events,
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::bind(config, Arc::new(PipelineJobBuilder::new())).expect("bind loopback server");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // Warm-up pays for lattice synthesis once per server, so the timed
+    // phase compares steady-state submission throughput only.
+    let warm = http_call(
+        addr,
+        "POST",
+        "/v1/jobs",
+        Some(&submit_body(&args.function, 0)),
+    )
+    .expect("warm-up submit");
+    assert_eq!(warm.status, 202, "warm-up failed: {}", warm.body);
+    let mut journal_events = 0usize;
+    for id in extract_ids(&warm.body) {
+        wait_done(addr, id);
+        if trace_events > 0 {
+            let resp =
+                http_call(addr, "GET", &format!("/v1/jobs/{id}/trace"), None).expect("trace call");
+            assert_eq!(resp.status, 200, "trace fetch failed: {}", resp.body);
+            let doc = Json::parse(&resp.body).expect("journal is JSON");
+            journal_events = doc
+                .get("events")
+                .and_then(Json::as_array)
+                .map_or(0, |events| events.len());
+            assert!(journal_events > 0, "tracing on but journal empty");
+        }
+    }
+
+    let rejected = AtomicU64::new(0);
+    let next = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..args.clients {
+            let rejected = &rejected;
+            let next = &next;
+            let function = &args.function;
+            scope.spawn(move || {
+                let mut ids = Vec::new();
+                loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= args.requests {
+                        break;
+                    }
+                    let body = submit_body(function, (k % 4) as u32);
+                    loop {
+                        let resp =
+                            http_call(addr, "POST", "/v1/jobs", Some(&body)).expect("submit call");
+                        match resp.status {
+                            202 => {
+                                ids.extend(extract_ids(&resp.body));
+                                break;
+                            }
+                            429 => {
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(std::time::Duration::from_micros(500));
+                            }
+                            other => panic!("unexpected submit status {other}: {}", resp.body),
+                        }
+                    }
+                }
+                for id in ids {
+                    let body = wait_done(addr, id);
+                    assert!(
+                        body.contains("\"kind\":\"op\""),
+                        "job {id} did not succeed: {body}"
+                    );
+                }
+            });
+        }
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    handle.shutdown();
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("server exit");
+    (wall_s, journal_events)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut tel = fts_bench::telemetry::from_args("trace_overhead", &mut argv);
+    let args = parse_args(argv);
+    let cap = fts_telemetry::trace::DEFAULT_EVENT_CAP;
+
+    println!(
+        "trace overhead: {} op submissions of {:?} over {} client(s), \
+         {} round(s) per mode, ring capacity {cap}",
+        args.requests, args.function, args.clients, args.rounds
+    );
+
+    // Alternate off/on rounds and keep each mode's best wall time: the
+    // interleave spreads machine noise across both modes instead of
+    // letting it land on one, and best-of-N is the standard noise floor.
+    let mut wall_off = f64::INFINITY;
+    let mut wall_on = f64::INFINITY;
+    let mut journal_events = 0;
+    for round in 0..args.rounds.max(1) {
+        let (off, _) = run_mode(&args, 0);
+        wall_off = wall_off.min(off);
+        tel.phase_done(&format!("off-{round}"));
+        let (on, events) = run_mode(&args, cap);
+        wall_on = wall_on.min(on);
+        journal_events = journal_events.max(events);
+        tel.phase_done(&format!("on-{round}"));
+        println!("  round {round}: off {off:.3} s, on {on:.3} s");
+    }
+
+    let thr_off = args.requests as f64 / wall_off;
+    let thr_on = args.requests as f64 / wall_on;
+    let overhead_pct = (thr_off / thr_on - 1.0) * 100.0;
+    let within_budget = overhead_pct <= args.budget_pct;
+
+    println!("  tracing off : {wall_off:.3} s best, {thr_off:.0} req/s");
+    println!("  tracing on  : {wall_on:.3} s best, {thr_on:.0} req/s");
+    println!(
+        "  overhead    : {overhead_pct:.2}% (budget {:.1}%) -> {}",
+        args.budget_pct,
+        if within_budget { "PASS" } else { "FAIL" }
+    );
+
+    let json = format!(
+        concat!(
+            "{{\"schema\":\"fts-server-bench/1\",\"experiment\":\"trace_overhead\",",
+            "\"function\":\"{}\",\"requests\":{},\"clients\":{},\"workers\":{},",
+            "\"rounds\":{},\"trace_events\":{},\"journal_events\":{},",
+            "\"wall_off_s\":{},\"wall_on_s\":{},\"throughput_off_rps\":{},",
+            "\"throughput_on_rps\":{},\"overhead_pct\":{},\"budget_pct\":{},",
+            "\"within_budget\":{}}}"
+        ),
+        args.function,
+        args.requests,
+        args.clients,
+        args.workers,
+        args.rounds,
+        cap,
+        journal_events,
+        wall_off,
+        wall_on,
+        thr_off,
+        thr_on,
+        overhead_pct,
+        args.budget_pct,
+        within_budget,
+    );
+    std::fs::write(&args.out, &json)?;
+    println!("\nwrote {}:\n{json}", args.out);
+    tel.finish()?;
+
+    if !within_budget {
+        std::process::exit(1);
+    }
+    Ok(())
+}

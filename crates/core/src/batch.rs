@@ -33,8 +33,9 @@ use fts_spice::Waveform;
 use crate::pipeline::{Pipeline, PipelineRun};
 
 pub use fts_server::wire::{
-    batch_report_json, job_row_json, json_escape, outcome_json, AnalysisSpec, BatchManifest,
-    JobSource, JobSpec, Json, WireError, MAX_SAMPLES_LIMIT, SCHEMA_VERSION,
+    batch_report_json, job_row_json, job_row_json_traced, json_escape, outcome_json,
+    trace_object_json, AnalysisSpec, BatchManifest, JobSource, JobSpec, Json, WireError,
+    MAX_SAMPLES_LIMIT, SCHEMA_VERSION,
 };
 
 /// Lowers manifest jobs through the synthesis pipeline, caching one
@@ -147,11 +148,33 @@ impl JobBuilder for PipelineJobBuilder {
 /// whole batch with a structured [`WireError`]; *simulation* failures do
 /// not — they are reported per job.
 pub fn run_manifest(manifest: &BatchManifest) -> Result<String, WireError> {
+    run_manifest_traced(manifest, 0)
+}
+
+/// [`run_manifest`] with per-job flight recorders: when `trace_events`
+/// is nonzero every job carries a bounded
+/// [`JobTrace`](fts_telemetry::trace::JobTrace) ring of that capacity,
+/// and each report row embeds its journal as a `"trace"` object
+/// (`fts batch --trace` / `fts run --trace`).
+///
+/// # Errors
+///
+/// Same as [`run_manifest`].
+pub fn run_manifest_traced(
+    manifest: &BatchManifest,
+    trace_events: usize,
+) -> Result<String, WireError> {
     let builder = PipelineJobBuilder::new();
     let mut jobs = Vec::with_capacity(manifest.jobs.len());
     let mut meta = Vec::with_capacity(manifest.jobs.len());
+    let mut traces = Vec::with_capacity(manifest.jobs.len());
     for (k, spec) in manifest.jobs.iter().enumerate() {
-        let built = build_job(&builder, spec, k)?;
+        let mut built = build_job(&builder, spec, k)?;
+        let trace = (trace_events > 0).then(|| fts_telemetry::trace::JobTrace::new(trace_events));
+        if let Some(t) = &trace {
+            built.job.trace = Some(t.clone());
+        }
+        traces.push(trace);
         meta.push((spec.label_or_default(k), built.out, spec.waveform));
         jobs.push(built.job);
     }
@@ -165,9 +188,11 @@ pub fn run_manifest(manifest: &BatchManifest) -> Result<String, WireError> {
 
     let rows: Vec<String> = meta
         .iter()
+        .zip(&traces)
         .zip(report.outcomes.iter().zip(&report.stats))
-        .map(|((label, out, waveform), (outcome, stat))| {
-            job_row_json(label, outcome, stat, *out, *waveform)
+        .map(|(((label, out, waveform), trace), (outcome, stat))| {
+            let snap = trace.as_ref().map(|t| t.snapshot());
+            job_row_json_traced(label, outcome, stat, *out, *waveform, snap.as_ref())
         })
         .collect();
     Ok(batch_report_json(
@@ -254,6 +279,30 @@ mod tests {
         let out_v = result.get("out_v").and_then(Json::as_array).unwrap();
         assert_eq!(time.len(), samples as usize);
         assert_eq!(out_v.len(), samples as usize);
+    }
+
+    #[test]
+    fn traced_manifest_embeds_a_journal_per_row() {
+        let m = BatchManifest::parse(
+            r#"{"threads": 1, "jobs": [
+                {"function": "and2", "analysis": "op", "input": 1, "label": "traced"}
+            ]}"#,
+        )
+        .unwrap();
+        let report = run_manifest_traced(&m, 512).unwrap();
+        let doc = Json::parse(&report).unwrap();
+        let row = &doc.get("outcomes").and_then(Json::as_array).unwrap()[0];
+        let trace = row.get("trace").expect("row embeds a trace object");
+        assert_eq!(trace.get("capacity").and_then(Json::as_f64), Some(512.0));
+        let events = trace.get("events").and_then(Json::as_array).unwrap();
+        let kinds: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("kind").and_then(Json::as_str))
+            .collect();
+        assert!(kinds.contains(&"newton_converged"), "{kinds:?}");
+        assert_eq!(kinds.last(), Some(&"job_done"), "{kinds:?}");
+        // The untraced path stays byte-compatible: no trace field at all.
+        assert!(!run_manifest(&m).unwrap().contains("\"trace\""));
     }
 
     #[test]

@@ -58,9 +58,9 @@ fn usage() -> &'static str {
      fts characterize <square|cross|junctionless> <sio2|hfo2>\n  \
      fts xor3\n  \
      fts explore <function>\n  \
-     fts run <deck.cir|-> [--out <report.json>] [--threads <n>] [--waveform]\n  \
-     fts batch <manifest.json> [--out <report.json>]\n  \
-     fts serve [--addr <ip:port>] [--workers <n>] [--queue-depth <n>] [--retain-done <n>]\n  \
+     fts run <deck.cir|-> [--out <report.json>] [--threads <n>] [--waveform] [--trace]\n  \
+     fts batch <manifest.json> [--out <report.json>] [--trace]\n  \
+     fts serve [--addr <ip:port>] [--workers <n>] [--queue-depth <n>] [--retain-done <n>] [--trace-events <n>]\n  \
      fts help"
 }
 
@@ -274,6 +274,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut out_path: Option<&str> = None;
     let mut threads = 0usize;
     let mut waveform = false;
+    let mut trace = false;
     let mut rest = args[1..].iter();
     while let Some(flag) = rest.next() {
         match flag.as_str() {
@@ -286,6 +287,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "bad --threads value")?;
             }
             "--waveform" => waveform = true,
+            "--trace" => trace = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -322,12 +324,30 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         engine = engine.threads(threads);
     }
     let threads_used = engine.thread_count();
-    let report = engine.run(elab.jobs);
+    // `--trace` attaches a flight recorder per job; the handle clones
+    // stay here so the report can embed each journal after the run.
+    let mut jobs = elab.jobs;
+    let traces: Vec<Option<fts_telemetry::trace::JobTrace>> = jobs
+        .iter_mut()
+        .map(|job| {
+            trace.then(|| {
+                let t =
+                    fts_telemetry::trace::JobTrace::new(fts_telemetry::trace::DEFAULT_EVENT_CAP);
+                job.trace = Some(t.clone());
+                t
+            })
+        })
+        .collect();
+    let report = engine.run(jobs);
     let rows: Vec<String> = report
         .outcomes
         .iter()
         .zip(&report.stats)
-        .map(|(outcome, stat)| batch::job_row_json(&stat.label, outcome, stat, out, waveform))
+        .zip(&traces)
+        .map(|((outcome, stat), trace)| {
+            let snap = trace.as_ref().map(fts_telemetry::trace::JobTrace::snapshot);
+            batch::job_row_json_traced(&stat.label, outcome, stat, out, waveform, snap.as_ref())
+        })
         .collect();
     let doc = batch::batch_report_json(&rows, report.succeeded(), threads_used, report.wall_s);
     emit_report(&doc, out_path)
@@ -336,16 +356,23 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 fn cmd_batch(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("missing <manifest.json>")?;
     let mut out_path: Option<&str> = None;
+    let mut trace = false;
     let mut rest = args[1..].iter();
     while let Some(flag) = rest.next() {
         match flag.as_str() {
             "--out" => out_path = Some(rest.next().ok_or("--out needs a path")?),
+            "--trace" => trace = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let manifest = batch::BatchManifest::parse(&text).map_err(|e| e.to_string())?;
-    let report = batch::run_manifest(&manifest).map_err(|e| e.to_string())?;
+    let trace_events = if trace {
+        fts_telemetry::trace::DEFAULT_EVENT_CAP
+    } else {
+        0
+    };
+    let report = batch::run_manifest_traced(&manifest, trace_events).map_err(|e| e.to_string())?;
     emit_report(&report, out_path)
 }
 
@@ -378,6 +405,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 config.retain_done = value(&mut rest)?
                     .parse()
                     .map_err(|_| "bad --retain-done value")?;
+            }
+            "--trace-events" => {
+                config.trace_events = value(&mut rest)?
+                    .parse()
+                    .map_err(|_| "bad --trace-events value")?;
             }
             other => return Err(format!("unknown flag {other:?}")),
         }

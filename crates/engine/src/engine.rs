@@ -159,9 +159,15 @@ fn execute(job: &SimJob, batch: &CancelToken) -> (SimOutcome, JobStats) {
         Some(budget) => batch.child_with_deadline(budget),
         None => batch.clone(),
     };
+    // Install the job's flight recorder (if any) for the whole run; every
+    // trace event the solver stack emits on this thread lands in the
+    // job's own ring until the guard drops.
+    let _recorder = job.trace.as_ref().map(fts_telemetry::trace::install);
     let t0 = Instant::now();
     let (outcome, attempts) = run_job(job, &token);
     let wall_s = t0.elapsed().as_secs_f64();
+    // a = attempts consumed, b = wall seconds; detail is the outcome tag.
+    fts_telemetry::trace::emit("job_done", outcome.kind(), attempts as f64, wall_s);
 
     match &outcome {
         SimOutcome::Failed { .. } => fts_telemetry::counter("engine.jobs.failed", 1),
@@ -202,6 +208,10 @@ fn run_job(job: &SimJob, token: &CancelToken) -> (SimOutcome, usize) {
     let mut last_err = None;
     for opts in policies {
         attempts += 1;
+        // Stamp subsequent trace events with the 0-based attempt index;
+        // a = Newton iteration budget for the attempt.
+        fts_telemetry::trace::set_attempt(attempts as u32 - 1);
+        fts_telemetry::trace::emit("attempt", "", opts.max_iterations as f64, 0.0);
         match attempt(job, *opts, token) {
             Ok(outcome) => return (outcome, attempts),
             Err(e) if e.is_cancellation() => {
@@ -209,9 +219,25 @@ fn run_job(job: &SimJob, token: &CancelToken) -> (SimOutcome, usize) {
                     SpiceError::Cancelled { .. } => SimOutcome::Cancelled,
                     _ => SimOutcome::DeadlineExceeded { attempts },
                 };
+                // "cancelled" or "deadline_exceeded", a = attempts used.
+                fts_telemetry::trace::emit(
+                    match outcome {
+                        SimOutcome::Cancelled => "cancelled",
+                        _ => "deadline",
+                    },
+                    "",
+                    attempts as f64,
+                    0.0,
+                );
                 return (outcome, attempts);
             }
-            Err(e) if e.is_retryable() => last_err = Some(e),
+            Err(e) if e.is_retryable() => {
+                if attempts < policies.len() {
+                    // a = attempt that failed (0-based), next rung follows.
+                    fts_telemetry::trace::emit("retry", "", attempts as f64 - 1.0, 0.0);
+                }
+                last_err = Some(e);
+            }
             Err(e) => return (SimOutcome::Failed { error: e, attempts }, attempts),
         }
     }

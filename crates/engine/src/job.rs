@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use fts_spice::analysis::{AcResult, OpResult, TranConfig};
 use fts_spice::{Netlist, NodeId, OpOptions, SpiceError};
+use fts_telemetry::trace::JobTrace;
 
 use crate::sink::Waveforms;
 
@@ -110,6 +111,11 @@ pub struct SimJob {
     pub retry: RetryPolicy,
     /// Free-form label echoed in the job's [`JobStats`].
     pub label: String,
+    /// Optional flight recorder: when set, the engine installs it on the
+    /// worker thread for the duration of the run, so every solver event
+    /// the job produces lands in this ring. The submitter keeps a clone
+    /// of the handle and snapshots it whenever it likes.
+    pub trace: Option<JobTrace>,
 }
 
 impl SimJob {
@@ -121,6 +127,7 @@ impl SimJob {
             deadline: None,
             retry: RetryPolicy::full(),
             label: String::new(),
+            trace: None,
         }
     }
 
@@ -136,6 +143,7 @@ impl SimJob {
             deadline: None,
             retry: RetryPolicy::full(),
             label: String::new(),
+            trace: None,
         }
     }
 
@@ -150,6 +158,7 @@ impl SimJob {
             deadline: None,
             retry: RetryPolicy::full(),
             label: String::new(),
+            trace: None,
         }
     }
 
@@ -164,6 +173,7 @@ impl SimJob {
             deadline: None,
             retry: RetryPolicy::full(),
             label: String::new(),
+            trace: None,
         }
     }
 
@@ -182,6 +192,13 @@ impl SimJob {
     /// Sets the label.
     pub fn label(mut self, label: &str) -> SimJob {
         self.label = label.to_owned();
+        self
+    }
+
+    /// Attaches a flight recorder (see [`SimJob::trace`]). Keep a clone
+    /// of the handle to read the journal back.
+    pub fn trace(mut self, trace: JobTrace) -> SimJob {
+        self.trace = Some(trace);
         self
     }
 

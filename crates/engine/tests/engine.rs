@@ -233,3 +233,51 @@ fn run_single_honors_cancel_and_deadline() {
     assert!(matches!(outcome, SimOutcome::DeadlineExceeded { .. }));
     assert!(t0.elapsed() < Duration::from_secs(5));
 }
+
+#[test]
+fn traced_job_records_solver_events_in_its_own_ring() {
+    use fts_telemetry::trace::JobTrace;
+    let trace = JobTrace::new(256);
+    let job = SimJob::op(rc_ladder(3, 1.0e3)).trace(trace.clone());
+    let report = Engine::new().threads(1).run(vec![job]);
+    assert_eq!(report.succeeded(), 1);
+
+    let snap = trace.snapshot();
+    let kinds: Vec<&str> = snap.events.iter().map(|e| e.kind).collect();
+    for required in ["attempt", "homotopy_step", "newton_converged", "op_solved"] {
+        assert!(kinds.contains(&required), "missing {required} in {kinds:?}");
+    }
+    assert_eq!(
+        snap.events.last().map(|e| (e.kind, e.detail)),
+        Some(("job_done", "op")),
+        "journal must close with the outcome event"
+    );
+    for pair in snap.events.windows(2) {
+        assert!(pair[0].t_us <= pair[1].t_us, "timestamps must be monotone");
+    }
+
+    // An untraced run must not leak events into someone else's ring.
+    let before = trace.snapshot().events.len();
+    let untraced = Engine::new()
+        .threads(1)
+        .run(vec![SimJob::op(rc_ladder(3, 1.0e3))]);
+    assert_eq!(untraced.succeeded(), 1);
+    assert_eq!(trace.snapshot().events.len(), before);
+}
+
+#[test]
+fn trace_ring_stays_bounded_on_chatty_transients() {
+    use fts_telemetry::trace::JobTrace;
+    let trace = JobTrace::new(16);
+    // 100 fixed steps emit well over 16 events; the ring must cap and
+    // count the overflow rather than grow.
+    let job = SimJob::transient(rc_ladder(4, 1.0e3), TranConfig::fixed(1e-9, 100e-9))
+        .trace(trace.clone());
+    let report = Engine::new().threads(1).run(vec![job]);
+    assert_eq!(report.succeeded(), 1);
+    let snap = trace.snapshot();
+    assert_eq!(snap.capacity, 16);
+    assert_eq!(snap.events.len(), 16);
+    assert!(snap.dropped > 0, "overflow must be counted");
+    assert_eq!(snap.events.last().map(|e| e.kind), Some("job_done"));
+}

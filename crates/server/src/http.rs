@@ -57,15 +57,31 @@ impl Default for HttpLimits {
     }
 }
 
-/// A parsed request: method, path, and body.
+/// A parsed request: method, path, optional query string, and body.
 #[derive(Debug, Clone)]
 pub struct Request {
     /// Uppercase method token as sent (`GET`, `POST`, `DELETE`, …).
     pub method: String,
-    /// Request target, e.g. `/v1/jobs/7` (query strings are not used).
+    /// Request target with any query string removed, e.g. `/v1/jobs/7`.
     pub path: String,
+    /// The raw query string after `?`, without the `?` itself (empty when
+    /// the target has none), e.g. `format=chrome`.
+    pub query: String,
     /// Decoded request body (empty without `Content-Length`).
     pub body: String,
+}
+
+impl Request {
+    /// The value of query parameter `name`, if present. Parameters split
+    /// on `&` and `=`; no percent-decoding (the API's parameter values
+    /// are plain tokens like `chrome`). A bare `name` (no `=`) reads as
+    /// an empty value.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
+    }
 }
 
 /// A request-handling failure, carrying the status line it maps to.
@@ -246,9 +262,14 @@ pub fn read_request(stream: &mut TcpStream, limits: &HttpLimits) -> Result<Reque
         }
     };
 
+    let (path, query) = match path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (path, ""),
+    };
     Ok(Request {
         method: method.to_owned(),
         path: path.to_owned(),
+        query: query.to_owned(),
         body,
     })
 }
@@ -307,6 +328,19 @@ mod tests {
         assert!(b.contains("\"code\":\"payload_too_large\""));
         let b = HttpError::BadRequest("quote \" here".into()).body();
         assert!(b.contains("quote \\\" here"));
+    }
+
+    #[test]
+    fn query_params_split_without_decoding() {
+        let r = Request {
+            method: "GET".into(),
+            path: "/v1/jobs/7/trace".into(),
+            query: "format=chrome&bare".into(),
+            body: String::new(),
+        };
+        assert_eq!(r.query_param("format"), Some("chrome"));
+        assert_eq!(r.query_param("bare"), Some(""));
+        assert_eq!(r.query_param("missing"), None);
     }
 
     #[test]

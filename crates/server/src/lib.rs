@@ -13,9 +13,10 @@
 //! |---|---|
 //! | `POST /v1/jobs` | Submit a batch manifest (same schema as `fts batch`); returns job ids, `202` |
 //! | `GET /v1/jobs/{id}` | Job status; done jobs embed the deterministic result object |
+//! | `GET /v1/jobs/{id}/trace` | The job's flight-recorder journal (`fts-trace/1`); `?format=chrome` renders Chrome trace-event JSON for `about:tracing` |
 //! | `DELETE /v1/jobs/{id}` | Cooperative cancel via the job's `CancelToken` |
-//! | `GET /healthz` | Liveness |
-//! | `GET /metrics` | Prometheus-style text: queue gauges + fts-telemetry counters/percentiles |
+//! | `GET /healthz` | Liveness: uptime, schema version, jobs in each state |
+//! | `GET /metrics` | Prometheus-style text: queue gauges, live per-endpoint request counters + sliding-window latency, fts-telemetry counters/percentiles |
 //! | `POST /v1/shutdown` | Graceful shutdown (same drain as SIGINT) |
 //!
 //! # Service semantics
@@ -56,9 +57,11 @@ pub mod wire;
 pub use http::{HttpError, HttpLimits, Request};
 pub use server::{Server, ServerConfig, ServerHandle, ShutdownReport};
 pub use service::{
-    build_job, BuiltJob, JobBuilder, JobService, ServiceGauges, SubmitError, DEFAULT_RETAIN_DONE,
+    build_job, BuiltJob, JobBuilder, JobService, ServiceGauges, SubmitError, TraceLookup,
+    DEFAULT_RETAIN_DONE,
 };
 pub use wire::{
-    batch_report_json, job_row_json, json_escape, outcome_json, AnalysisSpec, BatchManifest,
-    JobSpec, Json, WireError, MAX_JSON_DEPTH, MAX_SAMPLES_LIMIT, SCHEMA_VERSION,
+    batch_report_json, job_row_json, json_escape, outcome_json, trace_chrome_json,
+    trace_journal_json, trace_object_json, AnalysisSpec, BatchManifest, JobSpec, Json, WireError,
+    MAX_JSON_DEPTH, MAX_SAMPLES_LIMIT, SCHEMA_VERSION,
 };

@@ -24,7 +24,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::http::{self, HttpError, HttpLimits, Request};
-use crate::service::{JobBuilder, JobService, SubmitError};
+use crate::service::{JobBuilder, JobService, SubmitError, TraceLookup};
 use crate::signal;
 use crate::wire::{BatchManifest, WireError, SCHEMA_VERSION};
 
@@ -45,6 +45,10 @@ pub struct ServerConfig {
     pub conn_workers: usize,
     /// Accepted-connection queue capacity (overflow → canned `429`).
     pub conn_backlog: usize,
+    /// Per-job flight-recorder ring capacity in events; `0` disables
+    /// tracing entirely (`GET /v1/jobs/{id}/trace` answers `404` with
+    /// code `trace_disabled`). See [`fts_telemetry::trace`].
+    pub trace_events: usize,
     /// HTTP size/time limits.
     pub limits: HttpLimits,
 }
@@ -58,6 +62,7 @@ impl Default for ServerConfig {
             retain_done: crate::service::DEFAULT_RETAIN_DONE,
             conn_workers: 4,
             conn_backlog: 128,
+            trace_events: fts_telemetry::trace::DEFAULT_EVENT_CAP,
             limits: HttpLimits::default(),
         }
     }
@@ -111,11 +116,10 @@ impl Server {
     pub fn bind(config: ServerConfig, builder: Arc<dyn JobBuilder>) -> std::io::Result<Server> {
         fts_telemetry::set_enabled(true);
         let listener = TcpListener::bind(&config.addr)?;
-        let service = Arc::new(JobService::new(
-            builder,
-            config.queue_depth,
-            config.retain_done,
-        ));
+        let service = Arc::new(
+            JobService::new(builder, config.queue_depth, config.retain_done)
+                .trace_capacity(config.trace_events),
+        );
         Ok(Server {
             listener,
             service,
@@ -158,6 +162,7 @@ impl Server {
             self.config.workers
         };
         let rejected_conns = std::sync::atomic::AtomicU64::new(0);
+        let http_metrics = HttpMetrics::default();
 
         let conn_queue: Arc<(Mutex<ConnQueue>, Condvar)> = Arc::new((
             Mutex::new(ConnQueue {
@@ -177,8 +182,9 @@ impl Server {
                 let queue = Arc::clone(&conn_queue);
                 let stop = Arc::clone(&self.stop);
                 let limits = self.config.limits;
+                let metrics = &http_metrics;
                 scope.spawn(move || {
-                    connection_worker(&queue, &service, &stop, &limits);
+                    connection_worker(&queue, &service, &stop, &limits, metrics, start);
                 });
             }
 
@@ -250,6 +256,8 @@ fn connection_worker(
     service: &JobService,
     stop: &AtomicBool,
     limits: &HttpLimits,
+    metrics: &HttpMetrics,
+    started: Instant,
 ) {
     let (lock, cv) = queue;
     loop {
@@ -265,7 +273,7 @@ fn connection_worker(
                 q = cv.wait(q).expect("conn queue poisoned");
             }
         };
-        handle_connection(stream, service, stop, limits);
+        handle_connection(stream, service, stop, limits, metrics, started);
     }
 }
 
@@ -279,12 +287,15 @@ fn reject_overloaded(mut stream: TcpStream, limits: &HttpLimits) {
     let _ = stream.write_all(&bytes);
 }
 
-/// Reads one request, routes it, writes one response.
+/// Reads one request, routes it, writes one response, books the
+/// per-endpoint counters and the sliding latency window.
 fn handle_connection(
     mut stream: TcpStream,
     service: &JobService,
     stop: &AtomicBool,
     limits: &HttpLimits,
+    metrics: &HttpMetrics,
+    started: Instant,
 ) {
     fts_telemetry::counter("server.http.requests", 1);
     let t0 = Instant::now();
@@ -293,30 +304,40 @@ fn handle_connection(
         Err(e) => {
             fts_telemetry::counter("server.http.errors", 1);
             http::write_error(&mut stream, &e);
+            // No parsed request to attribute, so method/path are "-".
+            metrics.record("-", "-", e.status().0, t0.elapsed().as_secs_f64());
             return;
         }
     };
-    match route(&request, service, stop) {
+    let method = method_label(&request.method);
+    let path = route_template(&request.path);
+    let status = match route(&request, service, stop, metrics, started) {
         Ok(Response::Json {
             status,
             reason,
             body,
         }) => {
             http::write_json(&mut stream, status, reason, &body);
+            status
         }
         Ok(Response::Text { body }) => {
             http::write_text(&mut stream, 200, "OK", &body);
+            200
         }
         Err(e) => {
             fts_telemetry::counter("server.http.errors", 1);
             http::write_error(&mut stream, &e);
+            e.status().0
         }
-    }
+    };
+    let latency_s = t0.elapsed().as_secs_f64();
+    metrics.record(method, path, status, latency_s);
     if fts_telemetry::enabled() {
-        fts_telemetry::record("server.http.latency_s", t0.elapsed().as_secs_f64());
+        fts_telemetry::record("server.http.latency_s", latency_s);
     }
 }
 
+#[derive(Debug)]
 enum Response {
     Json {
         status: u16,
@@ -341,13 +362,26 @@ fn route(
     request: &Request,
     service: &JobService,
     stop: &AtomicBool,
+    metrics: &HttpMetrics,
+    started: Instant,
 ) -> Result<Response, HttpError> {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => json_ok(format!(
-            "{{\"schema_version\":{SCHEMA_VERSION},\"status\":\"ok\"}}"
-        )),
+        ("GET", "/healthz") => {
+            let g = service.gauges();
+            json_ok(format!(
+                "{{\"schema_version\":{SCHEMA_VERSION},\"status\":\"ok\",\"uptime_s\":{:.3},\
+                 \"jobs\":{{\"queued\":{},\"running\":{},\"completed\":{},\"rejected\":{},\
+                 \"done_retained\":{}}}}}",
+                started.elapsed().as_secs_f64(),
+                g.queued,
+                g.running,
+                g.completed,
+                g.rejected,
+                g.done_retained,
+            ))
+        }
         ("GET", "/metrics") => Ok(Response::Text {
-            body: render_metrics(service),
+            body: render_metrics(service, metrics),
         }),
         ("POST", "/v1/jobs") => submit(request, service),
         ("POST", "/v1/decks") => submit_deck(request, service),
@@ -358,7 +392,18 @@ fn route(
             ))
         }
         (method, path) if path.starts_with("/v1/jobs/") => {
-            let id: u64 = path["/v1/jobs/".len()..]
+            let rest = &path["/v1/jobs/".len()..];
+            if let Some(id) = rest.strip_suffix("/trace") {
+                if method != "GET" {
+                    return Err(HttpError::MethodNotAllowed);
+                }
+                let id: u64 = id
+                    .parse()
+                    .map_err(|_| HttpError::BadRequest(format!("bad job id in {path:?}")))?;
+                let chrome = request.query_param("format") == Some("chrome");
+                return trace_response(service.trace_json(id, chrome));
+            }
+            let id: u64 = rest
                 .parse()
                 .map_err(|_| HttpError::BadRequest(format!("bad job id in {path:?}")))?;
             match method {
@@ -376,6 +421,25 @@ fn route(
             Err(HttpError::MethodNotAllowed)
         }
         _ => Err(HttpError::NotFound),
+    }
+}
+
+/// Maps a [`TraceLookup`] onto the wire: the journal (or Chrome trace),
+/// a plain `404` for unknown ids, or a distinguishable `404` with code
+/// `trace_disabled` when the server runs with `trace_events = 0` — so a
+/// client can tell "no such job" from "tracing is off" without guessing.
+fn trace_response(lookup: TraceLookup) -> Result<Response, HttpError> {
+    match lookup {
+        TraceLookup::Journal(body) => json_ok(body),
+        TraceLookup::Unknown => Err(HttpError::NotFound),
+        TraceLookup::Disabled => Ok(Response::Json {
+            status: 404,
+            reason: "Not Found",
+            body: format!(
+                "{{\"schema_version\":{SCHEMA_VERSION},\"error\":{{\"code\":\"trace_disabled\",\
+                 \"message\":\"flight recorder disabled (server runs with trace_events = 0)\"}}}}"
+            ),
+        }),
     }
 }
 
@@ -441,9 +505,127 @@ fn wire_error_response(e: &WireError) -> Response {
     }
 }
 
+/// Sliding-window size for live HTTP latency percentiles: the last this
+/// many requests, whatever their age. Small enough to sort on every
+/// scrape, large enough to make p99 meaningful.
+const LATENCY_WINDOW: usize = 512;
+
+/// Live per-endpoint HTTP metrics, independent of `fts-telemetry`'s
+/// global switch: request counters keyed by `(method, route template,
+/// status)` plus a last-[`LATENCY_WINDOW`] latency ring. Label
+/// cardinality is bounded by construction — methods and paths are
+/// normalized to small fixed vocabularies ([`method_label`],
+/// [`route_template`]) before they become keys, so a hostile client
+/// spraying random paths cannot grow this map.
+#[derive(Default)]
+struct HttpMetrics {
+    counters: Mutex<std::collections::BTreeMap<(&'static str, &'static str, u16), u64>>,
+    latency: Mutex<LatencyRing>,
+}
+
+#[derive(Default)]
+struct LatencyRing {
+    samples: Vec<f64>,
+    head: usize,
+    total: u64,
+}
+
+impl HttpMetrics {
+    /// Books one finished request into the counters and latency window.
+    fn record(&self, method: &'static str, path: &'static str, status: u16, latency_s: f64) {
+        {
+            let mut counters = self.counters.lock().expect("http counters poisoned");
+            *counters.entry((method, path, status)).or_insert(0) += 1;
+        }
+        let mut ring = self.latency.lock().expect("http latency poisoned");
+        ring.total += 1;
+        if ring.samples.len() < LATENCY_WINDOW {
+            ring.samples.push(latency_s);
+        } else {
+            let head = ring.head;
+            ring.samples[head] = latency_s;
+            ring.head = (head + 1) % LATENCY_WINDOW;
+        }
+    }
+
+    /// Sorted copy of the current latency window plus the lifetime total.
+    fn latency_window(&self) -> (Vec<f64>, u64) {
+        let ring = self.latency.lock().expect("http latency poisoned");
+        let mut sorted = ring.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        (sorted, ring.total)
+    }
+}
+
+/// Normalizes a request method into a bounded label vocabulary.
+fn method_label(method: &str) -> &'static str {
+    match method {
+        "GET" => "GET",
+        "POST" => "POST",
+        "DELETE" => "DELETE",
+        "PUT" => "PUT",
+        "HEAD" => "HEAD",
+        "OPTIONS" => "OPTIONS",
+        _ => "OTHER",
+    }
+}
+
+/// Normalizes a request path into its route template, collapsing job ids
+/// so `/v1/jobs/17` and `/v1/jobs/99` share one `{id}` time series.
+fn route_template(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/metrics" => "/metrics",
+        "/v1/jobs" => "/v1/jobs",
+        "/v1/decks" => "/v1/decks",
+        "/v1/shutdown" => "/v1/shutdown",
+        p if p.starts_with("/v1/jobs/") => {
+            if p.ends_with("/trace") {
+                "/v1/jobs/{id}/trace"
+            } else {
+                "/v1/jobs/{id}"
+            }
+        }
+        _ => "(other)",
+    }
+}
+
+/// Escapes a Prometheus label *value* per the text exposition format:
+/// backslash, double quote, and newline must be backslash-escaped or the
+/// sample line is unparseable (a newline would even split it in two).
+fn prom_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Clamps a metric value to something every scraper can parse: `NaN` and
+/// infinities render as `0`.
+fn prom_num(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
 /// Renders `/metrics` in Prometheus text exposition style: server gauges
-/// first, then every fts-telemetry counter and histogram (p50/p90/p99).
-fn render_metrics(service: &JobService) -> String {
+/// first, then the live per-endpoint HTTP series, then every
+/// fts-telemetry counter and histogram (p50/p90/p99).
+///
+/// Invariants the scrape test pins down: label values are escaped
+/// ([`prom_escape`]), every rendered value parses as a finite `f64`
+/// ([`prom_num`]), and count-0 histograms render their count line only —
+/// an empty histogram has no meaningful mean or percentile, so those
+/// lines are skipped rather than invented.
+fn render_metrics(service: &JobService, metrics: &HttpMetrics) -> String {
     use std::fmt::Write as _;
     let gauges = service.gauges();
     let mut out = String::with_capacity(2048);
@@ -453,17 +635,231 @@ fn render_metrics(service: &JobService) -> String {
     let _ = writeln!(out, "fts_jobs_completed {}", gauges.completed);
     let _ = writeln!(out, "fts_submissions_rejected {}", gauges.rejected);
     let _ = writeln!(out, "fts_queue_depth {}", gauges.queue_depth);
+    let _ = writeln!(out, "fts_jobs_done_retained {}", gauges.done_retained);
+
+    {
+        let counters = metrics.counters.lock().expect("http counters poisoned");
+        for (&(method, path, status), &n) in counters.iter() {
+            let _ = writeln!(
+                out,
+                "fts_http_requests_total{{method=\"{}\",path=\"{}\",status=\"{status}\"}} {n}",
+                prom_escape(method),
+                prom_escape(path),
+            );
+        }
+    }
+    let (window, total) = metrics.latency_window();
+    let _ = writeln!(out, "fts_http_latency_window_count {}", window.len());
+    let _ = writeln!(out, "fts_http_requests_observed_total {total}");
+    if !window.is_empty() {
+        let at = |q: f64| {
+            let idx = ((window.len() - 1) as f64 * q).round() as usize;
+            prom_num(window[idx])
+        };
+        let _ = writeln!(out, "fts_http_latency_window_p50_s {}", at(0.50));
+        let _ = writeln!(out, "fts_http_latency_window_p90_s {}", at(0.90));
+        let _ = writeln!(out, "fts_http_latency_window_p99_s {}", at(0.99));
+    }
+
     let report = fts_telemetry::snapshot();
     for c in &report.counters {
-        let _ = writeln!(out, "fts_counter{{name=\"{}\"}} {}", c.name, c.value);
+        let _ = writeln!(
+            out,
+            "fts_counter{{name=\"{}\"}} {}",
+            prom_escape(&c.name),
+            c.value
+        );
     }
     for h in &report.histograms {
         let s = &h.summary;
-        let _ = writeln!(out, "fts_histogram_count{{name=\"{}\"}} {}", h.name, s.n);
-        let _ = writeln!(out, "fts_histogram_mean{{name=\"{}\"}} {}", h.name, s.mean);
-        let _ = writeln!(out, "fts_histogram_p50{{name=\"{}\"}} {}", h.name, s.p50);
-        let _ = writeln!(out, "fts_histogram_p90{{name=\"{}\"}} {}", h.name, s.p90);
-        let _ = writeln!(out, "fts_histogram_p99{{name=\"{}\"}} {}", h.name, s.p99);
+        let name = prom_escape(&h.name);
+        let _ = writeln!(out, "fts_histogram_count{{name=\"{name}\"}} {}", s.n);
+        if s.n == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "fts_histogram_mean{{name=\"{name}\"}} {}",
+            prom_num(s.mean)
+        );
+        let _ = writeln!(
+            out,
+            "fts_histogram_p50{{name=\"{name}\"}} {}",
+            prom_num(s.p50)
+        );
+        let _ = writeln!(
+            out,
+            "fts_histogram_p90{{name=\"{name}\"}} {}",
+            prom_num(s.p90)
+        );
+        let _ = writeln!(
+            out,
+            "fts_histogram_p99{{name=\"{name}\"}} {}",
+            prom_num(s.p99)
+        );
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{BuiltJob, JobBuilder};
+    use crate::wire::{JobSpec, WireError};
+
+    /// The routing tests never admit a job, so the builder is never
+    /// called.
+    struct NeverBuilder;
+
+    impl JobBuilder for NeverBuilder {
+        fn build(&self, _spec: &JobSpec, index: usize) -> Result<BuiltJob, WireError> {
+            Err(WireError::job("unknown_function", index, "test builder"))
+        }
+    }
+
+    fn service() -> JobService {
+        JobService::new(Arc::new(NeverBuilder), 4, 8)
+    }
+
+    fn get(path: &str, query: &str) -> Request {
+        Request {
+            method: "GET".to_owned(),
+            path: path.to_owned(),
+            query: query.to_owned(),
+            body: String::new(),
+        }
+    }
+
+    #[test]
+    fn every_metrics_sample_line_parses_as_a_finite_number() {
+        fts_telemetry::set_enabled(true);
+        // Hostile label value: quote, newline, and backslash must all be
+        // escaped or the scrape below falls apart at this counter.
+        fts_telemetry::counter("evil\"name\nwith\\slash", 3);
+        // A histogram whose only sample is rejected (non-finite) stays at
+        // count 0 and must render its count line only.
+        fts_telemetry::record("server.test.empty_hist", f64::NAN);
+
+        let svc = service();
+        let metrics = HttpMetrics::default();
+        metrics.record("GET", "/healthz", 200, 0.001);
+        metrics.record("GET", "/v1/jobs/{id}/trace", 404, 0.002);
+        metrics.record("-", "-", 400, 0.0005);
+        let body = render_metrics(&svc, &metrics);
+
+        let mut samples = 0;
+        for line in body.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect("name/value split");
+            let v: f64 = value
+                .parse()
+                .unwrap_or_else(|_| panic!("unparseable sample {line:?}"));
+            assert!(v.is_finite(), "non-finite sample {line:?}");
+            samples += 1;
+        }
+        assert!(samples > 10, "suspiciously small scrape:\n{body}");
+        assert!(
+            body.contains("fts_counter{name=\"evil\\\"name\\nwith\\\\slash\"} 3"),
+            "escaped counter missing:\n{body}"
+        );
+        assert!(body.contains("fts_histogram_count{name=\"server.test.empty_hist\"} 0"));
+        assert!(
+            !body.contains("fts_histogram_mean{name=\"server.test.empty_hist\"}"),
+            "count-0 histogram must not invent a mean:\n{body}"
+        );
+        assert!(body.contains(
+            "fts_http_requests_total{method=\"GET\",path=\"/v1/jobs/{id}/trace\",status=\"404\"} 1"
+        ));
+        assert!(body.contains("fts_http_latency_window_count 3"));
+    }
+
+    #[test]
+    fn http_label_vocabulary_is_bounded() {
+        assert_eq!(route_template("/v1/jobs/17"), "/v1/jobs/{id}");
+        assert_eq!(route_template("/v1/jobs/17/trace"), "/v1/jobs/{id}/trace");
+        assert_eq!(route_template("/v1/jobs/not-a-number"), "/v1/jobs/{id}");
+        assert_eq!(route_template("/../../etc/passwd"), "(other)");
+        assert_eq!(method_label("BREW"), "OTHER");
+        assert_eq!(method_label("GET"), "GET");
+    }
+
+    #[test]
+    fn latency_ring_is_a_sliding_window() {
+        let metrics = HttpMetrics::default();
+        for i in 0..(LATENCY_WINDOW + 10) {
+            metrics.record("GET", "/healthz", 200, i as f64);
+        }
+        let (window, total) = metrics.latency_window();
+        assert_eq!(window.len(), LATENCY_WINDOW);
+        assert_eq!(total, (LATENCY_WINDOW + 10) as u64);
+        // The ten oldest samples (0..10) have been overwritten.
+        assert_eq!(window[0], 10.0);
+    }
+
+    #[test]
+    fn healthz_reports_uptime_and_job_states() {
+        let svc = service();
+        let metrics = HttpMetrics::default();
+        let stop = AtomicBool::new(false);
+        let req = get("/healthz", "");
+        let Ok(Response::Json { status, body, .. }) =
+            route(&req, &svc, &stop, &metrics, Instant::now())
+        else {
+            panic!("healthz must answer JSON");
+        };
+        assert_eq!(status, 200);
+        let doc = crate::wire::Json::parse(&body).expect("healthz body parses");
+        assert!(doc
+            .get("uptime_s")
+            .and_then(crate::wire::Json::as_f64)
+            .is_some());
+        let jobs = doc.get("jobs").expect("jobs object");
+        for key in [
+            "queued",
+            "running",
+            "completed",
+            "rejected",
+            "done_retained",
+        ] {
+            assert!(jobs.get(key).is_some(), "healthz missing jobs.{key}");
+        }
+    }
+
+    #[test]
+    fn trace_route_parses_id_and_format() {
+        let svc = service();
+        let metrics = HttpMetrics::default();
+        let stop = AtomicBool::new(false);
+        // Unknown id → plain 404 (the service holds no job 7).
+        let req = get("/v1/jobs/7/trace", "format=chrome");
+        match route(&req, &svc, &stop, &metrics, Instant::now()) {
+            Err(HttpError::NotFound) => {}
+            other => panic!("expected NotFound, got {other:?}"),
+        }
+        // Garbage id → 400, not 404.
+        let req = get("/v1/jobs/xyz/trace", "");
+        match route(&req, &svc, &stop, &metrics, Instant::now()) {
+            Err(HttpError::BadRequest(_)) => {}
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+        // Wrong method → 405.
+        let mut req = get("/v1/jobs/7/trace", "");
+        req.method = "DELETE".to_owned();
+        match route(&req, &svc, &stop, &metrics, Instant::now()) {
+            Err(HttpError::MethodNotAllowed) => {}
+            other => panic!("expected MethodNotAllowed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_tracing_answers_a_distinguishable_404() {
+        let lookup = TraceLookup::Disabled;
+        let Ok(Response::Json { status, body, .. }) = trace_response(lookup) else {
+            panic!("disabled tracing must answer JSON");
+        };
+        assert_eq!(status, 404);
+        assert!(body.contains("\"code\":\"trace_disabled\""), "{body}");
+    }
 }

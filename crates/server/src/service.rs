@@ -23,8 +23,12 @@ use std::time::Duration;
 use fts_engine::{Engine, RetryPolicy, SimJob};
 use fts_netlist::{elaborate, parse_str, ElabOptions};
 use fts_spice::{CancelToken, NodeId};
+use fts_telemetry::trace::JobTrace;
 
-use crate::wire::{job_row_json, json_escape, JobSource, JobSpec, WireError, SCHEMA_VERSION};
+use crate::wire::{
+    job_row_json, json_escape, trace_chrome_json, trace_journal_json, JobSource, JobSpec,
+    WireError, SCHEMA_VERSION,
+};
 
 /// A manifest job lowered to an engine job plus the node to report.
 pub struct BuiltJob {
@@ -177,6 +181,11 @@ struct JobEntry {
     cancel: CancelToken,
     /// Present while queued; taken by the worker that starts the job.
     job: Option<SimJob>,
+    /// The job's flight recorder, minted at admission (absent when the
+    /// service runs with tracing disabled). The engine installs the
+    /// other clone of this handle on the worker thread; this one serves
+    /// `GET /v1/jobs/{id}/trace`, including mid-run.
+    trace: Option<JobTrace>,
     state: JobState,
 }
 
@@ -202,6 +211,8 @@ pub struct ServiceGauges {
     pub running: usize,
     /// Jobs finished (any outcome) since startup.
     pub completed: u64,
+    /// Finished job rows currently retained (≤ the `retain_done` bound).
+    pub done_retained: usize,
     /// Submissions rejected with `429` since startup.
     pub rejected: u64,
     /// Configured queue capacity.
@@ -212,6 +223,18 @@ pub struct ServiceGauges {
 /// job rows stay retrievable before the oldest are evicted.
 pub const DEFAULT_RETAIN_DONE: usize = 256;
 
+/// Result of a `GET /v1/jobs/{id}/trace` lookup.
+pub enum TraceLookup {
+    /// Unknown id, or the finished job was evicted (→ `404`).
+    Unknown,
+    /// The service runs with per-job tracing disabled (→ `404` with a
+    /// distinct error code, so clients can tell "no such job" from
+    /// "tracing off").
+    Disabled,
+    /// The rendered journal document.
+    Journal(String),
+}
+
 /// The bounded job queue + registry behind the HTTP endpoints.
 pub struct JobService {
     registry: Mutex<Registry>,
@@ -221,6 +244,8 @@ pub struct JobService {
     engine: Engine,
     queue_depth: usize,
     retain_done: usize,
+    /// Per-job flight-recorder ring capacity; 0 disables tracing.
+    trace_events: usize,
     rejected: AtomicU64,
 }
 
@@ -253,8 +278,19 @@ impl JobService {
             engine: Engine::new(),
             queue_depth: queue_depth.max(1),
             retain_done: retain_done.max(1),
+            trace_events: fts_telemetry::trace::DEFAULT_EVENT_CAP,
             rejected: AtomicU64::new(0),
         }
+    }
+
+    /// Sets the per-job flight-recorder ring capacity (events retained
+    /// per job before drop-oldest kicks in). `0` disables tracing: no
+    /// rings are minted and `GET /v1/jobs/{id}/trace` reports
+    /// [`TraceLookup::Disabled`]. Defaults to
+    /// [`fts_telemetry::trace::DEFAULT_EVENT_CAP`].
+    pub fn trace_capacity(mut self, events: usize) -> JobService {
+        self.trace_events = events;
+        self
     }
 
     /// Validates, lowers, and admits a manifest's jobs; returns their ids
@@ -313,9 +349,16 @@ impl JobService {
         }
 
         let mut ids = Vec::with_capacity(subs.len());
-        for s in subs {
+        for mut s in subs {
             let id = reg.next_id;
             reg.next_id += 1;
+            // Mint the job's flight recorder at admission: the engine
+            // installs the handle riding on the job, the registry keeps
+            // this clone to serve the journal.
+            let trace = (self.trace_events > 0).then(|| JobTrace::new(self.trace_events));
+            if let Some(t) = &trace {
+                s.job.trace = Some(t.clone());
+            }
             reg.jobs.insert(
                 id,
                 JobEntry {
@@ -324,6 +367,7 @@ impl JobService {
                     out: s.out,
                     cancel: CancelToken::new(),
                     job: Some(s.job),
+                    trace,
                     state: JobState::Queued,
                 },
             );
@@ -403,6 +447,33 @@ impl JobService {
         })
     }
 
+    /// The flight-recorder journal for `GET /v1/jobs/{id}/trace`.
+    ///
+    /// Works for jobs in any state — a running job serves the events it
+    /// has produced so far. `chrome` selects the Chrome trace-event
+    /// rendering (`?format=chrome`) over the `fts-trace/1` journal.
+    pub fn trace_json(&self, id: u64, chrome: bool) -> TraceLookup {
+        let reg = self.registry.lock().expect("registry poisoned");
+        let Some(entry) = reg.jobs.get(&id) else {
+            return TraceLookup::Unknown;
+        };
+        let Some(trace) = &entry.trace else {
+            return TraceLookup::Disabled;
+        };
+        let snap = trace.snapshot();
+        let doc = if chrome {
+            trace_chrome_json(id, &entry.label, &snap)
+        } else {
+            let status = match &entry.state {
+                JobState::Queued => "queued",
+                JobState::Running => "running",
+                JobState::Done { .. } => "done",
+            };
+            trace_journal_json(id, &entry.label, status, &snap)
+        };
+        TraceLookup::Journal(doc)
+    }
+
     /// Fires the job's [`CancelToken`] for `DELETE /v1/jobs/{id}`.
     /// Returns the job's status after the cancel request, or `None` for
     /// unknown (or evicted) ids.
@@ -443,6 +514,7 @@ impl JobService {
             queued: reg.pending.len(),
             running: reg.running,
             completed: reg.completed,
+            done_retained: reg.done_order.len(),
             rejected: self.rejected.load(Ordering::Relaxed),
             queue_depth: self.queue_depth,
         }
@@ -638,6 +710,88 @@ mod tests {
             Err(SubmitError::Invalid(e)) => assert_eq!(e.code, "deck_analysis_count"),
             other => panic!("expected Invalid, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn trace_journal_covers_the_whole_run() {
+        let svc = service(8);
+        let ids = svc.submit(&manifest(1)).unwrap();
+        // Queued job: journal exists and is empty.
+        let TraceLookup::Journal(doc) = svc.trace_json(ids[0], false) else {
+            panic!("queued job must have a journal");
+        };
+        assert!(doc.contains("\"status\":\"queued\""), "{doc}");
+        assert!(doc.contains("\"events\":[]"), "{doc}");
+
+        std::thread::scope(|s| {
+            s.spawn(|| svc.worker_loop());
+            svc.drain();
+        });
+
+        let TraceLookup::Journal(doc) = svc.trace_json(ids[0], false) else {
+            panic!("done job must have a journal");
+        };
+        let parsed = crate::wire::Json::parse(&doc).expect("journal is valid JSON");
+        assert_eq!(
+            parsed.get("schema").and_then(crate::wire::Json::as_str),
+            Some("fts-trace/1")
+        );
+        assert_eq!(
+            parsed.get("status").and_then(crate::wire::Json::as_str),
+            Some("done")
+        );
+        let events = parsed
+            .get("events")
+            .and_then(crate::wire::Json::as_array)
+            .unwrap();
+        assert!(!events.is_empty(), "a solved op must record events");
+        let kinds: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("kind").and_then(crate::wire::Json::as_str).unwrap())
+            .collect();
+        assert!(kinds.contains(&"newton_converged"), "{kinds:?}");
+        assert_eq!(kinds.last(), Some(&"job_done"));
+
+        // Chrome rendering parses and carries both span and instant phases.
+        let TraceLookup::Journal(chrome) = svc.trace_json(ids[0], true) else {
+            panic!("chrome variant must render");
+        };
+        let parsed = crate::wire::Json::parse(&chrome).expect("chrome doc is valid JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(crate::wire::Json::as_array)
+            .unwrap();
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").and_then(crate::wire::Json::as_str).unwrap())
+            .collect();
+        assert!(phases.contains(&"X"), "{phases:?}");
+        assert!(phases.contains(&"i"), "{phases:?}");
+
+        assert!(matches!(svc.trace_json(999, false), TraceLookup::Unknown));
+    }
+
+    #[test]
+    fn trace_capacity_zero_disables_tracing() {
+        let svc = service(8).trace_capacity(0);
+        let ids = svc.submit(&manifest(1)).unwrap();
+        assert!(matches!(
+            svc.trace_json(ids[0], false),
+            TraceLookup::Disabled
+        ));
+        std::thread::scope(|s| {
+            s.spawn(|| svc.worker_loop());
+            svc.drain();
+        });
+        assert!(matches!(
+            svc.trace_json(ids[0], false),
+            TraceLookup::Disabled
+        ));
+        // The job itself still runs to completion.
+        assert!(svc
+            .status_json(ids[0])
+            .unwrap()
+            .contains("\"status\":\"done\""));
     }
 
     #[test]

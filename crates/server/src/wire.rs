@@ -47,6 +47,7 @@ use std::fmt::Write as _;
 
 use fts_engine::{JobStats, SimOutcome, DEFAULT_MAX_SAMPLES};
 use fts_spice::NodeId;
+use fts_telemetry::trace::TraceSnapshot;
 
 /// Version of the manifest/report wire schema. Incremented only for
 /// incompatible changes; both the CLI report and every HTTP response
@@ -824,8 +825,25 @@ pub fn job_row_json(
     out: NodeId,
     waveform: bool,
 ) -> String {
+    job_row_json_traced(label, outcome, stats, out, waveform, None)
+}
+
+/// [`job_row_json`] with an optional embedded flight-recorder journal:
+/// `--trace` report rows carry a `"trace"` object
+/// ([`trace_object_json`]) after the result.
+pub fn job_row_json_traced(
+    label: &str,
+    outcome: &SimOutcome,
+    stats: &JobStats,
+    out: NodeId,
+    waveform: bool,
+    trace: Option<&TraceSnapshot>,
+) -> String {
+    let trace = trace.map_or(String::new(), |snap| {
+        format!(",\"trace\":{}", trace_object_json(snap))
+    });
     format!(
-        "{{\"label\":\"{}\",\"kind\":\"{}\",\"wall_s\":{},\"attempts\":{},\"result\":{}}}",
+        "{{\"label\":\"{}\",\"kind\":\"{}\",\"wall_s\":{},\"attempts\":{},\"result\":{}{trace}}}",
         json_escape(label),
         outcome.kind(),
         stats.wall_s,
@@ -849,6 +867,128 @@ pub fn batch_report_json(rows: &[String], succeeded: usize, threads: usize, wall
         wall_s,
         rows.join(","),
     )
+}
+
+// ---------------------------------------------------------------------------
+// Flight-recorder journals
+// ---------------------------------------------------------------------------
+
+/// Renders a flight-recorder snapshot's journal body — `"capacity"`,
+/// `"dropped"`, and the `"events"` array — without the enclosing braces,
+/// so callers can compose it into both the standalone trace document
+/// ([`trace_journal_json`]) and an embedded report field.
+pub fn trace_events_json(snap: &TraceSnapshot) -> String {
+    let mut out = String::with_capacity(64 + snap.events.len() * 96);
+    let _ = write!(
+        out,
+        "\"capacity\":{},\"dropped\":{},\"events\":[",
+        snap.capacity, snap.dropped
+    );
+    for (k, ev) in snap.events.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"t_us\":{},\"attempt\":{},\"kind\":\"{}\",\"detail\":\"{}\",\"a\":{},\"b\":{}}}",
+            json_f64(ev.t_us),
+            ev.attempt,
+            json_escape(ev.kind),
+            json_escape(ev.detail),
+            json_f64(ev.a),
+            json_f64(ev.b),
+        );
+    }
+    out.push(']');
+    out
+}
+
+/// Renders the journal as an embeddable JSON object (the `"trace"` field
+/// of `--trace` report rows).
+pub fn trace_object_json(snap: &TraceSnapshot) -> String {
+    format!("{{{}}}", trace_events_json(snap))
+}
+
+/// Renders the `GET /v1/jobs/{id}/trace` document (schema `fts-trace/1`):
+/// the job's identity and status wrapped around the bounded event journal.
+pub fn trace_journal_json(id: u64, label: &str, status: &str, snap: &TraceSnapshot) -> String {
+    format!(
+        concat!(
+            "{{\"schema\":\"fts-trace/1\",\"schema_version\":{},\"id\":{},",
+            "\"label\":\"{}\",\"status\":\"{}\",{}}}"
+        ),
+        SCHEMA_VERSION,
+        id,
+        json_escape(label),
+        json_escape(status),
+        trace_events_json(snap),
+    )
+}
+
+/// Renders the journal in the Chrome trace-event format
+/// (`?format=chrome`): one `ph:"X"` span per retry attempt bracketing its
+/// events, plus one `ph:"i"` instant per recorded event, loadable in
+/// `about:tracing` / Perfetto. Attempts map to Chrome thread lanes.
+pub fn trace_chrome_json(id: u64, label: &str, snap: &TraceSnapshot) -> String {
+    let name = if label.is_empty() {
+        format!("job-{id}")
+    } else {
+        label.to_owned()
+    };
+    let mut out = String::with_capacity(128 + snap.events.len() * 128);
+    let _ = write!(out, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    // One complete-event span per attempt, spanning its first..last event.
+    let mut bounds: Vec<(u32, f64, f64)> = Vec::new();
+    for ev in &snap.events {
+        match bounds.last_mut() {
+            Some((a, _, hi)) if *a == ev.attempt => *hi = ev.t_us.max(*hi),
+            _ => bounds.push((ev.attempt, ev.t_us, ev.t_us)),
+        }
+    }
+    for (a, lo, hi) in &bounds {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            concat!(
+                "{{\"name\":\"{} attempt {}\",\"cat\":\"attempt\",\"ph\":\"X\",",
+                "\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}"
+            ),
+            json_escape(&name),
+            a,
+            json_f64(*lo),
+            json_f64((hi - lo).max(0.001)),
+            a,
+        );
+    }
+    for ev in &snap.events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let ev_name = if ev.detail.is_empty() {
+            ev.kind.to_owned()
+        } else {
+            format!("{}:{}", ev.kind, ev.detail)
+        };
+        let _ = write!(
+            out,
+            concat!(
+                "{{\"name\":\"{}\",\"cat\":\"trace\",\"ph\":\"i\",\"ts\":{},",
+                "\"pid\":1,\"tid\":{},\"s\":\"t\",\"args\":{{\"a\":{},\"b\":{}}}}}"
+            ),
+            json_escape(&ev_name),
+            json_f64(ev.t_us),
+            ev.attempt,
+            json_f64(ev.a),
+            json_f64(ev.b),
+        );
+    }
+    out.push_str("]}");
+    out
 }
 
 #[cfg(test)]

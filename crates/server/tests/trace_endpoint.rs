@@ -1,0 +1,297 @@
+//! End-to-end flight-recorder tests against a live in-process server: a
+//! deliberately hard-to-converge (near-singular, nonlinear) job whose
+//! journal must come back ordered and bounded, a deadline-killed job
+//! whose journal must record the deadline, and the live per-endpoint
+//! `/metrics` series the trace traffic itself generates.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use fts_engine::SimJob;
+use fts_server::service::{BuiltJob, JobBuilder};
+use fts_server::testing::http_call;
+use fts_server::wire::{JobSource, JobSpec, Json, WireError};
+use fts_server::{Server, ServerConfig, ShutdownReport};
+use fts_spice::analysis::TranConfig;
+use fts_spice::netlist::{MosParams, Netlist, Waveform};
+
+/// Two test circuits:
+///
+/// * `"hard"` — a cross-coupled NMOS pair behind 1 GΩ pull-ups: the MNA
+///   matrix mixes ~1e-9 S pull-up conductances with the transistors'
+///   on-conductance, near-singular enough that Newton has to work for
+///   its convergence (and the homotopy ladder is exercised under
+///   `"retry": "ladder"`).
+/// * `"slow"` — a 100k-step RC transient, used with a short
+///   `deadline_ms` so the deadline path shows up in the journal.
+struct TraceBuilder;
+
+impl JobBuilder for TraceBuilder {
+    fn build(&self, spec: &JobSpec, index: usize) -> Result<BuiltJob, WireError> {
+        let JobSource::Function { name, .. } = &spec.source else {
+            unreachable!("deck jobs are lowered by build_job, not the builder");
+        };
+        let mut nl = Netlist::new();
+        match name.as_str() {
+            "hard" => {
+                let vdd = nl.node("vdd");
+                let q = nl.node("q");
+                let qb = nl.node("qb");
+                nl.vsource("V1", vdd, Netlist::GROUND, Waveform::Dc(5.0))
+                    .unwrap();
+                nl.resistor("R1", vdd, q, 1e9).unwrap();
+                nl.resistor("R2", vdd, qb, 1e9).unwrap();
+                let mos = MosParams {
+                    kp: 2e-5,
+                    vth: 0.7,
+                    lambda: 0.01,
+                    w_over_l: 10.0,
+                };
+                nl.nmos("M1", q, qb, Netlist::GROUND, mos).unwrap();
+                nl.nmos("M2", qb, q, Netlist::GROUND, mos).unwrap();
+                Ok(BuiltJob {
+                    job: SimJob::op(nl),
+                    out: q,
+                })
+            }
+            "slow" => {
+                let a = nl.node("a");
+                let out = nl.node("out");
+                nl.vsource("V1", a, Netlist::GROUND, Waveform::Dc(1.0))
+                    .unwrap();
+                nl.resistor("R1", a, out, 1e4).unwrap();
+                nl.capacitor("C1", out, Netlist::GROUND, 1e-9).unwrap();
+                Ok(BuiltJob {
+                    job: SimJob::transient(nl, TranConfig::fixed(1e-8, 1e-3))
+                        .probes(&[out])
+                        .max_samples(64),
+                    out,
+                })
+            }
+            other => Err(WireError::job(
+                "unknown_function",
+                index,
+                format!("unknown function {other:?}"),
+            )),
+        }
+    }
+}
+
+type ServerThread = std::thread::JoinHandle<std::io::Result<ShutdownReport>>;
+
+fn start_server(config: ServerConfig) -> (SocketAddr, fts_server::ServerHandle, ServerThread) {
+    let server = Server::bind(config, Arc::new(TraceBuilder)).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+    (addr, handle, thread)
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue_depth: 64,
+        conn_workers: 2,
+        ..ServerConfig::default()
+    }
+}
+
+fn submit(addr: SocketAddr, body: &str) -> u64 {
+    let resp = http_call(addr, "POST", "/v1/jobs", Some(body)).expect("submit");
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    Json::parse(&resp.body)
+        .unwrap()
+        .get("ids")
+        .and_then(Json::as_array)
+        .unwrap()[0]
+        .as_f64()
+        .unwrap() as u64
+}
+
+fn wait_done(addr: SocketAddr, id: u64) -> String {
+    loop {
+        let resp = http_call(addr, "GET", &format!("/v1/jobs/{id}"), None).expect("status");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        if resp.body.contains("\"status\":\"done\"") {
+            return resp.body;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+fn fetch_journal(addr: SocketAddr, id: u64) -> Json {
+    let resp = http_call(addr, "GET", &format!("/v1/jobs/{id}/trace"), None).expect("trace");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    Json::parse(&resp.body).expect("journal parses through wire Json")
+}
+
+fn event_kinds(journal: &Json) -> Vec<String> {
+    journal
+        .get("events")
+        .and_then(Json::as_array)
+        .expect("events array")
+        .iter()
+        .map(|e| {
+            e.get("kind")
+                .and_then(Json::as_str)
+                .expect("kind")
+                .to_owned()
+        })
+        .collect()
+}
+
+#[test]
+fn hard_job_journal_is_present_ordered_and_bounded() {
+    let (addr, handle, thread) = start_server(test_config());
+    let id = submit(
+        addr,
+        r#"{"jobs":[{"function":"hard","retry":"ladder","label":"latch"}]}"#,
+    );
+    wait_done(addr, id);
+
+    let journal = fetch_journal(addr, id);
+    assert_eq!(
+        journal.get("schema").and_then(Json::as_str),
+        Some("fts-trace/1")
+    );
+    assert_eq!(
+        journal.get("schema_version").and_then(Json::as_f64),
+        Some(1.0)
+    );
+    assert_eq!(journal.get("id").and_then(Json::as_f64), Some(id as f64));
+    assert_eq!(journal.get("label").and_then(Json::as_str), Some("latch"));
+    assert_eq!(journal.get("status").and_then(Json::as_str), Some("done"));
+
+    // Bounded: the journal can never exceed its declared ring capacity.
+    let capacity = journal.get("capacity").and_then(Json::as_f64).unwrap() as usize;
+    let events = journal.get("events").and_then(Json::as_array).unwrap();
+    assert!(!events.is_empty(), "journal must not be empty");
+    assert!(events.len() <= capacity, "{} > {capacity}", events.len());
+
+    // Present: the solver stack's events made it through HTTP → engine →
+    // spice and back.
+    let kinds = event_kinds(&journal);
+    assert_eq!(kinds.first().map(String::as_str), Some("attempt"));
+    assert_eq!(kinds.last().map(String::as_str), Some("job_done"));
+    assert!(
+        kinds.iter().any(|k| k == "homotopy_step"),
+        "no homotopy events in {kinds:?}"
+    );
+    assert!(
+        kinds
+            .iter()
+            .any(|k| k == "newton_converged" || k == "newton_diverged"),
+        "no Newton events in {kinds:?}"
+    );
+
+    // Ordered: timestamps are monotone and every event is well-typed.
+    let mut last_t = f64::NEG_INFINITY;
+    for ev in events {
+        let t = ev.get("t_us").and_then(Json::as_f64).expect("t_us number");
+        assert!(t >= last_t, "timestamps must be monotone");
+        last_t = t;
+        assert!(ev.get("attempt").and_then(Json::as_f64).is_some());
+        assert!(ev.get("detail").and_then(Json::as_str).is_some());
+        assert!(ev.get("a").is_some() && ev.get("b").is_some());
+    }
+
+    // The Chrome rendering parses and carries both spans and instants.
+    let resp = http_call(
+        addr,
+        "GET",
+        &format!("/v1/jobs/{id}/trace?format=chrome"),
+        None,
+    )
+    .expect("chrome trace");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let chrome = Json::parse(&resp.body).expect("chrome JSON parses");
+    let trace_events = chrome
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents");
+    let phases: Vec<&str> = trace_events
+        .iter()
+        .filter_map(|e| e.get("ph").and_then(Json::as_str))
+        .collect();
+    assert!(phases.contains(&"X"), "no attempt spans in {phases:?}");
+    assert!(phases.contains(&"i"), "no instants in {phases:?}");
+
+    // The trace traffic itself shows up in the live per-endpoint series.
+    let resp = http_call(addr, "GET", "/metrics", None).expect("metrics");
+    assert_eq!(resp.status, 200);
+    assert!(
+        resp.body.contains(
+            "fts_http_requests_total{method=\"GET\",path=\"/v1/jobs/{id}/trace\",status=\"200\"}"
+        ),
+        "{}",
+        resp.body
+    );
+    assert!(resp.body.contains("fts_http_latency_window_count"));
+
+    // And /healthz reports uptime plus per-state job counts.
+    let resp = http_call(addr, "GET", "/healthz", None).expect("healthz");
+    assert_eq!(resp.status, 200);
+    let health = Json::parse(&resp.body).expect("healthz parses");
+    assert!(health.get("uptime_s").and_then(Json::as_f64).unwrap() >= 0.0);
+    let jobs = health.get("jobs").expect("jobs object");
+    assert_eq!(jobs.get("completed").and_then(Json::as_f64), Some(1.0));
+
+    handle.shutdown();
+    thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn deadline_killed_job_records_the_deadline_event() {
+    let (addr, handle, thread) = start_server(test_config());
+    let id = submit(addr, r#"{"jobs":[{"function":"slow","deadline_ms":5}]}"#);
+    let status = wait_done(addr, id);
+    assert!(
+        status.contains("\"kind\":\"deadline_exceeded\""),
+        "job should die on its deadline: {status}"
+    );
+
+    let journal = fetch_journal(addr, id);
+    let kinds = event_kinds(&journal);
+    assert!(
+        kinds.iter().any(|k| k == "deadline"),
+        "no deadline event in {kinds:?}"
+    );
+    assert_eq!(kinds.last().map(String::as_str), Some("job_done"));
+
+    handle.shutdown();
+    thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn disabled_tracing_is_a_distinguishable_404() {
+    let config = ServerConfig {
+        trace_events: 0,
+        ..test_config()
+    };
+    let (addr, handle, thread) = start_server(config);
+    let id = submit(addr, r#"{"jobs":[{"function":"hard"}]}"#);
+    wait_done(addr, id);
+
+    // The job exists, but its recorder was never minted.
+    let resp = http_call(addr, "GET", &format!("/v1/jobs/{id}/trace"), None).expect("trace");
+    assert_eq!(resp.status, 404, "{}", resp.body);
+    assert!(
+        resp.body.contains("\"code\":\"trace_disabled\""),
+        "{}",
+        resp.body
+    );
+
+    // An id the registry never saw stays a plain not-found.
+    let resp = http_call(addr, "GET", "/v1/jobs/999/trace", None).expect("trace");
+    assert_eq!(resp.status, 404, "{}", resp.body);
+    assert!(
+        resp.body.contains("\"code\":\"not_found\""),
+        "{}",
+        resp.body
+    );
+
+    handle.shutdown();
+    thread.join().unwrap().unwrap();
+}

@@ -96,12 +96,25 @@ fn newton_tallied(
                 .iterations
                 .set(tally.iterations.get() + solve.iterations as u64);
             tally.residual.set(solve.max_step);
+            // a = iterations consumed, b = final step-norm residual.
+            fts_telemetry::trace::emit(
+                "newton_converged",
+                "",
+                solve.iterations as f64,
+                solve.max_step,
+            );
             Ok(solve.x)
         }
         Err(e) => {
             tally
                 .iterations
                 .set(tally.iterations.get() + max_iterations as u64);
+            // Cancellation is not divergence — the engine records the
+            // cancel/deadline event at the attempt level.
+            if !e.is_cancellation() {
+                // a = iteration budget charged.
+                fts_telemetry::trace::emit("newton_diverged", "", max_iterations as f64, 0.0);
+            }
             Err(e)
         }
     }
@@ -271,6 +284,13 @@ pub(crate) fn op_at_impl(
             );
             fts_telemetry::record("spice.op.residual", convergence.final_residual);
         }
+        // a = total Newton iterations across rungs, b = final residual.
+        fts_telemetry::trace::emit(
+            "op_solved",
+            strategy.name(),
+            convergence.newton_iterations as f64,
+            convergence.final_residual,
+        );
         OpResult {
             x,
             node_count: netlist.node_count(),
@@ -279,6 +299,7 @@ pub(crate) fn op_at_impl(
     };
 
     // Plain Newton.
+    fts_telemetry::trace::emit("homotopy_step", "newton", 0.0, 0.0);
     if let Ok(x) = solve(1e-12, 1.0, &x0) {
         return Ok(finish(x, OpStrategy::Newton));
     }
@@ -287,6 +308,8 @@ pub(crate) fn op_at_impl(
     // shrinking the per-step reduction whenever Newton stalls instead of
     // giving up outright.
     if opts.gmin_stepping {
+        // a = starting shunt conductance of the ramp.
+        fts_telemetry::trace::emit("homotopy_step", "gmin_stepping", 1e-2, 0.0);
         if let Some(x) = gmin_ramp(&solve, &x0, 1e-2) {
             return Ok(finish(x, OpStrategy::GminStepping));
         }
@@ -296,6 +319,7 @@ pub(crate) fn op_at_impl(
     // (bisect the scale step on failure), then ramp the gmin out at full
     // drive.
     if opts.source_stepping {
+        fts_telemetry::trace::emit("homotopy_step", "source_stepping", 0.0, 0.0);
         const GMIN_SAFE: f64 = 1e-9;
         let mut x = vec![0.0; n];
         let mut scale = 0.0f64;
@@ -330,12 +354,20 @@ pub(crate) fn op_at_impl(
     // cap-open Newton. Slowest, but it follows a physical trajectory and
     // rescues bias points where every static homotopy oscillates.
     if opts.pseudo_transient {
+        fts_telemetry::trace::emit("homotopy_step", "pseudo_transient", 0.0, 0.0);
         if let Some(x) = pseudo_transient(netlist, t, &solve, &tally, ws, opts, cancel) {
             return Ok(finish(x, OpStrategy::PseudoTransient));
         }
         check_cancel()?;
     }
     fts_telemetry::counter("spice.op.failed", 1);
+    // a = Newton iterations burned across the ladder, b = solves attempted.
+    fts_telemetry::trace::emit(
+        "op_failed",
+        "",
+        tally.iterations.get() as f64,
+        tally.solves.get() as f64,
+    );
     Err(SpiceError::NoConvergence {
         analysis: "dc operating point",
         residual: 1.0,
@@ -869,12 +901,17 @@ fn transient_fixed(
                 return e;
             }
             fts_telemetry::counter("spice.transient.step_failures", 1);
+            // a = simulation time of the failed step, b = dt.
+            fts_telemetry::trace::emit("tran_step_failed", "fixed", t, dt);
             SpiceError::NoConvergence {
                 analysis: "transient step",
                 residual: t,
             }
         })?;
         fts_telemetry::record("spice.transient.newton_iterations", solve.iterations as f64);
+        // a = simulation time, b = Newton iterations for the step. Chatty
+        // by design — the per-job ring drops oldest once full.
+        fts_telemetry::trace::emit("tran_step", "fixed", t, solve.iterations as f64);
         x = solve.x;
         stamp::update_cap_states(netlist, &x, &mut cap_states, dt, trapezoidal);
 
@@ -961,6 +998,8 @@ fn transient_adaptive_into(
         if err <= error_target || dt_eff <= dt_min * 1.0000001 {
             // Accept the more accurate half-step result.
             fts_telemetry::counter("spice.transient.lte_accepted", 1);
+            // a = simulation time reached, b = accepted dt.
+            fts_telemetry::trace::emit("lte_accepted", "", t + dt_eff, dt_eff);
             t += dt_eff;
             x = x_h2;
             cap_states = caps_h2;
@@ -973,6 +1012,8 @@ fn transient_adaptive_into(
             }
         } else {
             fts_telemetry::counter("spice.transient.lte_rejections", 1);
+            // a = simulation time of the rejected step, b = LTE estimate.
+            fts_telemetry::trace::emit("lte_rejected", "", t, err);
             dt = (dt / 2.0).max(dt_min);
         }
         if accepted > 5_000_000 {

@@ -713,6 +713,8 @@ impl SolverWorkspace {
         };
         if !use_sparse {
             fts_telemetry::counter("spice.solver.dense", 1);
+            // a = unknowns.
+            fts_telemetry::trace::emit("solver_selected", "dense", n as f64, 0.0);
             return SolverWorkspace::Dense {
                 a: Matrix::zeros(n),
                 b: vec![0.0; n],
@@ -720,19 +722,29 @@ impl SolverWorkspace {
         }
         fts_telemetry::counter("spice.solver.sparse", 1);
         let sys = SparseSystem::new(netlist);
+        // a = unknowns, b = pattern non-zeros.
+        fts_telemetry::trace::emit(
+            "solver_selected",
+            "sparse",
+            n as f64,
+            sys.matrix().nnz() as f64,
+        );
         let symbolic = match netlist.shared_symbolic() {
             Some(sym) if sym.matches(sys.matrix()) => {
                 fts_telemetry::counter("spice.sparse.symbolic_reuse", 1);
+                fts_telemetry::trace::emit("sparse_symbolic", "reuse", 0.0, 0.0);
                 Arc::clone(sym)
             }
             Some(_) => {
                 // Defect-injected trials can rewire gates and change the
                 // pattern — fall back to a fresh analysis.
                 fts_telemetry::counter("spice.sparse.symbolic_miss", 1);
+                fts_telemetry::trace::emit("sparse_symbolic", "miss", 0.0, 0.0);
                 Arc::new(Symbolic::analyze(sys.matrix()))
             }
             None => {
                 fts_telemetry::counter("spice.sparse.symbolic_new", 1);
+                fts_telemetry::trace::emit("sparse_symbolic", "new", 0.0, 0.0);
                 Arc::new(Symbolic::analyze(sys.matrix()))
             }
         };
@@ -794,6 +806,9 @@ pub(crate) fn newton(
             SolverWorkspace::Sparse { sys, lu, b } => {
                 sys.iterate(netlist, &x, ctx, b);
                 lu.factor(sys.matrix())?;
+                // One numeric (re)factorization per Newton iteration;
+                // a = iteration number within this solve.
+                fts_telemetry::trace::emit("sparse_factor", "", iteration as f64, 0.0);
                 lu.solve_in_place(b);
                 b
             }

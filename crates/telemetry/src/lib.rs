@@ -14,6 +14,10 @@
 //! * **Value histograms** ([`record`]): log-scale streaming histograms
 //!   with mean/min/max and p50/p90/p99 summaries — Newton iteration
 //!   counts, residuals, per-trial wall times.
+//! * **Per-job flight recorder** ([`trace`]): bounded drop-oldest rings
+//!   of structured solver events attributable to a single job, installed
+//!   on the worker thread for the duration of one run and snapshotted by
+//!   the job's owner. Independent of the global on/off switch above.
 //!
 //! Telemetry is **off by default** and *no-op cheap* when disabled: every
 //! entry point is a single relaxed atomic load followed by an immediate
@@ -51,6 +55,7 @@ mod metrics;
 mod registry;
 mod report;
 mod span;
+pub mod trace;
 
 pub use metrics::{HistogramSummary, LogHistogram};
 pub use report::{CounterStat, HistogramStat, SpanStat, TelemetryReport, TraceEvent};

@@ -131,8 +131,11 @@ impl LogHistogram {
             cum += c;
             if cum >= target {
                 let edge = DECADE_LO as f64 + (k + 1) as f64 / BINS_PER_DECADE as f64;
-                // Never report past the observed extremes.
-                return 10f64.powf(edge).clamp(self.min, self.max);
+                // Never report past the observed extremes. (`.max().min()`
+                // rather than `clamp`, which panics on an inverted or NaN
+                // range — unreachable from `push`, but this accessor must
+                // never take the exporter down.)
+                return 10f64.powf(edge).max(self.min).min(self.max);
             }
         }
         self.max
@@ -190,6 +193,31 @@ mod tests {
         assert_eq!(s.n, 0);
         assert_eq!((s.mean, s.std_dev, s.min, s.max), (0.0, 0.0, 0.0, 0.0));
         assert_eq!((s.p50, s.p90, s.p99), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn quantiles_stay_finite_on_empty_and_hostile_input() {
+        let mut h = LogHistogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0.0, "empty quantile {q}");
+        }
+        h.push(f64::NAN);
+        h.push(f64::INFINITY);
+        h.push(f64::NEG_INFINITY);
+        assert_eq!(h.count(), 0, "non-finite samples are ignored");
+        h.push(2.0);
+        let s = h.summary();
+        for (name, v) in [
+            ("mean", s.mean),
+            ("std_dev", s.std_dev),
+            ("min", s.min),
+            ("max", s.max),
+            ("p50", s.p50),
+            ("p90", s.p90),
+            ("p99", s.p99),
+        ] {
+            assert!(v.is_finite(), "{name} = {v} not finite");
+        }
     }
 
     #[test]

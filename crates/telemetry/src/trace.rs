@@ -1,0 +1,344 @@
+//! Per-job flight recorder: a bounded ring buffer of structured solver
+//! events owned by whoever launched the job.
+//!
+//! The global span/counter machinery in this crate aggregates across the
+//! whole process and flushes at shutdown — good for benches, useless for
+//! asking *why job 42 was slow* on a live server. A [`JobTrace`] is the
+//! per-job complement: the job's owner mints one, attaches it to the job,
+//! and the execution stack ([`install`]ed for the duration of the run)
+//! [`emit`]s events into it — homotopy ladder steps, Newton
+//! convergence/divergence, sparse factorizations, transient step
+//! accept/reject, retries, deadlines. The owner keeps a clone of the
+//! handle and can [`JobTrace::snapshot`] it at any time, including while
+//! the job is still running.
+//!
+//! Design constraints, in order:
+//!
+//! * **Disabled is free.** When no trace is installed anywhere in the
+//!   process, [`emit`] is a single relaxed atomic load and an immediate
+//!   return — the permanent cost to un-traced workloads is one predictable
+//!   branch.
+//! * **Enabled is allocation-free.** Events carry only `&'static str`
+//!   labels and two `f64` payloads; recording one is a thread-local read,
+//!   an (uncontended — the ring is owned by the running worker) mutex
+//!   lock, and a 48-byte copy into a pre-sized ring.
+//! * **Bounded.** The ring has a fixed capacity; once full, the oldest
+//!   event is overwritten and [`TraceSnapshot::dropped`] counts the loss.
+//!   A runaway transient cannot grow a job's journal without limit.
+
+use std::cell::{Cell, RefCell};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default event capacity for a [`JobTrace`] ring.
+pub const DEFAULT_EVENT_CAP: usize = 4096;
+
+/// One recorded flight-recorder event.
+///
+/// `kind` is the event class (`"homotopy_step"`, `"newton_converged"`,
+/// …); `detail` refines it (the homotopy strategy name, the solver
+/// backend, …). `a` and `b` are two per-kind numeric payloads — iteration
+/// counts, residuals, matrix sizes — documented per kind at the emission
+/// site. Keeping the payload fixed-shape is what makes recording
+/// allocation-free.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlightEvent {
+    /// Microseconds since the trace was minted.
+    pub t_us: f64,
+    /// Retry-ladder attempt (0-based) the event belongs to.
+    pub attempt: u32,
+    /// Event class.
+    pub kind: &'static str,
+    /// Event refinement (strategy, solver, reason; `""` when unused).
+    pub detail: &'static str,
+    /// First numeric payload (per-kind meaning; 0 when unused).
+    pub a: f64,
+    /// Second numeric payload (per-kind meaning; 0 when unused).
+    pub b: f64,
+}
+
+struct Ring {
+    start_ns: u64,
+    cap: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    events: Vec<FlightEvent>,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, mut ev: FlightEvent) {
+        ev.t_us = (crate::now_ns().saturating_sub(self.start_ns)) as f64 / 1e3;
+        if self.events.len() < self.cap {
+            self.events.push(ev);
+        } else {
+            let head = self.head;
+            self.events[head] = ev;
+            self.head = (head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+}
+
+/// A consistent copy of a job's journal at one instant.
+#[derive(Clone, Debug)]
+pub struct TraceSnapshot {
+    /// Ring capacity the trace was minted with.
+    pub capacity: usize,
+    /// Events overwritten because the ring was full.
+    pub dropped: u64,
+    /// Retained events, oldest first.
+    pub events: Vec<FlightEvent>,
+}
+
+/// Shared handle to one job's bounded event journal.
+///
+/// Cloning is cheap (one `Arc`); all clones observe the same ring. The
+/// handle is `Send + Sync` — the job's owner typically keeps one clone to
+/// serve snapshots while a worker thread records through another.
+#[derive(Clone)]
+pub struct JobTrace {
+    inner: Arc<Mutex<Ring>>,
+}
+
+impl std::fmt::Debug for JobTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobTrace").finish_non_exhaustive()
+    }
+}
+
+impl JobTrace {
+    /// Mints a trace with room for `capacity` events (clamped to ≥ 1).
+    /// Event timestamps are relative to this call.
+    pub fn new(capacity: usize) -> JobTrace {
+        JobTrace {
+            inner: Arc::new(Mutex::new(Ring {
+                start_ns: crate::now_ns(),
+                cap: capacity.max(1),
+                head: 0,
+                events: Vec::new(),
+                dropped: 0,
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Ring> {
+        // A panic while holding the ring lock leaves plain data in a
+        // valid state; keep serving the journal.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Copies the journal out, oldest event first.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let ring = self.lock();
+        let mut events = Vec::with_capacity(ring.events.len());
+        events.extend_from_slice(&ring.events[ring.head..]);
+        events.extend_from_slice(&ring.events[..ring.head]);
+        TraceSnapshot {
+            capacity: ring.cap,
+            dropped: ring.dropped,
+            events,
+        }
+    }
+
+    /// Number of events currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().events.is_empty()
+    }
+}
+
+/// Count of traces currently installed across all threads. `emit` checks
+/// this first so un-traced processes pay one relaxed load per call site.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static INSTALLED: RefCell<Option<JobTrace>> = const { RefCell::new(None) };
+    static ATTEMPT: Cell<u32> = const { Cell::new(0) };
+}
+
+/// RAII guard returned by [`install`]; uninstalls (restoring any
+/// previously installed trace) on drop. Not `Send`: the guard must drop
+/// on the thread that installed it.
+pub struct TraceGuard {
+    prev: Option<JobTrace>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        INSTALLED.with(|slot| *slot.borrow_mut() = self.prev.take());
+        ATTEMPT.with(|a| a.set(0));
+        ACTIVE.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Installs `trace` as the calling thread's recorder: until the returned
+/// guard drops, every [`emit`] on this thread lands in `trace`'s ring.
+/// Installs nest (the previous recorder is restored on drop), though jobs
+/// normally install exactly one for their whole run.
+pub fn install(trace: &JobTrace) -> TraceGuard {
+    ACTIVE.fetch_add(1, Ordering::Relaxed);
+    let prev = INSTALLED.with(|slot| slot.borrow_mut().replace(trace.clone()));
+    ATTEMPT.with(|a| a.set(0));
+    TraceGuard {
+        prev,
+        _not_send: PhantomData,
+    }
+}
+
+/// Stamps subsequent events on this thread with retry-ladder attempt `n`
+/// (0-based). No-op when no trace is installed anywhere.
+pub fn set_attempt(n: u32) {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    ATTEMPT.with(|a| a.set(n));
+}
+
+/// Records one event into the calling thread's installed trace, if any.
+///
+/// When no trace is installed anywhere in the process this is a single
+/// relaxed atomic load. When another thread is tracing but this one is
+/// not, it is that load plus a thread-local `None` check.
+#[inline]
+pub fn emit(kind: &'static str, detail: &'static str, a: f64, b: f64) {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    emit_installed(kind, detail, a, b);
+}
+
+fn emit_installed(kind: &'static str, detail: &'static str, a: f64, b: f64) {
+    INSTALLED.with(|slot| {
+        if let Some(trace) = slot.borrow().as_ref() {
+            trace.lock().push(FlightEvent {
+                t_us: 0.0, // stamped inside push, under the ring lock
+                attempt: ATTEMPT.with(Cell::get),
+                kind,
+                detail,
+                a,
+                b,
+            });
+        }
+    });
+}
+
+/// True when at least one trace is installed somewhere in the process.
+/// Lets expensive event *preparation* (not just recording) be skipped.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed) != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_without_install_records_nothing() {
+        let trace = JobTrace::new(8);
+        emit("ghost", "", 1.0, 2.0);
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn events_record_in_order_with_attempts() {
+        let trace = JobTrace::new(8);
+        {
+            let _g = install(&trace);
+            emit("first", "x", 1.0, 0.0);
+            set_attempt(1);
+            emit("second", "y", 2.0, 0.5);
+        }
+        let snap = trace.snapshot();
+        assert_eq!(snap.dropped, 0);
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.events[0].kind, "first");
+        assert_eq!(snap.events[0].attempt, 0);
+        assert_eq!(snap.events[1].kind, "second");
+        assert_eq!(snap.events[1].attempt, 1);
+        assert!(snap.events[0].t_us <= snap.events[1].t_us);
+        // Guard dropped: emissions stop.
+        emit("late", "", 0.0, 0.0);
+        assert_eq!(trace.len(), 2);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let trace = JobTrace::new(3);
+        {
+            let _g = install(&trace);
+            for k in 0..7 {
+                emit("e", "", k as f64, 0.0);
+            }
+        }
+        let snap = trace.snapshot();
+        assert_eq!(snap.capacity, 3);
+        assert_eq!(snap.dropped, 4);
+        let kept: Vec<f64> = snap.events.iter().map(|e| e.a).collect();
+        assert_eq!(kept, vec![4.0, 5.0, 6.0], "oldest dropped first");
+    }
+
+    #[test]
+    fn install_nests_and_restores() {
+        let outer = JobTrace::new(8);
+        let inner = JobTrace::new(8);
+        let _g1 = install(&outer);
+        emit("outer", "", 0.0, 0.0);
+        {
+            let _g2 = install(&inner);
+            emit("inner", "", 0.0, 0.0);
+        }
+        emit("outer", "", 0.0, 0.0);
+        assert_eq!(outer.len(), 2);
+        assert_eq!(inner.len(), 1);
+    }
+
+    #[test]
+    fn threads_do_not_cross_record() {
+        let trace = JobTrace::new(8);
+        let _g = install(&trace);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // Installed on the parent thread only; this thread has no
+                // recorder, so its emissions vanish.
+                emit("other_thread", "", 0.0, 0.0);
+            })
+            .join()
+            .unwrap();
+        });
+        emit("this_thread", "", 0.0, 0.0);
+        let snap = trace.snapshot();
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].kind, "this_thread");
+    }
+
+    #[test]
+    fn snapshot_while_installed_sees_live_events() {
+        let trace = JobTrace::new(8);
+        let observer = trace.clone();
+        let _g = install(&trace);
+        emit("mid_flight", "", 0.0, 0.0);
+        assert_eq!(observer.snapshot().events.len(), 1);
+    }
+
+    #[test]
+    fn uninstalled_emit_is_cheap() {
+        // With no trace installed on this thread the emit path must stay
+        // in the same budget as the disabled span fast path. (Sibling
+        // tests may have traces installed on their own threads, so this
+        // exercises the at-worst thread-local-miss path.)
+        let t0 = std::time::Instant::now();
+        for k in 0..2_000_000u64 {
+            emit("off", "", k as f64, 0.0);
+        }
+        let dt = t0.elapsed();
+        assert!(dt.as_secs_f64() < 2.0, "uninstalled emit too slow: {dt:?}");
+    }
+}

@@ -80,11 +80,17 @@ fn help_lists_every_flag_each_subcommand_parses() {
     for (subcommand, flags) in [
         ("lattice", &["--vars"][..]),
         ("faults", &["--vars"][..]),
-        ("run", &["--out", "--threads", "--waveform"][..]),
-        ("batch", &["--out"][..]),
+        ("run", &["--out", "--threads", "--waveform", "--trace"][..]),
+        ("batch", &["--out", "--trace"][..]),
         (
             "serve",
-            &["--addr", "--workers", "--queue-depth", "--retain-done"][..],
+            &[
+                "--addr",
+                "--workers",
+                "--queue-depth",
+                "--retain-done",
+                "--trace-events",
+            ][..],
         ),
     ] {
         let line = line_with(subcommand);
@@ -127,6 +133,28 @@ fn run_reads_deck_from_stdin_and_writes_report() {
     assert!(text.contains("\"schema\":\"fts-batch-report/1\""), "{text}");
     assert!(text.contains("\"label\":\"op-0\""), "{text}");
     assert!(text.contains("\"out_v\":0.4999999997"), "{text}");
+}
+
+#[test]
+fn run_trace_embeds_a_solver_journal() {
+    let mut child = fts()
+        .args(["run", "-", "--trace"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(b"v1 in 0 dc 1\nr1 in out 1k\nr2 out 0 1k\n.probe v(out)\n.op\n")
+        .expect("write");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"trace\":{"), "{text}");
+    assert!(text.contains("\"kind\":\"newton_converged\""), "{text}");
+    assert!(text.contains("\"kind\":\"job_done\""), "{text}");
 }
 
 #[test]
