@@ -2,8 +2,8 @@
 //! parametric yield under process variation and crosspoint defects, with
 //! sequential-vs-parallel throughput and a machine-readable JSON summary.
 //!
-//! Usage: `repro_yield [--trials N] [--seed S] [--defect-prob P] [--json]
-//! [--telemetry <path.json>]`
+//! Usage: `repro_yield [--trials N] [--seed S] [--defect-prob P]
+//! [--ensemble-width K] [--json] [--telemetry <path.json>]`
 //!
 //! `--json` suppresses the human-readable report and prints only the JSON
 //! object (one line, stable key order). `--telemetry` additionally writes
@@ -21,6 +21,7 @@ struct Args {
     trials: u64,
     seed: u64,
     defect_prob: f64,
+    ensemble_width: usize,
     json_only: bool,
 }
 
@@ -29,6 +30,7 @@ fn parse_args(argv: Vec<String>) -> Args {
         trials: 512,
         seed: 0xD1CE,
         defect_prob: 0.01,
+        ensemble_width: 16,
         json_only: false,
     };
     let mut it = argv.into_iter();
@@ -41,6 +43,11 @@ fn parse_args(argv: Vec<String>) -> Args {
                 args.defect_prob = value("--defect-prob")
                     .parse()
                     .expect("--defect-prob: float")
+            }
+            "--ensemble-width" => {
+                args.ensemble_width = value("--ensemble-width")
+                    .parse()
+                    .expect("--ensemble-width: integer")
             }
             "--json" => args.json_only = true,
             other => panic!("unknown flag {other}"),
@@ -61,6 +68,7 @@ fn json_summary(
     seq_tps: f64,
     par_tps: f64,
     threads: usize,
+    ensemble_json: &str,
     phases_json: &str,
     solver_json: &str,
 ) -> String {
@@ -77,6 +85,7 @@ fn json_summary(
     format!(
         concat!(
             "{{\"experiment\":\"xor3_yield\",\"trials\":{},\"master_seed\":{},",
+            "\"ensemble\":{},",
             "\"evaluated\":{},\"sim_failures\":{},",
             "\"sim_failure_causes\":{{\"no_convergence\":{},\"singular_matrix\":{},",
             "\"build\":{},\"other\":{}}},\"functional_pass\":{},",
@@ -90,6 +99,7 @@ fn json_summary(
         ),
         r.trials,
         r.master_seed,
+        ensemble_json,
         r.evaluated,
         r.sim_failures,
         causes.no_convergence,
@@ -131,7 +141,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lat = xor3_lattice();
     let mc = MonteCarlo::new(args.trials, args.seed)
         .variation(VariationModel::standard().with_defect_prob(args.defect_prob))
-        .eval(EvalMode::Dc);
+        .eval(EvalMode::Dc)
+        .ensemble_width(args.ensemble_width);
     tel.phase_done("build");
 
     let t0 = Instant::now();
@@ -158,6 +169,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let par_tps = args.trials as f64 / par_s;
     let solver_json = telemetry::solver_stats_json();
     let snap = fts_telemetry::snapshot();
+    let ens_lanes = snap.counter("spice.ensemble.lanes");
+    let ens_iters = snap.counter("spice.ensemble.lockstep_iterations");
+    let ens_fallbacks = snap.counter("spice.ensemble.scalar_fallback");
+    let ensemble_json = format!(
+        "{{\"width\":{},\"lanes\":{ens_lanes},\"lockstep_iterations\":{ens_iters},\"scalar_fallback\":{ens_fallbacks}}}",
+        args.ensemble_width
+    );
 
     if !args.json_only {
         println!(
@@ -205,6 +223,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "\n  throughput       : sequential {seq_tps:.1} trials/s, parallel {par_tps:.1} trials/s ({threads} threads, {:.2}x)",
             par_tps / seq_tps
         );
+        if ens_lanes > 0 {
+            println!(
+                "  ensemble solver  : width {}, {} lanes, {} lockstep iterations, {} scalar fallbacks",
+                args.ensemble_width, ens_lanes, ens_iters, ens_fallbacks
+            );
+        }
         let sym_new = snap.counter("spice.sparse.symbolic_new");
         let sym_reuse = snap.counter("spice.sparse.symbolic_reuse");
         let sym_miss = snap.counter("spice.sparse.symbolic_miss");
@@ -225,6 +249,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seq_tps,
             par_tps,
             threads,
+            &ensemble_json,
             &tel.phases_json(),
             &solver_json
         )

@@ -18,7 +18,7 @@ use fts_lattice::defects::{inject_all, Fault};
 use fts_lattice::Lattice;
 use fts_logic::TruthTable;
 use fts_spice::analysis::TranConfig;
-use fts_spice::{measure, Simulator};
+use fts_spice::{measure, LaneOutcome, NodeId, OpEnsemble, OpOptions, Simulator, Waveform};
 
 use crate::error::McError;
 use crate::rng::trial_rng;
@@ -190,11 +190,20 @@ pub struct MonteCarlo {
     pub eval: EvalMode,
     /// Electrical bench around the lattice.
     pub bench: BenchConfig,
+    /// Lockstep lanes per solver ensemble in [`EvalMode::Dc`]: trials are
+    /// pulled in chunks of up to this many and stamped/factored/solved
+    /// together (structure-of-arrays). `1` disables the ensemble path and
+    /// evaluates every trial through the scalar simulator. Like
+    /// `block_size`, the *numerical* report may shift at the last-ulp
+    /// level when this changes (lane retirement falls back to the scalar
+    /// path); trial sampling and all counts are invariant.
+    pub ensemble_width: usize,
 }
 
 impl MonteCarlo {
     /// An ensemble with default settings: auto threads, 16-trial blocks,
-    /// [`VariationModel::standard`], DC evaluation, default bench/spec.
+    /// 16-lane solver ensembles, [`VariationModel::standard`], DC
+    /// evaluation, default bench/spec.
     pub fn new(trials: u64, master_seed: u64) -> MonteCarlo {
         MonteCarlo {
             trials,
@@ -205,6 +214,7 @@ impl MonteCarlo {
             spec: SpecLimits::default(),
             eval: EvalMode::Dc,
             bench: BenchConfig::default(),
+            ensemble_width: 16,
         }
     }
 
@@ -229,6 +239,12 @@ impl MonteCarlo {
     /// Replaces the parametric limits.
     pub fn spec(mut self, s: SpecLimits) -> MonteCarlo {
         self.spec = s;
+        self
+    }
+
+    /// Replaces the ensemble width (1 = scalar DC evaluation).
+    pub fn ensemble_width(mut self, w: usize) -> MonteCarlo {
+        self.ensemble_width = w;
         self
     }
 
@@ -267,10 +283,16 @@ impl MonteCarlo {
                 reason: "stuck_on_fraction must be in [0, 1]",
             });
         }
+        if self.ensemble_width == 0 {
+            return Err(McError::InvalidConfig {
+                reason: "ensemble_width must be at least 1",
+            });
+        }
         let _span = fts_telemetry::span("mc.run");
         let truth = lattice.truth_table(vars)?;
-        let shared_symbolic = if matches!(self.eval, EvalMode::Logical) {
-            None
+        let use_ensemble = self.ensemble_width >= 2 && matches!(self.eval, EvalMode::Dc);
+        let (shared_symbolic, ensemble_reference) = if matches!(self.eval, EvalMode::Logical) {
+            (None, None)
         } else {
             // Surface configuration-level circuit problems once, up front,
             // instead of as `trials` identical per-trial failures — and
@@ -278,8 +300,13 @@ impl MonteCarlo {
             // symbolic analysis once for the whole ensemble. Trials whose
             // defects change the topology fall back to a fresh analysis
             // (the pattern is verified before reuse).
-            let nominal_ckt = LatticeCircuit::build(lattice, vars, nominal, self.bench)?;
-            Some(nominal_ckt.mna_symbolic())
+            let mut nominal_ckt = LatticeCircuit::build(lattice, vars, nominal, self.bench)?;
+            let sym = nominal_ckt.mna_symbolic();
+            nominal_ckt.share_symbolic(Arc::clone(&sym));
+            // The nominal circuit doubles as the lockstep ensemble's
+            // topology reference: lanes are admitted by `same_topology`
+            // against it, so defect-rewired trials fall to the scalar path.
+            (Some(sym), use_ensemble.then_some(nominal_ckt))
         };
 
         let threads = if self.threads == 0 {
@@ -296,15 +323,20 @@ impl MonteCarlo {
             truth: &truth,
             sites: lattice.rows() * lattice.cols(),
             shared_symbolic,
+            ensemble_reference,
         };
         let partials = map_blocks(&block_list, threads, |_, &(start, end)| {
             let mut acc = BlockStats::new(ctx.sites, self.bench.vdd);
-            for trial in start..end {
-                let _trial_span = fts_telemetry::span("mc.trial");
-                let t0 = fts_telemetry::enabled().then(Instant::now);
-                ctx.run_trial(trial, &mut acc);
-                if let Some(t0) = t0 {
-                    fts_telemetry::record("mc.trial.wall_s", t0.elapsed().as_secs_f64());
+            if ctx.ensemble_reference.is_some() {
+                ctx.run_dc_block_ensemble(start, end, &mut acc);
+            } else {
+                for trial in start..end {
+                    let _trial_span = fts_telemetry::span("mc.trial");
+                    let t0 = fts_telemetry::enabled().then(Instant::now);
+                    ctx.run_trial(trial, &mut acc);
+                    if let Some(t0) = t0 {
+                        fts_telemetry::record("mc.trial.wall_s", t0.elapsed().as_secs_f64());
+                    }
                 }
             }
             acc
@@ -330,6 +362,9 @@ struct TrialContext<'a> {
     /// reused by every electrically evaluated trial (`None` in
     /// [`EvalMode::Logical`], where no MNA system is ever built).
     shared_symbolic: Option<Arc<fts_spice::Symbolic>>,
+    /// Nominal circuit serving as the lockstep ensemble's topology
+    /// reference (`Some` only when the ensemble DC path is active).
+    ensemble_reference: Option<LatticeCircuit>,
 }
 
 /// Electrical measurements of one trial.
@@ -431,6 +466,15 @@ impl TrialContext<'_> {
         site_models: &[SwitchCircuitModel],
     ) -> Result<Electrical, fts_circuit::CircuitError> {
         let ckt = self.build(faulty, site_models)?;
+        self.eval_dc_circuit(&ckt)
+    }
+
+    /// The DC sweep over a prebuilt trial circuit (shared by the scalar
+    /// path and the ensemble's per-lane fallback).
+    fn eval_dc_circuit(
+        &self,
+        ckt: &LatticeCircuit,
+    ) -> Result<Electrical, fts_circuit::CircuitError> {
         let vdd = self.mc.bench.vdd;
         let mut functional = true;
         let mut v_ol = f64::NEG_INFINITY;
@@ -453,6 +497,210 @@ impl TrialContext<'_> {
             rise: None,
             fall: None,
         })
+    }
+
+    /// Runs one scheduling block through the lockstep ensemble: trials are
+    /// pulled in chunks of up to `ensemble_width`, each chunk's admissible
+    /// lanes are solved together for every input assignment, and results
+    /// are recorded in ascending trial order so the report stays
+    /// bit-identical for every thread count.
+    fn run_dc_block_ensemble(&self, start: u64, end: u64, acc: &mut BlockStats) {
+        let reference = self
+            .ensemble_reference
+            .as_ref()
+            .expect("ensemble path requires a reference circuit");
+        let mut ensemble = OpEnsemble::new(reference.netlist());
+        let width = self.mc.ensemble_width as u64;
+        let mut trial = start;
+        while trial < end {
+            let chunk_end = (trial + width).min(end);
+            self.run_dc_chunk(&mut ensemble, reference.out(), trial, chunk_end, acc);
+            trial = chunk_end;
+        }
+    }
+
+    /// Evaluates trials `start..end` as one lockstep chunk (at most
+    /// `ensemble_width` of them). Per-trial sampling order is identical to
+    /// [`TrialContext::run_trial`]; trials whose defects rewire the
+    /// topology — or that fail to build — are evaluated on the scalar path
+    /// instead, and recording happens strictly in trial order.
+    fn run_dc_chunk(
+        &self,
+        ensemble: &mut OpEnsemble,
+        out: NodeId,
+        start: u64,
+        end: u64,
+        acc: &mut BlockStats,
+    ) {
+        /// Per-trial disposition, buffered so the chunk can record in
+        /// ascending trial order after the lockstep solve.
+        enum Slot {
+            Circuit(fts_circuit::CircuitError),
+            Engine(McError),
+            Scalar {
+                defects: Vec<Fault>,
+                logical_ok: bool,
+                ckt: LatticeCircuit,
+            },
+            Lane {
+                defects: Vec<Fault>,
+                logical_ok: bool,
+                lane: usize,
+            },
+        }
+
+        let _span = fts_telemetry::span("mc.chunk");
+        let t0 = fts_telemetry::enabled().then(Instant::now);
+        ensemble.clear();
+        let v = &self.mc.variation;
+        let mut slots: Vec<Slot> = Vec::with_capacity((end - start) as usize);
+        for trial in start..end {
+            let _trial_span = fts_telemetry::span("mc.trial");
+            let mut rng = trial_rng(self.mc.master_seed, trial);
+            let defects = v.sample_defects(self.lattice, &mut rng);
+            let faulty = match inject_all(self.lattice, &defects) {
+                Ok(l) => l,
+                Err(e) => {
+                    slots.push(Slot::Circuit(fts_circuit::CircuitError::Lattice(e)));
+                    continue;
+                }
+            };
+            let logical_ok = defects.is_empty()
+                || (0..(1u32 << self.vars)).all(|x| faulty.eval(x) == self.truth.eval(x));
+            let base = match v.sample_base_model(self.nominal, &mut rng) {
+                Ok(b) => b,
+                Err(e) => {
+                    slots.push(Slot::Engine(e));
+                    continue;
+                }
+            };
+            let site_models = v.sample_site_models(&base, self.lattice, &mut rng);
+            match self.build(&faulty, &site_models) {
+                Err(e) => slots.push(Slot::Circuit(e)),
+                Ok(ckt) => match ensemble.try_push(ckt.netlist().clone()) {
+                    Ok(lane) => slots.push(Slot::Lane {
+                        defects,
+                        logical_ok,
+                        lane,
+                    }),
+                    Err(_) => slots.push(Slot::Scalar {
+                        defects,
+                        logical_ok,
+                        ckt,
+                    }),
+                },
+            }
+        }
+
+        // Lockstep DC sweep: one ensemble solve per input assignment, all
+        // admitted lanes advancing together. A lane's first failure
+        // abandons that trial (as in the scalar sweep); surviving lanes
+        // keep iterating.
+        let lanes = ensemble.len();
+        let vdd = self.mc.bench.vdd;
+        let mut lane_v_ol = vec![f64::NEG_INFINITY; lanes];
+        let mut lane_v_oh = vec![f64::INFINITY; lanes];
+        let mut lane_functional = vec![true; lanes];
+        let mut lane_err: Vec<Option<fts_circuit::CircuitError>> =
+            (0..lanes).map(|_| None).collect();
+        if lanes > 0 {
+            let opts = OpOptions::full();
+            for step in 0..(1u32 << self.vars) {
+                // Gray-code order: consecutive assignments differ in one
+                // input, so the ensemble's warm start (the previous
+                // assignment's operating points) stays close and plain
+                // Newton usually converges without the gmin ladder. The
+                // V_OL/V_OH accumulation below is min/max, so the sweep
+                // order cannot change any recorded statistic.
+                let x = step ^ (step >> 1);
+                if lane_err.iter().all(|e| e.is_some()) {
+                    break;
+                }
+                for (lane, err) in lane_err.iter_mut().enumerate() {
+                    if err.is_some() {
+                        continue;
+                    }
+                    let nl = ensemble.lane_mut(lane);
+                    for var in 0..self.vars {
+                        let bit = (x >> var) & 1 == 1;
+                        let set = nl
+                            .set_vsource(
+                                &format!("VIN{var}"),
+                                Waveform::Dc(if bit { vdd } else { 0.0 }),
+                            )
+                            .and_then(|_| {
+                                nl.set_vsource(
+                                    &format!("VIN{var}N"),
+                                    Waveform::Dc(if bit { 0.0 } else { vdd }),
+                                )
+                            });
+                        if let Err(e) = set {
+                            *err = Some(e.into());
+                            break;
+                        }
+                    }
+                }
+                let expect_high = !self.truth.eval(x); // pull-down inverts f
+                for (lane, outcome) in ensemble.solve_op(&opts).into_iter().enumerate() {
+                    if lane_err[lane].is_some() {
+                        continue;
+                    }
+                    match outcome {
+                        LaneOutcome::Solved(op) | LaneOutcome::Fallback(op) => {
+                            let level = op.voltage(out);
+                            if expect_high {
+                                lane_v_oh[lane] = lane_v_oh[lane].min(level);
+                                lane_functional[lane] &= level > 0.7 * vdd;
+                            } else {
+                                lane_v_ol[lane] = lane_v_ol[lane].max(level);
+                                lane_functional[lane] &= level < 0.45;
+                            }
+                        }
+                        LaneOutcome::Failed(e) => {
+                            lane_err[lane] = Some(fts_circuit::CircuitError::Spice(e));
+                        }
+                    }
+                }
+            }
+        }
+
+        for slot in slots {
+            match slot {
+                Slot::Circuit(e) => acc.sim_fail(&e),
+                Slot::Engine(e) => acc.sim_fail_mc(&e),
+                Slot::Scalar {
+                    defects,
+                    logical_ok,
+                    ckt,
+                } => {
+                    let _eval_span = fts_telemetry::span("mc.trial.dc");
+                    match self.eval_dc_circuit(&ckt) {
+                        Ok(e) => acc.record(self.mc, self.lattice.cols(), &defects, logical_ok, &e),
+                        Err(e) => acc.sim_fail(&e),
+                    }
+                }
+                Slot::Lane {
+                    defects,
+                    logical_ok,
+                    lane,
+                } => match lane_err[lane].take() {
+                    Some(e) => acc.sim_fail(&e),
+                    None => {
+                        let e = Electrical {
+                            functional: lane_functional[lane],
+                            v_ol: (lane_v_ol[lane] > f64::NEG_INFINITY).then_some(lane_v_ol[lane]),
+                            v_oh: (lane_v_oh[lane] < f64::INFINITY).then_some(lane_v_oh[lane]),
+                            rise: None,
+                            fall: None,
+                        };
+                        acc.record(self.mc, self.lattice.cols(), &defects, logical_ok, &e);
+                    }
+                },
+            }
+        }
+        if let Some(t0) = t0 {
+            fts_telemetry::record("mc.chunk.wall_s", t0.elapsed().as_secs_f64());
+        }
     }
 
     /// Transient walking every input combination (the Fig. 11 protocol
@@ -889,6 +1137,56 @@ mod tests {
     }
 
     #[test]
+    fn dc_ensemble_matches_scalar_path() {
+        // Mixed population: defect-rewired trials fall back to the scalar
+        // path mid-chunk while clean lanes stay in lockstep. Counts must
+        // agree exactly; voltages to the ensemble-vs-scalar pin (1e-9).
+        let lat = xor3_lattice();
+        let mc = MonteCarlo::new(24, 11)
+            .variation(VariationModel::standard().with_defect_prob(0.1))
+            .threads(1);
+        let scalar = mc.ensemble_width(1).run(&lat, 3, &nominal()).unwrap();
+        for width in [2, 6, 8, 32] {
+            let ens = mc.ensemble_width(width).run(&lat, 3, &nominal()).unwrap();
+            assert_eq!(ens.evaluated, scalar.evaluated, "width {width}");
+            assert_eq!(ens.sim_failures, scalar.sim_failures, "width {width}");
+            assert_eq!(ens.functional_pass, scalar.functional_pass, "width {width}");
+            assert_eq!(ens.parametric_pass, scalar.parametric_pass, "width {width}");
+            assert_eq!(ens.logical_fail, scalar.logical_fail, "width {width}");
+            assert_eq!(
+                ens.defects_injected, scalar.defects_injected,
+                "width {width}"
+            );
+            assert_eq!(
+                ens.site_criticality, scalar.site_criticality,
+                "width {width}"
+            );
+            assert!(
+                (ens.v_ol.mean - scalar.v_ol.mean).abs() < 1e-9
+                    && (ens.v_oh.mean - scalar.v_oh.mean).abs() < 1e-9,
+                "width {width}: v_ol {} vs {}, v_oh {} vs {}",
+                ens.v_ol.mean,
+                scalar.v_ol.mean,
+                ens.v_oh.mean,
+                scalar.v_oh.mean
+            );
+        }
+    }
+
+    #[test]
+    fn dc_ensemble_report_is_thread_invariant() {
+        let lat = xor3_lattice();
+        let mc = MonteCarlo::new(24, 17)
+            .variation(VariationModel::standard().with_defect_prob(0.05))
+            .ensemble_width(4);
+        let seq = mc.threads(1).run(&lat, 3, &nominal()).unwrap();
+        for threads in [2, 4] {
+            let par = mc.threads(threads).run(&lat, 3, &nominal()).unwrap();
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
     fn invalid_configs_are_rejected() {
         let lat = Lattice::from_literals(1, 1, vec![Literal::pos(0)]).unwrap();
         let m = nominal();
@@ -903,6 +1201,11 @@ mod tests {
         let bad = MonteCarlo::new(4, 1).variation(VariationModel::none().with_defect_prob(1.5));
         assert!(matches!(
             bad.run(&lat, 1, &m),
+            Err(McError::InvalidConfig { .. })
+        ));
+        let no_lanes = MonteCarlo::new(4, 1).ensemble_width(0);
+        assert!(matches!(
+            no_lanes.run(&lat, 1, &m),
             Err(McError::InvalidConfig { .. })
         ));
         // Lattice referencing variable 5 with only 1 stimulus: the nominal

@@ -71,8 +71,13 @@ proptest! {
 
         prop_assert_eq!(&quiet, &observed);
         prop_assert_eq!(quiet.v_ol.mean.to_bits(), observed.v_ol.mean.to_bits());
+        // DC trials run inside lockstep chunks by default, so the trial
+        // span may appear under `mc.chunk` as well as directly under the
+        // run (or bare, when the span stack was primed elsewhere).
         let trials = snap.span("mc.run/mc.trial").map_or(0, |s| s.count)
-            + snap.span("mc.trial").map_or(0, |s| s.count);
+            + snap.span("mc.trial").map_or(0, |s| s.count)
+            + snap.span("mc.run/mc.chunk/mc.trial").map_or(0, |s| s.count)
+            + snap.span("mc.chunk/mc.trial").map_or(0, |s| s.count);
         prop_assert!(trials >= 16, "trial spans collected: {trials}");
     }
 
@@ -112,8 +117,11 @@ proptest! {
     }
 
     /// Zero variance and zero defects ⇒ 100% functional and parametric
-    /// yield, and the measured V_OL/V_OH equal the nominal circuit's to
-    /// the bit in every trial.
+    /// yield, and the measured V_OL/V_OH equal the nominal circuit's: to
+    /// the bit on the scalar path (`ensemble_width == 1`), and to the
+    /// ensemble-vs-scalar pin (1e-9) on the default lockstep path, whose
+    /// lane-batched refactor is a different — equally valid — arithmetic
+    /// ordering than the scalar solver's.
     #[test]
     fn zero_variation_reproduces_the_nominal_circuit(
         seed in any::<u64>(),
@@ -125,28 +133,81 @@ proptest! {
             .map(|k| Literal::pos((k % vars) as u8))
             .collect();
         let lat = Lattice::from_literals(rows, cols, lits).unwrap();
-        let report = MonteCarlo::new(8, seed)
-            .variation(VariationModel::none())
-            .run(&lat, vars, &nominal())
-            .unwrap();
-        prop_assert_eq!(report.functional_yield(), 1.0);
-        prop_assert_eq!(report.parametric_yield(), 1.0);
-        prop_assert_eq!(report.sim_failures, 0);
-        prop_assert_eq!(report.defects_injected, 0);
-        prop_assert!(report.v_ol.std_dev == 0.0, "σ(V_OL) = {}", report.v_ol.std_dev);
+        let mc = MonteCarlo::new(8, seed).variation(VariationModel::none());
+        for width in [1usize, 8] {
+            let report = mc.ensemble_width(width).run(&lat, vars, &nominal()).unwrap();
+            prop_assert_eq!(report.functional_yield(), 1.0);
+            prop_assert_eq!(report.parametric_yield(), 1.0);
+            prop_assert_eq!(report.sim_failures, 0);
+            prop_assert_eq!(report.defects_injected, 0);
+            prop_assert!(report.v_ol.std_dev == 0.0, "σ(V_OL) = {}", report.v_ol.std_dev);
 
-        // The degenerate distribution sits exactly on the nominal value.
-        let ckt = LatticeCircuit::build(&lat, vars, &nominal(), BenchConfig::default()).unwrap();
-        let truth = lat.truth_table(vars).unwrap();
-        let mut v_ol = f64::NEG_INFINITY;
-        for x in 0..(1u32 << vars) {
-            if truth.eval(x) {
-                v_ol = v_ol.max(ckt.dc_output(x).unwrap());
+            // The degenerate distribution sits exactly on the nominal value.
+            let ckt = LatticeCircuit::build(&lat, vars, &nominal(), BenchConfig::default()).unwrap();
+            let truth = lat.truth_table(vars).unwrap();
+            let mut v_ol = f64::NEG_INFINITY;
+            for x in 0..(1u32 << vars) {
+                if truth.eval(x) {
+                    v_ol = v_ol.max(ckt.dc_output(x).unwrap());
+                }
+            }
+            if v_ol > f64::NEG_INFINITY {
+                if width == 1 {
+                    prop_assert_eq!(report.v_ol.mean.to_bits(), v_ol.to_bits());
+                    prop_assert_eq!(report.v_ol.min.to_bits(), v_ol.to_bits());
+                } else {
+                    prop_assert!((report.v_ol.mean - v_ol).abs() < 1e-9);
+                    prop_assert!((report.v_ol.min - v_ol).abs() < 1e-9);
+                }
             }
         }
-        if v_ol > f64::NEG_INFINITY {
-            prop_assert_eq!(report.v_ol.mean.to_bits(), v_ol.to_bits());
-            prop_assert_eq!(report.v_ol.min.to_bits(), v_ol.to_bits());
+    }
+
+    /// The lockstep ensemble path is pinned to the scalar path: identical
+    /// counts and ≤1e-9 on every voltage statistic, for every ensemble
+    /// width — including K = 1 (the scalar path itself), K that does not
+    /// divide the trial count (a ragged final chunk), and nonzero defect
+    /// probability (defect-rewired lanes are rejected by the topology
+    /// gate and fall back to the scalar sweep mid-batch).
+    #[test]
+    fn ensemble_path_is_pinned_to_scalar(
+        seed in any::<u64>(),
+        rows in 1usize..3,
+        cols in 1usize..4,
+        width in 1usize..11,
+        defect_prob in 0.0f64..0.25,
+    ) {
+        let sites = rows * cols;
+        let vars = sites.min(3);
+        let lits: Vec<Literal> = (0..sites)
+            .map(|k| Literal::pos((k % vars) as u8))
+            .collect();
+        let lat = Lattice::from_literals(rows, cols, lits).unwrap();
+        // 13 trials: most widths leave a ragged final chunk.
+        let mc = MonteCarlo::new(13, seed)
+            .variation(VariationModel::standard().with_defect_prob(defect_prob))
+            .threads(1);
+        let scalar = mc.ensemble_width(1).run(&lat, vars, &nominal()).unwrap();
+        let ens = mc.ensemble_width(width).run(&lat, vars, &nominal()).unwrap();
+        prop_assert_eq!(ens.evaluated, scalar.evaluated);
+        prop_assert_eq!(ens.sim_failures, scalar.sim_failures);
+        prop_assert_eq!(ens.failure_causes, scalar.failure_causes);
+        prop_assert_eq!(ens.functional_pass, scalar.functional_pass);
+        prop_assert_eq!(ens.parametric_pass, scalar.parametric_pass);
+        prop_assert_eq!(ens.logical_fail, scalar.logical_fail);
+        prop_assert_eq!(ens.defects_injected, scalar.defects_injected);
+        prop_assert_eq!(&ens.site_criticality, &scalar.site_criticality);
+        for (e, s, name) in [
+            (&ens.v_ol, &scalar.v_ol, "v_ol"),
+            (&ens.v_oh, &scalar.v_oh, "v_oh"),
+        ] {
+            prop_assert_eq!(e.n, s.n, "{}.n", name);
+            if e.n > 0 {
+                prop_assert!((e.mean - s.mean).abs() < 1e-9, "{}.mean: {} vs {}", name, e.mean, s.mean);
+                prop_assert!((e.min - s.min).abs() < 1e-9, "{}.min", name);
+                prop_assert!((e.max - s.max).abs() < 1e-9, "{}.max", name);
+                prop_assert!((e.std_dev - s.std_dev).abs() < 1e-9, "{}.std_dev", name);
+            }
         }
     }
 

@@ -58,6 +58,11 @@ pub const SCHEMA_VERSION: u32 = 1;
 /// per retained sample, so the cap bounds per-job memory.
 pub const MAX_SAMPLES_LIMIT: usize = 1 << 20;
 
+/// Upper bound on the manifest's `ensemble_width`: lane-batched solves
+/// buffer `unknowns * width` doubles per working vector, and widths past
+/// the hardware vector length only add memory pressure.
+pub const MAX_ENSEMBLE_WIDTH: usize = 64;
+
 /// Maximum array/object nesting depth accepted by [`Json::parse`]. The
 /// parser is recursive-descent and reads network input, so recursion must
 /// be bounded well below the worker thread's stack; manifests are at most
@@ -608,6 +613,10 @@ pub enum AnalysisSpec {
 pub struct BatchManifest {
     /// Worker threads (0 = one per available core).
     pub threads: usize,
+    /// Lockstep lanes per solver ensemble for DC batch evaluation
+    /// (0 = engine default; 1 disables the ensemble path). Validated to
+    /// [`MAX_ENSEMBLE_WIDTH`] at parse time.
+    pub ensemble_width: usize,
     /// The jobs, in submission order.
     pub jobs: Vec<JobSpec>,
 }
@@ -645,6 +654,26 @@ impl BatchManifest {
     pub fn parse(text: &str) -> Result<BatchManifest, WireError> {
         let doc = Json::parse(text).map_err(|e| WireError::manifest("bad_json", e))?;
         let threads = doc.get("threads").and_then(Json::as_f64).unwrap_or(0.0) as usize;
+        let ensemble_width = match doc.get("ensemble_width") {
+            None => 0,
+            Some(v) => {
+                let x = v.as_f64().ok_or_else(|| {
+                    WireError::manifest(
+                        "invalid_ensemble_width",
+                        "\"ensemble_width\" must be a number",
+                    )
+                })?;
+                if x.fract() != 0.0 || !(1.0..=MAX_ENSEMBLE_WIDTH as f64).contains(&x) {
+                    return Err(WireError::manifest(
+                        "invalid_ensemble_width",
+                        format!(
+                            "\"ensemble_width\" must be an integer in [1, {MAX_ENSEMBLE_WIDTH}], got {x}"
+                        ),
+                    ));
+                }
+                x as usize
+            }
+        };
         let jobs_json = doc.get("jobs").and_then(Json::as_array).ok_or_else(|| {
             WireError::manifest("bad_manifest", "manifest needs a \"jobs\" array")
         })?;
@@ -751,7 +780,11 @@ impl BatchManifest {
                 waveform: j.get("waveform").and_then(Json::as_bool).unwrap_or(false),
             });
         }
-        Ok(BatchManifest { threads, jobs })
+        Ok(BatchManifest {
+            threads,
+            ensemble_width,
+            jobs,
+        })
     }
 }
 
@@ -1054,6 +1087,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(m.threads, 3);
+        assert_eq!(m.ensemble_width, 0, "absent means engine default");
         assert_eq!(m.jobs.len(), 2);
         match &m.jobs[0].source {
             JobSource::Function { name, analysis } => {
@@ -1085,6 +1119,30 @@ mod tests {
         assert!(m.jobs[1].waveform);
         assert_eq!(m.jobs[1].deadline_ms, Some(250.0));
         assert_eq!(m.jobs[1].label.as_deref(), Some("walk"));
+    }
+
+    #[test]
+    fn manifest_ensemble_width_parses_and_validates() {
+        let m =
+            BatchManifest::parse(r#"{"ensemble_width": 16, "jobs": [{"function": "x"}]}"#).unwrap();
+        assert_eq!(m.ensemble_width, 16);
+        let m =
+            BatchManifest::parse(r#"{"ensemble_width": 1, "jobs": [{"function": "x"}]}"#).unwrap();
+        assert_eq!(
+            m.ensemble_width, 1,
+            "1 is valid: it disables the ensemble path"
+        );
+        for bad in [
+            r#"{"ensemble_width": 0, "jobs": []}"#,
+            r#"{"ensemble_width": 65, "jobs": []}"#,
+            r#"{"ensemble_width": 7.5, "jobs": []}"#,
+            r#"{"ensemble_width": "wide", "jobs": []}"#,
+            r#"{"ensemble_width": -4, "jobs": []}"#,
+        ] {
+            let e = BatchManifest::parse(bad).unwrap_err();
+            assert_eq!(e.code, "invalid_ensemble_width", "{bad}");
+            assert_eq!(e.job, None, "manifest-level error, not a job error");
+        }
     }
 
     #[test]

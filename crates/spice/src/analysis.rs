@@ -183,6 +183,20 @@ pub struct OpResult {
 }
 
 impl OpResult {
+    /// Assembles an operating-point result from a solved unknown vector —
+    /// the constructor the ensemble driver uses for lanes it converged
+    /// without going through [`op_at_impl`]'s ladder.
+    pub(crate) fn from_parts(
+        x: Vec<f64>,
+        node_count: usize,
+        convergence: ConvergenceReport,
+    ) -> OpResult {
+        OpResult {
+            x,
+            node_count,
+            convergence,
+        }
+    }
     /// How this operating point converged: strategy reached, Newton
     /// iterations spent, final residual.
     pub fn convergence(&self) -> &ConvergenceReport {

@@ -15,7 +15,11 @@
 //! * [`linalg`] — the linear-solver core: a dense LU reference oracle and
 //!   a sparse engine (CSR matrix, minimum-degree ordering, Gilbert–Peierls
 //!   LU) whose symbolic factorization is computed once per topology and
-//!   shared across Newton iterations, timesteps, and Monte Carlo trials.
+//!   shared across Newton iterations, timesteps, and Monte Carlo trials;
+//! * [`ensemble`] — the lockstep ensemble solver: K same-topology trials
+//!   stamped into structure-of-arrays value lanes, factored by one
+//!   lane-batched numeric replay, and driven through Newton under a
+//!   per-lane convergence mask (the Monte Carlo hot path).
 //!
 //! Analyses pick the engine per netlist via
 //! [`netlist::SolverKind`]: `Auto` (default, by system size), `Dense`, or
@@ -56,6 +60,7 @@
 pub mod analysis;
 mod cancel;
 pub mod complex;
+pub mod ensemble;
 mod error;
 pub mod linalg;
 pub mod measure;
@@ -69,8 +74,9 @@ pub use analysis::{
 };
 pub use cancel::CancelToken;
 pub use complex::Complex;
+pub use ensemble::{LaneOutcome, OpEnsemble};
 pub use error::SpiceError;
-pub use linalg::{SparseLu, SparseMatrix, Symbolic};
+pub use linalg::{EnsembleLu, SparseLu, SparseMatrix, SparseMatrixEnsemble, Symbolic};
 pub use mos3::Mos3Params;
 pub use netlist::{DeviceView, MosParams, Netlist, NodeId, SolverKind, Waveform};
 pub use sim::Simulator;

@@ -730,6 +730,417 @@ impl SparseLu {
     }
 }
 
+/// A structure-of-arrays ensemble of sparse matrices: one shared CSR
+/// pattern and `lanes` independent value sets stored lane-minor, so the
+/// `lanes` values of one structural nonzero are contiguous at
+/// `values[slot * lanes ..][..lanes]`.
+///
+/// This is the container behind the ensemble Monte Carlo path: K trials of
+/// the same lattice topology stamp K MNA matrices into one allocation and
+/// [`EnsembleLu`] factors and solves all lanes in lockstep, amortizing the
+/// pattern, ordering, and LU structure work that the scalar path repeats
+/// per trial.
+#[derive(Debug, Clone)]
+pub struct SparseMatrixEnsemble {
+    pattern: SparseMatrix,
+    lanes: usize,
+    values: Vec<f64>,
+}
+
+impl SparseMatrixEnsemble {
+    /// Wraps a pattern with `lanes` zero-initialized value lanes. The
+    /// pattern's own value array is ignored; only its structure is used.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lanes == 0`.
+    pub fn new(pattern: SparseMatrix, lanes: usize) -> SparseMatrixEnsemble {
+        assert!(lanes > 0, "an ensemble needs at least one lane");
+        let values = vec![0.0; pattern.nnz() * lanes];
+        SparseMatrixEnsemble {
+            pattern,
+            lanes,
+            values,
+        }
+    }
+
+    /// Matrix dimension (shared by every lane).
+    pub fn n(&self) -> usize {
+        self.pattern.n()
+    }
+
+    /// Structural nonzeros per lane.
+    pub fn nnz(&self) -> usize {
+        self.pattern.nnz()
+    }
+
+    /// Number of value lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The shared sparsity pattern.
+    pub fn pattern(&self) -> &SparseMatrix {
+        &self.pattern
+    }
+
+    /// Resizes the ensemble to `lanes` value lanes, zeroing all values.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lanes == 0`.
+    pub fn set_lanes(&mut self, lanes: usize) {
+        assert!(lanes > 0, "an ensemble needs at least one lane");
+        self.lanes = lanes;
+        self.values.clear();
+        self.values.resize(self.pattern.nnz() * lanes, 0.0);
+    }
+
+    /// The lane-minor value array: slot `s` of lane `l` lives at
+    /// `s * lanes + l`.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable lane-minor value array for in-place restamping.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Resets all lanes to zero, keeping the pattern and lane count.
+    pub fn clear_values(&mut self) {
+        self.values.fill(0.0);
+    }
+
+    /// Copies one lane's values into `dst`, which must have `nnz` slots —
+    /// the slot-major layout a scalar [`SparseLu`] consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a lane or length mismatch.
+    pub fn gather_lane(&self, lane: usize, dst: &mut [f64]) {
+        assert!(lane < self.lanes, "lane out of range");
+        assert_eq!(dst.len(), self.pattern.nnz(), "lane length mismatch");
+        for (slot, out) in dst.iter_mut().enumerate() {
+            *out = self.values[slot * self.lanes + lane];
+        }
+    }
+}
+
+/// Lane-batched numeric LU over a [`SparseMatrixEnsemble`].
+///
+/// One *skeleton* lane is factored with the full pivoting machinery of
+/// [`SparseLu`]; the resulting `L`/`U` structure and pivot order are
+/// value-independent facts about the pattern, so every other lane replays
+/// only the numeric updates against them — the same replay the scalar
+/// refactorization performs, but over contiguous lane chunks the
+/// autovectorizer turns into SIMD.
+///
+/// Lanes whose inherited pivot degrades past [`REFACTOR_PIVOT_TOL`] are
+/// *retired* (their `alive` flag cleared) rather than failing the batch;
+/// the caller re-runs retired lanes through the scalar path, which can
+/// re-pivot for that lane's values.
+#[derive(Debug)]
+pub struct EnsembleLu {
+    skeleton: SparseLu,
+    scratch: Option<SparseMatrix>,
+    lanes: usize,
+    /// Lane-minor numeric `L`, parallel to the skeleton's `li`.
+    lx_lanes: Vec<f64>,
+    /// Lane-minor numeric `U`, parallel to the skeleton's `ui`.
+    ux_lanes: Vec<f64>,
+    /// Lane-minor scatter workspace, `n * lanes`.
+    x: Vec<f64>,
+    /// Lane-minor solve workspace, `n * lanes`.
+    work: Vec<f64>,
+    /// One-column lane buffer that breaks aliasing in the update loops.
+    xj: Vec<f64>,
+    /// Tentative live mask for the replay pass, committed only when no
+    /// lane failed under a stale pivot order.
+    alive_scratch: Vec<bool>,
+    factored: bool,
+}
+
+impl EnsembleLu {
+    /// Creates an ensemble factorizer bound to a symbolic analysis.
+    pub fn new(symbolic: Arc<Symbolic>) -> EnsembleLu {
+        EnsembleLu {
+            skeleton: SparseLu::new(symbolic),
+            scratch: None,
+            lanes: 0,
+            lx_lanes: Vec::new(),
+            ux_lanes: Vec::new(),
+            x: Vec::new(),
+            work: Vec::new(),
+            xj: Vec::new(),
+            alive_scratch: Vec::new(),
+            factored: false,
+        }
+    }
+
+    /// The symbolic analysis this factorizer uses.
+    pub fn symbolic(&self) -> &Arc<Symbolic> {
+        &self.skeleton.symbolic
+    }
+
+    /// Factors every live lane of `a` in lockstep.
+    ///
+    /// The skeleton structure — `L`/`U` pattern and pivot order — is
+    /// established once from the first live lane via [`SparseLu::factor`]
+    /// (full pivot search) and then *reused across calls*: in steady
+    /// state every call is a single lane-batched numeric replay, with a
+    /// per-lane pivot-acceptance test policing degradation exactly as the
+    /// scalar numeric refactorization does. Only when a live lane fails
+    /// acceptance under the inherited pivot order does the skeleton
+    /// re-pivot (from the first still-live lane) and replay once more; a
+    /// lane that still fails is retired in place — `alive[lane]` is
+    /// cleared and its factors hold unusable values — without disturbing
+    /// the other lanes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] when every live lane's
+    /// skeleton factorization fails (all lanes are retired on return).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a`'s pattern differs from the symbolic analysis or
+    /// `alive.len() != a.lanes()`.
+    pub fn factor(
+        &mut self,
+        a: &SparseMatrixEnsemble,
+        alive: &mut [bool],
+    ) -> Result<(), SpiceError> {
+        assert!(
+            self.skeleton.symbolic.matches(a.pattern()),
+            "ensemble pattern does not match symbolic analysis"
+        );
+        assert_eq!(alive.len(), a.lanes(), "alive mask length mismatch");
+        self.factored = false;
+        let l = a.lanes();
+        self.lanes = l;
+        let fresh = !self.skeleton.factored;
+        if fresh {
+            self.repivot(a, alive)?;
+        }
+        let mut tentative = std::mem::take(&mut self.alive_scratch);
+        tentative.clear();
+        tentative.extend_from_slice(alive);
+        let clean = self.replay(a, &mut tentative);
+        if clean || fresh {
+            // No acceptance failures (or the pivot order is brand new, in
+            // which case a failing lane is genuinely degenerate): commit.
+            alive.copy_from_slice(&tentative);
+        } else {
+            // A lane failed under an inherited pivot order that may simply
+            // be stale: re-pivot from the first still-live lane and replay
+            // once more before retiring anyone.
+            self.repivot(a, alive)?;
+            self.replay(a, alive);
+        }
+        self.alive_scratch = tentative;
+        self.factored = true;
+        fts_telemetry::counter("spice.ensemble.factor", 1);
+        Ok(())
+    }
+
+    /// (Re)establishes the skeleton structure — `L`/`U` pattern and pivot
+    /// order — from the first live lane, retiring lanes whose scalar
+    /// factorization is singular.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] when no live lane factors.
+    fn repivot(&mut self, a: &SparseMatrixEnsemble, alive: &mut [bool]) -> Result<(), SpiceError> {
+        let scratch = match &mut self.scratch {
+            Some(s) if s.same_pattern(a.pattern()) => s,
+            slot => slot.insert(a.pattern().clone()),
+        };
+        for (lane, live) in alive.iter_mut().enumerate().take(a.lanes()) {
+            if !*live {
+                continue;
+            }
+            a.gather_lane(lane, scratch.values_mut());
+            match self.skeleton.factor(scratch) {
+                Ok(()) => return Ok(()),
+                Err(_) => *live = false,
+            }
+        }
+        Err(SpiceError::SingularMatrix)
+    }
+
+    /// Lane-batched numeric replay of every live lane against the
+    /// skeleton structure. Lanes failing the pivot-acceptance test are
+    /// retired in `alive`. Returns `true` when no lane was retired.
+    fn replay(&mut self, a: &SparseMatrixEnsemble, alive: &mut [bool]) -> bool {
+        let l = a.lanes();
+        let n = self.skeleton.symbolic.n;
+        let sym = Arc::clone(&self.skeleton.symbolic);
+        let (lp, li, up, ui, pinv) = (
+            &self.skeleton.lp,
+            &self.skeleton.li,
+            &self.skeleton.up,
+            &self.skeleton.ui,
+            &self.skeleton.pinv,
+        );
+        // `lx`/`ux` are fully overwritten below and `x` is restored to
+        // all-zeros by the per-column zero-clean, so none of them is
+        // re-zeroed on reuse — resizing only when the shape changes keeps
+        // the hot path free of O(nnz·lanes) memsets.
+        if self.lx_lanes.len() != li.len() * l {
+            self.lx_lanes.clear();
+            self.lx_lanes.resize(li.len() * l, 0.0);
+        }
+        if self.ux_lanes.len() != ui.len() * l {
+            self.ux_lanes.clear();
+            self.ux_lanes.resize(ui.len() * l, 0.0);
+        }
+        if self.x.len() != n * l {
+            self.x.clear();
+            self.x.resize(n * l, 0.0);
+        }
+        if self.xj.len() != l {
+            self.xj.clear();
+            self.xj.resize(l, 0.0);
+        }
+        let (x, lx, ux, xj) = (
+            &mut self.x,
+            &mut self.lx_lanes,
+            &mut self.ux_lanes,
+            &mut self.xj,
+        );
+
+        let mut clean = true;
+        for k in 0..n {
+            // Scatter A(:, q[k]) of every lane into pivot-row coordinates.
+            for p in sym.cptr[k]..sym.cptr[k + 1] {
+                let dst = pinv[sym.crow[p]] as usize * l;
+                let src = sym.cslot[p] * l;
+                x[dst..dst + l].copy_from_slice(&a.values()[src..src + l]);
+            }
+            // x = L \ A(:, q[k]) per lane: the stored U rows are in
+            // topological order, exactly as the scalar refactorization
+            // replays them. No zero-skip — branchless lane chunks instead.
+            let dpos = up[k + 1] - 1; // diagonal is stored last
+            for t in up[k]..dpos {
+                let j = ui[t];
+                xj.copy_from_slice(&x[j * l..j * l + l]);
+                ux[t * l..t * l + l].copy_from_slice(xj);
+                for p in lp[j] + 1..lp[j + 1] {
+                    let row = &mut x[li[p] * l..li[p] * l + l];
+                    let lrow = &lx[p * l..p * l + l];
+                    for lane in 0..l {
+                        row[lane] -= lrow[lane] * xj[lane];
+                    }
+                }
+            }
+            // Per-lane pivot acceptance; a failed lane is retired but its
+            // (garbage) arithmetic continues — NaN/Inf stay in the lane.
+            for (lane, live) in alive.iter_mut().enumerate() {
+                if !*live {
+                    continue;
+                }
+                let pivot = x[k * l + lane];
+                let mut amax = pivot.abs();
+                for p in lp[k] + 1..lp[k + 1] {
+                    amax = amax.max(x[li[p] * l + lane].abs());
+                }
+                if !(pivot.abs() >= REFACTOR_PIVOT_TOL * amax && amax >= SINGULAR_EPS) {
+                    *live = false;
+                    clean = false;
+                }
+            }
+            let (drow, xrow) = (&mut ux[dpos * l..dpos * l + l], &x[k * l..k * l + l]);
+            drow.copy_from_slice(xrow);
+            for p in lp[k] + 1..lp[k + 1] {
+                let base = li[p] * l;
+                for lane in 0..l {
+                    lx[p * l + lane] = x[base + lane] / drow[lane];
+                }
+            }
+            // Zero-clean the scatter, column by column as the scalar does.
+            x[k * l..k * l + l].fill(0.0);
+            for p in lp[k] + 1..lp[k + 1] {
+                x[li[p] * l..li[p] * l + l].fill(0.0);
+            }
+            for t in up[k]..dpos {
+                x[ui[t] * l..ui[t] * l + l].fill(0.0);
+            }
+        }
+        clean
+    }
+
+    /// Solves `A·x = b` in place for every lane at once. `b` is lane-minor
+    /// (`n * lanes` values, unknown-major). Retired lanes produce garbage
+    /// in their own chunk only; callers must ignore them.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before a successful [`factor`](EnsembleLu::factor)
+    /// or with a mismatched length.
+    pub fn solve_in_place(&mut self, b: &mut [f64]) {
+        assert!(self.factored, "solve before successful factor");
+        let n = self.skeleton.symbolic.n;
+        let l = self.lanes;
+        assert_eq!(b.len(), n * l, "rhs length mismatch");
+        // Fully overwritten by the row permutation below — no re-zeroing.
+        if self.work.len() != n * l {
+            self.work.clear();
+            self.work.resize(n * l, 0.0);
+        }
+        let (lp, li, up, ui, pinv) = (
+            &self.skeleton.lp,
+            &self.skeleton.li,
+            &self.skeleton.up,
+            &self.skeleton.ui,
+            &self.skeleton.pinv,
+        );
+        let (work, lx, ux, xj) = (&mut self.work, &self.lx_lanes, &self.ux_lanes, &mut self.xj);
+        // Apply row permutation: work = P·b, lane chunks at a time.
+        for i in 0..n {
+            let dst = pinv[i] as usize * l;
+            work[dst..dst + l].copy_from_slice(&b[i * l..i * l + l]);
+        }
+        // Forward substitution, L unit-diagonal, branchless over lanes.
+        for k in 0..n {
+            xj.copy_from_slice(&work[k * l..k * l + l]);
+            for p in lp[k] + 1..lp[k + 1] {
+                let row = &mut work[li[p] * l..li[p] * l + l];
+                let lrow = &lx[p * l..p * l + l];
+                for lane in 0..l {
+                    row[lane] -= lrow[lane] * xj[lane];
+                }
+            }
+        }
+        // Backward substitution; U's diagonal is the last entry per column.
+        for k in (0..n).rev() {
+            let end = self.skeleton.up[k + 1];
+            {
+                let drow = &ux[(end - 1) * l..end * l];
+                let row = &mut work[k * l..k * l + l];
+                for lane in 0..l {
+                    row[lane] /= drow[lane];
+                }
+                xj.copy_from_slice(row);
+            }
+            for t in up[k]..end - 1 {
+                let row = &mut work[ui[t] * l..ui[t] * l + l];
+                let urow = &ux[t * l..t * l + l];
+                for lane in 0..l {
+                    row[lane] -= urow[lane] * xj[lane];
+                }
+            }
+        }
+        // Undo column permutation: x[q[k]] = work[k].
+        for k in 0..n {
+            let src = k * l;
+            let dst = self.skeleton.symbolic.q[k] * l;
+            b[dst..dst + l].copy_from_slice(&work[src..src + l]);
+        }
+        fts_telemetry::counter("spice.ensemble.solve", 1);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1023,6 +1434,181 @@ mod tests {
         let mut lu = SparseLu::new(Arc::new(sym));
         lu.factor(&m).unwrap();
         assert_eq!(lu.factor_nnz(), m.nnz() + n, "no fill-in beyond L∪U");
+    }
+
+    /// Builds an ensemble from per-lane diagonally dominant value sets on
+    /// one shared random pattern, returning the ensemble and the per-lane
+    /// scalar matrices it was filled from.
+    fn random_ensemble(
+        n: usize,
+        lanes: usize,
+        seed: u64,
+        density: f64,
+    ) -> (SparseMatrixEnsemble, Vec<SparseMatrix>) {
+        let (_, pattern) = dense_and_sparse_random(n, seed, density);
+        let mut ens = SparseMatrixEnsemble::new(pattern.clone(), lanes);
+        let mut scalars = Vec::new();
+        let mut state = seed ^ 0xA5A5_A5A5;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for lane in 0..lanes {
+            let mut m = pattern.clone();
+            m.clear_values();
+            for slot in 0..m.nnz() {
+                // Keep the diagonal dominant so every lane's partial pivot
+                // lands on the diagonal — the regime the ensemble targets.
+                let row = (0..n).find(|&r| m.row_ptr[r + 1] > slot).unwrap();
+                let v = if m.cols[slot] == row {
+                    4.0 + next()
+                } else {
+                    next() - 0.5
+                };
+                m.values_mut()[slot] = v;
+                ens.values_mut()[slot * lanes + lane] = v;
+            }
+            scalars.push(m);
+        }
+        (ens, scalars)
+    }
+
+    #[test]
+    fn ensemble_lu_matches_per_lane_scalar() {
+        for &lanes in &[1usize, 3, 4, 8] {
+            let n = 20;
+            let (ens, scalars) = random_ensemble(n, lanes, 42 + lanes as u64, 0.15);
+            let sym = Arc::new(Symbolic::analyze(ens.pattern()));
+            let mut elu = EnsembleLu::new(Arc::clone(&sym));
+            let mut alive = vec![true; lanes];
+            elu.factor(&ens, &mut alive).unwrap();
+            assert!(alive.iter().all(|&a| a), "no lane should retire");
+            // One RHS per lane, lane-minor.
+            let mut b = vec![0.0; n * lanes];
+            for i in 0..n {
+                for lane in 0..lanes {
+                    b[i * lanes + lane] = (i as f64 + 1.0) * 0.3 - lane as f64;
+                }
+            }
+            let mut x = b.clone();
+            elu.solve_in_place(&mut x);
+            for (lane, scalar) in scalars.iter().enumerate() {
+                let mut lu = SparseLu::new(Arc::clone(&sym));
+                let bl: Vec<f64> = (0..n).map(|i| b[i * lanes + lane]).collect();
+                let xs = lu.factor_solve(scalar, &bl).unwrap();
+                for i in 0..n {
+                    assert!(
+                        (x[i * lanes + lane] - xs[i]).abs() < 1e-12,
+                        "lanes {lanes} lane {lane} x[{i}]: ensemble {} scalar {}",
+                        x[i * lanes + lane],
+                        xs[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ensemble_refactor_on_second_round_stays_pinned() {
+        // Second factor of the same EnsembleLu goes through the skeleton's
+        // numeric refactorization path; results must stay pinned to the
+        // per-lane scalar solves.
+        let (n, lanes) = (18, 4);
+        let (mut ens, mut scalars) = random_ensemble(n, lanes, 7, 0.2);
+        let sym = Arc::new(Symbolic::analyze(ens.pattern()));
+        let mut elu = EnsembleLu::new(Arc::clone(&sym));
+        let mut alive = vec![true; lanes];
+        elu.factor(&ens, &mut alive).unwrap();
+        // Perturb all lanes in place and factor again.
+        for (k, v) in ens.values_mut().iter_mut().enumerate() {
+            *v *= 1.0 + 0.001 * ((k % 7) as f64);
+        }
+        for (lane, scalar) in scalars.iter_mut().enumerate() {
+            for slot in 0..scalar.nnz() {
+                let k = slot * lanes + lane;
+                scalar.values_mut()[slot] *= 1.0 + 0.001 * ((k % 7) as f64);
+            }
+        }
+        let mut alive = vec![true; lanes];
+        elu.factor(&ens, &mut alive).unwrap();
+        assert!(alive.iter().all(|&a| a));
+        let b: Vec<f64> = (0..n * lanes).map(|i| (i as f64 * 0.17).sin()).collect();
+        let mut x = b.clone();
+        elu.solve_in_place(&mut x);
+        for (lane, scalar) in scalars.iter().enumerate() {
+            let mut lu = SparseLu::new(Arc::clone(&sym));
+            let bl: Vec<f64> = (0..n).map(|i| b[i * lanes + lane]).collect();
+            let xs = lu.factor_solve(scalar, &bl).unwrap();
+            for i in 0..n {
+                assert!((x[i * lanes + lane] - xs[i]).abs() < 1e-12, "lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn ensemble_retires_degraded_lane_without_disturbing_others() {
+        // Lane 0 healthy and diagonally dominant; lane 1 near-antidiagonal,
+        // which the skeleton's inherited (diagonal) pivot order cannot
+        // factor within the refactorization tolerance.
+        let entries = vec![(0, 0), (0, 1), (1, 0), (1, 1)];
+        let pattern = SparseMatrix::from_entries(2, entries);
+        let mut ens = SparseMatrixEnsemble::new(pattern.clone(), 2);
+        let lane_vals = [[4.0, 1.0, 1.0, 4.0], [1.0e-15, 1.0, 2.0, 1.0e-15]];
+        for (lane, vals) in lane_vals.iter().enumerate() {
+            for (slot, v) in vals.iter().enumerate() {
+                ens.values_mut()[slot * 2 + lane] = *v;
+            }
+        }
+        let sym = Arc::new(Symbolic::analyze(&pattern));
+        let mut elu = EnsembleLu::new(Arc::clone(&sym));
+        let mut alive = vec![true, true];
+        elu.factor(&ens, &mut alive).unwrap();
+        assert!(alive[0], "healthy lane stays live");
+        assert!(!alive[1], "antidiagonal lane retires to the scalar path");
+        let mut b = vec![1.0, 1.0, 1.0, 1.0];
+        elu.solve_in_place(&mut b);
+        // Lane 0 against its scalar twin.
+        let mut scalar = pattern.clone();
+        scalar.values_mut().copy_from_slice(&lane_vals[0]);
+        let mut lu = SparseLu::new(sym);
+        let xs = lu.factor_solve(&scalar, &[1.0, 1.0]).unwrap();
+        for i in 0..2 {
+            assert!((b[i * 2] - xs[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ensemble_singular_skeleton_lane_advances_to_next() {
+        // Lane 0 singular (duplicate rows); lane 1 healthy. The skeleton
+        // search must retire lane 0 and factor from lane 1.
+        let pattern = SparseMatrix::from_entries(2, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+        let mut ens = SparseMatrixEnsemble::new(pattern.clone(), 2);
+        let lane_vals = [[1.0, 2.0, 2.0, 4.0], [3.0, 1.0, 1.0, 3.0]];
+        for (lane, vals) in lane_vals.iter().enumerate() {
+            for (slot, v) in vals.iter().enumerate() {
+                ens.values_mut()[slot * 2 + lane] = *v;
+            }
+        }
+        let sym = Arc::new(Symbolic::analyze(&pattern));
+        let mut elu = EnsembleLu::new(Arc::clone(&sym));
+        let mut alive = vec![true, true];
+        elu.factor(&ens, &mut alive).unwrap();
+        assert!(!alive[0], "singular lane retires");
+        assert!(alive[1]);
+        // And an all-singular ensemble fails outright.
+        let mut all_bad = SparseMatrixEnsemble::new(pattern.clone(), 1);
+        for (slot, v) in [1.0, 2.0, 2.0, 4.0].iter().enumerate() {
+            all_bad.values_mut()[slot] = *v;
+        }
+        let mut elu = EnsembleLu::new(Arc::new(Symbolic::analyze(&pattern)));
+        let mut alive = vec![true];
+        assert_eq!(
+            elu.factor(&all_bad, &mut alive),
+            Err(SpiceError::SingularMatrix)
+        );
+        assert!(!alive[0]);
     }
 
     #[test]

@@ -659,6 +659,88 @@ impl Netlist {
     pub fn mna_pattern(&self) -> crate::linalg::SparseMatrix {
         crate::stamp::mna_pattern(self)
     }
+
+    /// True when `other` has the same circuit *topology*: the same nodes,
+    /// the same devices in the same order, each connected to the same
+    /// terminals — only parameter values and source waveforms may differ.
+    ///
+    /// This is the admission test for the ensemble solver: two netlists
+    /// that pass it produce identical MNA patterns *and* identical device
+    /// stamp plans, so one set of resolved matrix slots serves both. It is
+    /// deliberately conservative — a Monte Carlo defect trial that rewires
+    /// a gate to a rail fails it and takes the scalar path instead.
+    pub fn same_topology(&self, other: &Netlist) -> bool {
+        if self.node_count() != other.node_count()
+            || self.vsource_count != other.vsource_count
+            || self.devices.len() != other.devices.len()
+        {
+            return false;
+        }
+        self.devices
+            .iter()
+            .zip(&other.devices)
+            .all(|(a, b)| match (&a.element, &b.element) {
+                (
+                    Element::Resistor { a: a1, b: b1, .. },
+                    Element::Resistor { a: a2, b: b2, .. },
+                ) => (a1, b1) == (a2, b2),
+                (
+                    Element::Capacitor { a: a1, b: b1, .. },
+                    Element::Capacitor { a: a2, b: b2, .. },
+                ) => (a1, b1) == (a2, b2),
+                (
+                    Element::VSource {
+                        plus: p1,
+                        minus: m1,
+                        branch: br1,
+                        ..
+                    },
+                    Element::VSource {
+                        plus: p2,
+                        minus: m2,
+                        branch: br2,
+                        ..
+                    },
+                ) => (p1, m1, br1) == (p2, m2, br2),
+                (
+                    Element::ISource {
+                        from: f1, to: t1, ..
+                    },
+                    Element::ISource {
+                        from: f2, to: t2, ..
+                    },
+                ) => (f1, t1) == (f2, t2),
+                (
+                    Element::Nmos {
+                        d: d1,
+                        g: g1,
+                        s: s1,
+                        ..
+                    },
+                    Element::Nmos {
+                        d: d2,
+                        g: g2,
+                        s: s2,
+                        ..
+                    },
+                ) => (d1, g1, s1) == (d2, g2, s2),
+                (
+                    Element::Nmos3 {
+                        d: d1,
+                        g: g1,
+                        s: s1,
+                        ..
+                    },
+                    Element::Nmos3 {
+                        d: d2,
+                        g: g2,
+                        s: s2,
+                        ..
+                    },
+                ) => (d1, g1, s1) == (d2, g2, s2),
+                _ => false,
+            })
+    }
 }
 
 impl fmt::Display for Netlist {
@@ -869,6 +951,45 @@ mod tests {
             views[2],
             DeviceView::Capacitor { name: "M1_cgd", farads, .. } if farads == 2e-15
         ));
+    }
+
+    #[test]
+    fn same_topology_admits_value_changes_only() {
+        let build = |ohms: f64, vdd: f64| {
+            let mut nl = Netlist::new();
+            let a = nl.node("a");
+            let b = nl.node("b");
+            nl.vsource("V1", a, Netlist::GROUND, Waveform::Dc(vdd))
+                .unwrap();
+            nl.resistor("R1", a, b, ohms).unwrap();
+            nl
+        };
+        let nominal = build(50.0, 1.2);
+        // Different values, same wiring: still the same topology.
+        assert!(nominal.same_topology(&build(75.0, 0.9)));
+        // A rewired terminal is a different topology.
+        let mut rewired = Netlist::new();
+        let a = rewired.node("a");
+        let b = rewired.node("b");
+        rewired
+            .vsource("V1", a, Netlist::GROUND, Waveform::Dc(1.2))
+            .unwrap();
+        rewired.resistor("R1", b, Netlist::GROUND, 50.0).unwrap();
+        assert!(!nominal.same_topology(&rewired));
+        // An extra device is a different topology.
+        let mut grown = build(50.0, 1.2);
+        let gb = grown.node("b");
+        grown.capacitor("C1", gb, Netlist::GROUND, 1e-15).unwrap();
+        assert!(!nominal.same_topology(&grown));
+        // A device swapped for a different kind is a different topology.
+        let mut swapped = Netlist::new();
+        let a = swapped.node("a");
+        let b = swapped.node("b");
+        swapped
+            .vsource("V1", a, Netlist::GROUND, Waveform::Dc(1.2))
+            .unwrap();
+        swapped.capacitor("R1", a, b, 1e-15).unwrap();
+        assert!(!nominal.same_topology(&swapped));
     }
 
     #[test]

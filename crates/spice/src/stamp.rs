@@ -319,6 +319,24 @@ impl PairSlots {
             values[self.ji] -= g;
         }
     }
+
+    /// [`stamp`](PairSlots::stamp) into lane `lane` of a lane-minor value
+    /// array with `lanes` lanes per slot.
+    #[inline]
+    fn stamp_lane(&self, values: &mut [f64], lanes: usize, lane: usize, g: f64) {
+        if self.ii != NO_SLOT {
+            values[self.ii * lanes + lane] += g;
+        }
+        if self.jj != NO_SLOT {
+            values[self.jj * lanes + lane] += g;
+        }
+        if self.ij != NO_SLOT {
+            values[self.ij * lanes + lane] -= g;
+        }
+        if self.ji != NO_SLOT {
+            values[self.ji * lanes + lane] -= g;
+        }
+    }
 }
 
 fn entry_slot(mat: &SparseMatrix, i: Option<usize>, j: Option<usize>) -> usize {
@@ -675,6 +693,267 @@ impl SparseSystem {
                 }
                 if *s_row != NO_SLOT {
                     b[*s_row] -= ieq;
+                }
+            }
+        }
+    }
+}
+
+/// The lane-batched counterpart of [`SparseSystem`]: one set of device
+/// plans (resolved from a reference netlist) applied to K same-topology
+/// lane netlists stamping into a [`SparseMatrixEnsemble`].
+///
+/// Restricted to DC operating-point stamping (`CapMode::Open`): the
+/// ensemble Monte Carlo path batches DC evaluations only, so capacitors
+/// are open circuits and no per-lane companion state exists.
+pub(crate) struct EnsembleSystem {
+    mat: crate::linalg::SparseMatrixEnsemble,
+    plans: Vec<DevicePlan>,
+    diag_slots: Vec<usize>,
+    /// Lane-minor linear baseline values, `nnz * lanes`.
+    lin_values: Vec<f64>,
+    /// Lane-minor linear baseline rhs, `unknowns * lanes`.
+    lin_b: Vec<f64>,
+    /// The *previous* [`begin`](EnsembleSystem::begin)'s rhs — the
+    /// source-continuation anchor. Between two solves of an
+    /// input-assignment sweep only source values change, and source
+    /// values enter the MNA system through the rhs alone (vsource rows
+    /// stamp constant ±1 matrix entries), so interpolating the rhs
+    /// interpolates the whole system between the two assignments.
+    lin_b_prev: Vec<f64>,
+}
+
+impl EnsembleSystem {
+    /// Builds plans from `reference`'s topology with `lanes` value lanes.
+    /// Every netlist later stamped must satisfy
+    /// [`Netlist::same_topology`] against the reference.
+    pub fn new(reference: &Netlist, lanes: usize) -> EnsembleSystem {
+        let scalar = SparseSystem::new(reference);
+        let n = reference.unknown_count();
+        let nnz = scalar.mat.nnz();
+        EnsembleSystem {
+            mat: crate::linalg::SparseMatrixEnsemble::new(scalar.mat, lanes),
+            plans: scalar.plans,
+            diag_slots: scalar.diag_slots,
+            lin_values: vec![0.0; nnz * lanes],
+            lin_b: vec![0.0; n * lanes],
+            lin_b_prev: vec![0.0; n * lanes],
+        }
+    }
+
+    pub fn matrix(&self) -> &crate::linalg::SparseMatrixEnsemble {
+        &self.mat
+    }
+
+    /// Resizes to `lanes` value lanes, zeroing lane state. A no-op when
+    /// the lane count is unchanged, so the previous solve's rhs survives
+    /// for [`begin`](EnsembleSystem::begin) to stash as the
+    /// source-continuation anchor.
+    pub fn set_lanes(&mut self, lanes: usize) {
+        if lanes == self.mat.lanes()
+            && self.lin_values.len() == self.mat.nnz() * lanes
+            && self.lin_b.len() == self.mat.n() * lanes
+        {
+            return;
+        }
+        self.mat.set_lanes(lanes);
+        self.lin_values.clear();
+        self.lin_values.resize(self.mat.nnz() * lanes, 0.0);
+        self.lin_b.clear();
+        self.lin_b.resize(self.mat.n() * lanes, 0.0);
+        self.lin_b_prev.clear();
+        self.lin_b_prev.resize(self.mat.n() * lanes, 0.0);
+    }
+
+    /// Stamps every lane's bias-independent baseline (resistors, sources,
+    /// gmin diagonal) under `ctx`. DC only; see the type docs.
+    pub fn begin(&mut self, lanes: &[Netlist], ctx: &StampContext<'_>) {
+        let l = self.mat.lanes();
+        assert_eq!(lanes.len(), l, "lane netlist count mismatch");
+        debug_assert!(
+            matches!(ctx.cap_mode, CapMode::Open),
+            "ensemble stamping is DC-only"
+        );
+        self.lin_b_prev.copy_from_slice(&self.lin_b);
+        self.lin_values.fill(0.0);
+        self.lin_b.fill(0.0);
+        for (lane, nl) in lanes.iter().enumerate() {
+            debug_assert_eq!(nl.devices.len(), self.plans.len(), "plan drift");
+            for (dev, plan) in nl.devices.iter().zip(&self.plans) {
+                match (&dev.element, plan) {
+                    (Element::Resistor { ohms, .. }, DevicePlan::Resistor { pair }) => {
+                        pair.stamp_lane(&mut self.lin_values, l, lane, 1.0 / ohms);
+                    }
+                    (Element::Capacitor { .. }, DevicePlan::Capacitor { .. }) => {}
+                    (
+                        Element::VSource { wave, .. },
+                        DevicePlan::VSource {
+                            pr,
+                            rp,
+                            mr,
+                            rm,
+                            row,
+                        },
+                    ) => {
+                        if *pr != NO_SLOT {
+                            self.lin_values[*pr * l + lane] += 1.0;
+                            self.lin_values[*rp * l + lane] += 1.0;
+                        }
+                        if *mr != NO_SLOT {
+                            self.lin_values[*mr * l + lane] -= 1.0;
+                            self.lin_values[*rm * l + lane] -= 1.0;
+                        }
+                        self.lin_b[*row * l + lane] += wave.at(ctx.t) * ctx.source_scale;
+                    }
+                    (Element::ISource { wave, .. }, DevicePlan::ISource { to_row, from_row }) => {
+                        let i = wave.at(ctx.t) * ctx.source_scale;
+                        if *to_row != NO_SLOT {
+                            self.lin_b[*to_row * l + lane] += i;
+                        }
+                        if *from_row != NO_SLOT {
+                            self.lin_b[*from_row * l + lane] -= i;
+                        }
+                    }
+                    (Element::Nmos { .. } | Element::Nmos3 { .. }, DevicePlan::Mos { .. }) => {}
+                    _ => unreachable!("device/plan mismatch"),
+                }
+            }
+        }
+        for &s in &self.diag_slots {
+            for lane in 0..l {
+                self.lin_values[s * l + lane] += 1e-12;
+            }
+        }
+    }
+
+    /// Restamps every *active* lane around its lane of the lane-minor
+    /// linearization point `x` (`unknowns * lanes` values): copies the
+    /// baselines, then applies only the MOSFET stamps, mirroring
+    /// [`SparseSystem::iterate`] per lane so results stay pinned to the
+    /// scalar path. `gmin` is per lane: the lockstep driver walks each
+    /// lane down its own adaptive homotopy schedule, exactly as the
+    /// scalar ladder would. `lambda` is the per-lane source-continuation
+    /// coordinate: `1.0` stamps this solve's sources exactly (a straight
+    /// copy, bit-identical to the scalar stamp), anything below blends
+    /// the rhs toward the previous solve's, letting a lane walk
+    /// continuously from its old operating point to the new sources.
+    /// Inactive lanes keep their linear baseline, which the driver
+    /// ignores.
+    pub fn iterate(
+        &mut self,
+        lanes: &[Netlist],
+        active: &[bool],
+        x: &[f64],
+        gmin: &[f64],
+        lambda: &[f64],
+        b: &mut [f64],
+    ) {
+        let l = self.mat.lanes();
+        self.mat.values_mut().copy_from_slice(&self.lin_values);
+        if lambda.iter().all(|&lam| lam >= 1.0) {
+            b.copy_from_slice(&self.lin_b);
+        } else {
+            for i in 0..self.mat.n() {
+                let base = i * l;
+                for lane in 0..l {
+                    let lam = lambda[lane];
+                    // λ = 1 must reproduce lin_b *exactly* (not via a
+                    // round-tripped blend): converged lanes have to sit at
+                    // the same fixed point the scalar path computes.
+                    b[base + lane] = if lam >= 1.0 {
+                        self.lin_b[base + lane]
+                    } else {
+                        let prev = self.lin_b_prev[base + lane];
+                        prev + (self.lin_b[base + lane] - prev) * lam
+                    };
+                }
+            }
+        }
+        let vals = self.mat.values_mut();
+        for (lane, nl) in lanes.iter().enumerate() {
+            if !active[lane] {
+                continue;
+            }
+            for (dev, plan) in nl.devices.iter().zip(&self.plans) {
+                let DevicePlan::Mos {
+                    pair,
+                    dg,
+                    sg,
+                    d_row,
+                    s_row,
+                } = plan
+                else {
+                    continue;
+                };
+                let volt = |node: crate::netlist::NodeId| match vidx(node) {
+                    None => 0.0,
+                    Some(i) => x[i * l + lane],
+                };
+                let (ids, gm, gds, forward, vgs, vds) = match &dev.element {
+                    Element::Nmos { d, g, s, params } => {
+                        let (vd, vg, vs) = (volt(*d), volt(*g), volt(*s));
+                        let forward = vd >= vs;
+                        let (vds, vgs) = if forward {
+                            (vd - vs, vg - vs)
+                        } else {
+                            (vs - vd, vg - vd)
+                        };
+                        let (ids, gm, gds) = level1(params, vgs, vds);
+                        (ids, gm, gds, forward, vgs, vds)
+                    }
+                    Element::Nmos3 { d, g, s, params } => {
+                        let (vd, vg, vs) = (volt(*d), volt(*g), volt(*s));
+                        let forward = vd >= vs;
+                        let (vds, vgs) = if forward {
+                            (vd - vs, vg - vs)
+                        } else {
+                            (vs - vd, vg - vd)
+                        };
+                        let (ids, gm, gds) = params.linearize(vgs, vds);
+                        (ids, gm, gds, forward, vgs, vds)
+                    }
+                    _ => unreachable!("Mos plan on non-MOS device"),
+                };
+                let ieq = ids - gm * vgs - gds * vds;
+                pair.stamp_lane(vals, l, lane, gds + gmin[lane]);
+                if forward {
+                    if *dg != NO_SLOT {
+                        vals[*dg * l + lane] += gm;
+                    }
+                    if pair.ij != NO_SLOT {
+                        vals[pair.ij * l + lane] -= gm;
+                    }
+                    if *sg != NO_SLOT {
+                        vals[*sg * l + lane] -= gm;
+                    }
+                    if pair.jj != NO_SLOT {
+                        vals[pair.jj * l + lane] += gm;
+                    }
+                    if *s_row != NO_SLOT {
+                        b[*s_row * l + lane] += ieq;
+                    }
+                    if *d_row != NO_SLOT {
+                        b[*d_row * l + lane] -= ieq;
+                    }
+                } else {
+                    if *sg != NO_SLOT {
+                        vals[*sg * l + lane] += gm;
+                    }
+                    if pair.ji != NO_SLOT {
+                        vals[pair.ji * l + lane] -= gm;
+                    }
+                    if *dg != NO_SLOT {
+                        vals[*dg * l + lane] -= gm;
+                    }
+                    if pair.ii != NO_SLOT {
+                        vals[pair.ii * l + lane] += gm;
+                    }
+                    if *d_row != NO_SLOT {
+                        b[*d_row * l + lane] += ieq;
+                    }
+                    if *s_row != NO_SLOT {
+                        b[*s_row * l + lane] -= ieq;
+                    }
                 }
             }
         }
