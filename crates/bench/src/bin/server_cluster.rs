@@ -1,0 +1,337 @@
+//! Cluster scaling benchmark: an in-process coordinator fronting N
+//! worker servers (N ∈ {1, 2, 4}), hammered with single-job op-point
+//! submissions over loopback HTTP. Writes `BENCH_server_cluster.json`
+//! with requests/s per fleet size plus a rolling-restart drill at N = 2:
+//! one worker is taken down mid-flight and rebound on the *same* port,
+//! and the run fails (exit 1) if any job is lost or any served result
+//! diverges byte-for-byte from a direct engine run.
+//!
+//! Scaling caveat recorded in the output: all fleets share one machine,
+//! so `rps` scales with worker count only while physical cores remain
+//! to absorb them (`cores` is in the JSON; on a 1-core runner the
+//! scaling column is expected to be flat).
+//!
+//! Usage: `server_cluster [--requests N] [--clients N] [--function NAME]
+//! [--restart-jobs N] [--out PATH] [--telemetry <path.json>]`
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use four_terminal_lattice::batch::PipelineJobBuilder;
+use fts_engine::Engine;
+use fts_server::service::build_job;
+use fts_server::wire::{outcome_json, AnalysisSpec, JobSource, JobSpec};
+use fts_server::{
+    Coordinator, CoordinatorConfig, Server, ServerConfig, ServerHandle, ShutdownReport, WireClient,
+};
+
+struct Args {
+    requests: usize,
+    clients: usize,
+    restart_jobs: usize,
+    function: String,
+    out: String,
+}
+
+fn parse_args(argv: Vec<String>) -> Args {
+    let mut args = Args {
+        requests: 800,
+        clients: 8,
+        restart_jobs: 48,
+        function: "and2".to_owned(),
+        out: "BENCH_server_cluster.json".to_owned(),
+    };
+    let mut it = argv.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match flag.as_str() {
+            "--requests" => args.requests = value("--requests").parse().expect("--requests: int"),
+            "--clients" => args.clients = value("--clients").parse().expect("--clients: int"),
+            "--restart-jobs" => {
+                args.restart_jobs = value("--restart-jobs")
+                    .parse()
+                    .expect("--restart-jobs: int");
+            }
+            "--function" => args.function = value("--function"),
+            "--out" => args.out = value("--out"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+const POLL: Duration = Duration::from_micros(200);
+
+fn submit_body(function: &str, input: u32) -> String {
+    format!(r#"{{"jobs":[{{"function":"{function}","analysis":"op","input":{input}}}]}}"#)
+}
+
+type ServerThread = std::thread::JoinHandle<std::io::Result<ShutdownReport>>;
+
+struct Fleet {
+    client: WireClient,
+    coord_handle: ServerHandle,
+    coord_thread: ServerThread,
+    workers: Vec<(String, ServerHandle, ServerThread)>,
+}
+
+fn start_worker(
+    builder: &Arc<PipelineJobBuilder>,
+    addr: &str,
+    capacity: usize,
+) -> (String, ServerHandle, ServerThread) {
+    let server = Server::bind(
+        ServerConfig {
+            addr: addr.to_owned(),
+            // One sim thread per worker: fleet capacity then grows with
+            // worker count instead of every fleet size saturating the
+            // machine on its own.
+            workers: 1,
+            conn_workers: 4,
+            queue_depth: capacity + 16,
+            retain_done: capacity + 16,
+            ..ServerConfig::default()
+        },
+        Arc::clone(builder) as Arc<dyn fts_server::service::JobBuilder>,
+    )
+    .expect("worker bind");
+    let addr = server.local_addr().expect("worker addr").to_string();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+    (addr, handle, thread)
+}
+
+fn start_fleet(builder: &Arc<PipelineJobBuilder>, n: usize, capacity: usize) -> Fleet {
+    let workers: Vec<_> = (0..n)
+        .map(|_| start_worker(builder, "127.0.0.1:0", capacity))
+        .collect();
+    let coordinator = Coordinator::bind(
+        CoordinatorConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: workers.iter().map(|(a, _, _)| a.clone()).collect(),
+            probe_interval: Duration::from_millis(50),
+            retain_done: capacity + 16,
+            ..CoordinatorConfig::default()
+        },
+        Arc::clone(builder) as Arc<dyn fts_server::service::JobBuilder>,
+    )
+    .expect("coordinator bind");
+    let addr = coordinator
+        .local_addr()
+        .expect("coordinator addr")
+        .to_string();
+    let coord_handle = coordinator.handle();
+    let coord_thread = std::thread::spawn(move || coordinator.run());
+    Fleet {
+        client: WireClient::new(addr),
+        coord_handle,
+        coord_thread,
+        workers,
+    }
+}
+
+impl Fleet {
+    /// Coordinator shutdown cascades to the workers; returns the
+    /// coordinator's completed-job count.
+    fn shutdown(self) -> u64 {
+        self.coord_handle.shutdown();
+        let report = self
+            .coord_thread
+            .join()
+            .expect("coordinator thread")
+            .expect("coordinator run");
+        for (_, _, thread) in self.workers {
+            thread.join().expect("worker thread").expect("worker run");
+        }
+        report.jobs_completed
+    }
+}
+
+/// Submits `requests` single-job manifests over `clients` threads and
+/// polls every job to completion; returns sustained requests/s.
+fn run_load(client: &WireClient, function: &str, requests: usize, clients: usize) -> f64 {
+    // Warm-up: first submission pays for lattice synthesis; the builder
+    // cache is shared, so the cost vanishes from the timed phase.
+    for id in client
+        .submit_manifest(&submit_body(function, 0))
+        .expect("warm-up submit")
+    {
+        client.wait_done(id, POLL).expect("warm-up wait");
+    }
+
+    let next = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let next = &next;
+                let client = client.clone();
+                scope.spawn(move || {
+                    let mut ids = Vec::new();
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= requests {
+                            break;
+                        }
+                        ids.extend(
+                            client
+                                .submit_manifest(&submit_body(function, (k % 4) as u32))
+                                .expect("submit"),
+                        );
+                    }
+                    for id in ids {
+                        let body = client.wait_done(id, POLL).expect("status poll");
+                        assert!(
+                            body.contains("\"kind\":\"op\""),
+                            "job {id} did not succeed: {body}"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+    });
+    requests as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut tel = fts_bench::telemetry::from_args("server_cluster_phases", &mut argv);
+    let args = parse_args(argv);
+    let builder = Arc::new(PipelineJobBuilder::new());
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    println!(
+        "server cluster: {} op-point submissions of {:?} over {} client(s), {cores} core(s)",
+        args.requests, args.function, args.clients
+    );
+
+    // Scaling sweep: identical load against fleets of 1, 2, and 4 workers.
+    let mut scaling = Vec::new();
+    for n in [1usize, 2, 4] {
+        let fleet = start_fleet(&builder, n, args.requests);
+        let rps = run_load(&fleet.client, &args.function, args.requests, args.clients);
+        let completed = fleet.shutdown();
+        assert!(
+            completed >= (args.requests + 1) as u64,
+            "fleet of {n} completed only {completed} of {} jobs",
+            args.requests + 1
+        );
+        println!("  {n} worker(s): {rps:.0} req/s");
+        scaling.push((n, rps));
+        tel.phase_done(&format!("fleet_{n}"));
+    }
+
+    // Rolling restart at N = 2: submit, take worker 0 down, rebind the
+    // SAME port with a fresh (amnesiac) server, and require every job to
+    // finish with results byte-identical to a direct engine run.
+    let mut fleet = start_fleet(&builder, 2, args.restart_jobs);
+    for id in fleet
+        .client
+        .submit_manifest(&submit_body(&args.function, 0))
+        .expect("restart warm-up")
+    {
+        fleet
+            .client
+            .wait_done(id, POLL)
+            .expect("restart warm-up wait");
+    }
+    let mut ids = Vec::new();
+    for k in 0..args.restart_jobs {
+        ids.extend(
+            fleet
+                .client
+                .submit_manifest(&submit_body(&args.function, (k % 4) as u32))
+                .expect("restart submit"),
+        );
+    }
+    let (w0_addr, w0_handle, w0_thread) = fleet.workers.remove(0);
+    w0_handle.shutdown();
+    w0_thread
+        .join()
+        .expect("worker 0 thread")
+        .expect("worker 0 run");
+    let restarted = start_worker(&builder, &w0_addr, args.restart_jobs);
+    assert_eq!(restarted.0, w0_addr, "restart must reclaim the same port");
+    fleet.workers.push(restarted);
+
+    // Direct-engine reference results for the 4 input points.
+    let engine = Engine::new().threads(1);
+    let direct: Vec<String> = (0..4u32)
+        .map(|input| {
+            let spec = JobSpec {
+                source: JobSource::Function {
+                    name: args.function.clone(),
+                    analysis: AnalysisSpec::Op { input },
+                },
+                deadline_ms: None,
+                ladder: false,
+                label: None,
+                waveform: false,
+            };
+            let built = build_job(builder.as_ref(), &spec, 0).expect("direct build");
+            let report = engine.run(vec![built.job]);
+            format!(
+                "\"result\":{}",
+                outcome_json(&report.outcomes[0], built.out, false)
+            )
+        })
+        .collect();
+
+    let mut lost = 0usize;
+    let mut bit_identical = true;
+    for (k, &id) in ids.iter().enumerate() {
+        let body = fleet.client.wait_done(id, POLL).expect("restart wait");
+        if !body.contains("\"kind\":\"op\"") {
+            lost += 1;
+            eprintln!("LOST JOB {id}: {body}");
+        } else if !body.contains(&direct[k % 4]) {
+            bit_identical = false;
+            eprintln!(
+                "IDENTITY VIOLATION for job {id}:\n  server: {body}\n  direct: {}",
+                direct[k % 4]
+            );
+        }
+    }
+    let completed = ids.len() - lost;
+    fleet.shutdown();
+    tel.phase_done("rolling_restart");
+
+    println!(
+        "  rolling restart: {} jobs, {completed} completed, {lost} lost, identical {bit_identical}",
+        ids.len()
+    );
+
+    let scaling_json: Vec<String> = scaling
+        .iter()
+        .map(|(n, rps)| format!("{{\"workers\":{n},\"rps\":{rps}}}"))
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\"schema\":\"fts-server-bench/1\",\"experiment\":\"server_cluster\",",
+            "\"function\":\"{}\",\"requests\":{},\"clients\":{},\"cores\":{},",
+            "\"scaling\":[{}],\"rolling_restart\":{{\"jobs\":{},\"completed\":{},",
+            "\"lost\":{},\"bit_identical\":{}}}}}"
+        ),
+        args.function,
+        args.requests,
+        args.clients,
+        cores,
+        scaling_json.join(","),
+        ids.len(),
+        completed,
+        lost,
+        bit_identical,
+    );
+    std::fs::write(&args.out, &json)?;
+    println!("\nwrote {}:\n{json}", args.out);
+    tel.finish()?;
+
+    if lost > 0 || !bit_identical {
+        std::process::exit(1);
+    }
+    Ok(())
+}

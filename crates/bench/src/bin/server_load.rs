@@ -8,17 +8,15 @@
 //! [--queue-depth N] [--function NAME] [--out PATH]
 //! [--telemetry <path.json>]`
 
-use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use four_terminal_lattice::batch::PipelineJobBuilder;
 use fts_engine::Engine;
 use fts_server::service::build_job;
-use fts_server::testing::http_call;
-use fts_server::wire::{outcome_json, AnalysisSpec, JobSource, JobSpec, Json};
-use fts_server::{Server, ServerConfig};
+use fts_server::wire::{outcome_json, AnalysisSpec, JobSource, JobSpec};
+use fts_server::{ClientError, Server, ServerConfig, WireClient};
 
 struct Args {
     requests: usize,
@@ -68,28 +66,8 @@ fn submit_body(function: &str, input: u32) -> String {
     format!(r#"{{"jobs":[{{"function":"{function}","analysis":"op","input":{input}}}]}}"#)
 }
 
-/// Polls `GET /v1/jobs/{id}` until the job reports `done`, returning the
-/// final status body.
-fn wait_done(addr: SocketAddr, id: u64) -> String {
-    loop {
-        let resp = http_call(addr, "GET", &format!("/v1/jobs/{id}"), None).expect("status call");
-        assert_eq!(resp.status, 200, "status poll failed: {}", resp.body);
-        if resp.body.contains("\"status\":\"done\"") {
-            return resp.body;
-        }
-        std::thread::sleep(std::time::Duration::from_micros(200));
-    }
-}
-
-fn extract_ids(body: &str) -> Vec<u64> {
-    let doc = Json::parse(body).expect("submit response is JSON");
-    doc.get("ids")
-        .and_then(Json::as_array)
-        .expect("ids array")
-        .iter()
-        .map(|v| v.as_f64().expect("id") as u64)
-        .collect()
-}
+/// The status-poll cadence while waiting for a job to finish.
+const POLL: Duration = Duration::from_micros(200);
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
@@ -109,21 +87,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let server = Server::bind(config, Arc::new(PipelineJobBuilder::new()))?;
     let addr = server.local_addr()?;
+    let client = WireClient::new(addr.to_string());
     let handle = server.handle();
     let server_thread = std::thread::spawn(move || server.run());
     tel.phase_done("bind");
 
     // Warm-up: the first submission pays for lattice synthesis and circuit
     // construction; everything after hits the realization cache.
-    let warm = http_call(
-        addr,
-        "POST",
-        "/v1/jobs",
-        Some(&submit_body(&args.function, 0)),
-    )?;
-    assert_eq!(warm.status, 202, "warm-up submit failed: {}", warm.body);
-    for id in extract_ids(&warm.body) {
-        wait_done(addr, id);
+    let warm = client
+        .submit_manifest(&submit_body(&args.function, 0))
+        .expect("warm-up submit");
+    for id in warm {
+        client.wait_done(id, POLL).expect("warm-up wait");
     }
     tel.phase_done("warmup");
 
@@ -145,6 +120,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let rejected = &rejected;
                 let next = &next;
                 let function = &args.function;
+                let client = client.clone();
                 scope.spawn(move || {
                     let mut lats = Vec::new();
                     let mut ids = Vec::new();
@@ -156,24 +132,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         let body = submit_body(function, (k % 4) as u32);
                         loop {
                             let t = Instant::now();
-                            let resp = http_call(addr, "POST", "/v1/jobs", Some(&body))
-                                .expect("submit call");
-                            match resp.status {
-                                202 => {
+                            match client.submit_manifest(&body) {
+                                Ok(new_ids) => {
                                     lats.push(t.elapsed().as_secs_f64());
-                                    ids.extend(extract_ids(&resp.body));
+                                    ids.extend(new_ids);
                                     break;
                                 }
-                                429 => {
+                                Err(ClientError::Api(e)) if e.status == 429 => {
                                     rejected.fetch_add(1, Ordering::Relaxed);
                                     std::thread::sleep(std::time::Duration::from_micros(500));
                                 }
-                                other => panic!("unexpected submit status {other}: {}", resp.body),
+                                Err(other) => panic!("unexpected submit failure: {other}"),
                             }
                         }
                     }
                     for id in ids {
-                        let body = wait_done(addr, id);
+                        let body = client.wait_done(id, POLL).expect("status poll");
                         assert!(
                             body.contains("\"kind\":\"op\""),
                             "job {id} did not succeed: {body}"
@@ -204,15 +178,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let engine = Engine::new().threads(1);
     let mut bit_identical = true;
     for input in 0..4u32 {
-        let resp = http_call(
-            addr,
-            "POST",
-            "/v1/jobs",
-            Some(&submit_body(&args.function, input)),
-        )?;
-        assert_eq!(resp.status, 202, "identity submit failed: {}", resp.body);
-        let id = extract_ids(&resp.body)[0];
-        let served = wait_done(addr, id);
+        let ids = client
+            .submit_manifest(&submit_body(&args.function, input))
+            .expect("identity submit");
+        let served = client.wait_done(ids[0], POLL).expect("identity wait");
 
         let spec = JobSpec {
             source: JobSource::Function {

@@ -11,6 +11,7 @@
 //! fts run <deck.cir|->               simulate a SPICE deck (fts-netlist frontend)
 //! fts batch <manifest.json>          batch simulation on the fts-engine scheduler
 //! fts serve                          HTTP simulation service over the same engine
+//! fts client <ip:port> <command>     wire client for a running server/coordinator
 //! fts help                           print the full usage text (also --help/-h)
 //! ```
 //!
@@ -60,7 +61,8 @@ fn usage() -> &'static str {
      fts explore <function>\n  \
      fts run <deck.cir|-> [--out <report.json>] [--threads <n>] [--waveform] [--trace]\n  \
      fts batch <manifest.json> [--out <report.json>] [--trace]\n  \
-     fts serve [--addr <ip:port>] [--workers <n>] [--queue-depth <n>] [--retain-done <n>] [--trace-events <n>]\n  \
+     fts serve [--addr <ip:port>] [--workers <n>] [--queue-depth <n>] [--retain-done <n>] [--trace-events <n>] [--worker] [--coordinator --workers-addrs <a,b,..> [--probe-ms <n>] [--route-attempts <n>] [--no-cascade]]\n  \
+     fts client <ip:port> health|metrics|shutdown|submit <manifest.json|->|status <id>|wait <id>|trace <id> [--chrome]|cancel <id>|list [--state <s>] [--cursor <n>] [--limit <n>]\n  \
      fts help"
 }
 
@@ -77,6 +79,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "run" => cmd_run(&args[1..]),
         "batch" => cmd_batch(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "client" => cmd_client(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -378,10 +381,14 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     use four_terminal_lattice::batch::PipelineJobBuilder;
-    use four_terminal_lattice::server::{Server, ServerConfig};
+    use four_terminal_lattice::server::{Coordinator, CoordinatorConfig, Server, ServerConfig};
     use std::sync::Arc;
+    use std::time::Duration;
 
     let mut config = ServerConfig::default();
+    let mut coord = CoordinatorConfig::default();
+    let mut coordinator = false;
+    let mut worker = false;
     let mut rest = args.iter();
     while let Some(flag) = rest.next() {
         let value = |rest: &mut std::slice::Iter<String>| -> Result<String, String> {
@@ -390,7 +397,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 .ok_or_else(|| format!("{flag} needs a value"))
         };
         match flag.as_str() {
-            "--addr" => config.addr = value(&mut rest)?,
+            "--addr" => {
+                config.addr = value(&mut rest)?;
+                coord.addr.clone_from(&config.addr);
+            }
             "--workers" => {
                 config.workers = value(&mut rest)?
                     .parse()
@@ -405,14 +415,60 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 config.retain_done = value(&mut rest)?
                     .parse()
                     .map_err(|_| "bad --retain-done value")?;
+                coord.retain_done = config.retain_done;
             }
             "--trace-events" => {
                 config.trace_events = value(&mut rest)?
                     .parse()
                     .map_err(|_| "bad --trace-events value")?;
             }
+            // Role markers. `--worker` only documents intent (a worker
+            // is a plain server someone points a coordinator at);
+            // `--coordinator` switches to the routing front end.
+            "--worker" => worker = true,
+            "--coordinator" => coordinator = true,
+            "--workers-addrs" => {
+                coord.workers = value(&mut rest)?
+                    .split(',')
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--probe-ms" => {
+                let ms: u64 = value(&mut rest)?
+                    .parse()
+                    .map_err(|_| "bad --probe-ms value")?;
+                coord.probe_interval = Duration::from_millis(ms);
+            }
+            "--route-attempts" => {
+                coord.route_attempts = value(&mut rest)?
+                    .parse()
+                    .map_err(|_| "bad --route-attempts value")?;
+            }
+            "--no-cascade" => coord.cascade = false,
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+    if coordinator && worker {
+        return Err("--coordinator and --worker are mutually exclusive".into());
+    }
+
+    if coordinator {
+        let coordinator = Coordinator::bind(coord, Arc::new(PipelineJobBuilder::new()))
+            .map_err(|e| e.to_string())?;
+        let addr = coordinator.local_addr().map_err(|e| e.to_string())?;
+        // Machine-greppable startup line: tests and CI scrape the port.
+        println!("fts-coordinator listening on {addr}");
+        let report = coordinator.run().map_err(|e| e.to_string())?;
+        eprintln!(
+            "fts-coordinator drained: {} jobs completed, {} submissions rejected, {} connections rejected, uptime {:.1}s",
+            report.jobs_completed,
+            report.submissions_rejected,
+            report.connections_rejected,
+            report.uptime_s
+        );
+        eprintln!("{}", report.telemetry);
+        return Ok(());
     }
 
     let server =
@@ -430,4 +486,126 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     );
     eprintln!("{}", report.telemetry);
     Ok(())
+}
+
+/// `fts client` — the [`WireClient`] behind a shell-scriptable face.
+/// Prints the raw response body to stdout; a non-2xx answer still
+/// prints the error envelope (to stderr) but exits 1, so CI can pipe
+/// bodies straight into `jq` and trust the exit code.
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    use four_terminal_lattice::server::{ClientError, WireClient};
+
+    let addr = args.first().ok_or("missing <ip:port>")?;
+    let verb = args.get(1).ok_or("missing client command")?;
+    let rest = &args[2..];
+    let client = WireClient::new(addr.clone());
+
+    let id_arg = || -> Result<u64, String> {
+        rest.first()
+            .ok_or("missing <id>")?
+            .parse::<u64>()
+            .map_err(|_| "bad <id>".into())
+    };
+    let no_flags = |from: usize| -> Result<(), String> {
+        match rest.get(from) {
+            Some(extra) => Err(format!("unexpected argument {extra:?}")),
+            None => Ok(()),
+        }
+    };
+
+    let (method, path, body): (&str, String, Option<String>) = match verb.as_str() {
+        "health" => {
+            no_flags(0)?;
+            ("GET", "/healthz".into(), None)
+        }
+        "metrics" => {
+            no_flags(0)?;
+            ("GET", "/metrics".into(), None)
+        }
+        "shutdown" => {
+            no_flags(0)?;
+            ("POST", "/v1/shutdown".into(), None)
+        }
+        "submit" => {
+            let mpath = rest.first().ok_or("missing <manifest.json|->")?;
+            no_flags(1)?;
+            let text = if mpath == "-" {
+                let mut buf = String::new();
+                std::io::stdin()
+                    .read_to_string(&mut buf)
+                    .map_err(|e| e.to_string())?;
+                buf
+            } else {
+                std::fs::read_to_string(mpath).map_err(|e| format!("{mpath}: {e}"))?
+            };
+            ("POST", "/v1/jobs".into(), Some(text))
+        }
+        "status" | "wait" => {
+            let id = id_arg()?;
+            no_flags(1)?;
+            ("GET", format!("/v1/jobs/{id}"), None)
+        }
+        "cancel" => {
+            let id = id_arg()?;
+            no_flags(1)?;
+            ("DELETE", format!("/v1/jobs/{id}"), None)
+        }
+        "trace" => {
+            let id = id_arg()?;
+            let chrome = match rest.get(1).map(String::as_str) {
+                None => false,
+                Some("--chrome") => {
+                    no_flags(2)?;
+                    true
+                }
+                Some(other) => return Err(format!("unknown flag {other:?}")),
+            };
+            let query = if chrome { "?format=chrome" } else { "" };
+            ("GET", format!("/v1/jobs/{id}/trace{query}"), None)
+        }
+        "list" => {
+            let mut query = Vec::new();
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("{flag} needs a value"))?
+                    .clone();
+                match flag.as_str() {
+                    "--state" => query.push(format!("state={value}")),
+                    "--cursor" => query.push(format!("cursor={value}")),
+                    "--limit" => query.push(format!("limit={value}")),
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            let query = if query.is_empty() {
+                String::new()
+            } else {
+                format!("?{}", query.join("&"))
+            };
+            ("GET", format!("/v1/jobs{query}"), None)
+        }
+        other => return Err(format!("unknown client command {other:?}")),
+    };
+
+    loop {
+        let response = client.call(method, &path, body.as_deref()).map_err(|e| {
+            // Transport errors have no body to print; surface them
+            // through the usual error path.
+            match e {
+                ClientError::Io(io) => format!("{addr}: {io}"),
+                other => other.to_string(),
+            }
+        })?;
+        if response.status >= 300 {
+            eprintln!("{}", response.body);
+            std::process::exit(1);
+        }
+        if verb == "wait" && !response.body.contains("\"status\":\"done\"") {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            continue;
+        }
+        println!("{}", response.body);
+        return Ok(());
+    }
 }

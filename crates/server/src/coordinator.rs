@@ -1,0 +1,1073 @@
+//! The coordinator: one front door fanning `POST /v1/jobs` out to a
+//! fleet of worker processes over the schema_version-1 wire protocol.
+//!
+//! The coordinator is a router, not a simulator — it runs no engine. A
+//! submitted manifest is validated locally (through the *same*
+//! [`JobBuilder`] the workers use, so a bad manifest never half-lands on
+//! the fleet), each job gets a coordinator-global id, and the job is
+//! forwarded to the worker its id hashes to on the consistent-hash
+//! [`HashRing`]. Clients poll the coordinator exactly as they would a
+//! single server; status documents are proxied from the owning worker
+//! with the worker-local id rewritten to the global one, so the embedded
+//! `result` object stays byte-identical to what `fts batch` produces.
+//!
+//! **Failure model.** A periodic `/healthz` prober maintains an up/down
+//! flag per worker; down workers are skipped when routing new work.
+//! Recovery of already-routed jobs is *lazy*: when a status poll (or the
+//! drain loop) finds the owning worker dead — connection refused, or a
+//! fresh restart answering `404` for the old job — the coordinator
+//! re-submits the job's stored single-job manifest to the next live
+//! worker on the ring, up to `route_attempts` times. Re-running is safe
+//! because results are deterministic: a job that ran to completion on a
+//! worker whose answer we never read produces the byte-identical row on
+//! its second run. A job whose attempts are exhausted is closed out with
+//! a synthetic `failed` row rather than left dangling — drain always
+//! terminates.
+//!
+//! **Admission.** All-or-nothing admission is kept, with one documented
+//! relaxation: validation is atomic (whole manifest or nothing), but
+//! forwarding is per-job, so a mid-manifest fleet failure triggers a
+//! best-effort cancel of the already-forwarded prefix before the whole
+//! submission is rejected with `503 no_workers`. A client that got ids
+//! back holds jobs the fleet accepted; a client that got an error holds
+//! nothing.
+//!
+//! **Drain ordering** (`POST /v1/shutdown`, SIGINT, or
+//! [`ServerHandle`]): stop accepting, serve queued connections, poll
+//! every routed job to completion (rerouting around dead workers), and
+//! only then — with zero jobs in flight — cascade the shutdown to each
+//! worker. Workers drain their own queues before exiting, so the fleet
+//! order is: coordinator empties first, then the fleet.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::client::{ClientError, ClientLimits, WireClient};
+use crate::http::{HttpError, HttpLimits, Request};
+use crate::ring::HashRing;
+use crate::server::{
+    accept_loop, admission_response, bind_addr, close_conn_queue, json_ok, list_params,
+    new_conn_queue, prom_escape, render_http_series, render_telemetry_series, spawn_conn_workers,
+    wire_error_response, HttpApp, HttpMetrics, Response, ServerHandle, ShutdownReport,
+};
+use crate::service::{build_job, JobBuilder, SubmitError, DEFAULT_RETAIN_DONE};
+use crate::signal;
+use crate::wire::{
+    json_escape, single_job_manifest, BatchManifest, Json, WireError, SCHEMA_VERSION,
+};
+
+/// Coordinator tunables; every field has a production-safe default
+/// except the worker list, which must be non-empty.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Bind address for the coordinator's own HTTP front door.
+    pub addr: String,
+    /// Worker wire addresses (`ip:port`), the ring's identity — two
+    /// coordinators given the same list route identically.
+    pub workers: Vec<String>,
+    /// `/healthz` probe period per worker.
+    pub probe_interval: Duration,
+    /// Finished (proxied-done or synthetic-failed) rows retained before
+    /// oldest-first eviction, as on the single-process server.
+    pub retain_done: usize,
+    /// Times one job may be re-routed to another worker before the
+    /// coordinator closes it out with a synthetic `failed` row.
+    pub route_attempts: usize,
+    /// Cascade `POST /v1/shutdown` to every worker after the
+    /// coordinator's own drain empties (on by default; disable to leave
+    /// the fleet running behind a restarting coordinator).
+    pub cascade: bool,
+    /// Connection worker threads.
+    pub conn_workers: usize,
+    /// Accepted-connection queue capacity (overflow → canned `429`).
+    pub conn_backlog: usize,
+    /// HTTP limits for the coordinator's own listener.
+    pub limits: HttpLimits,
+    /// Limits for the coordinator's outbound worker connections.
+    pub client_limits: ClientLimits,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> CoordinatorConfig {
+        CoordinatorConfig {
+            addr: "127.0.0.1:8706".to_owned(),
+            workers: Vec::new(),
+            probe_interval: Duration::from_millis(250),
+            retain_done: DEFAULT_RETAIN_DONE,
+            route_attempts: 8,
+            cascade: true,
+            conn_workers: 4,
+            conn_backlog: 128,
+            limits: HttpLimits::default(),
+            client_limits: ClientLimits::default(),
+        }
+    }
+}
+
+/// One worker as the coordinator sees it: its client, health flag, and
+/// route counter.
+struct WorkerSlot {
+    addr: String,
+    client: WireClient,
+    /// Flipped by the prober and by routing-time transport failures;
+    /// optimistically `true` at startup so the first submissions do not
+    /// wait a probe period.
+    up: AtomicBool,
+    /// Jobs ever routed (first placement or re-route) to this worker.
+    routed: AtomicU64,
+}
+
+enum CoordState {
+    /// Forwarded to `workers[worker]` as remote job `remote`.
+    Routed {
+        worker: usize,
+        remote: u64,
+        attempts: usize,
+    },
+    /// Terminal: the cached (already id-rewritten) status document.
+    /// `worker`/`remote` keep trace proxying alive after completion.
+    Done {
+        kind: String,
+        body: String,
+        worker: usize,
+        remote: u64,
+    },
+}
+
+struct CoordJob {
+    label: String,
+    /// The single-job manifest to re-submit on worker death. `None` for
+    /// multi-analysis deck jobs, which cannot be re-posted one job at a
+    /// time — those fail closed instead of re-running siblings.
+    resubmit: Option<String>,
+    state: CoordState,
+}
+
+struct CoordRegistry {
+    jobs: HashMap<u64, CoordJob>,
+    done_order: VecDeque<u64>,
+    next_id: u64,
+    draining: bool,
+    completed: u64,
+}
+
+/// The coordinator's routing service: registry + fleet view. Implements
+/// [`HttpApp`], so it runs behind the same accept loop, connection
+/// workers, and metrics as [`JobService`](crate::JobService).
+struct CoordService {
+    workers: Vec<WorkerSlot>,
+    ring: HashRing,
+    builder: Arc<dyn JobBuilder>,
+    registry: Mutex<CoordRegistry>,
+    retain_done: usize,
+    route_attempts: usize,
+    rejected: AtomicU64,
+}
+
+/// Coordinator gauges for `/healthz` and `/metrics`.
+struct CoordGauges {
+    routed: usize,
+    done_retained: usize,
+    completed: u64,
+    rejected: u64,
+    workers_up: usize,
+}
+
+impl CoordService {
+    fn new(config: &CoordinatorConfig, builder: Arc<dyn JobBuilder>) -> CoordService {
+        let workers = config
+            .workers
+            .iter()
+            .map(|addr| WorkerSlot {
+                addr: addr.clone(),
+                client: WireClient::new(addr.clone()).limits(config.client_limits),
+                up: AtomicBool::new(true),
+                routed: AtomicU64::new(0),
+            })
+            .collect();
+        CoordService {
+            workers,
+            ring: HashRing::new(&config.workers),
+            builder,
+            registry: Mutex::new(CoordRegistry {
+                jobs: HashMap::new(),
+                done_order: VecDeque::new(),
+                next_id: 0,
+                draining: false,
+                completed: 0,
+            }),
+            retain_done: config.retain_done.max(1),
+            route_attempts: config.route_attempts.max(1),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    fn gauges(&self) -> CoordGauges {
+        let reg = self.registry.lock().expect("coord registry poisoned");
+        let routed = reg
+            .jobs
+            .values()
+            .filter(|j| matches!(j.state, CoordState::Routed { .. }))
+            .count();
+        CoordGauges {
+            routed,
+            done_retained: reg.done_order.len(),
+            completed: reg.completed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            workers_up: self
+                .workers
+                .iter()
+                .filter(|w| w.up.load(Ordering::SeqCst))
+                .count(),
+        }
+    }
+
+    /// Ring candidates for `id`, live workers first (ring order within
+    /// each group) — down workers stay as a last resort because the
+    /// prober's view can lag a recovery.
+    fn placement_order(&self, id: u64) -> Vec<usize> {
+        let candidates = self.ring.candidates(HashRing::key_for_id(id));
+        let (live, down): (Vec<usize>, Vec<usize>) = candidates
+            .into_iter()
+            .partition(|&w| self.workers[w].up.load(Ordering::SeqCst));
+        live.into_iter().chain(down).collect()
+    }
+
+    /// Forwards one single-job manifest to the first worker in
+    /// `placement_order(id)` that accepts it (skipping `exclude`).
+    /// Transport failures mark the worker down; API refusals (a worker's
+    /// own `429`/`503`) just move on to the next candidate.
+    fn place(&self, id: u64, manifest: &str, exclude: Option<usize>) -> Option<(usize, u64)> {
+        for w in self.placement_order(id) {
+            if exclude == Some(w) {
+                continue;
+            }
+            match self.workers[w].client.submit_manifest(manifest) {
+                Ok(remotes) if remotes.len() == 1 => {
+                    self.workers[w].routed.fetch_add(1, Ordering::Relaxed);
+                    fts_telemetry::counter("coordinator.jobs.routed", 1);
+                    return Some((w, remotes[0]));
+                }
+                Ok(_) => continue,
+                Err(ClientError::Api(_)) => continue,
+                Err(_) => {
+                    self.mark_down(w);
+                    continue;
+                }
+            }
+        }
+        None
+    }
+
+    fn mark_down(&self, w: usize) {
+        if self.workers[w].up.swap(false, Ordering::SeqCst) {
+            fts_telemetry::counter("coordinator.workers.marked_down", 1);
+        }
+    }
+
+    /// `POST /v1/jobs` and `/v1/decks` both land here once lowered to
+    /// `(label, single-job manifest)` pairs.
+    fn submit_prepared(
+        &self,
+        prepared: Vec<(String, Option<String>, String)>,
+    ) -> Result<Vec<u64>, SubmitError> {
+        // Reserve global ids first; ids burned by a failed submission
+        // stay burned (ids are opaque handles, not dense indices).
+        let base = {
+            let mut reg = self.registry.lock().expect("coord registry poisoned");
+            if reg.draining {
+                return Err(SubmitError::ShuttingDown);
+            }
+            let base = reg.next_id;
+            reg.next_id += prepared.len() as u64;
+            base
+        };
+
+        // Forward outside the lock — placement does network I/O.
+        let mut placed: Vec<(u64, String, Option<String>, usize, u64)> = Vec::new();
+        for (k, (label, resubmit, forward)) in prepared.into_iter().enumerate() {
+            let id = base + k as u64;
+            match self.place(id, &forward, None) {
+                Some((w, remote)) => placed.push((id, label, resubmit, w, remote)),
+                None => {
+                    // Roll back the prefix: best-effort cancel remotely,
+                    // nothing was registered locally yet.
+                    for (_, _, _, w, remote) in &placed {
+                        let _ = self.workers[*w].client.cancel(*remote);
+                    }
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(SubmitError::Unavailable(
+                        "no worker accepted the job (fleet down or refusing)".into(),
+                    ));
+                }
+            }
+        }
+
+        let mut reg = self.registry.lock().expect("coord registry poisoned");
+        if reg.draining {
+            // Drain began while we were forwarding; its completion scan
+            // may already have passed, so refuse rather than strand jobs.
+            for (_, _, _, w, remote) in &placed {
+                let _ = self.workers[*w].client.cancel(*remote);
+            }
+            return Err(SubmitError::ShuttingDown);
+        }
+        let mut ids = Vec::with_capacity(placed.len());
+        for (id, label, resubmit, worker, remote) in placed {
+            reg.jobs.insert(
+                id,
+                CoordJob {
+                    label,
+                    resubmit,
+                    state: CoordState::Routed {
+                        worker,
+                        remote,
+                        attempts: 1,
+                    },
+                },
+            );
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+
+    /// `POST /v1/jobs`: validate the whole manifest locally, then
+    /// forward job-by-job.
+    fn submit_manifest(&self, body: &str) -> Result<Vec<u64>, SubmitError> {
+        let mut manifest = BatchManifest::parse(body).map_err(SubmitError::Invalid)?;
+        for (k, spec) in manifest.jobs.iter().enumerate() {
+            build_job(self.builder.as_ref(), spec, k).map_err(SubmitError::Invalid)?;
+        }
+        let width = manifest.ensemble_width;
+        let prepared = manifest
+            .jobs
+            .iter_mut()
+            .enumerate()
+            .map(|(k, spec)| {
+                // Pin the label before forwarding: the worker would
+                // otherwise re-default it from its own (index 0) view.
+                spec.label = Some(spec.label_or_default(k));
+                let single = single_job_manifest(spec, width);
+                (
+                    spec.label.clone().expect("just set"),
+                    Some(single.clone()),
+                    single,
+                )
+            })
+            .collect();
+        self.submit_prepared(prepared)
+    }
+
+    /// `POST /v1/decks`: validate locally, forward the raw deck to one
+    /// worker (a deck's analyses must share their elaborated netlist, so
+    /// the deck is never split). Single-analysis decks can be re-routed
+    /// as a deck; multi-analysis decks fail closed on worker death
+    /// rather than re-running sibling analyses.
+    fn submit_deck(&self, deck: &str) -> Result<Vec<u64>, SubmitError> {
+        let subs = crate::service::deck_submissions(deck).map_err(SubmitError::Invalid)?;
+        if subs.is_empty() {
+            return Err(SubmitError::Invalid(WireError::manifest(
+                "empty_manifest",
+                "no jobs to admit",
+            )));
+        }
+        let labels: Vec<String> = subs.iter().map(|s| s.label.clone()).collect();
+
+        let base = {
+            let mut reg = self.registry.lock().expect("coord registry poisoned");
+            if reg.draining {
+                return Err(SubmitError::ShuttingDown);
+            }
+            let base = reg.next_id;
+            reg.next_id += labels.len() as u64;
+            base
+        };
+
+        // One placement decision for the whole deck, keyed by its first id.
+        for w in self.placement_order(base) {
+            match self.workers[w].client.submit_deck(deck) {
+                Ok(remotes) if remotes.len() == labels.len() => {
+                    self.deck_registered(base, &labels, w, &remotes, deck);
+                    return Ok((base..base + labels.len() as u64).collect());
+                }
+                Ok(_) => continue,
+                Err(ClientError::Api(_)) => continue,
+                Err(_) => {
+                    self.mark_down(w);
+                    continue;
+                }
+            }
+        }
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        Err(SubmitError::Unavailable(
+            "no worker accepted the deck (fleet down or refusing)".into(),
+        ))
+    }
+
+    /// Registers a successfully forwarded deck's jobs.
+    fn deck_registered(
+        &self,
+        base: u64,
+        labels: &[String],
+        worker: usize,
+        remotes: &[u64],
+        deck: &str,
+    ) {
+        self.workers[worker]
+            .routed
+            .fetch_add(labels.len() as u64, Ordering::Relaxed);
+        let resubmit = (labels.len() == 1).then(|| deck.to_owned());
+        let mut reg = self.registry.lock().expect("coord registry poisoned");
+        for (k, (label, &remote)) in labels.iter().zip(remotes).enumerate() {
+            reg.jobs.insert(
+                base + k as u64,
+                CoordJob {
+                    label: label.clone(),
+                    resubmit: resubmit.clone(),
+                    state: CoordState::Routed {
+                        worker,
+                        remote,
+                        attempts: 1,
+                    },
+                },
+            );
+        }
+    }
+
+    /// `GET /v1/jobs/{id}`: cached terminal body, or a live proxy to the
+    /// owning worker with the remote id rewritten to the global one. A
+    /// dead or amnesiac worker triggers a re-route.
+    fn status_json(&self, id: u64) -> Option<String> {
+        let (worker, remote, label) = {
+            let reg = self.registry.lock().expect("coord registry poisoned");
+            let job = reg.jobs.get(&id)?;
+            match &job.state {
+                CoordState::Done { body, .. } => return Some(body.clone()),
+                CoordState::Routed { worker, remote, .. } => (*worker, *remote, job.label.clone()),
+            }
+        };
+
+        match self.workers[worker].client.status(remote) {
+            Ok(body) => {
+                let body = rewrite_id(&body, remote, id);
+                if body.contains("\"status\":\"done\"") {
+                    self.complete(id, worker, remote, &body);
+                }
+                Some(body)
+            }
+            Err(ClientError::Api(e)) if e.status == 404 => {
+                // The worker restarted (fresh registry) or evicted the
+                // row before we read it: re-run elsewhere.
+                Some(self.reroute(id, worker, &label))
+            }
+            Err(ClientError::Api(_)) => Some(synthetic_status(id, &label, "routed")),
+            Err(_) => {
+                self.mark_down(worker);
+                Some(self.reroute(id, worker, &label))
+            }
+        }
+    }
+
+    /// Transitions a routed job to Done with its cached body, applying
+    /// the `retain_done` eviction exactly like the single-process server.
+    fn complete(&self, id: u64, worker: usize, remote: u64, body: &str) {
+        let kind = Json::parse(body)
+            .ok()
+            .and_then(|d| d.get("kind").and_then(Json::as_str).map(str::to_owned))
+            .unwrap_or_else(|| "unknown".to_owned());
+        let mut reg = self.registry.lock().expect("coord registry poisoned");
+        let Some(job) = reg.jobs.get_mut(&id) else {
+            return;
+        };
+        if matches!(job.state, CoordState::Done { .. }) {
+            return; // A concurrent poll won the transition.
+        }
+        job.state = CoordState::Done {
+            kind,
+            body: body.to_owned(),
+            worker,
+            remote,
+        };
+        reg.completed += 1;
+        fts_telemetry::counter("coordinator.jobs.completed", 1);
+        reg.done_order.push_back(id);
+        while reg.done_order.len() > self.retain_done {
+            let evicted = reg.done_order.pop_front().expect("non-empty");
+            reg.jobs.remove(&evicted);
+        }
+    }
+
+    /// Re-places job `id` after worker `failed` died or forgot it.
+    /// Returns the status body to serve right now. Holding the registry
+    /// lock across the (rare) re-placement keeps concurrent polls from
+    /// double-submitting the same job.
+    fn reroute(&self, id: u64, failed: usize, label: &str) -> String {
+        let mut reg = self.registry.lock().expect("coord registry poisoned");
+        let Some(job) = reg.jobs.get_mut(&id) else {
+            return synthetic_status(id, label, "routed");
+        };
+        match &job.state {
+            CoordState::Done { body, .. } => body.clone(),
+            CoordState::Routed {
+                worker, attempts, ..
+            } => {
+                if *worker != failed {
+                    // Another thread already re-routed it.
+                    return synthetic_status(id, label, "routed");
+                }
+                let attempts = *attempts;
+                let fail_with = |reason: String| synthetic_failed(id, label, &reason);
+                let closed: Option<String> = if attempts >= self.route_attempts {
+                    Some(fail_with(format!(
+                        "worker unavailable after {attempts} route attempts"
+                    )))
+                } else if job.resubmit.is_none() {
+                    Some(fail_with(format!(
+                        "worker {} died holding a multi-analysis deck job, which cannot \
+                         be re-routed standalone",
+                        self.workers[failed].addr
+                    )))
+                } else {
+                    None
+                };
+                if let Some(body) = closed {
+                    job.state = CoordState::Done {
+                        kind: "failed".to_owned(),
+                        body: body.clone(),
+                        worker: failed,
+                        remote: 0,
+                    };
+                    reg.completed += 1;
+                    fts_telemetry::counter("coordinator.jobs.failed_closed", 1);
+                    reg.done_order.push_back(id);
+                    while reg.done_order.len() > self.retain_done {
+                        let evicted = reg.done_order.pop_front().expect("non-empty");
+                        reg.jobs.remove(&evicted);
+                    }
+                    return body;
+                }
+
+                let manifest = job.resubmit.clone().expect("checked above");
+                let is_deck = !manifest.trim_start().starts_with('{');
+                // Re-place while holding the lock: placement I/O is
+                // bounded by the client's deadline and this path only
+                // runs when a worker just died.
+                let placed = if is_deck {
+                    self.placement_order(id)
+                        .into_iter()
+                        .filter(|&w| w != failed)
+                        .find_map(|w| match self.workers[w].client.submit_deck(&manifest) {
+                            Ok(remotes) if remotes.len() == 1 => Some((w, remotes[0])),
+                            Ok(_) => None,
+                            Err(ClientError::Api(_)) => None,
+                            Err(_) => {
+                                self.mark_down(w);
+                                None
+                            }
+                        })
+                } else {
+                    self.place(id, &manifest, Some(failed))
+                };
+                match placed {
+                    Some((w, remote)) => {
+                        fts_telemetry::counter("coordinator.jobs.rerouted", 1);
+                        job.state = CoordState::Routed {
+                            worker: w,
+                            remote,
+                            attempts: attempts + 1,
+                        };
+                        // The job restarted from scratch: report queued.
+                        synthetic_status(id, label, "queued")
+                    }
+                    None => {
+                        // Nobody can take it right now; leave it routed
+                        // to the dead worker and let the next poll (or
+                        // the prober flipping a worker back up) retry.
+                        // Burn one attempt so this terminates.
+                        job.state = CoordState::Routed {
+                            worker: failed,
+                            remote: 0,
+                            attempts: attempts + 1,
+                        };
+                        synthetic_status(id, label, "queued")
+                    }
+                }
+            }
+        }
+    }
+
+    /// `DELETE /v1/jobs/{id}`: proxy the cancel to the owning worker.
+    fn cancel(&self, id: u64) -> Option<String> {
+        let (worker, remote, done) = {
+            let reg = self.registry.lock().expect("coord registry poisoned");
+            let job = reg.jobs.get(&id)?;
+            match &job.state {
+                CoordState::Done { worker, remote, .. } => (*worker, *remote, true),
+                CoordState::Routed { worker, remote, .. } => (*worker, *remote, false),
+            }
+        };
+        if done {
+            return Some(format!(
+                "{{\"schema_version\":{SCHEMA_VERSION},\"id\":{id},\"cancelled\":true,\"was\":\"done\"}}"
+            ));
+        }
+        match self.workers[worker].client.cancel(remote) {
+            Ok(body) => Some(rewrite_id(&body, remote, id)),
+            Err(_) => Some(format!(
+                "{{\"schema_version\":{SCHEMA_VERSION},\"id\":{id},\"cancelled\":true,\"was\":\"routed\"}}"
+            )),
+        }
+    }
+
+    /// `GET /v1/jobs/{id}/trace`: proxy to wherever the job lives (or
+    /// last lived), passing the worker's status and body through.
+    fn trace(&self, id: u64, chrome: bool) -> Option<Response> {
+        let (worker, remote) = {
+            let reg = self.registry.lock().expect("coord registry poisoned");
+            let job = reg.jobs.get(&id)?;
+            match &job.state {
+                CoordState::Done { worker, remote, .. }
+                | CoordState::Routed { worker, remote, .. } => (*worker, *remote),
+            }
+        };
+        let path = if chrome {
+            format!("/v1/jobs/{remote}/trace?format=chrome")
+        } else {
+            format!("/v1/jobs/{remote}/trace")
+        };
+        match self.workers[worker].client.call("GET", &path, None) {
+            Ok(resp) => Some(Response::Json {
+                status: resp.status,
+                reason: if resp.status == 200 {
+                    "OK"
+                } else {
+                    "Not Found"
+                },
+                body: rewrite_id(&resp.body, remote, id),
+            }),
+            Err(_) => None,
+        }
+    }
+
+    /// `GET /v1/jobs` over the coordinator's registry: states are
+    /// `routed` (live on a worker) and `done`; rows carry the owning
+    /// worker's address.
+    fn list_json(&self, state: Option<&str>, cursor: Option<u64>, limit: usize) -> String {
+        let reg = self.registry.lock().expect("coord registry poisoned");
+        let mut ids: Vec<u64> = reg.jobs.keys().copied().collect();
+        ids.sort_unstable();
+        let mut rows = Vec::new();
+        let mut truncated = false;
+        let mut last_id = None;
+        for id in ids {
+            if let Some(c) = cursor {
+                if id <= c {
+                    continue;
+                }
+            }
+            let job = &reg.jobs[&id];
+            let (status, kind, worker) = match &job.state {
+                CoordState::Routed { worker, .. } => ("routed", None, *worker),
+                CoordState::Done { kind, worker, .. } => ("done", Some(kind.clone()), *worker),
+            };
+            if state.is_some_and(|want| want != status) {
+                continue;
+            }
+            if rows.len() == limit {
+                truncated = true;
+                break;
+            }
+            let mut row = format!(
+                "{{\"id\":{id},\"label\":\"{}\",\"status\":\"{status}\",\"worker\":\"{}\"",
+                json_escape(&job.label),
+                json_escape(&self.workers[worker].addr)
+            );
+            if let Some(kind) = kind {
+                row.push_str(&format!(",\"kind\":\"{}\"", json_escape(&kind)));
+            }
+            row.push('}');
+            rows.push(row);
+            last_id = Some(id);
+        }
+        crate::service::list_page_json(&rows, truncated, last_id)
+    }
+
+    /// One prober pass: `/healthz` every worker, flip the flags.
+    fn probe(&self) {
+        for w in &self.workers {
+            let alive = w.client.healthz().is_ok();
+            let was = w.up.swap(alive, Ordering::SeqCst);
+            if was != alive {
+                fts_telemetry::counter(
+                    if alive {
+                        "coordinator.workers.recovered"
+                    } else {
+                        "coordinator.workers.marked_down"
+                    },
+                    1,
+                );
+            }
+        }
+    }
+
+    /// Ids of jobs not yet terminal.
+    fn open_jobs(&self) -> Vec<u64> {
+        let reg = self.registry.lock().expect("coord registry poisoned");
+        let mut ids: Vec<u64> = reg
+            .jobs
+            .iter()
+            .filter(|(_, j)| matches!(j.state, CoordState::Routed { .. }))
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Drain: mark draining, poll every routed job to completion
+    /// (rerouting around dead workers as usual), then cascade shutdown
+    /// to the fleet when configured. Terminates because every poll of an
+    /// unreachable job burns one of its bounded route attempts.
+    fn drain(&self, cascade: bool) {
+        {
+            let mut reg = self.registry.lock().expect("coord registry poisoned");
+            reg.draining = true;
+        }
+        loop {
+            let open = self.open_jobs();
+            if open.is_empty() {
+                break;
+            }
+            for id in open {
+                let _ = self.status_json(id);
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        if cascade {
+            for w in &self.workers {
+                let _ = w.client.shutdown();
+            }
+        }
+    }
+
+    fn healthz(&self, started: Instant) -> String {
+        let g = self.gauges();
+        format!(
+            "{{\"schema_version\":{SCHEMA_VERSION},\"status\":\"ok\",\"role\":\"coordinator\",\
+             \"uptime_s\":{:.3},\"workers\":{{\"total\":{},\"up\":{}}},\
+             \"jobs\":{{\"routed\":{},\"completed\":{},\"rejected\":{},\"done_retained\":{}}}}}",
+            started.elapsed().as_secs_f64(),
+            self.workers.len(),
+            g.workers_up,
+            g.routed,
+            g.completed,
+            g.rejected,
+            g.done_retained,
+        )
+    }
+
+    fn render_metrics(&self, metrics: &HttpMetrics) -> String {
+        use std::fmt::Write as _;
+        let g = self.gauges();
+        let mut out = String::with_capacity(2048);
+        out.push_str("# fts-coordinator metrics (schema_version 1)\n");
+        let _ = writeln!(out, "fts_jobs_routed {}", g.routed);
+        let _ = writeln!(out, "fts_jobs_completed {}", g.completed);
+        let _ = writeln!(out, "fts_submissions_rejected {}", g.rejected);
+        let _ = writeln!(out, "fts_jobs_done_retained {}", g.done_retained);
+        let _ = writeln!(out, "fts_coordinator_workers {}", self.workers.len());
+        for w in &self.workers {
+            let up = u8::from(w.up.load(Ordering::SeqCst));
+            let _ = writeln!(
+                out,
+                "fts_coordinator_worker_up{{worker=\"{}\"}} {up}",
+                prom_escape(&w.addr)
+            );
+            let _ = writeln!(
+                out,
+                "fts_coordinator_worker_routed_total{{worker=\"{}\"}} {}",
+                prom_escape(&w.addr),
+                w.routed.load(Ordering::Relaxed)
+            );
+        }
+        render_http_series(&mut out, metrics);
+        render_telemetry_series(&mut out);
+        out
+    }
+}
+
+/// Rewrites the *first* `"id":<from>` member in a worker document to the
+/// coordinator-global id. Safe by construction: every proxied document's
+/// own id precedes any embedded payload (`job` rows carry labels and
+/// results but no bare `"id"` member), so the first match is always the
+/// document id — and the embedded `result` bytes are untouched, which is
+/// what keeps served results byte-identical to `fts batch`.
+fn rewrite_id(body: &str, from: u64, to: u64) -> String {
+    let needle = format!("\"id\":{from}");
+    match body.find(&needle) {
+        Some(at) => {
+            let mut out = String::with_capacity(body.len() + 8);
+            out.push_str(&body[..at]);
+            out.push_str(&format!("\"id\":{to}"));
+            out.push_str(&body[at + needle.len()..]);
+            out
+        }
+        None => body.to_owned(),
+    }
+}
+
+fn synthetic_status(id: u64, label: &str, status: &str) -> String {
+    format!(
+        "{{\"schema_version\":{SCHEMA_VERSION},\"id\":{id},\"label\":\"{}\",\"status\":\"{status}\"}}",
+        json_escape(label)
+    )
+}
+
+/// The terminal row for a job the fleet could not finish: same outer
+/// shape as a real done document, with a `failed` result carrying the
+/// reason — so `wait`-style pollers terminate instead of spinning.
+fn synthetic_failed(id: u64, label: &str, reason: &str) -> String {
+    format!(
+        "{{\"schema_version\":{SCHEMA_VERSION},\"id\":{id},\"status\":\"done\",\"kind\":\"failed\",\
+         \"job\":{{\"label\":\"{}\",\"result\":{{\"kind\":\"failed\",\"error\":\"{}\"}}}}}}",
+        json_escape(label),
+        json_escape(reason)
+    )
+}
+
+impl HttpApp for CoordService {
+    fn route(
+        &self,
+        request: &Request,
+        stop: &AtomicBool,
+        metrics: &HttpMetrics,
+        started: Instant,
+    ) -> Result<Response, HttpError> {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => json_ok(self.healthz(started)),
+            ("GET", "/metrics") => Ok(Response::Text {
+                body: self.render_metrics(metrics),
+            }),
+            ("POST", "/v1/jobs") => Ok(admission_response(self.submit_manifest(&request.body))),
+            ("POST", "/v1/decks") => Ok(admission_response(self.submit_deck(&request.body))),
+            ("GET", "/v1/jobs") => match list_params(request) {
+                Ok((state, cursor, limit)) => json_ok(self.list_json(state, cursor, limit)),
+                Err(e) => Ok(wire_error_response(&e)),
+            },
+            ("POST", "/v1/shutdown") => {
+                stop.store(true, Ordering::SeqCst);
+                json_ok(format!(
+                    "{{\"schema_version\":{SCHEMA_VERSION},\"shutting_down\":true}}"
+                ))
+            }
+            (method, path) if path.starts_with("/v1/jobs/") => {
+                let rest = &path["/v1/jobs/".len()..];
+                if let Some(id) = rest.strip_suffix("/trace") {
+                    if method != "GET" {
+                        return Err(HttpError::MethodNotAllowed);
+                    }
+                    let id: u64 = id
+                        .parse()
+                        .map_err(|_| HttpError::BadRequest(format!("bad job id in {path:?}")))?;
+                    let chrome = request.query_param("format") == Some("chrome");
+                    return self.trace(id, chrome).ok_or(HttpError::NotFound);
+                }
+                let id: u64 = rest
+                    .parse()
+                    .map_err(|_| HttpError::BadRequest(format!("bad job id in {path:?}")))?;
+                match method {
+                    "GET" => self
+                        .status_json(id)
+                        .map_or(Err(HttpError::NotFound), json_ok),
+                    "DELETE" => self.cancel(id).map_or(Err(HttpError::NotFound), json_ok),
+                    _ => Err(HttpError::MethodNotAllowed),
+                }
+            }
+            (_, "/healthz" | "/metrics" | "/v1/jobs" | "/v1/decks" | "/v1/shutdown") => {
+                Err(HttpError::MethodNotAllowed)
+            }
+            _ => Err(HttpError::NotFound),
+        }
+    }
+}
+
+/// The bound-but-not-yet-running coordinator.
+pub struct Coordinator {
+    listener: std::net::TcpListener,
+    service: Arc<CoordService>,
+    config: CoordinatorConfig,
+    stop: Arc<AtomicBool>,
+}
+
+impl Coordinator {
+    /// Binds the coordinator's listener and builds the fleet view.
+    /// `builder` is used for *validation only* — the coordinator never
+    /// runs a job itself.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` for an empty worker list; socket errors from
+    /// binding `config.addr`.
+    pub fn bind(
+        config: CoordinatorConfig,
+        builder: Arc<dyn JobBuilder>,
+    ) -> std::io::Result<Coordinator> {
+        if config.workers.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a coordinator needs at least one worker address",
+            ));
+        }
+        fts_telemetry::set_enabled(true);
+        let listener = bind_addr(&config.addr)?;
+        let service = Arc::new(CoordService::new(&config, builder));
+        Ok(Coordinator {
+            listener,
+            service,
+            config,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors querying the listener.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can request shutdown from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle::new(Arc::clone(&self.stop))
+    }
+
+    /// Runs the coordinator until shutdown, then drains (and cascades to
+    /// the fleet when configured) and returns the final report.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors configuring the listener; per-connection accept
+    /// errors are absorbed.
+    pub fn run(self) -> std::io::Result<ShutdownReport> {
+        let start = Instant::now();
+        signal::install_sigint();
+        self.listener.set_nonblocking(true)?;
+
+        let rejected_conns = AtomicU64::new(0);
+        let http_metrics = HttpMetrics::default();
+        let conn_queue = new_conn_queue();
+
+        let report = std::thread::scope(|scope| {
+            // Health prober: wakes every probe_interval until shutdown.
+            {
+                let service = Arc::clone(&self.service);
+                let stop = Arc::clone(&self.stop);
+                let interval = self.config.probe_interval;
+                scope.spawn(move || {
+                    while !stop.load(Ordering::SeqCst) && !signal::sigint_received() {
+                        service.probe();
+                        let mut slept = Duration::ZERO;
+                        while slept < interval && !stop.load(Ordering::SeqCst) {
+                            let step = Duration::from_millis(10).min(interval - slept);
+                            std::thread::sleep(step);
+                            slept += step;
+                        }
+                    }
+                });
+            }
+            spawn_conn_workers(
+                scope,
+                self.config.conn_workers,
+                &conn_queue,
+                self.service.as_ref(),
+                &self.stop,
+                &self.config.limits,
+                &http_metrics,
+                start,
+            );
+
+            accept_loop(
+                &self.listener,
+                &self.stop,
+                &conn_queue,
+                self.config.conn_backlog,
+                &self.config.limits,
+                &rejected_conns,
+            );
+
+            // Drain ordering: close the conn queue (queued connections
+            // still get answers), flip stop (prober exits), empty the
+            // coordinator, then cascade to the fleet.
+            close_conn_queue(&conn_queue);
+            self.stop.store(true, Ordering::SeqCst);
+            self.service.drain(self.config.cascade);
+
+            let g = self.service.gauges();
+            ShutdownReport {
+                jobs_completed: g.completed,
+                submissions_rejected: g.rejected,
+                connections_rejected: rejected_conns.load(Ordering::Relaxed),
+                uptime_s: start.elapsed().as_secs_f64(),
+                telemetry: fts_telemetry::snapshot().render_tree(),
+            }
+        });
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rewrite_id_touches_only_the_first_document_id() {
+        let body = "{\"schema_version\":1,\"id\":3,\"status\":\"done\",\"kind\":\"op\",\
+                    \"job\":{\"label\":\"x\",\"result\":{\"out_v\":1.0,\"id_like\":\"\\\"id\\\":3\"}}}";
+        let out = rewrite_id(body, 3, 41);
+        assert!(out.starts_with("{\"schema_version\":1,\"id\":41,"), "{out}");
+        // The embedded result bytes are untouched.
+        assert!(out.contains("\"result\":{\"out_v\":1.0,"), "{out}");
+        // A body without the remote id passes through unchanged.
+        assert_eq!(rewrite_id("{\"x\":1}", 3, 41), "{\"x\":1}");
+    }
+
+    #[test]
+    fn synthetic_failed_is_a_terminal_done_document() {
+        let body = synthetic_failed(7, "lat\"tice", "worker gone");
+        let doc = Json::parse(&body).expect("synthetic row parses");
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("done"));
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("failed"));
+        let result = doc.get("job").and_then(|j| j.get("result")).unwrap();
+        assert_eq!(result.get("kind").and_then(Json::as_str), Some("failed"));
+        assert!(result
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("worker gone"));
+    }
+
+    #[test]
+    fn empty_worker_list_refuses_to_bind() {
+        struct Never;
+        impl JobBuilder for Never {
+            fn build(
+                &self,
+                _spec: &crate::wire::JobSpec,
+                index: usize,
+            ) -> Result<crate::service::BuiltJob, WireError> {
+                Err(WireError::job("unknown_function", index, "never"))
+            }
+        }
+        let cfg = CoordinatorConfig {
+            addr: "127.0.0.1:0".into(),
+            ..CoordinatorConfig::default()
+        };
+        let Err(err) = Coordinator::bind(cfg, Arc::new(Never)) else {
+            panic!("bind must refuse an empty worker list");
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+}

@@ -17,7 +17,7 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-use crate::wire::{json_escape, SCHEMA_VERSION};
+use crate::wire::WireError;
 
 /// Size and time bounds applied to every connection.
 #[derive(Debug, Clone, Copy)]
@@ -118,9 +118,11 @@ impl HttpError {
         }
     }
 
-    /// The structured JSON error body for this failure.
+    /// The structured JSON error body for this failure — the same
+    /// [`WireError`] envelope every other endpoint speaks, so transport
+    /// failures and validation failures decode identically.
     pub fn body(&self) -> String {
-        let (code, msg): (&str, String) = match self {
+        let (code, msg): (&'static str, String) = match self {
             HttpError::BadRequest(m) => ("bad_request", m.clone()),
             HttpError::NotFound => ("not_found", "no such resource".into()),
             HttpError::MethodNotAllowed => ("method_not_allowed", "method not allowed".into()),
@@ -129,10 +131,7 @@ impl HttpError {
             HttpError::HeadersTooLarge => ("headers_too_large", "request head too large".into()),
             HttpError::ConnectionLost(m) => ("connection_lost", m.clone()),
         };
-        format!(
-            "{{\"schema_version\":{SCHEMA_VERSION},\"error\":{{\"code\":\"{code}\",\"message\":\"{}\"}}}}",
-            json_escape(&msg)
-        )
+        WireError::manifest(code, msg).to_json()
     }
 }
 

@@ -12,6 +12,7 @@
 //! | Route | Meaning |
 //! |---|---|
 //! | `POST /v1/jobs` | Submit a batch manifest (same schema as `fts batch`); returns job ids, `202` |
+//! | `GET /v1/jobs` | Bounded job listing: `?state=` filter + cursor pagination |
 //! | `GET /v1/jobs/{id}` | Job status; done jobs embed the deterministic result object |
 //! | `GET /v1/jobs/{id}/trace` | The job's flight-recorder journal (`fts-trace/1`); `?format=chrome` renders Chrome trace-event JSON for `about:tracing` |
 //! | `DELETE /v1/jobs/{id}` | Cooperative cancel via the job's `CancelToken` |
@@ -44,24 +45,39 @@
 //! a named function becomes a netlist through [`JobBuilder`] — `fts-core`
 //! implements it once and hands it to both `fts batch` and `fts serve`.
 
-#![deny(unsafe_code)] // `signal` opts out locally for the SIGINT FFI shim.
+//! # Distributed mode
+//!
+//! [`Coordinator`] puts the same wire API in front of a fleet of worker
+//! processes: submissions are validated locally, routed by consistent
+//! hash ([`ring`]) over the blocking [`WireClient`] ([`client`]), and
+//! recovered onto live workers when one dies mid-flight. See the
+//! `coordinator` module docs for the failure model and drain ordering.
+
+#![deny(unsafe_code)] // `signal`/`net` opt out locally for their libc FFI shims.
 #![warn(missing_docs)]
 
+pub mod client;
+pub mod coordinator;
 pub mod http;
+pub mod net;
+pub mod ring;
 pub mod server;
 pub mod service;
 pub mod signal;
 pub mod testing;
 pub mod wire;
 
+pub use client::{ApiError, ClientError, ClientLimits, ClientResponse, WireClient};
+pub use coordinator::{Coordinator, CoordinatorConfig};
 pub use http::{HttpError, HttpLimits, Request};
+pub use ring::HashRing;
 pub use server::{Server, ServerConfig, ServerHandle, ShutdownReport};
 pub use service::{
     build_job, BuiltJob, JobBuilder, JobService, ServiceGauges, SubmitError, TraceLookup,
-    DEFAULT_RETAIN_DONE,
+    DEFAULT_RETAIN_DONE, LIST_LIMIT_DEFAULT, LIST_LIMIT_MAX,
 };
 pub use wire::{
-    batch_report_json, job_row_json, json_escape, outcome_json, trace_chrome_json,
-    trace_journal_json, trace_object_json, AnalysisSpec, BatchManifest, JobSpec, Json, WireError,
-    MAX_JSON_DEPTH, MAX_SAMPLES_LIMIT, SCHEMA_VERSION,
+    batch_report_json, job_row_json, json_escape, outcome_json, single_job_manifest,
+    trace_chrome_json, trace_journal_json, trace_object_json, AnalysisSpec, BatchManifest, JobSpec,
+    Json, WireError, MAX_JSON_DEPTH, MAX_SAMPLES_LIMIT, SCHEMA_VERSION,
 };

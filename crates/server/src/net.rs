@@ -1,0 +1,144 @@
+//! Listener construction with `SO_REUSEADDR`.
+//!
+//! A restarting worker must rebind the *same* address its peers route to,
+//! but the dying process's connections leave sockets in `TIME_WAIT`, and
+//! a plain [`TcpListener::bind`] then fails with `EADDRINUSE` for up to a
+//! minute — which would turn every rolling restart into a routing outage.
+//! `SO_REUSEADDR` is the standard fix, and std does not expose it; as
+//! with [`signal`](crate::signal), the workspace takes no third-party
+//! dependencies, so on Linux this module declares the four libc calls
+//! needed to build the socket by hand (the C runtime is already linked).
+//! Everywhere else [`bind_reusable`] falls back to a plain bind, which
+//! only costs restart latency, not correctness.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+mod imp {
+    use std::io;
+    use std::net::{SocketAddr, TcpListener};
+    use std::os::fd::FromRawFd;
+
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+
+    /// `struct sockaddr_in` as the Linux kernel lays it out: family,
+    /// big-endian port, big-endian address, zero padding.
+    #[repr(C)]
+    struct SockaddrIn {
+        sin_family: u16,
+        sin_port: u16,
+        sin_addr: u32,
+        sin_zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockaddrIn, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    pub fn bind_reusable(addr: SocketAddr) -> io::Result<TcpListener> {
+        // Only IPv4 goes through the raw path; the server defaults to
+        // 127.0.0.1 and workers are addressed by explicit ip:port.
+        let SocketAddr::V4(v4) = addr else {
+            return TcpListener::bind(addr);
+        };
+        unsafe {
+            let fd = socket(AF_INET, SOCK_STREAM, 0);
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let fail = |fd: i32| -> io::Error {
+                let e = io::Error::last_os_error();
+                close(fd);
+                e
+            };
+            let one: i32 = 1;
+            #[allow(clippy::cast_possible_truncation)]
+            let optlen = std::mem::size_of::<i32>() as u32;
+            if setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, optlen) != 0 {
+                return Err(fail(fd));
+            }
+            let sa = SockaddrIn {
+                sin_family: AF_INET as u16,
+                sin_port: v4.port().to_be(),
+                sin_addr: u32::from_be_bytes(v4.ip().octets()).to_be(),
+                sin_zero: [0; 8],
+            };
+            #[allow(clippy::cast_possible_truncation)]
+            let salen = std::mem::size_of::<SockaddrIn>() as u32;
+            if bind(fd, &sa, salen) != 0 {
+                return Err(fail(fd));
+            }
+            if listen(fd, 128) != 0 {
+                return Err(fail(fd));
+            }
+            Ok(TcpListener::from_raw_fd(fd))
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use std::io;
+    use std::net::{SocketAddr, TcpListener};
+
+    pub fn bind_reusable(addr: SocketAddr) -> io::Result<TcpListener> {
+        TcpListener::bind(addr)
+    }
+}
+
+/// Binds a listener with `SO_REUSEADDR` set (Linux IPv4; plain bind
+/// elsewhere), so a restarted server can reclaim its address while old
+/// connections sit in `TIME_WAIT`.
+///
+/// # Errors
+///
+/// Propagates socket creation/bind/listen failures as [`io::Error`] with
+/// the OS errno attached.
+pub fn bind_reusable(addr: SocketAddr) -> io::Result<TcpListener> {
+    imp::bind_reusable(addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binds_and_reports_local_addr() {
+        let l = bind_reusable("127.0.0.1:0".parse().unwrap()).unwrap();
+        let got = l.local_addr().unwrap();
+        assert_eq!(got.ip().to_string(), "127.0.0.1");
+        assert_ne!(got.port(), 0);
+    }
+
+    #[test]
+    fn same_port_rebind_succeeds_after_drop() {
+        let first = bind_reusable("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = first.local_addr().unwrap();
+        // Hold a connection so the listener side has live state, then
+        // drop everything and immediately rebind the identical port.
+        let c = std::net::TcpStream::connect(addr).unwrap();
+        drop(c);
+        drop(first);
+        let second = bind_reusable(addr).unwrap();
+        assert_eq!(second.local_addr().unwrap(), addr);
+    }
+
+    #[test]
+    fn accepts_a_connection() {
+        let l = bind_reusable("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = l.local_addr().unwrap();
+        let t = std::thread::spawn(move || std::net::TcpStream::connect(addr).is_ok());
+        let (_s, peer) = l.accept().unwrap();
+        assert_eq!(peer.ip().to_string(), "127.0.0.1");
+        assert!(t.join().unwrap());
+    }
+}

@@ -1,0 +1,180 @@
+//! Consistent-hash ring for coordinator → worker routing.
+//!
+//! The ring is a pure function of the worker address list: each worker
+//! contributes [`VNODES_PER_WORKER`] virtual nodes at positions
+//! `fnv1a64("{addr}#{v}")`, and a key routes to the first vnode at or
+//! after `fnv1a64(key)` (wrapping). Two coordinators configured with the
+//! same `--workers-addrs` therefore route identically — restart-stable
+//! with no persisted state — and adding or removing one worker only
+//! remaps the keys that landed on that worker's vnode arcs, ~K/N of them
+//! (the property test in `tests/ring_props.rs` bounds this).
+//!
+//! Liveness is deliberately not the ring's concern: the ring answers
+//! "where does this key *want* to go" via [`HashRing::route`] and "in
+//! what order do we try the others" via [`HashRing::candidates`]; the
+//! coordinator overlays its health view on that fixed order.
+
+/// Virtual nodes per worker. Enough that per-worker load imbalance stays
+/// within a few percent for small fleets, small enough that building the
+/// ring is trivially cheap.
+pub const VNODES_PER_WORKER: usize = 160;
+
+/// 64-bit FNV-1a. Stable, dependency-free, and good enough dispersion
+/// for vnode placement (this is routing, not cryptography).
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A consistent-hash ring over a fixed list of workers, addressed by
+/// index into the list the ring was built from.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(vnode position, worker index)`, sorted by position.
+    points: Vec<(u64, usize)>,
+    workers: usize,
+}
+
+impl HashRing {
+    /// Builds the ring for `workers` (their wire addresses). The ring is
+    /// deterministic in the list contents: order matters only for which
+    /// *index* a worker gets, not where its vnodes land.
+    #[must_use]
+    pub fn new<S: AsRef<str>>(workers: &[S]) -> HashRing {
+        let mut points = Vec::with_capacity(workers.len() * VNODES_PER_WORKER);
+        for (w, addr) in workers.iter().enumerate() {
+            for v in 0..VNODES_PER_WORKER {
+                let label = format!("{}#{v}", addr.as_ref());
+                points.push((fnv1a64(label.as_bytes()), w));
+            }
+        }
+        // Position ties across distinct workers are broken by index so the
+        // sort (and thus routing) never depends on sort stability.
+        points.sort_unstable();
+        HashRing {
+            points,
+            workers: workers.len(),
+        }
+    }
+
+    /// Number of workers the ring was built over.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Hashes a job id onto the ring keyspace. Ids are small sequential
+    /// integers, so they are hashed (little-endian bytes) rather than
+    /// used directly — otherwise every id would land in one arc.
+    #[must_use]
+    pub fn key_for_id(id: u64) -> u64 {
+        fnv1a64(&id.to_le_bytes())
+    }
+
+    /// The worker index owning `key`: the first vnode clockwise from
+    /// `key`, wrapping at the top of the keyspace. `None` iff the ring
+    /// is empty.
+    #[must_use]
+    pub fn route(&self, key: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let at = self.points.partition_point(|&(pos, _)| pos < key);
+        let (_, worker) = self.points[at % self.points.len()];
+        Some(worker)
+    }
+
+    /// Every worker index in ring order starting from `key`'s owner —
+    /// the deterministic failover sequence. The first entry equals
+    /// [`route`](HashRing::route); each later entry is the next distinct
+    /// worker clockwise.
+    #[must_use]
+    pub fn candidates(&self, key: u64) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.workers);
+        if self.points.is_empty() {
+            return order;
+        }
+        let start = self.points.partition_point(|&(pos, _)| pos < key);
+        let mut seen = vec![false; self.workers];
+        for i in 0..self.points.len() {
+            let (_, worker) = self.points[(start + i) % self.points.len()];
+            if !seen[worker] {
+                seen[worker] = true;
+                order.push(worker);
+                if order.len() == self.workers {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect()
+    }
+
+    #[test]
+    fn empty_ring_routes_nowhere() {
+        let ring = HashRing::new::<&str>(&[]);
+        assert_eq!(ring.route(42), None);
+        assert!(ring.candidates(42).is_empty());
+    }
+
+    #[test]
+    fn single_worker_owns_everything() {
+        let ring = HashRing::new(&addrs(1));
+        for id in 0..64 {
+            assert_eq!(ring.route(HashRing::key_for_id(id)), Some(0));
+        }
+    }
+
+    #[test]
+    fn candidates_start_at_route_and_cover_all_workers() {
+        let ring = HashRing::new(&addrs(4));
+        for id in 0..256 {
+            let key = HashRing::key_for_id(id);
+            let c = ring.candidates(key);
+            assert_eq!(c.len(), 4);
+            assert_eq!(c[0], ring.route(key).unwrap());
+            let mut sorted = c.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn load_spreads_across_workers() {
+        let ring = HashRing::new(&addrs(4));
+        let mut counts = [0usize; 4];
+        for id in 0..4000 {
+            counts[ring.route(HashRing::key_for_id(id)).unwrap()] += 1;
+        }
+        // With 160 vnodes/worker the split is within ~2x of fair; what we
+        // actually require is that nobody is starved or dominant.
+        for &c in &counts {
+            assert!(c > 400, "worker starved: {counts:?}");
+            assert!(c < 2200, "worker dominant: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn rebuilding_the_same_ring_routes_identically() {
+        let a = HashRing::new(&addrs(3));
+        let b = HashRing::new(&addrs(3));
+        for id in 0..512 {
+            let key = HashRing::key_for_id(id);
+            assert_eq!(a.route(key), b.route(key));
+            assert_eq!(a.candidates(key), b.candidates(key));
+        }
+    }
+}

@@ -18,15 +18,30 @@
 
 use std::collections::VecDeque;
 use std::io::Write;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::http::{self, HttpError, HttpLimits, Request};
-use crate::service::{JobBuilder, JobService, SubmitError, TraceLookup};
+use crate::service::{
+    JobBuilder, JobService, SubmitError, TraceLookup, LIST_LIMIT_DEFAULT, LIST_LIMIT_MAX,
+};
 use crate::signal;
 use crate::wire::{BatchManifest, WireError, SCHEMA_VERSION};
+
+/// Resolves a config address string and binds it with `SO_REUSEADDR`
+/// (see [`crate::net`]) — shared by the single-process server and the
+/// coordinator so both survive same-port restarts.
+pub(crate) fn bind_addr(addr: &str) -> std::io::Result<TcpListener> {
+    let sockaddr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("{addr:?} resolves to no address"),
+        )
+    })?;
+    crate::net::bind_reusable(sockaddr)
+}
 
 /// Server tunables; every field has a production-safe default.
 #[derive(Debug, Clone)]
@@ -75,6 +90,10 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
+    pub(crate) fn new(stop: Arc<AtomicBool>) -> ServerHandle {
+        ServerHandle { stop }
+    }
+
     /// Requests graceful shutdown (stop accepting, drain, report).
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
@@ -115,7 +134,7 @@ impl Server {
     /// Socket errors from binding `config.addr`.
     pub fn bind(config: ServerConfig, builder: Arc<dyn JobBuilder>) -> std::io::Result<Server> {
         fts_telemetry::set_enabled(true);
-        let listener = TcpListener::bind(&config.addr)?;
+        let listener = bind_addr(&config.addr)?;
         let service = Arc::new(
             JobService::new(builder, config.queue_depth, config.retain_done)
                 .trace_capacity(config.trace_events),
@@ -161,69 +180,38 @@ impl Server {
         } else {
             self.config.workers
         };
-        let rejected_conns = std::sync::atomic::AtomicU64::new(0);
+        let rejected_conns = AtomicU64::new(0);
         let http_metrics = HttpMetrics::default();
-
-        let conn_queue: Arc<(Mutex<ConnQueue>, Condvar)> = Arc::new((
-            Mutex::new(ConnQueue {
-                conns: VecDeque::new(),
-                closed: false,
-            }),
-            Condvar::new(),
-        ));
+        let conn_queue = new_conn_queue();
 
         let report = std::thread::scope(|scope| {
             for _ in 0..sim_workers {
                 let service = Arc::clone(&self.service);
                 scope.spawn(move || service.worker_loop());
             }
-            for _ in 0..self.config.conn_workers.max(1) {
-                let service = Arc::clone(&self.service);
-                let queue = Arc::clone(&conn_queue);
-                let stop = Arc::clone(&self.stop);
-                let limits = self.config.limits;
-                let metrics = &http_metrics;
-                scope.spawn(move || {
-                    connection_worker(&queue, &service, &stop, &limits, metrics, start);
-                });
-            }
+            spawn_conn_workers(
+                scope,
+                self.config.conn_workers,
+                &conn_queue,
+                self.service.as_ref(),
+                &self.stop,
+                &self.config.limits,
+                &http_metrics,
+                start,
+            );
 
-            // Accept loop: poll the nonblocking listener, checking the
-            // shutdown flag (handle, /v1/shutdown, or SIGINT) each pass.
-            loop {
-                if self.stop.load(Ordering::SeqCst) || signal::sigint_received() {
-                    break;
-                }
-                match self.listener.accept() {
-                    Ok((stream, _)) => {
-                        fts_telemetry::counter("server.http.accepted", 1);
-                        let (lock, cv) = &*conn_queue;
-                        let mut q = lock.lock().expect("conn queue poisoned");
-                        if q.conns.len() >= self.config.conn_backlog {
-                            drop(q);
-                            rejected_conns.fetch_add(1, Ordering::Relaxed);
-                            fts_telemetry::counter("server.http.backlog_rejected", 1);
-                            reject_overloaded(stream, &self.config.limits);
-                        } else {
-                            q.conns.push_back(stream);
-                            cv.notify_one();
-                        }
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(1));
-                    }
-                    Err(_) => std::thread::sleep(Duration::from_millis(1)),
-                }
-            }
+            accept_loop(
+                &self.listener,
+                &self.stop,
+                &conn_queue,
+                self.config.conn_backlog,
+                &self.config.limits,
+                &rejected_conns,
+            );
 
             // Drain: serve already-accepted connections, then let every
             // admitted job finish, then let workers observe the flags.
-            {
-                let (lock, cv) = &*conn_queue;
-                let mut q = lock.lock().expect("conn queue poisoned");
-                q.closed = true;
-                cv.notify_all();
-            }
+            close_conn_queue(&conn_queue);
             self.stop.store(true, Ordering::SeqCst);
             self.service.drain();
             // Scope join waits for conn workers (they exit once the queue
@@ -242,9 +230,116 @@ impl Server {
     }
 }
 
-struct ConnQueue {
+/// The routing half of an HTTP service: everything above the shared
+/// accept loop / connection worker / metrics machinery. The
+/// single-process server implements it on [`JobService`]; the
+/// coordinator implements it on its own registry — both run behind the
+/// identical transport discipline.
+pub(crate) trait HttpApp: Sync {
+    /// Routes one parsed request to a response.
+    fn route(
+        &self,
+        request: &Request,
+        stop: &AtomicBool,
+        metrics: &HttpMetrics,
+        started: Instant,
+    ) -> Result<Response, HttpError>;
+}
+
+impl HttpApp for JobService {
+    fn route(
+        &self,
+        request: &Request,
+        stop: &AtomicBool,
+        metrics: &HttpMetrics,
+        started: Instant,
+    ) -> Result<Response, HttpError> {
+        route(request, self, stop, metrics, started)
+    }
+}
+
+pub(crate) struct ConnQueue {
     conns: VecDeque<TcpStream>,
     closed: bool,
+}
+
+pub(crate) type SharedConnQueue = Arc<(Mutex<ConnQueue>, Condvar)>;
+
+pub(crate) fn new_conn_queue() -> SharedConnQueue {
+    Arc::new((
+        Mutex::new(ConnQueue {
+            conns: VecDeque::new(),
+            closed: false,
+        }),
+        Condvar::new(),
+    ))
+}
+
+/// Closes the queue; connection workers exit once it is also empty.
+pub(crate) fn close_conn_queue(queue: &SharedConnQueue) {
+    let (lock, cv) = &**queue;
+    let mut q = lock.lock().expect("conn queue poisoned");
+    q.closed = true;
+    cv.notify_all();
+}
+
+/// Spawns the connection worker pool onto `scope`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn spawn_conn_workers<'scope, 'env>(
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    count: usize,
+    queue: &'env SharedConnQueue,
+    app: &'env (impl HttpApp + ?Sized),
+    stop: &'env Arc<AtomicBool>,
+    limits: &'env HttpLimits,
+    metrics: &'env HttpMetrics,
+    started: Instant,
+) {
+    for _ in 0..count.max(1) {
+        let queue = Arc::clone(queue);
+        let stop = Arc::clone(stop);
+        scope.spawn(move || {
+            connection_worker(&queue, app, &stop, limits, metrics, started);
+        });
+    }
+}
+
+/// The shared nonblocking accept loop: poll the listener, push accepted
+/// sockets onto the bounded queue, answer backlog overflow with a canned
+/// `429`. Returns when the stop flag flips or SIGINT lands.
+pub(crate) fn accept_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    queue: &SharedConnQueue,
+    conn_backlog: usize,
+    limits: &HttpLimits,
+    rejected_conns: &AtomicU64,
+) {
+    loop {
+        if stop.load(Ordering::SeqCst) || signal::sigint_received() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                fts_telemetry::counter("server.http.accepted", 1);
+                let (lock, cv) = &**queue;
+                let mut q = lock.lock().expect("conn queue poisoned");
+                if q.conns.len() >= conn_backlog {
+                    drop(q);
+                    rejected_conns.fetch_add(1, Ordering::Relaxed);
+                    fts_telemetry::counter("server.http.backlog_rejected", 1);
+                    reject_overloaded(stream, limits);
+                } else {
+                    q.conns.push_back(stream);
+                    cv.notify_one();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
 }
 
 /// One connection worker: pull sockets and serve them until the queue is
@@ -253,7 +348,7 @@ struct ConnQueue {
 /// answer.
 fn connection_worker(
     queue: &(Mutex<ConnQueue>, Condvar),
-    service: &JobService,
+    app: &(impl HttpApp + ?Sized),
     stop: &AtomicBool,
     limits: &HttpLimits,
     metrics: &HttpMetrics,
@@ -273,16 +368,14 @@ fn connection_worker(
                 q = cv.wait(q).expect("conn queue poisoned");
             }
         };
-        handle_connection(stream, service, stop, limits, metrics, started);
+        handle_connection(stream, app, stop, limits, metrics, started);
     }
 }
 
 /// Answers an over-backlog connection with a canned `429` and closes it.
 fn reject_overloaded(mut stream: TcpStream, limits: &HttpLimits) {
     let _ = stream.set_write_timeout(Some(limits.write_timeout));
-    let body = format!(
-        "{{\"schema_version\":{SCHEMA_VERSION},\"error\":{{\"code\":\"overloaded\",\"message\":\"connection backlog full\"}}}}"
-    );
+    let body = WireError::manifest("overloaded", "connection backlog full").to_json();
     let bytes = http::response_bytes(429, "Too Many Requests", "application/json", &body);
     let _ = stream.write_all(&bytes);
 }
@@ -291,7 +384,7 @@ fn reject_overloaded(mut stream: TcpStream, limits: &HttpLimits) {
 /// per-endpoint counters and the sliding latency window.
 fn handle_connection(
     mut stream: TcpStream,
-    service: &JobService,
+    app: &(impl HttpApp + ?Sized),
     stop: &AtomicBool,
     limits: &HttpLimits,
     metrics: &HttpMetrics,
@@ -311,7 +404,7 @@ fn handle_connection(
     };
     let method = method_label(&request.method);
     let path = route_template(&request.path);
-    let status = match route(&request, service, stop, metrics, started) {
+    let status = match app.route(&request, stop, metrics, started) {
         Ok(Response::Json {
             status,
             reason,
@@ -338,7 +431,7 @@ fn handle_connection(
 }
 
 #[derive(Debug)]
-enum Response {
+pub(crate) enum Response {
     Json {
         status: u16,
         reason: &'static str,
@@ -349,7 +442,7 @@ enum Response {
     },
 }
 
-fn json_ok(body: String) -> Result<Response, HttpError> {
+pub(crate) fn json_ok(body: String) -> Result<Response, HttpError> {
     Ok(Response::Json {
         status: 200,
         reason: "OK",
@@ -384,6 +477,10 @@ fn route(
             body: render_metrics(service, metrics),
         }),
         ("POST", "/v1/jobs") => submit(request, service),
+        ("GET", "/v1/jobs") => match list_params(request) {
+            Ok((state, cursor, limit)) => json_ok(service.list_json(state, cursor, limit)),
+            Err(e) => Ok(wire_error_response(&e)),
+        },
         ("POST", "/v1/decks") => submit_deck(request, service),
         ("POST", "/v1/shutdown") => {
             stop.store(true, Ordering::SeqCst);
@@ -435,12 +532,56 @@ fn trace_response(lookup: TraceLookup) -> Result<Response, HttpError> {
         TraceLookup::Disabled => Ok(Response::Json {
             status: 404,
             reason: "Not Found",
-            body: format!(
-                "{{\"schema_version\":{SCHEMA_VERSION},\"error\":{{\"code\":\"trace_disabled\",\
-                 \"message\":\"flight recorder disabled (server runs with trace_events = 0)\"}}}}"
-            ),
+            body: WireError::manifest(
+                "trace_disabled",
+                "flight recorder disabled (server runs with trace_events = 0)",
+            )
+            .to_json(),
         }),
     }
+}
+
+/// Validates `GET /v1/jobs` query parameters. Violations are structured
+/// `400`s with stable codes (`unknown_state`, `bad_cursor`,
+/// `invalid_limit`) rather than silent clamping, so clients learn the
+/// caps ([`LIST_LIMIT_MAX`]).
+pub(crate) fn list_params(
+    request: &Request,
+) -> Result<(Option<&str>, Option<u64>, usize), WireError> {
+    // `routed` only ever matches on a coordinator, whose jobs live on
+    // remote workers; a single-process server simply has none.
+    let state = match request.query_param("state") {
+        None => None,
+        Some(s @ ("queued" | "running" | "done" | "routed")) => Some(s),
+        Some(other) => {
+            return Err(WireError::manifest(
+                "unknown_state",
+                format!("state must be queued, running, routed, or done, not {other:?}"),
+            ))
+        }
+    };
+    let cursor = match request.query_param("cursor") {
+        None => None,
+        Some(c) => Some(c.parse::<u64>().map_err(|_| {
+            WireError::manifest(
+                "bad_cursor",
+                format!("cursor must be a job id (unsigned integer), not {c:?}"),
+            )
+        })?),
+    };
+    let limit = match request.query_param("limit") {
+        None => LIST_LIMIT_DEFAULT,
+        Some(l) => match l.parse::<usize>() {
+            Ok(n) if (1..=LIST_LIMIT_MAX).contains(&n) => n,
+            _ => {
+                return Err(WireError::manifest(
+                    "invalid_limit",
+                    format!("limit must be in 1..={LIST_LIMIT_MAX}, not {l:?}"),
+                ))
+            }
+        },
+    };
+    Ok((state, cursor, limit))
 }
 
 /// `POST /v1/jobs`: parse the JSON manifest, validate, admit.
@@ -465,8 +606,9 @@ fn submit_deck(request: &Request, service: &JobService) -> Result<Response, Http
 }
 
 /// Renders the shared admission outcome: `202` with ids, or the
-/// structured `400`/`429`/`503` bodies.
-fn admission_response(result: Result<Vec<u64>, SubmitError>) -> Response {
+/// structured `400`/`429`/`503` bodies — every error through the one
+/// [`WireError`] envelope.
+pub(crate) fn admission_response(result: Result<Vec<u64>, SubmitError>) -> Response {
     match result {
         Ok(ids) => {
             let ids: Vec<String> = ids.iter().map(u64::to_string).collect();
@@ -483,21 +625,23 @@ fn admission_response(result: Result<Vec<u64>, SubmitError>) -> Response {
         Err(SubmitError::Overloaded { queued, depth }) => Response::Json {
             status: 429,
             reason: "Too Many Requests",
-            body: format!(
-                "{{\"schema_version\":{SCHEMA_VERSION},\"error\":{{\"code\":\"overloaded\",\"message\":\"queue full ({queued}/{depth})\"}}}}"
-            ),
+            body: WireError::manifest("overloaded", format!("queue full ({queued}/{depth})"))
+                .to_json(),
         },
         Err(SubmitError::ShuttingDown) => Response::Json {
             status: 503,
             reason: "Service Unavailable",
-            body: format!(
-                "{{\"schema_version\":{SCHEMA_VERSION},\"error\":{{\"code\":\"shutting_down\",\"message\":\"server is draining\"}}}}"
-            ),
+            body: WireError::manifest("shutting_down", "server is draining").to_json(),
+        },
+        Err(SubmitError::Unavailable(message)) => Response::Json {
+            status: 503,
+            reason: "Service Unavailable",
+            body: WireError::manifest("no_workers", message).to_json(),
         },
     }
 }
 
-fn wire_error_response(e: &WireError) -> Response {
+pub(crate) fn wire_error_response(e: &WireError) -> Response {
     Response::Json {
         status: 400,
         reason: "Bad Request",
@@ -518,7 +662,7 @@ const LATENCY_WINDOW: usize = 512;
 /// [`route_template`]) before they become keys, so a hostile client
 /// spraying random paths cannot grow this map.
 #[derive(Default)]
-struct HttpMetrics {
+pub(crate) struct HttpMetrics {
     counters: Mutex<std::collections::BTreeMap<(&'static str, &'static str, u16), u64>>,
     latency: Mutex<LatencyRing>,
 }
@@ -532,7 +676,13 @@ struct LatencyRing {
 
 impl HttpMetrics {
     /// Books one finished request into the counters and latency window.
-    fn record(&self, method: &'static str, path: &'static str, status: u16, latency_s: f64) {
+    pub(crate) fn record(
+        &self,
+        method: &'static str,
+        path: &'static str,
+        status: u16,
+        latency_s: f64,
+    ) {
         {
             let mut counters = self.counters.lock().expect("http counters poisoned");
             *counters.entry((method, path, status)).or_insert(0) += 1;
@@ -558,7 +708,7 @@ impl HttpMetrics {
 }
 
 /// Normalizes a request method into a bounded label vocabulary.
-fn method_label(method: &str) -> &'static str {
+pub(crate) fn method_label(method: &str) -> &'static str {
     match method {
         "GET" => "GET",
         "POST" => "POST",
@@ -572,7 +722,7 @@ fn method_label(method: &str) -> &'static str {
 
 /// Normalizes a request path into its route template, collapsing job ids
 /// so `/v1/jobs/17` and `/v1/jobs/99` share one `{id}` time series.
-fn route_template(path: &str) -> &'static str {
+pub(crate) fn route_template(path: &str) -> &'static str {
     match path {
         "/healthz" => "/healthz",
         "/metrics" => "/metrics",
@@ -593,7 +743,7 @@ fn route_template(path: &str) -> &'static str {
 /// Escapes a Prometheus label *value* per the text exposition format:
 /// backslash, double quote, and newline must be backslash-escaped or the
 /// sample line is unparseable (a newline would even split it in two).
-fn prom_escape(s: &str) -> String {
+pub(crate) fn prom_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -608,7 +758,7 @@ fn prom_escape(s: &str) -> String {
 
 /// Clamps a metric value to something every scraper can parse: `NaN` and
 /// infinities render as `0`.
-fn prom_num(v: f64) -> f64 {
+pub(crate) fn prom_num(v: f64) -> f64 {
     if v.is_finite() {
         v
     } else {
@@ -626,17 +776,27 @@ fn prom_num(v: f64) -> f64 {
 /// an empty histogram has no meaningful mean or percentile, so those
 /// lines are skipped rather than invented.
 fn render_metrics(service: &JobService, metrics: &HttpMetrics) -> String {
-    use std::fmt::Write as _;
     let gauges = service.gauges();
     let mut out = String::with_capacity(2048);
     out.push_str("# fts-server metrics (schema_version 1)\n");
-    let _ = writeln!(out, "fts_jobs_queued {}", gauges.queued);
-    let _ = writeln!(out, "fts_jobs_running {}", gauges.running);
-    let _ = writeln!(out, "fts_jobs_completed {}", gauges.completed);
-    let _ = writeln!(out, "fts_submissions_rejected {}", gauges.rejected);
-    let _ = writeln!(out, "fts_queue_depth {}", gauges.queue_depth);
-    let _ = writeln!(out, "fts_jobs_done_retained {}", gauges.done_retained);
+    {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "fts_jobs_queued {}", gauges.queued);
+        let _ = writeln!(out, "fts_jobs_running {}", gauges.running);
+        let _ = writeln!(out, "fts_jobs_completed {}", gauges.completed);
+        let _ = writeln!(out, "fts_submissions_rejected {}", gauges.rejected);
+        let _ = writeln!(out, "fts_queue_depth {}", gauges.queue_depth);
+        let _ = writeln!(out, "fts_jobs_done_retained {}", gauges.done_retained);
+    }
+    render_http_series(&mut out, metrics);
+    render_telemetry_series(&mut out);
+    out
+}
 
+/// Appends the live per-endpoint HTTP series (request counters + latency
+/// window percentiles) — shared between server and coordinator scrapes.
+pub(crate) fn render_http_series(out: &mut String, metrics: &HttpMetrics) {
+    use std::fmt::Write as _;
     {
         let counters = metrics.counters.lock().expect("http counters poisoned");
         for (&(method, path, status), &n) in counters.iter() {
@@ -660,7 +820,12 @@ fn render_metrics(service: &JobService, metrics: &HttpMetrics) -> String {
         let _ = writeln!(out, "fts_http_latency_window_p90_s {}", at(0.90));
         let _ = writeln!(out, "fts_http_latency_window_p99_s {}", at(0.99));
     }
+}
 
+/// Appends every fts-telemetry counter and histogram — shared between
+/// server and coordinator scrapes.
+pub(crate) fn render_telemetry_series(out: &mut String) {
+    use std::fmt::Write as _;
     let report = fts_telemetry::snapshot();
     for c in &report.counters {
         let _ = writeln!(
@@ -698,7 +863,6 @@ fn render_metrics(service: &JobService, metrics: &HttpMetrics) -> String {
             prom_num(s.p99)
         );
     }
-    out
 }
 
 #[cfg(test)]
@@ -850,6 +1014,101 @@ mod tests {
         match route(&req, &svc, &stop, &metrics, Instant::now()) {
             Err(HttpError::MethodNotAllowed) => {}
             other => panic!("expected MethodNotAllowed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn list_route_validates_its_query_parameters() {
+        let svc = service();
+        let metrics = HttpMetrics::default();
+        let stop = AtomicBool::new(false);
+
+        // Empty registry: a well-formed empty page.
+        let req = get("/v1/jobs", "");
+        let Ok(Response::Json { status, body, .. }) =
+            route(&req, &svc, &stop, &metrics, Instant::now())
+        else {
+            panic!("listing must answer JSON");
+        };
+        assert_eq!(status, 200);
+        assert!(body.contains("\"jobs\":[]"), "{body}");
+
+        // Each violation is a structured 400 with its own stable code.
+        for (query, code) in [
+            ("state=zombie", "unknown_state"),
+            ("cursor=-1", "bad_cursor"),
+            ("cursor=abc", "bad_cursor"),
+            ("limit=0", "invalid_limit"),
+            ("limit=501", "invalid_limit"),
+        ] {
+            let req = get("/v1/jobs", query);
+            let Ok(Response::Json { status, body, .. }) =
+                route(&req, &svc, &stop, &metrics, Instant::now())
+            else {
+                panic!("{query}: must answer JSON");
+            };
+            assert_eq!(status, 400, "{query}: {body}");
+            assert!(
+                body.contains(&format!("\"code\":\"{code}\"")),
+                "{query}: {body}"
+            );
+        }
+
+        // In-range parameters pass through.
+        let req = get("/v1/jobs", "state=done&cursor=3&limit=500");
+        let Ok(Response::Json { status, .. }) = route(&req, &svc, &stop, &metrics, Instant::now())
+        else {
+            panic!("listing must answer JSON");
+        };
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn every_error_body_carries_the_wire_envelope() {
+        // The unified envelope: transport-layer errors, admission
+        // rejections, and trace-disabled all render the same
+        // {"schema_version":1,"error":{"code","message"}} shape.
+        let bodies = [
+            HttpError::NotFound.body(),
+            HttpError::MethodNotAllowed.body(),
+            HttpError::BadRequest("x".into()).body(),
+            match admission_response(Err(SubmitError::Overloaded {
+                queued: 1,
+                depth: 2,
+            })) {
+                Response::Json { body, .. } => body,
+                Response::Text { .. } => unreachable!(),
+            },
+            match admission_response(Err(SubmitError::ShuttingDown)) {
+                Response::Json { body, .. } => body,
+                Response::Text { .. } => unreachable!(),
+            },
+            match admission_response(Err(SubmitError::Unavailable("all down".into()))) {
+                Response::Json { body, .. } => body,
+                Response::Text { .. } => unreachable!(),
+            },
+            match trace_response(TraceLookup::Disabled).unwrap() {
+                Response::Json { body, .. } => body,
+                Response::Text { .. } => unreachable!(),
+            },
+        ];
+        for body in bodies {
+            let doc = crate::wire::Json::parse(&body).expect("envelope parses");
+            assert_eq!(
+                doc.get("schema_version")
+                    .and_then(crate::wire::Json::as_f64),
+                Some(1.0),
+                "{body}"
+            );
+            let err = doc.get("error").expect("error object");
+            assert!(err
+                .get("code")
+                .and_then(crate::wire::Json::as_str)
+                .is_some());
+            assert!(err
+                .get("message")
+                .and_then(crate::wire::Json::as_str)
+                .is_some());
         }
     }
 

@@ -166,6 +166,10 @@ pub enum SubmitError {
     },
     /// The service is draining for shutdown (→ `503`).
     ShuttingDown,
+    /// No backend can take the work right now (→ `503` with code
+    /// `no_workers`). Only the coordinator produces this: its validation
+    /// passed but every routable worker was down or refused.
+    Unavailable(String),
 }
 
 enum JobState {
@@ -222,6 +226,32 @@ pub struct ServiceGauges {
 /// Default for [`JobService::new`]'s `retain_done`: how many finished
 /// job rows stay retrievable before the oldest are evicted.
 pub const DEFAULT_RETAIN_DONE: usize = 256;
+
+/// `GET /v1/jobs` page size when the request has no `limit`.
+pub const LIST_LIMIT_DEFAULT: usize = 50;
+
+/// Largest accepted `GET /v1/jobs` `limit`; bigger asks are a structured
+/// `400`, not a silent clamp, so clients learn the cap.
+pub const LIST_LIMIT_MAX: usize = 500;
+
+/// Renders one `GET /v1/jobs` page: `rows` (each already a JSON object)
+/// plus `next_cursor` when `truncated` says there is more. Shared by the
+/// single-process server and the coordinator so both listings carry the
+/// identical shape.
+#[must_use]
+pub fn list_page_json(rows: &[String], truncated: bool, last_id: Option<u64>) -> String {
+    let mut doc = format!(
+        "{{\"schema_version\":{SCHEMA_VERSION},\"jobs\":[{}]",
+        rows.join(",")
+    );
+    if truncated {
+        if let Some(last) = last_id {
+            doc.push_str(&format!(",\"next_cursor\":{last}"));
+        }
+    }
+    doc.push('}');
+    doc
+}
 
 /// Result of a `GET /v1/jobs/{id}/trace` lookup.
 pub enum TraceLookup {
@@ -505,6 +535,51 @@ impl JobService {
         while !reg.pending.is_empty() || reg.running > 0 {
             reg = self.job_done.wait(reg).expect("registry poisoned");
         }
+    }
+
+    /// One page of `GET /v1/jobs`: summary rows for registered jobs with
+    /// id > `cursor`, ascending by id, at most `limit` of them. `state`
+    /// (already validated by the route layer) keeps only jobs in that
+    /// state. The page carries `next_cursor` — the last id returned —
+    /// exactly when more matching jobs exist beyond it.
+    pub fn list_json(&self, state: Option<&str>, cursor: Option<u64>, limit: usize) -> String {
+        let reg = self.registry.lock().expect("registry poisoned");
+        let mut ids: Vec<u64> = reg.jobs.keys().copied().collect();
+        ids.sort_unstable();
+        let mut rows = Vec::new();
+        let mut truncated = false;
+        let mut last_id = None;
+        for id in ids {
+            if let Some(c) = cursor {
+                if id <= c {
+                    continue;
+                }
+            }
+            let entry = &reg.jobs[&id];
+            let (status, kind) = match &entry.state {
+                JobState::Queued => ("queued", None),
+                JobState::Running => ("running", None),
+                JobState::Done { kind, .. } => ("done", Some(*kind)),
+            };
+            if state.is_some_and(|want| want != status) {
+                continue;
+            }
+            if rows.len() == limit {
+                truncated = true;
+                break;
+            }
+            let mut row = format!(
+                "{{\"id\":{id},\"label\":\"{}\",\"status\":\"{status}\"",
+                json_escape(&entry.label)
+            );
+            if let Some(kind) = kind {
+                row.push_str(&format!(",\"kind\":\"{kind}\""));
+            }
+            row.push('}');
+            rows.push(row);
+            last_id = Some(id);
+        }
+        list_page_json(&rows, truncated, last_id)
     }
 
     /// Live gauges for `/metrics`.
@@ -806,6 +881,86 @@ mod tests {
         let done = svc.status_json(ids[0]).unwrap();
         assert!(done.contains("\"kind\":\"cancelled\""), "{done}");
         assert!(svc.cancel(77).is_none());
+    }
+
+    #[test]
+    fn listing_pages_by_cursor_and_filters_by_state() {
+        let svc = service(16);
+        let ids = svc.submit(&manifest(5)).unwrap();
+        // All queued: a full unfiltered page has every job, no cursor.
+        let page = crate::wire::Json::parse(&svc.list_json(None, None, 50)).unwrap();
+        let jobs = page
+            .get("jobs")
+            .and_then(crate::wire::Json::as_array)
+            .unwrap();
+        assert_eq!(jobs.len(), 5);
+        assert!(page.get("next_cursor").is_none());
+
+        // limit=2 truncates and hands back the last id as the cursor.
+        let page = crate::wire::Json::parse(&svc.list_json(None, None, 2)).unwrap();
+        let jobs = page
+            .get("jobs")
+            .and_then(crate::wire::Json::as_array)
+            .unwrap();
+        assert_eq!(jobs.len(), 2);
+        let cursor = page
+            .get("next_cursor")
+            .and_then(crate::wire::Json::as_f64)
+            .unwrap() as u64;
+        assert_eq!(cursor, 1);
+        // Resuming from the cursor yields the remainder, exactly once.
+        let page = crate::wire::Json::parse(&svc.list_json(None, Some(cursor), 50)).unwrap();
+        let jobs = page
+            .get("jobs")
+            .and_then(crate::wire::Json::as_array)
+            .unwrap();
+        let got: Vec<u64> = jobs
+            .iter()
+            .map(|j| j.get("id").and_then(crate::wire::Json::as_f64).unwrap() as u64)
+            .collect();
+        assert_eq!(got, vec![2, 3, 4]);
+
+        std::thread::scope(|s| {
+            s.spawn(|| svc.worker_loop());
+            svc.drain();
+        });
+
+        // State filter: everything is done now, and done rows carry kind.
+        let page = crate::wire::Json::parse(&svc.list_json(Some("queued"), None, 50)).unwrap();
+        assert!(page
+            .get("jobs")
+            .and_then(crate::wire::Json::as_array)
+            .unwrap()
+            .is_empty());
+        let page = crate::wire::Json::parse(&svc.list_json(Some("done"), None, 50)).unwrap();
+        let jobs = page
+            .get("jobs")
+            .and_then(crate::wire::Json::as_array)
+            .unwrap();
+        assert_eq!(jobs.len(), ids.len());
+        for j in jobs {
+            assert_eq!(
+                j.get("kind").and_then(crate::wire::Json::as_str),
+                Some("op")
+            );
+            assert!(j.get("label").and_then(crate::wire::Json::as_str).is_some());
+        }
+    }
+
+    #[test]
+    fn list_truncation_flag_is_exact_at_the_boundary() {
+        let svc = service(16);
+        svc.submit(&manifest(3)).unwrap();
+        // limit equals the match count: full page, no next_cursor.
+        let page = crate::wire::Json::parse(&svc.list_json(None, None, 3)).unwrap();
+        assert_eq!(
+            page.get("jobs")
+                .and_then(crate::wire::Json::as_array)
+                .unwrap()
+                .len(),
+            3
+        );
+        assert!(page.get("next_cursor").is_none());
     }
 
     #[test]

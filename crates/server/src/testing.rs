@@ -1,70 +1,33 @@
-//! A minimal blocking HTTP client for tests, benches, and smoke checks.
+//! Thin test-facing shims over [`crate::client`].
 //!
-//! Speaks exactly the dialect the server does — one request per
-//! connection, explicit `Content-Length`, read-to-EOF responses — so the
-//! integration tests and the `server_load` bench exercise the real wire
-//! path without pulling in an HTTP library.
+//! The real client lives in [`crate::client`] ([`WireClient`]); this
+//! module keeps the historical `http_call(addr, method, path, body)`
+//! signature that the integration tests and benches grew up on, now
+//! implemented on the shared client so there is exactly one HTTP
+//! client implementation in the crate.
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::net::SocketAddr;
 
-/// A response as seen by the client: status code and body text.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ClientResponse {
-    /// HTTP status code.
-    pub status: u16,
-    /// Response body (headers stripped).
-    pub body: String,
-}
+pub use crate::client::{parse_response, ClientResponse};
+use crate::client::{ClientError, WireClient};
 
-/// Performs one request against `addr` and reads the full response.
+/// Performs one request against `addr` and reads the full response
+/// (whatever its status — no error-envelope decoding, tests assert on
+/// raw statuses).
 ///
 /// # Errors
 ///
-/// Any socket error, or a malformed status line.
+/// Any socket error, or a malformed/oversized response.
 pub fn http_call(
     addr: SocketAddr,
     method: &str,
     path: &str,
     body: Option<&str>,
 ) -> std::io::Result<ClientResponse> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
-    let body = body.unwrap_or("");
-    let request = format!(
-        "{method} {path} HTTP/1.1\r\nHost: fts\r\nContent-Length: {}\r\n\r\n{body}",
-        body.len()
-    );
-    stream.write_all(request.as_bytes())?;
-    stream.flush()?;
-
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw)?;
-    parse_response(&raw)
-        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response"))
-}
-
-/// Splits a raw `Connection: close` response into status and body.
-pub fn parse_response(raw: &str) -> Option<ClientResponse> {
-    let status: u16 = raw.split(' ').nth(1)?.parse().ok()?;
-    let body = raw
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_owned())
-        .unwrap_or_default();
-    Some(ClientResponse { status, body })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parses_status_and_body() {
-        let r = parse_response("HTTP/1.1 429 Too Many Requests\r\nA: b\r\n\r\n{\"x\":1}").unwrap();
-        assert_eq!(r.status, 429);
-        assert_eq!(r.body, "{\"x\":1}");
-        assert!(parse_response("garbage").is_none());
-    }
+    WireClient::new(addr.to_string())
+        .call(method, path, body)
+        .map_err(|e| match e {
+            ClientError::Io(io) => io,
+            other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+        })
 }

@@ -587,6 +587,71 @@ impl JobSpec {
             JobSource::Deck { .. } => format!("deck-{k}"),
         })
     }
+
+    /// Renders this spec back to its manifest-object form. The inverse of
+    /// [`BatchManifest::parse`]'s per-job reader up to defaults: optional
+    /// members are emitted only when they differ from the default, and
+    /// `parse(to_json(spec)) == spec` (the round-trip test pins it). The
+    /// coordinator forwards jobs to workers through this renderer, so a
+    /// routed job is *provably* the same spec the client submitted.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        match &self.source {
+            JobSource::Function { name, analysis } => {
+                let _ = write!(out, "\"function\":\"{}\"", json_escape(name));
+                match analysis {
+                    AnalysisSpec::Op { input } => {
+                        let _ = write!(out, ",\"analysis\":\"op\",\"input\":{input}");
+                    }
+                    AnalysisSpec::Transient {
+                        phase_ns,
+                        dt_ns,
+                        max_samples,
+                    } => {
+                        let _ = write!(
+                            out,
+                            ",\"analysis\":\"transient\",\"phase_ns\":{},\"dt_ns\":{},\"max_samples\":{max_samples}",
+                            json_f64(*phase_ns),
+                            json_f64(*dt_ns),
+                        );
+                    }
+                }
+            }
+            JobSource::Deck { text, max_samples } => {
+                let _ = write!(
+                    out,
+                    "\"deck\":\"{}\",\"max_samples\":{max_samples}",
+                    json_escape(text)
+                );
+            }
+        }
+        if let Some(ms) = self.deadline_ms {
+            let _ = write!(out, ",\"deadline_ms\":{}", json_f64(ms));
+        }
+        if self.ladder {
+            out.push_str(",\"retry\":\"ladder\"");
+        }
+        if let Some(label) = &self.label {
+            let _ = write!(out, ",\"label\":\"{}\"", json_escape(label));
+        }
+        if self.waveform {
+            out.push_str(",\"waveform\":true");
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Renders a one-job manifest for `spec` — what the coordinator forwards
+/// to a worker. `ensemble_width` is passed through when the submitting
+/// manifest set it (0 = absent, the worker's engine default).
+pub fn single_job_manifest(spec: &JobSpec, ensemble_width: usize) -> String {
+    let width = if ensemble_width > 0 {
+        format!("\"ensemble_width\":{ensemble_width},")
+    } else {
+        String::new()
+    };
+    format!("{{{width}\"jobs\":[{}]}}", spec.to_json())
 }
 
 /// The analysis half of a [`JobSpec`].
@@ -785,6 +850,28 @@ impl BatchManifest {
             ensemble_width,
             jobs,
         })
+    }
+
+    /// Renders the manifest back to its document form, the inverse of
+    /// [`parse`](BatchManifest::parse) up to defaults (absent members are
+    /// emitted only when set): `parse(to_json(m)) == m`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        if self.threads != 0 {
+            let _ = write!(out, "\"threads\":{},", self.threads);
+        }
+        if self.ensemble_width != 0 {
+            let _ = write!(out, "\"ensemble_width\":{},", self.ensemble_width);
+        }
+        out.push_str("\"jobs\":[");
+        for (k, spec) in self.jobs.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&spec.to_json());
+        }
+        out.push_str("]}");
+        out
     }
 }
 
@@ -1239,6 +1326,43 @@ mod tests {
         for bad in ["1e999", "[1,-1e999]", "01", "+1", "1.", ".5"] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn manifest_to_json_round_trips_through_parse() {
+        for text in [
+            r#"{"jobs":[{"function":"and2"}]}"#,
+            r#"{"threads":3,"ensemble_width":16,"jobs":[
+                {"function":"xor3","analysis":"transient","phase_ns":2.5,"dt_ns":0.1,
+                 "max_samples":128,"deadline_ms":250,"retry":"ladder","label":"w\"x","waveform":true},
+                {"function":"maj3","analysis":"op","input":5},
+                {"deck":"v1 a 0 dc 2\nr1 a out 1k\nr2 out 0 1k\n.op\n","max_samples":64}
+            ]}"#,
+        ] {
+            let m = BatchManifest::parse(text).unwrap();
+            let rendered = m.to_json();
+            let reparsed = BatchManifest::parse(&rendered)
+                .unwrap_or_else(|e| panic!("render of {text} unparseable: {e}\n{rendered}"));
+            assert_eq!(reparsed, m, "round trip drifted for {text}:\n{rendered}");
+            // Idempotence: rendering the reparse is byte-stable.
+            assert_eq!(reparsed.to_json(), rendered);
+        }
+    }
+
+    #[test]
+    fn single_job_manifest_preserves_spec_and_width() {
+        let m = BatchManifest::parse(
+            r#"{"ensemble_width":8,"jobs":[{"function":"or2","analysis":"op","input":2,"label":"L"}]}"#,
+        )
+        .unwrap();
+        let fwd = single_job_manifest(&m.jobs[0], m.ensemble_width);
+        let fm = BatchManifest::parse(&fwd).unwrap();
+        assert_eq!(fm.ensemble_width, 8);
+        assert_eq!(fm.jobs, m.jobs);
+        // Width 0 stays absent so the worker keeps its engine default.
+        let fwd = single_job_manifest(&m.jobs[0], 0);
+        assert!(!fwd.contains("ensemble_width"), "{fwd}");
+        assert_eq!(BatchManifest::parse(&fwd).unwrap().jobs, m.jobs);
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! End-to-end coordinator tests against a live in-process fleet:
+//! routing, proxied status with id rewriting, listing, the unified
+//! error envelope, worker-death recovery, and the cascading drain.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use fts_engine::{Engine, SimJob};
+use fts_server::service::{BuiltJob, JobBuilder};
+use fts_server::wire::{outcome_json, JobSource, JobSpec, Json, WireError};
+use fts_server::{
+    ClientError, Coordinator, CoordinatorConfig, Server, ServerConfig, ShutdownReport, WireClient,
+};
+use fts_spice::netlist::{Netlist, Waveform};
+use fts_spice::CancelToken;
+
+/// The same DC divider the service tests use: out = vdd · R2/(R1+R2),
+/// with the source voltage selectable per job (`divider<mv>`), so
+/// different jobs have distinguishable deterministic results.
+struct DividerBuilder;
+
+fn divider_netlist(vdd: f64) -> (Netlist, fts_spice::NodeId) {
+    let mut nl = Netlist::new();
+    let a = nl.node("a");
+    let out = nl.node("out");
+    nl.vsource("V1", a, Netlist::GROUND, Waveform::Dc(vdd))
+        .unwrap();
+    nl.resistor("R1", a, out, 1e3).unwrap();
+    nl.resistor("R2", out, Netlist::GROUND, 1e3).unwrap();
+    (nl, out)
+}
+
+impl JobBuilder for DividerBuilder {
+    fn build(&self, spec: &JobSpec, index: usize) -> Result<BuiltJob, WireError> {
+        let JobSource::Function { name, .. } = &spec.source else {
+            unreachable!("deck jobs are lowered by build_job, not the builder");
+        };
+        let Some(mv) = name
+            .strip_prefix("divider")
+            .and_then(|s| s.parse::<u32>().ok())
+        else {
+            return Err(WireError::job(
+                "unknown_function",
+                index,
+                format!("unknown function {name:?}"),
+            ));
+        };
+        let (nl, out) = divider_netlist(f64::from(mv) / 1000.0);
+        Ok(BuiltJob {
+            job: SimJob::op(nl),
+            out,
+        })
+    }
+}
+
+/// The result object a direct engine run produces for `divider<mv>` —
+/// the byte-identity reference for served results.
+fn direct_result(mv: u32) -> String {
+    let (nl, out) = divider_netlist(f64::from(mv) / 1000.0);
+    let job = SimJob::op(nl);
+    let (outcome, _stats) = Engine::new()
+        .threads(1)
+        .run_single(&job, &CancelToken::new());
+    outcome_json(&outcome, out, false)
+}
+
+type ServerThread = std::thread::JoinHandle<std::io::Result<ShutdownReport>>;
+
+fn start_worker(addr: &str) -> (String, fts_server::ServerHandle, ServerThread) {
+    let server = Server::bind(
+        ServerConfig {
+            addr: addr.to_owned(),
+            workers: 2,
+            conn_workers: 2,
+            ..ServerConfig::default()
+        },
+        Arc::new(DividerBuilder),
+    )
+    .expect("worker bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+    (addr, handle, thread)
+}
+
+fn start_coordinator(workers: Vec<String>) -> (WireClient, fts_server::ServerHandle, ServerThread) {
+    let coordinator = Coordinator::bind(
+        CoordinatorConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers,
+            probe_interval: Duration::from_millis(50),
+            conn_workers: 2,
+            ..CoordinatorConfig::default()
+        },
+        Arc::new(DividerBuilder),
+    )
+    .expect("coordinator bind");
+    let addr = coordinator.local_addr().expect("local addr").to_string();
+    let handle = coordinator.handle();
+    let thread = std::thread::spawn(move || coordinator.run());
+    (WireClient::new(addr), handle, thread)
+}
+
+fn submit_dividers(client: &WireClient, mvs: &[u32]) -> Vec<u64> {
+    let jobs: Vec<String> = mvs
+        .iter()
+        .map(|mv| format!("{{\"function\":\"divider{mv}\"}}"))
+        .collect();
+    client
+        .submit_manifest(&format!("{{\"jobs\":[{}]}}", jobs.join(",")))
+        .expect("submit")
+}
+
+const POLL: Duration = Duration::from_millis(5);
+
+#[test]
+fn coordinator_proxies_jobs_with_byte_identical_results() {
+    let (w0, h0, t0) = start_worker("127.0.0.1:0");
+    let (w1, h1, t1) = start_worker("127.0.0.1:0");
+    let (client, coord_handle, coord_thread) = start_coordinator(vec![w0, w1]);
+
+    let mvs: Vec<u32> = (0..8).map(|k| 1000 + 250 * k).collect();
+    let ids = submit_dividers(&client, &mvs);
+    assert_eq!(ids, (0..8).collect::<Vec<u64>>(), "global ids in order");
+
+    for (&id, &mv) in ids.iter().zip(&mvs) {
+        let body = client.wait_done(id, POLL).expect("wait");
+        // The proxied document carries the GLOBAL id...
+        assert!(body.contains(&format!("\"id\":{id},")), "{body}");
+        // ...the label the coordinator pinned before forwarding...
+        assert!(
+            body.contains(&format!("\"label\":\"divider{mv}-")),
+            "{body}"
+        );
+        // ...and the byte-identical result object a direct run produces.
+        assert!(
+            body.contains(&format!("\"result\":{}", direct_result(mv))),
+            "served body diverges from direct engine run for divider{mv}:\n{body}"
+        );
+    }
+
+    // Healthz shows the fleet; listing pages the registry with worker
+    // attribution.
+    let health = client.healthz().expect("healthz");
+    assert!(health.contains("\"role\":\"coordinator\""), "{health}");
+    assert!(health.contains("\"total\":2,\"up\":2"), "{health}");
+    let page = client.list(Some("done"), None, Some(500)).expect("list");
+    let doc = Json::parse(&page).unwrap();
+    let rows = doc.get("jobs").and_then(Json::as_array).unwrap();
+    assert_eq!(rows.len(), 8, "{page}");
+    for row in rows {
+        assert_eq!(row.get("kind").and_then(Json::as_str), Some("op"));
+        assert!(row.get("worker").and_then(Json::as_str).is_some());
+    }
+
+    // Metrics: the worker-up gauge and per-worker route counters.
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(
+        metrics
+            .lines()
+            .filter(|l| l.starts_with("fts_coordinator_worker_up{") && l.ends_with(" 1"))
+            .count(),
+        2,
+        "{metrics}"
+    );
+    let routed: u64 = metrics
+        .lines()
+        .filter(|l| l.starts_with("fts_coordinator_worker_routed_total{"))
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(routed, 8, "{metrics}");
+
+    // Error envelope: a bad manifest 400s with the same WireError shape,
+    // decoded by the client into a structured ApiError.
+    match client.submit_manifest("{\"jobs\":[{\"function\":\"nope\"}]}") {
+        Err(ClientError::Api(e)) => {
+            assert_eq!(e.status, 400);
+            assert_eq!(e.code, "unknown_function");
+            assert_eq!(e.job, Some(0));
+        }
+        other => panic!("expected structured 400, got {other:?}"),
+    }
+    // Unknown id → envelope 404; bad listing cursor → envelope 400.
+    match client.status(999) {
+        Err(ClientError::Api(e)) => assert_eq!((e.status, e.code.as_str()), (404, "not_found")),
+        other => panic!("expected 404, got {other:?}"),
+    }
+    match client.list(None, None, Some(100_000)) {
+        Err(ClientError::Api(e)) => {
+            assert_eq!((e.status, e.code.as_str()), (400, "invalid_limit"));
+        }
+        other => panic!("expected 400, got {other:?}"),
+    }
+
+    // Cascading drain: shutting the coordinator down also drains both
+    // workers — their run() threads return without explicit shutdown.
+    coord_handle.shutdown();
+    let report = coord_thread.join().unwrap().expect("coordinator run");
+    assert_eq!(report.jobs_completed, 8);
+    let w0_report = t0.join().unwrap().expect("worker 0 run");
+    let w1_report = t1.join().unwrap().expect("worker 1 run");
+    assert_eq!(w0_report.jobs_completed + w1_report.jobs_completed, 8);
+    drop((h0, h1));
+}
+
+#[test]
+fn killed_worker_jobs_reroute_and_none_are_lost() {
+    let (w0, h0, t0) = start_worker("127.0.0.1:0");
+    let (w1, h1, t1) = start_worker("127.0.0.1:0");
+    let (client, coord_handle, coord_thread) = start_coordinator(vec![w0.clone(), w1]);
+
+    let mvs: Vec<u32> = (0..10).map(|k| 1500 + 100 * k).collect();
+    let ids = submit_dividers(&client, &mvs);
+
+    // Rolling restart, phase 1: take worker 0 down (graceful drain —
+    // but the coordinator hasn't read the results yet, so from its view
+    // those jobs vanish: the restarted process answers 404).
+    h0.shutdown();
+    t0.join().unwrap().expect("worker 0 first run");
+
+    // Phase 2: restart on the SAME address (SO_REUSEADDR makes the
+    // rebind immediate despite TIME_WAIT) with a fresh, empty registry.
+    let (w0_again, h0b, t0b) = start_worker(&w0);
+    assert_eq!(w0_again, w0, "restart must reclaim the same address");
+
+    // Every job still completes with the right deterministic result:
+    // jobs the dead worker held are re-routed (to the survivor or the
+    // restarted twin) on poll.
+    for (&id, &mv) in ids.iter().zip(&mvs) {
+        let body = client.wait_done(id, POLL).expect("wait");
+        assert!(
+            body.contains(&format!("\"result\":{}", direct_result(mv))),
+            "job {id} (divider{mv}) lost or wrong after worker restart:\n{body}"
+        );
+    }
+
+    coord_handle.shutdown();
+    let report = coord_thread.join().unwrap().expect("coordinator run");
+    assert_eq!(report.jobs_completed, 10, "zero dropped jobs");
+    t1.join().unwrap().expect("worker 1 run");
+    t0b.join().unwrap().expect("worker 0 second run");
+    drop((h1, h0b));
+}
+
+#[test]
+fn fleet_down_submissions_answer_no_workers() {
+    // A worker that exists only long enough to learn its port, then dies.
+    let (w0, h0, t0) = start_worker("127.0.0.1:0");
+    h0.shutdown();
+    t0.join().unwrap().expect("worker run");
+
+    let (client, coord_handle, coord_thread) = start_coordinator(vec![w0]);
+    match client.submit_manifest("{\"jobs\":[{\"function\":\"divider2000\"}]}") {
+        Err(ClientError::Api(e)) => {
+            assert_eq!(e.status, 503, "{e:?}");
+            assert_eq!(e.code, "no_workers", "{e:?}");
+        }
+        other => panic!("expected 503 no_workers, got {other:?}"),
+    }
+    // Validation still runs before placement: a bad manifest is a 400
+    // even with the whole fleet down.
+    match client.submit_manifest("{\"jobs\":[{\"function\":\"nope\"}]}") {
+        Err(ClientError::Api(e)) => assert_eq!(e.status, 400),
+        other => panic!("expected 400, got {other:?}"),
+    }
+
+    coord_handle.shutdown();
+    let report = coord_thread.join().unwrap().expect("coordinator run");
+    assert_eq!(report.jobs_completed, 0);
+}

@@ -1,0 +1,102 @@
+//! Properties of the coordinator's consistent-hash ring.
+//!
+//! 1. **Determinism across restarts** — the ring is a pure function of
+//!    the worker address list, so two independently constructed rings
+//!    (a coordinator and its restarted twin) route every key to the
+//!    same worker and produce the same failover order.
+//! 2. **Bounded remapping** — growing N workers to N+1 (or removing
+//!    one) moves only the keys on the arcs the changed worker owns:
+//!    about K/(N+1) of K keys, bounded here at 3× the fair share to
+//!    leave room for vnode placement variance at small N.
+//! 3. **Stability of survivors** — keys that did *not* route to a
+//!    removed worker keep their assignment exactly.
+
+use proptest::prelude::*;
+
+use fts_server::HashRing;
+
+fn addrs(n: usize, port_base: u16) -> Vec<String> {
+    (0..n)
+        .map(|i| format!("10.0.0.{}:{}", (i % 200) + 1, port_base + i as u16))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn routing_is_deterministic_across_rebuilds(n in 1usize..9, port in 1024u16..60000, keys in 1u64..2000) {
+        let workers = addrs(n, port);
+        let a = HashRing::new(&workers);
+        let b = HashRing::new(&workers);
+        for id in 0..keys {
+            let key = HashRing::key_for_id(id);
+            prop_assert_eq!(a.route(key), b.route(key));
+            prop_assert_eq!(a.candidates(key), b.candidates(key));
+        }
+    }
+
+    #[test]
+    fn adding_a_worker_remaps_a_bounded_fraction(n in 1usize..8, port in 1024u16..60000) {
+        const K: u64 = 4000;
+        let before = HashRing::new(&addrs(n, port));
+        let after = HashRing::new(&addrs(n + 1, port));
+        let mut moved = 0u64;
+        for id in 0..K {
+            let key = HashRing::key_for_id(id);
+            let (a, b) = (before.route(key).unwrap(), after.route(key).unwrap());
+            // The new worker is the last index; a key may only change
+            // owner by moving TO it.
+            if a != b {
+                prop_assert_eq!(b, n, "key moved between pre-existing workers");
+                moved += 1;
+            }
+        }
+        let fair = K / (n as u64 + 1);
+        prop_assert!(
+            moved <= 3 * fair,
+            "adding worker {} of {} moved {moved}/{K} keys (fair share {fair})",
+            n + 1,
+            n + 1
+        );
+    }
+
+    #[test]
+    fn removing_a_worker_only_reroutes_its_own_keys(n in 2usize..9, port in 1024u16..60000, drop_idx in 0usize..8) {
+        let drop_idx = drop_idx % n;
+        let full_addrs = addrs(n, port);
+        let full = HashRing::new(&full_addrs);
+        let mut reduced_addrs = full_addrs.clone();
+        reduced_addrs.remove(drop_idx);
+        let reduced = HashRing::new(&reduced_addrs);
+
+        for id in 0..2000u64 {
+            let key = HashRing::key_for_id(id);
+            let before = full.route(key).unwrap();
+            let after = reduced.route(key).unwrap();
+            // Map the reduced ring's index back to the full address list.
+            let after_addr = &reduced_addrs[after];
+            if before != drop_idx {
+                // Survivor keys keep their worker exactly.
+                prop_assert_eq!(
+                    &full_addrs[before],
+                    after_addr,
+                    "key {} moved although its worker survived",
+                    id
+                );
+            } else {
+                prop_assert_ne!(after_addr, &full_addrs[drop_idx]);
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_are_a_permutation_starting_at_route(n in 1usize..9, port in 1024u16..60000, id in 0u64..100000) {
+        let ring = HashRing::new(&addrs(n, port));
+        let key = HashRing::key_for_id(id);
+        let c = ring.candidates(key);
+        prop_assert_eq!(c.len(), n);
+        prop_assert_eq!(c[0], ring.route(key).unwrap());
+        let mut sorted = c.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+}

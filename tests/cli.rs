@@ -90,7 +90,17 @@ fn help_lists_every_flag_each_subcommand_parses() {
                 "--queue-depth",
                 "--retain-done",
                 "--trace-events",
+                "--worker",
+                "--coordinator",
+                "--workers-addrs",
+                "--probe-ms",
+                "--route-attempts",
+                "--no-cascade",
             ][..],
+        ),
+        (
+            "client",
+            &["--chrome", "--state", "--cursor", "--limit"][..],
         ),
     ] {
         let line = line_with(subcommand);
@@ -225,36 +235,14 @@ fn batch_rejects_bad_manifest() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
-/// One-request HTTP client against the spawned server (mirrors the
-/// server's one-request-per-connection, `Connection: close` protocol).
+/// One-request HTTP client against the spawned server — the crate's own
+/// [`WireClient`](four_terminal_lattice::server::WireClient), i.e. the
+/// same implementation `fts client` and the coordinator ride on.
 fn http(addr: &str, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
-    use std::io::Read as _;
-    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
-    stream
-        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
-        .unwrap();
-    let body = body.unwrap_or("");
-    stream
-        .write_all(
-            format!(
-                "{method} {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
-                body.len()
-            )
-            .as_bytes(),
-        )
-        .expect("write");
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw).expect("read");
-    let status: u16 = raw
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| panic!("bad response: {raw:?}"));
-    let body = raw
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_owned())
-        .unwrap_or_default();
-    (status, body)
+    let response = four_terminal_lattice::server::WireClient::new(addr)
+        .call(method, path, body)
+        .expect("call");
+    (response.status, response.body)
 }
 
 #[test]
@@ -336,6 +324,150 @@ fn serve_smoke_matches_batch_and_shuts_down() {
         err.contains("fts-server drained: 1 jobs completed"),
         "{err}"
     );
+}
+
+/// Spawns an `fts serve …` process and scrapes its startup banner for
+/// the bound address. The child keeps running; callers shut it down
+/// over the wire.
+fn spawn_serve(args: &[&str], banner_prefix: &str) -> (std::process::Child, String) {
+    use std::io::{BufRead, BufReader};
+
+    let mut child = fts()
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let stdout = child.stdout.take().expect("stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("banner");
+    let addr = line
+        .trim()
+        .strip_prefix(banner_prefix)
+        .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+        .to_owned();
+    (child, addr)
+}
+
+/// Runs `fts client <addr> <args…>` (optionally with stdin) and returns
+/// (exit-ok, stdout).
+fn client(addr: &str, args: &[&str], stdin: Option<&str>) -> (bool, String) {
+    let mut cmd = fts();
+    cmd.args(["client", addr]).args(args);
+    let out = match stdin {
+        Some(text) => {
+            let mut child = cmd
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped())
+                .spawn()
+                .expect("spawn client");
+            child
+                .stdin
+                .as_mut()
+                .expect("stdin")
+                .write_all(text.as_bytes())
+                .expect("write");
+            child.wait_with_output().expect("client exit")
+        }
+        None => cmd.output().expect("run client"),
+    };
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).to_string(),
+    )
+}
+
+#[test]
+fn coordinator_smoke_routes_jobs_and_cascades_shutdown() {
+    // Two workers on ephemeral ports, then a coordinator fronting them.
+    let (w0, w0_addr) = spawn_serve(
+        &[
+            "serve",
+            "--worker",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+        ],
+        "fts-server listening on ",
+    );
+    let (w1, w1_addr) = spawn_serve(
+        &[
+            "serve",
+            "--worker",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+        ],
+        "fts-server listening on ",
+    );
+    let (coord, coord_addr) = spawn_serve(
+        &[
+            "serve",
+            "--coordinator",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers-addrs",
+            &format!("{w0_addr},{w1_addr}"),
+        ],
+        "fts-coordinator listening on ",
+    );
+
+    let manifest = r#"{"jobs": [
+        {"function": "xor2", "analysis": "op", "input": 0},
+        {"function": "xor2", "analysis": "op", "input": 1},
+        {"function": "xor2", "analysis": "op", "input": 2},
+        {"function": "xor2", "analysis": "op", "input": 3}
+    ]}"#;
+    let (ok, body) = client(&coord_addr, &["submit", "-"], Some(manifest));
+    assert!(ok, "{body}");
+    assert!(body.contains("\"ids\":[0,1,2,3]"), "{body}");
+
+    // XOR2 truth table through the fleet. A conducting lattice pulls
+    // the output node low, so inputs where XOR2 is true (1, 2) read
+    // ~0.1 V and false inputs (0, 3) read ~1.2 V.
+    for (id, xor_true) in [(0, false), (1, true), (2, true), (3, false)] {
+        let (ok, body) = client(&coord_addr, &["wait", &id.to_string()], None);
+        assert!(ok, "{body}");
+        assert!(body.contains("\"kind\":\"op\""), "{body}");
+        let out_v: f64 = body
+            .split("\"out_v\":")
+            .nth(1)
+            .and_then(|s| s.split(['}', ',']).next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("no out_v in {body}"));
+        assert_eq!(out_v < 0.6, xor_true, "job {id}: out_v {out_v}\n{body}");
+    }
+
+    // Listing via the CLI, health shows the whole fleet up.
+    let (ok, body) = client(&coord_addr, &["list", "--state", "done"], None);
+    assert!(ok, "{body}");
+    assert_eq!(body.matches("\"worker\":").count(), 4, "{body}");
+    let (ok, body) = client(&coord_addr, &["health"], None);
+    assert!(ok, "{body}");
+    assert!(body.contains("\"total\":2,\"up\":2"), "{body}");
+
+    // Non-2xx surfaces as exit 1 and keeps stdout clean for jq use.
+    let (ok, out) = client(&coord_addr, &["status", "99"], None);
+    assert!(!ok, "unknown id must exit nonzero");
+    assert_eq!(out, "", "error envelope goes to stderr, not stdout");
+
+    // One shutdown at the coordinator cascades to both workers.
+    let (ok, _) = client(&coord_addr, &["shutdown"], None);
+    assert!(ok);
+    let coord_out = coord.wait_with_output().expect("coordinator exit");
+    assert!(coord_out.status.success());
+    let err = String::from_utf8_lossy(&coord_out.stderr);
+    assert!(
+        err.contains("fts-coordinator drained: 4 jobs completed"),
+        "{err}"
+    );
+    for w in [w0, w1] {
+        let out = w.wait_with_output().expect("worker exit");
+        assert!(out.status.success(), "worker did not drain cleanly");
+    }
 }
 
 #[test]

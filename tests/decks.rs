@@ -3,7 +3,6 @@
 //! builder-constructed job (byte-identical results), and `fts run` /
 //! `POST /v1/decks` report the same bytes for the same deck.
 
-use std::io::Write as _;
 use std::process::{Command, Stdio};
 
 use four_terminal_lattice::batch::{
@@ -111,34 +110,13 @@ fn fts() -> Command {
     Command::new(env!("CARGO_BIN_EXE_fts"))
 }
 
-/// One-request HTTP client (the server speaks one-request-per-connection).
+/// One-request HTTP client on the crate's own
+/// [`WireClient`](four_terminal_lattice::server::WireClient).
 fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
-    use std::io::Read as _;
-    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
-    stream
-        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
-        .unwrap();
-    stream
-        .write_all(
-            format!(
-                "{method} {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
-                body.len()
-            )
-            .as_bytes(),
-        )
-        .expect("write");
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw).expect("read");
-    let status: u16 = raw
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| panic!("bad response: {raw:?}"));
-    let body = raw
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_owned())
-        .unwrap_or_default();
-    (status, body)
+    let response = four_terminal_lattice::server::WireClient::new(addr)
+        .call(method, path, Some(body))
+        .expect("call");
+    (response.status, response.body)
 }
 
 /// `fts run deck.cir` and `POST /v1/decks` with the same deck report the
