@@ -438,6 +438,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 let ms: u64 = value(&mut rest)?
                     .parse()
                     .map_err(|_| "bad --probe-ms value")?;
+                if ms == 0 {
+                    return Err("--probe-ms must be at least 1".into());
+                }
                 coord.probe_interval = Duration::from_millis(ms);
             }
             "--route-attempts" => {

@@ -17,12 +17,20 @@
 //! drain loop) finds the owning worker dead — connection refused, or a
 //! fresh restart answering `404` for the old job — the coordinator
 //! re-submits the job's stored single-job manifest to the next live
-//! worker on the ring, up to `route_attempts` times. Re-running is safe
-//! because results are deterministic: a job that ran to completion on a
-//! worker whose answer we never read produces the byte-identical row on
-//! its second run. A job whose attempts are exhausted is closed out with
-//! a synthetic `failed` row rather than left dangling — drain always
-//! terminates.
+//! worker on the ring, up to `route_attempts` times. Re-placement does
+//! network I/O, so the job is *claimed* (`Rerouting`) under the
+//! registry lock and placed with the lock released; if no worker can
+//! take it the job is parked `Stranded` — explicitly holding **no**
+//! remote id, so a later poll re-places it instead of ever polling a
+//! restarted worker for an id that now belongs to someone else's job.
+//! Re-running is safe because results are deterministic: a job that ran
+//! to completion on a worker whose answer we never read produces the
+//! byte-identical row on its second run. A job whose attempts are
+//! exhausted is closed out with a synthetic `failed` row rather than
+//! left dangling — drain always terminates. A cancel acknowledged while
+//! the owning worker is unreachable is recorded as a terminal cancelled
+//! row, so an acknowledged cancellation is never resurrected by the
+//! re-route path.
 //!
 //! **Admission.** All-or-nothing admission is kept, with one documented
 //! relaxation: validation is atomic (whole manifest or nothing), but
@@ -126,13 +134,22 @@ enum CoordState {
         remote: u64,
         attempts: usize,
     },
+    /// The last placement died and no candidate could take the job, so
+    /// it holds **no** remote id. The next status poll goes straight to
+    /// re-placement — never to a status fetch, whose id could collide
+    /// with a different job on a restarted worker's fresh registry.
+    Stranded { attempts: usize },
+    /// A poll thread claimed the job and is re-placing it with the
+    /// registry lock released; concurrent polls answer synthetic
+    /// `queued` instead of stacking behind the placement I/O.
+    Rerouting { attempts: usize },
     /// Terminal: the cached (already id-rewritten) status document.
-    /// `worker`/`remote` keep trace proxying alive after completion.
+    /// `at` keeps trace proxying alive for jobs that really ran
+    /// somewhere; synthetic close-outs (failed/cancelled) carry `None`.
     Done {
         kind: String,
         body: String,
-        worker: usize,
-        remote: u64,
+        at: Option<(usize, u64)>,
     },
 }
 
@@ -209,7 +226,7 @@ impl CoordService {
         let routed = reg
             .jobs
             .values()
-            .filter(|j| matches!(j.state, CoordState::Routed { .. }))
+            .filter(|j| !matches!(j.state, CoordState::Done { .. }))
             .count();
         CoordGauges {
             routed,
@@ -250,7 +267,15 @@ impl CoordService {
                     fts_telemetry::counter("coordinator.jobs.routed", 1);
                     return Some((w, remotes[0]));
                 }
-                Ok(_) => continue,
+                Ok(remotes) => {
+                    // Unexpected id count: recall whatever the worker
+                    // accepted before moving on, so no orphaned
+                    // duplicates keep running on the fleet.
+                    for r in remotes {
+                        let _ = self.workers[w].client.cancel(r);
+                    }
+                    continue;
+                }
                 Err(ClientError::Api(_)) => continue,
                 Err(_) => {
                     self.mark_down(w);
@@ -392,7 +417,14 @@ impl CoordService {
                     self.deck_registered(base, &labels, w, &remotes, deck);
                     return Ok((base..base + labels.len() as u64).collect());
                 }
-                Ok(_) => continue,
+                Ok(remotes) => {
+                    // Unexpected job count: recall the accepted jobs
+                    // before trying the next candidate.
+                    for r in remotes {
+                        let _ = self.workers[w].client.cancel(r);
+                    }
+                    continue;
+                }
                 Err(ClientError::Api(_)) => continue,
                 Err(_) => {
                     self.mark_down(w);
@@ -445,6 +477,17 @@ impl CoordService {
             let job = reg.jobs.get(&id)?;
             match &job.state {
                 CoordState::Done { body, .. } => return Some(body.clone()),
+                // Another thread is re-placing it right now.
+                CoordState::Rerouting { .. } => {
+                    return Some(synthetic_status(id, &job.label, "queued"));
+                }
+                // No valid remote id exists: skip the status fetch and
+                // go straight to re-placement.
+                CoordState::Stranded { .. } => {
+                    let label = job.label.clone();
+                    drop(reg);
+                    return Some(self.reroute(id, None, &label));
+                }
                 CoordState::Routed { worker, remote, .. } => (*worker, *remote, job.label.clone()),
             }
         };
@@ -460,164 +503,296 @@ impl CoordService {
             Err(ClientError::Api(e)) if e.status == 404 => {
                 // The worker restarted (fresh registry) or evicted the
                 // row before we read it: re-run elsewhere.
-                Some(self.reroute(id, worker, &label))
+                Some(self.reroute(id, Some(worker), &label))
             }
             Err(ClientError::Api(_)) => Some(synthetic_status(id, &label, "routed")),
             Err(_) => {
                 self.mark_down(worker);
-                Some(self.reroute(id, worker, &label))
+                Some(self.reroute(id, Some(worker), &label))
             }
         }
     }
 
-    /// Transitions a routed job to Done with its cached body, applying
-    /// the `retain_done` eviction exactly like the single-process server.
+    /// Installs a terminal row for `id` in a registry the caller holds
+    /// locked, bumping the completion gauge and applying the
+    /// `retain_done` eviction exactly like the single-process server.
+    /// Returns whether this call won the transition (a job already
+    /// terminal, or evicted, is left alone).
+    fn close_done(
+        &self,
+        reg: &mut CoordRegistry,
+        id: u64,
+        kind: &str,
+        body: String,
+        at: Option<(usize, u64)>,
+    ) -> bool {
+        let Some(job) = reg.jobs.get_mut(&id) else {
+            return false;
+        };
+        if matches!(job.state, CoordState::Done { .. }) {
+            return false; // A concurrent poll won the transition.
+        }
+        job.state = CoordState::Done {
+            kind: kind.to_owned(),
+            body,
+            at,
+        };
+        reg.completed += 1;
+        reg.done_order.push_back(id);
+        while reg.done_order.len() > self.retain_done {
+            let evicted = reg.done_order.pop_front().expect("non-empty");
+            reg.jobs.remove(&evicted);
+        }
+        true
+    }
+
+    /// Transitions a routed job to Done with its cached body.
     fn complete(&self, id: u64, worker: usize, remote: u64, body: &str) {
         let kind = Json::parse(body)
             .ok()
             .and_then(|d| d.get("kind").and_then(Json::as_str).map(str::to_owned))
             .unwrap_or_else(|| "unknown".to_owned());
         let mut reg = self.registry.lock().expect("coord registry poisoned");
-        let Some(job) = reg.jobs.get_mut(&id) else {
-            return;
-        };
-        if matches!(job.state, CoordState::Done { .. }) {
-            return; // A concurrent poll won the transition.
-        }
-        job.state = CoordState::Done {
-            kind,
-            body: body.to_owned(),
-            worker,
-            remote,
-        };
-        reg.completed += 1;
-        fts_telemetry::counter("coordinator.jobs.completed", 1);
-        reg.done_order.push_back(id);
-        while reg.done_order.len() > self.retain_done {
-            let evicted = reg.done_order.pop_front().expect("non-empty");
-            reg.jobs.remove(&evicted);
+        if self.close_done(&mut reg, id, &kind, body.to_owned(), Some((worker, remote))) {
+            fts_telemetry::counter("coordinator.jobs.completed", 1);
         }
     }
 
-    /// Re-places job `id` after worker `failed` died or forgot it.
-    /// Returns the status body to serve right now. Holding the registry
-    /// lock across the (rare) re-placement keeps concurrent polls from
-    /// double-submitting the same job.
-    fn reroute(&self, id: u64, failed: usize, label: &str) -> String {
-        let mut reg = self.registry.lock().expect("coord registry poisoned");
-        let Some(job) = reg.jobs.get_mut(&id) else {
-            return synthetic_status(id, label, "routed");
-        };
-        match &job.state {
-            CoordState::Done { body, .. } => body.clone(),
-            CoordState::Routed {
-                worker, attempts, ..
-            } => {
-                if *worker != failed {
-                    // Another thread already re-routed it.
-                    return synthetic_status(id, label, "routed");
-                }
-                let attempts = *attempts;
-                let fail_with = |reason: String| synthetic_failed(id, label, &reason);
-                let closed: Option<String> = if attempts >= self.route_attempts {
-                    Some(fail_with(format!(
-                        "worker unavailable after {attempts} route attempts"
-                    )))
-                } else if job.resubmit.is_none() {
-                    Some(fail_with(format!(
-                        "worker {} died holding a multi-analysis deck job, which cannot \
-                         be re-routed standalone",
-                        self.workers[failed].addr
-                    )))
-                } else {
-                    None
-                };
-                if let Some(body) = closed {
-                    job.state = CoordState::Done {
-                        kind: "failed".to_owned(),
-                        body: body.clone(),
-                        worker: failed,
-                        remote: 0,
-                    };
-                    reg.completed += 1;
-                    fts_telemetry::counter("coordinator.jobs.failed_closed", 1);
-                    reg.done_order.push_back(id);
-                    while reg.done_order.len() > self.retain_done {
-                        let evicted = reg.done_order.pop_front().expect("non-empty");
-                        reg.jobs.remove(&evicted);
-                    }
-                    return body;
-                }
-
-                let manifest = job.resubmit.clone().expect("checked above");
-                let is_deck = !manifest.trim_start().starts_with('{');
-                // Re-place while holding the lock: placement I/O is
-                // bounded by the client's deadline and this path only
-                // runs when a worker just died.
-                let placed = if is_deck {
-                    self.placement_order(id)
-                        .into_iter()
-                        .filter(|&w| w != failed)
-                        .find_map(|w| match self.workers[w].client.submit_deck(&manifest) {
-                            Ok(remotes) if remotes.len() == 1 => Some((w, remotes[0])),
-                            Ok(_) => None,
-                            Err(ClientError::Api(_)) => None,
-                            Err(_) => {
-                                self.mark_down(w);
-                                None
-                            }
-                        })
-                } else {
-                    self.place(id, &manifest, Some(failed))
-                };
-                match placed {
-                    Some((w, remote)) => {
-                        fts_telemetry::counter("coordinator.jobs.rerouted", 1);
-                        job.state = CoordState::Routed {
-                            worker: w,
-                            remote,
-                            attempts: attempts + 1,
-                        };
-                        // The job restarted from scratch: report queued.
-                        synthetic_status(id, label, "queued")
-                    }
-                    None => {
-                        // Nobody can take it right now; leave it routed
-                        // to the dead worker and let the next poll (or
-                        // the prober flipping a worker back up) retry.
-                        // Burn one attempt so this terminates.
-                        job.state = CoordState::Routed {
-                            worker: failed,
-                            remote: 0,
-                            attempts: attempts + 1,
-                        };
-                        synthetic_status(id, label, "queued")
-                    }
-                }
-            }
+    /// Closes `id` as a terminal cancelled row — used when a cancel was
+    /// acknowledged but no reachable worker holds the job, so the
+    /// cancellation must be recorded here or re-routing would resurrect
+    /// the job the client was told is dead.
+    fn close_cancelled(&self, reg: &mut CoordRegistry, id: u64, label: &str) {
+        let body = synthetic_cancelled(id, label);
+        if self.close_done(reg, id, "cancelled", body, None) {
+            fts_telemetry::counter("coordinator.jobs.cancelled_closed", 1);
         }
+    }
+
+    /// Re-places job `id` after its owning worker died or forgot it
+    /// (`failed = Some(w)`), or after an earlier attempt left it
+    /// stranded with no placement at all (`failed = None`). Returns the
+    /// status body to serve right now.
+    ///
+    /// Placement does network I/O — each dead candidate can burn a full
+    /// connect timeout — so the job is *claimed* under the registry lock
+    /// (state → `Rerouting`), placed with the lock released, and the
+    /// outcome committed under the lock again. Concurrent polls answer
+    /// a synthetic `queued` row instead of stalling every endpoint
+    /// behind the lock, and a cancel that lands mid-placement wins: the
+    /// commit sees the terminal state and recalls the fresh placement.
+    fn reroute(&self, id: u64, failed: Option<usize>, label: &str) -> String {
+        // Phase 1: claim the job (or close it out) under the lock.
+        let manifest = {
+            let mut reg = self.registry.lock().expect("coord registry poisoned");
+            let Some(job) = reg.jobs.get_mut(&id) else {
+                return synthetic_status(id, label, "routed");
+            };
+            let attempts = match &job.state {
+                CoordState::Done { body, .. } => return body.clone(),
+                // Another thread owns the re-placement.
+                CoordState::Rerouting { .. } => return synthetic_status(id, label, "queued"),
+                CoordState::Routed {
+                    worker, attempts, ..
+                } => {
+                    if failed != Some(*worker) {
+                        // Another thread already re-routed it.
+                        return synthetic_status(id, label, "routed");
+                    }
+                    *attempts
+                }
+                CoordState::Stranded { attempts } => *attempts,
+            };
+            let closed: Option<String> = if attempts >= self.route_attempts {
+                Some(synthetic_failed(
+                    id,
+                    label,
+                    &format!("worker unavailable after {attempts} route attempts"),
+                ))
+            } else if job.resubmit.is_none() {
+                let died = failed.map_or_else(
+                    || "a worker".to_owned(),
+                    |w| format!("worker {}", self.workers[w].addr),
+                );
+                Some(synthetic_failed(
+                    id,
+                    label,
+                    &format!(
+                        "{died} died holding a multi-analysis deck job, which cannot \
+                         be re-routed standalone"
+                    ),
+                ))
+            } else {
+                None
+            };
+            if let Some(body) = closed {
+                self.close_done(&mut reg, id, "failed", body.clone(), None);
+                fts_telemetry::counter("coordinator.jobs.failed_closed", 1);
+                return body;
+            }
+            let manifest = job.resubmit.clone().expect("checked above");
+            job.state = CoordState::Rerouting { attempts };
+            manifest
+        };
+
+        // Phase 2: place with the lock released.
+        let is_deck = !manifest.trim_start().starts_with('{');
+        let placed = if is_deck {
+            self.placement_order(id)
+                .into_iter()
+                .filter(|&w| Some(w) != failed)
+                .find_map(|w| match self.workers[w].client.submit_deck(&manifest) {
+                    Ok(remotes) if remotes.len() == 1 => Some((w, remotes[0])),
+                    Ok(remotes) => {
+                        for r in remotes {
+                            let _ = self.workers[w].client.cancel(r);
+                        }
+                        None
+                    }
+                    Err(ClientError::Api(_)) => None,
+                    Err(_) => {
+                        self.mark_down(w);
+                        None
+                    }
+                })
+        } else {
+            self.place(id, &manifest, failed)
+        };
+
+        // Phase 3: commit. A placement that lost a race to a terminal
+        // transition (cancel, eviction) is recalled after unlocking.
+        let (body, recall) = {
+            let mut reg = self.registry.lock().expect("coord registry poisoned");
+            match reg.jobs.get_mut(&id) {
+                None => (synthetic_status(id, label, "routed"), placed),
+                Some(job) => match &job.state {
+                    CoordState::Rerouting { attempts } => {
+                        let attempts = *attempts;
+                        match placed {
+                            Some((w, remote)) => {
+                                fts_telemetry::counter("coordinator.jobs.rerouted", 1);
+                                job.state = CoordState::Routed {
+                                    worker: w,
+                                    remote,
+                                    attempts: attempts + 1,
+                                };
+                                // The job restarted from scratch: report queued.
+                                (synthetic_status(id, label, "queued"), None)
+                            }
+                            None => {
+                                // Nobody can take it right now; park it
+                                // with no remote id and let the next poll
+                                // (or the prober flipping a worker back
+                                // up) retry. Burn one attempt so this
+                                // terminates.
+                                job.state = CoordState::Stranded {
+                                    attempts: attempts + 1,
+                                };
+                                (synthetic_status(id, label, "queued"), None)
+                            }
+                        }
+                    }
+                    CoordState::Done { body, .. } => (body.clone(), placed),
+                    // Unreachable — only the claiming thread commits —
+                    // but recall the placement rather than leak it.
+                    CoordState::Routed { .. } | CoordState::Stranded { .. } => {
+                        (synthetic_status(id, label, "routed"), placed)
+                    }
+                },
+            }
+        };
+        if let Some((w, remote)) = recall {
+            let _ = self.workers[w].client.cancel(remote);
+        }
+        body
     }
 
     /// `DELETE /v1/jobs/{id}`: proxy the cancel to the owning worker.
+    /// An acknowledged cancel is binding: when the owning worker never
+    /// hears it (unreachable, or the job currently has no placement at
+    /// all), the job is closed out as a terminal cancelled row here, so
+    /// the re-route path can never re-run a job the client was told is
+    /// cancelled.
     fn cancel(&self, id: u64) -> Option<String> {
-        let (worker, remote, done) = {
-            let reg = self.registry.lock().expect("coord registry poisoned");
+        enum Target {
+            AlreadyDone,
+            Worker(usize, u64, String),
+            ClosedLocally,
+        }
+        let target = {
+            let mut reg = self.registry.lock().expect("coord registry poisoned");
             let job = reg.jobs.get(&id)?;
             match &job.state {
-                CoordState::Done { worker, remote, .. } => (*worker, *remote, true),
-                CoordState::Routed { worker, remote, .. } => (*worker, *remote, false),
+                CoordState::Done { .. } => Target::AlreadyDone,
+                CoordState::Routed { worker, remote, .. } => {
+                    Target::Worker(*worker, *remote, job.label.clone())
+                }
+                // No reachable placement to forward the cancel to.
+                CoordState::Stranded { .. } | CoordState::Rerouting { .. } => {
+                    let label = job.label.clone();
+                    self.close_cancelled(&mut reg, id, &label);
+                    Target::ClosedLocally
+                }
             }
         };
-        if done {
-            return Some(format!(
-                "{{\"schema_version\":{SCHEMA_VERSION},\"id\":{id},\"cancelled\":true,\"was\":\"done\"}}"
-            ));
-        }
+        let (worker, remote, label) = match target {
+            Target::AlreadyDone => {
+                return Some(format!(
+                    "{{\"schema_version\":{SCHEMA_VERSION},\"id\":{id},\"cancelled\":true,\"was\":\"done\"}}"
+                ));
+            }
+            Target::ClosedLocally => {
+                return Some(format!(
+                    "{{\"schema_version\":{SCHEMA_VERSION},\"id\":{id},\"cancelled\":true,\"was\":\"routed\"}}"
+                ));
+            }
+            Target::Worker(worker, remote, label) => (worker, remote, label),
+        };
         match self.workers[worker].client.cancel(remote) {
             Ok(body) => Some(rewrite_id(&body, remote, id)),
-            Err(_) => Some(format!(
-                "{{\"schema_version\":{SCHEMA_VERSION},\"id\":{id},\"cancelled\":true,\"was\":\"routed\"}}"
-            )),
+            Err(e) => {
+                if !matches!(e, ClientError::Api(_)) {
+                    self.mark_down(worker);
+                }
+                // The worker never heard the cancel: record it in the
+                // registry so the job is never re-routed. If another
+                // thread moved the job to a fresh placement mid-cancel,
+                // the acknowledgment binds there instead — forward it.
+                enum After {
+                    CloseLocal,
+                    Forward(usize, u64),
+                    Leave,
+                }
+                let mut reg = self.registry.lock().expect("coord registry poisoned");
+                let after = match reg.jobs.get(&id).map(|j| &j.state) {
+                    Some(CoordState::Routed {
+                        worker: w,
+                        remote: r,
+                        ..
+                    }) => {
+                        if (*w, *r) == (worker, remote) {
+                            After::CloseLocal
+                        } else {
+                            After::Forward(*w, *r)
+                        }
+                    }
+                    Some(CoordState::Stranded { .. } | CoordState::Rerouting { .. }) => {
+                        After::CloseLocal
+                    }
+                    Some(CoordState::Done { .. }) | None => After::Leave,
+                };
+                match after {
+                    After::CloseLocal => self.close_cancelled(&mut reg, id, &label),
+                    After::Forward(w, r) => {
+                        drop(reg);
+                        let _ = self.workers[w].client.cancel(r);
+                    }
+                    After::Leave => {}
+                }
+                Some(format!(
+                    "{{\"schema_version\":{SCHEMA_VERSION},\"id\":{id},\"cancelled\":true,\"was\":\"routed\"}}"
+                ))
+            }
         }
     }
 
@@ -628,8 +803,12 @@ impl CoordService {
             let reg = self.registry.lock().expect("coord registry poisoned");
             let job = reg.jobs.get(&id)?;
             match &job.state {
-                CoordState::Done { worker, remote, .. }
-                | CoordState::Routed { worker, remote, .. } => (*worker, *remote),
+                CoordState::Routed { worker, remote, .. } => (*worker, *remote),
+                CoordState::Done { at: Some((w, r)), .. } => (*w, *r),
+                // Never ran anywhere we can still reach — no trace.
+                CoordState::Done { at: None, .. }
+                | CoordState::Stranded { .. }
+                | CoordState::Rerouting { .. } => return None,
             }
         };
         let path = if chrome {
@@ -669,8 +848,15 @@ impl CoordService {
             }
             let job = &reg.jobs[&id];
             let (status, kind, worker) = match &job.state {
-                CoordState::Routed { worker, .. } => ("routed", None, *worker),
-                CoordState::Done { kind, worker, .. } => ("done", Some(kind.clone()), *worker),
+                CoordState::Routed { worker, .. } => ("routed", None, Some(*worker)),
+                // In flight but between placements: still "routed" to
+                // the client, with no worker attribution.
+                CoordState::Stranded { .. } | CoordState::Rerouting { .. } => {
+                    ("routed", None, None)
+                }
+                CoordState::Done { kind, at, .. } => {
+                    ("done", Some(kind.clone()), at.map(|(w, _)| w))
+                }
             };
             if state.is_some_and(|want| want != status) {
                 continue;
@@ -680,10 +866,15 @@ impl CoordService {
                 break;
             }
             let mut row = format!(
-                "{{\"id\":{id},\"label\":\"{}\",\"status\":\"{status}\",\"worker\":\"{}\"",
+                "{{\"id\":{id},\"label\":\"{}\",\"status\":\"{status}\"",
                 json_escape(&job.label),
-                json_escape(&self.workers[worker].addr)
             );
+            if let Some(w) = worker {
+                row.push_str(&format!(
+                    ",\"worker\":\"{}\"",
+                    json_escape(&self.workers[w].addr)
+                ));
+            }
             if let Some(kind) = kind {
                 row.push_str(&format!(",\"kind\":\"{}\"", json_escape(&kind)));
             }
@@ -718,7 +909,7 @@ impl CoordService {
         let mut ids: Vec<u64> = reg
             .jobs
             .iter()
-            .filter(|(_, j)| matches!(j.state, CoordState::Routed { .. }))
+            .filter(|(_, j)| !matches!(j.state, CoordState::Done { .. }))
             .map(|(&id, _)| id)
             .collect();
         ids.sort_unstable();
@@ -820,6 +1011,17 @@ fn rewrite_id(body: &str, from: u64, to: u64) -> String {
 fn synthetic_status(id: u64, label: &str, status: &str) -> String {
     format!(
         "{{\"schema_version\":{SCHEMA_VERSION},\"id\":{id},\"label\":\"{}\",\"status\":\"{status}\"}}",
+        json_escape(label)
+    )
+}
+
+/// The terminal row for a job cancelled while it had no reachable
+/// placement: same outer shape as a worker's own cancelled document,
+/// so pollers terminate and listing reports `kind:"cancelled"`.
+fn synthetic_cancelled(id: u64, label: &str) -> String {
+    format!(
+        "{{\"schema_version\":{SCHEMA_VERSION},\"id\":{id},\"status\":\"done\",\"kind\":\"cancelled\",\
+         \"job\":{{\"label\":\"{}\",\"result\":{{\"kind\":\"cancelled\"}}}}}}",
         json_escape(label)
     )
 }
@@ -965,7 +1167,9 @@ impl Coordinator {
             {
                 let service = Arc::clone(&self.service);
                 let stop = Arc::clone(&self.stop);
-                let interval = self.config.probe_interval;
+                // Floor the interval: zero would turn the prober into a
+                // busy loop hammering every worker's /healthz.
+                let interval = self.config.probe_interval.max(Duration::from_millis(1));
                 scope.spawn(move || {
                     while !stop.load(Ordering::SeqCst) && !signal::sigint_received() {
                         service.probe();

@@ -242,6 +242,89 @@ fn killed_worker_jobs_reroute_and_none_are_lost() {
     drop((h1, h0b));
 }
 
+/// The stranded-job aliasing regression: a job whose re-placement found
+/// no taker holds no remote id. If the coordinator kept polling the
+/// dead placement's id (worker-local ids restart at 0), a restarted
+/// worker's id 0 — some *other* job — would be served as this job's
+/// result. The stranded job must instead re-place and produce its own
+/// result.
+#[test]
+fn stranded_job_never_reads_another_jobs_result() {
+    let (w0, h0, t0) = start_worker("127.0.0.1:0");
+    let (client, coord_handle, coord_thread) = start_coordinator(vec![w0.clone()]);
+
+    // Lands as remote id 0 on the only worker.
+    let ids = submit_dividers(&client, &[1700]);
+    h0.shutdown();
+    t0.join().unwrap().expect("worker first run");
+
+    // Poll with the fleet empty: re-placement has no candidate (the
+    // dead owner is excluded), so the job strands as synthetic queued.
+    let body = client.status(ids[0]).expect("status while stranded");
+    assert!(body.contains("\"status\":\"queued\""), "{body}");
+
+    // Restart on the same address and land a DIFFERENT job first, so
+    // the fresh registry's id 0 belongs to divider2400 — the very id
+    // the stranded job held on the dead twin.
+    let (w0_again, h0b, t0b) = start_worker(&w0);
+    assert_eq!(w0_again, w0, "restart must reclaim the same address");
+    let other = submit_dividers(&client, &[2400]);
+    let other_body = client.wait_done(other[0], POLL).expect("other job");
+    assert!(
+        other_body.contains(&format!("\"result\":{}", direct_result(2400))),
+        "{other_body}"
+    );
+
+    let body = client.wait_done(ids[0], POLL).expect("stranded job");
+    assert!(
+        body.contains(&format!("\"result\":{}", direct_result(1700))),
+        "stranded job served another job's result (or the wrong one):\n{body}"
+    );
+
+    coord_handle.shutdown();
+    let report = coord_thread.join().unwrap().expect("coordinator run");
+    assert_eq!(report.jobs_completed, 2);
+    t0b.join().unwrap().expect("worker second run");
+    drop(h0b);
+}
+
+/// An acknowledged cancel is binding: cancelling a job whose owning
+/// worker is unreachable must close the job out in the coordinator's
+/// registry, never re-route it to a restarted worker.
+#[test]
+fn cancel_on_unreachable_worker_is_never_resubmitted() {
+    let (w0, h0, t0) = start_worker("127.0.0.1:0");
+    let (client, coord_handle, coord_thread) = start_coordinator(vec![w0.clone()]);
+
+    let ids = submit_dividers(&client, &[1800]);
+    h0.shutdown();
+    t0.join().unwrap().expect("worker first run");
+
+    // Cancel while the owner is unreachable: acknowledged...
+    let body = client.cancel(ids[0]).expect("cancel");
+    assert!(body.contains("\"cancelled\":true"), "{body}");
+
+    // ...and recorded: a fresh worker on the same address must never
+    // receive this job, and every status poll stays terminal.
+    let (w0_again, h0b, t0b) = start_worker(&w0);
+    assert_eq!(w0_again, w0, "restart must reclaim the same address");
+    for _ in 0..5 {
+        let status = client.status(ids[0]).expect("status");
+        assert!(status.contains("\"status\":\"done\""), "{status}");
+        assert!(status.contains("\"kind\":\"cancelled\""), "{status}");
+        std::thread::sleep(POLL);
+    }
+
+    coord_handle.shutdown();
+    coord_thread.join().unwrap().expect("coordinator run");
+    let worker_report = t0b.join().unwrap().expect("worker second run");
+    assert_eq!(
+        worker_report.jobs_completed, 0,
+        "cancelled job must not re-run on the restarted worker"
+    );
+    drop(h0b);
+}
+
 #[test]
 fn fleet_down_submissions_answer_no_workers() {
     // A worker that exists only long enough to learn its port, then dies.
