@@ -19,7 +19,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use four_terminal_lattice::batch::PipelineJobBuilder;
-use fts_engine::Engine;
+use fts_engine::{CacheMode, Engine};
 use fts_server::service::build_job;
 use fts_server::wire::{outcome_json, AnalysisSpec, JobSource, JobSpec};
 use fts_server::{
@@ -90,7 +90,7 @@ fn start_worker(
             workers: 1,
             conn_workers: 4,
             queue_depth: capacity + 16,
-            retain_done: capacity + 16,
+            cache_entries: capacity + 16,
             ..ServerConfig::default()
         },
         Arc::clone(builder) as Arc<dyn fts_server::service::JobBuilder>,
@@ -111,7 +111,7 @@ fn start_fleet(builder: &Arc<PipelineJobBuilder>, n: usize, capacity: usize) -> 
             addr: "127.0.0.1:0".to_owned(),
             workers: workers.iter().map(|(a, _, _)| a.clone()).collect(),
             probe_interval: Duration::from_millis(50),
-            retain_done: capacity + 16,
+            cache_entries: capacity + 16,
             ..CoordinatorConfig::default()
         },
         Arc::clone(builder) as Arc<dyn fts_server::service::JobBuilder>,
@@ -271,6 +271,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ladder: false,
                 label: None,
                 waveform: false,
+                cache: CacheMode::Default,
             };
             let built = build_job(builder.as_ref(), &spec, 0).expect("direct build");
             let report = engine.run(vec![built.job]);

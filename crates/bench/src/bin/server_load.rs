@@ -1,8 +1,13 @@
 //! Server load benchmark: hammers an in-process `fts-server` with
 //! op-point job submissions over loopback HTTP and writes
 //! `BENCH_server.json` (sustained throughput, submit-latency p50/p99,
-//! 429 backpressure count, and a bit-identity check against direct
-//! engine submission).
+//! 429 backpressure count, a bit-identity check against direct engine
+//! submission, and a repeated-manifest result-cache replay reporting
+//! the hit ratio plus cold-vs-warm mean Newton iteration counts).
+//!
+//! The load and identity phases submit with `"cache": "bypass"` so they
+//! keep measuring real solver throughput and strict cold-path identity;
+//! the cache phase is the only one that exercises default mode.
 //!
 //! Usage: `server_load [--requests N] [--clients N] [--workers N]
 //! [--queue-depth N] [--function NAME] [--out PATH]
@@ -13,9 +18,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use four_terminal_lattice::batch::PipelineJobBuilder;
-use fts_engine::Engine;
+use fts_engine::{CacheMode, Engine};
 use fts_server::service::build_job;
-use fts_server::wire::{outcome_json, AnalysisSpec, JobSource, JobSpec};
+use fts_server::wire::{outcome_json, AnalysisSpec, JobSource, JobSpec, Json};
 use fts_server::{ClientError, Server, ServerConfig, WireClient};
 
 struct Args {
@@ -62,8 +67,59 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[k]
 }
 
-fn submit_body(function: &str, input: u32) -> String {
-    format!(r#"{{"jobs":[{{"function":"{function}","analysis":"op","input":{input}}}]}}"#)
+fn submit_body(function: &str, input: u32, cache: &str) -> String {
+    format!(
+        r#"{{"jobs":[{{"function":"{function}","analysis":"op","input":{input},"cache":"{cache}"}}]}}"#
+    )
+}
+
+/// The 4-job manifest (inputs 0..4, default cache mode) the cache phase
+/// replays round after round.
+fn replay_manifest(function: &str) -> String {
+    let jobs: Vec<String> = (0..4)
+        .map(|i| format!(r#"{{"function":"{function}","analysis":"op","input":{i}}}"#))
+        .collect();
+    format!("{{\"jobs\":[{}]}}", jobs.join(","))
+}
+
+/// Reads `(hits, misses)` from the server's `GET /v1/cache` document.
+fn cache_counters(client: &WireClient) -> (f64, f64) {
+    let body = client.cache_stats().expect("GET /v1/cache");
+    let doc = Json::parse(&body).expect("cache stats parse");
+    let field = |name: &str| doc.get(name).and_then(Json::as_f64).expect("stats field");
+    (field("hits"), field("misses"))
+}
+
+/// Pulls one `fts_histogram_*{name="…"}` series value out of a scrape.
+fn histogram_value(metrics: &str, series: &str, name: &str) -> f64 {
+    let needle = format!("fts_histogram_{series}{{name=\"{name}\"}} ");
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(needle.as_str()))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0)
+}
+
+/// `(count, sum)` of a cumulative histogram — deltas between two scrapes
+/// give a per-phase mean even though the underlying series never resets.
+fn histogram_tally(client: &WireClient, name: &str) -> (f64, f64) {
+    let metrics = client.metrics().expect("metrics scrape");
+    let n = histogram_value(&metrics, "count", name);
+    (n, n * histogram_value(&metrics, "mean", name))
+}
+
+/// A one-`.op` NMOS-inverter deck with the supply at `vdd` volts: the
+/// same concrete topology at every supply, so the warm-start index kicks
+/// in for nearby supplies while far ones run cold.
+fn inverter_deck(vdd: f64) -> String {
+    format!(
+        "v1 vdd 0 dc {vdd}\n\
+         r1 vdd out 10k\n\
+         m1 out vdd 0 sw\n\
+         .model sw nmos level=1 kp=2e-5 vto=0.7 lambda=0.01 wol=10\n\
+         .op\n\
+         .probe v(out)\n"
+    )
 }
 
 /// The status-poll cadence while waiting for a job to finish.
@@ -82,7 +138,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // share, so every finished row must outlive the run — size the
         // done-row retention to the workload (plus warm-up + identity
         // jobs) instead of the production default.
-        retain_done: args.requests + 16,
+        cache_entries: args.requests + 16,
         ..ServerConfig::default()
     };
     let server = Server::bind(config, Arc::new(PipelineJobBuilder::new()))?;
@@ -95,7 +151,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Warm-up: the first submission pays for lattice synthesis and circuit
     // construction; everything after hits the realization cache.
     let warm = client
-        .submit_manifest(&submit_body(&args.function, 0))
+        .submit_manifest(&submit_body(&args.function, 0, "bypass"))
         .expect("warm-up submit");
     for id in warm {
         client.wait_done(id, POLL).expect("warm-up wait");
@@ -129,7 +185,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         if k >= args.requests {
                             break;
                         }
-                        let body = submit_body(function, (k % 4) as u32);
+                        let body = submit_body(function, (k % 4) as u32, "bypass");
                         loop {
                             let t = Instant::now();
                             match client.submit_manifest(&body) {
@@ -179,7 +235,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut bit_identical = true;
     for input in 0..4u32 {
         let ids = client
-            .submit_manifest(&submit_body(&args.function, input))
+            .submit_manifest(&submit_body(&args.function, input, "bypass"))
             .expect("identity submit");
         let served = client.wait_done(ids[0], POLL).expect("identity wait");
 
@@ -192,6 +248,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ladder: false,
             label: None,
             waveform: false,
+            cache: CacheMode::Bypass,
         };
         let built = build_job(&builder, &spec, 0).expect("direct build");
         let report = engine.run(vec![built.job]);
@@ -208,6 +265,77 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     tel.phase_done("identity");
 
+    // Cache phase: a repeated-manifest workload in default mode. The
+    // flush makes the phase self-contained; round 0 runs its four jobs
+    // sequentially so the warm-start index is deterministically seeded
+    // (input 0 solves cold, inputs 1..4 are warm-started misses over the
+    // same topology); every later round replays the identical manifest
+    // and must be served from the cache.
+    const CACHE_ROUNDS: usize = 20;
+    client.cache_flush().expect("DELETE /v1/cache");
+    let (hits0, misses0) = cache_counters(&client);
+    for input in 0..4u32 {
+        let ids = client
+            .submit_manifest(&submit_body(&args.function, input, "default"))
+            .expect("cache round-0 submit");
+        for id in ids {
+            client.wait_done(id, POLL).expect("cache round-0 wait");
+        }
+    }
+    let manifest = replay_manifest(&args.function);
+    for _ in 1..CACHE_ROUNDS {
+        let ids = client.submit_manifest(&manifest).expect("replay submit");
+        for id in ids {
+            client.wait_done(id, POLL).expect("replay wait");
+        }
+    }
+    let (hits1, misses1) = cache_counters(&client);
+    let lookups = (hits1 - hits0) + (misses1 - misses0);
+    let hit_ratio = if lookups > 0.0 {
+        (hits1 - hits0) / lookups
+    } else {
+        0.0
+    };
+    tel.phase_done("cache");
+
+    // Warm-start phase: one inverter topology, supplies swept as decks.
+    // Far-apart supplies (>10% steps) are rejected by the warm index's
+    // nearness guard and solve cold; tightly-stepped supplies around the
+    // last cold point are warm-started. Histogram deltas isolate this
+    // phase's solves from everything recorded earlier, so the cold/warm
+    // means compare the same circuit family.
+    const COLD_SUPPLIES: [f64; 4] = [1.0, 1.5, 2.25, 3.4];
+    const WARM_STEPS: usize = 16;
+    let (cold_n0, cold_s0) = histogram_tally(&client, "cache.cold.newton_iterations");
+    let (warm_n0, warm_s0) = histogram_tally(&client, "cache.warm.newton_iterations");
+    for vdd in COLD_SUPPLIES {
+        let ids = client.submit_deck(&inverter_deck(vdd)).expect("cold deck");
+        for id in ids {
+            client.wait_done(id, POLL).expect("cold deck wait");
+        }
+    }
+    for k in 1..=WARM_STEPS {
+        let vdd = 2.25 + 0.005 * k as f64;
+        let ids = client.submit_deck(&inverter_deck(vdd)).expect("warm deck");
+        for id in ids {
+            client.wait_done(id, POLL).expect("warm deck wait");
+        }
+    }
+    let (cold_n1, cold_s1) = histogram_tally(&client, "cache.cold.newton_iterations");
+    let (warm_n1, warm_s1) = histogram_tally(&client, "cache.warm.newton_iterations");
+    let phase_mean = |n1: f64, s1: f64, n0: f64, s0: f64| {
+        if n1 > n0 {
+            (s1 - s0) / (n1 - n0)
+        } else {
+            0.0
+        }
+    };
+    let cold_iters = phase_mean(cold_n1, cold_s1, cold_n0, cold_s0);
+    let warm_iters = phase_mean(warm_n1, warm_s1, warm_n0, warm_s0);
+    let warm_runs = warm_n1 - warm_n0;
+    let warm_faster = warm_runs > 0.0 && warm_iters < cold_iters;
+    tel.phase_done("warm");
+
     handle.shutdown();
     let report = server_thread.join().expect("server thread")?;
 
@@ -216,6 +344,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  latency     : p50 {p50_ms:.3} ms, p99 {p99_ms:.3} ms");
     println!("  rejected    : {rejected} (429 backpressure)");
     println!("  identical   : {bit_identical}");
+    println!(
+        "  cache       : hit ratio {hit_ratio:.3} over {CACHE_ROUNDS} replay rounds; \
+         inverter sweep Newton iters cold {cold_iters:.2} vs warm {warm_iters:.2} \
+         ({warm_runs:.0} warm-started)"
+    );
     println!(
         "  server      : {} jobs completed, {} submissions rejected, {} connections rejected",
         report.jobs_completed, report.submissions_rejected, report.connections_rejected
@@ -227,7 +360,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "\"function\":\"{}\",\"requests\":{},\"clients\":{},\"workers\":{},",
             "\"queue_depth\":{},\"wall_s\":{},\"throughput_rps\":{},",
             "\"latency_p50_ms\":{},\"latency_p99_ms\":{},\"rejected_429\":{},",
-            "\"bit_identical\":{},\"jobs_completed\":{},\"submissions_rejected\":{},",
+            "\"bit_identical\":{},\"cache_rounds\":{},\"hit_ratio\":{},",
+            "\"newton_iters_cold_mean\":{},\"newton_iters_warm_mean\":{},",
+            "\"warm_faster\":{},\"jobs_completed\":{},\"submissions_rejected\":{},",
             "\"connections_rejected\":{}}}"
         ),
         args.function,
@@ -241,6 +376,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         p99_ms,
         rejected,
         bit_identical,
+        CACHE_ROUNDS,
+        hit_ratio,
+        cold_iters,
+        warm_iters,
+        warm_faster,
         report.jobs_completed,
         report.submissions_rejected,
         report.connections_rejected,
@@ -250,6 +390,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     tel.finish()?;
 
     if !bit_identical {
+        std::process::exit(1);
+    }
+    if hit_ratio < 0.9 {
+        eprintln!("CACHE REGRESSION: hit ratio {hit_ratio:.3} < 0.9 on a repeated manifest");
+        std::process::exit(1);
+    }
+    if !warm_faster {
+        eprintln!(
+            "WARM-START REGRESSION: warm mean {warm_iters:.2} Newton iterations \
+             is not below cold mean {cold_iters:.2}"
+        );
         std::process::exit(1);
     }
     Ok(())

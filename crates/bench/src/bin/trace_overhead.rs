@@ -90,7 +90,7 @@ fn run_mode(args: &Args, trace_events: usize) -> (f64, usize) {
     let config = ServerConfig {
         addr: "127.0.0.1:0".to_owned(),
         workers: args.workers,
-        retain_done: args.requests + 16,
+        cache_entries: args.requests + 16,
         trace_events,
         ..ServerConfig::default()
     };

@@ -25,7 +25,7 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 
 use fts_circuit::lattice_netlist::pwl_from_bits;
-use fts_engine::{Engine, SimJob};
+use fts_engine::{cache_key, CacheMode, Engine, SimJob};
 use fts_server::service::{build_job, BuiltJob, JobBuilder};
 use fts_spice::analysis::TranConfig;
 use fts_spice::Waveform;
@@ -168,15 +168,36 @@ pub fn run_manifest_traced(
     let mut jobs = Vec::with_capacity(manifest.jobs.len());
     let mut meta = Vec::with_capacity(manifest.jobs.len());
     let mut traces = Vec::with_capacity(manifest.jobs.len());
+    // In-manifest dedup by canonical content hash (PR 10): identical
+    // default-mode jobs collapse onto one engine run, and duplicate rows
+    // quote the shared outcome. Tracing disables dedup — every journal
+    // must come from a run that actually happened; `"cache":"bypass"` or
+    // `"refresh"` opt a job out per the wire schema's semantics.
+    let mut run_of = Vec::with_capacity(manifest.jobs.len());
+    let mut seen: HashMap<u128, usize> = HashMap::new();
     for (k, spec) in manifest.jobs.iter().enumerate() {
         let mut built = build_job(&builder, spec, k)?;
-        let trace = (trace_events > 0).then(|| fts_telemetry::trace::JobTrace::new(trace_events));
-        if let Some(t) = &trace {
-            built.job.trace = Some(t.clone());
-        }
-        traces.push(trace);
+        let key = cache_key(&built.job, built.out, spec.waveform);
+        let dedup = trace_events == 0 && spec.cache == CacheMode::Default;
+        let slot = match (dedup, seen.get(&key.0)) {
+            (true, Some(&slot)) => slot,
+            _ => {
+                let trace =
+                    (trace_events > 0).then(|| fts_telemetry::trace::JobTrace::new(trace_events));
+                if let Some(t) = &trace {
+                    built.job.trace = Some(t.clone());
+                }
+                traces.push(trace);
+                let slot = jobs.len();
+                jobs.push(built.job);
+                if dedup {
+                    seen.insert(key.0, slot);
+                }
+                slot
+            }
+        };
+        run_of.push(slot);
         meta.push((spec.label_or_default(k), built.out, spec.waveform));
-        jobs.push(built.job);
     }
 
     let mut engine = Engine::new();
@@ -186,21 +207,29 @@ pub fn run_manifest_traced(
     let threads = engine.thread_count();
     let report = engine.run(jobs);
 
+    // Success is counted per manifest row (a deduped duplicate of a
+    // successful job succeeded too), not per engine run.
+    let succeeded = run_of
+        .iter()
+        .filter(|&&slot| report.outcomes[slot].is_success())
+        .count();
     let rows: Vec<String> = meta
         .iter()
-        .zip(&traces)
-        .zip(report.outcomes.iter().zip(&report.stats))
-        .map(|(((label, out, waveform), trace), (outcome, stat))| {
-            let snap = trace.as_ref().map(|t| t.snapshot());
-            job_row_json_traced(label, outcome, stat, *out, *waveform, snap.as_ref())
+        .enumerate()
+        .map(|(k, (label, out, waveform))| {
+            let slot = run_of[k];
+            let snap = traces[slot].as_ref().map(|t| t.snapshot());
+            job_row_json_traced(
+                label,
+                &report.outcomes[slot],
+                &report.stats[slot],
+                *out,
+                *waveform,
+                snap.as_ref(),
+            )
         })
         .collect();
-    Ok(batch_report_json(
-        &rows,
-        report.succeeded(),
-        threads,
-        report.wall_s,
-    ))
+    Ok(batch_report_json(&rows, succeeded, threads, report.wall_s))
 }
 
 #[cfg(test)]
@@ -222,7 +251,7 @@ mod tests {
             doc.get("schema").and_then(Json::as_str),
             Some("fts-batch-report/1")
         );
-        assert_eq!(doc.get("schema_version").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(doc.get("schema_version").and_then(Json::as_f64), Some(2.0));
         assert_eq!(doc.get("jobs").and_then(Json::as_f64), Some(2.0));
         assert_eq!(doc.get("succeeded").and_then(Json::as_f64), Some(2.0));
         let outcomes = doc.get("outcomes").and_then(Json::as_array).unwrap();
@@ -349,6 +378,7 @@ mod tests {
             ladder: false,
             label: None,
             waveform: false,
+            cache: CacheMode::Default,
         };
         builder.build(&spec, 0).unwrap();
         builder.build(&spec, 1).unwrap();

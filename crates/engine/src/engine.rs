@@ -251,7 +251,16 @@ fn attempt(job: &SimJob, opts: OpOptions, token: &CancelToken) -> Result<SimOutc
         .op_options(opts)
         .cancel_token(token.clone());
     match &job.analysis {
-        Analysis::Op => sim.op().map(SimOutcome::Op),
+        Analysis::Op => {
+            // Warm-start: seed Newton from a caller-supplied operating
+            // point when its length matches this netlist's unknown
+            // vector; otherwise fall back to the cold flat start.
+            let seed = job
+                .initial
+                .as_deref()
+                .filter(|x| x.len() == job.netlist.unknown_count());
+            sim.op_at(0.0, seed).map(SimOutcome::Op)
+        }
         Analysis::DcSweep { source, values } => {
             let mut sim = sim;
             sim.dc_sweep(source, values).map(SimOutcome::Sweep)

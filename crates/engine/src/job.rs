@@ -116,6 +116,14 @@ pub struct SimJob {
     /// the job produces lands in this ring. The submitter keeps a clone
     /// of the handle and snapshots it whenever it likes.
     pub trace: Option<JobTrace>,
+    /// Optional Newton warm-start seed for [`Analysis::Op`] jobs: an
+    /// unknown vector (length [`Netlist::unknown_count`]) from a
+    /// previously solved same-topology circuit. Ignored for other
+    /// analyses and when the length does not match. A seed only moves
+    /// Newton's starting point — never what is solved — and the retry
+    /// ladder behaves exactly as for a cold start if the seeded rung
+    /// fails.
+    pub initial: Option<Vec<f64>>,
 }
 
 impl SimJob {
@@ -128,6 +136,7 @@ impl SimJob {
             retry: RetryPolicy::full(),
             label: String::new(),
             trace: None,
+            initial: None,
         }
     }
 
@@ -144,6 +153,7 @@ impl SimJob {
             retry: RetryPolicy::full(),
             label: String::new(),
             trace: None,
+            initial: None,
         }
     }
 
@@ -159,6 +169,7 @@ impl SimJob {
             retry: RetryPolicy::full(),
             label: String::new(),
             trace: None,
+            initial: None,
         }
     }
 
@@ -174,6 +185,7 @@ impl SimJob {
             retry: RetryPolicy::full(),
             label: String::new(),
             trace: None,
+            initial: None,
         }
     }
 
@@ -199,6 +211,13 @@ impl SimJob {
     /// of the handle to read the journal back.
     pub fn trace(mut self, trace: JobTrace) -> SimJob {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Seeds Newton from a previously solved operating point (see
+    /// [`SimJob::initial`]).
+    pub fn initial(mut self, x: Vec<f64>) -> SimJob {
+        self.initial = Some(x);
         self
     }
 

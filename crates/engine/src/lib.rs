@@ -51,11 +51,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod engine;
 pub mod executor;
 mod job;
 mod sink;
 
+pub use cache::{
+    cache_key, params_vector, topology_hash, CacheKey, CacheMode, CacheStats, CachedResult,
+    ResultCache, CACHE_KEY_VERSION, DEFAULT_CACHE_BYTES,
+};
 pub use engine::Engine;
 pub use job::{
     Analysis, BatchReport, JobStats, RetryPolicy, SimJob, SimOutcome, DEFAULT_MAX_SAMPLES,

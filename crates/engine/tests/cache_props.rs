@@ -1,0 +1,237 @@
+//! Property tests for the `cache_key/1` canonicalizer: the key must be
+//! invariant under every representation detail (node creation order,
+//! device card order, internal node names) and sensitive to every
+//! semantic detail (parameter values, wiring, the probed output node,
+//! the waveform flag). Randomized with a hand-rolled LCG so the suite
+//! stays dependency-free and the failing seed is printed on panic.
+
+use fts_engine::{cache_key, CacheKey, SimJob};
+use fts_spice::netlist::{Netlist, Waveform};
+use fts_spice::NodeId;
+
+/// Deterministic 64-bit LCG (Knuth's MMIX constants).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0 >> 1
+    }
+
+    /// Uniform draw in `0..n`.
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            xs.swap(i, self.below(i + 1));
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    Resistor,
+    Capacitor,
+    Source,
+}
+
+/// One abstract device over node *indices* (0 = ground) — the circuit's
+/// semantic content, independent of names and insertion order.
+#[derive(Clone)]
+struct Dev {
+    kind: Kind,
+    a: usize,
+    b: usize,
+    value: f64,
+}
+
+/// A random connected-ish circuit: one DC source plus a handful of
+/// resistors and capacitors over `nodes` internal nodes.
+fn random_circuit(rng: &mut Lcg) -> (Vec<Dev>, usize, usize) {
+    let nodes = 3 + rng.below(5); // internal node count (indices 1..=nodes)
+    let mut devs = vec![Dev {
+        kind: Kind::Source,
+        a: 1,
+        b: 0,
+        value: 1.0 + rng.below(40) as f64 / 8.0,
+    }];
+    let count = 4 + rng.below(6);
+    for _ in 0..count {
+        let a = 1 + rng.below(nodes);
+        let mut b = rng.below(nodes + 1);
+        if b == a {
+            b = (a % nodes) + 1; // avoid self-loops; keep in range
+        }
+        if b == a {
+            b = 0;
+        }
+        let kind = if rng.below(4) == 0 {
+            Kind::Capacitor
+        } else {
+            Kind::Resistor
+        };
+        let value = match kind {
+            Kind::Capacitor => 1e-12 * (1.0 + rng.below(100) as f64),
+            _ => 1e2 * (1.0 + rng.below(1000) as f64),
+        };
+        devs.push(Dev { kind, a, b, value });
+    }
+    let out = 1 + rng.below(nodes);
+    (devs, nodes, out)
+}
+
+/// Builds a concrete [`Netlist`] from the abstract circuit: devices are
+/// inserted in `order`, and internal node `i` is called `name(i)` — so
+/// both node-creation order and node names vary with the caller.
+fn build(
+    devs: &[Dev],
+    order: &[usize],
+    nodes: usize,
+    name: impl Fn(usize) -> String,
+) -> (Netlist, Vec<NodeId>) {
+    let mut nl = Netlist::new();
+    let mut ids: Vec<Option<NodeId>> = vec![None; nodes + 1];
+    ids[0] = Some(Netlist::GROUND);
+    let id_of = |nl: &mut Netlist, ids: &mut Vec<Option<NodeId>>, k: usize| {
+        if ids[k].is_none() {
+            ids[k] = Some(nl.node(&name(k)));
+        }
+        ids[k].expect("just created")
+    };
+    for (slot, &k) in order.iter().enumerate() {
+        let d = &devs[k];
+        let a = id_of(&mut nl, &mut ids, d.a);
+        let b = id_of(&mut nl, &mut ids, d.b);
+        match d.kind {
+            Kind::Resistor => nl.resistor(&format!("R{slot}"), a, b, d.value).unwrap(),
+            Kind::Capacitor => nl.capacitor(&format!("C{slot}"), a, b, d.value).unwrap(),
+            Kind::Source => nl
+                .vsource(&format!("V{slot}"), a, b, Waveform::Dc(d.value))
+                .unwrap(),
+        };
+    }
+    let ids = ids
+        .into_iter()
+        .enumerate()
+        .map(|(k, id)| id.unwrap_or_else(|| nl.node(&name(k))))
+        .collect();
+    (nl, ids)
+}
+
+fn key_of(devs: &[Dev], order: &[usize], nodes: usize, out: usize, wave: bool) -> CacheKey {
+    let (nl, ids) = build(devs, order, nodes, |k| format!("n{k}"));
+    cache_key(&SimJob::op(nl), ids[out], wave)
+}
+
+#[test]
+fn key_is_invariant_under_order_and_naming() {
+    let mut rng = Lcg(0x5eed_0001);
+    for trial in 0..60 {
+        let (devs, nodes, out) = random_circuit(&mut rng);
+        let identity: Vec<usize> = (0..devs.len()).collect();
+        let reference = key_of(&devs, &identity, nodes, out, false);
+
+        // Reordered cards + renamed internal nodes + (therefore) a
+        // different node-creation order must hash identically.
+        let mut order = identity.clone();
+        rng.shuffle(&mut order);
+        let (nl, ids) = build(&devs, &order, nodes, |k| format!("x{}", k * 7 + 3));
+        let renamed = cache_key(&SimJob::op(nl), ids[out], false);
+        assert_eq!(
+            reference, renamed,
+            "trial {trial}: permuted/renamed circuit changed the key"
+        );
+    }
+}
+
+#[test]
+fn key_is_sensitive_to_semantic_changes() {
+    let mut rng = Lcg(0x5eed_0002);
+    for trial in 0..60 {
+        let (devs, nodes, out) = random_circuit(&mut rng);
+        let identity: Vec<usize> = (0..devs.len()).collect();
+        let reference = key_of(&devs, &identity, nodes, out, false);
+
+        // A parameter nudge on one random device changes the key.
+        let victim = rng.below(devs.len());
+        let mut poked = devs.clone();
+        poked[victim].value *= 1.5;
+        assert_ne!(
+            reference,
+            key_of(&poked, &identity, nodes, out, false),
+            "trial {trial}: parameter change kept the key"
+        );
+
+        // Rewiring one terminal to a different node changes the key.
+        let mut rewired = devs.clone();
+        let d = &mut rewired[victim];
+        let was = d.b;
+        d.b = (d.b + 1) % (nodes + 1);
+        if d.b == d.a {
+            d.b = (d.b + 1) % (nodes + 1);
+        }
+        if d.b != was {
+            assert_ne!(
+                reference,
+                key_of(&rewired, &identity, nodes, out, false),
+                "trial {trial}: rewiring kept the key"
+            );
+        }
+
+        // The waveform flag is part of the key (a waveform row renders
+        // different result bytes, so it must not collide).
+        assert_ne!(
+            reference,
+            key_of(&devs, &identity, nodes, out, true),
+            "trial {trial}: waveform flag not keyed"
+        );
+    }
+}
+
+#[test]
+fn key_distinguishes_asymmetric_output_nodes() {
+    // Deterministic ladder: n1 —1k— n2 —2k— n3 —3k— GND with the source
+    // on n1. Every node plays a structurally different role, so probing
+    // a different node must change the key. (Automorphic nodes — e.g.
+    // two dangling ones — are *allowed* to collide: isomorphic circuits
+    // produce identical results.)
+    let ladder = || {
+        let mut nl = Netlist::new();
+        let n1 = nl.node("n1");
+        let n2 = nl.node("n2");
+        let n3 = nl.node("n3");
+        nl.vsource("V1", n1, Netlist::GROUND, Waveform::Dc(5.0))
+            .unwrap();
+        nl.resistor("R1", n1, n2, 1e3).unwrap();
+        nl.resistor("R2", n2, n3, 2e3).unwrap();
+        nl.resistor("R3", n3, Netlist::GROUND, 3e3).unwrap();
+        (nl, [n1, n2, n3])
+    };
+    let (nl, nodes) = ladder();
+    let at_n2 = cache_key(&SimJob::op(nl), nodes[1], false);
+    let (nl, nodes) = ladder();
+    let at_n3 = cache_key(&SimJob::op(nl), nodes[2], false);
+    assert_ne!(at_n2, at_n3, "output node must be part of the key");
+}
+
+#[test]
+fn key_spelling_is_versioned_and_stable_across_rebuilds() {
+    let mut rng = Lcg(0x5eed_0003);
+    let (devs, nodes, out) = random_circuit(&mut rng);
+    let identity: Vec<usize> = (0..devs.len()).collect();
+    let a = key_of(&devs, &identity, nodes, out, false);
+    let b = key_of(&devs, &identity, nodes, out, false);
+    assert_eq!(a, b, "same circuit must key identically across rebuilds");
+    let spelled = a.to_string();
+    assert!(
+        spelled.starts_with("cache_key/1:"),
+        "key spelling must be versioned: {spelled}"
+    );
+    assert_eq!(spelled.len(), "cache_key/1:".len() + 32, "{spelled}");
+}

@@ -412,6 +412,27 @@ impl WireClient {
         Ok(self.request("GET", "/metrics", None)?.body)
     }
 
+    /// `GET /v1/cache`: result-cache statistics (`entries`, `bytes`,
+    /// `hits`, `misses`, `evictions`, `hit_ratio`). On a coordinator the
+    /// top-level numbers aggregate the whole fleet.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn cache_stats(&self) -> Result<String, ClientError> {
+        Ok(self.request("GET", "/v1/cache", None)?.body)
+    }
+
+    /// `DELETE /v1/cache`: drop every cached result (cumulative counters
+    /// survive). On a coordinator the flush fans out to every worker.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn cache_flush(&self) -> Result<String, ClientError> {
+        Ok(self.request("DELETE", "/v1/cache", None)?.body)
+    }
+
     /// `POST /v1/shutdown`: requests a graceful drain. On a coordinator
     /// this cascades to the worker fleet once every in-flight job is done.
     ///

@@ -1,5 +1,5 @@
 //! The coordinator: one front door fanning `POST /v1/jobs` out to a
-//! fleet of worker processes over the schema_version-1 wire protocol.
+//! fleet of worker processes over the versioned wire protocol.
 //!
 //! The coordinator is a router, not a simulator — it runs no engine. A
 //! submitted manifest is validated locally (through the *same*
@@ -40,6 +40,17 @@
 //! back holds jobs the fleet accepted; a client that got an error holds
 //! nothing.
 //!
+//! **Result cache.** The coordinator keeps its own [`ResultCache`] keyed
+//! by the same canonical `cache_key/1` the workers use. Admission
+//! consults it before routing: a `default`-mode job whose key is cached
+//! is minted Done locally and never touches the fleet. Proxied
+//! completions populate the cache by lifting the `result` bytes out of
+//! the worker's document verbatim (never parse → re-render — byte
+//! identity is the cache contract). `GET /v1/cache` reports the
+//! fleet-wide aggregate plus a per-worker breakdown, and
+//! `DELETE /v1/cache` flushes the coordinator and fans the flush out to
+//! every worker over the [`WireClient`].
+//!
 //! **Drain ordering** (`POST /v1/shutdown`, SIGINT, or
 //! [`ServerHandle`]): stop accepting, serve queued connections, poll
 //! every routed job to completion (rerouting around dead workers), and
@@ -57,13 +68,18 @@ use crate::http::{HttpError, HttpLimits, Request};
 use crate::ring::HashRing;
 use crate::server::{
     accept_loop, admission_response, bind_addr, close_conn_queue, json_ok, list_params,
-    new_conn_queue, prom_escape, render_http_series, render_telemetry_series, spawn_conn_workers,
-    wire_error_response, HttpApp, HttpMetrics, Response, ServerHandle, ShutdownReport,
+    new_conn_queue, prom_escape, prom_num, render_http_series, render_telemetry_series,
+    spawn_conn_workers, wire_error_response, HttpApp, HttpMetrics, Response, ServerHandle,
+    ShutdownReport,
 };
-use crate::service::{build_job, JobBuilder, SubmitError, DEFAULT_RETAIN_DONE};
+use crate::service::{build_job, JobBuilder, SubmitError, DEFAULT_CACHE_ENTRIES};
 use crate::signal;
 use crate::wire::{
-    json_escape, single_job_manifest, BatchManifest, Json, WireError, SCHEMA_VERSION,
+    cache_member_json, json_escape, json_f64, single_job_manifest, BatchManifest, Json, WireError,
+    SCHEMA_VERSION,
+};
+use fts_engine::{
+    cache_key, CacheKey, CacheMode, CacheStats, CachedResult, ResultCache, DEFAULT_CACHE_BYTES,
 };
 
 /// Coordinator tunables; every field has a production-safe default
@@ -77,9 +93,13 @@ pub struct CoordinatorConfig {
     pub workers: Vec<String>,
     /// `/healthz` probe period per worker.
     pub probe_interval: Duration,
-    /// Finished (proxied-done or synthetic-failed) rows retained before
-    /// oldest-first eviction, as on the single-process server.
-    pub retain_done: usize,
+    /// Entry bound shared by the coordinator's own result cache and the
+    /// finished (proxied-done or synthetic-failed) rows retained before
+    /// oldest-first eviction, as on the single-process server. Replaces
+    /// the former `retain_done` knob (PR 10).
+    pub cache_entries: usize,
+    /// Byte bound on the coordinator's result-cache payloads.
+    pub cache_bytes: usize,
     /// Times one job may be re-routed to another worker before the
     /// coordinator closes it out with a synthetic `failed` row.
     pub route_attempts: usize,
@@ -103,7 +123,8 @@ impl Default for CoordinatorConfig {
             addr: "127.0.0.1:8706".to_owned(),
             workers: Vec::new(),
             probe_interval: Duration::from_millis(250),
-            retain_done: DEFAULT_RETAIN_DONE,
+            cache_entries: DEFAULT_CACHE_ENTRIES,
+            cache_bytes: DEFAULT_CACHE_BYTES,
             route_attempts: 8,
             cascade: true,
             conn_workers: 4,
@@ -159,6 +180,12 @@ struct CoordJob {
     /// multi-analysis deck jobs, which cannot be re-posted one job at a
     /// time — those fail closed instead of re-running siblings.
     resubmit: Option<String>,
+    /// Canonical content hash, computed from the locally built job at
+    /// admission — identical to the key the owning worker computes.
+    key: CacheKey,
+    /// The submission's cache policy; gates both the admission lookup
+    /// and the completion-time insert.
+    mode: CacheMode,
     state: CoordState,
 }
 
@@ -170,6 +197,22 @@ struct CoordRegistry {
     completed: u64,
 }
 
+/// One admission unit after local validation: everything the submit path
+/// needs to either serve the job from the coordinator's cache or forward
+/// it to a worker.
+struct Prepared {
+    label: String,
+    /// Single-job manifest for death-time re-submission (`None` for
+    /// multi-analysis deck jobs).
+    resubmit: Option<String>,
+    /// The manifest forwarded on first placement.
+    forward: String,
+    key: CacheKey,
+    mode: CacheMode,
+    /// An admission-time cache hit; `Some` short-circuits routing.
+    hit: Option<CachedResult>,
+}
+
 /// The coordinator's routing service: registry + fleet view. Implements
 /// [`HttpApp`], so it runs behind the same accept loop, connection
 /// workers, and metrics as [`JobService`](crate::JobService).
@@ -178,7 +221,10 @@ struct CoordService {
     ring: HashRing,
     builder: Arc<dyn JobBuilder>,
     registry: Mutex<CoordRegistry>,
-    retain_done: usize,
+    cache_entries: usize,
+    /// The coordinator's own content-addressed result cache: admission
+    /// hits are served here without touching the fleet.
+    cache: ResultCache,
     route_attempts: usize,
     rejected: AtomicU64,
 }
@@ -215,7 +261,8 @@ impl CoordService {
                 draining: false,
                 completed: 0,
             }),
-            retain_done: config.retain_done.max(1),
+            cache_entries: config.cache_entries.max(1),
+            cache: ResultCache::new(config.cache_entries.max(1), config.cache_bytes),
             route_attempts: config.route_attempts.max(1),
             rejected: AtomicU64::new(0),
         }
@@ -293,11 +340,8 @@ impl CoordService {
     }
 
     /// `POST /v1/jobs` and `/v1/decks` both land here once lowered to
-    /// `(label, single-job manifest)` pairs.
-    fn submit_prepared(
-        &self,
-        prepared: Vec<(String, Option<String>, String)>,
-    ) -> Result<Vec<u64>, SubmitError> {
+    /// one [`Prepared`] unit per job.
+    fn submit_prepared(&self, prepared: Vec<Prepared>) -> Result<Vec<u64>, SubmitError> {
         // Reserve global ids first; ids burned by a failed submission
         // stay burned (ids are opaque handles, not dense indices).
         let base = {
@@ -310,16 +354,20 @@ impl CoordService {
             base
         };
 
-        // Forward outside the lock — placement does network I/O.
-        let mut placed: Vec<(u64, String, Option<String>, usize, u64)> = Vec::new();
-        for (k, (label, resubmit, forward)) in prepared.into_iter().enumerate() {
+        // Forward the cache misses outside the lock — placement does
+        // network I/O; hits never leave this process.
+        let mut placements: Vec<Option<(usize, u64)>> = vec![None; prepared.len()];
+        for (k, p) in prepared.iter().enumerate() {
+            if p.hit.is_some() {
+                continue;
+            }
             let id = base + k as u64;
-            match self.place(id, &forward, None) {
-                Some((w, remote)) => placed.push((id, label, resubmit, w, remote)),
+            match self.place(id, &p.forward, None) {
+                Some((w, remote)) => placements[k] = Some((w, remote)),
                 None => {
                     // Roll back the prefix: best-effort cancel remotely,
                     // nothing was registered locally yet.
-                    for (_, _, _, w, remote) in &placed {
+                    for (w, remote) in placements.iter().flatten() {
                         let _ = self.workers[*w].client.cancel(*remote);
                     }
                     self.rejected.fetch_add(1, Ordering::Relaxed);
@@ -334,25 +382,56 @@ impl CoordService {
         if reg.draining {
             // Drain began while we were forwarding; its completion scan
             // may already have passed, so refuse rather than strand jobs.
-            for (_, _, _, w, remote) in &placed {
+            for (w, remote) in placements.iter().flatten() {
                 let _ = self.workers[*w].client.cancel(*remote);
             }
             return Err(SubmitError::ShuttingDown);
         }
-        let mut ids = Vec::with_capacity(placed.len());
-        for (id, label, resubmit, worker, remote) in placed {
-            reg.jobs.insert(
-                id,
-                CoordJob {
-                    label,
-                    resubmit,
-                    state: CoordState::Routed {
-                        worker,
-                        remote,
-                        attempts: 1,
+        let mut ids = Vec::with_capacity(prepared.len());
+        for (k, p) in prepared.into_iter().enumerate() {
+            let id = base + k as u64;
+            if let Some(cached) = p.hit {
+                // Admission hit: mint the terminal document locally with
+                // the stored result bytes under this submission's label.
+                let body = hit_status(id, &p.label, p.key, &cached);
+                reg.jobs.insert(
+                    id,
+                    CoordJob {
+                        label: p.label,
+                        resubmit: p.resubmit,
+                        key: p.key,
+                        mode: p.mode,
+                        state: CoordState::Done {
+                            kind: cached.kind.to_owned(),
+                            body,
+                            at: None,
+                        },
                     },
-                },
-            );
+                );
+                reg.completed += 1;
+                reg.done_order.push_back(id);
+                while reg.done_order.len() > self.cache_entries {
+                    let evicted = reg.done_order.pop_front().expect("non-empty");
+                    reg.jobs.remove(&evicted);
+                }
+                fts_telemetry::counter("coordinator.jobs.completed", 1);
+            } else {
+                let (worker, remote) = placements[k].expect("miss was placed above");
+                reg.jobs.insert(
+                    id,
+                    CoordJob {
+                        label: p.label,
+                        resubmit: p.resubmit,
+                        key: p.key,
+                        mode: p.mode,
+                        state: CoordState::Routed {
+                            worker,
+                            remote,
+                            attempts: 1,
+                        },
+                    },
+                );
+            }
             ids.push(id);
         }
         Ok(ids)
@@ -362,8 +441,9 @@ impl CoordService {
     /// forward job-by-job.
     fn submit_manifest(&self, body: &str) -> Result<Vec<u64>, SubmitError> {
         let mut manifest = BatchManifest::parse(body).map_err(SubmitError::Invalid)?;
+        let mut built = Vec::with_capacity(manifest.jobs.len());
         for (k, spec) in manifest.jobs.iter().enumerate() {
-            build_job(self.builder.as_ref(), spec, k).map_err(SubmitError::Invalid)?;
+            built.push(build_job(self.builder.as_ref(), spec, k).map_err(SubmitError::Invalid)?);
         }
         let width = manifest.ensemble_width;
         let prepared = manifest
@@ -374,12 +454,20 @@ impl CoordService {
                 // Pin the label before forwarding: the worker would
                 // otherwise re-default it from its own (index 0) view.
                 spec.label = Some(spec.label_or_default(k));
+                // The validation build doubles as the canonicalizer
+                // input: the key is label-independent, so pinning the
+                // label after building does not change it.
+                let key = cache_key(&built[k].job, built[k].out, spec.waveform);
+                let hit = spec.cache.reads().then(|| self.cache.lookup(key)).flatten();
                 let single = single_job_manifest(spec, width);
-                (
-                    spec.label.clone().expect("just set"),
-                    Some(single.clone()),
-                    single,
-                )
+                Prepared {
+                    label: spec.label.clone().expect("just set"),
+                    resubmit: Some(single.clone()),
+                    forward: single,
+                    key,
+                    mode: spec.cache,
+                    hit,
+                }
             })
             .collect();
         self.submit_prepared(prepared)
@@ -399,6 +487,13 @@ impl CoordService {
             )));
         }
         let labels: Vec<String> = subs.iter().map(|s| s.label.clone()).collect();
+        // Decks route whole (shared elaborated netlist), so there is no
+        // per-analysis hit short-circuit — but completions still populate
+        // the cache through `close_done`, so the keys are recorded.
+        let keys: Vec<CacheKey> = subs
+            .iter()
+            .map(|s| cache_key(&s.job, s.out, s.waveform))
+            .collect();
 
         let base = {
             let mut reg = self.registry.lock().expect("coord registry poisoned");
@@ -414,7 +509,7 @@ impl CoordService {
         for w in self.placement_order(base) {
             match self.workers[w].client.submit_deck(deck) {
                 Ok(remotes) if remotes.len() == labels.len() => {
-                    self.deck_registered(base, &labels, w, &remotes, deck);
+                    self.deck_registered(base, &labels, &keys, w, &remotes, deck);
                     return Ok((base..base + labels.len() as u64).collect());
                 }
                 Ok(remotes) => {
@@ -443,6 +538,7 @@ impl CoordService {
         &self,
         base: u64,
         labels: &[String],
+        keys: &[CacheKey],
         worker: usize,
         remotes: &[u64],
         deck: &str,
@@ -458,6 +554,8 @@ impl CoordService {
                 CoordJob {
                     label: label.clone(),
                     resubmit: resubmit.clone(),
+                    key: keys[k],
+                    mode: CacheMode::Default,
                     state: CoordState::Routed {
                         worker,
                         remote,
@@ -515,9 +613,14 @@ impl CoordService {
 
     /// Installs a terminal row for `id` in a registry the caller holds
     /// locked, bumping the completion gauge and applying the
-    /// `retain_done` eviction exactly like the single-process server.
-    /// Returns whether this call won the transition (a job already
-    /// terminal, or evicted, is left alone).
+    /// `cache_entries` done-row eviction exactly like the single-process
+    /// server. Returns whether this call won the transition (a job
+    /// already terminal, or evicted, is left alone).
+    ///
+    /// Real completions (`at` is `Some`) also populate the coordinator's
+    /// result cache: the `result` bytes are lifted out of the proxied
+    /// document verbatim — never parse → re-render, byte identity is the
+    /// cache contract.
     fn close_done(
         &self,
         reg: &mut CoordRegistry,
@@ -532,6 +635,23 @@ impl CoordService {
         if matches!(job.state, CoordState::Done { .. }) {
             return false; // A concurrent poll won the transition.
         }
+        if at.is_some() && job.mode.writes() {
+            // Only deterministic successes are cacheable; the static tag
+            // doubles as the success gate.
+            let cacheable: Option<&'static str> = match kind {
+                "op" => Some("op"),
+                "sweep" => Some("sweep"),
+                "transient" => Some("transient"),
+                "ac" => Some("ac"),
+                _ => None,
+            };
+            if let Some(tag) = cacheable {
+                if let Some(result) = result_bytes(&body) {
+                    let attempts = attempts_in(&body).unwrap_or(1);
+                    self.cache.insert(job.key, tag, result.to_owned(), attempts);
+                }
+            }
+        }
         job.state = CoordState::Done {
             kind: kind.to_owned(),
             body,
@@ -539,7 +659,7 @@ impl CoordService {
         };
         reg.completed += 1;
         reg.done_order.push_back(id);
-        while reg.done_order.len() > self.retain_done {
+        while reg.done_order.len() > self.cache_entries {
             let evicted = reg.done_order.pop_front().expect("non-empty");
             reg.jobs.remove(&evicted);
         }
@@ -804,7 +924,9 @@ impl CoordService {
             let job = reg.jobs.get(&id)?;
             match &job.state {
                 CoordState::Routed { worker, remote, .. } => (*worker, *remote),
-                CoordState::Done { at: Some((w, r)), .. } => (*w, *r),
+                CoordState::Done {
+                    at: Some((w, r)), ..
+                } => (*w, *r),
                 // Never ran anywhere we can still reach — no trace.
                 CoordState::Done { at: None, .. }
                 | CoordState::Stranded { .. }
@@ -958,6 +1080,61 @@ impl CoordService {
         )
     }
 
+    /// `GET /v1/cache`: fleet-wide aggregate stats at the top level
+    /// (coordinator + every reachable worker, fanned out over the wire),
+    /// with the coordinator's own counters and a per-worker breakdown
+    /// nested alongside.
+    fn cache_stats_doc(&self) -> String {
+        let own = self.cache.stats();
+        let mut agg = own;
+        let mut rows = Vec::with_capacity(self.workers.len());
+        for w in &self.workers {
+            let stats = w
+                .client
+                .cache_stats()
+                .ok()
+                .and_then(|body| parse_cache_stats(&body));
+            match stats {
+                Some(s) => {
+                    agg.entries += s.entries;
+                    agg.bytes += s.bytes;
+                    agg.hits += s.hits;
+                    agg.misses += s.misses;
+                    agg.evictions += s.evictions;
+                    rows.push(format!(
+                        "{{\"worker\":\"{}\",{}}}",
+                        json_escape(&w.addr),
+                        cache_stats_fields(&s)
+                    ));
+                }
+                None => rows.push(format!(
+                    "{{\"worker\":\"{}\",\"unreachable\":true}}",
+                    json_escape(&w.addr)
+                )),
+            }
+        }
+        format!(
+            "{{\"schema_version\":{SCHEMA_VERSION},{},\"coordinator\":{{{}}},\"workers\":[{}]}}",
+            cache_stats_fields(&agg),
+            cache_stats_fields(&own),
+            rows.join(","),
+        )
+    }
+
+    /// `DELETE /v1/cache`: flush the coordinator's own cache, then fan
+    /// the flush out to every worker (best effort — an unreachable
+    /// worker flushes on its next restart anyway).
+    fn cache_flush_doc(&self) -> String {
+        self.cache.flush();
+        let mut flushed = 1usize;
+        for w in &self.workers {
+            if w.client.cache_flush().is_ok() {
+                flushed += 1;
+            }
+        }
+        format!("{{\"schema_version\":{SCHEMA_VERSION},\"flushed\":true,\"nodes\":{flushed}}}")
+    }
+
     fn render_metrics(&self, metrics: &HttpMetrics) -> String {
         use std::fmt::Write as _;
         let g = self.gauges();
@@ -967,6 +1144,13 @@ impl CoordService {
         let _ = writeln!(out, "fts_jobs_completed {}", g.completed);
         let _ = writeln!(out, "fts_submissions_rejected {}", g.rejected);
         let _ = writeln!(out, "fts_jobs_done_retained {}", g.done_retained);
+        let cache = self.cache.stats();
+        let _ = writeln!(out, "fts_cache_entries {}", cache.entries);
+        let _ = writeln!(out, "fts_cache_bytes {}", cache.bytes);
+        let _ = writeln!(out, "fts_cache_hits_total {}", cache.hits);
+        let _ = writeln!(out, "fts_cache_misses_total {}", cache.misses);
+        let _ = writeln!(out, "fts_cache_evictions_total {}", cache.evictions);
+        let _ = writeln!(out, "fts_cache_hit_ratio {}", prom_num(cache.hit_ratio()));
         let _ = writeln!(out, "fts_coordinator_workers {}", self.workers.len());
         for w in &self.workers {
             let up = u8::from(w.up.load(Ordering::SeqCst));
@@ -1006,6 +1190,102 @@ fn rewrite_id(body: &str, from: u64, to: u64) -> String {
         }
         None => body.to_owned(),
     }
+}
+
+/// The terminal document for an admission-time cache hit: the same outer
+/// shape as a proxied worker completion, with the stored `result` bytes
+/// embedded verbatim and `cache.hit` true.
+fn hit_status(id: u64, label: &str, key: CacheKey, cached: &CachedResult) -> String {
+    format!(
+        "{{\"schema_version\":{SCHEMA_VERSION},\"id\":{id},\"status\":\"done\",\"kind\":\"{}\",\
+         \"job\":{{\"label\":\"{}\",\"kind\":\"{}\",\"wall_s\":0,\"attempts\":{},\"result\":{}{}}}}}",
+        cached.kind,
+        json_escape(label),
+        cached.kind,
+        cached.attempts,
+        cached.result_json,
+        cache_member_json(key, true),
+    )
+}
+
+/// The raw bytes of the first `"result":{...}` object in a status
+/// document, exactly as serialized — the substring is lifted without a
+/// JSON round-trip so a cached copy stays byte-identical to the
+/// original. Labels cannot spoof the needle: they are JSON-escaped, so
+/// an embedded quote can never form a bare `"result":` inside a string.
+fn result_bytes(body: &str) -> Option<&str> {
+    let at = body.find("\"result\":")? + "\"result\":".len();
+    json_object_at(body, at)
+}
+
+/// Brace-matches one JSON object starting at `start`, skipping braces
+/// inside string literals (escape-aware).
+fn json_object_at(body: &str, start: usize) -> Option<&str> {
+    let bytes = body.as_bytes();
+    if *bytes.get(start)? != b'{' {
+        return None;
+    }
+    let (mut depth, mut in_string, mut escaped) = (0usize, false, false);
+    for (i, &b) in bytes.iter().enumerate().skip(start) {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&body[start..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The `"attempts":N` count quoted in a done document's job row.
+fn attempts_in(body: &str) -> Option<usize> {
+    let at = body.find("\"attempts\":")? + "\"attempts\":".len();
+    let digits = body[at..]
+        .split(|c: char| !c.is_ascii_digit())
+        .next()
+        .unwrap_or("");
+    digits.parse().ok()
+}
+
+/// Decodes a worker's `GET /v1/cache` body back into [`CacheStats`].
+fn parse_cache_stats(body: &str) -> Option<CacheStats> {
+    let doc = Json::parse(body).ok()?;
+    let num = |k: &str| doc.get(k).and_then(Json::as_f64);
+    Some(CacheStats {
+        entries: num("entries")? as usize,
+        bytes: num("bytes")? as usize,
+        hits: num("hits")? as u64,
+        misses: num("misses")? as u64,
+        evictions: num("evictions")? as u64,
+    })
+}
+
+/// Renders the shared stats members (no braces) for cache documents.
+fn cache_stats_fields(s: &CacheStats) -> String {
+    format!(
+        "\"entries\":{},\"bytes\":{},\"hits\":{},\"misses\":{},\"evictions\":{},\"hit_ratio\":{}",
+        s.entries,
+        s.bytes,
+        s.hits,
+        s.misses,
+        s.evictions,
+        json_f64(s.hit_ratio()),
+    )
 }
 
 fn synthetic_status(id: u64, label: &str, status: &str) -> String {
@@ -1053,6 +1333,8 @@ impl HttpApp for CoordService {
             }),
             ("POST", "/v1/jobs") => Ok(admission_response(self.submit_manifest(&request.body))),
             ("POST", "/v1/decks") => Ok(admission_response(self.submit_deck(&request.body))),
+            ("GET", "/v1/cache") => json_ok(self.cache_stats_doc()),
+            ("DELETE", "/v1/cache") => json_ok(self.cache_flush_doc()),
             ("GET", "/v1/jobs") => match list_params(request) {
                 Ok((state, cursor, limit)) => json_ok(self.list_json(state, cursor, limit)),
                 Err(e) => Ok(wire_error_response(&e)),
@@ -1086,9 +1368,10 @@ impl HttpApp for CoordService {
                     _ => Err(HttpError::MethodNotAllowed),
                 }
             }
-            (_, "/healthz" | "/metrics" | "/v1/jobs" | "/v1/decks" | "/v1/shutdown") => {
-                Err(HttpError::MethodNotAllowed)
-            }
+            (
+                _,
+                "/healthz" | "/metrics" | "/v1/jobs" | "/v1/decks" | "/v1/cache" | "/v1/shutdown",
+            ) => Err(HttpError::MethodNotAllowed),
             _ => Err(HttpError::NotFound),
         }
     }

@@ -309,6 +309,7 @@ pub fn write_error(stream: &mut TcpStream, err: &HttpError) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::SCHEMA_VERSION;
 
     #[test]
     fn error_status_mapping() {
@@ -323,7 +324,7 @@ mod tests {
     #[test]
     fn error_bodies_are_structured() {
         let b = HttpError::PayloadTooLarge.body();
-        assert!(b.contains("\"schema_version\":1"));
+        assert!(b.contains(&format!("\"schema_version\":{SCHEMA_VERSION}")));
         assert!(b.contains("\"code\":\"payload_too_large\""));
         let b = HttpError::BadRequest("quote \" here".into()).body();
         assert!(b.contains("quote \\\" here"));

@@ -73,11 +73,11 @@ pub use http::{HttpError, HttpLimits, Request};
 pub use ring::HashRing;
 pub use server::{Server, ServerConfig, ServerHandle, ShutdownReport};
 pub use service::{
-    build_job, BuiltJob, JobBuilder, JobService, ServiceGauges, SubmitError, TraceLookup,
-    DEFAULT_RETAIN_DONE, LIST_LIMIT_DEFAULT, LIST_LIMIT_MAX,
+    build_job, cache_stats_json, BuiltJob, JobBuilder, JobService, ServiceGauges, SubmitError,
+    TraceLookup, DEFAULT_CACHE_ENTRIES, DEFAULT_RETAIN_DONE, LIST_LIMIT_DEFAULT, LIST_LIMIT_MAX,
 };
 pub use wire::{
-    batch_report_json, job_row_json, json_escape, outcome_json, single_job_manifest,
-    trace_chrome_json, trace_journal_json, trace_object_json, AnalysisSpec, BatchManifest, JobSpec,
-    Json, WireError, MAX_JSON_DEPTH, MAX_SAMPLES_LIMIT, SCHEMA_VERSION,
+    batch_report_json, cache_member_json, job_row_json, json_escape, outcome_json,
+    single_job_manifest, trace_chrome_json, trace_journal_json, trace_object_json, AnalysisSpec,
+    BatchManifest, JobSpec, Json, WireError, MAX_JSON_DEPTH, MAX_SAMPLES_LIMIT, SCHEMA_VERSION,
 };

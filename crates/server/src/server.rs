@@ -52,10 +52,15 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Job queue capacity (admission bound for `POST /v1/jobs`).
     pub queue_depth: usize,
-    /// Finished job results retained for `GET /v1/jobs/{id}`; beyond this
-    /// the oldest-completed entries are evicted (their ids read as `404`),
-    /// bounding registry memory on a long-running server.
-    pub retain_done: usize,
+    /// Entry bound for the content-addressed result cache *and* for
+    /// finished job rows retained for `GET /v1/jobs/{id}`; beyond it the
+    /// oldest-completed entries are evicted (their ids read as `404`) and
+    /// the cache ages out by LRU, bounding memory on a long-running
+    /// server. Replaces the former `retain_done` knob (PR 10), which the
+    /// CLI keeps as a deprecated alias.
+    pub cache_entries: usize,
+    /// Byte budget for cached result payloads (the cache's second bound).
+    pub cache_bytes: usize,
     /// Connection worker threads.
     pub conn_workers: usize,
     /// Accepted-connection queue capacity (overflow → canned `429`).
@@ -74,7 +79,8 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:8707".to_owned(),
             workers: 0,
             queue_depth: 256,
-            retain_done: crate::service::DEFAULT_RETAIN_DONE,
+            cache_entries: crate::service::DEFAULT_CACHE_ENTRIES,
+            cache_bytes: fts_engine::DEFAULT_CACHE_BYTES,
             conn_workers: 4,
             conn_backlog: 128,
             trace_events: fts_telemetry::trace::DEFAULT_EVENT_CAP,
@@ -136,7 +142,8 @@ impl Server {
         fts_telemetry::set_enabled(true);
         let listener = bind_addr(&config.addr)?;
         let service = Arc::new(
-            JobService::new(builder, config.queue_depth, config.retain_done)
+            JobService::new(builder, config.queue_depth, config.cache_entries)
+                .cache_bytes(config.cache_bytes)
                 .trace_capacity(config.trace_events),
         );
         Ok(Server {
@@ -482,6 +489,13 @@ fn route(
             Err(e) => Ok(wire_error_response(&e)),
         },
         ("POST", "/v1/decks") => submit_deck(request, service),
+        ("GET", "/v1/cache") => json_ok(service.cache_stats_json()),
+        ("DELETE", "/v1/cache") => {
+            service.cache_flush();
+            json_ok(format!(
+                "{{\"schema_version\":{SCHEMA_VERSION},\"flushed\":true}}"
+            ))
+        }
         ("POST", "/v1/shutdown") => {
             stop.store(true, Ordering::SeqCst);
             json_ok(format!(
@@ -514,7 +528,7 @@ fn route(
                 _ => Err(HttpError::MethodNotAllowed),
             }
         }
-        (_, "/healthz" | "/metrics" | "/v1/jobs" | "/v1/decks" | "/v1/shutdown") => {
+        (_, "/healthz" | "/metrics" | "/v1/jobs" | "/v1/decks" | "/v1/cache" | "/v1/shutdown") => {
             Err(HttpError::MethodNotAllowed)
         }
         _ => Err(HttpError::NotFound),
@@ -728,6 +742,7 @@ pub(crate) fn route_template(path: &str) -> &'static str {
         "/metrics" => "/metrics",
         "/v1/jobs" => "/v1/jobs",
         "/v1/decks" => "/v1/decks",
+        "/v1/cache" => "/v1/cache",
         "/v1/shutdown" => "/v1/shutdown",
         p if p.starts_with("/v1/jobs/") => {
             if p.ends_with("/trace") {
@@ -787,6 +802,13 @@ fn render_metrics(service: &JobService, metrics: &HttpMetrics) -> String {
         let _ = writeln!(out, "fts_submissions_rejected {}", gauges.rejected);
         let _ = writeln!(out, "fts_queue_depth {}", gauges.queue_depth);
         let _ = writeln!(out, "fts_jobs_done_retained {}", gauges.done_retained);
+        let cache = service.cache_stats();
+        let _ = writeln!(out, "fts_cache_entries {}", cache.entries);
+        let _ = writeln!(out, "fts_cache_bytes {}", cache.bytes);
+        let _ = writeln!(out, "fts_cache_hits_total {}", cache.hits);
+        let _ = writeln!(out, "fts_cache_misses_total {}", cache.misses);
+        let _ = writeln!(out, "fts_cache_evictions_total {}", cache.evictions);
+        let _ = writeln!(out, "fts_cache_hit_ratio {}", prom_num(cache.hit_ratio()));
     }
     render_http_series(&mut out, metrics);
     render_telemetry_series(&mut out);
@@ -1097,7 +1119,7 @@ mod tests {
             assert_eq!(
                 doc.get("schema_version")
                     .and_then(crate::wire::Json::as_f64),
-                Some(1.0),
+                Some(f64::from(SCHEMA_VERSION)),
                 "{body}"
             );
             let err = doc.get("error").expect("error object");

@@ -20,14 +20,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use fts_engine::{Engine, RetryPolicy, SimJob};
+use fts_engine::{
+    cache_key, params_vector, topology_hash, Analysis, CacheKey, CacheMode, CacheStats,
+    CachedResult, Engine, ResultCache, RetryPolicy, SimJob, SimOutcome, DEFAULT_CACHE_BYTES,
+};
 use fts_netlist::{elaborate, parse_str, ElabOptions};
 use fts_spice::{CancelToken, NodeId};
 use fts_telemetry::trace::JobTrace;
 
 use crate::wire::{
-    job_row_json, json_escape, trace_chrome_json, trace_journal_json, JobSource, JobSpec,
-    WireError, SCHEMA_VERSION,
+    cache_member_json, job_row_json, json_escape, json_f64, outcome_json, trace_chrome_json,
+    trace_journal_json, JobSource, JobSpec, WireError, SCHEMA_VERSION,
 };
 
 /// A manifest job lowered to an engine job plus the node to report.
@@ -132,6 +135,7 @@ pub fn deck_submissions(text: &str) -> Result<Vec<Submission>, WireError> {
             label: job.label.clone(),
             out,
             waveform: false,
+            cache: CacheMode::Default,
             job,
         })
         .collect())
@@ -150,6 +154,8 @@ pub struct Submission {
     pub out: NodeId,
     /// Embed the decimated waveform arrays in the result row.
     pub waveform: bool,
+    /// Result-cache policy for this job.
+    pub cache: CacheMode,
 }
 
 /// Why a submission was not admitted.
@@ -190,6 +196,10 @@ struct JobEntry {
     /// other clone of this handle on the worker thread; this one serves
     /// `GET /v1/jobs/{id}/trace`, including mid-run.
     trace: Option<JobTrace>,
+    /// The job's canonical content hash, computed at admission.
+    key: CacheKey,
+    /// The job's cache policy.
+    mode: CacheMode,
     state: JobState,
 }
 
@@ -215,7 +225,7 @@ pub struct ServiceGauges {
     pub running: usize,
     /// Jobs finished (any outcome) since startup.
     pub completed: u64,
-    /// Finished job rows currently retained (≤ the `retain_done` bound).
+    /// Finished job rows currently retained (≤ the `cache_entries` bound).
     pub done_retained: usize,
     /// Submissions rejected with `429` since startup.
     pub rejected: u64,
@@ -223,9 +233,14 @@ pub struct ServiceGauges {
     pub queue_depth: usize,
 }
 
-/// Default for [`JobService::new`]'s `retain_done`: how many finished
-/// job rows stay retrievable before the oldest are evicted.
-pub const DEFAULT_RETAIN_DONE: usize = 256;
+/// Default for [`JobService::new`]'s `cache_entries`: the bound on both
+/// the content-addressed result cache *and* the retained finished-job
+/// rows (the two retention knobs PR 10 consolidated — see DESIGN.md §13).
+pub const DEFAULT_CACHE_ENTRIES: usize = 256;
+
+/// Deprecated alias of [`DEFAULT_CACHE_ENTRIES`], kept so pre-cache
+/// callers (and the `--retain-done` CLI alias) keep compiling.
+pub const DEFAULT_RETAIN_DONE: usize = DEFAULT_CACHE_ENTRIES;
 
 /// `GET /v1/jobs` page size when the request has no `limit`.
 pub const LIST_LIMIT_DEFAULT: usize = 50;
@@ -253,6 +268,22 @@ pub fn list_page_json(rows: &[String], truncated: bool, last_id: Option<u64>) ->
     doc
 }
 
+/// Renders one [`CacheStats`] snapshot as the `GET /v1/cache` body —
+/// shared by the single-process server and (per worker, plus the
+/// aggregate) the coordinator.
+#[must_use]
+pub fn cache_stats_json(s: &CacheStats) -> String {
+    format!(
+        "{{\"schema_version\":{SCHEMA_VERSION},\"entries\":{},\"bytes\":{},\"hits\":{},\"misses\":{},\"evictions\":{},\"hit_ratio\":{}}}",
+        s.entries,
+        s.bytes,
+        s.hits,
+        s.misses,
+        s.evictions,
+        json_f64(s.hit_ratio()),
+    )
+}
+
 /// Result of a `GET /v1/jobs/{id}/trace` lookup.
 pub enum TraceLookup {
     /// Unknown id, or the finished job was evicted (→ `404`).
@@ -273,7 +304,9 @@ pub struct JobService {
     builder: Arc<dyn JobBuilder>,
     engine: Engine,
     queue_depth: usize,
-    retain_done: usize,
+    cache_entries: usize,
+    /// The content-addressed result cache + warm-start index (PR 10).
+    cache: ResultCache,
     /// Per-job flight-recorder ring capacity; 0 disables tracing.
     trace_events: usize,
     rejected: AtomicU64,
@@ -281,17 +314,27 @@ pub struct JobService {
 
 impl JobService {
     /// A service admitting at most `queue_depth` queued jobs, lowering
-    /// manifests through `builder`, and retaining at most `retain_done`
-    /// finished job results (see [`DEFAULT_RETAIN_DONE`]).
+    /// manifests through `builder`, and bounding both the result cache
+    /// and the retained finished-job rows to `cache_entries` (see
+    /// [`DEFAULT_CACHE_ENTRIES`]; the byte bound defaults to
+    /// [`DEFAULT_CACHE_BYTES`], adjustable via
+    /// [`cache_bytes`](JobService::cache_bytes)).
     ///
     /// Retention is what bounds the registry: queued and running entries
     /// are already limited by `queue_depth` and the worker count, and
-    /// once the done set exceeds `retain_done` the oldest-completed
+    /// once the done set exceeds `cache_entries` the oldest-completed
     /// entries are dropped, so a long-running server's memory cannot grow
     /// with its job history. An evicted id reads as `404` — clients poll
     /// results promptly (and `server_load` hammers exactly that loop), so
     /// the cap trades indefinite retrievability for a hard memory bound.
-    pub fn new(builder: Arc<dyn JobBuilder>, queue_depth: usize, retain_done: usize) -> JobService {
+    /// The content cache ages out separately by LRU under the same entry
+    /// bound, so a result evicted from the *registry* (by id) is usually
+    /// still servable as a cache hit (by content).
+    pub fn new(
+        builder: Arc<dyn JobBuilder>,
+        queue_depth: usize,
+        cache_entries: usize,
+    ) -> JobService {
         JobService {
             registry: Mutex::new(Registry {
                 jobs: HashMap::new(),
@@ -307,10 +350,18 @@ impl JobService {
             builder,
             engine: Engine::new(),
             queue_depth: queue_depth.max(1),
-            retain_done: retain_done.max(1),
+            cache_entries: cache_entries.max(1),
+            cache: ResultCache::new(cache_entries.max(1), DEFAULT_CACHE_BYTES),
             trace_events: fts_telemetry::trace::DEFAULT_EVENT_CAP,
             rejected: AtomicU64::new(0),
         }
+    }
+
+    /// Rebounds the result cache's byte budget (entry bound unchanged).
+    /// Call before serving traffic: the cache is reset empty.
+    pub fn cache_bytes(mut self, bytes: usize) -> JobService {
+        self.cache = ResultCache::new(self.cache_entries, bytes);
+        self
     }
 
     /// Sets the per-job flight-recorder ring capacity (events retained
@@ -344,6 +395,7 @@ impl JobService {
                 label: spec.label_or_default(k),
                 out: b.out,
                 waveform: spec.waveform,
+                cache: spec.cache,
             });
         }
         self.submit_jobs(subs)
@@ -365,47 +417,112 @@ impl JobService {
             )));
         }
 
+        // Canonical keys are pure functions of the job — compute them
+        // before taking the registry lock.
+        let keyed: Vec<(Submission, CacheKey)> = subs
+            .into_iter()
+            .map(|s| {
+                let key = cache_key(&s.job, s.out, s.waveform);
+                (s, key)
+            })
+            .collect();
+
         let mut reg = self.registry.lock().expect("registry poisoned");
         if reg.draining {
             return Err(SubmitError::ShuttingDown);
         }
-        if reg.pending.len() + subs.len() > self.queue_depth {
+
+        // Admission consults the cache: a `default`-mode job whose key is
+        // already cached is minted Done on the spot — it never occupies a
+        // queue slot, so capacity is checked against misses only.
+        let looked: Vec<(Submission, CacheKey, Option<CachedResult>)> = keyed
+            .into_iter()
+            .map(|(s, key)| {
+                let hit = s.cache.reads().then(|| self.cache.lookup(key)).flatten();
+                (s, key, hit)
+            })
+            .collect();
+        let misses = looked.iter().filter(|(_, _, hit)| hit.is_none()).count();
+        if reg.pending.len() + misses > self.queue_depth {
             self.rejected.fetch_add(1, Ordering::Relaxed);
-            fts_telemetry::counter("server.jobs.rejected", subs.len() as u64);
+            fts_telemetry::counter("server.jobs.rejected", looked.len() as u64);
             return Err(SubmitError::Overloaded {
                 queued: reg.pending.len(),
                 depth: self.queue_depth,
             });
         }
 
-        let mut ids = Vec::with_capacity(subs.len());
-        for mut s in subs {
+        let mut ids = Vec::with_capacity(looked.len());
+        let mut queued_any = false;
+        for (mut s, key, hit) in looked {
             let id = reg.next_id;
             reg.next_id += 1;
-            // Mint the job's flight recorder at admission: the engine
-            // installs the handle riding on the job, the registry keeps
-            // this clone to serve the journal.
             let trace = (self.trace_events > 0).then(|| JobTrace::new(self.trace_events));
-            if let Some(t) = &trace {
-                s.job.trace = Some(t.clone());
+            if let Some(cached) = hit {
+                // Serve the stored result bytes under this submission's
+                // own label: byte-identical `result` object, zero queue
+                // time, attempts quoted from the original run.
+                let row = format!(
+                    "{{\"label\":\"{}\",\"kind\":\"{}\",\"wall_s\":0,\"attempts\":{},\"result\":{}{}}}",
+                    json_escape(&s.label),
+                    cached.kind,
+                    cached.attempts,
+                    cached.result_json,
+                    cache_member_json(key, true),
+                );
+                reg.jobs.insert(
+                    id,
+                    JobEntry {
+                        label: s.label,
+                        waveform: s.waveform,
+                        out: s.out,
+                        cancel: CancelToken::new(),
+                        job: None,
+                        trace,
+                        key,
+                        mode: s.cache,
+                        state: JobState::Done {
+                            kind: cached.kind,
+                            row,
+                        },
+                    },
+                );
+                reg.completed += 1;
+                reg.done_order.push_back(id);
+                while reg.done_order.len() > self.cache_entries {
+                    let evicted = reg.done_order.pop_front().expect("non-empty");
+                    reg.jobs.remove(&evicted);
+                }
+            } else {
+                // Mint the job's flight recorder at admission: the engine
+                // installs the handle riding on the job, the registry
+                // keeps this clone to serve the journal.
+                if let Some(t) = &trace {
+                    s.job.trace = Some(t.clone());
+                }
+                reg.jobs.insert(
+                    id,
+                    JobEntry {
+                        label: s.label,
+                        waveform: s.waveform,
+                        out: s.out,
+                        cancel: CancelToken::new(),
+                        job: Some(s.job),
+                        trace,
+                        key,
+                        mode: s.cache,
+                        state: JobState::Queued,
+                    },
+                );
+                reg.pending.push_back(id);
+                queued_any = true;
             }
-            reg.jobs.insert(
-                id,
-                JobEntry {
-                    label: s.label,
-                    waveform: s.waveform,
-                    out: s.out,
-                    cancel: CancelToken::new(),
-                    job: Some(s.job),
-                    trace,
-                    state: JobState::Queued,
-                },
-            );
-            reg.pending.push_back(id);
             ids.push(id);
         }
         fts_telemetry::counter("server.jobs.admitted", ids.len() as u64);
-        self.work_ready.notify_all();
+        if queued_any {
+            self.work_ready.notify_all();
+        }
         Ok(ids)
     }
 
@@ -414,7 +531,7 @@ impl JobService {
     /// a started job, which is what makes shutdown lossless.
     pub fn worker_loop(&self) {
         loop {
-            let (id, job, cancel) = {
+            let (id, mut job, cancel, key, mode, out, waveform) = {
                 let mut reg = self.registry.lock().expect("registry poisoned");
                 loop {
                     if let Some(id) = reg.pending.pop_front() {
@@ -422,8 +539,10 @@ impl JobService {
                         entry.state = JobState::Running;
                         let job = entry.job.take().expect("queued job present");
                         let cancel = entry.cancel.clone();
+                        let (key, mode) = (entry.key, entry.mode);
+                        let (out, waveform) = (entry.out, entry.waveform);
                         reg.running += 1;
-                        break (id, job, cancel);
+                        break (id, job, cancel, key, mode, out, waveform);
                     }
                     if reg.draining {
                         return;
@@ -432,29 +551,91 @@ impl JobService {
                 }
             };
 
+            // Dequeue-time recheck: an in-flight duplicate admitted as a
+            // miss may have been cached by its twin while this job sat
+            // queued — serve the stored bytes instead of recomputing.
+            if mode.reads() {
+                if let Some(cached) = self.cache.recheck(key) {
+                    self.finish(id, cached.kind, |entry| {
+                        format!(
+                            "{{\"label\":\"{}\",\"kind\":\"{}\",\"wall_s\":0,\"attempts\":{},\"result\":{}{}}}",
+                            json_escape(&entry.label),
+                            cached.kind,
+                            cached.attempts,
+                            cached.result_json,
+                            cache_member_json(key, true),
+                        )
+                    });
+                    continue;
+                }
+                // Warm-start: seed Newton from the nearest cached
+                // operating point of the same concrete topology.
+                if matches!(job.analysis, Analysis::Op) {
+                    let topo = topology_hash(&job.netlist);
+                    let params = params_vector(&job.netlist);
+                    if let Some(x) = self.cache.warm_lookup(topo, &params) {
+                        job.initial = Some(x);
+                    }
+                }
+            }
+
+            let warmed = job.initial.is_some();
             let (outcome, stats) = self.engine.run_single(&job, &cancel);
 
-            let mut reg = self.registry.lock().expect("registry poisoned");
-            let entry = reg.jobs.get_mut(&id).expect("running id registered");
-            let row = job_row_json(&entry.label, &outcome, &stats, entry.out, entry.waveform);
-            entry.state = JobState::Done {
-                kind: outcome.kind(),
-                row,
-            };
-            reg.running -= 1;
-            reg.completed += 1;
-            reg.done_order.push_back(id);
-            while reg.done_order.len() > self.retain_done {
-                let evicted = reg.done_order.pop_front().expect("non-empty");
-                reg.jobs.remove(&evicted);
+            if outcome.is_success() && mode.writes() {
+                self.cache.insert(
+                    key,
+                    outcome.kind(),
+                    outcome_json(&outcome, out, waveform),
+                    stats.attempts,
+                );
+                if let SimOutcome::Op(op) = &outcome {
+                    self.cache.warm_insert(
+                        topology_hash(&job.netlist),
+                        params_vector(&job.netlist),
+                        op.unknowns().to_vec(),
+                    );
+                    let iters = op.convergence().newton_iterations;
+                    if warmed {
+                        fts_telemetry::record("cache.warm.newton_iterations", iters as f64);
+                    } else {
+                        fts_telemetry::record("cache.cold.newton_iterations", iters as f64);
+                    }
+                }
             }
-            self.job_done.notify_all();
+
+            self.finish(id, outcome.kind(), |entry| {
+                let mut row =
+                    job_row_json(&entry.label, &outcome, &stats, entry.out, entry.waveform);
+                row.pop();
+                row.push_str(&cache_member_json(key, false));
+                row.push('}');
+                row
+            });
         }
+    }
+
+    /// Completes job `id`: renders its row (under the registry lock, so
+    /// the closure sees the entry's metadata), flips it Done, and applies
+    /// the done-row retention bound.
+    fn finish(&self, id: u64, kind: &'static str, row: impl FnOnce(&JobEntry) -> String) {
+        let mut reg = self.registry.lock().expect("registry poisoned");
+        let entry = reg.jobs.get_mut(&id).expect("running id registered");
+        let row = row(entry);
+        entry.state = JobState::Done { kind, row };
+        reg.running -= 1;
+        reg.completed += 1;
+        reg.done_order.push_back(id);
+        while reg.done_order.len() > self.cache_entries {
+            let evicted = reg.done_order.pop_front().expect("non-empty");
+            reg.jobs.remove(&evicted);
+        }
+        self.job_done.notify_all();
     }
 
     /// The status document for `GET /v1/jobs/{id}`, or `None` for ids
     /// that are unknown or whose finished result has been evicted by the
-    /// `retain_done` bound.
+    /// `cache_entries` done-row bound.
     ///
     /// Done jobs embed the full report row — label, timing stats, and the
     /// deterministic `result` object rendered by
@@ -580,6 +761,23 @@ impl JobService {
             last_id = Some(id);
         }
         list_page_json(&rows, truncated, last_id)
+    }
+
+    /// The result cache's counter snapshot (for `/metrics` and
+    /// aggregation by the coordinator).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The `GET /v1/cache` document.
+    pub fn cache_stats_json(&self) -> String {
+        cache_stats_json(&self.cache.stats())
+    }
+
+    /// Flushes the result cache (and warm-start index) for
+    /// `DELETE /v1/cache`. Counters are cumulative and survive.
+    pub fn cache_flush(&self) {
+        self.cache.flush();
     }
 
     /// Live gauges for `/metrics`.

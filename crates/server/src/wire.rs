@@ -45,14 +45,19 @@
 use std::fmt;
 use std::fmt::Write as _;
 
-use fts_engine::{JobStats, SimOutcome, DEFAULT_MAX_SAMPLES};
+use fts_engine::{CacheKey, CacheMode, JobStats, SimOutcome, DEFAULT_MAX_SAMPLES};
 use fts_spice::NodeId;
 use fts_telemetry::trace::TraceSnapshot;
 
 /// Version of the manifest/report wire schema. Incremented only for
 /// incompatible changes; both the CLI report and every HTTP response
 /// carry it as `"schema_version"`.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2 adds the cache surface: submissions accept a per-job `"cache"`
+/// policy and served rows carry a `"cache": {key, hit}` member. v1
+/// request bodies remain accepted — the new member simply defaults —
+/// so the bump advertises capability, not a break (DESIGN.md §9a).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Largest accepted `max_samples` — the decimating sink allocates one row
 /// per retained sample, so the cap bounds per-job memory.
@@ -421,7 +426,7 @@ pub fn json_escape(s: &str) -> String {
 /// so non-finite values (including the `-inf` peak of an empty waveform)
 /// render as `null` — the document must stay parseable by [`Json::parse`]
 /// and by clients.
-fn json_f64(x: f64) -> String {
+pub(crate) fn json_f64(x: f64) -> String {
     if x.is_finite() {
         format!("{x}")
     } else {
@@ -555,6 +560,11 @@ pub struct JobSpec {
     /// Include the decimated output waveform arrays in the result object
     /// (transient jobs only).
     pub waveform: bool,
+    /// Result-cache policy: `"default"` (hit/store/warm-start),
+    /// `"bypass"` (the exact legacy cold path, cache untouched), or
+    /// `"refresh"` (recompute cold, overwrite the entry). Absent in v1
+    /// bodies, which parse as `default`.
+    pub cache: CacheMode,
 }
 
 /// The circuit half of a [`JobSpec`]: what gets simulated.
@@ -636,6 +646,9 @@ impl JobSpec {
         }
         if self.waveform {
             out.push_str(",\"waveform\":true");
+        }
+        if self.cache != CacheMode::Default {
+            let _ = write!(out, ",\"cache\":\"{}\"", self.cache.as_str());
         }
         out.push('}');
         out
@@ -837,12 +850,30 @@ impl BatchManifest {
                     ));
                 }
             }
+            let cache = match j.get("cache") {
+                None => CacheMode::Default,
+                Some(v) => {
+                    let s = v.as_str().ok_or_else(|| {
+                        WireError::job("unknown_cache_mode", k, "\"cache\" must be a string")
+                    })?;
+                    CacheMode::parse(s).ok_or_else(|| {
+                        WireError::job(
+                            "unknown_cache_mode",
+                            k,
+                            format!(
+                                "unknown cache mode {s:?} (want \"default\", \"bypass\", or \"refresh\")"
+                            ),
+                        )
+                    })?
+                }
+            };
             jobs.push(JobSpec {
                 source,
                 deadline_ms,
                 ladder,
                 label: j.get("label").and_then(Json::as_str).map(str::to_owned),
                 waveform: j.get("waveform").and_then(Json::as_bool).unwrap_or(false),
+                cache,
             });
         }
         Ok(BatchManifest {
@@ -970,6 +1001,16 @@ pub fn job_row_json_traced(
         stats.attempts,
         outcome_json(outcome, out, waveform),
     )
+}
+
+/// Renders the `,"cache":{"key":"cache_key/1:…","hit":…}` member the
+/// server appends to each served row. It sits *after* the `"result"`
+/// object (and any `"trace"`), so byte-level comparisons over the
+/// deterministic result object — which is how hit/cold equivalence is
+/// checked everywhere — are unaffected by cache metadata.
+#[must_use]
+pub fn cache_member_json(key: CacheKey, hit: bool) -> String {
+    format!(",\"cache\":{{\"key\":\"{key}\",\"hit\":{hit}}}")
 }
 
 /// Renders the whole `fts batch` report document
@@ -1241,6 +1282,12 @@ mod tests {
         let e = BatchManifest::parse(r#"{"jobs": [{"function": "x", "retry": "forever"}]}"#)
             .unwrap_err();
         assert_eq!(e.code, "unknown_retry");
+        let e = BatchManifest::parse(r#"{"jobs": [{"function": "x", "cache": "always"}]}"#)
+            .unwrap_err();
+        assert_eq!(e.code, "unknown_cache_mode");
+        assert_eq!(e.job, Some(0));
+        let e = BatchManifest::parse(r#"{"jobs": [{"function": "x", "cache": 1}]}"#).unwrap_err();
+        assert_eq!(e.code, "unknown_cache_mode");
         let e = BatchManifest::parse(r#"{"jobs": [{}]}"#).unwrap_err();
         assert_eq!(e.code, "bad_manifest");
     }
@@ -1337,6 +1384,11 @@ mod tests {
                  "max_samples":128,"deadline_ms":250,"retry":"ladder","label":"w\"x","waveform":true},
                 {"function":"maj3","analysis":"op","input":5},
                 {"deck":"v1 a 0 dc 2\nr1 a out 1k\nr2 out 0 1k\n.op\n","max_samples":64}
+            ]}"#,
+            r#"{"jobs":[
+                {"function":"and2","cache":"bypass"},
+                {"function":"or2","cache":"refresh"},
+                {"function":"xor2","cache":"default"}
             ]}"#,
         ] {
             let m = BatchManifest::parse(text).unwrap();

@@ -101,10 +101,14 @@ fn start_coordinator(workers: Vec<String>) -> (WireClient, fts_server::ServerHan
     (WireClient::new(addr), handle, thread)
 }
 
+/// Submits in `"cache":"bypass"` mode: these tests assert byte-identity
+/// against a cold direct engine run, so neither cache hits nor
+/// warm-started Newton solves may enter the picture. (The dedicated
+/// cache test below exercises default mode.)
 fn submit_dividers(client: &WireClient, mvs: &[u32]) -> Vec<u64> {
     let jobs: Vec<String> = mvs
         .iter()
-        .map(|mv| format!("{{\"function\":\"divider{mv}\"}}"))
+        .map(|mv| format!("{{\"function\":\"divider{mv}\",\"cache\":\"bypass\"}}"))
         .collect();
     client
         .submit_manifest(&format!("{{\"jobs\":[{}]}}", jobs.join(",")))
@@ -201,6 +205,101 @@ fn coordinator_proxies_jobs_with_byte_identical_results() {
     let w1_report = t1.join().unwrap().expect("worker 1 run");
     assert_eq!(w0_report.jobs_completed + w1_report.jobs_completed, 8);
     drop((h0, h1));
+}
+
+/// Sums the per-worker routed counters from a coordinator scrape.
+fn routed_total(metrics: &str) -> u64 {
+    metrics
+        .lines()
+        .filter(|l| l.starts_with("fts_coordinator_worker_routed_total{"))
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum()
+}
+
+#[test]
+fn coordinator_cache_hit_is_byte_identical_and_flush_fans_out() {
+    let (w0, h0, t0) = start_worker("127.0.0.1:0");
+    let (client, coord_handle, coord_thread) = start_coordinator(vec![w0]);
+    let manifest = "{\"jobs\":[{\"function\":\"divider1900\"}]}";
+    let want = format!("\"result\":{}", direct_result(1900));
+
+    // Cold: routed to the worker; reading the result populates the
+    // coordinator's own cache.
+    let ids = client.submit_manifest(manifest).expect("cold submit");
+    let cold = client.wait_done(ids[0], POLL).expect("cold wait");
+    assert!(cold.contains("\"hit\":false"), "{cold}");
+    assert!(cold.contains(&want), "{cold}");
+
+    // Hit: the identical resubmission is answered from the coordinator's
+    // cache — done at admission, byte-identical result, nothing routed.
+    let ids = client.submit_manifest(manifest).expect("hit submit");
+    let hit = client.wait_done(ids[0], POLL).expect("hit wait");
+    assert!(hit.contains("\"hit\":true"), "{hit}");
+    assert!(hit.contains("\"wall_s\":0"), "{hit}");
+    assert!(
+        hit.contains(&want),
+        "cached result diverges from the direct run:\n{hit}"
+    );
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(
+        routed_total(&metrics),
+        1,
+        "a hit must not route:\n{metrics}"
+    );
+    assert!(metrics.contains("fts_cache_hits_total 1"), "{metrics}");
+
+    // Stats aggregate the coordinator's own store with every worker's.
+    let stats = client.cache_stats().expect("cache stats");
+    let doc = Json::parse(&stats).unwrap();
+    assert_eq!(doc.get("schema_version").and_then(Json::as_f64), Some(2.0));
+    assert!(
+        doc.get("hits").and_then(Json::as_f64).unwrap() >= 1.0,
+        "{stats}"
+    );
+    assert!(
+        doc.get("entries").and_then(Json::as_f64).unwrap() >= 1.0,
+        "{stats}"
+    );
+    assert!(doc.get("coordinator").is_some(), "{stats}");
+    let workers = doc
+        .get("workers")
+        .and_then(Json::as_array)
+        .expect("workers");
+    assert_eq!(workers.len(), 1, "{stats}");
+
+    // Flush fans out: both the coordinator's store and the worker's
+    // empty, so the resubmission is a miss that routes again.
+    let flushed = client.cache_flush().expect("cache flush");
+    assert!(flushed.contains("\"flushed\":true"), "{flushed}");
+    let stats = client.cache_stats().expect("stats after flush");
+    let doc = Json::parse(&stats).unwrap();
+    assert_eq!(
+        doc.get("entries").and_then(Json::as_f64),
+        Some(0.0),
+        "{stats}"
+    );
+    let workers = doc
+        .get("workers")
+        .and_then(Json::as_array)
+        .expect("workers");
+    assert_eq!(
+        workers[0].get("entries").and_then(Json::as_f64),
+        Some(0.0),
+        "worker cache must be flushed too: {stats}"
+    );
+
+    let ids = client.submit_manifest(manifest).expect("post-flush submit");
+    let post = client.wait_done(ids[0], POLL).expect("post-flush wait");
+    assert!(post.contains("\"hit\":false"), "{post}");
+    assert!(post.contains(&want), "{post}");
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(routed_total(&metrics), 2, "{metrics}");
+
+    coord_handle.shutdown();
+    let report = coord_thread.join().unwrap().expect("coordinator run");
+    assert_eq!(report.jobs_completed, 3, "cold + hit + post-flush rerun");
+    t0.join().unwrap().expect("worker run");
+    drop(h0);
 }
 
 #[test]

@@ -14,11 +14,13 @@ use fts_server::testing::{http_call, parse_response, ClientResponse};
 use fts_server::wire::{JobSource, JobSpec, Json, WireError};
 use fts_server::{HttpLimits, Server, ServerConfig, ShutdownReport};
 use fts_spice::analysis::TranConfig;
-use fts_spice::netlist::{Netlist, Waveform};
+use fts_spice::netlist::{MosParams, Netlist, Waveform};
 
-/// Builds either a fast DC divider (`"divider"`) or a deliberately slow
-/// 100k-step RC transient (`"slow"`) — the latter gives shutdown and
-/// cancellation something to race against.
+/// Builds a fast DC divider (`"divider"`), a deliberately slow 100k-step
+/// RC transient (`"slow"` — gives shutdown and cancellation something to
+/// race against), or a parametrized nonlinear NMOS inverter
+/// (`"inv<mv>"`, e.g. `"inv2000"` for a 2.0 V supply — same topology at
+/// every supply, so the cache's warm-start index kicks in).
 struct TestBuilder;
 
 impl JobBuilder for TestBuilder {
@@ -49,6 +51,25 @@ impl JobBuilder for TestBuilder {
                     job: SimJob::transient(nl, TranConfig::fixed(1e-8, 1e-3))
                         .probes(&[out])
                         .max_samples(64),
+                    out,
+                })
+            }
+            name if name.starts_with("inv") => {
+                let mv: f64 = name[3..].parse().map_err(|_| {
+                    WireError::job("unknown_function", index, format!("bad inv name {name:?}"))
+                })?;
+                nl.vsource("V1", a, Netlist::GROUND, Waveform::Dc(mv / 1000.0))
+                    .unwrap();
+                nl.resistor("R1", a, out, 1e4).unwrap();
+                let mos = MosParams {
+                    kp: 2e-5,
+                    vth: 0.7,
+                    lambda: 0.01,
+                    w_over_l: 10.0,
+                };
+                nl.nmos("M1", out, a, Netlist::GROUND, mos).unwrap();
+                Ok(BuiltJob {
+                    job: SimJob::op(nl),
                     out,
                 })
             }
@@ -217,7 +238,7 @@ fn truncated_json_is_a_structured_400() {
 
     let resp = http_call(addr, "POST", "/v1/jobs", Some(r#"{"jobs":[{"funct"#)).unwrap();
     assert_eq!(resp.status, 400, "{}", resp.body);
-    assert!(resp.body.contains("\"schema_version\":1"), "{}", resp.body);
+    assert!(resp.body.contains("\"schema_version\":2"), "{}", resp.body);
     assert!(resp.body.contains("\"code\":\"bad_json\""), "{}", resp.body);
 
     // Valid JSON, invalid manifest shape → structured 400 too.
@@ -283,7 +304,7 @@ fn slow_loris_hits_the_request_deadline() {
 #[test]
 fn finished_results_are_evicted_beyond_retention() {
     let config = ServerConfig {
-        retain_done: 2,
+        cache_entries: 2,
         workers: 1, // in-order completion → deterministic eviction order
         ..test_config()
     };
@@ -307,6 +328,202 @@ fn finished_results_are_evicted_beyond_retention() {
     let report = thread.join().unwrap().unwrap();
     // Eviction bounds retained rows, not the completion count.
     assert_eq!(report.jobs_completed, 5);
+}
+
+/// Extracts the raw `"result":{…}` object bytes from a status document —
+/// byte identity between cached and cold responses is asserted on these
+/// bytes, not on a parse/re-render round trip.
+fn result_bytes(body: &str) -> &str {
+    let start = body.find("\"result\":").expect("result member") + "\"result\":".len();
+    let bytes = &body.as_bytes()[start..];
+    let (mut depth, mut in_string, mut escaped) = (0usize, false, false);
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            _ if escaped => escaped = false,
+            b'\\' if in_string => escaped = true,
+            b'"' => in_string = !in_string,
+            b'{' if !in_string => depth += 1,
+            b'}' if !in_string => {
+                depth -= 1;
+                if depth == 0 {
+                    return &body[start..=start + i];
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("unterminated result object in {body}");
+}
+
+fn out_v_of(body: &str) -> f64 {
+    Json::parse(body)
+        .unwrap()
+        .get("job")
+        .and_then(|j| j.get("result"))
+        .and_then(|r| r.get("out_v"))
+        .and_then(Json::as_f64)
+        .expect("out_v")
+}
+
+fn submit_one(addr: SocketAddr, spec: &str) -> u64 {
+    let body = format!("{{\"jobs\":[{spec}]}}");
+    let resp = http_call(addr, "POST", "/v1/jobs", Some(&body)).expect("submit");
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    Json::parse(&resp.body)
+        .unwrap()
+        .get("ids")
+        .and_then(Json::as_array)
+        .unwrap()[0]
+        .as_f64()
+        .unwrap() as u64
+}
+
+#[test]
+fn cache_hit_serves_byte_identical_result() {
+    let (addr, handle, thread) = start_server(test_config());
+
+    // Cold run: a miss that populates the cache.
+    let cold_id = submit_one(addr, r#"{"function":"divider"}"#);
+    let cold = wait_done(addr, cold_id);
+    assert!(cold.contains("\"cache\":{\"key\":\"cache_key/1:"), "{cold}");
+    assert!(cold.contains("\"hit\":false"), "{cold}");
+
+    // Identical resubmission: served from the cache, marked as a hit,
+    // with byte-identical result bytes (and no recomputation — wall_s 0).
+    let hit_id = submit_one(addr, r#"{"function":"divider"}"#);
+    assert_ne!(hit_id, cold_id, "hits still mint fresh job ids");
+    let hit = wait_done(addr, hit_id);
+    assert!(hit.contains("\"hit\":true"), "{hit}");
+    assert!(hit.contains("\"wall_s\":0"), "{hit}");
+    assert_eq!(
+        result_bytes(&cold),
+        result_bytes(&hit),
+        "hit must serve byte-identical bytes"
+    );
+
+    // Bypass: the exact legacy cold path — recomputed, never a hit, and
+    // (determinism) byte-identical to what the cache stored.
+    let bp_id = submit_one(addr, r#"{"function":"divider","cache":"bypass"}"#);
+    let bp = wait_done(addr, bp_id);
+    assert!(bp.contains("\"hit\":false"), "{bp}");
+    assert_eq!(
+        result_bytes(&cold),
+        result_bytes(&bp),
+        "bypass twin must match cold bytes"
+    );
+
+    // The stats document adds up and the flush verb empties the store
+    // while the lifetime counters survive.
+    let stats = http_call(addr, "GET", "/v1/cache", None).unwrap();
+    assert_eq!(stats.status, 200, "{}", stats.body);
+    let doc = Json::parse(&stats.body).unwrap();
+    assert_eq!(doc.get("schema_version").and_then(Json::as_f64), Some(2.0));
+    assert!(
+        doc.get("entries").and_then(Json::as_f64).unwrap() >= 1.0,
+        "{}",
+        stats.body
+    );
+    assert!(
+        doc.get("bytes").and_then(Json::as_f64).unwrap() > 0.0,
+        "{}",
+        stats.body
+    );
+    assert!(
+        doc.get("hits").and_then(Json::as_f64).unwrap() >= 1.0,
+        "{}",
+        stats.body
+    );
+    assert!(
+        doc.get("hit_ratio").and_then(Json::as_f64).unwrap() > 0.0,
+        "{}",
+        stats.body
+    );
+
+    let flush = http_call(addr, "DELETE", "/v1/cache", None).unwrap();
+    assert_eq!(flush.status, 200, "{}", flush.body);
+    assert!(flush.body.contains("\"flushed\":true"), "{}", flush.body);
+    let stats = http_call(addr, "GET", "/v1/cache", None).unwrap();
+    let doc = Json::parse(&stats.body).unwrap();
+    assert_eq!(
+        doc.get("entries").and_then(Json::as_f64),
+        Some(0.0),
+        "{}",
+        stats.body
+    );
+    assert!(
+        doc.get("hits").and_then(Json::as_f64).unwrap() >= 1.0,
+        "{}",
+        stats.body
+    );
+
+    // After the flush the same circuit is a miss again.
+    let id = submit_one(addr, r#"{"function":"divider"}"#);
+    let post = wait_done(addr, id);
+    assert!(post.contains("\"hit\":false"), "{post}");
+
+    handle.shutdown();
+    thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn unknown_cache_mode_is_a_structured_400() {
+    let (addr, handle, thread) = start_server(test_config());
+    let resp = http_call(
+        addr,
+        "POST",
+        "/v1/jobs",
+        Some(r#"{"jobs":[{"function":"divider","cache":"sometimes"}]}"#),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(
+        resp.body.contains("\"code\":\"unknown_cache_mode\""),
+        "{}",
+        resp.body
+    );
+    assert!(resp.body.contains("\"schema_version\":2"), "{}", resp.body);
+    handle.shutdown();
+    thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn warm_started_miss_matches_cold_solution() {
+    let (addr, handle, thread) = start_server(test_config());
+
+    // Cold run at 2.0 V stores an operating point for the inverter
+    // topology in the warm-start index.
+    let id = submit_one(addr, r#"{"function":"inv2000"}"#);
+    wait_done(addr, id);
+
+    // Reference: 2.1 V solved completely cold (bypass never reads the
+    // cache, so it can't be warm-started).
+    let id = submit_one(addr, r#"{"function":"inv2100","cache":"bypass"}"#);
+    let cold = wait_done(addr, id);
+
+    // 2.1 V in default mode: a different key (miss) over the same
+    // topology, so Newton is seeded from the 2.0 V solution. The seed
+    // may change the iteration path but must not move the answer.
+    let id = submit_one(addr, r#"{"function":"inv2100"}"#);
+    let warm = wait_done(addr, id);
+    assert!(warm.contains("\"hit\":false"), "{warm}");
+
+    let (cold_v, warm_v) = (out_v_of(&cold), out_v_of(&warm));
+    assert!(
+        (cold_v - warm_v).abs() <= 1e-9,
+        "warm-started solution drifted: cold {cold_v} vs warm {warm_v}"
+    );
+
+    // The warm run was recorded as such in telemetry.
+    let resp = http_call(addr, "GET", "/metrics", None).unwrap();
+    assert!(
+        resp.body
+            .contains("fts_histogram_count{name=\"cache.warm.newton_iterations\"}"),
+        "no warm-start telemetry in:\n{}",
+        resp.body
+    );
+
+    handle.shutdown();
+    thread.join().unwrap().unwrap();
 }
 
 #[test]

@@ -158,7 +158,7 @@ fn hard_job_journal_is_present_ordered_and_bounded() {
     );
     assert_eq!(
         journal.get("schema_version").and_then(Json::as_f64),
-        Some(1.0)
+        Some(2.0)
     );
     assert_eq!(journal.get("id").and_then(Json::as_f64), Some(id as f64));
     assert_eq!(journal.get("label").and_then(Json::as_str), Some("latch"));

@@ -88,6 +88,8 @@ fn help_lists_every_flag_each_subcommand_parses() {
                 "--addr",
                 "--workers",
                 "--queue-depth",
+                "--cache-entries",
+                "--cache-bytes",
                 "--retain-done",
                 "--trace-events",
                 "--worker",

@@ -8,7 +8,7 @@ use std::process::{Command, Stdio};
 use four_terminal_lattice::batch::{
     outcome_json, AnalysisSpec, JobSource, JobSpec, PipelineJobBuilder,
 };
-use four_terminal_lattice::engine::{Engine, DEFAULT_MAX_SAMPLES};
+use four_terminal_lattice::engine::{CacheMode, Engine, DEFAULT_MAX_SAMPLES};
 use four_terminal_lattice::netlist::{self, ElabOptions};
 use four_terminal_lattice::server::service::JobBuilder as _;
 
@@ -40,6 +40,7 @@ fn fig11_builder_job() -> four_terminal_lattice::server::service::BuiltJob {
         ladder: false,
         label: None,
         waveform: false,
+        cache: CacheMode::Default,
     };
     PipelineJobBuilder::new().build(&spec, 0).expect("builder")
 }
